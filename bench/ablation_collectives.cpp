@@ -1,0 +1,103 @@
+// Collective-translation ablation (paper §4.4): the paper translates
+// collectives to flat p2p patterns and notes that "this implementation
+// often differs from today's hardware". How sensitive are the
+// topological metrics to that modeling choice?
+//
+// For an allreduce — the dominant collective across the catalog — we
+// compare the flat direct translation with binomial-tree, ring and
+// recursive-doubling schedules: total moved volume, packet hops and
+// average hops on the Table 2 topologies.
+#include <iostream>
+#include <vector>
+
+#include "netloc/collectives/algorithms.hpp"
+#include "netloc/common/format.hpp"
+#include "netloc/common/units.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/topology/configs.hpp"
+
+namespace {
+
+using netloc::collectives::Algorithm;
+using netloc::collectives::CollectiveOp;
+
+struct Result {
+  double total_mb = 0.0;
+  netloc::Count messages = 0;
+  netloc::Count packet_hops_torus = 0;
+  netloc::Count packet_hops_fattree = 0;
+  double avg_hops_torus = 0.0;
+};
+
+Result evaluate(Algorithm algorithm, int ranks, netloc::Bytes payload) {
+  const auto set = netloc::topology::topologies_for(ranks);
+  const auto mapping = netloc::mapping::Mapping::linear(ranks, set.torus->num_nodes());
+  const auto ft_mapping =
+      netloc::mapping::Mapping::linear(ranks, set.fat_tree->num_nodes());
+
+  Result result;
+  netloc::Count packets_total = 0;
+  netloc::collectives::for_each_message(
+      algorithm, CollectiveOp::Allreduce, 0, ranks, payload,
+      [&](netloc::Rank s, netloc::Rank d, netloc::Bytes b, netloc::Count c) {
+        result.total_mb += static_cast<double>(b) * static_cast<double>(c) / 1e6;
+        result.messages += c;
+        const auto packets = netloc::packets_for(b) * c;
+        packets_total += packets;
+        result.packet_hops_torus +=
+            packets * static_cast<netloc::Count>(set.torus->hop_distance(
+                          mapping.node_of(s), mapping.node_of(d)));
+        result.packet_hops_fattree +=
+            packets * static_cast<netloc::Count>(set.fat_tree->hop_distance(
+                          ft_mapping.node_of(s), ft_mapping.node_of(d)));
+      });
+  if (packets_total > 0) {
+    result.avg_hops_torus = static_cast<double>(result.packet_hops_torus) /
+                            static_cast<double>(packets_total);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> scales = {64, 256, 1024};
+  const netloc::Bytes payload = 64 * 1024;  // 64 KiB logical vector.
+
+  std::cout << "=== Ablation: allreduce translation algorithm (64 KiB vector) ===\n\n";
+  for (const int ranks : scales) {
+    std::cout << ranks << " ranks (torus "
+              << netloc::topology::topologies_for(ranks).torus->config_string()
+              << "):\n";
+    std::cout << "  algorithm            volume[MB]  messages  torus hops  "
+                 "fattree hops  torus avg\n";
+    for (const auto algorithm :
+         {Algorithm::FlatDirect, Algorithm::BinomialTree, Algorithm::Ring,
+          Algorithm::RecursiveDoubling}) {
+      const auto r = evaluate(algorithm, ranks, payload);
+      std::cout << "  " << netloc::collectives::to_string(algorithm);
+      for (std::size_t pad = netloc::collectives::to_string(algorithm).size();
+           pad < 21; ++pad) {
+        std::cout << ' ';
+      }
+      std::cout << netloc::fixed(r.total_mb, 1) << "\t  " << r.messages << "\t    "
+                << netloc::sci(static_cast<double>(r.packet_hops_torus)) << "\t"
+                << netloc::sci(static_cast<double>(r.packet_hops_fattree))
+                << "\t      " << netloc::fixed(r.avg_hops_torus, 2) << "\n";
+    }
+    std::cout << "\n";
+  }
+  std::cout
+      << "Reading: the flat direct translation moves O(n^2) volume where real\n"
+         "implementations move O(n) (ring/tree) or O(n log n) (recursive\n"
+         "doubling), and its packets average the uniform-traffic hop mean.\n"
+         "The choice is not neutral: under the flat schedule the fat tree\n"
+         "beats the torus at scale (the paper's §6.2 finding for collective-\n"
+         "heavy workloads), while under tree/ring/recursive-doubling\n"
+         "schedules the same operation is torus-friendly and the ordering\n"
+         "flips. The paper's topology ranking for collective-dominated apps\n"
+         "is therefore tied to its maximally-utilizing translation — a\n"
+         "caveat §4.4 itself hints at (\"often differs from today's\n"
+         "hardware ... ensures that the network is maximally utilized\").\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Routing ablation (paper §7): "in practice usually adaptive routing is
+// used in dragonfly networks, which often results in even longer
+// paths". Quantify that remark: compare the paper's minimal routing
+// with oblivious Valiant routing (random intermediate group) on the
+// dragonfly, packet-weighted per workload.
+#include <iostream>
+
+#include "netloc/common/format.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/workloads/workload.hpp"
+
+int main() {
+  struct Pick {
+    const char* app;
+    int ranks;
+  };
+  const std::vector<Pick> picks = {
+      {"AMG", 216},  {"LULESH", 512},   {"CrystalRouter", 1000},
+      {"MOCFE", 256}, {"MiniFE", 1152}, {"BigFFT", 1024},
+  };
+
+  std::cout << "=== Ablation: dragonfly minimal vs. Valiant routing ===\n"
+            << "(packet-weighted average hops, consecutive mapping)\n\n";
+  std::cout << "workload          config    minimal  valiant  overhead\n";
+
+  for (const auto& pick : picks) {
+    const auto trace = netloc::workloads::generate(pick.app, pick.ranks);
+    const auto matrix = netloc::metrics::TrafficMatrix::from_trace(trace);
+    const auto df = netloc::topology::Dragonfly(
+        netloc::topology::dragonfly_params_for(pick.ranks)[0],
+        netloc::topology::dragonfly_params_for(pick.ranks)[1],
+        netloc::topology::dragonfly_params_for(pick.ranks)[2]);
+    const auto mapping =
+        netloc::mapping::Mapping::linear(pick.ranks, df.num_nodes());
+
+    // Valiant expectations depend only on the (router, router) pair;
+    // cache them so dense matrices stay cheap.
+    const int routers = df.num_groups() * df.routers_per_group();
+    std::vector<double> cache(static_cast<std::size_t>(routers) * routers, -1.0);
+    auto router_of = [&](netloc::NodeId node) {
+      return df.group_of(node) * df.routers_per_group() + df.router_in_group(node);
+    };
+    auto expected = [&](netloc::NodeId a, netloc::NodeId b) {
+      const auto key = static_cast<std::size_t>(router_of(a)) * routers + router_of(b);
+      if (cache[key] < 0.0) cache[key] = df.expected_valiant_hops(a, b);
+      return cache[key];
+    };
+
+    double minimal_hops = 0.0, valiant_hops = 0.0, packets = 0.0;
+    for (netloc::Rank s = 0; s < pick.ranks; ++s) {
+      for (netloc::Rank d = 0; d < pick.ranks; ++d) {
+        const auto p = static_cast<double>(matrix.packets(s, d));
+        if (p == 0.0) continue;
+        const auto a = mapping.node_of(s), b = mapping.node_of(d);
+        packets += p;
+        minimal_hops += p * df.hop_distance(a, b);
+        valiant_hops += p * expected(a, b);
+      }
+    }
+    const double min_avg = minimal_hops / packets;
+    const double val_avg = valiant_hops / packets;
+    std::cout << pick.app << "/" << pick.ranks << "\t  "
+              << df.config_string() << "  " << netloc::fixed(min_avg, 2)
+              << "     " << netloc::fixed(val_avg, 2) << "    +"
+              << netloc::fixed(100.0 * (val_avg / min_avg - 1.0), 1) << "%\n";
+  }
+  std::cout << "\n(Valiant detours lengthen dragonfly paths substantially — "
+               "the paper's minimal-routing numbers are a lower bound for "
+               "adaptively routed production systems.)\n";
+  return 0;
+}

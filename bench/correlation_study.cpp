@@ -1,0 +1,23 @@
+// Reproduces the paper's third contribution (§1, discussed in §7):
+// "A qualitative comparison of high-level metrics with topological
+// locality as ground truth to assess the fitness of the high-level
+// metrics as an abstract workload characterization."
+//
+// Runs the full catalog, correlates rank distance and selectivity with
+// the per-topology hop averages, and scores the §7 rule of thumb
+// ("a low selectivity and rank distance often indicate a 3-D torus to
+// be the best fit, but this does not hold true for all applications").
+#include <iostream>
+
+#include "netloc/analysis/correlation.hpp"
+
+int main() {
+  std::cout << "=== Correlation study: MPI-level metrics vs. topological "
+               "ground truth (paper §7) ===\n\n";
+  netloc::analysis::RunOptions options;
+  options.link_accounting = false;
+  const auto rows = netloc::analysis::run_all(options);
+  const auto report = netloc::analysis::correlate(rows);
+  std::cout << netloc::analysis::render_correlation(report);
+  return 0;
+}

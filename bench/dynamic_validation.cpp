@@ -1,0 +1,109 @@
+// Dynamic validation (the paper's stated future work, §7/§8): replay
+// each workload's p2p traffic as fluid flows with max-min fair link
+// sharing and compare against the static model's assumptions.
+//
+// The static model (Eq. 3-5) assumes "the full network capacity is
+// available for every particular message". The flow simulation
+// measures how wrong that is in the worst case — all pair flows active
+// at once — reporting the congestion-induced slowdown, the share of
+// flows that ever had to share a bottleneck, and the busiest link's
+// utilization next to Eq. 5's network-wide average.
+#include <iostream>
+
+#include "netloc/common/format.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/temporal.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/utilization.hpp"
+#include "netloc/simulation/flow_sim.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/workloads/workload.hpp"
+
+int main() {
+  struct Pick {
+    const char* app;
+    int ranks;
+  };
+  const std::vector<Pick> picks = {
+      {"LULESH", 64},    {"AMG", 216},       {"CrystalRouter", 100},
+      {"MOCFE", 64},     {"PARTISN", 168},   {"MiniFE", 144},
+  };
+
+  std::cout << "=== Dynamic validation: fluid flow replay vs. static model ===\n"
+            << "(one flow per communicating p2p pair, simultaneous start, "
+               "torus of Table 2)\n\n";
+  std::cout << "workload        flows   mean-slowdown  max-slowdown  "
+               "congested  max-link-util  static-util(Eq.5)\n";
+
+  for (const auto& pick : picks) {
+    const auto trace = netloc::workloads::generate(pick.app, pick.ranks);
+    const auto matrix = netloc::metrics::TrafficMatrix::from_trace(
+        trace, {.include_p2p = true, .include_collectives = false});
+    const auto set = netloc::topology::topologies_for(pick.ranks);
+    const auto mapping =
+        netloc::mapping::Mapping::linear(pick.ranks, set.torus->num_nodes());
+
+    netloc::simulation::FlowSimulator sim(*set.torus, mapping);
+    sim.add_matrix(matrix);
+    const auto flows = sim.flow_count();
+    const auto report = sim.run();
+
+    const auto static_util = netloc::metrics::utilization(
+        matrix, *set.torus, mapping, trace.duration());
+
+    std::cout << pick.app << "/" << pick.ranks << "\t" << flows << "\t"
+              << netloc::fixed(report.mean_slowdown, 2) << "\t\t"
+              << netloc::fixed(report.max_slowdown, 2) << "\t      "
+              << netloc::fixed(100.0 * report.congested_flow_share, 1) << "%\t   "
+              << netloc::fixed(report.max_link_utilization_percent, 1) << "%\t  "
+              << netloc::adaptive_percent(static_util.utilization_percent)
+              << "%\n";
+  }
+
+  // ---- Timed replay: flows start at their trace timestamps ----------------
+  std::cout << "\nTimed replay (each p2p message a flow at its trace "
+               "timestamp):\n";
+  std::cout << "workload        flows   mean-slowdown  congested  "
+               "mean-link-busy\n";
+  const std::vector<Pick> replay_picks = {{"CrystalRouter", 100}, {"MOCFE", 64},
+                                          {"LULESH", 64}};
+  for (const auto& pick : replay_picks) {
+    const auto trace = netloc::workloads::generate(pick.app, pick.ranks);
+    const auto set = netloc::topology::topologies_for(pick.ranks);
+    const auto mapping =
+        netloc::mapping::Mapping::linear(pick.ranks, set.torus->num_nodes());
+    netloc::simulation::FlowSimulator sim(*set.torus, mapping);
+    for (const auto& e : trace.p2p()) {
+      sim.add_flow(e.src, e.dst, e.bytes, e.time);
+    }
+    const auto flows = sim.flow_count();
+    const auto report = sim.run();
+    std::cout << pick.app << "/" << pick.ranks << "\t" << flows << "\t"
+              << netloc::fixed(report.mean_slowdown, 2) << "\t\t"
+              << netloc::fixed(100.0 * report.congested_flow_share, 1)
+              << "%\t   "
+              << netloc::fixed(100.0 * report.mean_link_busy_fraction, 2)
+              << "%\n";
+  }
+
+  std::cout << "\nBurstiness (100 windows, p2p + collectives): peak-to-mean "
+               "injected volume\n";
+  for (const auto& pick : picks) {
+    const auto trace = netloc::workloads::generate(pick.app, pick.ranks);
+    const auto profile = netloc::metrics::time_profile(trace, 100);
+    std::cout << "  " << pick.app << "/" << pick.ranks << ": burstiness "
+              << netloc::fixed(profile.burstiness, 2) << ", idle windows "
+              << netloc::fixed(100.0 * profile.idle_window_fraction, 1) << "%\n";
+  }
+  std::cout
+      << "\nReading: even though Eq. 5's whole-run utilization is far below "
+         "1%, flows contend heavily whenever a communication phase fires — "
+         "a whole-application burst suffers 10-100x slowdowns, and the "
+         "timed replay (which preserves the phase structure: each halo "
+         "exchange is itself a burst) still sees ~6-10x within phases while "
+         "links sit idle >99% of the time between them. Average utilization "
+         "says nothing about transient congestion, which is precisely why "
+         "the paper proposes locality-aware mapping and warns against "
+         "naively scaling bandwidth down to the average.\n";
+  return 0;
+}

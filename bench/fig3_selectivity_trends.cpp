@@ -1,0 +1,45 @@
+// Reproduces Figure 3: "Selectivity trends for all workloads" — the
+// mean cumulative traffic-share curve (share of a rank's p2p volume
+// covered by its k highest-volume partners) for every p2p workload at
+// its largest traced scale, plus the 90% crossing.
+//
+// Expected shape: almost every curve crosses 90% within the first ten
+// partners ("90% of the communication originates from only six or even
+// fewer ranks" for most apps).
+#include <iostream>
+
+#include "netloc/common/format.hpp"
+#include "netloc/metrics/selectivity.hpp"
+#include "netloc/workloads/workload.hpp"
+
+int main() {
+  constexpr int kMaxPartners = 24;
+  std::cout << "=== Figure 3: cumulative traffic share vs. #partners ===\n"
+            << "(largest scale per app; columns = partners 1.." << kMaxPartners
+            << ", values = mean cumulative share %)\n\n";
+
+  for (const auto& app : netloc::workloads::available_workloads()) {
+    const auto entries = netloc::workloads::catalog_for(app);
+    const auto& entry = entries.back();  // Largest scale.
+    const auto trace = netloc::workloads::generator(app).generate(
+        entry, netloc::workloads::kDefaultSeed);
+    const auto matrix = netloc::metrics::TrafficMatrix::from_trace(
+        trace, {.include_p2p = true, .include_collectives = false});
+    if (matrix.total_bytes() == 0) {
+      std::cout << entry.label() << ": collective-only (N/A)\n";
+      continue;
+    }
+    const auto curve = netloc::metrics::mean_cumulative_share(matrix, kMaxPartners);
+    std::cout << entry.label() << ":";
+    int crossing = -1;
+    for (int k = 0; k < kMaxPartners; ++k) {
+      std::cout << ' ' << netloc::fixed(100.0 * curve[static_cast<std::size_t>(k)], 0);
+      if (crossing < 0 && curve[static_cast<std::size_t>(k)] >= 0.9) crossing = k + 1;
+    }
+    std::cout << "  | 90% at partner "
+              << (crossing > 0 ? std::to_string(crossing)
+                               : std::string(">" + std::to_string(kMaxPartners)))
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces Figure 5: "Network traffic for different cores-per-socket
+// configurations" — inter-node traffic (p2p + collectives) relative to
+// the one-rank-per-node configuration, for every application available
+// with >= 512 ranks, under consecutive blocked mappings.
+//
+// Expected shape: all curves drop with more cores per socket and
+// saturate around 8-16 cores; substantial inter-node traffic remains
+// even at 48 cores/socket.
+#include <iostream>
+#include <vector>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/common/format.hpp"
+
+int main() {
+  const std::vector<int> cores = {1, 2, 4, 8, 16, 32, 48};
+
+  std::cout << "=== Figure 5: inter-node traffic vs. cores per socket ===\n"
+            << "(traffic relative to 1 core/node; apps with >= 512 ranks)\n\n";
+  std::cout << "workload        ";
+  for (const int c : cores) std::cout << "\tc=" << c;
+  std::cout << "\n";
+
+  for (const auto& entry : netloc::workloads::catalog()) {
+    if (entry.ranks < 512 || entry.variant != 0) continue;
+    const auto trace = netloc::workloads::generator(entry.app)
+                           .generate(entry, netloc::workloads::kDefaultSeed);
+    const auto series =
+        netloc::analysis::multicore_study(trace, entry.label(), cores);
+    std::cout << series.label;
+    for (std::size_t i = 0; i < series.relative_traffic.size(); ++i) {
+      std::cout << '\t' << netloc::fixed(series.relative_traffic[i], 3);
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// google-benchmark micro-benchmarks of the analysis pipeline: trace
+// generation, traffic-matrix construction (including the flat
+// collective expansion) and the MPI-level metrics, at a mid-size
+// configuration.
+#include <benchmark/benchmark.h>
+
+#include "netloc/metrics/hops.hpp"
+#include "netloc/metrics/locality.hpp"
+#include "netloc/metrics/selectivity.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace {
+
+void BM_GenerateTrace(benchmark::State& state) {
+  const auto& entry = netloc::workloads::catalog_entry("LULESH", 512);
+  for (auto _ : state) {
+    auto trace = netloc::workloads::generator("LULESH").generate(
+        entry, netloc::workloads::kDefaultSeed);
+    benchmark::DoNotOptimize(trace);
+  }
+}
+
+void BM_TrafficMatrixFromTrace(benchmark::State& state) {
+  const auto trace = netloc::workloads::generate("LULESH", 512);
+  for (auto _ : state) {
+    auto matrix = netloc::metrics::TrafficMatrix::from_trace(trace);
+    benchmark::DoNotOptimize(matrix);
+  }
+}
+
+void BM_MpiLevelMetrics(benchmark::State& state) {
+  const auto trace = netloc::workloads::generate("LULESH", 512);
+  const auto matrix = netloc::metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true, .include_collectives = false});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netloc::metrics::rank_distance(matrix));
+    benchmark::DoNotOptimize(netloc::metrics::selectivity(matrix));
+    benchmark::DoNotOptimize(netloc::metrics::peers(matrix));
+  }
+}
+
+void BM_HopStats(benchmark::State& state) {
+  const auto trace = netloc::workloads::generate("LULESH", 512);
+  const auto matrix = netloc::metrics::TrafficMatrix::from_trace(trace);
+  const auto set = netloc::topology::topologies_for(512);
+  const auto& topo = *set.all()[static_cast<std::size_t>(state.range(0))];
+  const auto mapping = netloc::mapping::Mapping::linear(512, topo.num_nodes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netloc::metrics::hop_stats(matrix, topo, mapping));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_GenerateTrace)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrafficMatrixFromTrace)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MpiLevelMetrics)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HopStats)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,58 @@
+// google-benchmark micro-benchmarks of the topology substrate: hop
+// distance queries and full route enumeration for all three topologies
+// at the paper's largest configurations. These guard the cost of the
+// n^2 accounting passes behind Table 3.
+#include <benchmark/benchmark.h>
+
+#include "netloc/topology/configs.hpp"
+
+namespace {
+
+using netloc::topology::TopologySet;
+using netloc::topology::topologies_for;
+
+const netloc::topology::Topology& pick(const TopologySet& set, int which) {
+  return *set.all()[static_cast<std::size_t>(which)];
+}
+
+void BM_HopDistance(benchmark::State& state) {
+  const auto set = topologies_for(static_cast<int>(state.range(0)));
+  const auto& topo = pick(set, static_cast<int>(state.range(1)));
+  const int n = static_cast<int>(state.range(0));
+  std::int64_t sum = 0;
+  int a = 0, b = 1;
+  for (auto _ : state) {
+    sum += topo.hop_distance(a, b);
+    if (++b >= n) {
+      b = 0;
+      if (++a >= n) a = 0;
+    }
+  }
+  benchmark::DoNotOptimize(sum);
+}
+
+void BM_Route(benchmark::State& state) {
+  const auto set = topologies_for(static_cast<int>(state.range(0)));
+  const auto& topo = pick(set, static_cast<int>(state.range(1)));
+  const int n = static_cast<int>(state.range(0));
+  std::int64_t links = 0;
+  int a = 0, b = 1;
+  for (auto _ : state) {
+    topo.route(a, b, [&](netloc::LinkId link) { links += link; });
+    if (++b >= n) {
+      b = 0;
+      if (++a >= n) a = 0;
+    }
+  }
+  benchmark::DoNotOptimize(links);
+}
+
+}  // namespace
+
+// Args: {ranks, topology index (0 torus, 1 fat tree, 2 dragonfly)}.
+BENCHMARK(BM_HopDistance)
+    ->Args({64, 0})->Args({64, 1})->Args({64, 2})
+    ->Args({1728, 0})->Args({1728, 1})->Args({1728, 2});
+BENCHMARK(BM_Route)
+    ->Args({64, 0})->Args({64, 1})->Args({64, 2})
+    ->Args({1728, 0})->Args({1728, 1})->Args({1728, 2});

@@ -1,0 +1,13 @@
+// Reproduces Table 2: "Configurations for different topologies at
+// scale" — the torus shape, fat-tree stage count and dragonfly (a,h,p)
+// chosen for every evaluated rank count, with the resulting node
+// capacities.
+#include <iostream>
+
+#include "netloc/analysis/report.hpp"
+
+int main() {
+  std::cout << "=== Table 2: topology configurations at scale (paper §4.4) ===\n\n";
+  std::cout << netloc::analysis::render_table2();
+  return 0;
+}

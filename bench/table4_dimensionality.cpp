@@ -1,0 +1,36 @@
+// Reproduces Table 4: "Exemplary workloads for different
+// dimensionalities in rank locality" — rank locality measured on 1-D,
+// 2-D and 3-D linearizations for the paper's exemplary set: AMG,
+// Boxlib CNS, LULESH, MultiGrid_C and PARTISN.
+//
+// Expected shape: the 3-D stencil apps (AMG, LULESH) reach 100% in
+// 3-D; PARTISN is the only workload peaking (100%) in 2-D; CNS and
+// MultiGrid_C improve with dimensionality without reaching 100%.
+#include <iostream>
+#include <vector>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/analysis/report.hpp"
+
+int main() {
+  struct Pick {
+    const char* app;
+    int ranks;
+  };
+  const std::vector<Pick> picks = {
+      {"AMG", 216},     {"AMG", 1728},   {"CNS", 64},         {"CNS", 256},
+      {"CNS", 1024},    {"LULESH", 64},  {"LULESH", 512},
+      {"MultiGrid_C", 125}, {"MultiGrid_C", 1000}, {"PARTISN", 168},
+  };
+
+  std::cout << "=== Table 4: rank locality vs. dimensionality (paper §5.1) ===\n\n";
+  std::vector<netloc::analysis::DimensionalityRow> rows;
+  for (const auto& pick : picks) {
+    const auto& entry = netloc::workloads::catalog_entry(pick.app, pick.ranks);
+    const auto trace = netloc::workloads::generator(pick.app)
+                           .generate(entry, netloc::workloads::kDefaultSeed);
+    rows.push_back(netloc::analysis::dimensionality_study(trace, entry.label()));
+  }
+  std::cout << netloc::analysis::render_table4(rows);
+  return 0;
+}

@@ -1,0 +1,208 @@
+// netloc_cli: command-line front end over the whole library — the
+// fifth example and the tool a user would actually script against.
+//
+//   netloc_cli list
+//   netloc_cli generate <app> <ranks> <out.nltr|out.txt>
+//   netloc_cli analyze <trace-file>
+//   netloc_cli import-dumpi <app-name> <out.nltr> <rank0.txt> [rank1.txt ...]
+//   netloc_cli heatmap <trace-file> <out.csv|out.pgm>
+//   netloc_cli multicore <app> <ranks>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "netloc/analysis/classify.hpp"
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/analysis/export.hpp"
+#include "netloc/analysis/report.hpp"
+#include "netloc/common/format.hpp"
+#include "netloc/mapping/io.hpp"
+#include "netloc/mapping/optimizer.hpp"
+#include "netloc/metrics/hops.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/trace/dumpi_ascii.hpp"
+#include "netloc/trace/io.hpp"
+#include "netloc/trace/stats.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  netloc_cli list\n"
+         "  netloc_cli generate <app> <ranks> <out.nltr|out.txt>\n"
+         "  netloc_cli analyze <trace-file>\n"
+         "  netloc_cli import-dumpi <app-name> <out> <rank0.txt> [...]\n"
+         "  netloc_cli heatmap <trace-file> <out.csv|out.pgm>\n"
+         "  netloc_cli multicore <app> <ranks>\n"
+         "  netloc_cli optimize <trace-file> <torus|fattree|dragonfly> "
+         "<out.rankfile>\n";
+  return EXIT_FAILURE;
+}
+
+int cmd_list() {
+  for (const auto& app : netloc::workloads::available_workloads()) {
+    std::cout << app << ":";
+    for (const auto& entry : netloc::workloads::catalog_for(app)) {
+      std::cout << ' ' << entry.ranks << (entry.variant > 0 ? "(re-run)" : "");
+    }
+    std::cout << "  — " << netloc::workloads::generator(app).description()
+              << "\n";
+  }
+  return EXIT_SUCCESS;
+}
+
+int cmd_generate(const std::string& app, int ranks, const std::string& out) {
+  const auto trace = netloc::workloads::generate(app, ranks);
+  netloc::trace::save(trace, out);
+  const auto stats = netloc::trace::compute_stats(trace);
+  std::cout << "wrote " << out << ": " << trace.p2p().size() << " p2p events, "
+            << trace.collectives().size() << " collective calls, "
+            << netloc::fixed(stats.volume_mb(), 1) << " MB\n";
+  return EXIT_SUCCESS;
+}
+
+int cmd_analyze(const std::string& path) {
+  const auto trace = netloc::trace::load(path);
+  const auto stats = netloc::trace::compute_stats(trace);
+  // Synthesize a catalog entry so analyze_trace can label the row.
+  netloc::workloads::CatalogEntry entry;
+  entry.app = trace.app_name().empty() ? "trace" : trace.app_name();
+  entry.ranks = trace.num_ranks();
+  entry.time_s = trace.duration();
+  entry.volume_mb = stats.volume_mb();
+  entry.p2p_percent = stats.p2p_percent();
+
+  const auto row = netloc::analysis::analyze_trace(trace, entry, {});
+  std::cout << netloc::analysis::render_table1({row}) << "\n"
+            << netloc::analysis::render_table3({row});
+
+  const auto p2p = netloc::metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true, .include_collectives = false});
+  const auto pattern = netloc::analysis::classify(p2p);
+  std::cout << "\npattern: " << netloc::analysis::to_string(pattern.pattern);
+  if (pattern.dimensionality > 0) {
+    std::cout << " (" << pattern.dimensionality << "-D)";
+  }
+  std::cout << ", confidence " << netloc::fixed(100.0 * pattern.confidence, 1)
+            << "%\n";
+  return EXIT_SUCCESS;
+}
+
+int cmd_import_dumpi(const std::string& app, const std::string& out,
+                     std::vector<std::string> rank_files) {
+  const auto trace = netloc::trace::read_dumpi_ascii(app, rank_files);
+  netloc::trace::save(trace, out);
+  std::cout << "imported " << rank_files.size() << " rank dumps into " << out
+            << " (" << trace.p2p().size() << " p2p events, "
+            << trace.collectives().size() << " collectives)\n";
+  return EXIT_SUCCESS;
+}
+
+int cmd_heatmap(const std::string& trace_path, const std::string& out_path) {
+  const auto trace = netloc::trace::load(trace_path);
+  const auto matrix = netloc::metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true, .include_collectives = false});
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return EXIT_FAILURE;
+  }
+  if (out_path.ends_with(".pgm")) {
+    netloc::analysis::write_heatmap_pgm(matrix, out);
+  } else {
+    netloc::analysis::write_heatmap_csv(matrix, out);
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return EXIT_SUCCESS;
+}
+
+int cmd_optimize(const std::string& trace_path, const std::string& family,
+                 const std::string& out_path) {
+  const auto trace = netloc::trace::load(trace_path);
+  const int ranks = trace.num_ranks();
+  const auto set = netloc::topology::topologies_for(ranks);
+  const netloc::topology::Topology* topo = nullptr;
+  if (family == "torus") topo = set.torus.get();
+  if (family == "fattree") topo = set.fat_tree.get();
+  if (family == "dragonfly") topo = set.dragonfly.get();
+  if (topo == nullptr) {
+    std::cerr << "unknown topology family '" << family << "'\n";
+    return EXIT_FAILURE;
+  }
+
+  const auto matrix = netloc::metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true, .include_collectives = false});
+  if (matrix.total_bytes() == 0) {
+    std::cerr << "trace has no p2p traffic; nothing to optimize\n";
+    return EXIT_FAILURE;
+  }
+  const auto edges = matrix.edges();
+  const auto linear = netloc::mapping::Mapping::linear(ranks, topo->num_nodes());
+  const auto greedy = netloc::mapping::greedy_optimize(edges, ranks, *topo);
+
+  const auto before = netloc::metrics::hop_stats(matrix, *topo, linear);
+  const auto after = netloc::metrics::hop_stats(matrix, *topo, greedy);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return EXIT_FAILURE;
+  }
+  netloc::mapping::write_rankfile(greedy, out);
+  const double saving =
+      before.packet_hops > 0
+          ? 100.0 * (1.0 - static_cast<double>(after.packet_hops) /
+                               static_cast<double>(before.packet_hops))
+          : 0.0;
+  std::cout << "wrote " << out_path << " (" << topo->name() << " "
+            << topo->config_string() << "): packet hops "
+            << netloc::sci(static_cast<double>(before.packet_hops)) << " -> "
+            << netloc::sci(static_cast<double>(after.packet_hops)) << " ("
+            << netloc::fixed(saving, 1) << "% saved vs consecutive)\n";
+  return EXIT_SUCCESS;
+}
+
+int cmd_multicore(const std::string& app, int ranks) {
+  const auto trace = netloc::workloads::generate(app, ranks);
+  const auto series = netloc::analysis::multicore_study(
+      trace, app, {1, 2, 4, 8, 16, 32, 48});
+  std::cout << "cores/node\trelative inter-node traffic\n";
+  for (std::size_t i = 0; i < series.cores_per_node.size(); ++i) {
+    std::cout << series.cores_per_node[i] << "\t\t"
+              << netloc::fixed(series.relative_traffic[i], 4) << "\n";
+  }
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "generate" && argc == 5) {
+      return cmd_generate(argv[2], std::atoi(argv[3]), argv[4]);
+    }
+    if (cmd == "analyze" && argc == 3) return cmd_analyze(argv[2]);
+    if (cmd == "import-dumpi" && argc >= 5) {
+      return cmd_import_dumpi(argv[2], argv[3],
+                              {argv + 4, argv + argc});
+    }
+    if (cmd == "heatmap" && argc == 4) return cmd_heatmap(argv[2], argv[3]);
+    if (cmd == "multicore" && argc == 4) {
+      return cmd_multicore(argv[2], std::atoi(argv[3]));
+    }
+    if (cmd == "optimize" && argc == 5) {
+      return cmd_optimize(argv[2], argv[3], argv[4]);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}

@@ -1,0 +1,54 @@
+// Quickstart: generate one workload trace, compute every paper metric
+// for it, and print the results.
+//
+//   ./quickstart [app] [ranks]     (default: LULESH 64)
+#include <cstdlib>
+#include <iostream>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/analysis/report.hpp"
+#include "netloc/common/format.hpp"
+#include "netloc/trace/stats.hpp"
+#include "netloc/workloads/workload.hpp"
+
+int main(int argc, char** argv) {
+  const std::string app = argc > 1 ? argv[1] : "LULESH";
+  const int ranks = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  try {
+    const auto& entry = netloc::workloads::catalog_entry(app, ranks);
+    std::cout << "Generating " << entry.label() << ": "
+              << netloc::workloads::generator(app).description() << "\n\n";
+
+    const auto row = netloc::analysis::run_experiment(entry);
+
+    std::cout << "MPI-level metrics (paper §5):\n";
+    if (row.has_p2p) {
+      std::cout << "  peers:              " << row.peers << "\n"
+                << "  rank distance (90%): " << netloc::fixed(row.rank_distance, 1)
+                << "\n"
+                << "  selectivity (90%):  " << netloc::fixed(row.selectivity_mean, 1)
+                << " (max " << netloc::fixed(row.selectivity_max, 1) << ")\n";
+    } else {
+      std::cout << "  no point-to-point traffic (collective-only workload)\n";
+    }
+
+    std::cout << "\nSystem-level metrics (paper §6, one rank per node):\n";
+    for (const auto& topo : row.topologies) {
+      std::cout << "  " << topo.topology << " " << topo.config << ": packet hops "
+                << netloc::sci(static_cast<double>(topo.packet_hops))
+                << ", avg hops " << netloc::fixed(topo.avg_hops, 2)
+                << ", utilization " << netloc::adaptive_percent(topo.utilization_percent)
+                << "%\n";
+    }
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n"
+              << "usage: quickstart [app] [ranks] — apps: ";
+    for (const auto& name : netloc::workloads::available_workloads()) {
+      std::cerr << name << ' ';
+    }
+    std::cerr << "\n";
+    return EXIT_FAILURE;
+  }
+}

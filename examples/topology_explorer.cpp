@@ -1,0 +1,68 @@
+// Topology explorer: instantiate the Table 2 configurations for a rank
+// count and inspect their structural properties — capacity, links,
+// diameter, the hop-distance histogram under uniform traffic, and the
+// dragonfly's global-link exposure.
+//
+//   ./topology_explorer [ranks]        (default: 256)
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "netloc/common/format.hpp"
+#include "netloc/topology/configs.hpp"
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 256;
+
+  try {
+    const auto set = netloc::topology::topologies_for(ranks);
+    std::cout << "Topology configurations for " << ranks
+              << " consecutively mapped ranks (paper Table 2):\n\n";
+
+    for (const auto* topo : set.all()) {
+      std::cout << topo->name() << " " << topo->config_string() << ": "
+                << topo->num_nodes() << " nodes, " << topo->num_links()
+                << " links, diameter " << topo->diameter() << "\n";
+
+      // Hop-distance histogram over the used node pairs: what uniform
+      // traffic would see (the asymptote the paper's large collective-
+      // heavy workloads approach).
+      std::vector<long> histogram(static_cast<std::size_t>(topo->diameter()) + 1, 0);
+      long pairs = 0;
+      double total = 0.0;
+      long globals = 0;
+      for (int a = 0; a < ranks; ++a) {
+        for (int b = 0; b < ranks; ++b) {
+          if (a == b) continue;
+          const int d = topo->hop_distance(a, b);
+          ++histogram[static_cast<std::size_t>(d)];
+          total += d;
+          ++pairs;
+          bool crosses_global = false;
+          topo->route(a, b, [&](netloc::LinkId link) {
+            crosses_global |= topo->link_is_global(link);
+          });
+          if (crosses_global) ++globals;
+        }
+      }
+      std::cout << "  uniform-traffic mean hops: " << netloc::fixed(total / pairs, 2)
+                << "\n  distance histogram:";
+      for (std::size_t d = 0; d < histogram.size(); ++d) {
+        if (histogram[d] > 0) {
+          std::cout << "  " << d << ":" << netloc::fixed(100.0 * histogram[d] / pairs, 1)
+                    << "%";
+        }
+      }
+      std::cout << "\n";
+      if (globals > 0) {
+        std::cout << "  pairs crossing a global link: "
+                  << netloc::fixed(100.0 * globals / pairs, 1) << "%\n";
+      }
+      std::cout << "\n";
+    }
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}

@@ -1,0 +1,49 @@
+// Automated communication-pattern classification.
+//
+// The paper's related work (ref [8], SONAR — same research group)
+// argues for automated characterization instead of eyeballing heat
+// maps; the paper's own discussion sorts workloads into classes
+// ("three-dimensional workloads", "the only workload that has a
+// two-dimensional structure", hypercube-staged Crystal Router,
+// scattered CNS/MOCFE...). This module derives that classification
+// from the traffic matrix alone, so the claim "generator X models a
+// k-D stencil" is machine-checkable.
+#pragma once
+
+#include <string>
+
+#include "netloc/metrics/traffic_matrix.hpp"
+
+namespace netloc::analysis {
+
+enum class PatternClass {
+  Empty,             ///< No traffic.
+  Stencil,           ///< k-D nearest-neighbour dominated (halo exchange).
+  StagedExchange,    ///< Power-of-two strides (hypercube / crystal router).
+  HubAndSpoke,       ///< One rank concentrates the traffic (master/worker).
+  GlobalRegular,     ///< Near-uniform all-to-all (transpose, flat collectives).
+  Scattered,         ///< Irregular far partners (knapsack layouts, AMR).
+};
+
+std::string_view to_string(PatternClass pattern);
+
+/// Feature vector + verdict for one traffic matrix.
+struct Classification {
+  PatternClass pattern = PatternClass::Empty;
+  /// Stencil dimensionality (1-3) when pattern == Stencil, else 0.
+  int dimensionality = 0;
+  /// Volume share explained by the detected structure, in [0, 1].
+  double confidence = 0.0;
+
+  // Raw features (volume shares in [0, 1]):
+  double neighbour_share[3] = {0, 0, 0};  ///< Chebyshev<=1 on 1-/2-/3-D grids.
+  double pow2_stride_share = 0.0;         ///< |src-dst| a power of two.
+  double hub_share = 0.0;    ///< Volume touching the busiest rank.
+  double coverage = 0.0;     ///< Non-zero pairs / all ordered pairs.
+};
+
+/// Classify a traffic matrix (usually p2p-only; feed the full matrix
+/// to see flat collectives dominate as GlobalRegular).
+Classification classify(const metrics::TrafficMatrix& matrix);
+
+}  // namespace netloc::analysis

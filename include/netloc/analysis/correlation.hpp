@@ -1,0 +1,57 @@
+// Contribution 3 of the paper: "a qualitative comparison of high-level
+// metrics with topological locality as ground truth to assess the
+// fitness of the high-level metrics as an abstract workload
+// characterization" (§1), discussed in §7: a low selectivity and rank
+// distance often indicate the 3-D torus as the best fit, "but this does
+// not hold true for all applications" — there is "no explicit absolute
+// correlation".
+//
+// This module makes that comparison quantitative: rank correlations
+// between the MPI-level metrics and per-topology hop averages across
+// all configurations, plus a simple best-topology predictor driven by
+// the MPI-level metrics alone, scored against the topological ground
+// truth.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netloc/analysis/experiment.hpp"
+
+namespace netloc::analysis {
+
+/// Spearman rank correlation of two equally sized samples, in [-1, 1].
+/// Ties receive average ranks. Returns 0 for fewer than 2 samples.
+double spearman(std::span<const double> a, std::span<const double> b);
+
+struct CorrelationReport {
+  int configurations = 0;  ///< p2p configs that entered the statistics.
+
+  /// Correlation of normalized rank distance (rank distance / ranks)
+  /// with each topology's avg hops normalized by its diameter.
+  double rank_distance_vs_torus = 0.0;
+  double rank_distance_vs_fattree = 0.0;
+  double rank_distance_vs_dragonfly = 0.0;
+
+  /// Correlation of selectivity with the same normalized hop averages.
+  double selectivity_vs_torus = 0.0;
+  double selectivity_vs_fattree = 0.0;
+  double selectivity_vs_dragonfly = 0.0;
+
+  /// The §7 heuristic scored as a binary classifier: low selectivity +
+  /// low rank distance predicts "the torus wins avg hops", otherwise
+  /// "a low-diameter topology wins"; compared against the measured
+  /// winner.
+  int correct_predictions = 0;
+  double prediction_accuracy = 0.0;
+};
+
+/// Compute the report from finished experiment rows (collective-only
+/// rows are skipped — they have no MPI-level metrics).
+CorrelationReport correlate(const std::vector<ExperimentRow>& rows);
+
+/// Render the report as text.
+std::string render_correlation(const CorrelationReport& report);
+
+}  // namespace netloc::analysis

@@ -1,0 +1,108 @@
+// End-to-end experiment runner: workload -> trace -> metrics, producing
+// the rows of the paper's Table 3 plus the auxiliary studies (Table 4
+// dimensionality, Fig. 5 multi-core scaling) and the aggregate claims
+// quoted in the abstract/summary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netloc/trace/stats.hpp"
+#include "netloc/trace/trace.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace netloc::analysis {
+
+/// Per-topology block of a Table 3 row.
+struct TopologyResult {
+  std::string topology;  ///< "torus3d", "fattree", "dragonfly".
+  std::string config;    ///< Table 2 notation, e.g. "(4,4,4)".
+  Count packet_hops = 0;              ///< Eq. 3.
+  double avg_hops = 0.0;              ///< Eq. 4.
+  double utilization_percent = 0.0;   ///< Eq. 5 (paper link-count formula).
+  double utilization_used_links_percent = 0.0;  ///< Eq. 5 over used links.
+  int used_links = 0;                 ///< Links carrying traffic.
+  double global_link_packet_share = 0.0;  ///< Dragonfly §6.2 claim.
+};
+
+/// One full Table 3 row (MPI-level metrics + all three topologies).
+struct ExperimentRow {
+  workloads::CatalogEntry entry;
+  trace::TraceStats stats;
+
+  bool has_p2p = false;       ///< False -> MPI-level columns are "N/A".
+  int peers = 0;              ///< Klenk peers (max p2p out-degree).
+  double rank_distance = 0.0; ///< 90% weighted |src-dst| quantile.
+  double selectivity_mean = 0.0;
+  double selectivity_max = 0.0;
+
+  std::array<TopologyResult, 3> topologies;  ///< torus, fat tree, dragonfly.
+};
+
+struct RunOptions {
+  std::uint64_t seed = workloads::kDefaultSeed;
+  /// Route every pair for per-link accounting (used-links utilization
+  /// and the dragonfly global-link share). Costs one routing pass per
+  /// topology.
+  bool link_accounting = true;
+};
+
+/// Run the full pipeline for one catalog entry.
+ExperimentRow run_experiment(const workloads::CatalogEntry& entry,
+                             const RunOptions& options = {});
+
+/// As run_experiment, but for an externally supplied trace (e.g. loaded
+/// from disk) with the catalog entry only labeling the row.
+ExperimentRow analyze_trace(const trace::Trace& trace,
+                            const workloads::CatalogEntry& entry,
+                            const RunOptions& options = {});
+
+/// Run every catalog entry (the whole of Table 3).
+std::vector<ExperimentRow> run_all(const RunOptions& options = {});
+
+// ---- Table 4: dimensional rank locality --------------------------------
+
+struct DimensionalityRow {
+  std::string label;
+  double locality_percent_1d = 0.0;
+  double locality_percent_2d = 0.0;
+  double locality_percent_3d = 0.0;
+};
+
+DimensionalityRow dimensionality_study(const trace::Trace& trace,
+                                       const std::string& label);
+
+// ---- Fig. 5: multi-core scaling ----------------------------------------
+
+struct MulticoreSeries {
+  std::string label;
+  std::vector<int> cores_per_node;
+  /// Inter-node traffic relative to the 1-core-per-node configuration.
+  std::vector<double> relative_traffic;
+};
+
+/// Inter-node traffic (p2p + collectives, §6.1) under blocked mappings
+/// with the given cores-per-node values.
+MulticoreSeries multicore_study(const trace::Trace& trace,
+                                const std::string& label,
+                                const std::vector<int>& cores_per_node);
+
+// ---- Aggregate claims (§1 abstract, §8 summary) --------------------------
+
+struct SummaryClaims {
+  /// "in 93% of all configurations less than 1% of network resources
+  /// are actually used" — fraction of (config, topology) cells under 1%.
+  double share_cells_below_1pct_utilization = 0.0;
+  /// "In 89% of all configurations, these sets include less than ten
+  /// ranks" — fraction of p2p configs with selectivity < 10.
+  double share_configs_selectivity_below_10 = 0.0;
+  /// "on average 95% of all messages ... use a global inter-group
+  /// link" — mean dragonfly global-link packet share.
+  double mean_dragonfly_global_share = 0.0;
+};
+
+SummaryClaims summarize(const std::vector<ExperimentRow>& rows);
+
+}  // namespace netloc::analysis

@@ -1,0 +1,23 @@
+// Data export helpers: communication heat maps (the visualization the
+// paper's metrics replace, §4: "locality ... mostly characterized by
+// communication patterns represented in heat maps so far") and figure
+// series as CSV for external plotting.
+#pragma once
+
+#include <ostream>
+
+#include "netloc/metrics/traffic_matrix.hpp"
+
+namespace netloc::analysis {
+
+/// Write the rank-pair byte matrix as CSV: a header row of destination
+/// ranks, then one row per source rank.
+void write_heatmap_csv(const metrics::TrafficMatrix& matrix, std::ostream& out);
+
+/// Write the matrix as a plain PGM (portable graymap) image,
+/// log-scaled so heavy pairs don't wash out the structure — heat maps
+/// in papers are exactly this picture. One pixel per rank pair; white
+/// = no traffic, black = heaviest pair.
+void write_heatmap_pgm(const metrics::TrafficMatrix& matrix, std::ostream& out);
+
+}  // namespace netloc::analysis

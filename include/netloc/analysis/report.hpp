@@ -1,0 +1,29 @@
+// Plain-text rendering of the reproduced tables in the paper's layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netloc/analysis/experiment.hpp"
+
+namespace netloc::analysis {
+
+/// Table 1: workload overview (ranks, time, volume, p2p/coll split,
+/// throughput).
+std::string render_table1(const std::vector<ExperimentRow>& rows);
+
+/// Table 2: the topology configurations used for the catalog's rank
+/// counts.
+std::string render_table2();
+
+/// Table 3: the full characterization table (MPI-level metrics and the
+/// per-topology packet hops / avg hops / utilization).
+std::string render_table3(const std::vector<ExperimentRow>& rows);
+
+/// Table 4: rank locality at 1-D/2-D/3-D for the given rows.
+std::string render_table4(const std::vector<DimensionalityRow>& rows);
+
+/// Aggregate claims block printed under Table 3.
+std::string render_summary(const SummaryClaims& claims);
+
+}  // namespace netloc::analysis

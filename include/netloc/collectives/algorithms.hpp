@@ -1,0 +1,73 @@
+// Collective algorithm variants — an ablation of the paper's flat
+// translation.
+//
+// §4.4 concedes that the flat pattern "often differs from today's
+// hardware", which implements collectives with trees, rings and
+// recursive doubling. This module provides those message schedules so
+// the impact of the translation choice on the topological metrics can
+// be quantified (bench/ablation_collectives).
+//
+// Payload convention: `payload_bytes` is the operation's logical
+// per-destination payload (the vector a bcast delivers to each rank,
+// the block each rank contributes to an allgather). The flat
+// translation of the trace layer stores the *flat total*; use
+// payload_from_flat_total to convert.
+//
+// Message schedules (n ranks, messages emitted as
+// visitor(src, dst, bytes_per_message, message_count); rounds of equal
+// messages over one edge are compressed into the count so packetization
+// stays exact):
+//
+//   FlatDirect        exactly the paper's §4.4 patterns.
+//   BinomialTree      bcast/scatter down a binomial tree rooted at
+//                     `root` (relabeled), reduce/gather up it; gather
+//                     and scatter edges carry subtree-sized payloads;
+//                     allreduce = reduce + bcast through the root.
+//   Ring              pipelined ring: bcast/reduce edges carry the
+//                     payload once around; allgather edges carry n-1
+//                     blocks; allreduce/reduce-scatter edges carry
+//                     n-1 chunks of payload/n (twice for allreduce).
+//   RecursiveDoubling allreduce via rank XOR 2^k exchanges (partners
+//                     beyond n clipped, the standard non-power-of-two
+//                     fallback); barrier as the dissemination pattern
+//                     (rank + 2^k mod n).
+#pragma once
+
+#include <functional>
+
+#include "netloc/collectives/translate.hpp"
+
+namespace netloc::collectives {
+
+enum class Algorithm {
+  FlatDirect,
+  BinomialTree,
+  Ring,
+  RecursiveDoubling,
+};
+
+/// Human-readable algorithm name.
+std::string_view to_string(Algorithm algorithm);
+
+/// True when the (algorithm, op) combination has a defined schedule.
+bool supports(Algorithm algorithm, CollectiveOp op);
+
+/// Messages of one collective under the given algorithm.
+/// visitor(src, dst, bytes_per_message, message_count). Throws
+/// ConfigError for unsupported combinations.
+using MessageVisitor =
+    std::function<void(Rank src, Rank dst, Bytes bytes, Count count)>;
+void for_each_message(Algorithm algorithm, CollectiveOp op, Rank root,
+                      int num_ranks, Bytes payload_bytes,
+                      const MessageVisitor& visitor);
+
+/// Convert the trace layer's flat-total byte convention into the
+/// logical per-destination payload for `op` on `num_ranks` ranks.
+Bytes payload_from_flat_total(CollectiveOp op, int num_ranks, Bytes flat_total);
+
+/// Total bytes the schedule moves (sum over messages), for volume
+/// comparisons between algorithms.
+Bytes schedule_total_bytes(Algorithm algorithm, CollectiveOp op, Rank root,
+                           int num_ranks, Bytes payload_bytes);
+
+}  // namespace netloc::collectives

@@ -1,0 +1,29 @@
+// Minimal CSV writer for exporting figure series (cumulative selectivity
+// curves, multi-core scaling series) so they can be plotted externally.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace netloc {
+
+/// Streams rows of a CSV document with RFC-4180-style quoting. The
+/// writer does not own the stream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: header then numeric rows.
+  void write_header(const std::vector<std::string>& names) { write_row(names); }
+  void write_numeric_row(const std::vector<double>& values);
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ostream& out_;
+};
+
+}  // namespace netloc

@@ -1,0 +1,29 @@
+// Error types for netloc. All subsystems throw netloc::Error (or a
+// subclass) on contract violations and unrecoverable input problems;
+// recoverable conditions are expressed through return values instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace netloc {
+
+/// Base class for all netloc errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed, truncated or otherwise invalid trace input.
+class TraceFormatError : public Error {
+ public:
+  explicit TraceFormatError(const std::string& what) : Error(what) {}
+};
+
+/// Invalid topology, mapping or workload configuration.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace netloc

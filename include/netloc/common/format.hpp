@@ -1,0 +1,39 @@
+// Plain-text table rendering and number formatting in the style of the
+// paper's tables ("6.0E+06", percentages, fixed decimals).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace netloc {
+
+/// Scientific notation with one decimal digit, e.g. 5973412 -> "6.0E+06",
+/// matching the packet-hop columns of Table 3. Zero renders as "0".
+std::string sci(double value);
+
+/// Fixed-point with `decimals` fractional digits.
+std::string fixed(double value, int decimals);
+
+/// Percentage with adaptive precision: values >= 0.001 use four decimals
+/// ("0.0052"), smaller ones fall back to scientific ("7.4E-08"), the way
+/// Table 3's utilization column mixes notations.
+std::string adaptive_percent(double fraction_as_percent);
+
+/// Minimal monospace table writer: fixed column set, left-aligned first
+/// column, right-aligned numeric columns, ASCII separators.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next row.
+  void add_rule();
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+}  // namespace netloc

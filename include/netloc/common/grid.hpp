@@ -1,0 +1,53 @@
+// Cartesian grid helpers: factorizing a rank count into near-balanced
+// k-dimensional extents and converting between linear rank IDs and grid
+// coordinates. Used by the dimensional rank-locality analysis (paper
+// Table 4) and by stencil-based workload generators.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "netloc/common/types.hpp"
+
+namespace netloc {
+
+/// Extents of a k-dimensional grid (k = dims.size()).
+struct GridDims {
+  std::vector<std::int32_t> extent;
+
+  [[nodiscard]] std::int64_t size() const {
+    std::int64_t n = 1;
+    for (auto e : extent) n *= e;
+    return n;
+  }
+  [[nodiscard]] int dimensions() const { return static_cast<int>(extent.size()); }
+};
+
+/// Factorize `n` into `k` factors that are as balanced as possible
+/// (largest factor minimized), ordered descending. The product always
+/// equals exactly `n`; no padding is added. This mirrors how MPI
+/// applications typically call MPI_Dims_create.
+///
+/// Throws ConfigError for n < 1 or k < 1.
+GridDims balanced_dims(std::int64_t n, int k);
+
+/// Convert a linear index to k-D coordinates (x fastest-varying, i.e.
+/// row-major over extent[k-1], matching the rank linearization used in
+/// the paper's Fig. 2).
+std::vector<std::int32_t> to_coords(std::int64_t linear, const GridDims& dims);
+
+/// Inverse of to_coords.
+std::int64_t to_linear(const std::vector<std::int32_t>& coords, const GridDims& dims);
+
+/// Chebyshev (L-infinity) distance between two linear indices laid out on
+/// `dims`. Nearest neighbours in any number of dimensions — including
+/// diagonal neighbours in a 27-point stencil — have distance 1, so a
+/// workload communicating only with k-D nearest neighbours has k-D rank
+/// locality of exactly 100%.
+std::int64_t chebyshev_distance(std::int64_t a, std::int64_t b, const GridDims& dims);
+
+/// Manhattan (L1) distance between two linear indices on `dims`.
+std::int64_t manhattan_distance(std::int64_t a, std::int64_t b, const GridDims& dims);
+
+}  // namespace netloc

@@ -1,0 +1,81 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Workload generators must be reproducible across platforms and standard
+// library versions, so we avoid std::mt19937/std::uniform_* (whose
+// distributions are implementation-defined) and ship SplitMix64 (for
+// seeding) and xoshiro256** (for streams), both with fully specified
+// output sequences.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace netloc {
+
+/// SplitMix64: tiny PRNG mainly used to expand a 64-bit seed into the
+/// larger state of xoshiro256**.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG with a 2^256-1 period.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection-free for our purposes: bias is < 2^-64 * bound, far below
+    // anything observable in workload synthesis; keep it branch-light.
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace netloc

@@ -1,0 +1,41 @@
+// Weighted quantile computation over (value, weight) samples.
+//
+// The paper's "rank distance (90%)" is the smallest distance d such that
+// at least 90% of the traffic volume travels distance <= d; selectivity
+// is the analogous count over sorted partner volumes. Both reduce to a
+// weighted quantile, implemented here once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace netloc {
+
+/// One (value, weight) observation.
+struct WeightedSample {
+  double value = 0.0;
+  double weight = 0.0;
+};
+
+/// Smallest value v such that the total weight of samples with
+/// value <= v reaches `fraction` of the total weight. Samples need not
+/// be sorted. Returns 0 for an empty/zero-weight input.
+///
+/// `fraction` must lie in (0, 1].
+double weighted_quantile(std::vector<WeightedSample> samples, double fraction);
+
+/// Linear interpolation variant: interpolates between the last value
+/// below the threshold and the first value at/above it, proportional to
+/// how far into the crossing sample the threshold falls. This matches
+/// the paper's fractional Table 3 entries (e.g. rank distance 3.7 on an
+/// integral distance distribution).
+double weighted_quantile_interpolated(std::vector<WeightedSample> samples,
+                                      double fraction);
+
+/// Number of largest-weight samples needed to cover `fraction` of the
+/// total weight, counting the final (crossing) sample fractionally.
+/// This is the paper's selectivity when applied to one source rank's
+/// per-partner volumes. Returns 0 for empty/zero-weight input.
+double coverage_count(std::vector<double> weights, double fraction);
+
+}  // namespace netloc

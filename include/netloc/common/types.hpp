@@ -1,0 +1,33 @@
+// Fundamental vocabulary types shared by all netloc subsystems.
+#pragma once
+
+#include <cstdint>
+
+namespace netloc {
+
+/// An MPI rank identifier (0-based, dense).
+using Rank = std::int32_t;
+
+/// A physical endpoint (compute node) identifier within a topology.
+using NodeId = std::int32_t;
+
+/// A switch identifier within a topology (topology-local numbering).
+using SwitchId = std::int32_t;
+
+/// A link identifier within a topology (topology-local, dense numbering
+/// covering every physical link once; direction-agnostic).
+using LinkId = std::int32_t;
+
+/// Payload sizes and aggregated volumes in bytes.
+using Bytes = std::uint64_t;
+
+/// Packet counts, hop counts and similar tallies.
+using Count = std::uint64_t;
+
+/// Wall-clock times in seconds (trace-relative).
+using Seconds = double;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+}  // namespace netloc

@@ -1,0 +1,35 @@
+// Unit constants and model-wide defaults taken from the paper (§4.2,
+// §4.4): 4 KiB maximum packet payload, 12 GB/s link bandwidth.
+#pragma once
+
+#include <cstdint>
+
+#include "netloc/common/types.hpp"
+
+namespace netloc {
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// Decimal megabyte, used when reporting volumes the way Table 1 does.
+inline constexpr double kMB = 1e6;
+
+/// Maximum payload per network packet (paper §4.2.1).
+inline constexpr Bytes kPacketPayload = 4 * kKiB;
+
+/// Representative per-link bandwidth assumed by Eq. 5 (paper §4.2.3),
+/// in bytes per second (12 GB/s, decimal).
+inline constexpr double kLinkBandwidth = 12e9;
+
+/// Number of packets a message of `bytes` is split into (paper §4.2.1).
+/// Every message costs at least one packet: an MPI message — even a
+/// header-only synchronization message — occupies the network once.
+/// This floor is what lets high-frequency, near-zero-volume collectives
+/// dominate the paper's packet-hop columns (e.g. CMC_2D moves only
+/// ~16 MB yet accumulates ~10^7 packet hops in Table 3).
+constexpr Count packets_for(Bytes bytes) {
+  return bytes == 0 ? 1 : (bytes + kPacketPayload - 1) / kPacketPayload;
+}
+
+}  // namespace netloc

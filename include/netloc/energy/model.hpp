@@ -1,0 +1,41 @@
+// Link energy model.
+//
+// The paper's motivation (§2.2.1, ref [19]): interconnect links draw
+// power statically regardless of utilization; ~85% of switch power sits
+// in the SerDes, ~15% in switching logic. Combined with the measured
+// utilization (Eq. 5), this module quantifies how much of the network's
+// energy is spent on idle links — the headline "99% of the time links
+// are idling" observation — and the saving headroom of ideal
+// utilization-proportional links.
+#pragma once
+
+#include "netloc/common/types.hpp"
+
+namespace netloc::energy {
+
+struct LinkPowerModel {
+  /// Static power draw of one link (both endpoints' SerDes + share of
+  /// switch logic), in watts. A representative value for a 12 GB/s
+  /// class link.
+  double watts_per_link = 2.5;
+  double serdes_share = 0.85;  ///< Ref [19]: ~85% SerDes.
+  double logic_share = 0.15;   ///< Ref [19]: ~15% switching logic.
+};
+
+struct EnergyEstimate {
+  double total_joules = 0.0;   ///< Constant-power network over the run.
+  double serdes_joules = 0.0;
+  double logic_joules = 0.0;
+  /// Energy an ideal utilization-proportional network would use.
+  double proportional_joules = 0.0;
+  /// 1 - proportional/total: the saving headroom the paper argues for.
+  double wasted_fraction = 0.0;
+};
+
+/// Estimate network energy for a run over `link_count` links lasting
+/// `execution_time` seconds at the given Eq. 5 utilization (percent).
+EnergyEstimate estimate(double link_count, Seconds execution_time,
+                        double utilization_percent,
+                        const LinkPowerModel& model = {});
+
+}  // namespace netloc::energy

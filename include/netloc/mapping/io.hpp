@@ -1,0 +1,24 @@
+// Mapping (de)serialization: a simple rankfile format so optimized
+// placements can be exported to and consumed by launchers/other tools.
+//
+//   # comments and blank lines allowed
+//   nodes <num_nodes>
+//   rank <rank>=<node>
+//
+// Every rank in [0, num_ranks) must appear exactly once.
+#pragma once
+
+#include <iosfwd>
+
+#include "netloc/mapping/mapping.hpp"
+
+namespace netloc::mapping {
+
+/// Write `mapping` in the rankfile format.
+void write_rankfile(const Mapping& mapping, std::ostream& out);
+
+/// Parse a rankfile. Throws Error on malformed input (missing or
+/// duplicate ranks, nodes out of range).
+Mapping read_rankfile(std::istream& in);
+
+}  // namespace netloc::mapping

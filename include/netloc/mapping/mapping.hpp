@@ -1,0 +1,60 @@
+// Rank-to-node mappings.
+//
+// The paper evaluates a "simple mapping in which the number of ranks is
+// consecutively mapped" (linear / blocked); its discussion motivates
+// communication-aware mappings as the main optimization opportunity,
+// which the greedy optimizer in optimizer.hpp provides.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netloc/common/types.hpp"
+
+namespace netloc::mapping {
+
+/// An immutable rank -> node assignment. Multiple ranks may share a
+/// node (multi-core study, Fig. 5); a node may be unused.
+class Mapping {
+ public:
+  /// Takes ownership of the assignment; validates every entry against
+  /// [0, num_nodes).
+  Mapping(std::vector<NodeId> rank_to_node, int num_nodes);
+
+  [[nodiscard]] NodeId node_of(Rank rank) const {
+    return rank_to_node_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] int num_ranks() const {
+    return static_cast<int>(rank_to_node_.size());
+  }
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+
+  /// Highest number of ranks sharing one node.
+  [[nodiscard]] int max_ranks_per_node() const;
+
+  [[nodiscard]] const std::vector<NodeId>& raw() const { return rank_to_node_; }
+
+  // ---- Factories -------------------------------------------------------
+
+  /// rank r -> node r (the paper's default one-rank-per-node mapping).
+  static Mapping linear(int num_ranks, int num_nodes);
+
+  /// Consecutive blocks share a node: rank r -> node r / ranks_per_node
+  /// (the Fig. 5 multi-core mapping: "ranks consecutively mapped to one
+  /// node, according to the number of cores").
+  static Mapping blocked(int num_ranks, int num_nodes, int ranks_per_node);
+
+  /// rank r -> node r % num_nodes (scatter mapping, a worst-case-style
+  /// baseline for locality studies).
+  static Mapping round_robin(int num_ranks, int num_nodes);
+
+  /// Random permutation of the first num_ranks nodes (one rank per
+  /// node), deterministic in `seed`.
+  static Mapping random(int num_ranks, int num_nodes, std::uint64_t seed);
+
+ private:
+  std::vector<NodeId> rank_to_node_;
+  int num_nodes_;
+};
+
+}  // namespace netloc::mapping

@@ -1,0 +1,49 @@
+// Communication-aware mapping optimization — the improvement the
+// paper's discussion proposes: "static analyses could assist to select
+// an advanced mapping, which assigns groups of heavily communicating
+// ranks to nearby physical entities".
+//
+// The optimizer greedily constructs a one-rank-per-node placement that
+// minimizes sum over rank pairs of traffic(s, d) * hop_distance(node_s,
+// node_d): ranks are placed in order of attachment to the already-placed
+// set; each is assigned the free node with the lowest weighted hop cost
+// to its placed partners. A local-search refinement pass (pairwise swap
+// hill climbing) can optionally tighten the result.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/topology/topology.hpp"
+
+namespace netloc::mapping {
+
+/// One directed traffic demand between two ranks.
+struct TrafficEdge {
+  Rank src = 0;
+  Rank dst = 0;
+  double weight = 0.0;  ///< Bytes (or packets) exchanged.
+};
+
+/// Total weighted hop cost of `mapping` for the given demands — the
+/// objective the optimizer minimizes.
+double weighted_hop_cost(std::span<const TrafficEdge> edges,
+                         const topology::Topology& topo, const Mapping& mapping);
+
+struct GreedyOptions {
+  /// Rounds of pairwise-swap refinement after construction (0 = none).
+  int refinement_rounds = 1;
+  /// Consider at most this many candidate nodes per placement; free
+  /// nodes are always scanned exhaustively below this bound.
+  int max_candidates = 1 << 30;
+};
+
+/// Build a greedy communication-aware mapping of `num_ranks` ranks onto
+/// `topo` (one rank per node). Deterministic. Requires
+/// topo.num_nodes() >= num_ranks.
+Mapping greedy_optimize(std::span<const TrafficEdge> edges, int num_ranks,
+                        const topology::Topology& topo,
+                        const GreedyOptions& options = {});
+
+}  // namespace netloc::mapping

@@ -1,0 +1,23 @@
+// Topology-aware torus mappings — alternatives to consecutive
+// placement for the ablation study (the paper's discussion argues that
+// mapping is where the exploitable locality lies).
+#pragma once
+
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/topology/torus.hpp"
+
+namespace netloc::mapping {
+
+/// Boustrophedon ("snake") order: consecutive ranks are always placed
+/// on physically adjacent nodes — the x direction alternates per row
+/// and the y direction per plane, so row/plane boundaries cost one hop
+/// instead of a wrap across the extent.
+Mapping snake_torus(int num_ranks, const topology::Torus3D& torus);
+
+/// Blocked sub-cube order: the torus is tiled with edge-`block` cubes
+/// (clamped at the boundary); blocks are filled one after another, so
+/// groups of block^3 consecutive ranks stay within a cube of diameter
+/// ~3(block-1). Mirrors the node-level blocking of Fig. 5 one level up.
+Mapping subcube_torus(int num_ranks, const topology::Torus3D& torus, int block);
+
+}  // namespace netloc::mapping

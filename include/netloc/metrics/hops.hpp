@@ -1,0 +1,24 @@
+// Topological locality metrics: packet hops (Eq. 3) and average hops
+// per packet (Eq. 4), for a traffic matrix placed on a topology by a
+// mapping.
+#pragma once
+
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/topology/topology.hpp"
+
+namespace netloc::metrics {
+
+struct HopStats {
+  Count packet_hops = 0;  ///< Eq. 3: sum over packets of their hop counts.
+  Count packets = 0;      ///< All packets, including intra-node (0-hop) ones.
+  double avg_hops = 0.0;  ///< Eq. 4: packet_hops / packets (0 if no packets).
+};
+
+/// Compute hop statistics. Ranks mapped to the same node exchange
+/// packets with zero hops (they never enter the network); with the
+/// paper's one-rank-per-node mappings this case does not occur.
+HopStats hop_stats(const TrafficMatrix& matrix, const topology::Topology& topo,
+                   const mapping::Mapping& mapping);
+
+}  // namespace netloc::metrics

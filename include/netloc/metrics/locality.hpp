@@ -1,0 +1,38 @@
+// Rank locality (paper §4.1.1, Eq. 1-2) and its multi-dimensional
+// variant (§5.1, Table 4).
+//
+// dist = |rank_src - rank_dst|; locality = 1 / dist. The paper
+// quantizes per application as the maximum distance covering 90% of the
+// p2p traffic volume ("rank distance (90%)" in Table 3) and reports
+// rank locality as its reciprocal in percent.
+//
+// The k-dimensional variant lays the ranks out on a balanced k-D grid
+// (the natural MPI_Dims_create linearization) and measures Chebyshev
+// grid distance, so that nearest-neighbour communication in k
+// dimensions — including diagonals of a 27-point stencil — yields a
+// distance of 1 and hence 100% locality, matching Table 4.
+#pragma once
+
+#include "netloc/metrics/traffic_matrix.hpp"
+
+namespace netloc::metrics {
+
+/// Weighted 90%-quantile (or other fraction) of linear rank distance.
+/// Expects a p2p-only matrix for paper-faithful numbers. Interpolated,
+/// so fractional values like Table 3's "3.7" are produced.
+double rank_distance(const TrafficMatrix& matrix, double fraction = 0.9);
+
+/// Rank locality in percent: 100 / rank_distance. 100% means all (90%
+/// of) traffic goes to immediate linear neighbours.
+double rank_locality_percent(const TrafficMatrix& matrix, double fraction = 0.9);
+
+/// Rank distance measured on a balanced `dims`-dimensional layout of
+/// the ranks (Chebyshev metric). dims = 1 reduces to |src - dst|.
+double dimensional_rank_distance(const TrafficMatrix& matrix, int dims,
+                                 double fraction = 0.9);
+
+/// 100 / dimensional_rank_distance, the Table 4 percentages.
+double dimensional_rank_locality_percent(const TrafficMatrix& matrix, int dims,
+                                         double fraction = 0.9);
+
+}  // namespace netloc::metrics

@@ -1,0 +1,42 @@
+// Selectivity (paper §4.1.2) and the peers metric (Klenk et al.,
+// §5 Table 3), plus the cumulative-share curves behind Figs. 1, 3, 4.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "netloc/metrics/traffic_matrix.hpp"
+
+namespace netloc::metrics {
+
+/// Per-application selectivity statistics. Per source rank,
+/// selectivity is the number of destination ranks (sorted by exchanged
+/// volume, descending) needed to cover 90% of that rank's total p2p
+/// volume, counting the crossing partner fractionally. Ranks that send
+/// nothing are excluded from the aggregates.
+struct SelectivityStats {
+  double mean = 0.0;  ///< Table 3's "Selectivity (90%)" column.
+  double max = 0.0;   ///< "a maximum of 13 ranks" style statements.
+  std::vector<double> per_rank;  ///< NaN-free; -1 for silent ranks.
+
+  [[nodiscard]] bool has_traffic() const { return mean > 0.0; }
+};
+
+SelectivityStats selectivity(const TrafficMatrix& matrix, double fraction = 0.9);
+
+/// Peers (Klenk et al.): the peak number of distinct destinations any
+/// single rank addresses with p2p messages.
+int peers(const TrafficMatrix& matrix);
+
+/// Fig. 1: one rank's destinations sorted by volume (descending).
+std::vector<std::pair<Rank, Bytes>> partner_volumes(const TrafficMatrix& matrix,
+                                                    Rank src);
+
+/// Figs. 3-4: the application-level cumulative traffic share curve.
+/// Entry k (0-based) is the mean over active source ranks of the share
+/// of the rank's volume covered by its k+1 largest partners. The curve
+/// has `max_partners` entries (padded with 1.0 once saturated).
+std::vector<double> mean_cumulative_share(const TrafficMatrix& matrix,
+                                          int max_partners);
+
+}  // namespace netloc::metrics

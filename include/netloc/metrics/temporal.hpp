@@ -1,0 +1,46 @@
+// Temporal traffic structure — a first step towards the "dynamic
+// effects" the paper defers to future work (§7/§8).
+//
+// The static Eq. 5 utilization averages over the whole execution; real
+// traffic is bursty, so the instantaneous demand the network must
+// absorb can be far higher. This module bins the trace's injected
+// volume into fixed wall-clock windows and derives burstiness
+// indicators, including the peak-window utilization that bounds how
+// far link bandwidth could be scaled down before the busiest phase
+// saturates (the paper's energy argument).
+#pragma once
+
+#include <vector>
+
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/trace/trace.hpp"
+
+namespace netloc::metrics {
+
+struct TimeProfile {
+  Seconds window_seconds = 0.0;
+  std::vector<double> window_bytes;  ///< Injected volume per window.
+
+  double total_bytes = 0.0;
+  double mean_window_bytes = 0.0;
+  double peak_window_bytes = 0.0;
+  /// Peak / mean (1.0 = perfectly smooth; >> 1 = bursty). 0 if empty.
+  double burstiness = 0.0;
+  /// Fraction of windows with zero injected traffic — the paper's
+  /// "links are idling" observation, time-resolved.
+  double idle_window_fraction = 0.0;
+};
+
+/// Bin the trace's traffic (selected by `options`, collectives counted
+/// at their full flat-translated volume) into `windows` equal slices of
+/// the execution time. `windows` must be >= 1.
+TimeProfile time_profile(const trace::Trace& trace, int windows,
+                         const TrafficOptions& options = {});
+
+/// Peak-window network utilization: Eq. 5 evaluated over the busiest
+/// window instead of the whole execution. `link_count` as in Eq. 5.
+double peak_window_utilization_percent(const TimeProfile& profile,
+                                       double link_count,
+                                       double bandwidth_bytes_per_s = 12e9);
+
+}  // namespace netloc::metrics

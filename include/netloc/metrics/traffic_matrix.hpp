@@ -1,0 +1,81 @@
+// The rank-pair traffic matrix: the central data structure every metric
+// in the paper is computed from.
+//
+// For each ordered rank pair it tracks both the byte volume and the
+// packet count. Packets cannot be derived from aggregate bytes after
+// the fact — the paper packetizes each *message* at 4 KiB (Eq. 3), and
+// ceil is not additive — so both are accumulated message by message.
+#pragma once
+
+#include <vector>
+
+#include "netloc/collectives/algorithms.hpp"
+#include "netloc/common/types.hpp"
+#include "netloc/mapping/optimizer.hpp"
+#include "netloc/trace/trace.hpp"
+
+namespace netloc::metrics {
+
+/// Selects which trace event classes feed the matrix. The paper's MPI
+/// level analyses (§5) use p2p only; the system-level analyses (§6)
+/// translate collectives to p2p and include them.
+struct TrafficOptions {
+  bool include_p2p = true;
+  bool include_collectives = true;
+  /// Schedule used to translate collectives. FlatDirect is the paper's
+  /// model; the alternatives (see collectives/algorithms.hpp) enable
+  /// the translation ablation. Non-flat schedules move a different
+  /// total volume than the trace records — that difference is the
+  /// point of the ablation.
+  collectives::Algorithm collective_algorithm =
+      collectives::Algorithm::FlatDirect;
+};
+
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(int num_ranks);
+
+  /// Accumulate one message (bytes volume + ceil(bytes/4KiB) packets).
+  /// Self-messages are ignored (they never enter the network).
+  void add_message(Rank src, Rank dst, Bytes bytes);
+
+  /// Accumulate `count` identical messages in one call.
+  void add_messages(Rank src, Rank dst, Bytes bytes, Count count);
+
+  [[nodiscard]] int num_ranks() const { return n_; }
+  [[nodiscard]] Bytes bytes(Rank src, Rank dst) const {
+    return bytes_[index(src, dst)];
+  }
+  [[nodiscard]] Count packets(Rank src, Rank dst) const {
+    return packets_[index(src, dst)];
+  }
+  [[nodiscard]] Bytes total_bytes() const { return total_bytes_; }
+  [[nodiscard]] Count total_packets() const { return total_packets_; }
+
+  /// Non-zero entries as directed traffic edges (weight = bytes), the
+  /// exchange format for the mapping optimizer.
+  [[nodiscard]] std::vector<mapping::TrafficEdge> edges() const;
+
+  /// Destinations with non-zero volume from `src`, unordered.
+  [[nodiscard]] std::vector<Rank> destinations_of(Rank src) const;
+
+  /// Build from a trace. Collectives are flat-translated (§4.4);
+  /// identical collective events are expanded once and scaled, which is
+  /// exact because translation is deterministic per (op, root, bytes).
+  static TrafficMatrix from_trace(const trace::Trace& trace,
+                                  const TrafficOptions& options = {});
+
+ private:
+  [[nodiscard]] std::size_t index(Rank src, Rank dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  int n_;
+  std::vector<Bytes> bytes_;
+  std::vector<Count> packets_;
+  Bytes total_bytes_ = 0;
+  Count total_packets_ = 0;
+};
+
+}  // namespace netloc::metrics

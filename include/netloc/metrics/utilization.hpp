@@ -1,0 +1,61 @@
+// Network utilization (Eq. 5) and per-link load accounting.
+//
+//   utilization = datavolume / (BW * t_execution * #links)
+//
+// with BW = 12 GB/s. Two link-count conventions are provided:
+//  * PaperFormula — the closed forms of §4.2.3 applied to the used
+//    rank count (torus 3/node, fat tree stages-1/2 per node,
+//    dragonfly's 3.5-3.8 per node);
+//  * UsedLinks — links that actually carry at least one byte under the
+//    deterministic routing, the literal reading of "only links and
+//    switches are considered that are actually transmitting data".
+//
+// The per-link accounting additionally yields congestion indicators
+// (maximum single-link load) and the dragonfly global-link share the
+// paper quotes ("on average 95% of all messages ... use a global
+// inter-group link").
+#pragma once
+
+#include <vector>
+
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/topology/topology.hpp"
+
+namespace netloc::metrics {
+
+enum class LinkCountMode {
+  PaperFormula,
+  UsedLinks,
+};
+
+struct UtilizationResult {
+  double utilization_percent = 0.0;  ///< Table 3's "Utilization [%]".
+  double link_count = 0.0;           ///< Denominator links.
+  Bytes volume = 0;                  ///< Numerator volume.
+};
+
+/// Eq. 5 for the given traffic, placement and execution time.
+/// `ranks_used` defaults to the matrix's rank count.
+UtilizationResult utilization(const TrafficMatrix& matrix,
+                              const topology::Topology& topo,
+                              const mapping::Mapping& mapping,
+                              Seconds execution_time,
+                              LinkCountMode mode = LinkCountMode::PaperFormula,
+                              double bandwidth_bytes_per_s = 12e9);
+
+/// Per-link traffic accounting over the deterministic routes.
+struct LinkLoadStats {
+  int used_links = 0;          ///< Links carrying at least one byte.
+  Bytes max_link_bytes = 0;    ///< Heaviest single link.
+  double mean_link_bytes = 0;  ///< Mean over used links.
+  /// Share of packets whose route crosses at least one global link
+  /// (meaningful for the dragonfly; 0 elsewhere).
+  double global_link_packet_share = 0.0;
+};
+
+LinkLoadStats link_loads(const TrafficMatrix& matrix,
+                         const topology::Topology& topo,
+                         const mapping::Mapping& mapping);
+
+}  // namespace netloc::metrics

@@ -1,0 +1,91 @@
+// Flow-level network simulator — the "dynamic effects" the paper
+// defers to future work (§7/§8: "this study is solely based on a
+// static analysis of traffic patterns ... it seems very promising to
+// address dynamic effects in future work").
+//
+// Model: each transfer is a fluid flow over its deterministic route;
+// at any instant, active flows share link bandwidth max-min fairly
+// (progressive filling). The simulation advances between flow arrivals
+// and completions, so results are exact for the fluid model — no time
+// stepping. This quantifies exactly what the paper's static model
+// abstracts away: how much interaction between traffic flows slows
+// transfers down, and how busy individual links actually get.
+//
+// Intended scale: thousands of flows (e.g. one flow per communicating
+// rank pair). The allocation step is O(active flows x links on their
+// routes) per event.
+#pragma once
+
+#include <vector>
+
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/topology/topology.hpp"
+
+namespace netloc::simulation {
+
+struct Flow {
+  Rank src = 0;
+  Rank dst = 0;
+  Bytes bytes = 0;
+  Seconds start = 0.0;
+};
+
+struct FlowResult {
+  Seconds finish = 0.0;
+  /// Completion time over the uncontended ideal (bytes / bandwidth);
+  /// 1.0 = never shared a bottleneck. 1.0 for intra-node flows.
+  double slowdown = 1.0;
+};
+
+struct FlowSimOptions {
+  double bandwidth_bytes_per_s = 12e9;  ///< Per link (paper's 12 GB/s).
+};
+
+struct FlowSimReport {
+  std::vector<FlowResult> flows;  ///< Indexed like the submitted flows.
+  Seconds makespan = 0.0;
+
+  double mean_slowdown = 1.0;
+  double max_slowdown = 1.0;
+  /// Share of flows that were ever rate-limited by sharing (slowdown
+  /// measurably above 1) — the congestion probability the static
+  /// model's utilization column is a proxy for.
+  double congested_flow_share = 0.0;
+
+  int used_links = 0;
+  /// Busiest link's volume over (bandwidth * makespan): the dynamic
+  /// counterpart of Eq. 5 evaluated at the bottleneck.
+  double max_link_utilization_percent = 0.0;
+  /// Mean over used links of busy time (carrying >= 1 active flow)
+  /// divided by the makespan.
+  double mean_link_busy_fraction = 0.0;
+};
+
+class FlowSimulator {
+ public:
+  FlowSimulator(const topology::Topology& topo, const mapping::Mapping& mapping,
+                const FlowSimOptions& options = {});
+
+  /// Queue one transfer. Zero-byte flows complete instantly.
+  void add_flow(Rank src, Rank dst, Bytes bytes, Seconds start = 0.0);
+
+  /// Queue one flow per non-zero matrix entry, all starting at
+  /// `start` — the steady-burst experiment used by the dynamic
+  /// validation bench.
+  void add_matrix(const metrics::TrafficMatrix& matrix, Seconds start = 0.0);
+
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+
+  /// Run to completion and produce the report. May be called once.
+  FlowSimReport run();
+
+ private:
+  const topology::Topology& topo_;
+  const mapping::Mapping& mapping_;
+  FlowSimOptions options_;
+  std::vector<Flow> flows_;
+  bool ran_ = false;
+};
+
+}  // namespace netloc::simulation

@@ -1,0 +1,60 @@
+// Topology configurations at scale — the paper's Table 2.
+//
+// For each evaluated rank count, Table 2 fixes a torus shape, a fat-tree
+// stage count (radix 48) and a dragonfly (a, h, p). The exact table
+// entries are reproduced here; rank counts outside the table fall back
+// to documented heuristics (smallest near-cubic torus box, smallest
+// sufficient fat tree / standard dragonfly) so the library remains
+// usable beyond the paper's configurations.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "netloc/topology/dragonfly.hpp"
+#include "netloc/topology/fat_tree.hpp"
+#include "netloc/topology/torus.hpp"
+
+namespace netloc::topology {
+
+/// Fat-tree switch radix used throughout the paper.
+inline constexpr int kFatTreeRadix = 48;
+
+/// Torus extents for `ranks` ranks: the Table 2 entry when `ranks` is a
+/// table size, otherwise the smallest (x >= y >= z) box with
+/// x*y*z >= ranks and minimal imbalance.
+std::array<int, 3> torus_dims_for(int ranks);
+
+/// Fat-tree stage count for `ranks` ranks (Table 2: 1 up to 48 ranks,
+/// 2 up to 576, 3 up to 13824, then the smallest sufficient count).
+int fat_tree_stages_for(int ranks);
+
+/// Dragonfly (a, h, p) for `ranks` ranks, following Table 2's four
+/// standard configurations (a = 2h = 2p) and extending the same rule
+/// beyond 2550 nodes.
+std::array<int, 3> dragonfly_params_for(int ranks);
+
+/// The three Table 2 topologies instantiated for one rank count.
+struct TopologySet {
+  std::unique_ptr<Torus3D> torus;
+  std::unique_ptr<FatTree> fat_tree;
+  std::unique_ptr<Dragonfly> dragonfly;
+
+  /// Iterate over the three topologies as the abstract interface.
+  [[nodiscard]] std::array<const Topology*, 3> all() const {
+    return {torus.get(), fat_tree.get(), dragonfly.get()};
+  }
+};
+
+/// Build all three configured topologies for `ranks` ranks.
+TopologySet topologies_for(int ranks);
+
+/// Link count the paper's Eq. 5 divides by, given `ranks` consecutively
+/// mapped ranks (§4.2.3): torus 3 links/rank; fat tree
+/// ranks * (stages - 1/2) ("#nodes * #stages, only half the links for
+/// the last stage"); dragonfly: the per-node share of its installed
+/// injection + local + global links (the paper reports the resulting
+/// 3.5-3.8 links/node ratio for full configurations).
+double paper_link_count(const Topology& topo, int ranks);
+
+}  // namespace netloc::topology

@@ -1,0 +1,85 @@
+// Dragonfly (Kim et al. 2008; paper §2.2.2): hierarchical topology of
+// groups. Within a group, `a` routers are fully connected by local
+// links; each router hosts `p` nodes and owns `h` global links; groups
+// are wired in the palm-tree pattern. The paper's balanced
+// configuration a = 2h = 2p is used throughout Table 2.
+//
+// Group count is the maximum g = a*h + 1 (every global port used once).
+//
+// Palm-tree wiring: router j's global port k in group i leads towards
+// group (i + j*h + k + 1) mod g. The reverse port of that physical link
+// sits at offset g - (j*h + k + 1), which is again a valid offset, so
+// the arrangement is self-consistent (verified by tests).
+//
+// Minimal routing: inject -> (local) -> global -> (local) -> eject,
+// taking the unique minimal global link between the two groups. Hop
+// counts therefore span 2 (same router) to 5, as §6.2 observes.
+#pragma once
+
+#include "netloc/topology/topology.hpp"
+
+namespace netloc::topology {
+
+class Dragonfly final : public Topology {
+ public:
+  /// `a` routers per group, `h` global links per router, `p` nodes per
+  /// router; all >= 1. a*h must be even (palm-tree pairing); the
+  /// paper's a = 2h = 2p configurations always satisfy this.
+  Dragonfly(int a, int h, int p);
+
+  [[nodiscard]] std::string name() const override { return "dragonfly"; }
+  [[nodiscard]] std::string config_string() const override;
+  [[nodiscard]] int num_nodes() const override { return num_groups_ * a_ * p_; }
+  [[nodiscard]] int num_links() const override;
+  [[nodiscard]] int hop_distance(NodeId a, NodeId b) const override;
+  void route(NodeId a, NodeId b, const LinkVisitor& visit) const override;
+  [[nodiscard]] bool link_is_global(LinkId link) const override {
+    return link >= global_base_;
+  }
+  [[nodiscard]] int diameter() const override;
+
+  [[nodiscard]] int routers_per_group() const { return a_; }
+  [[nodiscard]] int global_links_per_router() const { return h_; }
+  [[nodiscard]] int nodes_per_router() const { return p_; }
+  [[nodiscard]] int num_groups() const { return num_groups_; }
+
+  [[nodiscard]] int group_of(NodeId node) const { return node / (a_ * p_); }
+  [[nodiscard]] int router_in_group(NodeId node) const {
+    return (node % (a_ * p_)) / p_;
+  }
+
+  /// Router within `src_group` that owns the direct global link towards
+  /// `dst_group` (the palm-tree assignment). Groups must differ.
+  [[nodiscard]] int gateway_router(int src_group, int dst_group) const;
+
+  // ---- Valiant (randomized non-minimal) routing ------------------------
+  //
+  // The paper notes (§7) that production dragonflies usually run
+  // adaptive routing, "which often results in even longer paths" than
+  // the minimal routing its model assumes. Valiant routing — detour
+  // via a random intermediate group — is the canonical non-minimal
+  // scheme and an upper bound for adaptive path lengths.
+
+  /// Hops of the Valiant path a -> (intermediate_group) -> b, where
+  /// each half uses minimal routing. An intermediate equal to either
+  /// endpoint group degenerates to the minimal path.
+  [[nodiscard]] int valiant_hop_distance(NodeId a, NodeId b,
+                                         int intermediate_group) const;
+
+  /// Mean Valiant hops over all intermediate groups chosen uniformly —
+  /// the expected path length of oblivious Valiant routing.
+  [[nodiscard]] double expected_valiant_hops(NodeId a, NodeId b) const;
+
+ private:
+  [[nodiscard]] LinkId injection_link(NodeId node) const { return node; }
+  [[nodiscard]] LinkId local_link(int group, int r1, int r2) const;
+  [[nodiscard]] LinkId global_link(int src_group, int dst_group) const;
+
+  int a_, h_, p_;
+  int num_groups_;
+  int local_per_group_;  // a*(a-1)/2
+  int local_base_;       // first local link id
+  int global_base_;      // first global link id
+};
+
+}  // namespace netloc::topology

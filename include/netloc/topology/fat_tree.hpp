@@ -1,0 +1,58 @@
+// Fat tree (paper §2.2.2): indirect, tree-based topology with constant
+// bisection bandwidth per stage, built from fixed-radix switches
+// (radix 48 in the paper's Table 2).
+//
+// Shape. With one stage the topology is a single radix-48 switch
+// hosting 48 nodes. With `st` >= 2 stages the capacities follow
+// Table 2: (radix/2)^st nodes (576 for st=2, 13824 for st=3), i.e.
+// half the switch ports face down, half face up, giving 24-wide
+// subtrees. The lowest common stage of two nodes determines their
+// distance: hops = 2 * stage (node-switch links count as hops).
+//
+// Routing & link identification. Destination-based ("d-mod-k" style)
+// deterministic routing: the up-link taken out of a stage-l block and
+// the down-link taken into the destination's stage-l block are selected
+// by the destination's congruence class, so each destination owns a
+// unique down-tree — the standard deadlock-free deterministic scheme
+// for fat trees. Links are dense: level 0 holds the #nodes
+// node-to-leaf links, and each level l in [1, st) holds #nodes
+// up/down links (constant bisection), for #nodes * #stages links in
+// total — exactly the paper's utilization link count before its
+// half-at-the-top correction (applied in the metrics layer).
+#pragma once
+
+#include "netloc/topology/topology.hpp"
+
+namespace netloc::topology {
+
+class FatTree final : public Topology {
+ public:
+  /// `radix` must be even and >= 2; `stages` >= 1. Capacity per
+  /// Table 2: radix nodes for stages == 1, (radix/2)^stages otherwise.
+  FatTree(int radix, int stages);
+
+  [[nodiscard]] std::string name() const override { return "fattree"; }
+  [[nodiscard]] std::string config_string() const override;
+  [[nodiscard]] int num_nodes() const override { return nodes_; }
+  [[nodiscard]] int num_links() const override { return nodes_ * stages_; }
+  [[nodiscard]] int hop_distance(NodeId a, NodeId b) const override;
+  void route(NodeId a, NodeId b, const LinkVisitor& visit) const override;
+  [[nodiscard]] int diameter() const override { return 2 * stages_; }
+
+  [[nodiscard]] int radix() const { return radix_; }
+  [[nodiscard]] int stages() const { return stages_; }
+
+  /// Lowest stage l in [1, stages] at which a and b share a block
+  /// (block size = half_radix^l); 0 iff a == b.
+  [[nodiscard]] int common_stage(NodeId a, NodeId b) const;
+
+ private:
+  [[nodiscard]] long block_size(int level) const;  // half_radix^level
+
+  int radix_;
+  int stages_;
+  int half_;  // radix / 2, the subtree arity for stages >= 2
+  int nodes_;
+};
+
+}  // namespace netloc::topology

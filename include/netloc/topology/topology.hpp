@@ -1,0 +1,62 @@
+// Abstract network topology with shortest-path routing (paper §2.2.2,
+// §4.2, §4.4).
+//
+// The model is deliberately non-temporal: it answers "how far apart are
+// two endpoints" and "which links does a packet traverse", never "when".
+// All three paper topologies implement this interface:
+//
+//  * hop counting convention (see DESIGN.md §3.1): the 3-D torus has
+//    its switch integrated into the NIC, so hops = switch-to-switch
+//    traversals only; fat tree and dragonfly are indirect topologies
+//    whose injection/ejection links count as hops (a 1-stage fat tree
+//    therefore gives exactly 2 hops between distinct nodes, matching
+//    Table 3).
+//  * links are identified by dense LinkIds so metrics can account
+//    per-link traffic ("only links ... actually transmitting data").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "netloc/common/types.hpp"
+
+namespace netloc::topology {
+
+/// Receives the links of a route in traversal order.
+using LinkVisitor = std::function<void(LinkId)>;
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Topology family name ("torus3d", "fattree", "dragonfly").
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Configuration string in the notation of Table 2, e.g. "(4,4,4)".
+  [[nodiscard]] virtual std::string config_string() const = 0;
+
+  /// Number of compute endpoints this configuration can host.
+  [[nodiscard]] virtual int num_nodes() const = 0;
+  /// Number of physical links installed (both directions = one link).
+  [[nodiscard]] virtual int num_links() const = 0;
+
+  /// Hops a packet travels from node `a` to node `b` under the
+  /// topology's deterministic shortest-path routing. Zero iff a == b.
+  [[nodiscard]] virtual int hop_distance(NodeId a, NodeId b) const = 0;
+
+  /// Enumerate the links of the deterministic shortest path a -> b, in
+  /// traversal order. Visits exactly hop_distance(a, b) links.
+  virtual void route(NodeId a, NodeId b, const LinkVisitor& visit) const = 0;
+
+  /// True if `link` is a global (inter-group) link. Only the dragonfly
+  /// has global links; the default is false.
+  [[nodiscard]] virtual bool link_is_global(LinkId link) const {
+    (void)link;
+    return false;
+  }
+
+  /// Longest shortest path between any two nodes.
+  [[nodiscard]] virtual int diameter() const = 0;
+};
+
+}  // namespace netloc::topology

@@ -1,0 +1,51 @@
+// 3-D torus (paper §2.2.2): direct topology, switch integrated into the
+// NIC, wrap-around rings in every dimension, dimension-order (X, Y, Z)
+// shortest-direction routing, three links per node (+x, +y, +z).
+#pragma once
+
+#include <array>
+
+#include "netloc/topology/topology.hpp"
+
+namespace netloc::topology {
+
+class Torus3D final : public Topology {
+ public:
+  /// Extents must all be >= 1. A dimension of extent 1 is degenerate
+  /// (its links are installed per the 3-links-per-node convention but
+  /// never routed over). With `wraparound = false` the topology is a
+  /// 3-D mesh — same structure minus the wrap links — used to ablate
+  /// how much of the torus's locality advantage the wrap-around
+  /// contributes (§2.2.2 motivates the wrap as the diameter reducer).
+  Torus3D(int x, int y, int z, bool wraparound = true);
+
+  [[nodiscard]] std::string name() const override {
+    return wraparound_ ? "torus3d" : "mesh3d";
+  }
+  [[nodiscard]] std::string config_string() const override;
+  [[nodiscard]] int num_nodes() const override { return nodes_; }
+  [[nodiscard]] int num_links() const override { return 3 * nodes_; }
+  [[nodiscard]] int hop_distance(NodeId a, NodeId b) const override;
+  void route(NodeId a, NodeId b, const LinkVisitor& visit) const override;
+  [[nodiscard]] int diameter() const override;
+
+  [[nodiscard]] std::array<int, 3> extents() const { return {dims_[0], dims_[1], dims_[2]}; }
+
+  /// Coordinates of `node` (x fastest-varying).
+  [[nodiscard]] std::array<int, 3> coords(NodeId node) const;
+  /// Inverse of coords().
+  [[nodiscard]] NodeId node_at(int x, int y, int z) const;
+
+ private:
+  /// Link owned by `node` in dimension `dim`, connecting it to its +1
+  /// neighbour (with wrap-around).
+  [[nodiscard]] LinkId plus_link(NodeId node, int dim) const {
+    return node * 3 + dim;
+  }
+
+  std::array<int, 3> dims_;
+  int nodes_;
+  bool wraparound_;
+};
+
+}  // namespace netloc::topology

@@ -1,0 +1,66 @@
+// Trace event model ("dumpi-lite").
+//
+// The original study consumes dumpi traces from SST/macro. Of the full
+// dumpi record, the paper's static analysis uses only: the MPI call
+// type, the endpoints, the payload size and coarse wall-clock timing.
+// dumpi-lite records exactly those fields. Point-to-point transfers and
+// collectives are kept as separate event kinds because every analysis in
+// the paper treats them differently (§4.1: p2p only; §4.4: collectives
+// flat-translated to p2p).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "netloc/common/types.hpp"
+
+namespace netloc::trace {
+
+/// One matched point-to-point transfer (an MPI_Send/MPI_Recv pair or
+/// their nonblocking equivalents, already matched by the tracer).
+struct P2PEvent {
+  Rank src = 0;
+  Rank dst = 0;
+  Bytes bytes = 0;
+  Seconds time = 0.0;  ///< Send-side wall-clock time, trace-relative.
+};
+
+/// MPI collective operations distinguished by their flat p2p pattern.
+enum class CollectiveOp : std::uint8_t {
+  Barrier = 0,
+  Bcast,
+  Reduce,
+  Allreduce,
+  Gather,
+  Allgather,
+  Scatter,
+  Alltoall,
+  ReduceScatter,
+};
+
+inline constexpr int kNumCollectiveOps = 9;
+
+/// Human-readable name for a collective op (e.g. "allreduce").
+std::string_view to_string(CollectiveOp op);
+
+/// Parse the result of to_string back; throws TraceFormatError on
+/// unknown names.
+CollectiveOp collective_op_from_string(std::string_view name);
+
+/// One collective operation over the global communicator.
+///
+/// `bytes` is the *total* volume this collective moves through the
+/// network once flat-translated to p2p messages (paper §4.4). This
+/// convention makes trace-level volume accounting exact: the sum of all
+/// event byte fields equals the application's network volume. The
+/// collectives module distributes it evenly over the pattern's pairs
+/// ("data in vector-based collectives is split evenly across all
+/// ranks").
+struct CollectiveEvent {
+  CollectiveOp op = CollectiveOp::Barrier;
+  Rank root = 0;  ///< Root rank for rooted ops; ignored otherwise.
+  Bytes bytes = 0;
+  Seconds time = 0.0;
+};
+
+}  // namespace netloc::trace

@@ -1,0 +1,42 @@
+// dumpi-lite trace serialization.
+//
+// Two interchangeable encodings:
+//  * binary ("NLTR"): compact little-endian records with a trailing
+//    FNV-1a checksum, for bulk storage of generated traces;
+//  * text: one event per line, for human inspection and diffing.
+//
+// Readers perform full validation (magic, version, rank bounds, event
+// counts, checksum) and throw TraceFormatError with a precise message on
+// any corruption, so failure-injection tests can assert diagnostics.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netloc/trace/trace.hpp"
+
+namespace netloc::trace {
+
+/// Current binary format version.
+inline constexpr std::uint32_t kBinaryFormatVersion = 1;
+
+/// Serialize `trace` in the binary dumpi-lite encoding.
+void write_binary(const Trace& trace, std::ostream& out);
+
+/// Parse a binary dumpi-lite stream. Throws TraceFormatError on any
+/// structural problem (bad magic/version, truncation, rank out of
+/// bounds, checksum mismatch).
+Trace read_binary(std::istream& in);
+
+/// Serialize `trace` as text: a header line, then "p2p"/"coll" records.
+void write_text(const Trace& trace, std::ostream& out);
+
+/// Parse the text encoding. Accepts blank lines and '#' comments.
+Trace read_text(std::istream& in);
+
+/// Convenience file wrappers (binary chosen by extension ".nltr",
+/// text otherwise). Throw Error if the file cannot be opened.
+void save(const Trace& trace, const std::string& path);
+Trace load(const std::string& path);
+
+}  // namespace netloc::trace

@@ -1,0 +1,34 @@
+// Per-trace aggregate statistics — the columns of the paper's Table 1.
+#pragma once
+
+#include "netloc/trace/trace.hpp"
+
+namespace netloc::trace {
+
+/// Aggregates of one trace (paper Table 1: ranks, time, volume, p2p%,
+/// collective%, throughput).
+struct TraceStats {
+  int num_ranks = 0;
+  Seconds duration = 0.0;
+
+  Bytes p2p_volume = 0;
+  Bytes collective_volume = 0;
+  Count p2p_messages = 0;
+  Count collective_calls = 0;
+
+  [[nodiscard]] Bytes total_volume() const { return p2p_volume + collective_volume; }
+
+  /// Share of volume moved by point-to-point messages, in percent.
+  [[nodiscard]] double p2p_percent() const;
+  /// Share of volume moved by collectives, in percent.
+  [[nodiscard]] double collective_percent() const;
+  /// Volume over execution time, in (decimal) MB/s; 0 if duration is 0.
+  [[nodiscard]] double throughput_mb_per_s() const;
+  /// Total volume in decimal MB, as reported in Table 1.
+  [[nodiscard]] double volume_mb() const;
+};
+
+/// Compute TraceStats for a trace in one pass.
+TraceStats compute_stats(const Trace& trace);
+
+}  // namespace netloc::trace

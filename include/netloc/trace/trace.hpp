@@ -1,0 +1,75 @@
+// The Trace container: everything the static analyses consume about one
+// application execution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netloc/common/types.hpp"
+#include "netloc/trace/event.hpp"
+
+namespace netloc::trace {
+
+/// An immutable-after-build record of one traced application run.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string app_name, int num_ranks, Seconds duration,
+        std::vector<P2PEvent> p2p, std::vector<CollectiveEvent> collectives);
+
+  [[nodiscard]] const std::string& app_name() const { return app_name_; }
+  [[nodiscard]] int num_ranks() const { return num_ranks_; }
+  /// Total traced execution time (t_execution in Eq. 5).
+  [[nodiscard]] Seconds duration() const { return duration_; }
+
+  [[nodiscard]] const std::vector<P2PEvent>& p2p() const { return p2p_; }
+  [[nodiscard]] const std::vector<CollectiveEvent>& collectives() const {
+    return collectives_;
+  }
+
+  [[nodiscard]] bool empty() const { return p2p_.empty() && collectives_.empty(); }
+
+ private:
+  std::string app_name_;
+  int num_ranks_ = 0;
+  Seconds duration_ = 0.0;
+  std::vector<P2PEvent> p2p_;
+  std::vector<CollectiveEvent> collectives_;
+};
+
+/// Incremental, validating constructor for Trace objects. Used by the
+/// workload generators and the trace readers.
+class TraceBuilder {
+ public:
+  TraceBuilder(std::string app_name, int num_ranks);
+
+  /// Record a point-to-point transfer. Throws ConfigError for
+  /// out-of-range ranks, self-messages or negative times.
+  TraceBuilder& add_p2p(Rank src, Rank dst, Bytes bytes, Seconds time);
+
+  /// Record a collective over the global communicator.
+  TraceBuilder& add_collective(CollectiveOp op, Rank root, Bytes bytes,
+                               Seconds time);
+
+  /// Set the total execution time. If never called, the latest event
+  /// timestamp is used.
+  TraceBuilder& set_duration(Seconds duration);
+
+  /// Finalize. The builder is left empty and reusable.
+  Trace build();
+
+  [[nodiscard]] std::size_t p2p_count() const { return p2p_.size(); }
+  [[nodiscard]] std::size_t collective_count() const { return collectives_.size(); }
+
+ private:
+  void check_rank(Rank r, const char* what) const;
+
+  std::string app_name_;
+  int num_ranks_;
+  Seconds duration_ = -1.0;
+  Seconds max_time_ = 0.0;
+  std::vector<P2PEvent> p2p_;
+  std::vector<CollectiveEvent> collectives_;
+};
+
+}  // namespace netloc::trace

@@ -1,0 +1,59 @@
+// Catalog of workload calibration targets — the paper's Table 1.
+//
+// Every (application, rank count, trace variant) the paper evaluates is
+// listed with its execution time, total communication volume and
+// point-to-point/collective split. The synthetic generators are
+// calibrated against these targets; the calibration tests enforce them.
+//
+// Two applications appear twice at the same scale in the paper (Boxlib
+// CNS at 256 ranks and LULESH at 64 ranks: two trace variants that
+// differ only in execution time); `variant` distinguishes them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netloc/common/types.hpp"
+
+namespace netloc::workloads {
+
+struct CatalogEntry {
+  std::string app;        ///< Canonical application name, e.g. "AMG".
+  int ranks = 0;          ///< Rank count of the traced run.
+  int variant = 0;        ///< 0 for the primary trace, 1 for a re-run.
+  Seconds time_s = 0.0;   ///< Table 1 "Time [s]".
+  double volume_mb = 0.0; ///< Table 1 "Vol. [MB]" (decimal MB).
+  double p2p_percent = 0.0;   ///< Table 1 "P2P [%]" of volume.
+  /// True when the paper marks the app (*) as using MPI derived
+  /// datatypes (1-byte element-size assumption folded into volume_mb).
+  bool derived_datatypes = false;
+
+  [[nodiscard]] double collective_percent() const { return 100.0 - p2p_percent; }
+  [[nodiscard]] Bytes total_bytes() const {
+    return static_cast<Bytes>(volume_mb * 1e6);
+  }
+  [[nodiscard]] Bytes p2p_bytes() const {
+    return static_cast<Bytes>(volume_mb * 1e6 * p2p_percent / 100.0);
+  }
+  [[nodiscard]] Bytes collective_bytes() const {
+    return total_bytes() - p2p_bytes();
+  }
+  /// "AMG/216" or "CNS/256b" style label used in reports.
+  [[nodiscard]] std::string label() const;
+};
+
+/// All Table 1 entries in paper order.
+const std::vector<CatalogEntry>& catalog();
+
+/// Entries of one application, ordered by rank count then variant.
+std::vector<CatalogEntry> catalog_for(const std::string& app);
+
+/// The unique entry for (app, ranks, variant); throws ConfigError when
+/// absent.
+const CatalogEntry& catalog_entry(const std::string& app, int ranks,
+                                  int variant = 0);
+
+/// Distinct application names in paper order.
+std::vector<std::string> catalog_apps();
+
+}  // namespace netloc::workloads

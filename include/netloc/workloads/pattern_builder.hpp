@@ -1,0 +1,74 @@
+// PatternBuilder: shared machinery of all workload generators.
+//
+// A generator describes its communication *pattern* as relative
+// weights — "rank 5 sends to rank 6 with weight 900, to rank 13 with
+// weight 30" — plus a set of collective operations with relative
+// weights. The builder then scales the weights so the emitted trace
+// hits the catalog's byte targets exactly (largest-remainder /
+// Bresenham apportioning, so sums match to the byte) and spreads the
+// volume over iterations across the execution time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netloc/trace/trace.hpp"
+
+namespace netloc::workloads {
+
+struct BuildParams {
+  Bytes p2p_bytes = 0;         ///< Target total p2p volume.
+  Bytes collective_bytes = 0;  ///< Target total collective volume.
+  Seconds duration = 1.0;      ///< Execution time to spread events over.
+  /// Number of communication phases. A pair's volume is emitted as up
+  /// to this many messages (fewer when individual messages would drop
+  /// below preferred_message_bytes).
+  int iterations = 20;
+  /// Preferred per-message payload; bounds the event count for pairs
+  /// with little volume.
+  Bytes preferred_message_bytes = 64 * 1024;
+};
+
+class PatternBuilder {
+ public:
+  PatternBuilder(std::string app_name, int num_ranks);
+
+  /// Accumulate relative p2p demand (weights add up across calls).
+  /// Self-demands are ignored; weights must be non-negative.
+  void p2p(Rank src, Rank dst, double weight);
+
+  /// Accumulate a collective demand. The demand's share of the
+  /// collective byte target is proportional to `weight` and is emitted
+  /// as `calls` separate events spread over the execution (calls == 0
+  /// uses BuildParams::iterations). Real call counts matter: iterative
+  /// solvers issue thousands of tiny allreduces whose flat translation
+  /// dominates packet counts even at ~0% of the volume.
+  void collective(trace::CollectiveOp op, Rank root, double weight,
+                  int calls = 0);
+
+  [[nodiscard]] int num_ranks() const { return num_ranks_; }
+  [[nodiscard]] std::size_t p2p_pattern_size() const { return p2p_.size(); }
+
+  /// Scale, apportion and emit the trace. The builder remains valid
+  /// and reusable (build is const).
+  [[nodiscard]] trace::Trace build(const BuildParams& params) const;
+
+ private:
+  struct P2PDemand {
+    Rank src, dst;
+    double weight;
+  };
+  struct CollDemand {
+    trace::CollectiveOp op;
+    Rank root;
+    double weight;
+    int calls;  ///< 0 = BuildParams::iterations.
+  };
+
+  std::string app_name_;
+  int num_ranks_;
+  std::vector<P2PDemand> p2p_;
+  std::vector<CollDemand> collectives_;
+};
+
+}  // namespace netloc::workloads

@@ -1,0 +1,55 @@
+// Stencil pattern helpers shared by the grid-based generators (AMG,
+// LULESH, MiniFE, FillBoundary, Boxlib MultiGrid, ...).
+//
+// Weights model halo-exchange volumes: face neighbours exchange a 2-D
+// slab, edge neighbours a 1-D pencil, corner neighbours a point, so a
+// local subdomain of side `s` produces weights ~ s^2 : s : 1.
+#pragma once
+
+#include <vector>
+
+#include "netloc/common/grid.hpp"
+#include "netloc/workloads/pattern_builder.hpp"
+
+namespace netloc::workloads {
+
+/// Which neighbour classes of the (2k+1)^d - 1 stencil participate.
+enum class StencilScope {
+  Faces,       ///< axis neighbours only (7-point in 3-D, 5-point in 2-D)
+  FacesEdges,  ///< faces + edges (19-point in 3-D)
+  Full,        ///< faces + edges + corners (27-point in 3-D, 9-point in 2-D)
+};
+
+struct StencilWeights {
+  double face = 1.0;
+  double edge = 0.0;
+  double corner = 0.0;
+  /// Optional anisotropy: weight of the face neighbour along each
+  /// dimension (index into GridDims::extent). When set it overrides
+  /// `face`; size must equal the grid dimensionality. Real halo
+  /// exchanges are anisotropic because slab extents differ and memory
+  /// layout makes some directions contiguous.
+  std::vector<double> face_per_axis;
+};
+
+/// Add halo-exchange demands between every rank and its grid
+/// neighbours at `stride` (1 = nearest neighbour; 2, 4, ... model
+/// coarse multigrid levels). Non-periodic: offsets leaving the grid
+/// are skipped, so boundary ranks have fewer partners, as in real MPI
+/// domain decompositions. The pattern is symmetric (both directions
+/// are added).
+void add_stencil(PatternBuilder& builder, const GridDims& dims,
+                 StencilScope scope, const StencilWeights& weights,
+                 int stride = 1);
+
+/// As above, with an explicit cell-to-rank assignment: grid cell `c`
+/// (linear, row-major) is owned by rank `rank_of_cell[c]`. Models
+/// applications whose box/domain distribution does not follow the
+/// row-major rank order (the paper's MultiGrid_C class): the peer
+/// structure is preserved while linear-rank locality is destroyed.
+/// `rank_of_cell` must be a permutation of [0, dims.size()).
+void add_stencil_mapped(PatternBuilder& builder, const GridDims& dims,
+                        StencilScope scope, const StencilWeights& weights,
+                        const std::vector<Rank>& rank_of_cell, int stride = 1);
+
+}  // namespace netloc::workloads

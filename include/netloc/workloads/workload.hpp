@@ -1,0 +1,48 @@
+// WorkloadGenerator: the interface every synthetic mini-app
+// implements, plus the registry that maps catalog names to generators.
+//
+// Generators substitute for the Sandia dumpi trace repository (see
+// DESIGN.md §2): each emits the communication geometry characteristic
+// of its application, calibrated to the paper's Table 1 aggregates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netloc/trace/trace.hpp"
+#include "netloc/workloads/catalog.hpp"
+
+namespace netloc::workloads {
+
+/// Seed used by all reported experiments; changing it perturbs only the
+/// randomized generators (CNS, AMR, MOCFE, SNAP).
+inline constexpr std::uint64_t kDefaultSeed = 0x1CC9'2020'0001ULL;
+
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  /// Catalog name, e.g. "AMG".
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// One-line description of the modeled communication pattern.
+  [[nodiscard]] virtual std::string description() const = 0;
+
+  /// Generate a trace calibrated to `target`. Deterministic in
+  /// (target, seed).
+  [[nodiscard]] virtual trace::Trace generate(const CatalogEntry& target,
+                                              std::uint64_t seed) const = 0;
+};
+
+/// Generator registered for `app`; throws ConfigError for unknown apps.
+const WorkloadGenerator& generator(const std::string& app);
+
+/// All registered application names (== catalog_apps()).
+std::vector<std::string> available_workloads();
+
+/// Convenience: look up the catalog entry and generate.
+trace::Trace generate(const std::string& app, int ranks, int variant = 0,
+                      std::uint64_t seed = kDefaultSeed);
+
+}  // namespace netloc::workloads

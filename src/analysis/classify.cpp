@@ -1,0 +1,118 @@
+#include "netloc/analysis/classify.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "netloc/common/grid.hpp"
+
+namespace netloc::analysis {
+
+namespace {
+
+bool is_power_of_two(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+// Detection thresholds: a structure must explain the bulk of the
+// volume to name the class. 85% leaves room for the metadata and
+// coarse-level side traffic real applications carry.
+constexpr double kStructureThreshold = 0.85;
+constexpr double kHubThreshold = 0.5;
+constexpr double kCoverageThreshold = 0.9;
+
+}  // namespace
+
+std::string_view to_string(PatternClass pattern) {
+  switch (pattern) {
+    case PatternClass::Empty:
+      return "empty";
+    case PatternClass::Stencil:
+      return "stencil";
+    case PatternClass::StagedExchange:
+      return "staged-exchange";
+    case PatternClass::HubAndSpoke:
+      return "hub-and-spoke";
+    case PatternClass::GlobalRegular:
+      return "global-regular";
+    case PatternClass::Scattered:
+      return "scattered";
+  }
+  return "?";
+}
+
+Classification classify(const metrics::TrafficMatrix& matrix) {
+  Classification result;
+  const int n = matrix.num_ranks();
+  const double total = static_cast<double>(matrix.total_bytes());
+  if (total <= 0.0) return result;
+
+  // Grids for the stencil features.
+  GridDims grids[3] = {balanced_dims(n, 1), balanced_dims(n, 2),
+                       balanced_dims(n, 3)};
+
+  double pow2 = 0.0;
+  std::vector<double> rank_volume(static_cast<std::size_t>(n), 0.0);
+  long nonzero_pairs = 0;
+  double neighbour[3] = {0, 0, 0};
+  double max_pair = 0.0;
+
+  for (Rank s = 0; s < n; ++s) {
+    for (Rank d = 0; d < n; ++d) {
+      const double bytes = static_cast<double>(matrix.bytes(s, d));
+      if (bytes <= 0.0) continue;
+      ++nonzero_pairs;
+      max_pair = std::max(max_pair, bytes);
+      rank_volume[static_cast<std::size_t>(s)] += bytes;
+      rank_volume[static_cast<std::size_t>(d)] += bytes;
+      const auto delta = static_cast<std::int64_t>(std::abs(s - d));
+      if (is_power_of_two(delta)) pow2 += bytes;
+      for (int k = 0; k < 3; ++k) {
+        if (chebyshev_distance(s, d, grids[k]) <= 1) neighbour[k] += bytes;
+      }
+    }
+  }
+
+  for (int k = 0; k < 3; ++k) result.neighbour_share[k] = neighbour[k] / total;
+  result.pow2_stride_share = pow2 / total;
+  result.hub_share =
+      *std::max_element(rank_volume.begin(), rank_volume.end()) / total;
+  result.coverage = static_cast<double>(nonzero_pairs) /
+                    (static_cast<double>(n) * (n - 1));
+
+  // Verdicts, most specific first. A k-D stencil is claimed at the
+  // smallest dimensionality whose nearest-neighbour share clears the
+  // threshold (1-D rings classify as 1-D, not 3-D).
+  for (int k = 0; k < 3; ++k) {
+    if (result.neighbour_share[k] >= kStructureThreshold) {
+      result.pattern = PatternClass::Stencil;
+      result.dimensionality = k + 1;
+      result.confidence = result.neighbour_share[k];
+      return result;
+    }
+  }
+  if (result.pow2_stride_share >= kStructureThreshold) {
+    result.pattern = PatternClass::StagedExchange;
+    result.confidence = result.pow2_stride_share;
+    return result;
+  }
+  if (result.hub_share >= kHubThreshold && n > 2) {
+    result.pattern = PatternClass::HubAndSpoke;
+    result.confidence = result.hub_share;
+    return result;
+  }
+  // Global-regular needs both full coverage and near-uniform pair
+  // volumes — CNS-style layouts touch everyone but concentrate the
+  // bytes, which is Scattered, not a transpose.
+  const double mean_pair = total / static_cast<double>(nonzero_pairs);
+  if (result.coverage >= kCoverageThreshold && max_pair <= 10.0 * mean_pair) {
+    result.pattern = PatternClass::GlobalRegular;
+    result.confidence = result.coverage;
+    return result;
+  }
+  result.pattern = PatternClass::Scattered;
+  // Confidence = absence of any regular structure (coverage excluded:
+  // scattered layouts may well touch everyone with metadata).
+  result.confidence = 1.0 - std::max(result.neighbour_share[2],
+                                     result.pow2_stride_share);
+  return result;
+}
+
+}  // namespace netloc::analysis

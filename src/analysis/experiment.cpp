@@ -1,0 +1,170 @@
+#include "netloc/analysis/experiment.hpp"
+
+#include "netloc/common/error.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/hops.hpp"
+#include "netloc/metrics/locality.hpp"
+#include "netloc/metrics/selectivity.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/utilization.hpp"
+#include "netloc/topology/configs.hpp"
+
+namespace netloc::analysis {
+
+ExperimentRow analyze_trace(const trace::Trace& trace,
+                            const workloads::CatalogEntry& entry,
+                            const RunOptions& options) {
+  ExperimentRow row;
+  row.entry = entry;
+  row.stats = trace::compute_stats(trace);
+
+  // ---- MPI level (§5): point-to-point traffic only. ---------------------
+  const metrics::TrafficMatrix p2p_matrix =
+      metrics::TrafficMatrix::from_trace(trace, {.include_p2p = true,
+                                                 .include_collectives = false});
+  row.has_p2p = p2p_matrix.total_bytes() > 0;
+  if (row.has_p2p) {
+    row.peers = metrics::peers(p2p_matrix);
+    row.rank_distance = metrics::rank_distance(p2p_matrix);
+    const auto sel = metrics::selectivity(p2p_matrix);
+    row.selectivity_mean = sel.mean;
+    row.selectivity_max = sel.max;
+  }
+
+  // ---- System level (§6): collectives translated and included. ----------
+  const metrics::TrafficMatrix full_matrix =
+      metrics::TrafficMatrix::from_trace(trace, {.include_p2p = true,
+                                                 .include_collectives = true});
+
+  const auto topologies = topology::topologies_for(trace.num_ranks());
+  const auto all = topologies.all();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const topology::Topology& topo = *all[i];
+    TopologyResult& result = row.topologies[i];
+    result.topology = topo.name();
+    result.config = topo.config_string();
+
+    const auto mapping =
+        mapping::Mapping::linear(trace.num_ranks(), topo.num_nodes());
+    const auto hops = metrics::hop_stats(full_matrix, topo, mapping);
+    result.packet_hops = hops.packet_hops;
+    result.avg_hops = hops.avg_hops;
+
+    result.utilization_percent =
+        metrics::utilization(full_matrix, topo, mapping, trace.duration(),
+                             metrics::LinkCountMode::PaperFormula)
+            .utilization_percent;
+    if (options.link_accounting) {
+      const auto loads = metrics::link_loads(full_matrix, topo, mapping);
+      result.used_links = loads.used_links;
+      result.global_link_packet_share = loads.global_link_packet_share;
+      if (loads.used_links > 0) {
+        result.utilization_used_links_percent =
+            metrics::utilization(full_matrix, topo, mapping, trace.duration(),
+                                 metrics::LinkCountMode::UsedLinks)
+                .utilization_percent;
+      }
+    }
+  }
+  return row;
+}
+
+ExperimentRow run_experiment(const workloads::CatalogEntry& entry,
+                             const RunOptions& options) {
+  const auto trace =
+      workloads::generator(entry.app).generate(entry, options.seed);
+  return analyze_trace(trace, entry, options);
+}
+
+std::vector<ExperimentRow> run_all(const RunOptions& options) {
+  std::vector<ExperimentRow> rows;
+  rows.reserve(workloads::catalog().size());
+  for (const auto& entry : workloads::catalog()) {
+    rows.push_back(run_experiment(entry, options));
+  }
+  return rows;
+}
+
+DimensionalityRow dimensionality_study(const trace::Trace& trace,
+                                       const std::string& label) {
+  const metrics::TrafficMatrix p2p_matrix =
+      metrics::TrafficMatrix::from_trace(trace, {.include_p2p = true,
+                                                 .include_collectives = false});
+  DimensionalityRow row;
+  row.label = label;
+  row.locality_percent_1d = metrics::dimensional_rank_locality_percent(p2p_matrix, 1);
+  row.locality_percent_2d = metrics::dimensional_rank_locality_percent(p2p_matrix, 2);
+  row.locality_percent_3d = metrics::dimensional_rank_locality_percent(p2p_matrix, 3);
+  return row;
+}
+
+MulticoreSeries multicore_study(const trace::Trace& trace,
+                                const std::string& label,
+                                const std::vector<int>& cores_per_node) {
+  if (cores_per_node.empty()) {
+    throw ConfigError("multicore_study: no cores-per-node values");
+  }
+  const metrics::TrafficMatrix matrix =
+      metrics::TrafficMatrix::from_trace(trace, {.include_p2p = true,
+                                                 .include_collectives = true});
+  const int n = trace.num_ranks();
+
+  auto inter_node_bytes = [&](int cores) -> double {
+    double bytes = 0.0;
+    for (Rank s = 0; s < n; ++s) {
+      for (Rank d = 0; d < n; ++d) {
+        if (s / cores != d / cores) {
+          bytes += static_cast<double>(matrix.bytes(s, d));
+        }
+      }
+    }
+    return bytes;
+  };
+
+  MulticoreSeries series;
+  series.label = label;
+  const double base = inter_node_bytes(1);
+  for (const int cores : cores_per_node) {
+    if (cores < 1) throw ConfigError("multicore_study: cores must be >= 1");
+    series.cores_per_node.push_back(cores);
+    series.relative_traffic.push_back(base > 0.0 ? inter_node_bytes(cores) / base
+                                                 : 0.0);
+  }
+  return series;
+}
+
+SummaryClaims summarize(const std::vector<ExperimentRow>& rows) {
+  SummaryClaims claims;
+  int cells = 0, cells_below = 0;
+  int p2p_configs = 0, selective_configs = 0;
+  double global_share_sum = 0.0;
+  int global_share_count = 0;
+  for (const auto& row : rows) {
+    for (const auto& topo : row.topologies) {
+      ++cells;
+      if (topo.utilization_percent < 1.0) ++cells_below;
+      if (topo.topology == "dragonfly") {
+        global_share_sum += topo.global_link_packet_share;
+        ++global_share_count;
+      }
+    }
+    if (row.has_p2p) {
+      ++p2p_configs;
+      if (row.selectivity_mean < 10.0) ++selective_configs;
+    }
+  }
+  if (cells > 0) {
+    claims.share_cells_below_1pct_utilization =
+        static_cast<double>(cells_below) / cells;
+  }
+  if (p2p_configs > 0) {
+    claims.share_configs_selectivity_below_10 =
+        static_cast<double>(selective_configs) / p2p_configs;
+  }
+  if (global_share_count > 0) {
+    claims.mean_dragonfly_global_share = global_share_sum / global_share_count;
+  }
+  return claims;
+}
+
+}  // namespace netloc::analysis

@@ -1,0 +1,53 @@
+#include "netloc/analysis/export.hpp"
+
+#include <cmath>
+
+#include "netloc/common/csv.hpp"
+
+namespace netloc::analysis {
+
+void write_heatmap_csv(const metrics::TrafficMatrix& matrix, std::ostream& out) {
+  CsvWriter csv(out);
+  const int n = matrix.num_ranks();
+  std::vector<std::string> header;
+  header.reserve(static_cast<std::size_t>(n) + 1);
+  header.emplace_back("src\\dst");
+  for (Rank d = 0; d < n; ++d) header.push_back(std::to_string(d));
+  csv.write_row(header);
+  for (Rank s = 0; s < n; ++s) {
+    std::vector<std::string> row;
+    row.reserve(static_cast<std::size_t>(n) + 1);
+    row.push_back(std::to_string(s));
+    for (Rank d = 0; d < n; ++d) {
+      row.push_back(std::to_string(matrix.bytes(s, d)));
+    }
+    csv.write_row(row);
+  }
+}
+
+void write_heatmap_pgm(const metrics::TrafficMatrix& matrix, std::ostream& out) {
+  const int n = matrix.num_ranks();
+  double max_log = 0.0;
+  for (Rank s = 0; s < n; ++s) {
+    for (Rank d = 0; d < n; ++d) {
+      const Bytes b = matrix.bytes(s, d);
+      if (b > 0) {
+        max_log = std::max(max_log, std::log1p(static_cast<double>(b)));
+      }
+    }
+  }
+  out << "P2\n" << n << ' ' << n << "\n255\n";
+  for (Rank s = 0; s < n; ++s) {
+    for (Rank d = 0; d < n; ++d) {
+      const Bytes b = matrix.bytes(s, d);
+      int pixel = 255;  // White: no traffic.
+      if (b > 0 && max_log > 0.0) {
+        const double intensity = std::log1p(static_cast<double>(b)) / max_log;
+        pixel = 255 - static_cast<int>(std::lround(230.0 * intensity + 25.0));
+      }
+      out << pixel << (d + 1 == n ? '\n' : ' ');
+    }
+  }
+}
+
+}  // namespace netloc::analysis

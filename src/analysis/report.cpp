@@ -1,0 +1,89 @@
+#include "netloc/analysis/report.hpp"
+
+#include <set>
+
+#include "netloc/common/format.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/workloads/catalog.hpp"
+
+namespace netloc::analysis {
+
+std::string render_table1(const std::vector<ExperimentRow>& rows) {
+  TextTable table({"Application", "Ranks", "Time [s]", "Vol. [MB]", "P2P [%]",
+                   "Coll. [%]", "Vol./t [MB/s]"});
+  for (const auto& row : rows) {
+    table.add_row({row.entry.label(), std::to_string(row.entry.ranks),
+                   fixed(row.stats.duration, 2), fixed(row.stats.volume_mb(), 1),
+                   fixed(row.stats.p2p_percent(), 2),
+                   fixed(row.stats.collective_percent(), 2),
+                   fixed(row.stats.throughput_mb_per_s(), 2)});
+  }
+  return table.render();
+}
+
+std::string render_table2() {
+  TextTable table({"Size", "Torus (x,y,z)", "Torus nodes", "FatTree (rad,st)",
+                   "FatTree nodes", "Dragonfly (a,h,p)", "Dragonfly nodes"});
+  std::set<int> sizes;
+  for (const auto& entry : workloads::catalog()) sizes.insert(entry.ranks);
+  for (const int size : sizes) {
+    const auto set = topology::topologies_for(size);
+    table.add_row({std::to_string(size), set.torus->config_string(),
+                   std::to_string(set.torus->num_nodes()),
+                   set.fat_tree->config_string(),
+                   std::to_string(set.fat_tree->num_nodes()),
+                   set.dragonfly->config_string(),
+                   std::to_string(set.dragonfly->num_nodes())});
+  }
+  return table.render();
+}
+
+std::string render_table3(const std::vector<ExperimentRow>& rows) {
+  TextTable table({"Workload", "Ranks", "Peers", "RankDist(90%)", "Select(90%)",
+                   "T:PacketHops", "T:hops", "T:Util[%]",
+                   "F:PacketHops", "F:hops", "F:Util[%]",
+                   "D:PacketHops", "D:hops", "D:Util[%]"});
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {
+        row.entry.label(),
+        std::to_string(row.entry.ranks),
+        row.has_p2p ? std::to_string(row.peers) : "N/A",
+        row.has_p2p ? fixed(row.rank_distance, 1) : "N/A",
+        row.has_p2p ? fixed(row.selectivity_mean, 1) : "N/A",
+    };
+    for (const auto& topo : row.topologies) {
+      cells.push_back(sci(static_cast<double>(topo.packet_hops)));
+      cells.push_back(fixed(topo.avg_hops, 2));
+      cells.push_back(adaptive_percent(topo.utilization_percent));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table.render();
+}
+
+std::string render_table4(const std::vector<DimensionalityRow>& rows) {
+  TextTable table({"Workload", "1D [%]", "2D [%]", "3D [%]"});
+  for (const auto& row : rows) {
+    table.add_row({row.label, fixed(row.locality_percent_1d, 0),
+                   fixed(row.locality_percent_2d, 0),
+                   fixed(row.locality_percent_3d, 0)});
+  }
+  return table.render();
+}
+
+std::string render_summary(const SummaryClaims& claims) {
+  std::string out;
+  out += "Aggregate claims:\n";
+  out += "  configurations with <1% utilization: " +
+         fixed(100.0 * claims.share_cells_below_1pct_utilization, 1) +
+         "% (paper: 93%)\n";
+  out += "  p2p configurations with selectivity <10: " +
+         fixed(100.0 * claims.share_configs_selectivity_below_10, 1) +
+         "% (paper: 89%)\n";
+  out += "  mean dragonfly global-link packet share: " +
+         fixed(100.0 * claims.mean_dragonfly_global_share, 1) +
+         "% (paper: ~95%)\n";
+  return out;
+}
+
+}  // namespace netloc::analysis

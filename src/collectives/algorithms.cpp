@@ -1,0 +1,271 @@
+#include "netloc/collectives/algorithms.hpp"
+
+#include <string>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::collectives {
+
+namespace {
+
+/// Smallest power of two >= n's bit width (number of binomial rounds).
+int rounds_for(int n) {
+  int rounds = 0;
+  while ((1 << rounds) < n) ++rounds;
+  return rounds;
+}
+
+/// Size of the binomial subtree rooted at relabeled node `v`, for the
+/// tree where round k connects parent p < 2^k to child p + 2^k. A node
+/// v that joined at round k (2^k = v's highest set bit) later relays to
+/// v + 2^j for every j > k, so its subtree is exactly the congruence
+/// class { u in [v, n) : u = v (mod 2^(k+1)) }.
+int subtree_size(int v, int n) {
+  if (v == 0) return n;
+  int high = 1;
+  while (high * 2 <= v) high *= 2;
+  const int step = 2 * high;
+  return (n - v + step - 1) / step;
+}
+
+void binomial_edges(int n, const std::function<void(int parent, int child)>& f) {
+  const int rounds = rounds_for(n);
+  for (int k = 0; k < rounds; ++k) {
+    const int stride = 1 << k;
+    for (int parent = 0; parent < stride; ++parent) {
+      const int child = parent + stride;
+      if (child < n) f(parent, child);
+    }
+  }
+}
+
+Rank relabel(int v, Rank root, int n) {
+  return static_cast<Rank>((v + root) % n);
+}
+
+void check_supported(Algorithm algorithm, CollectiveOp op) {
+  if (!supports(algorithm, op)) {
+    throw ConfigError(std::string("collective algorithm ") +
+                      std::string(to_string(algorithm)) +
+                      " has no schedule for " + std::string(to_string(op)));
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::FlatDirect:
+      return "flat";
+    case Algorithm::BinomialTree:
+      return "binomial_tree";
+    case Algorithm::Ring:
+      return "ring";
+    case Algorithm::RecursiveDoubling:
+      return "recursive_doubling";
+  }
+  return "?";
+}
+
+bool supports(Algorithm algorithm, CollectiveOp op) {
+  switch (algorithm) {
+    case Algorithm::FlatDirect:
+      return true;
+    case Algorithm::BinomialTree:
+      switch (op) {
+        case CollectiveOp::Bcast:
+        case CollectiveOp::Reduce:
+        case CollectiveOp::Gather:
+        case CollectiveOp::Scatter:
+        case CollectiveOp::Allreduce:
+        case CollectiveOp::Barrier:
+          return true;
+        default:
+          return false;
+      }
+    case Algorithm::Ring:
+      switch (op) {
+        case CollectiveOp::Bcast:
+        case CollectiveOp::Reduce:
+        case CollectiveOp::Allreduce:
+        case CollectiveOp::Allgather:
+        case CollectiveOp::ReduceScatter:
+          return true;
+        default:
+          return false;
+      }
+    case Algorithm::RecursiveDoubling:
+      switch (op) {
+        case CollectiveOp::Allreduce:
+        case CollectiveOp::Barrier:
+          return true;
+        default:
+          return false;
+      }
+  }
+  return false;
+}
+
+Bytes payload_from_flat_total(CollectiveOp op, int num_ranks, Bytes flat_total) {
+  if (num_ranks <= 1) return 0;
+  const auto n = static_cast<Bytes>(num_ranks);
+  switch (op) {
+    case CollectiveOp::Barrier:
+      return 0;
+    case CollectiveOp::Bcast:
+    case CollectiveOp::Scatter:
+    case CollectiveOp::Reduce:
+    case CollectiveOp::Gather:
+      return flat_total / (n - 1);
+    case CollectiveOp::Allreduce:
+    case CollectiveOp::ReduceScatter:
+    case CollectiveOp::Allgather:
+    case CollectiveOp::Alltoall:
+      return flat_total / (n * (n - 1));
+  }
+  return 0;
+}
+
+void for_each_message(Algorithm algorithm, CollectiveOp op, Rank root,
+                      int num_ranks, Bytes payload_bytes,
+                      const MessageVisitor& visitor) {
+  check_supported(algorithm, op);
+  const int n = num_ranks;
+  if (n <= 1) return;
+
+  if (algorithm == Algorithm::FlatDirect) {
+    // Delegate to the paper's pattern: flat total = payload per pair.
+    const Count pairs = pair_count(op, n);
+    const Bytes flat_total =
+        op == CollectiveOp::Barrier ? 0 : payload_bytes * pairs;
+    for_each_pair(op, root, n, flat_total,
+                  [&](Rank s, Rank d, Bytes b) { visitor(s, d, b, 1); });
+    return;
+  }
+
+  if (algorithm == Algorithm::BinomialTree) {
+    switch (op) {
+      case CollectiveOp::Bcast:
+        binomial_edges(n, [&](int parent, int child) {
+          visitor(relabel(parent, root, n), relabel(child, root, n),
+                  payload_bytes, 1);
+        });
+        return;
+      case CollectiveOp::Reduce:
+        binomial_edges(n, [&](int parent, int child) {
+          visitor(relabel(child, root, n), relabel(parent, root, n),
+                  payload_bytes, 1);
+        });
+        return;
+      case CollectiveOp::Gather:
+        // Concatenation: the edge from child carries its whole subtree.
+        binomial_edges(n, [&](int parent, int child) {
+          visitor(relabel(child, root, n), relabel(parent, root, n),
+                  payload_bytes * static_cast<Bytes>(subtree_size(child, n)), 1);
+        });
+        return;
+      case CollectiveOp::Scatter:
+        binomial_edges(n, [&](int parent, int child) {
+          visitor(relabel(parent, root, n), relabel(child, root, n),
+                  payload_bytes * static_cast<Bytes>(subtree_size(child, n)), 1);
+        });
+        return;
+      case CollectiveOp::Allreduce:
+        // Reduce to the root, then broadcast from it.
+        binomial_edges(n, [&](int parent, int child) {
+          visitor(relabel(child, root, n), relabel(parent, root, n),
+                  payload_bytes, 1);
+          visitor(relabel(parent, root, n), relabel(child, root, n),
+                  payload_bytes, 1);
+        });
+        return;
+      case CollectiveOp::Barrier:
+        binomial_edges(n, [&](int parent, int child) {
+          visitor(relabel(child, root, n), relabel(parent, root, n), 0, 1);
+          visitor(relabel(parent, root, n), relabel(child, root, n), 0, 1);
+        });
+        return;
+      default:
+        break;
+    }
+  }
+
+  if (algorithm == Algorithm::Ring) {
+    auto next = [n](Rank r) { return static_cast<Rank>((r + 1) % n); };
+    switch (op) {
+      case CollectiveOp::Bcast:
+        // Pipeline once around (root does not receive).
+        for (Rank r = root; next(r) != root; r = next(r)) {
+          visitor(r, next(r), payload_bytes, 1);
+        }
+        return;
+      case CollectiveOp::Reduce:
+        // Partial sums travel towards the root.
+        for (Rank r = next(root); r != root; r = next(r)) {
+          visitor(r, next(r), payload_bytes, 1);
+        }
+        return;
+      case CollectiveOp::Allgather:
+        // Every rank's block passes over every edge exactly once short
+        // of a full loop: n-1 messages of one block per edge.
+        for (Rank r = 0; r < n; ++r) {
+          visitor(r, next(r), payload_bytes, static_cast<Count>(n - 1));
+        }
+        return;
+      case CollectiveOp::ReduceScatter:
+        // n-1 rounds of payload/n chunks per edge.
+        for (Rank r = 0; r < n; ++r) {
+          visitor(r, next(r), payload_bytes / static_cast<Bytes>(n),
+                  static_cast<Count>(n - 1));
+        }
+        return;
+      case CollectiveOp::Allreduce:
+        // Reduce-scatter phase + allgather phase.
+        for (Rank r = 0; r < n; ++r) {
+          visitor(r, next(r), payload_bytes / static_cast<Bytes>(n),
+                  static_cast<Count>(2 * (n - 1)));
+        }
+        return;
+      default:
+        break;
+    }
+  }
+
+  if (algorithm == Algorithm::RecursiveDoubling) {
+    switch (op) {
+      case CollectiveOp::Allreduce:
+        // XOR exchanges; partners beyond n are clipped (standard
+        // non-power-of-two fallback loses those rounds' pairings).
+        for (int stride = 1; stride < n; stride *= 2) {
+          for (Rank r = 0; r < n; ++r) {
+            const Rank partner = static_cast<Rank>(r ^ stride);
+            if (partner < n && partner != r) {
+              visitor(r, partner, payload_bytes, 1);
+            }
+          }
+        }
+        return;
+      case CollectiveOp::Barrier:
+        // Dissemination barrier: rank -> rank + 2^k mod n.
+        for (int stride = 1; stride < n; stride *= 2) {
+          for (Rank r = 0; r < n; ++r) {
+            visitor(r, static_cast<Rank>((r + stride) % n), 0, 1);
+          }
+        }
+        return;
+      default:
+        break;
+    }
+  }
+  throw ConfigError("collective algorithm schedule fell through");  // Unreachable.
+}
+
+Bytes schedule_total_bytes(Algorithm algorithm, CollectiveOp op, Rank root,
+                           int num_ranks, Bytes payload_bytes) {
+  Bytes total = 0;
+  for_each_message(algorithm, op, root, num_ranks, payload_bytes,
+                   [&](Rank, Rank, Bytes b, Count c) { total += b * c; });
+  return total;
+}
+
+}  // namespace netloc::collectives

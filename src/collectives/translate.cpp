@@ -1,0 +1,44 @@
+#include "netloc/collectives/translate.hpp"
+
+namespace netloc::collectives {
+
+Count pair_count(CollectiveOp op, int num_ranks) {
+  if (num_ranks <= 1) return 0;
+  const auto n = static_cast<Count>(num_ranks);
+  switch (op) {
+    case CollectiveOp::Bcast:
+    case CollectiveOp::Scatter:
+    case CollectiveOp::Reduce:
+    case CollectiveOp::Gather:
+      return n - 1;
+    case CollectiveOp::Barrier:
+      return 2 * (n - 1);
+    case CollectiveOp::Allreduce:
+    case CollectiveOp::ReduceScatter:
+    case CollectiveOp::Allgather:
+    case CollectiveOp::Alltoall:
+      return n * (n - 1);
+  }
+  return 0;
+}
+
+bool is_rooted(CollectiveOp op) {
+  switch (op) {
+    case CollectiveOp::Bcast:
+    case CollectiveOp::Scatter:
+    case CollectiveOp::Reduce:
+    case CollectiveOp::Gather:
+      return true;
+    // The symmetric ops use `root` only as the hub of the flat pattern;
+    // their traffic shape is root-invariant up to relabeling.
+    case CollectiveOp::Barrier:
+    case CollectiveOp::Allreduce:
+    case CollectiveOp::ReduceScatter:
+    case CollectiveOp::Allgather:
+    case CollectiveOp::Alltoall:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace netloc::collectives

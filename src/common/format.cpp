@@ -1,0 +1,85 @@
+#include "netloc/common/format.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace netloc {
+
+std::string sci(double value) {
+  if (value == 0.0) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1E", value);
+  return buf;
+}
+
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string adaptive_percent(double fraction_as_percent) {
+  if (fraction_as_percent == 0.0) return "0";
+  if (std::abs(fraction_as_percent) >= 1e-3) {
+    return fixed(fraction_as_percent, 4);
+  }
+  return sci(fraction_as_percent);
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_rule = [&](std::ostringstream& out) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out << '+' << std::string(width[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+  auto emit_row = [&](std::ostringstream& out, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << "| ";
+      if (c == 0) {  // Left-align label column.
+        out << cell << std::string(width[c] - cell.size(), ' ');
+      } else {  // Right-align numeric columns.
+        out << std::string(width[c] - cell.size(), ' ') << cell;
+      }
+      out << ' ';
+    }
+    out << "|\n";
+  };
+
+  std::ostringstream out;
+  emit_rule(out);
+  emit_row(out, headers_);
+  emit_rule(out);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule(out);
+    } else {
+      emit_row(out, row);
+    }
+  }
+  emit_rule(out);
+  return out.str();
+}
+
+}  // namespace netloc

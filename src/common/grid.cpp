@@ -1,0 +1,87 @@
+#include "netloc/common/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc {
+
+namespace {
+
+// Recursive balanced factorization: choose the factor for the current
+// dimension as the divisor of n closest to n^(1/k) from above, then
+// recurse. This reproduces MPI_Dims_create-style splits for the counts
+// used in the paper (e.g. 216 -> 6x6x6, 168 -> 14x12 in 2-D).
+void factorize(std::int64_t n, int k, std::vector<std::int32_t>& out) {
+  if (k == 1) {
+    out.push_back(static_cast<std::int32_t>(n));
+    return;
+  }
+  const auto root = static_cast<std::int64_t>(
+      std::llround(std::ceil(std::pow(static_cast<double>(n), 1.0 / k))));
+  // Find the smallest divisor of n that is >= n^(1/k); fall back to n.
+  std::int64_t best = n;
+  for (std::int64_t d = root; d <= n; ++d) {
+    if (n % d == 0) {
+      best = d;
+      break;
+    }
+  }
+  out.push_back(static_cast<std::int32_t>(best));
+  factorize(n / best, k - 1, out);
+}
+
+}  // namespace
+
+GridDims balanced_dims(std::int64_t n, int k) {
+  if (n < 1) throw ConfigError("balanced_dims: n must be >= 1");
+  if (k < 1) throw ConfigError("balanced_dims: k must be >= 1");
+  GridDims dims;
+  dims.extent.reserve(static_cast<std::size_t>(k));
+  factorize(n, k, dims.extent);
+  std::sort(dims.extent.begin(), dims.extent.end(), std::greater<>());
+  return dims;
+}
+
+std::vector<std::int32_t> to_coords(std::int64_t linear, const GridDims& dims) {
+  std::vector<std::int32_t> coords(dims.extent.size());
+  // extent.back() is the fastest-varying dimension.
+  for (int d = dims.dimensions() - 1; d >= 0; --d) {
+    coords[static_cast<std::size_t>(d)] =
+        static_cast<std::int32_t>(linear % dims.extent[static_cast<std::size_t>(d)]);
+    linear /= dims.extent[static_cast<std::size_t>(d)];
+  }
+  return coords;
+}
+
+std::int64_t to_linear(const std::vector<std::int32_t>& coords, const GridDims& dims) {
+  std::int64_t linear = 0;
+  for (std::size_t d = 0; d < coords.size(); ++d) {
+    linear = linear * dims.extent[d] + coords[d];
+  }
+  return linear;
+}
+
+std::int64_t chebyshev_distance(std::int64_t a, std::int64_t b, const GridDims& dims) {
+  const auto ca = to_coords(a, dims);
+  const auto cb = to_coords(b, dims);
+  std::int64_t dist = 0;
+  for (std::size_t d = 0; d < ca.size(); ++d) {
+    dist = std::max<std::int64_t>(dist, std::llabs(ca[d] - cb[d]));
+  }
+  return dist;
+}
+
+std::int64_t manhattan_distance(std::int64_t a, std::int64_t b, const GridDims& dims) {
+  const auto ca = to_coords(a, dims);
+  const auto cb = to_coords(b, dims);
+  std::int64_t dist = 0;
+  for (std::size_t d = 0; d < ca.size(); ++d) {
+    dist += std::llabs(ca[d] - cb[d]);
+  }
+  return dist;
+}
+
+}  // namespace netloc

@@ -1,0 +1,106 @@
+#include "netloc/common/quantile.hpp"
+
+#include <algorithm>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc {
+
+namespace {
+
+double total_weight(const std::vector<WeightedSample>& samples) {
+  double total = 0.0;
+  for (const auto& s : samples) total += s.weight;
+  return total;
+}
+
+void check_fraction(double fraction) {
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    throw ConfigError("quantile: fraction must be in (0, 1]");
+  }
+}
+
+}  // namespace
+
+double weighted_quantile(std::vector<WeightedSample> samples, double fraction) {
+  check_fraction(fraction);
+  const double total = total_weight(samples);
+  if (samples.empty() || total <= 0.0) return 0.0;
+  std::sort(samples.begin(), samples.end(),
+            [](const WeightedSample& a, const WeightedSample& b) {
+              return a.value < b.value;
+            });
+  const double threshold = fraction * total;
+  double cum = 0.0;
+  for (const auto& s : samples) {
+    cum += s.weight;
+    if (cum >= threshold) return s.value;
+  }
+  return samples.back().value;  // Floating-point slack fallback.
+}
+
+double weighted_quantile_interpolated(std::vector<WeightedSample> samples,
+                                      double fraction) {
+  check_fraction(fraction);
+  const double total = total_weight(samples);
+  if (samples.empty() || total <= 0.0) return 0.0;
+  std::sort(samples.begin(), samples.end(),
+            [](const WeightedSample& a, const WeightedSample& b) {
+              return a.value < b.value;
+            });
+  // Merge equal values so interpolation happens between *distinct*
+  // points of the CDF: thousands of pairs sharing one distance must act
+  // as a single step, not as many hair-thin ones.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < samples.size();) {
+    std::size_t j = i;
+    double weight = 0.0;
+    while (j < samples.size() && samples[j].value == samples[i].value) {
+      weight += samples[j].weight;
+      ++j;
+    }
+    samples[out++] = {samples[i].value, weight};
+    i = j;
+  }
+  samples.resize(out);
+  const double threshold = fraction * total;
+  double cum = 0.0;
+  // No interpolation below the smallest observed value: a distribution
+  // concentrated entirely at distance 1 has quantile 1 (100% locality).
+  double prev_value = samples.front().value;
+  for (const auto& s : samples) {
+    if (s.weight <= 0.0) continue;
+    const double before = cum;
+    cum += s.weight;
+    if (cum >= threshold) {
+      // Fraction of this sample's weight needed to reach the threshold.
+      const double t = (threshold - before) / s.weight;
+      return prev_value + t * (s.value - prev_value);
+    }
+    prev_value = s.value;
+  }
+  return samples.back().value;
+}
+
+double coverage_count(std::vector<double> weights, double fraction) {
+  check_fraction(fraction);
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (weights.empty() || total <= 0.0) return 0.0;
+  std::sort(weights.begin(), weights.end(), std::greater<>());
+  const double threshold = fraction * total;
+  double cum = 0.0;
+  double count = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0) break;
+    if (cum + w >= threshold) {
+      count += (threshold - cum) / w;
+      return count;
+    }
+    cum += w;
+    count += 1.0;
+  }
+  return count;
+}
+
+}  // namespace netloc

@@ -1,0 +1,27 @@
+#include "netloc/energy/model.hpp"
+
+#include <algorithm>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::energy {
+
+EnergyEstimate estimate(double link_count, Seconds execution_time,
+                        double utilization_percent, const LinkPowerModel& model) {
+  if (link_count < 0.0) throw ConfigError("energy: negative link count");
+  if (execution_time < 0.0) throw ConfigError("energy: negative time");
+  if (utilization_percent < 0.0) {
+    throw ConfigError("energy: negative utilization");
+  }
+  EnergyEstimate result;
+  result.total_joules = link_count * model.watts_per_link * execution_time;
+  result.serdes_joules = result.total_joules * model.serdes_share;
+  result.logic_joules = result.total_joules * model.logic_share;
+  const double utilization = std::min(utilization_percent / 100.0, 1.0);
+  result.proportional_joules = result.total_joules * utilization;
+  result.wasted_fraction =
+      result.total_joules > 0.0 ? 1.0 - utilization : 0.0;
+  return result;
+}
+
+}  // namespace netloc::energy

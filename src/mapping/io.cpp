@@ -1,0 +1,76 @@
+#include "netloc/mapping/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::mapping {
+
+void write_rankfile(const Mapping& mapping, std::ostream& out) {
+  out << "# netloc rankfile: rank -> node placement\n";
+  out << "nodes " << mapping.num_nodes() << '\n';
+  for (Rank r = 0; r < mapping.num_ranks(); ++r) {
+    out << "rank " << r << '=' << mapping.node_of(r) << '\n';
+  }
+}
+
+Mapping read_rankfile(std::istream& in) {
+  int num_nodes = -1;
+  std::vector<NodeId> assign;
+  std::vector<bool> seen;
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto fail = [&](const std::string& why) -> Error {
+    return Error("rankfile line " + std::to_string(line_no) + ": " + why);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "nodes") {
+      if (!(ls >> num_nodes) || num_nodes < 1) throw fail("invalid node count");
+    } else if (keyword == "rank") {
+      if (num_nodes < 0) throw fail("rank entry before the nodes header");
+      std::string entry;
+      ls >> entry;
+      const auto eq = entry.find('=');
+      if (eq == std::string::npos) throw fail("expected rank <r>=<node>");
+      int rank = -1;
+      NodeId node = kInvalidNode;
+      try {
+        rank = std::stoi(entry.substr(0, eq));
+        node = std::stoi(entry.substr(eq + 1));
+      } catch (...) {
+        throw fail("unparseable rank entry '" + entry + "'");
+      }
+      if (rank < 0) throw fail("negative rank");
+      if (node < 0 || node >= num_nodes) throw fail("node out of range");
+      if (static_cast<std::size_t>(rank) >= assign.size()) {
+        assign.resize(static_cast<std::size_t>(rank) + 1, kInvalidNode);
+        seen.resize(assign.size(), false);
+      }
+      if (seen[static_cast<std::size_t>(rank)]) {
+        throw fail("duplicate rank " + std::to_string(rank));
+      }
+      seen[static_cast<std::size_t>(rank)] = true;
+      assign[static_cast<std::size_t>(rank)] = node;
+    } else {
+      throw fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (num_nodes < 0) throw Error("rankfile: missing nodes header");
+  if (assign.empty()) throw Error("rankfile: no rank entries");
+  for (std::size_t r = 0; r < assign.size(); ++r) {
+    if (!seen[r]) throw Error("rankfile: rank " + std::to_string(r) + " missing");
+  }
+  return Mapping(std::move(assign), num_nodes);
+}
+
+}  // namespace netloc::mapping

@@ -1,0 +1,78 @@
+#include "netloc/mapping/mapping.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "netloc/common/error.hpp"
+#include "netloc/common/prng.hpp"
+
+namespace netloc::mapping {
+
+Mapping::Mapping(std::vector<NodeId> rank_to_node, int num_nodes)
+    : rank_to_node_(std::move(rank_to_node)), num_nodes_(num_nodes) {
+  if (num_nodes_ < 1) throw ConfigError("Mapping: num_nodes must be >= 1");
+  if (rank_to_node_.empty()) throw ConfigError("Mapping: no ranks");
+  for (const NodeId node : rank_to_node_) {
+    if (node < 0 || node >= num_nodes_) {
+      throw ConfigError("Mapping: node " + std::to_string(node) +
+                        " out of range [0, " + std::to_string(num_nodes_) + ")");
+    }
+  }
+}
+
+int Mapping::max_ranks_per_node() const {
+  std::vector<int> count(static_cast<std::size_t>(num_nodes_), 0);
+  for (const NodeId node : rank_to_node_) ++count[static_cast<std::size_t>(node)];
+  return *std::max_element(count.begin(), count.end());
+}
+
+Mapping Mapping::linear(int num_ranks, int num_nodes) {
+  if (num_ranks > num_nodes) {
+    throw ConfigError("Mapping::linear: more ranks than nodes");
+  }
+  std::vector<NodeId> assign(static_cast<std::size_t>(num_ranks));
+  std::iota(assign.begin(), assign.end(), 0);
+  return Mapping(std::move(assign), num_nodes);
+}
+
+Mapping Mapping::blocked(int num_ranks, int num_nodes, int ranks_per_node) {
+  if (ranks_per_node < 1) {
+    throw ConfigError("Mapping::blocked: ranks_per_node must be >= 1");
+  }
+  const int needed = (num_ranks + ranks_per_node - 1) / ranks_per_node;
+  if (needed > num_nodes) {
+    throw ConfigError("Mapping::blocked: not enough nodes");
+  }
+  std::vector<NodeId> assign(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    assign[static_cast<std::size_t>(r)] = r / ranks_per_node;
+  }
+  return Mapping(std::move(assign), num_nodes);
+}
+
+Mapping Mapping::round_robin(int num_ranks, int num_nodes) {
+  std::vector<NodeId> assign(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    assign[static_cast<std::size_t>(r)] = r % num_nodes;
+  }
+  return Mapping(std::move(assign), num_nodes);
+}
+
+Mapping Mapping::random(int num_ranks, int num_nodes, std::uint64_t seed) {
+  if (num_ranks > num_nodes) {
+    throw ConfigError("Mapping::random: more ranks than nodes");
+  }
+  std::vector<NodeId> nodes(static_cast<std::size_t>(num_nodes));
+  std::iota(nodes.begin(), nodes.end(), 0);
+  Xoshiro256 rng(seed);
+  // Fisher-Yates over the prefix we need.
+  for (int i = 0; i < num_ranks; ++i) {
+    const auto j = static_cast<std::size_t>(
+        i + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(num_nodes - i))));
+    std::swap(nodes[static_cast<std::size_t>(i)], nodes[j]);
+  }
+  nodes.resize(static_cast<std::size_t>(num_ranks));
+  return Mapping(std::move(nodes), num_nodes);
+}
+
+}  // namespace netloc::mapping

@@ -1,0 +1,170 @@
+#include "netloc/mapping/optimizer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::mapping {
+
+namespace {
+
+/// Symmetric adjacency built from the directed demands: per rank, its
+/// partners with combined (both-direction) weights.
+struct AdjacencyList {
+  std::vector<std::vector<std::pair<Rank, double>>> partners;
+  std::vector<double> total_weight;
+
+  explicit AdjacencyList(std::span<const TrafficEdge> edges, int num_ranks) {
+    partners.resize(static_cast<std::size_t>(num_ranks));
+    total_weight.assign(static_cast<std::size_t>(num_ranks), 0.0);
+    // Accumulate symmetric weights through a temporary dense pass per
+    // source to merge parallel edges.
+    for (const auto& e : edges) {
+      if (e.src == e.dst || e.weight <= 0.0) continue;
+      partners[static_cast<std::size_t>(e.src)].emplace_back(e.dst, e.weight);
+      partners[static_cast<std::size_t>(e.dst)].emplace_back(e.src, e.weight);
+      total_weight[static_cast<std::size_t>(e.src)] += e.weight;
+      total_weight[static_cast<std::size_t>(e.dst)] += e.weight;
+    }
+    for (auto& list : partners) {
+      std::sort(list.begin(), list.end());
+      // Merge duplicates (a->b and b->a demands, repeated edges).
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < list.size();) {
+        std::size_t j = i;
+        double sum = 0.0;
+        while (j < list.size() && list[j].first == list[i].first) {
+          sum += list[j].second;
+          ++j;
+        }
+        list[out++] = {list[i].first, sum};
+        i = j;
+      }
+      list.resize(out);
+    }
+  }
+};
+
+}  // namespace
+
+double weighted_hop_cost(std::span<const TrafficEdge> edges,
+                         const topology::Topology& topo, const Mapping& mapping) {
+  double cost = 0.0;
+  for (const auto& e : edges) {
+    if (e.src == e.dst) continue;
+    cost += e.weight *
+            topo.hop_distance(mapping.node_of(e.src), mapping.node_of(e.dst));
+  }
+  return cost;
+}
+
+Mapping greedy_optimize(std::span<const TrafficEdge> edges, int num_ranks,
+                        const topology::Topology& topo,
+                        const GreedyOptions& options) {
+  if (num_ranks < 1) throw ConfigError("greedy_optimize: num_ranks must be >= 1");
+  if (topo.num_nodes() < num_ranks) {
+    throw ConfigError("greedy_optimize: topology smaller than rank count");
+  }
+  const AdjacencyList adj(edges, num_ranks);
+  const int num_nodes = topo.num_nodes();
+
+  std::vector<NodeId> assign(static_cast<std::size_t>(num_ranks), kInvalidNode);
+  std::vector<bool> node_used(static_cast<std::size_t>(num_nodes), false);
+  std::vector<bool> placed(static_cast<std::size_t>(num_ranks), false);
+  // Attachment of each unplaced rank to the placed set.
+  std::vector<double> attachment(static_cast<std::size_t>(num_ranks), 0.0);
+
+  auto place = [&](Rank rank, NodeId node) {
+    assign[static_cast<std::size_t>(rank)] = node;
+    node_used[static_cast<std::size_t>(node)] = true;
+    placed[static_cast<std::size_t>(rank)] = true;
+    for (const auto& [peer, weight] : adj.partners[static_cast<std::size_t>(rank)]) {
+      if (!placed[static_cast<std::size_t>(peer)]) {
+        attachment[static_cast<std::size_t>(peer)] += weight;
+      }
+    }
+  };
+
+  // Seed: the rank with the highest total traffic goes to node 0.
+  Rank seed = 0;
+  for (Rank r = 1; r < num_ranks; ++r) {
+    if (adj.total_weight[static_cast<std::size_t>(r)] >
+        adj.total_weight[static_cast<std::size_t>(seed)]) {
+      seed = r;
+    }
+  }
+  place(seed, 0);
+
+  for (int step = 1; step < num_ranks; ++step) {
+    // Next rank: strongest attachment to the placed set; ties towards
+    // the lower rank id to stay deterministic. Isolated ranks (no
+    // placed partners) are picked last, in id order.
+    Rank next = -1;
+    for (Rank r = 0; r < num_ranks; ++r) {
+      if (placed[static_cast<std::size_t>(r)]) continue;
+      if (next < 0 ||
+          attachment[static_cast<std::size_t>(r)] > attachment[static_cast<std::size_t>(next)]) {
+        next = r;
+      }
+    }
+
+    // Best free node: minimal weighted hop cost to placed partners.
+    NodeId best_node = kInvalidNode;
+    double best_cost = std::numeric_limits<double>::infinity();
+    int scanned = 0;
+    for (NodeId node = 0; node < num_nodes && scanned < options.max_candidates;
+         ++node) {
+      if (node_used[static_cast<std::size_t>(node)]) continue;
+      ++scanned;
+      double cost = 0.0;
+      for (const auto& [peer, weight] : adj.partners[static_cast<std::size_t>(next)]) {
+        if (!placed[static_cast<std::size_t>(peer)]) continue;
+        cost += weight * topo.hop_distance(node, assign[static_cast<std::size_t>(peer)]);
+        if (cost >= best_cost) break;
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_node = node;
+      }
+    }
+    place(next, best_node);
+  }
+
+  Mapping mapping(std::move(assign), num_nodes);
+
+  // Pairwise-swap refinement: try swapping every pair of placed ranks;
+  // keep improving swaps. Each round is O(R^2 * partners).
+  for (int round = 0; round < options.refinement_rounds; ++round) {
+    auto current = mapping.raw();
+    bool improved = false;
+    auto rank_cost = [&](Rank r, const std::vector<NodeId>& a) {
+      double cost = 0.0;
+      for (const auto& [peer, weight] : adj.partners[static_cast<std::size_t>(r)]) {
+        if (peer == r) continue;
+        cost += weight * topo.hop_distance(a[static_cast<std::size_t>(r)],
+                                           a[static_cast<std::size_t>(peer)]);
+      }
+      return cost;
+    };
+    for (Rank i = 0; i < num_ranks; ++i) {
+      for (Rank j = i + 1; j < num_ranks; ++j) {
+        const double before = rank_cost(i, current) + rank_cost(j, current);
+        std::swap(current[static_cast<std::size_t>(i)], current[static_cast<std::size_t>(j)]);
+        const double after = rank_cost(i, current) + rank_cost(j, current);
+        if (after + 1e-12 < before) {
+          improved = true;
+        } else {
+          std::swap(current[static_cast<std::size_t>(i)],
+                    current[static_cast<std::size_t>(j)]);
+        }
+      }
+    }
+    mapping = Mapping(std::move(current), num_nodes);
+    if (!improved) break;
+  }
+  return mapping;
+}
+
+}  // namespace netloc::mapping

@@ -1,0 +1,63 @@
+#include "netloc/mapping/torus_mappings.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::mapping {
+
+namespace {
+
+Mapping from_node_order(int num_ranks, const topology::Torus3D& torus,
+                        const std::vector<NodeId>& order) {
+  if (num_ranks > torus.num_nodes()) {
+    throw ConfigError("torus mapping: more ranks than nodes");
+  }
+  std::vector<NodeId> assign(order.begin(),
+                             order.begin() + static_cast<std::ptrdiff_t>(num_ranks));
+  return Mapping(std::move(assign), torus.num_nodes());
+}
+
+}  // namespace
+
+Mapping snake_torus(int num_ranks, const topology::Torus3D& torus) {
+  const auto [ex, ey, ez] = torus.extents();
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(torus.num_nodes()));
+  int row = 0;  // Global row counter: x alternates over the whole walk
+                // so the snake stays contiguous across plane boundaries.
+  for (int z = 0; z < ez; ++z) {
+    for (int yi = 0; yi < ey; ++yi, ++row) {
+      const int y = (z % 2 == 0) ? yi : ey - 1 - yi;
+      for (int xi = 0; xi < ex; ++xi) {
+        const int x = (row % 2 == 0) ? xi : ex - 1 - xi;
+        order.push_back(torus.node_at(x, y, z));
+      }
+    }
+  }
+  return from_node_order(num_ranks, torus, order);
+}
+
+Mapping subcube_torus(int num_ranks, const topology::Torus3D& torus, int block) {
+  if (block < 1) throw ConfigError("subcube_torus: block must be >= 1");
+  const auto [ex, ey, ez] = torus.extents();
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(torus.num_nodes()));
+  for (int bz = 0; bz < ez; bz += block) {
+    for (int by = 0; by < ey; by += block) {
+      for (int bx = 0; bx < ex; bx += block) {
+        for (int z = bz; z < std::min(bz + block, ez); ++z) {
+          for (int y = by; y < std::min(by + block, ey); ++y) {
+            for (int x = bx; x < std::min(bx + block, ex); ++x) {
+              order.push_back(torus.node_at(x, y, z));
+            }
+          }
+        }
+      }
+    }
+  }
+  return from_node_order(num_ranks, torus, order);
+}
+
+}  // namespace netloc::mapping

@@ -1,0 +1,37 @@
+#include "netloc/metrics/hops.hpp"
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::metrics {
+
+HopStats hop_stats(const TrafficMatrix& matrix, const topology::Topology& topo,
+                   const mapping::Mapping& mapping) {
+  if (mapping.num_ranks() < matrix.num_ranks()) {
+    throw ConfigError("hop_stats: mapping covers fewer ranks than the matrix");
+  }
+  if (mapping.num_nodes() > topo.num_nodes()) {
+    throw ConfigError("hop_stats: mapping targets more nodes than the topology has");
+  }
+  HopStats stats;
+  const int n = matrix.num_ranks();
+  for (Rank s = 0; s < n; ++s) {
+    const NodeId ns = mapping.node_of(s);
+    for (Rank d = 0; d < n; ++d) {
+      const Count packets = matrix.packets(s, d);
+      if (packets == 0) continue;
+      const NodeId nd = mapping.node_of(d);
+      stats.packets += packets;
+      if (ns != nd) {
+        stats.packet_hops +=
+            packets * static_cast<Count>(topo.hop_distance(ns, nd));
+      }
+    }
+  }
+  stats.avg_hops = stats.packets > 0
+                       ? static_cast<double>(stats.packet_hops) /
+                             static_cast<double>(stats.packets)
+                       : 0.0;
+  return stats;
+}
+
+}  // namespace netloc::metrics

@@ -1,0 +1,55 @@
+#include "netloc/metrics/locality.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "netloc/common/grid.hpp"
+#include "netloc/common/quantile.hpp"
+
+namespace netloc::metrics {
+
+namespace {
+
+double distance_quantile(const TrafficMatrix& matrix, int dims, double fraction) {
+  const int n = matrix.num_ranks();
+  const GridDims grid = dims > 1 ? balanced_dims(n, dims) : GridDims{{n}};
+  std::vector<WeightedSample> samples;
+  for (Rank s = 0; s < n; ++s) {
+    for (Rank d = 0; d < n; ++d) {
+      const Bytes b = matrix.bytes(s, d);
+      if (b == 0) continue;
+      const double dist =
+          dims > 1
+              ? static_cast<double>(chebyshev_distance(s, d, grid))
+              : static_cast<double>(std::abs(static_cast<long>(s) - static_cast<long>(d)));
+      samples.push_back({dist, static_cast<double>(b)});
+    }
+  }
+  return weighted_quantile_interpolated(std::move(samples), fraction);
+}
+
+}  // namespace
+
+double rank_distance(const TrafficMatrix& matrix, double fraction) {
+  return distance_quantile(matrix, 1, fraction);
+}
+
+double rank_locality_percent(const TrafficMatrix& matrix, double fraction) {
+  const double dist = rank_distance(matrix, fraction);
+  if (dist <= 0.0) return 0.0;
+  return std::min(100.0, 100.0 / dist);
+}
+
+double dimensional_rank_distance(const TrafficMatrix& matrix, int dims,
+                                 double fraction) {
+  return distance_quantile(matrix, dims, fraction);
+}
+
+double dimensional_rank_locality_percent(const TrafficMatrix& matrix, int dims,
+                                         double fraction) {
+  const double dist = dimensional_rank_distance(matrix, dims, fraction);
+  if (dist <= 0.0) return 0.0;
+  return std::min(100.0, 100.0 / dist);
+}
+
+}  // namespace netloc::metrics

@@ -1,0 +1,97 @@
+#include "netloc/metrics/selectivity.hpp"
+
+#include <algorithm>
+
+#include "netloc/common/error.hpp"
+#include "netloc/common/quantile.hpp"
+
+namespace netloc::metrics {
+
+namespace {
+
+std::vector<double> source_volumes(const TrafficMatrix& matrix, Rank src) {
+  std::vector<double> volumes;
+  for (Rank d = 0; d < matrix.num_ranks(); ++d) {
+    const Bytes b = matrix.bytes(src, d);
+    if (b > 0) volumes.push_back(static_cast<double>(b));
+  }
+  return volumes;
+}
+
+}  // namespace
+
+SelectivityStats selectivity(const TrafficMatrix& matrix, double fraction) {
+  SelectivityStats stats;
+  stats.per_rank.assign(static_cast<std::size_t>(matrix.num_ranks()), -1.0);
+  double sum = 0.0;
+  int active = 0;
+  for (Rank s = 0; s < matrix.num_ranks(); ++s) {
+    auto volumes = source_volumes(matrix, s);
+    if (volumes.empty()) continue;
+    const double count = coverage_count(std::move(volumes), fraction);
+    stats.per_rank[static_cast<std::size_t>(s)] = count;
+    sum += count;
+    stats.max = std::max(stats.max, count);
+    ++active;
+  }
+  stats.mean = active > 0 ? sum / active : 0.0;
+  return stats;
+}
+
+int peers(const TrafficMatrix& matrix) {
+  int peak = 0;
+  for (Rank s = 0; s < matrix.num_ranks(); ++s) {
+    int degree = 0;
+    for (Rank d = 0; d < matrix.num_ranks(); ++d) {
+      if (matrix.bytes(s, d) > 0) ++degree;
+    }
+    peak = std::max(peak, degree);
+  }
+  return peak;
+}
+
+std::vector<std::pair<Rank, Bytes>> partner_volumes(const TrafficMatrix& matrix,
+                                                    Rank src) {
+  if (src < 0 || src >= matrix.num_ranks()) {
+    throw ConfigError("partner_volumes: rank out of range");
+  }
+  std::vector<std::pair<Rank, Bytes>> partners;
+  for (Rank d = 0; d < matrix.num_ranks(); ++d) {
+    const Bytes b = matrix.bytes(src, d);
+    if (b > 0) partners.emplace_back(d, b);
+  }
+  std::sort(partners.begin(), partners.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return partners;
+}
+
+std::vector<double> mean_cumulative_share(const TrafficMatrix& matrix,
+                                          int max_partners) {
+  if (max_partners < 1) throw ConfigError("mean_cumulative_share: max_partners < 1");
+  std::vector<double> curve(static_cast<std::size_t>(max_partners), 0.0);
+  int active = 0;
+  for (Rank s = 0; s < matrix.num_ranks(); ++s) {
+    auto volumes = source_volumes(matrix, s);
+    if (volumes.empty()) continue;
+    ++active;
+    std::sort(volumes.begin(), volumes.end(), std::greater<>());
+    double total = 0.0;
+    for (double v : volumes) total += v;
+    double cum = 0.0;
+    for (int k = 0; k < max_partners; ++k) {
+      if (static_cast<std::size_t>(k) < volumes.size()) {
+        cum += volumes[static_cast<std::size_t>(k)];
+      }
+      curve[static_cast<std::size_t>(k)] += cum / total;
+    }
+  }
+  if (active > 0) {
+    for (double& v : curve) v /= active;
+  }
+  return curve;
+}
+
+}  // namespace netloc::metrics

@@ -1,0 +1,62 @@
+#include "netloc/metrics/temporal.hpp"
+
+#include <algorithm>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::metrics {
+
+TimeProfile time_profile(const trace::Trace& trace, int windows,
+                         const TrafficOptions& options) {
+  if (windows < 1) throw ConfigError("time_profile: windows must be >= 1");
+  TimeProfile profile;
+  const Seconds duration = trace.duration();
+  if (duration <= 0.0) {
+    profile.window_bytes.assign(static_cast<std::size_t>(windows), 0.0);
+    return profile;
+  }
+  profile.window_seconds = duration / windows;
+  profile.window_bytes.assign(static_cast<std::size_t>(windows), 0.0);
+
+  auto window_of = [&](Seconds t) {
+    const auto w = static_cast<int>(t / profile.window_seconds);
+    return static_cast<std::size_t>(std::clamp(w, 0, windows - 1));
+  };
+
+  if (options.include_p2p) {
+    for (const auto& e : trace.p2p()) {
+      profile.window_bytes[window_of(e.time)] += static_cast<double>(e.bytes);
+    }
+  }
+  if (options.include_collectives) {
+    for (const auto& e : trace.collectives()) {
+      profile.window_bytes[window_of(e.time)] += static_cast<double>(e.bytes);
+    }
+  }
+
+  int idle = 0;
+  for (const double b : profile.window_bytes) {
+    profile.total_bytes += b;
+    profile.peak_window_bytes = std::max(profile.peak_window_bytes, b);
+    if (b == 0.0) ++idle;
+  }
+  profile.mean_window_bytes = profile.total_bytes / windows;
+  profile.burstiness = profile.mean_window_bytes > 0.0
+                           ? profile.peak_window_bytes / profile.mean_window_bytes
+                           : 0.0;
+  profile.idle_window_fraction = static_cast<double>(idle) / windows;
+  return profile;
+}
+
+double peak_window_utilization_percent(const TimeProfile& profile,
+                                       double link_count,
+                                       double bandwidth_bytes_per_s) {
+  if (link_count <= 0.0 || bandwidth_bytes_per_s <= 0.0) {
+    throw ConfigError("peak_window_utilization: link count and bandwidth must be > 0");
+  }
+  if (profile.window_seconds <= 0.0) return 0.0;
+  return 100.0 * profile.peak_window_bytes /
+         (bandwidth_bytes_per_s * profile.window_seconds * link_count);
+}
+
+}  // namespace netloc::metrics

@@ -1,0 +1,97 @@
+#include "netloc/metrics/traffic_matrix.hpp"
+
+#include <map>
+#include <tuple>
+
+#include "netloc/collectives/translate.hpp"
+#include "netloc/common/error.hpp"
+#include "netloc/common/units.hpp"
+
+namespace netloc::metrics {
+
+TrafficMatrix::TrafficMatrix(int num_ranks) : n_(num_ranks) {
+  if (num_ranks < 1) throw ConfigError("TrafficMatrix: num_ranks must be >= 1");
+  const auto cells = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+  bytes_.assign(cells, 0);
+  packets_.assign(cells, 0);
+}
+
+void TrafficMatrix::add_message(Rank src, Rank dst, Bytes bytes) {
+  add_messages(src, dst, bytes, 1);
+}
+
+void TrafficMatrix::add_messages(Rank src, Rank dst, Bytes bytes, Count count) {
+  if (src < 0 || src >= n_ || dst < 0 || dst >= n_) {
+    throw ConfigError("TrafficMatrix: rank out of range");
+  }
+  if (src == dst || count == 0) return;
+  const auto i = index(src, dst);
+  bytes_[i] += bytes * count;
+  const Count packets = packets_for(bytes) * count;
+  packets_[i] += packets;
+  total_bytes_ += bytes * count;
+  total_packets_ += packets;
+}
+
+std::vector<mapping::TrafficEdge> TrafficMatrix::edges() const {
+  std::vector<mapping::TrafficEdge> result;
+  for (Rank s = 0; s < n_; ++s) {
+    for (Rank d = 0; d < n_; ++d) {
+      const Bytes b = bytes_[index(s, d)];
+      if (b > 0) {
+        result.push_back({s, d, static_cast<double>(b)});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Rank> TrafficMatrix::destinations_of(Rank src) const {
+  std::vector<Rank> result;
+  for (Rank d = 0; d < n_; ++d) {
+    if (bytes_[index(src, d)] > 0) result.push_back(d);
+  }
+  return result;
+}
+
+TrafficMatrix TrafficMatrix::from_trace(const trace::Trace& trace,
+                                        const TrafficOptions& options) {
+  TrafficMatrix matrix(trace.num_ranks());
+  if (options.include_p2p) {
+    for (const auto& e : trace.p2p()) {
+      matrix.add_message(e.src, e.dst, e.bytes);
+    }
+  }
+  if (options.include_collectives) {
+    // Group identical collectives so each distinct pattern is expanded
+    // once. Timing is irrelevant for the matrix.
+    std::map<std::tuple<trace::CollectiveOp, Rank, Bytes>, Count> groups;
+    for (const auto& e : trace.collectives()) {
+      ++groups[{e.op, e.root, e.bytes}];
+    }
+    for (const auto& [key, count] : groups) {
+      const auto [op, root, bytes] = key;
+      const Count repeat = count;
+      if (options.collective_algorithm == collectives::Algorithm::FlatDirect) {
+        // Flat path keeps the trace's byte totals exact (no payload
+        // round trip).
+        collectives::for_each_pair(
+            op, root, trace.num_ranks(), bytes,
+            [&](Rank src, Rank dst, Bytes message_bytes) {
+              matrix.add_messages(src, dst, message_bytes, repeat);
+            });
+      } else {
+        const Bytes payload =
+            collectives::payload_from_flat_total(op, trace.num_ranks(), bytes);
+        collectives::for_each_message(
+            options.collective_algorithm, op, root, trace.num_ranks(), payload,
+            [&](Rank src, Rank dst, Bytes message_bytes, Count messages) {
+              matrix.add_messages(src, dst, message_bytes, messages * repeat);
+            });
+      }
+    }
+  }
+  return matrix;
+}
+
+}  // namespace netloc::metrics

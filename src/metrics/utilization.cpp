@@ -1,0 +1,93 @@
+#include "netloc/metrics/utilization.hpp"
+
+#include <unordered_map>
+
+#include "netloc/common/error.hpp"
+#include "netloc/topology/configs.hpp"
+
+namespace netloc::metrics {
+
+namespace {
+
+/// Accumulate per-link byte loads and global-link packet counts by
+/// routing every non-zero matrix entry once.
+struct LinkAccounting {
+  std::unordered_map<LinkId, Bytes> load;
+  Count global_packets = 0;
+  Count total_packets = 0;
+
+  LinkAccounting(const TrafficMatrix& matrix, const topology::Topology& topo,
+                 const mapping::Mapping& mapping) {
+    const int n = matrix.num_ranks();
+    for (Rank s = 0; s < n; ++s) {
+      const NodeId ns = mapping.node_of(s);
+      for (Rank d = 0; d < n; ++d) {
+        const Bytes bytes = matrix.bytes(s, d);
+        const Count packets = matrix.packets(s, d);
+        if (bytes == 0 && packets == 0) continue;
+        total_packets += packets;
+        const NodeId nd = mapping.node_of(d);
+        if (ns == nd) continue;
+        bool crosses_global = false;
+        topo.route(ns, nd, [&](LinkId link) {
+          load[link] += bytes;
+          if (topo.link_is_global(link)) crosses_global = true;
+        });
+        if (crosses_global) global_packets += packets;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+UtilizationResult utilization(const TrafficMatrix& matrix,
+                              const topology::Topology& topo,
+                              const mapping::Mapping& mapping,
+                              Seconds execution_time, LinkCountMode mode,
+                              double bandwidth_bytes_per_s) {
+  if (execution_time <= 0.0) {
+    throw ConfigError("utilization: execution_time must be > 0");
+  }
+  if (bandwidth_bytes_per_s <= 0.0) {
+    throw ConfigError("utilization: bandwidth must be > 0");
+  }
+  UtilizationResult result;
+  result.volume = matrix.total_bytes();
+  if (mode == LinkCountMode::PaperFormula) {
+    result.link_count = topology::paper_link_count(topo, matrix.num_ranks());
+  } else {
+    const LinkAccounting accounting(matrix, topo, mapping);
+    result.link_count = static_cast<double>(accounting.load.size());
+  }
+  if (result.link_count <= 0.0) {
+    result.utilization_percent = 0.0;
+    return result;
+  }
+  result.utilization_percent =
+      100.0 * static_cast<double>(result.volume) /
+      (bandwidth_bytes_per_s * execution_time * result.link_count);
+  return result;
+}
+
+LinkLoadStats link_loads(const TrafficMatrix& matrix,
+                         const topology::Topology& topo,
+                         const mapping::Mapping& mapping) {
+  const LinkAccounting accounting(matrix, topo, mapping);
+  LinkLoadStats stats;
+  stats.used_links = static_cast<int>(accounting.load.size());
+  double sum = 0.0;
+  for (const auto& [link, bytes] : accounting.load) {
+    stats.max_link_bytes = std::max(stats.max_link_bytes, bytes);
+    sum += static_cast<double>(bytes);
+  }
+  stats.mean_link_bytes = stats.used_links > 0 ? sum / stats.used_links : 0.0;
+  stats.global_link_packet_share =
+      accounting.total_packets > 0
+          ? static_cast<double>(accounting.global_packets) /
+                static_cast<double>(accounting.total_packets)
+          : 0.0;
+  return stats;
+}
+
+}  // namespace netloc::metrics

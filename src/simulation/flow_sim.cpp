@@ -1,0 +1,270 @@
+#include "netloc/simulation/flow_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::simulation {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTimeEps = 1e-12;
+
+/// Internal per-flow state during the run.
+struct ActiveFlow {
+  std::size_t index;            ///< Into the submitted flow list.
+  std::vector<LinkId> route;    ///< Empty for intra-node flows.
+  double remaining;             ///< Bytes left.
+  double rate = 0.0;            ///< Current max-min rate (bytes/s).
+  bool shared = false;          ///< Ever rate-limited below full BW.
+};
+
+}  // namespace
+
+FlowSimulator::FlowSimulator(const topology::Topology& topo,
+                             const mapping::Mapping& mapping,
+                             const FlowSimOptions& options)
+    : topo_(topo), mapping_(mapping), options_(options) {
+  if (options.bandwidth_bytes_per_s <= 0.0) {
+    throw ConfigError("FlowSimulator: bandwidth must be > 0");
+  }
+  if (mapping.num_nodes() > topo.num_nodes()) {
+    throw ConfigError("FlowSimulator: mapping targets more nodes than the topology");
+  }
+}
+
+void FlowSimulator::add_flow(Rank src, Rank dst, Bytes bytes, Seconds start) {
+  if (src < 0 || src >= mapping_.num_ranks() || dst < 0 ||
+      dst >= mapping_.num_ranks()) {
+    throw ConfigError("FlowSimulator: rank out of range");
+  }
+  if (start < 0.0) throw ConfigError("FlowSimulator: negative start time");
+  flows_.push_back(Flow{src, dst, bytes, start});
+}
+
+void FlowSimulator::add_matrix(const metrics::TrafficMatrix& matrix,
+                               Seconds start) {
+  const int n = matrix.num_ranks();
+  if (n > mapping_.num_ranks()) {
+    throw ConfigError("FlowSimulator: matrix larger than the mapping");
+  }
+  for (Rank s = 0; s < n; ++s) {
+    for (Rank d = 0; d < n; ++d) {
+      const Bytes b = matrix.bytes(s, d);
+      if (b > 0) add_flow(s, d, b, start);
+    }
+  }
+}
+
+FlowSimReport FlowSimulator::run() {
+  if (ran_) throw ConfigError("FlowSimulator: run() may be called once");
+  ran_ = true;
+
+  FlowSimReport report;
+  report.flows.resize(flows_.size());
+
+  // Arrival order (stable for equal times to stay deterministic).
+  std::vector<std::size_t> arrival(flows_.size());
+  for (std::size_t i = 0; i < arrival.size(); ++i) arrival[i] = i;
+  std::stable_sort(arrival.begin(), arrival.end(), [&](std::size_t a, std::size_t b) {
+    return flows_[a].start < flows_[b].start;
+  });
+
+  std::vector<ActiveFlow> active;
+  std::unordered_map<LinkId, double> link_bytes;
+  std::unordered_map<LinkId, double> link_busy_seconds;
+
+  // Max-min fair allocation over the active flows (progressive
+  // filling). Rewrites every active flow's `rate`.
+  auto allocate = [&]() {
+    std::unordered_map<LinkId, double> capacity;
+    std::unordered_map<LinkId, int> unfrozen_on_link;
+    for (const auto& f : active) {
+      for (const LinkId l : f.route) {
+        capacity.emplace(l, options_.bandwidth_bytes_per_s);
+        ++unfrozen_on_link[l];
+      }
+    }
+    std::vector<bool> frozen(active.size(), false);
+    std::size_t remaining_flows = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (active[i].route.empty()) {
+        active[i].rate = kInf;  // Intra-node: no network constraint.
+        frozen[i] = true;
+      } else {
+        active[i].rate = 0.0;
+        ++remaining_flows;
+      }
+    }
+    double level = 0.0;  // Current fair-share water level.
+    while (remaining_flows > 0) {
+      // Bottleneck: the link whose residual capacity per unfrozen flow
+      // runs out first.
+      double increment = kInf;
+      for (const auto& [link, users] : unfrozen_on_link) {
+        if (users <= 0) continue;
+        increment = std::min(increment, capacity.at(link) / users);
+      }
+      level += increment;
+      // Freeze every flow that crosses a now-saturated link.
+      for (auto& [link, cap] : capacity) {
+        const int users = unfrozen_on_link[link];
+        if (users > 0) cap -= increment * users;
+      }
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (frozen[i]) continue;
+        bool saturated = false;
+        for (const LinkId l : active[i].route) {
+          if (capacity.at(l) <= options_.bandwidth_bytes_per_s * 1e-12) {
+            saturated = true;
+            break;
+          }
+        }
+        if (saturated) {
+          active[i].rate = level;
+          if (level < options_.bandwidth_bytes_per_s * (1.0 - 1e-9)) {
+            active[i].shared = true;
+          }
+          frozen[i] = true;
+          --remaining_flows;
+          for (const LinkId l : active[i].route) --unfrozen_on_link[l];
+        }
+      }
+    }
+  };
+
+  std::size_t next_arrival = 0;
+  Seconds now = 0.0;
+  if (!arrival.empty()) now = flows_[arrival[0]].start;
+
+  auto admit_arrivals = [&](Seconds time) {
+    bool admitted = false;
+    while (next_arrival < arrival.size() &&
+           flows_[arrival[next_arrival]].start <= time + kTimeEps) {
+      const std::size_t index = arrival[next_arrival++];
+      const Flow& flow = flows_[index];
+      if (flow.bytes == 0) {
+        report.flows[index] = {flow.start, 1.0};  // Instant completion.
+        continue;
+      }
+      ActiveFlow af;
+      af.index = index;
+      af.remaining = static_cast<double>(flow.bytes);
+      const NodeId a = mapping_.node_of(flow.src);
+      const NodeId b = mapping_.node_of(flow.dst);
+      if (a != b) {
+        topo_.route(a, b, [&](LinkId l) { af.route.push_back(l); });
+        for (const LinkId l : af.route) {
+          link_bytes[l] += static_cast<double>(flow.bytes);
+        }
+      }
+      active.push_back(std::move(af));
+      admitted = true;
+    }
+    return admitted;
+  };
+
+  admit_arrivals(now);
+  allocate();
+
+  while (!active.empty() || next_arrival < arrival.size()) {
+    if (active.empty()) {
+      // Idle gap: jump to the next arrival.
+      now = flows_[arrival[next_arrival]].start;
+      admit_arrivals(now);
+      allocate();
+      continue;
+    }
+    // Time until the earliest completion among active flows.
+    double dt_complete = kInf;
+    for (const auto& f : active) {
+      if (f.rate > 0.0 && f.rate < kInf) {
+        dt_complete = std::min(dt_complete, f.remaining / f.rate);
+      } else if (f.rate == kInf || f.remaining <= 0.0) {
+        dt_complete = 0.0;
+      }
+    }
+    // Time until the next arrival.
+    double dt_arrival = kInf;
+    if (next_arrival < arrival.size()) {
+      dt_arrival = flows_[arrival[next_arrival]].start - now;
+    }
+    const double dt = std::max(0.0, std::min(dt_complete, dt_arrival));
+
+    // Advance: drain bytes, account link busy time.
+    std::unordered_map<LinkId, bool> busy;
+    for (auto& f : active) {
+      if (f.rate == kInf) {
+        f.remaining = 0.0;
+      } else {
+        f.remaining -= f.rate * dt;
+      }
+      for (const LinkId l : f.route) busy[l] = true;
+    }
+    for (const auto& [link, is_busy] : busy) {
+      if (is_busy) link_busy_seconds[link] += dt;
+    }
+    now += dt;
+
+    // Retire completed flows.
+    bool changed = false;
+    for (std::size_t i = active.size(); i-- > 0;) {
+      auto& f = active[i];
+      if (f.remaining <= options_.bandwidth_bytes_per_s * kTimeEps) {
+        const Flow& flow = flows_[f.index];
+        const double ideal =
+            flow.bytes == 0 || f.route.empty()
+                ? 0.0
+                : static_cast<double>(flow.bytes) / options_.bandwidth_bytes_per_s;
+        FlowResult result;
+        result.finish = now;
+        result.slowdown =
+            ideal > 0.0 ? std::max(1.0, (now - flow.start) / ideal) : 1.0;
+        if (f.shared && result.slowdown < 1.0 + 1e-9) {
+          result.slowdown = 1.0 + 1e-9;  // Shared but drained in slack.
+        }
+        report.flows[f.index] = result;
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+      }
+    }
+    if (admit_arrivals(now)) changed = true;
+    if (changed) allocate();
+  }
+
+  // ---- Aggregates -------------------------------------------------------
+  report.makespan = now;
+  double slowdown_sum = 0.0;
+  int network_flows = 0, congested = 0;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const auto& r = report.flows[i];
+    if (flows_[i].bytes == 0) continue;
+    ++network_flows;
+    slowdown_sum += r.slowdown;
+    report.max_slowdown = std::max(report.max_slowdown, r.slowdown);
+    if (r.slowdown > 1.0 + 1e-10) ++congested;
+  }
+  if (network_flows > 0) {
+    report.mean_slowdown = slowdown_sum / network_flows;
+    report.congested_flow_share = static_cast<double>(congested) / network_flows;
+  }
+  report.used_links = static_cast<int>(link_bytes.size());
+  if (report.makespan > 0.0) {
+    double busy_sum = 0.0;
+    for (const auto& [link, bytes] : link_bytes) {
+      report.max_link_utilization_percent = std::max(
+          report.max_link_utilization_percent,
+          100.0 * bytes / (options_.bandwidth_bytes_per_s * report.makespan));
+      busy_sum += link_busy_seconds[link] / report.makespan;
+    }
+    if (report.used_links > 0) {
+      report.mean_link_busy_fraction = busy_sum / report.used_links;
+    }
+  }
+  return report;
+}
+
+}  // namespace netloc::simulation

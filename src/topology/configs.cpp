@@ -1,0 +1,118 @@
+#include "netloc/topology/configs.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::topology {
+
+namespace {
+
+// Exact Table 2 torus entries.
+const std::map<int, std::array<int, 3>> kTorusTable = {
+    {8, {2, 2, 2}},      {9, {3, 2, 2}},      {10, {3, 2, 2}},
+    {18, {3, 3, 2}},     {27, {3, 3, 3}},     {64, {4, 4, 4}},
+    {100, {5, 5, 4}},    {125, {5, 5, 5}},    {144, {6, 6, 4}},
+    {168, {7, 6, 4}},    {216, {6, 6, 6}},    {256, {8, 8, 4}},
+    {512, {8, 8, 8}},    {1000, {10, 10, 10}}, {1024, {16, 8, 8}},
+    {1152, {12, 12, 8}}, {1728, {12, 12, 12}},
+};
+
+}  // namespace
+
+std::array<int, 3> torus_dims_for(int ranks) {
+  if (ranks < 1) throw ConfigError("torus_dims_for: ranks must be >= 1");
+  if (auto it = kTorusTable.find(ranks); it != kTorusTable.end()) {
+    return it->second;
+  }
+  // Fallback: smallest x >= y >= z box with x*y*z >= ranks, preferring
+  // minimal capacity, then minimal imbalance (x - z).
+  std::array<int, 3> best = {ranks, 1, 1};
+  long best_product = static_cast<long>(ranks);
+  int best_imbalance = ranks - 1;
+  const int limit = static_cast<int>(std::ceil(std::cbrt(static_cast<double>(ranks)))) + 1;
+  for (int z = 1; z <= limit; ++z) {
+    for (int y = z; static_cast<long>(y) * y * z <= 4L * ranks; ++y) {
+      const int x = static_cast<int>((ranks + static_cast<long>(y) * z - 1) /
+                                     (static_cast<long>(y) * z));
+      if (x < y) continue;
+      const long product = static_cast<long>(x) * y * z;
+      const int imbalance = x - z;
+      if (product < best_product ||
+          (product == best_product && imbalance < best_imbalance)) {
+        best = {x, y, z};
+        best_product = product;
+        best_imbalance = imbalance;
+      }
+    }
+  }
+  return best;
+}
+
+int fat_tree_stages_for(int ranks) {
+  if (ranks < 1) throw ConfigError("fat_tree_stages_for: ranks must be >= 1");
+  if (ranks <= kFatTreeRadix) return 1;
+  const int half = kFatTreeRadix / 2;
+  int stages = 2;
+  long capacity = static_cast<long>(half) * half;
+  while (capacity < ranks) {
+    capacity *= half;
+    ++stages;
+  }
+  return stages;
+}
+
+std::array<int, 3> dragonfly_params_for(int ranks) {
+  if (ranks < 1) throw ConfigError("dragonfly_params_for: ranks must be >= 1");
+  // Balanced configuration a = 2h = 2p (Kim et al.): capacity
+  // (2p^2 + 1) * 2p^2 nodes; take the smallest sufficient p >= 2.
+  for (int p = 2;; ++p) {
+    const long groups = 2L * p * p + 1;
+    const long capacity = groups * 2L * p * p;
+    if (capacity >= ranks) return {2 * p, p, p};
+    if (groups > 1'000'000L) throw ConfigError("dragonfly_params_for: ranks too large");
+  }
+}
+
+TopologySet topologies_for(int ranks) {
+  const auto t = torus_dims_for(ranks);
+  const auto d = dragonfly_params_for(ranks);
+  TopologySet set;
+  set.torus = std::make_unique<Torus3D>(t[0], t[1], t[2]);
+  set.fat_tree = std::make_unique<FatTree>(kFatTreeRadix, fat_tree_stages_for(ranks));
+  set.dragonfly = std::make_unique<Dragonfly>(d[0], d[1], d[2]);
+  if (set.torus->num_nodes() < ranks || set.fat_tree->num_nodes() < ranks ||
+      set.dragonfly->num_nodes() < ranks) {
+    throw ConfigError("topologies_for: configuration smaller than rank count");
+  }
+  return set;
+}
+
+double paper_link_count(const Topology& topo, int ranks) {
+  if (ranks < 1) throw ConfigError("paper_link_count: ranks must be >= 1");
+  const std::string family = topo.name();
+  if (family == "torus3d") {
+    // One link per dimension per node, switch integrated into the NIC.
+    return 3.0 * ranks;
+  }
+  if (family == "fattree") {
+    // #nodes * #stages, only half the links for the last stage.
+    const auto& ft = static_cast<const FatTree&>(topo);
+    return ranks * (ft.stages() - 0.5);
+  }
+  if (family == "dragonfly") {
+    // Injection + per-node share of local and global channels. Local
+    // and global channels are counted per direction, which reproduces
+    // the paper's stated 3.5-3.8 links/node for a = 2h = 2p
+    // (1 + (a-1)/p + h/p = 4 - 1/p).
+    const auto& df = static_cast<const Dragonfly&>(topo);
+    const double a = df.routers_per_group();
+    const double h = df.global_links_per_router();
+    const double p = df.nodes_per_router();
+    return ranks * (1.0 + (a - 1.0) / p + h / p);
+  }
+  throw ConfigError("paper_link_count: unknown topology family " + family);
+}
+
+}  // namespace netloc::topology

@@ -1,0 +1,136 @@
+#include "netloc/topology/dragonfly.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::topology {
+
+Dragonfly::Dragonfly(int a, int h, int p) : a_(a), h_(h), p_(p) {
+  if (a < 1 || h < 1 || p < 1) {
+    throw ConfigError("Dragonfly: a, h, p must all be >= 1");
+  }
+  if ((a * h) % 2 != 0) {
+    throw ConfigError("Dragonfly: a*h must be even for palm-tree pairing");
+  }
+  num_groups_ = a * h + 1;
+  local_per_group_ = a * (a - 1) / 2;
+  local_base_ = num_groups_ * a_ * p_;  // After all injection links.
+  global_base_ = local_base_ + num_groups_ * local_per_group_;
+}
+
+std::string Dragonfly::config_string() const {
+  std::string s = "(";
+  s += std::to_string(a_);
+  s += ',';
+  s += std::to_string(h_);
+  s += ',';
+  s += std::to_string(p_);
+  s += ')';
+  return s;
+}
+
+int Dragonfly::num_links() const {
+  const int injection = num_groups_ * a_ * p_;
+  const int local = num_groups_ * local_per_group_;
+  const int global = num_groups_ * a_ * h_ / 2;
+  return injection + local + global;
+}
+
+LinkId Dragonfly::local_link(int group, int r1, int r2) const {
+  if (r1 > r2) std::swap(r1, r2);
+  // Index of the unordered pair (r1 < r2) in the triangular enumeration.
+  const int pair = r1 * a_ - r1 * (r1 + 1) / 2 + (r2 - r1 - 1);
+  return local_base_ + group * local_per_group_ + pair;
+}
+
+int Dragonfly::gateway_router(int src_group, int dst_group) const {
+  // Palm tree: offset o = (dst - src) mod g lies in [1, a*h]; global
+  // port index o-1 belongs to router (o-1)/h.
+  const int offset = (dst_group - src_group + num_groups_) % num_groups_;
+  return (offset - 1) / h_;
+}
+
+LinkId Dragonfly::global_link(int src_group, int dst_group) const {
+  // Canonicalize the physical link: the endpoint with the smaller
+  // offset names it. Offsets o and g-o denote the two directions of the
+  // same physical link; g odd means o != g-o always.
+  const int offset = (dst_group - src_group + num_groups_) % num_groups_;
+  const int reverse = num_groups_ - offset;
+  const int half = a_ * h_ / 2;
+  if (offset <= half) {
+    return global_base_ + src_group * half + (offset - 1);
+  }
+  return global_base_ + dst_group * half + (reverse - 1);
+}
+
+int Dragonfly::hop_distance(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  const int ga = group_of(a), gb = group_of(b);
+  const int ra = router_in_group(a), rb = router_in_group(b);
+  if (ga == gb) {
+    return ra == rb ? 2 : 3;  // inject [+ local] + eject
+  }
+  const int gw_src = gateway_router(ga, gb);
+  const int gw_dst = gateway_router(gb, ga);
+  return 2 + 1 + (ra != gw_src ? 1 : 0) + (rb != gw_dst ? 1 : 0);
+}
+
+void Dragonfly::route(NodeId a, NodeId b, const LinkVisitor& visit) const {
+  if (a == b) return;
+  const int ga = group_of(a), gb = group_of(b);
+  const int ra = router_in_group(a), rb = router_in_group(b);
+  visit(injection_link(a));
+  if (ga == gb) {
+    if (ra != rb) visit(local_link(ga, ra, rb));
+  } else {
+    const int gw_src = gateway_router(ga, gb);
+    const int gw_dst = gateway_router(gb, ga);
+    if (ra != gw_src) visit(local_link(ga, ra, gw_src));
+    visit(global_link(ga, gb));
+    if (rb != gw_dst) visit(local_link(gb, gw_dst, rb));
+  }
+  visit(injection_link(b));
+}
+
+int Dragonfly::valiant_hop_distance(NodeId a, NodeId b,
+                                    int intermediate_group) const {
+  if (intermediate_group < 0 || intermediate_group >= num_groups_) {
+    throw ConfigError("Dragonfly: intermediate group out of range");
+  }
+  if (a == b) return 0;
+  const int ga = group_of(a), gb = group_of(b);
+  const int gi = intermediate_group;
+  if (gi == ga || gi == gb || ga == gb) return hop_distance(a, b);
+
+  const int ra = router_in_group(a), rb = router_in_group(b);
+  // Leg 1: a's router -> gateway(ga, gi) -> land in gi.
+  const int gw_a = gateway_router(ga, gi);
+  const int land_1 = gateway_router(gi, ga);  // Where the link arrives.
+  // Leg 2: from land_1 -> gateway(gi, gb) -> land in gb -> b's router.
+  const int gw_i = gateway_router(gi, gb);
+  const int land_2 = gateway_router(gb, gi);
+  return 2                                 // inject + eject
+         + (ra != gw_a ? 1 : 0) + 1        // local? + global to gi
+         + (land_1 != gw_i ? 1 : 0) + 1    // local? + global to gb
+         + (land_2 != rb ? 1 : 0);         // local?
+}
+
+double Dragonfly::expected_valiant_hops(NodeId a, NodeId b) const {
+  if (a == b) return 0.0;
+  long total = 0;
+  for (int g = 0; g < num_groups_; ++g) {
+    total += valiant_hop_distance(a, b, g);
+  }
+  return static_cast<double>(total) / num_groups_;
+}
+
+int Dragonfly::diameter() const {
+  // inject + local + global + local + eject; degenerate cases (a == 1,
+  // single group) shrink it.
+  if (num_groups_ == 1) return a_ == 1 ? 2 : 3;
+  return a_ == 1 ? 3 : 5;
+}
+
+}  // namespace netloc::topology

@@ -1,0 +1,236 @@
+#include "netloc/trace/dumpi_ascii.hpp"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <optional>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::trace {
+
+namespace {
+
+/// One parsed "<name> entered ... / params ... / <name> returned" block.
+struct CallRecord {
+  std::string name;
+  double enter_walltime = 0.0;
+  std::map<std::string, long> ints;          // count=128, dest=3, ...
+  std::map<std::string, std::string> names;  // datatype -> "MPI_DOUBLE", ...
+};
+
+std::optional<double> parse_walltime(const std::string& line,
+                                     std::size_t marker_pos) {
+  // "... at walltime 11234.0001, cputime ..." — number after "walltime ".
+  const std::size_t start = marker_pos + std::string("walltime ").size();
+  std::size_t end = line.find(',', start);
+  if (end == std::string::npos) end = line.size();
+  try {
+    return std::stod(line.substr(start, end - start));
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+/// Parse a parameter line ("int count=128", "MPI_Datatype datatype=11
+/// (MPI_DOUBLE)"). Returns false for lines that are not parameters.
+bool parse_param(const std::string& line, CallRecord& record) {
+  const std::size_t eq = line.find('=');
+  if (eq == std::string::npos) return false;
+  // Key = last token before '='.
+  std::size_t key_end = eq;
+  std::size_t key_start = line.rfind(' ', eq);
+  key_start = key_start == std::string::npos ? 0 : key_start + 1;
+  const std::string key = line.substr(key_start, key_end - key_start);
+  if (key.empty()) return false;
+
+  // Numeric value directly after '='.
+  try {
+    record.ints[key] = std::stol(line.substr(eq + 1));
+  } catch (...) {
+    // Non-numeric values (e.g. "<IGNORED>") are fine to drop.
+  }
+  // Optional symbolic name in parentheses.
+  const std::size_t open = line.find('(', eq);
+  if (open != std::string::npos) {
+    const std::size_t close = line.find(')', open);
+    if (close != std::string::npos) {
+      record.names[key] = line.substr(open + 1, close - open - 1);
+    }
+  }
+  return true;
+}
+
+bool is_world_comm(const CallRecord& record) {
+  const auto it = record.names.find("comm");
+  if (it == record.names.end()) {
+    // No communicator parameter (or unnamed): dumpi names the world
+    // communicator explicitly, so treat absence as world.
+    return record.ints.find("comm") == record.ints.end() ||
+           record.ints.at("comm") == 2;  // dumpi's world id
+  }
+  return it->second == "MPI_COMM_WORLD";
+}
+
+Bytes datatype_size(const CallRecord& record, const std::string& key,
+                    const DumpiAsciiOptions& options) {
+  const auto it = record.names.find(key);
+  if (it == record.names.end()) return options.derived_datatype_size;
+  const Bytes size = builtin_datatype_size(it->second);
+  return size > 0 ? size : options.derived_datatype_size;
+}
+
+long int_param(const CallRecord& record, const std::string& key, long fallback) {
+  const auto it = record.ints.find(key);
+  return it == record.ints.end() ? fallback : it->second;
+}
+
+/// count*datatype with send-prefixed fallbacks ("sendcount"/"sendtype"
+/// take precedence over "count"/"datatype" when present).
+Bytes payload_bytes(const CallRecord& record, const DumpiAsciiOptions& options) {
+  if (record.ints.count("sendcount") > 0) {
+    return static_cast<Bytes>(int_param(record, "sendcount", 0)) *
+           datatype_size(record, "sendtype", options);
+  }
+  return static_cast<Bytes>(int_param(record, "count", 0)) *
+         datatype_size(record, "datatype", options);
+}
+
+}  // namespace
+
+Bytes builtin_datatype_size(const std::string& name) {
+  static const std::map<std::string, Bytes> sizes = {
+      {"MPI_CHAR", 1},           {"MPI_SIGNED_CHAR", 1},
+      {"MPI_UNSIGNED_CHAR", 1},  {"MPI_BYTE", 1},
+      {"MPI_PACKED", 1},         {"MPI_SHORT", 2},
+      {"MPI_UNSIGNED_SHORT", 2}, {"MPI_INT", 4},
+      {"MPI_UNSIGNED", 4},       {"MPI_FLOAT", 4},
+      {"MPI_LONG", 8},           {"MPI_UNSIGNED_LONG", 8},
+      {"MPI_LONG_LONG", 8},      {"MPI_LONG_LONG_INT", 8},
+      {"MPI_UNSIGNED_LONG_LONG", 8},
+      {"MPI_DOUBLE", 8},         {"MPI_LONG_DOUBLE", 16},
+      {"MPI_COMPLEX", 8},        {"MPI_DOUBLE_COMPLEX", 16},
+      {"MPI_INTEGER", 4},        {"MPI_REAL", 4},
+      {"MPI_DOUBLE_PRECISION", 8},
+      {"MPI_FLOAT_INT", 8},      {"MPI_DOUBLE_INT", 12},
+  };
+  const auto it = sizes.find(name);
+  return it == sizes.end() ? 0 : it->second;
+}
+
+std::size_t parse_dumpi_ascii_rank(std::istream& in, Rank rank, int num_ranks,
+                                   TraceBuilder& builder,
+                                   const DumpiAsciiOptions& options) {
+  if (num_ranks < 1) throw TraceFormatError("dumpi: num_ranks must be >= 1");
+  if (rank < 0 || rank >= num_ranks) {
+    throw TraceFormatError("dumpi: rank out of range");
+  }
+  const auto n = static_cast<Bytes>(num_ranks);
+
+  std::size_t calls = 0;
+  std::optional<double> base_walltime;
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto fail = [&](const std::string& why) -> TraceFormatError {
+    return TraceFormatError("dumpi line " + std::to_string(line_no) + ": " + why);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t entered = line.find(" entered at walltime ");
+    if (entered == std::string::npos) continue;
+
+    CallRecord record;
+    record.name = line.substr(0, entered);
+    if (record.name.rfind("MPI_", 0) != 0) continue;  // Not an MPI call line.
+    const auto wall = parse_walltime(line, line.find("walltime ", entered));
+    if (!wall) throw fail("unparseable walltime");
+    record.enter_walltime = *wall;
+    if (!base_walltime) base_walltime = record.enter_walltime;
+
+    // Consume parameter lines until the matching "returned" line.
+    bool returned = false;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const std::size_t ret = line.find(" returned at walltime ");
+      if (ret != std::string::npos) {
+        if (line.substr(0, ret) != record.name) {
+          throw fail("mismatched call: " + record.name + " vs " +
+                     line.substr(0, ret));
+        }
+        returned = true;
+        break;
+      }
+      parse_param(line, record);
+    }
+    if (!returned) throw fail("EOF inside call " + record.name);
+    ++calls;
+
+    const Seconds t = record.enter_walltime - *base_walltime;
+    if (t < 0.0) throw fail("walltime went backwards");
+
+    if (!is_world_comm(record)) {
+      if (options.reject_unknown_communicators) {
+        throw fail(record.name + " on a non-world communicator");
+      }
+      continue;  // Paper methodology: custom communicators excluded.
+    }
+
+    const std::string& op = record.name;
+    if (op == "MPI_Send" || op == "MPI_Isend" || op == "MPI_Ssend" ||
+        op == "MPI_Rsend" || op == "MPI_Bsend") {
+      const long dest = int_param(record, "dest", -1);
+      if (dest < 0 || dest >= num_ranks) {
+        throw fail(op + ": missing or invalid dest");
+      }
+      if (static_cast<Rank>(dest) != rank) {
+        builder.add_p2p(rank, static_cast<Rank>(dest), payload_bytes(record, options), t);
+      }
+    } else if (op == "MPI_Bcast" || op == "MPI_Reduce" || op == "MPI_Gather" ||
+               op == "MPI_Scatter") {
+      const long root = int_param(record, "root", 0);
+      if (root < 0 || root >= num_ranks) throw fail(op + ": invalid root");
+      if (static_cast<Rank>(root) != rank) continue;  // Count once, at the root.
+      const Bytes total = payload_bytes(record, options) * (n - 1);
+      const CollectiveOp coll = op == "MPI_Bcast"    ? CollectiveOp::Bcast
+                                : op == "MPI_Reduce" ? CollectiveOp::Reduce
+                                : op == "MPI_Gather" ? CollectiveOp::Gather
+                                                     : CollectiveOp::Scatter;
+      builder.add_collective(coll, static_cast<Rank>(root), total, t);
+    } else if (op == "MPI_Allreduce" || op == "MPI_Allgather" ||
+               op == "MPI_Alltoall" || op == "MPI_Reduce_scatter") {
+      if (rank != 0) continue;  // Count once, at rank 0.
+      const Bytes total = payload_bytes(record, options) * n * (n - 1);
+      const CollectiveOp coll = op == "MPI_Allreduce"   ? CollectiveOp::Allreduce
+                                : op == "MPI_Allgather" ? CollectiveOp::Allgather
+                                : op == "MPI_Alltoall"  ? CollectiveOp::Alltoall
+                                                        : CollectiveOp::ReduceScatter;
+      builder.add_collective(coll, 0, total, t);
+    } else if (op == "MPI_Barrier") {
+      if (rank != 0) continue;
+      builder.add_collective(CollectiveOp::Barrier, 0, 0, t);
+    }
+    // All other calls (receives, waits, administrative calls) carry no
+    // send-side volume and are intentionally ignored.
+  }
+  return calls;
+}
+
+Trace read_dumpi_ascii(const std::string& app_name,
+                       const std::vector<std::string>& rank_paths,
+                       const DumpiAsciiOptions& options) {
+  if (rank_paths.empty()) throw TraceFormatError("dumpi: no rank files");
+  const int num_ranks = static_cast<int>(rank_paths.size());
+  TraceBuilder builder(app_name, num_ranks);
+  for (int rank = 0; rank < num_ranks; ++rank) {
+    std::ifstream in(rank_paths[static_cast<std::size_t>(rank)]);
+    if (!in) {
+      throw Error("dumpi: cannot open " + rank_paths[static_cast<std::size_t>(rank)]);
+    }
+    parse_dumpi_ascii_rank(in, rank, num_ranks, builder, options);
+  }
+  return builder.build();
+}
+
+}  // namespace netloc::trace

@@ -1,0 +1,30 @@
+#include "netloc/trace/event.hpp"
+
+#include <array>
+#include <string>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::trace {
+
+namespace {
+
+constexpr std::array<std::string_view, kNumCollectiveOps> kOpNames = {
+    "barrier", "bcast",   "reduce",  "allreduce",      "gather",
+    "allgather", "scatter", "alltoall", "reduce_scatter",
+};
+
+}  // namespace
+
+std::string_view to_string(CollectiveOp op) {
+  return kOpNames[static_cast<std::size_t>(op)];
+}
+
+CollectiveOp collective_op_from_string(std::string_view name) {
+  for (std::size_t i = 0; i < kOpNames.size(); ++i) {
+    if (kOpNames[i] == name) return static_cast<CollectiveOp>(i);
+  }
+  throw TraceFormatError("unknown collective op name: " + std::string(name));
+}
+
+}  // namespace netloc::trace

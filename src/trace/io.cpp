@@ -1,0 +1,310 @@
+#include "netloc/trace/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'L', 'T', 'R'};
+
+/// FNV-1a over the serialized payload; cheap integrity check that is
+/// stable across platforms.
+class Fnv1a {
+ public:
+  void update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/// Little-endian primitive writer that maintains the running checksum.
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  template <typename T>
+  void put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    char buf[sizeof(T)];
+    std::memcpy(buf, &value, sizeof(T));
+    out_.write(buf, sizeof(T));
+    hash_.update(buf, sizeof(T));
+  }
+
+  void put_bytes(const char* data, std::size_t size) {
+    out_.write(data, static_cast<std::streamsize>(size));
+    hash_.update(data, size);
+  }
+
+  [[nodiscard]] std::uint64_t checksum() const { return hash_.value(); }
+
+ private:
+  std::ostream& out_;
+  Fnv1a hash_;
+};
+
+/// Validating little-endian reader with the matching checksum.
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  template <typename T>
+  T get(const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    char buf[sizeof(T)];
+    in_.read(buf, sizeof(T));
+    if (in_.gcount() != static_cast<std::streamsize>(sizeof(T))) {
+      throw TraceFormatError(std::string("truncated trace while reading ") + what);
+    }
+    hash_.update(buf, sizeof(T));
+    T value;
+    std::memcpy(&value, buf, sizeof(T));
+    return value;
+  }
+
+  void get_bytes(char* data, std::size_t size, const char* what) {
+    in_.read(data, static_cast<std::streamsize>(size));
+    if (in_.gcount() != static_cast<std::streamsize>(size)) {
+      throw TraceFormatError(std::string("truncated trace while reading ") + what);
+    }
+    hash_.update(data, size);
+  }
+
+  [[nodiscard]] std::uint64_t checksum() const { return hash_.value(); }
+
+ private:
+  std::istream& in_;
+  Fnv1a hash_;
+};
+
+void check_rank(Rank r, int num_ranks, const char* what) {
+  if (r < 0 || r >= num_ranks) {
+    throw TraceFormatError(std::string("trace ") + what + " rank " +
+                           std::to_string(r) + " out of range [0, " +
+                           std::to_string(num_ranks) + ")");
+  }
+}
+
+}  // namespace
+
+void write_binary(const Trace& trace, std::ostream& out) {
+  Writer w(out);
+  w.put_bytes(kMagic, sizeof(kMagic));
+  w.put<std::uint32_t>(kBinaryFormatVersion);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(trace.app_name().size()));
+  w.put_bytes(trace.app_name().data(), trace.app_name().size());
+  w.put<std::int32_t>(trace.num_ranks());
+  w.put<double>(trace.duration());
+
+  w.put<std::uint64_t>(trace.p2p().size());
+  for (const auto& e : trace.p2p()) {
+    w.put<std::int32_t>(e.src);
+    w.put<std::int32_t>(e.dst);
+    w.put<std::uint64_t>(e.bytes);
+    w.put<double>(e.time);
+  }
+  w.put<std::uint64_t>(trace.collectives().size());
+  for (const auto& e : trace.collectives()) {
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(e.op));
+    w.put<std::int32_t>(e.root);
+    w.put<std::uint64_t>(e.bytes);
+    w.put<double>(e.time);
+  }
+
+  // Checksum covers everything written above; it is appended raw (not
+  // folded into itself).
+  const std::uint64_t checksum = w.checksum();
+  char buf[sizeof(checksum)];
+  std::memcpy(buf, &checksum, sizeof(checksum));
+  out.write(buf, sizeof(checksum));
+  if (!out) throw Error("trace write failed (I/O error)");
+}
+
+Trace read_binary(std::istream& in) {
+  Reader r(in);
+  char magic[4];
+  r.get_bytes(magic, sizeof(magic), "magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw TraceFormatError("bad trace magic (not a dumpi-lite binary trace)");
+  }
+  const auto version = r.get<std::uint32_t>("version");
+  if (version != kBinaryFormatVersion) {
+    throw TraceFormatError("unsupported trace format version " +
+                           std::to_string(version));
+  }
+  const auto name_len = r.get<std::uint32_t>("app name length");
+  if (name_len > (1u << 20)) {
+    throw TraceFormatError("implausible app name length " + std::to_string(name_len));
+  }
+  std::string name(name_len, '\0');
+  if (name_len > 0) r.get_bytes(name.data(), name_len, "app name");
+  const auto num_ranks = r.get<std::int32_t>("rank count");
+  if (num_ranks < 1) {
+    throw TraceFormatError("trace rank count must be >= 1, got " +
+                           std::to_string(num_ranks));
+  }
+  const auto duration = r.get<double>("duration");
+  if (!(duration >= 0.0)) {
+    throw TraceFormatError("trace duration must be non-negative");
+  }
+
+  const auto p2p_count = r.get<std::uint64_t>("p2p event count");
+  std::vector<P2PEvent> p2p;
+  p2p.reserve(static_cast<std::size_t>(p2p_count));
+  for (std::uint64_t i = 0; i < p2p_count; ++i) {
+    P2PEvent e;
+    e.src = r.get<std::int32_t>("p2p src");
+    e.dst = r.get<std::int32_t>("p2p dst");
+    e.bytes = r.get<std::uint64_t>("p2p bytes");
+    e.time = r.get<double>("p2p time");
+    check_rank(e.src, num_ranks, "p2p source");
+    check_rank(e.dst, num_ranks, "p2p destination");
+    p2p.push_back(e);
+  }
+
+  const auto coll_count = r.get<std::uint64_t>("collective event count");
+  std::vector<CollectiveEvent> colls;
+  colls.reserve(static_cast<std::size_t>(coll_count));
+  for (std::uint64_t i = 0; i < coll_count; ++i) {
+    CollectiveEvent e;
+    const auto op = r.get<std::uint8_t>("collective op");
+    if (op >= kNumCollectiveOps) {
+      throw TraceFormatError("invalid collective op id " + std::to_string(op));
+    }
+    e.op = static_cast<CollectiveOp>(op);
+    e.root = r.get<std::int32_t>("collective root");
+    e.bytes = r.get<std::uint64_t>("collective bytes");
+    e.time = r.get<double>("collective time");
+    check_rank(e.root, num_ranks, "collective root");
+    colls.push_back(e);
+  }
+
+  const std::uint64_t expected = r.checksum();
+  char buf[sizeof(expected)];
+  in.read(buf, sizeof(buf));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(buf))) {
+    throw TraceFormatError("truncated trace while reading checksum");
+  }
+  std::uint64_t stored;
+  std::memcpy(&stored, buf, sizeof(stored));
+  if (stored != expected) {
+    throw TraceFormatError("trace checksum mismatch (corrupted file)");
+  }
+
+  return Trace(std::move(name), num_ranks, duration, std::move(p2p),
+               std::move(colls));
+}
+
+void write_text(const Trace& trace, std::ostream& out) {
+  out << "# dumpi-lite text trace v" << kBinaryFormatVersion << '\n';
+  out << "trace \"" << trace.app_name() << "\" ranks " << trace.num_ranks()
+      << " duration " << trace.duration() << '\n';
+  out.precision(std::numeric_limits<double>::max_digits10);
+  for (const auto& e : trace.p2p()) {
+    out << "p2p " << e.src << ' ' << e.dst << ' ' << e.bytes << ' ' << e.time
+        << '\n';
+  }
+  for (const auto& e : trace.collectives()) {
+    out << "coll " << to_string(e.op) << ' ' << e.root << ' ' << e.bytes << ' '
+        << e.time << '\n';
+  }
+  if (!out) throw Error("trace write failed (I/O error)");
+}
+
+Trace read_text(std::istream& in) {
+  std::string line;
+  bool have_header = false;
+  std::string name;
+  int num_ranks = 0;
+  double duration = 0.0;
+  std::vector<P2PEvent> p2p;
+  std::vector<CollectiveEvent> colls;
+
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    auto fail = [&](const std::string& why) -> TraceFormatError {
+      return TraceFormatError("text trace line " + std::to_string(line_no) +
+                              ": " + why);
+    };
+    if (kind == "trace") {
+      // trace "<name>" ranks <n> duration <t>
+      std::string rest;
+      std::getline(ls, rest);
+      const auto q1 = rest.find('"');
+      const auto q2 = rest.rfind('"');
+      if (q1 == std::string::npos || q2 == q1) throw fail("missing quoted app name");
+      name = rest.substr(q1 + 1, q2 - q1 - 1);
+      std::istringstream tail(rest.substr(q2 + 1));
+      std::string kw1, kw2;
+      if (!(tail >> kw1 >> num_ranks >> kw2 >> duration) || kw1 != "ranks" ||
+          kw2 != "duration" || num_ranks < 1 || duration < 0.0) {
+        throw fail("malformed trace header");
+      }
+      have_header = true;
+    } else if (kind == "p2p") {
+      if (!have_header) throw fail("p2p record before trace header");
+      P2PEvent e;
+      if (!(ls >> e.src >> e.dst >> e.bytes >> e.time)) {
+        throw fail("malformed p2p record");
+      }
+      check_rank(e.src, num_ranks, "p2p source");
+      check_rank(e.dst, num_ranks, "p2p destination");
+      p2p.push_back(e);
+    } else if (kind == "coll") {
+      if (!have_header) throw fail("coll record before trace header");
+      std::string op_name;
+      CollectiveEvent e;
+      if (!(ls >> op_name >> e.root >> e.bytes >> e.time)) {
+        throw fail("malformed coll record");
+      }
+      e.op = collective_op_from_string(op_name);
+      check_rank(e.root, num_ranks, "collective root");
+      colls.push_back(e);
+    } else {
+      throw fail("unknown record kind '" + kind + "'");
+    }
+  }
+  if (!have_header) throw TraceFormatError("text trace has no header line");
+  return Trace(std::move(name), num_ranks, duration, std::move(p2p),
+               std::move(colls));
+}
+
+void save(const Trace& trace, const std::string& path) {
+  const bool binary = path.size() >= 5 && path.ends_with(".nltr");
+  std::ofstream out(path, binary ? std::ios::binary : std::ios::out);
+  if (!out) throw Error("cannot open trace file for writing: " + path);
+  if (binary) {
+    write_binary(trace, out);
+  } else {
+    write_text(trace, out);
+  }
+}
+
+Trace load(const std::string& path) {
+  const bool binary = path.size() >= 5 && path.ends_with(".nltr");
+  std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
+  if (!in) throw Error("cannot open trace file for reading: " + path);
+  return binary ? read_binary(in) : read_text(in);
+}
+
+}  // namespace netloc::trace

@@ -1,0 +1,43 @@
+#include "netloc/trace/stats.hpp"
+
+#include "netloc/common/units.hpp"
+
+namespace netloc::trace {
+
+double TraceStats::p2p_percent() const {
+  const auto total = total_volume();
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(p2p_volume) / static_cast<double>(total);
+}
+
+double TraceStats::collective_percent() const {
+  const auto total = total_volume();
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(collective_volume) / static_cast<double>(total);
+}
+
+double TraceStats::throughput_mb_per_s() const {
+  if (duration <= 0.0) return 0.0;
+  return volume_mb() / duration;
+}
+
+double TraceStats::volume_mb() const {
+  return static_cast<double>(total_volume()) / kMB;
+}
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats stats;
+  stats.num_ranks = trace.num_ranks();
+  stats.duration = trace.duration();
+  for (const auto& e : trace.p2p()) {
+    stats.p2p_volume += e.bytes;
+    ++stats.p2p_messages;
+  }
+  for (const auto& e : trace.collectives()) {
+    stats.collective_volume += e.bytes;
+    ++stats.collective_calls;
+  }
+  return stats;
+}
+
+}  // namespace netloc::trace

@@ -1,0 +1,68 @@
+#include "netloc/trace/trace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::trace {
+
+Trace::Trace(std::string app_name, int num_ranks, Seconds duration,
+             std::vector<P2PEvent> p2p, std::vector<CollectiveEvent> collectives)
+    : app_name_(std::move(app_name)),
+      num_ranks_(num_ranks),
+      duration_(duration),
+      p2p_(std::move(p2p)),
+      collectives_(std::move(collectives)) {}
+
+TraceBuilder::TraceBuilder(std::string app_name, int num_ranks)
+    : app_name_(std::move(app_name)), num_ranks_(num_ranks) {
+  if (num_ranks < 1) throw ConfigError("TraceBuilder: num_ranks must be >= 1");
+}
+
+void TraceBuilder::check_rank(Rank r, const char* what) const {
+  if (r < 0 || r >= num_ranks_) {
+    throw ConfigError(std::string("TraceBuilder: ") + what + " rank " +
+                      std::to_string(r) + " out of range [0, " +
+                      std::to_string(num_ranks_) + ")");
+  }
+}
+
+TraceBuilder& TraceBuilder::add_p2p(Rank src, Rank dst, Bytes bytes, Seconds time) {
+  check_rank(src, "source");
+  check_rank(dst, "destination");
+  if (src == dst) throw ConfigError("TraceBuilder: p2p self-message");
+  if (time < 0.0) throw ConfigError("TraceBuilder: negative event time");
+  p2p_.push_back(P2PEvent{src, dst, bytes, time});
+  max_time_ = std::max(max_time_, time);
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::add_collective(CollectiveOp op, Rank root, Bytes bytes,
+                                           Seconds time) {
+  check_rank(root, "root");
+  if (time < 0.0) throw ConfigError("TraceBuilder: negative event time");
+  collectives_.push_back(CollectiveEvent{op, root, bytes, time});
+  max_time_ = std::max(max_time_, time);
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::set_duration(Seconds duration) {
+  if (duration <= 0.0) throw ConfigError("TraceBuilder: duration must be > 0");
+  duration_ = duration;
+  return *this;
+}
+
+Trace TraceBuilder::build() {
+  const Seconds duration = duration_ > 0.0 ? duration_ : max_time_;
+  Trace result(std::move(app_name_), num_ranks_, duration, std::move(p2p_),
+               std::move(collectives_));
+  app_name_.clear();
+  p2p_.clear();
+  collectives_.clear();
+  duration_ = -1.0;
+  max_time_ = 0.0;
+  return result;
+}
+
+}  // namespace netloc::trace

@@ -1,0 +1,95 @@
+#include "netloc/workloads/catalog.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::workloads {
+
+std::string CatalogEntry::label() const {
+  std::string l = app + "/" + std::to_string(ranks);
+  if (variant > 0) l += static_cast<char>('a' + variant);
+  return l;
+}
+
+const std::vector<CatalogEntry>& catalog() {
+  // Transcribed from Table 1. The AMG/216 execution time is derived
+  // from the table's own volume/throughput columns (136.9 MB at
+  // 461.5 MB/s) because the printed time is inconsistent with them.
+  static const std::vector<CatalogEntry> entries = {
+      {"AMG", 8, 0, 0.03, 3.0, 100.0, false},
+      {"AMG", 27, 0, 0.16, 13.6, 100.0, false},
+      {"AMG", 216, 0, 0.2966, 136.9, 100.0, false},
+      {"AMG", 1728, 0, 2.92, 1208.0, 100.0, false},
+      {"AMR_Miniapp", 64, 0, 12.93, 3106.0, 99.66, false},
+      {"AMR_Miniapp", 1728, 0, 42.69, 96969.0, 99.45, false},
+      {"BigFFT", 9, 0, 0.18, 299.2, 0.0, false},
+      {"BigFFT", 100, 0, 0.50, 3169.0, 0.0, false},
+      {"BigFFT", 1024, 0, 1.89, 32064.0, 0.0, false},
+      {"CNS", 64, 0, 572.19, 9292.0, 100.0, true},
+      {"CNS", 256, 0, 169.05, 15227.0, 100.0, true},
+      {"CNS", 256, 1, 150.92, 15227.0, 100.0, true},
+      {"CNS", 1024, 0, 67.54, 34131.0, 100.0, true},
+      {"BoxlibMG", 64, 0, 231.42, 23742.0, 99.94, false},
+      {"BoxlibMG", 256, 0, 62.01, 44535.0, 99.95, false},
+      {"BoxlibMG", 256, 1, 60.28, 44535.0, 99.95, false},
+      {"BoxlibMG", 1024, 0, 20.88, 75181.0, 99.94, false},
+      {"MOCFE", 64, 0, 0.38, 19.0, 5.01, true},
+      {"MOCFE", 256, 0, 1.10, 81.6, 5.51, true},
+      {"MOCFE", 1024, 0, 3.95, 686.2, 6.96, true},
+      {"Nekbone", 64, 0, 11.83, 5307.0, 100.0, true},
+      {"Nekbone", 256, 0, 3.17, 1272.0, 50.66, true},
+      {"Nekbone", 1024, 0, 5.15, 13232.0, 99.98, true},
+      {"CrystalRouter", 10, 0, 0.14, 133.8, 100.0, false},
+      {"CrystalRouter", 100, 0, 0.71, 3439.9, 100.0, false},
+      {"CrystalRouter", 1000, 0, 1.28, 115521.0, 100.0, false},
+      {"CMC_2D", 64, 0, 842.80, 16.0, 0.0, false},
+      {"CMC_2D", 256, 0, 208.44, 16.1, 0.0, false},
+      {"CMC_2D", 1024, 0, 58.85, 16.4, 0.0, false},
+      {"LULESH", 64, 0, 54.14, 3585.0, 100.0, false},
+      {"LULESH", 64, 1, 44.03, 3585.0, 100.0, false},
+      {"LULESH", 512, 0, 50.24, 33548.0, 100.0, false},
+      {"FillBoundary", 125, 0, 2.32, 10209.0, 100.0, false},
+      {"FillBoundary", 1000, 0, 5.26, 92323.0, 100.0, false},
+      {"MiniFE", 18, 0, 59.70, 1615.0, 100.0, false},
+      {"MiniFE", 144, 0, 61.06, 16586.0, 99.99, false},
+      {"MiniFE", 1152, 0, 84.75, 147264.0, 99.96, false},
+      {"MultiGrid_C", 125, 0, 0.77, 374.0, 100.0, false},
+      {"MultiGrid_C", 1000, 0, 3.57, 2973.0, 100.0, false},
+      {"PARTISN", 168, 0, 2.2e6, 42123.0, 99.96, true},
+      {"SNAP", 168, 0, 1.2e6, 128561.0, 100.0, true},
+  };
+  return entries;
+}
+
+std::vector<CatalogEntry> catalog_for(const std::string& app) {
+  std::vector<CatalogEntry> result;
+  for (const auto& e : catalog()) {
+    if (e.app == app) result.push_back(e);
+  }
+  std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.ranks, a.variant) < std::tie(b.ranks, b.variant);
+  });
+  return result;
+}
+
+const CatalogEntry& catalog_entry(const std::string& app, int ranks, int variant) {
+  for (const auto& e : catalog()) {
+    if (e.app == app && e.ranks == ranks && e.variant == variant) return e;
+  }
+  throw ConfigError("catalog_entry: no entry for " + app + "/" +
+                    std::to_string(ranks) + " variant " + std::to_string(variant));
+}
+
+std::vector<std::string> catalog_apps() {
+  std::vector<std::string> apps;
+  for (const auto& e : catalog()) {
+    if (std::find(apps.begin(), apps.end(), e.app) == apps.end()) {
+      apps.push_back(e.app);
+    }
+  }
+  return apps;
+}
+
+}  // namespace netloc::workloads

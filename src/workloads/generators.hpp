@@ -1,0 +1,27 @@
+// Internal: factory functions for the individual generators, consumed
+// by the registry. One translation unit per application.
+#pragma once
+
+#include <memory>
+
+#include "netloc/workloads/workload.hpp"
+
+namespace netloc::workloads::detail {
+
+std::unique_ptr<WorkloadGenerator> make_amg();
+std::unique_ptr<WorkloadGenerator> make_amr_miniapp();
+std::unique_ptr<WorkloadGenerator> make_bigfft();
+std::unique_ptr<WorkloadGenerator> make_cns();
+std::unique_ptr<WorkloadGenerator> make_boxlib_mg();
+std::unique_ptr<WorkloadGenerator> make_mocfe();
+std::unique_ptr<WorkloadGenerator> make_nekbone();
+std::unique_ptr<WorkloadGenerator> make_crystal_router();
+std::unique_ptr<WorkloadGenerator> make_cmc_2d();
+std::unique_ptr<WorkloadGenerator> make_lulesh();
+std::unique_ptr<WorkloadGenerator> make_fillboundary();
+std::unique_ptr<WorkloadGenerator> make_minife();
+std::unique_ptr<WorkloadGenerator> make_multigrid_c();
+std::unique_ptr<WorkloadGenerator> make_partisn();
+std::unique_ptr<WorkloadGenerator> make_snap();
+
+}  // namespace netloc::workloads::detail

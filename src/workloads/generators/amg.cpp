@@ -1,0 +1,62 @@
+// AMG: algebraic multigrid solver proxy (hypre BoomerAMG setup+solve).
+//
+// Communication geometry: a 27-point halo exchange on the 3-D domain
+// decomposition dominates (fine grid), with geometrically shrinking
+// halo exchanges at doubling strides for the coarser levels. The
+// coarse levels give AMG its wide partner set (peers >> 26 in Table 3)
+// while carrying little volume, so 3-D rank locality stays at 100%
+// (Table 4) and selectivity stays face-dominated.
+#include "netloc/common/grid.hpp"
+#include "netloc/workloads/stencil.hpp"
+#include "../generators.hpp"
+
+namespace netloc::workloads::detail {
+
+namespace {
+
+class AmgGenerator final : public WorkloadGenerator {
+ public:
+  [[nodiscard]] std::string name() const override { return "AMG"; }
+  [[nodiscard]] std::string description() const override {
+    return "3-D 27-point halo exchange with coarse multigrid levels at "
+           "doubling strides";
+  }
+
+  [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
+                                      std::uint64_t /*seed*/) const override {
+    const GridDims dims = balanced_dims(target.ranks, 3);
+    PatternBuilder builder(name(), target.ranks);
+
+    // Fine level: anisotropic faces (x-slabs are contiguous and
+    // heaviest), then each coarse level repeats the stencil at twice
+    // the stride with ~7% of the previous level's volume.
+    double level_scale = 1.0;
+    const int min_extent = dims.extent.back();
+    for (int stride = 1; stride < min_extent; stride *= 2) {
+      StencilWeights weights;
+      weights.face = 250.0 * level_scale;
+      weights.face_per_axis = {250.0 * level_scale, 100.0 * level_scale,
+                               100.0 * level_scale};
+      weights.edge = 5.0 * level_scale;
+      weights.corner = 1.0 * level_scale;
+      add_stencil(builder, dims, StencilScope::Full, weights, stride);
+      level_scale *= 0.07;
+    }
+
+    BuildParams params;
+    params.p2p_bytes = target.p2p_bytes();
+    params.collective_bytes = target.collective_bytes();
+    params.duration = target.time_s;
+    params.iterations = 25;
+    params.preferred_message_bytes = 2048;
+    return builder.build(params);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> make_amg() {
+  return std::make_unique<AmgGenerator>();
+}
+
+}  // namespace netloc::workloads::detail

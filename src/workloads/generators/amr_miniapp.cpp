@@ -1,0 +1,94 @@
+// AMR_Miniapp: adaptive mesh refinement proxy (miniAMR-like).
+//
+// Base 27-point halo exchange on the 3-D decomposition, overlaid with
+// refinement traffic: refined ranks exchange sizable volumes with a
+// handful of remote owners of neighbouring fine patches (the irregular
+// part that raises selectivity to ~8-13), and a few load-balancing hub
+// ranks touch a large, lightly-weighted partner set (driving the peers
+// column far above 26). A small allreduce budget models the regridding
+// consensus (Table 1: ~0.5% collective volume).
+#include <algorithm>
+
+#include "netloc/common/grid.hpp"
+#include "netloc/common/prng.hpp"
+#include "netloc/workloads/stencil.hpp"
+#include "../generators.hpp"
+#include "../random_partners.hpp"
+
+namespace netloc::workloads::detail {
+
+namespace {
+
+class AmrGenerator final : public WorkloadGenerator {
+ public:
+  [[nodiscard]] std::string name() const override { return "AMR_Miniapp"; }
+  [[nodiscard]] std::string description() const override {
+    return "3-D halo exchange plus irregular refinement and "
+           "load-balancing traffic";
+  }
+
+  [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
+                                      std::uint64_t seed) const override {
+    const int n = target.ranks;
+    const GridDims dims = balanced_dims(n, 3);
+    PatternBuilder builder(name(), n);
+    Xoshiro256 rng(seed ^ 0xA318'0001ULL);
+
+    StencilWeights base;
+    base.face_per_axis = {220.0, 120.0, 120.0};
+    base.edge = 8.0;
+    base.corner = 1.0;
+    add_stencil(builder, dims, StencilScope::Full, base);
+
+    // Refinement patches: every third rank owns refined boxes whose
+    // fine-level neighbours live on ~6 remote ranks within a third of
+    // the machine, with face-scale volumes.
+    for (Rank src = 0; src < n; src += 3) {
+      const int extras = 6 + static_cast<int>(rng.next_below(5));  // 6..10
+      for (int e = 0; e < extras; ++e) {
+        const auto window = static_cast<std::int64_t>(std::max(2, n / 5));
+        const auto offset = static_cast<std::int64_t>(rng.next_below(
+                                static_cast<std::uint64_t>(2 * window))) -
+                            window;
+        auto dst = static_cast<Rank>(
+            ((src + offset) % n + n) % n);
+        if (dst == src) dst = (dst + 1) % n;
+        const double weight = 90.0 + static_cast<double>(rng.next_below(80));
+        builder.p2p(src, dst, weight);
+        builder.p2p(dst, src, weight);
+      }
+    }
+
+    // Load-balancing hubs: ~1% of ranks redistribute blocks across a
+    // quarter of the machine with light messages.
+    const int hubs = std::max(1, n / 100);
+    for (int h = 0; h < hubs; ++h) {
+      const auto hub = static_cast<Rank>(rng.next_below(static_cast<std::uint64_t>(n)));
+      const int degree = std::max(8, n / 4);
+      for (int e = 0; e < degree; ++e) {
+        const auto dst = static_cast<Rank>(rng.next_below(static_cast<std::uint64_t>(n)));
+        if (dst == hub) continue;
+        builder.p2p(hub, dst, 0.4);
+        builder.p2p(dst, hub, 0.4);
+      }
+    }
+
+    builder.collective(trace::CollectiveOp::Allreduce, 0, 1.0, 500);
+
+    BuildParams params;
+    params.p2p_bytes = target.p2p_bytes();
+    params.collective_bytes = target.collective_bytes();
+    params.duration = target.time_s;
+    params.iterations = 30;
+    params.preferred_message_bytes = 4096;
+    return builder.build(params);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> make_amr_miniapp() {
+  return std::make_unique<AmrGenerator>();
+}
+
+}  // namespace netloc::workloads::detail

@@ -1,0 +1,42 @@
+// BigFFT (Medium): distributed 3-D FFT.
+//
+// The dominant communication is the transpose, an all-to-all over the
+// global communicator; the Sandia trace contains no point-to-point
+// traffic at all (Table 1: 100% collective; Table 3: peers "N/A").
+#include "netloc/workloads/pattern_builder.hpp"
+#include "../generators.hpp"
+
+namespace netloc::workloads::detail {
+
+namespace {
+
+class BigFftGenerator final : public WorkloadGenerator {
+ public:
+  [[nodiscard]] std::string name() const override { return "BigFFT"; }
+  [[nodiscard]] std::string description() const override {
+    return "all-to-all transpose phases of a distributed 3-D FFT";
+  }
+
+  [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
+                                      std::uint64_t /*seed*/) const override {
+    PatternBuilder builder(name(), target.ranks);
+    // Two transposes per FFT step (forward, inverse); relative weights
+    // are equal — the builder spreads volume over iterations anyway.
+    builder.collective(trace::CollectiveOp::Alltoall, 0, 1.0, 60);
+
+    BuildParams params;
+    params.p2p_bytes = target.p2p_bytes();  // 0 by catalog
+    params.collective_bytes = target.collective_bytes();
+    params.duration = target.time_s;
+    params.iterations = 16;
+    return builder.build(params);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> make_bigfft() {
+  return std::make_unique<BigFftGenerator>();
+}
+
+}  // namespace netloc::workloads::detail

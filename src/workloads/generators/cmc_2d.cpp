@@ -1,0 +1,44 @@
+// EXMATEX CMC_2D (Multinode): Monte-Carlo proxy whose traced
+// communication is purely collective synchronization — tiny allreduces
+// and broadcasts over a long execution (Table 1: ~16 MB over hundreds
+// of seconds, 100% collective; Table 3: peers "N/A").
+#include "netloc/workloads/pattern_builder.hpp"
+#include "../generators.hpp"
+
+namespace netloc::workloads::detail {
+
+namespace {
+
+class Cmc2dGenerator final : public WorkloadGenerator {
+ public:
+  [[nodiscard]] std::string name() const override { return "CMC_2D"; }
+  [[nodiscard]] std::string description() const override {
+    return "sparse collective synchronization (small allreduces and "
+           "bcasts)";
+  }
+
+  [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
+                                      std::uint64_t /*seed*/) const override {
+    PatternBuilder builder(name(), target.ranks);
+    // Rooted patterns only (tally reductions and parameter
+    // broadcasts): Table 3's CMC packet counts match ~4k calls of
+    // (n-1)-message stars, not all-pairs operations.
+    builder.collective(trace::CollectiveOp::Reduce, 0, 3.0, 2500);
+    builder.collective(trace::CollectiveOp::Bcast, 0, 1.0, 1500);
+
+    BuildParams params;
+    params.p2p_bytes = target.p2p_bytes();  // 0 by catalog
+    params.collective_bytes = target.collective_bytes();
+    params.duration = target.time_s;
+    params.iterations = 200;
+    return builder.build(params);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> make_cmc_2d() {
+  return std::make_unique<Cmc2dGenerator>();
+}
+
+}  // namespace netloc::workloads::detail

@@ -1,0 +1,54 @@
+// Crystal Router: the staged all-to-all personalization kernel of
+// Nek5000 (recursive doubling over a hypercube).
+//
+// Each rank exchanges with partners at power-of-two offsets
+// (rank XOR 2^k); later stages forward accumulated payloads, so volume
+// grows mildly with the stride (factor ~1.1 per stage reproduces the
+// Table 3 rank distances, e.g. 334 at 1000 ranks). Partner counts stay
+// logarithmic: peers 4/8/11 at 10/100/1000 ranks.
+#include "netloc/workloads/pattern_builder.hpp"
+#include "../generators.hpp"
+
+namespace netloc::workloads::detail {
+
+namespace {
+
+class CrystalRouterGenerator final : public WorkloadGenerator {
+ public:
+  [[nodiscard]] std::string name() const override { return "CrystalRouter"; }
+  [[nodiscard]] std::string description() const override {
+    return "recursive-doubling hypercube exchange (rank XOR 2^k)";
+  }
+
+  [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
+                                      std::uint64_t /*seed*/) const override {
+    const int n = target.ranks;
+    PatternBuilder builder(name(), n);
+
+    double stage_weight = 1.0;
+    for (int stride = 1; stride < n; stride *= 2) {
+      for (Rank src = 0; src < n; ++src) {
+        const Rank dst = src ^ stride;
+        if (dst >= n) continue;  // Clipped stage for non-powers of two.
+        builder.p2p(src, dst, stage_weight);
+      }
+      stage_weight *= 1.1;
+    }
+
+    BuildParams params;
+    params.p2p_bytes = target.p2p_bytes();
+    params.collective_bytes = target.collective_bytes();
+    params.duration = target.time_s;
+    params.iterations = 20;
+    params.preferred_message_bytes = 32 * 1024;
+    return builder.build(params);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> make_crystal_router() {
+  return std::make_unique<CrystalRouterGenerator>();
+}
+
+}  // namespace netloc::workloads::detail

@@ -1,0 +1,52 @@
+// FillBoundary: the BoxLib ghost-cell exchange benchmark in isolation
+// (125 = 5^3 and 1000 = 10^3 ranks).
+//
+// A pure 27-point halo exchange — peers is exactly 26 for interior
+// ranks at both scales (Table 3) and all volume is p2p.
+#include "netloc/common/grid.hpp"
+#include "netloc/workloads/stencil.hpp"
+#include "../generators.hpp"
+
+namespace netloc::workloads::detail {
+
+namespace {
+
+class FillBoundaryGenerator final : public WorkloadGenerator {
+ public:
+  [[nodiscard]] std::string name() const override { return "FillBoundary"; }
+  [[nodiscard]] std::string description() const override {
+    return "isolated BoxLib ghost-cell (27-point halo) exchange";
+  }
+
+  [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
+                                      std::uint64_t /*seed*/) const override {
+    const GridDims dims = balanced_dims(target.ranks, 3);
+    PatternBuilder builder(name(), target.ranks);
+
+    StencilWeights weights;
+    weights.face_per_axis = {420.0, 140.0, 45.0};
+    weights.edge = 6.0;
+    weights.corner = 1.0;
+    add_stencil(builder, dims, StencilScope::Full, weights);
+
+    // Per-step timing/consistency reductions (zero volume, per Table 1,
+    // but packet-dominant once flat-translated).
+    builder.collective(trace::CollectiveOp::Allreduce, 0, 1.0, 900);
+
+    BuildParams params;
+    params.p2p_bytes = target.p2p_bytes();
+    params.collective_bytes = target.collective_bytes();
+    params.duration = target.time_s;
+    params.iterations = 25;
+    params.preferred_message_bytes = 16 * 1024;
+    return builder.build(params);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> make_fillboundary() {
+  return std::make_unique<FillBoundaryGenerator>();
+}
+
+}  // namespace netloc::workloads::detail

@@ -1,0 +1,61 @@
+// EXMATEX LULESH: Lagrangian shock hydrodynamics on a cubic 3-D
+// decomposition (64 = 4^3, 512 = 8^3 ranks).
+//
+// The canonical 27-point halo exchange: 6 face neighbours exchange
+// 2-D slabs, 12 edge neighbours exchange pencils, 8 corner neighbours
+// exchange single elements, giving the strongly face-dominated
+// selectivity of ~4.5 and 100% 3-D rank locality (Tables 3-4). The
+// paper's Fig. 1 plots exactly this distribution for rank 0.
+#include "netloc/common/grid.hpp"
+#include "netloc/workloads/stencil.hpp"
+#include "../generators.hpp"
+
+namespace netloc::workloads::detail {
+
+namespace {
+
+class LuleshGenerator final : public WorkloadGenerator {
+ public:
+  [[nodiscard]] std::string name() const override { return "LULESH"; }
+  [[nodiscard]] std::string description() const override {
+    return "27-point halo exchange on a cubic decomposition "
+           "(faces >> edges >> corners)";
+  }
+
+  [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
+                                      std::uint64_t /*seed*/) const override {
+    const GridDims dims = balanced_dims(target.ranks, 3);
+    PatternBuilder builder(name(), target.ranks);
+
+    StencilWeights weights;
+    // Slab sizes differ per direction in the actual data layout; the
+    // anisotropy reproduces the 90% set of ~4.5 faces.
+    weights.face_per_axis = {2000.0, 900.0, 250.0};
+    weights.edge = 30.0;
+    weights.corner = 1.0;
+    add_stencil(builder, dims, StencilScope::Full, weights);
+
+    // dt-constraint allreduce every timestep: ~0% of the volume but the
+    // dominant packet source once flat-translated (n(n-1) messages per
+    // call) — this is what pushes the paper's torus hop average of a
+    // perfectly local app towards the uniform-traffic mean (5.80 at 512
+    // ranks).
+    builder.collective(trace::CollectiveOp::Allreduce, 0, 1.0, 1200);
+
+    BuildParams params;
+    params.p2p_bytes = target.p2p_bytes();
+    params.collective_bytes = target.collective_bytes();
+    params.duration = target.time_s;
+    params.iterations = 40;
+    params.preferred_message_bytes = 8 * 1024;
+    return builder.build(params);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> make_lulesh() {
+  return std::make_unique<LuleshGenerator>();
+}
+
+}  // namespace netloc::workloads::detail

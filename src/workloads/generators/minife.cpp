@@ -1,0 +1,50 @@
+// MiniFE: implicit finite-element proxy (Mantevo).
+//
+// Halo exchange of shared FE nodes with all grid neighbours (face,
+// edge, corner classes) plus dot-product allreduces from the CG solve
+// (a trace fraction of a percent of volume, per Table 1).
+#include "netloc/common/grid.hpp"
+#include "netloc/workloads/stencil.hpp"
+#include "../generators.hpp"
+
+namespace netloc::workloads::detail {
+
+namespace {
+
+class MiniFeGenerator final : public WorkloadGenerator {
+ public:
+  [[nodiscard]] std::string name() const override { return "MiniFE"; }
+  [[nodiscard]] std::string description() const override {
+    return "finite-element halo exchange with CG allreduces";
+  }
+
+  [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
+                                      std::uint64_t /*seed*/) const override {
+    const GridDims dims = balanced_dims(target.ranks, 3);
+    PatternBuilder builder(name(), target.ranks);
+
+    StencilWeights weights;
+    weights.face_per_axis = {500.0, 200.0, 80.0};
+    weights.edge = 10.0;
+    weights.corner = 1.0;
+    add_stencil(builder, dims, StencilScope::Full, weights);
+
+    builder.collective(trace::CollectiveOp::Allreduce, 0, 1.0, 900);
+
+    BuildParams params;
+    params.p2p_bytes = target.p2p_bytes();
+    params.collective_bytes = target.collective_bytes();
+    params.duration = target.time_s;
+    params.iterations = 40;
+    params.preferred_message_bytes = 8 * 1024;
+    return builder.build(params);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> make_minife() {
+  return std::make_unique<MiniFeGenerator>();
+}
+
+}  // namespace netloc::workloads::detail

@@ -1,0 +1,70 @@
+// MultiGrid_C: standalone geometric multigrid benchmark (125 = 5^3 and
+// 1000 = 10^3 ranks).
+//
+// Like Boxlib MultiGrid the peer set stays a constant 27-point
+// neighbourhood across scales (Table 3: peers 22); V-cycle volumes are
+// folded onto the same neighbours with face-dominated weights.
+//
+// Unlike the other stencil apps, the paper classifies MultiGrid_C with
+// CNS as showing "no special correlation to a particular dimension"
+// (Table 4: 17%/9% in 3-D, not 100%) and reports rank distances near
+// half the rank count (59.7 of 125) — the box-to-rank assignment does
+// not follow the row-major grid order. We reproduce that by pushing
+// the stencil through a multiplicative rank permutation (r -> 3r mod
+// n, a bijection for the catalog's 5^3/10^3 rank counts), which keeps
+// the 26-peer structure but scatters it across the linear rank space.
+#include "netloc/common/grid.hpp"
+#include "netloc/workloads/stencil.hpp"
+#include "../generators.hpp"
+
+namespace netloc::workloads::detail {
+
+namespace {
+
+class MultiGridCGenerator final : public WorkloadGenerator {
+ public:
+  [[nodiscard]] std::string name() const override { return "MultiGrid_C"; }
+  [[nodiscard]] std::string description() const override {
+    return "geometric multigrid halo exchange on fixed neighbours";
+  }
+
+  [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
+                                      std::uint64_t /*seed*/) const override {
+    const GridDims dims = balanced_dims(target.ranks, 3);
+    PatternBuilder builder(name(), target.ranks);
+
+    StencilWeights weights;
+    // Slowest-varying axis (largest scrambled rank offsets) carries the
+    // least volume, keeping the 90% rank distance in the paper's band.
+    weights.face_per_axis = {60.0, 150.0, 350.0};
+    weights.edge = 8.0;
+    weights.corner = 1.0;
+    // Scrambled box-to-rank assignment (see header comment): cell c is
+    // owned by rank 3c mod n, a bijection since gcd(3, n) == 1 for the
+    // catalog's 5^3 and 10^3 rank counts.
+    std::vector<Rank> rank_of_cell(static_cast<std::size_t>(target.ranks));
+    for (std::size_t c = 0; c < rank_of_cell.size(); ++c) {
+      rank_of_cell[c] = static_cast<Rank>((3 * c) % static_cast<std::size_t>(target.ranks));
+    }
+    add_stencil_mapped(builder, dims, StencilScope::Full, weights, rank_of_cell);
+
+    // Residual-norm reductions per V-cycle (zero volume per Table 1).
+    builder.collective(trace::CollectiveOp::Allreduce, 0, 1.0, 700);
+
+    BuildParams params;
+    params.p2p_bytes = target.p2p_bytes();
+    params.collective_bytes = target.collective_bytes();
+    params.duration = target.time_s;
+    params.iterations = 30;
+    params.preferred_message_bytes = 4 * 1024;
+    return builder.build(params);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> make_multigrid_c() {
+  return std::make_unique<MultiGridCGenerator>();
+}
+
+}  // namespace netloc::workloads::detail

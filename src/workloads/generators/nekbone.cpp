@@ -1,0 +1,67 @@
+// CESAR Nekbone: conjugate-gradient kernel of the Nek5000 spectral
+// element solver.
+//
+// Per CG iteration: nearest-neighbour gather/scatter of shared element
+// faces on the 3-D decomposition (27-point-class stencil), plus the
+// dot-product allreduces. Table 1's collective share varies wildly
+// across the three traced configurations (0% / 49% / 0.02%); the
+// catalog drives that split directly.
+#include "netloc/common/grid.hpp"
+#include "netloc/workloads/stencil.hpp"
+#include "../generators.hpp"
+
+namespace netloc::workloads::detail {
+
+namespace {
+
+class NekboneGenerator final : public WorkloadGenerator {
+ public:
+  [[nodiscard]] std::string name() const override { return "Nekbone"; }
+  [[nodiscard]] std::string description() const override {
+    return "spectral-element gather/scatter stencil with CG allreduces";
+  }
+
+  [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
+                                      std::uint64_t /*seed*/) const override {
+    const GridDims dims = balanced_dims(target.ranks, 3);
+    PatternBuilder builder(name(), target.ranks);
+
+    StencilWeights weights;
+    weights.face_per_axis = {320.0, 180.0, 100.0};
+    weights.edge = 12.0;
+    weights.corner = 1.0;
+    add_stencil(builder, dims, StencilScope::Full, weights);
+
+    // At the largest scale the element distribution wraps around the
+    // grid, adding a second shell of light partners (Table 3: peers
+    // rises to 36 at 1024 ranks).
+    if (target.ranks >= 1024) {
+      StencilWeights shell;
+      shell.face = 6.0;
+      add_stencil(builder, dims, StencilScope::Faces, shell, 2);
+      StencilWeights diag;
+      diag.face = 0.0;
+      diag.edge = 2.0;
+      add_stencil(builder, dims, StencilScope::FacesEdges, diag, 2);
+    }
+
+    // Two dot-product allreduces per CG iteration.
+    builder.collective(trace::CollectiveOp::Allreduce, 0, 1.0, 2000);
+
+    BuildParams params;
+    params.p2p_bytes = target.p2p_bytes();
+    params.collective_bytes = target.collective_bytes();
+    params.duration = target.time_s;
+    params.iterations = 30;
+    params.preferred_message_bytes = 16 * 1024;
+    return builder.build(params);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> make_nekbone() {
+  return std::make_unique<NekboneGenerator>();
+}
+
+}  // namespace netloc::workloads::detail

@@ -1,0 +1,66 @@
+// PARTISN: deterministic Sn neutron transport with a 2-D KBA
+// (Koch-Baker-Alcouffe) spatial decomposition.
+//
+// The wavefront sweep exchanges angular fluxes with the four axis
+// neighbours of the 2-D process grid — hence Table 4's 100% 2-D rank
+// locality (the only workload with a 2-D structure) — while problem
+// setup broadcasts metadata rank-to-rank across the whole communicator
+// (Table 3: peers = 167 of 168 with selectivity 3.4).
+#include "netloc/common/grid.hpp"
+#include "netloc/workloads/stencil.hpp"
+#include "../generators.hpp"
+
+namespace netloc::workloads::detail {
+
+namespace {
+
+class PartisnGenerator final : public WorkloadGenerator {
+ public:
+  [[nodiscard]] std::string name() const override { return "PARTISN"; }
+  [[nodiscard]] std::string description() const override {
+    return "2-D KBA wavefront sweep plus global setup metadata";
+  }
+
+  [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
+                                      std::uint64_t /*seed*/) const override {
+    const int n = target.ranks;
+    const GridDims dims = balanced_dims(n, 2);
+    PatternBuilder builder(name(), n);
+
+    // Sweep fluxes: axis neighbours only. The y direction (fast axis)
+    // carries slightly more volume than x (pencil shapes differ).
+    StencilWeights sweep;
+    sweep.face_per_axis = {500.0, 700.0};
+    add_stencil(builder, dims, StencilScope::Faces, sweep);
+
+    // Setup metadata: every ordered pair, ~2% of total volume. Sweep
+    // total is ~ n * 2 * (500+700) interior-ish; a uniform per-pair
+    // weight yields the target share.
+    const double sweep_total = 2.0 * n * (500.0 + 700.0);
+    const double w_meta = sweep_total * 0.02 / (static_cast<double>(n) * (n - 1));
+    for (Rank s = 0; s < n; ++s) {
+      for (Rank d = 0; d < n; ++d) {
+        if (s != d) builder.p2p(s, d, w_meta);
+      }
+    }
+
+    // Convergence allreduces: the 0.04% collective share of Table 1.
+    builder.collective(trace::CollectiveOp::Allreduce, 0, 1.0, 150);
+
+    BuildParams params;
+    params.p2p_bytes = target.p2p_bytes();
+    params.collective_bytes = target.collective_bytes();
+    params.duration = target.time_s;
+    params.iterations = 40;
+    params.preferred_message_bytes = 4 * 1024;
+    return builder.build(params);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> make_partisn() {
+  return std::make_unique<PartisnGenerator>();
+}
+
+}  // namespace netloc::workloads::detail

@@ -1,0 +1,150 @@
+#include "netloc/workloads/pattern_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::workloads {
+
+PatternBuilder::PatternBuilder(std::string app_name, int num_ranks)
+    : app_name_(std::move(app_name)), num_ranks_(num_ranks) {
+  if (num_ranks < 1) throw ConfigError("PatternBuilder: num_ranks must be >= 1");
+}
+
+void PatternBuilder::p2p(Rank src, Rank dst, double weight) {
+  if (src < 0 || src >= num_ranks_ || dst < 0 || dst >= num_ranks_) {
+    throw ConfigError("PatternBuilder: p2p rank out of range");
+  }
+  if (weight < 0.0) throw ConfigError("PatternBuilder: negative weight");
+  if (src == dst || weight == 0.0) return;
+  p2p_.push_back({src, dst, weight});
+}
+
+void PatternBuilder::collective(trace::CollectiveOp op, Rank root, double weight,
+                                int calls) {
+  if (root < 0 || root >= num_ranks_) {
+    throw ConfigError("PatternBuilder: collective root out of range");
+  }
+  if (weight < 0.0) throw ConfigError("PatternBuilder: negative weight");
+  if (calls < 0) throw ConfigError("PatternBuilder: negative call count");
+  if (weight == 0.0 && calls == 0) return;
+  collectives_.push_back({op, root, weight, calls});
+}
+
+trace::Trace PatternBuilder::build(const BuildParams& params) const {
+  if (params.iterations < 1) {
+    throw ConfigError("PatternBuilder: iterations must be >= 1");
+  }
+  if (params.duration <= 0.0) {
+    throw ConfigError("PatternBuilder: duration must be > 0");
+  }
+  trace::TraceBuilder builder(app_name_, num_ranks_);
+  builder.set_duration(params.duration);
+
+  // ---- Point-to-point -------------------------------------------------
+  if (!p2p_.empty() && params.p2p_bytes > 0) {
+    // Merge duplicate pairs so apportioning sees each pair once.
+    auto demands = p2p_;
+    std::sort(demands.begin(), demands.end(), [](const auto& a, const auto& b) {
+      return std::tie(a.src, a.dst) < std::tie(b.src, b.dst);
+    });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < demands.size();) {
+      std::size_t j = i;
+      double sum = 0.0;
+      while (j < demands.size() && demands[j].src == demands[i].src &&
+             demands[j].dst == demands[i].dst) {
+        sum += demands[j].weight;
+        ++j;
+      }
+      demands[out++] = {demands[i].src, demands[i].dst, sum};
+      i = j;
+    }
+    demands.resize(out);
+
+    double total_weight = 0.0;
+    for (const auto& d : demands) total_weight += d.weight;
+
+    // Largest-remainder-free apportioning: cumulative rounding keeps
+    // the total exact and each pair within one byte of its share.
+    std::vector<Bytes> pair_bytes(demands.size());
+    double cum_weight = 0.0;
+    Bytes cum_bytes = 0;
+    std::size_t largest = 0;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      cum_weight += demands[i].weight;
+      const auto target = static_cast<Bytes>(std::llround(
+          cum_weight / total_weight * static_cast<double>(params.p2p_bytes)));
+      pair_bytes[i] = target - cum_bytes;
+      cum_bytes = target;
+      if (pair_bytes[i] > pair_bytes[largest]) largest = i;
+    }
+    // Every pair in the pattern must be visible in the trace (the peers
+    // metric counts partners regardless of volume): bump zero-byte
+    // pairs to one byte, compensating on the largest pair.
+    Bytes bumped = 0;
+    for (auto& b : pair_bytes) {
+      if (b == 0) {
+        b = 1;
+        ++bumped;
+      }
+    }
+    if (bumped > 0 && pair_bytes[largest] > bumped) pair_bytes[largest] -= bumped;
+
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      const Bytes bytes = pair_bytes[i];
+      const auto by_size = static_cast<int>(
+          bytes / std::max<Bytes>(1, params.preferred_message_bytes));
+      const int messages = std::clamp(by_size, 1, params.iterations);
+      Bytes emitted = 0;
+      for (int k = 0; k < messages; ++k) {
+        const auto upto = static_cast<Bytes>(
+            static_cast<double>(bytes) * (k + 1) / messages + 0.5);
+        const Bytes slice = std::min(bytes, upto) - emitted;
+        emitted += slice;
+        const Seconds t = params.duration * (k + 0.5) / messages;
+        builder.add_p2p(demands[i].src, demands[i].dst, slice, t);
+      }
+    }
+  }
+
+  // ---- Collectives ------------------------------------------------------
+  // Byte shares are apportioned by weight (exactly, Bresenham-style);
+  // each demand is emitted as its configured number of calls. A demand
+  // whose share rounds to zero bytes is still emitted — zero-volume
+  // collective calls are the common case for iterative solvers and
+  // still cost one packet per translated message.
+  if (!collectives_.empty()) {
+    double total_weight = 0.0;
+    for (const auto& c : collectives_) total_weight += c.weight;
+    double cum_weight = 0.0;
+    Bytes cum_bytes = 0;
+    for (const auto& c : collectives_) {
+      Bytes share = 0;
+      if (total_weight > 0.0 && params.collective_bytes > 0) {
+        cum_weight += c.weight;
+        const auto target = static_cast<Bytes>(
+            std::llround(cum_weight / total_weight *
+                         static_cast<double>(params.collective_bytes)));
+        share = target - cum_bytes;
+        cum_bytes = target;
+      }
+      const int calls = c.calls > 0 ? c.calls : params.iterations;
+      Bytes emitted = 0;
+      for (int k = 0; k < calls; ++k) {
+        const auto upto = static_cast<Bytes>(
+            static_cast<double>(share) * (k + 1) / calls + 0.5);
+        const Bytes slice = std::min(share, upto) - emitted;
+        emitted += slice;
+        const Seconds t = params.duration * (k + 0.5) / calls;
+        builder.add_collective(c.op, c.root, slice, t);
+      }
+    }
+  }
+
+  return builder.build();
+}
+
+}  // namespace netloc::workloads

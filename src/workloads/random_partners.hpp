@@ -1,0 +1,56 @@
+// Internal: randomized partner-graph helpers shared by the generators
+// whose communication structure is data-dependent in the real
+// application (Boxlib CNS box assignment, AMR refinement, MOCFE angular
+// decomposition, SNAP group sweeps).
+#pragma once
+
+#include "netloc/common/prng.hpp"
+#include "netloc/workloads/pattern_builder.hpp"
+
+namespace netloc::workloads::detail {
+
+struct RandomPartnerOptions {
+  int partners_per_rank = 8;  ///< Heavy partners added per source rank.
+  double base_weight = 1.0;   ///< Weight of a rank's heaviest partner.
+  double decay = 0.8;         ///< Geometric decay across its partners.
+  /// Scale each partner's weight by (distance / num_ranks) ^ bias;
+  /// 0 = distance-blind, > 0 favours far partners (SNAP-style sweeps).
+  double distance_bias = 0.0;
+  bool symmetric = true;  ///< Also add the reverse demand.
+};
+
+/// For every rank, draw `partners_per_rank` distinct random partners
+/// and add geometrically decaying demands. Deterministic in `rng`.
+inline void add_random_partners(PatternBuilder& builder, int num_ranks,
+                                const RandomPartnerOptions& options,
+                                Xoshiro256& rng) {
+  for (Rank src = 0; src < num_ranks; ++src) {
+    double weight = options.base_weight;
+    int added = 0;
+    // Rejection loop with a generous bound; duplicate partners just
+    // merge their weights in the builder, which is acceptable noise.
+    for (int attempt = 0; added < options.partners_per_rank &&
+                          attempt < options.partners_per_rank * 4;
+         ++attempt) {
+      const auto dst = static_cast<Rank>(
+          rng.next_below(static_cast<std::uint64_t>(num_ranks)));
+      if (dst == src) continue;
+      double w = weight;
+      if (options.distance_bias > 0.0) {
+        const double dist =
+            static_cast<double>(dst > src ? dst - src : src - dst) / num_ranks;
+        double scale = 1.0;
+        for (int b = 0; b < static_cast<int>(options.distance_bias); ++b) {
+          scale *= dist;
+        }
+        w *= 0.1 + 0.9 * scale;
+      }
+      builder.p2p(src, dst, w);
+      if (options.symmetric) builder.p2p(dst, src, w);
+      weight *= options.decay;
+      ++added;
+    }
+  }
+}
+
+}  // namespace netloc::workloads::detail

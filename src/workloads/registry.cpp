@@ -1,0 +1,60 @@
+#include <map>
+
+#include "netloc/common/error.hpp"
+#include "netloc/workloads/workload.hpp"
+#include "generators.hpp"
+
+namespace netloc::workloads {
+
+namespace {
+
+const std::map<std::string, std::unique_ptr<WorkloadGenerator>>& registry() {
+  static const auto instance = [] {
+    std::map<std::string, std::unique_ptr<WorkloadGenerator>> map;
+    auto add = [&map](std::unique_ptr<WorkloadGenerator> gen) {
+      auto name = gen->name();
+      map.emplace(std::move(name), std::move(gen));
+    };
+    add(detail::make_amg());
+    add(detail::make_amr_miniapp());
+    add(detail::make_bigfft());
+    add(detail::make_cns());
+    add(detail::make_boxlib_mg());
+    add(detail::make_mocfe());
+    add(detail::make_nekbone());
+    add(detail::make_crystal_router());
+    add(detail::make_cmc_2d());
+    add(detail::make_lulesh());
+    add(detail::make_fillboundary());
+    add(detail::make_minife());
+    add(detail::make_multigrid_c());
+    add(detail::make_partisn());
+    add(detail::make_snap());
+    return map;
+  }();
+  return instance;
+}
+
+}  // namespace
+
+const WorkloadGenerator& generator(const std::string& app) {
+  const auto& map = registry();
+  const auto it = map.find(app);
+  if (it == map.end()) {
+    throw ConfigError("no workload generator registered for '" + app + "'");
+  }
+  return *it->second;
+}
+
+std::vector<std::string> available_workloads() {
+  std::vector<std::string> names;
+  for (const auto& [name, gen] : registry()) names.push_back(name);
+  return names;
+}
+
+trace::Trace generate(const std::string& app, int ranks, int variant,
+                      std::uint64_t seed) {
+  return generator(app).generate(catalog_entry(app, ranks, variant), seed);
+}
+
+}  // namespace netloc::workloads

@@ -1,0 +1,84 @@
+#include "netloc/workloads/stencil.hpp"
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::workloads {
+
+void add_stencil(PatternBuilder& builder, const GridDims& dims,
+                 StencilScope scope, const StencilWeights& weights, int stride) {
+  add_stencil_mapped(builder, dims, scope, weights, {}, stride);
+}
+
+void add_stencil_mapped(PatternBuilder& builder, const GridDims& dims,
+                        StencilScope scope, const StencilWeights& weights,
+                        const std::vector<Rank>& rank_of_cell, int stride) {
+  if (stride < 1) throw ConfigError("add_stencil: stride must be >= 1");
+  if (dims.size() != builder.num_ranks()) {
+    throw ConfigError("add_stencil: grid size does not match rank count");
+  }
+  if (!rank_of_cell.empty() &&
+      rank_of_cell.size() != static_cast<std::size_t>(dims.size())) {
+    throw ConfigError("add_stencil: rank_of_cell size must match grid size");
+  }
+  const int d = dims.dimensions();
+  if (!weights.face_per_axis.empty() &&
+      static_cast<int>(weights.face_per_axis.size()) != d) {
+    throw ConfigError("add_stencil: face_per_axis size must match dimensionality");
+  }
+  const auto n = dims.size();
+
+  // Enumerate all non-zero offsets in {-1, 0, +1}^d via counting.
+  const int combos = [&] {
+    int c = 1;
+    for (int i = 0; i < d; ++i) c *= 3;
+    return c;
+  }();
+
+  for (std::int64_t rank = 0; rank < n; ++rank) {
+    const auto coords = to_coords(rank, dims);
+    for (int combo = 0; combo < combos; ++combo) {
+      int rest = combo;
+      int nonzero = 0;
+      int face_axis = -1;
+      bool in_range = true;
+      std::vector<std::int32_t> neighbour(coords);
+      for (int i = 0; i < d; ++i) {
+        const int offset = rest % 3 - 1;  // -1, 0, +1
+        rest /= 3;
+        if (offset != 0) {
+          ++nonzero;
+          face_axis = i;
+          const auto moved = coords[static_cast<std::size_t>(i)] +
+                             static_cast<std::int32_t>(offset) * stride;
+          if (moved < 0 || moved >= dims.extent[static_cast<std::size_t>(i)]) {
+            in_range = false;
+            break;
+          }
+          neighbour[static_cast<std::size_t>(i)] = moved;
+        }
+      }
+      if (!in_range || nonzero == 0) continue;
+      if (scope == StencilScope::Faces && nonzero > 1) continue;
+      if (scope == StencilScope::FacesEdges && nonzero > 2) continue;
+      const double face_weight =
+          weights.face_per_axis.empty()
+              ? weights.face
+              : weights.face_per_axis[static_cast<std::size_t>(face_axis)];
+      const double weight = nonzero == 1   ? face_weight
+                            : nonzero == 2 ? weights.edge
+                                           : weights.corner;
+      if (weight <= 0.0) continue;
+      const auto src_cell = rank;
+      const auto dst_cell = to_linear(neighbour, dims);
+      const Rank src = rank_of_cell.empty()
+                           ? static_cast<Rank>(src_cell)
+                           : rank_of_cell[static_cast<std::size_t>(src_cell)];
+      const Rank dst = rank_of_cell.empty()
+                           ? static_cast<Rank>(dst_cell)
+                           : rank_of_cell[static_cast<std::size_t>(dst_cell)];
+      builder.p2p(src, dst, weight);
+    }
+  }
+}
+
+}  // namespace netloc::workloads

@@ -1,0 +1,208 @@
+// Tests for the analysis engine (Table 3 rows, Table 4, Fig. 5, the
+// aggregate claims) and the energy model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/analysis/report.hpp"
+#include "netloc/common/error.hpp"
+#include "netloc/energy/model.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/trace/trace.hpp"
+
+namespace netloc::analysis {
+namespace {
+
+RunOptions fast_options() {
+  RunOptions options;
+  options.link_accounting = false;
+  return options;
+}
+
+// ---- run_experiment --------------------------------------------------------
+
+TEST(RunExperiment, ProducesCompleteRowForSmallApp) {
+  const auto row =
+      run_experiment(workloads::catalog_entry("AMG", 8), RunOptions{});
+  EXPECT_TRUE(row.has_p2p);
+  EXPECT_EQ(row.peers, 7);  // 2x2x2: everyone is a neighbour.
+  EXPECT_GT(row.rank_distance, 0.0);
+  EXPECT_GT(row.selectivity_mean, 0.0);
+  EXPECT_LE(row.selectivity_mean, row.selectivity_max);
+
+  EXPECT_EQ(row.topologies[0].topology, "torus3d");
+  EXPECT_EQ(row.topologies[1].topology, "fattree");
+  EXPECT_EQ(row.topologies[2].topology, "dragonfly");
+  for (const auto& topo : row.topologies) {
+    EXPECT_GT(topo.packet_hops, 0u) << topo.topology;
+    EXPECT_GT(topo.avg_hops, 0.0) << topo.topology;
+    EXPECT_GT(topo.utilization_percent, 0.0) << topo.topology;
+    EXPECT_GT(topo.used_links, 0) << topo.topology;
+  }
+}
+
+TEST(RunExperiment, CollectiveOnlyAppHasNoMpiLevelMetrics) {
+  const auto row =
+      run_experiment(workloads::catalog_entry("BigFFT", 9), fast_options());
+  EXPECT_FALSE(row.has_p2p);
+  EXPECT_GT(row.topologies[0].packet_hops, 0u);
+}
+
+TEST(RunExperiment, HopAveragesRespectTopologyBounds) {
+  for (const char* app : {"AMG", "LULESH", "CrystalRouter"}) {
+    const auto entries = workloads::catalog_for(app);
+    for (const auto& entry : entries) {
+      if (entry.variant != 0) continue;
+      const auto row = run_experiment(entry, fast_options());
+      const auto set = topology::topologies_for(entry.ranks);
+      const auto topos = set.all();
+      for (std::size_t i = 0; i < topos.size(); ++i) {
+        EXPECT_GT(row.topologies[i].avg_hops, 0.0) << entry.label();
+        EXPECT_LE(row.topologies[i].avg_hops, topos[i]->diameter())
+            << entry.label() << " " << row.topologies[i].topology;
+      }
+      // Fat tree distances are always even and at least 2.
+      EXPECT_GE(row.topologies[1].avg_hops, 2.0) << entry.label();
+      // Dragonfly minimal paths span 2..5 hops.
+      EXPECT_GE(row.topologies[2].avg_hops, 2.0) << entry.label();
+      EXPECT_LE(row.topologies[2].avg_hops, 5.0) << entry.label();
+    }
+  }
+}
+
+TEST(RunExperiment, PacketHopsEqualsAvgTimesPackets) {
+  const auto row = run_experiment(workloads::catalog_entry("MiniFE", 18),
+                                  fast_options());
+  for (const auto& topo : row.topologies) {
+    // avg_hops = packet_hops / packets, so reconstructing packets from
+    // the two reported values must give a consistent integer.
+    const double packets = static_cast<double>(topo.packet_hops) / topo.avg_hops;
+    EXPECT_NEAR(packets, std::round(packets), packets * 1e-9);
+  }
+}
+
+TEST(AnalyzeTrace, WorksOnExternallyBuiltTraces) {
+  trace::TraceBuilder builder("custom", 16);
+  for (Rank r = 0; r + 1 < 16; ++r) builder.add_p2p(r, r + 1, 1 << 16, 0.1);
+  builder.set_duration(1.0);
+  auto entry = workloads::catalog_entry("AMG", 8);  // label only
+  entry.ranks = 16;
+  const auto row = analyze_trace(builder.build(), entry, RunOptions{});
+  EXPECT_TRUE(row.has_p2p);
+  EXPECT_DOUBLE_EQ(row.rank_distance, 1.0);
+  EXPECT_EQ(row.peers, 1);
+}
+
+// ---- Dimensionality (Table 4) ---------------------------------------------------
+
+TEST(Dimensionality, LocalityImprovesWithMatchingDimension) {
+  const auto trace = workloads::generate("LULESH", 64);
+  const auto row = dimensionality_study(trace, "LULESH/64");
+  EXPECT_LT(row.locality_percent_1d, row.locality_percent_2d);
+  EXPECT_LT(row.locality_percent_2d, row.locality_percent_3d);
+  EXPECT_DOUBLE_EQ(row.locality_percent_3d, 100.0);
+}
+
+// ---- Multi-core (Fig. 5) ----------------------------------------------------------
+
+TEST(Multicore, BaselineIsOneAndTrafficDecreases) {
+  const auto trace = workloads::generate("LULESH", 512);
+  const auto series = multicore_study(trace, "LULESH/512", {1, 2, 4, 8, 16, 32, 48});
+  ASSERT_EQ(series.relative_traffic.size(), 7u);
+  EXPECT_DOUBLE_EQ(series.relative_traffic[0], 1.0);
+  for (std::size_t i = 1; i < series.relative_traffic.size(); ++i) {
+    EXPECT_LE(series.relative_traffic[i], series.relative_traffic[i - 1] + 1e-9);
+    EXPECT_GT(series.relative_traffic[i], 0.0);
+  }
+}
+
+TEST(Multicore, SaturatesBeyond16Cores) {
+  // §6.1: "the optimum for minimizing network traffic is reached at
+  // [8-]16 cores per socket" — 48 cores gains little over 16.
+  const auto trace = workloads::generate("MiniFE", 1152);
+  const auto series = multicore_study(trace, "MiniFE/1152", {1, 16, 48});
+  const double at16 = series.relative_traffic[1];
+  const double at48 = series.relative_traffic[2];
+  EXPECT_GT(at48, 0.5 * at16);  // Gains beyond 16 cores are modest.
+}
+
+TEST(Multicore, RejectsBadArguments) {
+  const auto trace = workloads::generate("LULESH", 64);
+  EXPECT_THROW(multicore_study(trace, "x", {}), ConfigError);
+  EXPECT_THROW(multicore_study(trace, "x", {1, 0}), ConfigError);
+}
+
+// ---- Summary claims -----------------------------------------------------------
+
+TEST(Summary, CountsCellsAndConfigs) {
+  std::vector<ExperimentRow> rows(2);
+  rows[0].has_p2p = true;
+  rows[0].selectivity_mean = 5.0;
+  rows[0].topologies[0] = {"torus3d", "", 0, 0.0, 0.5, 0.0, 0, 0.0};
+  rows[0].topologies[1] = {"fattree", "", 0, 0.0, 2.0, 0.0, 0, 0.0};
+  rows[0].topologies[2] = {"dragonfly", "", 0, 0.0, 0.1, 0.0, 0, 0.9};
+  rows[1].has_p2p = true;
+  rows[1].selectivity_mean = 25.0;
+  rows[1].topologies[0] = {"torus3d", "", 0, 0.0, 0.2, 0.0, 0, 0.0};
+  rows[1].topologies[1] = {"fattree", "", 0, 0.0, 0.3, 0.0, 0, 0.0};
+  rows[1].topologies[2] = {"dragonfly", "", 0, 0.0, 0.4, 0.0, 0, 0.7};
+
+  const auto claims = summarize(rows);
+  EXPECT_NEAR(claims.share_cells_below_1pct_utilization, 5.0 / 6.0, 1e-12);
+  EXPECT_NEAR(claims.share_configs_selectivity_below_10, 0.5, 1e-12);
+  EXPECT_NEAR(claims.mean_dragonfly_global_share, 0.8, 1e-12);
+}
+
+TEST(Summary, EmptyRowsAreSafe) {
+  const auto claims = summarize({});
+  EXPECT_DOUBLE_EQ(claims.share_cells_below_1pct_utilization, 0.0);
+}
+
+// ---- Report rendering ------------------------------------------------------------
+
+TEST(Report, RendersTables) {
+  const auto row = run_experiment(workloads::catalog_entry("AMG", 8), fast_options());
+  const std::vector<ExperimentRow> rows = {row};
+  EXPECT_NE(render_table1(rows).find("AMG/8"), std::string::npos);
+  EXPECT_NE(render_table3(rows).find("AMG/8"), std::string::npos);
+  EXPECT_NE(render_table2().find("(2,2,2)"), std::string::npos);
+  const DimensionalityRow dim{"AMG/8", 25.0, 50.0, 100.0};
+  EXPECT_NE(render_table4({dim}).find("AMG/8"), std::string::npos);
+  EXPECT_NE(render_summary(summarize(rows)).find("utilization"),
+            std::string::npos);
+}
+
+// ---- Energy model -----------------------------------------------------------------
+
+TEST(Energy, ConstantPowerBaseline) {
+  const auto e = energy::estimate(100.0, 10.0, 0.5);
+  // 100 links * 2.5 W * 10 s = 2500 J.
+  EXPECT_DOUBLE_EQ(e.total_joules, 2500.0);
+  EXPECT_DOUBLE_EQ(e.serdes_joules, 2500.0 * 0.85);
+  EXPECT_DOUBLE_EQ(e.logic_joules, 2500.0 * 0.15);
+  EXPECT_DOUBLE_EQ(e.proportional_joules, 2500.0 * 0.005);
+  EXPECT_DOUBLE_EQ(e.wasted_fraction, 0.995);
+}
+
+TEST(Energy, FullUtilizationWastesNothing) {
+  const auto e = energy::estimate(10.0, 1.0, 100.0);
+  EXPECT_DOUBLE_EQ(e.proportional_joules, e.total_joules);
+  EXPECT_DOUBLE_EQ(e.wasted_fraction, 0.0);
+}
+
+TEST(Energy, RejectsNegativeInputs) {
+  EXPECT_THROW(energy::estimate(-1.0, 1.0, 0.5), Error);
+  EXPECT_THROW(energy::estimate(1.0, -1.0, 0.5), Error);
+  EXPECT_THROW(energy::estimate(1.0, 1.0, -0.5), Error);
+}
+
+TEST(Energy, PaperHeadline99PercentIdle) {
+  // "for all but one application, 99% of the total execution time,
+  // links are idling" — utilization below 1% implies > 99% waste.
+  const auto e = energy::estimate(192.0, 54.14, 0.0029);
+  EXPECT_GT(e.wasted_fraction, 0.99);
+}
+
+}  // namespace
+}  // namespace netloc::analysis

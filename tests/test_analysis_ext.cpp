@@ -1,0 +1,151 @@
+// Tests for the analysis extensions: heat-map export and the
+// metric-vs-ground-truth correlation study.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netloc/analysis/correlation.hpp"
+#include "netloc/analysis/export.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+
+namespace netloc::analysis {
+namespace {
+
+// ---- Heat-map export ---------------------------------------------------------
+
+metrics::TrafficMatrix small_matrix() {
+  metrics::TrafficMatrix m(3);
+  m.add_message(0, 1, 100);
+  m.add_message(2, 0, 7);
+  return m;
+}
+
+TEST(HeatmapCsv, FullMatrixWithHeader) {
+  std::ostringstream out;
+  write_heatmap_csv(small_matrix(), out);
+  EXPECT_EQ(out.str(),
+            "src\\dst,0,1,2\n"
+            "0,0,100,0\n"
+            "1,0,0,0\n"
+            "2,7,0,0\n");
+}
+
+TEST(HeatmapPgm, ValidHeaderAndPixelCount) {
+  std::ostringstream out;
+  write_heatmap_pgm(small_matrix(), out);
+  std::istringstream in(out.str());
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P2");
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 3);
+  EXPECT_EQ(maxval, 255);
+  int pixel = 0, count = 0, min_pixel = 256;
+  while (in >> pixel) {
+    EXPECT_GE(pixel, 0);
+    EXPECT_LE(pixel, 255);
+    min_pixel = std::min(min_pixel, pixel);
+    ++count;
+  }
+  EXPECT_EQ(count, 9);
+  EXPECT_EQ(min_pixel, 0);  // The heaviest pair renders black.
+}
+
+TEST(HeatmapPgm, EmptyMatrixIsAllWhite) {
+  std::ostringstream out;
+  write_heatmap_pgm(metrics::TrafficMatrix(2), out);
+  std::istringstream in(out.str());
+  std::string magic;
+  int w, h, maxval;
+  in >> magic >> w >> h >> maxval;
+  int pixel;
+  while (in >> pixel) EXPECT_EQ(pixel, 255);
+}
+
+// ---- Spearman correlation ------------------------------------------------------
+
+TEST(Spearman, PerfectMonotoneRelation) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {10, 100, 1000, 10000, 100000};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, PerfectInverseRelation) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {8, 6, 4, 2};
+  EXPECT_NEAR(spearman(a, b), -1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> a = {1, 1, 2, 3};
+  const std::vector<double> b = {5, 5, 6, 7};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, UncorrelatedConstantsGiveZero) {
+  const std::vector<double> a = {3, 3, 3};
+  const std::vector<double> b = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(spearman(a, b), 0.0);
+}
+
+TEST(Spearman, TooFewSamples) {
+  const std::vector<double> a = {1.0};
+  EXPECT_DOUBLE_EQ(spearman(a, a), 0.0);
+}
+
+// ---- Correlation report ----------------------------------------------------------
+
+ExperimentRow fake_row(const char* app, int ranks, double rank_distance,
+                       double selectivity, double torus_hops,
+                       double fattree_hops, double dragonfly_hops) {
+  ExperimentRow row;
+  row.entry.app = app;
+  row.entry.ranks = ranks;
+  row.has_p2p = true;
+  row.rank_distance = rank_distance;
+  row.selectivity_mean = selectivity;
+  row.topologies[0] = {"torus3d", "", 0, torus_hops, 0, 0, 0, 0};
+  row.topologies[1] = {"fattree", "", 0, fattree_hops, 0, 0, 0, 0};
+  row.topologies[2] = {"dragonfly", "", 0, dragonfly_hops, 0, 0, 0, 0};
+  return row;
+}
+
+TEST(Correlate, CountsAndScoresPredictions) {
+  std::vector<ExperimentRow> rows;
+  // Local app where torus wins: correctly predicted.
+  rows.push_back(fake_row("local", 64, 4.0, 3.0, 1.5, 3.2, 4.2));
+  // Scattered app where fat tree wins: correctly predicted.
+  rows.push_back(fake_row("scattered", 64, 40.0, 20.0, 7.9, 4.3, 4.7));
+  // Local-looking app where the fat tree nevertheless wins: miss.
+  rows.push_back(fake_row("tricky", 64, 4.0, 3.0, 5.0, 3.2, 4.2));
+  // A collective-only row must be skipped entirely.
+  ExperimentRow coll_only;
+  coll_only.entry.ranks = 64;
+  coll_only.has_p2p = false;
+  rows.push_back(coll_only);
+
+  const auto report = correlate(rows);
+  EXPECT_EQ(report.configurations, 3);
+  EXPECT_EQ(report.correct_predictions, 2);
+  EXPECT_NEAR(report.prediction_accuracy, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Correlate, EmptyRowsAreSafe) {
+  const auto report = correlate({});
+  EXPECT_EQ(report.configurations, 0);
+  EXPECT_DOUBLE_EQ(report.prediction_accuracy, 0.0);
+}
+
+TEST(RenderCorrelation, MentionsKeyNumbers) {
+  CorrelationReport report;
+  report.configurations = 5;
+  report.correct_predictions = 4;
+  report.prediction_accuracy = 0.8;
+  const auto text = render_correlation(report);
+  EXPECT_NE(text.find("4/5"), std::string::npos);
+  EXPECT_NE(text.find("80.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netloc::analysis

@@ -1,0 +1,151 @@
+// Tests for the automated pattern classifier: crafted matrices with
+// known structure, then every workload generator's p2p matrix against
+// the class the paper assigns it.
+#include <gtest/gtest.h>
+
+#include "netloc/analysis/classify.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace netloc::analysis {
+namespace {
+
+using metrics::TrafficMatrix;
+
+// ---- Crafted matrices -----------------------------------------------------
+
+TEST(Classify, EmptyMatrix) {
+  EXPECT_EQ(classify(TrafficMatrix(8)).pattern, PatternClass::Empty);
+}
+
+TEST(Classify, OneDimensionalRing) {
+  TrafficMatrix m(16);
+  for (Rank r = 0; r + 1 < 16; ++r) {
+    m.add_message(r, r + 1, 1000);
+    m.add_message(r + 1, r, 1000);
+  }
+  const auto c = classify(m);
+  EXPECT_EQ(c.pattern, PatternClass::Stencil);
+  EXPECT_EQ(c.dimensionality, 1);
+  EXPECT_GE(c.confidence, 0.99);
+}
+
+TEST(Classify, TwoDimensionalGrid) {
+  // 4x4 grid, row neighbours (|delta| = 4) and column neighbours.
+  TrafficMatrix m(16);
+  for (Rank r = 0; r < 16; ++r) {
+    if (r % 4 != 3) m.add_message(r, r + 1, 500);
+    if (r + 4 < 16) m.add_message(r, r + 4, 500);
+  }
+  const auto c = classify(m);
+  EXPECT_EQ(c.pattern, PatternClass::Stencil);
+  EXPECT_EQ(c.dimensionality, 2);
+}
+
+TEST(Classify, HypercubeStages) {
+  TrafficMatrix m(64);
+  for (int stride = 1; stride < 64; stride *= 2) {
+    for (Rank r = 0; r < 64; ++r) {
+      const Rank partner = static_cast<Rank>(r ^ stride);
+      if (partner < 64) m.add_message(r, partner, 100);
+    }
+  }
+  const auto c = classify(m);
+  // 1-D neighbour share (stride 1) is only ~1/6 of the volume, so this
+  // must resolve as staged, not stencil.
+  EXPECT_EQ(c.pattern, PatternClass::StagedExchange);
+  EXPECT_GE(c.confidence, 0.99);
+}
+
+TEST(Classify, HubAndSpoke) {
+  TrafficMatrix m(32);
+  for (Rank r = 1; r < 32; ++r) {
+    m.add_message(r, 0, 1000);
+    m.add_message(0, r, 200);
+  }
+  const auto c = classify(m);
+  EXPECT_EQ(c.pattern, PatternClass::HubAndSpoke);
+  EXPECT_GE(c.hub_share, 0.99);
+}
+
+TEST(Classify, UniformAllToAll) {
+  TrafficMatrix m(12);
+  for (Rank s = 0; s < 12; ++s) {
+    for (Rank d = 0; d < 12; ++d) {
+      if (s != d) m.add_message(s, d, 100);
+    }
+  }
+  EXPECT_EQ(classify(m).pattern, PatternClass::GlobalRegular);
+}
+
+TEST(Classify, FullCoverageButConcentratedIsScattered) {
+  TrafficMatrix m(12);
+  for (Rank s = 0; s < 12; ++s) {
+    for (Rank d = 0; d < 12; ++d) {
+      if (s != d) m.add_message(s, d, 1);
+    }
+  }
+  // A few dominant far pairs on top of the metadata.
+  m.add_message(0, 7, 100000);
+  m.add_message(3, 11, 100000);
+  m.add_message(5, 1, 100000);
+  EXPECT_EQ(classify(m).pattern, PatternClass::Scattered);
+}
+
+// ---- Workload generators against their paper classes -----------------------
+
+Classification classify_p2p(const char* app, int ranks) {
+  const auto trace = workloads::generate(app, ranks);
+  return classify(metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true, .include_collectives = false}));
+}
+
+TEST(ClassifyWorkloads, ThreeDimensionalStencils) {
+  for (const char* app : {"LULESH", "FillBoundary", "BoxlibMG", "MiniFE"}) {
+    const auto entries = workloads::catalog_for(app);
+    const auto c = classify_p2p(app, entries.back().ranks);
+    EXPECT_EQ(c.pattern, PatternClass::Stencil) << app;
+    EXPECT_EQ(c.dimensionality, 3) << app;
+  }
+}
+
+TEST(ClassifyWorkloads, AmgIsAStencilDespiteCoarseLevels) {
+  const auto c = classify_p2p("AMG", 1728);
+  EXPECT_EQ(c.pattern, PatternClass::Stencil);
+  EXPECT_EQ(c.dimensionality, 3);
+}
+
+TEST(ClassifyWorkloads, PartisnIsTwoDimensional) {
+  const auto c = classify_p2p("PARTISN", 168);
+  EXPECT_EQ(c.pattern, PatternClass::Stencil);
+  EXPECT_EQ(c.dimensionality, 2);
+}
+
+TEST(ClassifyWorkloads, CrystalRouterIsStaged) {
+  for (int ranks : {100, 1000}) {
+    const auto c = classify_p2p("CrystalRouter", ranks);
+    EXPECT_EQ(c.pattern, PatternClass::StagedExchange) << ranks;
+  }
+}
+
+TEST(ClassifyWorkloads, ScatteredLayouts) {
+  for (const char* app : {"CNS", "MOCFE", "SNAP", "MultiGrid_C"}) {
+    const auto entries = workloads::catalog_for(app);
+    const auto c = classify_p2p(app, entries.back().ranks);
+    EXPECT_EQ(c.pattern, PatternClass::Scattered) << app;
+  }
+}
+
+TEST(ClassifyWorkloads, FlatCollectivesLookGlobalRegular) {
+  const auto trace = workloads::generate("BigFFT", 100);
+  const auto c = classify(metrics::TrafficMatrix::from_trace(trace));
+  EXPECT_EQ(c.pattern, PatternClass::GlobalRegular);
+}
+
+TEST(ClassifyNames, AllDistinct) {
+  EXPECT_NE(to_string(PatternClass::Stencil), to_string(PatternClass::Scattered));
+  EXPECT_EQ(to_string(PatternClass::StagedExchange), "staged-exchange");
+}
+
+}  // namespace
+}  // namespace netloc::analysis

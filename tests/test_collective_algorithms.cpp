@@ -1,0 +1,249 @@
+// Tests for the collective algorithm schedules (binomial tree, ring,
+// recursive doubling) and their consistency with the flat translation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "netloc/collectives/algorithms.hpp"
+#include "netloc/common/error.hpp"
+
+namespace netloc::collectives {
+namespace {
+
+struct Message {
+  Rank src, dst;
+  Bytes bytes;
+  Count count;
+};
+
+std::vector<Message> schedule(Algorithm algorithm, CollectiveOp op, Rank root,
+                              int n, Bytes payload) {
+  std::vector<Message> messages;
+  for_each_message(algorithm, op, root, n, payload,
+                   [&](Rank s, Rank d, Bytes b, Count c) {
+                     messages.push_back({s, d, b, c});
+                   });
+  return messages;
+}
+
+// ---- Support matrix -----------------------------------------------------------
+
+TEST(AlgorithmSupport, FlatSupportsEverything) {
+  for (int i = 0; i < trace::kNumCollectiveOps; ++i) {
+    EXPECT_TRUE(supports(Algorithm::FlatDirect, static_cast<CollectiveOp>(i)));
+  }
+}
+
+TEST(AlgorithmSupport, UnsupportedCombinationsThrow) {
+  EXPECT_FALSE(supports(Algorithm::Ring, CollectiveOp::Alltoall));
+  EXPECT_THROW(
+      schedule(Algorithm::Ring, CollectiveOp::Alltoall, 0, 8, 100),
+      ConfigError);
+  EXPECT_FALSE(supports(Algorithm::RecursiveDoubling, CollectiveOp::Bcast));
+}
+
+TEST(AlgorithmNames, Distinct) {
+  std::set<std::string_view> names = {
+      to_string(Algorithm::FlatDirect), to_string(Algorithm::BinomialTree),
+      to_string(Algorithm::Ring), to_string(Algorithm::RecursiveDoubling)};
+  EXPECT_EQ(names.size(), 4u);
+}
+
+// ---- Flat delegation ------------------------------------------------------------
+
+TEST(FlatSchedule, MatchesPairTranslation) {
+  // payload 50 per destination, bcast over 5 ranks: 4 messages of 50.
+  const auto messages = schedule(Algorithm::FlatDirect, CollectiveOp::Bcast, 2, 5, 50);
+  ASSERT_EQ(messages.size(), 4u);
+  for (const auto& m : messages) {
+    EXPECT_EQ(m.src, 2);
+    EXPECT_EQ(m.bytes, 50u);
+    EXPECT_EQ(m.count, 1u);
+  }
+}
+
+TEST(PayloadConversion, InvertsFlatTotals) {
+  // Round-trip: payload -> flat total -> payload.
+  for (const auto op : {CollectiveOp::Bcast, CollectiveOp::Reduce,
+                        CollectiveOp::Allreduce, CollectiveOp::Alltoall}) {
+    const int n = 9;
+    const Bytes payload = 120;
+    const Bytes flat_total = payload * pair_count(op, n);
+    EXPECT_EQ(payload_from_flat_total(op, n, flat_total), payload)
+        << to_string(op);
+  }
+}
+
+// ---- Binomial tree ---------------------------------------------------------------
+
+TEST(BinomialBcast, ReachesEveryRankExactlyOnce) {
+  for (const int n : {2, 5, 8, 13, 32}) {
+    for (const Rank root : {0, 1, n - 1}) {
+      const auto messages =
+          schedule(Algorithm::BinomialTree, CollectiveOp::Bcast, root, n, 100);
+      EXPECT_EQ(messages.size(), static_cast<std::size_t>(n - 1));
+      std::set<Rank> reached = {root};
+      for (const auto& m : messages) {
+        EXPECT_TRUE(reached.count(m.src)) << "sender not yet reached";
+        EXPECT_TRUE(reached.insert(m.dst).second) << "rank reached twice";
+        EXPECT_EQ(m.bytes, 100u);
+      }
+      EXPECT_EQ(reached.size(), static_cast<std::size_t>(n));
+    }
+  }
+}
+
+TEST(BinomialGather, SubtreeSizesSumToEverything) {
+  // Total gathered volume = (n-1) * payload: every non-root block moves
+  // at least once, and blocks from deep subtrees move multiple times —
+  // so the schedule total must be >= (n-1)*payload and each edge must
+  // carry exactly its subtree's blocks.
+  for (const int n : {4, 8, 11, 16}) {
+    const Bytes payload = 10;
+    const auto messages =
+        schedule(Algorithm::BinomialTree, CollectiveOp::Gather, 0, n, payload);
+    EXPECT_EQ(messages.size(), static_cast<std::size_t>(n - 1));
+    // Direct children of the root receive each block exactly once in
+    // total across all root-incident edges: the blocks arriving at the
+    // root sum to (n-1)*payload.
+    Bytes into_root = 0;
+    for (const auto& m : messages) {
+      if (m.dst == 0) into_root += m.bytes * m.count;
+    }
+    EXPECT_EQ(into_root, payload * static_cast<Bytes>(n - 1));
+  }
+}
+
+TEST(BinomialAllreduce, TwiceTheTreeEdges) {
+  const auto messages =
+      schedule(Algorithm::BinomialTree, CollectiveOp::Allreduce, 0, 8, 64);
+  EXPECT_EQ(messages.size(), 14u);  // 7 up + 7 down.
+  const Bytes total =
+      schedule_total_bytes(Algorithm::BinomialTree, CollectiveOp::Allreduce, 0, 8, 64);
+  EXPECT_EQ(total, 2u * 7u * 64u);
+}
+
+TEST(BinomialSchedules, MoveFarLessVolumeThanFlatAllreduce) {
+  const int n = 64;
+  const Bytes payload = 1000;
+  const Bytes flat =
+      schedule_total_bytes(Algorithm::FlatDirect, CollectiveOp::Allreduce, 0, n, payload);
+  const Bytes tree =
+      schedule_total_bytes(Algorithm::BinomialTree, CollectiveOp::Allreduce, 0, n, payload);
+  EXPECT_EQ(flat, payload * static_cast<Bytes>(n) * static_cast<Bytes>(n - 1));
+  EXPECT_EQ(tree, payload * 2u * static_cast<Bytes>(n - 1));
+  EXPECT_LT(tree, flat);
+}
+
+// ---- Ring ------------------------------------------------------------------------
+
+TEST(RingBcast, PipelinesOnceAround) {
+  const auto messages = schedule(Algorithm::Ring, CollectiveOp::Bcast, 3, 6, 100);
+  ASSERT_EQ(messages.size(), 5u);
+  // Chain 3 -> 4 -> 5 -> 0 -> 1 -> 2.
+  Rank expect_src = 3;
+  for (const auto& m : messages) {
+    EXPECT_EQ(m.src, expect_src);
+    EXPECT_EQ(m.dst, (expect_src + 1) % 6);
+    expect_src = m.dst;
+  }
+}
+
+TEST(RingAllreduce, MatchesClosedFormVolume) {
+  // 2(n-1)/n * payload per edge, n edges: total = 2(n-1) * payload
+  // (up to the integer division of the chunk size).
+  const int n = 8;
+  const Bytes payload = 800;  // Divisible by n for exactness.
+  const Bytes total =
+      schedule_total_bytes(Algorithm::Ring, CollectiveOp::Allreduce, 0, n, payload);
+  EXPECT_EQ(total, 2u * 7u * 800u);
+  // Every message stays on a ring edge (dst = src + 1 mod n).
+  for (const auto& m : schedule(Algorithm::Ring, CollectiveOp::Allreduce, 0, n, payload)) {
+    EXPECT_EQ(m.dst, (m.src + 1) % n);
+    EXPECT_EQ(m.count, static_cast<Count>(2 * (n - 1)));
+  }
+}
+
+TEST(RingAllgather, EveryEdgeCarriesAllOtherBlocks) {
+  const int n = 5;
+  const auto messages = schedule(Algorithm::Ring, CollectiveOp::Allgather, 0, n, 40);
+  ASSERT_EQ(messages.size(), 5u);
+  for (const auto& m : messages) {
+    EXPECT_EQ(m.bytes, 40u);
+    EXPECT_EQ(m.count, 4u);
+  }
+}
+
+// ---- Recursive doubling -----------------------------------------------------------
+
+TEST(RecursiveDoubling, PowerOfTwoExchangesAllRounds) {
+  const int n = 16;
+  const auto messages =
+      schedule(Algorithm::RecursiveDoubling, CollectiveOp::Allreduce, 0, n, 8);
+  // 4 rounds x 16 ranks, every rank sends once per round.
+  EXPECT_EQ(messages.size(), 64u);
+  std::map<Rank, int> sends;
+  for (const auto& m : messages) {
+    EXPECT_EQ(m.src ^ m.dst, (m.src ^ m.dst) & -(m.src ^ m.dst))
+        << "partner must differ in exactly one bit";
+    ++sends[m.src];
+  }
+  for (Rank r = 0; r < n; ++r) EXPECT_EQ(sends[r], 4);
+}
+
+TEST(RecursiveDoubling, NonPowerOfTwoClipsPartners) {
+  const auto messages =
+      schedule(Algorithm::RecursiveDoubling, CollectiveOp::Allreduce, 0, 10, 8);
+  for (const auto& m : messages) {
+    EXPECT_LT(m.dst, 10);
+    EXPECT_LT(m.src, 10);
+  }
+}
+
+TEST(DisseminationBarrier, LogRoundsZeroBytes) {
+  const int n = 10;
+  const auto messages =
+      schedule(Algorithm::RecursiveDoubling, CollectiveOp::Barrier, 0, n, 999);
+  EXPECT_EQ(messages.size(), 40u);  // 4 rounds (1,2,4,8) x 10 ranks.
+  for (const auto& m : messages) EXPECT_EQ(m.bytes, 0u);
+}
+
+// ---- Cross-cutting ----------------------------------------------------------------
+
+TEST(AllSchedules, NoSelfMessagesAndValidRanks) {
+  const std::vector<std::pair<Algorithm, CollectiveOp>> combos = {
+      {Algorithm::BinomialTree, CollectiveOp::Bcast},
+      {Algorithm::BinomialTree, CollectiveOp::Gather},
+      {Algorithm::BinomialTree, CollectiveOp::Scatter},
+      {Algorithm::BinomialTree, CollectiveOp::Allreduce},
+      {Algorithm::Ring, CollectiveOp::Bcast},
+      {Algorithm::Ring, CollectiveOp::Reduce},
+      {Algorithm::Ring, CollectiveOp::Allreduce},
+      {Algorithm::Ring, CollectiveOp::Allgather},
+      {Algorithm::RecursiveDoubling, CollectiveOp::Allreduce},
+  };
+  for (const auto& [alg, op] : combos) {
+    for (const int n : {2, 3, 7, 16, 33}) {
+      for (const Rank root : {0, n / 2}) {
+        for (const auto& m : schedule(alg, op, root, n, 100)) {
+          EXPECT_NE(m.src, m.dst) << to_string(alg) << "/" << to_string(op);
+          EXPECT_GE(m.src, 0);
+          EXPECT_LT(m.src, n);
+          EXPECT_GE(m.dst, 0);
+          EXPECT_LT(m.dst, n);
+          EXPECT_GE(m.count, 1u);
+        }
+      }
+    }
+  }
+}
+
+TEST(AllSchedules, SingleRankIsEmpty) {
+  EXPECT_TRUE(schedule(Algorithm::BinomialTree, CollectiveOp::Bcast, 0, 1, 10).empty());
+  EXPECT_TRUE(schedule(Algorithm::Ring, CollectiveOp::Allreduce, 0, 1, 10).empty());
+}
+
+}  // namespace
+}  // namespace netloc::collectives

@@ -1,0 +1,160 @@
+// Tests for the flat collective translation (paper §4.4): pattern
+// shapes, pair counts and exact volume conservation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "netloc/collectives/translate.hpp"
+
+namespace netloc::collectives {
+namespace {
+
+using trace::CollectiveOp;
+
+std::vector<CollectiveOp> all_ops() {
+  std::vector<CollectiveOp> ops;
+  for (int i = 0; i < trace::kNumCollectiveOps; ++i) {
+    ops.push_back(static_cast<CollectiveOp>(i));
+  }
+  return ops;
+}
+
+TEST(PairCount, MatchesPatternDefinitions) {
+  const int n = 10;
+  EXPECT_EQ(pair_count(CollectiveOp::Bcast, n), 9u);
+  EXPECT_EQ(pair_count(CollectiveOp::Scatter, n), 9u);
+  EXPECT_EQ(pair_count(CollectiveOp::Reduce, n), 9u);
+  EXPECT_EQ(pair_count(CollectiveOp::Gather, n), 9u);
+  EXPECT_EQ(pair_count(CollectiveOp::Barrier, n), 18u);
+  EXPECT_EQ(pair_count(CollectiveOp::Allreduce, n), 90u);
+  EXPECT_EQ(pair_count(CollectiveOp::ReduceScatter, n), 90u);
+  EXPECT_EQ(pair_count(CollectiveOp::Allgather, n), 90u);
+  EXPECT_EQ(pair_count(CollectiveOp::Alltoall, n), 90u);
+}
+
+TEST(PairCount, SingleRankHasNoPairs) {
+  for (const auto op : all_ops()) {
+    EXPECT_EQ(pair_count(op, 1), 0u);
+  }
+}
+
+TEST(ForEachPair, VisitCountMatchesPairCount) {
+  for (const auto op : all_ops()) {
+    for (const int n : {2, 3, 7, 16}) {
+      Count visits = 0;
+      for_each_pair(op, 0, n, 1000, [&](Rank, Rank, Bytes) { ++visits; });
+      EXPECT_EQ(visits, pair_count(op, n)) << to_string(op) << " n=" << n;
+    }
+  }
+}
+
+class VolumeConservation
+    : public ::testing::TestWithParam<std::tuple<int, int, Bytes>> {};
+
+TEST_P(VolumeConservation, SumOfMessagesEqualsTotal) {
+  const auto [op_index, n, total] = GetParam();
+  const auto op = static_cast<CollectiveOp>(op_index);
+  Bytes sum = 0;
+  for_each_pair(op, 0, n, total, [&](Rank, Rank, Bytes b) { sum += b; });
+  if (op == CollectiveOp::Barrier) {
+    EXPECT_EQ(sum, 0u);  // Barriers carry no payload.
+  } else if (n > 1) {
+    EXPECT_EQ(sum, total);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VolumeConservation,
+    ::testing::Combine(::testing::Range(0, trace::kNumCollectiveOps),
+                       ::testing::Values(2, 3, 9, 64),
+                       ::testing::Values<Bytes>(0, 1, 7, 4096, 1000003)));
+
+TEST(ForEachPair, BcastSendsFromRootOnly) {
+  const Rank root = 3;
+  std::set<Rank> destinations;
+  for_each_pair(CollectiveOp::Bcast, root, 8, 800, [&](Rank s, Rank d, Bytes b) {
+    EXPECT_EQ(s, root);
+    EXPECT_NE(d, root);
+    // 800 bytes over 7 pairs: base 114, remainder 2 on the first pairs.
+    EXPECT_TRUE(b == 114u || b == 115u);
+    destinations.insert(d);
+  });
+  EXPECT_EQ(destinations.size(), 7u);
+}
+
+TEST(ForEachPair, RemainderGoesToEarliestPairs) {
+  // 10 bytes over 4 pairs (bcast, n=5): 3,3,2,2.
+  std::vector<Bytes> sizes;
+  for_each_pair(CollectiveOp::Bcast, 0, 5, 10, [&](Rank, Rank, Bytes b) {
+    sizes.push_back(b);
+  });
+  EXPECT_EQ(sizes, (std::vector<Bytes>{3, 3, 2, 2}));
+}
+
+TEST(ForEachPair, AlltoallCoversAllOrderedPairs) {
+  const int n = 6;
+  std::set<std::pair<Rank, Rank>> pairs;
+  for_each_pair(CollectiveOp::Alltoall, 0, n, 30000, [&](Rank s, Rank d, Bytes) {
+    EXPECT_NE(s, d);
+    pairs.insert({s, d});
+  });
+  EXPECT_EQ(pairs.size(), static_cast<std::size_t>(n * (n - 1)));
+}
+
+TEST(ForEachPair, AllreduceIsAllPairs) {
+  // The direct (flat) allreduce: every ordered pair exchanges data —
+  // this is the translation consistent with the paper's Table 3 (see
+  // DESIGN.md). It must not be a root-star.
+  const int n = 5;
+  std::map<Rank, int> out_degree;
+  for_each_pair(CollectiveOp::Allreduce, 2, n, 1000, [&](Rank s, Rank d, Bytes) {
+    EXPECT_NE(s, d);
+    ++out_degree[s];
+  });
+  for (Rank r = 0; r < n; ++r) EXPECT_EQ(out_degree[r], n - 1);
+}
+
+TEST(ForEachPair, BarrierIsRootStarWithZeroBytes) {
+  const Rank root = 1;
+  int to_root = 0, from_root = 0;
+  for_each_pair(CollectiveOp::Barrier, root, 6, 999, [&](Rank s, Rank d, Bytes b) {
+    EXPECT_EQ(b, 0u);
+    if (d == root) ++to_root;
+    if (s == root) ++from_root;
+  });
+  EXPECT_EQ(to_root, 5);
+  EXPECT_EQ(from_root, 5);
+}
+
+TEST(ForEachPair, GatherSendsToRoot) {
+  const Rank root = 4;
+  for_each_pair(CollectiveOp::Gather, root, 9, 900, [&](Rank s, Rank d, Bytes) {
+    EXPECT_EQ(d, root);
+    EXPECT_NE(s, root);
+  });
+}
+
+TEST(IsRooted, Classification) {
+  EXPECT_TRUE(is_rooted(CollectiveOp::Bcast));
+  EXPECT_TRUE(is_rooted(CollectiveOp::Gather));
+  EXPECT_TRUE(is_rooted(CollectiveOp::Reduce));
+  EXPECT_TRUE(is_rooted(CollectiveOp::Scatter));
+  EXPECT_FALSE(is_rooted(CollectiveOp::Allreduce));
+  EXPECT_FALSE(is_rooted(CollectiveOp::Alltoall));
+  EXPECT_FALSE(is_rooted(CollectiveOp::Barrier));
+}
+
+TEST(ForEachPair, RootInvarianceForSymmetricOps) {
+  // All-pairs ops must produce identical pair sets for any root.
+  auto collect = [](Rank root) {
+    std::set<std::pair<Rank, Rank>> pairs;
+    for_each_pair(CollectiveOp::Allreduce, root, 6, 600,
+                  [&](Rank s, Rank d, Bytes) { pairs.insert({s, d}); });
+    return pairs;
+  };
+  EXPECT_EQ(collect(0), collect(5));
+}
+
+}  // namespace
+}  // namespace netloc::collectives

@@ -1,0 +1,286 @@
+// Unit and property tests for the common substrate: PRNG, grid math,
+// weighted quantiles, formatting and CSV output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "netloc/common/csv.hpp"
+#include "netloc/common/error.hpp"
+#include "netloc/common/format.hpp"
+#include "netloc/common/grid.hpp"
+#include "netloc/common/prng.hpp"
+#include "netloc/common/quantile.hpp"
+#include "netloc/common/units.hpp"
+
+namespace netloc {
+namespace {
+
+// ---- PRNG ----------------------------------------------------------------
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 0 from the published SplitMix64 algorithm.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro256, DeterministicAcrossInstances) {
+  Xoshiro256 a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, NextInInclusiveRange) {
+  Xoshiro256 rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All values hit over 500 draws.
+}
+
+// ---- Grid math -------------------------------------------------------------
+
+TEST(BalancedDims, PaperRankCounts3D) {
+  EXPECT_EQ(balanced_dims(216, 3).extent, (std::vector<std::int32_t>{6, 6, 6}));
+  EXPECT_EQ(balanced_dims(64, 3).extent, (std::vector<std::int32_t>{4, 4, 4}));
+  EXPECT_EQ(balanced_dims(512, 3).extent, (std::vector<std::int32_t>{8, 8, 8}));
+  EXPECT_EQ(balanced_dims(1000, 3).extent, (std::vector<std::int32_t>{10, 10, 10}));
+  EXPECT_EQ(balanced_dims(1728, 3).extent, (std::vector<std::int32_t>{12, 12, 12}));
+  EXPECT_EQ(balanced_dims(144, 3).extent, (std::vector<std::int32_t>{6, 6, 4}));
+  EXPECT_EQ(balanced_dims(1152, 3).extent, (std::vector<std::int32_t>{12, 12, 8}));
+  EXPECT_EQ(balanced_dims(18, 3).extent, (std::vector<std::int32_t>{3, 3, 2}));
+}
+
+TEST(BalancedDims, PaperRankCounts2D) {
+  EXPECT_EQ(balanced_dims(168, 2).extent, (std::vector<std::int32_t>{14, 12}));
+  EXPECT_EQ(balanced_dims(100, 2).extent, (std::vector<std::int32_t>{10, 10}));
+}
+
+TEST(BalancedDims, ProductAlwaysExact) {
+  for (int n = 1; n <= 300; ++n) {
+    for (int k = 1; k <= 3; ++k) {
+      EXPECT_EQ(balanced_dims(n, k).size(), n) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BalancedDims, SortedDescending) {
+  for (int n : {30, 97, 128, 360, 1001}) {
+    const auto dims = balanced_dims(n, 3);
+    EXPECT_GE(dims.extent[0], dims.extent[1]);
+    EXPECT_GE(dims.extent[1], dims.extent[2]);
+  }
+}
+
+TEST(BalancedDims, RejectsBadArguments) {
+  EXPECT_THROW(balanced_dims(0, 3), ConfigError);
+  EXPECT_THROW(balanced_dims(8, 0), ConfigError);
+}
+
+class GridRoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GridRoundTrip, LinearCoordsLinear) {
+  const auto [n, k] = GetParam();
+  const auto dims = balanced_dims(n, k);
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(to_linear(to_coords(i, dims), dims), i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridRoundTrip,
+                         ::testing::Combine(::testing::Values(8, 27, 64, 100,
+                                                              168, 216),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(GridDistance, ChebyshevNeighboursAreDistanceOne) {
+  const auto dims = balanced_dims(27, 3);  // 3x3x3
+  // Rank 13 is the centre; all other ranks are Chebyshev-1 away.
+  for (std::int64_t r = 0; r < 27; ++r) {
+    if (r == 13) continue;
+    EXPECT_EQ(chebyshev_distance(13, r, dims), 1);
+  }
+}
+
+TEST(GridDistance, ManhattanVsChebyshev) {
+  const auto dims = balanced_dims(27, 3);
+  // Corner 0 to corner 26: coords (0,0,0) to (2,2,2).
+  EXPECT_EQ(chebyshev_distance(0, 26, dims), 2);
+  EXPECT_EQ(manhattan_distance(0, 26, dims), 6);
+}
+
+TEST(GridDistance, SymmetricAndZeroOnDiagonal) {
+  const auto dims = balanced_dims(64, 3);
+  for (std::int64_t a = 0; a < 64; a += 7) {
+    EXPECT_EQ(chebyshev_distance(a, a, dims), 0);
+    for (std::int64_t b = 0; b < 64; b += 5) {
+      EXPECT_EQ(chebyshev_distance(a, b, dims), chebyshev_distance(b, a, dims));
+      EXPECT_EQ(manhattan_distance(a, b, dims), manhattan_distance(b, a, dims));
+      EXPECT_LE(chebyshev_distance(a, b, dims), manhattan_distance(a, b, dims));
+    }
+  }
+}
+
+// ---- Quantiles -------------------------------------------------------------
+
+TEST(WeightedQuantile, SimpleStep) {
+  std::vector<WeightedSample> s = {{1.0, 50.0}, {2.0, 40.0}, {10.0, 10.0}};
+  EXPECT_DOUBLE_EQ(weighted_quantile(s, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(weighted_quantile(s, 0.9), 2.0);
+  EXPECT_DOUBLE_EQ(weighted_quantile(s, 1.0), 10.0);
+}
+
+TEST(WeightedQuantile, EmptyAndZeroWeight) {
+  EXPECT_DOUBLE_EQ(weighted_quantile({}, 0.9), 0.0);
+  EXPECT_DOUBLE_EQ(weighted_quantile({{5.0, 0.0}}, 0.9), 0.0);
+}
+
+TEST(WeightedQuantile, RejectsBadFraction) {
+  std::vector<WeightedSample> s = {{1.0, 1.0}};
+  EXPECT_THROW(weighted_quantile(s, 0.0), ConfigError);
+  EXPECT_THROW(weighted_quantile(s, 1.5), ConfigError);
+}
+
+TEST(WeightedQuantileInterpolated, InterpolatesWithinCrossingValueGroup) {
+  // 80% of weight at distance 1, 20% at distance 11: the 90% threshold
+  // falls halfway into the distance-11 group -> interpolate 1 .. 11.
+  std::vector<WeightedSample> s = {{1.0, 80.0}, {11.0, 20.0}};
+  EXPECT_DOUBLE_EQ(weighted_quantile_interpolated(s, 0.9), 6.0);
+}
+
+TEST(WeightedQuantileInterpolated, MergesDuplicateValues) {
+  // The same distribution as above, but the distance-11 mass split over
+  // many samples must behave identically (group-level CDF).
+  std::vector<WeightedSample> s = {{1.0, 80.0}};
+  for (int i = 0; i < 20; ++i) s.push_back({11.0, 1.0});
+  EXPECT_DOUBLE_EQ(weighted_quantile_interpolated(s, 0.9), 6.0);
+}
+
+TEST(WeightedQuantileInterpolated, ExactBoundary) {
+  std::vector<WeightedSample> s = {{2.0, 90.0}, {5.0, 10.0}};
+  EXPECT_DOUBLE_EQ(weighted_quantile_interpolated(s, 0.9), 2.0);
+}
+
+TEST(CoverageCount, FractionalCrossing) {
+  // Weights 50, 30, 20: 90% of 100 = 90 -> two full + half of the 20.
+  EXPECT_DOUBLE_EQ(coverage_count({50.0, 30.0, 20.0}, 0.9), 2.5);
+}
+
+TEST(CoverageCount, OrderIndependent) {
+  EXPECT_DOUBLE_EQ(coverage_count({20.0, 50.0, 30.0}, 0.9),
+                   coverage_count({50.0, 30.0, 20.0}, 0.9));
+}
+
+TEST(CoverageCount, SingleDominantPartner) {
+  EXPECT_DOUBLE_EQ(coverage_count({100.0}, 0.9), 0.9);
+}
+
+TEST(CoverageCount, UniformWeights) {
+  // Ten equal partners: 90% coverage needs exactly 9 of them.
+  std::vector<double> w(10, 1.0);
+  EXPECT_NEAR(coverage_count(w, 0.9), 9.0, 1e-9);
+}
+
+TEST(CoverageCount, Empty) {
+  EXPECT_DOUBLE_EQ(coverage_count({}, 0.9), 0.0);
+}
+
+// ---- Units -----------------------------------------------------------------
+
+TEST(Packets, FourKiBPayload) {
+  EXPECT_EQ(packets_for(1), 1u);
+  EXPECT_EQ(packets_for(4096), 1u);
+  EXPECT_EQ(packets_for(4097), 2u);
+  EXPECT_EQ(packets_for(3 * 4096 + 1), 4u);
+}
+
+TEST(Packets, ZeroByteMessageStillCostsOnePacket) {
+  EXPECT_EQ(packets_for(0), 1u);
+}
+
+// ---- Formatting -------------------------------------------------------------
+
+TEST(Format, Scientific) {
+  EXPECT_EQ(sci(5973412.0), "6.0E+06");
+  EXPECT_EQ(sci(4200.0), "4.2E+03");
+  EXPECT_EQ(sci(0.0), "0");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(2.625, 2), "2.62");  // round-to-even via printf
+  EXPECT_EQ(fixed(100.0, 1), "100.0");
+}
+
+TEST(Format, AdaptivePercent) {
+  EXPECT_EQ(adaptive_percent(0.0052), "0.0052");
+  EXPECT_EQ(adaptive_percent(7.4e-8), "7.4E-08");
+  EXPECT_EQ(adaptive_percent(0.0), "0");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"Name", "Value"});
+  table.add_row({"alpha", "1"});
+  table.add_rule();
+  table.add_row({"b", "23456"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| Name  |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 23456 |"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable table({"A", "B", "C"});
+  table.add_row({"x"});
+  EXPECT_NO_THROW(table.render());
+}
+
+// ---- CSV -------------------------------------------------------------------
+
+TEST(Csv, EscapesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(out.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Csv, NumericRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_numeric_row({1.5, 2.0, 0.25});
+  EXPECT_EQ(out.str(), "1.5,2,0.25\n");
+}
+
+}  // namespace
+}  // namespace netloc

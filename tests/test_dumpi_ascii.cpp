@@ -1,0 +1,267 @@
+// Tests for the dumpi2ascii importer: call parsing, datatype sizing,
+// collective accounting conventions, communicator filtering and
+// failure injection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "netloc/common/error.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/trace/dumpi_ascii.hpp"
+#include "netloc/trace/stats.hpp"
+
+namespace netloc::trace {
+namespace {
+
+constexpr const char* kSendBlock =
+    "MPI_Send entered at walltime 100.0001, cputime 0.0001 seconds in thread 0.\n"
+    "int count=128\n"
+    "MPI_Datatype datatype=11 (MPI_DOUBLE)\n"
+    "int dest=3\n"
+    "int tag=0\n"
+    "MPI_Comm comm=2 (MPI_COMM_WORLD)\n"
+    "MPI_Send returned at walltime 100.0002, cputime 0.0002 seconds in thread 0.\n";
+
+TEST(DatatypeSizes, CommonBuiltins) {
+  EXPECT_EQ(builtin_datatype_size("MPI_DOUBLE"), 8u);
+  EXPECT_EQ(builtin_datatype_size("MPI_INT"), 4u);
+  EXPECT_EQ(builtin_datatype_size("MPI_CHAR"), 1u);
+  EXPECT_EQ(builtin_datatype_size("MPI_LONG_DOUBLE"), 16u);
+  EXPECT_EQ(builtin_datatype_size("MPI_MY_STRUCT"), 0u);  // derived
+}
+
+TEST(DumpiAscii, ParsesASend) {
+  std::istringstream in(kSendBlock);
+  TraceBuilder builder("t", 8);
+  const auto calls = parse_dumpi_ascii_rank(in, 0, 8, builder);
+  EXPECT_EQ(calls, 1u);
+  const auto trace = builder.build();
+  ASSERT_EQ(trace.p2p().size(), 1u);
+  EXPECT_EQ(trace.p2p()[0].src, 0);
+  EXPECT_EQ(trace.p2p()[0].dst, 3);
+  EXPECT_EQ(trace.p2p()[0].bytes, 128u * 8u);  // 128 x MPI_DOUBLE
+  EXPECT_DOUBLE_EQ(trace.p2p()[0].time, 0.0);  // normalized to first call
+}
+
+TEST(DumpiAscii, DerivedDatatypeFallsBackToOneByte) {
+  std::istringstream in(
+      "MPI_Send entered at walltime 5.0, cputime 0.1 seconds in thread 0.\n"
+      "int count=100\n"
+      "MPI_Datatype datatype=17 (user-defined-type)\n"
+      "int dest=1\n"
+      "MPI_Send returned at walltime 5.1, cputime 0.1 seconds in thread 0.\n");
+  TraceBuilder builder("t", 4);
+  parse_dumpi_ascii_rank(in, 0, 4, builder);
+  EXPECT_EQ(builder.p2p_count(), 1u);
+  const auto trace = builder.build();
+  EXPECT_EQ(trace.p2p()[0].bytes, 100u);  // 1 byte per element, per paper
+}
+
+TEST(DumpiAscii, ReceivesAreIgnored) {
+  std::istringstream in(
+      "MPI_Recv entered at walltime 5.0, cputime 0.1 seconds in thread 0.\n"
+      "int count=100\n"
+      "MPI_Datatype datatype=11 (MPI_DOUBLE)\n"
+      "int source=1\n"
+      "MPI_Recv returned at walltime 5.1, cputime 0.1 seconds in thread 0.\n");
+  TraceBuilder builder("t", 4);
+  const auto calls = parse_dumpi_ascii_rank(in, 0, 4, builder);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(builder.p2p_count(), 0u);
+}
+
+TEST(DumpiAscii, RootedCollectiveCountedOnlyAtRoot) {
+  const std::string bcast =
+      "MPI_Bcast entered at walltime 1.0, cputime 0.1 seconds in thread 0.\n"
+      "int count=10\n"
+      "MPI_Datatype datatype=11 (MPI_DOUBLE)\n"
+      "int root=2\n"
+      "MPI_Comm comm=2 (MPI_COMM_WORLD)\n"
+      "MPI_Bcast returned at walltime 1.1, cputime 0.1 seconds in thread 0.\n";
+  // Rank 0 sees the call but must not record it.
+  {
+    std::istringstream in(bcast);
+    TraceBuilder builder("t", 4);
+    parse_dumpi_ascii_rank(in, 0, 4, builder);
+    EXPECT_EQ(builder.collective_count(), 0u);
+  }
+  // The root does, with total volume (n-1)*count*size.
+  {
+    std::istringstream in(bcast);
+    TraceBuilder builder("t", 4);
+    parse_dumpi_ascii_rank(in, 2, 4, builder);
+    const auto trace = builder.build();
+    ASSERT_EQ(trace.collectives().size(), 1u);
+    EXPECT_EQ(trace.collectives()[0].op, CollectiveOp::Bcast);
+    EXPECT_EQ(trace.collectives()[0].root, 2);
+    EXPECT_EQ(trace.collectives()[0].bytes, 3u * 10u * 8u);
+  }
+}
+
+TEST(DumpiAscii, AllreduceCountedAtRankZeroWithAllPairsVolume) {
+  const std::string allreduce =
+      "MPI_Allreduce entered at walltime 1.0, cputime 0.1 seconds in thread 0.\n"
+      "int count=5\n"
+      "MPI_Datatype datatype=11 (MPI_DOUBLE)\n"
+      "MPI_Op op=1 (MPI_SUM)\n"
+      "MPI_Comm comm=2 (MPI_COMM_WORLD)\n"
+      "MPI_Allreduce returned at walltime 1.2, cputime 0.1 seconds in thread 0.\n";
+  std::istringstream in0(allreduce), in1(allreduce);
+  TraceBuilder builder("t", 4);
+  parse_dumpi_ascii_rank(in0, 0, 4, builder);
+  parse_dumpi_ascii_rank(in1, 1, 4, builder);
+  const auto trace = builder.build();
+  ASSERT_EQ(trace.collectives().size(), 1u);  // only rank 0's copy
+  EXPECT_EQ(trace.collectives()[0].bytes, 4u * 3u * 5u * 8u);
+}
+
+TEST(DumpiAscii, AlltoallUsesSendcountAndSendtype) {
+  std::istringstream in(
+      "MPI_Alltoall entered at walltime 1.0, cputime 0.1 seconds in thread 0.\n"
+      "int sendcount=7\n"
+      "MPI_Datatype sendtype=8 (MPI_INT)\n"
+      "int recvcount=7\n"
+      "MPI_Datatype recvtype=8 (MPI_INT)\n"
+      "MPI_Comm comm=2 (MPI_COMM_WORLD)\n"
+      "MPI_Alltoall returned at walltime 1.2, cputime 0.1 seconds in thread 0.\n");
+  TraceBuilder builder("t", 3);
+  parse_dumpi_ascii_rank(in, 0, 3, builder);
+  const auto trace = builder.build();
+  ASSERT_EQ(trace.collectives().size(), 1u);
+  EXPECT_EQ(trace.collectives()[0].op, CollectiveOp::Alltoall);
+  EXPECT_EQ(trace.collectives()[0].bytes, 3u * 2u * 7u * 4u);
+}
+
+TEST(DumpiAscii, NonWorldCommunicatorsAreSkippedByDefault) {
+  const std::string send_on_subcomm =
+      "MPI_Send entered at walltime 1.0, cputime 0.1 seconds in thread 0.\n"
+      "int count=8\n"
+      "MPI_Datatype datatype=11 (MPI_DOUBLE)\n"
+      "int dest=1\n"
+      "MPI_Comm comm=4 (user-defined-comm)\n"
+      "MPI_Send returned at walltime 1.1, cputime 0.1 seconds in thread 0.\n";
+  std::istringstream in(send_on_subcomm);
+  TraceBuilder builder("t", 4);
+  parse_dumpi_ascii_rank(in, 0, 4, builder);
+  EXPECT_EQ(builder.p2p_count(), 0u);
+
+  std::istringstream in2(send_on_subcomm);
+  DumpiAsciiOptions strict;
+  strict.reject_unknown_communicators = true;
+  EXPECT_THROW(parse_dumpi_ascii_rank(in2, 0, 4, builder, strict),
+               TraceFormatError);
+}
+
+TEST(DumpiAscii, BarrierCarriesNoVolume) {
+  std::istringstream in(
+      "MPI_Barrier entered at walltime 1.0, cputime 0.1 seconds in thread 0.\n"
+      "MPI_Comm comm=2 (MPI_COMM_WORLD)\n"
+      "MPI_Barrier returned at walltime 1.1, cputime 0.1 seconds in thread 0.\n");
+  TraceBuilder builder("t", 4);
+  parse_dumpi_ascii_rank(in, 0, 4, builder);
+  const auto trace = builder.build();
+  ASSERT_EQ(trace.collectives().size(), 1u);
+  EXPECT_EQ(trace.collectives()[0].bytes, 0u);
+}
+
+TEST(DumpiAscii, NonMpiLinesAreSkipped) {
+  std::istringstream in(std::string("some header noise\n\n") + kSendBlock +
+                        "trailing noise\n");
+  TraceBuilder builder("t", 8);
+  EXPECT_EQ(parse_dumpi_ascii_rank(in, 0, 8, builder), 1u);
+  EXPECT_EQ(builder.p2p_count(), 1u);
+}
+
+// ---- Failure injection -------------------------------------------------------
+
+TEST(DumpiAscii, RejectsTruncatedCall) {
+  std::istringstream in(
+      "MPI_Send entered at walltime 1.0, cputime 0.1 seconds in thread 0.\n"
+      "int count=8\n");
+  TraceBuilder builder("t", 4);
+  EXPECT_THROW(parse_dumpi_ascii_rank(in, 0, 4, builder), TraceFormatError);
+}
+
+TEST(DumpiAscii, RejectsMismatchedReturn) {
+  std::istringstream in(
+      "MPI_Send entered at walltime 1.0, cputime 0.1 seconds in thread 0.\n"
+      "int dest=1\n"
+      "MPI_Recv returned at walltime 1.1, cputime 0.1 seconds in thread 0.\n");
+  TraceBuilder builder("t", 4);
+  EXPECT_THROW(parse_dumpi_ascii_rank(in, 0, 4, builder), TraceFormatError);
+}
+
+TEST(DumpiAscii, RejectsMissingDest) {
+  std::istringstream in(
+      "MPI_Send entered at walltime 1.0, cputime 0.1 seconds in thread 0.\n"
+      "int count=8\n"
+      "MPI_Send returned at walltime 1.1, cputime 0.1 seconds in thread 0.\n");
+  TraceBuilder builder("t", 4);
+  EXPECT_THROW(parse_dumpi_ascii_rank(in, 0, 4, builder), TraceFormatError);
+}
+
+TEST(DumpiAscii, RejectsGarbageWalltime) {
+  std::istringstream in(
+      "MPI_Send entered at walltime notanumber, cputime 0.1 seconds.\n");
+  TraceBuilder builder("t", 4);
+  EXPECT_THROW(parse_dumpi_ascii_rank(in, 0, 4, builder), TraceFormatError);
+}
+
+TEST(DumpiAscii, RejectsBadRankArguments) {
+  std::istringstream in("");
+  TraceBuilder builder("t", 4);
+  EXPECT_THROW(parse_dumpi_ascii_rank(in, 4, 4, builder), TraceFormatError);
+  EXPECT_THROW(parse_dumpi_ascii_rank(in, 0, 0, builder), TraceFormatError);
+}
+
+// ---- Whole-application import -------------------------------------------------
+
+TEST(DumpiAscii, ReadMultiRankApplication) {
+  // Two ranks: a ping-pong plus a world allreduce.
+  const std::string dir = ::testing::TempDir();
+  const std::string path0 = dir + "/dumpi_rank0.txt";
+  const std::string path1 = dir + "/dumpi_rank1.txt";
+  {
+    std::ofstream out(path0);
+    out << "MPI_Send entered at walltime 10.0, cputime 0 seconds in thread 0.\n"
+           "int count=4\nMPI_Datatype datatype=8 (MPI_INT)\nint dest=1\n"
+           "MPI_Send returned at walltime 10.1, cputime 0 seconds in thread 0.\n"
+           "MPI_Allreduce entered at walltime 10.2, cputime 0 seconds in thread 0.\n"
+           "int count=1\nMPI_Datatype datatype=11 (MPI_DOUBLE)\n"
+           "MPI_Comm comm=2 (MPI_COMM_WORLD)\n"
+           "MPI_Allreduce returned at walltime 10.3, cputime 0 seconds in thread 0.\n";
+  }
+  {
+    std::ofstream out(path1);
+    out << "MPI_Recv entered at walltime 10.0, cputime 0 seconds in thread 0.\n"
+           "int count=4\nMPI_Datatype datatype=8 (MPI_INT)\nint source=0\n"
+           "MPI_Recv returned at walltime 10.1, cputime 0 seconds in thread 0.\n"
+           "MPI_Send entered at walltime 10.15, cputime 0 seconds in thread 0.\n"
+           "int count=4\nMPI_Datatype datatype=8 (MPI_INT)\nint dest=0\n"
+           "MPI_Send returned at walltime 10.2, cputime 0 seconds in thread 0.\n"
+           "MPI_Allreduce entered at walltime 10.2, cputime 0 seconds in thread 0.\n"
+           "int count=1\nMPI_Datatype datatype=11 (MPI_DOUBLE)\n"
+           "MPI_Comm comm=2 (MPI_COMM_WORLD)\n"
+           "MPI_Allreduce returned at walltime 10.3, cputime 0 seconds in thread 0.\n";
+  }
+  const auto trace = read_dumpi_ascii("pingpong", {path0, path1});
+  EXPECT_EQ(trace.num_ranks(), 2);
+  EXPECT_EQ(trace.p2p().size(), 2u);
+  EXPECT_EQ(trace.collectives().size(), 1u);  // counted once at rank 0
+
+  const auto matrix = metrics::TrafficMatrix::from_trace(trace);
+  EXPECT_EQ(matrix.bytes(0, 1), 16u + 8u);  // send + half the allreduce
+  EXPECT_EQ(matrix.bytes(1, 0), 16u + 8u);
+  std::remove(path0.c_str());
+  std::remove(path1.c_str());
+}
+
+TEST(DumpiAscii, ReadRejectsMissingFiles) {
+  EXPECT_THROW(read_dumpi_ascii("x", {"/nonexistent/rank0.txt"}), Error);
+  EXPECT_THROW(read_dumpi_ascii("x", {}), TraceFormatError);
+}
+
+}  // namespace
+}  // namespace netloc::trace

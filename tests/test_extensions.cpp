@@ -1,0 +1,154 @@
+// Tests for the extension features beyond the paper's measurements:
+// Valiant routing on the dragonfly (§7's adaptive-routing remark) and
+// the topology-aware torus mappings used by the mapping ablation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netloc/common/error.hpp"
+#include "netloc/mapping/torus_mappings.hpp"
+#include "netloc/topology/dragonfly.hpp"
+#include "netloc/topology/torus.hpp"
+
+namespace netloc {
+namespace {
+
+// ---- Valiant routing -----------------------------------------------------
+
+TEST(Valiant, DegeneratesToMinimalForTrivialIntermediates) {
+  const topology::Dragonfly df(4, 2, 2);
+  const NodeId a = 0, b = 40;  // groups 0 and 5
+  EXPECT_EQ(df.valiant_hop_distance(a, b, 0), df.hop_distance(a, b));
+  EXPECT_EQ(df.valiant_hop_distance(a, b, 5), df.hop_distance(a, b));
+}
+
+TEST(Valiant, AtMostOneHopShorterThanDirectRouting) {
+  // "Minimal" dragonfly routing is minimal in *global* hops: it takes
+  // the direct inter-group link even when that costs two local hops, so
+  // a Valiant detour whose two global legs happen to land on the right
+  // routers can be one hop shorter in total — but never more.
+  const topology::Dragonfly df(4, 2, 2);
+  for (NodeId a = 0; a < df.num_nodes(); a += 5) {
+    for (NodeId b = 0; b < df.num_nodes(); b += 7) {
+      if (a == b) continue;
+      for (int g = 0; g < df.num_groups(); ++g) {
+        EXPECT_GE(df.valiant_hop_distance(a, b, g), df.hop_distance(a, b) - 1)
+            << a << "->" << b << " via " << g;
+      }
+    }
+  }
+}
+
+TEST(Valiant, DetourPathLengthIsBounded) {
+  // inject + local + global + local + global + local + eject <= 7.
+  const topology::Dragonfly df(6, 3, 3);
+  for (NodeId a = 0; a < df.num_nodes(); a += 11) {
+    for (NodeId b = 0; b < df.num_nodes(); b += 13) {
+      if (a == b) continue;
+      for (int g = 0; g < df.num_groups(); g += 3) {
+        const int hops = df.valiant_hop_distance(a, b, g);
+        EXPECT_LE(hops, 7);
+        EXPECT_GE(hops, 2);
+      }
+    }
+  }
+}
+
+TEST(Valiant, ExpectedHopsExceedMinimalForInterGroupTraffic) {
+  // The paper's point: adaptive/oblivious routing lengthens dragonfly
+  // paths compared to the minimal routing its model assumes.
+  const topology::Dragonfly df(4, 2, 2);
+  const NodeId a = 0, b = 40;
+  EXPECT_GT(df.expected_valiant_hops(a, b),
+            static_cast<double>(df.hop_distance(a, b)));
+}
+
+TEST(Valiant, ZeroForSelf) {
+  const topology::Dragonfly df(4, 2, 2);
+  EXPECT_EQ(df.valiant_hop_distance(3, 3, 2), 0);
+  EXPECT_DOUBLE_EQ(df.expected_valiant_hops(3, 3), 0.0);
+}
+
+TEST(Valiant, RejectsBadIntermediate) {
+  const topology::Dragonfly df(4, 2, 2);
+  EXPECT_THROW(df.valiant_hop_distance(0, 1, -1), ConfigError);
+  EXPECT_THROW(df.valiant_hop_distance(0, 1, 9), ConfigError);
+}
+
+// ---- Torus mappings --------------------------------------------------------
+
+TEST(SnakeMapping, IsAPermutation) {
+  const topology::Torus3D torus(4, 3, 2);
+  const auto m = mapping::snake_torus(24, torus);
+  std::set<NodeId> used;
+  for (Rank r = 0; r < 24; ++r) EXPECT_TRUE(used.insert(m.node_of(r)).second);
+}
+
+TEST(SnakeMapping, ConsecutiveRanksAreAdjacent) {
+  // The defining property: every pair of consecutive ranks sits on
+  // physically adjacent nodes (hop distance 1), including across row
+  // and plane boundaries.
+  const topology::Torus3D torus(5, 4, 3);
+  const auto m = mapping::snake_torus(60, torus);
+  for (Rank r = 0; r + 1 < 60; ++r) {
+    EXPECT_EQ(torus.hop_distance(m.node_of(r), m.node_of(r + 1)), 1)
+        << "ranks " << r << "," << r + 1;
+  }
+}
+
+TEST(SnakeMapping, LinearMappingLacksThatProperty) {
+  const topology::Torus3D torus(5, 4, 3);
+  const auto linear = mapping::Mapping::linear(60, torus.num_nodes());
+  int non_adjacent = 0;
+  for (Rank r = 0; r + 1 < 60; ++r) {
+    if (torus.hop_distance(linear.node_of(r), linear.node_of(r + 1)) != 1) {
+      ++non_adjacent;
+    }
+  }
+  EXPECT_GT(non_adjacent, 0);  // Row wrap-arounds cost more than 1 hop.
+}
+
+TEST(SnakeMapping, PartialOccupancy) {
+  const topology::Torus3D torus(4, 4, 4);
+  const auto m = mapping::snake_torus(10, torus);
+  EXPECT_EQ(m.num_ranks(), 10);
+  EXPECT_EQ(m.num_nodes(), 64);
+}
+
+TEST(SubcubeMapping, IsAPermutation) {
+  const topology::Torus3D torus(4, 4, 4);
+  const auto m = mapping::subcube_torus(64, torus, 2);
+  std::set<NodeId> used;
+  for (Rank r = 0; r < 64; ++r) EXPECT_TRUE(used.insert(m.node_of(r)).second);
+}
+
+TEST(SubcubeMapping, BlocksStayCompact) {
+  const topology::Torus3D torus(4, 4, 4);
+  const auto m = mapping::subcube_torus(64, torus, 2);
+  // Each run of 8 consecutive ranks fills one 2x2x2 cube: max pairwise
+  // distance 3 (Manhattan diagonal).
+  for (Rank base = 0; base < 64; base += 8) {
+    for (Rank i = base; i < base + 8; ++i) {
+      for (Rank j = base; j < base + 8; ++j) {
+        EXPECT_LE(torus.hop_distance(m.node_of(i), m.node_of(j)), 3);
+      }
+    }
+  }
+}
+
+TEST(SubcubeMapping, HandlesNonDivisibleExtents) {
+  const topology::Torus3D torus(5, 4, 3);
+  const auto m = mapping::subcube_torus(60, torus, 2);
+  std::set<NodeId> used;
+  for (Rank r = 0; r < 60; ++r) EXPECT_TRUE(used.insert(m.node_of(r)).second);
+}
+
+TEST(TorusMappings, RejectOvercommit) {
+  const topology::Torus3D torus(2, 2, 2);
+  EXPECT_THROW(mapping::snake_torus(9, torus), ConfigError);
+  EXPECT_THROW(mapping::subcube_torus(9, torus, 2), ConfigError);
+  EXPECT_THROW(mapping::subcube_torus(4, torus, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace netloc

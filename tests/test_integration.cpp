@@ -1,0 +1,155 @@
+// End-to-end integration tests: trace round trips through the full
+// pipeline, paper-band checks on the headline Table 3 numbers, and the
+// mapping-optimizer improvement the paper's discussion predicts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/mapping/optimizer.hpp"
+#include "netloc/metrics/hops.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/trace/io.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace netloc {
+namespace {
+
+TEST(Integration, TraceSurvivesSerializationThroughThePipeline) {
+  const auto original = workloads::generate("LULESH", 64);
+  std::stringstream buf;
+  trace::write_binary(original, buf);
+  const auto loaded = trace::read_binary(buf);
+
+  const auto entry = workloads::catalog_entry("LULESH", 64);
+  const auto row_a = analysis::analyze_trace(original, entry, {});
+  const auto row_b = analysis::analyze_trace(loaded, entry, {});
+  EXPECT_EQ(row_a.peers, row_b.peers);
+  EXPECT_DOUBLE_EQ(row_a.rank_distance, row_b.rank_distance);
+  EXPECT_DOUBLE_EQ(row_a.selectivity_mean, row_b.selectivity_mean);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(row_a.topologies[i].packet_hops, row_b.topologies[i].packet_hops);
+  }
+}
+
+// ---- Paper-band checks: headline Table 3 values ---------------------------
+
+struct Band {
+  const char* app;
+  int ranks;
+  double torus_lo, torus_hi;      // avg hops bands around the paper value
+  double fattree_lo, fattree_hi;
+  double dragonfly_lo, dragonfly_hi;
+};
+
+class PaperBands : public ::testing::TestWithParam<Band> {};
+
+TEST_P(PaperBands, AvgHopsWithinBand) {
+  const auto band = GetParam();
+  const auto row = analysis::run_experiment(
+      workloads::catalog_entry(band.app, band.ranks),
+      analysis::RunOptions{.seed = workloads::kDefaultSeed,
+                           .link_accounting = false});
+  EXPECT_GE(row.topologies[0].avg_hops, band.torus_lo) << band.app;
+  EXPECT_LE(row.topologies[0].avg_hops, band.torus_hi) << band.app;
+  EXPECT_GE(row.topologies[1].avg_hops, band.fattree_lo) << band.app;
+  EXPECT_LE(row.topologies[1].avg_hops, band.fattree_hi) << band.app;
+  EXPECT_GE(row.topologies[2].avg_hops, band.dragonfly_lo) << band.app;
+  EXPECT_LE(row.topologies[2].avg_hops, band.dragonfly_hi) << band.app;
+}
+
+// Paper values (Table 3): LULESH/512 5.80/3.88/4.60; MiniFE/1152
+// 7.98/4.47/4.71; CMC_2D/1024 8.00/4.36/4.69; BigFFT/1024
+// 8.00/4.35/4.69; AMG/1728 2.62/3.62/4.28 (torus band widened: our
+// synthetic AMG concentrates more volume on the fine level).
+INSTANTIATE_TEST_SUITE_P(
+    HeadlineConfigs, PaperBands,
+    ::testing::Values(Band{"LULESH", 512, 5.2, 6.0, 3.5, 4.3, 4.2, 5.0},
+                      Band{"MiniFE", 1152, 7.2, 8.0, 4.0, 5.4, 4.2, 5.0},
+                      Band{"CMC_2D", 1024, 7.2, 8.1, 3.9, 5.4, 4.2, 5.0},
+                      Band{"BigFFT", 1024, 7.2, 8.1, 4.0, 5.4, 4.2, 5.0},
+                      Band{"AMG", 1728, 1.2, 3.0, 3.2, 4.1, 3.6, 4.7}));
+
+TEST(Integration, TorusWinsAtSmallScaleFatTreeCompetitiveAtLarge) {
+  // §6.2: "a torus provides the lowest average number of hops for all
+  // small problem sizes (< 256 ranks)" and at large scale the fat tree
+  // overtakes it (AMG being the exception).
+  for (const char* app : {"LULESH", "MiniFE", "Nekbone"}) {
+    const auto entries = workloads::catalog_for(app);
+    const auto small = analysis::run_experiment(
+        entries.front(), {.seed = workloads::kDefaultSeed, .link_accounting = false});
+    EXPECT_LT(small.topologies[0].avg_hops, small.topologies[1].avg_hops)
+        << app << " small: torus should win";
+    const auto large = analysis::run_experiment(
+        entries.back(), {.seed = workloads::kDefaultSeed, .link_accounting = false});
+    EXPECT_LT(large.topologies[1].avg_hops, large.topologies[0].avg_hops)
+        << app << " large: fat tree should win";
+  }
+}
+
+TEST(Integration, AmgIsTheTorusException) {
+  // §6.2: AMG keeps its torus advantage even at 1728 ranks.
+  const auto row = analysis::run_experiment(
+      workloads::catalog_entry("AMG", 1728),
+      {.seed = workloads::kDefaultSeed, .link_accounting = false});
+  EXPECT_LT(row.topologies[0].avg_hops, row.topologies[1].avg_hops);
+  EXPECT_LT(row.topologies[0].avg_hops, row.topologies[2].avg_hops);
+}
+
+TEST(Integration, UtilizationIsBelowOnePercentAlmostEverywhere) {
+  // Abstract: "in 93% of all configurations less than 1% of network
+  // resources are actually used"; BigFFT is the known exception.
+  int cells = 0, below = 0;
+  for (const char* app : {"LULESH", "AMG", "MiniFE", "CMC_2D", "PARTISN"}) {
+    for (const auto& entry : workloads::catalog_for(app)) {
+      const auto row = analysis::run_experiment(
+          entry, {.seed = workloads::kDefaultSeed, .link_accounting = false});
+      for (const auto& topo : row.topologies) {
+        ++cells;
+        if (topo.utilization_percent < 1.0) ++below;
+      }
+    }
+  }
+  EXPECT_EQ(below, cells);
+}
+
+TEST(Integration, DragonflyTrafficIsMostlyGlobal) {
+  // §6.2: "on average 95% of all messages over all applications use a
+  // global inter-group link" — check a large configuration.
+  const auto row = analysis::run_experiment(
+      workloads::catalog_entry("MiniFE", 1152), analysis::RunOptions{});
+  EXPECT_GT(row.topologies[2].global_link_packet_share, 0.9);
+}
+
+TEST(Integration, GreedyMappingBeatsLinearOnScatteredTraffic) {
+  // The optimization the paper motivates: a communication-aware mapping
+  // reduces network hops for workloads whose heavy partners are far
+  // apart in rank order (MOCFE's angular decomposition).
+  const auto trace = workloads::generate("MOCFE", 64);
+  const auto matrix = metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true, .include_collectives = false});
+  const auto set = topology::topologies_for(64);
+  const auto edges = matrix.edges();
+
+  const auto linear = mapping::Mapping::linear(64, set.torus->num_nodes());
+  const auto greedy = mapping::greedy_optimize(edges, 64, *set.torus);
+  const auto hops_linear = metrics::hop_stats(matrix, *set.torus, linear);
+  const auto hops_greedy = metrics::hop_stats(matrix, *set.torus, greedy);
+  EXPECT_LT(hops_greedy.packet_hops, hops_linear.packet_hops);
+}
+
+TEST(Integration, FullPipelineFromDiskFile) {
+  const std::string path = ::testing::TempDir() + "/netloc_integration.nltr";
+  trace::save(workloads::generate("CrystalRouter", 100), path);
+  const auto loaded = trace::load(path);
+  const auto row = analysis::analyze_trace(
+      loaded, workloads::catalog_entry("CrystalRouter", 100), {});
+  EXPECT_EQ(row.peers, 7);
+  EXPECT_GT(row.topologies[0].packet_hops, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace netloc

@@ -1,0 +1,224 @@
+// Tests for rank-to-node mappings and the greedy communication-aware
+// optimizer.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include <sstream>
+
+#include "netloc/common/error.hpp"
+#include "netloc/mapping/io.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/mapping/optimizer.hpp"
+#include "netloc/topology/fat_tree.hpp"
+#include "netloc/topology/torus.hpp"
+
+namespace netloc::mapping {
+namespace {
+
+// ---- Mapping factories -----------------------------------------------------
+
+TEST(Mapping, LinearIsIdentity) {
+  const auto m = Mapping::linear(10, 20);
+  for (Rank r = 0; r < 10; ++r) EXPECT_EQ(m.node_of(r), r);
+  EXPECT_EQ(m.num_ranks(), 10);
+  EXPECT_EQ(m.num_nodes(), 20);
+  EXPECT_EQ(m.max_ranks_per_node(), 1);
+}
+
+TEST(Mapping, LinearRejectsOvercommit) {
+  EXPECT_THROW(Mapping::linear(21, 20), ConfigError);
+}
+
+TEST(Mapping, BlockedGroupsConsecutiveRanks) {
+  const auto m = Mapping::blocked(10, 5, 4);
+  EXPECT_EQ(m.node_of(0), 0);
+  EXPECT_EQ(m.node_of(3), 0);
+  EXPECT_EQ(m.node_of(4), 1);
+  EXPECT_EQ(m.node_of(9), 2);
+  EXPECT_EQ(m.max_ranks_per_node(), 4);
+}
+
+TEST(Mapping, BlockedChecksCapacity) {
+  EXPECT_NO_THROW(Mapping::blocked(16, 4, 4));
+  EXPECT_THROW(Mapping::blocked(17, 4, 4), ConfigError);
+  EXPECT_THROW(Mapping::blocked(4, 4, 0), ConfigError);
+}
+
+TEST(Mapping, RoundRobinWraps) {
+  const auto m = Mapping::round_robin(10, 4);
+  EXPECT_EQ(m.node_of(0), 0);
+  EXPECT_EQ(m.node_of(4), 0);
+  EXPECT_EQ(m.node_of(9), 1);
+  EXPECT_EQ(m.max_ranks_per_node(), 3);
+}
+
+TEST(Mapping, RandomIsPermutationOfNodes) {
+  const auto m = Mapping::random(50, 64, 7);
+  std::set<NodeId> used;
+  for (Rank r = 0; r < 50; ++r) {
+    const NodeId node = m.node_of(r);
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, 64);
+    EXPECT_TRUE(used.insert(node).second) << "node reused";
+  }
+}
+
+TEST(Mapping, RandomIsDeterministicInSeed) {
+  const auto a = Mapping::random(30, 40, 99);
+  const auto b = Mapping::random(30, 40, 99);
+  const auto c = Mapping::random(30, 40, 100);
+  EXPECT_EQ(a.raw(), b.raw());
+  EXPECT_NE(a.raw(), c.raw());
+}
+
+TEST(Mapping, ValidatesNodeRange) {
+  EXPECT_THROW(Mapping({0, 5}, 4), ConfigError);
+  EXPECT_THROW(Mapping({-1}, 4), ConfigError);
+  EXPECT_THROW(Mapping({}, 4), ConfigError);
+  EXPECT_THROW(Mapping({0}, 0), ConfigError);
+}
+
+// ---- Objective -------------------------------------------------------------
+
+TEST(WeightedHopCost, HandComputed) {
+  const topology::Torus3D torus(4, 1, 1);
+  const auto m = Mapping::linear(4, 4);
+  // 0->1 distance 1, 0->2 distance 2.
+  const std::vector<TrafficEdge> edges = {{0, 1, 10.0}, {0, 2, 5.0}};
+  EXPECT_DOUBLE_EQ(weighted_hop_cost(edges, torus, m), 10.0 * 1 + 5.0 * 2);
+}
+
+TEST(WeightedHopCost, IgnoresSelfEdges) {
+  const topology::Torus3D torus(4, 1, 1);
+  const auto m = Mapping::linear(4, 4);
+  const std::vector<TrafficEdge> edges = {{1, 1, 100.0}};
+  EXPECT_DOUBLE_EQ(weighted_hop_cost(edges, torus, m), 0.0);
+}
+
+// ---- Greedy optimizer -------------------------------------------------------
+
+std::vector<TrafficEdge> ring_traffic(int n, double weight) {
+  std::vector<TrafficEdge> edges;
+  for (Rank r = 0; r < n; ++r) {
+    edges.push_back({r, static_cast<Rank>((r + 1) % n), weight});
+  }
+  return edges;
+}
+
+TEST(GreedyOptimize, ProducesValidOneRankPerNodeMapping) {
+  const topology::Torus3D torus(4, 4, 4);
+  const auto edges = ring_traffic(64, 1.0);
+  const auto m = greedy_optimize(edges, 64, torus);
+  std::set<NodeId> used;
+  for (Rank r = 0; r < 64; ++r) {
+    EXPECT_TRUE(used.insert(m.node_of(r)).second);
+  }
+}
+
+TEST(GreedyOptimize, OptimalOnRingOverLine) {
+  // A ring of 8 ranks on an 8-node ring torus: the optimum places the
+  // communication ring around the physical ring, cost = 8 (one hop per
+  // edge).
+  const topology::Torus3D torus(8, 1, 1);
+  const auto edges = ring_traffic(8, 1.0);
+  const auto m = greedy_optimize(edges, 8, torus);
+  EXPECT_DOUBLE_EQ(weighted_hop_cost(edges, torus, m), 8.0);
+}
+
+TEST(GreedyOptimize, NeverWorseThanScrambledTraffic) {
+  // Scrambled heavy pairs: greedy must beat the linear mapping, which
+  // places these partners far apart.
+  const topology::Torus3D torus(4, 4, 4);
+  std::vector<TrafficEdge> edges;
+  for (Rank r = 0; r < 32; ++r) {
+    edges.push_back({r, static_cast<Rank>(63 - r), 100.0});
+  }
+  const auto linear = Mapping::linear(64, 64);
+  const auto greedy = greedy_optimize(edges, 64, torus);
+  EXPECT_LE(weighted_hop_cost(edges, torus, greedy),
+            weighted_hop_cost(edges, torus, linear));
+}
+
+TEST(GreedyOptimize, RefinementNeverHurts) {
+  const topology::FatTree ft(48, 2);
+  std::vector<TrafficEdge> edges;
+  for (Rank r = 0; r < 100; r += 2) {
+    edges.push_back({r, static_cast<Rank>((r * 37 + 11) % 100), 1.0 + r});
+  }
+  GreedyOptions no_refine;
+  no_refine.refinement_rounds = 0;
+  GreedyOptions refine;
+  refine.refinement_rounds = 3;
+  const auto base = greedy_optimize(edges, 100, ft, no_refine);
+  const auto refined = greedy_optimize(edges, 100, ft, refine);
+  EXPECT_LE(weighted_hop_cost(edges, ft, refined),
+            weighted_hop_cost(edges, ft, base));
+}
+
+TEST(GreedyOptimize, HandlesIsolatedRanks) {
+  // Ranks with no traffic still get distinct nodes.
+  const topology::Torus3D torus(4, 4, 1);
+  const std::vector<TrafficEdge> edges = {{0, 1, 5.0}};
+  const auto m = greedy_optimize(edges, 16, torus);
+  std::set<NodeId> used;
+  for (Rank r = 0; r < 16; ++r) EXPECT_TRUE(used.insert(m.node_of(r)).second);
+  // The one heavy pair must be adjacent.
+  EXPECT_EQ(torus.hop_distance(m.node_of(0), m.node_of(1)), 1);
+}
+
+TEST(GreedyOptimize, RejectsBadInput) {
+  const topology::Torus3D torus(2, 2, 1);
+  EXPECT_THROW(greedy_optimize({}, 0, torus), ConfigError);
+  EXPECT_THROW(greedy_optimize({}, 5, torus), ConfigError);
+}
+
+TEST(GreedyOptimize, DeterministicAcrossRuns) {
+  const topology::Torus3D torus(4, 4, 4);
+  std::vector<TrafficEdge> edges;
+  for (Rank r = 0; r < 64; ++r) {
+    edges.push_back({r, static_cast<Rank>((r * 13 + 5) % 64), 1.0 + r % 7});
+  }
+  const auto a = greedy_optimize(edges, 64, torus);
+  const auto b = greedy_optimize(edges, 64, torus);
+  EXPECT_EQ(a.raw(), b.raw());
+}
+
+// ---- Rankfile IO -------------------------------------------------------------
+
+TEST(RankfileIO, RoundTrip) {
+  const auto original = Mapping::random(20, 32, 5);
+  std::stringstream buf;
+  write_rankfile(original, buf);
+  const auto loaded = read_rankfile(buf);
+  EXPECT_EQ(loaded.raw(), original.raw());
+  EXPECT_EQ(loaded.num_nodes(), 32);
+}
+
+TEST(RankfileIO, AcceptsCommentsAndAnyOrder) {
+  std::stringstream buf;
+  buf << "# header comment\nnodes 4\nrank 1=3\n\nrank 0=2\n";
+  const auto m = read_rankfile(buf);
+  EXPECT_EQ(m.node_of(0), 2);
+  EXPECT_EQ(m.node_of(1), 3);
+}
+
+TEST(RankfileIO, RejectsMalformedInput) {
+  const char* cases[] = {
+      "rank 0=1\n",                       // rank before nodes header
+      "nodes 4\nrank 0=9\n",              // node out of range
+      "nodes 4\nrank 0=1\nrank 0=2\n",    // duplicate rank
+      "nodes 4\nrank 0=1\nrank 2=1\n",    // rank 1 missing
+      "nodes 4\nrank zero=1\n",           // unparseable
+      "nodes 4\nbogus 0=1\n",             // unknown keyword
+      "nodes 0\n",                        // invalid node count
+      "nodes 4\n",                        // no entries
+  };
+  for (const char* text : cases) {
+    std::stringstream buf(text);
+    EXPECT_THROW(read_rankfile(buf), Error) << text;
+  }
+}
+
+}  // namespace
+}  // namespace netloc::mapping

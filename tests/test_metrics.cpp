@@ -1,0 +1,389 @@
+// Tests for the metrics layer: traffic matrices, rank locality (Eq. 1-2),
+// selectivity, peers, packet hops (Eq. 3-4) and utilization (Eq. 5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netloc/common/error.hpp"
+#include "netloc/common/units.hpp"
+#include "netloc/metrics/hops.hpp"
+#include "netloc/metrics/locality.hpp"
+#include "netloc/metrics/selectivity.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/utilization.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/topology/dragonfly.hpp"
+#include "netloc/topology/torus.hpp"
+#include "netloc/trace/stats.hpp"
+#include "netloc/trace/trace.hpp"
+
+namespace netloc::metrics {
+namespace {
+
+using mapping::Mapping;
+
+// ---- TrafficMatrix ---------------------------------------------------------
+
+TEST(TrafficMatrix, AccumulatesBytesAndPackets) {
+  TrafficMatrix m(4);
+  m.add_message(0, 1, 100);
+  m.add_message(0, 1, 5000);
+  EXPECT_EQ(m.bytes(0, 1), 5100u);
+  EXPECT_EQ(m.packets(0, 1), 1u + 2u);
+  EXPECT_EQ(m.total_bytes(), 5100u);
+  EXPECT_EQ(m.total_packets(), 3u);
+}
+
+TEST(TrafficMatrix, ZeroByteMessageCostsOnePacket) {
+  TrafficMatrix m(4);
+  m.add_message(2, 3, 0);
+  EXPECT_EQ(m.bytes(2, 3), 0u);
+  EXPECT_EQ(m.packets(2, 3), 1u);
+}
+
+TEST(TrafficMatrix, IgnoresSelfMessages) {
+  TrafficMatrix m(4);
+  m.add_message(1, 1, 999);
+  EXPECT_EQ(m.total_bytes(), 0u);
+  EXPECT_EQ(m.total_packets(), 0u);
+}
+
+TEST(TrafficMatrix, BatchedMessagesMatchRepeatedSingles) {
+  TrafficMatrix a(4), b(4);
+  for (int i = 0; i < 7; ++i) a.add_message(0, 2, 6000);
+  b.add_messages(0, 2, 6000, 7);
+  EXPECT_EQ(a.bytes(0, 2), b.bytes(0, 2));
+  EXPECT_EQ(a.packets(0, 2), b.packets(0, 2));
+}
+
+TEST(TrafficMatrix, RejectsOutOfRange) {
+  TrafficMatrix m(4);
+  EXPECT_THROW(m.add_message(0, 4, 1), ConfigError);
+  EXPECT_THROW(m.add_message(-1, 0, 1), ConfigError);
+  EXPECT_THROW(TrafficMatrix(0), ConfigError);
+}
+
+TEST(TrafficMatrix, EdgesExportNonZeroEntries) {
+  TrafficMatrix m(4);
+  m.add_message(0, 1, 10);
+  m.add_message(3, 2, 20);
+  const auto edges = m.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].src, 0);
+  EXPECT_EQ(edges[0].dst, 1);
+  EXPECT_DOUBLE_EQ(edges[0].weight, 10.0);
+  EXPECT_EQ(edges[1].src, 3);
+}
+
+TEST(TrafficMatrix, DestinationsOf) {
+  TrafficMatrix m(5);
+  m.add_message(2, 0, 1);
+  m.add_message(2, 4, 1);
+  EXPECT_EQ(m.destinations_of(2), (std::vector<Rank>{0, 4}));
+  EXPECT_TRUE(m.destinations_of(0).empty());
+}
+
+trace::Trace trace_with_collective() {
+  trace::TraceBuilder builder("t", 4);
+  builder.add_p2p(0, 1, 1000, 0.1);
+  builder.add_collective(trace::CollectiveOp::Alltoall, 0, 1200, 0.2);
+  builder.set_duration(1.0);
+  return builder.build();
+}
+
+TEST(TrafficMatrix, FromTraceP2POnly) {
+  const auto m = TrafficMatrix::from_trace(
+      trace_with_collective(), {.include_p2p = true, .include_collectives = false});
+  EXPECT_EQ(m.total_bytes(), 1000u);
+}
+
+TEST(TrafficMatrix, FromTraceCollectivesOnly) {
+  const auto m = TrafficMatrix::from_trace(
+      trace_with_collective(), {.include_p2p = false, .include_collectives = true});
+  EXPECT_EQ(m.total_bytes(), 1200u);
+  // Alltoall on 4 ranks: 12 pairs of 100 bytes each.
+  EXPECT_EQ(m.bytes(2, 3), 100u);
+  EXPECT_EQ(m.total_packets(), 12u);
+}
+
+TEST(TrafficMatrix, FromTraceVolumeConservation) {
+  const auto trace = trace_with_collective();
+  const auto m = TrafficMatrix::from_trace(trace);
+  const auto stats = trace::compute_stats(trace);
+  EXPECT_EQ(m.total_bytes(), stats.total_volume());
+}
+
+TEST(TrafficMatrix, AlternativeCollectiveSchedules) {
+  // A ring allreduce only touches ring edges; a binomial tree only
+  // tree edges — both move far fewer bytes than the flat translation.
+  trace::TraceBuilder builder("t", 8);
+  builder.add_collective(trace::CollectiveOp::Allreduce, 0,
+                         /*flat total=*/8 * 7 * 100, 0.1);
+  builder.set_duration(1.0);
+  const auto trace = builder.build();
+
+  TrafficOptions ring_options;
+  ring_options.collective_algorithm = collectives::Algorithm::Ring;
+  const auto ring = TrafficMatrix::from_trace(trace, ring_options);
+  for (Rank s = 0; s < 8; ++s) {
+    for (Rank d = 0; d < 8; ++d) {
+      if (ring.bytes(s, d) > 0) {
+        EXPECT_EQ(d, (s + 1) % 8) << "ring traffic off the ring";
+      }
+    }
+  }
+  const auto flat = TrafficMatrix::from_trace(trace);
+  EXPECT_LT(ring.total_bytes(), flat.total_bytes());
+  EXPECT_EQ(flat.total_bytes(), 8u * 7u * 100u);
+
+  TrafficOptions tree_options;
+  tree_options.collective_algorithm = collectives::Algorithm::BinomialTree;
+  const auto tree = TrafficMatrix::from_trace(trace, tree_options);
+  EXPECT_EQ(tree.total_bytes(), 2u * 7u * 100u);  // reduce + bcast edges
+}
+
+TEST(TrafficMatrix, RepeatedCollectivesScaleLinearly) {
+  trace::TraceBuilder builder("t", 4);
+  for (int i = 0; i < 10; ++i) {
+    builder.add_collective(trace::CollectiveOp::Allreduce, 0, 120, 0.1 * i);
+  }
+  builder.set_duration(2.0);
+  const auto m = TrafficMatrix::from_trace(builder.build());
+  EXPECT_EQ(m.total_bytes(), 1200u);
+  EXPECT_EQ(m.total_packets(), 10u * 12u);  // 12 pairs per call, 1 packet each
+}
+
+// ---- Locality -----------------------------------------------------------------
+
+TEST(RankLocality, NearestNeighbourRingIsDistanceOne) {
+  TrafficMatrix m(10);
+  for (Rank r = 0; r + 1 < 10; ++r) m.add_message(r, r + 1, 1000);
+  EXPECT_DOUBLE_EQ(rank_distance(m), 1.0);
+  EXPECT_DOUBLE_EQ(rank_locality_percent(m), 100.0);
+}
+
+TEST(RankLocality, MixedDistancesInterpolate) {
+  TrafficMatrix m(20);
+  m.add_message(0, 1, 800);   // distance 1, 80%
+  m.add_message(0, 11, 200);  // distance 11, 20%
+  // Threshold at 90%: halfway into the distance-11 mass -> 6.0.
+  EXPECT_DOUBLE_EQ(rank_distance(m), 6.0);
+}
+
+TEST(RankLocality, EmptyMatrixIsZero) {
+  TrafficMatrix m(4);
+  EXPECT_DOUBLE_EQ(rank_distance(m), 0.0);
+  EXPECT_DOUBLE_EQ(rank_locality_percent(m), 0.0);
+}
+
+TEST(DimensionalLocality, TwoDGridNeighboursScoreFullIn2D) {
+  // 16 ranks on a 4x4 grid: +row neighbours are |delta| = 4 in 1-D but
+  // Chebyshev 1 in 2-D.
+  TrafficMatrix m(16);
+  for (Rank r = 0; r < 12; ++r) m.add_message(r, r + 4, 100);
+  EXPECT_DOUBLE_EQ(dimensional_rank_distance(m, 2), 1.0);
+  EXPECT_DOUBLE_EQ(dimensional_rank_locality_percent(m, 2), 100.0);
+  EXPECT_GT(dimensional_rank_distance(m, 1), 1.0);
+}
+
+TEST(DimensionalLocality, ThreeDStencilScoresFullIn3D) {
+  // 27 ranks on 3x3x3, centre communicating with all 26 neighbours.
+  TrafficMatrix m(27);
+  for (Rank r = 0; r < 27; ++r) {
+    if (r != 13) m.add_message(13, r, 10);
+  }
+  EXPECT_DOUBLE_EQ(dimensional_rank_locality_percent(m, 3), 100.0);
+  EXPECT_LT(dimensional_rank_locality_percent(m, 1), 100.0);
+}
+
+TEST(DimensionalLocality, OneDReducesToRankDistance) {
+  TrafficMatrix m(12);
+  m.add_message(0, 5, 100);
+  m.add_message(3, 4, 300);
+  EXPECT_DOUBLE_EQ(dimensional_rank_distance(m, 1), rank_distance(m));
+}
+
+// ---- Selectivity and peers ---------------------------------------------------
+
+TEST(Selectivity, HandComputedPerRank) {
+  TrafficMatrix m(5);
+  m.add_message(0, 1, 50);
+  m.add_message(0, 2, 30);
+  m.add_message(0, 3, 20);
+  const auto stats = selectivity(m);
+  EXPECT_DOUBLE_EQ(stats.per_rank[0], 2.5);  // 90 of 100 = 50 + 30 + half of 20
+  EXPECT_DOUBLE_EQ(stats.per_rank[1], -1.0);  // silent rank
+  EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+  EXPECT_DOUBLE_EQ(stats.max, 2.5);
+}
+
+TEST(Selectivity, MeanOverActiveRanksOnly) {
+  TrafficMatrix m(4);
+  m.add_message(0, 1, 100);          // selectivity 0.9
+  m.add_message(2, 0, 50);
+  m.add_message(2, 1, 50);           // selectivity 1.8
+  const auto stats = selectivity(m);
+  EXPECT_NEAR(stats.mean, (0.9 + 1.8) / 2.0, 1e-12);
+  EXPECT_NEAR(stats.max, 1.8, 1e-12);
+}
+
+TEST(Peers, PeakOutDegree) {
+  TrafficMatrix m(6);
+  m.add_message(0, 1, 1);
+  m.add_message(0, 2, 1);
+  m.add_message(0, 3, 1);
+  m.add_message(5, 0, 1);
+  EXPECT_EQ(peers(m), 3);
+}
+
+TEST(Peers, ZeroForEmptyMatrix) {
+  EXPECT_EQ(peers(TrafficMatrix(4)), 0);
+}
+
+TEST(PartnerVolumes, SortedDescending) {
+  TrafficMatrix m(5);
+  m.add_message(0, 3, 10);
+  m.add_message(0, 1, 30);
+  m.add_message(0, 4, 20);
+  const auto partners = partner_volumes(m, 0);
+  ASSERT_EQ(partners.size(), 3u);
+  EXPECT_EQ(partners[0].first, 1);
+  EXPECT_EQ(partners[1].first, 4);
+  EXPECT_EQ(partners[2].first, 3);
+  EXPECT_THROW(partner_volumes(m, 9), ConfigError);
+}
+
+TEST(CumulativeShareCurve, MonotoneAndSaturating) {
+  TrafficMatrix m(8);
+  for (Rank d = 1; d < 8; ++d) m.add_message(0, d, 100 * d);
+  const auto curve = mean_cumulative_share(m, 10);
+  ASSERT_EQ(curve.size(), 10u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1] - 1e-12);
+  }
+  EXPECT_NEAR(curve.back(), 1.0, 1e-12);
+  EXPECT_THROW(mean_cumulative_share(m, 0), ConfigError);
+}
+
+// ---- Hops (Eq. 3-4) --------------------------------------------------------------
+
+TEST(HopStats, HandComputedOnRingTorus) {
+  const topology::Torus3D torus(4, 1, 1);
+  const auto mapping = Mapping::linear(4, 4);
+  TrafficMatrix m(4);
+  m.add_message(0, 1, 4096);      // 1 packet x 1 hop
+  m.add_message(0, 2, 8192);      // 2 packets x 2 hops
+  const auto stats = hop_stats(m, torus, mapping);
+  EXPECT_EQ(stats.packets, 3u);
+  EXPECT_EQ(stats.packet_hops, 1u + 4u);
+  EXPECT_NEAR(stats.avg_hops, 5.0 / 3.0, 1e-12);
+}
+
+TEST(HopStats, IntraNodeTrafficHasZeroHops) {
+  const topology::Torus3D torus(2, 2, 1);
+  const auto mapping = Mapping::blocked(4, 4, 2);
+  TrafficMatrix m(4);
+  m.add_message(0, 1, 4096);  // ranks 0,1 share node 0
+  const auto stats = hop_stats(m, torus, mapping);
+  EXPECT_EQ(stats.packets, 1u);
+  EXPECT_EQ(stats.packet_hops, 0u);
+}
+
+TEST(HopStats, EmptyMatrix) {
+  const topology::Torus3D torus(2, 2, 2);
+  const auto stats = hop_stats(TrafficMatrix(8), torus, Mapping::linear(8, 8));
+  EXPECT_EQ(stats.packets, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_hops, 0.0);
+}
+
+TEST(HopStats, RejectsIncompatibleMapping) {
+  const topology::Torus3D torus(2, 2, 1);
+  TrafficMatrix m(8);
+  EXPECT_THROW(hop_stats(m, torus, Mapping::linear(4, 4)), ConfigError);
+}
+
+// ---- Utilization (Eq. 5) -----------------------------------------------------------
+
+TEST(Utilization, MatchesClosedForm) {
+  // 12 GB/s, 1 s, torus with 3 links/rank: utilization% =
+  // 100 * volume / (12e9 * 1 * 3n).
+  const topology::Torus3D torus(2, 2, 2);
+  const auto mapping = Mapping::linear(8, 8);
+  TrafficMatrix m(8);
+  m.add_message(0, 1, 1'200'000'000);  // 1.2 GB
+  const auto result =
+      utilization(m, torus, mapping, 1.0, LinkCountMode::PaperFormula);
+  EXPECT_DOUBLE_EQ(result.link_count, 24.0);
+  EXPECT_NEAR(result.utilization_percent,
+              100.0 * 1.2e9 / (12e9 * 1.0 * 24.0), 1e-9);
+}
+
+TEST(Utilization, ScalesInverselyWithTime) {
+  const topology::Torus3D torus(2, 2, 2);
+  const auto mapping = Mapping::linear(8, 8);
+  TrafficMatrix m(8);
+  m.add_message(0, 1, 1000000);
+  const auto u1 = utilization(m, torus, mapping, 1.0);
+  const auto u2 = utilization(m, torus, mapping, 2.0);
+  EXPECT_NEAR(u1.utilization_percent, 2.0 * u2.utilization_percent, 1e-12);
+}
+
+TEST(Utilization, UsedLinksModeCountsOnlyTouchedLinks) {
+  const topology::Torus3D torus(4, 4, 4);
+  const auto mapping = Mapping::linear(64, 64);
+  TrafficMatrix m(64);
+  m.add_message(0, 1, 4096);  // One link used.
+  const auto result =
+      utilization(m, torus, mapping, 1.0, LinkCountMode::UsedLinks);
+  EXPECT_DOUBLE_EQ(result.link_count, 1.0);
+  const auto paper =
+      utilization(m, torus, mapping, 1.0, LinkCountMode::PaperFormula);
+  EXPECT_GT(paper.link_count, result.link_count);
+  EXPECT_LT(paper.utilization_percent, result.utilization_percent);
+}
+
+TEST(Utilization, RejectsBadParameters) {
+  const topology::Torus3D torus(2, 2, 2);
+  const auto mapping = Mapping::linear(8, 8);
+  TrafficMatrix m(8);
+  EXPECT_THROW(utilization(m, torus, mapping, 0.0), ConfigError);
+  EXPECT_THROW(utilization(m, torus, mapping, 1.0, LinkCountMode::PaperFormula, 0.0),
+               ConfigError);
+}
+
+// ---- Link loads -----------------------------------------------------------------
+
+TEST(LinkLoads, CountsUsedLinksAndMax) {
+  const topology::Torus3D torus(4, 1, 1);
+  const auto mapping = Mapping::linear(4, 4);
+  TrafficMatrix m(4);
+  m.add_message(0, 2, 1000);  // route 0->1->2: two links, 1000 bytes each
+  m.add_message(0, 1, 500);   // link 0->1 again
+  const auto loads = link_loads(m, torus, mapping);
+  EXPECT_EQ(loads.used_links, 2);
+  EXPECT_EQ(loads.max_link_bytes, 1500u);
+  EXPECT_DOUBLE_EQ(loads.mean_link_bytes, (1500.0 + 1000.0) / 2.0);
+  EXPECT_DOUBLE_EQ(loads.global_link_packet_share, 0.0);  // torus: no globals
+}
+
+TEST(LinkLoads, DragonflyGlobalShare) {
+  const topology::Dragonfly df(4, 2, 2);
+  const auto mapping = Mapping::linear(72, 72);
+  TrafficMatrix m(72);
+  m.add_message(0, 1, 4096);   // same router: no global link
+  m.add_message(0, 70, 4096);  // different group: crosses a global link
+  const auto loads = link_loads(m, df, mapping);
+  EXPECT_NEAR(loads.global_link_packet_share, 0.5, 1e-12);
+}
+
+TEST(LinkLoads, ShareIsOneForPureInterGroupTraffic) {
+  const topology::Dragonfly df(4, 2, 2);
+  const auto mapping = Mapping::linear(72, 72);
+  TrafficMatrix m(72);
+  for (Rank d = 8; d < 72; d += 8) m.add_message(0, d, 100);
+  const auto loads = link_loads(m, df, mapping);
+  EXPECT_DOUBLE_EQ(loads.global_link_packet_share, 1.0);
+}
+
+}  // namespace
+}  // namespace netloc::metrics

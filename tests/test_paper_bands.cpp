@@ -1,0 +1,101 @@
+// Paper-band regression tests: for every catalog entry, the MPI-level
+// metrics must stay inside bands derived from the paper's Table 3.
+// These are intentionally loose enough to tolerate the synthetic-trace
+// substitution (see EXPERIMENTS.md for exact paper-vs-measured values)
+// but tight enough that a regression in a generator or a metric breaks
+// them.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/metrics/locality.hpp"
+#include "netloc/metrics/selectivity.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace netloc {
+namespace {
+
+struct Band {
+  int peers_lo, peers_hi;
+  double dist_lo, dist_hi;  // rank distance (90%)
+  double sel_lo, sel_hi;    // selectivity (90%), mean
+};
+
+// Keyed by catalog label (variants share their base entry's band).
+const std::map<std::string, Band>& bands() {
+  static const std::map<std::string, Band> map = {
+      // label            peers        rank distance     selectivity
+      {"AMG/8",            {7, 7,       3.0, 4.5,        2.0, 3.5}},
+      {"AMG/27",           {20, 26,     7.5, 10.0,       3.0, 5.0}},
+      {"AMG/216",          {40, 160,    30.0, 42.0,      4.0, 6.5}},
+      {"AMG/1728",         {60, 350,    120.0, 170.0,    4.5, 8.0}},
+      {"AMR_Miniapp/64",   {26, 63,     12.0, 32.0,      5.0, 10.0}},
+      {"AMR_Miniapp/1728", {300, 700,   230.0, 450.0,    8.0, 16.0}},
+      {"CNS/64",           {63, 63,     28.0, 55.0,      4.0, 8.0}},
+      {"CNS/256",          {255, 255,   90.0, 200.0,     4.0, 8.0}},
+      {"CNS/1024",         {1023, 1023, 550.0, 780.0,    15.0, 28.0}},
+      {"BoxlibMG/64",      {26, 26,     12.0, 30.0,      3.0, 5.5}},
+      {"BoxlibMG/256",     {26, 26,     25.0, 60.0,      3.0, 5.5}},
+      {"BoxlibMG/1024",    {26, 26,     50.0, 120.0,     3.5, 6.0}},
+      {"MOCFE/64",         {10, 24,     30.0, 56.0,      6.0, 11.0}},
+      {"MOCFE/256",        {14, 36,     130.0, 210.0,    10.0, 17.0}},
+      {"MOCFE/1024",       {14, 40,     520.0, 800.0,    10.0, 17.0}},
+      {"Nekbone/64",       {26, 27,     12.0, 22.0,      3.5, 6.0}},
+      {"Nekbone/256",      {15, 27,     24.0, 40.0,      4.0, 7.0}},
+      {"Nekbone/1024",     {26, 50,     50.0, 150.0,     7.0, 12.0}},
+      {"CrystalRouter/10", {4, 4,       4.0, 8.0,        2.0, 3.8}},
+      {"CrystalRouter/100",{7, 8,       35.0, 55.0,      4.5, 7.0}},
+      {"CrystalRouter/1000",{10, 11,    280.0, 400.0,    7.0, 10.0}},
+      {"LULESH/64",        {26, 26,     13.0, 18.0,      3.0, 5.5}},
+      {"LULESH/512",       {26, 26,     55.0, 75.0,      3.5, 5.5}},
+      {"FillBoundary/125", {26, 26,     20.0, 30.0,      3.0, 5.5}},
+      {"FillBoundary/1000",{26, 26,     85.0, 230.0,     3.5, 6.0}},
+      {"MiniFE/18",        {8, 17,      4.5, 9.0,        2.3, 4.0}},
+      {"MiniFE/144",       {20, 26,     20.0, 35.0,      3.5, 5.5}},
+      {"MiniFE/1152",      {20, 26,     80.0, 110.0,     4.0, 6.0}},
+      {"MultiGrid_C/125",  {20, 26,     45.0, 80.0,      3.5, 6.5}},
+      {"MultiGrid_C/1000", {20, 26,     250.0, 420.0,    4.0, 6.5}},
+      {"PARTISN/168",      {167, 167,   10.0, 16.0,      2.8, 4.2}},
+      {"SNAP/168",         {40, 60,     60.0, 145.0,     7.0, 12.0}},
+  };
+  return map;
+}
+
+class PaperBandSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PaperBandSweep, MpiLevelMetricsStayInBand) {
+  const auto& entry = workloads::catalog()[GetParam()];
+  std::string key = entry.app + "/" + std::to_string(entry.ranks);
+  const auto it = bands().find(key);
+  if (it == bands().end()) {
+    GTEST_SKIP() << "collective-only workload (" << entry.label() << ")";
+  }
+  const Band& band = it->second;
+
+  const auto trace =
+      workloads::generator(entry.app).generate(entry, workloads::kDefaultSeed);
+  const auto matrix = metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true, .include_collectives = false});
+  ASSERT_GT(matrix.total_bytes(), 0u) << entry.label();
+
+  const int peer_count = metrics::peers(matrix);
+  EXPECT_GE(peer_count, band.peers_lo) << entry.label();
+  EXPECT_LE(peer_count, band.peers_hi) << entry.label();
+
+  const double dist = metrics::rank_distance(matrix);
+  EXPECT_GE(dist, band.dist_lo) << entry.label();
+  EXPECT_LE(dist, band.dist_hi) << entry.label();
+
+  const auto sel = metrics::selectivity(matrix);
+  EXPECT_GE(sel.mean, band.sel_lo) << entry.label();
+  EXPECT_LE(sel.mean, band.sel_hi) << entry.label();
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, PaperBandSweep,
+                         ::testing::Range<std::size_t>(0, 41));
+
+}  // namespace
+}  // namespace netloc

@@ -1,0 +1,206 @@
+// Cross-module property tests: invariants that tie the subsystems
+// together on randomized inputs — hop statistics vs. brute-force route
+// replay, link accounting consistency, serialization-format
+// equivalence, and optimizer sanity across all topology families.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/common/prng.hpp"
+#include "netloc/mapping/optimizer.hpp"
+#include "netloc/metrics/hops.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/utilization.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/trace/io.hpp"
+#include "netloc/trace/stats.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace netloc {
+namespace {
+
+metrics::TrafficMatrix random_matrix(int ranks, int entries, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  metrics::TrafficMatrix matrix(ranks);
+  for (int i = 0; i < entries; ++i) {
+    const auto s = static_cast<Rank>(rng.next_below(static_cast<std::uint64_t>(ranks)));
+    auto d = static_cast<Rank>(rng.next_below(static_cast<std::uint64_t>(ranks)));
+    if (d == s) d = (d + 1) % ranks;
+    matrix.add_message(s, d, rng.next_below(100'000));
+  }
+  return matrix;
+}
+
+// ---- Eq. 3 consistency: hop_stats vs. brute-force route replay -----------
+
+class HopConsistency
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(HopConsistency, PacketHopsEqualRouteLengthsTimesPackets) {
+  const auto [ranks, seed] = GetParam();
+  const auto matrix = random_matrix(ranks, ranks * 4, seed);
+  const auto set = topology::topologies_for(ranks);
+  for (const auto* topo : set.all()) {
+    const auto mapping = mapping::Mapping::linear(ranks, topo->num_nodes());
+    const auto stats = metrics::hop_stats(matrix, *topo, mapping);
+
+    Count brute_hops = 0, brute_packets = 0;
+    for (Rank s = 0; s < ranks; ++s) {
+      for (Rank d = 0; d < ranks; ++d) {
+        const Count packets = matrix.packets(s, d);
+        if (packets == 0) continue;
+        brute_packets += packets;
+        Count route_length = 0;
+        topo->route(mapping.node_of(s), mapping.node_of(d),
+                    [&](LinkId) { ++route_length; });
+        brute_hops += packets * route_length;
+      }
+    }
+    EXPECT_EQ(stats.packet_hops, brute_hops) << topo->name();
+    EXPECT_EQ(stats.packets, brute_packets) << topo->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HopConsistency,
+                         ::testing::Combine(::testing::Values(27, 64, 100),
+                                            ::testing::Values(1u, 7u, 42u)));
+
+// ---- Link accounting consistency --------------------------------------------
+
+class LinkAccounting
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(LinkAccounting, UsedLinksBoundedAndConsistent) {
+  const auto [ranks, seed] = GetParam();
+  const auto matrix = random_matrix(ranks, ranks * 3, seed);
+  const auto set = topology::topologies_for(ranks);
+  for (const auto* topo : set.all()) {
+    const auto mapping = mapping::Mapping::linear(ranks, topo->num_nodes());
+    const auto loads = metrics::link_loads(matrix, *topo, mapping);
+    EXPECT_GT(loads.used_links, 0) << topo->name();
+    EXPECT_LE(loads.used_links, topo->num_links()) << topo->name();
+    EXPECT_GE(loads.max_link_bytes,
+              static_cast<Bytes>(loads.mean_link_bytes))
+        << topo->name();
+
+    // The used-links utilization divides by exactly loads.used_links.
+    const auto used = metrics::utilization(matrix, *topo, mapping, 1.0,
+                                           metrics::LinkCountMode::UsedLinks);
+    EXPECT_DOUBLE_EQ(used.link_count, loads.used_links) << topo->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LinkAccounting,
+                         ::testing::Combine(::testing::Values(27, 64, 144),
+                                            ::testing::Values(3u, 11u)));
+
+TEST(LinkAccounting, GlobalShareOnlyOnDragonfly) {
+  const auto matrix = random_matrix(64, 300, 5);
+  const auto set = topology::topologies_for(64);
+  const auto torus_loads = metrics::link_loads(
+      matrix, *set.torus, mapping::Mapping::linear(64, set.torus->num_nodes()));
+  const auto ft_loads = metrics::link_loads(
+      matrix, *set.fat_tree,
+      mapping::Mapping::linear(64, set.fat_tree->num_nodes()));
+  EXPECT_DOUBLE_EQ(torus_loads.global_link_packet_share, 0.0);
+  EXPECT_DOUBLE_EQ(ft_loads.global_link_packet_share, 0.0);
+  const auto df_loads = metrics::link_loads(
+      matrix, *set.dragonfly,
+      mapping::Mapping::linear(64, set.dragonfly->num_nodes()));
+  EXPECT_GT(df_loads.global_link_packet_share, 0.0);
+  EXPECT_LE(df_loads.global_link_packet_share, 1.0);
+}
+
+// ---- Serialization format equivalence ----------------------------------------
+
+class FormatEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FormatEquivalence, BinaryAndTextAgreeOnAllMetrics) {
+  const auto entries = workloads::catalog_for(GetParam());
+  const auto original =
+      workloads::generate(GetParam(), entries.front().ranks);
+
+  std::stringstream binary, text;
+  trace::write_binary(original, binary);
+  trace::write_text(original, text);
+  const auto from_binary = trace::read_binary(binary);
+  const auto from_text = trace::read_text(text);
+
+  const auto stats_b = trace::compute_stats(from_binary);
+  const auto stats_t = trace::compute_stats(from_text);
+  EXPECT_EQ(stats_b.p2p_volume, stats_t.p2p_volume);
+  EXPECT_EQ(stats_b.collective_volume, stats_t.collective_volume);
+  EXPECT_EQ(stats_b.p2p_messages, stats_t.p2p_messages);
+  EXPECT_DOUBLE_EQ(stats_b.duration, stats_t.duration);
+
+  const auto mb = metrics::TrafficMatrix::from_trace(from_binary);
+  const auto mt = metrics::TrafficMatrix::from_trace(from_text);
+  EXPECT_EQ(mb.total_bytes(), mt.total_bytes());
+  EXPECT_EQ(mb.total_packets(), mt.total_packets());
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, FormatEquivalence,
+                         ::testing::Values("AMG", "LULESH", "CrystalRouter",
+                                           "MOCFE", "CMC_2D", "PARTISN"));
+
+// ---- Traffic-matrix conservation over the whole catalog -----------------------
+
+TEST(Conservation, MatrixTotalEqualsTraceVolumeForEveryEntry) {
+  for (const auto& entry : workloads::catalog()) {
+    const auto trace =
+        workloads::generator(entry.app).generate(entry, workloads::kDefaultSeed);
+    const auto stats = trace::compute_stats(trace);
+    const auto matrix = metrics::TrafficMatrix::from_trace(trace);
+    EXPECT_EQ(matrix.total_bytes(), stats.total_volume()) << entry.label();
+  }
+}
+
+// ---- Greedy optimizer across topology families ---------------------------------
+
+class OptimizerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerSweep, ValidAndNeverWorseThanRandomOnItsObjective) {
+  const int ranks = GetParam();
+  const auto matrix = random_matrix(ranks, ranks * 2, 99);
+  const auto edges = matrix.edges();
+  const auto set = topology::topologies_for(ranks);
+  for (const auto* topo : set.all()) {
+    const auto greedy = mapping::greedy_optimize(edges, ranks, *topo);
+    std::set<NodeId> used;
+    for (Rank r = 0; r < ranks; ++r) {
+      EXPECT_TRUE(used.insert(greedy.node_of(r)).second) << topo->name();
+    }
+    const auto random = mapping::Mapping::random(ranks, topo->num_nodes(), 4);
+    EXPECT_LE(mapping::weighted_hop_cost(edges, *topo, greedy),
+              mapping::weighted_hop_cost(edges, *topo, random) * 1.001)
+        << topo->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, OptimizerSweep, ::testing::Values(27, 64, 100));
+
+// ---- Determinism of the full pipeline -------------------------------------------
+
+// Reduce a Table 3 row to a comparable string at full precision.
+std::string row_fingerprint(const workloads::CatalogEntry& entry) {
+  const auto row = analysis::run_experiment(entry, {});
+  std::ostringstream out;
+  out.precision(17);
+  out << row.peers << ' ' << row.rank_distance << ' ' << row.selectivity_mean;
+  for (const auto& t : row.topologies) {
+    out << ' ' << t.packet_hops << ' ' << t.avg_hops << ' '
+        << t.utilization_percent << ' ' << t.used_links;
+  }
+  return out.str();
+}
+
+TEST(Determinism, ExperimentRowsAreBitStable) {
+  const auto& entry = workloads::catalog_entry("SNAP", 168);
+  EXPECT_EQ(row_fingerprint(entry), row_fingerprint(entry));
+}
+
+}  // namespace
+}  // namespace netloc

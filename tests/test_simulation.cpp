@@ -1,0 +1,245 @@
+// Tests for the flow-level simulator: hand-checkable fluid scenarios
+// (single flow, fair sharing, staggered arrivals), conservation
+// properties, and consistency with the static model in the
+// uncontended limit.
+#include <gtest/gtest.h>
+
+#include "netloc/common/error.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/temporal.hpp"
+#include "netloc/simulation/flow_sim.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/topology/torus.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace netloc::simulation {
+namespace {
+
+using mapping::Mapping;
+using topology::Torus3D;
+
+FlowSimOptions unit_bandwidth() {
+  FlowSimOptions options;
+  options.bandwidth_bytes_per_s = 1000.0;  // 1000 B/s for easy arithmetic.
+  return options;
+}
+
+TEST(FlowSim, SingleFlowRunsAtFullBandwidth) {
+  const Torus3D torus(4, 1, 1);
+  const auto m = Mapping::linear(4, 4);
+  FlowSimulator sim(torus, m, unit_bandwidth());
+  sim.add_flow(0, 1, 500);  // 500 B over a 1-hop path at 1000 B/s.
+  const auto report = sim.run();
+  EXPECT_NEAR(report.flows[0].finish, 0.5, 1e-9);
+  EXPECT_NEAR(report.flows[0].slowdown, 1.0, 1e-9);
+  EXPECT_NEAR(report.makespan, 0.5, 1e-9);
+  EXPECT_EQ(report.used_links, 1);
+  EXPECT_DOUBLE_EQ(report.congested_flow_share, 0.0);
+}
+
+TEST(FlowSim, TwoFlowsSharingALinkHalveTheirRates) {
+  // Both flows cross link 0->1 (routes 0->1 and 0->1->2).
+  const Torus3D torus(5, 1, 1);  // Ring of 5: 0->2 routes forward.
+  const auto m = Mapping::linear(5, 5);
+  FlowSimulator sim(torus, m, unit_bandwidth());
+  sim.add_flow(0, 1, 500);
+  sim.add_flow(0, 2, 500);
+  const auto report = sim.run();
+  // Shared until t=1.0 (each at 500 B/s... fair share = 500), both
+  // finish at t = 1.0 exactly (remaining drains simultaneously).
+  EXPECT_NEAR(report.flows[0].finish, 1.0, 1e-9);
+  EXPECT_NEAR(report.flows[1].finish, 1.0, 1e-9);
+  EXPECT_NEAR(report.flows[0].slowdown, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.congested_flow_share, 1.0);
+}
+
+TEST(FlowSim, DisjointFlowsDoNotInterfere) {
+  const Torus3D torus(8, 1, 1);
+  const auto m = Mapping::linear(8, 8);
+  FlowSimulator sim(torus, m, unit_bandwidth());
+  sim.add_flow(0, 1, 1000);
+  sim.add_flow(4, 5, 1000);
+  const auto report = sim.run();
+  EXPECT_NEAR(report.flows[0].finish, 1.0, 1e-9);
+  EXPECT_NEAR(report.flows[1].finish, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.congested_flow_share, 0.0);
+}
+
+TEST(FlowSim, LateArrivalWaitsForItsShare) {
+  // Flow A: 0->1, 1000 B at t=0. Flow B: 0->1, 1000 B at t=1.0 (when A
+  // is done) -> no sharing at all.
+  const Torus3D torus(4, 1, 1);
+  const auto m = Mapping::linear(4, 4);
+  FlowSimulator sim(torus, m, unit_bandwidth());
+  sim.add_flow(0, 1, 1000, 0.0);
+  sim.add_flow(0, 1, 1000, 1.0);
+  const auto report = sim.run();
+  EXPECT_NEAR(report.flows[0].finish, 1.0, 1e-9);
+  EXPECT_NEAR(report.flows[1].finish, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.congested_flow_share, 0.0);
+}
+
+TEST(FlowSim, OverlappingArrivalSharesMidway) {
+  // A: 1000 B at t=0; B: 1000 B at t=0.5 on the same link.
+  // 0..0.5: A alone (500 B done). 0.5..1.5: both at 500 B/s (A done at
+  // 1.5). B then finishes its remaining 500 B at 1000 B/s at t=2.0.
+  const Torus3D torus(4, 1, 1);
+  const auto m = Mapping::linear(4, 4);
+  FlowSimulator sim(torus, m, unit_bandwidth());
+  sim.add_flow(0, 1, 1000, 0.0);
+  sim.add_flow(0, 1, 1000, 0.5);
+  const auto report = sim.run();
+  EXPECT_NEAR(report.flows[0].finish, 1.5, 1e-9);
+  EXPECT_NEAR(report.flows[1].finish, 2.0, 1e-9);
+  EXPECT_NEAR(report.max_slowdown, 1.5, 1e-9);
+}
+
+TEST(FlowSim, MaxMinGivesUnbottleneckedFlowsTheRest) {
+  // Ring of 6, forward routes: F1 spans links {0,1}, F2 spans {1,2},
+  // F3 spans {3}. F1/F2 share link 1 (500 each); F3 runs at 1000.
+  const Torus3D torus(6, 1, 1);
+  const auto m = Mapping::linear(6, 6);
+  FlowSimulator sim(torus, m, unit_bandwidth());
+  sim.add_flow(0, 2, 500);
+  sim.add_flow(1, 3, 500);
+  sim.add_flow(3, 4, 1000);
+  const auto report = sim.run();
+  EXPECT_NEAR(report.flows[0].finish, 1.0, 1e-9);
+  EXPECT_NEAR(report.flows[1].finish, 1.0, 1e-9);
+  EXPECT_NEAR(report.flows[2].finish, 1.0, 1e-9);
+  EXPECT_NEAR(report.flows[2].slowdown, 1.0, 1e-9);
+}
+
+TEST(FlowSim, IntraNodeFlowsCompleteInstantly) {
+  const Torus3D torus(2, 2, 1);
+  const auto m = Mapping::blocked(4, 4, 2);
+  FlowSimulator sim(torus, m, unit_bandwidth());
+  sim.add_flow(0, 1, 1'000'000);  // Same node under the blocked mapping.
+  const auto report = sim.run();
+  EXPECT_NEAR(report.flows[0].finish, 0.0, 1e-9);
+  EXPECT_NEAR(report.flows[0].slowdown, 1.0, 1e-9);
+  EXPECT_EQ(report.used_links, 0);
+}
+
+TEST(FlowSim, ZeroByteFlowsAreInstant) {
+  const Torus3D torus(4, 1, 1);
+  const auto m = Mapping::linear(4, 4);
+  FlowSimulator sim(torus, m, unit_bandwidth());
+  sim.add_flow(0, 1, 0, 3.0);
+  const auto report = sim.run();
+  EXPECT_NEAR(report.flows[0].finish, 3.0, 1e-9);
+  EXPECT_EQ(report.used_links, 0);
+}
+
+TEST(FlowSim, IdleGapsAreSkipped) {
+  const Torus3D torus(4, 1, 1);
+  const auto m = Mapping::linear(4, 4);
+  FlowSimulator sim(torus, m, unit_bandwidth());
+  sim.add_flow(0, 1, 1000, 0.0);
+  sim.add_flow(0, 1, 1000, 100.0);
+  const auto report = sim.run();
+  EXPECT_NEAR(report.flows[1].finish, 101.0, 1e-9);
+  EXPECT_NEAR(report.makespan, 101.0, 1e-9);
+  // Link busy only 2 of 101 seconds.
+  EXPECT_NEAR(report.mean_link_busy_fraction, 2.0 / 101.0, 1e-6);
+}
+
+TEST(FlowSim, MatrixIngestMatchesManualFlows) {
+  const Torus3D torus(4, 4, 4);
+  const auto m = Mapping::linear(64, 64);
+  metrics::TrafficMatrix matrix(64);
+  matrix.add_message(0, 1, 1000);
+  matrix.add_message(5, 9, 2000);
+  FlowSimulator sim(torus, m, unit_bandwidth());
+  sim.add_matrix(matrix);
+  EXPECT_EQ(sim.flow_count(), 2u);
+  const auto report = sim.run();
+  EXPECT_NEAR(report.makespan, 2.0, 1e-9);
+}
+
+TEST(FlowSim, RunIsSingleShot) {
+  const Torus3D torus(4, 1, 1);
+  const auto m = Mapping::linear(4, 4);
+  FlowSimulator sim(torus, m, unit_bandwidth());
+  sim.add_flow(0, 1, 10);
+  sim.run();
+  EXPECT_THROW(sim.run(), ConfigError);
+}
+
+TEST(FlowSim, RejectsBadInput) {
+  const Torus3D torus(4, 1, 1);
+  const auto m = Mapping::linear(4, 4);
+  FlowSimOptions bad;
+  bad.bandwidth_bytes_per_s = 0.0;
+  EXPECT_THROW(FlowSimulator(torus, m, bad), ConfigError);
+  FlowSimulator sim(torus, m, unit_bandwidth());
+  EXPECT_THROW(sim.add_flow(0, 9, 10), ConfigError);
+  EXPECT_THROW(sim.add_flow(0, 1, 10, -1.0), ConfigError);
+}
+
+TEST(FlowSim, UncontendedWorkloadMatchesStaticExpectation) {
+  // LULESH at 64 ranks on its matched torus, one flow per pair: face
+  // flows share injection-free torus links only where routes overlap;
+  // mean slowdown should stay small and the busiest link's utilization
+  // must be >= the static average (Eq. 5 averages over all links).
+  const auto trace = workloads::generate("LULESH", 64);
+  const auto matrix = metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true, .include_collectives = false});
+  const auto set = topology::topologies_for(64);
+  const auto m = Mapping::linear(64, set.torus->num_nodes());
+  FlowSimulator sim(*set.torus, m);
+  sim.add_matrix(matrix);
+  const auto report = sim.run();
+  EXPECT_GT(report.makespan, 0.0);
+  EXPECT_GE(report.mean_slowdown, 1.0);
+  EXPECT_LE(report.mean_slowdown, 64.0);
+  EXPECT_GT(report.used_links, 0);
+  EXPECT_GT(report.max_link_utilization_percent, 0.0);
+  EXPECT_LE(report.max_link_utilization_percent, 100.0 + 1e-6);
+}
+
+// ---- Temporal metrics -------------------------------------------------------
+
+TEST(TimeProfile, BinsVolumeByTimestamp) {
+  trace::TraceBuilder builder("t", 4);
+  builder.add_p2p(0, 1, 100, 0.1);
+  builder.add_p2p(0, 1, 300, 0.9);
+  builder.set_duration(1.0);
+  const auto profile = metrics::time_profile(builder.build(), 2);
+  ASSERT_EQ(profile.window_bytes.size(), 2u);
+  EXPECT_DOUBLE_EQ(profile.window_bytes[0], 100.0);
+  EXPECT_DOUBLE_EQ(profile.window_bytes[1], 300.0);
+  EXPECT_DOUBLE_EQ(profile.peak_window_bytes, 300.0);
+  EXPECT_DOUBLE_EQ(profile.burstiness, 300.0 / 200.0);
+  EXPECT_DOUBLE_EQ(profile.idle_window_fraction, 0.0);
+}
+
+TEST(TimeProfile, IdleWindowsAreCounted) {
+  trace::TraceBuilder builder("t", 4);
+  builder.add_p2p(0, 1, 100, 0.05);
+  builder.set_duration(1.0);
+  const auto profile = metrics::time_profile(builder.build(), 10);
+  EXPECT_DOUBLE_EQ(profile.idle_window_fraction, 0.9);
+  EXPECT_DOUBLE_EQ(profile.burstiness, 10.0);
+}
+
+TEST(TimeProfile, PeakUtilizationExceedsAverage) {
+  const auto trace = workloads::generate("LULESH", 64);
+  const auto profile = metrics::time_profile(trace, 50);
+  const double peak =
+      metrics::peak_window_utilization_percent(profile, 192.0);
+  // Average utilization over the run equals total/(BW*T*links); the
+  // peak window is at least as high by construction.
+  const double average = 100.0 * profile.total_bytes /
+                         (12e9 * trace.duration() * 192.0);
+  EXPECT_GE(peak, average - 1e-12);
+}
+
+TEST(TimeProfile, RejectsBadWindowCount) {
+  trace::TraceBuilder builder("t", 2);
+  builder.add_p2p(0, 1, 1, 0.1);
+  EXPECT_THROW(metrics::time_profile(builder.build(), 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace netloc::simulation

@@ -1,0 +1,423 @@
+// Tests for the topology substrate: hand-computed distance oracles,
+// route/distance consistency, palm-tree wiring consistency and the
+// Table 2 configuration selection.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "netloc/common/error.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/topology/dragonfly.hpp"
+#include "netloc/topology/fat_tree.hpp"
+#include "netloc/topology/torus.hpp"
+
+namespace netloc::topology {
+namespace {
+
+// Route/distance consistency and link-id sanity for any topology.
+void check_routing_invariants(const Topology& topo, int max_nodes = 200) {
+  const int n = std::min(topo.num_nodes(), max_nodes);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      const int dist = topo.hop_distance(a, b);
+      EXPECT_EQ(dist, topo.hop_distance(b, a)) << topo.name();
+      EXPECT_LE(dist, topo.diameter()) << topo.name();
+      if (a == b) {
+        EXPECT_EQ(dist, 0);
+      } else {
+        EXPECT_GT(dist, 0);
+      }
+      int steps = 0;
+      topo.route(a, b, [&](LinkId link) {
+        EXPECT_GE(link, 0) << topo.name();
+        EXPECT_LT(link, topo.num_links()) << topo.name();
+        ++steps;
+      });
+      EXPECT_EQ(steps, dist) << topo.name() << " " << a << "->" << b;
+    }
+  }
+}
+
+// ---- Torus ---------------------------------------------------------------
+
+TEST(Torus, HandComputedDistances) {
+  const Torus3D torus(4, 4, 4);
+  EXPECT_EQ(torus.hop_distance(0, 0), 0);
+  EXPECT_EQ(torus.hop_distance(0, 1), 1);   // +x
+  EXPECT_EQ(torus.hop_distance(0, 3), 1);   // wrap-around in x
+  EXPECT_EQ(torus.hop_distance(0, 2), 2);   // two steps in x
+  EXPECT_EQ(torus.hop_distance(0, 4), 1);   // +y
+  EXPECT_EQ(torus.hop_distance(0, 16), 1);  // +z
+  EXPECT_EQ(torus.hop_distance(0, 21), 3);  // (1,1,1) corner diagonal
+  EXPECT_EQ(torus.hop_distance(0, 42), 6);  // (2,2,2): max per-dim = 2 each
+}
+
+TEST(Torus, WrapAroundShortensPaths) {
+  const Torus3D torus(8, 8, 8);
+  // (0,0,0) to (7,0,0): one hop through the wrap link.
+  EXPECT_EQ(torus.hop_distance(0, 7), 1);
+  // (0,0,0) to (4,0,0): ring distance 4 either way.
+  EXPECT_EQ(torus.hop_distance(0, 4), 4);
+}
+
+TEST(Torus, DiameterMatchesHalfExtents) {
+  EXPECT_EQ(Torus3D(4, 4, 4).diameter(), 6);
+  EXPECT_EQ(Torus3D(16, 8, 8).diameter(), 16);
+  EXPECT_EQ(Torus3D(3, 2, 2).diameter(), 3);
+}
+
+TEST(Torus, ThreeLinksPerNode) {
+  const Torus3D torus(5, 5, 4);
+  EXPECT_EQ(torus.num_nodes(), 100);
+  EXPECT_EQ(torus.num_links(), 300);
+}
+
+TEST(Torus, CoordsRoundTrip) {
+  const Torus3D torus(7, 6, 4);
+  for (NodeId node = 0; node < torus.num_nodes(); ++node) {
+    const auto c = torus.coords(node);
+    EXPECT_EQ(torus.node_at(c[0], c[1], c[2]), node);
+  }
+}
+
+TEST(Torus, RejectsBadExtents) {
+  EXPECT_THROW(Torus3D(0, 2, 2), ConfigError);
+  EXPECT_THROW(Torus3D(2, -1, 2), ConfigError);
+}
+
+class TorusRouting : public ::testing::TestWithParam<std::array<int, 3>> {};
+
+TEST_P(TorusRouting, RouteLengthEqualsDistance) {
+  const auto dims = GetParam();
+  check_routing_invariants(Torus3D(dims[0], dims[1], dims[2]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TorusRouting,
+                         ::testing::Values(std::array<int, 3>{2, 2, 2},
+                                           std::array<int, 3>{3, 2, 2},
+                                           std::array<int, 3>{4, 4, 4},
+                                           std::array<int, 3>{5, 5, 4},
+                                           std::array<int, 3>{1, 1, 7},
+                                           std::array<int, 3>{7, 6, 4}));
+
+TEST(Torus, DimensionOrderPathIsContiguous) {
+  // Each routed link must be owned by a node adjacent to the running
+  // position; verify by replaying the route on a 3x3x3 torus.
+  const Torus3D torus(3, 3, 3);
+  std::multiset<LinkId> route_links;
+  torus.route(0, 26, [&](LinkId link) { route_links.insert(link); });
+  EXPECT_EQ(route_links.size(), 3u);  // (0,0,0)->(2,2,2) via wraps: 1+1+1.
+}
+
+// ---- Mesh (torus without wrap-around) -----------------------------------
+
+TEST(Mesh, DistancesAreManhattan) {
+  const Torus3D mesh(4, 4, 4, /*wraparound=*/false);
+  EXPECT_EQ(mesh.name(), "mesh3d");
+  EXPECT_EQ(mesh.hop_distance(0, 3), 3);   // No wrap shortcut.
+  EXPECT_EQ(mesh.hop_distance(0, 63), 9);  // Corner to corner.
+  EXPECT_EQ(mesh.diameter(), 9);
+}
+
+TEST(Mesh, NeverBeatsTheTorus) {
+  const Torus3D torus(5, 4, 3);
+  const Torus3D mesh(5, 4, 3, false);
+  for (NodeId a = 0; a < 60; a += 7) {
+    for (NodeId b = 0; b < 60; ++b) {
+      EXPECT_GE(mesh.hop_distance(a, b), torus.hop_distance(a, b));
+    }
+  }
+}
+
+TEST(Mesh, RoutesMatchDistancesAndAvoidWrapLinks) {
+  const Torus3D mesh(4, 3, 2, false);
+  check_routing_invariants(mesh);
+  // The wrap link of a ring (owned by the last node of each dimension)
+  // must never appear on any route.
+  for (NodeId a = 0; a < mesh.num_nodes(); ++a) {
+    for (NodeId b = 0; b < mesh.num_nodes(); ++b) {
+      mesh.route(a, b, [&](LinkId link) {
+        const NodeId owner = link / 3;
+        const int dim = link % 3;
+        const auto c = mesh.coords(owner);
+        EXPECT_LT(c[static_cast<std::size_t>(dim)],
+                  mesh.extents()[static_cast<std::size_t>(dim)] - 1)
+            << "wrap link used in mesh";
+      });
+    }
+  }
+}
+
+// ---- Fat tree -----------------------------------------------------------------
+
+TEST(FatTree, CapacitiesMatchTable2) {
+  EXPECT_EQ(FatTree(48, 1).num_nodes(), 48);
+  EXPECT_EQ(FatTree(48, 2).num_nodes(), 576);
+  EXPECT_EQ(FatTree(48, 3).num_nodes(), 13824);
+}
+
+TEST(FatTree, SingleSwitchDistanceIsTwo) {
+  const FatTree ft(48, 1);
+  EXPECT_EQ(ft.hop_distance(0, 0), 0);
+  for (NodeId b = 1; b < 48; ++b) EXPECT_EQ(ft.hop_distance(0, b), 2);
+}
+
+TEST(FatTree, TwoStageDistances) {
+  const FatTree ft(48, 2);
+  EXPECT_EQ(ft.hop_distance(0, 5), 2);    // same 24-node leaf block
+  EXPECT_EQ(ft.hop_distance(0, 23), 2);
+  EXPECT_EQ(ft.hop_distance(0, 24), 4);   // different leaves
+  EXPECT_EQ(ft.hop_distance(0, 575), 4);
+}
+
+TEST(FatTree, ThreeStageDistances) {
+  const FatTree ft(48, 3);
+  EXPECT_EQ(ft.hop_distance(0, 23), 2);
+  EXPECT_EQ(ft.hop_distance(0, 24), 4);     // same 576 block
+  EXPECT_EQ(ft.hop_distance(0, 575), 4);
+  EXPECT_EQ(ft.hop_distance(0, 576), 6);    // crosses the top stage
+  EXPECT_EQ(ft.hop_distance(0, 13823), 6);
+}
+
+TEST(FatTree, DiameterIsTwiceStages) {
+  EXPECT_EQ(FatTree(48, 1).diameter(), 2);
+  EXPECT_EQ(FatTree(48, 3).diameter(), 6);
+}
+
+TEST(FatTree, LinkBudget) {
+  EXPECT_EQ(FatTree(48, 2).num_links(), 576 * 2);
+}
+
+TEST(FatTree, RejectsBadParameters) {
+  EXPECT_THROW(FatTree(0, 2), ConfigError);
+  EXPECT_THROW(FatTree(47, 2), ConfigError);  // odd radix
+  EXPECT_THROW(FatTree(48, 0), ConfigError);
+}
+
+class FatTreeRouting : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeRouting, RouteLengthEqualsDistance) {
+  check_routing_invariants(FatTree(48, GetParam()), 120);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, FatTreeRouting, ::testing::Values(1, 2, 3));
+
+TEST(FatTree, SmallRadixRouting) {
+  // Radix 4 gives 2-node leaves: easy to reason about and stresses the
+  // block arithmetic with non-paper parameters.
+  const FatTree ft(4, 3);
+  EXPECT_EQ(ft.num_nodes(), 8);
+  EXPECT_EQ(ft.hop_distance(0, 1), 2);
+  EXPECT_EQ(ft.hop_distance(0, 2), 4);
+  EXPECT_EQ(ft.hop_distance(0, 4), 6);
+  check_routing_invariants(ft);
+}
+
+TEST(FatTree, DestinationRoutedDownPaths) {
+  // d-mod-k style: all traffic to one destination uses the same
+  // down-link at each level (single down-tree per destination).
+  const FatTree ft(48, 2);
+  const NodeId dst = 100;
+  std::set<LinkId> down_links_to_dst;
+  for (NodeId src : {0, 7, 200, 320, 575}) {
+    if (src / 24 == dst / 24) continue;
+    std::vector<LinkId> path;
+    ft.route(src, dst, [&](LinkId l) { path.push_back(l); });
+    ASSERT_EQ(path.size(), 4u);
+    down_links_to_dst.insert(path[2]);  // The level-1 down link.
+  }
+  EXPECT_EQ(down_links_to_dst.size(), 1u);
+}
+
+// ---- Dragonfly -----------------------------------------------------------------
+
+TEST(Dragonfly, GroupArithmetic) {
+  const Dragonfly df(4, 2, 2);
+  EXPECT_EQ(df.num_groups(), 9);
+  EXPECT_EQ(df.num_nodes(), 72);
+  EXPECT_EQ(df.group_of(0), 0);
+  EXPECT_EQ(df.group_of(8), 1);
+  EXPECT_EQ(df.router_in_group(0), 0);
+  EXPECT_EQ(df.router_in_group(2), 1);
+  EXPECT_EQ(df.router_in_group(7), 3);
+}
+
+TEST(Dragonfly, Table2Capacities) {
+  EXPECT_EQ(Dragonfly(4, 2, 2).num_nodes(), 72);
+  EXPECT_EQ(Dragonfly(6, 3, 3).num_nodes(), 342);
+  EXPECT_EQ(Dragonfly(8, 4, 4).num_nodes(), 1056);
+  EXPECT_EQ(Dragonfly(10, 5, 5).num_nodes(), 2550);
+}
+
+TEST(Dragonfly, HandComputedDistances) {
+  const Dragonfly df(4, 2, 2);
+  EXPECT_EQ(df.hop_distance(0, 0), 0);
+  EXPECT_EQ(df.hop_distance(0, 1), 2);  // same router
+  EXPECT_EQ(df.hop_distance(0, 2), 3);  // same group, different router
+  // Different groups: 3..5 hops.
+  for (NodeId b = 8; b < df.num_nodes(); ++b) {
+    const int d = df.hop_distance(0, b);
+    EXPECT_GE(d, 3);
+    EXPECT_LE(d, 5);
+  }
+}
+
+TEST(Dragonfly, PalmTreeGatewayConsistency) {
+  // The physical global link between two groups must be agreed on by
+  // both sides: the gateway router of group i towards j connects to the
+  // gateway router of group j towards i (one physical link).
+  const Dragonfly df(6, 3, 3);
+  for (int i = 0; i < df.num_groups(); ++i) {
+    for (int j = 0; j < df.num_groups(); ++j) {
+      if (i == j) continue;
+      const int gw_ij = df.gateway_router(i, j);
+      const int gw_ji = df.gateway_router(j, i);
+      EXPECT_GE(gw_ij, 0);
+      EXPECT_LT(gw_ij, 6);
+      EXPECT_GE(gw_ji, 0);
+      EXPECT_LT(gw_ji, 6);
+    }
+  }
+}
+
+TEST(Dragonfly, EveryGroupPairHasExactlyOneGlobalLink) {
+  // Count distinct global links by routing between group representatives
+  // and collecting the global link of each path.
+  const Dragonfly df(4, 2, 2);
+  std::map<std::pair<int, int>, LinkId> link_of_pair;
+  std::set<LinkId> global_links;
+  const int nodes_per_group = 8;
+  for (int gi = 0; gi < df.num_groups(); ++gi) {
+    for (int gj = 0; gj < df.num_groups(); ++gj) {
+      if (gi == gj) continue;
+      std::vector<LinkId> globals;
+      df.route(gi * nodes_per_group, gj * nodes_per_group, [&](LinkId l) {
+        if (df.link_is_global(l)) globals.push_back(l);
+      });
+      ASSERT_EQ(globals.size(), 1u) << gi << "->" << gj;
+      link_of_pair[{std::min(gi, gj), std::max(gi, gj)}] = globals[0];
+      global_links.insert(globals[0]);
+    }
+  }
+  // Both directions of a pair share the physical link.
+  for (int gi = 0; gi < df.num_groups(); ++gi) {
+    for (int gj = gi + 1; gj < df.num_groups(); ++gj) {
+      std::vector<LinkId> forward, backward;
+      df.route(gi * nodes_per_group, gj * nodes_per_group,
+               [&](LinkId l) { if (df.link_is_global(l)) forward.push_back(l); });
+      df.route(gj * nodes_per_group, gi * nodes_per_group,
+               [&](LinkId l) { if (df.link_is_global(l)) backward.push_back(l); });
+      EXPECT_EQ(forward, backward);
+    }
+  }
+  // g*(g-1)/2 distinct pairs == a*h*g/2 global links for the balanced
+  // dragonfly (every global port used exactly once).
+  EXPECT_EQ(global_links.size(),
+            static_cast<std::size_t>(df.num_groups() * 4 * 2 / 2));
+}
+
+TEST(Dragonfly, LinkBudget) {
+  const Dragonfly df(4, 2, 2);
+  // 72 injection + 9 * 6 local + 9 * 4 global = 72 + 54 + 36 = 162.
+  EXPECT_EQ(df.num_links(), 162);
+}
+
+TEST(Dragonfly, GlobalLinkClassification) {
+  const Dragonfly df(4, 2, 2);
+  int globals = 0;
+  for (LinkId l = 0; l < df.num_links(); ++l) {
+    if (df.link_is_global(l)) ++globals;
+  }
+  EXPECT_EQ(globals, 36);
+}
+
+TEST(Dragonfly, RejectsBadParameters) {
+  EXPECT_THROW(Dragonfly(0, 2, 2), ConfigError);
+  EXPECT_THROW(Dragonfly(3, 1, 2), ConfigError);  // a*h odd
+}
+
+class DragonflyRouting : public ::testing::TestWithParam<std::array<int, 3>> {};
+
+TEST_P(DragonflyRouting, RouteLengthEqualsDistance) {
+  const auto p = GetParam();
+  check_routing_invariants(Dragonfly(p[0], p[1], p[2]), 150);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DragonflyRouting,
+                         ::testing::Values(std::array<int, 3>{4, 2, 2},
+                                           std::array<int, 3>{6, 3, 3},
+                                           std::array<int, 3>{2, 1, 1},
+                                           std::array<int, 3>{8, 4, 4}));
+
+// ---- Configurations (Table 2) -----------------------------------------------
+
+TEST(Configs, TorusTableEntries) {
+  EXPECT_EQ(torus_dims_for(8), (std::array<int, 3>{2, 2, 2}));
+  EXPECT_EQ(torus_dims_for(9), (std::array<int, 3>{3, 2, 2}));
+  EXPECT_EQ(torus_dims_for(100), (std::array<int, 3>{5, 5, 4}));
+  EXPECT_EQ(torus_dims_for(168), (std::array<int, 3>{7, 6, 4}));
+  EXPECT_EQ(torus_dims_for(1024), (std::array<int, 3>{16, 8, 8}));
+  EXPECT_EQ(torus_dims_for(1152), (std::array<int, 3>{12, 12, 8}));
+  EXPECT_EQ(torus_dims_for(1728), (std::array<int, 3>{12, 12, 12}));
+}
+
+TEST(Configs, TorusFallbackCoversRequestedRanks) {
+  for (int n : {5, 33, 70, 555, 2000}) {
+    const auto d = torus_dims_for(n);
+    EXPECT_GE(static_cast<long>(d[0]) * d[1] * d[2], n);
+    EXPECT_GE(d[0], d[1]);
+    EXPECT_GE(d[1], d[2]);
+  }
+}
+
+TEST(Configs, FatTreeStages) {
+  EXPECT_EQ(fat_tree_stages_for(8), 1);
+  EXPECT_EQ(fat_tree_stages_for(48), 1);
+  EXPECT_EQ(fat_tree_stages_for(49), 2);
+  EXPECT_EQ(fat_tree_stages_for(576), 2);
+  EXPECT_EQ(fat_tree_stages_for(577), 3);
+  EXPECT_EQ(fat_tree_stages_for(13824), 3);
+  EXPECT_EQ(fat_tree_stages_for(13825), 4);
+}
+
+TEST(Configs, DragonflyParams) {
+  EXPECT_EQ(dragonfly_params_for(8), (std::array<int, 3>{4, 2, 2}));
+  EXPECT_EQ(dragonfly_params_for(72), (std::array<int, 3>{4, 2, 2}));
+  EXPECT_EQ(dragonfly_params_for(100), (std::array<int, 3>{6, 3, 3}));
+  EXPECT_EQ(dragonfly_params_for(512), (std::array<int, 3>{8, 4, 4}));
+  EXPECT_EQ(dragonfly_params_for(1152), (std::array<int, 3>{10, 5, 5}));
+  EXPECT_EQ(dragonfly_params_for(2550), (std::array<int, 3>{10, 5, 5}));
+}
+
+TEST(Configs, TopologiesForAllCatalogSizes) {
+  for (int ranks : {8, 9, 10, 18, 27, 64, 100, 125, 144, 168, 216, 256, 512,
+                    1000, 1024, 1152, 1728}) {
+    const auto set = topologies_for(ranks);
+    for (const auto* topo : set.all()) {
+      EXPECT_GE(topo->num_nodes(), ranks) << topo->name() << " @ " << ranks;
+    }
+  }
+}
+
+TEST(Configs, PaperLinkCounts) {
+  const auto set = topologies_for(64);
+  EXPECT_DOUBLE_EQ(paper_link_count(*set.torus, 64), 192.0);           // 3/node
+  EXPECT_DOUBLE_EQ(paper_link_count(*set.fat_tree, 64), 64 * 1.5);     // st=2
+  // Dragonfly (4,2,2): 1 + 3/2 + 2/2 = 3.5 links per node.
+  EXPECT_DOUBLE_EQ(paper_link_count(*set.dragonfly, 64), 64 * 3.5);
+}
+
+TEST(Configs, DragonflyLinksPerNodeInPaperRange) {
+  // The paper reports 3.5 to 3.8 links/node across its configurations.
+  for (int ranks : {8, 100, 512, 1728}) {
+    const auto set = topologies_for(ranks);
+    const double per_node = paper_link_count(*set.dragonfly, ranks) / ranks;
+    EXPECT_GE(per_node, 3.5);
+    EXPECT_LE(per_node, 3.8);
+  }
+}
+
+}  // namespace
+}  // namespace netloc::topology

@@ -1,0 +1,296 @@
+// Tests for the trace substrate: builder validation, statistics, binary
+// and text serialization round trips, and failure injection on
+// corrupted inputs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "netloc/common/error.hpp"
+#include "netloc/common/prng.hpp"
+#include "netloc/trace/io.hpp"
+#include "netloc/trace/stats.hpp"
+#include "netloc/trace/trace.hpp"
+
+namespace netloc::trace {
+namespace {
+
+Trace make_sample_trace() {
+  TraceBuilder builder("sample", 8);
+  builder.add_p2p(0, 1, 1024, 0.1);
+  builder.add_p2p(1, 2, 2048, 0.2);
+  builder.add_p2p(7, 0, 1, 0.3);
+  builder.add_collective(CollectiveOp::Allreduce, 0, 4096, 0.25);
+  builder.add_collective(CollectiveOp::Barrier, 3, 0, 0.35);
+  builder.set_duration(1.5);
+  return builder.build();
+}
+
+Trace make_random_trace(std::uint64_t seed, int ranks, int events) {
+  Xoshiro256 rng(seed);
+  TraceBuilder builder("random-" + std::to_string(seed), ranks);
+  for (int i = 0; i < events; ++i) {
+    const auto src = static_cast<Rank>(rng.next_below(static_cast<std::uint64_t>(ranks)));
+    auto dst = static_cast<Rank>(rng.next_below(static_cast<std::uint64_t>(ranks)));
+    if (dst == src) dst = (dst + 1) % ranks;
+    builder.add_p2p(src, dst, rng.next_below(1 << 20), rng.next_double());
+    if (i % 5 == 0) {
+      builder.add_collective(static_cast<CollectiveOp>(rng.next_below(kNumCollectiveOps)),
+                             static_cast<Rank>(rng.next_below(static_cast<std::uint64_t>(ranks))),
+                             rng.next_below(1 << 16), rng.next_double());
+    }
+  }
+  builder.set_duration(2.0);
+  return builder.build();
+}
+
+void expect_traces_equal(const Trace& a, const Trace& b) {
+  EXPECT_EQ(a.app_name(), b.app_name());
+  EXPECT_EQ(a.num_ranks(), b.num_ranks());
+  EXPECT_DOUBLE_EQ(a.duration(), b.duration());
+  ASSERT_EQ(a.p2p().size(), b.p2p().size());
+  for (std::size_t i = 0; i < a.p2p().size(); ++i) {
+    EXPECT_EQ(a.p2p()[i].src, b.p2p()[i].src);
+    EXPECT_EQ(a.p2p()[i].dst, b.p2p()[i].dst);
+    EXPECT_EQ(a.p2p()[i].bytes, b.p2p()[i].bytes);
+    EXPECT_DOUBLE_EQ(a.p2p()[i].time, b.p2p()[i].time);
+  }
+  ASSERT_EQ(a.collectives().size(), b.collectives().size());
+  for (std::size_t i = 0; i < a.collectives().size(); ++i) {
+    EXPECT_EQ(a.collectives()[i].op, b.collectives()[i].op);
+    EXPECT_EQ(a.collectives()[i].root, b.collectives()[i].root);
+    EXPECT_EQ(a.collectives()[i].bytes, b.collectives()[i].bytes);
+    EXPECT_DOUBLE_EQ(a.collectives()[i].time, b.collectives()[i].time);
+  }
+}
+
+// ---- Builder ----------------------------------------------------------------
+
+TEST(TraceBuilder, RejectsInvalidRanks) {
+  EXPECT_THROW(TraceBuilder("x", 0), ConfigError);
+  TraceBuilder builder("x", 4);
+  EXPECT_THROW(builder.add_p2p(-1, 0, 1, 0.0), ConfigError);
+  EXPECT_THROW(builder.add_p2p(0, 4, 1, 0.0), ConfigError);
+  EXPECT_THROW(builder.add_collective(CollectiveOp::Bcast, 4, 1, 0.0), ConfigError);
+}
+
+TEST(TraceBuilder, RejectsSelfMessage) {
+  TraceBuilder builder("x", 4);
+  EXPECT_THROW(builder.add_p2p(2, 2, 1, 0.0), ConfigError);
+}
+
+TEST(TraceBuilder, RejectsNegativeTime) {
+  TraceBuilder builder("x", 4);
+  EXPECT_THROW(builder.add_p2p(0, 1, 1, -0.5), ConfigError);
+}
+
+TEST(TraceBuilder, DurationDefaultsToLatestEvent) {
+  TraceBuilder builder("x", 4);
+  builder.add_p2p(0, 1, 1, 0.7);
+  builder.add_p2p(1, 0, 1, 0.3);
+  EXPECT_DOUBLE_EQ(builder.build().duration(), 0.7);
+}
+
+TEST(TraceBuilder, ExplicitDurationWins) {
+  TraceBuilder builder("x", 4);
+  builder.add_p2p(0, 1, 1, 0.7);
+  builder.set_duration(10.0);
+  EXPECT_DOUBLE_EQ(builder.build().duration(), 10.0);
+}
+
+TEST(TraceBuilder, ReusableAfterBuild) {
+  TraceBuilder builder("x", 4);
+  builder.add_p2p(0, 1, 1, 0.1);
+  const auto first = builder.build();
+  EXPECT_EQ(first.p2p().size(), 1u);
+  builder.add_p2p(1, 2, 1, 0.1);
+  const auto second = builder.build();
+  EXPECT_EQ(second.p2p().size(), 1u);
+}
+
+// ---- Stats --------------------------------------------------------------------
+
+TEST(TraceStats, AggregatesVolumesAndCounts) {
+  const auto stats = compute_stats(make_sample_trace());
+  EXPECT_EQ(stats.p2p_volume, 1024u + 2048u + 1u);
+  EXPECT_EQ(stats.collective_volume, 4096u);
+  EXPECT_EQ(stats.p2p_messages, 3u);
+  EXPECT_EQ(stats.collective_calls, 2u);
+  EXPECT_DOUBLE_EQ(stats.duration, 1.5);
+  EXPECT_NEAR(stats.p2p_percent() + stats.collective_percent(), 100.0, 1e-9);
+}
+
+TEST(TraceStats, EmptyTraceSafe) {
+  const auto stats = compute_stats(TraceBuilder("empty", 2).build());
+  EXPECT_EQ(stats.total_volume(), 0u);
+  EXPECT_DOUBLE_EQ(stats.p2p_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.throughput_mb_per_s(), 0.0);
+}
+
+TEST(TraceStats, ThroughputMatchesDefinition) {
+  const auto stats = compute_stats(make_sample_trace());
+  EXPECT_NEAR(stats.throughput_mb_per_s(),
+              stats.volume_mb() / stats.duration, 1e-12);
+}
+
+// ---- Collective op names ---------------------------------------------------
+
+TEST(CollectiveOpNames, RoundTripAllOps) {
+  for (int i = 0; i < kNumCollectiveOps; ++i) {
+    const auto op = static_cast<CollectiveOp>(i);
+    EXPECT_EQ(collective_op_from_string(to_string(op)), op);
+  }
+}
+
+TEST(CollectiveOpNames, RejectsUnknown) {
+  EXPECT_THROW(collective_op_from_string("allgatherv_bogus"), TraceFormatError);
+}
+
+// ---- Binary round trip ----------------------------------------------------
+
+TEST(BinaryIO, RoundTripSample) {
+  std::stringstream buf;
+  const auto original = make_sample_trace();
+  write_binary(original, buf);
+  expect_traces_equal(read_binary(buf), original);
+}
+
+class BinaryRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinaryRoundTrip, RandomTraces) {
+  const auto original = make_random_trace(GetParam(), 16, 200);
+  std::stringstream buf;
+  write_binary(original, buf);
+  expect_traces_equal(read_binary(buf), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryRoundTrip,
+                         ::testing::Values(1, 2, 3, 10, 99, 12345));
+
+TEST(BinaryIO, EmptyTrace) {
+  std::stringstream buf;
+  TraceBuilder builder("empty", 1);
+  const auto original = builder.build();
+  write_binary(original, buf);
+  expect_traces_equal(read_binary(buf), original);
+}
+
+// ---- Binary failure injection ----------------------------------------------
+
+TEST(BinaryIO, RejectsBadMagic) {
+  std::stringstream buf;
+  write_binary(make_sample_trace(), buf);
+  std::string data = buf.str();
+  data[0] = 'X';
+  std::stringstream bad(data);
+  EXPECT_THROW(read_binary(bad), TraceFormatError);
+}
+
+TEST(BinaryIO, RejectsBadVersion) {
+  std::stringstream buf;
+  write_binary(make_sample_trace(), buf);
+  std::string data = buf.str();
+  data[4] = 77;  // version byte
+  std::stringstream bad(data);
+  EXPECT_THROW(read_binary(bad), TraceFormatError);
+}
+
+TEST(BinaryIO, DetectsPayloadCorruption) {
+  std::stringstream buf;
+  write_binary(make_sample_trace(), buf);
+  std::string data = buf.str();
+  // Flip one payload byte somewhere in the middle; the checksum (or a
+  // structural validator) must reject the stream.
+  data[data.size() / 2] ^= 0x5a;
+  std::stringstream bad(data);
+  EXPECT_THROW(read_binary(bad), TraceFormatError);
+}
+
+class BinaryTruncation : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinaryTruncation, RejectsTruncatedStreams) {
+  std::stringstream buf;
+  write_binary(make_sample_trace(), buf);
+  const std::string data = buf.str();
+  // Truncate at various fractions of the stream (never the full size).
+  const auto cut = static_cast<std::size_t>(
+      data.size() * GetParam() / 100);
+  ASSERT_LT(cut, data.size());
+  std::stringstream bad(data.substr(0, cut));
+  EXPECT_THROW(read_binary(bad), TraceFormatError);
+}
+
+INSTANTIATE_TEST_SUITE_P(CutPoints, BinaryTruncation,
+                         ::testing::Values(1, 5, 25, 50, 75, 90, 99));
+
+// ---- Text round trip --------------------------------------------------------
+
+TEST(TextIO, RoundTripSample) {
+  std::stringstream buf;
+  const auto original = make_sample_trace();
+  write_text(original, buf);
+  expect_traces_equal(read_text(buf), original);
+}
+
+TEST(TextIO, AcceptsCommentsAndBlankLines) {
+  std::stringstream buf;
+  buf << "# comment\n\ntrace \"x\" ranks 4 duration 1.0\n\np2p 0 1 100 0.5\n";
+  const auto trace = read_text(buf);
+  EXPECT_EQ(trace.num_ranks(), 4);
+  EXPECT_EQ(trace.p2p().size(), 1u);
+}
+
+TEST(TextIO, RejectsRecordBeforeHeader) {
+  std::stringstream buf;
+  buf << "p2p 0 1 100 0.5\n";
+  EXPECT_THROW(read_text(buf), TraceFormatError);
+}
+
+TEST(TextIO, RejectsMalformedRecords) {
+  const char* cases[] = {
+      "trace \"x\" ranks 4 duration 1.0\np2p 0 1\n",
+      "trace \"x\" ranks 4 duration 1.0\np2p 0 9 5 0.1\n",
+      "trace \"x\" ranks 4 duration 1.0\ncoll nosuchop 0 5 0.1\n",
+      "trace \"x\" ranks 4 duration 1.0\nbogus 1 2 3\n",
+      "trace x-noquotes ranks 4 duration 1.0\n",
+      "trace \"x\" ranks -2 duration 1.0\n",
+  };
+  for (const char* text : cases) {
+    std::stringstream buf(text);
+    EXPECT_THROW(read_text(buf), TraceFormatError) << text;
+  }
+}
+
+TEST(TextIO, AppNameWithSpaces) {
+  TraceBuilder builder("AMR Miniapp (large)", 2);
+  builder.add_p2p(0, 1, 5, 0.1);
+  const auto original = builder.build();
+  std::stringstream buf;
+  write_text(original, buf);
+  expect_traces_equal(read_text(buf), original);
+}
+
+// ---- File dispatch ------------------------------------------------------------
+
+TEST(FileIO, SaveLoadBinaryByExtension) {
+  const std::string path = ::testing::TempDir() + "/netloc_test_trace.nltr";
+  const auto original = make_sample_trace();
+  save(original, path);
+  expect_traces_equal(load(path), original);
+  std::remove(path.c_str());
+}
+
+TEST(FileIO, SaveLoadTextByExtension) {
+  const std::string path = ::testing::TempDir() + "/netloc_test_trace.txt";
+  const auto original = make_sample_trace();
+  save(original, path);
+  expect_traces_equal(load(path), original);
+  std::remove(path.c_str());
+}
+
+TEST(FileIO, LoadMissingFileFails) {
+  EXPECT_THROW(load("/nonexistent/dir/trace.nltr"), Error);
+}
+
+}  // namespace
+}  // namespace netloc::trace

@@ -1,0 +1,376 @@
+// Tests for the workload substrate: catalog integrity, the
+// PatternBuilder calibration machinery, the stencil helper and the
+// per-application structural invariants that substitute for the
+// original Sandia traces (see DESIGN.md §2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netloc/common/error.hpp"
+#include "netloc/metrics/locality.hpp"
+#include "netloc/metrics/selectivity.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/trace/stats.hpp"
+#include "netloc/workloads/catalog.hpp"
+#include "netloc/workloads/pattern_builder.hpp"
+#include "netloc/workloads/stencil.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace netloc::workloads {
+namespace {
+
+// ---- Catalog -----------------------------------------------------------------
+
+TEST(Catalog, HasAllPaperEntries) {
+  EXPECT_EQ(catalog().size(), 41u);  // Table 1 rows incl. the two re-runs.
+  EXPECT_EQ(catalog_apps().size(), 15u);
+}
+
+TEST(Catalog, EntriesAreConsistent) {
+  for (const auto& e : catalog()) {
+    EXPECT_GE(e.ranks, 8) << e.label();
+    EXPECT_GT(e.time_s, 0.0) << e.label();
+    EXPECT_GT(e.volume_mb, 0.0) << e.label();
+    EXPECT_GE(e.p2p_percent, 0.0) << e.label();
+    EXPECT_LE(e.p2p_percent, 100.0) << e.label();
+    EXPECT_EQ(e.p2p_bytes() + e.collective_bytes(), e.total_bytes()) << e.label();
+  }
+}
+
+TEST(Catalog, LookupAndVariants) {
+  EXPECT_EQ(catalog_entry("LULESH", 64, 0).time_s, 54.14);
+  EXPECT_EQ(catalog_entry("LULESH", 64, 1).time_s, 44.03);
+  EXPECT_EQ(catalog_entry("LULESH", 64, 1).label(), "LULESH/64b");
+  EXPECT_THROW(catalog_entry("LULESH", 65), ConfigError);
+  EXPECT_THROW(catalog_entry("NoSuchApp", 64), ConfigError);
+}
+
+TEST(Catalog, CatalogForIsSortedByScale) {
+  const auto amg = catalog_for("AMG");
+  ASSERT_EQ(amg.size(), 4u);
+  EXPECT_EQ(amg.front().ranks, 8);
+  EXPECT_EQ(amg.back().ranks, 1728);
+}
+
+TEST(Registry, EveryCatalogAppHasAGenerator) {
+  for (const auto& app : catalog_apps()) {
+    EXPECT_EQ(generator(app).name(), app);
+    EXPECT_FALSE(generator(app).description().empty());
+  }
+  EXPECT_THROW(generator("bogus"), ConfigError);
+  EXPECT_EQ(available_workloads().size(), 15u);
+}
+
+// ---- PatternBuilder -------------------------------------------------------------
+
+TEST(PatternBuilder, ExactP2PByteApportioning) {
+  PatternBuilder builder("x", 4);
+  builder.p2p(0, 1, 3.0);
+  builder.p2p(1, 2, 1.0);
+  BuildParams params;
+  params.p2p_bytes = 1000;
+  params.duration = 1.0;
+  params.iterations = 1;
+  const auto trace = builder.build(params);
+  const auto stats = trace::compute_stats(trace);
+  EXPECT_EQ(stats.p2p_volume, 1000u);
+  const auto m = metrics::TrafficMatrix::from_trace(trace);
+  EXPECT_EQ(m.bytes(0, 1), 750u);
+  EXPECT_EQ(m.bytes(1, 2), 250u);
+}
+
+TEST(PatternBuilder, DuplicateDemandsMerge) {
+  PatternBuilder builder("x", 4);
+  builder.p2p(0, 1, 1.0);
+  builder.p2p(0, 1, 1.0);
+  builder.p2p(2, 3, 2.0);
+  BuildParams params;
+  params.p2p_bytes = 400;
+  params.duration = 1.0;
+  params.iterations = 1;
+  const auto m = metrics::TrafficMatrix::from_trace(builder.build(params));
+  EXPECT_EQ(m.bytes(0, 1), 200u);
+  EXPECT_EQ(m.bytes(2, 3), 200u);
+}
+
+TEST(PatternBuilder, TinyPairsStayVisible) {
+  // A pair whose share rounds to zero must still appear with >= 1 byte
+  // (the peers metric counts it), compensated on the largest pair.
+  PatternBuilder builder("x", 4);
+  builder.p2p(0, 1, 1e9);
+  builder.p2p(2, 3, 1e-9);
+  BuildParams params;
+  params.p2p_bytes = 1000;
+  params.duration = 1.0;
+  params.iterations = 1;
+  const auto m = metrics::TrafficMatrix::from_trace(builder.build(params));
+  EXPECT_GE(m.bytes(2, 3), 1u);
+  EXPECT_EQ(m.total_bytes(), 1000u);
+}
+
+TEST(PatternBuilder, SplitsLargePairsOverIterations) {
+  PatternBuilder builder("x", 2);
+  builder.p2p(0, 1, 1.0);
+  BuildParams params;
+  params.p2p_bytes = 1 << 20;
+  params.duration = 2.0;
+  params.iterations = 8;
+  params.preferred_message_bytes = 1024;
+  const auto trace = builder.build(params);
+  EXPECT_EQ(trace.p2p().size(), 8u);
+  Bytes sum = 0;
+  for (const auto& e : trace.p2p()) {
+    sum += e.bytes;
+    EXPECT_GE(e.time, 0.0);
+    EXPECT_LE(e.time, 2.0);
+  }
+  EXPECT_EQ(sum, static_cast<Bytes>(1 << 20));
+}
+
+TEST(PatternBuilder, CollectiveCallCountsAndVolume) {
+  PatternBuilder builder("x", 8);
+  builder.collective(trace::CollectiveOp::Allreduce, 0, 1.0, 37);
+  BuildParams params;
+  params.collective_bytes = 10000;
+  params.duration = 1.0;
+  const auto trace = builder.build(params);
+  EXPECT_EQ(trace.collectives().size(), 37u);
+  Bytes sum = 0;
+  for (const auto& e : trace.collectives()) sum += e.bytes;
+  EXPECT_EQ(sum, 10000u);
+}
+
+TEST(PatternBuilder, ZeroVolumeCollectivesKeepTheirOp) {
+  PatternBuilder builder("x", 8);
+  builder.collective(trace::CollectiveOp::Allreduce, 0, 1.0, 5);
+  BuildParams params;
+  params.collective_bytes = 0;
+  params.duration = 1.0;
+  const auto trace = builder.build(params);
+  ASSERT_EQ(trace.collectives().size(), 5u);
+  for (const auto& e : trace.collectives()) {
+    EXPECT_EQ(e.op, trace::CollectiveOp::Allreduce);
+    EXPECT_EQ(e.bytes, 0u);
+  }
+}
+
+TEST(PatternBuilder, Validation) {
+  PatternBuilder builder("x", 4);
+  EXPECT_THROW(builder.p2p(0, 4, 1.0), ConfigError);
+  EXPECT_THROW(builder.p2p(0, 1, -1.0), ConfigError);
+  EXPECT_THROW(builder.collective(trace::CollectiveOp::Bcast, 9, 1.0), ConfigError);
+  BuildParams bad;
+  bad.iterations = 0;
+  EXPECT_THROW(builder.build(bad), ConfigError);
+}
+
+// ---- Stencil helper -----------------------------------------------------------
+
+int degree_of(const metrics::TrafficMatrix& m, Rank r) {
+  return static_cast<int>(m.destinations_of(r).size());
+}
+
+metrics::TrafficMatrix build_stencil_matrix(int ranks, StencilScope scope,
+                                            int stride = 1) {
+  const GridDims dims = balanced_dims(ranks, 3);
+  PatternBuilder builder("stencil", ranks);
+  StencilWeights weights;
+  weights.face = 100.0;
+  weights.edge = 10.0;
+  weights.corner = 1.0;
+  add_stencil(builder, dims, scope, weights, stride);
+  BuildParams params;
+  params.p2p_bytes = 1 << 22;
+  params.duration = 1.0;
+  params.iterations = 1;
+  return metrics::TrafficMatrix::from_trace(builder.build(params));
+}
+
+TEST(Stencil, InteriorRankHas26FullNeighbours) {
+  const auto m = build_stencil_matrix(27, StencilScope::Full);
+  EXPECT_EQ(degree_of(m, 13), 26);  // centre of 3x3x3
+  EXPECT_EQ(degree_of(m, 0), 7);    // corner: 3 faces + 3 edges + 1 corner
+}
+
+TEST(Stencil, ScopeControlsNeighbourClasses) {
+  const auto faces = build_stencil_matrix(27, StencilScope::Faces);
+  EXPECT_EQ(degree_of(faces, 13), 6);
+  const auto fe = build_stencil_matrix(27, StencilScope::FacesEdges);
+  EXPECT_EQ(degree_of(fe, 13), 18);
+}
+
+TEST(Stencil, StrideTwoSkipsImmediateNeighbours) {
+  const auto m = build_stencil_matrix(125, StencilScope::Faces, 2);
+  // Centre of 5x5x5 is rank 62; stride-2 face neighbours: +-2 per axis.
+  EXPECT_EQ(degree_of(m, 62), 6);
+  const auto dests = m.destinations_of(62);
+  for (const Rank d : dests) {
+    EXPECT_EQ(chebyshev_distance(62, d, balanced_dims(125, 3)), 2);
+  }
+}
+
+TEST(Stencil, SymmetricPattern) {
+  const auto m = build_stencil_matrix(64, StencilScope::Full);
+  for (Rank s = 0; s < 64; ++s) {
+    for (Rank d = 0; d < 64; ++d) {
+      EXPECT_EQ(m.bytes(s, d) > 0, m.bytes(d, s) > 0);
+    }
+  }
+}
+
+TEST(Stencil, RejectsMismatchedGrid) {
+  PatternBuilder builder("x", 10);
+  EXPECT_THROW(
+      add_stencil(builder, balanced_dims(27, 3), StencilScope::Full, {}),
+      ConfigError);
+  PatternBuilder builder2("y", 27);
+  StencilWeights bad;
+  bad.face_per_axis = {1.0, 2.0};  // wrong dimensionality
+  EXPECT_THROW(add_stencil(builder2, balanced_dims(27, 3), StencilScope::Full, bad),
+               ConfigError);
+}
+
+// ---- Calibration: every entry hits its Table 1 targets ------------------------
+
+class Calibration : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Calibration, VolumeSplitAndDurationMatchTable1) {
+  const auto& entry = catalog()[GetParam()];
+  const auto trace = generator(entry.app).generate(entry, kDefaultSeed);
+  const auto stats = trace::compute_stats(trace);
+
+  EXPECT_EQ(trace.num_ranks(), entry.ranks) << entry.label();
+  EXPECT_DOUBLE_EQ(stats.duration, entry.time_s) << entry.label();
+  // Volume within 0.5% of the Table 1 target.
+  EXPECT_NEAR(stats.volume_mb(), entry.volume_mb, 0.005 * entry.volume_mb)
+      << entry.label();
+  // p2p share within half a percentage point.
+  EXPECT_NEAR(stats.p2p_percent(), entry.p2p_percent, 0.5) << entry.label();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEntries, Calibration,
+                         ::testing::Range<std::size_t>(0, 41));
+
+// ---- Determinism ----------------------------------------------------------------
+
+TEST(Determinism, SameSeedSameTrace) {
+  const auto& entry = catalog_entry("CNS", 64);
+  const auto a = generator("CNS").generate(entry, 7);
+  const auto b = generator("CNS").generate(entry, 7);
+  ASSERT_EQ(a.p2p().size(), b.p2p().size());
+  for (std::size_t i = 0; i < a.p2p().size(); i += 97) {
+    EXPECT_EQ(a.p2p()[i].src, b.p2p()[i].src);
+    EXPECT_EQ(a.p2p()[i].dst, b.p2p()[i].dst);
+    EXPECT_EQ(a.p2p()[i].bytes, b.p2p()[i].bytes);
+  }
+}
+
+TEST(Determinism, DifferentSeedChangesRandomizedApps) {
+  const auto& entry = catalog_entry("CNS", 64);
+  const auto a = generator("CNS").generate(entry, 1);
+  const auto b = generator("CNS").generate(entry, 2);
+  const auto ma = metrics::TrafficMatrix::from_trace(a);
+  const auto mb = metrics::TrafficMatrix::from_trace(b);
+  int diffs = 0;
+  for (Rank s = 0; s < 64; ++s) {
+    for (Rank d = 0; d < 64; ++d) {
+      if (ma.bytes(s, d) != mb.bytes(s, d)) ++diffs;
+    }
+  }
+  // Different seeds draw different heavy-partner sets.
+  EXPECT_GT(diffs, 10);
+}
+
+// ---- Structural invariants per application --------------------------------------
+
+metrics::TrafficMatrix p2p_matrix(const std::string& app, int ranks) {
+  const auto trace = generate(app, ranks);
+  return metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true, .include_collectives = false});
+}
+
+TEST(Structure, StencilAppsHaveExactly26Peers) {
+  for (const char* app : {"LULESH", "FillBoundary", "BoxlibMG", "MultiGrid_C"}) {
+    const auto entries = catalog_for(app);
+    const auto m = p2p_matrix(app, entries.back().ranks);
+    EXPECT_EQ(metrics::peers(m), 26) << app;
+  }
+}
+
+TEST(Structure, LuleshIs100PercentLocalIn3D) {
+  const auto m = p2p_matrix("LULESH", 512);
+  EXPECT_DOUBLE_EQ(metrics::dimensional_rank_locality_percent(m, 3), 100.0);
+}
+
+TEST(Structure, AmgIs100PercentLocalIn3D) {
+  for (int ranks : {216, 1728}) {
+    const auto m = p2p_matrix("AMG", ranks);
+    EXPECT_DOUBLE_EQ(metrics::dimensional_rank_locality_percent(m, 3), 100.0)
+        << ranks;
+  }
+}
+
+TEST(Structure, PartisnPeaksIn2D) {
+  const auto m = p2p_matrix("PARTISN", 168);
+  const double d1 = metrics::dimensional_rank_locality_percent(m, 1);
+  const double d2 = metrics::dimensional_rank_locality_percent(m, 2);
+  const double d3 = metrics::dimensional_rank_locality_percent(m, 3);
+  EXPECT_DOUBLE_EQ(d2, 100.0);
+  EXPECT_GT(d2, d1);
+  EXPECT_GT(d2, d3);  // The paper's only 2-D workload.
+}
+
+TEST(Structure, PartisnTalksToEveryone) {
+  const auto m = p2p_matrix("PARTISN", 168);
+  EXPECT_EQ(metrics::peers(m), 167);
+}
+
+TEST(Structure, CnsTalksToEveryoneButConcentratesVolume) {
+  const auto m = p2p_matrix("CNS", 256);
+  EXPECT_EQ(metrics::peers(m), 255);
+  const auto sel = metrics::selectivity(m);
+  EXPECT_LT(sel.mean, 10.0);  // Table 3: 5.4
+}
+
+TEST(Structure, CrystalRouterHasLogarithmicPeers) {
+  EXPECT_EQ(metrics::peers(p2p_matrix("CrystalRouter", 10)), 4);
+  EXPECT_EQ(metrics::peers(p2p_matrix("CrystalRouter", 100)), 7);
+  EXPECT_EQ(metrics::peers(p2p_matrix("CrystalRouter", 1000)), 10);
+}
+
+TEST(Structure, CollectiveOnlyAppsHaveNoP2P) {
+  for (const char* app : {"BigFFT", "CMC_2D"}) {
+    const auto entries = catalog_for(app);
+    for (const auto& entry : entries) {
+      const auto m = p2p_matrix(app, entry.ranks);
+      EXPECT_EQ(m.total_bytes(), 0u) << entry.label();
+    }
+  }
+}
+
+TEST(Structure, SelectivityIsFarBelowPeersForMostApps) {
+  // The paper's central qualitative finding (§5.2, §8).
+  for (const char* app : {"LULESH", "AMG", "CNS", "PARTISN", "MiniFE"}) {
+    const auto entries = catalog_for(app);
+    const auto m = p2p_matrix(app, entries.back().ranks);
+    const auto sel = metrics::selectivity(m);
+    EXPECT_LT(sel.mean, metrics::peers(m) / 2.0) << app;
+  }
+}
+
+TEST(Structure, RankDistanceGrowsWithScale) {
+  for (const char* app : {"AMG", "LULESH", "CrystalRouter", "MiniFE"}) {
+    const auto entries = catalog_for(app);
+    double prev = 0.0;
+    for (const auto& entry : entries) {
+      if (entry.variant != 0) continue;
+      const auto m = p2p_matrix(app, entry.ranks);
+      const double dist = metrics::rank_distance(m);
+      EXPECT_GT(dist, prev) << entry.label();
+      prev = dist;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netloc::workloads
