@@ -7,9 +7,12 @@
 //   netloc_cli import-dumpi <app-name> <out.nltr> <rank0.txt> [rank1.txt ...]
 //   netloc_cli heatmap <trace-file> <out.csv|out.pgm>
 //   netloc_cli multicore <app> <ranks>
+//   netloc_cli lint <trace-file> [--topology F] [--mapping R] [...]
+//   netloc_cli lint-rules
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,11 +20,14 @@
 #include "netloc/analysis/experiment.hpp"
 #include "netloc/analysis/export.hpp"
 #include "netloc/analysis/report.hpp"
+#include "netloc/common/error.hpp"
 #include "netloc/common/format.hpp"
+#include "netloc/lint/lint.hpp"
 #include "netloc/mapping/io.hpp"
 #include "netloc/mapping/optimizer.hpp"
 #include "netloc/metrics/hops.hpp"
 #include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/utilization.hpp"
 #include "netloc/topology/configs.hpp"
 #include "netloc/trace/dumpi_ascii.hpp"
 #include "netloc/trace/io.hpp"
@@ -40,7 +46,11 @@ int usage() {
          "  netloc_cli heatmap <trace-file> <out.csv|out.pgm>\n"
          "  netloc_cli multicore <app> <ranks>\n"
          "  netloc_cli optimize <trace-file> <torus|fattree|dragonfly> "
-         "<out.rankfile>\n";
+         "<out.rankfile>\n"
+         "  netloc_cli lint <trace-file> [--topology torus|fattree|dragonfly]\n"
+         "                  [--mapping <rankfile>] [--cores-per-node <n>]\n"
+         "                  [--csv <out.csv>]\n"
+         "  netloc_cli lint-rules\n";
   return EXIT_FAILURE;
 }
 
@@ -166,6 +176,147 @@ int cmd_optimize(const std::string& trace_path, const std::string& family,
   return EXIT_SUCCESS;
 }
 
+// ---- lint -------------------------------------------------------------------
+
+struct LintArgs {
+  std::string trace_path;
+  std::string topology = "torus";
+  std::string mapping_path;  // empty = no mapping lint
+  int cores_per_node = 0;    // 0 = capacity rule off
+  std::string csv_path;      // empty = text only
+};
+
+std::optional<LintArgs> parse_lint_args(int argc, char** argv) {
+  if (argc < 3) return std::nullopt;
+  LintArgs args;
+  args.trace_path = argv[2];
+  for (int i = 3; i < argc; i += 2) {
+    if (i + 1 >= argc) return std::nullopt;
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--topology") {
+      args.topology = value;
+    } else if (flag == "--mapping") {
+      args.mapping_path = value;
+    } else if (flag == "--cores-per-node") {
+      args.cores_per_node = std::atoi(value.c_str());
+    } else if (flag == "--csv") {
+      args.csv_path = value;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (args.topology != "torus" && args.topology != "fattree" &&
+      args.topology != "dragonfly") {
+    return std::nullopt;
+  }
+  return args;
+}
+
+/// Config-pack lint for the Table 2 configuration of `family` at this
+/// rank count (broken setups mostly come from mappings; the table
+/// configs themselves only flag idle nodes).
+netloc::lint::LintReport lint_topology_family(const std::string& family,
+                                              int ranks) {
+  namespace lint = netloc::lint;
+  namespace topo = netloc::topology;
+  if (family == "torus") {
+    return lint::lint_torus(topo::torus_dims_for(ranks), ranks);
+  }
+  if (family == "fattree") {
+    return lint::lint_fat_tree(topo::kFatTreeRadix,
+                               topo::fat_tree_stages_for(ranks), ranks);
+  }
+  const auto params = topo::dragonfly_params_for(ranks);
+  return lint::lint_dragonfly(params[0], params[1], params[2], ranks);
+}
+
+int cmd_lint(const LintArgs& args) {
+  namespace lint = netloc::lint;
+  lint::LintReport report;
+
+  // 1. Trace pack. An unreadable trace becomes a TR007 diagnostic and
+  //    ends the run (nothing downstream can be checked without it).
+  std::optional<netloc::trace::Trace> trace;
+  try {
+    netloc::trace::LoadOptions load;
+    load.lint = false;  // Collected below instead of printed to stderr.
+    trace = netloc::trace::load(args.trace_path, load);
+  } catch (const netloc::Error& e) {
+    report.add(lint::trace_load_failure(args.trace_path, e.what()));
+  }
+  if (trace) {
+    report.merge(lint::lint_trace(*trace, args.trace_path));
+
+    // 2. Config pack: topology shape, then the mapping if given.
+    const int ranks = trace->num_ranks();
+    report.merge(lint_topology_family(args.topology, ranks));
+    std::optional<netloc::mapping::RawRankfile> raw;
+    if (!args.mapping_path.empty()) {
+      std::ifstream in(args.mapping_path);
+      if (!in) {
+        std::cerr << "cannot open " << args.mapping_path << "\n";
+        return EXIT_FAILURE;
+      }
+      raw = netloc::mapping::read_rankfile_raw(in);
+      report.merge(lint::lint_rankfile(*raw, ranks, args.cores_per_node,
+                                       args.mapping_path));
+    }
+
+    // 3. Metric pack: traffic-matrix conservation always; Eq. 5
+    //    plausibility when the placement is constructible.
+    const auto matrix = netloc::metrics::TrafficMatrix::from_trace(*trace);
+    report.merge(lint::lint_traffic_matrix(matrix));
+    if (trace->duration() > 0.0) {
+      try {
+        const auto set = netloc::topology::topologies_for(ranks);
+        const netloc::topology::Topology* topo =
+            args.topology == "fattree"     ? set.fat_tree.get()
+            : args.topology == "dragonfly" ? set.dragonfly.get()
+                                           : static_cast<const netloc::topology::
+                                                 Topology*>(set.torus.get());
+        const auto mapping =
+            raw ? netloc::mapping::Mapping(raw->rank_to_node, topo->num_nodes())
+                : netloc::mapping::Mapping::linear(ranks, topo->num_nodes());
+        // UsedLinks (not the paper's formula denominator) so that the
+        // mapping under test actually feeds Eq. 5: a placement that
+        // keeps all traffic on-node yields zero network utilization,
+        // which MT005 flags against the trace's nonzero volume.
+        const auto util = netloc::metrics::utilization(
+            matrix, *topo, mapping, trace->duration(),
+            netloc::metrics::LinkCountMode::UsedLinks);
+        report.merge(lint::lint_utilization(util.utilization_percent,
+                                            matrix.total_bytes()));
+      } catch (const netloc::Error&) {
+        // A mapping the config pack already rejected cannot be placed;
+        // its diagnostics are in the report, so just skip Eq. 5 here.
+      }
+    }
+  }
+
+  lint::write_text(report, std::cout);
+  if (!args.csv_path.empty()) {
+    std::ofstream out(args.csv_path);
+    if (!out) {
+      std::cerr << "cannot open " << args.csv_path << "\n";
+      return EXIT_FAILURE;
+    }
+    lint::write_csv(report, out);
+    std::cout << "wrote " << args.csv_path << "\n";
+  }
+  return report.has_errors() ? EXIT_FAILURE : EXIT_SUCCESS;
+}
+
+int cmd_lint_rules() {
+  const auto& registry = netloc::lint::RuleRegistry::instance();
+  std::cout << "rule\tseverity\tpack\tsummary\n";
+  for (const auto& rule : registry.rules()) {
+    std::cout << rule.id << '\t' << netloc::lint::to_string(rule.default_severity)
+              << '\t' << rule.pack << '\t' << rule.summary << "\n";
+  }
+  return EXIT_SUCCESS;
+}
+
 int cmd_multicore(const std::string& app, int ranks) {
   const auto trace = netloc::workloads::generate(app, ranks);
   const auto series = netloc::analysis::multicore_study(
@@ -200,6 +351,11 @@ int main(int argc, char** argv) {
     if (cmd == "optimize" && argc == 5) {
       return cmd_optimize(argv[2], argv[3], argv[4]);
     }
+    if (cmd == "lint") {
+      const auto args = parse_lint_args(argc, argv);
+      return args ? cmd_lint(*args) : usage();
+    }
+    if (cmd == "lint-rules") return cmd_lint_rules();
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -21,7 +21,10 @@ struct WeightedSample {
 /// value <= v reaches `fraction` of the total weight. Samples need not
 /// be sorted. Returns 0 for an empty/zero-weight input.
 ///
-/// `fraction` must lie in (0, 1].
+/// `fraction` must lie in (0, 1]; values must be finite and weights
+/// finite and non-negative (ConfigError otherwise — a NaN or negative
+/// weight would corrupt the cumulative sum silently). These contracts
+/// hold for all three functions below.
 double weighted_quantile(std::vector<WeightedSample> samples, double fraction);
 
 /// Linear interpolation variant: interpolates between the last value

@@ -1,0 +1,61 @@
+// Config rule pack (TPxxx): topology shapes and rank -> node mappings.
+//
+// These rules operate on the raw configuration values — torus extents,
+// fat-tree (radix, stages), dragonfly (a, h, p), and unvalidated
+// rank -> node tables — *before* the strict constructors run, so a lint
+// pass can explain a broken setup that Topology/Mapping would simply
+// refuse to build.
+//
+// Rules:
+//   TP001 error    topology cannot host the rank count
+//   TP002 warning  topology node count exceeds the rank count (idle nodes)
+//   TP003 error    fat-tree radix not even (port split impossible)
+//   TP004 error    dragonfly a*h odd (palm-tree pairing impossible)
+//   TP005 warning  dragonfly off the paper's balanced a = 2h = 2p rule
+//   TP006 error    mapping entry out of [0, num_nodes)
+//   TP007 error    mapping missing or duplicate rank (non-bijective)
+//   TP008 error    ranks on one node exceed cores-per-node capacity
+//   TP009 warning  mapping rank count differs from the trace rank count
+//   TP010 error    non-positive topology parameter
+//   TP011 error    unparseable rankfile line
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "netloc/common/types.hpp"
+#include "netloc/lint/diagnostic.hpp"
+#include "netloc/mapping/io.hpp"
+
+namespace netloc::lint {
+
+/// Torus extents vs. the rank count they must host.
+LintReport lint_torus(const std::array<int, 3>& dims, int num_ranks,
+                      const std::string& source = "torus");
+
+/// Fat-tree shape: even radix, stages >= 1, sufficient capacity.
+LintReport lint_fat_tree(int radix, int stages, int num_ranks,
+                         const std::string& source = "fattree");
+
+/// Dragonfly (a, h, p): pairing constraint, balance rule, capacity.
+LintReport lint_dragonfly(int a, int h, int p, int num_ranks,
+                          const std::string& source = "dragonfly");
+
+/// An unvalidated rank -> node table (e.g. from read_rankfile_raw).
+/// Entries equal to kInvalidNode mean "rank never assigned".
+/// `expected_ranks` is the trace's rank count (pass 0 to skip TP009);
+/// `cores_per_node` caps how many ranks may legally share one node
+/// (pass 0 to skip TP008).
+LintReport lint_mapping(const std::vector<NodeId>& rank_to_node,
+                        int num_nodes, int expected_ranks,
+                        int cores_per_node,
+                        const std::string& source = "mapping");
+
+/// Full rankfile lint: malformed lines (TP011) and duplicate ranks
+/// (TP007) from the raw parse, then every lint_mapping check.
+LintReport lint_rankfile(const mapping::RawRankfile& raw, int expected_ranks,
+                         int cores_per_node,
+                         const std::string& source = "rankfile");
+
+}  // namespace netloc::lint

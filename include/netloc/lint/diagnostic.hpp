@@ -1,0 +1,72 @@
+// Diagnostic records for the netloc static-analysis (lint) subsystem.
+//
+// Every check the lint rule packs perform produces Diagnostic values
+// instead of throwing: a lint run over a malformed trace or topology
+// configuration reports *all* findings, each tagged with a stable rule
+// ID (e.g. "TR002"), a severity, and the source context it was observed
+// in. Hard errors remain the domain of the loaders (common/error.hpp);
+// lint is the layer that explains inputs before analyses consume them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace netloc::lint {
+
+/// Diagnostic severity, ordered from least to most severe.
+enum class Severity {
+  Note,     ///< Stylistic or informational; never affects exit status.
+  Warning,  ///< Suspicious input that analyses will still accept.
+  Error,    ///< Input that will produce wrong or undefined results.
+};
+
+/// Human-readable severity name ("note", "warning", "error").
+const char* to_string(Severity severity);
+
+/// Where a diagnostic was observed. `source` is a file path or a
+/// component name ("trace", "mapping", ...); `line` is 1-based when the
+/// finding maps to a text line, -1 otherwise; `index` is an event or
+/// rank index when the finding maps to one, -1 otherwise.
+struct SourceContext {
+  std::string source;
+  long line = -1;
+  long index = -1;
+};
+
+/// One lint finding.
+struct Diagnostic {
+  std::string rule_id;  ///< Stable ID from the RuleRegistry ("TR001").
+  Severity severity = Severity::Warning;
+  SourceContext context;
+  std::string message;
+  std::string fixit;  ///< Optional remediation hint; empty if none.
+};
+
+/// "source:line: severity: [RULE] message (fix: hint)" — the canonical
+/// single-line rendering used by text reports and the load-time hook.
+std::string format(const Diagnostic& diagnostic);
+
+/// A completed lint run: the ordered findings plus severity tallies.
+class LintReport {
+ public:
+  LintReport() = default;
+  explicit LintReport(std::vector<Diagnostic> diagnostics);
+
+  void add(Diagnostic diagnostic);
+  void merge(LintReport other);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] bool empty() const { return diagnostics_.empty(); }
+  [[nodiscard]] std::size_t count(Severity severity) const;
+  [[nodiscard]] bool has_errors() const { return count(Severity::Error) > 0; }
+
+  /// Findings of one rule, in emission order.
+  [[nodiscard]] std::vector<Diagnostic> by_rule(const std::string& rule_id) const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace netloc::lint

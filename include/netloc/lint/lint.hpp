@@ -1,0 +1,18 @@
+// Umbrella header for the netloc::lint static-analysis subsystem.
+//
+// Typical use (what `netloc_cli lint` does):
+//
+//   lint::LintReport report = lint::lint_trace(trace, path);
+//   report.merge(lint::lint_mapping(raw.rank_to_node, raw.num_nodes,
+//                                   trace.num_ranks(), cores, path));
+//   report.merge(lint::lint_traffic_matrix(matrix));
+//   lint::write_text(report, std::cout);
+//   return report.has_errors() ? EXIT_FAILURE : EXIT_SUCCESS;
+#pragma once
+
+#include "netloc/lint/config_rules.hpp"
+#include "netloc/lint/diagnostic.hpp"
+#include "netloc/lint/metric_rules.hpp"
+#include "netloc/lint/registry.hpp"
+#include "netloc/lint/report.hpp"
+#include "netloc/lint/trace_rules.hpp"

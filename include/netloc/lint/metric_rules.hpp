@@ -1,0 +1,33 @@
+// Metric rule pack (MTxxx): sanity checks over *derived* quantities.
+//
+// Where the trace and config packs judge inputs, this pack judges the
+// numbers the pipeline computes from them — an inconsistent traffic
+// matrix or a >100% link utilization is almost always a misconfigured
+// run (wrong duration, wrong topology scale, double-counted volume),
+// and flagging it beats publishing a wrong Table 3 row.
+//
+// Rules:
+//   MT001 error    traffic-matrix totals disagree with the cell sums
+//   MT002 warning  traffic-matrix diagonal carries volume
+//   MT003 warning  rank sends traffic but receives none (or vice versa)
+//   MT004 error    utilization above 100% (Eq. 5 misconfiguration)
+//   MT005 warning  utilization is zero although the trace moves bytes
+#pragma once
+
+#include <string>
+
+#include "netloc/lint/diagnostic.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+
+namespace netloc::lint {
+
+/// Conservation and symmetry checks over a built traffic matrix.
+LintReport lint_traffic_matrix(const metrics::TrafficMatrix& matrix,
+                               const std::string& source = "traffic-matrix");
+
+/// Eq. 5 plausibility. `utilization_percent` is Table 3's value;
+/// `total_bytes` the matrix volume it was computed from.
+LintReport lint_utilization(double utilization_percent, Bytes total_bytes,
+                            const std::string& source = "utilization");
+
+}  // namespace netloc::lint

@@ -1,0 +1,53 @@
+// The rule catalog: every lint rule netloc ships, keyed by stable ID.
+//
+// Rule IDs are grouped into three packs mirroring the input layers:
+//   TRxxx  trace rules    (event-level structural checks)
+//   TPxxx  config rules   (topology shapes and rank -> node mappings)
+//   MTxxx  metric rules   (sanity of derived traffic/utilization values)
+//
+// IDs are stable across releases: a rule may be retired but its ID is
+// never reused, so stored CSV reports stay interpretable.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "netloc/lint/diagnostic.hpp"
+
+namespace netloc::lint {
+
+/// Static description of one rule.
+struct RuleInfo {
+  std::string_view id;        ///< "TR001"
+  Severity default_severity;  ///< Severity its diagnostics carry.
+  std::string_view pack;      ///< "trace", "config" or "metric".
+  std::string_view summary;   ///< One-line description for catalogs.
+};
+
+/// Immutable registry over the built-in rule table.
+class RuleRegistry {
+ public:
+  /// The process-wide registry.
+  static const RuleRegistry& instance();
+
+  /// All rules in ID order.
+  [[nodiscard]] const std::vector<RuleInfo>& rules() const { return rules_; }
+
+  /// Rule by ID, or nullptr if unknown.
+  [[nodiscard]] const RuleInfo* find(std::string_view id) const;
+
+  /// All rules of one pack ("trace", "config", "metric").
+  [[nodiscard]] std::vector<RuleInfo> pack(std::string_view name) const;
+
+  /// Build a diagnostic for `id` with the rule's default severity.
+  /// Throws ConfigError on an unknown ID (a netloc programming error).
+  [[nodiscard]] Diagnostic make(std::string_view id, SourceContext context,
+                                std::string message,
+                                std::string fixit = {}) const;
+
+ private:
+  RuleRegistry();
+  std::vector<RuleInfo> rules_;
+};
+
+}  // namespace netloc::lint

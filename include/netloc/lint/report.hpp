@@ -1,0 +1,19 @@
+// Rendering lint reports: human-readable text and machine-readable CSV
+// (through the shared common/csv.hpp writer, so quoting matches every
+// other netloc export).
+#pragma once
+
+#include <iosfwd>
+
+#include "netloc/lint/diagnostic.hpp"
+
+namespace netloc::lint {
+
+/// One line per diagnostic (see format()) followed by a severity
+/// summary line ("3 errors, 1 warning, 0 notes").
+void write_text(const LintReport& report, std::ostream& out);
+
+/// CSV with header "rule,severity,source,line,index,message,fixit".
+void write_csv(const LintReport& report, std::ostream& out);
+
+}  // namespace netloc::lint

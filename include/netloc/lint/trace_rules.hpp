@@ -1,0 +1,39 @@
+// Trace rule pack (TRxxx): structural checks over an in-memory Trace.
+//
+// The loaders (trace/io.hpp, trace/dumpi_ascii.hpp) reject inputs that
+// cannot be represented at all; this pack covers the larger class of
+// traces that *parse* but would mislead every downstream metric —
+// out-of-range ranks from hand-written text traces, self-messages that
+// never enter the network, walltimes running backwards, and rank pairs
+// whose send volume has no return traffic at all.
+//
+// Rules:
+//   TR001 error    event rank outside [0, num_ranks)
+//   TR002 warning  self-message (src == dst)
+//   TR003 warning  zero-byte p2p event
+//   TR004 error    negative or non-finite event time
+//   TR005 warning  non-monotonic walltimes within one (src, dst) stream
+//   TR006 note     one-directional p2p volume between a rank pair
+//   TR007 error    truncated or unparseable trace input (loader pack)
+//   TR008 warning  event timestamp beyond the recorded duration
+//   TR009 warning  trace carries no events at all
+//   TR010 warning  unparseable dumpi parameter line dropped (importer)
+#pragma once
+
+#include "netloc/lint/diagnostic.hpp"
+#include "netloc/trace/trace.hpp"
+
+namespace netloc::lint {
+
+/// Run the trace rule pack. `source` labels the diagnostics (usually
+/// the file path the trace came from).
+LintReport lint_trace(const trace::Trace& trace,
+                      const std::string& source = "trace");
+
+/// Wrap a loader failure (TraceFormatError text) as a TR007 diagnostic
+/// so lint runs can report unreadable inputs alongside structural
+/// findings instead of aborting on the first file.
+Diagnostic trace_load_failure(const std::string& source,
+                              const std::string& what);
+
+}  // namespace netloc::lint

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <vector>
 
 #include "netloc/mapping/mapping.hpp"
 
@@ -20,5 +21,20 @@ void write_rankfile(const Mapping& mapping, std::ostream& out);
 /// Parse a rankfile. Throws Error on malformed input (missing or
 /// duplicate ranks, nodes out of range).
 Mapping read_rankfile(std::istream& in);
+
+/// What a rankfile literally says, before any validation — the input to
+/// the lint config pack, which explains broken files read_rankfile
+/// would reject on the first problem.
+struct RawRankfile {
+  int num_nodes = 0;                  ///< 0 if the nodes header is missing.
+  std::vector<NodeId> rank_to_node;   ///< kInvalidNode = never assigned.
+  std::vector<Rank> duplicate_ranks;  ///< Ranks assigned more than once.
+  std::vector<long> malformed_lines;  ///< 1-based unparseable lines.
+};
+
+/// Lenient rankfile parse: never throws on content (only propagates
+/// stream failures); every oddity is recorded instead. Out-of-range
+/// nodes are kept verbatim so lint can point at them.
+RawRankfile read_rankfile_raw(std::istream& in);
 
 }  // namespace netloc::mapping

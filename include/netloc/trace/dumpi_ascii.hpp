@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "netloc/lint/diagnostic.hpp"
 #include "netloc/trace/trace.hpp"
 
 namespace netloc::trace {
@@ -45,6 +46,11 @@ struct DumpiAsciiOptions {
   bool reject_unknown_communicators = false;
   /// Size assumed for derived/unknown datatypes (paper: 1 byte).
   Bytes derived_datatype_size = 1;
+  /// When set, recoverable parse problems (parameter lines with an
+  /// empty key or a non-numeric value, which are otherwise silently
+  /// dropped) are reported here as TR010 diagnostics with the 1-based
+  /// line number. Structural problems still throw TraceFormatError.
+  std::vector<lint::Diagnostic>* diagnostics = nullptr;
 };
 
 /// Size in bytes of a built-in MPI datatype given its textual name

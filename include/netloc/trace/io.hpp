@@ -10,9 +10,11 @@
 // any corruption, so failure-injection tests can assert diagnostics.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 
+#include "netloc/lint/diagnostic.hpp"
 #include "netloc/trace/trace.hpp"
 
 namespace netloc::trace {
@@ -37,6 +39,19 @@ Trace read_text(std::istream& in);
 /// Convenience file wrappers (binary chosen by extension ".nltr",
 /// text otherwise). Throw Error if the file cannot be opened.
 void save(const Trace& trace, const std::string& path);
-Trace load(const std::string& path);
+
+/// Controls the lint pass load() runs after parsing. The pass is
+/// warnings-only: findings are reported through `on_diagnostic` and
+/// never abort the load (structurally unreadable files still throw
+/// TraceFormatError from the parsers).
+struct LoadOptions {
+  /// Run the trace rule pack (lint/trace_rules.hpp) on the result.
+  bool lint = true;
+  /// Receives each finding. The default handler prints warnings and
+  /// errors (not notes) to stderr, prefixed with the file path.
+  std::function<void(const lint::Diagnostic&)> on_diagnostic;
+};
+
+Trace load(const std::string& path, const LoadOptions& options = {});
 
 }  // namespace netloc::trace

@@ -1,6 +1,7 @@
 #include "netloc/common/quantile.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "netloc/common/error.hpp"
 
@@ -8,9 +9,21 @@ namespace netloc {
 
 namespace {
 
+/// Validates as it sums: NaN or negative weights and non-finite values
+/// would otherwise corrupt the cumulative sum silently (NaN poisons
+/// every comparison, a negative weight makes the CDF non-monotonic).
 double total_weight(const std::vector<WeightedSample>& samples) {
   double total = 0.0;
-  for (const auto& s : samples) total += s.weight;
+  for (const auto& s : samples) {
+    if (!std::isfinite(s.value)) {
+      throw ConfigError("quantile: sample value must be finite");
+    }
+    if (std::isnan(s.weight) || std::isinf(s.weight) || s.weight < 0.0) {
+      throw ConfigError("quantile: sample weight must be finite and "
+                        "non-negative");
+    }
+    total += s.weight;
+  }
   return total;
 }
 
@@ -85,7 +98,13 @@ double weighted_quantile_interpolated(std::vector<WeightedSample> samples,
 double coverage_count(std::vector<double> weights, double fraction) {
   check_fraction(fraction);
   double total = 0.0;
-  for (double w : weights) total += w;
+  for (double w : weights) {
+    if (std::isnan(w) || w < 0.0 || std::isinf(w)) {
+      throw ConfigError("quantile: coverage weight must be finite and "
+                        "non-negative");
+    }
+    total += w;
+  }
   if (weights.empty() || total <= 0.0) return 0.0;
   std::sort(weights.begin(), weights.end(), std::greater<>());
   const double threshold = fraction * total;

@@ -1,0 +1,195 @@
+#include "netloc/lint/config_rules.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "netloc/lint/registry.hpp"
+
+namespace netloc::lint {
+
+namespace {
+
+Diagnostic make(std::string_view rule, const std::string& source,
+                std::string message, std::string fixit = {}, long index = -1) {
+  SourceContext context;
+  context.source = source;
+  context.index = index;
+  return RuleRegistry::instance().make(rule, std::move(context),
+                                       std::move(message), std::move(fixit));
+}
+
+void check_capacity(LintReport& report, const std::string& source,
+                    const std::string& config, long capacity, int num_ranks) {
+  if (capacity < num_ranks) {
+    report.add(make("TP001", source,
+                    config + " hosts " + std::to_string(capacity) +
+                        " nodes but the trace has " +
+                        std::to_string(num_ranks) + " ranks",
+                    "scale the topology up or shrink the rank count"));
+  } else if (capacity > num_ranks && num_ranks > 0) {
+    report.add(make("TP002", source,
+                    config + " hosts " + std::to_string(capacity) +
+                        " nodes for " + std::to_string(num_ranks) +
+                        " ranks; " + std::to_string(capacity - num_ranks) +
+                        " nodes stay idle"));
+  }
+}
+
+}  // namespace
+
+LintReport lint_torus(const std::array<int, 3>& dims, int num_ranks,
+                      const std::string& source) {
+  LintReport report;
+  const std::string config = "torus (" + std::to_string(dims[0]) + "," +
+                             std::to_string(dims[1]) + "," +
+                             std::to_string(dims[2]) + ")";
+  for (int d : dims) {
+    if (d < 1) {
+      report.add(make("TP010", source,
+                      config + ": extent " + std::to_string(d) +
+                          " is not positive"));
+      return report;
+    }
+  }
+  const long capacity =
+      static_cast<long>(dims[0]) * dims[1] * dims[2];
+  check_capacity(report, source, config, capacity, num_ranks);
+  return report;
+}
+
+LintReport lint_fat_tree(int radix, int stages, int num_ranks,
+                         const std::string& source) {
+  LintReport report;
+  const std::string config = "fat tree (radix " + std::to_string(radix) +
+                             ", " + std::to_string(stages) + " stages)";
+  if (radix < 2 || stages < 1) {
+    report.add(make("TP010", source,
+                    config + ": radix must be >= 2 and stages >= 1"));
+    return report;
+  }
+  if (radix % 2 != 0) {
+    report.add(make("TP003", source,
+                    config + ": odd radix cannot split ports into equal "
+                             "up/down halves",
+                    "use an even switch radix (the paper uses 48)"));
+    return report;
+  }
+  long capacity = radix;
+  if (stages > 1) {
+    capacity = 1;
+    for (int s = 0; s < stages; ++s) {
+      capacity *= radix / 2;
+      if (capacity > (1L << 40)) break;  // Saturate; enough for any rank count.
+    }
+  }
+  check_capacity(report, source, config, capacity, num_ranks);
+  return report;
+}
+
+LintReport lint_dragonfly(int a, int h, int p, int num_ranks,
+                          const std::string& source) {
+  LintReport report;
+  const std::string config = "dragonfly (a=" + std::to_string(a) +
+                             ", h=" + std::to_string(h) +
+                             ", p=" + std::to_string(p) + ")";
+  if (a < 1 || h < 1 || p < 1) {
+    report.add(make("TP010", source,
+                    config + ": a, h and p must all be positive"));
+    return report;
+  }
+  if ((a * h) % 2 != 0) {
+    report.add(make("TP004", source,
+                    config + ": a*h = " + std::to_string(a * h) +
+                        " is odd, so palm-tree global links cannot pair up",
+                    "choose a and h with an even product"));
+    return report;
+  }
+  if (a != 2 * h || a != 2 * p) {
+    report.add(make("TP005", source,
+                    config + ": deviates from the balanced a = 2h = 2p "
+                             "configuration the paper's Table 2 uses"));
+  }
+  const long groups = static_cast<long>(a) * h + 1;
+  const long capacity = groups * a * p;
+  check_capacity(report, source, config, capacity, num_ranks);
+  return report;
+}
+
+LintReport lint_mapping(const std::vector<NodeId>& rank_to_node,
+                        int num_nodes, int expected_ranks, int cores_per_node,
+                        const std::string& source) {
+  LintReport report;
+  if (num_nodes < 1) {
+    report.add(make("TP010", source,
+                    "mapping declares " + std::to_string(num_nodes) +
+                        " nodes; need at least 1"));
+    return report;
+  }
+  if (expected_ranks > 0 &&
+      static_cast<int>(rank_to_node.size()) != expected_ranks) {
+    report.add(make("TP009", source,
+                    "mapping assigns " + std::to_string(rank_to_node.size()) +
+                        " ranks but the trace has " +
+                        std::to_string(expected_ranks),
+                    "regenerate the rankfile for this trace"));
+  }
+
+  std::unordered_map<NodeId, int> per_node;
+  for (std::size_t r = 0; r < rank_to_node.size(); ++r) {
+    const NodeId node = rank_to_node[r];
+    if (node == kInvalidNode) {
+      report.add(make("TP007", source,
+                      "rank " + std::to_string(r) + " is never assigned a node",
+                      "add a 'rank " + std::to_string(r) + "=<node>' entry",
+                      static_cast<long>(r)));
+      continue;
+    }
+    if (node < 0 || node >= num_nodes) {
+      report.add(make("TP006", source,
+                      "rank " + std::to_string(r) + " maps to node " +
+                          std::to_string(node) + ", outside [0, " +
+                          std::to_string(num_nodes) + ")",
+                      {}, static_cast<long>(r)));
+      continue;
+    }
+    ++per_node[node];
+  }
+
+  if (cores_per_node > 0) {
+    for (const auto& [node, count] : per_node) {
+      if (count > cores_per_node) {
+        report.add(make("TP008", source,
+                        "node " + std::to_string(node) + " hosts " +
+                            std::to_string(count) + " ranks but has only " +
+                            std::to_string(cores_per_node) + " core(s)",
+                        "spread ranks over more nodes or raise cores-per-node",
+                        node));
+      }
+    }
+  }
+  return report;
+}
+
+LintReport lint_rankfile(const mapping::RawRankfile& raw, int expected_ranks,
+                         int cores_per_node, const std::string& source) {
+  LintReport report;
+  for (long line : raw.malformed_lines) {
+    SourceContext context;
+    context.source = source;
+    context.line = line;
+    report.add(RuleRegistry::instance().make(
+        "TP011", std::move(context), "unparseable rankfile line",
+        "expected 'nodes <n>' or 'rank <r>=<node>'"));
+  }
+  for (Rank rank : raw.duplicate_ranks) {
+    report.add(make("TP007", source,
+                    "rank " + std::to_string(rank) +
+                        " is assigned more than once; the last entry wins",
+                    "keep exactly one entry per rank", rank));
+  }
+  report.merge(lint_mapping(raw.rank_to_node, raw.num_nodes, expected_ranks,
+                            cores_per_node, source));
+  return report;
+}
+
+}  // namespace netloc::lint

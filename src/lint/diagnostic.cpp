@@ -1,0 +1,57 @@
+#include "netloc/lint/diagnostic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace netloc::lint {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string format(const Diagnostic& diagnostic) {
+  std::ostringstream out;
+  out << diagnostic.context.source;
+  if (diagnostic.context.line >= 0) out << ':' << diagnostic.context.line;
+  out << ": " << to_string(diagnostic.severity) << ": ["
+      << diagnostic.rule_id << "] " << diagnostic.message;
+  if (!diagnostic.fixit.empty()) out << " (fix: " << diagnostic.fixit << ")";
+  return out.str();
+}
+
+LintReport::LintReport(std::vector<Diagnostic> diagnostics)
+    : diagnostics_(std::move(diagnostics)) {}
+
+void LintReport::add(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void LintReport::merge(LintReport other) {
+  diagnostics_.insert(diagnostics_.end(),
+                      std::make_move_iterator(other.diagnostics_.begin()),
+                      std::make_move_iterator(other.diagnostics_.end()));
+}
+
+std::size_t LintReport::count(Severity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [&](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+std::vector<Diagnostic> LintReport::by_rule(const std::string& rule_id) const {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diagnostics_) {
+    if (d.rule_id == rule_id) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace netloc::lint

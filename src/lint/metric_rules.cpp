@@ -1,0 +1,95 @@
+#include "netloc/lint/metric_rules.hpp"
+
+#include <string>
+
+#include "netloc/lint/registry.hpp"
+
+namespace netloc::lint {
+
+namespace {
+
+Diagnostic make(std::string_view rule, const std::string& source,
+                std::string message, std::string fixit = {}, long index = -1) {
+  SourceContext context;
+  context.source = source;
+  context.index = index;
+  return RuleRegistry::instance().make(rule, std::move(context),
+                                       std::move(message), std::move(fixit));
+}
+
+}  // namespace
+
+LintReport lint_traffic_matrix(const metrics::TrafficMatrix& matrix,
+                               const std::string& source) {
+  LintReport report;
+  const int n = matrix.num_ranks();
+
+  // MT001: the running totals must equal the cell sums exactly — both
+  // are integer byte counts accumulated from the same events, so any
+  // drift is an accounting bug or a corrupted matrix.
+  Bytes cell_sum = 0;
+  Bytes diagonal = 0;
+  std::vector<Bytes> row_sum(static_cast<std::size_t>(n), 0);
+  std::vector<Bytes> col_sum(static_cast<std::size_t>(n), 0);
+  for (Rank src = 0; src < n; ++src) {
+    for (Rank dst = 0; dst < n; ++dst) {
+      const Bytes b = matrix.bytes(src, dst);
+      cell_sum += b;
+      row_sum[static_cast<std::size_t>(src)] += b;
+      col_sum[static_cast<std::size_t>(dst)] += b;
+      if (src == dst) diagonal += b;
+    }
+  }
+  if (cell_sum != matrix.total_bytes()) {
+    report.add(make("MT001", source,
+                    "cell sum " + std::to_string(cell_sum) +
+                        " bytes disagrees with the recorded total " +
+                        std::to_string(matrix.total_bytes()),
+                    "rebuild the matrix from the trace"));
+  }
+  if (diagonal > 0) {
+    report.add(make("MT002", source,
+                    "diagonal carries " + std::to_string(diagonal) +
+                        " bytes; self-traffic never enters the network"));
+  }
+
+  // MT003: a rank participating in only one direction of the volume
+  // exchange — the per-rank view of conservation. Collectives translate
+  // to symmetric participation, so a one-sided rank usually means a
+  // dropped rank file.
+  int flagged = 0;
+  for (Rank r = 0; r < n && flagged < 8; ++r) {
+    const Bytes sent = row_sum[static_cast<std::size_t>(r)];
+    const Bytes received = col_sum[static_cast<std::size_t>(r)];
+    if ((sent == 0) != (received == 0)) {
+      report.add(make("MT003", source,
+                      "rank " + std::to_string(r) + " " +
+                          (sent > 0 ? "sends " + std::to_string(sent) +
+                                          " bytes but receives none"
+                                    : "receives " + std::to_string(received) +
+                                          " bytes but sends none"),
+                      {}, r));
+      ++flagged;
+    }
+  }
+  return report;
+}
+
+LintReport lint_utilization(double utilization_percent, Bytes total_bytes,
+                            const std::string& source) {
+  LintReport report;
+  if (utilization_percent > 100.0) {
+    report.add(make("MT004", source,
+                    "utilization " + std::to_string(utilization_percent) +
+                        "% exceeds 100%; Eq. 5 inputs are inconsistent",
+                    "check the execution time, bandwidth and link count"));
+  } else if (utilization_percent <= 0.0 && total_bytes > 0) {
+    report.add(make("MT005", source,
+                    "utilization is zero although the trace moves " +
+                        std::to_string(total_bytes) + " bytes",
+                    "the execution time or link count is likely wrong"));
+  }
+  return report;
+}
+
+}  // namespace netloc::lint

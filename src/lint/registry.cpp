@@ -1,0 +1,104 @@
+#include "netloc/lint/registry.hpp"
+
+#include <string>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::lint {
+
+namespace {
+
+// The complete rule table. Keep IDs sorted within each pack; never
+// reuse a retired ID (stored CSV reports reference them).
+constexpr RuleInfo kRules[] = {
+    // ---- trace pack ------------------------------------------------------
+    {"TR001", Severity::Error, "trace", "event rank outside [0, num_ranks)"},
+    {"TR002", Severity::Warning, "trace", "self-message (src == dst)"},
+    {"TR003", Severity::Warning, "trace", "zero-byte p2p event"},
+    {"TR004", Severity::Error, "trace", "negative or non-finite event time"},
+    {"TR005", Severity::Warning, "trace",
+     "walltime not monotonic within one (src, dst) stream"},
+    {"TR006", Severity::Note, "trace",
+     "one-directional p2p volume between a rank pair"},
+    {"TR007", Severity::Error, "trace",
+     "truncated or unparseable trace input"},
+    {"TR008", Severity::Warning, "trace",
+     "event timestamp beyond the recorded duration"},
+    {"TR009", Severity::Warning, "trace", "trace carries no events"},
+    {"TR010", Severity::Warning, "trace",
+     "unparseable dumpi parameter line dropped"},
+    // ---- config pack -----------------------------------------------------
+    {"TP001", Severity::Error, "config",
+     "topology cannot host the rank count"},
+    {"TP002", Severity::Warning, "config",
+     "topology node count exceeds the rank count (idle nodes)"},
+    {"TP003", Severity::Error, "config",
+     "fat-tree radix not even (up/down port split impossible)"},
+    {"TP004", Severity::Error, "config",
+     "dragonfly a*h odd (palm-tree pairing impossible)"},
+    {"TP005", Severity::Warning, "config",
+     "dragonfly off the balanced a = 2h = 2p rule"},
+    {"TP006", Severity::Error, "config",
+     "mapping entry out of [0, num_nodes)"},
+    {"TP007", Severity::Error, "config",
+     "mapping missing or duplicate rank (non-bijective)"},
+    {"TP008", Severity::Error, "config",
+     "ranks on one node exceed cores-per-node capacity"},
+    {"TP009", Severity::Warning, "config",
+     "mapping rank count differs from the trace rank count"},
+    {"TP010", Severity::Error, "config", "non-positive topology parameter"},
+    {"TP011", Severity::Error, "config", "unparseable rankfile line"},
+    // ---- metric pack -----------------------------------------------------
+    {"MT001", Severity::Error, "metric",
+     "traffic-matrix totals disagree with the cell sums"},
+    {"MT002", Severity::Warning, "metric",
+     "traffic-matrix diagonal carries volume"},
+    {"MT003", Severity::Warning, "metric",
+     "rank sends traffic but receives none (or vice versa)"},
+    {"MT004", Severity::Error, "metric",
+     "utilization above 100% (Eq. 5 misconfiguration)"},
+    {"MT005", Severity::Warning, "metric",
+     "utilization is zero although the trace moves bytes"},
+};
+
+}  // namespace
+
+RuleRegistry::RuleRegistry()
+    : rules_(std::begin(kRules), std::end(kRules)) {}
+
+const RuleRegistry& RuleRegistry::instance() {
+  static const RuleRegistry registry;
+  return registry;
+}
+
+const RuleInfo* RuleRegistry::find(std::string_view id) const {
+  for (const auto& rule : rules_) {
+    if (rule.id == id) return &rule;
+  }
+  return nullptr;
+}
+
+std::vector<RuleInfo> RuleRegistry::pack(std::string_view name) const {
+  std::vector<RuleInfo> out;
+  for (const auto& rule : rules_) {
+    if (rule.pack == name) out.push_back(rule);
+  }
+  return out;
+}
+
+Diagnostic RuleRegistry::make(std::string_view id, SourceContext context,
+                              std::string message, std::string fixit) const {
+  const RuleInfo* rule = find(id);
+  if (rule == nullptr) {
+    throw ConfigError("lint: unknown rule ID '" + std::string(id) + "'");
+  }
+  Diagnostic d;
+  d.rule_id = std::string(rule->id);
+  d.severity = rule->default_severity;
+  d.context = std::move(context);
+  d.message = std::move(message);
+  d.fixit = std::move(fixit);
+  return d;
+}
+
+}  // namespace netloc::lint

@@ -1,0 +1,31 @@
+#include "netloc/lint/report.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "netloc/common/csv.hpp"
+
+namespace netloc::lint {
+
+void write_text(const LintReport& report, std::ostream& out) {
+  for (const auto& d : report.diagnostics()) {
+    out << format(d) << '\n';
+  }
+  out << report.count(Severity::Error) << " errors, "
+      << report.count(Severity::Warning) << " warnings, "
+      << report.count(Severity::Note) << " notes\n";
+}
+
+void write_csv(const LintReport& report, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.write_header({"rule", "severity", "source", "line", "index", "message",
+                    "fixit"});
+  for (const auto& d : report.diagnostics()) {
+    csv.write_row({d.rule_id, to_string(d.severity), d.context.source,
+                   d.context.line >= 0 ? std::to_string(d.context.line) : "",
+                   d.context.index >= 0 ? std::to_string(d.context.index) : "",
+                   d.message, d.fixit});
+  }
+}
+
+}  // namespace netloc::lint

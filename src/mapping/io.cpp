@@ -73,4 +73,51 @@ Mapping read_rankfile(std::istream& in) {
   return Mapping(std::move(assign), num_nodes);
 }
 
+RawRankfile read_rankfile_raw(std::istream& in) {
+  RawRankfile raw;
+  std::string line;
+  long line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "nodes") {
+      if (!(ls >> raw.num_nodes)) raw.malformed_lines.push_back(line_no);
+    } else if (keyword == "rank") {
+      std::string entry;
+      ls >> entry;
+      const auto eq = entry.find('=');
+      long rank = -1;
+      long node = kInvalidNode;
+      bool parsed = eq != std::string::npos;
+      if (parsed) {
+        try {
+          rank = std::stol(entry.substr(0, eq));
+          node = std::stol(entry.substr(eq + 1));
+        } catch (...) {
+          parsed = false;
+        }
+      }
+      if (!parsed || rank < 0) {
+        raw.malformed_lines.push_back(line_no);
+        continue;
+      }
+      if (static_cast<std::size_t>(rank) >= raw.rank_to_node.size()) {
+        raw.rank_to_node.resize(static_cast<std::size_t>(rank) + 1,
+                                kInvalidNode);
+      }
+      auto& slot = raw.rank_to_node[static_cast<std::size_t>(rank)];
+      if (slot != kInvalidNode) {
+        raw.duplicate_ranks.push_back(static_cast<Rank>(rank));
+      }
+      slot = static_cast<NodeId>(node);
+    } else {
+      raw.malformed_lines.push_back(line_no);
+    }
+  }
+  return raw;
+}
+
 }  // namespace netloc::mapping

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "netloc/common/error.hpp"
+#include "netloc/lint/registry.hpp"
 
 namespace netloc::trace {
 
@@ -22,7 +23,11 @@ struct CallRecord {
 std::optional<double> parse_walltime(const std::string& line,
                                      std::size_t marker_pos) {
   // "... at walltime 11234.0001, cputime ..." — number after "walltime ".
+  // A line truncated right after the marker has no number to read;
+  // bail out before substr() can walk past the end of the string.
+  if (marker_pos == std::string::npos) return std::nullopt;
   const std::size_t start = marker_pos + std::string("walltime ").size();
+  if (start >= line.size()) return std::nullopt;
   std::size_t end = line.find(',', start);
   if (end == std::string::npos) end = line.size();
   try {
@@ -32,9 +37,24 @@ std::optional<double> parse_walltime(const std::string& line,
   }
 }
 
+/// Report a recoverable importer problem through the options sink (the
+/// TR010 lint rule); silent when no sink is installed.
+void report_dropped(const DumpiAsciiOptions& options, std::size_t line_no,
+                    const std::string& message) {
+  if (options.diagnostics == nullptr) return;
+  lint::SourceContext context;
+  context.source = "dumpi";
+  context.line = static_cast<long>(line_no);
+  options.diagnostics->push_back(
+      lint::RuleRegistry::instance().make("TR010", std::move(context), message));
+}
+
 /// Parse a parameter line ("int count=128", "MPI_Datatype datatype=11
 /// (MPI_DOUBLE)"). Returns false for lines that are not parameters.
-bool parse_param(const std::string& line, CallRecord& record) {
+/// Malformed parameter lines (empty key, non-numeric value) are dropped
+/// and reported through the options' diagnostics sink when present.
+bool parse_param(const std::string& line, CallRecord& record,
+                 std::size_t line_no, const DumpiAsciiOptions& options) {
   const std::size_t eq = line.find('=');
   if (eq == std::string::npos) return false;
   // Key = last token before '='.
@@ -42,13 +62,23 @@ bool parse_param(const std::string& line, CallRecord& record) {
   std::size_t key_start = line.rfind(' ', eq);
   key_start = key_start == std::string::npos ? 0 : key_start + 1;
   const std::string key = line.substr(key_start, key_end - key_start);
-  if (key.empty()) return false;
+  if (key.empty()) {
+    report_dropped(options, line_no,
+                   "parameter line with empty key dropped: '" + line + "'");
+    return false;
+  }
 
   // Numeric value directly after '='.
   try {
     record.ints[key] = std::stol(line.substr(eq + 1));
   } catch (...) {
-    // Non-numeric values (e.g. "<IGNORED>") are fine to drop.
+    // Non-numeric values are dropped; dumpi's own "<IGNORED>" marker is
+    // expected and not worth a diagnostic.
+    if (line.compare(eq + 1, 9, "<IGNORED>") != 0) {
+      report_dropped(options, line_no,
+                     "non-numeric value for parameter '" + key +
+                         "' dropped: '" + line + "'");
+    }
   }
   // Optional symbolic name in parentheses.
   const std::size_t open = line.find('(', eq);
@@ -162,7 +192,12 @@ std::size_t parse_dumpi_ascii_rank(std::istream& in, Rank rank, int num_ranks,
         returned = true;
         break;
       }
-      parse_param(line, record);
+      const std::size_t nested = line.find(" entered at walltime ");
+      if (nested != std::string::npos && line.rfind("MPI_", 0) == 0) {
+        throw fail("interleaved call: " + line.substr(0, nested) +
+                   " entered before " + record.name + " returned");
+      }
+      parse_param(line, record, line_no, options);
     }
     if (!returned) throw fail("EOF inside call " + record.name);
     ++calls;

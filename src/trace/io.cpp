@@ -2,12 +2,14 @@
 
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <sstream>
 
 #include "netloc/common/error.hpp"
+#include "netloc/lint/trace_rules.hpp"
 
 namespace netloc::trace {
 
@@ -300,11 +302,24 @@ void save(const Trace& trace, const std::string& path) {
   }
 }
 
-Trace load(const std::string& path) {
+Trace load(const std::string& path, const LoadOptions& options) {
   const bool binary = path.size() >= 5 && path.ends_with(".nltr");
   std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
   if (!in) throw Error("cannot open trace file for reading: " + path);
-  return binary ? read_binary(in) : read_text(in);
+  Trace trace = binary ? read_binary(in) : read_text(in);
+  if (options.lint) {
+    // Warnings-only lint pass: every analysis entry point that loads a
+    // trace inherits the checks, but a finding never aborts the load.
+    const auto report = lint::lint_trace(trace, path);
+    for (const auto& d : report.diagnostics()) {
+      if (options.on_diagnostic) {
+        options.on_diagnostic(d);
+      } else if (d.severity != lint::Severity::Note) {
+        std::cerr << lint::format(d) << '\n';
+      }
+    }
+  }
+  return trace;
 }
 
 }  // namespace netloc::trace

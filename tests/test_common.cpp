@@ -217,6 +217,41 @@ TEST(CoverageCount, Empty) {
   EXPECT_DOUBLE_EQ(coverage_count({}, 0.9), 0.0);
 }
 
+// Invalid samples must be rejected up front: a NaN weight poisons every
+// comparison against the running sum and a negative weight makes the
+// CDF non-monotonic, both silently corrupting the result before.
+
+TEST(WeightedQuantile, RejectsNaNAndNegativeWeights) {
+  EXPECT_THROW(weighted_quantile({{1.0, std::nan("")}}, 0.9), ConfigError);
+  EXPECT_THROW(weighted_quantile({{1.0, -2.0}}, 0.9), ConfigError);
+  EXPECT_THROW(weighted_quantile({{1.0, HUGE_VAL}}, 0.9), ConfigError);
+}
+
+TEST(WeightedQuantile, RejectsNonFiniteValues) {
+  EXPECT_THROW(weighted_quantile({{std::nan(""), 1.0}}, 0.9), ConfigError);
+  EXPECT_THROW(weighted_quantile({{HUGE_VAL, 1.0}}, 0.9), ConfigError);
+}
+
+TEST(WeightedQuantileInterpolated, RejectsInvalidSamples) {
+  EXPECT_THROW(weighted_quantile_interpolated({{1.0, std::nan("")}}, 0.9),
+               ConfigError);
+  EXPECT_THROW(weighted_quantile_interpolated({{1.0, -1.0}}, 0.9), ConfigError);
+  EXPECT_THROW(weighted_quantile_interpolated({{-HUGE_VAL, 1.0}}, 0.9),
+               ConfigError);
+}
+
+TEST(CoverageCount, RejectsInvalidWeights) {
+  EXPECT_THROW(coverage_count({1.0, std::nan("")}, 0.9), ConfigError);
+  EXPECT_THROW(coverage_count({1.0, -1.0}, 0.9), ConfigError);
+  EXPECT_THROW(coverage_count({1.0, HUGE_VAL}, 0.9), ConfigError);
+}
+
+TEST(WeightedQuantile, ZeroWeightSamplesRemainAccepted) {
+  // Zero weights are legal (an unused distance bucket), only negative
+  // and NaN are not.
+  EXPECT_DOUBLE_EQ(weighted_quantile({{1.0, 0.0}, {2.0, 1.0}}, 0.9), 2.0);
+}
+
 // ---- Units -----------------------------------------------------------------
 
 TEST(Packets, FourKiBPayload) {

@@ -209,6 +209,106 @@ TEST(DumpiAscii, RejectsGarbageWalltime) {
   EXPECT_THROW(parse_dumpi_ascii_rank(in, 0, 4, builder), TraceFormatError);
 }
 
+TEST(DumpiAscii, TruncatedWalltimeLineIsACleanError) {
+  // Regression: a line that ends right after "walltime " used to walk
+  // substr past the end of the string; it must fail as a clean
+  // TraceFormatError ("unparseable walltime"), never crash.
+  std::istringstream in("MPI_Send entered at walltime \n");
+  TraceBuilder builder("t", 4);
+  try {
+    parse_dumpi_ascii_rank(in, 0, 4, builder);
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("unparseable walltime"),
+              std::string::npos);
+  }
+}
+
+TEST(DumpiAscii, TruncatedCallBlockAtEofIsACleanError) {
+  std::istringstream in(
+      "MPI_Send entered at walltime 1.0, cputime 0.1 seconds in thread 0.\n"
+      "int count=8\n"
+      "int dest=1\n");  // EOF before the "returned" line.
+  TraceBuilder builder("t", 4);
+  try {
+    parse_dumpi_ascii_rank(in, 0, 4, builder);
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("EOF inside call"), std::string::npos);
+  }
+}
+
+TEST(DumpiAscii, EmptyParameterKeyYieldsLintDiagnostic) {
+  std::istringstream in(
+      "MPI_Send entered at walltime 1.0, cputime 0.1 seconds in thread 0.\n"
+      "int =5\n"  // '=' with no key: dropped, reported
+      "int count=8\n"
+      "int dest=1\n"
+      "MPI_Send returned at walltime 1.1, cputime 0.1 seconds in thread 0.\n");
+  std::vector<lint::Diagnostic> diagnostics;
+  DumpiAsciiOptions options;
+  options.diagnostics = &diagnostics;
+  TraceBuilder builder("t", 4);
+  EXPECT_EQ(parse_dumpi_ascii_rank(in, 0, 4, builder, options), 1u);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule_id, "TR010");
+  EXPECT_EQ(diagnostics[0].context.line, 2);
+  EXPECT_EQ(builder.p2p_count(), 1u);  // The call itself still parses.
+}
+
+TEST(DumpiAscii, NonNumericCountYieldsLintDiagnosticNotACrash) {
+  std::istringstream in(
+      "MPI_Send entered at walltime 1.0, cputime 0.1 seconds in thread 0.\n"
+      "int count=notanumber\n"
+      "int dest=1\n"
+      "MPI_Send returned at walltime 1.1, cputime 0.1 seconds in thread 0.\n");
+  std::vector<lint::Diagnostic> diagnostics;
+  DumpiAsciiOptions options;
+  options.diagnostics = &diagnostics;
+  TraceBuilder builder("t", 4);
+  EXPECT_EQ(parse_dumpi_ascii_rank(in, 0, 4, builder, options), 1u);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule_id, "TR010");
+  EXPECT_NE(diagnostics[0].message.find("count"), std::string::npos);
+  // The dropped count falls back to 0 elements -> a zero-byte send.
+  const auto trace = builder.build();
+  ASSERT_EQ(trace.p2p().size(), 1u);
+  EXPECT_EQ(trace.p2p()[0].bytes, 0u);
+}
+
+TEST(DumpiAscii, IgnoredMarkerValuesAreNotReported) {
+  std::istringstream in(
+      "MPI_Send entered at walltime 1.0, cputime 0.1 seconds in thread 0.\n"
+      "int count=8\n"
+      "int tag=<IGNORED>\n"  // dumpi's own marker: expected, no finding
+      "int dest=1\n"
+      "MPI_Send returned at walltime 1.1, cputime 0.1 seconds in thread 0.\n");
+  std::vector<lint::Diagnostic> diagnostics;
+  DumpiAsciiOptions options;
+  options.diagnostics = &diagnostics;
+  TraceBuilder builder("t", 4);
+  parse_dumpi_ascii_rank(in, 0, 4, builder, options);
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+TEST(DumpiAscii, InterleavedCallBlocksAreACleanError) {
+  std::istringstream in(
+      "MPI_Send entered at walltime 1.0, cputime 0.1 seconds in thread 0.\n"
+      "int count=8\n"
+      "MPI_Isend entered at walltime 1.05, cputime 0.1 seconds in thread 0.\n"
+      "int dest=1\n"
+      "MPI_Isend returned at walltime 1.1, cputime 0.1 seconds in thread 0.\n"
+      "MPI_Send returned at walltime 1.2, cputime 0.1 seconds in thread 0.\n");
+  TraceBuilder builder("t", 4);
+  try {
+    parse_dumpi_ascii_rank(in, 0, 4, builder);
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("interleaved call"),
+              std::string::npos);
+  }
+}
+
 TEST(DumpiAscii, RejectsBadRankArguments) {
   std::istringstream in("");
   TraceBuilder builder("t", 4);

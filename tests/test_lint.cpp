@@ -1,0 +1,375 @@
+// Tests for the netloc::lint subsystem: diagnostic records, the rule
+// registry, the three rule packs, report rendering, and the automatic
+// warnings-only pass inside trace::load().
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "netloc/common/error.hpp"
+#include "netloc/lint/lint.hpp"
+#include "netloc/mapping/io.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/trace/io.hpp"
+#include "netloc/trace/trace.hpp"
+
+namespace netloc::lint {
+namespace {
+
+using trace::CollectiveEvent;
+using trace::CollectiveOp;
+using trace::P2PEvent;
+using trace::Trace;
+
+/// A structurally clean 4-rank trace: a bidirectional pair exchange
+/// plus one collective, all timestamps inside the duration.
+Trace clean_trace() {
+  std::vector<P2PEvent> p2p = {
+      {0, 1, 1024, 0.0},
+      {1, 0, 1024, 0.1},
+      {2, 3, 512, 0.2},
+      {3, 2, 512, 0.3},
+  };
+  std::vector<CollectiveEvent> colls = {
+      {CollectiveOp::Allreduce, 0, 4096, 0.4},
+  };
+  return Trace("clean", 4, 1.0, std::move(p2p), std::move(colls));
+}
+
+// ---- Diagnostic & registry ---------------------------------------------------
+
+TEST(Diagnostic, SeverityNames) {
+  EXPECT_STREQ(to_string(Severity::Note), "note");
+  EXPECT_STREQ(to_string(Severity::Warning), "warning");
+  EXPECT_STREQ(to_string(Severity::Error), "error");
+}
+
+TEST(Diagnostic, FormatIncludesRuleSeverityAndContext) {
+  Diagnostic d;
+  d.rule_id = "TR002";
+  d.severity = Severity::Warning;
+  d.context.source = "app.nltr";
+  d.context.line = 12;
+  d.message = "self-message";
+  d.fixit = "fix the destination";
+  const std::string line = format(d);
+  EXPECT_EQ(line,
+            "app.nltr:12: warning: [TR002] self-message "
+            "(fix: fix the destination)");
+}
+
+TEST(Registry, KnowsEveryPack) {
+  const auto& registry = RuleRegistry::instance();
+  EXPECT_FALSE(registry.pack("trace").empty());
+  EXPECT_FALSE(registry.pack("config").empty());
+  EXPECT_FALSE(registry.pack("metric").empty());
+  // Every rule belongs to exactly one of the three packs.
+  EXPECT_EQ(registry.rules().size(), registry.pack("trace").size() +
+                                         registry.pack("config").size() +
+                                         registry.pack("metric").size());
+}
+
+TEST(Registry, FindAndDefaultSeverity) {
+  const auto& registry = RuleRegistry::instance();
+  const RuleInfo* rule = registry.find("TR001");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->default_severity, Severity::Error);
+  EXPECT_EQ(rule->pack, "trace");
+  EXPECT_EQ(registry.find("XX999"), nullptr);
+  EXPECT_THROW(registry.make("XX999", {}, "nope"), ConfigError);
+}
+
+TEST(Registry, MakeAppliesDefaultSeverity) {
+  const auto d = RuleRegistry::instance().make("TR002", {}, "msg");
+  EXPECT_EQ(d.rule_id, "TR002");
+  EXPECT_EQ(d.severity, Severity::Warning);
+}
+
+TEST(Report, CountsAndMerge) {
+  LintReport a;
+  a.add(RuleRegistry::instance().make("TR001", {}, "x"));
+  LintReport b;
+  b.add(RuleRegistry::instance().make("TR002", {}, "y"));
+  a.merge(std::move(b));
+  EXPECT_EQ(a.diagnostics().size(), 2u);
+  EXPECT_EQ(a.count(Severity::Error), 1u);
+  EXPECT_EQ(a.count(Severity::Warning), 1u);
+  EXPECT_TRUE(a.has_errors());
+  EXPECT_EQ(a.by_rule("TR002").size(), 1u);
+}
+
+// ---- Trace pack --------------------------------------------------------------
+
+TEST(TraceRules, CleanTraceHasNoFindings) {
+  const auto report = lint_trace(clean_trace());
+  EXPECT_TRUE(report.empty()) << format(report.diagnostics().front());
+}
+
+TEST(TraceRules, FlagsRankOutOfRange) {
+  Trace t("bad", 2, 1.0, {{0, 7, 64, 0.0}}, {});
+  const auto report = lint_trace(t);
+  ASSERT_FALSE(report.by_rule("TR001").empty());
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(TraceRules, FlagsCollectiveRootOutOfRange) {
+  Trace t("bad", 2, 1.0, {}, {{CollectiveOp::Bcast, 5, 64, 0.0}});
+  EXPECT_FALSE(lint_trace(t).by_rule("TR001").empty());
+}
+
+TEST(TraceRules, FlagsSelfMessage) {
+  Trace t("bad", 2, 1.0, {{1, 1, 64, 0.0}}, {});
+  const auto report = lint_trace(t);
+  ASSERT_EQ(report.by_rule("TR002").size(), 1u);
+  EXPECT_EQ(report.by_rule("TR002")[0].severity, Severity::Warning);
+}
+
+TEST(TraceRules, FlagsZeroByteP2P) {
+  Trace t("bad", 2, 1.0, {{0, 1, 0, 0.0}, {1, 0, 8, 0.1}}, {});
+  EXPECT_EQ(lint_trace(t).by_rule("TR003").size(), 1u);
+}
+
+TEST(TraceRules, FlagsNegativeAndNonFiniteTimes) {
+  Trace t("bad", 2, 1.0,
+          {{0, 1, 8, -0.5}, {1, 0, 8, std::nan("")}}, {});
+  EXPECT_EQ(lint_trace(t).by_rule("TR004").size(), 2u);
+}
+
+TEST(TraceRules, FlagsBackwardsWalltimeWithinOnePairStream) {
+  Trace t("bad", 2, 1.0, {{0, 1, 8, 0.5}, {0, 1, 8, 0.2}}, {});
+  EXPECT_EQ(lint_trace(t).by_rule("TR005").size(), 1u);
+}
+
+TEST(TraceRules, AcceptsPairMajorEventGrouping) {
+  // Generators store all of one pair's messages before the next pair's,
+  // so a source's times restart per destination; that is valid ordering.
+  Trace t("generated", 3, 1.0,
+          {{0, 1, 8, 0.2}, {0, 1, 8, 0.8}, {0, 2, 8, 0.2}, {0, 2, 8, 0.8},
+           {1, 0, 8, 0.5}, {2, 0, 8, 0.5}},
+          {});
+  EXPECT_TRUE(lint_trace(t).by_rule("TR005").empty());
+}
+
+TEST(TraceRules, FlagsOneWayPair) {
+  Trace t("bad", 2, 1.0, {{0, 1, 8, 0.0}}, {});
+  const auto notes = lint_trace(t).by_rule("TR006");
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_EQ(notes[0].severity, Severity::Note);
+}
+
+TEST(TraceRules, FlagsTimestampBeyondDuration) {
+  Trace t("bad", 2, 1.0, {{0, 1, 8, 2.5}, {1, 0, 8, 0.1}}, {});
+  EXPECT_EQ(lint_trace(t).by_rule("TR008").size(), 1u);
+}
+
+TEST(TraceRules, FlagsEmptyTrace) {
+  Trace t("empty", 2, 1.0, {}, {});
+  EXPECT_EQ(lint_trace(t).by_rule("TR009").size(), 1u);
+}
+
+TEST(TraceRules, CapsRepeatedFindingsWithTally) {
+  std::vector<P2PEvent> p2p;
+  for (int i = 0; i < 40; ++i) {
+    p2p.push_back({0, 0, 8, 0.01 * i});  // 40 self-messages
+  }
+  Trace t("noisy", 2, 1.0, std::move(p2p), {});
+  const auto findings = lint_trace(t).by_rule("TR002");
+  // 8 representatives plus one "... and N more" tally.
+  ASSERT_EQ(findings.size(), 9u);
+  EXPECT_NE(findings.back().message.find("32 more"), std::string::npos);
+}
+
+TEST(TraceRules, LoadFailureBecomesTR007) {
+  const auto d = trace_load_failure("x.nltr", "bad trace magic");
+  EXPECT_EQ(d.rule_id, "TR007");
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(d.context.source, "x.nltr");
+}
+
+// ---- Config pack -------------------------------------------------------------
+
+TEST(ConfigRules, TorusExactFitIsClean) {
+  EXPECT_TRUE(lint_torus({4, 4, 4}, 64).empty());
+}
+
+TEST(ConfigRules, TorusTooSmallIsError) {
+  const auto report = lint_torus({2, 2, 2}, 64);
+  EXPECT_FALSE(report.by_rule("TP001").empty());
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(ConfigRules, TorusIdleNodesWarn) {
+  EXPECT_EQ(lint_torus({4, 4, 4}, 60).by_rule("TP002").size(), 1u);
+}
+
+TEST(ConfigRules, TorusNonPositiveExtent) {
+  EXPECT_FALSE(lint_torus({0, 4, 4}, 16).by_rule("TP010").empty());
+}
+
+TEST(ConfigRules, FatTreeOddRadixIsError) {
+  EXPECT_FALSE(lint_fat_tree(47, 2, 64, "ft").by_rule("TP003").empty());
+}
+
+TEST(ConfigRules, FatTreeCapacityChecks) {
+  // One stage of radix 48 hosts exactly 48 nodes.
+  EXPECT_TRUE(lint_fat_tree(48, 1, 48).empty());
+  EXPECT_FALSE(lint_fat_tree(48, 1, 49).by_rule("TP001").empty());
+  // Two stages host 24^2 = 576.
+  EXPECT_TRUE(lint_fat_tree(48, 2, 576).empty());
+}
+
+TEST(ConfigRules, DragonflyOddPairingIsError) {
+  EXPECT_FALSE(lint_dragonfly(3, 1, 2, 10).by_rule("TP004").empty());
+}
+
+TEST(ConfigRules, DragonflyUnbalancedWarns) {
+  EXPECT_FALSE(lint_dragonfly(4, 2, 1, 10).by_rule("TP005").empty());
+  // Balanced a = 2h = 2p, exact capacity: g = a*h+1 = 9 groups of 8.
+  EXPECT_TRUE(lint_dragonfly(4, 2, 2, 72).empty());
+}
+
+TEST(ConfigRules, MappingOutOfRangeNode) {
+  const auto report = lint_mapping({0, 9}, 4, 2, 0, "m");
+  ASSERT_EQ(report.by_rule("TP006").size(), 1u);
+  EXPECT_EQ(report.by_rule("TP006")[0].context.index, 1);
+}
+
+TEST(ConfigRules, MappingMissingRank) {
+  EXPECT_FALSE(
+      lint_mapping({0, kInvalidNode, 2}, 4, 3, 0).by_rule("TP007").empty());
+}
+
+TEST(ConfigRules, MappingOverCapacity) {
+  // Three ranks on node 0 with 2 cores per node.
+  const auto report = lint_mapping({0, 0, 0, 1}, 2, 4, 2);
+  ASSERT_EQ(report.by_rule("TP008").size(), 1u);
+}
+
+TEST(ConfigRules, MappingRankCountMismatchWarns) {
+  EXPECT_FALSE(lint_mapping({0, 1}, 4, 8, 0).by_rule("TP009").empty());
+}
+
+TEST(ConfigRules, CleanMappingPasses) {
+  EXPECT_TRUE(lint_mapping({0, 1, 2, 3}, 4, 4, 1).empty());
+}
+
+TEST(ConfigRules, RankfileRawAndLint) {
+  std::istringstream in(
+      "# comment\n"
+      "nodes 4\n"
+      "rank 0=1\n"
+      "rank 0=2\n"      // duplicate
+      "rank 1=9\n"      // out of range
+      "bogus line\n");  // malformed
+  const auto raw = mapping::read_rankfile_raw(in);
+  EXPECT_EQ(raw.num_nodes, 4);
+  EXPECT_EQ(raw.duplicate_ranks.size(), 1u);
+  EXPECT_EQ(raw.malformed_lines.size(), 1u);
+  const auto report = lint_rankfile(raw, 2, 0, "broken.rankfile");
+  EXPECT_FALSE(report.by_rule("TP011").empty());
+  EXPECT_FALSE(report.by_rule("TP007").empty());
+  EXPECT_FALSE(report.by_rule("TP006").empty());
+  EXPECT_TRUE(report.has_errors());
+}
+
+// ---- Metric pack -------------------------------------------------------------
+
+TEST(MetricRules, ConsistentMatrixIsClean) {
+  metrics::TrafficMatrix m(3);
+  m.add_message(0, 1, 100);
+  m.add_message(1, 0, 100);
+  m.add_message(1, 2, 50);
+  m.add_message(2, 1, 50);
+  EXPECT_TRUE(lint_traffic_matrix(m).empty());
+}
+
+TEST(MetricRules, OneSidedRankWarns) {
+  metrics::TrafficMatrix m(3);
+  m.add_message(0, 1, 100);  // 0 only sends, 1 only receives
+  const auto report = lint_traffic_matrix(m);
+  EXPECT_EQ(report.by_rule("MT003").size(), 2u);
+}
+
+TEST(MetricRules, UtilizationBounds) {
+  EXPECT_TRUE(lint_utilization(42.0, 1000).empty());
+  const auto over = lint_utilization(150.0, 1000);
+  ASSERT_EQ(over.by_rule("MT004").size(), 1u);
+  EXPECT_TRUE(over.has_errors());
+  EXPECT_EQ(lint_utilization(0.0, 1000).by_rule("MT005").size(), 1u);
+  EXPECT_TRUE(lint_utilization(0.0, 0).empty());  // No traffic: fine.
+}
+
+// ---- Rendering ---------------------------------------------------------------
+
+TEST(Rendering, TextReportEndsWithTally) {
+  LintReport report;
+  report.add(RuleRegistry::instance().make("TR001", {}, "boom"));
+  std::ostringstream out;
+  write_text(report, out);
+  EXPECT_NE(out.str().find("[TR001] boom"), std::string::npos);
+  EXPECT_NE(out.str().find("1 errors, 0 warnings, 0 notes"),
+            std::string::npos);
+}
+
+TEST(Rendering, CsvEscapesAndListsEveryDiagnostic) {
+  LintReport report;
+  SourceContext context;
+  context.source = "a,b.nltr";
+  context.line = 3;
+  report.add(RuleRegistry::instance().make("TR007", context, "bad, input"));
+  std::ostringstream out;
+  write_csv(report, out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("rule,severity,source,line,index,message,fixit"),
+            std::string::npos);
+  EXPECT_NE(csv.find("TR007,error,\"a,b.nltr\",3,,\"bad, input\""),
+            std::string::npos);
+}
+
+// ---- load() integration ------------------------------------------------------
+
+TEST(LoadLint, LoadReportsTraceFindingsWithoutAborting) {
+  const std::string path = ::testing::TempDir() + "/lint_load.txt";
+  {
+    std::ofstream out(path);
+    out << "trace \"dirty\" ranks 2 duration 1.0\n"
+           "p2p 0 0 64 0.1\n"   // self-message -> TR002
+           "p2p 0 1 0 0.2\n";   // zero bytes   -> TR003
+  }
+  std::vector<Diagnostic> seen;
+  trace::LoadOptions options;
+  options.on_diagnostic = [&](const Diagnostic& d) { seen.push_back(d); };
+  const auto loaded = trace::load(path, options);
+  EXPECT_EQ(loaded.p2p().size(), 2u);  // Lint never drops events.
+  bool saw_self = false;
+  bool saw_zero = false;
+  for (const auto& d : seen) {
+    saw_self = saw_self || d.rule_id == "TR002";
+    saw_zero = saw_zero || d.rule_id == "TR003";
+    EXPECT_EQ(d.context.source, path);
+  }
+  EXPECT_TRUE(saw_self);
+  EXPECT_TRUE(saw_zero);
+  std::remove(path.c_str());
+}
+
+TEST(LoadLint, LintCanBeDisabled) {
+  const std::string path = ::testing::TempDir() + "/lint_off.txt";
+  {
+    std::ofstream out(path);
+    out << "trace \"dirty\" ranks 2 duration 1.0\n"
+           "p2p 0 0 64 0.1\n";
+  }
+  std::vector<Diagnostic> seen;
+  trace::LoadOptions options;
+  options.lint = false;
+  options.on_diagnostic = [&](const Diagnostic& d) { seen.push_back(d); };
+  (void)trace::load(path, options);
+  EXPECT_TRUE(seen.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace netloc::lint
