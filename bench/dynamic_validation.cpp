@@ -11,12 +11,8 @@
 #include <iostream>
 
 #include "netloc/common/format.hpp"
-#include "netloc/mapping/mapping.hpp"
+#include "netloc/engine/sweep.hpp"
 #include "netloc/metrics/temporal.hpp"
-#include "netloc/metrics/traffic_matrix.hpp"
-#include "netloc/metrics/utilization.hpp"
-#include "netloc/simulation/flow_sim.hpp"
-#include "netloc/topology/configs.hpp"
 #include "netloc/workloads/workload.hpp"
 
 int main() {
@@ -35,28 +31,22 @@ int main() {
   std::cout << "workload        flows   mean-slowdown  max-slowdown  "
                "congested  max-link-util  static-util(Eq.5)\n";
 
+  // Each flow replay is one engine job; independent workloads simulate
+  // concurrently (results are deterministic regardless of job count).
+  netloc::engine::SweepEngine sweep;
+  std::vector<netloc::engine::FlowSweepSpec> specs;
+  specs.reserve(picks.size());
   for (const auto& pick : picks) {
-    const auto trace = netloc::workloads::generate(pick.app, pick.ranks);
-    const auto matrix = netloc::metrics::TrafficMatrix::from_trace(
-        trace, {.include_p2p = true, .include_collectives = false});
-    const auto set = netloc::topology::topologies_for(pick.ranks);
-    const auto mapping =
-        netloc::mapping::Mapping::linear(pick.ranks, set.torus->num_nodes());
-
-    netloc::simulation::FlowSimulator sim(*set.torus, mapping);
-    sim.add_matrix(matrix);
-    const auto flows = sim.flow_count();
-    const auto report = sim.run();
-
-    const auto static_util = netloc::metrics::utilization(
-        matrix, *set.torus, mapping, trace.duration());
-
-    std::cout << pick.app << "/" << pick.ranks << "\t" << flows << "\t"
+    specs.push_back({pick.app, pick.ranks, /*timed=*/false});
+  }
+  for (const auto& cell : sweep.run_flow_sweep(specs)) {
+    const auto& report = cell.report;
+    std::cout << cell.label << "\t" << cell.flows << "\t"
               << netloc::fixed(report.mean_slowdown, 2) << "\t\t"
               << netloc::fixed(report.max_slowdown, 2) << "\t      "
               << netloc::fixed(100.0 * report.congested_flow_share, 1) << "%\t   "
               << netloc::fixed(report.max_link_utilization_percent, 1) << "%\t  "
-              << netloc::adaptive_percent(static_util.utilization_percent)
+              << netloc::adaptive_percent(cell.static_utilization_percent)
               << "%\n";
   }
 
@@ -67,18 +57,14 @@ int main() {
                "mean-link-busy\n";
   const std::vector<Pick> replay_picks = {{"CrystalRouter", 100}, {"MOCFE", 64},
                                           {"LULESH", 64}};
+  std::vector<netloc::engine::FlowSweepSpec> replay_specs;
+  replay_specs.reserve(replay_picks.size());
   for (const auto& pick : replay_picks) {
-    const auto trace = netloc::workloads::generate(pick.app, pick.ranks);
-    const auto set = netloc::topology::topologies_for(pick.ranks);
-    const auto mapping =
-        netloc::mapping::Mapping::linear(pick.ranks, set.torus->num_nodes());
-    netloc::simulation::FlowSimulator sim(*set.torus, mapping);
-    for (const auto& e : trace.p2p()) {
-      sim.add_flow(e.src, e.dst, e.bytes, e.time);
-    }
-    const auto flows = sim.flow_count();
-    const auto report = sim.run();
-    std::cout << pick.app << "/" << pick.ranks << "\t" << flows << "\t"
+    replay_specs.push_back({pick.app, pick.ranks, /*timed=*/true});
+  }
+  for (const auto& cell : sweep.run_flow_sweep(replay_specs)) {
+    const auto& report = cell.report;
+    std::cout << cell.label << "\t" << cell.flows << "\t"
               << netloc::fixed(report.mean_slowdown, 2) << "\t\t"
               << netloc::fixed(100.0 * report.congested_flow_share, 1)
               << "%\t   "

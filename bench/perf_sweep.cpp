@@ -1,0 +1,81 @@
+// Sweep-engine performance: the full Table 3 catalog run three ways —
+// serial (jobs=1, cold cache), parallel (default job count, cold
+// cache) and warm cache (every row served from disk) — so CI can track
+// the engine's scaling and the cache's short-circuit.
+//
+// Writes BENCH_sweep.json in the working directory, one record per
+// configuration: {"name", "wall_s", "jobs", "cache_hits"}.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "netloc/common/format.hpp"
+#include "netloc/common/thread_pool.hpp"
+#include "netloc/engine/sweep.hpp"
+
+namespace {
+
+struct Record {
+  std::string name;
+  double wall_s = 0.0;
+  int jobs = 0;
+  int cache_hits = 0;
+};
+
+std::string num(double value) {
+  std::ostringstream s;
+  s.precision(std::numeric_limits<double>::max_digits10);
+  s << value;
+  return s.str();
+}
+
+Record run_case(const std::string& name, int jobs,
+                const std::string& cache_dir) {
+  netloc::engine::SweepOptions options;
+  options.jobs = jobs;
+  options.cache_dir = cache_dir;
+  netloc::engine::SweepEngine sweep(options);
+  const auto rows = sweep.run_catalog();
+  const auto& stats = sweep.stats();
+  Record rec{name, stats.wall_s, jobs == 0
+                 ? netloc::ThreadPool::default_parallelism()
+                 : jobs,
+             stats.cache_hits};
+  std::cout << name << ": " << rows.size() << " rows in "
+            << netloc::fixed(stats.wall_s, 3) << " s (" << rec.jobs
+            << " jobs, " << stats.cache_hits << " cache hits, "
+            << stats.jobs_run << " graph jobs)\n";
+  return rec;
+}
+
+}  // namespace
+
+int main() {
+  const std::filesystem::path cache_dir = "perf-sweep-cache";
+  std::filesystem::remove_all(cache_dir);
+
+  std::vector<Record> records;
+  // Serial and parallel both run cold (no cache dir), so they measure
+  // pure compute; the third run warms the cache, the fourth reads it.
+  records.push_back(run_case("sweep_serial", 1, ""));
+  records.push_back(run_case("sweep_parallel", 0, ""));
+  (void)run_case("sweep_cache_fill", 0, cache_dir.string());
+  records.push_back(run_case("sweep_warm_cache", 0, cache_dir.string()));
+
+  std::ofstream out("BENCH_sweep.json");
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << "  {\"name\": \"" << r.name << "\", \"wall_s\": " << num(r.wall_s)
+        << ", \"jobs\": " << r.jobs << ", \"cache_hits\": " << r.cache_hits
+        << "}" << (i + 1 == records.size() ? "\n" : ",\n");
+  }
+  out << "]\n";
+  std::cout << "wrote BENCH_sweep.json\n";
+
+  std::filesystem::remove_all(cache_dir);
+  return 0;
+}

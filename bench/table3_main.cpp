@@ -9,15 +9,22 @@
 //   * "95% of dragonfly messages use a global link" (§6.2).
 #include <iostream>
 
-#include "netloc/analysis/experiment.hpp"
 #include "netloc/analysis/report.hpp"
+#include "netloc/common/format.hpp"
+#include "netloc/engine/sweep.hpp"
 
 int main() {
   std::cout << "=== Table 3: full locality characterization (paper §5-6) ===\n"
             << "(T: = 3-D torus, F: = fat tree, D: = dragonfly)\n\n";
-  const auto rows = netloc::analysis::run_all();
+  // The sweep engine fans the catalog out across all cores; results
+  // are bit-identical to the serial path (see tests/test_engine.cpp).
+  netloc::engine::SweepEngine sweep;
+  const auto rows = sweep.run_catalog();
   std::cout << netloc::analysis::render_table3(rows) << "\n";
   std::cout << netloc::analysis::render_summary(
       netloc::analysis::summarize(rows));
+  const auto& stats = sweep.stats();
+  std::cerr << "[engine] " << stats.cells << " rows, " << stats.jobs_run
+            << " jobs in " << netloc::fixed(stats.wall_s, 2) << " s\n";
   return 0;
 }

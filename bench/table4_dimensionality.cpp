@@ -9,8 +9,8 @@
 #include <iostream>
 #include <vector>
 
-#include "netloc/analysis/experiment.hpp"
 #include "netloc/analysis/report.hpp"
+#include "netloc/engine/sweep.hpp"
 
 int main() {
   struct Pick {
@@ -24,13 +24,14 @@ int main() {
   };
 
   std::cout << "=== Table 4: rank locality vs. dimensionality (paper §5.1) ===\n\n";
-  std::vector<netloc::analysis::DimensionalityRow> rows;
+  std::vector<netloc::workloads::CatalogEntry> entries;
+  entries.reserve(picks.size());
   for (const auto& pick : picks) {
-    const auto& entry = netloc::workloads::catalog_entry(pick.app, pick.ranks);
-    const auto trace = netloc::workloads::generator(pick.app)
-                           .generate(entry, netloc::workloads::kDefaultSeed);
-    rows.push_back(netloc::analysis::dimensionality_study(trace, entry.label()));
+    entries.push_back(netloc::workloads::catalog_entry(pick.app, pick.ranks));
   }
+  // One study job per pick, spread across cores by the sweep engine.
+  netloc::engine::SweepEngine sweep;
+  const auto rows = sweep.run_dimensionality(entries);
   std::cout << netloc::analysis::render_table4(rows);
   return 0;
 }

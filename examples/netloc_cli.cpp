@@ -7,12 +7,14 @@
 //   netloc_cli import-dumpi <app-name> <out.nltr> <rank0.txt> [rank1.txt ...]
 //   netloc_cli heatmap <trace-file> <out.csv|out.pgm>
 //   netloc_cli multicore <app> <ranks>
+//   netloc_cli sweep [--jobs N] [--cache DIR] [--no-cache] [--csv F] [...]
 //   netloc_cli lint <trace-file> [--topology F] [--mapping R] [...]
 //   netloc_cli lint-rules
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,8 @@
 #include "netloc/analysis/report.hpp"
 #include "netloc/common/error.hpp"
 #include "netloc/common/format.hpp"
+#include "netloc/common/thread_pool.hpp"
+#include "netloc/engine/sweep.hpp"
 #include "netloc/lint/lint.hpp"
 #include "netloc/mapping/io.hpp"
 #include "netloc/mapping/optimizer.hpp"
@@ -47,6 +51,9 @@ int usage() {
          "  netloc_cli multicore <app> <ranks>\n"
          "  netloc_cli optimize <trace-file> <torus|fattree|dragonfly> "
          "<out.rankfile>\n"
+         "  netloc_cli sweep [--jobs <n>] [--cache <dir>] [--no-cache]\n"
+         "                  [--csv <out.csv>] [--apps <name,name,...>]\n"
+         "                  [--progress]\n"
          "  netloc_cli lint <trace-file> [--topology torus|fattree|dragonfly]\n"
          "                  [--mapping <rankfile>] [--cores-per-node <n>]\n"
          "                  [--csv <out.csv>]\n"
@@ -173,6 +180,104 @@ int cmd_optimize(const std::string& trace_path, const std::string& family,
             << netloc::sci(static_cast<double>(before.packet_hops)) << " -> "
             << netloc::sci(static_cast<double>(after.packet_hops)) << " ("
             << netloc::fixed(saving, 1) << "% saved vs consecutive)\n";
+  return EXIT_SUCCESS;
+}
+
+// ---- sweep ------------------------------------------------------------------
+
+struct SweepArgs {
+  int jobs = 0;                          // 0 = all cores.
+  std::string cache_dir = ".netloc-cache";
+  bool use_cache = true;
+  std::string csv_path;                  // empty = no CSV export.
+  std::vector<std::string> apps;         // empty = full catalog.
+  bool progress = false;                 // per-job telemetry on stderr.
+};
+
+std::optional<SweepArgs> parse_sweep_args(int argc, char** argv) {
+  SweepArgs args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--no-cache") {
+      args.use_cache = false;
+      continue;
+    }
+    if (flag == "--progress") {
+      args.progress = true;
+      continue;
+    }
+    if (i + 1 >= argc) return std::nullopt;
+    const std::string value = argv[++i];
+    if (flag == "--jobs") {
+      args.jobs = std::atoi(value.c_str());
+      if (args.jobs < 1) return std::nullopt;
+    } else if (flag == "--cache") {
+      args.cache_dir = value;
+    } else if (flag == "--csv") {
+      args.csv_path = value;
+    } else if (flag == "--apps") {
+      std::string name;
+      std::istringstream list(value);
+      while (std::getline(list, name, ',')) {
+        if (!name.empty()) args.apps.push_back(name);
+      }
+      if (args.apps.empty()) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+int cmd_sweep(const SweepArgs& args) {
+  namespace engine = netloc::engine;
+
+  std::vector<netloc::workloads::CatalogEntry> entries;
+  if (args.apps.empty()) {
+    entries = netloc::workloads::catalog();
+  } else {
+    for (const auto& app : args.apps) {
+      const auto app_entries = netloc::workloads::catalog_for(app);
+      if (app_entries.empty()) {
+        std::cerr << "unknown workload '" << app << "'\n";
+        return EXIT_FAILURE;
+      }
+      entries.insert(entries.end(), app_entries.begin(), app_entries.end());
+    }
+  }
+
+  engine::StreamObserver progress(std::cerr);
+  engine::SweepOptions options;
+  options.jobs = args.jobs;
+  if (args.use_cache) options.cache_dir = args.cache_dir;
+  if (args.progress) options.observer = &progress;
+
+  engine::SweepEngine sweep(options);
+  const auto rows = sweep.run_rows(entries);
+
+  std::cout << netloc::analysis::render_table3(rows) << "\n"
+            << netloc::analysis::render_summary(
+                   netloc::analysis::summarize(rows));
+
+  const auto& stats = sweep.stats();
+  std::cerr << "sweep: " << stats.cells << " rows ("
+            << stats.cache_hits << " cached, " << stats.jobs_run
+            << " jobs run on "
+            << (args.jobs > 0 ? args.jobs
+                              : netloc::ThreadPool::default_parallelism())
+            << " workers) in " << netloc::fixed(stats.wall_s, 2) << " s";
+  if (args.use_cache) std::cerr << ", cache " << args.cache_dir;
+  std::cerr << "\n";
+
+  if (!args.csv_path.empty()) {
+    std::ofstream out(args.csv_path);
+    if (!out) {
+      std::cerr << "cannot open " << args.csv_path << "\n";
+      return EXIT_FAILURE;
+    }
+    netloc::analysis::write_table3_csv(rows, out);
+    std::cout << "wrote " << args.csv_path << "\n";
+  }
   return EXIT_SUCCESS;
 }
 
@@ -350,6 +455,10 @@ int main(int argc, char** argv) {
     }
     if (cmd == "optimize" && argc == 5) {
       return cmd_optimize(argv[2], argv[3], argv[4]);
+    }
+    if (cmd == "sweep") {
+      const auto args = parse_sweep_args(argc, argv);
+      return args ? cmd_sweep(*args) : usage();
     }
     if (cmd == "lint") {
       const auto args = parse_lint_args(argc, argv);

@@ -13,6 +13,13 @@
 #include "netloc/trace/trace.hpp"
 #include "netloc/workloads/workload.hpp"
 
+namespace netloc::metrics {
+class TrafficMatrix;
+}
+namespace netloc::topology {
+class Topology;
+}
+
 namespace netloc::analysis {
 
 /// Per-topology block of a Table 3 row.
@@ -59,7 +66,24 @@ ExperimentRow analyze_trace(const trace::Trace& trace,
                             const workloads::CatalogEntry& entry,
                             const RunOptions& options = {});
 
-/// Run every catalog entry (the whole of Table 3).
+/// MPI-level (§5) half of a row: stats, peers, rank distance and
+/// selectivity from the p2p traffic only. The `topologies` array is
+/// left default — the sweep engine fills it with per-topology jobs.
+ExperimentRow analyze_mpi_level(const trace::Trace& trace,
+                                const workloads::CatalogEntry& entry,
+                                const RunOptions& options = {});
+
+/// System-level (§6) cell: hops and utilization of `full_matrix`
+/// (p2p + translated collectives) on one topology under the
+/// consecutive one-rank-per-node mapping.
+TopologyResult analyze_topology(const metrics::TrafficMatrix& full_matrix,
+                                const topology::Topology& topo,
+                                int num_ranks, Seconds duration,
+                                const RunOptions& options = {});
+
+/// Run every catalog entry (the whole of Table 3). Delegates to
+/// engine::SweepEngine (engine/sweep.hpp), which parallelizes the
+/// catalog across cores; results are bit-identical to a serial run.
 std::vector<ExperimentRow> run_all(const RunOptions& options = {});
 
 // ---- Table 4: dimensional rank locality --------------------------------

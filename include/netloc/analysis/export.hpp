@@ -5,7 +5,9 @@
 #pragma once
 
 #include <ostream>
+#include <vector>
 
+#include "netloc/analysis/experiment.hpp"
 #include "netloc/metrics/traffic_matrix.hpp"
 
 namespace netloc::analysis {
@@ -19,5 +21,13 @@ void write_heatmap_csv(const metrics::TrafficMatrix& matrix, std::ostream& out);
 /// in papers are exactly this picture. One pixel per rank pair; white
 /// = no traffic, black = heaviest pair.
 void write_heatmap_pgm(const metrics::TrafficMatrix& matrix, std::ostream& out);
+
+/// Write Table 3 rows as CSV, one row per (workload, topology) cell so
+/// downstream tooling gets a tidy long format. Doubles are rendered
+/// with max_digits10 precision: two sweeps that produced bit-identical
+/// rows produce byte-identical CSV, which is how the determinism tests
+/// compare the serial and parallel engine paths.
+void write_table3_csv(const std::vector<ExperimentRow>& rows,
+                      std::ostream& out);
 
 }  // namespace netloc::analysis

@@ -1,0 +1,168 @@
+// Shared little-endian binary encoding primitives.
+//
+// The trace serializer (trace/io.cpp) and the engine result cache
+// (engine/result_cache.cpp) use the same on-disk idiom: little-endian
+// primitive records guarded by a trailing FNV-1a checksum. This header
+// hosts the common pieces so every NLTR-style format validates its
+// payload the same way.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+
+namespace netloc {
+
+/// FNV-1a over the serialized payload; cheap integrity check that is
+/// stable across platforms.
+class Fnv1a {
+ public:
+  void update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/// One-shot FNV-1a convenience used for composing cache keys.
+class Fnv1aKey {
+ public:
+  Fnv1aKey& mix(const void* data, std::size_t size) {
+    hash_.update(data, size);
+    return *this;
+  }
+  Fnv1aKey& mix(const std::string& s) {
+    // Length prefix keeps ("ab","c") distinct from ("a","bc").
+    const auto len = static_cast<std::uint64_t>(s.size());
+    mix(&len, sizeof(len));
+    return mix(s.data(), s.size());
+  }
+  template <typename T>
+  Fnv1aKey& mix(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return mix(&value, sizeof(value));
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_.value(); }
+
+ private:
+  Fnv1a hash_;
+};
+
+/// Little-endian primitive writer that maintains the running checksum.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  template <typename T>
+  void put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    char buf[sizeof(T)];
+    std::memcpy(buf, &value, sizeof(T));
+    out_.write(buf, sizeof(T));
+    hash_.update(buf, sizeof(T));
+  }
+
+  void put_bytes(const char* data, std::size_t size) {
+    out_.write(data, static_cast<std::streamsize>(size));
+    hash_.update(data, size);
+  }
+
+  void put_string(const std::string& s) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    put_bytes(s.data(), s.size());
+  }
+
+  /// Append the running checksum raw (not folded into itself) and
+  /// return it. This must be the final record of the stream.
+  std::uint64_t finish() {
+    const std::uint64_t checksum = hash_.value();
+    char buf[sizeof(checksum)];
+    std::memcpy(buf, &checksum, sizeof(checksum));
+    out_.write(buf, sizeof(checksum));
+    return checksum;
+  }
+
+  [[nodiscard]] std::uint64_t checksum() const { return hash_.value(); }
+
+ private:
+  std::ostream& out_;
+  Fnv1a hash_;
+};
+
+/// Validating little-endian reader with the matching checksum. `E` is
+/// the exception type thrown on truncation (TraceFormatError for
+/// traces, CacheFormatError for result-cache blobs); `context` names
+/// the stream in the message ("trace", "cache blob").
+template <typename E>
+class BinaryReader {
+ public:
+  BinaryReader(std::istream& in, std::string context)
+      : in_(in), context_(std::move(context)) {}
+
+  template <typename T>
+  T get(const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    char buf[sizeof(T)];
+    in_.read(buf, sizeof(T));
+    if (in_.gcount() != static_cast<std::streamsize>(sizeof(T))) {
+      throw E("truncated " + context_ + " while reading " + what);
+    }
+    hash_.update(buf, sizeof(T));
+    T value;
+    std::memcpy(&value, buf, sizeof(T));
+    return value;
+  }
+
+  void get_bytes(char* data, std::size_t size, const char* what) {
+    in_.read(data, static_cast<std::streamsize>(size));
+    if (in_.gcount() != static_cast<std::streamsize>(size)) {
+      throw E("truncated " + context_ + " while reading " + what);
+    }
+    hash_.update(data, size);
+  }
+
+  std::string get_string(const char* what, std::uint32_t max_len = 1u << 20) {
+    const auto len = get<std::uint32_t>(what);
+    if (len > max_len) {
+      throw E("implausible " + context_ + " string length while reading " +
+              what);
+    }
+    std::string s(len, '\0');
+    if (len > 0) get_bytes(s.data(), len, what);
+    return s;
+  }
+
+  /// Read the trailing checksum and compare against the running value;
+  /// throws E on mismatch or truncation.
+  void verify_checksum() {
+    const std::uint64_t expected = hash_.value();
+    char buf[sizeof(expected)];
+    in_.read(buf, sizeof(buf));
+    if (in_.gcount() != static_cast<std::streamsize>(sizeof(buf))) {
+      throw E("truncated " + context_ + " while reading checksum");
+    }
+    std::uint64_t stored;
+    std::memcpy(&stored, buf, sizeof(stored));
+    if (stored != expected) {
+      throw E(context_ + " checksum mismatch (corrupted file)");
+    }
+  }
+
+  [[nodiscard]] std::uint64_t checksum() const { return hash_.value(); }
+
+ private:
+  std::istream& in_;
+  std::string context_;
+  Fnv1a hash_;
+};
+
+}  // namespace netloc

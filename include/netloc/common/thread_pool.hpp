@@ -1,0 +1,78 @@
+// Work-stealing thread pool — the execution substrate of the sweep
+// engine (engine/sweep.hpp) and anything else that wants to fan work
+// out across cores.
+//
+// Each worker owns a deque: it pushes and pops its own work LIFO (hot
+// caches) and steals FIFO from victims when empty (oldest work first,
+// the classic Blumofe/Leiserson discipline). External submissions are
+// distributed round-robin. Tasks may submit further tasks — the task
+// graph relies on this to enqueue jobs as their dependencies resolve.
+//
+// Exceptions escaping a task are a programming error at this layer and
+// terminate the process; callers that need failure capture (the task
+// graph does) wrap their work in a try/catch before submitting.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netloc {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 means default_parallelism().
+  explicit ThreadPool(int threads = 0);
+
+  /// Joins the workers after draining all submitted work.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task. Safe to call from worker threads (a worker
+  /// pushes to its own deque) and from any external thread.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task (including tasks submitted by
+  /// tasks) has finished.
+  void wait_idle();
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Hardware concurrency clamped to >= 1.
+  static int default_parallelism();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t id);
+  bool try_get_task(std::size_t id, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Sleep/wake coordination. `pending_` counts submitted-but-unfinished
+  // tasks and `epoch_` counts submissions; both are guarded by
+  // `state_mutex_` so a worker that saw empty queues can detect a
+  // submission that raced its scan instead of sleeping through it.
+  std::mutex state_mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t pending_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  std::atomic<std::size_t> next_queue_{0};  // Round-robin external submits.
+};
+
+}  // namespace netloc

@@ -1,0 +1,94 @@
+// Progress/telemetry hooks for the sweep engine.
+//
+// The engine reports every job transition and cache event through an
+// EngineObserver so front ends can render progress (netloc_cli sweep),
+// benches can account cache effectiveness (bench/perf_sweep.cpp), and
+// tests can assert scheduling behavior without scraping output.
+//
+// Callbacks fire on engine worker threads, possibly concurrently —
+// implementations must be thread-safe. The two shipped observers
+// (StreamObserver, CountingObserver) are.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "netloc/common/types.hpp"
+#include "netloc/lint/diagnostic.hpp"
+
+namespace netloc::engine {
+
+/// Identifies one job to the observer. `label` is human-readable
+/// ("AMG/216"), `phase` names the pipeline stage ("generate",
+/// "topology", "finalize", "study", "flow").
+struct JobEvent {
+  std::string label;
+  std::string phase;
+};
+
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  virtual void on_job_started(const JobEvent& /*job*/) {}
+  virtual void on_job_finished(const JobEvent& /*job*/, Seconds /*elapsed*/) {}
+
+  /// A cached result satisfied `label` without running any jobs.
+  virtual void on_cache_hit(const std::string& /*label*/) {}
+  /// A freshly computed result for `label` was persisted.
+  virtual void on_cache_store(const std::string& /*label*/) {}
+
+  /// A lint-style finding (e.g. EN001: corrupt cache blob detected and
+  /// recomputed). Never fatal — the engine always recovers.
+  virtual void on_diagnostic(const lint::Diagnostic& /*diagnostic*/) {}
+};
+
+/// Prints one line per event to a stream (intended for stderr).
+class StreamObserver final : public EngineObserver {
+ public:
+  explicit StreamObserver(std::ostream& out) : out_(out) {}
+
+  void on_job_started(const JobEvent& job) override;
+  void on_job_finished(const JobEvent& job, Seconds elapsed) override;
+  void on_cache_hit(const std::string& label) override;
+  void on_cache_store(const std::string& label) override;
+  void on_diagnostic(const lint::Diagnostic& diagnostic) override;
+
+ private:
+  std::ostream& out_;
+  std::mutex mutex_;
+};
+
+/// Tallies events; the determinism and cache-integrity tests assert on
+/// these counters.
+class CountingObserver final : public EngineObserver {
+ public:
+  void on_job_started(const JobEvent& job) override;
+  void on_job_finished(const JobEvent& job, Seconds elapsed) override;
+  void on_cache_hit(const std::string& label) override;
+  void on_cache_store(const std::string& label) override;
+  void on_diagnostic(const lint::Diagnostic& diagnostic) override;
+
+  [[nodiscard]] int jobs_started() const { return jobs_started_.load(); }
+  [[nodiscard]] int jobs_finished() const { return jobs_finished_.load(); }
+  [[nodiscard]] int cache_hits() const { return cache_hits_.load(); }
+  [[nodiscard]] int cache_stores() const { return cache_stores_.load(); }
+  [[nodiscard]] int diagnostics() const { return diagnostics_.load(); }
+
+  /// Copies of the collected diagnostics, in arrival order.
+  [[nodiscard]] std::vector<lint::Diagnostic> collected_diagnostics() const;
+
+ private:
+  std::atomic<int> jobs_started_{0};
+  std::atomic<int> jobs_finished_{0};
+  std::atomic<int> cache_hits_{0};
+  std::atomic<int> cache_stores_{0};
+  std::atomic<int> diagnostics_{0};
+  mutable std::mutex mutex_;
+  std::vector<lint::Diagnostic> diagnostic_log_;
+};
+
+}  // namespace netloc::engine

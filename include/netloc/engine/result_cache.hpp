@@ -1,0 +1,85 @@
+// Content-addressed on-disk cache of sweep results.
+//
+// Each Table 3 row (one catalog entry analyzed across all three
+// topologies) is stored as one blob named by the FNV-1a hash of
+// everything that determines the result:
+//
+//   (cache format version, workload id = app/ranks/variant plus its
+//    calibration targets, seed, the Table 2 topology parameters for the
+//    rank count, metric options)
+//
+// Invalidation is therefore automatic for input changes (different
+// seed, recalibrated catalog targets, changed topology tables) and
+// manual for semantic changes to generator/metric code: bump
+// kResultCacheVersion, which re-keys every entry.
+//
+// Blob format mirrors the NLTR trace encoding (common/binary_io.hpp):
+// "NLRC" magic, version, key hash, little-endian payload, trailing
+// FNV-1a checksum. A blob that fails any validation step is treated as
+// a miss: the engine emits an EN001 lint diagnostic, recomputes the
+// row, and overwrites the bad file — corruption can cost time, never
+// correctness.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/common/error.hpp"
+#include "netloc/engine/observer.hpp"
+
+namespace netloc::engine {
+
+/// Bump on any semantic change to generators, metrics or the blob
+/// layout; old entries become unreachable (different keys) rather than
+/// wrong.
+inline constexpr std::uint32_t kResultCacheVersion = 1;
+
+/// Malformed, truncated or mismatched cache blob. Internal to the
+/// cache — load() converts it into a miss plus a diagnostic.
+class CacheFormatError : public Error {
+ public:
+  explicit CacheFormatError(const std::string& what) : Error(what) {}
+};
+
+/// A fully composed cache key: the content hash plus a human-readable
+/// label ("AMG/216") used in telemetry and diagnostics.
+struct CacheKey {
+  std::uint64_t hash = 0;
+  std::string label;
+
+  /// File name inside the cache directory ("<hex16>.nlrc").
+  [[nodiscard]] std::string file_name() const;
+};
+
+/// Compose the key for one catalog entry under `options`.
+CacheKey result_cache_key(const workloads::CatalogEntry& entry,
+                          const analysis::RunOptions& options);
+
+// Blob encode/decode, exposed for the integrity tests.
+void write_row_blob(const analysis::ExperimentRow& row, std::uint64_t key_hash,
+                    std::ostream& out);
+analysis::ExperimentRow read_row_blob(std::istream& in, std::uint64_t key_hash);
+
+class ResultCache {
+ public:
+  /// Opens (and creates if needed) the cache at `dir`. Observer events:
+  /// on_cache_hit / on_cache_store / on_diagnostic (EN001 on corrupt
+  /// blobs). The observer may be null.
+  explicit ResultCache(std::string dir, EngineObserver* observer = nullptr);
+
+  /// The cached row for `key`, or nullopt on miss or corruption
+  /// (corruption additionally emits EN001 through the observer).
+  std::optional<analysis::ExperimentRow> load(const CacheKey& key);
+
+  /// Persist `row` under `key` (atomic write: temp file + rename).
+  void store(const CacheKey& key, const analysis::ExperimentRow& row);
+
+  [[nodiscard]] const std::string& directory() const { return dir_; }
+
+ private:
+  std::string dir_;
+  EngineObserver* observer_;
+};
+
+}  // namespace netloc::engine

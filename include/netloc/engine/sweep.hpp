@@ -1,0 +1,108 @@
+// SweepEngine: parallel, cached execution of the paper's sweeps.
+//
+// Every artifact the repository reproduces is a batch over (workload ×
+// topology × options) cells. The engine turns each batch into a task
+// graph (engine/task_graph.hpp) on a work-stealing pool
+// (common/thread_pool.hpp):
+//
+//   catalog entry ── generate ──┬── topology[torus]    ──┐
+//                               ├── topology[fattree]  ──┼── finalize
+//                               └── topology[dragonfly]──┘
+//
+// with independent entries executing concurrently. A content-addressed
+// result cache (engine/result_cache.hpp) short-circuits rows whose
+// inputs are unchanged, and an EngineObserver receives job/cache
+// telemetry.
+//
+// Determinism contract: results are bit-identical for any job count,
+// and a warm cache reproduces a cold run exactly. Each job owns its
+// PRNG stream (generators are pure in (entry, seed)), rows are
+// assembled into caller-order slots, and no mutable state is shared
+// between cells.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/engine/observer.hpp"
+#include "netloc/simulation/flow_sim.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace netloc::engine {
+
+struct SweepOptions {
+  analysis::RunOptions run;  ///< Seed and metric options (the cache key).
+  /// Worker threads; 0 = ThreadPool::default_parallelism(). The job
+  /// count never affects results, only wall time.
+  int jobs = 0;
+  /// Result-cache directory; empty disables caching.
+  std::string cache_dir;
+  /// Telemetry sink; may be null. Callbacks fire on worker threads.
+  EngineObserver* observer = nullptr;
+};
+
+/// Telemetry of the most recent sweep.
+struct SweepStats {
+  int cells = 0;        ///< Rows requested.
+  int cache_hits = 0;   ///< Rows served from the cache.
+  int jobs_run = 0;     ///< Graph jobs actually executed.
+  Seconds wall_s = 0.0; ///< Wall time of the batch.
+};
+
+/// One cell of a flow-simulation batch (bench/dynamic_validation.cpp):
+/// replay `app`/`ranks` p2p traffic on the Table 2 torus under the
+/// consecutive mapping, either as one burst (timed = false, flows start
+/// together) or at trace timestamps (timed = true).
+struct FlowSweepSpec {
+  std::string app;
+  int ranks = 0;
+  bool timed = false;
+};
+
+struct FlowSweepResult {
+  std::string label;
+  std::size_t flows = 0;
+  simulation::FlowSimReport report;
+  /// Eq. 5 static utilization of the same matrix/topology/mapping, for
+  /// the side-by-side the dynamic validation prints.
+  double static_utilization_percent = 0.0;
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepOptions options = {});
+
+  /// Table 3 rows for `entries`, in the given order.
+  std::vector<analysis::ExperimentRow> run_rows(
+      const std::vector<workloads::CatalogEntry>& entries);
+
+  /// The full catalog — the whole of Table 3. analysis::run_all()
+  /// delegates here.
+  std::vector<analysis::ExperimentRow> run_catalog();
+
+  /// Table 4 rows: generate each entry's trace and run the
+  /// dimensionality study, one job per entry.
+  std::vector<analysis::DimensionalityRow> run_dimensionality(
+      const std::vector<workloads::CatalogEntry>& entries);
+
+  /// Fig. 5 series: one multicore study per entry.
+  std::vector<analysis::MulticoreSeries> run_multicore(
+      const std::vector<workloads::CatalogEntry>& entries,
+      const std::vector<int>& cores_per_node);
+
+  /// Flow-simulation batch; one simulator per spec, run concurrently.
+  std::vector<FlowSweepResult> run_flow_sweep(
+      const std::vector<FlowSweepSpec>& specs);
+
+  /// Stats of the last run_* call.
+  [[nodiscard]] const SweepStats& stats() const { return stats_; }
+
+  [[nodiscard]] const SweepOptions& options() const { return options_; }
+
+ private:
+  SweepOptions options_;
+  SweepStats stats_;
+};
+
+}  // namespace netloc::engine

@@ -1,0 +1,58 @@
+// Dependency-ordered job execution on a thread pool.
+//
+// A TaskGraph is a DAG of jobs: "generate the AMG/216 trace" fans out
+// into three per-topology "route + metrics" jobs, which join into one
+// "finalize row" job. run() performs Kahn-style scheduling — every job
+// whose dependencies have completed is enqueued on the pool — so
+// independent subgraphs execute concurrently while edges are honoured
+// exactly.
+//
+// Failure model: the first exception a job throws is captured and
+// rethrown from run() after the graph drains. Dependents of a failed
+// job are cancelled (their work never runs); unrelated jobs still
+// complete, so one corrupt cell cannot abort a whole sweep mid-flight.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netloc/common/thread_pool.hpp"
+#include "netloc/engine/observer.hpp"
+
+namespace netloc::engine {
+
+using JobId = std::size_t;
+
+class TaskGraph {
+ public:
+  /// Add a job. `phase` tags observer events (see JobEvent).
+  JobId add(std::string label, std::string phase, std::function<void()> work);
+
+  /// Require `before` to complete (successfully) before `after` runs.
+  /// Both ids must come from add(); edges must be added before run().
+  void add_edge(JobId before, JobId after);
+
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+
+  /// Execute the whole graph on `pool` and block until it drains.
+  /// Throws ConfigError on a dependency cycle (detected before any job
+  /// runs) and rethrows the first job failure afterwards. A graph can
+  /// be run once.
+  void run(ThreadPool& pool, EngineObserver* observer = nullptr);
+
+ private:
+  struct Node {
+    std::string label;
+    std::string phase;
+    std::function<void()> work;
+    std::vector<JobId> dependents;
+    int dependency_count = 0;
+  };
+
+  std::vector<Node> jobs_;
+  bool ran_ = false;
+};
+
+}  // namespace netloc::engine

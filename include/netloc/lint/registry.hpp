@@ -1,9 +1,10 @@
 // The rule catalog: every lint rule netloc ships, keyed by stable ID.
 //
-// Rule IDs are grouped into three packs mirroring the input layers:
+// Rule IDs are grouped into packs mirroring the input layers:
 //   TRxxx  trace rules    (event-level structural checks)
 //   TPxxx  config rules   (topology shapes and rank -> node mappings)
 //   MTxxx  metric rules   (sanity of derived traffic/utilization values)
+//   ENxxx  engine rules   (sweep-engine result-cache integrity)
 //
 // IDs are stable across releases: a rule may be retired but its ID is
 // never reused, so stored CSV reports stay interpretable.
@@ -20,7 +21,7 @@ namespace netloc::lint {
 struct RuleInfo {
   std::string_view id;        ///< "TR001"
   Severity default_severity;  ///< Severity its diagnostics carry.
-  std::string_view pack;      ///< "trace", "config" or "metric".
+  std::string_view pack;      ///< "trace", "config", "metric" or "engine".
   std::string_view summary;   ///< One-line description for catalogs.
 };
 

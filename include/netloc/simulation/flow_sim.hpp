@@ -67,7 +67,9 @@ class FlowSimulator {
   FlowSimulator(const topology::Topology& topo, const mapping::Mapping& mapping,
                 const FlowSimOptions& options = {});
 
-  /// Queue one transfer. Zero-byte flows complete instantly.
+  /// Queue one transfer. Zero-byte flows complete instantly. Throws
+  /// ConfigError once run() has been called — the simulator is
+  /// single-shot and never silently drops a flow.
   void add_flow(Rank src, Rank dst, Bytes bytes, Seconds start = 0.0);
 
   /// Queue one flow per non-zero matrix entry, all starting at
@@ -77,7 +79,9 @@ class FlowSimulator {
 
   [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
 
-  /// Run to completion and produce the report. May be called once.
+  /// Run to completion and produce the report. May be called exactly
+  /// once: a second run() — and any add_flow()/add_matrix() after the
+  /// first — throws ConfigError.
   FlowSimReport run();
 
  private:

@@ -11,9 +11,10 @@
 
 namespace netloc::analysis {
 
-ExperimentRow analyze_trace(const trace::Trace& trace,
-                            const workloads::CatalogEntry& entry,
-                            const RunOptions& options) {
+ExperimentRow analyze_mpi_level(const trace::Trace& trace,
+                                const workloads::CatalogEntry& entry,
+                                const RunOptions& options) {
+  (void)options;  // MPI-level metrics have no tunables yet.
   ExperimentRow row;
   row.entry = entry;
   row.stats = trace::compute_stats(trace);
@@ -30,6 +31,43 @@ ExperimentRow analyze_trace(const trace::Trace& trace,
     row.selectivity_mean = sel.mean;
     row.selectivity_max = sel.max;
   }
+  return row;
+}
+
+TopologyResult analyze_topology(const metrics::TrafficMatrix& full_matrix,
+                                const topology::Topology& topo, int num_ranks,
+                                Seconds duration, const RunOptions& options) {
+  TopologyResult result;
+  result.topology = topo.name();
+  result.config = topo.config_string();
+
+  const auto mapping = mapping::Mapping::linear(num_ranks, topo.num_nodes());
+  const auto hops = metrics::hop_stats(full_matrix, topo, mapping);
+  result.packet_hops = hops.packet_hops;
+  result.avg_hops = hops.avg_hops;
+
+  result.utilization_percent =
+      metrics::utilization(full_matrix, topo, mapping, duration,
+                           metrics::LinkCountMode::PaperFormula)
+          .utilization_percent;
+  if (options.link_accounting) {
+    const auto loads = metrics::link_loads(full_matrix, topo, mapping);
+    result.used_links = loads.used_links;
+    result.global_link_packet_share = loads.global_link_packet_share;
+    if (loads.used_links > 0) {
+      result.utilization_used_links_percent =
+          metrics::utilization(full_matrix, topo, mapping, duration,
+                               metrics::LinkCountMode::UsedLinks)
+              .utilization_percent;
+    }
+  }
+  return result;
+}
+
+ExperimentRow analyze_trace(const trace::Trace& trace,
+                            const workloads::CatalogEntry& entry,
+                            const RunOptions& options) {
+  ExperimentRow row = analyze_mpi_level(trace, entry, options);
 
   // ---- System level (§6): collectives translated and included. ----------
   const metrics::TrafficMatrix full_matrix =
@@ -39,32 +77,9 @@ ExperimentRow analyze_trace(const trace::Trace& trace,
   const auto topologies = topology::topologies_for(trace.num_ranks());
   const auto all = topologies.all();
   for (std::size_t i = 0; i < all.size(); ++i) {
-    const topology::Topology& topo = *all[i];
-    TopologyResult& result = row.topologies[i];
-    result.topology = topo.name();
-    result.config = topo.config_string();
-
-    const auto mapping =
-        mapping::Mapping::linear(trace.num_ranks(), topo.num_nodes());
-    const auto hops = metrics::hop_stats(full_matrix, topo, mapping);
-    result.packet_hops = hops.packet_hops;
-    result.avg_hops = hops.avg_hops;
-
-    result.utilization_percent =
-        metrics::utilization(full_matrix, topo, mapping, trace.duration(),
-                             metrics::LinkCountMode::PaperFormula)
-            .utilization_percent;
-    if (options.link_accounting) {
-      const auto loads = metrics::link_loads(full_matrix, topo, mapping);
-      result.used_links = loads.used_links;
-      result.global_link_packet_share = loads.global_link_packet_share;
-      if (loads.used_links > 0) {
-        result.utilization_used_links_percent =
-            metrics::utilization(full_matrix, topo, mapping, trace.duration(),
-                                 metrics::LinkCountMode::UsedLinks)
-                .utilization_percent;
-      }
-    }
+    row.topologies[i] = analyze_topology(full_matrix, *all[i],
+                                         trace.num_ranks(), trace.duration(),
+                                         options);
   }
   return row;
 }
@@ -76,14 +91,9 @@ ExperimentRow run_experiment(const workloads::CatalogEntry& entry,
   return analyze_trace(trace, entry, options);
 }
 
-std::vector<ExperimentRow> run_all(const RunOptions& options) {
-  std::vector<ExperimentRow> rows;
-  rows.reserve(workloads::catalog().size());
-  for (const auto& entry : workloads::catalog()) {
-    rows.push_back(run_experiment(entry, options));
-  }
-  return rows;
-}
+// run_all lives in src/engine/sweep.cpp: it delegates to
+// engine::SweepEngine so every caller gets the parallel, cacheable
+// path. The declaration stays here because the result types do.
 
 DimensionalityRow dimensionality_study(const trace::Trace& trace,
                                        const std::string& label) {

@@ -1,6 +1,8 @@
 #include "netloc/analysis/export.hpp"
 
 #include <cmath>
+#include <limits>
+#include <sstream>
 
 #include "netloc/common/csv.hpp"
 
@@ -46,6 +48,52 @@ void write_heatmap_pgm(const metrics::TrafficMatrix& matrix, std::ostream& out) 
         pixel = 255 - static_cast<int>(std::lround(230.0 * intensity + 25.0));
       }
       out << pixel << (d + 1 == n ? '\n' : ' ');
+    }
+  }
+}
+
+namespace {
+
+/// Shortest round-trippable decimal rendering: every distinct double
+/// maps to a distinct string, so bit-identical rows give byte-identical
+/// CSV.
+std::string num(double value) {
+  std::ostringstream s;
+  s.precision(std::numeric_limits<double>::max_digits10);
+  s << value;
+  return s.str();
+}
+
+}  // namespace
+
+void write_table3_csv(const std::vector<ExperimentRow>& rows,
+                      std::ostream& out) {
+  CsvWriter csv(out);
+  csv.write_header({"workload", "ranks", "variant", "peers", "rank_distance",
+                    "selectivity_mean", "selectivity_max", "topology",
+                    "config", "packet_hops", "avg_hops",
+                    "utilization_percent",
+                    "utilization_used_links_percent", "used_links",
+                    "global_link_packet_share"});
+  for (const auto& row : rows) {
+    for (const auto& topo : row.topologies) {
+      csv.write_row({
+          row.entry.app,
+          std::to_string(row.entry.ranks),
+          std::to_string(row.entry.variant),
+          row.has_p2p ? std::to_string(row.peers) : "",
+          row.has_p2p ? num(row.rank_distance) : "",
+          row.has_p2p ? num(row.selectivity_mean) : "",
+          row.has_p2p ? num(row.selectivity_max) : "",
+          topo.topology,
+          topo.config,
+          std::to_string(topo.packet_hops),
+          num(topo.avg_hops),
+          num(topo.utilization_percent),
+          num(topo.utilization_used_links_percent),
+          std::to_string(topo.used_links),
+          num(topo.global_link_packet_share),
+      });
     }
   }
 }

@@ -1,0 +1,125 @@
+#include "netloc/common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc {
+
+namespace {
+
+// Workers remember their slot so submit() from inside a task can push
+// to the task's own deque (LIFO locality) instead of round-robin.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker_id = 0;
+
+}  // namespace
+
+int ThreadPool::default_parallelism() {
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads > 0 ? threads : default_parallelism();
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (!task) throw ConfigError("ThreadPool: empty task");
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (stop_) throw ConfigError("ThreadPool: submit after shutdown");
+  }
+  const std::size_t target =
+      (tl_pool == this)
+          ? tl_worker_id
+          : next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    // The push above happens-before this epoch bump: a worker that
+    // reads the new epoch is guaranteed to see the task in its scan,
+    // and a worker that missed the task in its scan will observe the
+    // changed epoch and rescan instead of sleeping (no lost wakeup).
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++pending_;
+    ++epoch_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_get_task(std::size_t id, std::function<void()>& task) {
+  // Own queue first, newest first (LIFO keeps the working set warm).
+  {
+    auto& q = *queues_[id];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal oldest first from the other workers, scanning from the right
+  // neighbour so victims spread instead of piling onto worker 0.
+  for (std::size_t off = 1; off < queues_.size(); ++off) {
+    auto& q = *queues_[(id + off) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  tl_pool = this;
+  tl_worker_id = id;
+  for (;;) {
+    std::uint64_t seen_epoch;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      seen_epoch = epoch_;
+    }
+    std::function<void()> task;
+    if (try_get_task(id, task)) {
+      task();
+      task = nullptr;  // Release captures before signalling idle.
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    if (stop_) return;
+    if (epoch_ == seen_epoch) {
+      work_cv_.wait(lock);  // Spurious wakeups just rescan.
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace netloc

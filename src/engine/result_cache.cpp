@@ -1,0 +1,236 @@
+#include "netloc/engine/result_cache.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+#include "netloc/common/binary_io.hpp"
+#include "netloc/lint/registry.hpp"
+#include "netloc/topology/configs.hpp"
+
+namespace netloc::engine {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'L', 'R', 'C'};
+
+/// Blob carries a version the key already encodes; a mismatch can only
+/// mean a file copied across engine versions, reported as EN002 (note)
+/// instead of EN001 (corruption).
+class CacheVersionMismatch final : public CacheFormatError {
+ public:
+  explicit CacheVersionMismatch(const std::string& what)
+      : CacheFormatError(what) {}
+};
+
+using Writer = BinaryWriter;
+using Reader = BinaryReader<CacheFormatError>;
+
+void put_topology_result(Writer& w, const analysis::TopologyResult& r) {
+  w.put_string(r.topology);
+  w.put_string(r.config);
+  w.put<Count>(r.packet_hops);
+  w.put<double>(r.avg_hops);
+  w.put<double>(r.utilization_percent);
+  w.put<double>(r.utilization_used_links_percent);
+  w.put<std::int32_t>(r.used_links);
+  w.put<double>(r.global_link_packet_share);
+}
+
+analysis::TopologyResult get_topology_result(Reader& r) {
+  analysis::TopologyResult result;
+  result.topology = r.get_string("topology name");
+  result.config = r.get_string("topology config");
+  result.packet_hops = r.get<Count>("packet hops");
+  result.avg_hops = r.get<double>("avg hops");
+  result.utilization_percent = r.get<double>("utilization");
+  result.utilization_used_links_percent = r.get<double>("used-links utilization");
+  result.used_links = r.get<std::int32_t>("used links");
+  result.global_link_packet_share = r.get<double>("global link share");
+  return result;
+}
+
+}  // namespace
+
+std::string CacheKey::file_name() const {
+  std::ostringstream name;
+  name << std::hex << std::setw(16) << std::setfill('0') << hash << ".nlrc";
+  return name.str();
+}
+
+CacheKey result_cache_key(const workloads::CatalogEntry& entry,
+                          const analysis::RunOptions& options) {
+  Fnv1aKey key;
+  key.mix(std::string("netloc-result-cache"));
+  key.mix<std::uint32_t>(kResultCacheVersion);
+  // Workload id plus its calibration targets: recalibrating one
+  // generator's Table 1 aggregates dirties exactly that app's rows.
+  key.mix(entry.app);
+  key.mix<std::int32_t>(entry.ranks);
+  key.mix<std::int32_t>(entry.variant);
+  key.mix<double>(entry.time_s);
+  key.mix<double>(entry.volume_mb);
+  key.mix<double>(entry.p2p_percent);
+  key.mix<std::uint8_t>(entry.derived_datatypes ? 1 : 0);
+  // Metric options.
+  key.mix<std::uint64_t>(options.seed);
+  key.mix<std::uint8_t>(options.link_accounting ? 1 : 0);
+  // Table 2 topology parameters for this rank count: a changed config
+  // table invalidates the affected scales only.
+  const auto torus = topology::torus_dims_for(entry.ranks);
+  for (const int d : torus) key.mix<std::int32_t>(d);
+  key.mix<std::int32_t>(topology::kFatTreeRadix);
+  key.mix<std::int32_t>(topology::fat_tree_stages_for(entry.ranks));
+  const auto dragonfly = topology::dragonfly_params_for(entry.ranks);
+  for (const int p : dragonfly) key.mix<std::int32_t>(p);
+
+  return CacheKey{key.value(), entry.label()};
+}
+
+void write_row_blob(const analysis::ExperimentRow& row, std::uint64_t key_hash,
+                    std::ostream& out) {
+  Writer w(out);
+  w.put_bytes(kMagic, sizeof(kMagic));
+  w.put<std::uint32_t>(kResultCacheVersion);
+  w.put<std::uint64_t>(key_hash);
+
+  const auto& e = row.entry;
+  w.put_string(e.app);
+  w.put<std::int32_t>(e.ranks);
+  w.put<std::int32_t>(e.variant);
+  w.put<double>(e.time_s);
+  w.put<double>(e.volume_mb);
+  w.put<double>(e.p2p_percent);
+  w.put<std::uint8_t>(e.derived_datatypes ? 1 : 0);
+
+  const auto& s = row.stats;
+  w.put<std::int32_t>(s.num_ranks);
+  w.put<double>(s.duration);
+  w.put<Bytes>(s.p2p_volume);
+  w.put<Bytes>(s.collective_volume);
+  w.put<Count>(s.p2p_messages);
+  w.put<Count>(s.collective_calls);
+
+  w.put<std::uint8_t>(row.has_p2p ? 1 : 0);
+  w.put<std::int32_t>(row.peers);
+  w.put<double>(row.rank_distance);
+  w.put<double>(row.selectivity_mean);
+  w.put<double>(row.selectivity_max);
+
+  for (const auto& topo : row.topologies) put_topology_result(w, topo);
+
+  w.finish();
+  if (!out) throw Error("cache blob write failed (I/O error)");
+}
+
+analysis::ExperimentRow read_row_blob(std::istream& in, std::uint64_t key_hash) {
+  Reader r(in, "cache blob");
+  char magic[4];
+  r.get_bytes(magic, sizeof(magic), "magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw CacheFormatError("bad cache blob magic (not a netloc result blob)");
+  }
+  const auto version = r.get<std::uint32_t>("version");
+  if (version != kResultCacheVersion) {
+    throw CacheVersionMismatch("cache blob version " + std::to_string(version) +
+                               " does not match engine version " +
+                               std::to_string(kResultCacheVersion));
+  }
+  const auto stored_key = r.get<std::uint64_t>("key hash");
+  if (stored_key != key_hash) {
+    throw CacheFormatError("cache blob key hash does not match its file name");
+  }
+
+  analysis::ExperimentRow row;
+  auto& e = row.entry;
+  e.app = r.get_string("app name");
+  e.ranks = r.get<std::int32_t>("ranks");
+  e.variant = r.get<std::int32_t>("variant");
+  e.time_s = r.get<double>("time");
+  e.volume_mb = r.get<double>("volume");
+  e.p2p_percent = r.get<double>("p2p percent");
+  e.derived_datatypes = r.get<std::uint8_t>("derived datatypes") != 0;
+
+  auto& s = row.stats;
+  s.num_ranks = r.get<std::int32_t>("stats ranks");
+  s.duration = r.get<double>("stats duration");
+  s.p2p_volume = r.get<Bytes>("p2p volume");
+  s.collective_volume = r.get<Bytes>("collective volume");
+  s.p2p_messages = r.get<Count>("p2p messages");
+  s.collective_calls = r.get<Count>("collective calls");
+
+  row.has_p2p = r.get<std::uint8_t>("has p2p") != 0;
+  row.peers = r.get<std::int32_t>("peers");
+  row.rank_distance = r.get<double>("rank distance");
+  row.selectivity_mean = r.get<double>("selectivity mean");
+  row.selectivity_max = r.get<double>("selectivity max");
+
+  for (auto& topo : row.topologies) topo = get_topology_result(r);
+
+  r.verify_checksum();
+  return row;
+}
+
+ResultCache::ResultCache(std::string dir, EngineObserver* observer)
+    : dir_(std::move(dir)), observer_(observer) {
+  if (dir_.empty()) throw ConfigError("ResultCache: empty cache directory");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw Error("ResultCache: cannot create cache directory " + dir_ + ": " +
+                ec.message());
+  }
+}
+
+std::optional<analysis::ExperimentRow> ResultCache::load(const CacheKey& key) {
+  const auto path = std::filesystem::path(dir_) / key.file_name();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;  // Plain miss: nothing to report.
+  try {
+    auto row = read_row_blob(in, key.hash);
+    if (observer_) observer_->on_cache_hit(key.label);
+    return row;
+  } catch (const CacheVersionMismatch& e) {
+    if (observer_) {
+      observer_->on_diagnostic(lint::RuleRegistry::instance().make(
+          "EN002", {path.string(), -1, -1}, e.what(),
+          "delete the stale blob or re-run to overwrite it"));
+    }
+  } catch (const Error& e) {
+    if (observer_) {
+      observer_->on_diagnostic(lint::RuleRegistry::instance().make(
+          "EN001", {path.string(), -1, -1},
+          std::string("cached result for ") + key.label + " is unusable: " +
+              e.what(),
+          "the row is recomputed and the blob overwritten"));
+    }
+  }
+  return std::nullopt;
+}
+
+void ResultCache::store(const CacheKey& key, const analysis::ExperimentRow& row) {
+  const auto dir = std::filesystem::path(dir_);
+  const auto final_path = dir / key.file_name();
+  // Unique temp name per thread so concurrent finalize jobs never
+  // interleave writes; rename() makes the publish atomic.
+  std::ostringstream tmp_name;
+  tmp_name << key.file_name() << ".tmp." << std::this_thread::get_id();
+  const auto tmp_path = dir / tmp_name.str();
+  {
+    std::ofstream out(tmp_path, std::ios::binary);
+    if (!out) throw Error("ResultCache: cannot write " + tmp_path.string());
+    write_row_blob(row, key.hash, out);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    throw Error("ResultCache: cannot publish " + final_path.string());
+  }
+  if (observer_) observer_->on_cache_store(key.label);
+}
+
+}  // namespace netloc::engine

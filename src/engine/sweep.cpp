@@ -1,0 +1,253 @@
+#include "netloc/engine/sweep.hpp"
+
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "netloc/common/error.hpp"
+#include "netloc/engine/result_cache.hpp"
+#include "netloc/engine/task_graph.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/utilization.hpp"
+#include "netloc/topology/configs.hpp"
+
+namespace netloc::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point begin) {
+  return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+
+/// Mutable state of one in-flight row, shared by its generate /
+/// topology / finalize jobs. Only the owning jobs touch it, and the
+/// task-graph edges order those accesses, so no locking is needed.
+struct RowState {
+  analysis::ExperimentRow row;
+  std::shared_ptr<metrics::TrafficMatrix> full_matrix;
+  topology::TopologySet topologies;
+  int num_ranks = 0;
+  Seconds duration = 0.0;
+};
+
+}  // namespace
+
+SweepEngine::SweepEngine(SweepOptions options) : options_(std::move(options)) {
+  if (options_.jobs < 0) {
+    throw ConfigError("SweepEngine: jobs must be >= 0");
+  }
+}
+
+std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
+    const std::vector<workloads::CatalogEntry>& entries) {
+  const auto begin = Clock::now();
+  stats_ = SweepStats{};
+  stats_.cells = static_cast<int>(entries.size());
+
+  std::vector<analysis::ExperimentRow> rows(entries.size());
+
+  // Cache prescan (serial: a probe is one small file read). Rows served
+  // here contribute zero jobs to the graph — a fully warm sweep
+  // performs no recomputation at all.
+  std::optional<ResultCache> cache;
+  if (!options_.cache_dir.empty()) {
+    cache.emplace(options_.cache_dir, options_.observer);
+  }
+  std::vector<CacheKey> keys(entries.size());
+  std::vector<bool> need(entries.size(), true);
+  if (cache) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      keys[i] = result_cache_key(entries[i], options_.run);
+      if (auto row = cache->load(keys[i])) {
+        rows[i] = std::move(*row);
+        need[i] = false;
+        ++stats_.cache_hits;
+      }
+    }
+  }
+
+  TaskGraph graph;
+  std::vector<std::unique_ptr<RowState>> states(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (!need[i]) continue;
+    states[i] = std::make_unique<RowState>();
+    RowState* state = states[i].get();
+    const workloads::CatalogEntry* entry = &entries[i];
+    const analysis::RunOptions run = options_.run;
+
+    // Generate the trace and everything every topology job shares:
+    // the full traffic matrix, the MPI-level metrics and the Table 2
+    // topology set. Each job owns its PRNG stream — the generator
+    // seeds from (entry, seed) internally and shares nothing.
+    const JobId generate = graph.add(
+        entry->label(), "generate", [state, entry, run] {
+          const auto trace =
+              workloads::generator(entry->app).generate(*entry, run.seed);
+          state->row = analysis::analyze_mpi_level(trace, *entry, run);
+          state->full_matrix = std::make_shared<metrics::TrafficMatrix>(
+              metrics::TrafficMatrix::from_trace(
+                  trace, {.include_p2p = true, .include_collectives = true}));
+          state->topologies = topology::topologies_for(trace.num_ranks());
+          state->num_ranks = trace.num_ranks();
+          state->duration = trace.duration();
+        });
+
+    // Fan out: one route + metrics job per topology.
+    ResultCache* cache_ptr = cache ? &*cache : nullptr;
+    const JobId finalize = graph.add(
+        entry->label(), "finalize", [state, i, &keys, cache_ptr] {
+          state->full_matrix.reset();
+          state->topologies = {};
+          if (cache_ptr) cache_ptr->store(keys[i], state->row);
+        });
+    for (std::size_t t = 0; t < state->row.topologies.size(); ++t) {
+      const JobId cell = graph.add(
+          entry->label(), "topology", [state, t, run] {
+            state->row.topologies[t] = analysis::analyze_topology(
+                *state->full_matrix, *state->topologies.all()[t],
+                state->num_ranks, state->duration, run);
+          });
+      graph.add_edge(generate, cell);
+      graph.add_edge(cell, finalize);
+    }
+  }
+
+  stats_.jobs_run = static_cast<int>(graph.size());
+  if (graph.size() > 0) {
+    // Touch the lazily initialized registries once, before threads
+    // fan out (they are magic statics, this just keeps first-use
+    // timing out of the per-job measurements).
+    (void)workloads::available_workloads();
+    ThreadPool pool(options_.jobs);
+    graph.run(pool, options_.observer);
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (states[i]) rows[i] = std::move(states[i]->row);
+  }
+
+  stats_.wall_s = seconds_since(begin);
+  return rows;
+}
+
+std::vector<analysis::ExperimentRow> SweepEngine::run_catalog() {
+  return run_rows(workloads::catalog());
+}
+
+std::vector<analysis::DimensionalityRow> SweepEngine::run_dimensionality(
+    const std::vector<workloads::CatalogEntry>& entries) {
+  const auto begin = Clock::now();
+  stats_ = SweepStats{};
+  stats_.cells = static_cast<int>(entries.size());
+
+  std::vector<analysis::DimensionalityRow> rows(entries.size());
+  TaskGraph graph;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const workloads::CatalogEntry* entry = &entries[i];
+    const std::uint64_t seed = options_.run.seed;
+    graph.add(entry->label(), "study", [&rows, i, entry, seed] {
+      const auto trace = workloads::generator(entry->app).generate(*entry, seed);
+      rows[i] = analysis::dimensionality_study(trace, entry->label());
+    });
+  }
+  stats_.jobs_run = static_cast<int>(graph.size());
+  if (graph.size() > 0) {
+    (void)workloads::available_workloads();
+    ThreadPool pool(options_.jobs);
+    graph.run(pool, options_.observer);
+  }
+  stats_.wall_s = seconds_since(begin);
+  return rows;
+}
+
+std::vector<analysis::MulticoreSeries> SweepEngine::run_multicore(
+    const std::vector<workloads::CatalogEntry>& entries,
+    const std::vector<int>& cores_per_node) {
+  const auto begin = Clock::now();
+  stats_ = SweepStats{};
+  stats_.cells = static_cast<int>(entries.size());
+
+  std::vector<analysis::MulticoreSeries> rows(entries.size());
+  TaskGraph graph;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const workloads::CatalogEntry* entry = &entries[i];
+    const std::uint64_t seed = options_.run.seed;
+    graph.add(entry->label(), "study", [&rows, i, entry, seed, &cores_per_node] {
+      const auto trace = workloads::generator(entry->app).generate(*entry, seed);
+      rows[i] =
+          analysis::multicore_study(trace, entry->label(), cores_per_node);
+    });
+  }
+  stats_.jobs_run = static_cast<int>(graph.size());
+  if (graph.size() > 0) {
+    (void)workloads::available_workloads();
+    ThreadPool pool(options_.jobs);
+    graph.run(pool, options_.observer);
+  }
+  stats_.wall_s = seconds_since(begin);
+  return rows;
+}
+
+std::vector<FlowSweepResult> SweepEngine::run_flow_sweep(
+    const std::vector<FlowSweepSpec>& specs) {
+  const auto begin = Clock::now();
+  stats_ = SweepStats{};
+  stats_.cells = static_cast<int>(specs.size());
+
+  std::vector<FlowSweepResult> results(specs.size());
+  TaskGraph graph;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const FlowSweepSpec* spec = &specs[i];
+    const std::uint64_t seed = options_.run.seed;
+    graph.add(spec->app + "/" + std::to_string(spec->ranks), "flow",
+              [&results, i, spec, seed] {
+      const auto& entry = workloads::catalog_entry(spec->app, spec->ranks);
+      const auto trace = workloads::generator(spec->app).generate(entry, seed);
+      const auto matrix = metrics::TrafficMatrix::from_trace(
+          trace, {.include_p2p = true, .include_collectives = false});
+      const auto set = topology::topologies_for(spec->ranks);
+      const auto mapping =
+          mapping::Mapping::linear(spec->ranks, set.torus->num_nodes());
+
+      simulation::FlowSimulator sim(*set.torus, mapping);
+      if (spec->timed) {
+        for (const auto& e : trace.p2p()) {
+          sim.add_flow(e.src, e.dst, e.bytes, e.time);
+        }
+      } else {
+        sim.add_matrix(matrix);
+      }
+
+      FlowSweepResult& out = results[i];
+      out.label = spec->app + "/" + std::to_string(spec->ranks);
+      out.flows = sim.flow_count();
+      out.report = sim.run();
+      out.static_utilization_percent =
+          metrics::utilization(matrix, *set.torus, mapping, trace.duration())
+              .utilization_percent;
+    });
+  }
+  stats_.jobs_run = static_cast<int>(graph.size());
+  if (graph.size() > 0) {
+    (void)workloads::available_workloads();
+    ThreadPool pool(options_.jobs);
+    graph.run(pool, options_.observer);
+  }
+  stats_.wall_s = seconds_since(begin);
+  return results;
+}
+
+}  // namespace netloc::engine
+
+namespace netloc::analysis {
+
+std::vector<ExperimentRow> run_all(const RunOptions& options) {
+  engine::SweepOptions sweep;
+  sweep.run = options;
+  engine::SweepEngine eng(sweep);
+  return eng.run_catalog();
+}
+
+}  // namespace netloc::analysis

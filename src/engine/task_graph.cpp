@@ -1,0 +1,131 @@
+#include "netloc/engine/task_graph.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::engine {
+
+namespace {
+
+/// Shared run state: per-node remaining-dependency counters plus the
+/// completion latch. All transitions happen under one mutex — jobs are
+/// multi-millisecond units of work, so scheduling contention is noise.
+struct RunState {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::vector<int> remaining;       // Dependencies left per job.
+  std::vector<bool> cancelled;      // Dependency failed; skip work.
+  std::size_t completed = 0;        // Jobs finished or cancelled.
+  std::exception_ptr first_error;   // First failure, rethrown by run().
+};
+
+}  // namespace
+
+JobId TaskGraph::add(std::string label, std::string phase,
+                     std::function<void()> work) {
+  if (!work) throw ConfigError("TaskGraph: job '" + label + "' has no work");
+  jobs_.push_back(Node{std::move(label), std::move(phase), std::move(work), {}, 0});
+  return jobs_.size() - 1;
+}
+
+void TaskGraph::add_edge(JobId before, JobId after) {
+  if (before >= jobs_.size() || after >= jobs_.size()) {
+    throw ConfigError("TaskGraph: edge references unknown job");
+  }
+  if (before == after) {
+    throw ConfigError("TaskGraph: job cannot depend on itself");
+  }
+  jobs_[before].dependents.push_back(after);
+  ++jobs_[after].dependency_count;
+}
+
+void TaskGraph::run(ThreadPool& pool, EngineObserver* observer) {
+  if (ran_) throw ConfigError("TaskGraph: run() may be called once");
+  ran_ = true;
+  if (jobs_.empty()) return;
+
+  auto state = std::make_shared<RunState>();
+  state->remaining.reserve(jobs_.size());
+  for (const auto& job : jobs_) state->remaining.push_back(job.dependency_count);
+  state->cancelled.assign(jobs_.size(), false);
+
+  // Kahn reachability check up front: a cycle would otherwise stall the
+  // run with jobs waiting on each other forever.
+  {
+    std::vector<int> remaining = state->remaining;
+    std::vector<JobId> ready;
+    for (JobId id = 0; id < jobs_.size(); ++id) {
+      if (remaining[id] == 0) ready.push_back(id);
+    }
+    std::size_t seen = 0;
+    while (!ready.empty()) {
+      const JobId id = ready.back();
+      ready.pop_back();
+      ++seen;
+      for (const JobId dep : jobs_[id].dependents) {
+        if (--remaining[dep] == 0) ready.push_back(dep);
+      }
+    }
+    if (seen != jobs_.size()) {
+      throw ConfigError("TaskGraph: dependency cycle detected");
+    }
+  }
+
+  // execute() runs one job and releases its dependents; declared as a
+  // shared recursive functor so completion handlers can enqueue from
+  // worker threads.
+  auto execute = std::make_shared<std::function<void(JobId)>>();
+  *execute = [this, state, observer, execute, &pool](JobId id) {
+    Node& job = jobs_[id];
+    bool cancelled;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      cancelled = state->cancelled[id];
+    }
+    bool failed = false;
+    if (!cancelled) {
+      if (observer) observer->on_job_started({job.label, job.phase});
+      const auto begin = std::chrono::steady_clock::now();
+      try {
+        job.work();
+      } catch (...) {
+        failed = true;
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->first_error) state->first_error = std::current_exception();
+      }
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - begin;
+      if (observer) observer->on_job_finished({job.label, job.phase}, elapsed.count());
+    }
+
+    std::vector<JobId> ready;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      for (const JobId dep : job.dependents) {
+        if (cancelled || failed) state->cancelled[dep] = true;
+        if (--state->remaining[dep] == 0) ready.push_back(dep);
+      }
+      if (++state->completed == jobs_.size()) state->done_cv.notify_all();
+    }
+    for (const JobId dep : ready) {
+      pool.submit([execute, dep] { (*execute)(dep); });
+    }
+  };
+
+  for (JobId id = 0; id < jobs_.size(); ++id) {
+    if (jobs_[id].dependency_count == 0) {
+      pool.submit([execute, id] { (*execute)(id); });
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&] { return state->completed == jobs_.size(); });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace netloc::engine

@@ -59,6 +59,11 @@ constexpr RuleInfo kRules[] = {
      "utilization above 100% (Eq. 5 misconfiguration)"},
     {"MT005", Severity::Warning, "metric",
      "utilization is zero although the trace moves bytes"},
+    // ---- engine pack -----------------------------------------------------
+    {"EN001", Severity::Warning, "engine",
+     "cached result blob corrupt or unreadable; row recomputed"},
+    {"EN002", Severity::Note, "engine",
+     "cache blob written by an incompatible engine version; ignored"},
 };
 
 }  // namespace

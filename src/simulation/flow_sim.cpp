@@ -37,6 +37,9 @@ FlowSimulator::FlowSimulator(const topology::Topology& topo,
 }
 
 void FlowSimulator::add_flow(Rank src, Rank dst, Bytes bytes, Seconds start) {
+  if (ran_) {
+    throw ConfigError("FlowSimulator: cannot add flows after run()");
+  }
   if (src < 0 || src >= mapping_.num_ranks() || dst < 0 ||
       dst >= mapping_.num_ranks()) {
     throw ConfigError("FlowSimulator: rank out of range");

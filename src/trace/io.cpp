@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "netloc/common/binary_io.hpp"
 #include "netloc/common/error.hpp"
 #include "netloc/lint/trace_rules.hpp"
 
@@ -17,82 +18,10 @@ namespace {
 
 constexpr char kMagic[4] = {'N', 'L', 'T', 'R'};
 
-/// FNV-1a over the serialized payload; cheap integrity check that is
-/// stable across platforms.
-class Fnv1a {
- public:
-  void update(const void* data, std::size_t size) {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < size; ++i) {
-      hash_ ^= bytes[i];
-      hash_ *= 0x100000001b3ULL;
-    }
-  }
-  [[nodiscard]] std::uint64_t value() const { return hash_; }
-
- private:
-  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
-};
-
-/// Little-endian primitive writer that maintains the running checksum.
-class Writer {
- public:
-  explicit Writer(std::ostream& out) : out_(out) {}
-
-  template <typename T>
-  void put(T value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    char buf[sizeof(T)];
-    std::memcpy(buf, &value, sizeof(T));
-    out_.write(buf, sizeof(T));
-    hash_.update(buf, sizeof(T));
-  }
-
-  void put_bytes(const char* data, std::size_t size) {
-    out_.write(data, static_cast<std::streamsize>(size));
-    hash_.update(data, size);
-  }
-
-  [[nodiscard]] std::uint64_t checksum() const { return hash_.value(); }
-
- private:
-  std::ostream& out_;
-  Fnv1a hash_;
-};
-
-/// Validating little-endian reader with the matching checksum.
-class Reader {
- public:
-  explicit Reader(std::istream& in) : in_(in) {}
-
-  template <typename T>
-  T get(const char* what) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    char buf[sizeof(T)];
-    in_.read(buf, sizeof(T));
-    if (in_.gcount() != static_cast<std::streamsize>(sizeof(T))) {
-      throw TraceFormatError(std::string("truncated trace while reading ") + what);
-    }
-    hash_.update(buf, sizeof(T));
-    T value;
-    std::memcpy(&value, buf, sizeof(T));
-    return value;
-  }
-
-  void get_bytes(char* data, std::size_t size, const char* what) {
-    in_.read(data, static_cast<std::streamsize>(size));
-    if (in_.gcount() != static_cast<std::streamsize>(size)) {
-      throw TraceFormatError(std::string("truncated trace while reading ") + what);
-    }
-    hash_.update(data, size);
-  }
-
-  [[nodiscard]] std::uint64_t checksum() const { return hash_.value(); }
-
- private:
-  std::istream& in_;
-  Fnv1a hash_;
-};
+// Encoding primitives shared with the engine result cache
+// (common/binary_io.hpp); truncation throws TraceFormatError here.
+using Writer = BinaryWriter;
+using Reader = BinaryReader<TraceFormatError>;
 
 void check_rank(Rank r, int num_ranks, const char* what) {
   if (r < 0 || r >= num_ranks) {
@@ -130,15 +59,12 @@ void write_binary(const Trace& trace, std::ostream& out) {
 
   // Checksum covers everything written above; it is appended raw (not
   // folded into itself).
-  const std::uint64_t checksum = w.checksum();
-  char buf[sizeof(checksum)];
-  std::memcpy(buf, &checksum, sizeof(checksum));
-  out.write(buf, sizeof(checksum));
+  w.finish();
   if (!out) throw Error("trace write failed (I/O error)");
 }
 
 Trace read_binary(std::istream& in) {
-  Reader r(in);
+  Reader r(in, "trace");
   char magic[4];
   r.get_bytes(magic, sizeof(magic), "magic");
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -196,17 +122,7 @@ Trace read_binary(std::istream& in) {
     colls.push_back(e);
   }
 
-  const std::uint64_t expected = r.checksum();
-  char buf[sizeof(expected)];
-  in.read(buf, sizeof(buf));
-  if (in.gcount() != static_cast<std::streamsize>(sizeof(buf))) {
-    throw TraceFormatError("truncated trace while reading checksum");
-  }
-  std::uint64_t stored;
-  std::memcpy(&stored, buf, sizeof(stored));
-  if (stored != expected) {
-    throw TraceFormatError("trace checksum mismatch (corrupted file)");
-  }
+  r.verify_checksum();
 
   return Trace(std::move(name), num_ranks, duration, std::move(p2p),
                std::move(colls));

@@ -1,0 +1,498 @@
+// Tests for the sweep engine: thread pool scheduling, task-graph
+// ordering/failure semantics, the content-addressed result cache
+// (round-trip, key sensitivity, corruption recovery) and the engine's
+// headline contract — results are bit-identical for any job count and
+// a warm cache reproduces a cold run without executing a single job.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "netloc/analysis/export.hpp"
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/common/error.hpp"
+#include "netloc/common/thread_pool.hpp"
+#include "netloc/engine/result_cache.hpp"
+#include "netloc/engine/sweep.hpp"
+#include "netloc/engine/task_graph.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/utilization.hpp"
+#include "netloc/simulation/flow_sim.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace netloc::engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory under the test temp dir, removed on exit.
+/// The PID suffix keeps concurrent runs of the same test binary (e.g.
+/// overlapping ctest invocations) from clobbering each other's cache.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_(fs::path(::testing::TempDir()) /
+              (name + "." + std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+void expect_rows_equal(const analysis::ExperimentRow& a,
+                       const analysis::ExperimentRow& b) {
+  EXPECT_EQ(a.entry.app, b.entry.app);
+  EXPECT_EQ(a.entry.ranks, b.entry.ranks);
+  EXPECT_EQ(a.entry.variant, b.entry.variant);
+  EXPECT_EQ(a.stats.num_ranks, b.stats.num_ranks);
+  EXPECT_EQ(a.stats.duration, b.stats.duration);
+  EXPECT_EQ(a.stats.p2p_volume, b.stats.p2p_volume);
+  EXPECT_EQ(a.stats.collective_volume, b.stats.collective_volume);
+  EXPECT_EQ(a.stats.p2p_messages, b.stats.p2p_messages);
+  EXPECT_EQ(a.stats.collective_calls, b.stats.collective_calls);
+  EXPECT_EQ(a.has_p2p, b.has_p2p);
+  EXPECT_EQ(a.peers, b.peers);
+  // Bit-identical, not approximately equal: the engine's determinism
+  // contract is exact.
+  EXPECT_EQ(a.rank_distance, b.rank_distance);
+  EXPECT_EQ(a.selectivity_mean, b.selectivity_mean);
+  EXPECT_EQ(a.selectivity_max, b.selectivity_max);
+  for (std::size_t t = 0; t < a.topologies.size(); ++t) {
+    const auto& x = a.topologies[t];
+    const auto& y = b.topologies[t];
+    EXPECT_EQ(x.topology, y.topology);
+    EXPECT_EQ(x.config, y.config);
+    EXPECT_EQ(x.packet_hops, y.packet_hops);
+    EXPECT_EQ(x.avg_hops, y.avg_hops);
+    EXPECT_EQ(x.utilization_percent, y.utilization_percent);
+    EXPECT_EQ(x.utilization_used_links_percent,
+              y.utilization_used_links_percent);
+    EXPECT_EQ(x.used_links, y.used_links);
+    EXPECT_EQ(x.global_link_packet_share, y.global_link_packet_share);
+  }
+}
+
+std::string table3_csv(const std::vector<analysis::ExperimentRow>& rows) {
+  std::ostringstream out;
+  analysis::write_table3_csv(rows, out);
+  return out.str();
+}
+
+// ---- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, TasksMaySubmitFurtherTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&pool, &count] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      for (int j = 0; j < 4; ++j) {
+        pool.submit(
+            [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  pool.wait_idle();  // Must also cover tasks submitted by tasks.
+  EXPECT_EQ(count.load(), 16 * 5);
+}
+
+TEST(ThreadPool, WaitIdleReturnsImmediatelyWithNoWork) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, DefaultParallelismIsPositive) {
+  EXPECT_GE(ThreadPool::default_parallelism(), 1);
+  ThreadPool pool;  // 0 = default.
+  EXPECT_EQ(pool.size(), ThreadPool::default_parallelism());
+}
+
+TEST(ThreadPool, SingleWorkerDrainsEverything) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+// ---- TaskGraph -----------------------------------------------------------
+
+TEST(TaskGraph, EdgesOrderExecution) {
+  ThreadPool pool(4);
+  TaskGraph graph;
+  std::mutex mutex;
+  std::vector<int> order;
+  const auto record = [&mutex, &order](int id) {
+    return [&mutex, &order, id] {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(id);
+    };
+  };
+  const auto a = graph.add("a", "test", record(0));
+  const auto b = graph.add("b", "test", record(1));
+  const auto c = graph.add("c", "test", record(2));
+  graph.add_edge(a, b);
+  graph.add_edge(b, c);
+  graph.run(pool);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(TaskGraph, DiamondJoinSeesBothBranches) {
+  ThreadPool pool(4);
+  TaskGraph graph;
+  std::atomic<int> branches{0};
+  std::atomic<int> seen_at_join{-1};
+  const auto a = graph.add("a", "test", [] {});
+  const auto b = graph.add("b", "test", [&branches] { ++branches; });
+  const auto c = graph.add("c", "test", [&branches] { ++branches; });
+  const auto d = graph.add("d", "test",
+                           [&branches, &seen_at_join] {
+                             seen_at_join = branches.load();
+                           });
+  graph.add_edge(a, b);
+  graph.add_edge(a, c);
+  graph.add_edge(b, d);
+  graph.add_edge(c, d);
+  graph.run(pool);
+  EXPECT_EQ(seen_at_join.load(), 2);
+}
+
+TEST(TaskGraph, FirstFailureCancelsDependentsAndRethrows) {
+  ThreadPool pool(2);
+  TaskGraph graph;
+  std::atomic<bool> dependent_ran{false};
+  std::atomic<bool> unrelated_ran{false};
+  const auto bad =
+      graph.add("bad", "test", [] { throw Error("cell exploded"); });
+  const auto child = graph.add("child", "test",
+                               [&dependent_ran] { dependent_ran = true; });
+  graph.add("unrelated", "test", [&unrelated_ran] { unrelated_ran = true; });
+  graph.add_edge(bad, child);
+  EXPECT_THROW(graph.run(pool), Error);
+  EXPECT_FALSE(dependent_ran.load());
+  EXPECT_TRUE(unrelated_ran.load());
+}
+
+TEST(TaskGraph, CycleIsRejectedBeforeAnyJobRuns) {
+  ThreadPool pool(2);
+  TaskGraph graph;
+  std::atomic<bool> ran{false};
+  const auto a = graph.add("a", "test", [&ran] { ran = true; });
+  const auto b = graph.add("b", "test", [&ran] { ran = true; });
+  graph.add_edge(a, b);
+  graph.add_edge(b, a);
+  EXPECT_THROW(graph.run(pool), ConfigError);
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(TaskGraph, RunIsSingleShot) {
+  ThreadPool pool(1);
+  TaskGraph graph;
+  graph.add("a", "test", [] {});
+  graph.run(pool);
+  EXPECT_THROW(graph.run(pool), ConfigError);
+}
+
+TEST(TaskGraph, RejectsMalformedGraphs) {
+  TaskGraph graph;
+  EXPECT_THROW(graph.add("empty", "test", nullptr), ConfigError);
+  const auto a = graph.add("a", "test", [] {});
+  EXPECT_THROW(graph.add_edge(a, a), ConfigError);
+  EXPECT_THROW(graph.add_edge(a, 99), ConfigError);
+}
+
+TEST(TaskGraph, ObserverSeesEveryJobOnce) {
+  ThreadPool pool(4);
+  TaskGraph graph;
+  for (int i = 0; i < 10; ++i) {
+    graph.add("job" + std::to_string(i), "test", [] {});
+  }
+  CountingObserver observer;
+  graph.run(pool, &observer);
+  EXPECT_EQ(observer.jobs_started(), 10);
+  EXPECT_EQ(observer.jobs_finished(), 10);
+}
+
+// ---- ResultCache ---------------------------------------------------------
+
+const workloads::CatalogEntry& small_entry() {
+  return workloads::catalog_entry("LULESH", 64);
+}
+
+TEST(ResultCache, RoundTripsARow) {
+  ScratchDir dir("netloc-cache-roundtrip");
+  ResultCache cache(dir.str());
+  const auto& entry = small_entry();
+  const auto row = analysis::run_experiment(entry);
+  const auto key = result_cache_key(entry, {});
+  EXPECT_FALSE(cache.load(key).has_value());  // Cold miss.
+  cache.store(key, row);
+  const auto loaded = cache.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  expect_rows_equal(*loaded, row);
+}
+
+TEST(ResultCache, KeyIsSensitiveToEveryInput) {
+  const auto& entry = small_entry();
+  const auto base = result_cache_key(entry, {});
+  EXPECT_EQ(base.label, entry.label());
+
+  analysis::RunOptions other_seed;
+  other_seed.seed = workloads::kDefaultSeed + 1;
+  EXPECT_NE(result_cache_key(entry, other_seed).hash, base.hash);
+
+  analysis::RunOptions no_links;
+  no_links.link_accounting = false;
+  EXPECT_NE(result_cache_key(entry, no_links).hash, base.hash);
+
+  auto recalibrated = entry;
+  recalibrated.volume_mb += 1.0;  // A catalog recalibration re-keys.
+  EXPECT_NE(result_cache_key(recalibrated, {}).hash, base.hash);
+
+  const auto& other_entry = workloads::catalog_entry("AMG", 216);
+  EXPECT_NE(result_cache_key(other_entry, {}).hash, base.hash);
+}
+
+TEST(ResultCache, TruncatedBlobIsAMissWithDiagnostic) {
+  ScratchDir dir("netloc-cache-truncated");
+  CountingObserver observer;
+  ResultCache cache(dir.str(), &observer);
+  const auto& entry = small_entry();
+  const auto key = result_cache_key(entry, {});
+  cache.store(key, analysis::run_experiment(entry));
+
+  const auto blob = dir.path() / key.file_name();
+  const auto full_size = fs::file_size(blob);
+  fs::resize_file(blob, full_size / 2);
+
+  EXPECT_FALSE(cache.load(key).has_value());
+  ASSERT_EQ(observer.diagnostics(), 1);
+  const auto diags = observer.collected_diagnostics();
+  EXPECT_EQ(diags[0].rule_id, "EN001");
+  EXPECT_EQ(diags[0].severity, lint::Severity::Warning);
+}
+
+TEST(ResultCache, FlippedByteFailsTheChecksum) {
+  ScratchDir dir("netloc-cache-bitflip");
+  CountingObserver observer;
+  ResultCache cache(dir.str(), &observer);
+  const auto& entry = small_entry();
+  const auto key = result_cache_key(entry, {});
+  cache.store(key, analysis::run_experiment(entry));
+
+  // Flip one payload byte; the trailing FNV-1a checksum must catch it.
+  const auto blob = dir.path() / key.file_name();
+  std::fstream f(blob, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<long>(f.tellg());
+  f.seekp(size / 2);
+  char byte = 0;
+  f.seekg(size / 2);
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(size / 2);
+  f.write(&byte, 1);
+  f.close();
+
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(observer.diagnostics(), 1);
+  EXPECT_EQ(observer.collected_diagnostics()[0].rule_id, "EN001");
+}
+
+TEST(ResultCache, WrongKeyBlobIsRejected) {
+  ScratchDir dir("netloc-cache-wrongkey");
+  CountingObserver observer;
+  ResultCache cache(dir.str(), &observer);
+  const auto& entry = small_entry();
+  const auto key = result_cache_key(entry, {});
+  cache.store(key, analysis::run_experiment(entry));
+
+  // Rename the blob to another key's file: content hash mismatch.
+  analysis::RunOptions other_seed;
+  other_seed.seed = workloads::kDefaultSeed + 7;
+  const auto other = result_cache_key(entry, other_seed);
+  fs::rename(dir.path() / key.file_name(), dir.path() / other.file_name());
+
+  EXPECT_FALSE(cache.load(other).has_value());
+  EXPECT_EQ(observer.collected_diagnostics()[0].rule_id, "EN001");
+}
+
+// ---- SweepEngine ---------------------------------------------------------
+
+TEST(SweepEngine, SerialParallelAndWarmCacheAgreeExactly) {
+  // The acceptance gate for the whole subsystem, run over the full
+  // catalog: jobs=1 (serial), jobs=8 cold-cache and a warm-cache rerun
+  // must produce field-for-field identical rows and byte-identical
+  // Table 3 CSV.
+  ScratchDir dir("netloc-cache-determinism");
+  const auto& entries = workloads::catalog();
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepEngine serial_engine(serial);
+  const auto serial_rows = serial_engine.run_catalog();
+  ASSERT_EQ(serial_rows.size(), entries.size());
+  EXPECT_EQ(serial_engine.stats().cache_hits, 0);
+
+  SweepOptions parallel;
+  parallel.jobs = 8;
+  parallel.cache_dir = dir.str();
+  CountingObserver cold_observer;
+  parallel.observer = &cold_observer;
+  SweepEngine parallel_engine(parallel);
+  const auto parallel_rows = parallel_engine.run_catalog();
+  ASSERT_EQ(parallel_rows.size(), serial_rows.size());
+  EXPECT_EQ(cold_observer.cache_hits(), 0);
+  EXPECT_EQ(cold_observer.cache_stores(),
+            static_cast<int>(entries.size()));
+
+  for (std::size_t i = 0; i < serial_rows.size(); ++i) {
+    expect_rows_equal(serial_rows[i], parallel_rows[i]);
+  }
+  EXPECT_EQ(table3_csv(serial_rows), table3_csv(parallel_rows));
+
+  // Warm rerun: every row from disk, zero jobs executed.
+  CountingObserver warm_observer;
+  SweepOptions warm = parallel;
+  warm.observer = &warm_observer;
+  SweepEngine warm_engine(warm);
+  const auto warm_rows = warm_engine.run_catalog();
+  EXPECT_EQ(warm_engine.stats().cache_hits,
+            static_cast<int>(entries.size()));
+  EXPECT_EQ(warm_engine.stats().jobs_run, 0);
+  EXPECT_EQ(warm_observer.jobs_started(), 0);
+  EXPECT_EQ(warm_observer.cache_hits(), static_cast<int>(entries.size()));
+  for (std::size_t i = 0; i < serial_rows.size(); ++i) {
+    expect_rows_equal(serial_rows[i], warm_rows[i]);
+  }
+  EXPECT_EQ(table3_csv(serial_rows), table3_csv(warm_rows));
+}
+
+TEST(SweepEngine, CorruptCacheEntryIsRecomputedNotTrusted) {
+  ScratchDir dir("netloc-cache-recompute");
+  const std::vector<workloads::CatalogEntry> entries = {small_entry()};
+
+  SweepOptions options;
+  options.jobs = 2;
+  options.cache_dir = dir.str();
+  SweepEngine fill_engine(options);
+  const auto reference = fill_engine.run_rows(entries);
+  ASSERT_EQ(reference.size(), 1u);
+
+  // Truncate the stored blob, then sweep again: the engine must flag
+  // EN001, recompute the row bit-identically and republish the blob.
+  const auto key = result_cache_key(entries[0], options.run);
+  const auto blob = dir.path() / key.file_name();
+  ASSERT_TRUE(fs::exists(blob));
+  fs::resize_file(blob, fs::file_size(blob) - 3);
+
+  CountingObserver observer;
+  options.observer = &observer;
+  SweepEngine retry_engine(options);
+  const auto recomputed = retry_engine.run_rows(entries);
+  ASSERT_EQ(recomputed.size(), 1u);
+  expect_rows_equal(recomputed[0], reference[0]);
+  EXPECT_EQ(retry_engine.stats().cache_hits, 0);
+  EXPECT_GT(retry_engine.stats().jobs_run, 0);
+  ASSERT_EQ(observer.diagnostics(), 1);
+  EXPECT_EQ(observer.collected_diagnostics()[0].rule_id, "EN001");
+  EXPECT_EQ(observer.cache_stores(), 1);
+
+  // The republished blob is valid again.
+  ResultCache cache(dir.str());
+  const auto reloaded = cache.load(key);
+  ASSERT_TRUE(reloaded.has_value());
+  expect_rows_equal(*reloaded, reference[0]);
+}
+
+TEST(SweepEngine, MatchesDirectExperimentPipeline) {
+  const std::vector<workloads::CatalogEntry> entries = {
+      workloads::catalog_entry("LULESH", 64),
+      workloads::catalog_entry("AMG", 216)};
+  SweepOptions options;
+  options.jobs = 4;
+  SweepEngine engine(options);
+  const auto rows = engine.run_rows(entries);
+  ASSERT_EQ(rows.size(), 2u);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    expect_rows_equal(rows[i], analysis::run_experiment(entries[i]));
+  }
+}
+
+TEST(SweepEngine, RunAllDelegatesToTheEngine) {
+  // analysis::run_all() is now a thin wrapper over SweepEngine; spot
+  // check one row against the direct pipeline.
+  const auto rows = analysis::run_all();
+  ASSERT_EQ(rows.size(), workloads::catalog().size());
+  expect_rows_equal(rows[0], analysis::run_experiment(rows[0].entry));
+}
+
+TEST(SweepEngine, DimensionalityStudyMatchesDirectCall) {
+  const std::vector<workloads::CatalogEntry> entries = {
+      workloads::catalog_entry("PARTISN", 168)};
+  SweepEngine engine;
+  const auto rows = engine.run_dimensionality(entries);
+  ASSERT_EQ(rows.size(), 1u);
+  const auto trace = workloads::generate("PARTISN", 168);
+  const auto direct =
+      analysis::dimensionality_study(trace, entries[0].label());
+  EXPECT_EQ(rows[0].label, direct.label);
+  EXPECT_EQ(rows[0].locality_percent_1d, direct.locality_percent_1d);
+  EXPECT_EQ(rows[0].locality_percent_2d, direct.locality_percent_2d);
+  EXPECT_EQ(rows[0].locality_percent_3d, direct.locality_percent_3d);
+}
+
+TEST(SweepEngine, FlowSweepMatchesDirectSimulation) {
+  SweepEngine engine;
+  const auto results = engine.run_flow_sweep({{"MOCFE", 64, false}});
+  ASSERT_EQ(results.size(), 1u);
+
+  const auto trace = workloads::generate("MOCFE", 64);
+  const auto matrix = metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true, .include_collectives = false});
+  const auto set = topology::topologies_for(64);
+  const auto mapping = mapping::Mapping::linear(64, set.torus->num_nodes());
+  simulation::FlowSimulator sim(*set.torus, mapping);
+  sim.add_matrix(matrix);
+  const auto report = sim.run();
+
+  EXPECT_EQ(results[0].label, "MOCFE/64");
+  EXPECT_EQ(results[0].flows, report.flows.size());
+  EXPECT_EQ(results[0].report.mean_slowdown, report.mean_slowdown);
+  EXPECT_EQ(results[0].report.max_slowdown, report.max_slowdown);
+  EXPECT_EQ(results[0].report.congested_flow_share,
+            report.congested_flow_share);
+}
+
+}  // namespace
+}  // namespace netloc::engine

@@ -65,10 +65,12 @@ TEST(Registry, KnowsEveryPack) {
   EXPECT_FALSE(registry.pack("trace").empty());
   EXPECT_FALSE(registry.pack("config").empty());
   EXPECT_FALSE(registry.pack("metric").empty());
-  // Every rule belongs to exactly one of the three packs.
+  EXPECT_FALSE(registry.pack("engine").empty());
+  // Every rule belongs to exactly one of the four packs.
   EXPECT_EQ(registry.rules().size(), registry.pack("trace").size() +
                                          registry.pack("config").size() +
-                                         registry.pack("metric").size());
+                                         registry.pack("metric").size() +
+                                         registry.pack("engine").size());
 }
 
 TEST(Registry, FindAndDefaultSeverity) {

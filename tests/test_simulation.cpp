@@ -164,6 +164,12 @@ TEST(FlowSim, RunIsSingleShot) {
   sim.add_flow(0, 1, 10);
   sim.run();
   EXPECT_THROW(sim.run(), ConfigError);
+  // The single-shot contract also bars late additions: a flow queued
+  // after run() would never execute, so it must be rejected loudly.
+  EXPECT_THROW(sim.add_flow(0, 1, 10), ConfigError);
+  metrics::TrafficMatrix matrix(2);
+  matrix.add_message(0, 1, 10);
+  EXPECT_THROW(sim.add_matrix(matrix), ConfigError);
 }
 
 TEST(FlowSim, RejectsBadInput) {
