@@ -7,6 +7,7 @@
 // payload the same way.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <istream>
@@ -15,6 +16,15 @@
 #include <type_traits>
 
 namespace netloc {
+
+// put()/get() memcpy the native byte representation, so the on-disk
+// little-endian format (and checksum stability across platforms) holds
+// only on little-endian hosts. Enforce that rather than silently
+// emitting byte-swapped blobs on big-endian machines.
+static_assert(std::endian::native == std::endian::little,
+              "netloc binary formats are little-endian; add byte "
+              "swapping in BinaryWriter/BinaryReader before building "
+              "on a big-endian host");
 
 /// FNV-1a over the serialized payload; cheap integrity check that is
 /// stable across platforms.

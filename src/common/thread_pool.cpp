@@ -43,24 +43,27 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   if (!task) throw ConfigError("ThreadPool: empty task");
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    if (stop_) throw ConfigError("ThreadPool: submit after shutdown");
-  }
   const std::size_t target =
       (tl_pool == this)
           ? tl_worker_id
           : next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
-    queues_[target]->tasks.push_back(std::move(task));
-  }
-  {
-    // The push above happens-before this epoch bump: a worker that
-    // reads the new epoch is guaranteed to see the task in its scan,
-    // and a worker that missed the task in its scan will observe the
-    // changed epoch and rescan instead of sleeping (no lost wakeup).
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    // state_mutex_ is held across the push so the push and the
+    // pending_/epoch_ bump are one atomic step: a worker that pops the
+    // task cannot decrement pending_ (it needs state_mutex_) before the
+    // matching increment lands, so pending_ never underflows and
+    // wait_idle() cannot observe a spurious zero while tasks are in
+    // flight. The epoch bump also keeps the no-lost-wakeup invariant: a
+    // worker that missed the task in its scan sees the changed epoch
+    // under this mutex and rescans instead of sleeping. Workers only
+    // take queue mutexes with state_mutex_ released, so the
+    // state-then-queue order here cannot deadlock.
+    std::lock_guard<std::mutex> state_lock(state_mutex_);
+    if (stop_) throw ConfigError("ThreadPool: submit after shutdown");
+    {
+      std::lock_guard<std::mutex> queue_lock(queues_[target]->mutex);
+      queues_[target]->tasks.push_back(std::move(task));
+    }
     ++pending_;
     ++epoch_;
   }

@@ -7,6 +7,12 @@
 #include <sstream>
 #include <thread>
 
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
 #include "netloc/common/binary_io.hpp"
 #include "netloc/lint/registry.hpp"
 #include "netloc/topology/configs.hpp"
@@ -214,10 +220,18 @@ std::optional<analysis::ExperimentRow> ResultCache::load(const CacheKey& key) {
 void ResultCache::store(const CacheKey& key, const analysis::ExperimentRow& row) {
   const auto dir = std::filesystem::path(dir_);
   const auto final_path = dir / key.file_name();
-  // Unique temp name per thread so concurrent finalize jobs never
-  // interleave writes; rename() makes the publish atomic.
+  // Unique temp name per process *and* thread: thread ids alone can
+  // collide across processes sharing a cache dir, which would let two
+  // writers interleave into one temp file and publish a corrupt blob.
+  // rename() then makes the publish atomic.
+#if defined(_WIN32)
+  const auto pid = _getpid();
+#else
+  const auto pid = ::getpid();
+#endif
   std::ostringstream tmp_name;
-  tmp_name << key.file_name() << ".tmp." << std::this_thread::get_id();
+  tmp_name << key.file_name() << ".tmp." << pid << "."
+           << std::this_thread::get_id();
   const auto tmp_path = dir / tmp_name.str();
   {
     std::ofstream out(tmp_path, std::ios::binary);

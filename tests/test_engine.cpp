@@ -120,6 +120,25 @@ TEST(ThreadPool, TasksMaySubmitFurtherTasks) {
   EXPECT_EQ(count.load(), 16 * 5);
 }
 
+TEST(ThreadPool, WaitIdleCoversTasksRacingSubmit) {
+  // Regression: submit() used to push the task before incrementing
+  // pending_, so a fast worker could pop, run and decrement first,
+  // underflowing the counter — wait_idle() could then return with
+  // tasks still in flight, or block on a missed idle notification.
+  // Tight submit/wait_idle rounds with trivial tasks maximise that
+  // window; an early return shows up as done < 4, a missed
+  // notification as a hung test.
+  ThreadPool pool(4);
+  for (int round = 0; round < 2000; ++round) {
+    std::atomic<int> done{0};
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    ASSERT_EQ(done.load(), 4) << "round " << round;
+  }
+}
+
 TEST(ThreadPool, WaitIdleReturnsImmediatelyWithNoWork) {
   ThreadPool pool(2);
   pool.wait_idle();
