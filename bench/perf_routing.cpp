@@ -1,58 +1,257 @@
-// google-benchmark micro-benchmarks of the topology substrate: hop
-// distance queries and full route enumeration for all three topologies
-// at the paper's largest configurations. These guard the cost of the
-// n^2 accounting passes behind Table 3.
-#include <benchmark/benchmark.h>
+// Routing data-path performance: the metric kernels behind Table 3 run
+// two ways on the same traffic —
+//
+//  * cold — the pre-RoutePlan data path: a dense n² scan over the rank
+//    pairs with per-pair virtual hop_distance()/route() calls through
+//    the std::function visitor interface;
+//  * plan — the current data path: nonzero iteration over the frozen
+//    CSR matrix with distances and routes served by a shared
+//    topology::RoutePlan.
+//
+// Both ways must produce identical numbers (checked here); the point of
+// the comparison is the wall-time ratio. Runs the hop kernel (Eq. 3/4)
+// and the link-accounting kernel (Eq. 5 used-links denominator) for all
+// three Table 2 topologies at 64 and 1728 ranks.
+//
+// Writes BENCH_routing.json in the working directory, one record per
+// (kernel, topology, ranks): {"name", "topology", "ranks", "cold_s",
+// "plan_s", "speedup"}, plus per-topology plan build times. Exits
+// non-zero if any planned kernel is slower than its cold counterpart —
+// the CI perf-smoke gate.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
 
+#include "netloc/common/format.hpp"
+#include "netloc/common/prng.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/hops.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/utilization.hpp"
 #include "netloc/topology/configs.hpp"
+#include "netloc/topology/route_plan.hpp"
 
 namespace {
 
-using netloc::topology::TopologySet;
-using netloc::topology::topologies_for;
+using netloc::Bytes;
+using netloc::Count;
+using netloc::LinkId;
+using netloc::NodeId;
+using netloc::Rank;
 
-const netloc::topology::Topology& pick(const TopologySet& set, int which) {
-  return *set.all()[static_cast<std::size_t>(which)];
+std::string num(double value) {
+  std::ostringstream s;
+  s.precision(std::numeric_limits<double>::max_digits10);
+  s << value;
+  return s.str();
 }
 
-void BM_HopDistance(benchmark::State& state) {
-  const auto set = topologies_for(static_cast<int>(state.range(0)));
-  const auto& topo = pick(set, static_cast<int>(state.range(1)));
-  const int n = static_cast<int>(state.range(0));
-  std::int64_t sum = 0;
-  int a = 0, b = 1;
-  for (auto _ : state) {
-    sum += topo.hop_distance(a, b);
-    if (++b >= n) {
-      b = 0;
-      if (++a >= n) a = 0;
+/// Minimum wall time of `reps` runs — the least-noise estimate.
+template <typename F>
+double time_best_of(int reps, F&& f) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < reps; ++i) {
+    const auto begin = std::chrono::steady_clock::now();
+    f();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - begin;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+/// Stencil-plus-collective-like traffic: a handful of near partners per
+/// rank and a few long-range ones — the sparsity Table 1's workloads
+/// actually show (a few to a few dozen peers out of n).
+void fill_traffic(netloc::metrics::TrafficMatrix& m, int ranks,
+                  std::uint64_t seed) {
+  netloc::Xoshiro256 rng(seed);
+  for (Rank s = 0; s < ranks; ++s) {
+    for (const int delta : {1, 2, 16}) {
+      if (s + delta < ranks) m.add_message(s, s + delta, 8192);
+      if (s - delta >= 0) m.add_message(s, s - delta, 8192);
+    }
+    for (int k = 0; k < 2; ++k) {
+      const auto d = static_cast<Rank>(rng.next() % ranks);
+      if (d != s) m.add_message(s, d, 1 + rng.next() % 65536);
     }
   }
-  benchmark::DoNotOptimize(sum);
 }
 
-void BM_Route(benchmark::State& state) {
-  const auto set = topologies_for(static_cast<int>(state.range(0)));
-  const auto& topo = pick(set, static_cast<int>(state.range(1)));
-  const int n = static_cast<int>(state.range(0));
-  std::int64_t links = 0;
-  int a = 0, b = 1;
-  for (auto _ : state) {
-    topo.route(a, b, [&](netloc::LinkId link) { links += link; });
-    if (++b >= n) {
-      b = 0;
-      if (++a >= n) a = 0;
+// ---- Cold kernels: the pre-RoutePlan data path, kept verbatim ------------
+
+struct HopTotals {
+  Count packet_hops = 0;
+  Count packets = 0;
+  bool operator==(const HopTotals&) const = default;
+};
+
+HopTotals cold_hops(const netloc::metrics::TrafficMatrix& m,
+                    const netloc::topology::Topology& topo,
+                    const netloc::mapping::Mapping& mapping) {
+  HopTotals t;
+  const int n = m.num_ranks();
+  for (Rank s = 0; s < n; ++s) {
+    const NodeId ns = mapping.node_of(s);
+    for (Rank d = 0; d < n; ++d) {
+      const Count packets = m.packets(s, d);
+      if (packets == 0) continue;
+      const NodeId nd = mapping.node_of(d);
+      t.packets += packets;
+      if (ns != nd) {
+        t.packet_hops += packets * static_cast<Count>(topo.hop_distance(ns, nd));
+      }
     }
   }
-  benchmark::DoNotOptimize(links);
+  return t;
 }
+
+struct LinkTotals {
+  std::size_t used_links = 0;
+  Count global_packets = 0;
+  Count total_packets = 0;
+  bool operator==(const LinkTotals&) const = default;
+};
+
+LinkTotals cold_links(const netloc::metrics::TrafficMatrix& m,
+                      const netloc::topology::Topology& topo,
+                      const netloc::mapping::Mapping& mapping) {
+  LinkTotals t;
+  std::unordered_map<LinkId, Bytes> load;
+  const int n = m.num_ranks();
+  for (Rank s = 0; s < n; ++s) {
+    const NodeId ns = mapping.node_of(s);
+    for (Rank d = 0; d < n; ++d) {
+      const Bytes bytes = m.bytes(s, d);
+      const Count packets = m.packets(s, d);
+      if (bytes == 0 && packets == 0) continue;
+      t.total_packets += packets;
+      const NodeId nd = mapping.node_of(d);
+      if (ns == nd) continue;
+      bool crosses_global = false;
+      topo.route(ns, nd, [&](LinkId link) {
+        load[link] += bytes;
+        if (topo.link_is_global(link)) crosses_global = true;
+      });
+      if (crosses_global) t.global_packets += packets;
+    }
+  }
+  t.used_links = load.size();
+  return t;
+}
+
+struct Record {
+  std::string name;
+  std::string topology;
+  int ranks = 0;
+  double cold_s = 0.0;
+  double plan_s = 0.0;
+  [[nodiscard]] double speedup() const {
+    return plan_s > 0.0 ? cold_s / plan_s : 0.0;
+  }
+};
 
 }  // namespace
 
-// Args: {ranks, topology index (0 torus, 1 fat tree, 2 dragonfly)}.
-BENCHMARK(BM_HopDistance)
-    ->Args({64, 0})->Args({64, 1})->Args({64, 2})
-    ->Args({1728, 0})->Args({1728, 1})->Args({1728, 2});
-BENCHMARK(BM_Route)
-    ->Args({64, 0})->Args({64, 1})->Args({64, 2})
-    ->Args({1728, 0})->Args({1728, 1})->Args({1728, 2});
+int main() {
+  bool identical = true;
+  std::vector<Record> records;
+  std::vector<std::pair<std::string, double>> build_times;
+
+  for (const int ranks : {64, 1728}) {
+    // The cold matrix stays open (dense O(1) accessors — the pre-CSR
+    // storage the old kernels scanned); the plan path gets the same
+    // traffic frozen to CSR.
+    netloc::metrics::TrafficMatrix cold_matrix(ranks);
+    fill_traffic(cold_matrix, ranks, 0x9e3779b97f4a7c15ULL);
+    netloc::metrics::TrafficMatrix sparse_matrix(ranks);
+    fill_traffic(sparse_matrix, ranks, 0x9e3779b97f4a7c15ULL);
+    sparse_matrix.freeze();
+
+    const auto set = netloc::topology::topologies_for(ranks);
+    const int reps = ranks >= 1728 ? 3 : 10;
+    for (const auto* topo : set.all()) {
+      const auto mapping =
+          netloc::mapping::Mapping::linear(ranks, topo->num_nodes());
+      const std::string label = topo->name() + " " + topo->config_string();
+
+      std::shared_ptr<const netloc::topology::RoutePlan> plan;
+      const double build_s = time_best_of(
+          1, [&] { plan = netloc::topology::RoutePlan::build(*topo, ranks); });
+      build_times.emplace_back(label + " @" + std::to_string(ranks), build_s);
+
+      // Hop kernel.
+      HopTotals hops_cold_result;
+      const double hops_cold_s = time_best_of(
+          reps, [&] { hops_cold_result = cold_hops(cold_matrix, *topo, mapping); });
+      netloc::metrics::HopStats hops_plan_result;
+      const double hops_plan_s = time_best_of(reps, [&] {
+        hops_plan_result =
+            netloc::metrics::hop_stats(sparse_matrix, *topo, mapping, plan.get());
+      });
+      identical &= hops_cold_result ==
+                   HopTotals{hops_plan_result.packet_hops, hops_plan_result.packets};
+      records.push_back({"hops", label, ranks, hops_cold_s, hops_plan_s});
+
+      // Link-accounting (utilization) kernel.
+      LinkTotals links_cold_result;
+      const double links_cold_s = time_best_of(
+          reps, [&] { links_cold_result = cold_links(cold_matrix, *topo, mapping); });
+      LinkTotals links_plan_result;
+      std::vector<Bytes> loads(static_cast<std::size_t>(topo->num_links()));
+      const double links_plan_s = time_best_of(reps, [&] {
+        std::fill(loads.begin(), loads.end(), Bytes{0});
+        const auto totals = netloc::metrics::accumulate_link_loads(
+            sparse_matrix, *plan, mapping, loads);
+        links_plan_result = {static_cast<std::size_t>(totals.used_links),
+                             totals.global_packets, totals.total_packets};
+      });
+      identical &= links_cold_result == links_plan_result;
+      records.push_back({"utilization", label, ranks, links_cold_s, links_plan_s});
+    }
+  }
+
+  bool regressed = false;
+  std::cout << "kernel       topology               ranks   cold[s]    plan[s]    speedup\n";
+  for (const auto& r : records) {
+    std::cout << r.name << (r.name.size() < 12 ? std::string(12 - r.name.size(), ' ') : " ")
+              << r.topology
+              << (r.topology.size() < 22 ? std::string(22 - r.topology.size(), ' ') : " ")
+              << r.ranks << "   " << netloc::fixed(r.cold_s, 6) << "   "
+              << netloc::fixed(r.plan_s, 6) << "   "
+              << netloc::fixed(r.speedup(), 2) << "x\n";
+    if (r.speedup() < 1.0) regressed = true;
+  }
+  for (const auto& [label, s] : build_times) {
+    std::cout << "plan build  " << label << ": " << netloc::fixed(s, 6) << " s\n";
+  }
+
+  std::ofstream out("BENCH_routing.json");
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << "  {\"name\": \"" << r.name << "\", \"topology\": \"" << r.topology
+        << "\", \"ranks\": " << r.ranks << ", \"cold_s\": " << num(r.cold_s)
+        << ", \"plan_s\": " << num(r.plan_s)
+        << ", \"speedup\": " << num(r.speedup()) << "}"
+        << (i + 1 == records.size() ? "\n" : ",\n");
+  }
+  out << "]\n";
+  std::cout << "wrote BENCH_routing.json\n";
+
+  if (!identical) {
+    std::cerr << "FAIL: cold and planned kernels disagree\n";
+    return 2;
+  }
+  if (regressed) {
+    std::cerr << "FAIL: planned path slower than the cold path\n";
+    return 1;
+  }
+  return 0;
+}

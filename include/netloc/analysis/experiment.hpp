@@ -18,6 +18,7 @@ class TrafficMatrix;
 }
 namespace netloc::topology {
 class Topology;
+class RoutePlan;
 }
 
 namespace netloc::analysis {
@@ -75,11 +76,15 @@ ExperimentRow analyze_mpi_level(const trace::Trace& trace,
 
 /// System-level (§6) cell: hops and utilization of `full_matrix`
 /// (p2p + translated collectives) on one topology under the
-/// consecutive one-rank-per-node mapping.
+/// consecutive one-rank-per-node mapping. A non-null `plan` (built for
+/// the same topology configuration, typically shared across cells by
+/// the sweep engine) serves distances and routes from its precomputed
+/// state; results are identical with or without it.
 TopologyResult analyze_topology(const metrics::TrafficMatrix& full_matrix,
                                 const topology::Topology& topo,
                                 int num_ranks, Seconds duration,
-                                const RunOptions& options = {});
+                                const RunOptions& options = {},
+                                const topology::RoutePlan* plan = nullptr);
 
 /// Run every catalog entry (the whole of Table 3). Delegates to
 /// engine::SweepEngine (engine/sweep.hpp), which parallelizes the

@@ -1,0 +1,180 @@
+// Compressed-sparse-row matrix with a two-phase lifecycle, the storage
+// substrate of the metric data path (docs/DATAPATH.md).
+//
+// Build phase: a dense accumulation buffer, so repeated adds to the
+// same cell coalesce in O(1) and arrival order never matters. freeze()
+// then compacts the buffer into classic CSR — row offsets, ascending
+// column indices and a parallel cell array — and releases the dense
+// storage. Reads work in either state and always iterate cells in
+// ascending (row, column) order, so consumers that migrate from dense
+// index scans to nonzero iteration accumulate floating-point sums in
+// the exact same order and reproduce their results bit for bit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::common {
+
+/// A cell is "empty" (and dropped by freeze()) iff it equals a
+/// value-initialized Cell, so Cell must be equality-comparable and its
+/// default value must mean "no data".
+template <typename Cell>
+class CsrMatrix {
+ public:
+  /// Upper bound on rows * cols: keeps the dense accumulation buffer
+  /// allocatable and makes the row * cols + col index arithmetic
+  /// trivially overflow-free.
+  static constexpr std::size_t kMaxCells = std::size_t{1} << 36;
+
+  CsrMatrix(int rows, int cols) : rows_(rows), cols_(cols) {
+    if (rows < 1 || cols < 1) {
+      throw ConfigError("CsrMatrix: dimensions must be >= 1");
+    }
+    const auto cells =
+        static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+    if (cells / static_cast<std::size_t>(rows) !=
+            static_cast<std::size_t>(cols) ||
+        cells > kMaxCells) {
+      throw ConfigError("CsrMatrix: dimensions too large");
+    }
+    dense_.assign(cells, Cell{});
+  }
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
+  /// Mutable accumulation slot; open state only.
+  Cell& slot(int row, int col) {
+    if (frozen_) throw ConfigError("CsrMatrix: frozen matrices are immutable");
+    check_bounds(row, col);
+    return dense_[index(row, col)];
+  }
+
+  /// Compact to CSR, dropping cells equal to Cell{}, and release the
+  /// dense buffer. Idempotent.
+  void freeze() {
+    if (frozen_) return;
+    std::size_t nonzeros = 0;
+    for (const Cell& cell : dense_) {
+      if (!(cell == Cell{})) ++nonzeros;
+    }
+    row_offsets_.assign(static_cast<std::size_t>(rows_) + 1, 0);
+    columns_.reserve(nonzeros);
+    cells_.reserve(nonzeros);
+    for (int row = 0; row < rows_; ++row) {
+      const std::size_t base = index(row, 0);
+      for (int col = 0; col < cols_; ++col) {
+        const Cell& cell = dense_[base + static_cast<std::size_t>(col)];
+        if (cell == Cell{}) continue;
+        columns_.push_back(col);
+        cells_.push_back(cell);
+      }
+      row_offsets_[static_cast<std::size_t>(row) + 1] = columns_.size();
+    }
+    dense_.clear();
+    dense_.shrink_to_fit();
+    frozen_ = true;
+  }
+
+  /// Stored (non-empty) cells. O(nonzeros) frozen, O(rows * cols) open.
+  [[nodiscard]] std::size_t nonzeros() const {
+    if (frozen_) return cells_.size();
+    std::size_t count = 0;
+    for (const Cell& cell : dense_) {
+      if (!(cell == Cell{})) ++count;
+    }
+    return count;
+  }
+
+  /// Pointer to the stored cell, or nullptr when the cell is empty.
+  /// Works in both states; frozen lookups binary-search within the row.
+  [[nodiscard]] const Cell* find(int row, int col) const {
+    check_bounds(row, col);
+    if (!frozen_) {
+      const Cell& cell = dense_[index(row, col)];
+      return cell == Cell{} ? nullptr : &cell;
+    }
+    const auto begin = row_offsets_[static_cast<std::size_t>(row)];
+    const auto end = row_offsets_[static_cast<std::size_t>(row) + 1];
+    const auto* first = columns_.data() + begin;
+    const auto* last = columns_.data() + end;
+    const auto* it = std::lower_bound(first, last, col);
+    if (it == last || *it != col) return nullptr;
+    return &cells_[begin + static_cast<std::size_t>(it - first)];
+  }
+
+  /// Visit the stored cells of one row in ascending column order:
+  /// f(col, cell).
+  template <typename F>
+  void for_each_in_row(int row, F&& f) const {
+    check_bounds(row, 0);
+    if (frozen_) {
+      const auto begin = row_offsets_[static_cast<std::size_t>(row)];
+      const auto end = row_offsets_[static_cast<std::size_t>(row) + 1];
+      for (std::size_t i = begin; i < end; ++i) {
+        f(columns_[i], cells_[i]);
+      }
+      return;
+    }
+    const std::size_t base = index(row, 0);
+    for (int col = 0; col < cols_; ++col) {
+      const Cell& cell = dense_[base + static_cast<std::size_t>(col)];
+      if (!(cell == Cell{})) f(col, cell);
+    }
+  }
+
+  /// Visit every stored cell in ascending (row, col) order:
+  /// f(row, col, cell).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (int row = 0; row < rows_; ++row) {
+      for_each_in_row(row, [&](int col, const Cell& cell) { f(row, col, cell); });
+    }
+  }
+
+  /// Frozen-state row views (column ids and parallel cells).
+  [[nodiscard]] std::span<const std::int32_t> row_columns(int row) const {
+    check_frozen_row(row);
+    return {columns_.data() + row_offsets_[static_cast<std::size_t>(row)],
+            row_offsets_[static_cast<std::size_t>(row) + 1] -
+                row_offsets_[static_cast<std::size_t>(row)]};
+  }
+  [[nodiscard]] std::span<const Cell> row_cells(int row) const {
+    check_frozen_row(row);
+    return {cells_.data() + row_offsets_[static_cast<std::size_t>(row)],
+            row_offsets_[static_cast<std::size_t>(row) + 1] -
+                row_offsets_[static_cast<std::size_t>(row)]};
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(int row, int col) const {
+    return static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(col);
+  }
+  void check_bounds(int row, int col) const {
+    if (row < 0 || row >= rows_ || col < 0 || col >= cols_) {
+      throw ConfigError("CsrMatrix: cell index out of range");
+    }
+  }
+  void check_frozen_row(int row) const {
+    if (!frozen_) throw ConfigError("CsrMatrix: row views need freeze()");
+    check_bounds(row, 0);
+  }
+
+  int rows_;
+  int cols_;
+  bool frozen_ = false;
+  std::vector<Cell> dense_;                 // open state
+  std::vector<std::size_t> row_offsets_;    // frozen state
+  std::vector<std::int32_t> columns_;       // frozen state
+  std::vector<Cell> cells_;                 // frozen state
+};
+
+}  // namespace netloc::common

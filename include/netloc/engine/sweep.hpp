@@ -21,12 +21,16 @@
 // between cells.
 #pragma once
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "netloc/analysis/experiment.hpp"
 #include "netloc/engine/observer.hpp"
 #include "netloc/simulation/flow_sim.hpp"
+#include "netloc/topology/route_plan.hpp"
 #include "netloc/workloads/workload.hpp"
 
 namespace netloc::engine {
@@ -47,6 +51,9 @@ struct SweepStats {
   int cells = 0;        ///< Rows requested.
   int cache_hits = 0;   ///< Rows served from the cache.
   int jobs_run = 0;     ///< Graph jobs actually executed.
+  /// Route plans built this run; cells sharing a topology configuration
+  /// reuse one plan, so this stays well below the cell count.
+  int plans_built = 0;
   Seconds wall_s = 0.0; ///< Wall time of the batch.
 };
 
@@ -101,8 +108,20 @@ class SweepEngine {
   [[nodiscard]] const SweepOptions& options() const { return options_; }
 
  private:
+  /// Shared route plan for `topo`, with a distance table covering at
+  /// least the first `window` nodes. Plans are cached per (topology
+  /// configuration, window) for the lifetime of the engine and shared
+  /// across cells and run_* calls; only self-contained plans (the
+  /// three paper topologies) are cached — a plan for a custom topology
+  /// would dangle once its cell's TopologySet is destroyed. Safe to
+  /// call from worker threads.
+  std::shared_ptr<const topology::RoutePlan> plan_for(
+      const topology::Topology& topo, int window);
+
   SweepOptions options_;
   SweepStats stats_;
+  std::mutex plans_mutex_;
+  std::map<std::string, std::shared_ptr<const topology::RoutePlan>> plans_;
 };
 
 }  // namespace netloc::engine

@@ -15,6 +15,7 @@
 #include <span>
 
 #include "netloc/mapping/mapping.hpp"
+#include "netloc/topology/route_plan.hpp"
 #include "netloc/topology/topology.hpp"
 
 namespace netloc::mapping {
@@ -27,9 +28,12 @@ struct TrafficEdge {
 };
 
 /// Total weighted hop cost of `mapping` for the given demands — the
-/// objective the optimizer minimizes.
+/// objective the optimizer minimizes. A non-null `plan` (built for the
+/// same topology configuration) serves distances from its precomputed
+/// table; the cost is identical either way.
 double weighted_hop_cost(std::span<const TrafficEdge> edges,
-                         const topology::Topology& topo, const Mapping& mapping);
+                         const topology::Topology& topo, const Mapping& mapping,
+                         const topology::RoutePlan* plan = nullptr);
 
 struct GreedyOptions {
   /// Rounds of pairwise-swap refinement after construction (0 = none).
@@ -41,9 +45,13 @@ struct GreedyOptions {
 
 /// Build a greedy communication-aware mapping of `num_ranks` ranks onto
 /// `topo` (one rank per node). Deterministic. Requires
-/// topo.num_nodes() >= num_ranks.
+/// topo.num_nodes() >= num_ranks. The candidate-scan and swap loops
+/// query hop distances millions of times; passing a shared `plan`
+/// (same topology configuration) serves them from the precomputed
+/// table without changing a single placement decision.
 Mapping greedy_optimize(std::span<const TrafficEdge> edges, int num_ranks,
                         const topology::Topology& topo,
-                        const GreedyOptions& options = {});
+                        const GreedyOptions& options = {},
+                        const topology::RoutePlan* plan = nullptr);
 
 }  // namespace netloc::mapping

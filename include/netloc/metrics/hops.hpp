@@ -5,6 +5,7 @@
 
 #include "netloc/mapping/mapping.hpp"
 #include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/topology/route_plan.hpp"
 #include "netloc/topology/topology.hpp"
 
 namespace netloc::metrics {
@@ -18,7 +19,15 @@ struct HopStats {
 /// Compute hop statistics. Ranks mapped to the same node exchange
 /// packets with zero hops (they never enter the network); with the
 /// paper's one-rank-per-node mappings this case does not occur.
+///
+/// When `plan` is non-null it must have been built from a topology of
+/// the same configuration as `topo`; distances are then served from the
+/// plan's precomputed table (the sweep engine shares one plan across
+/// all cells of a configuration). With a null plan a throwaway
+/// tableless plan is built internally, so the statically-dispatched
+/// distance code runs either way and the results are identical.
 HopStats hop_stats(const TrafficMatrix& matrix, const topology::Topology& topo,
-                   const mapping::Mapping& mapping);
+                   const mapping::Mapping& mapping,
+                   const topology::RoutePlan* plan = nullptr);
 
 }  // namespace netloc::metrics

@@ -5,11 +5,20 @@
 // packet count. Packets cannot be derived from aggregate bytes after
 // the fact — the paper packetizes each *message* at 4 KiB (Eq. 3), and
 // ceil is not additive — so both are accumulated message by message.
+//
+// Storage follows the two-phase CsrMatrix lifecycle (common/csr.hpp,
+// docs/DATAPATH.md): messages accumulate into a dense buffer; freeze()
+// compacts the matrix into CSR and makes it immutable. from_trace()
+// returns frozen matrices, so every metric pass downstream iterates
+// nonzero cells instead of re-scanning all n² rank pairs. Hand-built
+// matrices may stay open — all read APIs work in both states and visit
+// cells in the same ascending (src, dst) order either way.
 #pragma once
 
 #include <vector>
 
 #include "netloc/collectives/algorithms.hpp"
+#include "netloc/common/csr.hpp"
 #include "netloc/common/types.hpp"
 #include "netloc/mapping/optimizer.hpp"
 #include "netloc/trace/trace.hpp"
@@ -31,26 +40,73 @@ struct TrafficOptions {
       collectives::Algorithm::FlatDirect;
 };
 
+/// One stored rank-pair cell. A cell exists iff at least one message
+/// was accumulated for the pair — zero-byte messages still cost a
+/// packet (Eq. 3's floor), so bytes == 0 with packets > 0 is a real,
+/// stored state.
+struct TrafficCell {
+  Bytes bytes = 0;
+  Count packets = 0;
+  bool operator==(const TrafficCell&) const = default;
+};
+
 class TrafficMatrix {
  public:
+  /// Rank counts above this are rejected: the dense accumulation buffer
+  /// (and any n²-shaped consumer) would be unallocatable anyway, and
+  /// the cap keeps all src * n + dst index arithmetic overflow-free.
+  static constexpr int kMaxRanks = 1 << 20;
+
   explicit TrafficMatrix(int num_ranks);
 
   /// Accumulate one message (bytes volume + ceil(bytes/4KiB) packets).
   /// Self-messages are ignored (they never enter the network).
+  /// Throws once the matrix is frozen.
   void add_message(Rank src, Rank dst, Bytes bytes);
 
   /// Accumulate `count` identical messages in one call.
   void add_messages(Rank src, Rank dst, Bytes bytes, Count count);
 
+  /// Compact to CSR and make the matrix immutable. Idempotent; called
+  /// by from_trace() before returning.
+  void freeze() { cells_.freeze(); }
+  [[nodiscard]] bool frozen() const { return cells_.frozen(); }
+
   [[nodiscard]] int num_ranks() const { return n_; }
   [[nodiscard]] Bytes bytes(Rank src, Rank dst) const {
-    return bytes_[index(src, dst)];
+    const TrafficCell* cell = cells_.find(src, dst);
+    return cell ? cell->bytes : 0;
   }
   [[nodiscard]] Count packets(Rank src, Rank dst) const {
-    return packets_[index(src, dst)];
+    const TrafficCell* cell = cells_.find(src, dst);
+    return cell ? cell->packets : 0;
   }
   [[nodiscard]] Bytes total_bytes() const { return total_bytes_; }
   [[nodiscard]] Count total_packets() const { return total_packets_; }
+
+  /// Stored rank pairs (≥ 1 accumulated message).
+  [[nodiscard]] std::size_t nonzero_pairs() const { return cells_.nonzeros(); }
+
+  /// Visit the stored cells of one source rank in ascending destination
+  /// order: f(Rank dst, const TrafficCell&).
+  template <typename F>
+  void for_each_destination(Rank src, F&& f) const {
+    cells_.for_each_in_row(src, [&](int dst, const TrafficCell& cell) {
+      f(static_cast<Rank>(dst), cell);
+    });
+  }
+
+  /// Visit every stored cell in ascending (src, dst) order:
+  /// f(Rank src, Rank dst, const TrafficCell&). This is the iteration
+  /// every metric kernel is built on; the order matches the dense
+  /// double loop the kernels used before the CSR rebuild, which keeps
+  /// floating-point accumulations bit-identical.
+  template <typename F>
+  void for_each_nonzero(F&& f) const {
+    cells_.for_each([&](int src, int dst, const TrafficCell& cell) {
+      f(static_cast<Rank>(src), static_cast<Rank>(dst), cell);
+    });
+  }
 
   /// Non-zero entries as directed traffic edges (weight = bytes), the
   /// exchange format for the mapping optimizer.
@@ -62,18 +118,13 @@ class TrafficMatrix {
   /// Build from a trace. Collectives are flat-translated (§4.4);
   /// identical collective events are expanded once and scaled, which is
   /// exact because translation is deterministic per (op, root, bytes).
+  /// The returned matrix is frozen.
   static TrafficMatrix from_trace(const trace::Trace& trace,
                                   const TrafficOptions& options = {});
 
  private:
-  [[nodiscard]] std::size_t index(Rank src, Rank dst) const {
-    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
-           static_cast<std::size_t>(dst);
-  }
-
   int n_;
-  std::vector<Bytes> bytes_;
-  std::vector<Count> packets_;
+  common::CsrMatrix<TrafficCell> cells_;
   Bytes total_bytes_ = 0;
   Count total_packets_ = 0;
 };

@@ -14,12 +14,20 @@
 // (maximum single-link load) and the dragonfly global-link share the
 // paper quotes ("on average 95% of all messages ... use a global
 // inter-group link").
+//
+// All accounting routes through a topology::RoutePlan: pass a shared
+// plan to amortize its construction across calls (the sweep engine
+// does), or pass none and a throwaway tableless plan is built — either
+// way the routed link sequences, and therefore all results, are
+// identical to the virtual Topology::route path.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "netloc/mapping/mapping.hpp"
 #include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/topology/route_plan.hpp"
 #include "netloc/topology/topology.hpp"
 
 namespace netloc::metrics {
@@ -29,20 +37,43 @@ enum class LinkCountMode {
   UsedLinks,
 };
 
+/// The paper's per-link bandwidth assumption (12 GB/s, §4.2.3).
+inline constexpr double kPaperBandwidthBytesPerS = 12e9;
+
 struct UtilizationResult {
   double utilization_percent = 0.0;  ///< Table 3's "Utilization [%]".
   double link_count = 0.0;           ///< Denominator links.
   Bytes volume = 0;                  ///< Numerator volume.
 };
 
+/// Totals of one accounting pass over a traffic matrix.
+struct LinkAccountingTotals {
+  /// Links whose route set touches them at least once — including
+  /// links that only ever carry zero-byte (pure-packet) traffic, per
+  /// the "actually transmitting" used-link convention.
+  int used_links = 0;
+  Count global_packets = 0;  ///< Packets whose route crosses a global link.
+  Count total_packets = 0;   ///< All packets, including intra-node ones.
+};
+
+/// Route every stored matrix cell once over the plan, adding each
+/// cell's bytes to `link_loads[link]` for every link on its route.
+/// `link_loads` must have at least plan.num_links() elements (they are
+/// accumulated into, not cleared). The batch devirtualized core of the
+/// UsedLinks/link-load data path.
+LinkAccountingTotals accumulate_link_loads(const TrafficMatrix& matrix,
+                                           const topology::RoutePlan& plan,
+                                           const mapping::Mapping& mapping,
+                                           std::span<Bytes> link_loads);
+
 /// Eq. 5 for the given traffic, placement and execution time.
-/// `ranks_used` defaults to the matrix's rank count.
 UtilizationResult utilization(const TrafficMatrix& matrix,
                               const topology::Topology& topo,
                               const mapping::Mapping& mapping,
                               Seconds execution_time,
                               LinkCountMode mode = LinkCountMode::PaperFormula,
-                              double bandwidth_bytes_per_s = 12e9);
+                              double bandwidth_bytes_per_s = kPaperBandwidthBytesPerS,
+                              const topology::RoutePlan* plan = nullptr);
 
 /// Per-link traffic accounting over the deterministic routes.
 struct LinkLoadStats {
@@ -56,6 +87,7 @@ struct LinkLoadStats {
 
 LinkLoadStats link_loads(const TrafficMatrix& matrix,
                          const topology::Topology& topo,
-                         const mapping::Mapping& mapping);
+                         const mapping::Mapping& mapping,
+                         const topology::RoutePlan* plan = nullptr);
 
 }  // namespace netloc::metrics

@@ -16,10 +16,12 @@
 // routes) per event.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "netloc/mapping/mapping.hpp"
 #include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/topology/route_plan.hpp"
 #include "netloc/topology/topology.hpp"
 
 namespace netloc::simulation {
@@ -64,8 +66,16 @@ struct FlowSimReport {
 
 class FlowSimulator {
  public:
+  /// `plan` (optional) must have been built for the same topology
+  /// configuration as `topo`; the simulator then routes through its
+  /// precomputed state (the flow sweep shares one plan across specs).
+  /// Without a plan a private tableless one is built. Either way each
+  /// distinct (source node, destination node) pair is routed exactly
+  /// once per run — flows between the same endpoints share one
+  /// materialized route — and results are identical.
   FlowSimulator(const topology::Topology& topo, const mapping::Mapping& mapping,
-                const FlowSimOptions& options = {});
+                const FlowSimOptions& options = {},
+                std::shared_ptr<const topology::RoutePlan> plan = nullptr);
 
   /// Queue one transfer. Zero-byte flows complete instantly. Throws
   /// ConfigError once run() has been called — the simulator is
@@ -88,6 +98,7 @@ class FlowSimulator {
   const topology::Topology& topo_;
   const mapping::Mapping& mapping_;
   FlowSimOptions options_;
+  std::shared_ptr<const topology::RoutePlan> plan_;
   std::vector<Flow> flows_;
   bool ran_ = false;
 };

@@ -16,6 +16,8 @@
 // counts therefore span 2 (same router) to 5, as §6.2 observes.
 #pragma once
 
+#include <utility>
+
 #include "netloc/topology/topology.hpp"
 
 namespace netloc::topology {
@@ -31,8 +33,38 @@ class Dragonfly final : public Topology {
   [[nodiscard]] std::string config_string() const override;
   [[nodiscard]] int num_nodes() const override { return num_groups_ * a_ * p_; }
   [[nodiscard]] int num_links() const override;
-  [[nodiscard]] int hop_distance(NodeId a, NodeId b) const override;
+  [[nodiscard]] int hop_distance(NodeId a, NodeId b) const override {
+    if (a == b) return 0;
+    const int ga = group_of(a), gb = group_of(b);
+    const int ra = router_in_group(a), rb = router_in_group(b);
+    if (ga == gb) {
+      return ra == rb ? 2 : 3;  // inject [+ local] + eject
+    }
+    const int gw_src = gateway_router(ga, gb);
+    const int gw_dst = gateway_router(gb, ga);
+    return 2 + 1 + (ra != gw_src ? 1 : 0) + (rb != gw_dst ? 1 : 0);
+  }
   void route(NodeId a, NodeId b, const LinkVisitor& visit) const override;
+
+  /// Statically-dispatched route enumeration; same link sequence as
+  /// route(), which delegates here (see torus.hpp for the rationale).
+  template <typename Visit>
+  void visit_route(NodeId a, NodeId b, Visit&& visit) const {
+    if (a == b) return;
+    const int ga = group_of(a), gb = group_of(b);
+    const int ra = router_in_group(a), rb = router_in_group(b);
+    visit(injection_link(a));
+    if (ga == gb) {
+      if (ra != rb) visit(local_link(ga, ra, rb));
+    } else {
+      const int gw_src = gateway_router(ga, gb);
+      const int gw_dst = gateway_router(gb, ga);
+      if (ra != gw_src) visit(local_link(ga, ra, gw_src));
+      visit(global_link(ga, gb));
+      if (rb != gw_dst) visit(local_link(gb, gw_dst, rb));
+    }
+    visit(injection_link(b));
+  }
   [[nodiscard]] bool link_is_global(LinkId link) const override {
     return link >= global_base_;
   }
@@ -50,7 +82,12 @@ class Dragonfly final : public Topology {
 
   /// Router within `src_group` that owns the direct global link towards
   /// `dst_group` (the palm-tree assignment). Groups must differ.
-  [[nodiscard]] int gateway_router(int src_group, int dst_group) const;
+  [[nodiscard]] int gateway_router(int src_group, int dst_group) const {
+    // Palm tree: offset o = (dst - src) mod g lies in [1, a*h]; global
+    // port index o-1 belongs to router (o-1)/h.
+    const int offset = (dst_group - src_group + num_groups_) % num_groups_;
+    return (offset - 1) / h_;
+  }
 
   // ---- Valiant (randomized non-minimal) routing ------------------------
   //
@@ -72,8 +109,25 @@ class Dragonfly final : public Topology {
 
  private:
   [[nodiscard]] LinkId injection_link(NodeId node) const { return node; }
-  [[nodiscard]] LinkId local_link(int group, int r1, int r2) const;
-  [[nodiscard]] LinkId global_link(int src_group, int dst_group) const;
+  [[nodiscard]] LinkId local_link(int group, int r1, int r2) const {
+    if (r1 > r2) std::swap(r1, r2);
+    // Index of the unordered pair (r1 < r2) in the triangular
+    // enumeration.
+    const int pair = r1 * a_ - r1 * (r1 + 1) / 2 + (r2 - r1 - 1);
+    return local_base_ + group * local_per_group_ + pair;
+  }
+  [[nodiscard]] LinkId global_link(int src_group, int dst_group) const {
+    // Canonicalize the physical link: the endpoint with the smaller
+    // offset names it. Offsets o and g-o denote the two directions of
+    // the same physical link; g odd means o != g-o always.
+    const int offset = (dst_group - src_group + num_groups_) % num_groups_;
+    const int reverse = num_groups_ - offset;
+    const int half = a_ * h_ / 2;
+    if (offset <= half) {
+      return global_base_ + src_group * half + (offset - 1);
+    }
+    return global_base_ + dst_group * half + (reverse - 1);
+  }
 
   int a_, h_, p_;
   int num_groups_;

@@ -1,0 +1,147 @@
+// RoutePlan: precomputed routing state for one topology instance, the
+// devirtualized fast path of the metric data path (docs/DATAPATH.md).
+//
+// The virtual Topology interface answers one rank pair at a time
+// through a std::function visitor — fine for ad-hoc queries, but the
+// dominant cost when a sweep asks millions of times. A RoutePlan is
+// built once per (topology, node-count) and then shared, read-only,
+// across every metric pass, sweep cell and simulator that uses that
+// configuration:
+//
+//  * hop distances for the first `window` nodes are precomputed into a
+//    flat table (one load instead of a virtual call + arithmetic);
+//    queries outside the window fall back to statically-dispatched
+//    computation, so the window is a cache, never a correctness bound.
+//  * route enumeration is dispatched statically to the concrete
+//    topology's templated visit_route — no virtual call, no
+//    std::function allocation per pair.
+//
+// For the three paper topologies the plan stores its own copy of the
+// (value-cheap) topology object and is fully self-contained: it may
+// outlive the Topology it was built from, which is what lets the sweep
+// engine share one plan across cells owning distinct topology
+// instances of the same configuration. Custom Topology subclasses are
+// supported through a generic fallback that keeps a pointer to the
+// source topology (self_contained() == false; the topology must then
+// outlive the plan).
+//
+// Thread-safety: a built plan is immutable; any number of threads may
+// query it concurrently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netloc/common/types.hpp"
+#include "netloc/topology/dragonfly.hpp"
+#include "netloc/topology/fat_tree.hpp"
+#include "netloc/topology/topology.hpp"
+#include "netloc/topology/torus.hpp"
+
+namespace netloc::topology {
+
+/// One ordered endpoint pair for the batch APIs.
+struct NodePair {
+  NodeId a = 0;
+  NodeId b = 0;
+};
+
+class RoutePlan {
+ public:
+  /// Default cap on the distance-table window: 4096² entries, 32 MiB.
+  /// Large enough for every Table 2 rank count; topologies with more
+  /// nodes (the 13824-node 3-stage fat tree) serve out-of-window pairs
+  /// through the statically-dispatched fallback.
+  static constexpr int kDefaultWindowCap = 4096;
+
+  /// Build a plan. `window` bounds the distance table to the nodes
+  /// [0, window); -1 means min(num_nodes, kDefaultWindowCap). Callers
+  /// that know their mapping only touches the first R nodes (the
+  /// paper's consecutive mappings) should pass R.
+  static std::shared_ptr<const RoutePlan> build(const Topology& topo,
+                                                int window = -1);
+
+  /// False for custom (non-paper) topologies: the plan then references
+  /// the source Topology and must not outlive it.
+  [[nodiscard]] bool self_contained() const { return kind_ != Kind::Generic; }
+
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  [[nodiscard]] int num_links() const { return num_links_; }
+  [[nodiscard]] int window() const { return window_; }
+  /// "name config" of the source topology, e.g. "torus3d (12,12,12)" —
+  /// the natural sharing key for plan caches.
+  [[nodiscard]] const std::string& config_key() const { return config_key_; }
+
+  /// Hops between two nodes; identical to the source topology's
+  /// hop_distance for every pair.
+  [[nodiscard]] int hop_distance(NodeId a, NodeId b) const {
+    if (a >= 0 && a < window_ && b >= 0 && b < window_) {
+      return distances_[static_cast<std::size_t>(a) *
+                            static_cast<std::size_t>(window_) +
+                        static_cast<std::size_t>(b)];
+    }
+    return computed_hop_distance(a, b);
+  }
+
+  /// Batch distance lookup: out[i] = hop_distance(pairs[i]). The spans
+  /// must have equal length.
+  void hop_distances(std::span<const NodePair> pairs,
+                     std::span<int> out) const;
+
+  /// Enumerate the links of the deterministic route a -> b in traversal
+  /// order, statically dispatched. Identical link sequence to the
+  /// source topology's route().
+  template <typename Sink>
+  void for_each_route_link(NodeId a, NodeId b, Sink&& sink) const {
+    switch (kind_) {
+      case Kind::Torus:
+        torus_->visit_route(a, b, sink);
+        break;
+      case Kind::FatTree:
+        fat_tree_->visit_route(a, b, sink);
+        break;
+      case Kind::Dragonfly:
+        dragonfly_->visit_route(a, b, sink);
+        break;
+      case Kind::Generic:
+        generic_->route(a, b, LinkVisitor(std::ref(sink)));
+        break;
+    }
+  }
+
+  /// Append the route a -> b to `out` (which is not cleared), reserving
+  /// capacity from the known hop distance. Returns the link count.
+  int append_route(NodeId a, NodeId b, std::vector<LinkId>& out) const;
+
+  /// True if `link` is a global (inter-group) link of the source
+  /// topology (dragonfly only, like Topology::link_is_global).
+  [[nodiscard]] bool link_is_global(LinkId link) const {
+    return kind_ == Kind::Dragonfly && dragonfly_->link_is_global(link);
+  }
+
+ private:
+  enum class Kind { Torus, FatTree, Dragonfly, Generic };
+
+  RoutePlan() = default;
+  [[nodiscard]] int computed_hop_distance(NodeId a, NodeId b) const;
+
+  Kind kind_ = Kind::Generic;
+  std::optional<Torus3D> torus_;
+  std::optional<FatTree> fat_tree_;
+  std::optional<Dragonfly> dragonfly_;
+  const Topology* generic_ = nullptr;
+
+  int num_nodes_ = 0;
+  int num_links_ = 0;
+  int window_ = 0;
+  std::string config_key_;
+  /// Row-major window² table; uint16 is checked sufficient at build
+  /// time (every paper topology's diameter is tiny).
+  std::vector<std::uint16_t> distances_;
+};
+
+}  // namespace netloc::topology

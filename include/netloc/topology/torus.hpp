@@ -4,6 +4,7 @@
 #pragma once
 
 #include <array>
+#include <cstdlib>
 
 #include "netloc/topology/topology.hpp"
 
@@ -25,16 +26,66 @@ class Torus3D final : public Topology {
   [[nodiscard]] std::string config_string() const override;
   [[nodiscard]] int num_nodes() const override { return nodes_; }
   [[nodiscard]] int num_links() const override { return 3 * nodes_; }
-  [[nodiscard]] int hop_distance(NodeId a, NodeId b) const override;
+  [[nodiscard]] int hop_distance(NodeId a, NodeId b) const override {
+    const auto ca = coords(a);
+    const auto cb = coords(b);
+    int hops = 0;
+    for (int d = 0; d < 3; ++d) {
+      const int delta = std::abs(ca[d] - cb[d]);
+      hops += wraparound_ ? std::min(delta, dims_[d] - delta) : delta;
+    }
+    return hops;
+  }
   void route(NodeId a, NodeId b, const LinkVisitor& visit) const override;
   [[nodiscard]] int diameter() const override;
+
+  /// Statically-dispatched route enumeration: identical link sequence
+  /// to route(), but the visitor is a template parameter, so a caller
+  /// that knows the concrete type (topology/route_plan.hpp) pays no
+  /// virtual call and no std::function per link. route() delegates
+  /// here — there is exactly one routing implementation.
+  template <typename Visit>
+  void visit_route(NodeId a, NodeId b, Visit&& visit) const {
+    // Dimension-order routing: resolve X, then Y, then Z, stepping in
+    // the shorter ring direction (ties towards +).
+    auto cur = coords(a);
+    const auto dst = coords(b);
+    for (int d = 0; d < 3; ++d) {
+      while (cur[d] != dst[d]) {
+        const int extent = dims_[d];
+        const int forward = (dst[d] - cur[d] + extent) % extent;
+        const int backward = extent - forward;
+        // Mesh: never wrap — step straight towards the destination.
+        const bool step_forward =
+            wraparound_ ? forward <= backward : dst[d] > cur[d];
+        if (step_forward) {
+          // Move +1: traverse the link owned by the current node.
+          visit(plus_link(node_at(cur[0], cur[1], cur[2]), d));
+          cur[d] = (cur[d] + 1) % extent;
+        } else {
+          // Move -1: traverse the link owned by the lower neighbour.
+          auto prev = cur;
+          prev[d] = (cur[d] - 1 + extent) % extent;
+          visit(plus_link(node_at(prev[0], prev[1], prev[2]), d));
+          cur[d] = prev[d];
+        }
+      }
+    }
+  }
 
   [[nodiscard]] std::array<int, 3> extents() const { return {dims_[0], dims_[1], dims_[2]}; }
 
   /// Coordinates of `node` (x fastest-varying).
-  [[nodiscard]] std::array<int, 3> coords(NodeId node) const;
+  [[nodiscard]] std::array<int, 3> coords(NodeId node) const {
+    const int x = node % dims_[0];
+    const int y = (node / dims_[0]) % dims_[1];
+    const int z = node / (dims_[0] * dims_[1]);
+    return {x, y, z};
+  }
   /// Inverse of coords().
-  [[nodiscard]] NodeId node_at(int x, int y, int z) const;
+  [[nodiscard]] NodeId node_at(int x, int y, int z) const {
+    return (z * dims_[1] + y) * dims_[0] + x;
+  }
 
  private:
   /// Link owned by `node` in dimension `dim`, connecting it to its +1

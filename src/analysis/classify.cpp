@@ -54,21 +54,19 @@ Classification classify(const metrics::TrafficMatrix& matrix) {
   double neighbour[3] = {0, 0, 0};
   double max_pair = 0.0;
 
-  for (Rank s = 0; s < n; ++s) {
-    for (Rank d = 0; d < n; ++d) {
-      const double bytes = static_cast<double>(matrix.bytes(s, d));
-      if (bytes <= 0.0) continue;
-      ++nonzero_pairs;
-      max_pair = std::max(max_pair, bytes);
-      rank_volume[static_cast<std::size_t>(s)] += bytes;
-      rank_volume[static_cast<std::size_t>(d)] += bytes;
-      const auto delta = static_cast<std::int64_t>(std::abs(s - d));
-      if (is_power_of_two(delta)) pow2 += bytes;
-      for (int k = 0; k < 3; ++k) {
-        if (chebyshev_distance(s, d, grids[k]) <= 1) neighbour[k] += bytes;
-      }
+  matrix.for_each_nonzero([&](Rank s, Rank d, const metrics::TrafficCell& cell) {
+    const double bytes = static_cast<double>(cell.bytes);
+    if (bytes <= 0.0) return;
+    ++nonzero_pairs;
+    max_pair = std::max(max_pair, bytes);
+    rank_volume[static_cast<std::size_t>(s)] += bytes;
+    rank_volume[static_cast<std::size_t>(d)] += bytes;
+    const auto delta = static_cast<std::int64_t>(std::abs(s - d));
+    if (is_power_of_two(delta)) pow2 += bytes;
+    for (int k = 0; k < 3; ++k) {
+      if (chebyshev_distance(s, d, grids[k]) <= 1) neighbour[k] += bytes;
     }
-  }
+  });
 
   for (int k = 0; k < 3; ++k) result.neighbour_share[k] = neighbour[k] / total;
   result.pow2_stride_share = pow2 / total;

@@ -36,13 +36,14 @@ ExperimentRow analyze_mpi_level(const trace::Trace& trace,
 
 TopologyResult analyze_topology(const metrics::TrafficMatrix& full_matrix,
                                 const topology::Topology& topo, int num_ranks,
-                                Seconds duration, const RunOptions& options) {
+                                Seconds duration, const RunOptions& options,
+                                const topology::RoutePlan* plan) {
   TopologyResult result;
   result.topology = topo.name();
   result.config = topo.config_string();
 
   const auto mapping = mapping::Mapping::linear(num_ranks, topo.num_nodes());
-  const auto hops = metrics::hop_stats(full_matrix, topo, mapping);
+  const auto hops = metrics::hop_stats(full_matrix, topo, mapping, plan);
   result.packet_hops = hops.packet_hops;
   result.avg_hops = hops.avg_hops;
 
@@ -51,13 +52,14 @@ TopologyResult analyze_topology(const metrics::TrafficMatrix& full_matrix,
                            metrics::LinkCountMode::PaperFormula)
           .utilization_percent;
   if (options.link_accounting) {
-    const auto loads = metrics::link_loads(full_matrix, topo, mapping);
+    const auto loads = metrics::link_loads(full_matrix, topo, mapping, plan);
     result.used_links = loads.used_links;
     result.global_link_packet_share = loads.global_link_packet_share;
     if (loads.used_links > 0) {
       result.utilization_used_links_percent =
           metrics::utilization(full_matrix, topo, mapping, duration,
-                               metrics::LinkCountMode::UsedLinks)
+                               metrics::LinkCountMode::UsedLinks,
+                               metrics::kPaperBandwidthBytesPerS, plan)
               .utilization_percent;
     }
   }
@@ -117,17 +119,15 @@ MulticoreSeries multicore_study(const trace::Trace& trace,
   const metrics::TrafficMatrix matrix =
       metrics::TrafficMatrix::from_trace(trace, {.include_p2p = true,
                                                  .include_collectives = true});
-  const int n = trace.num_ranks();
 
   auto inter_node_bytes = [&](int cores) -> double {
     double bytes = 0.0;
-    for (Rank s = 0; s < n; ++s) {
-      for (Rank d = 0; d < n; ++d) {
-        if (s / cores != d / cores) {
-          bytes += static_cast<double>(matrix.bytes(s, d));
-        }
-      }
-    }
+    matrix.for_each_nonzero(
+        [&](Rank s, Rank d, const metrics::TrafficCell& cell) {
+          if (s / cores != d / cores) {
+            bytes += static_cast<double>(cell.bytes);
+          }
+        });
     return bytes;
   };
 

@@ -1,5 +1,6 @@
 #include "netloc/analysis/export.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -16,12 +17,19 @@ void write_heatmap_csv(const metrics::TrafficMatrix& matrix, std::ostream& out) 
   header.emplace_back("src\\dst");
   for (Rank d = 0; d < n; ++d) header.push_back(std::to_string(d));
   csv.write_row(header);
+  // The heatmap is dense by design (one column per destination), so
+  // scatter each sparse row into a zero-filled buffer before emitting.
+  std::vector<Bytes> row_bytes(static_cast<std::size_t>(n), 0);
   for (Rank s = 0; s < n; ++s) {
+    std::fill(row_bytes.begin(), row_bytes.end(), Bytes{0});
+    matrix.for_each_destination(s, [&](Rank d, const metrics::TrafficCell& cell) {
+      row_bytes[static_cast<std::size_t>(d)] = cell.bytes;
+    });
     std::vector<std::string> row;
     row.reserve(static_cast<std::size_t>(n) + 1);
     row.push_back(std::to_string(s));
     for (Rank d = 0; d < n; ++d) {
-      row.push_back(std::to_string(matrix.bytes(s, d)));
+      row.push_back(std::to_string(row_bytes[static_cast<std::size_t>(d)]));
     }
     csv.write_row(row);
   }
@@ -30,18 +38,20 @@ void write_heatmap_csv(const metrics::TrafficMatrix& matrix, std::ostream& out) 
 void write_heatmap_pgm(const metrics::TrafficMatrix& matrix, std::ostream& out) {
   const int n = matrix.num_ranks();
   double max_log = 0.0;
-  for (Rank s = 0; s < n; ++s) {
-    for (Rank d = 0; d < n; ++d) {
-      const Bytes b = matrix.bytes(s, d);
-      if (b > 0) {
-        max_log = std::max(max_log, std::log1p(static_cast<double>(b)));
-      }
+  matrix.for_each_nonzero([&](Rank, Rank, const metrics::TrafficCell& cell) {
+    if (cell.bytes > 0) {
+      max_log = std::max(max_log, std::log1p(static_cast<double>(cell.bytes)));
     }
-  }
+  });
   out << "P2\n" << n << ' ' << n << "\n255\n";
+  std::vector<Bytes> row_bytes(static_cast<std::size_t>(n), 0);
   for (Rank s = 0; s < n; ++s) {
+    std::fill(row_bytes.begin(), row_bytes.end(), Bytes{0});
+    matrix.for_each_destination(s, [&](Rank d, const metrics::TrafficCell& cell) {
+      row_bytes[static_cast<std::size_t>(d)] = cell.bytes;
+    });
     for (Rank d = 0; d < n; ++d) {
-      const Bytes b = matrix.bytes(s, d);
+      const Bytes b = row_bytes[static_cast<std::size_t>(d)];
       int pixel = 255;  // White: no traffic.
       if (b > 0 && max_log > 0.0) {
         const double intensity = std::log1p(static_cast<double>(b)) / max_log;

@@ -41,6 +41,24 @@ SweepEngine::SweepEngine(SweepOptions options) : options_(std::move(options)) {
   }
 }
 
+std::shared_ptr<const topology::RoutePlan> SweepEngine::plan_for(
+    const topology::Topology& topo, int window) {
+  // The key carries the window because two rank counts may share a
+  // Table 2 configuration but need differently-sized distance tables.
+  const std::string key =
+      topo.name() + " " + topo.config_string() + "#" + std::to_string(window);
+  std::lock_guard<std::mutex> lock(plans_mutex_);
+  if (const auto it = plans_.find(key); it != plans_.end()) {
+    return it->second;
+  }
+  auto plan = topology::RoutePlan::build(topo, window);
+  ++stats_.plans_built;
+  if (plan->self_contained()) {
+    plans_.emplace(key, plan);
+  }
+  return plan;
+}
+
 std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
     const std::vector<workloads::CatalogEntry>& entries) {
   const auto begin = Clock::now();
@@ -105,10 +123,16 @@ std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
         });
     for (std::size_t t = 0; t < state->row.topologies.size(); ++t) {
       const JobId cell = graph.add(
-          entry->label(), "topology", [state, t, run] {
+          entry->label(), "topology", [this, state, t, run] {
+            // One plan per (configuration, rank window), shared across
+            // every cell of the sweep that uses it. The linear mapping
+            // only places ranks on nodes [0, num_ranks), so that window
+            // covers all distance queries from the table.
+            const auto& topo = *state->topologies.all()[t];
+            const auto plan = plan_for(topo, state->num_ranks);
             state->row.topologies[t] = analysis::analyze_topology(
-                *state->full_matrix, *state->topologies.all()[t],
-                state->num_ranks, state->duration, run);
+                *state->full_matrix, topo, state->num_ranks, state->duration,
+                run, plan.get());
           });
       graph.add_edge(generate, cell);
       graph.add_edge(cell, finalize);
@@ -202,7 +226,7 @@ std::vector<FlowSweepResult> SweepEngine::run_flow_sweep(
     const FlowSweepSpec* spec = &specs[i];
     const std::uint64_t seed = options_.run.seed;
     graph.add(spec->app + "/" + std::to_string(spec->ranks), "flow",
-              [&results, i, spec, seed] {
+              [this, &results, i, spec, seed] {
       const auto& entry = workloads::catalog_entry(spec->app, spec->ranks);
       const auto trace = workloads::generator(spec->app).generate(entry, seed);
       const auto matrix = metrics::TrafficMatrix::from_trace(
@@ -211,7 +235,8 @@ std::vector<FlowSweepResult> SweepEngine::run_flow_sweep(
       const auto mapping =
           mapping::Mapping::linear(spec->ranks, set.torus->num_nodes());
 
-      simulation::FlowSimulator sim(*set.torus, mapping);
+      simulation::FlowSimulator sim(*set.torus, mapping, {},
+                                    plan_for(*set.torus, spec->ranks));
       if (spec->timed) {
         for (const auto& e : trace.p2p()) {
           sim.add_flow(e.src, e.dst, e.bytes, e.time);

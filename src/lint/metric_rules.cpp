@@ -31,15 +31,13 @@ LintReport lint_traffic_matrix(const metrics::TrafficMatrix& matrix,
   Bytes diagonal = 0;
   std::vector<Bytes> row_sum(static_cast<std::size_t>(n), 0);
   std::vector<Bytes> col_sum(static_cast<std::size_t>(n), 0);
-  for (Rank src = 0; src < n; ++src) {
-    for (Rank dst = 0; dst < n; ++dst) {
-      const Bytes b = matrix.bytes(src, dst);
-      cell_sum += b;
-      row_sum[static_cast<std::size_t>(src)] += b;
-      col_sum[static_cast<std::size_t>(dst)] += b;
-      if (src == dst) diagonal += b;
-    }
-  }
+  matrix.for_each_nonzero(
+      [&](Rank src, Rank dst, const metrics::TrafficCell& cell) {
+        cell_sum += cell.bytes;
+        row_sum[static_cast<std::size_t>(src)] += cell.bytes;
+        col_sum[static_cast<std::size_t>(dst)] += cell.bytes;
+        if (src == dst) diagonal += cell.bytes;
+      });
   if (cell_sum != matrix.total_bytes()) {
     report.add(make("MT001", source,
                     "cell sum " + std::to_string(cell_sum) +

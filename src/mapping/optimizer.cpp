@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "netloc/common/error.hpp"
@@ -9,6 +10,23 @@
 namespace netloc::mapping {
 
 namespace {
+
+/// Validate a caller-supplied plan, or build a throwaway tableless one
+/// (statically-dispatched distances, no precomputed table).
+std::shared_ptr<const topology::RoutePlan> ensure_plan(
+    const topology::Topology& topo, const topology::RoutePlan*& plan,
+    const char* where) {
+  if (plan == nullptr) {
+    auto local = topology::RoutePlan::build(topo, 0);
+    plan = local.get();
+    return local;
+  }
+  if (plan->num_nodes() != topo.num_nodes()) {
+    throw ConfigError(std::string(where) +
+                      ": route plan does not match topology");
+  }
+  return nullptr;
+}
 
 /// Symmetric adjacency built from the directed demands: per rank, its
 /// partners with combined (both-direction) weights.
@@ -50,23 +68,27 @@ struct AdjacencyList {
 }  // namespace
 
 double weighted_hop_cost(std::span<const TrafficEdge> edges,
-                         const topology::Topology& topo, const Mapping& mapping) {
+                         const topology::Topology& topo, const Mapping& mapping,
+                         const topology::RoutePlan* plan) {
+  const auto local = ensure_plan(topo, plan, "weighted_hop_cost");
   double cost = 0.0;
   for (const auto& e : edges) {
     if (e.src == e.dst) continue;
     cost += e.weight *
-            topo.hop_distance(mapping.node_of(e.src), mapping.node_of(e.dst));
+            plan->hop_distance(mapping.node_of(e.src), mapping.node_of(e.dst));
   }
   return cost;
 }
 
 Mapping greedy_optimize(std::span<const TrafficEdge> edges, int num_ranks,
                         const topology::Topology& topo,
-                        const GreedyOptions& options) {
+                        const GreedyOptions& options,
+                        const topology::RoutePlan* plan) {
   if (num_ranks < 1) throw ConfigError("greedy_optimize: num_ranks must be >= 1");
   if (topo.num_nodes() < num_ranks) {
     throw ConfigError("greedy_optimize: topology smaller than rank count");
   }
+  const auto local_plan = ensure_plan(topo, plan, "greedy_optimize");
   const AdjacencyList adj(edges, num_ranks);
   const int num_nodes = topo.num_nodes();
 
@@ -121,7 +143,7 @@ Mapping greedy_optimize(std::span<const TrafficEdge> edges, int num_ranks,
       double cost = 0.0;
       for (const auto& [peer, weight] : adj.partners[static_cast<std::size_t>(next)]) {
         if (!placed[static_cast<std::size_t>(peer)]) continue;
-        cost += weight * topo.hop_distance(node, assign[static_cast<std::size_t>(peer)]);
+        cost += weight * plan->hop_distance(node, assign[static_cast<std::size_t>(peer)]);
         if (cost >= best_cost) break;
       }
       if (cost < best_cost) {
@@ -143,8 +165,8 @@ Mapping greedy_optimize(std::span<const TrafficEdge> edges, int num_ranks,
       double cost = 0.0;
       for (const auto& [peer, weight] : adj.partners[static_cast<std::size_t>(r)]) {
         if (peer == r) continue;
-        cost += weight * topo.hop_distance(a[static_cast<std::size_t>(r)],
-                                           a[static_cast<std::size_t>(peer)]);
+        cost += weight * plan->hop_distance(a[static_cast<std::size_t>(r)],
+                                            a[static_cast<std::size_t>(peer)]);
       }
       return cost;
     };

@@ -1,32 +1,43 @@
 #include "netloc/metrics/hops.hpp"
 
+#include <memory>
+
 #include "netloc/common/error.hpp"
 
 namespace netloc::metrics {
 
 HopStats hop_stats(const TrafficMatrix& matrix, const topology::Topology& topo,
-                   const mapping::Mapping& mapping) {
+                   const mapping::Mapping& mapping,
+                   const topology::RoutePlan* plan) {
   if (mapping.num_ranks() < matrix.num_ranks()) {
     throw ConfigError("hop_stats: mapping covers fewer ranks than the matrix");
   }
   if (mapping.num_nodes() > topo.num_nodes()) {
     throw ConfigError("hop_stats: mapping targets more nodes than the topology has");
   }
-  HopStats stats;
-  const int n = matrix.num_ranks();
-  for (Rank s = 0; s < n; ++s) {
-    const NodeId ns = mapping.node_of(s);
-    for (Rank d = 0; d < n; ++d) {
-      const Count packets = matrix.packets(s, d);
-      if (packets == 0) continue;
-      const NodeId nd = mapping.node_of(d);
-      stats.packets += packets;
-      if (ns != nd) {
-        stats.packet_hops +=
-            packets * static_cast<Count>(topo.hop_distance(ns, nd));
-      }
-    }
+  std::shared_ptr<const topology::RoutePlan> local;
+  if (plan == nullptr) {
+    // Tableless plan: no precomputed distances, but distance queries
+    // still dispatch statically for the paper topologies.
+    local = topology::RoutePlan::build(topo, 0);
+    plan = local.get();
+  } else if (plan->num_nodes() != topo.num_nodes()) {
+    throw ConfigError("hop_stats: route plan does not match topology");
   }
+  HopStats stats;
+  // Stored cells are visited in ascending (src, dst) order — the same
+  // order as the dense double loop this replaces — so the accumulation
+  // is bit-identical.
+  matrix.for_each_nonzero([&](Rank s, Rank d, const TrafficCell& cell) {
+    if (cell.packets == 0) return;
+    stats.packets += cell.packets;
+    const NodeId ns = mapping.node_of(s);
+    const NodeId nd = mapping.node_of(d);
+    if (ns != nd) {
+      stats.packet_hops +=
+          cell.packets * static_cast<Count>(plan->hop_distance(ns, nd));
+    }
+  });
   stats.avg_hops = stats.packets > 0
                        ? static_cast<double>(stats.packet_hops) /
                              static_cast<double>(stats.packets)

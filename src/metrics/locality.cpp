@@ -14,17 +14,16 @@ double distance_quantile(const TrafficMatrix& matrix, int dims, double fraction)
   const int n = matrix.num_ranks();
   const GridDims grid = dims > 1 ? balanced_dims(n, dims) : GridDims{{n}};
   std::vector<WeightedSample> samples;
-  for (Rank s = 0; s < n; ++s) {
-    for (Rank d = 0; d < n; ++d) {
-      const Bytes b = matrix.bytes(s, d);
-      if (b == 0) continue;
-      const double dist =
-          dims > 1
-              ? static_cast<double>(chebyshev_distance(s, d, grid))
-              : static_cast<double>(std::abs(static_cast<long>(s) - static_cast<long>(d)));
-      samples.push_back({dist, static_cast<double>(b)});
-    }
-  }
+  samples.reserve(matrix.nonzero_pairs());
+  // Ascending (src, dst) order, matching the dense scan this replaces.
+  matrix.for_each_nonzero([&](Rank s, Rank d, const TrafficCell& cell) {
+    if (cell.bytes == 0) return;
+    const double dist =
+        dims > 1
+            ? static_cast<double>(chebyshev_distance(s, d, grid))
+            : static_cast<double>(std::abs(static_cast<long>(s) - static_cast<long>(d)));
+    samples.push_back({dist, static_cast<double>(cell.bytes)});
+  });
   return weighted_quantile_interpolated(std::move(samples), fraction);
 }
 

@@ -11,10 +11,9 @@ namespace {
 
 std::vector<double> source_volumes(const TrafficMatrix& matrix, Rank src) {
   std::vector<double> volumes;
-  for (Rank d = 0; d < matrix.num_ranks(); ++d) {
-    const Bytes b = matrix.bytes(src, d);
-    if (b > 0) volumes.push_back(static_cast<double>(b));
-  }
+  matrix.for_each_destination(src, [&](Rank, const TrafficCell& cell) {
+    if (cell.bytes > 0) volumes.push_back(static_cast<double>(cell.bytes));
+  });
   return volumes;
 }
 
@@ -42,9 +41,9 @@ int peers(const TrafficMatrix& matrix) {
   int peak = 0;
   for (Rank s = 0; s < matrix.num_ranks(); ++s) {
     int degree = 0;
-    for (Rank d = 0; d < matrix.num_ranks(); ++d) {
-      if (matrix.bytes(s, d) > 0) ++degree;
-    }
+    matrix.for_each_destination(s, [&](Rank, const TrafficCell& cell) {
+      if (cell.bytes > 0) ++degree;
+    });
     peak = std::max(peak, degree);
   }
   return peak;
@@ -56,10 +55,9 @@ std::vector<std::pair<Rank, Bytes>> partner_volumes(const TrafficMatrix& matrix,
     throw ConfigError("partner_volumes: rank out of range");
   }
   std::vector<std::pair<Rank, Bytes>> partners;
-  for (Rank d = 0; d < matrix.num_ranks(); ++d) {
-    const Bytes b = matrix.bytes(src, d);
-    if (b > 0) partners.emplace_back(d, b);
-  }
+  matrix.for_each_destination(src, [&](Rank d, const TrafficCell& cell) {
+    if (cell.bytes > 0) partners.emplace_back(d, cell.bytes);
+  });
   std::sort(partners.begin(), partners.end(),
             [](const auto& a, const auto& b) {
               if (a.second != b.second) return a.second > b.second;

@@ -9,12 +9,20 @@
 
 namespace netloc::metrics {
 
-TrafficMatrix::TrafficMatrix(int num_ranks) : n_(num_ranks) {
-  if (num_ranks < 1) throw ConfigError("TrafficMatrix: num_ranks must be >= 1");
-  const auto cells = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
-  bytes_.assign(cells, 0);
-  packets_.assign(cells, 0);
+namespace {
+
+int checked_ranks(int num_ranks) {
+  if (num_ranks < 1 || num_ranks > TrafficMatrix::kMaxRanks) {
+    throw ConfigError("TrafficMatrix: num_ranks must be in [1, " +
+                      std::to_string(TrafficMatrix::kMaxRanks) + "]");
+  }
+  return num_ranks;
 }
+
+}  // namespace
+
+TrafficMatrix::TrafficMatrix(int num_ranks)
+    : n_(checked_ranks(num_ranks)), cells_(n_, n_) {}
 
 void TrafficMatrix::add_message(Rank src, Rank dst, Bytes bytes) {
   add_messages(src, dst, bytes, 1);
@@ -24,33 +32,33 @@ void TrafficMatrix::add_messages(Rank src, Rank dst, Bytes bytes, Count count) {
   if (src < 0 || src >= n_ || dst < 0 || dst >= n_) {
     throw ConfigError("TrafficMatrix: rank out of range");
   }
+  if (frozen()) {
+    throw ConfigError("TrafficMatrix: cannot add messages after freeze()");
+  }
   if (src == dst || count == 0) return;
-  const auto i = index(src, dst);
-  bytes_[i] += bytes * count;
+  TrafficCell& cell = cells_.slot(src, dst);
+  cell.bytes += bytes * count;
   const Count packets = packets_for(bytes) * count;
-  packets_[i] += packets;
+  cell.packets += packets;
   total_bytes_ += bytes * count;
   total_packets_ += packets;
 }
 
 std::vector<mapping::TrafficEdge> TrafficMatrix::edges() const {
   std::vector<mapping::TrafficEdge> result;
-  for (Rank s = 0; s < n_; ++s) {
-    for (Rank d = 0; d < n_; ++d) {
-      const Bytes b = bytes_[index(s, d)];
-      if (b > 0) {
-        result.push_back({s, d, static_cast<double>(b)});
-      }
+  for_each_nonzero([&](Rank s, Rank d, const TrafficCell& cell) {
+    if (cell.bytes > 0) {
+      result.push_back({s, d, static_cast<double>(cell.bytes)});
     }
-  }
+  });
   return result;
 }
 
 std::vector<Rank> TrafficMatrix::destinations_of(Rank src) const {
   std::vector<Rank> result;
-  for (Rank d = 0; d < n_; ++d) {
-    if (bytes_[index(src, d)] > 0) result.push_back(d);
-  }
+  for_each_destination(src, [&](Rank d, const TrafficCell& cell) {
+    if (cell.bytes > 0) result.push_back(d);
+  });
   return result;
 }
 
@@ -91,6 +99,7 @@ TrafficMatrix TrafficMatrix::from_trace(const trace::Trace& trace,
       }
     }
   }
+  matrix.freeze();
   return matrix;
 }
 

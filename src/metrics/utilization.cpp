@@ -1,6 +1,7 @@
 #include "netloc/metrics/utilization.hpp"
 
-#include <unordered_map>
+#include <algorithm>
+#include <memory>
 
 #include "netloc/common/error.hpp"
 #include "netloc/topology/configs.hpp"
@@ -9,43 +10,67 @@ namespace netloc::metrics {
 
 namespace {
 
-/// Accumulate per-link byte loads and global-link packet counts by
-/// routing every non-zero matrix entry once.
-struct LinkAccounting {
-  std::unordered_map<LinkId, Bytes> load;
-  Count global_packets = 0;
-  Count total_packets = 0;
-
-  LinkAccounting(const TrafficMatrix& matrix, const topology::Topology& topo,
-                 const mapping::Mapping& mapping) {
-    const int n = matrix.num_ranks();
-    for (Rank s = 0; s < n; ++s) {
-      const NodeId ns = mapping.node_of(s);
-      for (Rank d = 0; d < n; ++d) {
-        const Bytes bytes = matrix.bytes(s, d);
-        const Count packets = matrix.packets(s, d);
-        if (bytes == 0 && packets == 0) continue;
-        total_packets += packets;
-        const NodeId nd = mapping.node_of(d);
-        if (ns == nd) continue;
-        bool crosses_global = false;
-        topo.route(ns, nd, [&](LinkId link) {
-          load[link] += bytes;
-          if (topo.link_is_global(link)) crosses_global = true;
-        });
-        if (crosses_global) global_packets += packets;
-      }
-    }
+/// Validate a caller-supplied plan against the topology, or build a
+/// throwaway tableless plan when none was supplied. The returned
+/// shared_ptr keeps an internally-built plan alive; `plan` is left
+/// pointing at whichever plan to use.
+std::shared_ptr<const topology::RoutePlan> ensure_plan(
+    const topology::Topology& topo, const topology::RoutePlan*& plan,
+    const char* where) {
+  if (plan == nullptr) {
+    auto local = topology::RoutePlan::build(topo, 0);
+    plan = local.get();
+    return local;
   }
-};
+  if (plan->num_nodes() != topo.num_nodes()) {
+    throw ConfigError(std::string(where) +
+                      ": route plan does not match topology");
+  }
+  return nullptr;
+}
 
 }  // namespace
+
+LinkAccountingTotals accumulate_link_loads(const TrafficMatrix& matrix,
+                                           const topology::RoutePlan& plan,
+                                           const mapping::Mapping& mapping,
+                                           std::span<Bytes> link_loads) {
+  if (link_loads.size() < static_cast<std::size_t>(plan.num_links())) {
+    throw ConfigError(
+        "accumulate_link_loads: link_loads smaller than plan.num_links()");
+  }
+  LinkAccountingTotals totals;
+  // A link is "used" once any route touches it, even with zero bytes
+  // (zero-byte messages still cost a packet); bytes alone cannot tell
+  // touched-zero from untouched, hence the explicit flags.
+  std::vector<unsigned char> touched(
+      static_cast<std::size_t>(plan.num_links()), 0);
+  matrix.for_each_nonzero([&](Rank s, Rank d, const TrafficCell& cell) {
+    totals.total_packets += cell.packets;
+    const NodeId ns = mapping.node_of(s);
+    const NodeId nd = mapping.node_of(d);
+    if (ns == nd) return;
+    bool crosses_global = false;
+    plan.for_each_route_link(ns, nd, [&](LinkId link) {
+      const auto li = static_cast<std::size_t>(link);
+      if (!touched[li]) {
+        touched[li] = 1;
+        ++totals.used_links;
+      }
+      link_loads[li] += cell.bytes;
+      if (plan.link_is_global(link)) crosses_global = true;
+    });
+    if (crosses_global) totals.global_packets += cell.packets;
+  });
+  return totals;
+}
 
 UtilizationResult utilization(const TrafficMatrix& matrix,
                               const topology::Topology& topo,
                               const mapping::Mapping& mapping,
                               Seconds execution_time, LinkCountMode mode,
-                              double bandwidth_bytes_per_s) {
+                              double bandwidth_bytes_per_s,
+                              const topology::RoutePlan* plan) {
   if (execution_time <= 0.0) {
     throw ConfigError("utilization: execution_time must be > 0");
   }
@@ -57,8 +82,11 @@ UtilizationResult utilization(const TrafficMatrix& matrix,
   if (mode == LinkCountMode::PaperFormula) {
     result.link_count = topology::paper_link_count(topo, matrix.num_ranks());
   } else {
-    const LinkAccounting accounting(matrix, topo, mapping);
-    result.link_count = static_cast<double>(accounting.load.size());
+    const auto local = ensure_plan(topo, plan, "utilization");
+    std::vector<Bytes> loads(static_cast<std::size_t>(plan->num_links()), 0);
+    const LinkAccountingTotals totals =
+        accumulate_link_loads(matrix, *plan, mapping, loads);
+    result.link_count = static_cast<double>(totals.used_links);
   }
   if (result.link_count <= 0.0) {
     result.utilization_percent = 0.0;
@@ -72,20 +100,24 @@ UtilizationResult utilization(const TrafficMatrix& matrix,
 
 LinkLoadStats link_loads(const TrafficMatrix& matrix,
                          const topology::Topology& topo,
-                         const mapping::Mapping& mapping) {
-  const LinkAccounting accounting(matrix, topo, mapping);
+                         const mapping::Mapping& mapping,
+                         const topology::RoutePlan* plan) {
+  const auto local = ensure_plan(topo, plan, "link_loads");
+  std::vector<Bytes> loads(static_cast<std::size_t>(plan->num_links()), 0);
+  const LinkAccountingTotals totals =
+      accumulate_link_loads(matrix, *plan, mapping, loads);
   LinkLoadStats stats;
-  stats.used_links = static_cast<int>(accounting.load.size());
+  stats.used_links = totals.used_links;
   double sum = 0.0;
-  for (const auto& [link, bytes] : accounting.load) {
+  for (const Bytes bytes : loads) {
     stats.max_link_bytes = std::max(stats.max_link_bytes, bytes);
     sum += static_cast<double>(bytes);
   }
   stats.mean_link_bytes = stats.used_links > 0 ? sum / stats.used_links : 0.0;
   stats.global_link_packet_share =
-      accounting.total_packets > 0
-          ? static_cast<double>(accounting.global_packets) /
-                static_cast<double>(accounting.total_packets)
+      totals.total_packets > 0
+          ? static_cast<double>(totals.global_packets) /
+                static_cast<double>(totals.total_packets)
           : 0.0;
   return stats;
 }

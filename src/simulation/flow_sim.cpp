@@ -1,6 +1,7 @@
 #include "netloc/simulation/flow_sim.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <unordered_map>
 
@@ -15,24 +16,30 @@ constexpr double kTimeEps = 1e-12;
 
 /// Internal per-flow state during the run.
 struct ActiveFlow {
-  std::size_t index;            ///< Into the submitted flow list.
-  std::vector<LinkId> route;    ///< Empty for intra-node flows.
-  double remaining;             ///< Bytes left.
-  double rate = 0.0;            ///< Current max-min rate (bytes/s).
-  bool shared = false;          ///< Ever rate-limited below full BW.
+  std::size_t index;      ///< Into the submitted flow list.
+  std::size_t route_idx;  ///< Into the shared route pool (0 = empty).
+  double remaining;       ///< Bytes left.
+  double rate = 0.0;      ///< Current max-min rate (bytes/s).
+  bool shared = false;    ///< Ever rate-limited below full BW.
 };
 
 }  // namespace
 
 FlowSimulator::FlowSimulator(const topology::Topology& topo,
                              const mapping::Mapping& mapping,
-                             const FlowSimOptions& options)
-    : topo_(topo), mapping_(mapping), options_(options) {
+                             const FlowSimOptions& options,
+                             std::shared_ptr<const topology::RoutePlan> plan)
+    : topo_(topo), mapping_(mapping), options_(options), plan_(std::move(plan)) {
   if (options.bandwidth_bytes_per_s <= 0.0) {
     throw ConfigError("FlowSimulator: bandwidth must be > 0");
   }
   if (mapping.num_nodes() > topo.num_nodes()) {
     throw ConfigError("FlowSimulator: mapping targets more nodes than the topology");
+  }
+  if (plan_ == nullptr) {
+    plan_ = topology::RoutePlan::build(topo_, 0);
+  } else if (plan_->num_nodes() != topo.num_nodes()) {
+    throw ConfigError("FlowSimulator: route plan does not match topology");
   }
 }
 
@@ -54,12 +61,11 @@ void FlowSimulator::add_matrix(const metrics::TrafficMatrix& matrix,
   if (n > mapping_.num_ranks()) {
     throw ConfigError("FlowSimulator: matrix larger than the mapping");
   }
-  for (Rank s = 0; s < n; ++s) {
-    for (Rank d = 0; d < n; ++d) {
-      const Bytes b = matrix.bytes(s, d);
-      if (b > 0) add_flow(s, d, b, start);
-    }
-  }
+  // Ascending (src, dst) order, matching the dense scan this replaces,
+  // so flow submission order — and thus tie-breaking — is unchanged.
+  matrix.for_each_nonzero([&](Rank s, Rank d, const metrics::TrafficCell& cell) {
+    if (cell.bytes > 0) add_flow(s, d, cell.bytes, start);
+  });
 }
 
 FlowSimReport FlowSimulator::run() {
@@ -80,13 +86,33 @@ FlowSimReport FlowSimulator::run() {
   std::unordered_map<LinkId, double> link_bytes;
   std::unordered_map<LinkId, double> link_busy_seconds;
 
+  // Route pool: each distinct (source node, destination node) pair is
+  // materialized exactly once and shared; entry 0 is the empty
+  // intra-node route. Flows hold pool indices, not pointers — the
+  // outer vector reallocates as new pairs appear.
+  std::vector<std::vector<LinkId>> route_pool(1);
+  std::unordered_map<std::uint64_t, std::size_t> route_of_pair;
+  auto route_index = [&](NodeId a, NodeId b) -> std::size_t {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+        static_cast<std::uint32_t>(b);
+    const auto [it, inserted] =
+        route_of_pair.try_emplace(key, route_pool.size());
+    if (inserted) {
+      std::vector<LinkId> route;
+      plan_->append_route(a, b, route);  // Reserves from hop_distance.
+      route_pool.push_back(std::move(route));
+    }
+    return it->second;
+  };
+
   // Max-min fair allocation over the active flows (progressive
   // filling). Rewrites every active flow's `rate`.
   auto allocate = [&]() {
     std::unordered_map<LinkId, double> capacity;
     std::unordered_map<LinkId, int> unfrozen_on_link;
     for (const auto& f : active) {
-      for (const LinkId l : f.route) {
+      for (const LinkId l : route_pool[f.route_idx]) {
         capacity.emplace(l, options_.bandwidth_bytes_per_s);
         ++unfrozen_on_link[l];
       }
@@ -94,7 +120,7 @@ FlowSimReport FlowSimulator::run() {
     std::vector<bool> frozen(active.size(), false);
     std::size_t remaining_flows = 0;
     for (std::size_t i = 0; i < active.size(); ++i) {
-      if (active[i].route.empty()) {
+      if (route_pool[active[i].route_idx].empty()) {
         active[i].rate = kInf;  // Intra-node: no network constraint.
         frozen[i] = true;
       } else {
@@ -120,7 +146,7 @@ FlowSimReport FlowSimulator::run() {
       for (std::size_t i = 0; i < active.size(); ++i) {
         if (frozen[i]) continue;
         bool saturated = false;
-        for (const LinkId l : active[i].route) {
+        for (const LinkId l : route_pool[active[i].route_idx]) {
           if (capacity.at(l) <= options_.bandwidth_bytes_per_s * 1e-12) {
             saturated = true;
             break;
@@ -133,7 +159,9 @@ FlowSimReport FlowSimulator::run() {
           }
           frozen[i] = true;
           --remaining_flows;
-          for (const LinkId l : active[i].route) --unfrozen_on_link[l];
+          for (const LinkId l : route_pool[active[i].route_idx]) {
+            --unfrozen_on_link[l];
+          }
         }
       }
     }
@@ -155,16 +183,17 @@ FlowSimReport FlowSimulator::run() {
       }
       ActiveFlow af;
       af.index = index;
+      af.route_idx = 0;
       af.remaining = static_cast<double>(flow.bytes);
       const NodeId a = mapping_.node_of(flow.src);
       const NodeId b = mapping_.node_of(flow.dst);
       if (a != b) {
-        topo_.route(a, b, [&](LinkId l) { af.route.push_back(l); });
-        for (const LinkId l : af.route) {
+        af.route_idx = route_index(a, b);
+        for (const LinkId l : route_pool[af.route_idx]) {
           link_bytes[l] += static_cast<double>(flow.bytes);
         }
       }
-      active.push_back(std::move(af));
+      active.push_back(af);
       admitted = true;
     }
     return admitted;
@@ -205,7 +234,7 @@ FlowSimReport FlowSimulator::run() {
       } else {
         f.remaining -= f.rate * dt;
       }
-      for (const LinkId l : f.route) busy[l] = true;
+      for (const LinkId l : route_pool[f.route_idx]) busy[l] = true;
     }
     for (const auto& [link, is_busy] : busy) {
       if (is_busy) link_busy_seconds[link] += dt;
@@ -219,7 +248,7 @@ FlowSimReport FlowSimulator::run() {
       if (f.remaining <= options_.bandwidth_bytes_per_s * kTimeEps) {
         const Flow& flow = flows_[f.index];
         const double ideal =
-            flow.bytes == 0 || f.route.empty()
+            flow.bytes == 0 || route_pool[f.route_idx].empty()
                 ? 0.0
                 : static_cast<double>(flow.bytes) / options_.bandwidth_bytes_per_s;
         FlowResult result;

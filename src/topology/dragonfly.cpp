@@ -1,6 +1,5 @@
 #include "netloc/topology/dragonfly.hpp"
 
-#include <algorithm>
 #include <string>
 
 #include "netloc/common/error.hpp"
@@ -38,60 +37,8 @@ int Dragonfly::num_links() const {
   return injection + local + global;
 }
 
-LinkId Dragonfly::local_link(int group, int r1, int r2) const {
-  if (r1 > r2) std::swap(r1, r2);
-  // Index of the unordered pair (r1 < r2) in the triangular enumeration.
-  const int pair = r1 * a_ - r1 * (r1 + 1) / 2 + (r2 - r1 - 1);
-  return local_base_ + group * local_per_group_ + pair;
-}
-
-int Dragonfly::gateway_router(int src_group, int dst_group) const {
-  // Palm tree: offset o = (dst - src) mod g lies in [1, a*h]; global
-  // port index o-1 belongs to router (o-1)/h.
-  const int offset = (dst_group - src_group + num_groups_) % num_groups_;
-  return (offset - 1) / h_;
-}
-
-LinkId Dragonfly::global_link(int src_group, int dst_group) const {
-  // Canonicalize the physical link: the endpoint with the smaller
-  // offset names it. Offsets o and g-o denote the two directions of the
-  // same physical link; g odd means o != g-o always.
-  const int offset = (dst_group - src_group + num_groups_) % num_groups_;
-  const int reverse = num_groups_ - offset;
-  const int half = a_ * h_ / 2;
-  if (offset <= half) {
-    return global_base_ + src_group * half + (offset - 1);
-  }
-  return global_base_ + dst_group * half + (reverse - 1);
-}
-
-int Dragonfly::hop_distance(NodeId a, NodeId b) const {
-  if (a == b) return 0;
-  const int ga = group_of(a), gb = group_of(b);
-  const int ra = router_in_group(a), rb = router_in_group(b);
-  if (ga == gb) {
-    return ra == rb ? 2 : 3;  // inject [+ local] + eject
-  }
-  const int gw_src = gateway_router(ga, gb);
-  const int gw_dst = gateway_router(gb, ga);
-  return 2 + 1 + (ra != gw_src ? 1 : 0) + (rb != gw_dst ? 1 : 0);
-}
-
 void Dragonfly::route(NodeId a, NodeId b, const LinkVisitor& visit) const {
-  if (a == b) return;
-  const int ga = group_of(a), gb = group_of(b);
-  const int ra = router_in_group(a), rb = router_in_group(b);
-  visit(injection_link(a));
-  if (ga == gb) {
-    if (ra != rb) visit(local_link(ga, ra, rb));
-  } else {
-    const int gw_src = gateway_router(ga, gb);
-    const int gw_dst = gateway_router(gb, ga);
-    if (ra != gw_src) visit(local_link(ga, ra, gw_src));
-    visit(global_link(ga, gb));
-    if (rb != gw_dst) visit(local_link(gb, gw_dst, rb));
-  }
-  visit(injection_link(b));
+  visit_route(a, b, visit);
 }
 
 int Dragonfly::valiant_hop_distance(NodeId a, NodeId b,

@@ -33,45 +33,8 @@ std::string FatTree::config_string() const {
   return s;
 }
 
-long FatTree::block_size(int level) const {
-  if (stages_ == 1) return level >= 1 ? nodes_ : 1;
-  long size = 1;
-  for (int l = 0; l < level; ++l) size *= half_;
-  return size;
-}
-
-int FatTree::common_stage(NodeId a, NodeId b) const {
-  if (a == b) return 0;
-  if (stages_ == 1) return 1;
-  for (int l = 1; l <= stages_; ++l) {
-    if (a / block_size(l) == b / block_size(l)) return l;
-  }
-  return stages_;  // Unreachable: the top block spans all nodes.
-}
-
-int FatTree::hop_distance(NodeId a, NodeId b) const {
-  return 2 * common_stage(a, b);
-}
-
 void FatTree::route(NodeId a, NodeId b, const LinkVisitor& visit) const {
-  if (a == b) return;
-  const int top = common_stage(a, b);
-  // Link id layout: level 0 = node links (id = node). Level l >= 1 =
-  // up/down links between stage-l and stage-(l+1) switches; the link a
-  // packet to destination d uses out of / into block B at level l is
-  // slot (d mod block_size(l)) within that block's bundle of
-  // block_size(l) parallel links (destination-congruence spreading).
-  auto level_link = [&](int level, NodeId within, NodeId selector) -> LinkId {
-    const long bs = block_size(level);
-    const long block = within / bs;
-    const long slot = selector % bs;
-    return static_cast<LinkId>(static_cast<long>(level) * nodes_ + block * bs + slot);
-  };
-
-  visit(a);  // Node a's injection link (level 0).
-  for (int l = 1; l < top; ++l) visit(level_link(l, a, b));   // Up phase.
-  for (int l = top - 1; l >= 1; --l) visit(level_link(l, b, b));  // Down phase.
-  visit(b);  // Node b's ejection link (level 0).
+  visit_route(a, b, visit);
 }
 
 }  // namespace netloc::topology

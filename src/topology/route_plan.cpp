@@ -1,0 +1,110 @@
+#include "netloc/topology/route_plan.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::topology {
+
+namespace {
+
+/// Fill the row-major window² distance table from a statically-typed
+/// distance functor (no virtual call in the inner loop).
+template <typename Distance>
+void fill_distances(int window, std::vector<std::uint16_t>& out,
+                    Distance&& distance) {
+  out.resize(static_cast<std::size_t>(window) *
+             static_cast<std::size_t>(window));
+  std::size_t idx = 0;
+  for (NodeId a = 0; a < window; ++a) {
+    for (NodeId b = 0; b < window; ++b) {
+      out[idx++] = static_cast<std::uint16_t>(distance(a, b));
+    }
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const RoutePlan> RoutePlan::build(const Topology& topo,
+                                                  int window) {
+  auto plan = std::shared_ptr<RoutePlan>(new RoutePlan());
+  plan->num_nodes_ = topo.num_nodes();
+  plan->num_links_ = topo.num_links();
+  plan->config_key_ = topo.name() + " " + topo.config_string();
+
+  if (window < 0) {
+    window = std::min(plan->num_nodes_, kDefaultWindowCap);
+  }
+  plan->window_ = std::min(window, plan->num_nodes_);
+
+  // uint16 must hold every table entry; the diameter bounds them all.
+  if (topo.diameter() > std::numeric_limits<std::uint16_t>::max()) {
+    throw ConfigError("RoutePlan: topology diameter exceeds distance table range");
+  }
+
+  if (const auto* t = dynamic_cast<const Torus3D*>(&topo)) {
+    plan->kind_ = Kind::Torus;
+    plan->torus_.emplace(*t);
+    fill_distances(plan->window_, plan->distances_,
+                   [t2 = &*plan->torus_](NodeId a, NodeId b) {
+                     return t2->hop_distance(a, b);
+                   });
+  } else if (const auto* f = dynamic_cast<const FatTree*>(&topo)) {
+    plan->kind_ = Kind::FatTree;
+    plan->fat_tree_.emplace(*f);
+    fill_distances(plan->window_, plan->distances_,
+                   [f2 = &*plan->fat_tree_](NodeId a, NodeId b) {
+                     return f2->hop_distance(a, b);
+                   });
+  } else if (const auto* d = dynamic_cast<const Dragonfly*>(&topo)) {
+    plan->kind_ = Kind::Dragonfly;
+    plan->dragonfly_.emplace(*d);
+    fill_distances(plan->window_, plan->distances_,
+                   [d2 = &*plan->dragonfly_](NodeId a, NodeId b) {
+                     return d2->hop_distance(a, b);
+                   });
+  } else {
+    plan->kind_ = Kind::Generic;
+    plan->generic_ = &topo;
+    fill_distances(plan->window_, plan->distances_,
+                   [&topo](NodeId a, NodeId b) {
+                     return topo.hop_distance(a, b);
+                   });
+  }
+  return plan;
+}
+
+int RoutePlan::computed_hop_distance(NodeId a, NodeId b) const {
+  switch (kind_) {
+    case Kind::Torus:
+      return torus_->hop_distance(a, b);
+    case Kind::FatTree:
+      return fat_tree_->hop_distance(a, b);
+    case Kind::Dragonfly:
+      return dragonfly_->hop_distance(a, b);
+    case Kind::Generic:
+      return generic_->hop_distance(a, b);
+  }
+  return 0;  // Unreachable.
+}
+
+void RoutePlan::hop_distances(std::span<const NodePair> pairs,
+                              std::span<int> out) const {
+  if (pairs.size() != out.size()) {
+    throw ConfigError("RoutePlan::hop_distances: span sizes differ");
+  }
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    out[i] = hop_distance(pairs[i].a, pairs[i].b);
+  }
+}
+
+int RoutePlan::append_route(NodeId a, NodeId b,
+                            std::vector<LinkId>& out) const {
+  const int hops = hop_distance(a, b);
+  out.reserve(out.size() + static_cast<std::size_t>(hops));
+  for_each_route_link(a, b, [&out](LinkId link) { out.push_back(link); });
+  return hops;
+}
+
+}  // namespace netloc::topology

@@ -1,6 +1,5 @@
 #include "netloc/topology/torus.hpp"
 
-#include <cstdlib>
 #include <string>
 
 #include "netloc/common/error.hpp"
@@ -25,54 +24,8 @@ std::string Torus3D::config_string() const {
   return s;
 }
 
-std::array<int, 3> Torus3D::coords(NodeId node) const {
-  const int x = node % dims_[0];
-  const int y = (node / dims_[0]) % dims_[1];
-  const int z = node / (dims_[0] * dims_[1]);
-  return {x, y, z};
-}
-
-NodeId Torus3D::node_at(int x, int y, int z) const {
-  return (z * dims_[1] + y) * dims_[0] + x;
-}
-
-int Torus3D::hop_distance(NodeId a, NodeId b) const {
-  const auto ca = coords(a);
-  const auto cb = coords(b);
-  int hops = 0;
-  for (int d = 0; d < 3; ++d) {
-    const int delta = std::abs(ca[d] - cb[d]);
-    hops += wraparound_ ? std::min(delta, dims_[d] - delta) : delta;
-  }
-  return hops;
-}
-
 void Torus3D::route(NodeId a, NodeId b, const LinkVisitor& visit) const {
-  // Dimension-order routing: resolve X, then Y, then Z, stepping in the
-  // shorter ring direction (ties towards +).
-  auto cur = coords(a);
-  const auto dst = coords(b);
-  for (int d = 0; d < 3; ++d) {
-    while (cur[d] != dst[d]) {
-      const int extent = dims_[d];
-      const int forward = (dst[d] - cur[d] + extent) % extent;
-      const int backward = extent - forward;
-      // Mesh: never wrap — step straight towards the destination.
-      const bool step_forward =
-          wraparound_ ? forward <= backward : dst[d] > cur[d];
-      if (step_forward) {
-        // Move +1: traverse the link owned by the current node.
-        visit(plus_link(node_at(cur[0], cur[1], cur[2]), d));
-        cur[d] = (cur[d] + 1) % extent;
-      } else {
-        // Move -1: traverse the link owned by the lower neighbour.
-        auto prev = cur;
-        prev[d] = (cur[d] - 1 + extent) % extent;
-        visit(plus_link(node_at(prev[0], prev[1], prev[2]), d));
-        cur[d] = prev[d];
-      }
-    }
-  }
+  visit_route(a, b, visit);
 }
 
 int Torus3D::diameter() const {

@@ -5,7 +5,10 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <tuple>
+#include <vector>
 
+#include "netloc/common/csr.hpp"
 #include "netloc/common/csv.hpp"
 #include "netloc/common/error.hpp"
 #include "netloc/common/format.hpp"
@@ -315,6 +318,87 @@ TEST(Csv, NumericRow) {
   CsvWriter csv(out);
   csv.write_numeric_row({1.5, 2.0, 0.25});
   EXPECT_EQ(out.str(), "1.5,2,0.25\n");
+}
+
+// ---- CsrMatrix -------------------------------------------------------------
+
+using IntCsr = common::CsrMatrix<long>;
+
+/// Golden check: the matrix iterates exactly `expected` in ascending
+/// (row, col, value) order — in both lifecycle states.
+void expect_cells(const IntCsr& m,
+                  const std::vector<std::tuple<int, int, long>>& expected) {
+  std::vector<std::tuple<int, int, long>> seen;
+  m.for_each([&](int row, int col, const long& cell) {
+    seen.emplace_back(row, col, cell);
+  });
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(m.nonzeros(), expected.size());
+}
+
+TEST(CsrMatrix, RejectsInvalidDimensions) {
+  EXPECT_THROW(IntCsr(0, 4), ConfigError);
+  EXPECT_THROW(IntCsr(4, 0), ConfigError);
+  EXPECT_THROW(IntCsr(-1, 4), ConfigError);
+  EXPECT_THROW(IntCsr(1 << 20, 1 << 20), ConfigError);  // > kMaxCells.
+}
+
+TEST(CsrMatrix, GoldenFreezeWithEmptyAndSingleEntryRows) {
+  IntCsr m(4, 5);
+  // Row 0: empty. Row 1: single entry. Row 2: two entries added out of
+  // column order. Row 3: an entry that cancels back to zero (dropped).
+  m.slot(1, 3) = 7;
+  m.slot(2, 4) = 9;
+  m.slot(2, 0) = 5;
+  m.slot(3, 2) = 11;
+  m.slot(3, 2) -= 11;
+  const std::vector<std::tuple<int, int, long>> golden = {
+      {1, 3, 7}, {2, 0, 5}, {2, 4, 9}};
+  expect_cells(m, golden);  // Open state.
+  m.freeze();
+  expect_cells(m, golden);  // Frozen state: identical view.
+
+  // Frozen row views expose the CSR arrays directly.
+  EXPECT_TRUE(m.row_columns(0).empty());
+  ASSERT_EQ(m.row_columns(2).size(), 2u);
+  EXPECT_EQ(m.row_columns(2)[0], 0);
+  EXPECT_EQ(m.row_columns(2)[1], 4);
+  EXPECT_EQ(m.row_cells(2)[0], 5);
+  EXPECT_EQ(m.row_cells(2)[1], 9);
+}
+
+TEST(CsrMatrix, DuplicateAddsCoalesceInTheSlot) {
+  IntCsr m(2, 2);
+  m.slot(0, 1) += 3;
+  m.slot(0, 1) += 4;
+  m.freeze();
+  ASSERT_NE(m.find(0, 1), nullptr);
+  EXPECT_EQ(*m.find(0, 1), 7);
+  EXPECT_EQ(m.nonzeros(), 1u);
+}
+
+TEST(CsrMatrix, FindWorksInBothStatesAndFreezeIsIdempotent) {
+  IntCsr m(3, 3);
+  m.slot(1, 1) = 42;
+  EXPECT_EQ(m.find(0, 0), nullptr);
+  ASSERT_NE(m.find(1, 1), nullptr);
+  EXPECT_EQ(*m.find(1, 1), 42);
+  m.freeze();
+  m.freeze();  // Idempotent.
+  EXPECT_TRUE(m.frozen());
+  EXPECT_EQ(m.find(0, 0), nullptr);
+  EXPECT_EQ(m.find(1, 0), nullptr);  // Empty slot in a non-empty row.
+  ASSERT_NE(m.find(1, 1), nullptr);
+  EXPECT_EQ(*m.find(1, 1), 42);
+  EXPECT_THROW(m.find(3, 0), ConfigError);
+  EXPECT_THROW(m.find(0, -1), ConfigError);
+}
+
+TEST(CsrMatrix, FrozenMatricesRejectMutationAndOpenOnesRejectRowViews) {
+  IntCsr m(2, 2);
+  EXPECT_THROW(m.row_columns(0), ConfigError);  // Needs freeze().
+  m.freeze();
+  EXPECT_THROW(m.slot(0, 0), ConfigError);  // Immutable once frozen.
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "netloc/common/error.hpp"
 #include "netloc/common/units.hpp"
@@ -61,6 +63,47 @@ TEST(TrafficMatrix, RejectsOutOfRange) {
   EXPECT_THROW(m.add_message(0, 4, 1), ConfigError);
   EXPECT_THROW(m.add_message(-1, 0, 1), ConfigError);
   EXPECT_THROW(TrafficMatrix(0), ConfigError);
+}
+
+TEST(TrafficMatrix, RejectsInvalidRankCounts) {
+  EXPECT_THROW(TrafficMatrix(-1), ConfigError);
+  // Beyond kMaxRanks the src * n + dst arithmetic (and any dense
+  // consumer) would overflow or be unallocatable; rejected up front.
+  EXPECT_THROW(TrafficMatrix(TrafficMatrix::kMaxRanks + 1), ConfigError);
+}
+
+TEST(TrafficMatrix, FreezeMakesTheMatrixImmutable) {
+  TrafficMatrix m(4);
+  m.add_message(0, 1, 100);
+  m.add_message(2, 3, 0);  // Zero-byte: stored as a pure-packet cell.
+  EXPECT_FALSE(m.frozen());
+  m.freeze();
+  EXPECT_TRUE(m.frozen());
+  EXPECT_THROW(m.add_message(0, 1, 1), ConfigError);
+  EXPECT_THROW(m.add_messages(0, 1, 1, 2), ConfigError);
+  // Reads are unchanged by freezing — including the zero-byte cell.
+  EXPECT_EQ(m.bytes(0, 1), 100u);
+  EXPECT_EQ(m.packets(0, 1), 1u);
+  EXPECT_EQ(m.bytes(2, 3), 0u);
+  EXPECT_EQ(m.packets(2, 3), 1u);
+  EXPECT_EQ(m.nonzero_pairs(), 2u);
+  m.freeze();  // Idempotent.
+}
+
+TEST(TrafficMatrix, IterationOrderIsAscendingInBothStates) {
+  TrafficMatrix m(4);
+  m.add_message(3, 0, 30);
+  m.add_message(0, 2, 10);
+  m.add_message(0, 1, 20);
+  const std::vector<std::pair<Rank, Rank>> expected = {{0, 1}, {0, 2}, {3, 0}};
+  for (const bool frozen : {false, true}) {
+    if (frozen) m.freeze();
+    std::vector<std::pair<Rank, Rank>> seen;
+    m.for_each_nonzero([&](Rank s, Rank d, const TrafficCell&) {
+      seen.emplace_back(s, d);
+    });
+    EXPECT_EQ(seen, expected) << (frozen ? "frozen" : "open");
+  }
 }
 
 TEST(TrafficMatrix, EdgesExportNonZeroEntries) {

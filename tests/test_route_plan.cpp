@@ -1,0 +1,349 @@
+// Tests for topology::RoutePlan — the precomputed, statically-dispatched
+// routing layer — and for the plan-aware metric data path built on it.
+//
+// The load-bearing properties: a plan answers exactly what the virtual
+// Topology interface answers (distances, route link sequences, global
+// flags), for every Table 2 configuration, inside and outside the
+// distance-table window, and the metrics computed through a plan are
+// byte-identical to the plan-free path.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/analysis/export.hpp"
+#include "netloc/common/error.hpp"
+#include "netloc/common/prng.hpp"
+#include "netloc/engine/sweep.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/mapping/optimizer.hpp"
+#include "netloc/metrics/hops.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/utilization.hpp"
+#include "netloc/simulation/flow_sim.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/topology/route_plan.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace netloc {
+namespace {
+
+using topology::NodePair;
+using topology::RoutePlan;
+using topology::Topology;
+
+std::vector<LinkId> virtual_route(const Topology& topo, NodeId a, NodeId b) {
+  std::vector<LinkId> links;
+  topo.route(a, b, [&](LinkId l) { links.push_back(l); });
+  return links;
+}
+
+std::vector<LinkId> plan_route(const RoutePlan& plan, NodeId a, NodeId b) {
+  std::vector<LinkId> links;
+  plan.for_each_route_link(a, b, [&](LinkId l) { links.push_back(l); });
+  return links;
+}
+
+/// Random node pairs, biased to include the self pair and the extremes
+/// (wraparound edges on the torus, cross-tree pairs on the fat tree,
+/// inter-group pairs on the dragonfly all appear at these boundaries).
+std::vector<NodePair> sample_pairs(int num_nodes, int count,
+                                   std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<NodePair> pairs;
+  pairs.push_back({0, 0});
+  pairs.push_back({0, num_nodes - 1});
+  pairs.push_back({num_nodes - 1, 0});
+  for (int i = 0; i < count; ++i) {
+    const auto a = static_cast<NodeId>(rng.next() % num_nodes);
+    const auto b = static_cast<NodeId>(rng.next() % num_nodes);
+    pairs.push_back({a, b});
+  }
+  return pairs;
+}
+
+// ---- Plan vs virtual interface, all Table 2 configurations ---------------
+
+class RoutePlanTable2 : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoutePlanTable2, RouteVisitsExactlyHopDistanceLinks) {
+  const auto set = topology::topologies_for(GetParam());
+  for (const Topology* topo : set.all()) {
+    const auto pairs = sample_pairs(topo->num_nodes(), 200, 0xfeedULL);
+    for (const auto& [a, b] : pairs) {
+      EXPECT_EQ(static_cast<int>(virtual_route(*topo, a, b).size()),
+                topo->hop_distance(a, b))
+          << topo->name() << topo->config_string() << " " << a << "->" << b;
+    }
+  }
+}
+
+TEST_P(RoutePlanTable2, BatchDistancesMatchPerPairVirtualCalls) {
+  const auto set = topology::topologies_for(GetParam());
+  for (const Topology* topo : set.all()) {
+    const auto plan = RoutePlan::build(*topo);
+    ASSERT_TRUE(plan->self_contained());
+    const auto pairs = sample_pairs(topo->num_nodes(), 300, 0xbeefULL);
+    std::vector<int> batch(pairs.size());
+    plan->hop_distances(pairs, batch);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_EQ(batch[i], topo->hop_distance(pairs[i].a, pairs[i].b))
+          << topo->name() << topo->config_string();
+      EXPECT_EQ(plan->hop_distance(pairs[i].a, pairs[i].b), batch[i]);
+    }
+  }
+}
+
+TEST_P(RoutePlanTable2, PlanRoutesMatchVirtualRoutes) {
+  const auto set = topology::topologies_for(GetParam());
+  for (const Topology* topo : set.all()) {
+    const auto plan = RoutePlan::build(*topo);
+    const auto pairs = sample_pairs(topo->num_nodes(), 150, 0xcafeULL);
+    for (const auto& [a, b] : pairs) {
+      EXPECT_EQ(plan_route(*plan, a, b), virtual_route(*topo, a, b))
+          << topo->name() << topo->config_string() << " " << a << "->" << b;
+    }
+  }
+}
+
+TEST_P(RoutePlanTable2, GlobalLinkFlagsMatch) {
+  const auto set = topology::topologies_for(GetParam());
+  for (const Topology* topo : set.all()) {
+    const auto plan = RoutePlan::build(*topo);
+    const auto pairs = sample_pairs(topo->num_nodes(), 100, 0xabcdULL);
+    for (const auto& [a, b] : pairs) {
+      for (const LinkId l : plan_route(*plan, a, b)) {
+        EXPECT_EQ(plan->link_is_global(l), topo->link_is_global(l));
+      }
+    }
+  }
+}
+
+// 1728 exercises the big end of Table 2: the 12x12x12 torus (wraparound
+// in all dimensions), the 3-stage fat tree (13824 nodes, larger than
+// the default table window) and the large dragonfly.
+INSTANTIATE_TEST_SUITE_P(Table2, RoutePlanTable2,
+                         ::testing::Values(8, 27, 64, 216, 1728));
+
+// ---- Window behaviour ----------------------------------------------------
+
+TEST(RoutePlan, WindowIsACacheNotACorrectnessBound) {
+  const topology::Torus3D torus(6, 6, 6);
+  const auto full = RoutePlan::build(torus);
+  const auto windowed = RoutePlan::build(torus, 10);
+  EXPECT_EQ(windowed->window(), 10);
+  const auto pairs = sample_pairs(torus.num_nodes(), 200, 0x1234ULL);
+  for (const auto& [a, b] : pairs) {
+    // In-window, straddling and out-of-window pairs all agree.
+    EXPECT_EQ(windowed->hop_distance(a, b), torus.hop_distance(a, b));
+    EXPECT_EQ(full->hop_distance(a, b), torus.hop_distance(a, b));
+  }
+}
+
+TEST(RoutePlan, DefaultWindowIsCappedForHugeTopologies) {
+  const topology::FatTree big(48, 3);  // 13824 nodes.
+  const auto plan = RoutePlan::build(big);
+  EXPECT_EQ(plan->window(), RoutePlan::kDefaultWindowCap);
+  EXPECT_EQ(plan->num_nodes(), 13824);
+}
+
+TEST(RoutePlan, AppendRouteReturnsHopCountAndAppends) {
+  const topology::Dragonfly df(4, 2, 2);
+  const auto plan = RoutePlan::build(df);
+  std::vector<LinkId> out = {999};  // Pre-existing content survives.
+  const int hops = plan->append_route(0, df.num_nodes() - 1, out);
+  EXPECT_EQ(hops, df.hop_distance(0, df.num_nodes() - 1));
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(hops) + 1);
+  EXPECT_EQ(out.front(), 999);
+}
+
+TEST(RoutePlan, BatchSpanSizeMismatchThrows) {
+  const topology::Torus3D torus(2, 2, 2);
+  const auto plan = RoutePlan::build(torus);
+  const std::vector<NodePair> pairs(3);
+  std::vector<int> out(2);
+  EXPECT_THROW(plan->hop_distances(pairs, out), ConfigError);
+}
+
+// ---- Generic (non-paper) topology fallback -------------------------------
+
+/// Minimal custom topology: a unidirectional-link ring routed in the
+/// shorter direction. Exercises the plan's virtual fallback.
+class Ring final : public Topology {
+ public:
+  explicit Ring(int n) : n_(n) {}
+  [[nodiscard]] std::string name() const override { return "ring"; }
+  [[nodiscard]] std::string config_string() const override {
+    return "(" + std::to_string(n_) + ")";
+  }
+  [[nodiscard]] int num_nodes() const override { return n_; }
+  [[nodiscard]] int num_links() const override { return n_; }
+  [[nodiscard]] int hop_distance(NodeId a, NodeId b) const override {
+    const int d = std::abs(a - b);
+    return std::min(d, n_ - d);
+  }
+  void route(NodeId a, NodeId b,
+             const topology::LinkVisitor& visit) const override {
+    const int forward = (b - a + n_) % n_;
+    NodeId cur = a;
+    for (int i = 0; i < hop_distance(a, b); ++i) {
+      if (forward <= n_ - forward) {
+        visit(cur);  // Link cur -> cur+1 is owned by cur.
+        cur = (cur + 1) % n_;
+      } else {
+        cur = (cur - 1 + n_) % n_;
+        visit(cur);
+      }
+    }
+  }
+  [[nodiscard]] int diameter() const override { return n_ / 2; }
+
+ private:
+  int n_;
+};
+
+TEST(RoutePlan, GenericTopologyFallsBackToVirtualDispatch) {
+  const Ring ring(10);
+  const auto plan = RoutePlan::build(ring);
+  EXPECT_FALSE(plan->self_contained());
+  EXPECT_EQ(plan->config_key(), "ring (10)");
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = 0; b < 10; ++b) {
+      EXPECT_EQ(plan->hop_distance(a, b), ring.hop_distance(a, b));
+      EXPECT_EQ(plan_route(*plan, a, b), virtual_route(ring, a, b));
+    }
+  }
+}
+
+// ---- Plan-aware data path: byte-identical results ------------------------
+
+metrics::TrafficMatrix test_matrix(int ranks, std::uint64_t seed) {
+  metrics::TrafficMatrix m(ranks);
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < ranks * 4; ++i) {
+    const auto s = static_cast<Rank>(rng.next() % ranks);
+    const auto d = static_cast<Rank>(rng.next() % ranks);
+    m.add_message(s, d, 1 + rng.next() % 100000);
+  }
+  m.freeze();
+  return m;
+}
+
+TEST(RoutePlanDataPath, MetricsIdenticalWithAndWithoutPlan) {
+  const auto set = topology::topologies_for(64);
+  const auto matrix = test_matrix(64, 0x5eedULL);
+  for (const Topology* topo : set.all()) {
+    const auto plan = RoutePlan::build(*topo, 64);
+    const auto mapping = mapping::Mapping::linear(64, topo->num_nodes());
+
+    const auto h0 = metrics::hop_stats(matrix, *topo, mapping);
+    const auto h1 = metrics::hop_stats(matrix, *topo, mapping, plan.get());
+    EXPECT_EQ(h0.packet_hops, h1.packet_hops);
+    EXPECT_EQ(h0.packets, h1.packets);
+    EXPECT_EQ(h0.avg_hops, h1.avg_hops);  // Exact: same division.
+
+    const auto l0 = metrics::link_loads(matrix, *topo, mapping);
+    const auto l1 = metrics::link_loads(matrix, *topo, mapping, plan.get());
+    EXPECT_EQ(l0.used_links, l1.used_links);
+    EXPECT_EQ(l0.max_link_bytes, l1.max_link_bytes);
+    EXPECT_EQ(l0.mean_link_bytes, l1.mean_link_bytes);
+    EXPECT_EQ(l0.global_link_packet_share, l1.global_link_packet_share);
+
+    const auto u0 = metrics::utilization(matrix, *topo, mapping, 1.0,
+                                         metrics::LinkCountMode::UsedLinks);
+    const auto u1 = metrics::utilization(matrix, *topo, mapping, 1.0,
+                                         metrics::LinkCountMode::UsedLinks,
+                                         metrics::kPaperBandwidthBytesPerS,
+                                         plan.get());
+    EXPECT_EQ(u0.utilization_percent, u1.utilization_percent);
+    EXPECT_EQ(u0.link_count, u1.link_count);
+  }
+}
+
+TEST(RoutePlanDataPath, MismatchedPlanIsRejected) {
+  const topology::Torus3D small(2, 2, 2);
+  const topology::Torus3D big(4, 4, 4);
+  const auto plan = RoutePlan::build(small);
+  const auto matrix = test_matrix(8, 1);
+  const auto mapping = mapping::Mapping::linear(8, big.num_nodes());
+  EXPECT_THROW(metrics::hop_stats(matrix, big, mapping, plan.get()),
+               ConfigError);
+  EXPECT_THROW(metrics::link_loads(matrix, big, mapping, plan.get()),
+               ConfigError);
+}
+
+TEST(RoutePlanDataPath, OptimizerDecisionsIdenticalWithAndWithoutPlan) {
+  const topology::Torus3D torus(4, 4, 4);
+  const auto plan = RoutePlan::build(torus);
+  Xoshiro256 rng(0x0123ULL);
+  std::vector<mapping::TrafficEdge> edges;
+  for (int i = 0; i < 200; ++i) {
+    edges.push_back({static_cast<Rank>(rng.next() % 48),
+                     static_cast<Rank>(rng.next() % 48),
+                     static_cast<double>(1 + rng.next() % 1000)});
+  }
+  const auto m0 = mapping::greedy_optimize(edges, 48, torus);
+  const auto m1 = mapping::greedy_optimize(edges, 48, torus, {}, plan.get());
+  EXPECT_EQ(m0.raw(), m1.raw());
+  EXPECT_EQ(mapping::weighted_hop_cost(edges, torus, m0),
+            mapping::weighted_hop_cost(edges, torus, m1, plan.get()));
+}
+
+TEST(RoutePlanDataPath, FlowSimulationIdenticalWithAndWithoutPlan) {
+  const topology::Dragonfly df(4, 2, 2);
+  const auto mapping = mapping::Mapping::linear(32, df.num_nodes());
+  const auto matrix = test_matrix(32, 0x7777ULL);
+
+  simulation::FlowSimulator cold(df, mapping);
+  cold.add_matrix(matrix);
+  const auto r0 = cold.run();
+
+  simulation::FlowSimulator planned(df, mapping, {}, RoutePlan::build(df));
+  planned.add_matrix(matrix);
+  const auto r1 = planned.run();
+
+  EXPECT_EQ(r0.makespan, r1.makespan);
+  EXPECT_EQ(r0.mean_slowdown, r1.mean_slowdown);
+  EXPECT_EQ(r0.max_slowdown, r1.max_slowdown);
+  EXPECT_EQ(r0.used_links, r1.used_links);
+  ASSERT_EQ(r0.flows.size(), r1.flows.size());
+  for (std::size_t i = 0; i < r0.flows.size(); ++i) {
+    EXPECT_EQ(r0.flows[i].finish, r1.flows[i].finish);
+    EXPECT_EQ(r0.flows[i].slowdown, r1.flows[i].slowdown);
+  }
+}
+
+// S4: the rendered Table 3 CSV — the repository's primary reproduced
+// artifact — is byte-identical whether rows come from the direct
+// (plan-free) pipeline or from the sweep engine's shared-plan path.
+TEST(RoutePlanDataPath, Table3CsvByteIdenticalWithAndWithoutPlan) {
+  workloads::CatalogEntry entry;
+  bool found = false;
+  for (const auto& e : workloads::catalog()) {
+    if (e.ranks <= 64) {
+      entry = e;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  const auto trace =
+      workloads::generator(entry.app).generate(entry, workloads::kDefaultSeed);
+  const auto direct = analysis::analyze_trace(trace, entry, {});
+
+  engine::SweepEngine eng;
+  const auto rows = eng.run_rows({entry});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GT(eng.stats().plans_built, 0);
+
+  std::ostringstream a, b;
+  analysis::write_table3_csv({direct}, a);
+  analysis::write_table3_csv(rows, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace netloc
