@@ -1,0 +1,243 @@
+// Ingestion data-path performance: the generator -> metrics pipeline
+// behind a Table 3 row run two ways on the same workload —
+//
+//  * materialized — the pre-sink data path: generate a full
+//    trace::Trace, then compute_stats() plus two from_trace() matrix
+//    builds (p2p-only and p2p+collectives) over the event vectors;
+//  * streaming — the current data path: generate_into() emitting
+//    straight into a SinkTee of StatsAccumulator and
+//    DualTrafficAccumulator, never materializing an event.
+//
+// Both ways must produce identical aggregates (checked in-process
+// before any timing; exit 2 on mismatch). Each mode then runs in its
+// own forked child so wait4()'s ru_maxrss reports an isolated peak RSS
+// — the parent's allocations (and the equality check's) never pollute
+// the measurement. Uses AMG at 1728 ranks, the largest natively
+// streaming generator configuration.
+//
+// Writes BENCH_ingest.json in the working directory, one record per
+// mode: {"mode", "app", "ranks", "events", "best_s", "events_per_s",
+// "peak_rss_kb"}. Exits non-zero if streaming peak RSS is not below
+// materialized, or streaming throughput drops below 0.9x — the CI
+// perf-smoke gate.
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netloc/common/format.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/trace/sink.hpp"
+#include "netloc/trace/stats.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace {
+
+using netloc::Bytes;
+using netloc::Count;
+
+constexpr const char* kApp = "AMG";
+constexpr int kRanks = 1728;
+constexpr int kReps = 3;
+
+std::string num(double value) {
+  std::ostringstream s;
+  s.precision(std::numeric_limits<double>::max_digits10);
+  s << value;
+  return s.str();
+}
+
+/// Minimum wall time of `reps` runs — the least-noise estimate. Peak
+/// RSS is per-process and monotonic, so repetitions don't distort it.
+template <typename F>
+double time_best_of(int reps, F&& f) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < reps; ++i) {
+    const auto begin = std::chrono::steady_clock::now();
+    f();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - begin;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+/// Order-independent digest of one pipeline run, for the cross-mode
+/// equality gate.
+struct Digest {
+  Bytes volume = 0;
+  Count events = 0;
+  Bytes full_bytes = 0;
+  Count full_packets = 0;
+  std::size_t p2p_pairs = 0;
+  bool operator==(const Digest&) const = default;
+};
+
+Digest digest_of(const netloc::trace::TraceStats& stats,
+                 const netloc::metrics::TrafficMatrix& p2p,
+                 const netloc::metrics::TrafficMatrix& full) {
+  return {stats.total_volume(), stats.p2p_messages + stats.collective_calls,
+          full.total_bytes(), full.total_packets(), p2p.nonzero_pairs()};
+}
+
+Digest run_materialized(const netloc::workloads::CatalogEntry& entry) {
+  const auto trace = netloc::workloads::generator(entry.app)
+                         .generate(entry, netloc::workloads::kDefaultSeed);
+  const auto stats = netloc::trace::compute_stats(trace);
+  const auto p2p = netloc::metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true, .include_collectives = false});
+  const auto full = netloc::metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true, .include_collectives = true});
+  return digest_of(stats, p2p, full);
+}
+
+Digest run_streaming(const netloc::workloads::CatalogEntry& entry) {
+  netloc::trace::StatsAccumulator stats;
+  netloc::metrics::DualTrafficAccumulator traffic(
+      {.include_p2p = true, .include_collectives = true});
+  netloc::trace::SinkTee tee;
+  tee.add(stats);
+  tee.add(traffic);
+  netloc::workloads::generator(entry.app)
+      .generate_into(entry, netloc::workloads::kDefaultSeed, tee);
+  const auto full = traffic.take_full();
+  const auto p2p = traffic.take_p2p();
+  return digest_of(stats.stats(), p2p, full);
+}
+
+/// What a child reports back through its pipe.
+struct ChildReport {
+  double best_s = 0.0;
+  std::uint64_t events = 0;
+};
+
+struct ModeResult {
+  std::string mode;
+  ChildReport report;
+  long peak_rss_kb = 0;
+  [[nodiscard]] double events_per_s() const {
+    return report.best_s > 0.0
+               ? static_cast<double>(report.events) / report.best_s
+               : 0.0;
+  }
+};
+
+/// Run `body` in a forked child and collect its timing (via a pipe)
+/// plus its isolated peak RSS (via wait4). `body` returns the digest of
+/// one run; the child exits non-zero if it deviates from `expected`.
+template <typename F>
+ModeResult run_mode(const std::string& mode, const Digest& expected, F&& body) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::cerr << "FAIL: pipe() failed\n";
+    std::exit(3);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::cerr << "FAIL: fork() failed\n";
+    std::exit(3);
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    ChildReport report;
+    Digest digest;
+    report.best_s = time_best_of(kReps, [&] { digest = body(); });
+    report.events = digest.events;
+    if (!(digest == expected)) _exit(2);
+    const auto* bytes = reinterpret_cast<const char*>(&report);
+    std::size_t written = 0;
+    while (written < sizeof(report)) {
+      const ssize_t n =
+          write(fds[1], bytes + written, sizeof(report) - written);
+      if (n <= 0) _exit(3);
+      written += static_cast<std::size_t>(n);
+    }
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  ChildReport report;
+  auto* bytes = reinterpret_cast<char*>(&report);
+  std::size_t got = 0;
+  while (got < sizeof(report)) {
+    const ssize_t n = read(fds[0], bytes + got, sizeof(report) - got);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  close(fds[0]);
+  int status = 0;
+  struct rusage usage {};
+  if (wait4(pid, &status, 0, &usage) != pid || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0 || got != sizeof(report)) {
+    std::cerr << "FAIL: " << mode << " child did not complete cleanly\n";
+    std::exit(WIFEXITED(status) && WEXITSTATUS(status) == 2 ? 2 : 3);
+  }
+  // Linux reports ru_maxrss in kilobytes.
+  return {mode, report, usage.ru_maxrss};
+}
+
+}  // namespace
+
+int main() {
+  const auto& entry = netloc::workloads::catalog_entry(kApp, kRanks);
+
+  // Equality gate first, in-process: both pipelines must agree on
+  // every aggregate before their wall time means anything.
+  const Digest expected = run_materialized(entry);
+  if (!(run_streaming(entry) == expected)) {
+    std::cerr << "FAIL: streaming and materialized pipelines disagree\n";
+    return 2;
+  }
+
+  const auto materialized =
+      run_mode("materialized", expected, [&] { return run_materialized(entry); });
+  const auto streaming =
+      run_mode("streaming", expected, [&] { return run_streaming(entry); });
+
+  std::cout << "mode          ranks    events     best[s]    events/s      peak RSS[MB]\n";
+  for (const auto& r : {materialized, streaming}) {
+    std::cout << r.mode
+              << std::string(r.mode.size() < 14 ? 14 - r.mode.size() : 1, ' ')
+              << kRanks << "     " << r.report.events << "    "
+              << netloc::fixed(r.report.best_s, 4) << "     "
+              << netloc::fixed(r.events_per_s() / 1e6, 2) << "M       "
+              << netloc::fixed(static_cast<double>(r.peak_rss_kb) / 1024.0, 1)
+              << "\n";
+  }
+
+  std::ofstream out("BENCH_ingest.json");
+  out << "[\n";
+  const std::vector<ModeResult> records = {materialized, streaming};
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << "  {\"mode\": \"" << r.mode << "\", \"app\": \"" << kApp
+        << "\", \"ranks\": " << kRanks << ", \"events\": " << r.report.events
+        << ", \"best_s\": " << num(r.report.best_s)
+        << ", \"events_per_s\": " << num(r.events_per_s())
+        << ", \"peak_rss_kb\": " << r.peak_rss_kb << "}"
+        << (i + 1 == records.size() ? "\n" : ",\n");
+  }
+  out << "]\n";
+  std::cout << "wrote BENCH_ingest.json\n";
+
+  if (streaming.peak_rss_kb >= materialized.peak_rss_kb) {
+    std::cerr << "FAIL: streaming peak RSS not below materialized ("
+              << streaming.peak_rss_kb << " vs " << materialized.peak_rss_kb
+              << " KB)\n";
+    return 1;
+  }
+  if (streaming.events_per_s() < 0.9 * materialized.events_per_s()) {
+    std::cerr << "FAIL: streaming throughput below 0.9x materialized\n";
+    return 1;
+  }
+  return 0;
+}

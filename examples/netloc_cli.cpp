@@ -83,24 +83,67 @@ int cmd_generate(const std::string& app, int ranks, const std::string& out) {
   return EXIT_SUCCESS;
 }
 
-int cmd_analyze(const std::string& path) {
-  const auto trace = netloc::trace::load(path);
-  const auto stats = netloc::trace::compute_stats(trace);
-  // Synthesize a catalog entry so analyze_trace can label the row.
-  netloc::workloads::CatalogEntry entry;
-  entry.app = trace.app_name().empty() ? "trace" : trace.app_name();
-  entry.ranks = trace.num_ranks();
-  entry.time_s = trace.duration();
-  entry.volume_mb = stats.volume_mb();
-  entry.p2p_percent = stats.p2p_percent();
+/// Captures the stream header (the trace's app name) for row labeling;
+/// everything else about the stream is consumed by the real sinks.
+class HeaderCapture final : public netloc::trace::EventSink {
+ public:
+  void on_begin(std::string_view app_name, int /*num_ranks*/) override {
+    app_name_ = std::string(app_name);
+  }
+  void on_p2p(const netloc::trace::P2PEvent& /*event*/) override {}
+  void on_collective(const netloc::trace::CollectiveEvent& /*event*/) override {}
+  void on_end(netloc::Seconds /*duration*/) override {}
 
-  const auto row = netloc::analysis::analyze_trace(trace, entry, {});
+  [[nodiscard]] const std::string& app_name() const { return app_name_; }
+
+ private:
+  std::string app_name_;
+};
+
+int cmd_analyze(const std::string& path) {
+  // One streaming pass over the file: Table 1 stats, both traffic
+  // matrices and the trace lint pack all ride the same scan — no event
+  // vector is materialized no matter how large the trace is. (TR008
+  // needs the duration before the events and so only runs on
+  // materializing loads; see lint/trace_rules.hpp.)
+  HeaderCapture header;
+  netloc::lint::TraceLintSink lint_sink(path);
+  auto analysis = netloc::analysis::analyze_stream(
+      [&](netloc::trace::EventSink& sink) {
+        netloc::trace::SinkTee tee;
+        tee.add(sink);
+        tee.add(header);
+        tee.add(lint_sink);
+        netloc::trace::scan(path, tee);
+      },
+      {}, {}, /*want_full_matrix=*/true);
+
+  // Warnings-only, like the materializing load() path.
+  for (const auto& d : lint_sink.report().diagnostics()) {
+    if (d.severity != netloc::lint::Severity::Note) {
+      std::cerr << netloc::lint::format(d) << '\n';
+    }
+  }
+
+  auto& row = analysis.row;
+  const auto& stats = row.stats;
+  // Synthesize a catalog entry to label the row.
+  row.entry.app = header.app_name().empty() ? "trace" : header.app_name();
+  row.entry.ranks = stats.num_ranks;
+  row.entry.time_s = stats.duration;
+  row.entry.volume_mb = stats.volume_mb();
+  row.entry.p2p_percent = stats.p2p_percent();
+
+  const auto topologies = netloc::topology::topologies_for(stats.num_ranks);
+  const auto all = topologies.all();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    row.topologies[i] = netloc::analysis::analyze_topology(
+        *analysis.full_matrix, *all[i], stats.num_ranks, stats.duration, {});
+  }
   std::cout << netloc::analysis::render_table1({row}) << "\n"
             << netloc::analysis::render_table3({row});
 
-  const auto p2p = netloc::metrics::TrafficMatrix::from_trace(
-      trace, {.include_p2p = true, .include_collectives = false});
-  const auto pattern = netloc::analysis::classify(p2p);
+  const auto pattern = netloc::analysis::classify(*analysis.p2p_matrix);
   std::cout << "\npattern: " << netloc::analysis::to_string(pattern.pattern);
   if (pattern.dimensionality > 0) {
     std::cout << " (" << pattern.dimensionality << "-D)";
@@ -121,9 +164,11 @@ int cmd_import_dumpi(const std::string& app, const std::string& out,
 }
 
 int cmd_heatmap(const std::string& trace_path, const std::string& out_path) {
-  const auto trace = netloc::trace::load(trace_path);
-  const auto matrix = netloc::metrics::TrafficMatrix::from_trace(
-      trace, {.include_p2p = true, .include_collectives = false});
+  // Streamed: the matrix accumulates cell by cell during the scan.
+  netloc::metrics::TrafficAccumulator accumulator(
+      {.include_p2p = true, .include_collectives = false});
+  netloc::trace::scan(trace_path, accumulator);
+  const auto matrix = accumulator.take();
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot open " << out_path << "\n";
@@ -140,8 +185,11 @@ int cmd_heatmap(const std::string& trace_path, const std::string& out_path) {
 
 int cmd_optimize(const std::string& trace_path, const std::string& family,
                  const std::string& out_path) {
-  const auto trace = netloc::trace::load(trace_path);
-  const int ranks = trace.num_ranks();
+  netloc::metrics::TrafficAccumulator accumulator(
+      {.include_p2p = true, .include_collectives = false});
+  netloc::trace::scan(trace_path, accumulator);
+  const auto matrix = accumulator.take();
+  const int ranks = matrix.num_ranks();
   const auto set = netloc::topology::topologies_for(ranks);
   const netloc::topology::Topology* topo = nullptr;
   if (family == "torus") topo = set.torus.get();
@@ -152,8 +200,6 @@ int cmd_optimize(const std::string& trace_path, const std::string& family,
     return EXIT_FAILURE;
   }
 
-  const auto matrix = netloc::metrics::TrafficMatrix::from_trace(
-      trace, {.include_p2p = true, .include_collectives = false});
   if (matrix.total_bytes() == 0) {
     std::cerr << "trace has no p2p traffic; nothing to optimize\n";
     return EXIT_FAILURE;

@@ -6,9 +6,12 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "netloc/trace/sink.hpp"
 #include "netloc/trace/stats.hpp"
 #include "netloc/trace/trace.hpp"
 #include "netloc/workloads/workload.hpp"
@@ -70,9 +73,39 @@ ExperimentRow analyze_trace(const trace::Trace& trace,
 /// MPI-level (§5) half of a row: stats, peers, rank distance and
 /// selectivity from the p2p traffic only. The `topologies` array is
 /// left default — the sweep engine fills it with per-topology jobs.
+/// Thin wrapper over analyze_stream() replaying the trace.
 ExperimentRow analyze_mpi_level(const trace::Trace& trace,
                                 const workloads::CatalogEntry& entry,
                                 const RunOptions& options = {});
+
+/// A producer that performs one full event pass into the given sink
+/// (on_begin .. on_end). The single-pass analyses invoke it exactly
+/// once; typical feeds are `generator.generate_into(entry, seed, sink)`
+/// or `trace::scan(path, sink)`.
+using EventFeed = std::function<void(trace::EventSink&)>;
+
+/// What one streaming pass yields: the MPI-level half of a Table 3 row
+/// plus (on request) the frozen full traffic matrix the topology cells
+/// consume. Rank count and duration ride in row.stats.
+struct StreamAnalysis {
+  ExperimentRow row;
+  /// Frozen p2p-only matrix the MPI-level metrics were computed from
+  /// (always populated — it exists anyway).
+  std::shared_ptr<metrics::TrafficMatrix> p2p_matrix;
+  /// Frozen p2p+collectives matrix; null unless requested.
+  std::shared_ptr<metrics::TrafficMatrix> full_matrix;
+};
+
+/// Single-pass analysis: tees one event pass from `feed` into the
+/// streaming accumulators (Table 1 stats, the p2p-only matrix, and —
+/// when `want_full_matrix` — the p2p+collectives matrix), then derives
+/// the MPI-level metrics. No event vector is ever materialized; results
+/// are byte-identical to the materialized path on the same event
+/// sequence.
+StreamAnalysis analyze_stream(const EventFeed& feed,
+                              const workloads::CatalogEntry& entry,
+                              const RunOptions& options = {},
+                              bool want_full_matrix = false);
 
 /// System-level (§6) cell: hops and utilization of `full_matrix`
 /// (p2p + translated collectives) on one topology under the
@@ -103,6 +136,11 @@ struct DimensionalityRow {
 DimensionalityRow dimensionality_study(const trace::Trace& trace,
                                        const std::string& label);
 
+/// As dimensionality_study, fed by one streaming pass (p2p-only matrix
+/// accumulated directly; no event vector).
+DimensionalityRow dimensionality_study_stream(const EventFeed& feed,
+                                              const std::string& label);
+
 // ---- Fig. 5: multi-core scaling ----------------------------------------
 
 struct MulticoreSeries {
@@ -117,6 +155,11 @@ struct MulticoreSeries {
 MulticoreSeries multicore_study(const trace::Trace& trace,
                                 const std::string& label,
                                 const std::vector<int>& cores_per_node);
+
+/// As multicore_study, fed by one streaming pass.
+MulticoreSeries multicore_study_stream(const EventFeed& feed,
+                                       const std::string& label,
+                                       const std::vector<int>& cores_per_node);
 
 // ---- Aggregate claims (§1 abstract, §8 summary) --------------------------
 

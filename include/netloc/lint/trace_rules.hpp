@@ -20,13 +20,70 @@
 //   TR010 warning  unparseable dumpi parameter line dropped (importer)
 #pragma once
 
+#include <string>
+#include <unordered_map>
+
 #include "netloc/lint/diagnostic.hpp"
+#include "netloc/trace/sink.hpp"
 #include "netloc/trace/trace.hpp"
 
 namespace netloc::lint {
 
-/// Run the trace rule pack. `source` labels the diagnostics (usually
-/// the file path the trace came from).
+/// Streaming trace rule pack: an EventSink that runs the TRxxx checks
+/// event by event, so lint can ride a single ingestion pass (tee'd next
+/// to the metric accumulators, see docs/DATAPATH.md "Ingestion")
+/// instead of requiring a materialized Trace. Per-event rules (TR001..
+/// TR005, TR008) fire as events arrive; whole-trace rules (TR006
+/// asymmetry, TR009 empty trace) and the per-rule overflow tallies are
+/// emitted at on_end().
+///
+/// TR008 compares event times against the trace duration, which the
+/// sink contract only delivers at on_end() — after the events. Pass the
+/// duration up front via `duration_hint` when the producer knows it
+/// (binary headers, catalog targets); a hint <= 0 disables TR008,
+/// matching lint_trace() on zero-duration traces.
+///
+/// Diagnostics keep lint_trace()'s per-stream event indices and
+/// ordering for any producer that delivers all p2p events before all
+/// collectives (as trace::emit() does); interleaved producers interleave
+/// the per-event diagnostics in arrival order instead.
+class TraceLintSink final : public trace::EventSink {
+ public:
+  explicit TraceLintSink(std::string source = "trace",
+                         Seconds duration_hint = -1.0);
+
+  void on_begin(std::string_view app_name, int num_ranks) override;
+  void on_p2p(const trace::P2PEvent& event) override;
+  void on_collective(const trace::CollectiveEvent& event) override;
+  void on_end(Seconds duration) override;
+
+  /// The accumulated report; complete once on_end() has fired.
+  [[nodiscard]] const LintReport& report() const { return report_; }
+
+  /// Move the report out and reset the sink for another trace.
+  [[nodiscard]] LintReport take();
+
+ private:
+  void emit(std::string_view rule, long index, std::string message,
+            std::string fixit = {});
+  [[nodiscard]] std::uint64_t pair_key(Rank src, Rank dst) const;
+
+  std::string source_;
+  Seconds duration_;
+  LintReport report_;
+  std::string app_name_;
+  int n_ = 0;
+  long p2p_index_ = 0;
+  long coll_index_ = 0;
+  std::unordered_map<std::string, std::size_t> counts_;
+  std::unordered_map<std::uint64_t, Seconds> last_time_;
+  std::unordered_map<std::uint64_t, Bytes> pair_bytes_;
+};
+
+/// Run the trace rule pack over a materialized trace. `source` labels
+/// the diagnostics (usually the file path the trace came from).
+/// Equivalent to replaying the trace through a TraceLintSink built with
+/// trace.duration() as the TR008 hint.
 LintReport lint_trace(const trace::Trace& trace,
                       const std::string& source = "trace");
 

@@ -33,9 +33,43 @@ struct TimeProfile {
 
 /// Bin the trace's traffic (selected by `options`, collectives counted
 /// at their full flat-translated volume) into `windows` equal slices of
-/// the execution time. `windows` must be >= 1.
+/// the execution time. `windows` must be >= 1. Equivalent to streaming
+/// the trace through a TimeProfileAccumulator built with
+/// trace.duration().
 TimeProfile time_profile(const trace::Trace& trace, int windows,
                          const TrafficOptions& options = {});
+
+/// Streaming TimeProfile accumulator. Window binning needs the
+/// execution time before the first event arrives (each event is
+/// assigned a window on sight), so the duration is a constructor
+/// argument — every streaming producer knows it up front (catalog
+/// targets for generators, the header for binary traces); this is the
+/// one metric where replaying a materialized trace is otherwise
+/// required (see docs/DATAPATH.md "Ingestion"). The duration passed to
+/// on_end() is ignored. The profile summary (burstiness, idle
+/// fraction) is finalized at on_end().
+class TimeProfileAccumulator final : public trace::EventSink {
+ public:
+  /// `duration` <= 0 yields the all-zero-window profile time_profile()
+  /// returns for zero-duration traces.
+  TimeProfileAccumulator(Seconds duration, int windows,
+                         const TrafficOptions& options = {});
+
+  void on_begin(std::string_view app_name, int num_ranks) override;
+  void on_p2p(const trace::P2PEvent& event) override;
+  void on_collective(const trace::CollectiveEvent& event) override;
+  void on_end(Seconds duration) override;
+
+  /// The accumulated profile; complete once on_end() has fired.
+  [[nodiscard]] const TimeProfile& profile() const { return profile_; }
+
+ private:
+  void add_volume(Seconds time, Bytes bytes);
+
+  int windows_;
+  TrafficOptions options_;
+  TimeProfile profile_;
+};
 
 /// Peak-window network utilization: Eq. 5 evaluated over the busiest
 /// window instead of the whole execution. `link_count` as in Eq. 5.

@@ -15,12 +15,16 @@
 // cells in the same ascending (src, dst) order either way.
 #pragma once
 
+#include <map>
+#include <optional>
+#include <tuple>
 #include <vector>
 
 #include "netloc/collectives/algorithms.hpp"
 #include "netloc/common/csr.hpp"
 #include "netloc/common/types.hpp"
 #include "netloc/mapping/optimizer.hpp"
+#include "netloc/trace/sink.hpp"
 #include "netloc/trace/trace.hpp"
 
 namespace netloc::metrics {
@@ -66,6 +70,12 @@ class TrafficMatrix {
 
   /// Accumulate `count` identical messages in one call.
   void add_messages(Rank src, Rank dst, Bytes bytes, Count count);
+
+  /// Accumulate an already-aggregated cell: `bytes` of volume plus a
+  /// precomputed `packets` count. The paper packetizes per *message*
+  /// (Eq. 3), so packet counts must be carried over — not recomputed
+  /// from the byte total — when merging cells from another matrix.
+  void add_cell(Rank src, Rank dst, Bytes bytes, Count packets);
 
   /// Compact to CSR and make the matrix immutable. Idempotent; called
   /// by from_trace() before returning.
@@ -118,7 +128,8 @@ class TrafficMatrix {
   /// Build from a trace. Collectives are flat-translated (§4.4);
   /// identical collective events are expanded once and scaled, which is
   /// exact because translation is deterministic per (op, root, bytes).
-  /// The returned matrix is frozen.
+  /// The returned matrix is frozen. Equivalent to streaming the trace
+  /// through a TrafficAccumulator.
   static TrafficMatrix from_trace(const trace::Trace& trace,
                                   const TrafficOptions& options = {});
 
@@ -127,6 +138,79 @@ class TrafficMatrix {
   common::CsrMatrix<TrafficCell> cells_;
   Bytes total_bytes_ = 0;
   Count total_packets_ = 0;
+};
+
+/// Identical collective events grouped by (op, root, bytes): each
+/// distinct pattern is expanded once and scaled by its repeat count,
+/// which is exact because translation is deterministic per key.
+using CollectiveGroups =
+    std::map<std::tuple<trace::CollectiveOp, Rank, Bytes>, Count>;
+
+/// EventSink that feeds a TrafficMatrix's open-phase accumulation
+/// buffer directly — the streaming counterpart of from_trace(). P2P
+/// events accumulate as they arrive; collectives are grouped by
+/// (op, root, bytes) and expanded once per distinct pattern at
+/// on_end(), exactly as from_trace() does, so the frozen result is
+/// identical to the materialized path for any event interleaving
+/// (cell accumulation is integer arithmetic and order-independent).
+class TrafficAccumulator final : public trace::EventSink {
+ public:
+  explicit TrafficAccumulator(const TrafficOptions& options = {});
+
+  void on_begin(std::string_view app_name, int num_ranks) override;
+  void on_p2p(const trace::P2PEvent& event) override;
+  void on_collective(const trace::CollectiveEvent& event) override;
+  void on_end(Seconds duration) override;
+
+  /// The frozen matrix; valid only after on_end().
+  [[nodiscard]] TrafficMatrix take();
+
+  /// Read access without taking ownership (frozen after on_end()).
+  [[nodiscard]] const TrafficMatrix& matrix() const;
+
+ private:
+  TrafficOptions options_;
+  std::optional<TrafficMatrix> matrix_;
+  bool ended_ = false;
+  CollectiveGroups groups_;
+};
+
+/// EventSink that yields BOTH traffic views of one pass — the p2p-only
+/// matrix (§5 MPI-level metrics) and the p2p+collectives matrix (§6
+/// system-level metrics) — while holding only one open accumulation
+/// buffer at any time. Teeing two independent TrafficAccumulators
+/// would keep two O(n²) dense buffers live for the whole pass (~48 MB
+/// each at 1728 ranks, dwarfing the event vector the streaming path
+/// exists to avoid). Instead, p2p events accumulate once, collectives
+/// group in a small map, and on_end() freezes the p2p matrix —
+/// releasing its dense buffer — before take_full() derives the full
+/// matrix by replaying the frozen CSR cells plus the expanded groups.
+/// Cell accumulation is integer arithmetic, so both results are
+/// identical to their from_trace() counterparts.
+class DualTrafficAccumulator final : public trace::EventSink {
+ public:
+  /// `options` shapes the full matrix (the p2p view always collects
+  /// exactly the p2p events, matching {p2p, no collectives} options).
+  explicit DualTrafficAccumulator(const TrafficOptions& options = {});
+
+  void on_begin(std::string_view app_name, int num_ranks) override;
+  void on_p2p(const trace::P2PEvent& event) override;
+  void on_collective(const trace::CollectiveEvent& event) override;
+  void on_end(Seconds duration) override;
+
+  /// Derive and return the frozen full (p2p + collectives) matrix.
+  /// Valid only after on_end() and before take_p2p() — the derivation
+  /// reads the p2p cells.
+  [[nodiscard]] TrafficMatrix take_full();
+
+  /// The frozen p2p-only matrix; valid only after on_end().
+  [[nodiscard]] TrafficMatrix take_p2p();
+
+ private:
+  TrafficOptions options_;
+  std::optional<TrafficMatrix> p2p_;
+  bool ended_ = false;
+  CollectiveGroups groups_;
 };
 
 }  // namespace netloc::metrics

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "netloc/lint/diagnostic.hpp"
+#include "netloc/trace/sink.hpp"
 #include "netloc/trace/trace.hpp"
 
 namespace netloc::trace {
@@ -58,16 +59,33 @@ struct DumpiAsciiOptions {
 /// derived-datatype fallback).
 Bytes builtin_datatype_size(const std::string& name);
 
-/// Parse one rank's dumpi2ascii stream into the builder. `rank` is the
-/// stream's rank id; `num_ranks` the world size. Returns the number of
-/// MPI calls consumed. Throws TraceFormatError on malformed input.
+/// Parse one rank's dumpi2ascii stream, emitting each recorded event
+/// straight into `sink` (no on_begin/on_end — the caller owns the
+/// stream lifecycle, because one logical trace spans many rank files).
+/// `rank` is the stream's rank id; `num_ranks` the world size. Returns
+/// the number of MPI calls consumed. Throws TraceFormatError on
+/// malformed input.
+std::size_t parse_dumpi_ascii_rank(std::istream& in, Rank rank, int num_ranks,
+                                   EventSink& sink,
+                                   const DumpiAsciiOptions& options = {});
+
+/// As above, into a validating TraceBuilder (the historical interface;
+/// equivalent to the sink overload through a BuilderSink).
 std::size_t parse_dumpi_ascii_rank(std::istream& in, Rank rank, int num_ranks,
                                    TraceBuilder& builder,
                                    const DumpiAsciiOptions& options = {});
 
+/// Stream one file per rank (paths[i] is rank i's dump) into `sink`,
+/// including on_begin/on_end. Event times are normalized per rank so
+/// the earliest call enters at t = 0; the trace duration is derived by
+/// the sink from the latest event (on_end receives a negative
+/// duration).
+void scan_dumpi_ascii(const std::string& app_name,
+                      const std::vector<std::string>& rank_paths,
+                      EventSink& sink, const DumpiAsciiOptions& options = {});
+
 /// Convenience: parse one file per rank (paths[i] is rank i's dump) and
-/// assemble the Trace. Event times are normalized so the earliest call
-/// enters at t = 0.
+/// assemble the Trace (scan_dumpi_ascii into a TraceCollector).
 Trace read_dumpi_ascii(const std::string& app_name,
                        const std::vector<std::string>& rank_paths,
                        const DumpiAsciiOptions& options = {});

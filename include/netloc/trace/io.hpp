@@ -15,6 +15,7 @@
 #include <string>
 
 #include "netloc/lint/diagnostic.hpp"
+#include "netloc/trace/sink.hpp"
 #include "netloc/trace/trace.hpp"
 
 namespace netloc::trace {
@@ -25,16 +26,35 @@ inline constexpr std::uint32_t kBinaryFormatVersion = 1;
 /// Serialize `trace` in the binary dumpi-lite encoding.
 void write_binary(const Trace& trace, std::ostream& out);
 
-/// Parse a binary dumpi-lite stream. Throws TraceFormatError on any
-/// structural problem (bad magic/version, truncation, rank out of
-/// bounds, checksum mismatch).
+/// Stream a binary dumpi-lite trace into `sink`, validating as it goes
+/// (magic, version, rank bounds, event counts bounded against the
+/// remaining stream size, checksum). Events are delivered one at a
+/// time; nothing is materialized here. Throws TraceFormatError on any
+/// structural problem — note the sink may already have received events
+/// when a late corruption (e.g. checksum mismatch) is detected.
+void scan_binary(std::istream& in, EventSink& sink);
+
+/// Parse a binary dumpi-lite stream. Equivalent to scan_binary() into a
+/// TraceCollector. Throws TraceFormatError on any structural problem
+/// (bad magic/version, truncation, rank out of bounds, implausible
+/// event counts, checksum mismatch).
 Trace read_binary(std::istream& in);
 
 /// Serialize `trace` as text: a header line, then "p2p"/"coll" records.
 void write_text(const Trace& trace, std::ostream& out);
 
-/// Parse the text encoding. Accepts blank lines and '#' comments.
+/// Stream the text encoding into `sink`. Accepts blank lines and '#'
+/// comments; the header line must precede all event records.
+void scan_text(std::istream& in, EventSink& sink);
+
+/// Parse the text encoding (scan_text() into a TraceCollector).
 Trace read_text(std::istream& in);
+
+/// Stream a trace file into `sink` without materializing events
+/// (binary chosen by the ".nltr" extension, text otherwise). No lint
+/// pass runs — compose a lint::TraceLintSink into a SinkTee to lint a
+/// streamed file. Throws Error if the file cannot be opened.
+void scan(const std::string& path, EventSink& sink);
 
 /// Convenience file wrappers (binary chosen by extension ".nltr",
 /// text otherwise). Throw Error if the file cannot be opened.

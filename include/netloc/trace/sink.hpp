@@ -1,0 +1,147 @@
+// The streaming event pipeline: EventSink and its adapters.
+//
+// Every metric the paper derives (Eq. 1-5) is an order-independent
+// accumulation over trace events, so nothing in the analysis pipeline
+// fundamentally needs a materialized std::vector of events. EventSink
+// is the contract that lets producers (binary/text readers, the dumpi
+// importer, workload generators) hand events one by one to consumers
+// (stats, traffic matrices, time profiles, lint rules) without the
+// O(events) intermediate storage a trace::Trace carries — the last
+// O(events) memory term on the sweep path after the CSR rebuild.
+//
+// Lifecycle contract (enforced by the adapters in this header):
+//
+//   on_begin(app, num_ranks)          exactly once, first
+//   on_reserve(p2p, colls)            zero or more hints, any time after
+//                                     on_begin ("at least this many more
+//                                     events of each kind follow")
+//   on_p2p / on_collective            any number, any interleaving
+//   on_end(duration)                  exactly once, last; duration < 0
+//                                     means "derive from the latest
+//                                     event timestamp seen"
+//
+// Producers validate their own events before emitting (readers check
+// rank bounds, generators emit only checked patterns); sinks trust the
+// stream. The materialized APIs remain available everywhere — each is
+// now a thin wrapper that feeds a TraceCollector — and replaying an
+// existing Trace into a sink is trace::emit().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netloc/trace/trace.hpp"
+
+namespace netloc::trace {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Stream start: application name and world size.
+  virtual void on_begin(std::string_view app_name, int num_ranks) = 0;
+
+  /// Capacity hint: at least `p2p_events` more p2p and
+  /// `collective_events` more collective events will follow. Counted
+  /// readers call this so collecting sinks can reserve; sinks are free
+  /// to ignore it. Hints are validated by the caller (a corrupt count
+  /// never reaches a sink).
+  virtual void on_reserve(std::uint64_t p2p_events,
+                          std::uint64_t collective_events) {
+    (void)p2p_events;
+    (void)collective_events;
+  }
+
+  virtual void on_p2p(const P2PEvent& event) = 0;
+  virtual void on_collective(const CollectiveEvent& event) = 0;
+
+  /// Stream end. `duration` is the recorded execution time; a negative
+  /// value asks the sink to fall back to the latest event timestamp
+  /// (the TraceBuilder convention for traces without an explicit
+  /// duration, e.g. dumpi imports).
+  virtual void on_end(Seconds duration) = 0;
+};
+
+/// EventSink that materializes the stream as a Trace — the bridge from
+/// the streaming producers back to every vector-consuming API. Unlike
+/// TraceBuilder it imposes no structural policy of its own (readers
+/// accept self-messages and zero-byte events that the builder rejects);
+/// it stores exactly what the producer emitted.
+class TraceCollector final : public EventSink {
+ public:
+  void on_begin(std::string_view app_name, int num_ranks) override;
+  void on_reserve(std::uint64_t p2p_events,
+                  std::uint64_t collective_events) override;
+  void on_p2p(const P2PEvent& event) override;
+  void on_collective(const CollectiveEvent& event) override;
+  void on_end(Seconds duration) override;
+
+  /// The collected trace; valid only after on_end(). The collector is
+  /// left empty and reusable.
+  [[nodiscard]] Trace take();
+
+ private:
+  void require_begun(const char* what) const;
+
+  bool begun_ = false;
+  bool ended_ = false;
+  std::string app_name_;
+  int num_ranks_ = 0;
+  Seconds duration_ = 0.0;
+  Seconds max_time_ = 0.0;
+  std::vector<P2PEvent> p2p_;
+  std::vector<CollectiveEvent> collectives_;
+};
+
+/// Fan one event stream out to several sinks: every callback is
+/// forwarded to each sink in registration order. This is how the
+/// single-pass analysis populates stats, the p2p matrix, the full
+/// matrix and the streaming lint rules from one generator pass.
+class SinkTee final : public EventSink {
+ public:
+  SinkTee() = default;
+  explicit SinkTee(std::vector<EventSink*> sinks);
+
+  /// Register another downstream sink (before the stream starts).
+  void add(EventSink& sink) { sinks_.push_back(&sink); }
+
+  void on_begin(std::string_view app_name, int num_ranks) override;
+  void on_reserve(std::uint64_t p2p_events,
+                  std::uint64_t collective_events) override;
+  void on_p2p(const P2PEvent& event) override;
+  void on_collective(const CollectiveEvent& event) override;
+  void on_end(Seconds duration) override;
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
+/// Adapter that forwards a stream into an existing TraceBuilder,
+/// inheriting its validation (rank bounds, self-messages, negative
+/// times). Used by the sink-based dumpi importer entry point to keep
+/// the historical TraceBuilder overload behaviour. on_begin/on_end are
+/// recorded but do not touch the builder: the owner decides when to
+/// build() and whether to set a duration.
+class BuilderSink final : public EventSink {
+ public:
+  explicit BuilderSink(TraceBuilder& builder) : builder_(&builder) {}
+
+  void on_begin(std::string_view app_name, int num_ranks) override;
+  void on_p2p(const P2PEvent& event) override;
+  void on_collective(const CollectiveEvent& event) override;
+  void on_end(Seconds duration) override;
+
+ private:
+  TraceBuilder* builder_;
+};
+
+/// Replay a materialized trace into a sink: on_begin, reserve hints,
+/// every p2p event in order, every collective in order, then
+/// on_end(trace.duration()). This is the equivalence bridge — any
+/// streaming consumer fed by emit() must produce exactly what its
+/// materialized counterpart computes from the same Trace.
+void emit(const Trace& trace, EventSink& sink);
+
+}  // namespace netloc::trace

@@ -1,6 +1,7 @@
 // Per-trace aggregate statistics — the columns of the paper's Table 1.
 #pragma once
 
+#include "netloc/trace/sink.hpp"
 #include "netloc/trace/trace.hpp"
 
 namespace netloc::trace {
@@ -26,6 +27,25 @@ struct TraceStats {
   [[nodiscard]] double throughput_mb_per_s() const;
   /// Total volume in decimal MB, as reported in Table 1.
   [[nodiscard]] double volume_mb() const;
+};
+
+/// Streaming TraceStats accumulator: the one implementation of the
+/// Table 1 aggregates. Feed it any event stream; compute_stats() is
+/// this accumulator applied to a materialized trace via emit().
+class StatsAccumulator final : public EventSink {
+ public:
+  void on_begin(std::string_view app_name, int num_ranks) override;
+  void on_p2p(const P2PEvent& event) override;
+  void on_collective(const CollectiveEvent& event) override;
+  void on_end(Seconds duration) override;
+
+  /// The accumulated stats. Complete once on_end() has fired; partial
+  /// (duration still unset) before that.
+  [[nodiscard]] const TraceStats& stats() const { return stats_; }
+
+ private:
+  TraceStats stats_;
+  Seconds max_time_ = 0.0;
 };
 
 /// Compute TraceStats for a trace in one pass.

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "netloc/trace/sink.hpp"
 #include "netloc/trace/trace.hpp"
 
 namespace netloc::workloads {
@@ -50,8 +51,17 @@ class PatternBuilder {
   [[nodiscard]] std::size_t p2p_pattern_size() const { return p2p_.size(); }
 
   /// Scale, apportion and emit the trace. The builder remains valid
-  /// and reusable (build is const).
+  /// and reusable (build is const). Equivalent to streaming build_into()
+  /// through a TraceCollector.
   [[nodiscard]] trace::Trace build(const BuildParams& params) const;
+
+  /// Scale, apportion and stream the events straight into `sink`
+  /// (on_begin .. on_end, with an exact on_reserve hint), never
+  /// materializing an event vector. Demands are pre-validated at
+  /// p2p()/collective() time, so the emitted stream honours the sink
+  /// contract's "producers validate" rule. Event values and order are
+  /// identical to build().
+  void build_into(const BuildParams& params, trace::EventSink& sink) const;
 
  private:
   struct P2PDemand {

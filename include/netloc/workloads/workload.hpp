@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "netloc/trace/sink.hpp"
 #include "netloc/trace/trace.hpp"
 #include "netloc/workloads/catalog.hpp"
 
@@ -33,6 +34,16 @@ class WorkloadGenerator {
   /// (target, seed).
   [[nodiscard]] virtual trace::Trace generate(const CatalogEntry& target,
                                               std::uint64_t seed) const = 0;
+
+  /// Stream the same events straight into `sink` (on_begin .. on_end)
+  /// without materializing a Trace. The event sequence is identical to
+  /// generate() for the same (target, seed). The base implementation
+  /// replays generate() — correct but still materializing; the hot
+  /// deterministic generators override it to emit natively through
+  /// PatternBuilder::build_into(), which is what makes the sweep
+  /// engine's generator path allocation-free in the event count.
+  virtual void generate_into(const CatalogEntry& target, std::uint64_t seed,
+                             trace::EventSink& sink) const;
 };
 
 /// Generator registered for `app`; throws ConfigError for unknown apps.
@@ -44,5 +55,9 @@ std::vector<std::string> available_workloads();
 /// Convenience: look up the catalog entry and generate.
 trace::Trace generate(const std::string& app, int ranks, int variant = 0,
                       std::uint64_t seed = kDefaultSeed);
+
+/// Convenience: look up the catalog entry and stream into `sink`.
+void generate_into(const std::string& app, int ranks, trace::EventSink& sink,
+                   int variant = 0, std::uint64_t seed = kDefaultSeed);
 
 }  // namespace netloc::workloads

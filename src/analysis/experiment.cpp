@@ -11,27 +11,55 @@
 
 namespace netloc::analysis {
 
+StreamAnalysis analyze_stream(const EventFeed& feed,
+                              const workloads::CatalogEntry& entry,
+                              const RunOptions& options,
+                              bool want_full_matrix) {
+  (void)options;  // MPI-level metrics have no tunables yet.
+
+  // One pass, teed into every accumulator the row needs. The dual
+  // accumulator produces both traffic views while keeping a single
+  // open dense buffer — teeing two independent accumulators would
+  // double the O(n²) accumulation storage for the whole pass.
+  trace::StatsAccumulator stats;
+  metrics::DualTrafficAccumulator traffic({.include_p2p = true,
+                                           .include_collectives = true});
+  trace::SinkTee tee;
+  tee.add(stats);
+  tee.add(traffic);
+  feed(tee);
+
+  StreamAnalysis result;
+  result.row.entry = entry;
+  result.row.stats = stats.stats();
+
+  if (want_full_matrix) {
+    result.full_matrix =
+        std::make_shared<metrics::TrafficMatrix>(traffic.take_full());
+  }
+
+  // ---- MPI level (§5): point-to-point traffic only. ---------------------
+  result.p2p_matrix =
+      std::make_shared<metrics::TrafficMatrix>(traffic.take_p2p());
+  const metrics::TrafficMatrix& p2p_matrix = *result.p2p_matrix;
+  result.row.has_p2p = p2p_matrix.total_bytes() > 0;
+  if (result.row.has_p2p) {
+    result.row.peers = metrics::peers(p2p_matrix);
+    result.row.rank_distance = metrics::rank_distance(p2p_matrix);
+    const auto sel = metrics::selectivity(p2p_matrix);
+    result.row.selectivity_mean = sel.mean;
+    result.row.selectivity_max = sel.max;
+  }
+  return result;
+}
+
 ExperimentRow analyze_mpi_level(const trace::Trace& trace,
                                 const workloads::CatalogEntry& entry,
                                 const RunOptions& options) {
-  (void)options;  // MPI-level metrics have no tunables yet.
-  ExperimentRow row;
-  row.entry = entry;
-  row.stats = trace::compute_stats(trace);
-
-  // ---- MPI level (§5): point-to-point traffic only. ---------------------
-  const metrics::TrafficMatrix p2p_matrix =
-      metrics::TrafficMatrix::from_trace(trace, {.include_p2p = true,
-                                                 .include_collectives = false});
-  row.has_p2p = p2p_matrix.total_bytes() > 0;
-  if (row.has_p2p) {
-    row.peers = metrics::peers(p2p_matrix);
-    row.rank_distance = metrics::rank_distance(p2p_matrix);
-    const auto sel = metrics::selectivity(p2p_matrix);
-    row.selectivity_mean = sel.mean;
-    row.selectivity_max = sel.max;
-  }
-  return row;
+  return analyze_stream(
+             [&trace](trace::EventSink& sink) { trace::emit(trace, sink); },
+             entry, options)
+      .row;
 }
 
 TopologyResult analyze_topology(const metrics::TrafficMatrix& full_matrix,
@@ -88,20 +116,36 @@ ExperimentRow analyze_trace(const trace::Trace& trace,
 
 ExperimentRow run_experiment(const workloads::CatalogEntry& entry,
                              const RunOptions& options) {
-  const auto trace =
-      workloads::generator(entry.app).generate(entry, options.seed);
-  return analyze_trace(trace, entry, options);
+  // Single pass: the generator streams straight into the accumulators,
+  // so no event vector exists at any point for natively streaming
+  // generators.
+  const auto& gen = workloads::generator(entry.app);
+  StreamAnalysis analysis = analyze_stream(
+      [&gen, &entry, &options](trace::EventSink& sink) {
+        gen.generate_into(entry, options.seed, sink);
+      },
+      entry, options, /*want_full_matrix=*/true);
+
+  ExperimentRow row = std::move(analysis.row);
+  const int num_ranks = row.stats.num_ranks;
+  const Seconds duration = row.stats.duration;
+  const auto topologies = topology::topologies_for(num_ranks);
+  const auto all = topologies.all();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    row.topologies[i] = analyze_topology(*analysis.full_matrix, *all[i],
+                                         num_ranks, duration, options);
+  }
+  return row;
 }
 
 // run_all lives in src/engine/sweep.cpp: it delegates to
 // engine::SweepEngine so every caller gets the parallel, cacheable
 // path. The declaration stays here because the result types do.
 
-DimensionalityRow dimensionality_study(const trace::Trace& trace,
-                                       const std::string& label) {
-  const metrics::TrafficMatrix p2p_matrix =
-      metrics::TrafficMatrix::from_trace(trace, {.include_p2p = true,
-                                                 .include_collectives = false});
+namespace {
+
+DimensionalityRow dimensionality_from_matrix(
+    const metrics::TrafficMatrix& p2p_matrix, const std::string& label) {
   DimensionalityRow row;
   row.label = label;
   row.locality_percent_1d = metrics::dimensional_rank_locality_percent(p2p_matrix, 1);
@@ -110,15 +154,12 @@ DimensionalityRow dimensionality_study(const trace::Trace& trace,
   return row;
 }
 
-MulticoreSeries multicore_study(const trace::Trace& trace,
-                                const std::string& label,
-                                const std::vector<int>& cores_per_node) {
+MulticoreSeries multicore_from_matrix(const metrics::TrafficMatrix& matrix,
+                                      const std::string& label,
+                                      const std::vector<int>& cores_per_node) {
   if (cores_per_node.empty()) {
     throw ConfigError("multicore_study: no cores-per-node values");
   }
-  const metrics::TrafficMatrix matrix =
-      metrics::TrafficMatrix::from_trace(trace, {.include_p2p = true,
-                                                 .include_collectives = true});
 
   auto inter_node_bytes = [&](int cores) -> double {
     double bytes = 0.0;
@@ -141,6 +182,49 @@ MulticoreSeries multicore_study(const trace::Trace& trace,
                                                  : 0.0);
   }
   return series;
+}
+
+metrics::TrafficMatrix matrix_from_feed(const EventFeed& feed,
+                                        const metrics::TrafficOptions& options) {
+  metrics::TrafficAccumulator accumulator(options);
+  feed(accumulator);
+  return accumulator.take();
+}
+
+}  // namespace
+
+DimensionalityRow dimensionality_study(const trace::Trace& trace,
+                                       const std::string& label) {
+  return dimensionality_from_matrix(
+      metrics::TrafficMatrix::from_trace(trace, {.include_p2p = true,
+                                                 .include_collectives = false}),
+      label);
+}
+
+DimensionalityRow dimensionality_study_stream(const EventFeed& feed,
+                                              const std::string& label) {
+  return dimensionality_from_matrix(
+      matrix_from_feed(feed, {.include_p2p = true,
+                              .include_collectives = false}),
+      label);
+}
+
+MulticoreSeries multicore_study(const trace::Trace& trace,
+                                const std::string& label,
+                                const std::vector<int>& cores_per_node) {
+  return multicore_from_matrix(
+      metrics::TrafficMatrix::from_trace(trace, {.include_p2p = true,
+                                                 .include_collectives = true}),
+      label, cores_per_node);
+}
+
+MulticoreSeries multicore_study_stream(const EventFeed& feed,
+                                       const std::string& label,
+                                       const std::vector<int>& cores_per_node) {
+  return multicore_from_matrix(
+      matrix_from_feed(feed, {.include_p2p = true,
+                              .include_collectives = true}),
+      label, cores_per_node);
 }
 
 SummaryClaims summarize(const std::vector<ExperimentRow>& rows) {

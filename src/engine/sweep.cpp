@@ -33,6 +33,29 @@ struct RowState {
   Seconds duration = 0.0;
 };
 
+/// Sink adapter for the timed flow sweep: p2p events become flows as
+/// they stream past (collectives are skipped, matching the p2p-only
+/// matrix the untimed mode feeds). Also captures the duration the
+/// static-utilization baseline needs; generators always pass an
+/// explicit duration at on_end().
+class FlowFeedSink final : public trace::EventSink {
+ public:
+  explicit FlowFeedSink(simulation::FlowSimulator* sim) : sim_(sim) {}
+
+  void on_begin(std::string_view /*app_name*/, int /*num_ranks*/) override {}
+  void on_p2p(const trace::P2PEvent& e) override {
+    if (sim_ != nullptr) sim_->add_flow(e.src, e.dst, e.bytes, e.time);
+  }
+  void on_collective(const trace::CollectiveEvent& /*event*/) override {}
+  void on_end(Seconds duration) override { duration_ = duration; }
+
+  [[nodiscard]] Seconds duration() const { return duration_; }
+
+ private:
+  simulation::FlowSimulator* sim_;
+  Seconds duration_ = 0.0;
+};
+
 }  // namespace
 
 SweepEngine::SweepEngine(SweepOptions options) : options_(std::move(options)) {
@@ -96,21 +119,25 @@ std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
     const workloads::CatalogEntry* entry = &entries[i];
     const analysis::RunOptions run = options_.run;
 
-    // Generate the trace and everything every topology job shares:
+    // Stream the generator into everything every topology job shares:
     // the full traffic matrix, the MPI-level metrics and the Table 2
-    // topology set. Each job owns its PRNG stream — the generator
-    // seeds from (entry, seed) internally and shares nothing.
+    // topology set — one pass, no event vector (streaming generators
+    // emit straight into the accumulator tee). Each job owns its PRNG
+    // stream — the generator seeds from (entry, seed) internally and
+    // shares nothing.
     const JobId generate = graph.add(
         entry->label(), "generate", [state, entry, run] {
-          const auto trace =
-              workloads::generator(entry->app).generate(*entry, run.seed);
-          state->row = analysis::analyze_mpi_level(trace, *entry, run);
-          state->full_matrix = std::make_shared<metrics::TrafficMatrix>(
-              metrics::TrafficMatrix::from_trace(
-                  trace, {.include_p2p = true, .include_collectives = true}));
-          state->topologies = topology::topologies_for(trace.num_ranks());
-          state->num_ranks = trace.num_ranks();
-          state->duration = trace.duration();
+          const auto& gen = workloads::generator(entry->app);
+          auto analysis = analysis::analyze_stream(
+              [&gen, entry, run](trace::EventSink& sink) {
+                gen.generate_into(*entry, run.seed, sink);
+              },
+              *entry, run, /*want_full_matrix=*/true);
+          state->row = std::move(analysis.row);
+          state->full_matrix = std::move(analysis.full_matrix);
+          state->num_ranks = state->row.stats.num_ranks;
+          state->duration = state->row.stats.duration;
+          state->topologies = topology::topologies_for(state->num_ranks);
         });
 
     // Fan out: one route + metrics job per topology.
@@ -172,8 +199,12 @@ std::vector<analysis::DimensionalityRow> SweepEngine::run_dimensionality(
     const workloads::CatalogEntry* entry = &entries[i];
     const std::uint64_t seed = options_.run.seed;
     graph.add(entry->label(), "study", [&rows, i, entry, seed] {
-      const auto trace = workloads::generator(entry->app).generate(*entry, seed);
-      rows[i] = analysis::dimensionality_study(trace, entry->label());
+      const auto& gen = workloads::generator(entry->app);
+      rows[i] = analysis::dimensionality_study_stream(
+          [&gen, entry, seed](trace::EventSink& sink) {
+            gen.generate_into(*entry, seed, sink);
+          },
+          entry->label());
     });
   }
   stats_.jobs_run = static_cast<int>(graph.size());
@@ -199,9 +230,12 @@ std::vector<analysis::MulticoreSeries> SweepEngine::run_multicore(
     const workloads::CatalogEntry* entry = &entries[i];
     const std::uint64_t seed = options_.run.seed;
     graph.add(entry->label(), "study", [&rows, i, entry, seed, &cores_per_node] {
-      const auto trace = workloads::generator(entry->app).generate(*entry, seed);
-      rows[i] =
-          analysis::multicore_study(trace, entry->label(), cores_per_node);
+      const auto& gen = workloads::generator(entry->app);
+      rows[i] = analysis::multicore_study_stream(
+          [&gen, entry, seed](trace::EventSink& sink) {
+            gen.generate_into(*entry, seed, sink);
+          },
+          entry->label(), cores_per_node);
     });
   }
   stats_.jobs_run = static_cast<int>(graph.size());
@@ -228,29 +262,32 @@ std::vector<FlowSweepResult> SweepEngine::run_flow_sweep(
     graph.add(spec->app + "/" + std::to_string(spec->ranks), "flow",
               [this, &results, i, spec, seed] {
       const auto& entry = workloads::catalog_entry(spec->app, spec->ranks);
-      const auto trace = workloads::generator(spec->app).generate(entry, seed);
-      const auto matrix = metrics::TrafficMatrix::from_trace(
-          trace, {.include_p2p = true, .include_collectives = false});
       const auto set = topology::topologies_for(spec->ranks);
       const auto mapping =
           mapping::Mapping::linear(spec->ranks, set.torus->num_nodes());
-
       simulation::FlowSimulator sim(*set.torus, mapping, {},
                                     plan_for(*set.torus, spec->ranks));
-      if (spec->timed) {
-        for (const auto& e : trace.p2p()) {
-          sim.add_flow(e.src, e.dst, e.bytes, e.time);
-        }
-      } else {
-        sim.add_matrix(matrix);
-      }
+
+      // One generator pass feeds both the p2p matrix (utilization
+      // baseline, untimed flows) and — in timed mode — the simulator
+      // directly, event by event.
+      metrics::TrafficAccumulator accumulator(
+          {.include_p2p = true, .include_collectives = false});
+      FlowFeedSink flows(spec->timed ? &sim : nullptr);
+      trace::SinkTee tee;
+      tee.add(accumulator);
+      tee.add(flows);
+      workloads::generator(spec->app).generate_into(entry, seed, tee);
+
+      const auto matrix = accumulator.take();
+      if (!spec->timed) sim.add_matrix(matrix);
 
       FlowSweepResult& out = results[i];
       out.label = spec->app + "/" + std::to_string(spec->ranks);
       out.flows = sim.flow_count();
       out.report = sim.run();
       out.static_utilization_percent =
-          metrics::utilization(matrix, *set.torus, mapping, trace.duration())
+          metrics::utilization(matrix, *set.torus, mapping, flows.duration())
               .utilization_percent;
     });
   }

@@ -78,9 +78,13 @@ void TaskGraph::run(ThreadPool& pool, EngineObserver* observer) {
 
   // execute() runs one job and releases its dependents; declared as a
   // shared recursive functor so completion handlers can enqueue from
-  // worker threads.
+  // worker threads. The recursive capture must be weak — a strong one
+  // would form a shared_ptr cycle and leak the functor (and the run
+  // state it holds) on every run. Each enqueued closure re-locks a
+  // strong reference, so the functor outlives every invocation.
   auto execute = std::make_shared<std::function<void(JobId)>>();
-  *execute = [this, state, observer, execute, &pool](JobId id) {
+  const std::weak_ptr<std::function<void(JobId)>> weak_execute = execute;
+  *execute = [this, state, observer, weak_execute, &pool](JobId id) {
     Node& job = jobs_[id];
     bool cancelled;
     {
@@ -113,7 +117,9 @@ void TaskGraph::run(ThreadPool& pool, EngineObserver* observer) {
       if (++state->completed == jobs_.size()) state->done_cv.notify_all();
     }
     for (const JobId dep : ready) {
-      pool.submit([execute, dep] { (*execute)(dep); });
+      // lock() cannot fail: run() holds a strong reference until every
+      // job has completed, and `dep` has not completed yet.
+      pool.submit([exec = weak_execute.lock(), dep] { (*exec)(dep); });
     }
   };
 

@@ -1,8 +1,9 @@
 #include "netloc/lint/trace_rules.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "netloc/lint/registry.hpp"
@@ -11,169 +12,177 @@ namespace netloc::lint {
 
 namespace {
 
-/// Emits through the registry with a per-rule cap so one systematic
-/// defect (e.g. every event self-addressed) yields a handful of
-/// representative diagnostics plus a tally, not millions of lines.
-class Emitter {
- public:
-  static constexpr std::size_t kPerRuleCap = 8;
-
-  Emitter(LintReport& report, std::string source)
-      : report_(report), source_(std::move(source)) {}
-
-  void emit(std::string_view rule, long index, std::string message,
-            std::string fixit = {}) {
-    auto& count = counts_[std::string(rule)];
-    ++count;
-    if (count > kPerRuleCap) return;  // Tallied in finish().
-    SourceContext context;
-    context.source = source_;
-    context.index = index;
-    report_.add(RuleRegistry::instance().make(rule, std::move(context),
-                                              std::move(message),
-                                              std::move(fixit)));
-  }
-
-  /// Emit "... and N more" records for rules that overflowed the cap.
-  void finish() {
-    for (const auto& [rule, count] : counts_) {
-      if (count <= kPerRuleCap) continue;
-      SourceContext context;
-      context.source = source_;
-      report_.add(RuleRegistry::instance().make(
-          rule, std::move(context),
-          "... and " + std::to_string(count - kPerRuleCap) +
-              " more findings of this rule"));
-    }
-  }
-
- private:
-  LintReport& report_;
-  std::string source_;
-  std::unordered_map<std::string, std::size_t> counts_;
-};
+/// Per-rule emission cap: one systematic defect (e.g. every event
+/// self-addressed) yields a handful of representative diagnostics plus
+/// a tally, not millions of lines.
+constexpr std::size_t kPerRuleCap = 8;
 
 bool rank_ok(Rank r, int num_ranks) { return r >= 0 && r < num_ranks; }
 
 }  // namespace
 
-LintReport lint_trace(const trace::Trace& trace, const std::string& source) {
-  LintReport report;
-  Emitter emit(report, source);
-  const int n = trace.num_ranks();
-  const Seconds duration = trace.duration();
+TraceLintSink::TraceLintSink(std::string source, Seconds duration_hint)
+    : source_(std::move(source)), duration_(duration_hint) {}
 
-  if (trace.empty()) {
-    emit.emit("TR009", -1,
-              "trace '" + trace.app_name() + "' carries no events",
-              "check the importer filters (communicators, call subset)");
+void TraceLintSink::emit(std::string_view rule, long index,
+                         std::string message, std::string fixit) {
+  auto& count = counts_[std::string(rule)];
+  ++count;
+  if (count > kPerRuleCap) return;  // Tallied at on_end().
+  SourceContext context;
+  context.source = source_;
+  context.index = index;
+  report_.add(RuleRegistry::instance().make(rule, std::move(context),
+                                            std::move(message),
+                                            std::move(fixit)));
+}
+
+std::uint64_t TraceLintSink::pair_key(Rank src, Rank dst) const {
+  return static_cast<std::uint64_t>(src) * static_cast<std::uint64_t>(n_) +
+         static_cast<std::uint64_t>(dst);
+}
+
+void TraceLintSink::on_begin(std::string_view app_name, int num_ranks) {
+  app_name_ = std::string(app_name);
+  n_ = num_ranks;
+  report_ = LintReport{};
+  p2p_index_ = 0;
+  coll_index_ = 0;
+  counts_.clear();
+  last_time_.clear();
+  pair_bytes_.clear();
+}
+
+void TraceLintSink::on_p2p(const trace::P2PEvent& e) {
+  const long index = p2p_index_++;
+  const std::string where = "p2p event #" + std::to_string(index);
+  if (!rank_ok(e.src, n_) || !rank_ok(e.dst, n_)) {
+    emit("TR001", index,
+         where + ": rank pair (" + std::to_string(e.src) + ", " +
+             std::to_string(e.dst) + ") outside [0, " + std::to_string(n_) +
+             ")");
+    return;
   }
-
-  // Per-pair walltime monotonicity state and per-pair volumes for the
-  // asymmetry rule. Traces only promise event order within one (src, dst)
-  // stream: importers append a rank's calls in file order, while
-  // generators group events pair by pair, so a per-source check would
-  // flag every multi-neighbour workload.
-  std::unordered_map<std::uint64_t, Seconds> last_time;
-  std::unordered_map<std::uint64_t, Bytes> pair_bytes;
-  const auto pair_key = [n](Rank src, Rank dst) {
-    return static_cast<std::uint64_t>(src) * static_cast<std::uint64_t>(n) +
-           static_cast<std::uint64_t>(dst);
-  };
-
-  long index = 0;
-  for (const auto& e : trace.p2p()) {
-    const std::string where = "p2p event #" + std::to_string(index);
-    if (!rank_ok(e.src, n) || !rank_ok(e.dst, n)) {
-      emit.emit("TR001", index,
-                where + ": rank pair (" + std::to_string(e.src) + ", " +
-                    std::to_string(e.dst) + ") outside [0, " +
-                    std::to_string(n) + ")");
-      ++index;
-      continue;
-    }
-    if (e.src == e.dst) {
-      emit.emit("TR002", index,
-                where + ": rank " + std::to_string(e.src) +
-                    " sends to itself; self-messages never enter the network",
-                "drop the event or fix the destination rank");
-    }
-    if (e.bytes == 0) {
-      emit.emit("TR003", index,
-                where + ": zero-byte transfer " + std::to_string(e.src) +
-                    " -> " + std::to_string(e.dst),
-                "zero-byte sends still cost a packet (Eq. 3); confirm intent");
-    }
-    if (e.time < 0.0 || !std::isfinite(e.time)) {
-      emit.emit("TR004", index,
-                where + ": event time " + std::to_string(e.time) +
-                    " is negative or non-finite");
-    } else {
-      if (duration > 0.0 && e.time > duration) {
-        emit.emit("TR008", index,
-                  where + ": time " + std::to_string(e.time) +
-                      " exceeds the trace duration " + std::to_string(duration),
-                  "re-derive the duration or re-normalize event times");
-      }
-      const std::uint64_t key = pair_key(e.src, e.dst);
-      const auto it = last_time.find(key);
-      if (it != last_time.end() && e.time < it->second) {
-        emit.emit("TR005", index,
-                  where + ": walltime went backwards on pair (" +
-                      std::to_string(e.src) + ", " + std::to_string(e.dst) +
-                      ") (" + std::to_string(e.time) + " after " +
-                      std::to_string(it->second) + ")");
-      }
-      last_time[key] = std::max(
-          e.time, it == last_time.end() ? e.time : it->second);
-      if (e.src != e.dst) pair_bytes[pair_key(e.src, e.dst)] += e.bytes;
-    }
-    ++index;
+  if (e.src == e.dst) {
+    emit("TR002", index,
+         where + ": rank " + std::to_string(e.src) +
+             " sends to itself; self-messages never enter the network",
+         "drop the event or fix the destination rank");
   }
+  if (e.bytes == 0) {
+    emit("TR003", index,
+         where + ": zero-byte transfer " + std::to_string(e.src) + " -> " +
+             std::to_string(e.dst),
+         "zero-byte sends still cost a packet (Eq. 3); confirm intent");
+  }
+  if (e.time < 0.0 || !std::isfinite(e.time)) {
+    emit("TR004", index,
+         where + ": event time " + std::to_string(e.time) +
+             " is negative or non-finite");
+  } else {
+    if (duration_ > 0.0 && e.time > duration_) {
+      emit("TR008", index,
+           where + ": time " + std::to_string(e.time) +
+               " exceeds the trace duration " + std::to_string(duration_),
+           "re-derive the duration or re-normalize event times");
+    }
+    // Traces only promise event order within one (src, dst) stream:
+    // importers append a rank's calls in file order, while generators
+    // group events pair by pair, so a per-source check would flag every
+    // multi-neighbour workload.
+    const std::uint64_t key = pair_key(e.src, e.dst);
+    const auto it = last_time_.find(key);
+    if (it != last_time_.end() && e.time < it->second) {
+      emit("TR005", index,
+           where + ": walltime went backwards on pair (" +
+               std::to_string(e.src) + ", " + std::to_string(e.dst) + ") (" +
+               std::to_string(e.time) + " after " +
+               std::to_string(it->second) + ")");
+    }
+    last_time_[key] =
+        std::max(e.time, it == last_time_.end() ? e.time : it->second);
+    if (e.src != e.dst) pair_bytes_[key] += e.bytes;
+  }
+}
 
-  index = 0;
-  for (const auto& e : trace.collectives()) {
-    const std::string where = "collective #" + std::to_string(index);
-    if (!rank_ok(e.root, n)) {
-      emit.emit("TR001", index,
-                where + ": root rank " + std::to_string(e.root) +
-                    " outside [0, " + std::to_string(n) + ")");
-    }
-    if (e.time < 0.0 || !std::isfinite(e.time)) {
-      emit.emit("TR004", index,
-                where + ": event time " + std::to_string(e.time) +
-                    " is negative or non-finite");
-    } else if (duration > 0.0 && e.time > duration) {
-      emit.emit("TR008", index,
-                where + ": time " + std::to_string(e.time) +
-                    " exceeds the trace duration " + std::to_string(duration));
-    }
-    ++index;
+void TraceLintSink::on_collective(const trace::CollectiveEvent& e) {
+  const long index = coll_index_++;
+  const std::string where = "collective #" + std::to_string(index);
+  if (!rank_ok(e.root, n_)) {
+    emit("TR001", index,
+         where + ": root rank " + std::to_string(e.root) + " outside [0, " +
+             std::to_string(n_) + ")");
+  }
+  if (e.time < 0.0 || !std::isfinite(e.time)) {
+    emit("TR004", index,
+         where + ": event time " + std::to_string(e.time) +
+             " is negative or non-finite");
+  } else if (duration_ > 0.0 && e.time > duration_) {
+    emit("TR008", index,
+         where + ": time " + std::to_string(e.time) +
+             " exceeds the trace duration " + std::to_string(duration_));
+  }
+}
+
+void TraceLintSink::on_end(Seconds /*duration*/) {
+  if (p2p_index_ == 0 && coll_index_ == 0) {
+    emit("TR009", -1, "trace '" + app_name_ + "' carries no events",
+         "check the importer filters (communicators, call subset)");
   }
 
   // TR006: pairs whose whole p2p volume flows one way. Most paper
   // workloads exchange bidirectionally; a silent one-way pair usually
   // means a dropped rank file or a filtered receive side.
-  for (const auto& [key, bytes] : pair_bytes) {
-    const Rank src = static_cast<Rank>(key / static_cast<std::uint64_t>(n));
-    const Rank dst = static_cast<Rank>(key % static_cast<std::uint64_t>(n));
+  for (const auto& [key, bytes] : pair_bytes_) {
+    const Rank src = static_cast<Rank>(key / static_cast<std::uint64_t>(n_));
+    const Rank dst = static_cast<Rank>(key % static_cast<std::uint64_t>(n_));
     if (src > dst) continue;  // Judge each unordered pair once.
-    const auto back = pair_bytes.find(pair_key(dst, src));
+    const auto back = pair_bytes_.find(pair_key(dst, src));
     const Bytes forward = bytes;
-    const Bytes reverse = back == pair_bytes.end() ? 0 : back->second;
+    const Bytes reverse = back == pair_bytes_.end() ? 0 : back->second;
     if ((forward == 0) != (reverse == 0)) {
       const Rank sender = forward > 0 ? src : dst;
       const Rank receiver = forward > 0 ? dst : src;
-      emit.emit("TR006", -1,
-                "pair (" + std::to_string(sender) + ", " +
-                    std::to_string(receiver) + "): " +
-                    std::to_string(forward + reverse) +
-                    " bytes flow one way with no return traffic");
+      emit("TR006", -1,
+           "pair (" + std::to_string(sender) + ", " +
+               std::to_string(receiver) + "): " +
+               std::to_string(forward + reverse) +
+               " bytes flow one way with no return traffic");
     }
   }
 
-  emit.finish();
-  return report;
+  // "... and N more" records for rules that overflowed the cap.
+  for (const auto& [rule, count] : counts_) {
+    if (count <= kPerRuleCap) continue;
+    SourceContext context;
+    context.source = source_;
+    report_.add(RuleRegistry::instance().make(
+        rule, std::move(context),
+        "... and " + std::to_string(count - kPerRuleCap) +
+            " more findings of this rule"));
+  }
+}
+
+LintReport TraceLintSink::take() {
+  LintReport result = std::move(report_);
+  report_ = LintReport{};
+  counts_.clear();
+  last_time_.clear();
+  pair_bytes_.clear();
+  p2p_index_ = 0;
+  coll_index_ = 0;
+  return result;
+}
+
+LintReport lint_trace(const trace::Trace& trace, const std::string& source) {
+  // Replayed inline rather than via trace::emit(): netloc_trace links
+  // against this library, so the lint pack cannot call back into it.
+  TraceLintSink sink(source, trace.duration());
+  sink.on_begin(trace.app_name(), trace.num_ranks());
+  for (const auto& e : trace.p2p()) sink.on_p2p(e);
+  for (const auto& e : trace.collectives()) sink.on_collective(e);
+  sink.on_end(trace.duration());
+  return sink.take();
 }
 
 Diagnostic trace_load_failure(const std::string& source,

@@ -8,44 +8,55 @@ namespace netloc::metrics {
 
 TimeProfile time_profile(const trace::Trace& trace, int windows,
                          const TrafficOptions& options) {
+  TimeProfileAccumulator accumulator(trace.duration(), windows, options);
+  trace::emit(trace, accumulator);
+  return accumulator.profile();
+}
+
+TimeProfileAccumulator::TimeProfileAccumulator(Seconds duration, int windows,
+                                               const TrafficOptions& options)
+    : windows_(windows), options_(options) {
   if (windows < 1) throw ConfigError("time_profile: windows must be >= 1");
-  TimeProfile profile;
-  const Seconds duration = trace.duration();
-  if (duration <= 0.0) {
-    profile.window_bytes.assign(static_cast<std::size_t>(windows), 0.0);
-    return profile;
+  profile_.window_bytes.assign(static_cast<std::size_t>(windows), 0.0);
+  if (duration > 0.0) {
+    profile_.window_seconds = duration / windows;
   }
-  profile.window_seconds = duration / windows;
-  profile.window_bytes.assign(static_cast<std::size_t>(windows), 0.0);
+}
 
-  auto window_of = [&](Seconds t) {
-    const auto w = static_cast<int>(t / profile.window_seconds);
-    return static_cast<std::size_t>(std::clamp(w, 0, windows - 1));
-  };
+void TimeProfileAccumulator::on_begin(std::string_view /*app_name*/,
+                                      int /*num_ranks*/) {}
 
-  if (options.include_p2p) {
-    for (const auto& e : trace.p2p()) {
-      profile.window_bytes[window_of(e.time)] += static_cast<double>(e.bytes);
-    }
-  }
-  if (options.include_collectives) {
-    for (const auto& e : trace.collectives()) {
-      profile.window_bytes[window_of(e.time)] += static_cast<double>(e.bytes);
-    }
-  }
+void TimeProfileAccumulator::add_volume(Seconds time, Bytes bytes) {
+  if (profile_.window_seconds <= 0.0) return;  // Zero-duration trace.
+  const auto w = static_cast<int>(time / profile_.window_seconds);
+  profile_.window_bytes[static_cast<std::size_t>(
+      std::clamp(w, 0, windows_ - 1))] += static_cast<double>(bytes);
+}
 
+void TimeProfileAccumulator::on_p2p(const trace::P2PEvent& event) {
+  if (options_.include_p2p) add_volume(event.time, event.bytes);
+}
+
+void TimeProfileAccumulator::on_collective(const trace::CollectiveEvent& event) {
+  if (options_.include_collectives) add_volume(event.time, event.bytes);
+}
+
+void TimeProfileAccumulator::on_end(Seconds /*duration*/) {
+  if (profile_.window_seconds <= 0.0) return;  // All-zero profile.
+  profile_.total_bytes = 0.0;
+  profile_.peak_window_bytes = 0.0;
   int idle = 0;
-  for (const double b : profile.window_bytes) {
-    profile.total_bytes += b;
-    profile.peak_window_bytes = std::max(profile.peak_window_bytes, b);
+  for (const double b : profile_.window_bytes) {
+    profile_.total_bytes += b;
+    profile_.peak_window_bytes = std::max(profile_.peak_window_bytes, b);
     if (b == 0.0) ++idle;
   }
-  profile.mean_window_bytes = profile.total_bytes / windows;
-  profile.burstiness = profile.mean_window_bytes > 0.0
-                           ? profile.peak_window_bytes / profile.mean_window_bytes
-                           : 0.0;
-  profile.idle_window_fraction = static_cast<double>(idle) / windows;
-  return profile;
+  profile_.mean_window_bytes = profile_.total_bytes / windows_;
+  profile_.burstiness =
+      profile_.mean_window_bytes > 0.0
+          ? profile_.peak_window_bytes / profile_.mean_window_bytes
+          : 0.0;
+  profile_.idle_window_fraction = static_cast<double>(idle) / windows_;
 }
 
 double peak_window_utilization_percent(const TimeProfile& profile,

@@ -19,6 +19,35 @@ int checked_ranks(int num_ranks) {
   return num_ranks;
 }
 
+/// Expand grouped collectives into `matrix`, each distinct pattern once
+/// and scaled by its repeat count.
+void expand_collective_groups(TrafficMatrix& matrix,
+                              const TrafficOptions& options,
+                              const CollectiveGroups& groups) {
+  const int num_ranks = matrix.num_ranks();
+  for (const auto& [key, count] : groups) {
+    const auto [op, root, bytes] = key;
+    const Count repeat = count;
+    if (options.collective_algorithm == collectives::Algorithm::FlatDirect) {
+      // Flat path keeps the trace's byte totals exact (no payload
+      // round trip).
+      collectives::for_each_pair(
+          op, root, num_ranks, bytes,
+          [&](Rank src, Rank dst, Bytes message_bytes) {
+            matrix.add_messages(src, dst, message_bytes, repeat);
+          });
+    } else {
+      const Bytes payload =
+          collectives::payload_from_flat_total(op, num_ranks, bytes);
+      collectives::for_each_message(
+          options.collective_algorithm, op, root, num_ranks, payload,
+          [&](Rank src, Rank dst, Bytes message_bytes, Count messages) {
+            matrix.add_messages(src, dst, message_bytes, messages * repeat);
+          });
+    }
+  }
+}
+
 }  // namespace
 
 TrafficMatrix::TrafficMatrix(int num_ranks)
@@ -44,6 +73,21 @@ void TrafficMatrix::add_messages(Rank src, Rank dst, Bytes bytes, Count count) {
   total_packets_ += packets;
 }
 
+void TrafficMatrix::add_cell(Rank src, Rank dst, Bytes bytes, Count packets) {
+  if (src < 0 || src >= n_ || dst < 0 || dst >= n_) {
+    throw ConfigError("TrafficMatrix: rank out of range");
+  }
+  if (frozen()) {
+    throw ConfigError("TrafficMatrix: cannot add messages after freeze()");
+  }
+  if (src == dst || (bytes == 0 && packets == 0)) return;
+  TrafficCell& cell = cells_.slot(src, dst);
+  cell.bytes += bytes;
+  cell.packets += packets;
+  total_bytes_ += bytes;
+  total_packets_ += packets;
+}
+
 std::vector<mapping::TrafficEdge> TrafficMatrix::edges() const {
   std::vector<mapping::TrafficEdge> result;
   for_each_nonzero([&](Rank s, Rank d, const TrafficCell& cell) {
@@ -64,43 +108,134 @@ std::vector<Rank> TrafficMatrix::destinations_of(Rank src) const {
 
 TrafficMatrix TrafficMatrix::from_trace(const trace::Trace& trace,
                                         const TrafficOptions& options) {
-  TrafficMatrix matrix(trace.num_ranks());
-  if (options.include_p2p) {
-    for (const auto& e : trace.p2p()) {
-      matrix.add_message(e.src, e.dst, e.bytes);
-    }
+  TrafficAccumulator accumulator(options);
+  trace::emit(trace, accumulator);
+  return accumulator.take();
+}
+
+TrafficAccumulator::TrafficAccumulator(const TrafficOptions& options)
+    : options_(options) {}
+
+void TrafficAccumulator::on_begin(std::string_view /*app_name*/,
+                                  int num_ranks) {
+  matrix_.emplace(num_ranks);
+  ended_ = false;
+  groups_.clear();
+}
+
+void TrafficAccumulator::on_p2p(const trace::P2PEvent& event) {
+  if (!matrix_) {
+    throw ConfigError("TrafficAccumulator: on_p2p() before on_begin()");
   }
-  if (options.include_collectives) {
+  if (options_.include_p2p) {
+    matrix_->add_message(event.src, event.dst, event.bytes);
+  }
+}
+
+void TrafficAccumulator::on_collective(const trace::CollectiveEvent& event) {
+  if (!matrix_) {
+    throw ConfigError("TrafficAccumulator: on_collective() before on_begin()");
+  }
+  if (options_.include_collectives) {
     // Group identical collectives so each distinct pattern is expanded
-    // once. Timing is irrelevant for the matrix.
-    std::map<std::tuple<trace::CollectiveOp, Rank, Bytes>, Count> groups;
-    for (const auto& e : trace.collectives()) {
-      ++groups[{e.op, e.root, e.bytes}];
-    }
-    for (const auto& [key, count] : groups) {
-      const auto [op, root, bytes] = key;
-      const Count repeat = count;
-      if (options.collective_algorithm == collectives::Algorithm::FlatDirect) {
-        // Flat path keeps the trace's byte totals exact (no payload
-        // round trip).
-        collectives::for_each_pair(
-            op, root, trace.num_ranks(), bytes,
-            [&](Rank src, Rank dst, Bytes message_bytes) {
-              matrix.add_messages(src, dst, message_bytes, repeat);
-            });
-      } else {
-        const Bytes payload =
-            collectives::payload_from_flat_total(op, trace.num_ranks(), bytes);
-        collectives::for_each_message(
-            options.collective_algorithm, op, root, trace.num_ranks(), payload,
-            [&](Rank src, Rank dst, Bytes message_bytes, Count messages) {
-              matrix.add_messages(src, dst, message_bytes, messages * repeat);
-            });
-      }
-    }
+    // once, at on_end(). Timing is irrelevant for the matrix.
+    ++groups_[{event.op, event.root, event.bytes}];
   }
-  matrix.freeze();
-  return matrix;
+}
+
+void TrafficAccumulator::on_end(Seconds /*duration*/) {
+  if (!matrix_) {
+    throw ConfigError("TrafficAccumulator: on_end() before on_begin()");
+  }
+  expand_collective_groups(*matrix_, options_, groups_);
+  groups_.clear();
+  matrix_->freeze();
+  ended_ = true;
+}
+
+TrafficMatrix TrafficAccumulator::take() {
+  if (!matrix_ || !ended_) {
+    throw ConfigError("TrafficAccumulator: take() before on_end()");
+  }
+  TrafficMatrix result = std::move(*matrix_);
+  matrix_.reset();
+  ended_ = false;
+  return result;
+}
+
+const TrafficMatrix& TrafficAccumulator::matrix() const {
+  if (!matrix_ || !ended_) {
+    throw ConfigError("TrafficAccumulator: matrix() before on_end()");
+  }
+  return *matrix_;
+}
+
+DualTrafficAccumulator::DualTrafficAccumulator(const TrafficOptions& options)
+    : options_(options) {}
+
+void DualTrafficAccumulator::on_begin(std::string_view /*app_name*/,
+                                      int num_ranks) {
+  p2p_.emplace(num_ranks);
+  ended_ = false;
+  groups_.clear();
+}
+
+void DualTrafficAccumulator::on_p2p(const trace::P2PEvent& event) {
+  if (!p2p_) {
+    throw ConfigError("DualTrafficAccumulator: on_p2p() before on_begin()");
+  }
+  p2p_->add_message(event.src, event.dst, event.bytes);
+}
+
+void DualTrafficAccumulator::on_collective(const trace::CollectiveEvent& event) {
+  if (!p2p_) {
+    throw ConfigError(
+        "DualTrafficAccumulator: on_collective() before on_begin()");
+  }
+  if (options_.include_collectives) {
+    ++groups_[{event.op, event.root, event.bytes}];
+  }
+}
+
+void DualTrafficAccumulator::on_end(Seconds /*duration*/) {
+  if (!p2p_) {
+    throw ConfigError("DualTrafficAccumulator: on_end() before on_begin()");
+  }
+  // Freeze first: the dense buffer is released before take_full()
+  // opens the full matrix's, so the two never coexist.
+  p2p_->freeze();
+  ended_ = true;
+}
+
+TrafficMatrix DualTrafficAccumulator::take_full() {
+  if (!p2p_ || !ended_) {
+    throw ConfigError(
+        "DualTrafficAccumulator: take_full() before on_end() or after "
+        "take_p2p()");
+  }
+  TrafficMatrix full(p2p_->num_ranks());
+  if (options_.include_p2p) {
+    // Replaying aggregated cells instead of individual messages is
+    // exact: cell sums are integers, and the per-message Eq. 3 packet
+    // counts are carried over rather than recomputed.
+    p2p_->for_each_nonzero([&](Rank src, Rank dst, const TrafficCell& cell) {
+      full.add_cell(src, dst, cell.bytes, cell.packets);
+    });
+  }
+  expand_collective_groups(full, options_, groups_);
+  groups_.clear();
+  full.freeze();
+  return full;
+}
+
+TrafficMatrix DualTrafficAccumulator::take_p2p() {
+  if (!p2p_ || !ended_) {
+    throw ConfigError("DualTrafficAccumulator: take_p2p() before on_end()");
+  }
+  TrafficMatrix result = std::move(*p2p_);
+  p2p_.reset();
+  ended_ = false;
+  return result;
 }
 
 }  // namespace netloc::metrics

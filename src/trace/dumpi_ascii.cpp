@@ -149,7 +149,7 @@ Bytes builtin_datatype_size(const std::string& name) {
 }
 
 std::size_t parse_dumpi_ascii_rank(std::istream& in, Rank rank, int num_ranks,
-                                   TraceBuilder& builder,
+                                   EventSink& sink,
                                    const DumpiAsciiOptions& options) {
   if (num_ranks < 1) throw TraceFormatError("dumpi: num_ranks must be >= 1");
   if (rank < 0 || rank >= num_ranks) {
@@ -220,7 +220,8 @@ std::size_t parse_dumpi_ascii_rank(std::istream& in, Rank rank, int num_ranks,
         throw fail(op + ": missing or invalid dest");
       }
       if (static_cast<Rank>(dest) != rank) {
-        builder.add_p2p(rank, static_cast<Rank>(dest), payload_bytes(record, options), t);
+        sink.on_p2p(P2PEvent{rank, static_cast<Rank>(dest),
+                             payload_bytes(record, options), t});
       }
     } else if (op == "MPI_Bcast" || op == "MPI_Reduce" || op == "MPI_Gather" ||
                op == "MPI_Scatter") {
@@ -232,7 +233,8 @@ std::size_t parse_dumpi_ascii_rank(std::istream& in, Rank rank, int num_ranks,
                                 : op == "MPI_Reduce" ? CollectiveOp::Reduce
                                 : op == "MPI_Gather" ? CollectiveOp::Gather
                                                      : CollectiveOp::Scatter;
-      builder.add_collective(coll, static_cast<Rank>(root), total, t);
+      sink.on_collective(
+          CollectiveEvent{coll, static_cast<Rank>(root), total, t});
     } else if (op == "MPI_Allreduce" || op == "MPI_Allgather" ||
                op == "MPI_Alltoall" || op == "MPI_Reduce_scatter") {
       if (rank != 0) continue;  // Count once, at rank 0.
@@ -241,10 +243,10 @@ std::size_t parse_dumpi_ascii_rank(std::istream& in, Rank rank, int num_ranks,
                                 : op == "MPI_Allgather" ? CollectiveOp::Allgather
                                 : op == "MPI_Alltoall"  ? CollectiveOp::Alltoall
                                                         : CollectiveOp::ReduceScatter;
-      builder.add_collective(coll, 0, total, t);
+      sink.on_collective(CollectiveEvent{coll, 0, total, t});
     } else if (op == "MPI_Barrier") {
       if (rank != 0) continue;
-      builder.add_collective(CollectiveOp::Barrier, 0, 0, t);
+      sink.on_collective(CollectiveEvent{CollectiveOp::Barrier, 0, 0, t});
     }
     // All other calls (receives, waits, administrative calls) carry no
     // send-side volume and are intentionally ignored.
@@ -252,20 +254,37 @@ std::size_t parse_dumpi_ascii_rank(std::istream& in, Rank rank, int num_ranks,
   return calls;
 }
 
-Trace read_dumpi_ascii(const std::string& app_name,
-                       const std::vector<std::string>& rank_paths,
-                       const DumpiAsciiOptions& options) {
+std::size_t parse_dumpi_ascii_rank(std::istream& in, Rank rank, int num_ranks,
+                                   TraceBuilder& builder,
+                                   const DumpiAsciiOptions& options) {
+  BuilderSink sink(builder);
+  return parse_dumpi_ascii_rank(in, rank, num_ranks, sink, options);
+}
+
+void scan_dumpi_ascii(const std::string& app_name,
+                      const std::vector<std::string>& rank_paths,
+                      EventSink& sink, const DumpiAsciiOptions& options) {
   if (rank_paths.empty()) throw TraceFormatError("dumpi: no rank files");
   const int num_ranks = static_cast<int>(rank_paths.size());
-  TraceBuilder builder(app_name, num_ranks);
+  sink.on_begin(app_name, num_ranks);
   for (int rank = 0; rank < num_ranks; ++rank) {
     std::ifstream in(rank_paths[static_cast<std::size_t>(rank)]);
     if (!in) {
       throw Error("dumpi: cannot open " + rank_paths[static_cast<std::size_t>(rank)]);
     }
-    parse_dumpi_ascii_rank(in, rank, num_ranks, builder, options);
+    parse_dumpi_ascii_rank(in, rank, num_ranks, sink, options);
   }
-  return builder.build();
+  // Duration: derived from the latest event, the TraceBuilder
+  // convention the materialized importer always had.
+  sink.on_end(-1.0);
+}
+
+Trace read_dumpi_ascii(const std::string& app_name,
+                       const std::vector<std::string>& rank_paths,
+                       const DumpiAsciiOptions& options) {
+  TraceCollector collector;
+  scan_dumpi_ascii(app_name, rank_paths, collector, options);
+  return collector.take();
 }
 
 }  // namespace netloc::trace

@@ -31,6 +31,42 @@ void check_rank(Rank r, int num_ranks, const char* what) {
   }
 }
 
+// Fixed on-disk record widths, used to bound the header's event counts
+// against the stream size before any allocation happens.
+constexpr std::uint64_t kP2PRecordBytes = 4 + 4 + 8 + 8;   // src dst bytes time
+constexpr std::uint64_t kCollRecordBytes = 1 + 4 + 8 + 8;  // op root bytes time
+
+/// Bytes left in the stream from the current position, or -1 when the
+/// stream is not seekable (then counts cannot be pre-validated and the
+/// reserve hint is withheld — memory stays bounded by the actual data).
+std::int64_t remaining_bytes(std::istream& in) {
+  const auto pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return -1;
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.clear();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) return -1;
+  return static_cast<std::int64_t>(end - pos);
+}
+
+/// Validate an event count read straight from the file: `count` records
+/// of `record_bytes` each must fit in what the stream still holds. A
+/// corrupt 8-byte header then throws TraceFormatError instead of
+/// driving a multi-gigabyte reserve into std::bad_alloc.
+bool count_fits_stream(std::istream& in, std::uint64_t count,
+                       std::uint64_t record_bytes, const char* what) {
+  const std::int64_t remaining = remaining_bytes(in);
+  if (remaining < 0) return false;  // Not seekable: no bound available.
+  if (count > static_cast<std::uint64_t>(remaining) / record_bytes) {
+    throw TraceFormatError(
+        "trace " + std::string(what) + " " + std::to_string(count) +
+        " exceeds the remaining stream size (" + std::to_string(remaining) +
+        " bytes); corrupt or truncated header");
+  }
+  return true;
+}
+
 }  // namespace
 
 void write_binary(const Trace& trace, std::ostream& out) {
@@ -63,7 +99,7 @@ void write_binary(const Trace& trace, std::ostream& out) {
   if (!out) throw Error("trace write failed (I/O error)");
 }
 
-Trace read_binary(std::istream& in) {
+void scan_binary(std::istream& in, EventSink& sink) {
   Reader r(in, "trace");
   char magic[4];
   r.get_bytes(magic, sizeof(magic), "magic");
@@ -90,10 +126,12 @@ Trace read_binary(std::istream& in) {
   if (!(duration >= 0.0)) {
     throw TraceFormatError("trace duration must be non-negative");
   }
+  sink.on_begin(name, num_ranks);
 
   const auto p2p_count = r.get<std::uint64_t>("p2p event count");
-  std::vector<P2PEvent> p2p;
-  p2p.reserve(static_cast<std::size_t>(p2p_count));
+  if (count_fits_stream(in, p2p_count, kP2PRecordBytes, "p2p event count")) {
+    sink.on_reserve(p2p_count, 0);
+  }
   for (std::uint64_t i = 0; i < p2p_count; ++i) {
     P2PEvent e;
     e.src = r.get<std::int32_t>("p2p src");
@@ -102,12 +140,14 @@ Trace read_binary(std::istream& in) {
     e.time = r.get<double>("p2p time");
     check_rank(e.src, num_ranks, "p2p source");
     check_rank(e.dst, num_ranks, "p2p destination");
-    p2p.push_back(e);
+    sink.on_p2p(e);
   }
 
   const auto coll_count = r.get<std::uint64_t>("collective event count");
-  std::vector<CollectiveEvent> colls;
-  colls.reserve(static_cast<std::size_t>(coll_count));
+  if (count_fits_stream(in, coll_count, kCollRecordBytes,
+                        "collective event count")) {
+    sink.on_reserve(0, coll_count);
+  }
   for (std::uint64_t i = 0; i < coll_count; ++i) {
     CollectiveEvent e;
     const auto op = r.get<std::uint8_t>("collective op");
@@ -119,13 +159,17 @@ Trace read_binary(std::istream& in) {
     e.bytes = r.get<std::uint64_t>("collective bytes");
     e.time = r.get<double>("collective time");
     check_rank(e.root, num_ranks, "collective root");
-    colls.push_back(e);
+    sink.on_collective(e);
   }
 
   r.verify_checksum();
+  sink.on_end(duration);
+}
 
-  return Trace(std::move(name), num_ranks, duration, std::move(p2p),
-               std::move(colls));
+Trace read_binary(std::istream& in) {
+  TraceCollector collector;
+  scan_binary(in, collector);
+  return collector.take();
 }
 
 void write_text(const Trace& trace, std::ostream& out) {
@@ -144,14 +188,11 @@ void write_text(const Trace& trace, std::ostream& out) {
   if (!out) throw Error("trace write failed (I/O error)");
 }
 
-Trace read_text(std::istream& in) {
+void scan_text(std::istream& in, EventSink& sink) {
   std::string line;
   bool have_header = false;
-  std::string name;
   int num_ranks = 0;
   double duration = 0.0;
-  std::vector<P2PEvent> p2p;
-  std::vector<CollectiveEvent> colls;
 
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -171,14 +212,16 @@ Trace read_text(std::istream& in) {
       const auto q1 = rest.find('"');
       const auto q2 = rest.rfind('"');
       if (q1 == std::string::npos || q2 == q1) throw fail("missing quoted app name");
-      name = rest.substr(q1 + 1, q2 - q1 - 1);
+      const std::string name = rest.substr(q1 + 1, q2 - q1 - 1);
       std::istringstream tail(rest.substr(q2 + 1));
       std::string kw1, kw2;
       if (!(tail >> kw1 >> num_ranks >> kw2 >> duration) || kw1 != "ranks" ||
           kw2 != "duration" || num_ranks < 1 || duration < 0.0) {
         throw fail("malformed trace header");
       }
+      if (have_header) throw fail("duplicate trace header");
       have_header = true;
+      sink.on_begin(name, num_ranks);
     } else if (kind == "p2p") {
       if (!have_header) throw fail("p2p record before trace header");
       P2PEvent e;
@@ -187,7 +230,7 @@ Trace read_text(std::istream& in) {
       }
       check_rank(e.src, num_ranks, "p2p source");
       check_rank(e.dst, num_ranks, "p2p destination");
-      p2p.push_back(e);
+      sink.on_p2p(e);
     } else if (kind == "coll") {
       if (!have_header) throw fail("coll record before trace header");
       std::string op_name;
@@ -197,14 +240,30 @@ Trace read_text(std::istream& in) {
       }
       e.op = collective_op_from_string(op_name);
       check_rank(e.root, num_ranks, "collective root");
-      colls.push_back(e);
+      sink.on_collective(e);
     } else {
       throw fail("unknown record kind '" + kind + "'");
     }
   }
   if (!have_header) throw TraceFormatError("text trace has no header line");
-  return Trace(std::move(name), num_ranks, duration, std::move(p2p),
-               std::move(colls));
+  sink.on_end(duration);
+}
+
+Trace read_text(std::istream& in) {
+  TraceCollector collector;
+  scan_text(in, collector);
+  return collector.take();
+}
+
+void scan(const std::string& path, EventSink& sink) {
+  const bool binary = path.size() >= 5 && path.ends_with(".nltr");
+  std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
+  if (!in) throw Error("cannot open trace file for reading: " + path);
+  if (binary) {
+    scan_binary(in, sink);
+  } else {
+    scan_text(in, sink);
+  }
 }
 
 void save(const Trace& trace, const std::string& path) {

@@ -1,0 +1,131 @@
+#include "netloc/trace/sink.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::trace {
+
+// ---- TraceCollector -------------------------------------------------------
+
+void TraceCollector::require_begun(const char* what) const {
+  if (!begun_) {
+    throw ConfigError(std::string("TraceCollector: ") + what +
+                      " before on_begin()");
+  }
+  if (ended_) {
+    throw ConfigError(std::string("TraceCollector: ") + what +
+                      " after on_end()");
+  }
+}
+
+void TraceCollector::on_begin(std::string_view app_name, int num_ranks) {
+  if (begun_) {
+    throw ConfigError("TraceCollector: on_begin() called twice");
+  }
+  if (num_ranks < 1) {
+    throw ConfigError("TraceCollector: num_ranks must be >= 1");
+  }
+  begun_ = true;
+  app_name_.assign(app_name);
+  num_ranks_ = num_ranks;
+}
+
+void TraceCollector::on_reserve(std::uint64_t p2p_events,
+                                std::uint64_t collective_events) {
+  require_begun("on_reserve()");
+  p2p_.reserve(p2p_.size() + static_cast<std::size_t>(p2p_events));
+  collectives_.reserve(collectives_.size() +
+                       static_cast<std::size_t>(collective_events));
+}
+
+void TraceCollector::on_p2p(const P2PEvent& event) {
+  require_begun("on_p2p()");
+  p2p_.push_back(event);
+  max_time_ = std::max(max_time_, event.time);
+}
+
+void TraceCollector::on_collective(const CollectiveEvent& event) {
+  require_begun("on_collective()");
+  collectives_.push_back(event);
+  max_time_ = std::max(max_time_, event.time);
+}
+
+void TraceCollector::on_end(Seconds duration) {
+  require_begun("on_end()");
+  ended_ = true;
+  duration_ = duration < 0.0 ? max_time_ : duration;
+}
+
+Trace TraceCollector::take() {
+  if (!ended_) {
+    throw ConfigError("TraceCollector: take() before on_end()");
+  }
+  Trace result(std::move(app_name_), num_ranks_, duration_, std::move(p2p_),
+               std::move(collectives_));
+  app_name_.clear();
+  p2p_.clear();
+  collectives_.clear();
+  begun_ = false;
+  ended_ = false;
+  num_ranks_ = 0;
+  duration_ = 0.0;
+  max_time_ = 0.0;
+  return result;
+}
+
+// ---- SinkTee --------------------------------------------------------------
+
+SinkTee::SinkTee(std::vector<EventSink*> sinks) : sinks_(std::move(sinks)) {
+  for (const auto* sink : sinks_) {
+    if (sink == nullptr) throw ConfigError("SinkTee: null sink");
+  }
+}
+
+void SinkTee::on_begin(std::string_view app_name, int num_ranks) {
+  for (auto* sink : sinks_) sink->on_begin(app_name, num_ranks);
+}
+
+void SinkTee::on_reserve(std::uint64_t p2p_events,
+                         std::uint64_t collective_events) {
+  for (auto* sink : sinks_) sink->on_reserve(p2p_events, collective_events);
+}
+
+void SinkTee::on_p2p(const P2PEvent& event) {
+  for (auto* sink : sinks_) sink->on_p2p(event);
+}
+
+void SinkTee::on_collective(const CollectiveEvent& event) {
+  for (auto* sink : sinks_) sink->on_collective(event);
+}
+
+void SinkTee::on_end(Seconds duration) {
+  for (auto* sink : sinks_) sink->on_end(duration);
+}
+
+// ---- BuilderSink ----------------------------------------------------------
+
+void BuilderSink::on_begin(std::string_view /*app_name*/, int /*num_ranks*/) {}
+
+void BuilderSink::on_p2p(const P2PEvent& event) {
+  builder_->add_p2p(event.src, event.dst, event.bytes, event.time);
+}
+
+void BuilderSink::on_collective(const CollectiveEvent& event) {
+  builder_->add_collective(event.op, event.root, event.bytes, event.time);
+}
+
+void BuilderSink::on_end(Seconds /*duration*/) {}
+
+// ---- emit -----------------------------------------------------------------
+
+void emit(const Trace& trace, EventSink& sink) {
+  sink.on_begin(trace.app_name(), trace.num_ranks());
+  sink.on_reserve(trace.p2p().size(), trace.collectives().size());
+  for (const auto& event : trace.p2p()) sink.on_p2p(event);
+  for (const auto& event : trace.collectives()) sink.on_collective(event);
+  sink.on_end(trace.duration());
+}
+
+}  // namespace netloc::trace

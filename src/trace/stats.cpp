@@ -1,5 +1,7 @@
 #include "netloc/trace/stats.hpp"
 
+#include <algorithm>
+
 #include "netloc/common/units.hpp"
 
 namespace netloc::trace {
@@ -25,19 +27,32 @@ double TraceStats::volume_mb() const {
   return static_cast<double>(total_volume()) / kMB;
 }
 
+void StatsAccumulator::on_begin(std::string_view /*app_name*/, int num_ranks) {
+  stats_ = TraceStats{};
+  max_time_ = 0.0;
+  stats_.num_ranks = num_ranks;
+}
+
+void StatsAccumulator::on_p2p(const P2PEvent& event) {
+  stats_.p2p_volume += event.bytes;
+  ++stats_.p2p_messages;
+  max_time_ = std::max(max_time_, event.time);
+}
+
+void StatsAccumulator::on_collective(const CollectiveEvent& event) {
+  stats_.collective_volume += event.bytes;
+  ++stats_.collective_calls;
+  max_time_ = std::max(max_time_, event.time);
+}
+
+void StatsAccumulator::on_end(Seconds duration) {
+  stats_.duration = duration < 0.0 ? max_time_ : duration;
+}
+
 TraceStats compute_stats(const Trace& trace) {
-  TraceStats stats;
-  stats.num_ranks = trace.num_ranks();
-  stats.duration = trace.duration();
-  for (const auto& e : trace.p2p()) {
-    stats.p2p_volume += e.bytes;
-    ++stats.p2p_messages;
-  }
-  for (const auto& e : trace.collectives()) {
-    stats.collective_volume += e.bytes;
-    ++stats.collective_calls;
-  }
-  return stats;
+  StatsAccumulator accumulator;
+  emit(trace, accumulator);
+  return accumulator.stats();
 }
 
 }  // namespace netloc::trace

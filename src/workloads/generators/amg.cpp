@@ -24,6 +24,16 @@ class AmgGenerator final : public WorkloadGenerator {
 
   [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
                                       std::uint64_t /*seed*/) const override {
+    return pattern(target).build(build_params(target));
+  }
+
+  void generate_into(const CatalogEntry& target, std::uint64_t /*seed*/,
+                     trace::EventSink& sink) const override {
+    pattern(target).build_into(build_params(target), sink);
+  }
+
+ private:
+  [[nodiscard]] PatternBuilder pattern(const CatalogEntry& target) const {
     const GridDims dims = balanced_dims(target.ranks, 3);
     PatternBuilder builder(name(), target.ranks);
 
@@ -42,14 +52,17 @@ class AmgGenerator final : public WorkloadGenerator {
       add_stencil(builder, dims, StencilScope::Full, weights, stride);
       level_scale *= 0.07;
     }
+    return builder;
+  }
 
+  [[nodiscard]] static BuildParams build_params(const CatalogEntry& target) {
     BuildParams params;
     params.p2p_bytes = target.p2p_bytes();
     params.collective_bytes = target.collective_bytes();
     params.duration = target.time_s;
     params.iterations = 25;
     params.preferred_message_bytes = 2048;
-    return builder.build(params);
+    return params;
   }
 };
 

@@ -19,17 +19,30 @@ class BigFftGenerator final : public WorkloadGenerator {
 
   [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
                                       std::uint64_t /*seed*/) const override {
+    return pattern(target).build(build_params(target));
+  }
+
+  void generate_into(const CatalogEntry& target, std::uint64_t /*seed*/,
+                     trace::EventSink& sink) const override {
+    pattern(target).build_into(build_params(target), sink);
+  }
+
+ private:
+  [[nodiscard]] PatternBuilder pattern(const CatalogEntry& target) const {
     PatternBuilder builder(name(), target.ranks);
     // Two transposes per FFT step (forward, inverse); relative weights
     // are equal — the builder spreads volume over iterations anyway.
     builder.collective(trace::CollectiveOp::Alltoall, 0, 1.0, 60);
+    return builder;
+  }
 
+  [[nodiscard]] static BuildParams build_params(const CatalogEntry& target) {
     BuildParams params;
     params.p2p_bytes = target.p2p_bytes();  // 0 by catalog
     params.collective_bytes = target.collective_bytes();
     params.duration = target.time_s;
     params.iterations = 16;
-    return builder.build(params);
+    return params;
   }
 };
 

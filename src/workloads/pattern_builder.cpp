@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <tuple>
 
 #include "netloc/common/error.hpp"
@@ -34,14 +35,20 @@ void PatternBuilder::collective(trace::CollectiveOp op, Rank root, double weight
 }
 
 trace::Trace PatternBuilder::build(const BuildParams& params) const {
+  trace::TraceCollector collector;
+  build_into(params, collector);
+  return collector.take();
+}
+
+void PatternBuilder::build_into(const BuildParams& params,
+                                trace::EventSink& sink) const {
   if (params.iterations < 1) {
     throw ConfigError("PatternBuilder: iterations must be >= 1");
   }
   if (params.duration <= 0.0) {
     throw ConfigError("PatternBuilder: duration must be > 0");
   }
-  trace::TraceBuilder builder(app_name_, num_ranks_);
-  builder.set_duration(params.duration);
+  sink.on_begin(app_name_, num_ranks_);
 
   // ---- Point-to-point -------------------------------------------------
   if (!p2p_.empty() && params.p2p_bytes > 0) {
@@ -93,11 +100,20 @@ trace::Trace PatternBuilder::build(const BuildParams& params) const {
     }
     if (bumped > 0 && pair_bytes[largest] > bumped) pair_bytes[largest] -= bumped;
 
-    for (std::size_t i = 0; i < demands.size(); ++i) {
-      const Bytes bytes = pair_bytes[i];
+    const auto messages_for = [&params](Bytes bytes) {
       const auto by_size = static_cast<int>(
           bytes / std::max<Bytes>(1, params.preferred_message_bytes));
-      const int messages = std::clamp(by_size, 1, params.iterations);
+      return std::clamp(by_size, 1, params.iterations);
+    };
+    std::uint64_t p2p_events = 0;
+    for (const Bytes bytes : pair_bytes) {
+      p2p_events += static_cast<std::uint64_t>(messages_for(bytes));
+    }
+    sink.on_reserve(p2p_events, 0);
+
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      const Bytes bytes = pair_bytes[i];
+      const int messages = messages_for(bytes);
       Bytes emitted = 0;
       for (int k = 0; k < messages; ++k) {
         const auto upto = static_cast<Bytes>(
@@ -105,7 +121,7 @@ trace::Trace PatternBuilder::build(const BuildParams& params) const {
         const Bytes slice = std::min(bytes, upto) - emitted;
         emitted += slice;
         const Seconds t = params.duration * (k + 0.5) / messages;
-        builder.add_p2p(demands[i].src, demands[i].dst, slice, t);
+        sink.on_p2p({demands[i].src, demands[i].dst, slice, t});
       }
     }
   }
@@ -118,7 +134,13 @@ trace::Trace PatternBuilder::build(const BuildParams& params) const {
   // still cost one packet per translated message.
   if (!collectives_.empty()) {
     double total_weight = 0.0;
-    for (const auto& c : collectives_) total_weight += c.weight;
+    std::uint64_t coll_events = 0;
+    for (const auto& c : collectives_) {
+      total_weight += c.weight;
+      coll_events += static_cast<std::uint64_t>(
+          c.calls > 0 ? c.calls : params.iterations);
+    }
+    sink.on_reserve(0, coll_events);
     double cum_weight = 0.0;
     Bytes cum_bytes = 0;
     for (const auto& c : collectives_) {
@@ -139,12 +161,12 @@ trace::Trace PatternBuilder::build(const BuildParams& params) const {
         const Bytes slice = std::min(share, upto) - emitted;
         emitted += slice;
         const Seconds t = params.duration * (k + 0.5) / calls;
-        builder.add_collective(c.op, c.root, slice, t);
+        sink.on_collective({c.op, c.root, slice, t});
       }
     }
   }
 
-  return builder.build();
+  sink.on_end(params.duration);
 }
 
 }  // namespace netloc::workloads

@@ -37,6 +37,12 @@ const std::map<std::string, std::unique_ptr<WorkloadGenerator>>& registry() {
 
 }  // namespace
 
+void WorkloadGenerator::generate_into(const CatalogEntry& target,
+                                      std::uint64_t seed,
+                                      trace::EventSink& sink) const {
+  trace::emit(generate(target, seed), sink);
+}
+
 const WorkloadGenerator& generator(const std::string& app) {
   const auto& map = registry();
   const auto it = map.find(app);
@@ -55,6 +61,11 @@ std::vector<std::string> available_workloads() {
 trace::Trace generate(const std::string& app, int ranks, int variant,
                       std::uint64_t seed) {
   return generator(app).generate(catalog_entry(app, ranks, variant), seed);
+}
+
+void generate_into(const std::string& app, int ranks, trace::EventSink& sink,
+                   int variant, std::uint64_t seed) {
+  generator(app).generate_into(catalog_entry(app, ranks, variant), seed, sink);
 }
 
 }  // namespace netloc::workloads

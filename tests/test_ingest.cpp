@@ -1,0 +1,405 @@
+// Equivalence suite for the streaming event pipeline (trace/sink.hpp):
+// every sink-based path must reproduce its materialized counterpart
+// byte for byte — identical event sequences, identical TraceStats,
+// identical frozen traffic matrices, byte-identical Table 3 CSV and
+// Table 4 rows — plus the reader hardening tests (corrupt binary
+// headers must throw TraceFormatError, never std::bad_alloc).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/analysis/export.hpp"
+#include "netloc/common/error.hpp"
+#include "netloc/engine/sweep.hpp"
+#include "netloc/lint/trace_rules.hpp"
+#include "netloc/metrics/temporal.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/trace/io.hpp"
+#include "netloc/trace/sink.hpp"
+#include "netloc/trace/stats.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace {
+
+using namespace netloc;
+
+// ---- helpers ---------------------------------------------------------------
+
+void expect_same_events(const trace::Trace& a, const trace::Trace& b) {
+  EXPECT_EQ(a.app_name(), b.app_name());
+  EXPECT_EQ(a.num_ranks(), b.num_ranks());
+  EXPECT_EQ(a.duration(), b.duration());
+  ASSERT_EQ(a.p2p().size(), b.p2p().size());
+  for (std::size_t i = 0; i < a.p2p().size(); ++i) {
+    const auto& x = a.p2p()[i];
+    const auto& y = b.p2p()[i];
+    ASSERT_TRUE(x.src == y.src && x.dst == y.dst && x.bytes == y.bytes &&
+                x.time == y.time)
+        << "p2p event " << i << " differs";
+  }
+  ASSERT_EQ(a.collectives().size(), b.collectives().size());
+  for (std::size_t i = 0; i < a.collectives().size(); ++i) {
+    const auto& x = a.collectives()[i];
+    const auto& y = b.collectives()[i];
+    ASSERT_TRUE(x.op == y.op && x.root == y.root && x.bytes == y.bytes &&
+                x.time == y.time)
+        << "collective " << i << " differs";
+  }
+}
+
+void expect_same_matrix(const metrics::TrafficMatrix& a,
+                        const metrics::TrafficMatrix& b) {
+  ASSERT_EQ(a.num_ranks(), b.num_ranks());
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+  EXPECT_EQ(a.total_packets(), b.total_packets());
+  ASSERT_EQ(a.nonzero_pairs(), b.nonzero_pairs());
+  // Frozen CSR state and cell-by-cell content, in iteration order.
+  EXPECT_EQ(a.frozen(), b.frozen());
+  std::vector<std::tuple<Rank, Rank, metrics::TrafficCell>> cells_a, cells_b;
+  a.for_each_nonzero([&](Rank s, Rank d, const metrics::TrafficCell& c) {
+    cells_a.emplace_back(s, d, c);
+  });
+  b.for_each_nonzero([&](Rank s, Rank d, const metrics::TrafficCell& c) {
+    cells_b.emplace_back(s, d, c);
+  });
+  ASSERT_EQ(cells_a, cells_b);
+}
+
+void expect_same_stats(const trace::TraceStats& a, const trace::TraceStats& b) {
+  EXPECT_EQ(a.num_ranks, b.num_ranks);
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(a.p2p_volume, b.p2p_volume);
+  EXPECT_EQ(a.collective_volume, b.collective_volume);
+  EXPECT_EQ(a.p2p_messages, b.p2p_messages);
+  EXPECT_EQ(a.collective_calls, b.collective_calls);
+}
+
+std::string table3_csv(const analysis::ExperimentRow& row) {
+  std::ostringstream out;
+  analysis::write_table3_csv({row}, out);
+  return out.str();
+}
+
+/// Each catalog app at its smallest scale (first variant).
+std::vector<workloads::CatalogEntry> smallest_entries() {
+  std::vector<workloads::CatalogEntry> entries;
+  for (const auto& app : workloads::catalog_apps()) {
+    entries.push_back(workloads::catalog_for(app).front());
+  }
+  return entries;
+}
+
+analysis::EventFeed generator_feed(const workloads::CatalogEntry& entry) {
+  return [&entry](trace::EventSink& sink) {
+    workloads::generator(entry.app).generate_into(entry, workloads::kDefaultSeed,
+                                                  sink);
+  };
+}
+
+// ---- generator streaming equivalence --------------------------------------
+
+class IngestEquivalence
+    : public ::testing::TestWithParam<workloads::CatalogEntry> {};
+
+TEST_P(IngestEquivalence, GenerateIntoMatchesGenerate) {
+  const auto& entry = GetParam();
+  const auto trace = workloads::generator(entry.app).generate(
+      entry, workloads::kDefaultSeed);
+  trace::TraceCollector collector;
+  generator_feed(entry)(collector);
+  expect_same_events(trace, collector.take());
+}
+
+TEST_P(IngestEquivalence, StreamedStatsMatchComputeStats) {
+  const auto& entry = GetParam();
+  const auto trace = workloads::generator(entry.app).generate(
+      entry, workloads::kDefaultSeed);
+  trace::StatsAccumulator accumulator;
+  generator_feed(entry)(accumulator);
+  expect_same_stats(trace::compute_stats(trace), accumulator.stats());
+}
+
+TEST_P(IngestEquivalence, StreamedMatrixMatchesFromTrace) {
+  const auto& entry = GetParam();
+  const auto trace = workloads::generator(entry.app).generate(
+      entry, workloads::kDefaultSeed);
+  for (const bool collectives : {false, true}) {
+    const metrics::TrafficOptions options{.include_p2p = true,
+                                          .include_collectives = collectives};
+    metrics::TrafficAccumulator accumulator(options);
+    generator_feed(entry)(accumulator);
+    expect_same_matrix(metrics::TrafficMatrix::from_trace(trace, options),
+                       accumulator.take());
+  }
+}
+
+TEST_P(IngestEquivalence, Table3CsvByteIdentical) {
+  const auto& entry = GetParam();
+  const auto trace = workloads::generator(entry.app).generate(
+      entry, workloads::kDefaultSeed);
+  const analysis::RunOptions options;
+  const auto vector_row = analysis::analyze_trace(trace, entry, options);
+  const auto stream_row = analysis::run_experiment(entry, options);
+  EXPECT_EQ(table3_csv(vector_row), table3_csv(stream_row));
+}
+
+TEST_P(IngestEquivalence, Table4RowsIdentical) {
+  const auto& entry = GetParam();
+  const auto trace = workloads::generator(entry.app).generate(
+      entry, workloads::kDefaultSeed);
+  const auto vector_row = analysis::dimensionality_study(trace, entry.label());
+  const auto stream_row =
+      analysis::dimensionality_study_stream(generator_feed(entry), entry.label());
+  EXPECT_EQ(vector_row.label, stream_row.label);
+  EXPECT_EQ(vector_row.locality_percent_1d, stream_row.locality_percent_1d);
+  EXPECT_EQ(vector_row.locality_percent_2d, stream_row.locality_percent_2d);
+  EXPECT_EQ(vector_row.locality_percent_3d, stream_row.locality_percent_3d);
+}
+
+TEST_P(IngestEquivalence, TimeProfileIdentical) {
+  const auto& entry = GetParam();
+  const auto trace = workloads::generator(entry.app).generate(
+      entry, workloads::kDefaultSeed);
+  const auto vector_profile = metrics::time_profile(trace, 16);
+  metrics::TimeProfileAccumulator accumulator(trace.duration(), 16);
+  generator_feed(entry)(accumulator);
+  EXPECT_EQ(vector_profile.window_bytes, accumulator.profile().window_bytes);
+  EXPECT_EQ(vector_profile.burstiness, accumulator.profile().burstiness);
+  EXPECT_EQ(vector_profile.idle_window_fraction,
+            accumulator.profile().idle_window_fraction);
+}
+
+TEST_P(IngestEquivalence, LintReportIdentical) {
+  const auto& entry = GetParam();
+  const auto trace = workloads::generator(entry.app).generate(
+      entry, workloads::kDefaultSeed);
+  const auto vector_report = lint::lint_trace(trace, "src");
+  lint::TraceLintSink sink("src", trace.duration());
+  trace::emit(trace, sink);
+  const auto stream_report = sink.take();
+  ASSERT_EQ(vector_report.diagnostics().size(),
+            stream_report.diagnostics().size());
+  for (std::size_t i = 0; i < vector_report.diagnostics().size(); ++i) {
+    EXPECT_EQ(lint::format(vector_report.diagnostics()[i]),
+              lint::format(stream_report.diagnostics()[i]));
+  }
+}
+
+std::string entry_test_name(
+    const ::testing::TestParamInfo<workloads::CatalogEntry>& info) {
+  std::string name = info.param.app + "_" + std::to_string(info.param.ranks);
+  for (auto& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, IngestEquivalence,
+                         ::testing::ValuesIn(smallest_entries()),
+                         entry_test_name);
+
+// One large configuration: AMG at 1728 ranks (natively streamed).
+INSTANTIATE_TEST_SUITE_P(
+    Large, IngestEquivalence,
+    ::testing::Values(workloads::catalog_entry("AMG", 1728)), entry_test_name);
+
+// ---- file scan equivalence -------------------------------------------------
+
+TEST(ScanEquivalence, BinaryRoundTrip) {
+  const auto trace = workloads::generate("LULESH", 64);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  trace::write_binary(trace, buffer);
+
+  trace::TraceCollector collector;
+  trace::scan_binary(buffer, collector);
+  expect_same_events(trace, collector.take());
+}
+
+TEST(ScanEquivalence, TextRoundTrip) {
+  const auto trace = workloads::generate("BigFFT", 1024);
+  std::stringstream buffer;
+  trace::write_text(trace, buffer);
+
+  trace::TraceCollector collector;
+  trace::scan_text(buffer, collector);
+  expect_same_events(trace, collector.take());
+}
+
+TEST(ScanEquivalence, ScanFeedsAccumulatorsLikeLoad) {
+  const auto trace = workloads::generate("MiniFE", 144);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  trace::write_binary(trace, buffer);
+
+  trace::StatsAccumulator stats;
+  metrics::TrafficAccumulator matrix({.include_p2p = true,
+                                      .include_collectives = true});
+  trace::SinkTee tee;
+  tee.add(stats);
+  tee.add(matrix);
+  trace::scan_binary(buffer, tee);
+
+  expect_same_stats(trace::compute_stats(trace), stats.stats());
+  expect_same_matrix(metrics::TrafficMatrix::from_trace(trace), matrix.take());
+}
+
+TEST(ScanEquivalence, TextDuplicateHeaderRejected) {
+  const auto trace = workloads::generate("BigFFT", 1024);
+  std::stringstream buffer;
+  trace::write_text(trace, buffer);
+  trace::write_text(trace, buffer);  // Second header mid-stream.
+  trace::TraceCollector collector;
+  EXPECT_THROW(trace::scan_text(buffer, collector), TraceFormatError);
+}
+
+// ---- corrupt binary headers: TraceFormatError, never bad_alloc -------------
+
+class CorruptHeader : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::TraceBuilder builder("X", 4);
+    builder.add_p2p(0, 1, 64, 0.25);
+    builder.add_p2p(1, 0, 64, 0.5);
+    builder.add_collective(trace::CollectiveOp::Allreduce, 0, 128, 0.75);
+    builder.set_duration(1.0);
+    std::ostringstream out(std::ios::binary);
+    trace::write_binary(builder.build(), out);
+    bytes_ = out.str();
+    // Header: magic(4) version(4) name_len(4) name("X",1) ranks(4)
+    // duration(8) -> p2p count at byte 25; each p2p record is 24 bytes.
+    p2p_count_offset_ = 25;
+    coll_count_offset_ = p2p_count_offset_ + 8 + 2 * 24;
+  }
+
+  void corrupt_count(std::size_t offset, std::uint64_t value) {
+    ASSERT_LE(offset + sizeof(value), bytes_.size());
+    std::memcpy(bytes_.data() + offset, &value, sizeof(value));
+  }
+
+  void expect_format_error() {
+    std::istringstream in(bytes_, std::ios::binary);
+    try {
+      trace::read_binary(in);
+      FAIL() << "corrupt header accepted";
+    } catch (const TraceFormatError&) {
+      // Expected: validated before any allocation.
+    } catch (const std::bad_alloc&) {
+      FAIL() << "corrupt header drove an allocation into bad_alloc";
+    }
+  }
+
+  std::string bytes_;
+  std::size_t p2p_count_offset_ = 0;
+  std::size_t coll_count_offset_ = 0;
+};
+
+TEST_F(CorruptHeader, SanityBaselineParses) {
+  std::istringstream in(bytes_, std::ios::binary);
+  const auto trace = trace::read_binary(in);
+  EXPECT_EQ(trace.p2p().size(), 2u);
+  EXPECT_EQ(trace.collectives().size(), 1u);
+}
+
+TEST_F(CorruptHeader, HugeP2PCountThrowsFormatError) {
+  for (const std::uint64_t count :
+       {std::numeric_limits<std::uint64_t>::max(),
+        std::uint64_t{1} << 62, std::uint64_t{1} << 40, std::uint64_t{1000}}) {
+    SetUp();
+    corrupt_count(p2p_count_offset_, count);
+    expect_format_error();
+  }
+}
+
+TEST_F(CorruptHeader, HugeCollectiveCountThrowsFormatError) {
+  for (const std::uint64_t count :
+       {std::numeric_limits<std::uint64_t>::max(),
+        std::uint64_t{1} << 62, std::uint64_t{1} << 40, std::uint64_t{1000}}) {
+    SetUp();
+    corrupt_count(coll_count_offset_, count);
+    expect_format_error();
+  }
+}
+
+TEST_F(CorruptHeader, MessageNamesTheOversizedCount) {
+  corrupt_count(p2p_count_offset_, std::uint64_t{1} << 62);
+  std::istringstream in(bytes_, std::ios::binary);
+  try {
+    trace::read_binary(in);
+    FAIL() << "corrupt header accepted";
+  } catch (const TraceFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds the remaining stream size"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- sink contract ---------------------------------------------------------
+
+TEST(SinkContract, CollectorTakeBeforeEndThrows) {
+  trace::TraceCollector collector;
+  collector.on_begin("app", 4);
+  EXPECT_THROW((void)collector.take(), ConfigError);
+}
+
+TEST(SinkContract, CollectorDerivesDurationWhenNegative) {
+  trace::TraceCollector collector;
+  collector.on_begin("app", 4);
+  collector.on_p2p({0, 1, 8, 2.5});
+  collector.on_p2p({1, 0, 8, 1.5});
+  collector.on_end(-1.0);
+  EXPECT_EQ(collector.take().duration(), 2.5);
+}
+
+TEST(SinkContract, CollectorKeepsExplicitZeroDuration) {
+  trace::TraceCollector collector;
+  collector.on_begin("app", 4);
+  collector.on_p2p({0, 1, 8, 2.5});
+  collector.on_end(0.0);
+  EXPECT_EQ(collector.take().duration(), 0.0);
+}
+
+TEST(SinkContract, TeeForwardsToAllSinksInOrder) {
+  trace::TraceCollector first, second;
+  trace::SinkTee tee;
+  tee.add(first);
+  tee.add(second);
+  tee.on_begin("app", 2);
+  tee.on_p2p({0, 1, 8, 0.5});
+  tee.on_end(1.0);
+  expect_same_events(first.take(), second.take());
+}
+
+TEST(SinkContract, TrafficAccumulatorMatrixBeforeEndThrows) {
+  metrics::TrafficAccumulator accumulator;
+  accumulator.on_begin("app", 4);
+  EXPECT_THROW((void)accumulator.matrix(), ConfigError);
+  EXPECT_THROW((void)accumulator.take(), ConfigError);
+}
+
+// ---- streaming pipeline under the parallel engine (TSan target) ------------
+
+TEST(StreamingPipeline, ParallelSweepMatchesSerialRuns) {
+  std::vector<workloads::CatalogEntry> entries = {
+      workloads::catalog_entry("LULESH", 64),
+      workloads::catalog_entry("BigFFT", 1024),
+      workloads::catalog_entry("MiniFE", 144),
+  };
+  engine::SweepOptions options;
+  options.jobs = 4;
+  options.cache_dir.clear();  // No cache: every row computes.
+  engine::SweepEngine eng(options);
+  const auto rows = eng.run_rows(entries);
+  ASSERT_EQ(rows.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto serial = analysis::run_experiment(entries[i], options.run);
+    EXPECT_EQ(table3_csv(serial), table3_csv(rows[i]));
+  }
+}
+
+}  // namespace
