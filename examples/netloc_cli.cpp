@@ -3,10 +3,11 @@
 //
 //   netloc_cli list
 //   netloc_cli generate <app> <ranks> <out.nltr|out.txt>
-//   netloc_cli analyze <trace-file>
+//   netloc_cli analyze <trace-file> [--routing K] [--fail-links L]
 //   netloc_cli import-dumpi <app-name> <out.nltr> <rank0.txt> [rank1.txt ...]
 //   netloc_cli heatmap <trace-file> <out.csv|out.pgm>
 //   netloc_cli multicore <app> <ranks>
+//   netloc_cli topologies [ranks]
 //   netloc_cli sweep [--jobs N] [--cache DIR] [--no-cache] [--csv F] [...]
 //   netloc_cli lint <trace-file> [--topology F] [--mapping R] [...]
 //   netloc_cli lint-rules
@@ -17,6 +18,10 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "netloc/lint/config_rules.hpp"
+#include "netloc/topology/route_plan.hpp"
+#include "netloc/topology/routing.hpp"
 
 #include "netloc/analysis/classify.hpp"
 #include "netloc/analysis/experiment.hpp"
@@ -45,13 +50,18 @@ int usage() {
       << "usage:\n"
          "  netloc_cli list\n"
          "  netloc_cli generate <app> <ranks> <out.nltr|out.txt>\n"
-         "  netloc_cli analyze <trace-file>\n"
+         "  netloc_cli analyze <trace-file> [--routing minimal|ecmp]\n"
+         "                  [--fail-links <id,id,...>]\n"
          "  netloc_cli import-dumpi <app-name> <out> <rank0.txt> [...]\n"
          "  netloc_cli heatmap <trace-file> <out.csv|out.pgm>\n"
          "  netloc_cli multicore <app> <ranks>\n"
+         "  netloc_cli topologies [<ranks>]\n"
          "  netloc_cli optimize <trace-file> <torus|fattree|dragonfly> "
          "<out.rankfile>\n"
+         "                  [--routing minimal|ecmp] [--fail-links <ids>]\n"
          "  netloc_cli sweep [--jobs <n>] [--cache <dir>] [--no-cache]\n"
+         "                  [--cache-cap <bytes[k|m|g]>]\n"
+         "                  [--routing minimal|ecmp] [--fail-links <ids>]\n"
          "                  [--csv <out.csv>] [--apps <name,name,...>]\n"
          "                  [--progress]\n"
          "  netloc_cli lint <trace-file> [--topology torus|fattree|dragonfly]\n"
@@ -59,6 +69,58 @@ int usage() {
          "                  [--csv <out.csv>]\n"
          "  netloc_cli lint-rules\n";
   return EXIT_FAILURE;
+}
+
+/// Consume a `--routing K` / `--fail-links L` pair at argv[i] into
+/// `spec`. Returns true (advancing i past the value) when the flag was
+/// one of the two; parse errors throw ConfigError like the library.
+bool consume_routing_flag(int argc, char** argv, int& i,
+                          netloc::topology::RoutingSpec& spec) {
+  const std::string flag = argv[i];
+  if (flag != "--routing" && flag != "--fail-links") return false;
+  if (i + 1 >= argc) {
+    throw netloc::ConfigError(flag + " needs a value");
+  }
+  const std::string value = argv[++i];
+  if (flag == "--routing") {
+    spec.kind = netloc::topology::parse_routing_kind(value);
+  } else {
+    spec.failed_links = netloc::topology::parse_link_list(value);
+  }
+  return true;
+}
+
+/// "1048576", "64k", "8m", "1g" -> bytes. Returns nullopt on junk.
+std::optional<std::uint64_t> parse_bytes(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t consumed = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(text, &consumed);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (consumed == text.size()) return value;
+  if (consumed + 1 != text.size()) return std::nullopt;
+  switch (text[consumed]) {
+    case 'k': case 'K': return value << 10;
+    case 'm': case 'M': return value << 20;
+    case 'g': case 'G': return value << 30;
+    default: return std::nullopt;
+  }
+}
+
+/// Print the fault-mask lint verdict (range errors, TP013
+/// disconnection) for `topo` under `spec` to stderr. No-op for specs
+/// without failed links.
+void report_fault_mask(const netloc::topology::Topology& topo,
+                       const netloc::topology::RoutingSpec& spec) {
+  if (spec.failed_links.empty()) return;
+  const auto report = netloc::lint::lint_fault_mask(
+      topo, spec.failed_links, topo.name() + " fail-links");
+  for (const auto& d : report.diagnostics()) {
+    std::cerr << netloc::lint::format(d) << '\n';
+  }
 }
 
 int cmd_list() {
@@ -100,7 +162,8 @@ class HeaderCapture final : public netloc::trace::EventSink {
   std::string app_name_;
 };
 
-int cmd_analyze(const std::string& path) {
+int cmd_analyze(const std::string& path,
+                const netloc::topology::RoutingSpec& routing) {
   // One streaming pass over the file: Table 1 stats, both traffic
   // matrices and the trace lint pack all ride the same scan — no event
   // vector is materialized no matter how large the trace is. (TR008
@@ -134,11 +197,17 @@ int cmd_analyze(const std::string& path) {
   row.entry.volume_mb = stats.volume_mb();
   row.entry.p2p_percent = stats.p2p_percent();
 
+  netloc::analysis::RunOptions run;
+  run.routing = routing;
   const auto topologies = netloc::topology::topologies_for(stats.num_ranks);
   const auto all = topologies.all();
   for (std::size_t i = 0; i < all.size(); ++i) {
+    // Link ids are topology-specific, so one --fail-links list names
+    // different physical links per topology; the per-topology lint
+    // verdict (range, TP013 disconnection) makes that visible.
+    report_fault_mask(*all[i], run.routing);
     row.topologies[i] = netloc::analysis::analyze_topology(
-        *analysis.full_matrix, *all[i], stats.num_ranks, stats.duration, {});
+        *analysis.full_matrix, *all[i], stats.num_ranks, stats.duration, run);
   }
   std::cout << netloc::analysis::render_table1({row}) << "\n"
             << netloc::analysis::render_table3({row});
@@ -184,7 +253,8 @@ int cmd_heatmap(const std::string& trace_path, const std::string& out_path) {
 }
 
 int cmd_optimize(const std::string& trace_path, const std::string& family,
-                 const std::string& out_path) {
+                 const std::string& out_path,
+                 const netloc::topology::RoutingSpec& routing) {
   netloc::metrics::TrafficAccumulator accumulator(
       {.include_p2p = true, .include_collectives = false});
   netloc::trace::scan(trace_path, accumulator);
@@ -206,10 +276,18 @@ int cmd_optimize(const std::string& trace_path, const std::string& family,
   }
   const auto edges = matrix.edges();
   const auto linear = netloc::mapping::Mapping::linear(ranks, topo->num_nodes());
-  const auto greedy = netloc::mapping::greedy_optimize(edges, ranks, *topo);
+  report_fault_mask(*topo, routing);
+  // One policy-built plan shared by the optimizer and both metric
+  // passes: under --fail-links the greedy placement optimizes the
+  // rerouted distances, not the healthy ones.
+  const auto plan = netloc::topology::RoutePlan::build(*topo, routing, ranks);
+  const auto greedy =
+      netloc::mapping::greedy_optimize(edges, ranks, *topo, {}, plan.get());
 
-  const auto before = netloc::metrics::hop_stats(matrix, *topo, linear);
-  const auto after = netloc::metrics::hop_stats(matrix, *topo, greedy);
+  const auto before = netloc::metrics::hop_stats(matrix, *topo, linear,
+                                                 plan.get());
+  const auto after = netloc::metrics::hop_stats(matrix, *topo, greedy,
+                                                plan.get());
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot open " << out_path << "\n";
@@ -235,6 +313,8 @@ struct SweepArgs {
   int jobs = 0;                          // 0 = all cores.
   std::string cache_dir = ".netloc-cache";
   bool use_cache = true;
+  std::uint64_t cache_cap = 0;           // 0 = unbounded.
+  netloc::topology::RoutingSpec routing; // default = paper minimal.
   std::string csv_path;                  // empty = no CSV export.
   std::vector<std::string> apps;         // empty = full catalog.
   bool progress = false;                 // per-job telemetry on stderr.
@@ -252,6 +332,7 @@ std::optional<SweepArgs> parse_sweep_args(int argc, char** argv) {
       args.progress = true;
       continue;
     }
+    if (consume_routing_flag(argc, argv, i, args.routing)) continue;
     if (i + 1 >= argc) return std::nullopt;
     const std::string value = argv[++i];
     if (flag == "--jobs") {
@@ -259,6 +340,10 @@ std::optional<SweepArgs> parse_sweep_args(int argc, char** argv) {
       if (args.jobs < 1) return std::nullopt;
     } else if (flag == "--cache") {
       args.cache_dir = value;
+    } else if (flag == "--cache-cap") {
+      const auto bytes = parse_bytes(value);
+      if (!bytes) return std::nullopt;
+      args.cache_cap = *bytes;
     } else if (flag == "--csv") {
       args.csv_path = value;
     } else if (flag == "--apps") {
@@ -295,7 +380,11 @@ int cmd_sweep(const SweepArgs& args) {
   engine::StreamObserver progress(std::cerr);
   engine::SweepOptions options;
   options.jobs = args.jobs;
-  if (args.use_cache) options.cache_dir = args.cache_dir;
+  options.run.routing = args.routing;
+  if (args.use_cache) {
+    options.cache_dir = args.cache_dir;
+    options.cache_max_bytes = args.cache_cap;
+  }
   if (args.progress) options.observer = &progress;
 
   engine::SweepEngine sweep(options);
@@ -313,6 +402,12 @@ int cmd_sweep(const SweepArgs& args) {
                               : netloc::ThreadPool::default_parallelism())
             << " workers) in " << netloc::fixed(stats.wall_s, 2) << " s";
   if (args.use_cache) std::cerr << ", cache " << args.cache_dir;
+  if (stats.cache_evictions > 0) {
+    std::cerr << ", " << stats.cache_evictions << " blob(s) evicted";
+  }
+  if (!args.routing.is_default()) {
+    std::cerr << ", routing " << args.routing.label();
+  }
   std::cerr << "\n";
 
   if (!args.csv_path.empty()) {
@@ -468,6 +563,33 @@ int cmd_lint_rules() {
   return EXIT_SUCCESS;
 }
 
+/// `topologies [ranks]`: the Table 2 configurations for one rank count,
+/// with each topology's explicit graph form and its TP012 consistency
+/// verdict — the quick way to see what --routing/--fail-links can
+/// target and which LinkId space the ids live in.
+int cmd_topologies(int ranks) {
+  const auto set = netloc::topology::topologies_for(ranks);
+  std::cout << "Table 2 configurations for " << ranks << " ranks:\n";
+  for (const auto* topo : set.all()) {
+    std::cout << "\n" << topo->name() << " " << topo->config_string() << "\n"
+              << "  nodes " << topo->num_nodes() << ", links "
+              << topo->num_links() << ", diameter " << topo->diameter()
+              << "\n";
+    const auto graph = topo->build_graph();
+    if (!graph.has_value()) {
+      std::cout << "  graph: none (closed-form minimal routing only)\n";
+      continue;
+    }
+    std::cout << "  graph: " << graph->summary() << "\n"
+              << "  routing: minimal (default), ecmp, link fault masks\n";
+    const auto report = netloc::lint::lint_topology_graph(*topo);
+    for (const auto& d : report.diagnostics()) {
+      std::cout << "  " << netloc::lint::format(d) << "\n";
+    }
+  }
+  return EXIT_SUCCESS;
+}
+
 int cmd_multicore(const std::string& app, int ranks) {
   const auto trace = netloc::workloads::generate(app, ranks);
   const auto series = netloc::analysis::multicore_study(
@@ -490,7 +612,13 @@ int main(int argc, char** argv) {
     if (cmd == "generate" && argc == 5) {
       return cmd_generate(argv[2], std::atoi(argv[3]), argv[4]);
     }
-    if (cmd == "analyze" && argc == 3) return cmd_analyze(argv[2]);
+    if (cmd == "analyze" && argc >= 3) {
+      netloc::topology::RoutingSpec routing;
+      for (int i = 3; i < argc; ++i) {
+        if (!consume_routing_flag(argc, argv, i, routing)) return usage();
+      }
+      return cmd_analyze(argv[2], routing);
+    }
     if (cmd == "import-dumpi" && argc >= 5) {
       return cmd_import_dumpi(argv[2], argv[3],
                               {argv + 4, argv + argc});
@@ -499,8 +627,17 @@ int main(int argc, char** argv) {
     if (cmd == "multicore" && argc == 4) {
       return cmd_multicore(argv[2], std::atoi(argv[3]));
     }
-    if (cmd == "optimize" && argc == 5) {
-      return cmd_optimize(argv[2], argv[3], argv[4]);
+    if (cmd == "topologies" && argc <= 3) {
+      const int ranks = argc == 3 ? std::atoi(argv[2]) : 216;
+      if (ranks < 1) return usage();
+      return cmd_topologies(ranks);
+    }
+    if (cmd == "optimize" && argc >= 5) {
+      netloc::topology::RoutingSpec routing;
+      for (int i = 5; i < argc; ++i) {
+        if (!consume_routing_flag(argc, argv, i, routing)) return usage();
+      }
+      return cmd_optimize(argv[2], argv[3], argv[4], routing);
     }
     if (cmd == "sweep") {
       const auto args = parse_sweep_args(argc, argv);

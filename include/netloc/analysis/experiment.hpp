@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "netloc/topology/routing.hpp"
 #include "netloc/trace/sink.hpp"
 #include "netloc/trace/stats.hpp"
 #include "netloc/trace/trace.hpp"
@@ -58,6 +59,12 @@ struct RunOptions {
   /// and the dragonfly global-link share). Costs one routing pass per
   /// topology.
   bool link_accounting = true;
+  /// Routing policy every topology cell is evaluated under
+  /// (topology/routing.hpp). The default (minimal, no faults) is
+  /// byte-identical to the paper's deterministic shortest paths; it is
+  /// part of the sweep engine's cache key, so policy variants never
+  /// collide with default-run results.
+  topology::RoutingSpec routing;
 };
 
 /// Run the full pipeline for one catalog entry.

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -40,6 +41,9 @@ class EngineObserver {
   virtual void on_cache_hit(const std::string& /*label*/) {}
   /// A freshly computed result for `label` was persisted.
   virtual void on_cache_store(const std::string& /*label*/) {}
+  /// LRU trimming removed a blob (`file`) to honor the cache size cap.
+  virtual void on_cache_evict(const std::string& /*file*/,
+                              std::uint64_t /*bytes*/) {}
 
   /// A lint-style finding (e.g. EN001: corrupt cache blob detected and
   /// recomputed). Never fatal — the engine always recovers.
@@ -55,6 +59,7 @@ class StreamObserver final : public EngineObserver {
   void on_job_finished(const JobEvent& job, Seconds elapsed) override;
   void on_cache_hit(const std::string& label) override;
   void on_cache_store(const std::string& label) override;
+  void on_cache_evict(const std::string& file, std::uint64_t bytes) override;
   void on_diagnostic(const lint::Diagnostic& diagnostic) override;
 
  private:
@@ -70,12 +75,14 @@ class CountingObserver final : public EngineObserver {
   void on_job_finished(const JobEvent& job, Seconds elapsed) override;
   void on_cache_hit(const std::string& label) override;
   void on_cache_store(const std::string& label) override;
+  void on_cache_evict(const std::string& file, std::uint64_t bytes) override;
   void on_diagnostic(const lint::Diagnostic& diagnostic) override;
 
   [[nodiscard]] int jobs_started() const { return jobs_started_.load(); }
   [[nodiscard]] int jobs_finished() const { return jobs_finished_.load(); }
   [[nodiscard]] int cache_hits() const { return cache_hits_.load(); }
   [[nodiscard]] int cache_stores() const { return cache_stores_.load(); }
+  [[nodiscard]] int cache_evictions() const { return cache_evictions_.load(); }
   [[nodiscard]] int diagnostics() const { return diagnostics_.load(); }
 
   /// Copies of the collected diagnostics, in arrival order.
@@ -86,6 +93,7 @@ class CountingObserver final : public EngineObserver {
   std::atomic<int> jobs_finished_{0};
   std::atomic<int> cache_hits_{0};
   std::atomic<int> cache_stores_{0};
+  std::atomic<int> cache_evictions_{0};
   std::atomic<int> diagnostics_{0};
   mutable std::mutex mutex_;
   std::vector<lint::Diagnostic> diagnostic_log_;

@@ -64,22 +64,41 @@ analysis::ExperimentRow read_row_blob(std::istream& in, std::uint64_t key_hash);
 class ResultCache {
  public:
   /// Opens (and creates if needed) the cache at `dir`. Observer events:
-  /// on_cache_hit / on_cache_store / on_diagnostic (EN001 on corrupt
-  /// blobs). The observer may be null.
-  explicit ResultCache(std::string dir, EngineObserver* observer = nullptr);
+  /// on_cache_hit / on_cache_store / on_cache_evict / on_diagnostic
+  /// (EN001 on corrupt blobs, EN003 when trimming). The observer may
+  /// be null.
+  ///
+  /// `max_bytes` caps the on-disk size of the *.nlrc blobs: after each
+  /// store the least-recently-used blobs are deleted until the total
+  /// fits (the just-written blob is never deleted, so a cap smaller
+  /// than one blob degrades to holding exactly the latest). 0 means
+  /// unbounded (the pre-cap behavior).
+  explicit ResultCache(std::string dir, EngineObserver* observer = nullptr,
+                       std::uint64_t max_bytes = 0);
 
   /// The cached row for `key`, or nullopt on miss or corruption
-  /// (corruption additionally emits EN001 through the observer).
+  /// (corruption additionally emits EN001 through the observer). A hit
+  /// refreshes the blob's mtime — the LRU recency the trimmer uses.
   std::optional<analysis::ExperimentRow> load(const CacheKey& key);
 
-  /// Persist `row` under `key` (atomic write: temp file + rename).
+  /// Persist `row` under `key` (atomic write: temp file + rename),
+  /// then trim to the size cap.
   void store(const CacheKey& key, const analysis::ExperimentRow& row);
 
   [[nodiscard]] const std::string& directory() const { return dir_; }
+  [[nodiscard]] std::uint64_t max_bytes() const { return max_bytes_; }
+  /// Blobs deleted by LRU trimming over this cache's lifetime.
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
  private:
+  /// Delete oldest-mtime blobs until the total size fits max_bytes_.
+  /// `keep` is the file name of the blob that must survive.
+  void trim(const std::string& keep);
+
   std::string dir_;
   EngineObserver* observer_;
+  std::uint64_t max_bytes_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace netloc::engine

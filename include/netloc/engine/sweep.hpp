@@ -42,6 +42,10 @@ struct SweepOptions {
   int jobs = 0;
   /// Result-cache directory; empty disables caching.
   std::string cache_dir;
+  /// On-disk size cap for the result cache in bytes; 0 = unbounded.
+  /// When a store pushes the cache over the cap, least-recently-used
+  /// blobs are evicted (EN003 diagnostic + on_cache_evict telemetry).
+  std::uint64_t cache_max_bytes = 0;
   /// Telemetry sink; may be null. Callbacks fire on worker threads.
   EngineObserver* observer = nullptr;
 };
@@ -54,6 +58,8 @@ struct SweepStats {
   /// Route plans built this run; cells sharing a topology configuration
   /// reuse one plan, so this stays well below the cell count.
   int plans_built = 0;
+  /// Cache blobs evicted by LRU trimming (cache_max_bytes cap).
+  int cache_evictions = 0;
   Seconds wall_s = 0.0; ///< Wall time of the batch.
 };
 
@@ -109,8 +115,10 @@ class SweepEngine {
 
  private:
   /// Shared route plan for `topo`, with a distance table covering at
-  /// least the first `window` nodes. Plans are cached per (topology
-  /// configuration, window) for the lifetime of the engine and shared
+  /// least the first `window` nodes. The plan is built under
+  /// options_.run.routing, so every sweep cell routes under the same
+  /// policy. Plans are cached per (topology
+  /// configuration, routing spec, window) for the lifetime of the engine and shared
   /// across cells and run_* calls; only self-contained plans (the
   /// three paper topologies) are cached — a plan for a custom topology
   /// would dangle once its cell's TopologySet is destroyed. Safe to

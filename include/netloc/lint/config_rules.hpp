@@ -18,6 +18,8 @@
 //   TP009 warning  mapping rank count differs from the trace rank count
 //   TP010 error    non-positive topology parameter
 //   TP011 error    unparseable rankfile line
+//   TP012 error    topology graph inconsistent with num_links/link_is_global
+//   TP013 warning  link fault mask disconnects the endpoint set
 #pragma once
 
 #include <array>
@@ -27,6 +29,7 @@
 #include "netloc/common/types.hpp"
 #include "netloc/lint/diagnostic.hpp"
 #include "netloc/mapping/io.hpp"
+#include "netloc/topology/topology.hpp"
 
 namespace netloc::lint {
 
@@ -57,5 +60,22 @@ LintReport lint_mapping(const std::vector<NodeId>& rank_to_node,
 LintReport lint_rankfile(const mapping::RawRankfile& raw, int expected_ranks,
                          int cores_per_node,
                          const std::string& source = "rankfile");
+
+/// Graph/closed-form consistency for a built topology (TP012): the
+/// graph's dense link-id space must match num_links(), its global-link
+/// classification must match link_is_global(), and every present
+/// link's BFS distance must bound the closed-form hop count from
+/// below (graph shortest paths can never exceed the routing the
+/// metrics charge). Topologies without a graph pass vacuously.
+LintReport lint_topology_graph(const topology::Topology& topo,
+                               const std::string& source = "topology");
+
+/// A link fault mask against a built topology (TP013 plus TP006-style
+/// range checks folded into TP012's source): out-of-range ids are
+/// reported as TP012 errors; a mask that disconnects the endpoint set
+/// is a TP013 warning naming a sample unreachable endpoint pair.
+LintReport lint_fault_mask(const topology::Topology& topo,
+                           const std::vector<LinkId>& failed_links,
+                           const std::string& source = "fault-mask");
 
 }  // namespace netloc::lint

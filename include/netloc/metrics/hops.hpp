@@ -12,8 +12,11 @@ namespace netloc::metrics {
 
 struct HopStats {
   Count packet_hops = 0;  ///< Eq. 3: sum over packets of their hop counts.
-  Count packets = 0;      ///< All packets, including intra-node (0-hop) ones.
+  Count packets = 0;      ///< Deliverable packets, including intra-node ones.
   double avg_hops = 0.0;  ///< Eq. 4: packet_hops / packets (0 if no packets).
+  /// Packets between pairs disconnected by the plan's link fault mask
+  /// (excluded from packets/avg_hops). Always 0 without faults.
+  Count unroutable_packets = 0;
 };
 
 /// Compute hop statistics. Ranks mapped to the same node exchange

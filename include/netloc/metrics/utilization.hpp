@@ -54,17 +54,31 @@ struct LinkAccountingTotals {
   int used_links = 0;
   Count global_packets = 0;  ///< Packets whose route crosses a global link.
   Count total_packets = 0;   ///< All packets, including intra-node ones.
+  /// Packets between pairs disconnected by the plan's link fault mask
+  /// (no route; carried by no link). Always 0 without faults.
+  Count unroutable_packets = 0;
 };
 
 /// Route every stored matrix cell once over the plan, adding each
 /// cell's bytes to `link_loads[link]` for every link on its route.
 /// `link_loads` must have at least plan.num_links() elements (they are
 /// accumulated into, not cleared). The batch devirtualized core of the
-/// UsedLinks/link-load data path.
+/// UsedLinks/link-load data path. Single-path (minimal) plans only —
+/// multipath plans throw; use the weighted overload.
 LinkAccountingTotals accumulate_link_loads(const TrafficMatrix& matrix,
                                            const topology::RoutePlan& plan,
                                            const mapping::Mapping& mapping,
                                            std::span<Bytes> link_loads);
+
+/// Weighted accounting for any routing policy: each cell's bytes are
+/// spread over its route's (link, share) pairs, so an ECMP plan's
+/// equal-cost split lands fractionally in `link_loads`. Single-path
+/// plans produce the same loads as the integer overload (shares are
+/// all 1). A link counts as used once any positive share touches it.
+LinkAccountingTotals accumulate_link_loads(const TrafficMatrix& matrix,
+                                           const topology::RoutePlan& plan,
+                                           const mapping::Mapping& mapping,
+                                           std::span<double> link_loads);
 
 /// Eq. 5 for the given traffic, placement and execution time.
 UtilizationResult utilization(const TrafficMatrix& matrix,

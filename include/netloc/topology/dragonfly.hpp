@@ -69,6 +69,12 @@ class Dragonfly final : public Topology {
     return link >= global_base_;
   }
   [[nodiscard]] int diameter() const override;
+  /// Graph with one switch vertex per router: injection, local and
+  /// global links as typed edges. Note BFS shortest paths can be
+  /// *shorter* than minimal hierarchical routing (a detour through a
+  /// non-gateway router's own global link skips a local hop), which is
+  /// why MinimalRouting keeps the closed forms (docs/TOPOLOGY.md).
+  [[nodiscard]] std::optional<NetworkGraph> build_graph() const override;
 
   [[nodiscard]] int routers_per_group() const { return a_; }
   [[nodiscard]] int global_links_per_router() const { return h_; }

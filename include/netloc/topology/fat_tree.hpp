@@ -40,6 +40,10 @@ class FatTree final : public Topology {
   }
   void route(NodeId a, NodeId b, const LinkVisitor& visit) const override;
   [[nodiscard]] int diameter() const override { return 2 * stages_; }
+  /// Graph with one switch vertex per stage-l block (l in [1, stages])
+  /// and the constant-bisection link bundles as parallel edges; BFS
+  /// distance equals 2 * common_stage, matching hop_distance.
+  [[nodiscard]] std::optional<NetworkGraph> build_graph() const override;
 
   [[nodiscard]] int radix() const { return radix_; }
   [[nodiscard]] int stages() const { return stages_; }

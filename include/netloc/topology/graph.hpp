@@ -1,0 +1,170 @@
+// NetworkGraph: the explicit, immutable graph form of a topology
+// (docs/TOPOLOGY.md).
+//
+// Each paper topology knows how to build one graph per configuration
+// (Topology::build_graph): vertices are the compute endpoints followed
+// by the switching elements, and every physical link of the topology's
+// dense LinkId space becomes a typed edge. The closed-form
+// hop_distance/route implementations stay the source of truth for the
+// default deterministic routing (they encode the paper's conventions,
+// e.g. the torus's NIC-integrated switch); the graph is the substrate
+// for everything those closed forms cannot answer: rerouting around
+// failed links, equal-cost multipath spreading, connectivity checks,
+// and structural lint rules.
+//
+// Link IDs are shared with the owning Topology: link `l` of the graph
+// is physical link `l` of the topology, so per-link load vectors and
+// fault masks transfer without translation. A link id may be *absent*
+// (installed in the id space but carrying no connectivity) — the
+// 3-D torus reserves 3 ids per node even for degenerate extent-1
+// dimensions, and the mesh variant omits its wrap links.
+//
+// Thread-safety: a finished graph is immutable; any number of threads
+// may query it concurrently.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netloc/common/types.hpp"
+
+namespace netloc::topology {
+
+/// Physical role of a link, for reporting and lint rules. Global links
+/// must agree with Topology::link_is_global (lint rule TP012).
+enum class LinkType : std::uint8_t {
+  kInjection,  ///< endpoint <-> switch (fat tree level 0, dragonfly NIC)
+  kDirect,     ///< endpoint <-> endpoint (torus, NIC-integrated switch)
+  kUpDown,     ///< switch <-> switch between fat-tree stages
+  kLocal,      ///< intra-group router <-> router (dragonfly)
+  kGlobal,     ///< inter-group link (dragonfly)
+};
+
+[[nodiscard]] const char* to_string(LinkType type);
+
+/// Optional per-link fault mask: mask[l] != 0 removes link l. An empty
+/// span means "no faults". Spans shorter than num_links() treat the
+/// tail as healthy.
+using LinkMask = std::span<const std::uint8_t>;
+
+class GraphBuilder;
+
+class NetworkGraph {
+ public:
+  struct Link {
+    std::int32_t u = -1;  ///< first endpoint vertex (lower id side)
+    std::int32_t v = -1;  ///< second endpoint vertex
+    LinkType type = LinkType::kDirect;
+    bool present = false;  ///< false: id reserved but no physical link
+  };
+
+  NetworkGraph() = default;
+
+  /// Compute endpoints occupy vertices [0, num_endpoints()).
+  [[nodiscard]] int num_endpoints() const { return num_endpoints_; }
+  /// Switch vertices occupy [num_endpoints(), num_vertices()).
+  [[nodiscard]] int num_switches() const {
+    return num_vertices_ - num_endpoints_;
+  }
+  [[nodiscard]] int num_vertices() const { return num_vertices_; }
+  /// Size of the dense link id space (matches Topology::num_links).
+  [[nodiscard]] int num_links() const {
+    return static_cast<int>(links_.size());
+  }
+  /// Links actually carrying connectivity (present).
+  [[nodiscard]] int num_present_links() const { return num_present_; }
+
+  [[nodiscard]] const Link& link(LinkId id) const {
+    return links_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] bool link_present(LinkId id) const { return link(id).present; }
+  [[nodiscard]] bool link_is_global(LinkId id) const {
+    return link(id).present && link(id).type == LinkType::kGlobal;
+  }
+
+  /// Enumerate links incident to `vertex` in deterministic (CSR) order.
+  /// `fn(LinkId link, int other_vertex)`.
+  template <typename Fn>
+  void for_each_incident(int vertex, Fn&& fn) const {
+    const std::size_t begin = offsets_[static_cast<std::size_t>(vertex)];
+    const std::size_t end = offsets_[static_cast<std::size_t>(vertex) + 1];
+    for (std::size_t i = begin; i < end; ++i) {
+      fn(adj_links_[i], adj_other_[i]);
+    }
+  }
+
+  [[nodiscard]] int degree(int vertex) const {
+    return static_cast<int>(offsets_[static_cast<std::size_t>(vertex) + 1] -
+                            offsets_[static_cast<std::size_t>(vertex)]);
+  }
+
+  // ---- Breadth-first queries (deterministic: CSR visit order) ----------
+
+  /// Distances (in links traversed) from `from` to every vertex, -1 for
+  /// unreachable. Masked links are skipped.
+  [[nodiscard]] std::vector<std::int32_t> bfs_distances(
+      int from, LinkMask mask = {}) const;
+
+  /// Shortest link-count distance from `from` to `to`, -1 if
+  /// unreachable. Early-exits once `to` is settled.
+  [[nodiscard]] int bfs_distance(int from, int to, LinkMask mask = {}) const;
+
+  /// Append the deterministic shortest path from -> to as a link
+  /// sequence. Returns the hop count, or -1 (nothing appended) if
+  /// unreachable. Determinism: parents are assigned in CSR visit
+  /// order, so equal builds yield equal paths.
+  int shortest_path(int from, int to, std::vector<LinkId>& out,
+                    LinkMask mask = {}) const;
+
+  /// True if every endpoint can reach every other endpoint over the
+  /// unmasked links (single BFS from endpoint 0).
+  [[nodiscard]] bool endpoints_connected(LinkMask mask = {}) const;
+
+  /// Human-readable structural summary, e.g.
+  /// "64 endpoints, 0 switches, 192 links (192 present)".
+  [[nodiscard]] std::string summary() const;
+
+  /// True if `mask` removes link `id` (empty masks remove nothing).
+  [[nodiscard]] bool masked(LinkId id, LinkMask mask) const {
+    return static_cast<std::size_t>(id) < mask.size() &&
+           mask[static_cast<std::size_t>(id)] != 0;
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  int num_endpoints_ = 0;
+  int num_vertices_ = 0;
+  int num_present_ = 0;
+  std::vector<Link> links_;
+  // CSR adjacency over vertices: incident (link, other-vertex) pairs.
+  std::vector<std::size_t> offsets_;
+  std::vector<LinkId> adj_links_;
+  std::vector<std::int32_t> adj_other_;
+};
+
+/// Two-phase construction: declare the vertex/link-id space, add each
+/// physical link at most once, finish() freezes into CSR form.
+class GraphBuilder {
+ public:
+  /// `num_links` fixes the dense id space ([0, num_links)); links never
+  /// added stay absent.
+  GraphBuilder(int num_endpoints, int num_switches, int num_links);
+
+  /// Register physical link `id` between vertices `u` and `v`.
+  /// Self-loops are rejected; parallel links (same u, v under distinct
+  /// ids) are allowed — the torus's extent-2 rings and the fat tree's
+  /// link bundles need them.
+  void add_link(LinkId id, int u, int v, LinkType type);
+
+  /// Validate and freeze. The builder is left empty.
+  NetworkGraph finish();
+
+ private:
+  NetworkGraph graph_;
+  bool finished_ = false;
+};
+
+}  // namespace netloc::topology

@@ -1,12 +1,13 @@
-// RoutePlan: precomputed routing state for one topology instance, the
-// devirtualized fast path of the metric data path (docs/DATAPATH.md).
+// RoutePlan: precomputed routing state for one (topology, routing
+// policy) pair, the devirtualized fast path of the metric data path
+// (docs/DATAPATH.md, docs/TOPOLOGY.md).
 //
 // The virtual Topology interface answers one rank pair at a time
 // through a std::function visitor — fine for ad-hoc queries, but the
 // dominant cost when a sweep asks millions of times. A RoutePlan is
-// built once per (topology, node-count) and then shared, read-only,
-// across every metric pass, sweep cell and simulator that uses that
-// configuration:
+// built once per (topology, node-count, RoutingSpec) and then shared,
+// read-only, across every metric pass, sweep cell and simulator that
+// uses that configuration:
 //
 //  * hop distances for the first `window` nodes are precomputed into a
 //    flat table (one load instead of a virtual call + arithmetic);
@@ -15,6 +16,18 @@
 //  * route enumeration is dispatched statically to the concrete
 //    topology's templated visit_route — no virtual call, no
 //    std::function allocation per pair.
+//
+// Routing policies (topology/routing.hpp). The default MinimalRouting
+// spec keeps the closed-form paths and is byte-identical to a plan
+// built without a spec. A spec with a link fault mask reroutes pairs
+// whose minimal route touches a failed link over the masked
+// NetworkGraph (deterministic BFS) and reports unreachable pairs as
+// hop_distance -1; whether the mask disconnects the endpoint set is
+// computed once at build (disconnected()). An Ecmp spec serves
+// distances from graph BFS and routes as fractional per-link shares
+// (for_each_weighted_link); single-path enumeration then throws.
+// Non-default specs need Topology::build_graph — foreign subclasses
+// without a graph support only the default spec.
 //
 // For the three paper topologies the plan stores its own copy of the
 // (value-cheap) topology object and is fully self-contained: it may
@@ -36,9 +49,12 @@
 #include <string>
 #include <vector>
 
+#include "netloc/common/error.hpp"
 #include "netloc/common/types.hpp"
 #include "netloc/topology/dragonfly.hpp"
 #include "netloc/topology/fat_tree.hpp"
+#include "netloc/topology/graph.hpp"
+#include "netloc/topology/routing.hpp"
 #include "netloc/topology/topology.hpp"
 #include "netloc/topology/torus.hpp"
 
@@ -58,11 +74,20 @@ class RoutePlan {
   /// through the statically-dispatched fallback.
   static constexpr int kDefaultWindowCap = 4096;
 
-  /// Build a plan. `window` bounds the distance table to the nodes
-  /// [0, window); -1 means min(num_nodes, kDefaultWindowCap). Callers
-  /// that know their mapping only touches the first R nodes (the
-  /// paper's consecutive mappings) should pass R.
+  /// Build a plan under the default minimal routing. `window` bounds
+  /// the distance table to the nodes [0, window); -1 means
+  /// min(num_nodes, kDefaultWindowCap). Callers that know their
+  /// mapping only touches the first R nodes (the paper's consecutive
+  /// mappings) should pass R.
   static std::shared_ptr<const RoutePlan> build(const Topology& topo,
+                                                int window = -1);
+
+  /// Build a plan under an explicit routing policy. A default spec is
+  /// byte-identical to build(topo, window); any other spec requires
+  /// topo.build_graph() (ConfigError otherwise). Failed link ids are
+  /// validated against the topology's link id space.
+  static std::shared_ptr<const RoutePlan> build(const Topology& topo,
+                                                const RoutingSpec& spec,
                                                 int window = -1);
 
   /// False for custom (non-paper) topologies: the plan then references
@@ -73,16 +98,41 @@ class RoutePlan {
   [[nodiscard]] int num_links() const { return num_links_; }
   [[nodiscard]] int window() const { return window_; }
   /// "name config" of the source topology, e.g. "torus3d (12,12,12)" —
-  /// the natural sharing key for plan caches.
+  /// the natural sharing key for plan caches. Non-default specs append
+  /// " @" + spec.label(), e.g. "torus3d (4,4,4) @minimal!5".
   [[nodiscard]] const std::string& config_key() const { return config_key_; }
 
-  /// Hops between two nodes; identical to the source topology's
-  /// hop_distance for every pair.
+  /// The routing policy this plan was built with.
+  [[nodiscard]] const RoutingSpec& spec() const { return spec_; }
+  /// True if every route is a single deterministic link sequence
+  /// (minimal routing, with or without faults); false for ECMP, whose
+  /// routes are weighted link sets.
+  [[nodiscard]] bool single_path() const {
+    return spec_.kind == RoutingKind::kMinimal;
+  }
+  /// Graph the policy runs on; nullptr when the source topology has
+  /// none (default-spec plans for foreign subclasses).
+  [[nodiscard]] const NetworkGraph* graph() const { return graph_.get(); }
+  /// True if the fault mask disconnects the endpoint set: some pairs
+  /// then report hop_distance -1. Always false without faults.
+  [[nodiscard]] bool disconnected() const { return disconnected_; }
+  /// num_links() minus the failed links that physically exist. Failing
+  /// an absent id (degenerate torus dimension, mesh wrap slot) does not
+  /// shrink the count: the utilization denominator under a fault mask
+  /// subtracts the num_links() - usable_links() dead links from the
+  /// paper's closed-form link count.
+  [[nodiscard]] int usable_links() const { return usable_links_; }
+
+  /// Hops between two nodes. For the default spec this is identical to
+  /// the source topology's hop_distance for every pair; under a fault
+  /// mask rerouted pairs report their detour length and unreachable
+  /// pairs -1; under ECMP this is the graph shortest-path length.
   [[nodiscard]] int hop_distance(NodeId a, NodeId b) const {
     if (a >= 0 && a < window_ && b >= 0 && b < window_) {
-      return distances_[static_cast<std::size_t>(a) *
-                            static_cast<std::size_t>(window_) +
-                        static_cast<std::size_t>(b)];
+      const std::uint16_t d = distances_[static_cast<std::size_t>(a) *
+                                             static_cast<std::size_t>(window_) +
+                                         static_cast<std::size_t>(b)];
+      return d == kUnreachable ? -1 : d;
     }
     return computed_hop_distance(a, b);
   }
@@ -94,9 +144,85 @@ class RoutePlan {
 
   /// Enumerate the links of the deterministic route a -> b in traversal
   /// order, statically dispatched. Identical link sequence to the
-  /// source topology's route().
+  /// source topology's route() for the default spec; detours under a
+  /// fault mask. Throws ConfigError for multipath (ECMP) plans and for
+  /// unreachable pairs — check single_path() / hop_distance first.
   template <typename Sink>
   void for_each_route_link(NodeId a, NodeId b, Sink&& sink) const {
+    if (!single_path()) {
+      throw ConfigError(
+          "RoutePlan: multipath plan has no single route; use "
+          "for_each_weighted_link");
+    }
+    if (!faulted()) {
+      dispatch_route(a, b, sink);
+      return;
+    }
+    if (minimal_route_usable(a, b)) {
+      dispatch_route(a, b, sink);
+      return;
+    }
+    reroute(a, b, sink);
+  }
+
+  /// Enumerate the (link, share) pairs of the route a -> b; shares are
+  /// the fraction of the flow's volume each link carries. Single-path
+  /// plans emit share 1.0 per link; ECMP plans split across all
+  /// equal-cost shortest paths. Unreachable pairs emit nothing (check
+  /// hop_distance). `sink(LinkId, double)`.
+  template <typename Sink>
+  void for_each_weighted_link(NodeId a, NodeId b, Sink&& sink) const {
+    if (single_path()) {
+      if (faulted() && hop_distance(a, b) < 0) return;
+      for_each_route_link(a, b,
+                          [&sink](LinkId link) { sink(link, 1.0); });
+      return;
+    }
+    std::vector<WeightedLink> links;
+    if (ecmp_route(*graph_, a, b, links, failed_mask()) < 0) return;
+    for (const auto& wl : links) sink(wl.link, wl.share);
+  }
+
+  /// Append the route a -> b to `out` (which is not cleared), reserving
+  /// capacity from the known hop distance. Returns the link count.
+  /// Same contract as for_each_route_link (single-path plans only;
+  /// throws for unreachable pairs).
+  int append_route(NodeId a, NodeId b, std::vector<LinkId>& out) const;
+
+  /// True if `link` is a global (inter-group) link of the source
+  /// topology (dragonfly only, like Topology::link_is_global).
+  [[nodiscard]] bool link_is_global(LinkId link) const {
+    return kind_ == Kind::Dragonfly && dragonfly_->link_is_global(link);
+  }
+
+ private:
+  enum class Kind { Torus, FatTree, Dragonfly, Generic };
+
+  /// Table sentinel for unreachable pairs under a disconnecting mask.
+  static constexpr std::uint16_t kUnreachable = 0xFFFF;
+
+  RoutePlan() = default;
+  [[nodiscard]] int computed_hop_distance(NodeId a, NodeId b) const;
+
+  [[nodiscard]] bool faulted() const { return !failed_mask_.empty(); }
+  [[nodiscard]] LinkMask failed_mask() const {
+    return LinkMask(failed_mask_);
+  }
+  /// True if the closed-form minimal route a -> b avoids every failed
+  /// link (O(hops) walk over the bitmap).
+  [[nodiscard]] bool minimal_route_usable(NodeId a, NodeId b) const;
+  /// Closed-form minimal distance, ignoring faults.
+  [[nodiscard]] int minimal_distance(NodeId a, NodeId b) const;
+  /// BFS detour under the fault mask; throws for unreachable pairs.
+  void reroute(NodeId a, NodeId b,
+               const std::function<void(LinkId)>& sink) const;
+  /// Distance under the plan's spec, bypassing the table.
+  [[nodiscard]] int spec_distance(NodeId a, NodeId b) const;
+  void fill_table();
+
+  /// Statically-dispatched minimal route enumeration (no fault logic).
+  template <typename Sink>
+  void dispatch_route(NodeId a, NodeId b, Sink&& sink) const {
     switch (kind_) {
       case Kind::Torus:
         torus_->visit_route(a, b, sink);
@@ -113,27 +239,18 @@ class RoutePlan {
     }
   }
 
-  /// Append the route a -> b to `out` (which is not cleared), reserving
-  /// capacity from the known hop distance. Returns the link count.
-  int append_route(NodeId a, NodeId b, std::vector<LinkId>& out) const;
-
-  /// True if `link` is a global (inter-group) link of the source
-  /// topology (dragonfly only, like Topology::link_is_global).
-  [[nodiscard]] bool link_is_global(LinkId link) const {
-    return kind_ == Kind::Dragonfly && dragonfly_->link_is_global(link);
-  }
-
- private:
-  enum class Kind { Torus, FatTree, Dragonfly, Generic };
-
-  RoutePlan() = default;
-  [[nodiscard]] int computed_hop_distance(NodeId a, NodeId b) const;
-
   Kind kind_ = Kind::Generic;
   std::optional<Torus3D> torus_;
   std::optional<FatTree> fat_tree_;
   std::optional<Dragonfly> dragonfly_;
   const Topology* generic_ = nullptr;
+
+  RoutingSpec spec_;
+  std::shared_ptr<const NetworkGraph> graph_;
+  /// Bitmap over the link id space; empty when no links failed.
+  std::vector<std::uint8_t> failed_mask_;
+  bool disconnected_ = false;
+  int usable_links_ = 0;
 
   int num_nodes_ = 0;
   int num_links_ = 0;

@@ -1,0 +1,76 @@
+// Pluggable routing policies over the NetworkGraph (docs/TOPOLOGY.md).
+//
+// A RoutingSpec names the policy a RoutePlan is built with:
+//
+//  * Minimal (default) — the topology's deterministic shortest-path
+//    routing, byte-identical to the closed-form route()/hop_distance()
+//    implementations for every Table 2/3 configuration.
+//  * Ecmp — equal-cost multipath: a flow's volume is split evenly
+//    across *all* shortest paths of the network graph, expressed as
+//    fractional per-link shares.
+//
+// Either policy can be decorated with a link fault mask
+// (`failed_links`): masked links are removed from the graph, minimal
+// routes that touched them are rerouted around the failure (BFS on the
+// masked graph, deterministic), and pairs left unreachable report
+// hop_distance -1. Whether the mask disconnects the endpoint set is
+// computed once at plan build (RoutePlan::disconnected()) and surfaced
+// as a lint diagnostic (TP013), never a crash.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netloc/common/types.hpp"
+#include "netloc/topology/graph.hpp"
+
+namespace netloc::topology {
+
+enum class RoutingKind : std::uint8_t {
+  kMinimal,  ///< deterministic closed-form shortest paths (default)
+  kEcmp,     ///< even split across all equal-cost shortest paths
+};
+
+[[nodiscard]] const char* to_string(RoutingKind kind);
+
+/// Parse "minimal" / "ecmp" (throws ConfigError otherwise).
+[[nodiscard]] RoutingKind parse_routing_kind(const std::string& text);
+
+/// Parse a comma-separated link id list, e.g. "3,17,42" (sorted,
+/// deduplicated; throws ConfigError on malformed input).
+[[nodiscard]] std::vector<LinkId> parse_link_list(const std::string& text);
+
+struct RoutingSpec {
+  RoutingKind kind = RoutingKind::kMinimal;
+  /// Links removed from the network; sorted and deduplicated by
+  /// normalized(). Ids are validated against the topology at plan
+  /// build.
+  std::vector<LinkId> failed_links;
+
+  /// True for the plain default policy — the byte-identical fast path.
+  [[nodiscard]] bool is_default() const {
+    return kind == RoutingKind::kMinimal && failed_links.empty();
+  }
+
+  /// Copy with failed_links sorted and deduplicated.
+  [[nodiscard]] RoutingSpec normalized() const;
+
+  /// Stable human/cache label: "minimal", "ecmp", "minimal!3,17".
+  [[nodiscard]] std::string label() const;
+};
+
+/// One fractional share of a flow on one link (ECMP routes).
+struct WeightedLink {
+  LinkId link = kInvalidLink;
+  double share = 0.0;  ///< fraction of the flow's volume in (0, 1]
+};
+
+/// Even ECMP split of one flow a -> b over every shortest path of the
+/// (masked) graph. Appends per-link shares to `out` (links on multiple
+/// paths appear once, with their summed share; shares over the whole
+/// path set sum to the hop distance). Returns the shortest-path hop
+/// count, 0 for a == b, or -1 (nothing appended) if unreachable.
+int ecmp_route(const NetworkGraph& graph, int a, int b,
+               std::vector<WeightedLink>& out, LinkMask mask = {});
+
+}  // namespace netloc::topology

@@ -17,9 +17,11 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "netloc/common/types.hpp"
+#include "netloc/topology/graph.hpp"
 
 namespace netloc::topology {
 
@@ -57,6 +59,17 @@ class Topology {
 
   /// Longest shortest path between any two nodes.
   [[nodiscard]] virtual int diameter() const = 0;
+
+  /// Explicit graph form of this configuration (docs/TOPOLOGY.md):
+  /// vertices are the endpoints followed by the switching elements,
+  /// and every physical link of this topology's dense LinkId space is
+  /// a typed edge — so per-link load vectors and fault masks transfer
+  /// without translation. The default returns nullopt: graph-based
+  /// routing policies (ECMP, link fault masks) are then unavailable
+  /// for the topology, but everything closed-form keeps working.
+  [[nodiscard]] virtual std::optional<NetworkGraph> build_graph() const {
+    return std::nullopt;
+  }
 };
 
 }  // namespace netloc::topology

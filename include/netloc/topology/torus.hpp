@@ -38,6 +38,11 @@ class Torus3D final : public Topology {
   }
   void route(NodeId a, NodeId b, const LinkVisitor& visit) const override;
   [[nodiscard]] int diameter() const override;
+  /// Endpoint-only graph: every node is a vertex (the switch is
+  /// integrated into the NIC), plus_link(node, d) joins the node to its
+  /// +1 neighbour. Degenerate extent-1 links and (for the mesh) wrap
+  /// links stay absent in the id space.
+  [[nodiscard]] std::optional<NetworkGraph> build_graph() const override;
 
   /// Statically-dispatched route enumeration: identical link sequence
   /// to route(), but the visitor is a template parameter, so a caller

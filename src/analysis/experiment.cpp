@@ -70,6 +70,16 @@ TopologyResult analyze_topology(const metrics::TrafficMatrix& full_matrix,
   result.topology = topo.name();
   result.config = topo.config_string();
 
+  // A non-default routing policy needs a plan carrying it; callers
+  // that pass no plan get a throwaway tableless one. (For the default
+  // policy the metric layers build their own tableless plans, exactly
+  // as before.)
+  std::shared_ptr<const topology::RoutePlan> local;
+  if (plan == nullptr && !options.routing.is_default()) {
+    local = topology::RoutePlan::build(topo, options.routing, /*window=*/0);
+    plan = local.get();
+  }
+
   const auto mapping = mapping::Mapping::linear(num_ranks, topo.num_nodes());
   const auto hops = metrics::hop_stats(full_matrix, topo, mapping, plan);
   result.packet_hops = hops.packet_hops;
@@ -77,7 +87,8 @@ TopologyResult analyze_topology(const metrics::TrafficMatrix& full_matrix,
 
   result.utilization_percent =
       metrics::utilization(full_matrix, topo, mapping, duration,
-                           metrics::LinkCountMode::PaperFormula)
+                           metrics::LinkCountMode::PaperFormula,
+                           metrics::kPaperBandwidthBytesPerS, plan)
           .utilization_percent;
   if (options.link_accounting) {
     const auto loads = metrics::link_loads(full_matrix, topo, mapping, plan);

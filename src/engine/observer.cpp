@@ -25,6 +25,12 @@ void StreamObserver::on_cache_store(const std::string& label) {
   out_ << "[engine] stored " << label << '\n';
 }
 
+void StreamObserver::on_cache_evict(const std::string& file,
+                                    std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << "[engine] evict  " << file << " (" << bytes << " bytes)\n";
+}
+
 void StreamObserver::on_diagnostic(const lint::Diagnostic& diagnostic) {
   std::lock_guard<std::mutex> lock(mutex_);
   out_ << "[engine] " << lint::format(diagnostic) << '\n';
@@ -45,6 +51,11 @@ void CountingObserver::on_cache_hit(const std::string& /*label*/) {
 
 void CountingObserver::on_cache_store(const std::string& /*label*/) {
   cache_stores_.fetch_add(1);
+}
+
+void CountingObserver::on_cache_evict(const std::string& /*file*/,
+                                      std::uint64_t /*bytes*/) {
+  cache_evictions_.fetch_add(1);
 }
 
 void CountingObserver::on_diagnostic(const lint::Diagnostic& diagnostic) {

@@ -1,11 +1,13 @@
 #include "netloc/engine/result_cache.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #if defined(_WIN32)
 #include <process.h>
@@ -92,6 +94,16 @@ CacheKey result_cache_key(const workloads::CatalogEntry& entry,
   key.mix<std::int32_t>(topology::fat_tree_stages_for(entry.ranks));
   const auto dragonfly = topology::dragonfly_params_for(entry.ranks);
   for (const int p : dragonfly) key.mix<std::int32_t>(p);
+  // Routing policy. Mixed only when non-default so that every blob
+  // written before routing policies existed keeps its key — a warm
+  // default-path cache survives the upgrade.
+  if (!options.routing.is_default()) {
+    const auto spec = options.routing.normalized();
+    key.mix(std::string("routing"));
+    key.mix<std::uint8_t>(static_cast<std::uint8_t>(spec.kind));
+    key.mix<std::uint64_t>(spec.failed_links.size());
+    for (const LinkId l : spec.failed_links) key.mix<std::int32_t>(l);
+  }
 
   return CacheKey{key.value(), entry.label()};
 }
@@ -180,8 +192,9 @@ analysis::ExperimentRow read_row_blob(std::istream& in, std::uint64_t key_hash) 
   return row;
 }
 
-ResultCache::ResultCache(std::string dir, EngineObserver* observer)
-    : dir_(std::move(dir)), observer_(observer) {
+ResultCache::ResultCache(std::string dir, EngineObserver* observer,
+                         std::uint64_t max_bytes)
+    : dir_(std::move(dir)), observer_(observer), max_bytes_(max_bytes) {
   if (dir_.empty()) throw ConfigError("ResultCache: empty cache directory");
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
@@ -198,6 +211,11 @@ std::optional<analysis::ExperimentRow> ResultCache::load(const CacheKey& key) {
   try {
     auto row = read_row_blob(in, key.hash);
     if (observer_) observer_->on_cache_hit(key.label);
+    // Refresh recency so LRU trimming keeps hot entries. Best effort:
+    // a read-only cache directory still serves hits.
+    std::error_code ec;
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now(), ec);
     return row;
   } catch (const CacheVersionMismatch& e) {
     if (observer_) {
@@ -245,6 +263,65 @@ void ResultCache::store(const CacheKey& key, const analysis::ExperimentRow& row)
     throw Error("ResultCache: cannot publish " + final_path.string());
   }
   if (observer_) observer_->on_cache_store(key.label);
+  if (max_bytes_ > 0) trim(key.file_name());
+}
+
+void ResultCache::trim(const std::string& keep) {
+  namespace fs = std::filesystem;
+  struct Blob {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Blob> blobs;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const auto& entry = *it;
+    if (!entry.is_regular_file(ec) || ec) continue;
+    if (entry.path().extension() != ".nlrc") continue;  // Skip temp files.
+    Blob blob;
+    blob.path = entry.path();
+    blob.mtime = entry.last_write_time(ec);
+    if (ec) continue;
+    blob.bytes = entry.file_size(ec);
+    if (ec) continue;
+    total += blob.bytes;
+    blobs.push_back(std::move(blob));
+  }
+  if (total <= max_bytes_) return;
+
+  // Oldest first; ties broken by file name so concurrent trimmers make
+  // the same choice.
+  std::sort(blobs.begin(), blobs.end(), [](const Blob& a, const Blob& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path.filename() < b.path.filename();
+  });
+
+  std::uint64_t removed_bytes = 0;
+  std::uint64_t removed_count = 0;
+  for (const Blob& blob : blobs) {
+    if (total <= max_bytes_) break;
+    if (blob.path.filename() == keep) continue;  // Never the new blob.
+    std::error_code rm_ec;
+    if (!fs::remove(blob.path, rm_ec) || rm_ec) continue;  // Lost a race.
+    total -= blob.bytes;
+    removed_bytes += blob.bytes;
+    ++removed_count;
+    ++evictions_;
+    if (observer_) {
+      observer_->on_cache_evict(blob.path.filename().string(), blob.bytes);
+    }
+  }
+  if (removed_count > 0 && observer_) {
+    observer_->on_diagnostic(lint::RuleRegistry::instance().make(
+        "EN003", {dir_, -1, -1},
+        "evicted " + std::to_string(removed_count) + " blob(s) / " +
+            std::to_string(removed_bytes) + " bytes to honor the " +
+            std::to_string(max_bytes_) + "-byte cache cap",
+        "raise the cap (--cache-cap) to keep more rows warm"));
+  }
 }
 
 }  // namespace netloc::engine

@@ -67,14 +67,19 @@ SweepEngine::SweepEngine(SweepOptions options) : options_(std::move(options)) {
 std::shared_ptr<const topology::RoutePlan> SweepEngine::plan_for(
     const topology::Topology& topo, int window) {
   // The key carries the window because two rank counts may share a
-  // Table 2 configuration but need differently-sized distance tables.
-  const std::string key =
+  // Table 2 configuration but need differently-sized distance tables,
+  // and the routing label because one engine can serve sweeps under
+  // different policies across its lifetime.
+  std::string key =
       topo.name() + " " + topo.config_string() + "#" + std::to_string(window);
+  if (!options_.run.routing.is_default()) {
+    key += " @" + options_.run.routing.label();
+  }
   std::lock_guard<std::mutex> lock(plans_mutex_);
   if (const auto it = plans_.find(key); it != plans_.end()) {
     return it->second;
   }
-  auto plan = topology::RoutePlan::build(topo, window);
+  auto plan = topology::RoutePlan::build(topo, options_.run.routing, window);
   ++stats_.plans_built;
   if (plan->self_contained()) {
     plans_.emplace(key, plan);
@@ -95,7 +100,8 @@ std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
   // performs no recomputation at all.
   std::optional<ResultCache> cache;
   if (!options_.cache_dir.empty()) {
-    cache.emplace(options_.cache_dir, options_.observer);
+    cache.emplace(options_.cache_dir, options_.observer,
+                  options_.cache_max_bytes);
   }
   std::vector<CacheKey> keys(entries.size());
   std::vector<bool> need(entries.size(), true);
@@ -179,6 +185,7 @@ std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
     if (states[i]) rows[i] = std::move(states[i]->row);
   }
 
+  if (cache) stats_.cache_evictions = static_cast<int>(cache->evictions());
   stats_.wall_s = seconds_since(begin);
   return rows;
 }

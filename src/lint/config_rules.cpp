@@ -1,7 +1,9 @@
 #include "netloc/lint/config_rules.hpp"
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "netloc/lint/registry.hpp"
 
@@ -189,6 +191,133 @@ LintReport lint_rankfile(const mapping::RawRankfile& raw, int expected_ranks,
   }
   report.merge(lint_mapping(raw.rank_to_node, raw.num_nodes, expected_ranks,
                             cores_per_node, source));
+  return report;
+}
+
+LintReport lint_topology_graph(const topology::Topology& topo,
+                               const std::string& source) {
+  LintReport report;
+  const auto graph = topo.build_graph();
+  if (!graph.has_value()) return report;  // No graph form: vacuously fine.
+  const std::string config = topo.name() + " " + topo.config_string();
+
+  if (graph->num_endpoints() != topo.num_nodes()) {
+    report.add(make("TP012", source,
+                    config + ": graph hosts " +
+                        std::to_string(graph->num_endpoints()) +
+                        " endpoints but the topology declares " +
+                        std::to_string(topo.num_nodes()) + " nodes"));
+    return report;  // Distance checks below would index out of range.
+  }
+  if (graph->num_links() != topo.num_links()) {
+    report.add(make("TP012", source,
+                    config + ": graph link-id space has " +
+                        std::to_string(graph->num_links()) +
+                        " slots but num_links() reports " +
+                        std::to_string(topo.num_links()),
+                    "the graph must cover the dense LinkId space so "
+                    "per-link load vectors transfer without translation"));
+  }
+
+  const LinkId common = std::min(graph->num_links(), topo.num_links());
+  for (LinkId l = 0; l < common; ++l) {
+    if (!graph->link_present(l)) continue;
+    if (graph->link_is_global(l) != topo.link_is_global(l)) {
+      report.add(make("TP012", source,
+                      config + ": link " + std::to_string(l) +
+                          " classified " +
+                          (graph->link_is_global(l) ? "global" : "local") +
+                          " by the graph but " +
+                          (topo.link_is_global(l) ? "global" : "local") +
+                          " by link_is_global()",
+                      {}, l));
+      break;  // One sample is enough; the rest is usually the same bug.
+    }
+  }
+
+  // Graph shortest paths must never exceed the closed-form hop count:
+  // a longer BFS distance means the routing the metrics charge uses a
+  // link the graph says does not exist. (Strictly shorter is legal —
+  // the dragonfly's minimal hierarchical routing takes detours BFS
+  // does not.) Sampled sources keep the lint pass cheap at scale.
+  const int n = topo.num_nodes();
+  const int stride = std::max(1, n / 8);
+  for (int a = 0; a < n && !report.has_errors(); a += stride) {
+    const auto dist = graph->bfs_distances(a);
+    for (int b = 0; b < n; ++b) {
+      const int closed = topo.hop_distance(a, b);
+      if (dist[b] < 0) {
+        report.add(make("TP012", source,
+                        config + ": endpoints " + std::to_string(a) + " and " +
+                            std::to_string(b) +
+                            " are disconnected in the graph but " +
+                            std::to_string(closed) + " hops apart closed-form",
+                        {}, a));
+        break;
+      }
+      if (dist[b] > closed) {
+        report.add(make("TP012", source,
+                        config + ": graph distance " + std::to_string(dist[b]) +
+                            " between endpoints " + std::to_string(a) +
+                            " and " + std::to_string(b) +
+                            " exceeds the closed-form hop count " +
+                            std::to_string(closed),
+                        {}, a));
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+LintReport lint_fault_mask(const topology::Topology& topo,
+                           const std::vector<LinkId>& failed_links,
+                           const std::string& source) {
+  LintReport report;
+  const std::string config = topo.name() + " " + topo.config_string();
+  const auto graph = topo.build_graph();
+  if (!graph.has_value()) {
+    report.add(make("TP012", source,
+                    config + ": topology exposes no graph form, so link "
+                             "fault masks cannot be applied",
+                    "implement build_graph() for this topology"));
+    return report;
+  }
+
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(graph->num_links()),
+                                 0);
+  int masked_present = 0;
+  for (const LinkId l : failed_links) {
+    if (l < 0 || l >= graph->num_links()) {
+      report.add(make("TP012", source,
+                      config + ": failed link id " + std::to_string(l) +
+                          " outside [0, " + std::to_string(graph->num_links()) +
+                          ")",
+                      {}, l));
+      continue;
+    }
+    mask[static_cast<std::size_t>(l)] = 1;
+    if (graph->link_present(l)) ++masked_present;
+  }
+
+  if (!graph->endpoints_connected(mask)) {
+    // Name one unreachable pair so the warning is actionable.
+    const auto dist = graph->bfs_distances(0, mask);
+    int cut_off = -1;
+    for (int b = 0; b < graph->num_endpoints(); ++b) {
+      if (dist[b] < 0) {
+        cut_off = b;
+        break;
+      }
+    }
+    report.add(make("TP013", source,
+                    config + ": failing " + std::to_string(masked_present) +
+                        " link(s) disconnects the endpoint set (endpoint " +
+                        std::to_string(cut_off) +
+                        " is unreachable from endpoint 0)",
+                    "traffic between severed endpoints is reported as "
+                    "unroutable, not rerouted"));
+  }
   return report;
 }
 

@@ -48,6 +48,10 @@ constexpr RuleInfo kRules[] = {
      "mapping rank count differs from the trace rank count"},
     {"TP010", Severity::Error, "config", "non-positive topology parameter"},
     {"TP011", Severity::Error, "config", "unparseable rankfile line"},
+    {"TP012", Severity::Error, "config",
+     "topology graph inconsistent with num_links/link_is_global"},
+    {"TP013", Severity::Warning, "config",
+     "link fault mask disconnects the endpoint set"},
     // ---- metric pack -----------------------------------------------------
     {"MT001", Severity::Error, "metric",
      "traffic-matrix totals disagree with the cell sums"},
@@ -64,6 +68,8 @@ constexpr RuleInfo kRules[] = {
      "cached result blob corrupt or unreadable; row recomputed"},
     {"EN002", Severity::Note, "engine",
      "cache blob written by an incompatible engine version; ignored"},
+    {"EN003", Severity::Note, "engine",
+     "result cache over its size cap; least-recently-used blobs evicted"},
 };
 
 }  // namespace

@@ -30,13 +30,17 @@ HopStats hop_stats(const TrafficMatrix& matrix, const topology::Topology& topo,
   // is bit-identical.
   matrix.for_each_nonzero([&](Rank s, Rank d, const TrafficCell& cell) {
     if (cell.packets == 0) return;
-    stats.packets += cell.packets;
     const NodeId ns = mapping.node_of(s);
     const NodeId nd = mapping.node_of(d);
     if (ns != nd) {
-      stats.packet_hops +=
-          cell.packets * static_cast<Count>(plan->hop_distance(ns, nd));
+      const int hops = plan->hop_distance(ns, nd);
+      if (hops < 0) {  // Disconnected under the plan's fault mask.
+        stats.unroutable_packets += cell.packets;
+        return;
+      }
+      stats.packet_hops += cell.packets * static_cast<Count>(hops);
     }
+    stats.packets += cell.packets;
   });
   stats.avg_hops = stats.packets > 0
                        ? static_cast<double>(stats.packet_hops) /

@@ -1,6 +1,7 @@
 #include "netloc/metrics/utilization.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "netloc/common/error.hpp"
@@ -39,7 +40,14 @@ LinkAccountingTotals accumulate_link_loads(const TrafficMatrix& matrix,
     throw ConfigError(
         "accumulate_link_loads: link_loads smaller than plan.num_links()");
   }
+  if (!plan.single_path()) {
+    throw ConfigError(
+        "accumulate_link_loads: multipath plan needs the weighted overload");
+  }
   LinkAccountingTotals totals;
+  // Reachability only needs checking when the fault mask actually cut
+  // the endpoint set apart; the common (healthy) path skips the test.
+  const bool check_reach = plan.disconnected();
   // A link is "used" once any route touches it, even with zero bytes
   // (zero-byte messages still cost a packet); bytes alone cannot tell
   // touched-zero from untouched, hence the explicit flags.
@@ -50,6 +58,10 @@ LinkAccountingTotals accumulate_link_loads(const TrafficMatrix& matrix,
     const NodeId ns = mapping.node_of(s);
     const NodeId nd = mapping.node_of(d);
     if (ns == nd) return;
+    if (check_reach && plan.hop_distance(ns, nd) < 0) {
+      totals.unroutable_packets += cell.packets;
+      return;
+    }
     bool crosses_global = false;
     plan.for_each_route_link(ns, nd, [&](LinkId link) {
       const auto li = static_cast<std::size_t>(link);
@@ -60,6 +72,43 @@ LinkAccountingTotals accumulate_link_loads(const TrafficMatrix& matrix,
       link_loads[li] += cell.bytes;
       if (plan.link_is_global(link)) crosses_global = true;
     });
+    if (crosses_global) totals.global_packets += cell.packets;
+  });
+  return totals;
+}
+
+LinkAccountingTotals accumulate_link_loads(const TrafficMatrix& matrix,
+                                           const topology::RoutePlan& plan,
+                                           const mapping::Mapping& mapping,
+                                           std::span<double> link_loads) {
+  if (link_loads.size() < static_cast<std::size_t>(plan.num_links())) {
+    throw ConfigError(
+        "accumulate_link_loads: link_loads smaller than plan.num_links()");
+  }
+  LinkAccountingTotals totals;
+  std::vector<unsigned char> touched(
+      static_cast<std::size_t>(plan.num_links()), 0);
+  matrix.for_each_nonzero([&](Rank s, Rank d, const TrafficCell& cell) {
+    totals.total_packets += cell.packets;
+    const NodeId ns = mapping.node_of(s);
+    const NodeId nd = mapping.node_of(d);
+    if (ns == nd) return;
+    bool crosses_global = false;
+    bool routed = false;
+    plan.for_each_weighted_link(ns, nd, [&](LinkId link, double share) {
+      routed = true;
+      const auto li = static_cast<std::size_t>(link);
+      if (!touched[li]) {
+        touched[li] = 1;
+        ++totals.used_links;
+      }
+      link_loads[li] += share * static_cast<double>(cell.bytes);
+      if (plan.link_is_global(link)) crosses_global = true;
+    });
+    if (!routed) {  // Distinct nodes with no route: disconnected pair.
+      totals.unroutable_packets += cell.packets;
+      return;
+    }
     if (crosses_global) totals.global_packets += cell.packets;
   });
   return totals;
@@ -81,12 +130,28 @@ UtilizationResult utilization(const TrafficMatrix& matrix,
   result.volume = matrix.total_bytes();
   if (mode == LinkCountMode::PaperFormula) {
     result.link_count = topology::paper_link_count(topo, matrix.num_ranks());
+    // Dead links cannot carry traffic: a plan with a fault mask
+    // shrinks the denominator by the failed-link count. Without
+    // faults usable_links() == num_links() and nothing changes.
+    if (plan != nullptr && plan->usable_links() < plan->num_links()) {
+      const int dead = plan->num_links() - plan->usable_links();
+      result.link_count = std::max(0.0, result.link_count - dead);
+    }
   } else {
     const auto local = ensure_plan(topo, plan, "utilization");
-    std::vector<Bytes> loads(static_cast<std::size_t>(plan->num_links()), 0);
-    const LinkAccountingTotals totals =
-        accumulate_link_loads(matrix, *plan, mapping, loads);
-    result.link_count = static_cast<double>(totals.used_links);
+    if (plan->single_path()) {
+      std::vector<Bytes> loads(static_cast<std::size_t>(plan->num_links()),
+                               0);
+      const LinkAccountingTotals totals =
+          accumulate_link_loads(matrix, *plan, mapping, loads);
+      result.link_count = static_cast<double>(totals.used_links);
+    } else {
+      std::vector<double> loads(static_cast<std::size_t>(plan->num_links()),
+                                0.0);
+      const LinkAccountingTotals totals =
+          accumulate_link_loads(matrix, *plan, mapping, loads);
+      result.link_count = static_cast<double>(totals.used_links);
+    }
   }
   if (result.link_count <= 0.0) {
     result.utilization_percent = 0.0;
@@ -103,16 +168,30 @@ LinkLoadStats link_loads(const TrafficMatrix& matrix,
                          const mapping::Mapping& mapping,
                          const topology::RoutePlan* plan) {
   const auto local = ensure_plan(topo, plan, "link_loads");
-  std::vector<Bytes> loads(static_cast<std::size_t>(plan->num_links()), 0);
-  const LinkAccountingTotals totals =
-      accumulate_link_loads(matrix, *plan, mapping, loads);
   LinkLoadStats stats;
-  stats.used_links = totals.used_links;
+  LinkAccountingTotals totals;
   double sum = 0.0;
-  for (const Bytes bytes : loads) {
-    stats.max_link_bytes = std::max(stats.max_link_bytes, bytes);
-    sum += static_cast<double>(bytes);
+  if (plan->single_path()) {
+    std::vector<Bytes> loads(static_cast<std::size_t>(plan->num_links()), 0);
+    totals = accumulate_link_loads(matrix, *plan, mapping, loads);
+    for (const Bytes bytes : loads) {
+      stats.max_link_bytes = std::max(stats.max_link_bytes, bytes);
+      sum += static_cast<double>(bytes);
+    }
+  } else {
+    // ECMP spreads fractional loads; report the heaviest link rounded
+    // to whole bytes.
+    std::vector<double> loads(static_cast<std::size_t>(plan->num_links()),
+                              0.0);
+    totals = accumulate_link_loads(matrix, *plan, mapping, loads);
+    double max_load = 0.0;
+    for (const double bytes : loads) {
+      max_load = std::max(max_load, bytes);
+      sum += bytes;
+    }
+    stats.max_link_bytes = static_cast<Bytes>(std::llround(max_load));
   }
+  stats.used_links = totals.used_links;
   stats.mean_link_bytes = stats.used_links > 0 ? sum / stats.used_links : 0.0;
   stats.global_link_packet_share =
       totals.total_packets > 0

@@ -41,6 +41,12 @@ FlowSimulator::FlowSimulator(const topology::Topology& topo,
   } else if (plan_->num_nodes() != topo.num_nodes()) {
     throw ConfigError("FlowSimulator: route plan does not match topology");
   }
+  if (!plan_->single_path()) {
+    // Max-min fair filling needs one deterministic link sequence per
+    // flow; ECMP's fractional spreading has no single route to pool.
+    throw ConfigError(
+        "FlowSimulator: multipath (ECMP) route plans are not supported");
+  }
 }
 
 void FlowSimulator::add_flow(Rank src, Rank dst, Bytes bytes, Seconds start) {

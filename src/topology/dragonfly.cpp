@@ -80,4 +80,41 @@ int Dragonfly::diameter() const {
   return a_ == 1 ? 3 : 5;
 }
 
+std::optional<NetworkGraph> Dragonfly::build_graph() const {
+  const int nodes = num_nodes();
+  const int routers = num_groups_ * a_;
+  const auto router_vertex = [&](int group, int r) {
+    return nodes + group * a_ + r;
+  };
+  GraphBuilder builder(nodes, routers, num_links());
+
+  for (NodeId n = 0; n < nodes; ++n) {
+    builder.add_link(injection_link(n), n,
+                     router_vertex(group_of(n), router_in_group(n)),
+                     LinkType::kInjection);
+  }
+  for (int g = 0; g < num_groups_; ++g) {
+    for (int r1 = 0; r1 < a_; ++r1) {
+      for (int r2 = r1 + 1; r2 < a_; ++r2) {
+        builder.add_link(local_link(g, r1, r2), router_vertex(g, r1),
+                         router_vertex(g, r2), LinkType::kLocal);
+      }
+    }
+  }
+  // Each physical global link once, in its canonical (smaller-offset)
+  // direction; offsets 1..a*h/2 out of every group cover the id space
+  // densely.
+  const int half = a_ * h_ / 2;
+  for (int g = 0; g < num_groups_; ++g) {
+    for (int offset = 1; offset <= half; ++offset) {
+      const int dst = (g + offset) % num_groups_;
+      builder.add_link(global_link(g, dst),
+                       router_vertex(g, gateway_router(g, dst)),
+                       router_vertex(dst, gateway_router(dst, g)),
+                       LinkType::kGlobal);
+    }
+  }
+  return builder.finish();
+}
+
 }  // namespace netloc::topology

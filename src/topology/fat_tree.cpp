@@ -1,6 +1,7 @@
 #include "netloc/topology/fat_tree.hpp"
 
 #include <string>
+#include <vector>
 
 #include "netloc/common/error.hpp"
 
@@ -35,6 +36,45 @@ std::string FatTree::config_string() const {
 
 void FatTree::route(NodeId a, NodeId b, const LinkVisitor& visit) const {
   visit_route(a, b, visit);
+}
+
+std::optional<NetworkGraph> FatTree::build_graph() const {
+  // One switch vertex per stage-l block, l in [1, stages]; vertex ids
+  // count up level by level after the endpoints.
+  std::vector<int> base(static_cast<std::size_t>(stages_) + 1, 0);
+  std::vector<int> blocks(static_cast<std::size_t>(stages_) + 1, 0);
+  int next_vertex = nodes_;
+  for (int l = 1; l <= stages_; ++l) {
+    base[static_cast<std::size_t>(l)] = next_vertex;
+    blocks[static_cast<std::size_t>(l)] =
+        static_cast<int>(nodes_ / block_size(l));
+    next_vertex += blocks[static_cast<std::size_t>(l)];
+  }
+  GraphBuilder builder(nodes_, next_vertex - nodes_, num_links());
+
+  // Level 0: each node's injection link (id = node) into its stage-1
+  // block switch.
+  for (NodeId n = 0; n < nodes_; ++n) {
+    builder.add_link(n, n,
+                     base[1] + static_cast<int>(n / block_size(1)),
+                     LinkType::kInjection);
+  }
+  // Levels 1..stages-1: the constant-bisection bundle of block_size(l)
+  // parallel links from each stage-l block to its stage-(l+1) parent,
+  // matching the destination-congruence slot layout of visit_route.
+  for (int l = 1; l < stages_; ++l) {
+    const long bs = block_size(l);
+    for (int blk = 0; blk < blocks[static_cast<std::size_t>(l)]; ++blk) {
+      const int parent = base[static_cast<std::size_t>(l) + 1] + blk / half_;
+      for (long slot = 0; slot < bs; ++slot) {
+        const auto id = static_cast<LinkId>(static_cast<long>(l) * nodes_ +
+                                            blk * bs + slot);
+        builder.add_link(id, base[static_cast<std::size_t>(l)] + blk, parent,
+                         LinkType::kUpDown);
+      }
+    }
+  }
+  return builder.finish();
 }
 
 }  // namespace netloc::topology

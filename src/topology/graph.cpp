@@ -1,0 +1,209 @@
+#include "netloc/topology/graph.hpp"
+
+#include <algorithm>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::topology {
+
+const char* to_string(LinkType type) {
+  switch (type) {
+    case LinkType::kInjection: return "injection";
+    case LinkType::kDirect: return "direct";
+    case LinkType::kUpDown: return "up-down";
+    case LinkType::kLocal: return "local";
+    case LinkType::kGlobal: return "global";
+  }
+  return "unknown";
+}
+
+std::vector<std::int32_t> NetworkGraph::bfs_distances(int from,
+                                                      LinkMask mask) const {
+  if (from < 0 || from >= num_vertices_) {
+    throw ConfigError("NetworkGraph::bfs_distances: vertex out of range");
+  }
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(num_vertices_), -1);
+  std::vector<std::int32_t> queue;
+  queue.reserve(static_cast<std::size_t>(num_vertices_));
+  dist[static_cast<std::size_t>(from)] = 0;
+  queue.push_back(from);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int u = queue[head];
+    const int du = dist[static_cast<std::size_t>(u)];
+    for_each_incident(u, [&](LinkId link, int other) {
+      if (masked(link, mask)) return;
+      auto& d = dist[static_cast<std::size_t>(other)];
+      if (d < 0) {
+        d = du + 1;
+        queue.push_back(other);
+      }
+    });
+  }
+  return dist;
+}
+
+int NetworkGraph::bfs_distance(int from, int to, LinkMask mask) const {
+  if (from < 0 || from >= num_vertices_ || to < 0 || to >= num_vertices_) {
+    throw ConfigError("NetworkGraph::bfs_distance: vertex out of range");
+  }
+  if (from == to) return 0;
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(num_vertices_), -1);
+  std::vector<std::int32_t> queue;
+  dist[static_cast<std::size_t>(from)] = 0;
+  queue.push_back(from);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int u = queue[head];
+    const int du = dist[static_cast<std::size_t>(u)];
+    bool found = false;
+    for_each_incident(u, [&](LinkId link, int other) {
+      if (found || masked(link, mask)) return;
+      auto& d = dist[static_cast<std::size_t>(other)];
+      if (d < 0) {
+        d = du + 1;
+        if (other == to) {
+          found = true;
+          return;
+        }
+        queue.push_back(other);
+      }
+    });
+    if (found) return du + 1;
+  }
+  return -1;
+}
+
+int NetworkGraph::shortest_path(int from, int to, std::vector<LinkId>& out,
+                                LinkMask mask) const {
+  if (from < 0 || from >= num_vertices_ || to < 0 || to >= num_vertices_) {
+    throw ConfigError("NetworkGraph::shortest_path: vertex out of range");
+  }
+  if (from == to) return 0;
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(num_vertices_), -1);
+  std::vector<LinkId> parent_link(static_cast<std::size_t>(num_vertices_),
+                                  kInvalidLink);
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(num_vertices_),
+                                   -1);
+  std::vector<std::int32_t> queue;
+  dist[static_cast<std::size_t>(from)] = 0;
+  queue.push_back(from);
+  bool reached = false;
+  for (std::size_t head = 0; head < queue.size() && !reached; ++head) {
+    const int u = queue[head];
+    const int du = dist[static_cast<std::size_t>(u)];
+    for_each_incident(u, [&](LinkId link, int other) {
+      if (reached || masked(link, mask)) return;
+      auto& d = dist[static_cast<std::size_t>(other)];
+      if (d < 0) {
+        d = du + 1;
+        parent[static_cast<std::size_t>(other)] = u;
+        parent_link[static_cast<std::size_t>(other)] = link;
+        if (other == to) {
+          reached = true;
+          return;
+        }
+        queue.push_back(other);
+      }
+    });
+  }
+  if (!reached) return -1;
+  const int hops = dist[static_cast<std::size_t>(to)];
+  const std::size_t start = out.size();
+  for (int v = to; v != from; v = parent[static_cast<std::size_t>(v)]) {
+    out.push_back(parent_link[static_cast<std::size_t>(v)]);
+  }
+  std::reverse(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+  return hops;
+}
+
+bool NetworkGraph::endpoints_connected(LinkMask mask) const {
+  if (num_endpoints_ <= 1) return true;
+  const auto dist = bfs_distances(0, mask);
+  for (int e = 1; e < num_endpoints_; ++e) {
+    if (dist[static_cast<std::size_t>(e)] < 0) return false;
+  }
+  return true;
+}
+
+std::string NetworkGraph::summary() const {
+  return std::to_string(num_endpoints_) + " endpoints, " +
+         std::to_string(num_switches()) + " switches, " +
+         std::to_string(num_links()) + " links (" +
+         std::to_string(num_present_) + " present)";
+}
+
+GraphBuilder::GraphBuilder(int num_endpoints, int num_switches,
+                           int num_links) {
+  if (num_endpoints < 1 || num_switches < 0 || num_links < 0) {
+    throw ConfigError("GraphBuilder: invalid graph shape");
+  }
+  graph_.num_endpoints_ = num_endpoints;
+  graph_.num_vertices_ = num_endpoints + num_switches;
+  graph_.links_.resize(static_cast<std::size_t>(num_links));
+}
+
+void GraphBuilder::add_link(LinkId id, int u, int v, LinkType type) {
+  if (finished_) {
+    throw ConfigError("GraphBuilder::add_link: builder already finished");
+  }
+  if (id < 0 || static_cast<std::size_t>(id) >= graph_.links_.size()) {
+    throw ConfigError("GraphBuilder::add_link: link id out of range");
+  }
+  if (u < 0 || u >= graph_.num_vertices_ || v < 0 ||
+      v >= graph_.num_vertices_) {
+    throw ConfigError("GraphBuilder::add_link: vertex out of range");
+  }
+  if (u == v) {
+    throw ConfigError("GraphBuilder::add_link: self-loop rejected");
+  }
+  auto& link = graph_.links_[static_cast<std::size_t>(id)];
+  if (link.present) {
+    throw ConfigError("GraphBuilder::add_link: duplicate link id " +
+                      std::to_string(id));
+  }
+  link.u = u;
+  link.v = v;
+  link.type = type;
+  link.present = true;
+  ++graph_.num_present_;
+}
+
+NetworkGraph GraphBuilder::finish() {
+  if (finished_) {
+    throw ConfigError("GraphBuilder::finish: builder already finished");
+  }
+  finished_ = true;
+
+  // Counting sort of incident links into CSR form; adjacency order is
+  // therefore (vertex, link-id) sorted and deterministic.
+  const std::size_t vcount = static_cast<std::size_t>(graph_.num_vertices_);
+  std::vector<std::size_t> counts(vcount, 0);
+  for (const auto& link : graph_.links_) {
+    if (!link.present) continue;
+    ++counts[static_cast<std::size_t>(link.u)];
+    ++counts[static_cast<std::size_t>(link.v)];
+  }
+  graph_.offsets_.assign(vcount + 1, 0);
+  for (std::size_t v = 0; v < vcount; ++v) {
+    graph_.offsets_[v + 1] = graph_.offsets_[v] + counts[v];
+  }
+  const std::size_t total = graph_.offsets_[vcount];
+  graph_.adj_links_.resize(total);
+  graph_.adj_other_.resize(total);
+  std::vector<std::size_t> cursor(graph_.offsets_.begin(),
+                                  graph_.offsets_.end() - 1);
+  for (std::size_t id = 0; id < graph_.links_.size(); ++id) {
+    const auto& link = graph_.links_[id];
+    if (!link.present) continue;
+    const auto place = [&](int at, int other) {
+      auto& slot = cursor[static_cast<std::size_t>(at)];
+      graph_.adj_links_[slot] = static_cast<LinkId>(id);
+      graph_.adj_other_[slot] = other;
+      ++slot;
+    };
+    place(link.u, link.v);
+    place(link.v, link.u);
+  }
+  return std::move(graph_);
+}
+
+}  // namespace netloc::topology

@@ -28,54 +28,143 @@ void fill_distances(int window, std::vector<std::uint16_t>& out,
 
 std::shared_ptr<const RoutePlan> RoutePlan::build(const Topology& topo,
                                                   int window) {
+  return build(topo, RoutingSpec{}, window);
+}
+
+std::shared_ptr<const RoutePlan> RoutePlan::build(const Topology& topo,
+                                                  const RoutingSpec& raw_spec,
+                                                  int window) {
   auto plan = std::shared_ptr<RoutePlan>(new RoutePlan());
+  plan->spec_ = raw_spec.normalized();
   plan->num_nodes_ = topo.num_nodes();
   plan->num_links_ = topo.num_links();
   plan->config_key_ = topo.name() + " " + topo.config_string();
+  if (!plan->spec_.is_default()) {
+    plan->config_key_ += " @" + plan->spec_.label();
+  }
 
   if (window < 0) {
     window = std::min(plan->num_nodes_, kDefaultWindowCap);
   }
   plan->window_ = std::min(window, plan->num_nodes_);
 
-  // uint16 must hold every table entry; the diameter bounds them all.
-  if (topo.diameter() > std::numeric_limits<std::uint16_t>::max()) {
-    throw ConfigError("RoutePlan: topology diameter exceeds distance table range");
+  // uint16 must hold every table entry (0xFFFF is the unreachable
+  // sentinel); the diameter bounds the fault-free entries.
+  if (topo.diameter() >= kUnreachable) {
+    throw ConfigError(
+        "RoutePlan: topology diameter exceeds distance table range");
   }
 
   if (const auto* t = dynamic_cast<const Torus3D*>(&topo)) {
     plan->kind_ = Kind::Torus;
     plan->torus_.emplace(*t);
-    fill_distances(plan->window_, plan->distances_,
-                   [t2 = &*plan->torus_](NodeId a, NodeId b) {
-                     return t2->hop_distance(a, b);
-                   });
   } else if (const auto* f = dynamic_cast<const FatTree*>(&topo)) {
     plan->kind_ = Kind::FatTree;
     plan->fat_tree_.emplace(*f);
-    fill_distances(plan->window_, plan->distances_,
-                   [f2 = &*plan->fat_tree_](NodeId a, NodeId b) {
-                     return f2->hop_distance(a, b);
-                   });
   } else if (const auto* d = dynamic_cast<const Dragonfly*>(&topo)) {
     plan->kind_ = Kind::Dragonfly;
     plan->dragonfly_.emplace(*d);
-    fill_distances(plan->window_, plan->distances_,
-                   [d2 = &*plan->dragonfly_](NodeId a, NodeId b) {
-                     return d2->hop_distance(a, b);
-                   });
   } else {
     plan->kind_ = Kind::Generic;
     plan->generic_ = &topo;
-    fill_distances(plan->window_, plan->distances_,
-                   [&topo](NodeId a, NodeId b) {
-                     return topo.hop_distance(a, b);
-                   });
   }
+
+  if (auto graph = topo.build_graph()) {
+    plan->graph_ = std::make_shared<const NetworkGraph>(std::move(*graph));
+  }
+  if (!plan->spec_.is_default() && !plan->graph_) {
+    throw ConfigError("RoutePlan: routing policy '" + plan->spec_.label() +
+                      "' requires a topology graph, and " + topo.name() +
+                      " does not build one");
+  }
+
+  plan->usable_links_ = plan->num_links_;
+  if (!plan->spec_.failed_links.empty()) {
+    plan->failed_mask_.assign(static_cast<std::size_t>(plan->num_links_), 0);
+    for (const LinkId id : plan->spec_.failed_links) {
+      if (id < 0 || id >= plan->num_links_) {
+        throw ConfigError("RoutePlan: failed link id " + std::to_string(id) +
+                          " out of range for " + topo.name() + " " +
+                          topo.config_string());
+      }
+      plan->failed_mask_[static_cast<std::size_t>(id)] = 1;
+      // Absent ids (degenerate torus dimensions, mesh wrap slots) carry
+      // no traffic, so failing them must not shrink the usable-link
+      // denominator.
+      if (!plan->graph_ || plan->graph_->link_present(id)) {
+        --plan->usable_links_;
+      }
+    }
+    plan->disconnected_ = !plan->graph_->endpoints_connected(
+        plan->failed_mask());
+  }
+
+  plan->fill_table();
   return plan;
 }
 
-int RoutePlan::computed_hop_distance(NodeId a, NodeId b) const {
+void RoutePlan::fill_table() {
+  if (spec_.is_default()) {
+    switch (kind_) {
+      case Kind::Torus:
+        fill_distances(window_, distances_,
+                       [t = &*torus_](NodeId a, NodeId b) {
+                         return t->hop_distance(a, b);
+                       });
+        break;
+      case Kind::FatTree:
+        fill_distances(window_, distances_,
+                       [f = &*fat_tree_](NodeId a, NodeId b) {
+                         return f->hop_distance(a, b);
+                       });
+        break;
+      case Kind::Dragonfly:
+        fill_distances(window_, distances_,
+                       [d = &*dragonfly_](NodeId a, NodeId b) {
+                         return d->hop_distance(a, b);
+                       });
+        break;
+      case Kind::Generic:
+        fill_distances(window_, distances_,
+                       [t = generic_](NodeId a, NodeId b) {
+                         return t->hop_distance(a, b);
+                       });
+        break;
+    }
+    return;
+  }
+
+  // Policy path: minimal-with-faults keeps the closed form wherever
+  // the route dodges every failed link and falls back to one masked
+  // BFS per affected source; ECMP serves every row from BFS.
+  distances_.resize(static_cast<std::size_t>(window_) *
+                    static_cast<std::size_t>(window_));
+  const bool minimal = single_path();
+  std::vector<std::int32_t> row;
+  std::size_t idx = 0;
+  for (NodeId a = 0; a < window_; ++a) {
+    bool have_row = false;
+    for (NodeId b = 0; b < window_; ++b) {
+      int d;
+      if (minimal && minimal_route_usable(a, b)) {
+        d = minimal_distance(a, b);
+      } else {
+        if (!have_row) {
+          row = graph_->bfs_distances(a, failed_mask());
+          have_row = true;
+        }
+        d = row[static_cast<std::size_t>(b)];
+      }
+      if (d >= kUnreachable) {
+        throw ConfigError("RoutePlan: detour length exceeds distance table");
+      }
+      distances_[idx++] =
+          d < 0 ? kUnreachable : static_cast<std::uint16_t>(d);
+    }
+  }
+}
+
+int RoutePlan::minimal_distance(NodeId a, NodeId b) const {
   switch (kind_) {
     case Kind::Torus:
       return torus_->hop_distance(a, b);
@@ -87,6 +176,38 @@ int RoutePlan::computed_hop_distance(NodeId a, NodeId b) const {
       return generic_->hop_distance(a, b);
   }
   return 0;  // Unreachable.
+}
+
+bool RoutePlan::minimal_route_usable(NodeId a, NodeId b) const {
+  if (!faulted()) return true;
+  bool usable = true;
+  dispatch_route(a, b, [this, &usable](LinkId link) {
+    if (failed_mask_[static_cast<std::size_t>(link)] != 0) usable = false;
+  });
+  return usable;
+}
+
+int RoutePlan::spec_distance(NodeId a, NodeId b) const {
+  if (single_path() && minimal_route_usable(a, b)) {
+    return minimal_distance(a, b);
+  }
+  return graph_->bfs_distance(a, b, failed_mask());
+}
+
+void RoutePlan::reroute(NodeId a, NodeId b,
+                        const std::function<void(LinkId)>& sink) const {
+  std::vector<LinkId> path;
+  if (graph_->shortest_path(a, b, path, failed_mask()) < 0) {
+    throw ConfigError("RoutePlan: nodes " + std::to_string(a) + " and " +
+                      std::to_string(b) +
+                      " are disconnected under the link fault mask");
+  }
+  for (const LinkId link : path) sink(link);
+}
+
+int RoutePlan::computed_hop_distance(NodeId a, NodeId b) const {
+  if (spec_.is_default()) return minimal_distance(a, b);
+  return spec_distance(a, b);
 }
 
 void RoutePlan::hop_distances(std::span<const NodePair> pairs,
@@ -102,6 +223,11 @@ void RoutePlan::hop_distances(std::span<const NodePair> pairs,
 int RoutePlan::append_route(NodeId a, NodeId b,
                             std::vector<LinkId>& out) const {
   const int hops = hop_distance(a, b);
+  if (hops < 0) {
+    throw ConfigError("RoutePlan::append_route: nodes " + std::to_string(a) +
+                      " and " + std::to_string(b) +
+                      " are disconnected under the link fault mask");
+  }
   out.reserve(out.size() + static_cast<std::size_t>(hops));
   for_each_route_link(a, b, [&out](LinkId link) { out.push_back(link); });
   return hops;

@@ -1,0 +1,179 @@
+#include "netloc/topology/routing.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::topology {
+
+const char* to_string(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::kMinimal: return "minimal";
+    case RoutingKind::kEcmp: return "ecmp";
+  }
+  return "unknown";
+}
+
+RoutingKind parse_routing_kind(const std::string& text) {
+  if (text == "minimal") return RoutingKind::kMinimal;
+  if (text == "ecmp") return RoutingKind::kEcmp;
+  throw ConfigError("unknown routing policy '" + text +
+                    "' (expected minimal|ecmp)");
+}
+
+std::vector<LinkId> parse_link_list(const std::string& text) {
+  std::vector<LinkId> links;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = text.substr(pos, comma - pos);
+    if (token.empty()) {
+      throw ConfigError("malformed link list '" + text + "': empty entry");
+    }
+    char* end = nullptr;
+    const long value = std::strtol(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || value < 0) {
+      throw ConfigError("malformed link list '" + text + "': bad id '" +
+                        token + "'");
+    }
+    links.push_back(static_cast<LinkId>(value));
+    pos = comma + 1;
+  }
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return links;
+}
+
+RoutingSpec RoutingSpec::normalized() const {
+  RoutingSpec spec = *this;
+  std::sort(spec.failed_links.begin(), spec.failed_links.end());
+  spec.failed_links.erase(
+      std::unique(spec.failed_links.begin(), spec.failed_links.end()),
+      spec.failed_links.end());
+  return spec;
+}
+
+std::string RoutingSpec::label() const {
+  std::string text = to_string(kind);
+  if (!failed_links.empty()) {
+    text += '!';
+    for (std::size_t i = 0; i < failed_links.size(); ++i) {
+      if (i > 0) text += ',';
+      text += std::to_string(failed_links[i]);
+    }
+  }
+  return text;
+}
+
+int ecmp_route(const NetworkGraph& graph, int a, int b,
+               std::vector<WeightedLink>& out, LinkMask mask) {
+  if (a == b) return 0;
+  const auto dist_a = graph.bfs_distances(a, mask);
+  const int total = dist_a[static_cast<std::size_t>(b)];
+  if (total < 0) return -1;
+  const auto dist_b = graph.bfs_distances(b, mask);
+
+  // Shortest-path DAG: edge u -> v is on some shortest path iff
+  // dist_a[u] + 1 + dist_b[v] == total. Path counts (sigma) are taken
+  // in doubles — the 3-stage fat tree's bundle multiplicities overflow
+  // 64-bit integers long before they lose double precision that
+  // matters for an even split.
+  const std::size_t vcount = static_cast<std::size_t>(graph.num_vertices());
+  std::vector<double> sigma_a(vcount, 0.0);
+  std::vector<double> sigma_b(vcount, 0.0);
+  sigma_a[static_cast<std::size_t>(a)] = 1.0;
+  sigma_b[static_cast<std::size_t>(b)] = 1.0;
+
+  // Vertices on any shortest path, ordered by dist_a: a layered
+  // topological order of the DAG, so one forward and one backward pass
+  // settle all counts.
+  std::vector<std::int32_t> order;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    const auto da = dist_a[static_cast<std::size_t>(v)];
+    const auto db = dist_b[static_cast<std::size_t>(v)];
+    if (da >= 0 && db >= 0 && da + db == total) order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    const auto dx = dist_a[static_cast<std::size_t>(x)];
+    const auto dy = dist_a[static_cast<std::size_t>(y)];
+    return dx != dy ? dx < dy : x < y;
+  });
+
+  const auto on_dag = [&](int u, int v) {
+    return dist_a[static_cast<std::size_t>(u)] + 1 +
+               dist_b[static_cast<std::size_t>(v)] ==
+           total;
+  };
+  for (const int v : order) {  // forward: sigma_a
+    if (v == a) continue;
+    double count = 0.0;
+    graph.for_each_incident(v, [&](LinkId link, int other) {
+      if (graph.masked(link, mask)) return;
+      if (dist_a[static_cast<std::size_t>(other)] + 1 ==
+              dist_a[static_cast<std::size_t>(v)] &&
+          on_dag(other, v)) {
+        count += sigma_a[static_cast<std::size_t>(other)];
+      }
+    });
+    sigma_a[static_cast<std::size_t>(v)] = count;
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {  // backward
+    const int v = *it;
+    if (v == b) continue;
+    double count = 0.0;
+    graph.for_each_incident(v, [&](LinkId link, int other) {
+      if (graph.masked(link, mask)) return;
+      if (dist_b[static_cast<std::size_t>(other)] + 1 ==
+              dist_b[static_cast<std::size_t>(v)] &&
+          on_dag(v, other)) {
+        count += sigma_b[static_cast<std::size_t>(other)];
+      }
+    });
+    sigma_b[static_cast<std::size_t>(v)] = count;
+  }
+
+  const double paths = sigma_a[static_cast<std::size_t>(b)];
+  // paths >= 1 whenever b is reachable; guard against degenerate
+  // rounding all the same.
+  if (!(paths > 0.0)) return -1;
+
+  // Each DAG edge (u -> v) carries sigma_a(u) * sigma_b(v) of the
+  // `paths` shortest paths. Enumerate links from the DAG vertices in
+  // order, emitting the a-side direction of each link exactly once.
+  const std::size_t start = out.size();
+  for (const int u : order) {
+    graph.for_each_incident(u, [&](LinkId link, int other) {
+      if (graph.masked(link, mask)) return;
+      if (dist_a[static_cast<std::size_t>(u)] + 1 !=
+          dist_a[static_cast<std::size_t>(other)]) {
+        return;  // not the forward direction of this link
+      }
+      if (!on_dag(u, other)) return;
+      const double share = sigma_a[static_cast<std::size_t>(u)] *
+                           sigma_b[static_cast<std::size_t>(other)] / paths;
+      if (share > 0.0) {
+        out.push_back(WeightedLink{link, share});
+      }
+    });
+  }
+  // Deterministic output order + merged duplicates (a link cannot be
+  // forward twice, but keep the contract tight regardless).
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end(),
+            [](const WeightedLink& x, const WeightedLink& y) {
+              return x.link < y.link;
+            });
+  std::size_t tail = start;
+  for (std::size_t i = start; i < out.size(); ++i) {
+    if (tail > start && out[tail - 1].link == out[i].link) {
+      out[tail - 1].share += out[i].share;
+    } else {
+      out[tail++] = out[i];
+    }
+  }
+  out.resize(tail);
+  return total;
+}
+
+}  // namespace netloc::topology

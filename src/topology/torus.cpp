@@ -36,4 +36,24 @@ int Torus3D::diameter() const {
   return diam;
 }
 
+std::optional<NetworkGraph> Torus3D::build_graph() const {
+  GraphBuilder builder(nodes_, /*num_switches=*/0, num_links());
+  for (NodeId node = 0; node < nodes_; ++node) {
+    const auto c = coords(node);
+    for (int d = 0; d < 3; ++d) {
+      const int extent = dims_[d];
+      // Extent-1 dimensions reserve their link ids but connect a node
+      // to itself — no physical link. The mesh omits wrap links the
+      // same way.
+      if (extent == 1) continue;
+      if (!wraparound_ && c[d] == extent - 1) continue;
+      auto nc = c;
+      nc[d] = (c[d] + 1) % extent;
+      builder.add_link(plus_link(node, d), node,
+                       node_at(nc[0], nc[1], nc[2]), LinkType::kDirect);
+    }
+  }
+  return builder.finish();
+}
+
 }  // namespace netloc::topology

@@ -19,19 +19,32 @@ class Cmc2dGenerator final : public WorkloadGenerator {
 
   [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
                                       std::uint64_t /*seed*/) const override {
+    return pattern(target).build(build_params(target));
+  }
+
+  void generate_into(const CatalogEntry& target, std::uint64_t /*seed*/,
+                     trace::EventSink& sink) const override {
+    pattern(target).build_into(build_params(target), sink);
+  }
+
+ private:
+  [[nodiscard]] PatternBuilder pattern(const CatalogEntry& target) const {
     PatternBuilder builder(name(), target.ranks);
     // Rooted patterns only (tally reductions and parameter
     // broadcasts): Table 3's CMC packet counts match ~4k calls of
     // (n-1)-message stars, not all-pairs operations.
     builder.collective(trace::CollectiveOp::Reduce, 0, 3.0, 2500);
     builder.collective(trace::CollectiveOp::Bcast, 0, 1.0, 1500);
+    return builder;
+  }
 
+  [[nodiscard]] static BuildParams build_params(const CatalogEntry& target) {
     BuildParams params;
     params.p2p_bytes = target.p2p_bytes();  // 0 by catalog
     params.collective_bytes = target.collective_bytes();
     params.duration = target.time_s;
     params.iterations = 200;
-    return builder.build(params);
+    return params;
   }
 };
 

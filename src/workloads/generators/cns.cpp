@@ -27,6 +27,17 @@ class CnsGenerator final : public WorkloadGenerator {
 
   [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
                                       std::uint64_t seed) const override {
+    return pattern(target, seed).build(build_params(target));
+  }
+
+  void generate_into(const CatalogEntry& target, std::uint64_t seed,
+                     trace::EventSink& sink) const override {
+    pattern(target, seed).build_into(build_params(target), sink);
+  }
+
+ private:
+  [[nodiscard]] PatternBuilder pattern(const CatalogEntry& target,
+                                       std::uint64_t seed) const {
     const int n = target.ranks;
     PatternBuilder builder(name(), n);
     Xoshiro256 rng(seed ^ 0xC45'0001ULL);
@@ -53,14 +64,17 @@ class CnsGenerator final : public WorkloadGenerator {
         if (s != d) builder.p2p(s, d, w_meta);
       }
     }
+    return builder;
+  }
 
+  [[nodiscard]] static BuildParams build_params(const CatalogEntry& target) {
     BuildParams params;
     params.p2p_bytes = target.p2p_bytes();
     params.collective_bytes = target.collective_bytes();
     params.duration = target.time_s;
     params.iterations = 25;
     params.preferred_message_bytes = 16 * 1024;
-    return builder.build(params);
+    return params;
   }
 };
 

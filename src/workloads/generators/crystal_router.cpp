@@ -22,6 +22,16 @@ class CrystalRouterGenerator final : public WorkloadGenerator {
 
   [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
                                       std::uint64_t /*seed*/) const override {
+    return pattern(target).build(build_params(target));
+  }
+
+  void generate_into(const CatalogEntry& target, std::uint64_t /*seed*/,
+                     trace::EventSink& sink) const override {
+    pattern(target).build_into(build_params(target), sink);
+  }
+
+ private:
+  [[nodiscard]] PatternBuilder pattern(const CatalogEntry& target) const {
     const int n = target.ranks;
     PatternBuilder builder(name(), n);
 
@@ -34,14 +44,17 @@ class CrystalRouterGenerator final : public WorkloadGenerator {
       }
       stage_weight *= 1.1;
     }
+    return builder;
+  }
 
+  [[nodiscard]] static BuildParams build_params(const CatalogEntry& target) {
     BuildParams params;
     params.p2p_bytes = target.p2p_bytes();
     params.collective_bytes = target.collective_bytes();
     params.duration = target.time_s;
     params.iterations = 20;
     params.preferred_message_bytes = 32 * 1024;
-    return builder.build(params);
+    return params;
   }
 };
 

@@ -24,6 +24,17 @@ class MocfeGenerator final : public WorkloadGenerator {
 
   [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
                                       std::uint64_t seed) const override {
+    return pattern(target, seed).build(build_params(target));
+  }
+
+  void generate_into(const CatalogEntry& target, std::uint64_t seed,
+                     trace::EventSink& sink) const override {
+    pattern(target, seed).build_into(build_params(target), sink);
+  }
+
+ private:
+  [[nodiscard]] PatternBuilder pattern(const CatalogEntry& target,
+                                       std::uint64_t seed) const {
     const int n = target.ranks;
     PatternBuilder builder(name(), n);
     Xoshiro256 rng(seed ^ 0x30CF'E001ULL);
@@ -36,14 +47,17 @@ class MocfeGenerator final : public WorkloadGenerator {
 
     builder.collective(trace::CollectiveOp::Allreduce, 0, 3.0, 500);
     builder.collective(trace::CollectiveOp::Bcast, 0, 1.0, 200);
+    return builder;
+  }
 
+  [[nodiscard]] static BuildParams build_params(const CatalogEntry& target) {
     BuildParams params;
     params.p2p_bytes = target.p2p_bytes();
     params.collective_bytes = target.collective_bytes();
     params.duration = target.time_s;
     params.iterations = 20;
     params.preferred_message_bytes = 4096;
-    return builder.build(params);
+    return params;
   }
 };
 

@@ -23,6 +23,16 @@ class NekboneGenerator final : public WorkloadGenerator {
 
   [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
                                       std::uint64_t /*seed*/) const override {
+    return pattern(target).build(build_params(target));
+  }
+
+  void generate_into(const CatalogEntry& target, std::uint64_t /*seed*/,
+                     trace::EventSink& sink) const override {
+    pattern(target).build_into(build_params(target), sink);
+  }
+
+ private:
+  [[nodiscard]] PatternBuilder pattern(const CatalogEntry& target) const {
     const GridDims dims = balanced_dims(target.ranks, 3);
     PatternBuilder builder(name(), target.ranks);
 
@@ -47,14 +57,17 @@ class NekboneGenerator final : public WorkloadGenerator {
 
     // Two dot-product allreduces per CG iteration.
     builder.collective(trace::CollectiveOp::Allreduce, 0, 1.0, 2000);
+    return builder;
+  }
 
+  [[nodiscard]] static BuildParams build_params(const CatalogEntry& target) {
     BuildParams params;
     params.p2p_bytes = target.p2p_bytes();
     params.collective_bytes = target.collective_bytes();
     params.duration = target.time_s;
     params.iterations = 30;
     params.preferred_message_bytes = 16 * 1024;
-    return builder.build(params);
+    return params;
   }
 };
 

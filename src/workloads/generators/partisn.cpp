@@ -23,6 +23,16 @@ class PartisnGenerator final : public WorkloadGenerator {
 
   [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
                                       std::uint64_t /*seed*/) const override {
+    return pattern(target).build(build_params(target));
+  }
+
+  void generate_into(const CatalogEntry& target, std::uint64_t /*seed*/,
+                     trace::EventSink& sink) const override {
+    pattern(target).build_into(build_params(target), sink);
+  }
+
+ private:
+  [[nodiscard]] PatternBuilder pattern(const CatalogEntry& target) const {
     const int n = target.ranks;
     const GridDims dims = balanced_dims(n, 2);
     PatternBuilder builder(name(), n);
@@ -46,14 +56,17 @@ class PartisnGenerator final : public WorkloadGenerator {
 
     // Convergence allreduces: the 0.04% collective share of Table 1.
     builder.collective(trace::CollectiveOp::Allreduce, 0, 1.0, 150);
+    return builder;
+  }
 
+  [[nodiscard]] static BuildParams build_params(const CatalogEntry& target) {
     BuildParams params;
     params.p2p_bytes = target.p2p_bytes();
     params.collective_bytes = target.collective_bytes();
     params.duration = target.time_s;
     params.iterations = 40;
     params.preferred_message_bytes = 4 * 1024;
-    return builder.build(params);
+    return params;
   }
 };
 

@@ -25,6 +25,17 @@ class SnapGenerator final : public WorkloadGenerator {
 
   [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
                                       std::uint64_t seed) const override {
+    return pattern(target, seed).build(build_params(target));
+  }
+
+  void generate_into(const CatalogEntry& target, std::uint64_t seed,
+                     trace::EventSink& sink) const override {
+    pattern(target, seed).build_into(build_params(target), sink);
+  }
+
+ private:
+  [[nodiscard]] PatternBuilder pattern(const CatalogEntry& target,
+                                       std::uint64_t seed) const {
     const int n = target.ranks;
     const GridDims dims = balanced_dims(n, 2);
     PatternBuilder builder(name(), n);
@@ -40,14 +51,17 @@ class SnapGenerator final : public WorkloadGenerator {
     handoff.decay = 0.80;  // 90% of volume within ~10 partners (Table 3: 9.8).
     handoff.distance_bias = 1.0;  // Octant restarts favour far ranks.
     add_random_partners(builder, n, handoff, rng);
+    return builder;
+  }
 
+  [[nodiscard]] static BuildParams build_params(const CatalogEntry& target) {
     BuildParams params;
     params.p2p_bytes = target.p2p_bytes();
     params.collective_bytes = target.collective_bytes();
     params.duration = target.time_s;
     params.iterations = 40;
     params.preferred_message_bytes = 4 * 1024;
-    return builder.build(params);
+    return params;
   }
 };
 

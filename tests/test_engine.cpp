@@ -8,6 +8,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
@@ -26,6 +28,7 @@
 #include "netloc/metrics/utilization.hpp"
 #include "netloc/simulation/flow_sim.hpp"
 #include "netloc/topology/configs.hpp"
+#include "netloc/topology/routing.hpp"
 #include "netloc/workloads/workload.hpp"
 
 namespace netloc::engine {
@@ -366,6 +369,154 @@ TEST(ResultCache, WrongKeyBlobIsRejected) {
   EXPECT_EQ(observer.collected_diagnostics()[0].rule_id, "EN001");
 }
 
+TEST(ResultCache, RoutingSpecReKeysOnlyWhenNonDefault) {
+  const auto& entry = small_entry();
+  const auto base = result_cache_key(entry, {});
+
+  // An explicit default spec hashes identically — pre-existing blobs
+  // stored before routing was keyed stay warm.
+  analysis::RunOptions explicit_default;
+  explicit_default.routing = topology::RoutingSpec{};
+  EXPECT_EQ(result_cache_key(entry, explicit_default).hash, base.hash);
+
+  analysis::RunOptions ecmp;
+  ecmp.routing.kind = topology::RoutingKind::kEcmp;
+  EXPECT_NE(result_cache_key(entry, ecmp).hash, base.hash);
+
+  analysis::RunOptions faulty;
+  faulty.routing.failed_links = {3};
+  EXPECT_NE(result_cache_key(entry, faulty).hash, base.hash);
+  EXPECT_NE(result_cache_key(entry, faulty).hash,
+            result_cache_key(entry, ecmp).hash);
+
+  analysis::RunOptions other_fault;
+  other_fault.routing.failed_links = {4};
+  EXPECT_NE(result_cache_key(entry, other_fault).hash,
+            result_cache_key(entry, faulty).hash);
+}
+
+/// Distinct cache keys for the same entry (seed-varied), so one row can
+/// populate several blobs.
+std::vector<CacheKey> seed_varied_keys(int count) {
+  std::vector<CacheKey> keys;
+  for (int i = 0; i < count; ++i) {
+    analysis::RunOptions options;
+    options.seed = workloads::kDefaultSeed + 100 + i;
+    keys.push_back(result_cache_key(small_entry(), options));
+  }
+  return keys;
+}
+
+/// Backdate blob `file` so LRU ordering in tests never depends on
+/// store-time mtime granularity.
+void age_blob(const fs::path& file, int hours_ago) {
+  fs::last_write_time(file, fs::file_time_type::clock::now() -
+                                std::chrono::hours(hours_ago));
+}
+
+TEST(ResultCache, LruTrimEvictsOldestBlobsAtTheCap) {
+  ScratchDir dir("netloc-cache-lru");
+  const auto row = analysis::run_experiment(small_entry());
+  const auto keys = seed_varied_keys(4);
+  {
+    ResultCache fill(dir.str());
+    for (const auto& key : keys) fill.store(key, row);
+    EXPECT_EQ(fill.evictions(), 0u);  // Cap 0: unlimited.
+  }
+  std::uint64_t total = 0;
+  for (const auto& key : keys) {
+    const auto blob = dir.path() / key.file_name();
+    age_blob(blob, static_cast<int>(4 - (&key - keys.data())));
+    total += fs::file_size(blob);
+  }
+
+  // A cap of the current total: the next store overflows it and the
+  // trimmer must drop the oldest blob (and only it — all blobs carry
+  // the same row, so they are equally sized).
+  analysis::RunOptions fresh;
+  fresh.seed = workloads::kDefaultSeed + 200;
+  const auto fresh_key = result_cache_key(small_entry(), fresh);
+  CountingObserver observer;
+  ResultCache cache(dir.str(), &observer, total);
+  EXPECT_EQ(cache.max_bytes(), total);
+  cache.store(fresh_key, row);
+
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(observer.cache_evictions(), 1);
+  EXPECT_FALSE(fs::exists(dir.path() / keys[0].file_name()));  // Oldest.
+  EXPECT_TRUE(fs::exists(dir.path() / keys[3].file_name()));
+  EXPECT_TRUE(fs::exists(dir.path() / fresh_key.file_name()));
+  ASSERT_EQ(observer.diagnostics(), 1);
+  const auto diags = observer.collected_diagnostics();
+  EXPECT_EQ(diags[0].rule_id, "EN003");
+  EXPECT_EQ(diags[0].severity, lint::Severity::Note);
+  // The survivors still load.
+  EXPECT_TRUE(cache.load(keys[3]).has_value());
+  EXPECT_FALSE(cache.load(keys[0]).has_value());
+}
+
+TEST(ResultCache, LoadRefreshesRecencySoHotBlobsSurvive) {
+  ScratchDir dir("netloc-cache-lru-touch");
+  const auto row = analysis::run_experiment(small_entry());
+  const auto keys = seed_varied_keys(3);
+  {
+    ResultCache fill(dir.str());
+    for (const auto& key : keys) fill.store(key, row);
+  }
+  std::uint64_t total = 0;
+  for (const auto& key : keys) {
+    const auto blob = dir.path() / key.file_name();
+    age_blob(blob, static_cast<int>(3 - (&key - keys.data())));
+    total += fs::file_size(blob);
+  }
+
+  CountingObserver observer;
+  ResultCache cache(dir.str(), &observer, total);
+  // Touch the oldest blob: the hit refreshes its mtime, making
+  // keys[1] the eviction candidate.
+  ASSERT_TRUE(cache.load(keys[0]).has_value());
+
+  analysis::RunOptions fresh;
+  fresh.seed = workloads::kDefaultSeed + 201;
+  const auto fresh_key = result_cache_key(small_entry(), fresh);
+  cache.store(fresh_key, row);
+
+  EXPECT_GE(cache.evictions(), 1u);
+  EXPECT_TRUE(fs::exists(dir.path() / keys[0].file_name()));   // Refreshed.
+  EXPECT_FALSE(fs::exists(dir.path() / keys[1].file_name()));  // Now oldest.
+  EXPECT_TRUE(fs::exists(dir.path() / fresh_key.file_name()));
+}
+
+TEST(ResultCache, TrimIgnoresForeignFiles) {
+  ScratchDir dir("netloc-cache-foreign");
+  const auto row = analysis::run_experiment(small_entry());
+  const auto keys = seed_varied_keys(2);
+  std::uint64_t total = 0;
+  {
+    ResultCache fill(dir.str());
+    for (const auto& key : keys) fill.store(key, row);
+  }
+  for (const auto& key : keys) {
+    const auto blob = dir.path() / key.file_name();
+    age_blob(blob, static_cast<int>(2 - (&key - keys.data())));
+    total += fs::file_size(blob);
+  }
+  // A non-.nlrc file (e.g. a concurrent writer's temp file) must be
+  // neither counted against the cap nor deleted — the 1 MiB of foreign
+  // data would blow the exact cap if it were counted.
+  const auto foreign = dir.path() / "writer.nlrc.tmp.1234";
+  {
+    std::ofstream out(foreign, std::ios::binary);
+    out << std::string(1 << 20, 'x');
+  }
+  ResultCache cache(dir.str(), nullptr, total);
+  cache.store(keys[1], row);  // Rewrite in place: total unchanged.
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_TRUE(fs::exists(dir.path() / keys[0].file_name()));
+  EXPECT_TRUE(fs::exists(foreign));
+  EXPECT_TRUE(cache.load(keys[0]).has_value());
+}
+
 // ---- SweepEngine ---------------------------------------------------------
 
 TEST(SweepEngine, SerialParallelAndWarmCacheAgreeExactly) {
@@ -511,6 +662,55 @@ TEST(SweepEngine, FlowSweepMatchesDirectSimulation) {
   EXPECT_EQ(results[0].report.max_slowdown, report.max_slowdown);
   EXPECT_EQ(results[0].report.congested_flow_share,
             report.congested_flow_share);
+}
+
+TEST(SweepEngine, CacheCapEvictionsReachTheStats) {
+  ScratchDir dir("netloc-cache-capped-sweep");
+  const std::vector<workloads::CatalogEntry> entries = {
+      workloads::catalog_entry("LULESH", 64),
+      workloads::catalog_entry("AMG", 216)};
+
+  SweepOptions options;
+  options.jobs = 1;  // Sequential stores: deterministic trim order.
+  options.cache_dir = dir.str();
+  options.cache_max_bytes = 1;  // Smaller than any blob: keep latest only.
+  CountingObserver observer;
+  options.observer = &observer;
+  SweepEngine engine(options);
+  const auto rows = engine.run_rows(entries);
+  ASSERT_EQ(rows.size(), 2u);
+
+  // Storing the second row trims the first; the just-written blob is
+  // never deleted even though the cap is smaller than one blob.
+  EXPECT_EQ(engine.stats().cache_evictions, 1);
+  EXPECT_EQ(observer.cache_evictions(), 1);
+  ASSERT_EQ(observer.diagnostics(), 1);
+  EXPECT_EQ(observer.collected_diagnostics()[0].rule_id, "EN003");
+  int remaining = 0;
+  for (const auto& file : fs::directory_iterator(dir.path())) {
+    remaining += file.path().extension() == ".nlrc" ? 1 : 0;
+  }
+  EXPECT_EQ(remaining, 1);
+}
+
+TEST(SweepEngine, RoutingSpecProducesDistinctDeterministicRows) {
+  const std::vector<workloads::CatalogEntry> entries = {
+      workloads::catalog_entry("AMG", 216)};
+
+  SweepOptions defaults;
+  defaults.jobs = 2;
+  const auto base = SweepEngine(defaults).run_rows(entries);
+  ASSERT_EQ(base.size(), 1u);
+
+  // A fault mask reroutes torus traffic: avg hops rise, and rerun is
+  // bit-identical (the plan cache keys on the routing label).
+  SweepOptions faulty = defaults;
+  faulty.run.routing.failed_links = {0, 1, 2};
+  const auto rerouted = SweepEngine(faulty).run_rows(entries);
+  ASSERT_EQ(rerouted.size(), 1u);
+  EXPECT_GT(rerouted[0].topologies[0].avg_hops, base[0].topologies[0].avg_hops);
+  const auto again = SweepEngine(faulty).run_rows(entries);
+  expect_rows_equal(rerouted[0], again[0]);
 }
 
 }  // namespace

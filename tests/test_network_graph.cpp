@@ -1,0 +1,657 @@
+// Tests for the explicit topology graph core (topology/graph.hpp), the
+// pluggable routing policies (topology/routing.hpp) and the fault-mask
+// machinery they enable in RoutePlan.
+//
+// Load-bearing properties:
+//  * every Table 2 configuration's graph agrees with its closed-form
+//    accessors (vertex/link counts, global-link flags) and BFS
+//    distances equal the closed-form hop counts on the torus and fat
+//    tree and bound them from below on the dragonfly (TP012);
+//  * ECMP shares conserve flow (summed shares equal the hop count per
+//    pair; weighted loads conserve total byte-hops);
+//  * failing links on a torus strictly increases average hops while
+//    unaffected pairs keep their routes, and the Eq. 5 denominator
+//    excludes dead links;
+//  * a disconnecting mask is a TP013 diagnostic plus unroutable-packet
+//    counters, never a crash.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <initializer_list>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/common/error.hpp"
+#include "netloc/common/prng.hpp"
+#include "netloc/lint/config_rules.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/hops.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/utilization.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/topology/graph.hpp"
+#include "netloc/topology/route_plan.hpp"
+#include "netloc/topology/routing.hpp"
+#include "netloc/topology/torus.hpp"
+
+namespace netloc {
+namespace {
+
+using topology::NetworkGraph;
+using topology::RoutePlan;
+using topology::RoutingKind;
+using topology::RoutingSpec;
+using topology::Topology;
+
+// ---- Graph invariants, all Table 2 configurations ------------------------
+
+class GraphTable2 : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphTable2, GraphAgreesWithClosedFormAccessors) {
+  const auto set = topology::topologies_for(GetParam());
+  for (const Topology* topo : set.all()) {
+    const auto graph = topo->build_graph();
+    ASSERT_TRUE(graph.has_value()) << topo->name();
+    EXPECT_EQ(graph->num_endpoints(), topo->num_nodes()) << topo->name();
+    EXPECT_EQ(graph->num_links(), topo->num_links()) << topo->name();
+    EXPECT_GE(graph->num_present_links(), 1) << topo->name();
+    for (LinkId l = 0; l < graph->num_links(); ++l) {
+      if (!graph->link_present(l)) continue;
+      EXPECT_EQ(graph->link_is_global(l), topo->link_is_global(l))
+          << topo->name() << " link " << l;
+    }
+  }
+}
+
+TEST_P(GraphTable2, BfsDistanceMatchesOrBoundsClosedFormHops) {
+  const auto set = topology::topologies_for(GetParam());
+  for (const Topology* topo : set.all()) {
+    const auto graph = topo->build_graph();
+    ASSERT_TRUE(graph.has_value());
+    const int n = topo->num_nodes();
+    const int stride = std::max(1, n / 16);
+    const bool exact = topo->name() != "dragonfly";
+    for (int a = 0; a < n; a += stride) {
+      const auto dist = graph->bfs_distances(a);
+      for (int b = 0; b < n; ++b) {
+        const int closed = topo->hop_distance(a, b);
+        if (exact) {
+          // Torus and fat tree route minimally in the graph sense.
+          ASSERT_EQ(dist[static_cast<std::size_t>(b)], closed)
+              << topo->name() << " " << a << "->" << b;
+        } else {
+          // Dragonfly minimal hierarchical routing may detour through
+          // gateway routers BFS does not need; BFS is a lower bound.
+          ASSERT_GE(dist[static_cast<std::size_t>(b)], 0);
+          ASSERT_LE(dist[static_cast<std::size_t>(b)], closed)
+              << a << "->" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(GraphTable2, LintTopologyGraphIsClean) {
+  const auto set = topology::topologies_for(GetParam());
+  for (const Topology* topo : set.all()) {
+    const auto report = lint::lint_topology_graph(*topo);
+    EXPECT_TRUE(report.empty())
+        << topo->name() << ": " << lint::format(report.diagnostics().front());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, GraphTable2,
+                         ::testing::Values(8, 27, 64, 216, 1000));
+
+// ---- Absent links: mesh wraps and degenerate extents ---------------------
+
+TEST(NetworkGraph, MeshReservesWrapSlotsAsAbsentLinks) {
+  const topology::Torus3D mesh(4, 4, 4, /*wraparound=*/false);
+  const auto graph = mesh.build_graph();
+  ASSERT_TRUE(graph.has_value());
+  // The LinkId space is identical to the wrapped torus; the wrap links
+  // exist as ids but are absent edges.
+  EXPECT_EQ(graph->num_links(), mesh.num_links());
+  EXPECT_LT(graph->num_present_links(), graph->num_links());
+  // One wrap link per completed ring: 4*4 rings per dimension, 3 dims.
+  EXPECT_EQ(graph->num_links() - graph->num_present_links(), 3 * 16);
+  EXPECT_TRUE(lint::lint_topology_graph(mesh).empty());
+}
+
+TEST(NetworkGraph, DegenerateExtentHasAbsentLinks) {
+  const topology::Torus3D flat(5, 5, 1);
+  const auto graph = flat.build_graph();
+  ASSERT_TRUE(graph.has_value());
+  // Extent-1 dimension: its z-link ids exist but connect nothing.
+  EXPECT_EQ(graph->num_links() - graph->num_present_links(), 25);
+  EXPECT_TRUE(lint::lint_topology_graph(flat).empty());
+}
+
+TEST(NetworkGraph, FailingAnAbsentLinkKeepsTheDenominator) {
+  const topology::Torus3D mesh(3, 3, 3, /*wraparound=*/false);
+  // Fail an absent id (a wrap slot): the plan must not shrink the
+  // usable-link count for a link that never existed.
+  const auto graph = mesh.build_graph();
+  ASSERT_TRUE(graph.has_value());
+  LinkId absent = kInvalidLink;
+  for (LinkId l = 0; l < graph->num_links(); ++l) {
+    if (!graph->link_present(l)) {
+      absent = l;
+      break;
+    }
+  }
+  ASSERT_NE(absent, kInvalidLink);
+  RoutingSpec spec;
+  spec.failed_links = {absent};
+  const auto plan = RoutePlan::build(mesh, spec);
+  // Failing the absent id costs nothing; failing a present link costs
+  // exactly one usable link.
+  EXPECT_EQ(plan->usable_links(), mesh.num_links());
+  EXPECT_FALSE(plan->disconnected());
+  LinkId present = kInvalidLink;
+  for (LinkId l = 0; l < graph->num_links(); ++l) {
+    if (graph->link_present(l)) {
+      present = l;
+      break;
+    }
+  }
+  ASSERT_NE(present, kInvalidLink);
+  RoutingSpec both;
+  both.failed_links = {absent, present};
+  EXPECT_EQ(RoutePlan::build(mesh, both)->usable_links(),
+            mesh.num_links() - 1);
+}
+
+// ---- GraphBuilder validation ---------------------------------------------
+
+TEST(GraphBuilder, RejectsSelfLoopsDuplicatesAndBadIds) {
+  using topology::GraphBuilder;
+  using topology::LinkType;
+  {
+    GraphBuilder b(2, 0, 1);
+    EXPECT_THROW(b.add_link(0, 1, 1, LinkType::kDirect), ConfigError);
+  }
+  {
+    GraphBuilder b(2, 0, 1);
+    b.add_link(0, 0, 1, LinkType::kDirect);
+    EXPECT_THROW(b.add_link(0, 0, 1, LinkType::kDirect), ConfigError);
+  }
+  {
+    GraphBuilder b(2, 0, 1);
+    EXPECT_THROW(b.add_link(1, 0, 1, LinkType::kDirect), ConfigError);
+    EXPECT_THROW(b.add_link(0, 0, 2, LinkType::kDirect), ConfigError);
+  }
+}
+
+TEST(GraphBuilder, CsrAdjacencyIsLinkIdSorted) {
+  using topology::GraphBuilder;
+  using topology::LinkType;
+  GraphBuilder b(3, 1, 3);
+  b.add_link(2, 1, 3, LinkType::kInjection);  // Out of id order on purpose.
+  b.add_link(0, 0, 3, LinkType::kInjection);
+  b.add_link(1, 2, 3, LinkType::kInjection);
+  const NetworkGraph g = b.finish();
+  EXPECT_EQ(g.degree(3), 3);
+  std::vector<LinkId> incident;
+  g.for_each_incident(3, [&](LinkId l, int /*other*/) { incident.push_back(l); });
+  // Counting-sort CSR: incident links come back in ascending id order
+  // regardless of insertion order.
+  EXPECT_EQ(incident, (std::vector<LinkId>{0, 1, 2}));
+}
+
+// ---- ECMP ----------------------------------------------------------------
+
+TEST(EcmpRouting, SharesConserveFlowOverEveryTopology) {
+  const auto set = topology::topologies_for(64);
+  Xoshiro256 rng(0xEC37ULL);
+  for (const Topology* topo : set.all()) {
+    const auto graph = topo->build_graph();
+    ASSERT_TRUE(graph.has_value());
+    const auto n = static_cast<std::uint64_t>(topo->num_nodes());
+    for (int i = 0; i < 50; ++i) {
+      const int a = static_cast<int>(rng.next_below(n));
+      const int b = static_cast<int>(rng.next_below(n));
+      std::vector<topology::WeightedLink> out;
+      const int hops = topology::ecmp_route(*graph, a, b, out);
+      ASSERT_GE(hops, 0);
+      if (a == b) {
+        EXPECT_EQ(hops, 0);
+        EXPECT_TRUE(out.empty());
+        continue;
+      }
+      // Every unit of flow crosses exactly `hops` links, so the summed
+      // shares equal the hop count; every share lies in (0, 1].
+      double total = 0.0;
+      for (const auto& wl : out) {
+        EXPECT_GT(wl.share, 0.0);
+        EXPECT_LE(wl.share, 1.0 + 1e-9);
+        total += wl.share;
+      }
+      EXPECT_NEAR(total, static_cast<double>(hops), 1e-6)
+          << topo->name() << " " << a << "->" << b;
+      // Links appear once after the merge step.
+      auto sorted = out;
+      std::sort(sorted.begin(), sorted.end(),
+                [](const auto& x, const auto& y) { return x.link < y.link; });
+      for (std::size_t k = 1; k < sorted.size(); ++k) {
+        EXPECT_NE(sorted[k - 1].link, sorted[k].link);
+      }
+    }
+  }
+}
+
+TEST(EcmpRouting, TorusDiagonalSplitsEvenly) {
+  const topology::Torus3D torus(4, 4, 4);
+  const auto graph = torus.build_graph();
+  ASSERT_TRUE(graph.has_value());
+  // One axis hop: exactly one shortest path, share 1 on one link.
+  std::vector<topology::WeightedLink> out;
+  ASSERT_EQ(topology::ecmp_route(*graph, 0, 1, out), 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].share, 1.0);
+  // Two axes, one hop each: two equal-cost paths; all four involved
+  // links carry share 1/2.
+  out.clear();
+  const NodeId diag = torus.node_at(1, 1, 0);
+  ASSERT_EQ(topology::ecmp_route(*graph, 0, diag, out), 2);
+  ASSERT_EQ(out.size(), 4u);
+  for (const auto& wl : out) EXPECT_DOUBLE_EQ(wl.share, 0.5);
+}
+
+TEST(EcmpRouting, PlanForEachWeightedLinkMatchesFreeFunction) {
+  const auto set = topology::topologies_for(64);
+  const std::initializer_list<std::pair<int, int>> pairs = {
+      {0, 7}, {3, 60}, {63, 1}};
+  for (const Topology* topo : set.all()) {
+    RoutingSpec spec;
+    spec.kind = RoutingKind::kEcmp;
+    const auto plan = RoutePlan::build(*topo, spec, 64);
+    EXPECT_FALSE(plan->single_path());
+    const auto graph = topo->build_graph();
+    ASSERT_TRUE(graph.has_value());
+    for (const auto& [a, b] : pairs) {
+      std::vector<topology::WeightedLink> expected;
+      topology::ecmp_route(*graph, a, b, expected);
+      std::vector<topology::WeightedLink> got;
+      plan->for_each_weighted_link(
+          a, b, [&](LinkId l, double s) { got.push_back({l, s}); });
+      ASSERT_EQ(got.size(), expected.size()) << topo->name();
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].link, expected[i].link);
+        EXPECT_DOUBLE_EQ(got[i].share, expected[i].share);
+      }
+    }
+  }
+}
+
+TEST(EcmpRouting, SinglePathEnumerationThrowsOnMultipathPlans) {
+  const auto set = topology::topologies_for(64);
+  RoutingSpec spec;
+  spec.kind = RoutingKind::kEcmp;
+  const auto plan = RoutePlan::build(*set.torus, spec, 64);
+  EXPECT_THROW(plan->for_each_route_link(0, 5, [](LinkId) {}), ConfigError);
+  std::vector<LinkId> route;
+  EXPECT_THROW(plan->append_route(0, 5, route), ConfigError);
+}
+
+// ---- Weighted vs integer accounting --------------------------------------
+
+/// Random traffic that always includes the (0, 1) cell, so fault tests
+/// cutting the 0 -> 1 link see affected traffic deterministically.
+metrics::TrafficMatrix random_matrix(int ranks, std::uint64_t seed) {
+  metrics::TrafficMatrix m(ranks);
+  m.add_message(0, 1, 5000);
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < ranks * 4; ++i) {
+    const auto s = static_cast<Rank>(rng.next() % ranks);
+    const auto d = static_cast<Rank>(rng.next() % ranks);
+    m.add_message(s, d, 1 + rng.next() % 100000);
+  }
+  m.freeze();
+  return m;
+}
+
+TEST(WeightedAccounting, SinglePathWeightedLoadsEqualIntegerLoads) {
+  const auto set = topology::topologies_for(64);
+  const auto matrix = random_matrix(64, 0x901dULL);
+  for (const Topology* topo : set.all()) {
+    const auto plan = RoutePlan::build(*topo, 64);
+    const auto mapping = mapping::Mapping::linear(64, topo->num_nodes());
+    std::vector<Bytes> integer_loads(
+        static_cast<std::size_t>(plan->num_links()), 0);
+    const auto t1 =
+        metrics::accumulate_link_loads(matrix, *plan, mapping, integer_loads);
+    std::vector<double> weighted_loads(
+        static_cast<std::size_t>(plan->num_links()), 0.0);
+    const auto t2 =
+        metrics::accumulate_link_loads(matrix, *plan, mapping, weighted_loads);
+    EXPECT_EQ(t1.used_links, t2.used_links);
+    EXPECT_EQ(t1.global_packets, t2.global_packets);
+    EXPECT_EQ(t1.total_packets, t2.total_packets);
+    for (std::size_t l = 0; l < integer_loads.size(); ++l) {
+      EXPECT_DOUBLE_EQ(static_cast<double>(integer_loads[l]),
+                       weighted_loads[l])
+          << topo->name() << " link " << l;
+    }
+  }
+}
+
+TEST(WeightedAccounting, EcmpConservesTotalByteHops) {
+  // Summed over links, load equals sum over cells of bytes * hops —
+  // for minimal and ECMP alike, since both route every byte over
+  // `hops` link-crossings; ECMP just spreads them fractionally. Holds
+  // where graph distances equal minimal distances (torus, fat tree).
+  const auto set = topology::topologies_for(64);
+  const auto matrix = random_matrix(64, 0xB17eULL);
+  for (const Topology* topo : set.all()) {
+    if (topo->name() == "dragonfly") continue;  // BFS dist < minimal dist.
+    const auto mapping = mapping::Mapping::linear(64, topo->num_nodes());
+    const auto minimal = RoutePlan::build(*topo, 64);
+    RoutingSpec spec;
+    spec.kind = RoutingKind::kEcmp;
+    const auto ecmp = RoutePlan::build(*topo, spec, 64);
+
+    std::vector<Bytes> min_loads(
+        static_cast<std::size_t>(minimal->num_links()), 0);
+    metrics::accumulate_link_loads(matrix, *minimal, mapping, min_loads);
+    std::vector<double> ecmp_loads(
+        static_cast<std::size_t>(ecmp->num_links()), 0.0);
+    metrics::accumulate_link_loads(matrix, *ecmp, mapping, ecmp_loads);
+
+    const double min_total = std::accumulate(
+        min_loads.begin(), min_loads.end(), 0.0,
+        [](double acc, Bytes b) { return acc + static_cast<double>(b); });
+    const double ecmp_total =
+        std::accumulate(ecmp_loads.begin(), ecmp_loads.end(), 0.0);
+    ASSERT_GT(min_total, 0.0);
+    EXPECT_NEAR(ecmp_total / min_total, 1.0, 1e-9) << topo->name();
+  }
+}
+
+// ---- Fault masks ---------------------------------------------------------
+
+/// The links of the single-path route between two nodes.
+std::vector<LinkId> plan_route(const RoutePlan& plan, NodeId a, NodeId b) {
+  std::vector<LinkId> links;
+  plan.for_each_route_link(a, b, [&](LinkId l) { links.push_back(l); });
+  return links;
+}
+
+TEST(FaultMask, TorusReroutesAroundFailedLinkAndAvgHopsRise) {
+  const topology::Torus3D torus(6, 6, 6);
+  const auto healthy = RoutePlan::build(torus, torus.num_nodes());
+
+  // Fail the one link of the minimal 0 -> 1 route.
+  const auto route01 = plan_route(*healthy, 0, 1);
+  ASSERT_EQ(route01.size(), 1u);
+  RoutingSpec spec;
+  spec.failed_links = {route01[0]};
+  const auto faulted = RoutePlan::build(torus, spec, torus.num_nodes());
+
+  EXPECT_FALSE(faulted->disconnected());
+  EXPECT_EQ(faulted->usable_links(), torus.num_links() - 1);
+  // The affected pair detours (shortest alternative on the torus: 3
+  // hops via a perpendicular dimension); unaffected pairs keep their
+  // closed-form routes link-for-link.
+  EXPECT_EQ(healthy->hop_distance(0, 1), 1);
+  EXPECT_EQ(faulted->hop_distance(0, 1), 3);
+  EXPECT_EQ(faulted->hop_distance(5, 4), healthy->hop_distance(5, 4));
+  EXPECT_EQ(plan_route(*faulted, 5, 4), plan_route(*healthy, 5, 4));
+  const auto detour = plan_route(*faulted, 0, 1);
+  EXPECT_EQ(detour.size(), 3u);
+  for (const LinkId l : detour) EXPECT_NE(l, route01[0]);
+
+  // Whole-matrix view: average hops strictly increase, no packet lost.
+  const auto matrix = random_matrix(216, 0xFA17ULL);
+  const auto mapping = mapping::Mapping::linear(216, torus.num_nodes());
+  const auto before = metrics::hop_stats(matrix, torus, mapping, healthy.get());
+  const auto after = metrics::hop_stats(matrix, torus, mapping, faulted.get());
+  EXPECT_EQ(before.packets, after.packets);
+  EXPECT_EQ(after.unroutable_packets, 0u);
+  EXPECT_GT(after.packet_hops, before.packet_hops);
+  EXPECT_GT(after.avg_hops, before.avg_hops);
+}
+
+TEST(FaultMask, UtilizationDenominatorExcludesDeadLinks) {
+  const topology::Torus3D torus(6, 6, 6);
+  const auto healthy = RoutePlan::build(torus, torus.num_nodes());
+  RoutingSpec spec;
+  spec.failed_links = {plan_route(*healthy, 0, 1)[0]};
+  const auto faulted = RoutePlan::build(torus, spec, torus.num_nodes());
+
+  const auto matrix = random_matrix(216, 0x0e55ULL);
+  const auto mapping = mapping::Mapping::linear(216, torus.num_nodes());
+  const auto before = metrics::utilization(
+      matrix, torus, mapping, 1.0, metrics::LinkCountMode::PaperFormula,
+      metrics::kPaperBandwidthBytesPerS, healthy.get());
+  const auto after = metrics::utilization(
+      matrix, torus, mapping, 1.0, metrics::LinkCountMode::PaperFormula,
+      metrics::kPaperBandwidthBytesPerS, faulted.get());
+  EXPECT_DOUBLE_EQ(after.link_count, before.link_count - 1.0);
+}
+
+TEST(FaultMask, DisconnectionIsDiagnosedNotFatal) {
+  const topology::Torus3D torus(4, 4, 4);
+  // Sever node 0 completely: its 3 plus-links and the 3 plus-links
+  // owned by its negative neighbours.
+  std::vector<LinkId> cut;
+  const auto graph = torus.build_graph();
+  ASSERT_TRUE(graph.has_value());
+  graph->for_each_incident(0, [&](LinkId l, int /*other*/) { cut.push_back(l); });
+  ASSERT_EQ(cut.size(), 6u);
+
+  // Lint reports the disconnection as TP013 (a warning, not an error).
+  const auto report = lint::lint_fault_mask(torus, cut);
+  ASSERT_FALSE(report.empty());
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_EQ(report.diagnostics().front().rule_id, "TP013");
+
+  // The plan builds anyway; severed pairs are unroutable, the rest of
+  // the machine routes normally.
+  RoutingSpec spec;
+  spec.failed_links = cut;
+  const auto plan = RoutePlan::build(torus, spec, torus.num_nodes());
+  EXPECT_TRUE(plan->disconnected());
+  EXPECT_EQ(plan->hop_distance(0, 1), -1);
+  EXPECT_EQ(plan->hop_distance(1, 0), -1);
+  EXPECT_EQ(plan->hop_distance(0, 0), 0);
+  EXPECT_GT(plan->hop_distance(1, 2), 0);
+
+  const auto matrix = random_matrix(64, 0xD15cULL);
+  const auto mapping = mapping::Mapping::linear(64, torus.num_nodes());
+  const auto stats = metrics::hop_stats(matrix, torus, mapping, plan.get());
+  EXPECT_GT(stats.unroutable_packets, 0u);
+  std::vector<Bytes> loads(static_cast<std::size_t>(plan->num_links()), 0);
+  const auto totals =
+      metrics::accumulate_link_loads(matrix, *plan, mapping, loads);
+  EXPECT_GT(totals.unroutable_packets, 0u);
+  for (const LinkId l : cut) EXPECT_EQ(loads[static_cast<std::size_t>(l)], 0u);
+}
+
+TEST(FaultMask, OutOfRangeFailedLinkIsRejected) {
+  const topology::Torus3D torus(4, 4, 4);
+  RoutingSpec spec;
+  spec.failed_links = {torus.num_links()};
+  EXPECT_THROW(RoutePlan::build(torus, spec), ConfigError);
+  const auto report = lint::lint_fault_mask(torus, spec.failed_links);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_EQ(report.diagnostics().front().rule_id, "TP012");
+}
+
+// ---- Graph-vs-legacy equivalence goldens ---------------------------------
+
+TEST(GraphLegacyEquivalence, DefaultSpecPlansMatchLegacyExactly) {
+  // A plan built with an explicit default RoutingSpec must be
+  // indistinguishable from the spec-less build: same config key, same
+  // distances, same link loads.
+  for (const int ranks : {27, 64, 216}) {
+    const auto set = topology::topologies_for(ranks);
+    const auto matrix = random_matrix(ranks, 0x601dULL + ranks);
+    for (const Topology* topo : set.all()) {
+      const auto legacy = RoutePlan::build(*topo, ranks);
+      const auto spec = RoutePlan::build(*topo, RoutingSpec{}, ranks);
+      EXPECT_EQ(spec->config_key(), legacy->config_key());
+      EXPECT_TRUE(spec->single_path());
+      for (NodeId a = 0; a < ranks; a += 7) {
+        for (NodeId b = 0; b < ranks; ++b) {
+          ASSERT_EQ(spec->hop_distance(a, b), legacy->hop_distance(a, b));
+        }
+      }
+      const auto mapping = mapping::Mapping::linear(ranks, topo->num_nodes());
+      std::vector<Bytes> legacy_loads(
+          static_cast<std::size_t>(legacy->num_links()), 0);
+      metrics::accumulate_link_loads(matrix, *legacy, mapping, legacy_loads);
+      std::vector<Bytes> spec_loads(
+          static_cast<std::size_t>(spec->num_links()), 0);
+      metrics::accumulate_link_loads(matrix, *spec, mapping, spec_loads);
+      EXPECT_EQ(legacy_loads, spec_loads) << topo->name();
+    }
+  }
+}
+
+TEST(GraphLegacyEquivalence, NonDefaultSpecTagsTheConfigKey) {
+  const topology::Torus3D torus(4, 4, 4);
+  RoutingSpec ecmp;
+  ecmp.kind = RoutingKind::kEcmp;
+  const auto plan = RoutePlan::build(torus, ecmp, 8);
+  EXPECT_NE(plan->config_key(), RoutePlan::build(torus, 8)->config_key());
+  EXPECT_NE(plan->config_key().find("@ecmp"), std::string::npos);
+}
+
+// ---- Foreign (out-of-tree) topologies ------------------------------------
+
+/// A graphless custom topology: policies must be refused cleanly.
+class GraphlessPair final : public Topology {
+ public:
+  [[nodiscard]] std::string name() const override { return "pair"; }
+  [[nodiscard]] std::string config_string() const override { return "(2)"; }
+  [[nodiscard]] int num_nodes() const override { return 2; }
+  [[nodiscard]] int num_links() const override { return 1; }
+  [[nodiscard]] int hop_distance(NodeId a, NodeId b) const override {
+    return a == b ? 0 : 1;
+  }
+  void route(NodeId a, NodeId b,
+             const topology::LinkVisitor& visit) const override {
+    if (a != b) visit(0);
+  }
+  [[nodiscard]] int diameter() const override { return 1; }
+};
+
+TEST(ForeignTopology, GraphlessTopologyWorksMinimalRefusesPolicies) {
+  const GraphlessPair pair;
+  const auto plan = RoutePlan::build(pair);
+  EXPECT_EQ(plan->hop_distance(0, 1), 1);
+  EXPECT_EQ(plan->graph(), nullptr);
+
+  RoutingSpec ecmp;
+  ecmp.kind = RoutingKind::kEcmp;
+  EXPECT_THROW(RoutePlan::build(pair, ecmp), ConfigError);
+  RoutingSpec fault;
+  fault.failed_links = {0};
+  EXPECT_THROW(RoutePlan::build(pair, fault), ConfigError);
+  EXPECT_TRUE(lint::lint_fault_mask(pair, {0}).has_errors());
+}
+
+/// A foreign topology *with* a graph: a bidirectional 1-D chain. The
+/// policy machinery must work for out-of-tree subclasses exactly as it
+/// does for the paper topologies.
+class Chain final : public Topology {
+ public:
+  explicit Chain(int n) : n_(n) {}
+  [[nodiscard]] std::string name() const override { return "chain"; }
+  [[nodiscard]] std::string config_string() const override {
+    return "(" + std::to_string(n_) + ")";
+  }
+  [[nodiscard]] int num_nodes() const override { return n_; }
+  [[nodiscard]] int num_links() const override { return n_ - 1; }
+  [[nodiscard]] int hop_distance(NodeId a, NodeId b) const override {
+    return std::abs(a - b);
+  }
+  void route(NodeId a, NodeId b,
+             const topology::LinkVisitor& visit) const override {
+    for (NodeId cur = a; cur != b; cur += (b > a ? 1 : -1)) {
+      visit(b > a ? cur : cur - 1);  // Link i joins nodes i and i+1.
+    }
+  }
+  [[nodiscard]] int diameter() const override { return n_ - 1; }
+  [[nodiscard]] std::optional<NetworkGraph> build_graph() const override {
+    topology::GraphBuilder builder(n_, 0, n_ - 1);
+    for (int i = 0; i + 1 < n_; ++i) {
+      builder.add_link(i, i, i + 1, topology::LinkType::kDirect);
+    }
+    return builder.finish();
+  }
+
+ private:
+  int n_;
+};
+
+TEST(ForeignTopology, ChainSupportsEcmpAndFaultMasks) {
+  const Chain chain(6);
+  EXPECT_TRUE(lint::lint_topology_graph(chain).empty());
+
+  RoutingSpec ecmp;
+  ecmp.kind = RoutingKind::kEcmp;
+  const auto plan = RoutePlan::build(chain, ecmp, 6);
+  EXPECT_EQ(plan->hop_distance(0, 5), 5);
+  double total = 0.0;
+  plan->for_each_weighted_link(0, 5, [&](LinkId, double s) { total += s; });
+  EXPECT_DOUBLE_EQ(total, 5.0);  // Unique path: every share is 1.
+
+  // Cutting the middle link splits the chain in two.
+  RoutingSpec cut;
+  cut.failed_links = {2};
+  const auto faulted = RoutePlan::build(chain, cut, 6);
+  EXPECT_TRUE(faulted->disconnected());
+  EXPECT_EQ(faulted->hop_distance(0, 5), -1);
+  EXPECT_EQ(faulted->hop_distance(1, 2), 1);
+  const auto report = lint::lint_fault_mask(chain, cut.failed_links);
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report.diagnostics().front().rule_id, "TP013");
+}
+
+// ---- RoutingSpec parsing and labels --------------------------------------
+
+TEST(RoutingSpecTest, ParseAndLabelRoundTrip) {
+  EXPECT_EQ(topology::parse_routing_kind("minimal"), RoutingKind::kMinimal);
+  EXPECT_EQ(topology::parse_routing_kind("ecmp"), RoutingKind::kEcmp);
+  EXPECT_THROW(topology::parse_routing_kind("valiant"), ConfigError);
+
+  EXPECT_EQ(topology::parse_link_list("3,17,3,1"),
+            (std::vector<LinkId>{1, 3, 17}));
+  EXPECT_THROW(topology::parse_link_list("3,,17"), ConfigError);
+  EXPECT_THROW(topology::parse_link_list("3,x"), ConfigError);
+
+  RoutingSpec spec;
+  EXPECT_TRUE(spec.is_default());
+  EXPECT_EQ(spec.label(), "minimal");
+  spec.kind = RoutingKind::kEcmp;
+  spec.failed_links = {17, 3};
+  EXPECT_EQ(spec.normalized().label(), "ecmp!3,17");
+}
+
+// ---- Routing spec in the analysis layer ----------------------------------
+
+TEST(AnalysisRouting, RunOptionsRoutingFlowsIntoAnalyzeTopology) {
+  const auto matrix = random_matrix(64, 0xA11aULL);
+  const auto set = topology::topologies_for(64);
+  const auto healthy = RoutePlan::build(*set.torus, 64);
+
+  analysis::RunOptions defaults;
+  analysis::RunOptions faulty;
+  faulty.routing.failed_links = {plan_route(*healthy, 0, 1)[0]};
+
+  const auto base =
+      analysis::analyze_topology(matrix, *set.torus, 64, 1.0, defaults);
+  const auto rerouted =
+      analysis::analyze_topology(matrix, *set.torus, 64, 1.0, faulty);
+  EXPECT_GT(rerouted.avg_hops, base.avg_hops);
+  EXPECT_GT(rerouted.packet_hops, base.packet_hops);
+}
+
+}  // namespace
+}  // namespace netloc
