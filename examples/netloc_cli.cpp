@@ -11,6 +11,7 @@
 //   netloc_cli sweep [--jobs N] [--cache DIR] [--no-cache] [--csv F] [...]
 //   netloc_cli lint <trace-file> [--topology F] [--mapping R] [...]
 //   netloc_cli lint-rules
+//   netloc_cli verify [--app A] [--ranks N] [--passes P,...] [--fail-on S]
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -41,6 +42,7 @@
 #include "netloc/trace/dumpi_ascii.hpp"
 #include "netloc/trace/io.hpp"
 #include "netloc/trace/stats.hpp"
+#include "netloc/verify/verify.hpp"
 #include "netloc/workloads/workload.hpp"
 
 namespace {
@@ -63,11 +65,18 @@ int usage() {
          "                  [--cache-cap <bytes[k|m|g]>]\n"
          "                  [--routing minimal|ecmp] [--fail-links <ids>]\n"
          "                  [--csv <out.csv>] [--apps <name,name,...>]\n"
-         "                  [--progress]\n"
+         "                  [--progress] [--verify]\n"
          "  netloc_cli lint <trace-file> [--topology torus|fattree|dragonfly]\n"
          "                  [--mapping <rankfile>] [--cores-per-node <n>]\n"
-         "                  [--csv <out.csv>]\n"
-         "  netloc_cli lint-rules\n";
+         "                  [--csv <out.csv>] [--fail-on note|warning|error]\n"
+         "  netloc_cli lint-rules\n"
+         "  netloc_cli verify [--app <name>] [--ranks <n>]\n"
+         "                  [--routing minimal|ecmp] [--fail-links <ids>]\n"
+         "                  [--cache <dir>] [--passes <id,id,...>]\n"
+         "                  [--max-pairs <n>] [--csv <out.csv>]\n"
+         "                  [--fail-on note|warning|error]\n"
+         "                  (passes: graph routes ecmp faults metrics cache\n"
+         "                   taskgraph traffic)\n";
   return EXIT_FAILURE;
 }
 
@@ -318,6 +327,7 @@ struct SweepArgs {
   std::string csv_path;                  // empty = no CSV export.
   std::vector<std::string> apps;         // empty = full catalog.
   bool progress = false;                 // per-job telemetry on stderr.
+  bool verify = false;                   // post-cell verification passes.
 };
 
 std::optional<SweepArgs> parse_sweep_args(int argc, char** argv) {
@@ -330,6 +340,10 @@ std::optional<SweepArgs> parse_sweep_args(int argc, char** argv) {
     }
     if (flag == "--progress") {
       args.progress = true;
+      continue;
+    }
+    if (flag == "--verify") {
+      args.verify = true;
       continue;
     }
     if (consume_routing_flag(argc, argv, i, args.routing)) continue;
@@ -385,7 +399,12 @@ int cmd_sweep(const SweepArgs& args) {
     options.cache_dir = args.cache_dir;
     options.cache_max_bytes = args.cache_cap;
   }
-  if (args.progress) options.observer = &progress;
+  // Findings surface through the observer; attach it whenever verify
+  // is on so they are visible even without --progress.
+  if (args.progress || args.verify) options.observer = &progress;
+  if (args.verify) {
+    options.post_cell_verify = netloc::verify::make_cell_verifier();
+  }
 
   engine::SweepEngine sweep(options);
   const auto rows = sweep.run_rows(entries);
@@ -408,6 +427,9 @@ int cmd_sweep(const SweepArgs& args) {
   if (!args.routing.is_default()) {
     std::cerr << ", routing " << args.routing.label();
   }
+  if (args.verify) {
+    std::cerr << ", verify findings " << stats.verify_findings;
+  }
   std::cerr << "\n";
 
   if (!args.csv_path.empty()) {
@@ -418,6 +440,11 @@ int cmd_sweep(const SweepArgs& args) {
     }
     netloc::analysis::write_table3_csv(rows, out);
     std::cout << "wrote " << args.csv_path << "\n";
+  }
+  if (args.verify && stats.verify_findings > 0) {
+    std::cerr << "sweep: verification reported " << stats.verify_findings
+              << " finding(s)\n";
+    return EXIT_FAILURE;
   }
   return EXIT_SUCCESS;
 }
@@ -430,6 +457,9 @@ struct LintArgs {
   std::string mapping_path;  // empty = no mapping lint
   int cores_per_node = 0;    // 0 = capacity rule off
   std::string csv_path;      // empty = text only
+  /// Exit-code threshold (shared with `verify`). Errors-only preserves
+  /// the historical `lint` exit behavior.
+  netloc::lint::Severity fail_on = netloc::lint::Severity::Error;
 };
 
 std::optional<LintArgs> parse_lint_args(int argc, char** argv) {
@@ -448,6 +478,8 @@ std::optional<LintArgs> parse_lint_args(int argc, char** argv) {
       args.cores_per_node = std::atoi(value.c_str());
     } else if (flag == "--csv") {
       args.csv_path = value;
+    } else if (flag == "--fail-on") {
+      args.fail_on = netloc::lint::parse_severity(value);
     } else {
       return std::nullopt;
     }
@@ -550,7 +582,122 @@ int cmd_lint(const LintArgs& args) {
     lint::write_csv(report, out);
     std::cout << "wrote " << args.csv_path << "\n";
   }
-  return report.has_errors() ? EXIT_FAILURE : EXIT_SUCCESS;
+  return report.fails(args.fail_on) ? EXIT_FAILURE : EXIT_SUCCESS;
+}
+
+// ---- verify -----------------------------------------------------------------
+
+struct VerifyArgs {
+  std::string app = "AMG";
+  int ranks = 216;
+  netloc::topology::RoutingSpec routing;
+  std::string cache_dir;                 // empty = cache pass skipped.
+  std::vector<std::string> passes;       // empty = all passes.
+  int max_pairs = 2048;
+  std::string csv_path;
+  netloc::lint::Severity fail_on = netloc::lint::Severity::Warning;
+};
+
+std::optional<VerifyArgs> parse_verify_args(int argc, char** argv) {
+  VerifyArgs args;
+  for (int i = 2; i < argc; ++i) {
+    if (consume_routing_flag(argc, argv, i, args.routing)) continue;
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) return std::nullopt;
+    const std::string value = argv[++i];
+    if (flag == "--app") {
+      args.app = value;
+    } else if (flag == "--ranks") {
+      args.ranks = std::atoi(value.c_str());
+      if (args.ranks < 1) return std::nullopt;
+    } else if (flag == "--cache") {
+      args.cache_dir = value;
+    } else if (flag == "--passes") {
+      std::string id;
+      std::istringstream list(value);
+      while (std::getline(list, id, ',')) {
+        if (!id.empty()) args.passes.push_back(id);
+      }
+      if (args.passes.empty()) return std::nullopt;
+    } else if (flag == "--max-pairs") {
+      args.max_pairs = std::atoi(value.c_str());
+      if (args.max_pairs < 1) return std::nullopt;
+    } else if (flag == "--csv") {
+      args.csv_path = value;
+    } else if (flag == "--fail-on") {
+      args.fail_on = netloc::lint::parse_severity(value);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+/// Cross-artifact verification: generate the workload's traffic once,
+/// then run the pass suite over each Table 2 topology at this rank
+/// count under the requested routing policy. The cache audit (if a
+/// directory was given) rides on the first topology's context — its
+/// findings are topology-independent.
+int cmd_verify(const VerifyArgs& args) {
+  namespace verify = netloc::verify;
+  const auto trace = netloc::workloads::generate(args.app, args.ranks);
+  const auto matrix = netloc::metrics::TrafficMatrix::from_trace(trace);
+  netloc::analysis::RunOptions run;
+  run.routing = args.routing;
+
+  const verify::VerifyRunner runner;
+  verify::PassFilter filter;
+  filter.ids = args.passes;
+
+  netloc::lint::LintReport merged;
+  std::size_t total_checks = 0;
+  const auto set = netloc::topology::topologies_for(args.ranks);
+  bool first = true;
+  for (const auto* topo : set.all()) {
+    report_fault_mask(*topo, args.routing);
+    verify::VerifyContext ctx;
+    ctx.topology = topo;
+    try {
+      ctx.plan = netloc::topology::RoutePlan::build(*topo, args.routing,
+                                                    args.ranks);
+    } catch (const netloc::ConfigError& e) {
+      // Link ids are topology-specific: a --fail-links list valid on
+      // one family can be out of range on another.
+      std::cout << "== " << topo->name() << " " << topo->config_string()
+                << ": skipped (" << e.what() << ")\n\n";
+      continue;
+    }
+    ctx.traffic = &matrix;
+    ctx.duration = trace.duration();
+    ctx.run = run;
+    ctx.max_pairs = args.max_pairs;
+    ctx.source =
+        args.app + "/" + std::to_string(args.ranks) + " " + topo->name();
+    if (first) ctx.cache_dir = args.cache_dir;
+    first = false;
+
+    const verify::VerifyReport report = runner.run(ctx, filter);
+    std::cout << "== " << topo->name() << " " << topo->config_string() << " @"
+              << args.routing.label() << " ==\n";
+    verify::write_text(report, std::cout);
+    std::cout << "\n";
+    merged.merge(report.merged());
+    total_checks += report.total_checks();
+  }
+
+  if (!args.csv_path.empty()) {
+    std::ofstream out(args.csv_path);
+    if (!out) {
+      std::cerr << "cannot open " << args.csv_path << "\n";
+      return EXIT_FAILURE;
+    }
+    netloc::lint::write_csv(merged, out);
+    std::cout << "wrote " << args.csv_path << "\n";
+  }
+  std::cout << "verify: " << total_checks << " checks, "
+            << merged.diagnostics().size() << " finding"
+            << (merged.diagnostics().size() == 1 ? "" : "s") << " total\n";
+  return merged.fails(args.fail_on) ? EXIT_FAILURE : EXIT_SUCCESS;
 }
 
 int cmd_lint_rules() {
@@ -648,6 +795,10 @@ int main(int argc, char** argv) {
       return args ? cmd_lint(*args) : usage();
     }
     if (cmd == "lint-rules") return cmd_lint_rules();
+    if (cmd == "verify") {
+      const auto args = parse_verify_args(argc, argv);
+      return args ? cmd_verify(*args) : usage();
+    }
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,111 @@
+// Clang Thread Safety Analysis support (docs/VERIFY.md §thread-safety).
+//
+// The concurrency layer (common/thread_pool.hpp, engine/task_graph.cpp,
+// engine/sweep.hpp, engine/observer.hpp) declares its lock discipline
+// with these macros so `clang -Wthread-safety -Werror` proves, at
+// compile time, that every access to a guarded member happens under its
+// mutex. GCC and other compilers see empty macros — the attributes are
+// documentation there, enforcement happens in the CI clang pass.
+//
+// std::mutex and std::condition_variable carry no capability
+// attributes, so the analysable pattern is the standard one from the
+// clang documentation: a `Mutex` wrapper declared as a capability, a
+// scoped `MutexLock` guard, and a `CondVar` built on
+// std::condition_variable_any (which accepts any BasicLockable —
+// including Mutex). The wrappers add no state beyond the std types.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define NETLOC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NETLOC_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define NETLOC_CAPABILITY(x) NETLOC_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII class that acquires on construction, releases on
+/// destruction.
+#define NETLOC_SCOPED_CAPABILITY NETLOC_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding `x`.
+#define NETLOC_GUARDED_BY(x) NETLOC_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by `x`.
+#define NETLOC_PT_GUARDED_BY(x) NETLOC_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the capability to be held by the caller.
+#define NETLOC_REQUIRES(...) \
+  NETLOC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the capability (caller must not hold it).
+#define NETLOC_ACQUIRE(...) \
+  NETLOC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (caller must hold it).
+#define NETLOC_RELEASE(...) \
+  NETLOC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `result`.
+#define NETLOC_TRY_ACQUIRE(...) \
+  NETLOC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function must be called with the capability *not* held.
+#define NETLOC_EXCLUDES(...) \
+  NETLOC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Escape hatch; use only with a justification comment.
+#define NETLOC_NO_THREAD_SAFETY_ANALYSIS \
+  NETLOC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace netloc::common {
+
+/// std::mutex declared as a thread-safety capability.
+class NETLOC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NETLOC_ACQUIRE() { impl_.lock(); }
+  void unlock() NETLOC_RELEASE() { impl_.unlock(); }
+  bool try_lock() NETLOC_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+ private:
+  std::mutex impl_;
+};
+
+/// Scoped lock over Mutex — std::lock_guard with the scoped-capability
+/// attributes the analysis needs.
+class NETLOC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) NETLOC_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() NETLOC_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable usable with Mutex. wait() takes the mutex
+/// explicitly so the analysis can see the capability flow; predicate
+/// re-checks are written as plain `while` loops at the call site
+/// (a lambda predicate would be analysed as a separate, lockless
+/// function).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mutex`, sleep, and re-acquire before
+  /// returning. Spurious wakeups happen; callers loop on their
+  /// condition.
+  void wait(Mutex& mutex) NETLOC_REQUIRES(mutex) { impl_.wait(mutex); }
+
+  void notify_one() { impl_.notify_one(); }
+  void notify_all() { impl_.notify_all(); }
+
+ private:
+  std::condition_variable_any impl_;
+};
+
+}  // namespace netloc::common

@@ -11,18 +11,24 @@
 // Exceptions escaping a task are a programming error at this layer and
 // terminate the process; callers that need failure capture (the task
 // graph does) wrap their work in a try/catch before submitting.
+//
+// Lock discipline is declared with the thread-safety annotations in
+// common/thread_annotations.hpp and enforced by clang -Wthread-safety
+// in CI: `pending_`/`epoch_`/`stop_` are guarded by `state_mutex_`,
+// each worker deque by its own queue mutex, and the state-then-queue
+// acquisition order in submit() is the only place both are held.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "netloc/common/thread_annotations.hpp"
 
 namespace netloc {
 
@@ -52,8 +58,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    common::Mutex mutex;
+    std::deque<std::function<void()>> tasks NETLOC_GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t id);
@@ -66,12 +72,12 @@ class ThreadPool {
   // tasks and `epoch_` counts submissions; both are guarded by
   // `state_mutex_` so a worker that saw empty queues can detect a
   // submission that raced its scan instead of sleeping through it.
-  std::mutex state_mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::size_t pending_ = 0;
-  std::uint64_t epoch_ = 0;
-  bool stop_ = false;
+  common::Mutex state_mutex_;
+  common::CondVar work_cv_;
+  common::CondVar idle_cv_;
+  std::size_t pending_ NETLOC_GUARDED_BY(state_mutex_) = 0;
+  std::uint64_t epoch_ NETLOC_GUARDED_BY(state_mutex_) = 0;
+  bool stop_ NETLOC_GUARDED_BY(state_mutex_) = false;
   std::atomic<std::size_t> next_queue_{0};  // Round-robin external submits.
 };
 

@@ -12,11 +12,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "netloc/common/thread_annotations.hpp"
 #include "netloc/common/types.hpp"
 #include "netloc/lint/diagnostic.hpp"
 
@@ -63,8 +63,8 @@ class StreamObserver final : public EngineObserver {
   void on_diagnostic(const lint::Diagnostic& diagnostic) override;
 
  private:
-  std::ostream& out_;
-  std::mutex mutex_;
+  common::Mutex mutex_;
+  std::ostream& out_ NETLOC_GUARDED_BY(mutex_);
 };
 
 /// Tallies events; the determinism and cache-integrity tests assert on
@@ -95,8 +95,8 @@ class CountingObserver final : public EngineObserver {
   std::atomic<int> cache_stores_{0};
   std::atomic<int> cache_evictions_{0};
   std::atomic<int> diagnostics_{0};
-  mutable std::mutex mutex_;
-  std::vector<lint::Diagnostic> diagnostic_log_;
+  mutable common::Mutex mutex_;
+  std::vector<lint::Diagnostic> diagnostic_log_ NETLOC_GUARDED_BY(mutex_);
 };
 
 }  // namespace netloc::engine

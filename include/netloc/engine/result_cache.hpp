@@ -21,6 +21,7 @@
 // correctness.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 
@@ -88,7 +89,7 @@ class ResultCache {
   [[nodiscard]] const std::string& directory() const { return dir_; }
   [[nodiscard]] std::uint64_t max_bytes() const { return max_bytes_; }
   /// Blobs deleted by LRU trimming over this cache's lifetime.
-  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_.load(); }
 
  private:
   /// Delete oldest-mtime blobs until the total size fits max_bytes_.
@@ -98,7 +99,8 @@ class ResultCache {
   std::string dir_;
   EngineObserver* observer_;
   std::uint64_t max_bytes_ = 0;
-  std::uint64_t evictions_ = 0;
+  /// Atomic: store() (and so trim()) runs on concurrent finalize jobs.
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace netloc::engine

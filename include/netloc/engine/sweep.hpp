@@ -21,19 +21,46 @@
 // between cells.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "netloc/analysis/experiment.hpp"
+#include "netloc/common/thread_annotations.hpp"
 #include "netloc/engine/observer.hpp"
 #include "netloc/simulation/flow_sim.hpp"
 #include "netloc/topology/route_plan.hpp"
 #include "netloc/workloads/workload.hpp"
 
 namespace netloc::engine {
+
+/// Everything one topology cell computed, handed to the opt-in
+/// post-cell verifier right after the cell's metrics land. All pointers
+/// are valid only for the duration of the callback (the engine frees
+/// the matrix when the row finalizes). Callbacks fire on worker
+/// threads, possibly concurrently.
+struct CellArtifacts {
+  const workloads::CatalogEntry* entry = nullptr;
+  const topology::Topology* topology = nullptr;
+  std::shared_ptr<const topology::RoutePlan> plan;
+  const metrics::TrafficMatrix* full_matrix = nullptr;
+  int num_ranks = 0;
+  Seconds duration = 0.0;
+  /// The freshly computed Table 3 cell the verifier cross-checks.
+  const analysis::TopologyResult* result = nullptr;
+  analysis::RunOptions run;
+};
+
+/// Post-cell verification hook: returns findings for one cell. The
+/// engine forwards each diagnostic to the observer and counts them in
+/// SweepStats::verify_findings; findings never abort the sweep.
+/// netloc::verify::make_cell_verifier() builds one from the standard
+/// pass suite (the engine layer cannot depend on verify, which sits
+/// above it).
+using CellVerifier = std::function<lint::LintReport(const CellArtifacts&)>;
 
 struct SweepOptions {
   analysis::RunOptions run;  ///< Seed and metric options (the cache key).
@@ -48,6 +75,10 @@ struct SweepOptions {
   std::uint64_t cache_max_bytes = 0;
   /// Telemetry sink; may be null. Callbacks fire on worker threads.
   EngineObserver* observer = nullptr;
+  /// Opt-in model verification after each topology cell (run_rows
+  /// only). Null disables the hook — the default, since deep passes
+  /// cost a noticeable fraction of the cell itself.
+  CellVerifier post_cell_verify;
 };
 
 /// Telemetry of the most recent sweep.
@@ -60,6 +91,9 @@ struct SweepStats {
   int plans_built = 0;
   /// Cache blobs evicted by LRU trimming (cache_max_bytes cap).
   int cache_evictions = 0;
+  /// Diagnostics reported by the post_cell_verify hook (0 when the
+  /// hook is disabled or every cell verified clean).
+  int verify_findings = 0;
   Seconds wall_s = 0.0; ///< Wall time of the batch.
 };
 
@@ -126,10 +160,26 @@ class SweepEngine {
   std::shared_ptr<const topology::RoutePlan> plan_for(
       const topology::Topology& topo, int window);
 
+  /// Run options_.post_cell_verify over one finished cell, forward the
+  /// findings and count them. No-op when the hook is unset.
+  void verify_cell(const CellArtifacts& artifacts);
+
+  /// Zero the per-run worker-side counters (every run_* entry point).
+  void reset_run_counters();
+  /// Fold the worker-side counters into stats_ once the graph drained.
+  void fold_run_counters();
+
   SweepOptions options_;
   SweepStats stats_;
-  std::mutex plans_mutex_;
-  std::map<std::string, std::shared_ptr<const topology::RoutePlan>> plans_;
+  common::Mutex plans_mutex_;
+  std::map<std::string, std::shared_ptr<const topology::RoutePlan>> plans_
+      NETLOC_GUARDED_BY(plans_mutex_);
+  /// Plans built by the in-flight run; folded into stats_ at the end
+  /// (worker threads must not write stats_ while the main thread owns
+  /// it).
+  int plans_built_ NETLOC_GUARDED_BY(plans_mutex_) = 0;
+  /// Diagnostics the verify hook reported in the in-flight run.
+  std::atomic<int> verify_findings_{0};
 };
 
 }  // namespace netloc::engine

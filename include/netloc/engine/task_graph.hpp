@@ -36,6 +36,23 @@ class TaskGraph {
 
   [[nodiscard]] std::size_t size() const { return jobs_.size(); }
 
+  // ---- Structural introspection (netloc::verify task-graph pass) -------
+
+  [[nodiscard]] const std::string& label(JobId id) const {
+    return jobs_[id].label;
+  }
+  [[nodiscard]] const std::string& phase(JobId id) const {
+    return jobs_[id].phase;
+  }
+  /// Jobs that wait on `id`, in edge insertion order.
+  [[nodiscard]] const std::vector<JobId>& dependents(JobId id) const {
+    return jobs_[id].dependents;
+  }
+  /// Number of jobs `id` waits on.
+  [[nodiscard]] int dependency_count(JobId id) const {
+    return jobs_[id].dependency_count;
+  }
+
   /// Execute the whole graph on `pool` and block until it drains.
   /// Throws ConfigError on a dependency cycle (detected before any job
   /// runs) and rethrows the first job failure afterwards. A graph can

@@ -23,6 +23,11 @@ enum class Severity {
 /// Human-readable severity name ("note", "warning", "error").
 const char* to_string(Severity severity);
 
+/// Parse "note" / "warning" / "error" — the shared `--fail-on` flag
+/// vocabulary of the lint and verify subcommands. Throws ConfigError
+/// (via common/error.hpp) on anything else.
+Severity parse_severity(const std::string& text);
+
 /// Where a diagnostic was observed. `source` is a file path or a
 /// component name ("trace", "mapping", ...); `line` is 1-based when the
 /// finding maps to a text line, -1 otherwise; `index` is an event or
@@ -64,6 +69,10 @@ class LintReport {
 
   /// Findings of one rule, in emission order.
   [[nodiscard]] std::vector<Diagnostic> by_rule(const std::string& rule_id) const;
+
+  /// Unified exit-code policy for `--fail-on`: true if any finding is
+  /// at or above `threshold`. fails(Severity::Error) == has_errors().
+  [[nodiscard]] bool fails(Severity threshold) const;
 
  private:
   std::vector<Diagnostic> diagnostics_;

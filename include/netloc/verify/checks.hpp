@@ -1,0 +1,126 @@
+// The invariant checkers underneath the verify passes (docs/VERIFY.md).
+//
+// Each function checks one artifact family and appends VF diagnostics
+// to a report, returning the number of individual checks it performed.
+// They are exposed (rather than buried in the passes) so the
+// seeded-defect tests can feed them corrupted artifacts directly — an
+// unbalanced ECMP share vector, a perturbed usable-link count, a
+// falsified metric cell — proving every pass can actually fail.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/lint/diagnostic.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/topology/graph.hpp"
+#include "netloc/topology/route_plan.hpp"
+#include "netloc/topology/routing.hpp"
+#include "netloc/topology/topology.hpp"
+
+namespace netloc::engine {
+class TaskGraph;
+}
+
+namespace netloc::verify {
+
+/// Deterministic ordered-pair sample over nodes [0, window): all
+/// ordered pairs when window*(window-1) <= max_pairs, otherwise a
+/// fixed-seed xoshiro draw of max_pairs distinct-endpoint pairs.
+[[nodiscard]] std::vector<topology::NodePair> sample_pairs(int window,
+                                                           int max_pairs);
+
+/// VF001/VF002/VF003 — structural audit of `graph` against `topo`:
+/// id-space agreement (links, endpoints, global flags), link endpoint
+/// sanity, CSR adjacency sortedness/dedup/symmetry/degree-sum,
+/// per-family endpoint-degree regularity, endpoint connectivity.
+std::size_t check_graph_structure(const topology::Topology& topo,
+                                  const topology::NetworkGraph& graph,
+                                  const std::string& source,
+                                  lint::LintReport& report);
+
+/// VF004/VF005/VF006 — single-path route validity over sampled pairs:
+/// each route walks incident present unmasked links from a to b, its
+/// length matches the plan's distance table, and plan distances are
+/// BFS-consistent (equal under ECMP-free masks; >= BFS for minimal
+/// closed forms, which may be non-shortest by design — dragonfly).
+/// `bfs_spot_checks` caps the (costlier) per-pair BFS comparisons.
+std::size_t check_routes(const topology::RoutePlan& plan,
+                         const topology::NetworkGraph& graph,
+                         std::span<const topology::NodePair> pairs,
+                         int bfs_spot_checks, const std::string& source,
+                         lint::LintReport& report);
+
+/// VF007/VF008 — ECMP conservation for ONE pair given its claimed
+/// distance and weighted links (normally harvested from the plan, but
+/// the mutation tests hand in corrupted vectors): every share in
+/// (0, 1]; every link on a shortest-path DAG edge; unit flow out of
+/// `a`, into `b`, and conserved at every intermediate vertex; total
+/// shares summing to the hop distance.
+std::size_t check_ecmp_pair(const topology::NetworkGraph& graph,
+                            NodeId a, NodeId b, int hop_distance,
+                            std::span<const topology::WeightedLink> links,
+                            topology::LinkMask mask, const std::string& source,
+                            lint::LintReport& report);
+
+/// VF007/VF008 over sampled pairs of an ECMP plan.
+std::size_t check_ecmp_flow(const topology::RoutePlan& plan,
+                            const topology::NetworkGraph& graph,
+                            std::span<const topology::NodePair> pairs,
+                            const std::string& source,
+                            lint::LintReport& report);
+
+/// VF009/VF010 — fault-mask soundness: usable_links() ==
+/// num_links() - present failed links, disconnected() agrees with
+/// endpoint BFS, and per sampled pair the plan's reachability verdict
+/// matches graph reachability under the mask. `claimed_usable_links`
+/// lets the mutation tests inject a perturbed count; pass
+/// plan.usable_links() normally.
+std::size_t check_fault_accounting(const topology::RoutePlan& plan,
+                                   const topology::NetworkGraph& graph,
+                                   int claimed_usable_links,
+                                   std::span<const topology::NodePair> pairs,
+                                   const std::string& source,
+                                   lint::LintReport& report);
+
+/// VF011 — recompute hop totals, Eq. 5 utilization (paper formula,
+/// fault-adjusted denominator), used-links utilization and the global
+/// packet share from routes x packets, walking the plan directly, and
+/// compare against `expected` (a stored analyze_topology cell).
+/// Integers must match exactly; doubles to 1e-9 relative.
+std::size_t check_metrics(const metrics::TrafficMatrix& matrix,
+                          const topology::Topology& topo,
+                          const topology::RoutePlan& plan,
+                          const mapping::Mapping& mapping, Seconds duration,
+                          const analysis::RunOptions& options,
+                          const analysis::TopologyResult& expected,
+                          const std::string& source,
+                          lint::LintReport& report);
+
+/// VF012/VF013 — audit every *.nlrc blob in `dir`: parseable hex name,
+/// decodable under the name's key (magic/version/checksum/truncation),
+/// key recomputation from the embedded entry, and membership in the
+/// current catalog's key space under `options` (orphans are notes).
+std::size_t check_cache_dir(const std::string& dir,
+                            const analysis::RunOptions& options,
+                            const std::string& source,
+                            lint::LintReport& report);
+
+/// VF014/VF015 — cycle (Kahn) and isolated-job detection over a built
+/// task graph.
+std::size_t check_task_graph(const engine::TaskGraph& graph,
+                             const std::string& source,
+                             lint::LintReport& report);
+
+/// VF016 — traffic-matrix invariants: rank bounds, per-cell
+/// packetization (packets >= 1, bytes <= packets * 4 KiB), strictly
+/// ascending (src, dst) iteration, totals matching cell sums.
+/// (Diagonal volume stays MT002's warning — it is representable, just
+/// suspicious.)
+std::size_t check_traffic_matrix(const metrics::TrafficMatrix& matrix,
+                                 const std::string& source,
+                                 lint::LintReport& report);
+
+}  // namespace netloc::verify

@@ -1,0 +1,72 @@
+// VerifyContext: the bundle of model artifacts one verification run
+// inspects (docs/VERIFY.md).
+//
+// Unlike lint — which explains *inputs* before analyses consume them —
+// verify cross-checks the *artifacts the pipeline produced* against
+// each other: the NetworkGraph against the Topology that built it, the
+// RoutePlan's routes and distance table against the graph, ECMP shares
+// against flow conservation, stored metric results against an
+// independent recomputation, NLRC cache blobs against the catalog's
+// current keys. Every handle is optional: a pass whose artifacts are
+// missing reports itself skipped (with the reason) instead of failing.
+#pragma once
+
+#include <string>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/common/types.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/topology/route_plan.hpp"
+#include "netloc/topology/topology.hpp"
+
+namespace netloc::engine {
+class TaskGraph;
+}
+
+namespace netloc::verify {
+
+struct VerifyContext {
+  // ---- topology / routing artifacts ------------------------------------
+  const topology::Topology* topology = nullptr;
+  /// Plan under the spec being verified. The graph is taken from the
+  /// plan (plan->graph()) unless `graph` overrides it.
+  std::shared_ptr<const topology::RoutePlan> plan;
+  const topology::NetworkGraph* graph = nullptr;
+
+  // ---- traffic / metric artifacts --------------------------------------
+  const metrics::TrafficMatrix* traffic = nullptr;
+  /// Rank -> node placement; null means the consecutive (linear)
+  /// mapping the paper uses, built on demand by the metric pass.
+  const mapping::Mapping* mapping = nullptr;
+  Seconds duration = 0.0;
+  /// Stored Table 3 cell the metric pass cross-checks. Null makes the
+  /// pass recompute its own reference via analyze_topology first (the
+  /// recomputation is then checked against the metrics:: outputs).
+  const analysis::TopologyResult* expected = nullptr;
+
+  // ---- engine artifacts ------------------------------------------------
+  /// Seed/routing/link-accounting the artifacts were produced under;
+  /// also the key space for the cache audit.
+  analysis::RunOptions run;
+  /// Result-cache directory to audit; empty skips the cache pass.
+  std::string cache_dir;
+  /// Built (not yet run) task graph for cycle/orphan detection.
+  const engine::TaskGraph* task_graph = nullptr;
+
+  // ---- run shaping -----------------------------------------------------
+  /// Cap on sampled node pairs for the route-level passes. Sampling is
+  /// deterministic (fixed-seed xoshiro over the window).
+  int max_pairs = 2048;
+  /// Diagnostic source label ("verify", a cell label, ...).
+  std::string source = "verify";
+
+  /// Graph the passes should inspect: the explicit override, else the
+  /// plan's graph, else null.
+  [[nodiscard]] const topology::NetworkGraph* effective_graph() const {
+    if (graph != nullptr) return graph;
+    return plan ? plan->graph() : nullptr;
+  }
+};
+
+}  // namespace netloc::verify

@@ -1,0 +1,110 @@
+// The verify pass manager (docs/VERIFY.md).
+//
+// A VerifyPass is one machine-checked invariant family over a
+// VerifyContext; findings reuse lint::Diagnostic (pack "verify", rules
+// VF001-VF016) so every renderer, severity gate and observer built for
+// lint works on verification output unchanged. The VerifyRunner owns
+// the built-in pass suite, applies id/cost filtering, and times each
+// pass into a PassOutcome.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netloc/lint/diagnostic.hpp"
+#include "netloc/verify/context.hpp"
+
+namespace netloc::verify {
+
+/// Rough cost of a pass relative to producing the artifacts it checks.
+enum class CostTier {
+  Cheap,      ///< linear scans (graph audit, traffic invariants)
+  Standard,   ///< sampled route walks, per-pair BFS spot checks
+  Expensive,  ///< full metric recomputation, cache directory audit
+};
+
+[[nodiscard]] const char* to_string(CostTier tier);
+
+class VerifyPass {
+ public:
+  virtual ~VerifyPass() = default;
+
+  /// Stable pass id ("graph", "routes", ... — the --passes vocabulary).
+  [[nodiscard]] virtual std::string_view id() const = 0;
+  [[nodiscard]] virtual std::string_view summary() const = 0;
+  [[nodiscard]] virtual CostTier cost() const { return CostTier::Standard; }
+
+  /// Empty string when the pass can run on `ctx`; otherwise the reason
+  /// it must be skipped ("no network graph", "no cache directory").
+  [[nodiscard]] virtual std::string applicable(
+      const VerifyContext& ctx) const = 0;
+
+  /// Append findings to `report`; returns the number of individual
+  /// checks performed (for reporting density, not correctness).
+  virtual std::size_t run(const VerifyContext& ctx,
+                          lint::LintReport& report) const = 0;
+};
+
+/// One pass's result within a VerifyReport.
+struct PassOutcome {
+  std::string id;
+  bool skipped = false;
+  std::string skip_reason;
+  std::size_t checks = 0;  ///< Individual invariant evaluations.
+  Seconds elapsed = 0.0;
+  lint::LintReport report;
+};
+
+struct VerifyReport {
+  std::vector<PassOutcome> passes;
+
+  /// All findings across passes, in pass order.
+  [[nodiscard]] lint::LintReport merged() const;
+  [[nodiscard]] std::size_t total_checks() const;
+  /// Shared exit-code policy: true when no finding reaches `fail_on`.
+  [[nodiscard]] bool clean(lint::Severity fail_on) const {
+    return !merged().fails(fail_on);
+  }
+};
+
+/// Selects which passes a run executes. An empty id list means all;
+/// ids are matched exactly against VerifyPass::id().
+struct PassFilter {
+  std::vector<std::string> ids;
+  CostTier max_cost = CostTier::Expensive;
+};
+
+class VerifyRunner {
+ public:
+  /// Constructs with the built-in pass suite registered, in canonical
+  /// order: graph, routes, ecmp, faults, metrics, cache, taskgraph,
+  /// traffic.
+  VerifyRunner();
+
+  /// Register a custom pass after the built-ins. Duplicate ids throw
+  /// ConfigError.
+  void add(std::unique_ptr<VerifyPass> pass);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<VerifyPass>>& passes() const {
+    return passes_;
+  }
+  [[nodiscard]] const VerifyPass* find(std::string_view id) const;
+
+  /// Execute the filtered passes over `ctx`. Unknown filter ids throw
+  /// ConfigError; inapplicable passes are reported skipped.
+  [[nodiscard]] VerifyReport run(const VerifyContext& ctx,
+                                 const PassFilter& filter = {}) const;
+
+ private:
+  std::vector<std::unique_ptr<VerifyPass>> passes_;
+};
+
+/// Per-pass status lines plus the merged findings (lint::write_text).
+void write_text(const VerifyReport& report, std::ostream& out);
+/// Merged findings as lint CSV (header rule,severity,source,...).
+void write_csv(const VerifyReport& report, std::ostream& out);
+
+}  // namespace netloc::verify

@@ -1,0 +1,31 @@
+// Bridges netloc::verify into the sweep engine's opt-in post-cell
+// hook. The engine layer sits below verify and only knows the
+// CellVerifier std::function signature; this factory packages the
+// standard pass suite into one.
+#pragma once
+
+#include "netloc/engine/sweep.hpp"
+#include "netloc/lint/diagnostic.hpp"
+#include "netloc/verify/pass.hpp"
+
+namespace netloc::verify {
+
+/// Options for the sweep-embedded verifier. The cache audit and
+/// task-graph passes are structurally excluded (a cell has neither);
+/// everything else runs per topology cell.
+struct CellVerifyOptions {
+  /// Sampled node pairs per cell for the route-level passes.
+  int max_pairs = 512;
+  /// Findings below this severity are dropped before they reach the
+  /// observer (notes are usually noise at sweep volume).
+  lint::Severity min_severity = lint::Severity::Warning;
+};
+
+/// Build a SweepOptions::post_cell_verify callback running the
+/// standard suite over each finished cell. The returned callable is
+/// stateless per call and safe to invoke from concurrent worker
+/// threads.
+[[nodiscard]] engine::CellVerifier make_cell_verifier(
+    CellVerifyOptions options = {});
+
+}  // namespace netloc::verify

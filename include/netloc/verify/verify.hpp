@@ -1,0 +1,8 @@
+// Umbrella header for netloc::verify — cross-artifact model
+// verification passes (docs/VERIFY.md).
+#pragma once
+
+#include "netloc/verify/checks.hpp"    // IWYU pragma: export
+#include "netloc/verify/context.hpp"   // IWYU pragma: export
+#include "netloc/verify/pass.hpp"      // IWYU pragma: export
+#include "netloc/verify/sweep_hook.hpp"  // IWYU pragma: export

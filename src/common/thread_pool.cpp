@@ -34,7 +34,7 @@ ThreadPool::ThreadPool(int threads) {
 ThreadPool::~ThreadPool() {
   wait_idle();
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    common::MutexLock lock(state_mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -47,6 +47,7 @@ void ThreadPool::submit(std::function<void()> task) {
       (tl_pool == this)
           ? tl_worker_id
           : next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  WorkerQueue& queue = *queues_[target];
   {
     // state_mutex_ is held across the push so the push and the
     // pending_/epoch_ bump are one atomic step: a worker that pops the
@@ -58,11 +59,11 @@ void ThreadPool::submit(std::function<void()> task) {
     // under this mutex and rescans instead of sleeping. Workers only
     // take queue mutexes with state_mutex_ released, so the
     // state-then-queue order here cannot deadlock.
-    std::lock_guard<std::mutex> state_lock(state_mutex_);
+    common::MutexLock state_lock(state_mutex_);
     if (stop_) throw ConfigError("ThreadPool: submit after shutdown");
     {
-      std::lock_guard<std::mutex> queue_lock(queues_[target]->mutex);
-      queues_[target]->tasks.push_back(std::move(task));
+      common::MutexLock queue_lock(queue.mutex);
+      queue.tasks.push_back(std::move(task));
     }
     ++pending_;
     ++epoch_;
@@ -74,7 +75,7 @@ bool ThreadPool::try_get_task(std::size_t id, std::function<void()>& task) {
   // Own queue first, newest first (LIFO keeps the working set warm).
   {
     auto& q = *queues_[id];
-    std::lock_guard<std::mutex> lock(q.mutex);
+    common::MutexLock lock(q.mutex);
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.back());
       q.tasks.pop_back();
@@ -85,7 +86,7 @@ bool ThreadPool::try_get_task(std::size_t id, std::function<void()>& task) {
   // neighbour so victims spread instead of piling onto worker 0.
   for (std::size_t off = 1; off < queues_.size(); ++off) {
     auto& q = *queues_[(id + off) % queues_.size()];
-    std::lock_guard<std::mutex> lock(q.mutex);
+    common::MutexLock lock(q.mutex);
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -101,28 +102,30 @@ void ThreadPool::worker_loop(std::size_t id) {
   for (;;) {
     std::uint64_t seen_epoch;
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      common::MutexLock lock(state_mutex_);
       seen_epoch = epoch_;
     }
     std::function<void()> task;
     if (try_get_task(id, task)) {
       task();
       task = nullptr;  // Release captures before signalling idle.
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      common::MutexLock lock(state_mutex_);
       if (--pending_ == 0) idle_cv_.notify_all();
       continue;
     }
-    std::unique_lock<std::mutex> lock(state_mutex_);
+    common::MutexLock lock(state_mutex_);
     if (stop_) return;
     if (epoch_ == seen_epoch) {
-      work_cv_.wait(lock);  // Spurious wakeups just rescan.
+      work_cv_.wait(state_mutex_);  // Spurious wakeups just rescan.
     }
   }
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(state_mutex_);
-  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  common::MutexLock lock(state_mutex_);
+  while (pending_ != 0) {
+    idle_cv_.wait(state_mutex_);
+  }
 }
 
 }  // namespace netloc

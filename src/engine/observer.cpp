@@ -5,34 +5,34 @@
 namespace netloc::engine {
 
 void StreamObserver::on_job_started(const JobEvent& job) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   out_ << "[engine] start  " << job.phase << ' ' << job.label << '\n';
 }
 
 void StreamObserver::on_job_finished(const JobEvent& job, Seconds elapsed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   out_ << "[engine] done   " << job.phase << ' ' << job.label << " ("
        << fixed(elapsed * 1e3, 1) << " ms)\n";
 }
 
 void StreamObserver::on_cache_hit(const std::string& label) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   out_ << "[engine] cached " << label << '\n';
 }
 
 void StreamObserver::on_cache_store(const std::string& label) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   out_ << "[engine] stored " << label << '\n';
 }
 
 void StreamObserver::on_cache_evict(const std::string& file,
                                     std::uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   out_ << "[engine] evict  " << file << " (" << bytes << " bytes)\n";
 }
 
 void StreamObserver::on_diagnostic(const lint::Diagnostic& diagnostic) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   out_ << "[engine] " << lint::format(diagnostic) << '\n';
 }
 
@@ -60,12 +60,12 @@ void CountingObserver::on_cache_evict(const std::string& /*file*/,
 
 void CountingObserver::on_diagnostic(const lint::Diagnostic& diagnostic) {
   diagnostics_.fetch_add(1);
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   diagnostic_log_.push_back(diagnostic);
 }
 
 std::vector<lint::Diagnostic> CountingObserver::collected_diagnostics() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return diagnostic_log_;
 }
 

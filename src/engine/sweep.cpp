@@ -75,22 +75,47 @@ std::shared_ptr<const topology::RoutePlan> SweepEngine::plan_for(
   if (!options_.run.routing.is_default()) {
     key += " @" + options_.run.routing.label();
   }
-  std::lock_guard<std::mutex> lock(plans_mutex_);
+  common::MutexLock lock(plans_mutex_);
   if (const auto it = plans_.find(key); it != plans_.end()) {
     return it->second;
   }
   auto plan = topology::RoutePlan::build(topo, options_.run.routing, window);
-  ++stats_.plans_built;
+  ++plans_built_;
   if (plan->self_contained()) {
     plans_.emplace(key, plan);
   }
   return plan;
 }
 
+void SweepEngine::reset_run_counters() {
+  common::MutexLock lock(plans_mutex_);
+  plans_built_ = 0;
+  verify_findings_.store(0);
+}
+
+void SweepEngine::fold_run_counters() {
+  common::MutexLock lock(plans_mutex_);
+  stats_.plans_built = plans_built_;
+  stats_.verify_findings = verify_findings_.load();
+}
+
+void SweepEngine::verify_cell(const CellArtifacts& artifacts) {
+  if (!options_.post_cell_verify) return;
+  const lint::LintReport report = options_.post_cell_verify(artifacts);
+  if (report.empty()) return;
+  verify_findings_.fetch_add(static_cast<int>(report.diagnostics().size()));
+  if (options_.observer) {
+    for (const auto& diagnostic : report.diagnostics()) {
+      options_.observer->on_diagnostic(diagnostic);
+    }
+  }
+}
+
 std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
     const std::vector<workloads::CatalogEntry>& entries) {
   const auto begin = Clock::now();
   stats_ = SweepStats{};
+  reset_run_counters();
   stats_.cells = static_cast<int>(entries.size());
 
   std::vector<analysis::ExperimentRow> rows(entries.size());
@@ -156,7 +181,7 @@ std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
         });
     for (std::size_t t = 0; t < state->row.topologies.size(); ++t) {
       const JobId cell = graph.add(
-          entry->label(), "topology", [this, state, t, run] {
+          entry->label(), "topology", [this, state, entry, t, run] {
             // One plan per (configuration, rank window), shared across
             // every cell of the sweep that uses it. The linear mapping
             // only places ranks on nodes [0, num_ranks), so that window
@@ -166,6 +191,18 @@ std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
             state->row.topologies[t] = analysis::analyze_topology(
                 *state->full_matrix, topo, state->num_ranks, state->duration,
                 run, plan.get());
+            // Opt-in verification while the cell's artifacts are still
+            // alive; findings flow to the observer, never abort.
+            CellArtifacts artifacts;
+            artifacts.entry = entry;
+            artifacts.topology = &topo;
+            artifacts.plan = plan;
+            artifacts.full_matrix = state->full_matrix.get();
+            artifacts.num_ranks = state->num_ranks;
+            artifacts.duration = state->duration;
+            artifacts.result = &state->row.topologies[t];
+            artifacts.run = run;
+            verify_cell(artifacts);
           });
       graph.add_edge(generate, cell);
       graph.add_edge(cell, finalize);
@@ -186,6 +223,7 @@ std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
   }
 
   if (cache) stats_.cache_evictions = static_cast<int>(cache->evictions());
+  fold_run_counters();
   stats_.wall_s = seconds_since(begin);
   return rows;
 }
@@ -198,6 +236,7 @@ std::vector<analysis::DimensionalityRow> SweepEngine::run_dimensionality(
     const std::vector<workloads::CatalogEntry>& entries) {
   const auto begin = Clock::now();
   stats_ = SweepStats{};
+  reset_run_counters();
   stats_.cells = static_cast<int>(entries.size());
 
   std::vector<analysis::DimensionalityRow> rows(entries.size());
@@ -220,6 +259,7 @@ std::vector<analysis::DimensionalityRow> SweepEngine::run_dimensionality(
     ThreadPool pool(options_.jobs);
     graph.run(pool, options_.observer);
   }
+  fold_run_counters();
   stats_.wall_s = seconds_since(begin);
   return rows;
 }
@@ -229,6 +269,7 @@ std::vector<analysis::MulticoreSeries> SweepEngine::run_multicore(
     const std::vector<int>& cores_per_node) {
   const auto begin = Clock::now();
   stats_ = SweepStats{};
+  reset_run_counters();
   stats_.cells = static_cast<int>(entries.size());
 
   std::vector<analysis::MulticoreSeries> rows(entries.size());
@@ -251,6 +292,7 @@ std::vector<analysis::MulticoreSeries> SweepEngine::run_multicore(
     ThreadPool pool(options_.jobs);
     graph.run(pool, options_.observer);
   }
+  fold_run_counters();
   stats_.wall_s = seconds_since(begin);
   return rows;
 }
@@ -259,6 +301,7 @@ std::vector<FlowSweepResult> SweepEngine::run_flow_sweep(
     const std::vector<FlowSweepSpec>& specs) {
   const auto begin = Clock::now();
   stats_ = SweepStats{};
+  reset_run_counters();
   stats_.cells = static_cast<int>(specs.size());
 
   std::vector<FlowSweepResult> results(specs.size());
@@ -304,6 +347,7 @@ std::vector<FlowSweepResult> SweepEngine::run_flow_sweep(
     ThreadPool pool(options_.jobs);
     graph.run(pool, options_.observer);
   }
+  fold_run_counters();
   stats_.wall_s = seconds_since(begin);
   return results;
 }

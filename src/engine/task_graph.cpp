@@ -1,12 +1,11 @@
 #include "netloc/engine/task_graph.hpp"
 
 #include <chrono>
-#include <condition_variable>
 #include <exception>
 #include <memory>
-#include <mutex>
 
 #include "netloc/common/error.hpp"
+#include "netloc/common/thread_annotations.hpp"
 
 namespace netloc::engine {
 
@@ -16,12 +15,16 @@ namespace {
 /// completion latch. All transitions happen under one mutex — jobs are
 /// multi-millisecond units of work, so scheduling contention is noise.
 struct RunState {
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  std::vector<int> remaining;       // Dependencies left per job.
-  std::vector<bool> cancelled;      // Dependency failed; skip work.
-  std::size_t completed = 0;        // Jobs finished or cancelled.
-  std::exception_ptr first_error;   // First failure, rethrown by run().
+  common::Mutex mutex;
+  common::CondVar done_cv;
+  /// Dependencies left per job.
+  std::vector<int> remaining NETLOC_GUARDED_BY(mutex);
+  /// Dependency failed; skip work.
+  std::vector<bool> cancelled NETLOC_GUARDED_BY(mutex);
+  /// Jobs finished or cancelled.
+  std::size_t completed NETLOC_GUARDED_BY(mutex) = 0;
+  /// First failure, rethrown by run().
+  std::exception_ptr first_error NETLOC_GUARDED_BY(mutex);
 };
 
 }  // namespace
@@ -49,15 +52,13 @@ void TaskGraph::run(ThreadPool& pool, EngineObserver* observer) {
   ran_ = true;
   if (jobs_.empty()) return;
 
-  auto state = std::make_shared<RunState>();
-  state->remaining.reserve(jobs_.size());
-  for (const auto& job : jobs_) state->remaining.push_back(job.dependency_count);
-  state->cancelled.assign(jobs_.size(), false);
-
   // Kahn reachability check up front: a cycle would otherwise stall the
-  // run with jobs waiting on each other forever.
+  // run with jobs waiting on each other forever. (Works off jobs_ only —
+  // no run state exists yet.)
   {
-    std::vector<int> remaining = state->remaining;
+    std::vector<int> remaining;
+    remaining.reserve(jobs_.size());
+    for (const auto& job : jobs_) remaining.push_back(job.dependency_count);
     std::vector<JobId> ready;
     for (JobId id = 0; id < jobs_.size(); ++id) {
       if (remaining[id] == 0) ready.push_back(id);
@@ -76,6 +77,19 @@ void TaskGraph::run(ThreadPool& pool, EngineObserver* observer) {
     }
   }
 
+  auto state = std::make_shared<RunState>();
+  {
+    // No worker can touch the state before the first submit below, but
+    // the lock keeps the guarded-member discipline uniform (and costs
+    // one uncontended acquisition).
+    common::MutexLock lock(state->mutex);
+    state->remaining.reserve(jobs_.size());
+    for (const auto& job : jobs_) {
+      state->remaining.push_back(job.dependency_count);
+    }
+    state->cancelled.assign(jobs_.size(), false);
+  }
+
   // execute() runs one job and releases its dependents; declared as a
   // shared recursive functor so completion handlers can enqueue from
   // worker threads. The recursive capture must be weak — a strong one
@@ -88,7 +102,7 @@ void TaskGraph::run(ThreadPool& pool, EngineObserver* observer) {
     Node& job = jobs_[id];
     bool cancelled;
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      common::MutexLock lock(state->mutex);
       cancelled = state->cancelled[id];
     }
     bool failed = false;
@@ -99,7 +113,7 @@ void TaskGraph::run(ThreadPool& pool, EngineObserver* observer) {
         job.work();
       } catch (...) {
         failed = true;
-        std::lock_guard<std::mutex> lock(state->mutex);
+        common::MutexLock lock(state->mutex);
         if (!state->first_error) state->first_error = std::current_exception();
       }
       const std::chrono::duration<double> elapsed =
@@ -109,7 +123,7 @@ void TaskGraph::run(ThreadPool& pool, EngineObserver* observer) {
 
     std::vector<JobId> ready;
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      common::MutexLock lock(state->mutex);
       for (const JobId dep : job.dependents) {
         if (cancelled || failed) state->cancelled[dep] = true;
         if (--state->remaining[dep] == 0) ready.push_back(dep);
@@ -129,8 +143,10 @@ void TaskGraph::run(ThreadPool& pool, EngineObserver* observer) {
     }
   }
 
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done_cv.wait(lock, [&] { return state->completed == jobs_.size(); });
+  common::MutexLock lock(state->mutex);
+  while (state->completed != jobs_.size()) {
+    state->done_cv.wait(state->mutex);
+  }
   if (state->first_error) std::rethrow_exception(state->first_error);
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "netloc/common/error.hpp"
+
 namespace netloc::lint {
 
 const char* to_string(Severity severity) {
@@ -15,6 +17,14 @@ const char* to_string(Severity severity) {
       return "error";
   }
   return "unknown";
+}
+
+Severity parse_severity(const std::string& text) {
+  if (text == "note") return Severity::Note;
+  if (text == "warning") return Severity::Warning;
+  if (text == "error") return Severity::Error;
+  throw ConfigError("unknown severity '" + text +
+                    "' (expected note|warning|error)");
 }
 
 std::string format(const Diagnostic& diagnostic) {
@@ -44,6 +54,12 @@ std::size_t LintReport::count(Severity severity) const {
   return static_cast<std::size_t>(
       std::count_if(diagnostics_.begin(), diagnostics_.end(),
                     [&](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+bool LintReport::fails(Severity threshold) const {
+  return std::any_of(
+      diagnostics_.begin(), diagnostics_.end(),
+      [&](const Diagnostic& d) { return d.severity >= threshold; });
 }
 
 std::vector<Diagnostic> LintReport::by_rule(const std::string& rule_id) const {

@@ -70,6 +70,38 @@ constexpr RuleInfo kRules[] = {
      "cache blob written by an incompatible engine version; ignored"},
     {"EN003", Severity::Note, "engine",
      "result cache over its size cap; least-recently-used blobs evicted"},
+    // ---- verify pack (netloc::verify cross-artifact passes) --------------
+    {"VF001", Severity::Error, "verify",
+     "network graph structure inconsistent (adjacency, id space, symmetry)"},
+    {"VF002", Severity::Error, "verify",
+     "graph degree/regularity off the topology family's invariant"},
+    {"VF003", Severity::Error, "verify",
+     "endpoint set disconnected although no links are failed"},
+    {"VF004", Severity::Error, "verify",
+     "route traverses an absent, masked or non-incident link"},
+    {"VF005", Severity::Error, "verify",
+     "route length disagrees with the plan's distance table"},
+    {"VF006", Severity::Error, "verify",
+     "plan distance inconsistent with graph BFS"},
+    {"VF007", Severity::Error, "verify",
+     "ECMP link shares do not split unit flow"},
+    {"VF008", Severity::Error, "verify",
+     "ECMP flow not conserved at an intermediate vertex"},
+    {"VF009", Severity::Error, "verify",
+     "fault-mask accounting wrong (usable_links / disconnected flag)"},
+    {"VF010", Severity::Error, "verify",
+     "unroutable-pair accounting disagrees with graph reachability"},
+    {"VF011", Severity::Error, "verify",
+     "metric recomputation from routes x packets disagrees with stored result"},
+    {"VF012", Severity::Warning, "verify",
+     "result-cache blob corrupt, truncated, mis-keyed or version-skewed"},
+    {"VF013", Severity::Note, "verify",
+     "result-cache blob orphaned by the current catalog/options"},
+    {"VF014", Severity::Error, "verify", "task graph has a dependency cycle"},
+    {"VF015", Severity::Note, "verify",
+     "task graph job is isolated (no edges in a multi-job graph)"},
+    {"VF016", Severity::Error, "verify",
+     "traffic-matrix invariant violated (bounds, totals, packetization)"},
 };
 
 }  // namespace

@@ -1,0 +1,189 @@
+// Pair sampling plus the graph structural audit (VF001-VF003).
+#include <string>
+#include <vector>
+
+#include "netloc/common/prng.hpp"
+#include "netloc/verify/checks.hpp"
+#include "internal.hpp"
+
+namespace netloc::verify {
+
+namespace {
+
+/// Fixed sampling seed: "netloc" in ASCII. Verification must be
+/// reproducible run to run, so the draw never depends on wall clock.
+constexpr std::uint64_t kSampleSeed = 0x6e65746c6f63ULL;
+
+}  // namespace
+
+std::vector<topology::NodePair> sample_pairs(int window, int max_pairs) {
+  std::vector<topology::NodePair> pairs;
+  if (window < 2 || max_pairs <= 0) return pairs;
+  const auto total =
+      static_cast<std::int64_t>(window) * static_cast<std::int64_t>(window - 1);
+  if (total <= max_pairs) {
+    pairs.reserve(static_cast<std::size_t>(total));
+    for (int a = 0; a < window; ++a) {
+      for (int b = 0; b < window; ++b) {
+        if (a != b) pairs.push_back({a, b});
+      }
+    }
+    return pairs;
+  }
+  Xoshiro256 rng(kSampleSeed);
+  pairs.reserve(static_cast<std::size_t>(max_pairs));
+  for (int i = 0; i < max_pairs; ++i) {
+    const auto a =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(window)));
+    auto b =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(window - 1)));
+    if (b >= a) ++b;  // skip the diagonal without rejection sampling
+    pairs.push_back({a, b});
+  }
+  return pairs;
+}
+
+std::size_t check_graph_structure(const topology::Topology& topo,
+                                  const topology::NetworkGraph& graph,
+                                  const std::string& source,
+                                  lint::LintReport& report) {
+  Emitter em(report, source);
+  std::size_t checks = 0;
+
+  // ---- id-space agreement with the topology ----------------------------
+  ++checks;
+  if (graph.num_links() != topo.num_links()) {
+    em.emit("VF001", -1,
+            "graph has " + std::to_string(graph.num_links()) +
+                " link ids but the topology declares " +
+                std::to_string(topo.num_links()));
+  }
+  ++checks;
+  if (graph.num_endpoints() != topo.num_nodes()) {
+    em.emit("VF001", -1,
+            "graph has " + std::to_string(graph.num_endpoints()) +
+                " endpoints but the topology has " +
+                std::to_string(topo.num_nodes()) + " nodes");
+  }
+
+  // ---- per-link sanity --------------------------------------------------
+  const int num_vertices = graph.num_vertices();
+  int present = 0;
+  for (LinkId id = 0; id < graph.num_links(); ++id) {
+    const auto& link = graph.link(id);
+    if (!link.present) continue;
+    ++present;
+    ++checks;
+    if (link.u < 0 || link.u >= num_vertices || link.v < 0 ||
+        link.v >= num_vertices || link.u == link.v) {
+      em.emit("VF001", id,
+              "link " + std::to_string(id) + " has invalid endpoints (" +
+                  std::to_string(link.u) + ", " + std::to_string(link.v) +
+                  ")");
+    }
+    if (id < topo.num_links()) {
+      ++checks;
+      if (topo.link_is_global(id) != graph.link_is_global(id)) {
+        em.emit("VF001", id,
+                "link " + std::to_string(id) +
+                    ": graph and topology disagree on the global flag");
+      }
+    }
+  }
+  ++checks;
+  if (present != graph.num_present_links()) {
+    em.emit("VF001", -1,
+            "num_present_links() reports " +
+                std::to_string(graph.num_present_links()) + " but " +
+                std::to_string(present) + " links are present");
+  }
+
+  // ---- CSR adjacency: sortedness, dedup, symmetry, degree sum -----------
+  std::vector<int> incidences(static_cast<std::size_t>(graph.num_links()), 0);
+  for (int v = 0; v < num_vertices; ++v) {
+    LinkId prev = -1;
+    bool sorted = true;
+    graph.for_each_incident(v, [&](LinkId l, int other) {
+      if (l <= prev) sorted = false;
+      prev = l;
+      if (l < 0 || l >= graph.num_links()) {
+        em.emit("VF001", v,
+                "vertex " + std::to_string(v) +
+                    " adjacency references out-of-range link " +
+                    std::to_string(l));
+        return;
+      }
+      ++incidences[static_cast<std::size_t>(l)];
+      const auto& link = graph.link(l);
+      if (!link.present) {
+        em.emit("VF001", l,
+                "adjacency references absent link " + std::to_string(l));
+        return;
+      }
+      const bool matches = (link.u == v && link.v == other) ||
+                           (link.v == v && link.u == other);
+      if (!matches) {
+        em.emit("VF001", l,
+                "adjacency entry (vertex " + std::to_string(v) + ", link " +
+                    std::to_string(l) + ", other " + std::to_string(other) +
+                    ") disagrees with the link's endpoints");
+      }
+    });
+    ++checks;
+    if (!sorted) {
+      em.emit("VF001", v,
+              "vertex " + std::to_string(v) +
+                  " adjacency is not strictly ascending by link id "
+                  "(unsorted or duplicated entries)");
+    }
+  }
+  for (LinkId id = 0; id < graph.num_links(); ++id) {
+    ++checks;
+    const int expected = graph.link_present(id) ? 2 : 0;
+    if (incidences[static_cast<std::size_t>(id)] != expected) {
+      em.emit("VF001", id,
+              "link " + std::to_string(id) + " appears " +
+                  std::to_string(incidences[static_cast<std::size_t>(id)]) +
+                  " times in the adjacency (expected " +
+                  std::to_string(expected) + ") — asymmetric CSR");
+    }
+  }
+
+  // ---- per-family degree regularity -------------------------------------
+  const std::string family = topo.name();
+  const bool known_family =
+      family == "torus3d" || family == "fattree" || family == "dragonfly";
+  if (known_family && graph.num_endpoints() > 0) {
+    const int d0 = graph.degree(0);
+    ++checks;
+    bool uniform = true;
+    for (int v = 1; v < graph.num_endpoints(); ++v) {
+      if (graph.degree(v) != d0) {
+        uniform = false;
+        em.emit("VF002", v,
+                family + " endpoint " + std::to_string(v) + " has degree " +
+                    std::to_string(graph.degree(v)) +
+                    " but endpoint 0 has degree " + std::to_string(d0));
+        break;
+      }
+    }
+    if (uniform && (family == "fattree" || family == "dragonfly")) {
+      ++checks;
+      if (d0 != 1) {
+        em.emit("VF002", 0,
+                family + " endpoints have degree " + std::to_string(d0) +
+                    " (expected exactly one injection link)");
+      }
+    }
+  }
+
+  // ---- connectivity -----------------------------------------------------
+  ++checks;
+  if (!graph.endpoints_connected()) {
+    em.emit("VF003", -1,
+            "endpoint set is disconnected with no fault mask applied");
+  }
+  return checks;
+}
+
+}  // namespace netloc::verify

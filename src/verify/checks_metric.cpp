@@ -1,0 +1,138 @@
+// Independent metric recomputation (VF011): hop totals, Eq. 5
+// utilization under both link-count conventions, and the global-link
+// packet share, rebuilt by walking the plan directly and compared
+// against a stored analyze_topology cell.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "netloc/common/units.hpp"
+#include "netloc/metrics/utilization.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/verify/checks.hpp"
+
+#include "internal.hpp"
+
+namespace netloc::verify {
+
+std::size_t check_metrics(const metrics::TrafficMatrix& matrix,
+                          const topology::Topology& topo,
+                          const topology::RoutePlan& plan,
+                          const mapping::Mapping& mapping, Seconds duration,
+                          const analysis::RunOptions& options,
+                          const analysis::TopologyResult& expected,
+                          const std::string& source,
+                          lint::LintReport& report) {
+  Emitter em(report, source);
+  std::size_t checks = 0;
+
+  // ---- Eq. 3 / Eq. 4: hop totals (mirrors metrics::hop_stats) ----------
+  Count packet_hops = 0;
+  Count packets = 0;
+  matrix.for_each_nonzero([&](Rank s, Rank d, const metrics::TrafficCell& cell) {
+    if (cell.packets == 0) return;
+    const NodeId ns = mapping.node_of(s);
+    const NodeId nd = mapping.node_of(d);
+    if (ns != nd) {
+      const int hops = plan.hop_distance(ns, nd);
+      if (hops < 0) return;  // unroutable: excluded from both totals
+      packet_hops += cell.packets * static_cast<Count>(hops);
+    }
+    packets += cell.packets;
+  });
+  const double avg_hops =
+      packets > 0 ? static_cast<double>(packet_hops) /
+                        static_cast<double>(packets)
+                  : 0.0;
+  ++checks;
+  if (packet_hops != expected.packet_hops) {
+    em.emit("VF011", -1,
+            "recomputed packet hops " + std::to_string(packet_hops) +
+                " != stored " + std::to_string(expected.packet_hops));
+  }
+  ++checks;
+  if (!nearly_equal(avg_hops, expected.avg_hops)) {
+    em.emit("VF011", -1,
+            "recomputed average hops " + std::to_string(avg_hops) +
+                " != stored " + std::to_string(expected.avg_hops));
+  }
+
+  // ---- Eq. 5, paper link-count convention -------------------------------
+  double link_count = topology::paper_link_count(topo, matrix.num_ranks());
+  if (plan.usable_links() < plan.num_links()) {
+    const int dead = plan.num_links() - plan.usable_links();
+    link_count = std::max(0.0, link_count - dead);
+  }
+  double util = 0.0;
+  if (duration > 0.0 && link_count > 0.0) {
+    util = 100.0 * static_cast<double>(matrix.total_bytes()) /
+           (metrics::kPaperBandwidthBytesPerS * duration * link_count);
+  }
+  ++checks;
+  if (!nearly_equal(util, expected.utilization_percent)) {
+    em.emit("VF011", -1,
+            "recomputed Eq. 5 utilization " + std::to_string(util) +
+                "% != stored " + std::to_string(expected.utilization_percent) +
+                "%");
+  }
+
+  // ---- per-link accounting (used links, global share) -------------------
+  if (options.link_accounting) {
+    std::vector<std::uint8_t> touched(
+        static_cast<std::size_t>(plan.num_links()), 0);
+    int used_links = 0;
+    Count total_packets = 0;
+    Count global_packets = 0;
+    matrix.for_each_nonzero(
+        [&](Rank s, Rank d, const metrics::TrafficCell& cell) {
+          total_packets += cell.packets;
+          const NodeId ns = mapping.node_of(s);
+          const NodeId nd = mapping.node_of(d);
+          if (ns == nd) return;
+          bool crosses_global = false;
+          plan.for_each_weighted_link(ns, nd, [&](LinkId link, double) {
+            const auto li = static_cast<std::size_t>(link);
+            if (!touched[li]) {
+              touched[li] = 1;
+              ++used_links;
+            }
+            if (plan.link_is_global(link)) crosses_global = true;
+          });
+          if (crosses_global) global_packets += cell.packets;
+        });
+    ++checks;
+    if (used_links != expected.used_links) {
+      em.emit("VF011", -1,
+              "recomputed used links " + std::to_string(used_links) +
+                  " != stored " + std::to_string(expected.used_links));
+    }
+    const double global_share =
+        total_packets > 0 ? static_cast<double>(global_packets) /
+                                static_cast<double>(total_packets)
+                          : 0.0;
+    ++checks;
+    if (!nearly_equal(global_share, expected.global_link_packet_share)) {
+      em.emit("VF011", -1,
+              "recomputed global-link packet share " +
+                  std::to_string(global_share) + " != stored " +
+                  std::to_string(expected.global_link_packet_share));
+    }
+    double util_used = 0.0;
+    if (used_links > 0 && duration > 0.0) {
+      util_used = 100.0 * static_cast<double>(matrix.total_bytes()) /
+                  (metrics::kPaperBandwidthBytesPerS * duration *
+                   static_cast<double>(used_links));
+    }
+    ++checks;
+    if (!nearly_equal(util_used, expected.utilization_used_links_percent)) {
+      em.emit("VF011", -1,
+              "recomputed used-links utilization " + std::to_string(util_used) +
+                  "% != stored " +
+                  std::to_string(expected.utilization_used_links_percent) +
+                  "%");
+    }
+  }
+  return checks;
+}
+
+}  // namespace netloc::verify

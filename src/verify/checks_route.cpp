@@ -1,0 +1,365 @@
+// Route validity, ECMP flow conservation and fault-mask accounting
+// (VF004-VF010).
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "netloc/verify/checks.hpp"
+
+#include "internal.hpp"
+
+namespace netloc::verify {
+
+namespace {
+
+/// Bitmap form of the plan's failed-link set over the graph's id space
+/// (the plan keeps its own bitmap private).
+std::vector<std::uint8_t> failed_bitmap(const topology::RoutePlan& plan,
+                                        const topology::NetworkGraph& graph) {
+  std::vector<std::uint8_t> mask;
+  if (plan.spec().failed_links.empty()) return mask;
+  mask.assign(static_cast<std::size_t>(graph.num_links()), 0);
+  for (const LinkId id : plan.spec().failed_links) {
+    if (id >= 0 && id < graph.num_links()) {
+      mask[static_cast<std::size_t>(id)] = 1;
+    }
+  }
+  return mask;
+}
+
+std::string pair_label(NodeId a, NodeId b) {
+  return std::to_string(a) + " -> " + std::to_string(b);
+}
+
+}  // namespace
+
+std::size_t check_routes(const topology::RoutePlan& plan,
+                         const topology::NetworkGraph& graph,
+                         std::span<const topology::NodePair> pairs,
+                         int bfs_spot_checks, const std::string& source,
+                         lint::LintReport& report) {
+  if (!plan.single_path()) return 0;
+  Emitter em(report, source);
+  std::size_t checks = 0;
+  const std::vector<std::uint8_t> mask_storage = failed_bitmap(plan, graph);
+  const topology::LinkMask mask(mask_storage);
+  int bfs_left = bfs_spot_checks;
+  for (const auto& [a, b] : pairs) {
+    ++checks;
+    const int d = plan.hop_distance(a, b);
+    if (a == b) {
+      if (d != 0) {
+        em.emit("VF005", a,
+                "self pair " + pair_label(a, b) + " reports distance " +
+                    std::to_string(d) + " (expected 0)");
+      }
+      continue;
+    }
+    if (d < 0) {
+      if (!plan.disconnected()) {
+        em.emit("VF005", a,
+                "pair " + pair_label(a, b) +
+                    " is unreachable but the plan reports no disconnection");
+      } else if (bfs_left > 0) {
+        --bfs_left;
+        ++checks;
+        if (graph.bfs_distance(a, b, mask) >= 0) {
+          em.emit("VF006", a,
+                  "plan reports " + pair_label(a, b) +
+                      " unreachable but BFS finds a path under the mask");
+        }
+      }
+      continue;
+    }
+    // Walk the route link by link, tracking the current vertex.
+    int length = 0;
+    NodeId cur = a;
+    bool walk_ok = true;
+    plan.for_each_route_link(a, b, [&](LinkId l) {
+      ++length;
+      if (!walk_ok) return;
+      if (l < 0 || l >= graph.num_links()) {
+        em.emit("VF004", l,
+                "route " + pair_label(a, b) +
+                    " traverses out-of-range link id " + std::to_string(l));
+        walk_ok = false;
+        return;
+      }
+      const auto& link = graph.link(l);
+      if (!link.present) {
+        em.emit("VF004", l,
+                "route " + pair_label(a, b) + " traverses absent link " +
+                    std::to_string(l));
+        walk_ok = false;
+        return;
+      }
+      if (graph.masked(l, mask)) {
+        em.emit("VF004", l,
+                "route " + pair_label(a, b) + " traverses failed link " +
+                    std::to_string(l));
+        walk_ok = false;
+        return;
+      }
+      if (link.u == cur) {
+        cur = link.v;
+      } else if (link.v == cur) {
+        cur = link.u;
+      } else {
+        em.emit("VF004", l,
+                "route " + pair_label(a, b) + ": link " + std::to_string(l) +
+                    " is not incident to the current vertex " +
+                    std::to_string(cur));
+        walk_ok = false;
+      }
+    });
+    if (walk_ok && cur != b) {
+      em.emit("VF004", a,
+              "route " + pair_label(a, b) + " ends at vertex " +
+                  std::to_string(cur) + " instead of " + std::to_string(b));
+      walk_ok = false;
+    }
+    if (walk_ok) {
+      ++checks;
+      if (length != d) {
+        em.emit("VF005", a,
+                "route " + pair_label(a, b) + " has " +
+                    std::to_string(length) +
+                    " links but the distance table says " + std::to_string(d));
+      }
+      if (bfs_left > 0) {
+        --bfs_left;
+        ++checks;
+        const int bfs = graph.bfs_distance(a, b, mask);
+        if (bfs < 0) {
+          em.emit("VF006", a,
+                  "plan routes " + pair_label(a, b) +
+                      " but BFS deems the pair unreachable under the mask");
+        } else if (d < bfs) {
+          // Minimal closed forms may exceed BFS (the dragonfly's
+          // group-local detours are non-shortest by design) but can
+          // never beat it.
+          em.emit("VF006", a,
+                  "plan distance " + std::to_string(d) + " for " +
+                      pair_label(a, b) + " is below the BFS shortest path " +
+                      std::to_string(bfs));
+        }
+      }
+    }
+  }
+  return checks;
+}
+
+std::size_t check_ecmp_pair(const topology::NetworkGraph& graph, NodeId a,
+                            NodeId b, int hop_distance,
+                            std::span<const topology::WeightedLink> links,
+                            topology::LinkMask mask, const std::string& source,
+                            lint::LintReport& report) {
+  Emitter em(report, source);
+  std::size_t checks = 1;
+  if (a == b) {
+    if (hop_distance != 0) {
+      em.emit("VF006", a,
+              "self pair " + pair_label(a, b) + " claims distance " +
+                  std::to_string(hop_distance));
+    }
+    if (!links.empty()) {
+      em.emit("VF007", a,
+              "self pair " + pair_label(a, b) + " carries " +
+                  std::to_string(links.size()) + " link shares");
+    }
+    return checks;
+  }
+  const auto dist_a = graph.bfs_distances(a, mask);
+  const auto dist_b = graph.bfs_distances(b, mask);
+  const int shortest = dist_a[static_cast<std::size_t>(b)];
+  ++checks;
+  if (hop_distance != shortest) {
+    em.emit("VF006", a,
+            "pair " + pair_label(a, b) + " claims distance " +
+                std::to_string(hop_distance) + " but BFS finds " +
+                std::to_string(shortest));
+  }
+  if (shortest < 0) {
+    if (!links.empty()) {
+      em.emit("VF008", a,
+              "unreachable pair " + pair_label(a, b) + " carries link shares");
+    }
+    return checks;
+  }
+
+  constexpr double kShareEps = 1e-9;
+  const double tol = 1e-9 * std::max(1.0, static_cast<double>(shortest));
+  // Net flow (out minus in) per vertex under the DAG orientation.
+  std::vector<double> net(static_cast<std::size_t>(graph.num_vertices()), 0.0);
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(graph.num_links()),
+                                 0);
+  double total_share = 0.0;
+  for (const auto& wl : links) {
+    ++checks;
+    if (wl.link < 0 || wl.link >= graph.num_links()) {
+      em.emit("VF008", wl.link,
+              "pair " + pair_label(a, b) + ": share on out-of-range link id " +
+                  std::to_string(wl.link));
+      continue;
+    }
+    const auto li = static_cast<std::size_t>(wl.link);
+    if (seen[li]) {
+      em.emit("VF007", wl.link,
+              "pair " + pair_label(a, b) + ": link " + std::to_string(wl.link) +
+                  " appears twice in the share set (shares must be summed)");
+    }
+    seen[li] = 1;
+    if (!(wl.share > 0.0) || wl.share > 1.0 + kShareEps) {
+      em.emit("VF007", wl.link,
+              "pair " + pair_label(a, b) + ": share " +
+                  std::to_string(wl.share) + " on link " +
+                  std::to_string(wl.link) + " is outside (0, 1]");
+    }
+    const auto& link = graph.link(wl.link);
+    if (!link.present || graph.masked(wl.link, mask)) {
+      em.emit("VF008", wl.link,
+              "pair " + pair_label(a, b) + ": share on absent or failed link " +
+                  std::to_string(wl.link));
+      continue;
+    }
+    // Orient the edge along increasing distance from the source.
+    int u = link.u;
+    int v = link.v;
+    const auto du = dist_a[static_cast<std::size_t>(u)];
+    const auto dv = dist_a[static_cast<std::size_t>(v)];
+    if (du >= 0 && dv == du + 1) {
+      // forward as stored
+    } else if (dv >= 0 && du == dv + 1) {
+      std::swap(u, v);
+    } else {
+      em.emit("VF008", wl.link,
+              "pair " + pair_label(a, b) + ": link " + std::to_string(wl.link) +
+                  " is not a forward edge of the shortest-path DAG");
+      continue;
+    }
+    ++checks;
+    if (dist_a[static_cast<std::size_t>(u)] + 1 +
+            dist_b[static_cast<std::size_t>(v)] !=
+        shortest) {
+      em.emit("VF008", wl.link,
+              "pair " + pair_label(a, b) + ": link " + std::to_string(wl.link) +
+                  " lies on no shortest path");
+      continue;
+    }
+    net[static_cast<std::size_t>(u)] += wl.share;
+    net[static_cast<std::size_t>(v)] -= wl.share;
+    total_share += wl.share;
+  }
+
+  ++checks;
+  if (std::abs(net[static_cast<std::size_t>(a)] - 1.0) > tol) {
+    em.emit("VF008", a,
+            "pair " + pair_label(a, b) + ": net flow out of the source is " +
+                std::to_string(net[static_cast<std::size_t>(a)]) +
+                " (expected 1)");
+  }
+  ++checks;
+  if (std::abs(net[static_cast<std::size_t>(b)] + 1.0) > tol) {
+    em.emit("VF008", b,
+            "pair " + pair_label(a, b) +
+                ": net flow into the destination is " +
+                std::to_string(-net[static_cast<std::size_t>(b)]) +
+                " (expected 1)");
+  }
+  ++checks;  // one logical check over all intermediates
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    if (v == a || v == b) continue;
+    if (std::abs(net[static_cast<std::size_t>(v)]) > tol) {
+      em.emit("VF008", v,
+              "pair " + pair_label(a, b) +
+                  ": flow not conserved at intermediate vertex " +
+                  std::to_string(v) + " (net " +
+                  std::to_string(net[static_cast<std::size_t>(v)]) + ")");
+    }
+  }
+  ++checks;
+  if (std::abs(total_share - static_cast<double>(shortest)) > tol) {
+    em.emit("VF007", a,
+            "pair " + pair_label(a, b) + ": shares sum to " +
+                std::to_string(total_share) + " but the hop distance is " +
+                std::to_string(shortest));
+  }
+  return checks;
+}
+
+std::size_t check_ecmp_flow(const topology::RoutePlan& plan,
+                            const topology::NetworkGraph& graph,
+                            std::span<const topology::NodePair> pairs,
+                            const std::string& source,
+                            lint::LintReport& report) {
+  if (plan.single_path()) return 0;
+  std::size_t checks = 0;
+  const std::vector<std::uint8_t> mask_storage = failed_bitmap(plan, graph);
+  const topology::LinkMask mask(mask_storage);
+  std::vector<topology::WeightedLink> links;
+  for (const auto& [a, b] : pairs) {
+    links.clear();
+    plan.for_each_weighted_link(a, b, [&links](LinkId l, double share) {
+      links.push_back({l, share});
+    });
+    checks += check_ecmp_pair(graph, a, b, plan.hop_distance(a, b), links,
+                              mask, source, report);
+  }
+  return checks;
+}
+
+std::size_t check_fault_accounting(const topology::RoutePlan& plan,
+                                   const topology::NetworkGraph& graph,
+                                   int claimed_usable_links,
+                                   std::span<const topology::NodePair> pairs,
+                                   const std::string& source,
+                                   lint::LintReport& report) {
+  Emitter em(report, source);
+  std::size_t checks = 0;
+  const std::vector<std::uint8_t> mask_storage = failed_bitmap(plan, graph);
+  const topology::LinkMask mask(mask_storage);
+
+  // Eq. 5 denominator input: only failed links that physically exist
+  // shrink the usable count (absent ids carry no traffic anyway).
+  int present_failed = 0;
+  for (const LinkId id : plan.spec().failed_links) {
+    if (id >= 0 && id < graph.num_links() && graph.link_present(id)) {
+      ++present_failed;
+    }
+  }
+  ++checks;
+  const int expected_usable = graph.num_links() - present_failed;
+  if (claimed_usable_links != expected_usable) {
+    em.emit("VF009", -1,
+            "usable_links() reports " + std::to_string(claimed_usable_links) +
+                " but " + std::to_string(graph.num_links()) + " link ids - " +
+                std::to_string(present_failed) + " present failed links = " +
+                std::to_string(expected_usable));
+  }
+  ++checks;
+  const bool connected = graph.endpoints_connected(mask);
+  if (plan.disconnected() == connected) {
+    em.emit("VF009", -1,
+            std::string("plan.disconnected() is ") +
+                (plan.disconnected() ? "true" : "false") +
+                " but endpoint BFS under the mask says the set is " +
+                (connected ? "connected" : "disconnected"));
+  }
+  for (const auto& [a, b] : pairs) {
+    ++checks;
+    if (a == b) continue;
+    const bool plan_unreachable = plan.hop_distance(a, b) < 0;
+    const bool bfs_unreachable = graph.bfs_distance(a, b, mask) < 0;
+    if (plan_unreachable != bfs_unreachable) {
+      em.emit("VF010", a,
+              "pair " + pair_label(a, b) + ": plan says " +
+                  (plan_unreachable ? "unreachable" : "routable") +
+                  " but masked BFS says " +
+                  (bfs_unreachable ? "unreachable" : "routable"));
+    }
+  }
+  return checks;
+}
+
+}  // namespace netloc::verify

@@ -1,0 +1,234 @@
+// Cache blob audit (VF012/VF013), task-graph structure (VF014/VF015)
+// and traffic-matrix invariants (VF016).
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netloc/common/units.hpp"
+#include "netloc/engine/result_cache.hpp"
+#include "netloc/engine/task_graph.hpp"
+#include "netloc/verify/checks.hpp"
+#include "netloc/workloads/catalog.hpp"
+
+#include "internal.hpp"
+
+namespace netloc::verify {
+
+namespace {
+
+/// Parse a 16-lowercase-hex-digit blob stem into its key hash.
+bool parse_blob_stem(const std::string& stem, std::uint64_t& hash) {
+  if (stem.size() != 16) return false;
+  hash = 0;
+  for (const char c : stem) {
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    hash = (hash << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t check_cache_dir(const std::string& dir,
+                            const analysis::RunOptions& options,
+                            const std::string& source,
+                            lint::LintReport& report) {
+  namespace fs = std::filesystem;
+  Emitter em(report, source);
+  std::size_t checks = 1;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    em.emit("VF013", -1, "cache directory '" + dir + "' does not exist");
+    return checks;
+  }
+
+  // The key space the current catalog spans under these options: any
+  // blob outside it is an orphan (stale seed/routing/catalog).
+  std::map<std::string, std::string> expected;  // file name -> label
+  for (const auto& entry : workloads::catalog()) {
+    const auto key = engine::result_cache_key(entry, options);
+    expected.emplace(key.file_name(), key.label);
+  }
+
+  std::vector<fs::path> blobs;
+  for (const auto& de : fs::directory_iterator(dir, ec)) {
+    if (de.path().extension() == ".nlrc") blobs.push_back(de.path());
+  }
+  std::sort(blobs.begin(), blobs.end());
+
+  for (const auto& path : blobs) {
+    ++checks;
+    const std::string name = path.filename().string();
+    std::uint64_t hash = 0;
+    if (!parse_blob_stem(path.stem().string(), hash)) {
+      em.emit("VF012", -1,
+              name + ": blob name is not 16 lowercase hex digits",
+              "delete the file; the cache never writes such names");
+      continue;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      em.emit("VF012", -1, name + ": blob is unreadable");
+      continue;
+    }
+    try {
+      const analysis::ExperimentRow row = engine::read_row_blob(in, hash);
+      if (const auto it = expected.find(name); it != expected.end()) {
+        // In-catalog blob: the embedded entry must re-key to the file
+        // name it sits under, or a stale row is masquerading as fresh.
+        ++checks;
+        const auto rekey = engine::result_cache_key(row.entry, options);
+        if (rekey.hash != hash) {
+          em.emit("VF012", -1,
+                  name + " (" + it->second +
+                      "): embedded entry re-keys to a different hash — "
+                      "stale row under a current key");
+        }
+      } else {
+        em.emit("VF013", -1,
+                name + " (" + row.entry.label() +
+                    "): key not in the current catalog/options key space",
+                "stale blob; safe to delete or leave for LRU trimming");
+      }
+    } catch (const engine::CacheFormatError& e) {
+      em.emit("VF012", -1, name + ": " + e.what(),
+              "the engine treats this as a miss and overwrites it");
+    }
+  }
+  return checks;
+}
+
+std::size_t check_task_graph(const engine::TaskGraph& graph,
+                             const std::string& source,
+                             lint::LintReport& report) {
+  Emitter em(report, source);
+  std::size_t checks = 0;
+  const std::size_t n = graph.size();
+
+  // Kahn scheduling dry-run: every job must become ready.
+  std::vector<int> remaining(n, 0);
+  std::vector<engine::JobId> ready;
+  for (engine::JobId id = 0; id < n; ++id) {
+    remaining[id] = graph.dependency_count(id);
+    if (remaining[id] == 0) ready.push_back(id);
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const engine::JobId id = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (const engine::JobId dep : graph.dependents(id)) {
+      if (--remaining[dep] == 0) ready.push_back(dep);
+    }
+  }
+  ++checks;
+  if (processed != n) {
+    for (engine::JobId id = 0; id < n; ++id) {
+      if (remaining[id] > 0) {
+        em.emit("VF014", static_cast<long>(id),
+                "dependency cycle: job '" + graph.label(id) + "' (phase " +
+                    graph.phase(id) + ") can never become ready (" +
+                    std::to_string(n - processed) + " jobs stuck)");
+        break;
+      }
+    }
+  }
+
+  // Orphans: a job with no edges in a multi-job graph usually means a
+  // forgotten add_edge, not a deliberate singleton.
+  for (engine::JobId id = 0; id < n; ++id) {
+    ++checks;
+    if (n > 1 && graph.dependency_count(id) == 0 &&
+        graph.dependents(id).empty()) {
+      em.emit("VF015", static_cast<long>(id),
+              "job '" + graph.label(id) + "' (phase " + graph.phase(id) +
+                  ") has no dependencies and no dependents");
+    }
+  }
+  return checks;
+}
+
+std::size_t check_traffic_matrix(const metrics::TrafficMatrix& matrix,
+                                 const std::string& source,
+                                 lint::LintReport& report) {
+  Emitter em(report, source);
+  std::size_t checks = 1;
+  const int n = matrix.num_ranks();
+  if (n < 1 || n > metrics::TrafficMatrix::kMaxRanks) {
+    em.emit("VF016", -1,
+            "rank count " + std::to_string(n) + " outside [1, " +
+                std::to_string(metrics::TrafficMatrix::kMaxRanks) + "]");
+  }
+  Bytes sum_bytes = 0;
+  Count sum_packets = 0;
+  std::size_t cells = 0;
+  Rank prev_src = -1;
+  Rank prev_dst = -1;
+  matrix.for_each_nonzero([&](Rank s, Rank d, const metrics::TrafficCell& cell) {
+    ++cells;
+    if (s < 0 || s >= n || d < 0 || d >= n) {
+      em.emit("VF016", s,
+              "cell (" + std::to_string(s) + ", " + std::to_string(d) +
+                  ") outside the rank range [0, " + std::to_string(n) + ")");
+    }
+    if (s < prev_src || (s == prev_src && d <= prev_dst)) {
+      em.emit("VF016", s,
+              "iteration order not strictly ascending at cell (" +
+                  std::to_string(s) + ", " + std::to_string(d) + ")");
+    }
+    prev_src = s;
+    prev_dst = d;
+    if (cell.packets == 0) {
+      em.emit("VF016", s,
+              "cell (" + std::to_string(s) + ", " + std::to_string(d) +
+                  ") stores " + std::to_string(cell.bytes) +
+                  " bytes with zero packets (every message costs >= 1)");
+    } else if (packets_for(cell.bytes) > cell.packets) {
+      // Eq. 3 per message: ceil(bytes / 4 KiB), floored at one packet.
+      // Summed over any message set, ceil(total / 4 KiB) is a lower
+      // bound on the packet total.
+      em.emit("VF016", s,
+              "cell (" + std::to_string(s) + ", " + std::to_string(d) +
+                  "): " + std::to_string(cell.bytes) + " bytes cannot fit in " +
+                  std::to_string(cell.packets) + " packets of " +
+                  std::to_string(kPacketPayload) + " bytes (Eq. 3)");
+    }
+    sum_bytes += cell.bytes;
+    sum_packets += cell.packets;
+  });
+  checks += cells;
+  ++checks;
+  if (cells != matrix.nonzero_pairs()) {
+    em.emit("VF016", -1,
+            "nonzero_pairs() reports " +
+                std::to_string(matrix.nonzero_pairs()) + " but iteration "
+                "visited " +
+                std::to_string(cells) + " cells");
+  }
+  ++checks;
+  if (sum_bytes != matrix.total_bytes()) {
+    em.emit("VF016", -1,
+            "total_bytes() " + std::to_string(matrix.total_bytes()) +
+                " != cell sum " + std::to_string(sum_bytes));
+  }
+  ++checks;
+  if (sum_packets != matrix.total_packets()) {
+    em.emit("VF016", -1,
+            "total_packets() " + std::to_string(matrix.total_packets()) +
+                " != cell sum " + std::to_string(sum_packets));
+  }
+  return checks;
+}
+
+}  // namespace netloc::verify

@@ -1,0 +1,53 @@
+// Shared plumbing for the verify check implementations.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "netloc/lint/diagnostic.hpp"
+#include "netloc/lint/registry.hpp"
+
+namespace netloc::verify {
+
+/// Caps identical-rule emission per check call: a corrupt artifact can
+/// violate one invariant at thousands of sites, and the first few say
+/// everything. The counter is per Emitter (i.e. per check invocation).
+class Emitter {
+ public:
+  static constexpr int kMaxPerRule = 16;
+
+  Emitter(lint::LintReport& report, std::string source)
+      : report_(report), source_(std::move(source)) {}
+
+  /// Emit rule `id` at `index` unless its cap is exhausted.
+  void emit(const char* id, long index, std::string message,
+            std::string fixit = {}) {
+    int* count = nullptr;
+    for (auto& [rule, n] : counts_) {
+      if (rule == id) count = &n;
+    }
+    if (count == nullptr) {
+      counts_.emplace_back(id, 0);
+      count = &counts_.back().second;
+    }
+    if (++*count > kMaxPerRule) return;
+    report_.add(lint::RuleRegistry::instance().make(
+        id, {source_, -1, index}, std::move(message), std::move(fixit)));
+  }
+
+ private:
+  lint::LintReport& report_;
+  std::string source_;
+  std::vector<std::pair<std::string, int>> counts_;
+};
+
+/// 1e-9 relative tolerance for recomputed doubles (integers compare
+/// exactly; both sides run the same FP operations in the same order,
+/// so the slack only covers harmless reassociation).
+[[nodiscard]] inline bool nearly_equal(double a, double b) {
+  const double scale = std::max({1.0, a < 0 ? -a : a, b < 0 ? -b : b});
+  const double diff = a - b;
+  return (diff < 0 ? -diff : diff) <= 1e-9 * scale;
+}
+
+}  // namespace netloc::verify

@@ -1,0 +1,322 @@
+// The built-in verify passes, the pass manager and the report writers.
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <string>
+
+#include "netloc/common/error.hpp"
+#include "netloc/engine/task_graph.hpp"
+#include "netloc/lint/report.hpp"
+#include "netloc/verify/checks.hpp"
+#include "netloc/verify/pass.hpp"
+
+namespace netloc::verify {
+
+namespace {
+
+/// Pair sample for the route-level passes: the distance-table window
+/// when one exists (that is where table/route skew can hide), else the
+/// node space capped so tableless plans stay cheap.
+std::vector<topology::NodePair> route_sample(const VerifyContext& ctx) {
+  const auto& plan = *ctx.plan;
+  const int universe =
+      plan.window() > 1 ? plan.window() : std::min(plan.num_nodes(), 1024);
+  return sample_pairs(universe, ctx.max_pairs);
+}
+
+class GraphPass final : public VerifyPass {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "graph"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "network-graph structural audit against its topology";
+  }
+  [[nodiscard]] CostTier cost() const override { return CostTier::Cheap; }
+  [[nodiscard]] std::string applicable(const VerifyContext& ctx) const override {
+    if (ctx.topology == nullptr) return "no topology";
+    if (ctx.effective_graph() == nullptr) return "no network graph";
+    return {};
+  }
+  std::size_t run(const VerifyContext& ctx,
+                  lint::LintReport& report) const override {
+    return check_graph_structure(*ctx.topology, *ctx.effective_graph(),
+                                 ctx.source, report);
+  }
+};
+
+class RoutesPass final : public VerifyPass {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "routes"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "single-path route validity vs graph and distance table";
+  }
+  [[nodiscard]] std::string applicable(const VerifyContext& ctx) const override {
+    if (!ctx.plan) return "no route plan";
+    if (ctx.effective_graph() == nullptr) return "no network graph";
+    if (!ctx.plan->single_path()) return "multipath plan (ecmp pass covers it)";
+    return {};
+  }
+  std::size_t run(const VerifyContext& ctx,
+                  lint::LintReport& report) const override {
+    const auto pairs = route_sample(ctx);
+    const int bfs_spot_checks =
+        static_cast<int>(std::min<std::size_t>(64, pairs.size()));
+    return check_routes(*ctx.plan, *ctx.effective_graph(), pairs,
+                        bfs_spot_checks, ctx.source, report);
+  }
+};
+
+class EcmpPass final : public VerifyPass {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "ecmp"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "ECMP share validity and per-vertex flow conservation";
+  }
+  [[nodiscard]] CostTier cost() const override { return CostTier::Expensive; }
+  [[nodiscard]] std::string applicable(const VerifyContext& ctx) const override {
+    if (!ctx.plan) return "no route plan";
+    if (ctx.plan->single_path()) {
+      return "single-path plan (routes pass covers it)";
+    }
+    if (ctx.effective_graph() == nullptr) return "no network graph";
+    return {};
+  }
+  std::size_t run(const VerifyContext& ctx,
+                  lint::LintReport& report) const override {
+    return check_ecmp_flow(*ctx.plan, *ctx.effective_graph(),
+                           route_sample(ctx), ctx.source, report);
+  }
+};
+
+class FaultsPass final : public VerifyPass {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "faults"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "fault-mask soundness: usable links, disconnection, reachability";
+  }
+  [[nodiscard]] std::string applicable(const VerifyContext& ctx) const override {
+    if (!ctx.plan) return "no route plan";
+    if (ctx.effective_graph() == nullptr) return "no network graph";
+    return {};
+  }
+  std::size_t run(const VerifyContext& ctx,
+                  lint::LintReport& report) const override {
+    return check_fault_accounting(*ctx.plan, *ctx.effective_graph(),
+                                  ctx.plan->usable_links(), route_sample(ctx),
+                                  ctx.source, report);
+  }
+};
+
+class MetricsPass final : public VerifyPass {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "metrics"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "hop/utilization/link-share recomputation vs stored results";
+  }
+  [[nodiscard]] CostTier cost() const override { return CostTier::Expensive; }
+  [[nodiscard]] std::string applicable(const VerifyContext& ctx) const override {
+    if (ctx.traffic == nullptr) return "no traffic matrix";
+    if (ctx.topology == nullptr) return "no topology";
+    if (!ctx.plan) return "no route plan";
+    if (ctx.duration <= 0.0) return "no execution time";
+    if (ctx.mapping == nullptr &&
+        ctx.traffic->num_ranks() > ctx.topology->num_nodes()) {
+      return "more ranks than nodes under the default linear mapping";
+    }
+    return {};
+  }
+  std::size_t run(const VerifyContext& ctx,
+                  lint::LintReport& report) const override {
+    const mapping::Mapping mapping =
+        ctx.mapping != nullptr
+            ? *ctx.mapping
+            : mapping::Mapping::linear(ctx.traffic->num_ranks(),
+                                       ctx.topology->num_nodes());
+    analysis::TopologyResult computed;
+    const analysis::TopologyResult* expected = ctx.expected;
+    if (expected == nullptr) {
+      // No stored cell supplied: produce the reference through the
+      // metrics:: stack, then check the independent recomputation
+      // against it.
+      computed = analysis::analyze_topology(*ctx.traffic, *ctx.topology,
+                                            ctx.traffic->num_ranks(),
+                                            ctx.duration, ctx.run,
+                                            ctx.plan.get());
+      expected = &computed;
+    }
+    return check_metrics(*ctx.traffic, *ctx.topology, *ctx.plan, mapping,
+                         ctx.duration, ctx.run, *expected, ctx.source, report);
+  }
+};
+
+class CachePass final : public VerifyPass {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "cache"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "NLRC blob audit: decode, re-key, orphan detection";
+  }
+  [[nodiscard]] CostTier cost() const override { return CostTier::Expensive; }
+  [[nodiscard]] std::string applicable(const VerifyContext& ctx) const override {
+    if (ctx.cache_dir.empty()) return "no cache directory";
+    return {};
+  }
+  std::size_t run(const VerifyContext& ctx,
+                  lint::LintReport& report) const override {
+    return check_cache_dir(ctx.cache_dir, ctx.run, ctx.source, report);
+  }
+};
+
+class TaskGraphPass final : public VerifyPass {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "taskgraph"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "task-graph cycle and orphan detection";
+  }
+  [[nodiscard]] CostTier cost() const override { return CostTier::Cheap; }
+  [[nodiscard]] std::string applicable(const VerifyContext& ctx) const override {
+    if (ctx.task_graph == nullptr) return "no task graph";
+    return {};
+  }
+  std::size_t run(const VerifyContext& ctx,
+                  lint::LintReport& report) const override {
+    return check_task_graph(*ctx.task_graph, ctx.source, report);
+  }
+};
+
+class TrafficPass final : public VerifyPass {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "traffic"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "traffic-matrix invariants: packetization, order, totals";
+  }
+  [[nodiscard]] CostTier cost() const override { return CostTier::Cheap; }
+  [[nodiscard]] std::string applicable(const VerifyContext& ctx) const override {
+    if (ctx.traffic == nullptr) return "no traffic matrix";
+    return {};
+  }
+  std::size_t run(const VerifyContext& ctx,
+                  lint::LintReport& report) const override {
+    return check_traffic_matrix(*ctx.traffic, ctx.source, report);
+  }
+};
+
+}  // namespace
+
+const char* to_string(CostTier tier) {
+  switch (tier) {
+    case CostTier::Cheap:
+      return "cheap";
+    case CostTier::Standard:
+      return "standard";
+    case CostTier::Expensive:
+      return "expensive";
+  }
+  return "?";
+}
+
+lint::LintReport VerifyReport::merged() const {
+  lint::LintReport out;
+  for (const auto& pass : passes) out.merge(pass.report);
+  return out;
+}
+
+std::size_t VerifyReport::total_checks() const {
+  std::size_t total = 0;
+  for (const auto& pass : passes) total += pass.checks;
+  return total;
+}
+
+VerifyRunner::VerifyRunner() {
+  add(std::make_unique<GraphPass>());
+  add(std::make_unique<RoutesPass>());
+  add(std::make_unique<EcmpPass>());
+  add(std::make_unique<FaultsPass>());
+  add(std::make_unique<MetricsPass>());
+  add(std::make_unique<CachePass>());
+  add(std::make_unique<TaskGraphPass>());
+  add(std::make_unique<TrafficPass>());
+}
+
+void VerifyRunner::add(std::unique_ptr<VerifyPass> pass) {
+  if (find(pass->id()) != nullptr) {
+    throw ConfigError("verify: duplicate pass id '" +
+                      std::string(pass->id()) + "'");
+  }
+  passes_.push_back(std::move(pass));
+}
+
+const VerifyPass* VerifyRunner::find(std::string_view id) const {
+  for (const auto& pass : passes_) {
+    if (pass->id() == id) return pass.get();
+  }
+  return nullptr;
+}
+
+VerifyReport VerifyRunner::run(const VerifyContext& ctx,
+                               const PassFilter& filter) const {
+  for (const auto& id : filter.ids) {
+    if (find(id) == nullptr) {
+      throw ConfigError("verify: unknown pass id '" + id +
+                        "' (see netloc_cli verify --help for the list)");
+    }
+  }
+  VerifyReport out;
+  for (const auto& pass : passes_) {
+    if (!filter.ids.empty() &&
+        std::find(filter.ids.begin(), filter.ids.end(),
+                  std::string(pass->id())) == filter.ids.end()) {
+      continue;
+    }
+    PassOutcome outcome;
+    outcome.id = std::string(pass->id());
+    if (pass->cost() > filter.max_cost) {
+      outcome.skipped = true;
+      outcome.skip_reason = std::string("cost tier ") +
+                            to_string(pass->cost()) + " above the filter's " +
+                            to_string(filter.max_cost);
+    } else if (std::string reason = pass->applicable(ctx); !reason.empty()) {
+      outcome.skipped = true;
+      outcome.skip_reason = std::move(reason);
+    } else {
+      const auto begin = std::chrono::steady_clock::now();
+      outcome.checks = pass->run(ctx, outcome.report);
+      outcome.elapsed = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - begin)
+                            .count();
+    }
+    out.passes.push_back(std::move(outcome));
+  }
+  return out;
+}
+
+void write_text(const VerifyReport& report, std::ostream& out) {
+  std::size_t ran = 0;
+  for (const auto& pass : report.passes) {
+    if (pass.skipped) {
+      out << "pass " << pass.id << ": skipped (" << pass.skip_reason << ")\n";
+      continue;
+    }
+    ++ran;
+    const std::size_t findings = pass.report.diagnostics().size();
+    out << "pass " << pass.id << ": ";
+    if (findings == 0) {
+      out << "ok";
+    } else {
+      out << findings << " finding" << (findings == 1 ? "" : "s");
+    }
+    out << " (" << pass.checks << " checks, "
+        << static_cast<long>(pass.elapsed * 1e3 + 0.5) << " ms)\n";
+  }
+  const lint::LintReport merged = report.merged();
+  if (!merged.empty()) {
+    lint::write_text(merged, out);
+  } else {
+    out << "verify: clean — " << report.total_checks() << " checks across "
+        << ran << " pass" << (ran == 1 ? "" : "es") << "\n";
+  }
+}
+
+void write_csv(const VerifyReport& report, std::ostream& out) {
+  lint::write_csv(report.merged(), out);
+}
+
+}  // namespace netloc::verify

@@ -1,0 +1,41 @@
+#include "netloc/verify/sweep_hook.hpp"
+
+#include <string>
+
+#include "netloc/verify/context.hpp"
+
+namespace netloc::verify {
+
+engine::CellVerifier make_cell_verifier(CellVerifyOptions options) {
+  return [options](const engine::CellArtifacts& cell) -> lint::LintReport {
+    VerifyContext ctx;
+    ctx.topology = cell.topology;
+    ctx.plan = cell.plan;
+    ctx.traffic = cell.full_matrix;
+    ctx.duration = cell.duration;
+    ctx.expected = cell.result;
+    ctx.run = cell.run;
+    ctx.max_pairs = options.max_pairs;
+    ctx.source =
+        (cell.entry != nullptr ? cell.entry->label() + " " : std::string()) +
+        (cell.topology != nullptr ? cell.topology->name()
+                                  : std::string("cell"));
+    const VerifyRunner runner;
+    PassFilter filter;
+    filter.ids = {"graph", "routes", "ecmp", "faults", "metrics", "traffic"};
+    const VerifyReport result = runner.run(ctx, filter);
+    lint::LintReport filtered;
+    // Bind merged() before iterating: the range-for would otherwise
+    // walk a vector inside a destroyed temporary (C++20 does not
+    // lifetime-extend through the .diagnostics() member call).
+    const lint::LintReport merged = result.merged();
+    for (const auto& diagnostic : merged.diagnostics()) {
+      if (diagnostic.severity >= options.min_severity) {
+        filtered.add(diagnostic);
+      }
+    }
+    return filtered;
+  };
+}
+
+}  // namespace netloc::verify

@@ -66,11 +66,13 @@ TEST(Registry, KnowsEveryPack) {
   EXPECT_FALSE(registry.pack("config").empty());
   EXPECT_FALSE(registry.pack("metric").empty());
   EXPECT_FALSE(registry.pack("engine").empty());
-  // Every rule belongs to exactly one of the four packs.
+  EXPECT_FALSE(registry.pack("verify").empty());
+  // Every rule belongs to exactly one of the five packs.
   EXPECT_EQ(registry.rules().size(), registry.pack("trace").size() +
                                          registry.pack("config").size() +
                                          registry.pack("metric").size() +
-                                         registry.pack("engine").size());
+                                         registry.pack("engine").size() +
+                                         registry.pack("verify").size());
 }
 
 TEST(Registry, FindAndDefaultSeverity) {

@@ -1,0 +1,823 @@
+// Tests for netloc::verify: every pass runs twice — once over clean
+// artifacts (zero findings) and once over a seeded defect that must
+// produce the pass's rule. "No pass that can't fail": a verifier whose
+// failure mode is untested is indistinguishable from one that checks
+// nothing. The integration tests then sweep the whole catalog under
+// minimal, ECMP and a fault mask and require a clean report everywhere.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/common/error.hpp"
+#include "netloc/engine/result_cache.hpp"
+#include "netloc/engine/sweep.hpp"
+#include "netloc/engine/task_graph.hpp"
+#include "netloc/lint/diagnostic.hpp"
+#include "netloc/lint/registry.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/topology/graph.hpp"
+#include "netloc/topology/route_plan.hpp"
+#include "netloc/topology/routing.hpp"
+#include "netloc/verify/verify.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace netloc::verify {
+namespace {
+
+namespace fs = std::filesystem;
+
+using topology::NodePair;
+using topology::RoutePlan;
+using topology::RoutingKind;
+using topology::RoutingSpec;
+
+std::size_t count_rule(const lint::LintReport& report,
+                       const std::string& rule) {
+  return report.by_rule(rule).size();
+}
+
+/// Fresh scratch directory under the test temp dir, removed on exit.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_(fs::path(::testing::TempDir()) /
+              (name + "." + std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+/// Minimal Topology stand-in whose declared counts the tests control —
+/// the "lying context" the graph audit must catch out.
+class FakeTopology final : public topology::Topology {
+ public:
+  FakeTopology(std::string name, int nodes, int links)
+      : name_(std::move(name)), nodes_(nodes), links_(links) {}
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::string config_string() const override { return "(fake)"; }
+  [[nodiscard]] int num_nodes() const override { return nodes_; }
+  [[nodiscard]] int num_links() const override { return links_; }
+  [[nodiscard]] int hop_distance(NodeId a, NodeId b) const override {
+    return a == b ? 0 : 1;
+  }
+  void route(NodeId, NodeId, const topology::LinkVisitor&) const override {}
+  [[nodiscard]] int diameter() const override { return 1; }
+
+ private:
+  std::string name_;
+  int nodes_;
+  int links_;
+};
+
+// ---------------------------------------------------------------------------
+// sample_pairs
+// ---------------------------------------------------------------------------
+
+TEST(SamplePairs, ExhaustiveBelowBudget) {
+  const auto pairs = sample_pairs(4, 100);
+  EXPECT_EQ(pairs.size(), 12U);  // 4 * 3 ordered pairs
+  for (const auto& p : pairs) {
+    EXPECT_NE(p.a, p.b);
+    EXPECT_GE(p.a, 0);
+    EXPECT_LT(p.a, 4);
+    EXPECT_LT(p.b, 4);
+  }
+}
+
+TEST(SamplePairs, DeterministicDraw) {
+  const auto first = sample_pairs(1000, 64);
+  const auto second = sample_pairs(1000, 64);
+  ASSERT_EQ(first.size(), 64U);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].a, second[i].a);
+    EXPECT_EQ(first[i].b, second[i].b);
+    EXPECT_NE(first[i].a, first[i].b);
+    EXPECT_LT(first[i].b, 1000);
+  }
+}
+
+TEST(SamplePairs, DegenerateWindows) {
+  EXPECT_TRUE(sample_pairs(1, 100).empty());
+  EXPECT_TRUE(sample_pairs(0, 100).empty());
+  EXPECT_TRUE(sample_pairs(10, 0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// graph pass (VF001-VF003)
+// ---------------------------------------------------------------------------
+
+TEST(VerifyGraph, CleanOnAllPaperFamilies) {
+  const auto sets = topology::topologies_for(64);
+  for (const auto* topo : sets.all()) {
+    const auto graph = topo->build_graph();
+    ASSERT_TRUE(graph.has_value()) << topo->name();
+    lint::LintReport report;
+    const std::size_t checks =
+        check_graph_structure(*topo, *graph, topo->name(), report);
+    EXPECT_GT(checks, 0U);
+    EXPECT_TRUE(report.empty()) << topo->name();
+  }
+}
+
+TEST(VerifyGraph, FlagsLyingLinkCount) {
+  topology::GraphBuilder builder(2, 0, 1);
+  builder.add_link(0, 0, 1, topology::LinkType::kDirect);
+  const auto graph = builder.finish();
+  const FakeTopology topo("custom", 2, /*links=*/3);  // graph has 1
+  lint::LintReport report;
+  check_graph_structure(topo, graph, "seeded", report);
+  EXPECT_GE(count_rule(report, "VF001"), 1U);
+}
+
+TEST(VerifyGraph, FlagsIrregularEndpointDegree) {
+  // A "fattree" whose endpoint 1 has two injection links: the family
+  // regularity check must flag the non-uniform (and non-1) degree.
+  topology::GraphBuilder builder(2, 1, 3);
+  builder.add_link(0, 0, 2, topology::LinkType::kDirect);
+  builder.add_link(1, 1, 2, topology::LinkType::kDirect);
+  builder.add_link(2, 1, 2, topology::LinkType::kDirect);
+  const auto graph = builder.finish();
+  const FakeTopology topo("fattree", 2, 3);
+  lint::LintReport report;
+  check_graph_structure(topo, graph, "seeded", report);
+  EXPECT_EQ(count_rule(report, "VF001"), 0U);
+  EXPECT_GE(count_rule(report, "VF002"), 1U);
+}
+
+TEST(VerifyGraph, FlagsDisconnectedEndpoints) {
+  // Two components with no mask applied: VF003, and nothing else.
+  topology::GraphBuilder builder(4, 0, 2);
+  builder.add_link(0, 0, 1, topology::LinkType::kDirect);
+  builder.add_link(1, 2, 3, topology::LinkType::kDirect);
+  const auto graph = builder.finish();
+  const FakeTopology topo("custom", 4, 2);
+  lint::LintReport report;
+  check_graph_structure(topo, graph, "seeded", report);
+  EXPECT_EQ(count_rule(report, "VF001"), 0U);
+  EXPECT_EQ(count_rule(report, "VF003"), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// routes pass (VF004-VF006)
+// ---------------------------------------------------------------------------
+
+TEST(VerifyRoutes, CleanMinimalAllFamilies) {
+  const auto sets = topology::topologies_for(64);
+  const auto pairs = sample_pairs(64, 512);
+  for (const auto* topo : sets.all()) {
+    const auto plan = RoutePlan::build(*topo, 64);
+    ASSERT_NE(plan->graph(), nullptr) << topo->name();
+    lint::LintReport report;
+    const std::size_t checks = check_routes(*plan, *plan->graph(), pairs, 64,
+                                            topo->name(), report);
+    EXPECT_GT(checks, 0U);
+    EXPECT_TRUE(report.empty()) << topo->name();
+  }
+}
+
+TEST(VerifyRoutes, CleanUnderFaultMask) {
+  const auto sets = topology::topologies_for(64);
+  RoutingSpec spec;
+  spec.failed_links = {0, 1};
+  const auto pairs = sample_pairs(64, 256);
+  for (const auto* topo : sets.all()) {
+    const auto plan = RoutePlan::build(*topo, spec, 64);
+    lint::LintReport report;
+    check_routes(*plan, *plan->graph(), pairs, 32, topo->name(), report);
+    EXPECT_TRUE(report.empty()) << topo->name();
+  }
+}
+
+TEST(VerifyRoutes, FlagsForeignGraph) {
+  // A torus plan audited against the dragonfly's graph: the routes
+  // traverse links that do not exist there, so the walk must fail.
+  const auto sets = topology::topologies_for(64);
+  const auto plan = RoutePlan::build(*sets.torus, 64);
+  const auto foreign = sets.dragonfly->build_graph();
+  ASSERT_TRUE(foreign.has_value());
+  const auto pairs = sample_pairs(64, 128);
+  lint::LintReport report;
+  check_routes(*plan, *foreign, pairs, 16, "seeded", report);
+  const std::size_t route_findings = count_rule(report, "VF004") +
+                                     count_rule(report, "VF005") +
+                                     count_rule(report, "VF006");
+  EXPECT_GE(route_findings, 1U);
+}
+
+// ---------------------------------------------------------------------------
+// ecmp pass (VF006-VF008)
+// ---------------------------------------------------------------------------
+
+TEST(VerifyEcmp, CleanEcmpAllFamilies) {
+  const auto sets = topology::topologies_for(64);
+  RoutingSpec spec;
+  spec.kind = RoutingKind::kEcmp;
+  const auto pairs = sample_pairs(64, 128);
+  for (const auto* topo : sets.all()) {
+    const auto plan = RoutePlan::build(*topo, spec, 64);
+    lint::LintReport report;
+    const std::size_t checks =
+        check_ecmp_flow(*plan, *plan->graph(), pairs, topo->name(), report);
+    EXPECT_GT(checks, 0U);
+    EXPECT_TRUE(report.empty()) << topo->name();
+  }
+}
+
+/// Harvest a genuine multi-path ECMP route on the 4x4x4 torus to
+/// corrupt: a pair two hops apart has at least two equal-cost paths.
+struct EcmpFixture {
+  topology::NetworkGraph graph;
+  NodeId a = 0;
+  NodeId b = -1;
+  int distance = 0;
+  std::vector<topology::WeightedLink> links;
+
+  EcmpFixture() {
+    const auto sets = topology::topologies_for(64);
+    graph = *sets.torus->build_graph();
+    for (NodeId cand = 1; cand < 64; ++cand) {
+      if (graph.bfs_distance(0, cand) == 2) {
+        b = cand;
+        break;
+      }
+    }
+    distance = topology::ecmp_route(graph, a, b, links);
+  }
+};
+
+TEST(VerifyEcmp, CleanHarvestedPair) {
+  const EcmpFixture fx;
+  ASSERT_EQ(fx.distance, 2);
+  ASSERT_GE(fx.links.size(), 3U);  // >= two 2-hop paths sharing no link
+  lint::LintReport report;
+  check_ecmp_pair(fx.graph, fx.a, fx.b, fx.distance, fx.links, {}, "t",
+                  report);
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(VerifyEcmp, FlagsWrongClaimedDistance) {
+  const EcmpFixture fx;
+  lint::LintReport report;
+  check_ecmp_pair(fx.graph, fx.a, fx.b, fx.distance + 1, fx.links, {}, "t",
+                  report);
+  EXPECT_GE(count_rule(report, "VF006"), 1U);
+}
+
+TEST(VerifyEcmp, FlagsOutOfRangeShare) {
+  EcmpFixture fx;
+  fx.links[0].share = 1.5;
+  lint::LintReport report;
+  check_ecmp_pair(fx.graph, fx.a, fx.b, fx.distance, fx.links, {}, "t",
+                  report);
+  EXPECT_GE(count_rule(report, "VF007"), 1U);
+}
+
+TEST(VerifyEcmp, FlagsDuplicateLink) {
+  EcmpFixture fx;
+  fx.links.push_back(fx.links[0]);
+  lint::LintReport report;
+  check_ecmp_pair(fx.graph, fx.a, fx.b, fx.distance, fx.links, {}, "t",
+                  report);
+  EXPECT_GE(count_rule(report, "VF007"), 1U);
+}
+
+TEST(VerifyEcmp, FlagsBrokenConservation) {
+  EcmpFixture fx;
+  fx.links.pop_back();  // drop one share: flow no longer conserved
+  lint::LintReport report;
+  check_ecmp_pair(fx.graph, fx.a, fx.b, fx.distance, fx.links, {}, "t",
+                  report);
+  EXPECT_GE(count_rule(report, "VF008"), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// faults pass (VF009/VF010)
+// ---------------------------------------------------------------------------
+
+TEST(VerifyFaults, CleanWithMask) {
+  const auto sets = topology::topologies_for(64);
+  RoutingSpec spec;
+  spec.failed_links = {0, 1, 2};
+  const auto pairs = sample_pairs(64, 256);
+  for (const auto* topo : sets.all()) {
+    const auto plan = RoutePlan::build(*topo, spec, 64);
+    lint::LintReport report;
+    check_fault_accounting(*plan, *plan->graph(), plan->usable_links(), pairs,
+                           topo->name(), report);
+    EXPECT_TRUE(report.empty()) << topo->name();
+  }
+}
+
+TEST(VerifyFaults, FlagsPerturbedUsableCount) {
+  const auto sets = topology::topologies_for(64);
+  RoutingSpec spec;
+  spec.failed_links = {0};
+  const auto plan = RoutePlan::build(*sets.torus, spec, 64);
+  const auto pairs = sample_pairs(64, 64);
+  lint::LintReport report;
+  check_fault_accounting(*plan, *plan->graph(), plan->usable_links() - 1,
+                         pairs, "seeded", report);
+  EXPECT_GE(count_rule(report, "VF009"), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// metrics pass (VF011)
+// ---------------------------------------------------------------------------
+
+/// One LULESH/64 cell on the torus: trace, matrix, plan and the
+/// analyze_topology reference the recomputation is checked against.
+struct MetricsFixture {
+  trace::Trace trace;
+  metrics::TrafficMatrix matrix;
+  topology::TopologySet sets;
+  std::shared_ptr<const RoutePlan> plan;
+  mapping::Mapping map;
+  analysis::RunOptions options;
+  analysis::TopologyResult expected;
+
+  MetricsFixture()
+      : trace(workloads::generate("LULESH", 64)),
+        matrix(metrics::TrafficMatrix::from_trace(trace)),
+        sets(topology::topologies_for(64)),
+        plan(RoutePlan::build(*sets.torus, 64)),
+        map(mapping::Mapping::linear(64, sets.torus->num_nodes())),
+        expected(analysis::analyze_topology(matrix, *sets.torus, 64,
+                                            trace.duration(), options,
+                                            plan.get())) {}
+};
+
+TEST(VerifyMetrics, CleanAgainstAnalyzeTopology) {
+  const MetricsFixture fx;
+  lint::LintReport report;
+  const std::size_t checks =
+      check_metrics(fx.matrix, *fx.sets.torus, *fx.plan, fx.map,
+                    fx.trace.duration(), fx.options, fx.expected, "t", report);
+  EXPECT_GT(checks, 0U);
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(VerifyMetrics, FlagsFalsifiedPacketHops) {
+  MetricsFixture fx;
+  fx.expected.packet_hops += 1;
+  lint::LintReport report;
+  check_metrics(fx.matrix, *fx.sets.torus, *fx.plan, fx.map,
+                fx.trace.duration(), fx.options, fx.expected, "seeded",
+                report);
+  EXPECT_GE(count_rule(report, "VF011"), 1U);
+}
+
+TEST(VerifyMetrics, FlagsFalsifiedUsedLinks) {
+  MetricsFixture fx;
+  fx.expected.used_links += 1;
+  lint::LintReport report;
+  check_metrics(fx.matrix, *fx.sets.torus, *fx.plan, fx.map,
+                fx.trace.duration(), fx.options, fx.expected, "seeded",
+                report);
+  EXPECT_GE(count_rule(report, "VF011"), 1U);
+}
+
+TEST(VerifyMetrics, FlagsFalsifiedUtilization) {
+  MetricsFixture fx;
+  fx.expected.utilization_percent *= 1.01;
+  lint::LintReport report;
+  check_metrics(fx.matrix, *fx.sets.torus, *fx.plan, fx.map,
+                fx.trace.duration(), fx.options, fx.expected, "seeded",
+                report);
+  EXPECT_GE(count_rule(report, "VF011"), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// cache pass (VF012/VF013)
+// ---------------------------------------------------------------------------
+
+/// Write one row blob into `dir` under `key` (the engine's storage
+/// format, bypassing ResultCache so tests control the name and hash).
+void write_blob(const fs::path& dir, const engine::CacheKey& key,
+                const analysis::ExperimentRow& row) {
+  std::ofstream out(dir / key.file_name(), std::ios::binary);
+  ASSERT_TRUE(out.good());
+  engine::write_row_blob(row, key.hash, out);
+}
+
+TEST(VerifyCache, CleanBlobInCatalogKeySpace) {
+  const ScratchDir dir("verify_cache_clean");
+  analysis::ExperimentRow row;
+  row.entry = workloads::catalog_entry("LULESH", 64);
+  const analysis::RunOptions options;
+  write_blob(dir.path(), engine::result_cache_key(row.entry, options), row);
+  lint::LintReport report;
+  const std::size_t checks =
+      check_cache_dir(dir.str(), options, "t", report);
+  EXPECT_GT(checks, 0U);
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(VerifyCache, FlagsTruncatedBlob) {
+  const ScratchDir dir("verify_cache_truncated");
+  analysis::ExperimentRow row;
+  row.entry = workloads::catalog_entry("LULESH", 64);
+  const analysis::RunOptions options;
+  const auto key = engine::result_cache_key(row.entry, options);
+  write_blob(dir.path(), key, row);
+  const fs::path blob = dir.path() / key.file_name();
+  fs::resize_file(blob, fs::file_size(blob) / 2);
+  lint::LintReport report;
+  check_cache_dir(dir.str(), options, "seeded", report);
+  EXPECT_GE(count_rule(report, "VF012"), 1U);
+}
+
+TEST(VerifyCache, FlagsMisnamedBlob) {
+  const ScratchDir dir("verify_cache_misnamed");
+  std::ofstream(dir.path() / "not-a-hex-name.nlrc") << "junk";
+  lint::LintReport report;
+  check_cache_dir(dir.str(), {}, "seeded", report);
+  EXPECT_GE(count_rule(report, "VF012"), 1U);
+}
+
+TEST(VerifyCache, FlagsStaleRowUnderCurrentKey) {
+  // The blob decodes fine under its file name's hash, but the row
+  // inside belongs to a different catalog entry: a stale or swapped
+  // result parked under a live key.
+  const ScratchDir dir("verify_cache_stale");
+  analysis::ExperimentRow row;
+  row.entry = workloads::catalog_entry("AMG", 216);
+  const analysis::RunOptions options;
+  const auto key = engine::result_cache_key(
+      workloads::catalog_entry("LULESH", 64), options);
+  write_blob(dir.path(), key, row);
+  lint::LintReport report;
+  check_cache_dir(dir.str(), options, "seeded", report);
+  EXPECT_GE(count_rule(report, "VF012"), 1U);
+}
+
+TEST(VerifyCache, NotesOrphanBlob) {
+  // Valid blob, but keyed under a seed outside the audited options: no
+  // current catalog key matches — an orphan note, not an error.
+  const ScratchDir dir("verify_cache_orphan");
+  analysis::ExperimentRow row;
+  row.entry = workloads::catalog_entry("LULESH", 64);
+  analysis::RunOptions other;
+  other.seed = 999;
+  write_blob(dir.path(), engine::result_cache_key(row.entry, other), row);
+  lint::LintReport report;
+  check_cache_dir(dir.str(), {}, "seeded", report);
+  EXPECT_EQ(count_rule(report, "VF012"), 0U);
+  EXPECT_GE(count_rule(report, "VF013"), 1U);
+}
+
+TEST(VerifyCache, NotesMissingDirectory) {
+  lint::LintReport report;
+  check_cache_dir("/nonexistent/netloc-verify-test", {}, "t", report);
+  EXPECT_GE(count_rule(report, "VF013"), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// taskgraph pass (VF014/VF015)
+// ---------------------------------------------------------------------------
+
+TEST(VerifyTaskGraph, CleanChain) {
+  engine::TaskGraph graph;
+  const auto a = graph.add("a", "build", [] {});
+  const auto b = graph.add("b", "build", [] {});
+  const auto c = graph.add("c", "finalize", [] {});
+  graph.add_edge(a, b);
+  graph.add_edge(b, c);
+  lint::LintReport report;
+  const std::size_t checks = check_task_graph(graph, "t", report);
+  EXPECT_GT(checks, 0U);
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(VerifyTaskGraph, FlagsCycle) {
+  engine::TaskGraph graph;
+  const auto a = graph.add("a", "build", [] {});
+  const auto b = graph.add("b", "build", [] {});
+  const auto c = graph.add("c", "build", [] {});
+  graph.add_edge(a, b);
+  graph.add_edge(b, c);
+  graph.add_edge(c, a);
+  lint::LintReport report;
+  check_task_graph(graph, "seeded", report);
+  EXPECT_GE(count_rule(report, "VF014"), 1U);
+}
+
+TEST(VerifyTaskGraph, NotesIsolatedJob) {
+  engine::TaskGraph graph;
+  const auto a = graph.add("a", "build", [] {});
+  const auto b = graph.add("b", "build", [] {});
+  graph.add("stray", "build", [] {});
+  graph.add_edge(a, b);
+  lint::LintReport report;
+  check_task_graph(graph, "seeded", report);
+  EXPECT_EQ(count_rule(report, "VF014"), 0U);
+  EXPECT_EQ(count_rule(report, "VF015"), 1U);
+}
+
+TEST(VerifyTaskGraph, SingleJobIsNotAnOrphan) {
+  engine::TaskGraph graph;
+  graph.add("only", "build", [] {});
+  lint::LintReport report;
+  check_task_graph(graph, "t", report);
+  EXPECT_TRUE(report.empty());
+}
+
+// ---------------------------------------------------------------------------
+// traffic pass (VF016)
+// ---------------------------------------------------------------------------
+
+TEST(VerifyTraffic, CleanFromTrace) {
+  const auto trace = workloads::generate("AMG", 27);
+  const auto matrix = metrics::TrafficMatrix::from_trace(trace);
+  lint::LintReport report;
+  const std::size_t checks = check_traffic_matrix(matrix, "t", report);
+  EXPECT_GT(checks, 0U);
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(VerifyTraffic, FlagsPacketizationViolation) {
+  // 5000 bytes needs ceil(5000/4096) = 2 packets minimum (Eq. 3); a
+  // cell claiming one packet understates the network load.
+  metrics::TrafficMatrix matrix(4);
+  matrix.add_cell(0, 1, 5000, 1);
+  matrix.freeze();
+  lint::LintReport report;
+  check_traffic_matrix(matrix, "seeded", report);
+  EXPECT_GE(count_rule(report, "VF016"), 1U);
+}
+
+TEST(VerifyTraffic, FlagsZeroPacketCell) {
+  metrics::TrafficMatrix matrix(4);
+  matrix.add_cell(0, 1, 100, 0);
+  matrix.freeze();
+  lint::LintReport report;
+  check_traffic_matrix(matrix, "seeded", report);
+  EXPECT_GE(count_rule(report, "VF016"), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// runner
+// ---------------------------------------------------------------------------
+
+class StubPass final : public VerifyPass {
+ public:
+  explicit StubPass(std::string id) : id_(std::move(id)) {}
+  [[nodiscard]] std::string_view id() const override { return id_; }
+  [[nodiscard]] std::string_view summary() const override { return "stub"; }
+  [[nodiscard]] std::string applicable(const VerifyContext&) const override {
+    return {};
+  }
+  std::size_t run(const VerifyContext&, lint::LintReport&) const override {
+    return 1;
+  }
+
+ private:
+  std::string id_;
+};
+
+TEST(VerifyRunner, RegistersBuiltinSuiteInOrder) {
+  const VerifyRunner runner;
+  const std::vector<std::string> expected = {"graph", "routes",    "ecmp",
+                                             "faults", "metrics", "cache",
+                                             "taskgraph", "traffic"};
+  ASSERT_EQ(runner.passes().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(runner.passes()[i]->id(), expected[i]);
+  }
+  EXPECT_NE(runner.find("metrics"), nullptr);
+  EXPECT_EQ(runner.find("nope"), nullptr);
+}
+
+TEST(VerifyRunner, DuplicatePassIdThrows) {
+  VerifyRunner runner;
+  EXPECT_THROW(runner.add(std::make_unique<StubPass>("graph")), ConfigError);
+  EXPECT_NO_THROW(runner.add(std::make_unique<StubPass>("custom")));
+  EXPECT_THROW(runner.add(std::make_unique<StubPass>("custom")), ConfigError);
+}
+
+TEST(VerifyRunner, UnknownFilterIdThrows) {
+  const VerifyRunner runner;
+  PassFilter filter;
+  filter.ids = {"graph", "no-such-pass"};
+  EXPECT_THROW((void)runner.run({}, filter), ConfigError);
+}
+
+TEST(VerifyRunner, EmptyContextSkipsEveryPassWithReason) {
+  const VerifyRunner runner;
+  const VerifyReport report = runner.run({});
+  ASSERT_EQ(report.passes.size(), 8U);
+  for (const auto& outcome : report.passes) {
+    EXPECT_TRUE(outcome.skipped) << outcome.id;
+    EXPECT_FALSE(outcome.skip_reason.empty()) << outcome.id;
+  }
+  EXPECT_EQ(report.total_checks(), 0U);
+  EXPECT_TRUE(report.clean(lint::Severity::Note));
+}
+
+TEST(VerifyRunner, CostFilterSkipsExpensivePasses) {
+  const auto sets = topology::topologies_for(64);
+  VerifyContext ctx;
+  ctx.topology = sets.torus.get();
+  ctx.plan = RoutePlan::build(*sets.torus, 64);
+  ctx.max_pairs = 32;
+  const VerifyRunner runner;
+  PassFilter filter;
+  filter.max_cost = CostTier::Cheap;
+  const VerifyReport report = runner.run(ctx, filter);
+  for (const auto& outcome : report.passes) {
+    if (outcome.id == "graph") {
+      EXPECT_FALSE(outcome.skipped);
+    } else if (outcome.id == "routes") {
+      EXPECT_TRUE(outcome.skipped);
+      EXPECT_NE(outcome.skip_reason.find("cost tier"), std::string::npos);
+    }
+  }
+}
+
+TEST(VerifyRunner, FullSuiteCleanOnRealCell) {
+  const auto trace = workloads::generate("LULESH", 64);
+  const auto matrix = metrics::TrafficMatrix::from_trace(trace);
+  const auto sets = topology::topologies_for(64);
+  engine::TaskGraph task_graph;
+  const auto a = task_graph.add("a", "build", [] {});
+  const auto b = task_graph.add("b", "build", [] {});
+  task_graph.add_edge(a, b);
+
+  VerifyContext ctx;
+  ctx.topology = sets.torus.get();
+  ctx.plan = RoutePlan::build(*sets.torus, 64);
+  ctx.traffic = &matrix;
+  ctx.duration = trace.duration();
+  ctx.task_graph = &task_graph;
+  ctx.max_pairs = 128;
+  const VerifyRunner runner;
+  const VerifyReport report = runner.run(ctx);
+  EXPECT_GT(report.total_checks(), 0U);
+  EXPECT_TRUE(report.merged().empty());
+  EXPECT_TRUE(report.clean(lint::Severity::Note));
+  std::size_t ran = 0;
+  for (const auto& outcome : report.passes) {
+    if (!outcome.skipped) ++ran;
+  }
+  // graph, routes, faults, metrics, taskgraph, traffic run; ecmp
+  // (single-path plan) and cache (no directory) skip themselves.
+  EXPECT_EQ(ran, 6U);
+}
+
+TEST(VerifyRunner, SeverityGateFollowsFailOn) {
+  VerifyReport report;
+  PassOutcome outcome;
+  outcome.id = "cache";
+  outcome.report.add(lint::RuleRegistry::instance().make(
+      "VF012", {"t", -1, -1}, "seeded warning"));
+  report.passes.push_back(std::move(outcome));
+  EXPECT_TRUE(report.clean(lint::Severity::Error));
+  EXPECT_FALSE(report.clean(lint::Severity::Warning));
+  EXPECT_FALSE(report.clean(lint::Severity::Note));
+}
+
+TEST(VerifyRunner, WriteTextFormatsOutcomes) {
+  const auto sets = topology::topologies_for(64);
+  VerifyContext ctx;
+  ctx.topology = sets.torus.get();
+  ctx.plan = RoutePlan::build(*sets.torus, 64);
+  ctx.max_pairs = 32;
+  const VerifyRunner runner;
+  PassFilter filter;
+  filter.ids = {"graph", "cache"};
+  const VerifyReport report = runner.run(ctx, filter);
+  std::ostringstream out;
+  write_text(report, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("pass graph: ok"), std::string::npos);
+  EXPECT_NE(text.find("pass cache: skipped"), std::string::npos);
+  EXPECT_NE(text.find("verify: clean"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// sweep hook
+// ---------------------------------------------------------------------------
+
+TEST(VerifyCellHook, CleanCellProducesNoFindings) {
+  const auto& entry = workloads::catalog_entry("LULESH", 64);
+  const auto trace = workloads::generate("LULESH", 64);
+  const auto matrix = metrics::TrafficMatrix::from_trace(trace);
+  const auto sets = topology::topologies_for(64);
+  const auto plan = RoutePlan::build(*sets.torus, 64);
+  const analysis::RunOptions options;
+  const auto result = analysis::analyze_topology(
+      matrix, *sets.torus, 64, trace.duration(), options, plan.get());
+
+  engine::CellArtifacts cell;
+  cell.entry = &entry;
+  cell.topology = sets.torus.get();
+  cell.plan = plan;
+  cell.full_matrix = &matrix;
+  cell.num_ranks = 64;
+  cell.duration = trace.duration();
+  cell.result = &result;
+  cell.run = options;
+
+  const auto verifier = make_cell_verifier();
+  EXPECT_TRUE(verifier(cell).empty());
+
+  // The same cell with a falsified result must come back flagged.
+  auto falsified = result;
+  falsified.packet_hops += 7;
+  cell.result = &falsified;
+  const auto findings = verifier(cell);
+  EXPECT_FALSE(findings.empty());
+  EXPECT_GE(count_rule(findings, "VF011"), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// integration: the whole catalog must verify clean
+// ---------------------------------------------------------------------------
+
+TEST(VerifyIntegration, CleanAcrossCatalogMinimal) {
+  const VerifyRunner runner;
+  for (const auto& entry : workloads::catalog()) {
+    const auto trace =
+        workloads::generate(entry.app, entry.ranks, entry.variant);
+    const auto matrix = metrics::TrafficMatrix::from_trace(trace);
+    const auto sets = topology::topologies_for(entry.ranks);
+    for (const auto* topo : sets.all()) {
+      VerifyContext ctx;
+      ctx.topology = topo;
+      ctx.plan = RoutePlan::build(*topo, entry.ranks);
+      ctx.traffic = &matrix;
+      ctx.duration = trace.duration();
+      ctx.max_pairs = 64;
+      ctx.source = entry.label() + " " + topo->name();
+      const VerifyReport report = runner.run(ctx);
+      EXPECT_GT(report.total_checks(), 0U) << ctx.source;
+      EXPECT_TRUE(report.clean(lint::Severity::Note))
+          << ctx.source << "\n"
+          << [&report] {
+               std::ostringstream out;
+               write_text(report, out);
+               return out.str();
+             }();
+    }
+  }
+}
+
+TEST(VerifyIntegration, CleanUnderEcmpAndFaultMaskAllRankCounts) {
+  RoutingSpec ecmp;
+  ecmp.kind = RoutingKind::kEcmp;
+  RoutingSpec faulted;
+  faulted.failed_links = {0, 1};
+
+  std::set<int> rank_counts;
+  for (const auto& entry : workloads::catalog()) {
+    rank_counts.insert(entry.ranks);
+  }
+  const VerifyRunner runner;
+  PassFilter filter;
+  filter.ids = {"graph", "routes", "ecmp", "faults"};
+  for (const int ranks : rank_counts) {
+    const auto sets = topology::topologies_for(ranks);
+    // A small distance-table window keeps the per-node BFS of the ECMP
+    // plan build cheap at the large rank counts; the window is a cache,
+    // never a correctness bound, and the pair sample draws from it.
+    const int window = std::min(ranks, 32);
+    for (const auto* topo : sets.all()) {
+      for (const auto* spec : {&ecmp, &faulted}) {
+        VerifyContext ctx;
+        ctx.topology = topo;
+        ctx.plan = RoutePlan::build(*topo, *spec, window);
+        ctx.max_pairs = 64;
+        ctx.source = topo->name() + "/" + std::to_string(ranks) + " @" +
+                     spec->label();
+        const VerifyReport report = runner.run(ctx, filter);
+        EXPECT_GT(report.total_checks(), 0U) << ctx.source;
+        EXPECT_TRUE(report.clean(lint::Severity::Note))
+            << ctx.source << "\n"
+            << [&report] {
+                 std::ostringstream out;
+                 write_text(report, out);
+                 return out.str();
+               }();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netloc::verify
