@@ -1,0 +1,237 @@
+// Serve-daemon performance over the in-process transport: request
+// throughput (ping round trips), submit-to-result latency (p50/p99)
+// for warm-cache jobs from 8 concurrent clients, and the coalescing
+// hit rate when those 8 clients ask for the same sweep at once.
+//
+// Writes BENCH_serve.json in the working directory, one record per
+// configuration:
+//   {"name", "wall_s", "requests", "throughput_rps",
+//    "p50_ms", "p99_ms", "coalesce_rate"}
+// Exits 2 if any client observes a response that differs from the
+// others' — the daemon's one-computation contract is also a
+// correctness check here.
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netloc/common/format.hpp"
+#include "netloc/serve/client.hpp"
+#include "netloc/serve/daemon.hpp"
+#include "netloc/serve/transport.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kClients = 8;
+constexpr int kPingRounds = 2000;
+constexpr int kSubmitRounds = 25;  ///< Warm submits per client.
+
+struct Record {
+  std::string name;
+  double wall_s = 0.0;
+  int requests = 0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double coalesce_rate = 0.0;
+};
+
+std::string num(double value) {
+  std::ostringstream s;
+  s.precision(std::numeric_limits<double>::max_digits10);
+  s << value;
+  return s.str();
+}
+
+double quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto index = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+double seconds_since(Clock::time_point begin) {
+  return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+
+/// Daemon + serve() thread over the in-process listener.
+struct Harness {
+  explicit Harness(netloc::serve::DaemonOptions options)
+      : daemon(std::move(options)),
+        thread([this] { daemon.serve(listener); }) {}
+  ~Harness() {
+    daemon.shutdown();
+    thread.join();
+  }
+  netloc::serve::InProcessListener listener;
+  netloc::serve::Daemon daemon;
+  std::thread thread;
+};
+
+/// Ping round trips from kClients concurrent connections: the framing
+/// + dispatch + session overhead with no sweep work behind it.
+Record bench_ping(Harness& harness) {
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  const auto begin = Clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&harness] {
+      netloc::serve::Client client(harness.listener.connect());
+      for (int i = 0; i < kPingRounds; ++i) {
+        if (!client.ping()) std::exit(2);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  Record rec;
+  rec.name = "serve_ping_throughput";
+  rec.wall_s = seconds_since(begin);
+  rec.requests = kClients * kPingRounds;
+  rec.throughput_rps = static_cast<double>(rec.requests) / rec.wall_s;
+  return rec;
+}
+
+/// Warm submit-to-result latency: every request is served out of the
+/// result cache, so the numbers isolate queue + protocol + CSV export
+/// cost rather than sweep compute.
+Record bench_warm_latency(Harness& harness, const std::string& reference) {
+  std::vector<std::vector<double>> samples(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  const auto begin = Clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&harness, &samples, &reference, c] {
+      netloc::serve::Client client(harness.listener.connect());
+      netloc::serve::SubmitRequest submit;
+      submit.apps = {"AMG/8"};
+      samples[c].reserve(kSubmitRounds);
+      for (int i = 0; i < kSubmitRounds; ++i) {
+        const auto t0 = Clock::now();
+        const auto result = client.submit_and_wait(submit);
+        samples[c].push_back(seconds_since(t0) * 1e3);
+        if (result.get_string("csv") != reference) std::exit(2);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  Record rec;
+  rec.name = "serve_warm_submit_latency";
+  rec.wall_s = seconds_since(begin);
+  rec.requests = kClients * kSubmitRounds;
+  rec.throughput_rps = static_cast<double>(rec.requests) / rec.wall_s;
+  std::vector<double> all;
+  for (const auto& s : samples) all.insert(all.end(), s.begin(), s.end());
+  rec.p50_ms = quantile(all, 0.50);
+  rec.p99_ms = quantile(all, 0.99);
+  const auto stats = harness.daemon.stats();
+  rec.coalesce_rate = stats.queue.submitted == 0
+                          ? 0.0
+                          : static_cast<double>(stats.queue.coalesced) /
+                                static_cast<double>(stats.queue.submitted);
+  return rec;
+}
+
+/// The coalescing window itself: hold the executor, let 8 clients
+/// submit the identical job, release — one computation, eight results.
+Record bench_coalesce(Harness& harness, const std::string& reference) {
+  const auto before = harness.daemon.stats().queue;
+  harness.daemon.queue().pause();
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  const auto begin = Clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&harness, &reference] {
+      netloc::serve::Client client(harness.listener.connect());
+      netloc::serve::SubmitRequest submit;
+      submit.apps = {"AMG/8"};
+      const auto result = client.submit_and_wait(submit);
+      if (result.get_string("csv") != reference) std::exit(2);
+    });
+  }
+  while (harness.daemon.stats().queue.submitted - before.submitted < kClients) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  harness.daemon.queue().resume();
+  for (auto& thread : threads) thread.join();
+  const auto after = harness.daemon.stats().queue;
+  Record rec;
+  rec.name = "serve_coalesced_burst";
+  rec.wall_s = seconds_since(begin);
+  rec.requests = kClients;
+  rec.throughput_rps = static_cast<double>(rec.requests) / rec.wall_s;
+  rec.coalesce_rate = static_cast<double>(after.coalesced - before.coalesced) /
+                      static_cast<double>(kClients);
+  if (after.executed - before.executed != 1) {
+    std::cerr << "perf_serve: coalesced burst ran "
+              << (after.executed - before.executed) << " computations\n";
+    std::exit(2);
+  }
+  return rec;
+}
+
+}  // namespace
+
+int main() {
+  const std::filesystem::path cache_dir = "perf-serve-cache";
+  std::filesystem::remove_all(cache_dir);
+
+  netloc::serve::DaemonOptions options;
+  options.cache_dir = cache_dir.string();
+  Harness harness(options);
+
+  // Warm the cache once and capture the reference CSV every later
+  // response must match byte for byte.
+  std::string reference;
+  {
+    netloc::serve::Client client(harness.listener.connect());
+    netloc::serve::SubmitRequest submit;
+    submit.apps = {"AMG/8"};
+    const auto result = client.submit_and_wait(submit);
+    if (result.get_string("state") != "done") {
+      std::cerr << "perf_serve: warmup failed: " << result.dump() << "\n";
+      return 2;
+    }
+    reference = result.get_string("csv");
+  }
+
+  std::vector<Record> records;
+  records.push_back(bench_ping(harness));
+  records.push_back(bench_warm_latency(harness, reference));
+  records.push_back(bench_coalesce(harness, reference));
+
+  for (const auto& r : records) {
+    std::cout << r.name << ": " << r.requests << " requests in "
+              << netloc::fixed(r.wall_s, 3) << " s ("
+              << netloc::fixed(r.throughput_rps, 0) << " req/s, p50 "
+              << netloc::fixed(r.p50_ms, 3) << " ms, p99 "
+              << netloc::fixed(r.p99_ms, 3) << " ms, coalesce rate "
+              << netloc::fixed(r.coalesce_rate, 3) << ")\n";
+  }
+
+  std::ofstream out("BENCH_serve.json");
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << "  {\"name\": \"" << r.name << "\", \"wall_s\": " << num(r.wall_s)
+        << ", \"requests\": " << r.requests
+        << ", \"throughput_rps\": " << num(r.throughput_rps)
+        << ", \"p50_ms\": " << num(r.p50_ms)
+        << ", \"p99_ms\": " << num(r.p99_ms)
+        << ", \"coalesce_rate\": " << num(r.coalesce_rate) << "}"
+        << (i + 1 == records.size() ? "\n" : ",\n");
+  }
+  out << "]\n";
+  std::cout << "wrote BENCH_serve.json\n";
+
+  std::filesystem::remove_all(cache_dir);
+  return 0;
+}

@@ -12,6 +12,10 @@
 //   netloc_cli lint <trace-file> [--topology F] [--mapping R] [...]
 //   netloc_cli lint-rules
 //   netloc_cli verify [--app A] [--ranks N] [--passes P,...] [--fail-on S]
+//   netloc_cli submit --socket S [--apps A,...] [--seed N] [--detach] [...]
+//   netloc_cli status --socket S
+//   netloc_cli watch --socket S <job>
+//   netloc_cli shutdown --socket S
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -39,6 +43,8 @@
 #include "netloc/metrics/traffic_matrix.hpp"
 #include "netloc/metrics/utilization.hpp"
 #include "netloc/topology/configs.hpp"
+#include "netloc/serve/client.hpp"
+#include "netloc/serve/socket.hpp"
 #include "netloc/trace/dumpi_ascii.hpp"
 #include "netloc/trace/io.hpp"
 #include "netloc/trace/stats.hpp"
@@ -76,7 +82,14 @@ int usage() {
          "                  [--max-pairs <n>] [--csv <out.csv>]\n"
          "                  [--fail-on note|warning|error]\n"
          "                  (passes: graph routes ecmp faults metrics cache\n"
-         "                   taskgraph traffic)\n";
+         "                   taskgraph traffic)\n"
+         "  netloc_cli submit --socket <path> [--apps <a,a/ranks,...>]\n"
+         "                  [--seed <n>] [--routing minimal|ecmp]\n"
+         "                  [--fail-links <ids>] [--priority <n>]\n"
+         "                  [--detach] [--progress] [--csv <out.csv>]\n"
+         "  netloc_cli status --socket <path>\n"
+         "  netloc_cli watch --socket <path> <job>\n"
+         "  netloc_cli shutdown --socket <path>\n";
   return EXIT_FAILURE;
 }
 
@@ -700,6 +713,164 @@ int cmd_verify(const VerifyArgs& args) {
   return merged.fails(args.fail_on) ? EXIT_FAILURE : EXIT_SUCCESS;
 }
 
+// ---- serve client (submit / status / watch / shutdown) ----------------------
+
+netloc::serve::Client connect_daemon(const std::string& socket_path) {
+  if (socket_path.empty()) {
+    throw netloc::ConfigError("--socket <path> is required");
+  }
+  return netloc::serve::Client(netloc::serve::connect_unix(socket_path));
+}
+
+/// Render accepted/event frames as they stream in (stderr, like the
+/// sweep --progress output; stdout stays reserved for the result CSV).
+void print_stream_frame(const netloc::serve::Json& frame) {
+  const std::string type = frame.get_string("type");
+  if (type == "accepted") {
+    std::cerr << "accepted job " << frame.get_string("job") << " ("
+              << frame.get_string("label") << ", "
+              << frame.get_string("state") << ")"
+              << (frame.get_bool("coalesced") ? " [coalesced]" : "") << "\n";
+  } else if (type == "event") {
+    std::cerr << "[" << frame.get_string("kind") << "] "
+              << frame.get_string("label");
+    const std::string detail = frame.get_string("detail");
+    if (!detail.empty()) std::cerr << ": " << detail;
+    std::cerr << "\n";
+  }
+}
+
+/// Shared terminal-frame handling for submit and watch: report the
+/// outcome, emit the CSV (stdout or --csv file), map state to exit
+/// code.
+int finish_job_frame(const netloc::serve::Json& frame,
+                     const std::string& csv_path) {
+  const std::string type = frame.get_string("type");
+  if (type == "error") {
+    std::cerr << "daemon error: " << frame.get_string("message") << "\n";
+    return EXIT_FAILURE;
+  }
+  if (type == "accepted") {  // --detach: the key is the whole answer.
+    std::cout << frame.get_string("job") << "\n";
+    return EXIT_SUCCESS;
+  }
+  const std::string state = frame.get_string("state");
+  if (state != "done") {
+    std::cerr << "job " << frame.get_string("job") << " " << state << ": "
+              << frame.get_string("error") << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cerr << "job " << frame.get_string("job") << " done: "
+            << frame.get_number("rows") << " rows ("
+            << frame.get_number("cache_hits") << " cached, "
+            << frame.get_number("jobs_run") << " jobs run) in "
+            << netloc::fixed(frame.get_number("wall_s"), 2) << " s\n";
+  const std::string csv = frame.get_string("csv");
+  if (csv_path.empty()) {
+    std::cout << csv;
+  } else {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::cerr << "cannot open " << csv_path << "\n";
+      return EXIT_FAILURE;
+    }
+    out << csv;
+    std::cout << "wrote " << csv_path << "\n";
+  }
+  return EXIT_SUCCESS;
+}
+
+struct SubmitArgs {
+  std::string socket;
+  netloc::serve::SubmitRequest request;
+  std::string csv_path;
+};
+
+std::optional<SubmitArgs> parse_submit_args(int argc, char** argv) {
+  SubmitArgs args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--detach") {
+      args.request.detach = true;
+      continue;
+    }
+    if (flag == "--progress") {
+      args.request.progress = true;
+      continue;
+    }
+    if (consume_routing_flag(argc, argv, i, args.request.routing)) continue;
+    if (i + 1 >= argc) return std::nullopt;
+    const std::string value = argv[++i];
+    if (flag == "--socket") {
+      args.socket = value;
+    } else if (flag == "--apps") {
+      std::string name;
+      std::istringstream list(value);
+      while (std::getline(list, name, ',')) {
+        if (!name.empty()) args.request.apps.push_back(name);
+      }
+    } else if (flag == "--seed") {
+      try {
+        args.request.seed = std::stoull(value);
+      } catch (const std::exception&) {
+        return std::nullopt;
+      }
+    } else if (flag == "--priority") {
+      args.request.priority = std::atoi(value.c_str());
+    } else if (flag == "--csv") {
+      args.csv_path = value;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+int cmd_submit(const SubmitArgs& args) {
+  auto client = connect_daemon(args.socket);
+  const auto frame = client.submit_and_wait(args.request, print_stream_frame);
+  return finish_job_frame(frame, args.csv_path);
+}
+
+int cmd_serve_status(const std::string& socket_path) {
+  auto client = connect_daemon(socket_path);
+  // The status frame is already the machine-readable report; print it
+  // verbatim so scripts can pipe it into a JSON tool.
+  std::cout << client.status().dump() << "\n";
+  return EXIT_SUCCESS;
+}
+
+int cmd_watch(const std::string& socket_path, const std::string& job) {
+  auto client = connect_daemon(socket_path);
+  const auto frame = client.watch_and_wait(job, print_stream_frame);
+  return finish_job_frame(frame, "");
+}
+
+int cmd_serve_shutdown(const std::string& socket_path) {
+  auto client = connect_daemon(socket_path);
+  const auto frame = client.shutdown();
+  if (frame.get_string("type") != "ok") {
+    std::cerr << "daemon error: " << frame.get_string("message") << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cerr << "daemon is draining\n";
+  return EXIT_SUCCESS;
+}
+
+/// `status --socket S` / `shutdown --socket S`: the only flag either
+/// takes. Returns nullopt on anything else.
+std::optional<std::string> parse_socket_only(int argc, char** argv) {
+  std::string socket_path;
+  for (int i = 2; i < argc; i += 2) {
+    if (i + 1 >= argc || std::string(argv[i]) != "--socket") {
+      return std::nullopt;
+    }
+    socket_path = argv[i + 1];
+  }
+  if (socket_path.empty()) return std::nullopt;
+  return socket_path;
+}
+
 int cmd_lint_rules() {
   const auto& registry = netloc::lint::RuleRegistry::instance();
   std::cout << "rule\tseverity\tpack\tsummary\n";
@@ -798,6 +969,37 @@ int main(int argc, char** argv) {
     if (cmd == "verify") {
       const auto args = parse_verify_args(argc, argv);
       return args ? cmd_verify(*args) : usage();
+    }
+    if (cmd == "submit") {
+      const auto args = parse_submit_args(argc, argv);
+      if (!args || args->socket.empty()) return usage();
+      return cmd_submit(*args);
+    }
+    if (cmd == "status") {
+      const auto socket_path = parse_socket_only(argc, argv);
+      return socket_path ? cmd_serve_status(*socket_path) : usage();
+    }
+    if (cmd == "watch" && argc >= 3) {
+      // The job key is the last argument; --socket may come before or
+      // after it.
+      std::string socket_path;
+      std::string job;
+      for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--socket" && i + 1 < argc) {
+          socket_path = argv[++i];
+        } else if (job.empty() && !flag.starts_with("--")) {
+          job = flag;
+        } else {
+          return usage();
+        }
+      }
+      if (socket_path.empty() || job.empty()) return usage();
+      return cmd_watch(socket_path, job);
+    }
+    if (cmd == "shutdown") {
+      const auto socket_path = parse_socket_only(argc, argv);
+      return socket_path ? cmd_serve_shutdown(*socket_path) : usage();
     }
     return usage();
   } catch (const std::exception& e) {

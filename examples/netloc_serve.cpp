@@ -1,0 +1,124 @@
+// netloc_serve: the persistent sweep daemon (docs/SERVE.md).
+//
+//   netloc_serve --socket <path> [--jobs <n>] [--cache <dir>]
+//                [--cache-cap <bytes[k|m|g]>] [--verify] [--quiet]
+//
+// Listens on a Unix-domain socket for netloc_cli submit/status/watch
+// clients. SIGTERM/SIGINT trigger the graceful drain: stop accepting,
+// finish every queued job, deliver every result, exit 0.
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "netloc/common/error.hpp"
+#include "netloc/serve/daemon.hpp"
+#include "netloc/serve/socket.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: netloc_serve --socket <path> [--jobs <n>]\n"
+               "                    [--cache <dir>] [--cache-cap "
+               "<bytes[k|m|g]>]\n"
+               "                    [--verify] [--quiet]\n";
+  return EXIT_FAILURE;
+}
+
+/// "1048576", "64k", "8m", "1g" -> bytes (mirrors netloc_cli).
+std::optional<std::uint64_t> parse_bytes(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t consumed = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(text, &consumed);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (consumed == text.size()) return value;
+  if (consumed + 1 != text.size()) return std::nullopt;
+  switch (text[consumed]) {
+    case 'k': case 'K': return value << 10;
+    case 'm': case 'M': return value << 20;
+    case 'g': case 'G': return value << 30;
+    default: return std::nullopt;
+  }
+}
+
+// The signal handler may only touch async-signal-safe state:
+// Listener::shutdown() on the Unix listener is an atomic store plus
+// one write(2) to a self-pipe, so publishing the listener through an
+// atomic pointer is the whole handshake.
+std::atomic<netloc::serve::Listener*> g_listener{nullptr};
+
+extern "C" void handle_shutdown_signal(int /*signum*/) {
+  if (auto* listener = g_listener.load()) listener->shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  netloc::serve::DaemonOptions options;
+  options.log = &std::cerr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--verify") {
+      options.verify = true;
+      continue;
+    }
+    if (flag == "--quiet") {
+      options.log = nullptr;
+      continue;
+    }
+    if (i + 1 >= argc) return usage();
+    const std::string value = argv[++i];
+    if (flag == "--socket") {
+      socket_path = value;
+    } else if (flag == "--jobs") {
+      options.jobs = std::atoi(value.c_str());
+      if (options.jobs < 1) return usage();
+    } else if (flag == "--cache") {
+      options.cache_dir = value;
+    } else if (flag == "--cache-cap") {
+      const auto bytes = parse_bytes(value);
+      if (!bytes) return usage();
+      options.cache_max_bytes = *bytes;
+    } else {
+      return usage();
+    }
+  }
+  if (socket_path.empty()) return usage();
+  if (!netloc::serve::unix_sockets_available()) {
+    std::cerr << "netloc_serve: unix-domain sockets unavailable on this "
+                 "platform\n";
+    return EXIT_FAILURE;
+  }
+
+  try {
+    const auto listener = netloc::serve::listen_unix(socket_path);
+    netloc::serve::Daemon daemon(options);
+
+    g_listener.store(listener.get());
+    std::signal(SIGTERM, handle_shutdown_signal);
+    std::signal(SIGINT, handle_shutdown_signal);
+
+    if (options.log != nullptr) {
+      *options.log << "[netloc_serve] listening on " << socket_path << "\n";
+    }
+    daemon.serve(*listener);
+
+    // Unpublish before the listener dies so a late signal is a no-op.
+    g_listener.store(nullptr);
+    if (options.log != nullptr) {
+      *options.log << "[netloc_serve] shut down cleanly\n";
+    }
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    g_listener.store(nullptr);
+    std::cerr << "netloc_serve: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}

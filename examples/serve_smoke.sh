@@ -1,0 +1,48 @@
+#!/bin/sh
+# End-to-end smoke of the serve daemon over a real Unix socket: daemon
+# up, submit from netloc_cli, status, identical warm re-submit (must be
+# byte-identical), SIGTERM drain, then the cache verify audit over the
+# blobs the daemon stored. Usage:
+#
+#   serve_smoke.sh <netloc_serve> <netloc_cli> <work-dir>
+set -eu
+SERVE="$1"
+CLI="$2"
+WORK="$3"
+# Short path: sun_path caps out around 108 characters.
+SOCK="/tmp/nl-smoke-$$.sock"
+CACHE="$WORK/serve-smoke-cache"
+rm -rf "$CACHE" "$SOCK"
+
+"$SERVE" --socket "$SOCK" --jobs 2 --cache "$CACHE" --quiet &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "serve_smoke: daemon never bound $SOCK" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+"$CLI" submit --socket "$SOCK" --apps AMG/8 --csv "$WORK/serve_smoke.csv"
+test -s "$WORK/serve_smoke.csv"
+"$CLI" status --socket "$SOCK" | grep -q '"type":"status"'
+
+# The identical job again: the daemon's warm engine must serve it from
+# the result cache and return byte-identical CSV.
+"$CLI" submit --socket "$SOCK" --apps AMG/8 > "$WORK/serve_smoke_warm.csv"
+cmp "$WORK/serve_smoke.csv" "$WORK/serve_smoke_warm.csv"
+
+# Graceful drain: SIGTERM, clean exit 0.
+kill -TERM "$DAEMON"
+wait "$DAEMON"
+trap - EXIT
+rm -f "$SOCK"
+
+# The blobs the daemon wrote must pass the cross-artifact cache audit.
+"$CLI" verify --app AMG --ranks 8 --passes cache --cache "$CACHE"
+echo "serve_smoke: OK"

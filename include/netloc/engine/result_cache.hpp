@@ -27,6 +27,7 @@
 
 #include "netloc/analysis/experiment.hpp"
 #include "netloc/common/error.hpp"
+#include "netloc/common/thread_annotations.hpp"
 #include "netloc/engine/observer.hpp"
 
 namespace netloc::engine {
@@ -76,6 +77,10 @@ class ResultCache {
   /// unbounded (the pre-cap behavior).
   explicit ResultCache(std::string dir, EngineObserver* observer = nullptr,
                        std::uint64_t max_bytes = 0);
+  ~ResultCache();
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
 
   /// The cached row for `key`, or nullopt on miss or corruption
   /// (corruption additionally emits EN001 through the observer). A hit
@@ -84,23 +89,52 @@ class ResultCache {
 
   /// Persist `row` under `key` (atomic write: temp file + rename),
   /// then trim to the size cap.
+  ///
+  /// The store+trim pair runs under two locks: an in-process mutex
+  /// (threads of this process share one lock-file descriptor, and
+  /// flock() is per open-file-description, so the mutex is what
+  /// serializes them) and an advisory flock() on `<dir>/.lock` that
+  /// serializes store+trim against *other processes* sharing the
+  /// directory. Without the flock, two daemons trimming concurrently
+  /// can both count a blob toward `total`, both delete distinct blobs
+  /// to make room, and together evict below the cap ("double evict").
+  /// Contention is surfaced as an EN004 note and counted in
+  /// lock_contentions(); the losing store then blocks until the lock
+  /// frees — it is never skipped.
   void store(const CacheKey& key, const analysis::ExperimentRow& row);
 
   [[nodiscard]] const std::string& directory() const { return dir_; }
   [[nodiscard]] std::uint64_t max_bytes() const { return max_bytes_; }
   /// Blobs deleted by LRU trimming over this cache's lifetime.
   [[nodiscard]] std::uint64_t evictions() const { return evictions_.load(); }
+  /// Times store() found `<dir>/.lock` held elsewhere and had to wait.
+  [[nodiscard]] std::uint64_t lock_contentions() const {
+    return lock_contentions_.load();
+  }
 
  private:
+  /// store() body, running under both locks.
+  void store_locked(const CacheKey& key, const analysis::ExperimentRow& row)
+      NETLOC_REQUIRES(store_mutex_);
   /// Delete oldest-mtime blobs until the total size fits max_bytes_.
   /// `keep` is the file name of the blob that must survive.
-  void trim(const std::string& keep);
+  void trim(const std::string& keep) NETLOC_REQUIRES(store_mutex_);
+  /// Take the cross-process flock (blocking; counts contention and
+  /// emits EN004 when it has to wait). No-op where flock is missing.
+  void lock_directory(const std::string& label) NETLOC_REQUIRES(store_mutex_);
+  void unlock_directory() NETLOC_REQUIRES(store_mutex_);
 
   std::string dir_;
   EngineObserver* observer_;
   std::uint64_t max_bytes_ = 0;
   /// Atomic: store() (and so trim()) runs on concurrent finalize jobs.
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> lock_contentions_{0};
+  /// Serializes this process's store+trim over the shared lock fd.
+  common::Mutex store_mutex_;
+  /// `<dir>/.lock` descriptor, opened lazily on first store; -1 until
+  /// then (and always on platforms without flock).
+  int lock_fd_ NETLOC_GUARDED_BY(store_mutex_) = -1;
 };
 
 }  // namespace netloc::engine

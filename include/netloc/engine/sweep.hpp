@@ -22,6 +22,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -97,6 +99,24 @@ struct SweepStats {
   Seconds wall_s = 0.0; ///< Wall time of the batch.
 };
 
+/// Cumulative totals across every run_* call of this engine's
+/// lifetime. Unlike stats() — which the engine overwrites at the start
+/// of each run and which therefore must not be read while a sweep is
+/// in flight — lifetime_stats() folds each finished run into atomic
+/// counters, so a daemon can report totals from any thread while the
+/// executor is mid-sweep. In-flight runs are not included; the
+/// counters advance when a run completes.
+struct LifetimeStats {
+  std::int64_t sweeps = 0;  ///< Completed run_* calls.
+  std::int64_t cells = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t jobs_run = 0;
+  std::int64_t plans_built = 0;
+  std::int64_t cache_evictions = 0;
+  std::int64_t verify_findings = 0;
+  Seconds wall_s = 0.0;  ///< Summed batch wall times (not elapsed time).
+};
+
 /// One cell of a flow-simulation batch (bench/dynamic_validation.cpp):
 /// replay `app`/`ranks` p2p traffic on the Table 2 torus under the
 /// consecutive mapping, either as one burst (timed = false, flows start
@@ -145,6 +165,11 @@ class SweepEngine {
   /// Stats of the last run_* call.
   [[nodiscard]] const SweepStats& stats() const { return stats_; }
 
+  /// Snapshot of the cumulative counters. Thread-safe: callable from
+  /// any thread while another thread runs a sweep (the snapshot then
+  /// reflects the runs finished so far).
+  [[nodiscard]] LifetimeStats lifetime_stats() const;
+
   [[nodiscard]] const SweepOptions& options() const { return options_; }
 
  private:
@@ -168,6 +193,9 @@ class SweepEngine {
   void reset_run_counters();
   /// Fold the worker-side counters into stats_ once the graph drained.
   void fold_run_counters();
+  /// Shared run_* epilogue: fold counters, stamp wall time, accumulate
+  /// the finished run into the lifetime atomics.
+  void finish_run(std::chrono::steady_clock::time_point begin);
 
   SweepOptions options_;
   SweepStats stats_;
@@ -180,6 +208,16 @@ class SweepEngine {
   int plans_built_ NETLOC_GUARDED_BY(plans_mutex_) = 0;
   /// Diagnostics the verify hook reported in the in-flight run.
   std::atomic<int> verify_findings_{0};
+  // Lifetime totals (see LifetimeStats). Wall time accumulates in
+  // microseconds so a plain integer atomic suffices.
+  std::atomic<std::int64_t> life_sweeps_{0};
+  std::atomic<std::int64_t> life_cells_{0};
+  std::atomic<std::int64_t> life_cache_hits_{0};
+  std::atomic<std::int64_t> life_jobs_run_{0};
+  std::atomic<std::int64_t> life_plans_built_{0};
+  std::atomic<std::int64_t> life_cache_evictions_{0};
+  std::atomic<std::int64_t> life_verify_findings_{0};
+  std::atomic<std::int64_t> life_wall_us_{0};
 };
 
 }  // namespace netloc::engine

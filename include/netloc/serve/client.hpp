@@ -1,0 +1,68 @@
+// Client side of the serve protocol: one connected channel, typed
+// round trips. Used by the netloc_cli submit/status/watch/shutdown
+// subcommands, the end-to-end tests and bench/perf_serve — all of
+// which speak to the daemon exclusively through this class, so the
+// wire format has a single reader implementation per side.
+//
+// A Client is single-threaded: one request/stream at a time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "netloc/serve/json.hpp"
+#include "netloc/serve/protocol.hpp"
+#include "netloc/serve/transport.hpp"
+
+namespace netloc::serve {
+
+class Client {
+ public:
+  /// Takes ownership of a connected channel (socket.hpp connect_unix()
+  /// or InProcessListener::connect()).
+  explicit Client(std::unique_ptr<ByteChannel> channel);
+
+  /// Called for every intermediate frame of a streaming call
+  /// ("accepted" and "event" frames, in arrival order).
+  using EventHandler = std::function<void(const Json&)>;
+
+  /// One request, one response frame. Throws Error if the daemon hangs
+  /// up without answering.
+  Json request(const Request& request);
+
+  /// Submit and stream until the job's terminal frame. Returns the
+  /// "result" frame — or the "error" frame if the daemon rejected the
+  /// request — with intermediate frames passed to `on_event`. For
+  /// detach submissions the "accepted" frame is the terminal answer.
+  ///
+  /// Frames can arrive result-before-accepted when the submission
+  /// coalesced onto a job that finished immediately; this loop is
+  /// order-insensitive.
+  Json submit_and_wait(const SubmitRequest& submit,
+                       const EventHandler& on_event = {});
+
+  /// Attach to an existing job (16-hex key) and stream until its
+  /// terminal frame; same return contract as submit_and_wait.
+  Json watch_and_wait(const std::string& job,
+                      const EventHandler& on_event = {});
+
+  /// {"type":"status",...} from the daemon.
+  Json status();
+  /// True if the daemon answered the ping.
+  bool ping();
+  /// Ask the daemon to drain and exit; returns its acknowledgement.
+  Json shutdown();
+
+  void close();
+
+ private:
+  /// Next frame, parsed. Throws Error on EOF (daemon gone).
+  Json read_response();
+  /// Drive a stream until a terminal frame for `detach` semantics.
+  Json wait_terminal(bool accepted_is_terminal, const EventHandler& on_event);
+
+  std::unique_ptr<ByteChannel> channel_;
+};
+
+}  // namespace netloc::serve

@@ -1,0 +1,138 @@
+// The serve daemon: a persistent SweepEngine behind a framed protocol.
+//
+// One Daemon owns
+//
+//  * a JobQueue (serve/job_queue.hpp) — priorities, cancellation and
+//    content-addressed coalescing;
+//  * one executor thread draining the queue serially. A sweep already
+//    parallelizes internally (task graph on the thread pool), so a
+//    second concurrent sweep would only fight the first for cores;
+//  * one long-lived SweepEngine per distinct RunOptions (seed ×
+//    routing), so repeat submissions hit warm plan caches and the
+//    shared on-disk result cache;
+//  * one session thread per accepted connection, reading request
+//    frames and writing responses under a per-session write mutex
+//    (engine events and the session's own replies interleave safely).
+//
+// Engine telemetry crosses into the protocol through an observer
+// bridge: the executor publishes the running job's key, EngineObserver
+// callbacks (worker threads) forward to JobQueue::publish_event, and
+// the queue fans them out to progress subscribers as event frames.
+//
+// Shutdown contract (docs/SERVE.md): shutdown() — from a session's
+// shutdown request, a signal handler via Listener::shutdown(), or the
+// owner — stops accept(). serve() then closes the queue (further
+// submits are rejected with an error frame), the executor finishes
+// every queued job and delivers every result, sessions drain, and
+// serve() returns. Nothing accepted is ever dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netloc/common/thread_annotations.hpp"
+#include "netloc/engine/sweep.hpp"
+#include "netloc/serve/job_queue.hpp"
+#include "netloc/serve/protocol.hpp"
+#include "netloc/serve/transport.hpp"
+
+namespace netloc::serve {
+
+struct DaemonOptions {
+  /// Engine worker threads per sweep; 0 = hardware default.
+  int jobs = 0;
+  /// Shared result-cache directory; empty disables caching. Several
+  /// daemons may point at one directory — stores are flock-serialized.
+  std::string cache_dir;
+  /// On-disk cache cap in bytes; 0 = unbounded.
+  std::uint64_t cache_max_bytes = 0;
+  /// Run the netloc::verify post-cell pass suite inside every sweep;
+  /// findings stream to progress subscribers as diagnostic events.
+  bool verify = false;
+  /// Daemon log lines ("accepted connection", "job done"); null = quiet.
+  std::ostream* log = nullptr;
+};
+
+/// Counters for status frames and tests.
+struct DaemonStats {
+  QueueStats queue;
+  engine::LifetimeStats lifetime;  ///< Summed over all engines.
+  std::int64_t connections = 0;    ///< Sessions accepted so far.
+  std::int64_t engines = 0;        ///< Distinct RunOptions seen.
+  std::int64_t cache_lock_contentions = 0;  ///< EN004 events observed.
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options = {});
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Run the accept loop on the calling thread until shutdown(); the
+  /// executor and session threads live inside this call. When it
+  /// returns, every accepted job has finished and every session is
+  /// closed. One serve() per Daemon.
+  void serve(Listener& listener);
+
+  /// Stop accepting and start the drain (idempotent, thread-safe).
+  /// Callable before serve() — serve() then drains immediately.
+  void shutdown();
+
+  /// The queue, exposed so tests and benches can pause()/resume() the
+  /// executor to line up deterministic coalescing scenarios.
+  [[nodiscard]] JobQueue& queue() { return queue_; }
+
+  [[nodiscard]] DaemonStats stats();
+
+  [[nodiscard]] const DaemonOptions& options() const { return options_; }
+
+ private:
+  class Session;
+  class ObserverBridge;
+
+  /// The long-lived engine for `run` (created on first use).
+  engine::SweepEngine& engine_for(const analysis::RunOptions& run);
+  /// Executor thread: drain the queue until closed.
+  void executor_loop();
+  /// Execute one job on the executor thread and publish its outcome.
+  void run_job(const JobQueue::Work& work);
+  /// Session thread: frame loop for one connection.
+  void session_loop(std::shared_ptr<Session> session);
+  /// Handle one parsed request; returns false when the session must
+  /// close (shutdown handshake).
+  bool handle_request(Session& session, const Request& request);
+  void handle_submit(Session& session, const SubmitRequest& submit);
+  std::string status_frame();
+  void log_line(const std::string& line);
+
+  DaemonOptions options_;
+  JobQueue queue_;
+  std::unique_ptr<ObserverBridge> bridge_;
+
+  common::Mutex engines_mutex_;
+  /// Keyed by a canonical RunOptions string (seed + routing label).
+  std::map<std::string, std::unique_ptr<engine::SweepEngine>> engines_
+      NETLOC_GUARDED_BY(engines_mutex_);
+
+  common::Mutex sessions_mutex_;
+  std::vector<std::shared_ptr<Session>> sessions_
+      NETLOC_GUARDED_BY(sessions_mutex_);
+  std::vector<std::thread> session_threads_ NETLOC_GUARDED_BY(sessions_mutex_);
+  std::int64_t connections_ NETLOC_GUARDED_BY(sessions_mutex_) = 0;
+
+  /// The listener serve() is accepting on; shutdown() pokes it.
+  std::atomic<Listener*> listener_{nullptr};
+  std::atomic<bool> shutdown_requested_{false};
+
+  common::Mutex log_mutex_;
+};
+
+}  // namespace netloc::serve

@@ -1,0 +1,205 @@
+// Priority job queue with dedup/coalescing for the serve daemon.
+//
+// A job is one sweep request (catalog entries × RunOptions), content-
+// addressed the same way the result cache addresses rows: the job key
+// is the FNV-1a combination of every entry's result_cache_key hash, so
+// two requests have equal keys exactly when the engine would compute
+// byte-identical results for them. Submitting a key that is already
+// queued or running does not enqueue anything — the new subscriber
+// attaches to the in-flight job and every subscriber receives the one
+// result ("N identical concurrent requests, one computation").
+//
+// Scheduling: strict priority, FIFO within a priority (a sequence
+// number breaks ties). One executor (the daemon) drains the queue via
+// take_next()/finish(); any number of session threads submit, watch,
+// cancel and detach concurrently. Lock discipline is declared with the
+// Clang TSA annotations and compiled -Wthread-safety -Werror in CI.
+//
+// Subscriber callbacks are always invoked *outside* the queue lock (a
+// callback writes to a client channel, which can block), from either
+// the executor thread (events, results) or the calling session thread
+// (immediate replay of a retained result).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/common/thread_annotations.hpp"
+#include "netloc/workloads/catalog.hpp"
+
+namespace netloc::serve {
+
+/// Content hash identifying one job (16-hex in the protocol).
+using JobKey = std::uint64_t;
+
+/// What one job computes. Entries are in catalog order; the key is
+/// order-sensitive, but the daemon always expands selectors through
+/// the catalog, so identical requests produce identical entry lists.
+struct JobSpec {
+  std::vector<workloads::CatalogEntry> entries;
+  analysis::RunOptions run;
+
+  /// FNV-1a over the entries' result-cache keys (which already encode
+  /// workload, calibration targets, seed, Table 2 parameters, metric
+  /// options and routing policy).
+  [[nodiscard]] JobKey key() const;
+
+  /// "AMG/216", "LULESH/64 +5 more" — human-readable, not unique.
+  [[nodiscard]] std::string label() const;
+};
+
+enum class JobState { Queued, Running, Done, Failed, Cancelled };
+[[nodiscard]] const char* to_string(JobState state);
+
+/// Terminal result of one job, fanned out to every subscriber.
+struct JobOutcome {
+  JobState state = JobState::Done;
+  std::string error;  ///< Failed/Cancelled reason.
+  std::string csv;    ///< Table 3 CSV of the rows (byte-identical
+                      ///< across subscribers by construction).
+  int rows = 0;
+  int cache_hits = 0;
+  int jobs_run = 0;
+  double wall_s = 0.0;
+};
+
+/// A client's view of job progress. Implementations (daemon sessions)
+/// must be thread-safe: events arrive on the executor thread while the
+/// session thread may be writing a response.
+class JobSubscriber {
+ public:
+  virtual ~JobSubscriber() = default;
+
+  /// Engine telemetry bridged into the job's event stream. Only
+  /// delivered to subscriptions with `progress` set.
+  virtual void on_job_event(JobKey key, const std::string& kind,
+                            const std::string& label,
+                            const std::string& detail) = 0;
+
+  /// Terminal state. Exactly once per subscription (unless the client
+  /// detached first).
+  virtual void on_job_result(JobKey key, const std::string& label,
+                             const JobOutcome& outcome) = 0;
+};
+
+struct Subscription {
+  std::shared_ptr<JobSubscriber> subscriber;
+  bool progress = false;
+};
+
+/// Aggregate queue counters (status frames, tests, perf_serve).
+struct QueueStats {
+  std::int64_t submitted = 0;  ///< submit() calls accepted.
+  std::int64_t coalesced = 0;  ///< ...of which attached to an in-flight job.
+  std::int64_t executed = 0;   ///< Jobs handed to the executor.
+  std::int64_t done = 0;
+  std::int64_t failed = 0;
+  std::int64_t cancelled = 0;
+  int depth = 0;               ///< Currently queued (not running).
+  std::string running;         ///< Label of the running job, "" if idle.
+};
+
+class JobQueue {
+ public:
+  /// Jobs whose outcome is retained for watch()/replay after they
+  /// finish; older ones are forgotten (their results live on in the
+  /// engine's on-disk cache).
+  static constexpr std::size_t kRetainedJobs = 64;
+
+  struct Ticket {
+    JobKey key = 0;
+    std::string label;
+    bool coalesced = false;
+    JobState state = JobState::Queued;
+  };
+
+  /// Enqueue `spec` (or attach to the in-flight job with the same
+  /// key). `subscription.subscriber` may be null (detached submit).
+  /// Throws Error after close().
+  Ticket submit(JobSpec spec, int priority, Subscription subscription);
+
+  /// Attach to a queued/running job, or immediately replay a retained
+  /// result (callback fires on this thread, outside the lock).
+  /// Returns false for an unknown key.
+  bool watch(JobKey key, const Subscription& subscription);
+
+  /// Cancel a *queued* job: subscribers get a Cancelled outcome.
+  /// Running jobs cannot be interrupted (the engine owns its threads);
+  /// returns false for running/unknown keys.
+  bool cancel(JobKey key);
+
+  /// Drop `subscriber` from every job (client disconnected).
+  void detach(const JobSubscriber* subscriber);
+
+  // ---- executor side -------------------------------------------------------
+
+  /// Block for the next job (highest priority, FIFO within). Returns
+  /// nullopt once close()d and drained. The job is marked Running.
+  struct Work {
+    JobKey key = 0;
+    std::string label;
+    JobSpec spec;
+  };
+  std::optional<Work> take_next();
+
+  /// Broadcast an engine event for the running job `key` to its
+  /// progress subscribers.
+  void publish_event(JobKey key, const std::string& kind,
+                     const std::string& label, const std::string& detail);
+
+  /// Deliver the running job's terminal outcome to every subscriber
+  /// and retain it for watch().
+  void finish(JobKey key, JobOutcome outcome);
+
+  /// Hold the executor: take_next() blocks even with work queued.
+  /// Deterministic coalescing tests and the perf bench use this to
+  /// line up concurrent submissions.
+  void pause();
+  void resume();
+
+  /// Reject further submissions; take_next() drains what is queued and
+  /// then returns nullopt. Idempotent.
+  void close();
+
+  [[nodiscard]] QueueStats stats() const;
+
+ private:
+  struct Job {
+    JobSpec spec;
+    JobKey key = 0;
+    std::string label;
+    int priority = 0;
+    std::uint64_t seq = 0;
+    JobState state = JobState::Queued;
+    std::vector<Subscription> subscribers;
+    JobOutcome outcome;  ///< Valid once state is terminal.
+  };
+
+  using JobPtr = std::shared_ptr<Job>;
+
+  /// The queued job that runs next (nullptr when empty).
+  [[nodiscard]] JobPtr* best_queued() NETLOC_REQUIRES(mutex_);
+  /// Deliver `outcome` to `subscribers` outside the lock.
+  static void deliver(const std::vector<Subscription>& subscribers, JobKey key,
+                      const std::string& label, const JobOutcome& outcome);
+
+  mutable common::Mutex mutex_;
+  common::CondVar cv_;
+  std::vector<JobPtr> queued_ NETLOC_GUARDED_BY(mutex_);
+  /// In-flight jobs by key (queued + running) — the coalescing index.
+  std::map<JobKey, JobPtr> inflight_ NETLOC_GUARDED_BY(mutex_);
+  /// Recently finished jobs, newest last, capped at kRetainedJobs.
+  std::deque<JobPtr> retained_ NETLOC_GUARDED_BY(mutex_);
+  QueueStats stats_ NETLOC_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ NETLOC_GUARDED_BY(mutex_) = 0;
+  bool paused_ NETLOC_GUARDED_BY(mutex_) = false;
+  bool closed_ NETLOC_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace netloc::serve

@@ -1,0 +1,114 @@
+// Minimal JSON value for the serve protocol (serve/protocol.hpp).
+//
+// The daemon speaks length-prefixed JSON frames (serve/transport.hpp),
+// so it needs a parser that is robust against adversarial payloads the
+// same way read_binary is: every limit is explicit (input size is
+// bounded by the frame cap before parse() ever runs, nesting depth by
+// kMaxJsonDepth) and malformed text throws JsonError — never a crash,
+// never unbounded allocation. No external dependency: the repository's
+// JSON needs are a handful of flat request/response objects, not a
+// full-featured library.
+//
+// Objects preserve insertion order, so dump() is deterministic — the
+// coalescing tests compare whole response payloads byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::serve {
+
+/// Malformed JSON text (parse) or a type-mismatched access (as_*/at).
+class JsonError : public Error {
+ public:
+  explicit JsonError(const std::string& what) : Error(what) {}
+};
+
+/// Nesting depth parse() accepts before rejecting the input — far above
+/// anything the protocol produces (its frames nest two levels deep).
+inline constexpr int kMaxJsonDepth = 32;
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;  ///< null
+  Json(bool value) : type_(Type::Bool), bool_(value) {}           // NOLINT
+  Json(double value) : type_(Type::Number), number_(value) {}     // NOLINT
+  Json(int value) : Json(static_cast<double>(value)) {}           // NOLINT
+  Json(std::int64_t v) : Json(static_cast<double>(v)) {}          // NOLINT
+  Json(std::uint64_t v) : Json(static_cast<double>(v)) {}         // NOLINT
+  Json(std::string value)                                         // NOLINT
+      : type_(Type::String), string_(std::move(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}           // NOLINT
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+
+  /// Checked accessors; throw JsonError on a type mismatch so protocol
+  /// handlers get a diagnosable error instead of UB.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Json>& as_array() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& as_object()
+      const;
+
+  /// Object lookup: null reference for a missing key (find) or
+  /// JsonError (at). Linear scan — protocol objects have < 10 keys.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  /// Convenience typed lookups with defaults for optional fields.
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback = "") const;
+  [[nodiscard]] double get_number(std::string_view key,
+                                  double fallback = 0.0) const;
+  [[nodiscard]] bool get_bool(std::string_view key,
+                              bool fallback = false) const;
+
+  /// Append to an array / set an object key (replacing an existing
+  /// entry). Calling on the wrong type throws JsonError.
+  void push(Json value);
+  void set(std::string key, Json value);
+
+  /// Parse one complete JSON document; trailing non-whitespace is an
+  /// error. The caller bounds text size (frames are capped before this
+  /// runs); parse() bounds depth.
+  static Json parse(std::string_view text);
+
+  /// Compact serialization (no whitespace), deterministic for a given
+  /// value: object keys keep insertion order.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace netloc::serve

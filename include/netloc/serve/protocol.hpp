@@ -1,0 +1,112 @@
+// Wire protocol of the serve daemon: typed views over the JSON frames.
+//
+// Every frame is one JSON object with a "type" field. Client -> daemon:
+//
+//   {"type":"ping"}
+//   {"type":"submit","apps":["AMG/8","LULESH"],"seed":42,
+//    "routing":"ecmp","fail_links":[3,17],"priority":1,
+//    "detach":false,"progress":true}
+//   {"type":"status"}
+//   {"type":"watch","job":"<16-hex job key>"}
+//   {"type":"cancel","job":"<16-hex job key>"}
+//   {"type":"shutdown"}
+//
+// Daemon -> client (see docs/SERVE.md for the full lifecycle):
+//
+//   {"type":"pong"}
+//   {"type":"accepted","job":"...","label":"...","coalesced":false,
+//    "state":"queued"}
+//   {"type":"event","kind":"job_started|job_finished|cache_hit|
+//    cache_store|cache_evict|diagnostic|job_running","job":"...",
+//    "label":"...","detail":"..."}
+//   {"type":"result","job":"...","state":"done|failed|cancelled",
+//    "rows":N,"cache_hits":N,"jobs_run":N,"wall_s":S,"csv":"...",
+//    "error":"..."}
+//   {"type":"status",...}        (queue depth, lifetime totals)
+//   {"type":"ok","what":"cancel|shutdown"}
+//   {"type":"error","message":"..."}
+//
+// parse_request() validates shape and field types and throws
+// ProtocolError on anything else — the daemon answers with an error
+// frame instead of dying. Catalog resolution ("does AMG/9 exist?")
+// happens in the daemon, where the error can name the job.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netloc/common/error.hpp"
+#include "netloc/serve/json.hpp"
+#include "netloc/topology/routing.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace netloc::serve {
+
+/// Structurally invalid request frame (bad JSON shape, unknown type,
+/// wrong field types). Distinct from JsonError so the daemon can
+/// report "malformed request" vs "not JSON at all".
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+struct SubmitRequest {
+  /// Catalog selectors: "AMG" (every entry of the app) or "AMG/216"
+  /// (one rank count). Empty = the whole catalog.
+  std::vector<std::string> apps;
+  std::uint64_t seed = workloads::kDefaultSeed;
+  topology::RoutingSpec routing;
+  /// Larger runs earlier; FIFO within a priority.
+  int priority = 0;
+  /// true: the accepted frame is the whole answer (fire-and-forget,
+  /// watch later). false: the client stays subscribed until the result.
+  bool detach = false;
+  /// Stream per-job engine telemetry as event frames.
+  bool progress = false;
+};
+
+struct Request {
+  enum class Kind { Ping, Submit, Status, Watch, Cancel, Shutdown };
+  Kind kind = Kind::Ping;
+  SubmitRequest submit;  ///< Kind::Submit only.
+  std::string job;       ///< Kind::Watch / Kind::Cancel: 16-hex job key.
+};
+
+/// Parse one request frame payload; throws JsonError (not JSON) or
+/// ProtocolError (JSON, wrong shape).
+Request parse_request(const std::string& payload);
+
+/// Serialize a request (the client side of parse_request).
+std::string encode_request(const Request& request);
+
+/// 16-hex-digit job key label used in every frame ("00c3ab...").
+std::string format_job_key(std::uint64_t key);
+/// Inverse of format_job_key; throws ProtocolError on junk.
+std::uint64_t parse_job_key(const std::string& text);
+
+// ---- response builders (daemon side) --------------------------------------
+
+std::string encode_pong();
+std::string encode_error(const std::string& message);
+/// Bare acknowledgement for requests with no payload to return
+/// ("cancel", "shutdown").
+std::string encode_ok(const std::string& what);
+std::string encode_accepted(std::uint64_t job, const std::string& label,
+                            bool coalesced, const std::string& state);
+std::string encode_event(const std::string& kind, std::uint64_t job,
+                         const std::string& label, const std::string& detail);
+
+struct ResultFrame {
+  std::uint64_t job = 0;
+  std::string state;  ///< "done", "failed" or "cancelled".
+  std::string error;  ///< Failed/cancelled reason; empty when done.
+  int rows = 0;
+  int cache_hits = 0;
+  int jobs_run = 0;
+  double wall_s = 0.0;
+  std::string csv;  ///< Table 3 CSV, byte-identical for identical jobs.
+};
+std::string encode_result(const ResultFrame& result);
+
+}  // namespace netloc::serve

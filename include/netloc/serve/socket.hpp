@@ -1,0 +1,32 @@
+// Unix-domain socket transport for the serve daemon (POSIX only).
+//
+// The daemon listens on a filesystem socket path; netloc_cli
+// submit/status/watch connect to it. accept() multiplexes the listen
+// socket against a self-pipe so shutdown() — a single write(2), which
+// is async-signal-safe — can unblock it from a SIGTERM handler: the
+// graceful drain-and-shutdown contract in docs/SERVE.md starts there.
+//
+// On Windows the factory functions throw ConfigError("unix-domain
+// sockets unavailable"); the in-process transport (serve/transport.hpp)
+// still works everywhere.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "netloc/serve/transport.hpp"
+
+namespace netloc::serve {
+
+/// Bind + listen on `path`. A stale socket file from a dead daemon is
+/// replaced; a live one (something accepts connections) is a
+/// ConfigError so two daemons never fight over one path.
+std::unique_ptr<Listener> listen_unix(const std::string& path);
+
+/// Connect to the daemon at `path`; throws Error if nothing listens.
+std::unique_ptr<ByteChannel> connect_unix(const std::string& path);
+
+/// True when this build supports Unix-domain sockets.
+bool unix_sockets_available();
+
+}  // namespace netloc::serve

@@ -1,0 +1,117 @@
+// Transport + framing for the netloc::serve daemon (docs/SERVE.md).
+//
+// Two layers:
+//
+//  * ByteChannel / Listener — a bidirectional byte-stream endpoint and
+//    an acceptor, with two implementations: an in-process pipe pair
+//    (tests and benches run the full daemon without a real socket) and
+//    a Unix-domain socket (serve/socket.hpp).
+//
+//  * Frames — every protocol message is one length-prefixed JSON
+//    payload: a 4-byte little-endian length followed by that many
+//    bytes of UTF-8 JSON. read_frame() is hardened the way read_binary
+//    bounds event counts: the length field is validated against
+//    kMaxFrameBytes *before* any allocation, truncation mid-frame is a
+//    FrameFormatError (never a crash or bad_alloc), and EOF exactly at
+//    a frame boundary is a clean end-of-stream.
+//
+// Channels are used by exactly one reader and one writer thread at a
+// time per direction (the daemon serializes writes per session); the
+// in-process implementation is internally synchronized and TSan-clean.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::serve {
+
+/// Truncated, oversized or otherwise malformed frame. The daemon turns
+/// this into a best-effort error frame plus a closed connection; it
+/// never aborts the process.
+class FrameFormatError : public Error {
+ public:
+  explicit FrameFormatError(const std::string& what) : Error(what) {}
+};
+
+/// Upper bound on one frame's payload. Large enough for the full
+/// Table 3 CSV many times over, small enough that a hostile length
+/// field cannot drive allocation (16 MiB).
+inline constexpr std::uint32_t kMaxFrameBytes = 16U * 1024U * 1024U;
+
+/// One endpoint of a bidirectional byte stream.
+class ByteChannel {
+ public:
+  virtual ~ByteChannel() = default;
+
+  /// Read up to `size` bytes into `data`; blocks until at least one
+  /// byte is available. Returns the byte count, or 0 once the peer has
+  /// closed and the stream is drained.
+  virtual std::size_t read_some(char* data, std::size_t size) = 0;
+
+  /// Write all `size` bytes; throws Error once the peer is gone.
+  virtual void write_all(const char* data, std::size_t size) = 0;
+
+  /// Close this endpoint: the peer's reader drains buffered bytes and
+  /// then sees EOF; both directions stop accepting writes. Idempotent,
+  /// and safe to call from another thread to unblock a reader.
+  virtual void close() = 0;
+};
+
+/// Read one frame. Returns the JSON payload, or nullopt on a clean EOF
+/// at a frame boundary. Throws FrameFormatError for an empty frame, a
+/// length above kMaxFrameBytes, or EOF inside the length field or
+/// payload (a mid-frame disconnect).
+std::optional<std::string> read_frame(ByteChannel& channel);
+
+/// Write one frame (length prefix + payload). Payloads above
+/// kMaxFrameBytes are a FrameFormatError on the *writer* side — a
+/// conforming sender never produces a frame its peer must reject.
+void write_frame(ByteChannel& channel, std::string_view payload);
+
+/// Accepts client connections for the daemon.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Block for the next client; returns nullptr once shutdown() was
+  /// called (and never a connection afterwards).
+  virtual std::unique_ptr<ByteChannel> accept() = 0;
+
+  /// Unblock accept() permanently. Thread-safe; the Unix-socket
+  /// implementation is additionally async-signal-safe so a SIGTERM
+  /// handler may call it directly.
+  virtual void shutdown() = 0;
+};
+
+/// A connected in-process channel pair: bytes written to `first` are
+/// read from `second` and vice versa.
+std::pair<std::unique_ptr<ByteChannel>, std::unique_ptr<ByteChannel>>
+make_channel_pair();
+
+/// In-process listener: connect() hands back the client endpoint and
+/// queues the server endpoint for accept(). Drives the daemon in tests
+/// and benches with no file system or socket dependency.
+class InProcessListener final : public Listener {
+ public:
+  InProcessListener();
+  ~InProcessListener() override;
+
+  /// The client endpoint of a fresh connection; throws Error after
+  /// shutdown().
+  std::unique_ptr<ByteChannel> connect();
+
+  std::unique_ptr<ByteChannel> accept() override;
+  void shutdown() override;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace netloc::serve

@@ -12,6 +12,9 @@
 #if defined(_WIN32)
 #include <process.h>
 #else
+#include <cerrno>
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 #endif
 
@@ -204,6 +207,55 @@ ResultCache::ResultCache(std::string dir, EngineObserver* observer,
   }
 }
 
+ResultCache::~ResultCache() {
+#if !defined(_WIN32)
+  common::MutexLock lock(store_mutex_);
+  if (lock_fd_ >= 0) ::close(lock_fd_);
+  lock_fd_ = -1;
+#endif
+}
+
+void ResultCache::lock_directory(const std::string& label) {
+#if defined(_WIN32)
+  (void)label;  // No flock(): the in-process mutex is the only guard.
+#else
+  if (lock_fd_ < 0) {
+    const auto path = std::filesystem::path(dir_) / ".lock";
+    lock_fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (lock_fd_ < 0) {
+      throw Error("ResultCache: cannot open lock file " + path.string());
+    }
+  }
+  // Probe non-blocking first so contention is observable: another
+  // process (or another ResultCache in this process, with its own fd)
+  // is inside store+trim right now.
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) == 0) return;
+  if (errno != EWOULDBLOCK && errno != EINTR) {
+    throw Error("ResultCache: flock on " + dir_ + "/.lock failed");
+  }
+  ++lock_contentions_;
+  if (observer_) {
+    observer_->on_diagnostic(lint::RuleRegistry::instance().make(
+        "EN004", {dir_, -1, -1},
+        "cache directory lock contended while storing " + label +
+            "; waiting for the concurrent store+trim to finish",
+        "expected when daemons share a cache dir; stores stay correct, "
+        "just serialized"));
+  }
+  while (::flock(lock_fd_, LOCK_EX) != 0) {
+    if (errno != EINTR) {
+      throw Error("ResultCache: flock on " + dir_ + "/.lock failed");
+    }
+  }
+#endif
+}
+
+void ResultCache::unlock_directory() {
+#if !defined(_WIN32)
+  if (lock_fd_ >= 0) ::flock(lock_fd_, LOCK_UN);
+#endif
+}
+
 std::optional<analysis::ExperimentRow> ResultCache::load(const CacheKey& key) {
   const auto path = std::filesystem::path(dir_) / key.file_name();
   std::ifstream in(path, std::ios::binary);
@@ -236,6 +288,21 @@ std::optional<analysis::ExperimentRow> ResultCache::load(const CacheKey& key) {
 }
 
 void ResultCache::store(const CacheKey& key, const analysis::ExperimentRow& row) {
+  // In-process serialization first (threads share lock_fd_, and flock
+  // is per open-file-description), then the cross-process flock.
+  common::MutexLock lock(store_mutex_);
+  lock_directory(key.label);
+  try {
+    store_locked(key, row);
+  } catch (...) {
+    unlock_directory();
+    throw;
+  }
+  unlock_directory();
+}
+
+void ResultCache::store_locked(const CacheKey& key,
+                               const analysis::ExperimentRow& row) {
   const auto dir = std::filesystem::path(dir_);
   const auto final_path = dir / key.file_name();
   // Unique temp name per process *and* thread: thread ids alone can

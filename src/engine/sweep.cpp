@@ -99,6 +99,36 @@ void SweepEngine::fold_run_counters() {
   stats_.verify_findings = verify_findings_.load();
 }
 
+void SweepEngine::finish_run(Clock::time_point begin) {
+  fold_run_counters();
+  stats_.wall_s = seconds_since(begin);
+  life_sweeps_.fetch_add(1, std::memory_order_relaxed);
+  life_cells_.fetch_add(stats_.cells, std::memory_order_relaxed);
+  life_cache_hits_.fetch_add(stats_.cache_hits, std::memory_order_relaxed);
+  life_jobs_run_.fetch_add(stats_.jobs_run, std::memory_order_relaxed);
+  life_plans_built_.fetch_add(stats_.plans_built, std::memory_order_relaxed);
+  life_cache_evictions_.fetch_add(stats_.cache_evictions,
+                                  std::memory_order_relaxed);
+  life_verify_findings_.fetch_add(stats_.verify_findings,
+                                  std::memory_order_relaxed);
+  life_wall_us_.fetch_add(static_cast<std::int64_t>(stats_.wall_s * 1e6),
+                          std::memory_order_relaxed);
+}
+
+LifetimeStats SweepEngine::lifetime_stats() const {
+  LifetimeStats life;
+  life.sweeps = life_sweeps_.load(std::memory_order_relaxed);
+  life.cells = life_cells_.load(std::memory_order_relaxed);
+  life.cache_hits = life_cache_hits_.load(std::memory_order_relaxed);
+  life.jobs_run = life_jobs_run_.load(std::memory_order_relaxed);
+  life.plans_built = life_plans_built_.load(std::memory_order_relaxed);
+  life.cache_evictions = life_cache_evictions_.load(std::memory_order_relaxed);
+  life.verify_findings = life_verify_findings_.load(std::memory_order_relaxed);
+  life.wall_s =
+      static_cast<double>(life_wall_us_.load(std::memory_order_relaxed)) / 1e6;
+  return life;
+}
+
 void SweepEngine::verify_cell(const CellArtifacts& artifacts) {
   if (!options_.post_cell_verify) return;
   const lint::LintReport report = options_.post_cell_verify(artifacts);
@@ -223,8 +253,7 @@ std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
   }
 
   if (cache) stats_.cache_evictions = static_cast<int>(cache->evictions());
-  fold_run_counters();
-  stats_.wall_s = seconds_since(begin);
+  finish_run(begin);
   return rows;
 }
 
@@ -259,8 +288,7 @@ std::vector<analysis::DimensionalityRow> SweepEngine::run_dimensionality(
     ThreadPool pool(options_.jobs);
     graph.run(pool, options_.observer);
   }
-  fold_run_counters();
-  stats_.wall_s = seconds_since(begin);
+  finish_run(begin);
   return rows;
 }
 
@@ -292,8 +320,7 @@ std::vector<analysis::MulticoreSeries> SweepEngine::run_multicore(
     ThreadPool pool(options_.jobs);
     graph.run(pool, options_.observer);
   }
-  fold_run_counters();
-  stats_.wall_s = seconds_since(begin);
+  finish_run(begin);
   return rows;
 }
 
@@ -347,8 +374,7 @@ std::vector<FlowSweepResult> SweepEngine::run_flow_sweep(
     ThreadPool pool(options_.jobs);
     graph.run(pool, options_.observer);
   }
-  fold_run_counters();
-  stats_.wall_s = seconds_since(begin);
+  finish_run(begin);
   return results;
 }
 

@@ -70,6 +70,8 @@ constexpr RuleInfo kRules[] = {
      "cache blob written by an incompatible engine version; ignored"},
     {"EN003", Severity::Note, "engine",
      "result cache over its size cap; least-recently-used blobs evicted"},
+    {"EN004", Severity::Note, "engine",
+     "cache directory lock contended; store+trim waited for another writer"},
     // ---- verify pack (netloc::verify cross-artifact passes) --------------
     {"VF001", Severity::Error, "verify",
      "network graph structure inconsistent (adjacency, id space, symmetry)"},

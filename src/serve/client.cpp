@@ -1,0 +1,74 @@
+#include "netloc/serve/client.hpp"
+
+#include <utility>
+
+namespace netloc::serve {
+
+Client::Client(std::unique_ptr<ByteChannel> channel)
+    : channel_(std::move(channel)) {
+  if (channel_ == nullptr) throw Error("Client: null channel");
+}
+
+Json Client::read_response() {
+  auto payload = read_frame(*channel_);
+  if (!payload) {
+    throw Error("serve client: daemon closed the connection");
+  }
+  return Json::parse(*payload);
+}
+
+Json Client::request(const Request& request) {
+  write_frame(*channel_, encode_request(request));
+  return read_response();
+}
+
+Json Client::wait_terminal(bool accepted_is_terminal,
+                           const EventHandler& on_event) {
+  for (;;) {
+    Json frame = read_response();
+    const std::string type = frame.get_string("type");
+    if (type == "result" || type == "error") return frame;
+    if (type == "accepted" && accepted_is_terminal) return frame;
+    if (on_event) on_event(frame);
+  }
+}
+
+Json Client::submit_and_wait(const SubmitRequest& submit,
+                             const EventHandler& on_event) {
+  Request request;
+  request.kind = Request::Kind::Submit;
+  request.submit = submit;
+  write_frame(*channel_, encode_request(request));
+  return wait_terminal(/*accepted_is_terminal=*/submit.detach, on_event);
+}
+
+Json Client::watch_and_wait(const std::string& job,
+                            const EventHandler& on_event) {
+  Request request;
+  request.kind = Request::Kind::Watch;
+  request.job = job;
+  write_frame(*channel_, encode_request(request));
+  return wait_terminal(/*accepted_is_terminal=*/false, on_event);
+}
+
+Json Client::status() {
+  Request request;
+  request.kind = Request::Kind::Status;
+  return this->request(request);
+}
+
+bool Client::ping() {
+  Request request;
+  request.kind = Request::Kind::Ping;
+  return this->request(request).get_string("type") == "pong";
+}
+
+Json Client::shutdown() {
+  Request request;
+  request.kind = Request::Kind::Shutdown;
+  return this->request(request);
+}
+
+void Client::close() { channel_->close(); }
+
+}  // namespace netloc::serve

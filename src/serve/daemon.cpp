@@ -1,0 +1,431 @@
+#include "netloc/serve/daemon.hpp"
+
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "netloc/analysis/export.hpp"
+#include "netloc/verify/sweep_hook.hpp"
+#include "netloc/workloads/catalog.hpp"
+
+namespace netloc::serve {
+
+namespace {
+
+/// Expand "AMG" (every entry of the app) / "AMG/216" (one rank count,
+/// all variants) selectors into catalog entries, preserving request
+/// order. Empty = the whole catalog.
+std::vector<workloads::CatalogEntry> resolve_selectors(
+    const std::vector<std::string>& selectors) {
+  if (selectors.empty()) return workloads::catalog();
+  std::vector<workloads::CatalogEntry> entries;
+  for (const auto& selector : selectors) {
+    const auto slash = selector.find('/');
+    const std::string app =
+        slash == std::string::npos ? selector : selector.substr(0, slash);
+    const auto app_entries = workloads::catalog_for(app);
+    if (app_entries.empty()) {
+      throw ProtocolError("unknown application '" + app + "'");
+    }
+    if (slash == std::string::npos) {
+      entries.insert(entries.end(), app_entries.begin(), app_entries.end());
+      continue;
+    }
+    int ranks = 0;
+    try {
+      std::size_t used = 0;
+      ranks = std::stoi(selector.substr(slash + 1), &used);
+      if (used != selector.size() - slash - 1) throw ProtocolError("");
+    } catch (const std::exception&) {
+      throw ProtocolError("bad selector '" + selector +
+                          "' (want APP or APP/RANKS)");
+    }
+    bool matched = false;
+    for (const auto& entry : app_entries) {
+      if (entry.ranks == ranks) {
+        entries.push_back(entry);
+        matched = true;
+      }
+    }
+    if (!matched) {
+      throw ProtocolError("no catalog entry " + app + "/" +
+                          std::to_string(ranks));
+    }
+  }
+  return entries;
+}
+
+}  // namespace
+
+// ---- Session ---------------------------------------------------------------
+
+/// One connected client. The session thread reads requests; the
+/// executor thread delivers events and results through the
+/// JobSubscriber side. The write mutex keeps the two interleaving at
+/// frame granularity, never mid-frame.
+class Daemon::Session final : public JobSubscriber,
+                              public std::enable_shared_from_this<Session> {
+ public:
+  explicit Session(std::unique_ptr<ByteChannel> channel)
+      : channel_(std::move(channel)) {}
+
+  [[nodiscard]] ByteChannel& channel() { return *channel_; }
+
+  /// Write one frame. Peer-gone errors are swallowed: the session loop
+  /// notices the dead connection on its next read and detaches.
+  void send(const std::string& payload) {
+    common::MutexLock lock(write_mutex_);
+    try {
+      write_frame(*channel_, payload);
+    } catch (const Error&) {
+    }
+  }
+
+  void close() { channel_->close(); }
+
+  void on_job_event(JobKey key, const std::string& kind,
+                    const std::string& label,
+                    const std::string& detail) override {
+    send(encode_event(kind, key, label, detail));
+  }
+
+  void on_job_result(JobKey key, const std::string& /*label*/,
+                     const JobOutcome& outcome) override {
+    ResultFrame frame;
+    frame.job = key;
+    frame.state = to_string(outcome.state);
+    frame.error = outcome.error;
+    frame.rows = outcome.rows;
+    frame.cache_hits = outcome.cache_hits;
+    frame.jobs_run = outcome.jobs_run;
+    frame.wall_s = outcome.wall_s;
+    frame.csv = outcome.csv;
+    send(encode_result(frame));
+  }
+
+ private:
+  std::unique_ptr<ByteChannel> channel_;
+  common::Mutex write_mutex_;
+};
+
+// ---- ObserverBridge --------------------------------------------------------
+
+/// Forwards engine telemetry (worker threads) into the running job's
+/// event stream. The executor publishes which job is current; with a
+/// serial executor there is at most one.
+class Daemon::ObserverBridge final : public engine::EngineObserver {
+ public:
+  explicit ObserverBridge(JobQueue& queue) : queue_(queue) {}
+
+  void set_current(JobKey key) { current_.store(key); }
+  [[nodiscard]] std::int64_t lock_contentions() const {
+    return contentions_.load();
+  }
+
+  void on_job_started(const engine::JobEvent& job) override {
+    publish("job_started", job.label, job.phase);
+  }
+  void on_job_finished(const engine::JobEvent& job,
+                       Seconds /*elapsed*/) override {
+    publish("job_finished", job.label, job.phase);
+  }
+  void on_cache_hit(const std::string& label) override {
+    publish("cache_hit", label, "");
+  }
+  void on_cache_store(const std::string& label) override {
+    publish("cache_store", label, "");
+  }
+  void on_cache_evict(const std::string& file, std::uint64_t bytes) override {
+    publish("cache_evict", file, std::to_string(bytes) + " bytes");
+  }
+  void on_diagnostic(const lint::Diagnostic& diagnostic) override {
+    if (diagnostic.rule_id == "EN004") ++contentions_;
+    publish("diagnostic", diagnostic.rule_id, diagnostic.message);
+  }
+
+ private:
+  void publish(const char* kind, const std::string& label,
+               const std::string& detail) {
+    const JobKey key = current_.load();
+    if (key != 0) queue_.publish_event(key, kind, label, detail);
+  }
+
+  JobQueue& queue_;
+  std::atomic<JobKey> current_{0};
+  std::atomic<std::int64_t> contentions_{0};
+};
+
+// ---- Daemon ----------------------------------------------------------------
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)),
+      bridge_(std::make_unique<ObserverBridge>(queue_)) {}
+
+Daemon::~Daemon() = default;
+
+engine::SweepEngine& Daemon::engine_for(const analysis::RunOptions& run) {
+  std::string key = std::to_string(run.seed);
+  key += run.link_accounting ? "+links" : "-links";
+  if (!run.routing.is_default()) key += " @" + run.routing.label();
+  common::MutexLock lock(engines_mutex_);
+  auto& slot = engines_[key];
+  if (slot == nullptr) {
+    engine::SweepOptions sweep;
+    sweep.run = run;
+    sweep.jobs = options_.jobs;
+    sweep.cache_dir = options_.cache_dir;
+    sweep.cache_max_bytes = options_.cache_max_bytes;
+    sweep.observer = bridge_.get();
+    if (options_.verify) sweep.post_cell_verify = verify::make_cell_verifier();
+    slot = std::make_unique<engine::SweepEngine>(std::move(sweep));
+    log_line("engine created for run options [" + key + "]");
+  }
+  return *slot;
+}
+
+void Daemon::executor_loop() {
+  while (auto work = queue_.take_next()) run_job(*work);
+}
+
+void Daemon::run_job(const JobQueue::Work& work) {
+  bridge_->set_current(work.key);
+  queue_.publish_event(work.key, "job_running", work.label, "");
+  JobOutcome outcome;
+  try {
+    engine::SweepEngine& engine = engine_for(work.spec.run);
+    const auto rows = engine.run_rows(work.spec.entries);
+    const engine::SweepStats& stats = engine.stats();
+    std::ostringstream csv;
+    analysis::write_table3_csv(rows, csv);
+    outcome.state = JobState::Done;
+    outcome.csv = csv.str();
+    outcome.rows = static_cast<int>(rows.size());
+    outcome.cache_hits = stats.cache_hits;
+    outcome.jobs_run = stats.jobs_run;
+    outcome.wall_s = stats.wall_s;
+  } catch (const std::exception& e) {
+    outcome.state = JobState::Failed;
+    outcome.error = e.what();
+  }
+  bridge_->set_current(0);
+  log_line("job " + format_job_key(work.key) + " (" + work.label + ") " +
+           to_string(outcome.state));
+  queue_.finish(work.key, std::move(outcome));
+}
+
+void Daemon::serve(Listener& listener) {
+  listener_.store(&listener);
+  // shutdown() before serve(): honor it now that we hold the listener.
+  if (shutdown_requested_.load()) listener.shutdown();
+  std::thread executor([this] { executor_loop(); });
+
+  while (auto channel = listener.accept()) {
+    auto session = std::make_shared<Session>(std::move(channel));
+    common::MutexLock lock(sessions_mutex_);
+    ++connections_;
+    sessions_.push_back(session);
+    session_threads_.emplace_back(
+        [this, session = std::move(session)] { session_loop(session); });
+  }
+  listener_.store(nullptr);
+  log_line("draining: queue closed, finishing accepted jobs");
+
+  // Drain contract: reject new submissions, run every accepted job to
+  // completion (results reach still-connected subscribers), only then
+  // tear the sessions down.
+  queue_.close();
+  executor.join();
+
+  std::vector<std::shared_ptr<Session>> sessions;
+  std::vector<std::thread> threads;
+  {
+    common::MutexLock lock(sessions_mutex_);
+    sessions = sessions_;
+    threads = std::move(session_threads_);
+    session_threads_.clear();
+  }
+  for (const auto& session : sessions) session->close();
+  for (auto& thread : threads) thread.join();
+  {
+    common::MutexLock lock(sessions_mutex_);
+    sessions_.clear();
+  }
+  log_line("drained; serve() returning");
+}
+
+void Daemon::shutdown() {
+  shutdown_requested_.store(true);
+  if (Listener* listener = listener_.load()) listener->shutdown();
+}
+
+void Daemon::session_loop(std::shared_ptr<Session> session) {
+  bool keep = true;
+  while (keep) {
+    std::optional<std::string> payload;
+    try {
+      payload = read_frame(session->channel());
+    } catch (const FrameFormatError& e) {
+      // Best-effort: the peer that sent garbage may already be gone.
+      session->send(encode_error(std::string("bad frame: ") + e.what()));
+      break;
+    } catch (const Error&) {
+      break;  // Channel torn down under the reader (drain).
+    }
+    if (!payload) break;  // Clean EOF at a frame boundary.
+    try {
+      keep = handle_request(*session, parse_request(*payload));
+    } catch (const JsonError& e) {
+      session->send(encode_error(std::string("payload is not JSON: ") +
+                                 e.what()));
+    } catch (const ProtocolError& e) {
+      session->send(encode_error(e.what()));
+    }
+  }
+  // The client may still be subscribed to in-flight jobs; detach so
+  // the executor never writes to a dead connection.
+  queue_.detach(session.get());
+  session->close();
+}
+
+bool Daemon::handle_request(Session& session, const Request& request) {
+  switch (request.kind) {
+    case Request::Kind::Ping:
+      session.send(encode_pong());
+      return true;
+    case Request::Kind::Submit:
+      handle_submit(session, request.submit);
+      return true;
+    case Request::Kind::Status:
+      session.send(status_frame());
+      return true;
+    case Request::Kind::Watch: {
+      const JobKey key = parse_job_key(request.job);
+      // Known job: events/result flow (a retained result replays
+      // immediately). Unknown: error frame — retention is bounded, old
+      // results live on in the on-disk cache, resubmit to get them.
+      if (!queue_.watch(key, {session.shared_from_this(), true})) {
+        session.send(encode_error("unknown job " + request.job));
+      }
+      return true;
+    }
+    case Request::Kind::Cancel: {
+      const JobKey key = parse_job_key(request.job);
+      if (queue_.cancel(key)) {
+        session.send(encode_ok("cancel"));
+      } else {
+        session.send(encode_error("job " + request.job +
+                                  " is not queued (unknown, running or "
+                                  "already finished)"));
+      }
+      return true;
+    }
+    case Request::Kind::Shutdown:
+      session.send(encode_ok("shutdown"));
+      log_line("shutdown requested by a client");
+      shutdown();
+      return false;
+  }
+  return true;
+}
+
+void Daemon::handle_submit(Session& session, const SubmitRequest& submit) {
+  JobSpec spec;
+  try {
+    spec.entries = resolve_selectors(submit.apps);
+  } catch (const Error& e) {  // ProtocolError or catalog ConfigError.
+    session.send(encode_error(e.what()));
+    return;
+  }
+  spec.run.seed = submit.seed;
+  spec.run.routing = submit.routing;
+
+  Subscription subscription;
+  if (!submit.detach) {
+    subscription.subscriber = session.shared_from_this();
+    subscription.progress = submit.progress;
+  }
+  JobQueue::Ticket ticket;
+  try {
+    ticket = queue_.submit(std::move(spec), submit.priority,
+                           std::move(subscription));
+  } catch (const Error&) {
+    session.send(encode_error("daemon is draining; submission rejected"));
+    return;
+  }
+  log_line("accepted job " + format_job_key(ticket.key) + " (" + ticket.label +
+           (ticket.coalesced ? ", coalesced)" : ")"));
+  session.send(encode_accepted(ticket.key, ticket.label, ticket.coalesced,
+                               to_string(ticket.state)));
+}
+
+DaemonStats Daemon::stats() {
+  DaemonStats stats;
+  stats.queue = queue_.stats();
+  {
+    common::MutexLock lock(engines_mutex_);
+    stats.engines = static_cast<std::int64_t>(engines_.size());
+    for (const auto& [key, engine] : engines_) {
+      const auto life = engine->lifetime_stats();
+      stats.lifetime.sweeps += life.sweeps;
+      stats.lifetime.cells += life.cells;
+      stats.lifetime.cache_hits += life.cache_hits;
+      stats.lifetime.jobs_run += life.jobs_run;
+      stats.lifetime.plans_built += life.plans_built;
+      stats.lifetime.cache_evictions += life.cache_evictions;
+      stats.lifetime.verify_findings += life.verify_findings;
+      stats.lifetime.wall_s += life.wall_s;
+    }
+  }
+  {
+    common::MutexLock lock(sessions_mutex_);
+    stats.connections = connections_;
+  }
+  stats.cache_lock_contentions = bridge_->lock_contentions();
+  return stats;
+}
+
+std::string Daemon::status_frame() {
+  const DaemonStats stats = this->stats();
+  Json object = Json::object();
+  object.set("type", "status");
+
+  Json queue = Json::object();
+  queue.set("submitted", static_cast<double>(stats.queue.submitted));
+  queue.set("coalesced", static_cast<double>(stats.queue.coalesced));
+  queue.set("executed", static_cast<double>(stats.queue.executed));
+  queue.set("done", static_cast<double>(stats.queue.done));
+  queue.set("failed", static_cast<double>(stats.queue.failed));
+  queue.set("cancelled", static_cast<double>(stats.queue.cancelled));
+  queue.set("depth", stats.queue.depth);
+  if (!stats.queue.running.empty()) queue.set("running", stats.queue.running);
+  object.set("queue", std::move(queue));
+
+  Json lifetime = Json::object();
+  lifetime.set("sweeps", static_cast<double>(stats.lifetime.sweeps));
+  lifetime.set("cells", static_cast<double>(stats.lifetime.cells));
+  lifetime.set("cache_hits", static_cast<double>(stats.lifetime.cache_hits));
+  lifetime.set("jobs_run", static_cast<double>(stats.lifetime.jobs_run));
+  lifetime.set("plans_built", static_cast<double>(stats.lifetime.plans_built));
+  lifetime.set("cache_evictions",
+               static_cast<double>(stats.lifetime.cache_evictions));
+  lifetime.set("verify_findings",
+               static_cast<double>(stats.lifetime.verify_findings));
+  lifetime.set("wall_s", stats.lifetime.wall_s);
+  object.set("lifetime", std::move(lifetime));
+
+  object.set("connections", static_cast<double>(stats.connections));
+  object.set("engines", static_cast<double>(stats.engines));
+  object.set("cache_lock_contentions",
+             static_cast<double>(stats.cache_lock_contentions));
+  if (!options_.cache_dir.empty()) object.set("cache_dir", options_.cache_dir);
+  return object.dump();
+}
+
+void Daemon::log_line(const std::string& line) {
+  if (options_.log == nullptr) return;
+  common::MutexLock lock(log_mutex_);
+  (*options_.log) << "[netloc_serve] " << line << '\n';
+  options_.log->flush();
+}
+
+}  // namespace netloc::serve

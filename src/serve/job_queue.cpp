@@ -1,0 +1,246 @@
+#include "netloc/serve/job_queue.hpp"
+
+#include <algorithm>
+
+#include "netloc/common/binary_io.hpp"
+#include "netloc/common/error.hpp"
+#include "netloc/engine/result_cache.hpp"
+
+namespace netloc::serve {
+
+JobKey JobSpec::key() const {
+  Fnv1aKey key;
+  key.mix(std::string("netloc-serve-job"));
+  key.mix<std::uint64_t>(entries.size());
+  for (const auto& entry : entries) {
+    // The per-entry result-cache key already hashes everything that
+    // determines the entry's row (workload id + calibration targets,
+    // seed, Table 2 parameters, metric options, routing policy), so
+    // the job key inherits the cache's invalidation semantics.
+    key.mix<std::uint64_t>(engine::result_cache_key(entry, run).hash);
+  }
+  return key.value();
+}
+
+std::string JobSpec::label() const {
+  if (entries.empty()) return "(empty)";
+  std::string label = entries.front().label();
+  if (entries.size() > 1) {
+    label += " +" + std::to_string(entries.size() - 1) + " more";
+  }
+  return label;
+}
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+JobQueue::Ticket JobQueue::submit(JobSpec spec, int priority,
+                                  Subscription subscription) {
+  const JobKey key = spec.key();
+  common::MutexLock lock(mutex_);
+  if (closed_) throw Error("job queue: submit after shutdown");
+  ++stats_.submitted;
+
+  if (const auto it = inflight_.find(key); it != inflight_.end()) {
+    // Identical in-flight job: attach, never enqueue a second
+    // computation. Priority boosts apply — an urgent duplicate pulls
+    // the shared job forward rather than queue-jumping it.
+    JobPtr& job = it->second;
+    ++stats_.coalesced;
+    if (job->state == JobState::Queued && priority > job->priority) {
+      job->priority = priority;
+    }
+    if (subscription.subscriber != nullptr) {
+      job->subscribers.push_back(std::move(subscription));
+    }
+    return Ticket{key, job->label, true, job->state};
+  }
+
+  auto job = std::make_shared<Job>();
+  job->spec = std::move(spec);
+  job->key = key;
+  job->label = job->spec.label();
+  job->priority = priority;
+  job->seq = next_seq_++;
+  if (subscription.subscriber != nullptr) {
+    job->subscribers.push_back(std::move(subscription));
+  }
+  queued_.push_back(job);
+  inflight_.emplace(key, job);
+  stats_.depth = static_cast<int>(queued_.size());
+  cv_.notify_all();
+  return Ticket{key, job->label, false, JobState::Queued};
+}
+
+bool JobQueue::watch(JobKey key, const Subscription& subscription) {
+  JobPtr replay;
+  {
+    common::MutexLock lock(mutex_);
+    if (const auto it = inflight_.find(key); it != inflight_.end()) {
+      if (subscription.subscriber != nullptr) {
+        it->second->subscribers.push_back(subscription);
+      }
+      return true;
+    }
+    for (auto it = retained_.rbegin(); it != retained_.rend(); ++it) {
+      if ((*it)->key == key) {
+        replay = *it;
+        break;
+      }
+    }
+  }
+  if (replay == nullptr) return false;
+  if (subscription.subscriber != nullptr) {
+    subscription.subscriber->on_job_result(replay->key, replay->label,
+                                           replay->outcome);
+  }
+  return true;
+}
+
+bool JobQueue::cancel(JobKey key) {
+  JobPtr job;
+  {
+    common::MutexLock lock(mutex_);
+    const auto it = inflight_.find(key);
+    if (it == inflight_.end() || it->second->state != JobState::Queued) {
+      return false;  // Unknown, or already running: cannot interrupt.
+    }
+    job = it->second;
+    inflight_.erase(it);
+    queued_.erase(std::find(queued_.begin(), queued_.end(), job));
+    stats_.depth = static_cast<int>(queued_.size());
+    ++stats_.cancelled;
+    job->state = JobState::Cancelled;
+    job->outcome.state = JobState::Cancelled;
+    job->outcome.error = "cancelled before execution";
+    retained_.push_back(job);
+    if (retained_.size() > kRetainedJobs) retained_.pop_front();
+  }
+  deliver(job->subscribers, job->key, job->label, job->outcome);
+  return true;
+}
+
+void JobQueue::detach(const JobSubscriber* subscriber) {
+  common::MutexLock lock(mutex_);
+  for (auto& [key, job] : inflight_) {
+    auto& subs = job->subscribers;
+    subs.erase(std::remove_if(subs.begin(), subs.end(),
+                              [subscriber](const Subscription& s) {
+                                return s.subscriber.get() == subscriber;
+                              }),
+               subs.end());
+  }
+}
+
+JobQueue::JobPtr* JobQueue::best_queued() {
+  JobPtr* best = nullptr;
+  for (JobPtr& job : queued_) {
+    if (best == nullptr || job->priority > (*best)->priority ||
+        (job->priority == (*best)->priority && job->seq < (*best)->seq)) {
+      best = &job;
+    }
+  }
+  return best;
+}
+
+std::optional<JobQueue::Work> JobQueue::take_next() {
+  common::MutexLock lock(mutex_);
+  // close() clears paused_, so this terminates for every
+  // pause/close interleaving.
+  while (paused_ || (queued_.empty() && !closed_)) cv_.wait(mutex_);
+  if (queued_.empty()) return std::nullopt;  // Closed and drained.
+  JobPtr* slot = best_queued();
+  JobPtr job = *slot;
+  queued_.erase(queued_.begin() + (slot - queued_.data()));
+  stats_.depth = static_cast<int>(queued_.size());
+  job->state = JobState::Running;
+  ++stats_.executed;
+  stats_.running = job->label;
+  return Work{job->key, job->label, job->spec};
+}
+
+void JobQueue::publish_event(JobKey key, const std::string& kind,
+                             const std::string& label,
+                             const std::string& detail) {
+  std::vector<Subscription> subscribers;
+  {
+    common::MutexLock lock(mutex_);
+    const auto it = inflight_.find(key);
+    if (it == inflight_.end()) return;
+    subscribers = it->second->subscribers;  // Copy: callbacks can block.
+  }
+  for (const Subscription& sub : subscribers) {
+    if (sub.progress && sub.subscriber != nullptr) {
+      sub.subscriber->on_job_event(key, kind, label, detail);
+    }
+  }
+}
+
+void JobQueue::finish(JobKey key, JobOutcome outcome) {
+  JobPtr job;
+  std::vector<Subscription> subscribers;
+  {
+    common::MutexLock lock(mutex_);
+    const auto it = inflight_.find(key);
+    if (it == inflight_.end()) return;
+    job = it->second;
+    inflight_.erase(it);
+    job->state = outcome.state;
+    job->outcome = std::move(outcome);
+    subscribers = std::move(job->subscribers);
+    job->subscribers.clear();
+    if (job->outcome.state == JobState::Failed) {
+      ++stats_.failed;
+    } else {
+      ++stats_.done;
+    }
+    stats_.running.clear();
+    retained_.push_back(job);
+    if (retained_.size() > kRetainedJobs) retained_.pop_front();
+  }
+  deliver(subscribers, job->key, job->label, job->outcome);
+}
+
+void JobQueue::deliver(const std::vector<Subscription>& subscribers,
+                       JobKey key, const std::string& label,
+                       const JobOutcome& outcome) {
+  for (const Subscription& sub : subscribers) {
+    if (sub.subscriber != nullptr) {
+      sub.subscriber->on_job_result(key, label, outcome);
+    }
+  }
+}
+
+void JobQueue::pause() {
+  common::MutexLock lock(mutex_);
+  if (closed_) return;  // A closed queue must keep draining.
+  paused_ = true;
+}
+
+void JobQueue::resume() {
+  common::MutexLock lock(mutex_);
+  paused_ = false;
+  cv_.notify_all();
+}
+
+void JobQueue::close() {
+  common::MutexLock lock(mutex_);
+  closed_ = true;
+  paused_ = false;  // A paused, closed queue must still drain.
+  cv_.notify_all();
+}
+
+QueueStats JobQueue::stats() const {
+  common::MutexLock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace netloc::serve

@@ -1,0 +1,370 @@
+#include "netloc/serve/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace netloc::serve {
+
+namespace {
+
+const char* type_name(Json::Type type) {
+  switch (type) {
+    case Json::Type::Null: return "null";
+    case Json::Type::Bool: return "bool";
+    case Json::Type::Number: return "number";
+    case Json::Type::String: return "string";
+    case Json::Type::Array: return "array";
+    case Json::Type::Object: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_error(const char* wanted, Json::Type got) {
+  throw JsonError(std::string("JSON value is ") + type_name(got) + ", not " +
+                  wanted);
+}
+
+/// Recursive-descent parser over a bounded string_view. The frame layer
+/// caps input size; `depth` caps nesting.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw JsonError("trailing characters after JSON document at offset " +
+                      std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw JsonError(what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxJsonDepth) fail("JSON nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return obj;
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push(parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return arr;
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // \uXXXX -> UTF-8. Surrogate pairs are not recombined (the
+          // protocol never emits them); lone surrogates are rejected.
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) fail("truncated \\u escape");
+            const char h = text_[pos_++];
+            code <<= 4U;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape digit");
+          }
+          if (code >= 0xD800 && code <= 0xDFFF) fail("lone surrogate escape");
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6U)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3FU)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12U)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6U) & 0x3FU)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3FU)));
+          }
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc() || end != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    if (!std::isfinite(value)) {
+      pos_ = start;
+      fail("non-finite number");
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(double value, std::string& out) {
+  // Integers (the common case: counts, ids, link lists) print without
+  // an exponent or trailing zeros so payloads stay readable and
+  // byte-stable; everything else gets round-trip precision.
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    out += buf;
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, value);
+  out += buf;
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::Bool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::Number) type_error("number", type_);
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::String) type_error("string", type_);
+  return string_;
+}
+
+const std::vector<Json>& Json::as_array() const {
+  if (type_ != Type::Array) type_error("array", type_);
+  return array_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::as_object() const {
+  if (type_ != Type::Object) type_error("object", type_);
+  return object_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::Object) type_error("object", type_);
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* value = find(key);
+  if (value == nullptr) {
+    throw JsonError("missing JSON key '" + std::string(key) + "'");
+  }
+  return *value;
+}
+
+std::string Json::get_string(std::string_view key, std::string fallback) const {
+  const Json* value = find(key);
+  return value != nullptr ? value->as_string() : std::move(fallback);
+}
+
+double Json::get_number(std::string_view key, double fallback) const {
+  const Json* value = find(key);
+  return value != nullptr ? value->as_number() : fallback;
+}
+
+bool Json::get_bool(std::string_view key, bool fallback) const {
+  const Json* value = find(key);
+  return value != nullptr ? value->as_bool() : fallback;
+}
+
+void Json::push(Json value) {
+  if (type_ != Type::Array) type_error("array", type_);
+  array_.push_back(std::move(value));
+}
+
+void Json::set(std::string key, Json value) {
+  if (type_ != Type::Object) type_error("object", type_);
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string Json::dump() const {
+  std::string out;
+  switch (type_) {
+    case Type::Null: out = "null"; break;
+    case Type::Bool: out = bool_ ? "true" : "false"; break;
+    case Type::Number: dump_number(number_, out); break;
+    case Type::String: dump_string(string_, out); break;
+    case Type::Array: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += array_[i].dump();
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::Object: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        dump_string(object_[i].first, out);
+        out.push_back(':');
+        out += object_[i].second.dump();
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace netloc::serve

@@ -1,0 +1,220 @@
+#include "netloc/serve/protocol.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace netloc::serve {
+
+namespace {
+
+/// Bounds protocol integers: a number field must be an integer in
+/// [min, max] or the request is rejected.
+std::int64_t int_field(const Json& object, std::string_view key,
+                       std::int64_t fallback, std::int64_t min,
+                       std::int64_t max) {
+  const Json* value = object.find(key);
+  if (value == nullptr) return fallback;
+  const double number = value->as_number();
+  if (number != std::floor(number) || number < static_cast<double>(min) ||
+      number > static_cast<double>(max)) {
+    throw ProtocolError("field '" + std::string(key) +
+                        "' out of range or not an integer");
+  }
+  return static_cast<std::int64_t>(number);
+}
+
+SubmitRequest parse_submit(const Json& object) {
+  SubmitRequest submit;
+  if (const Json* apps = object.find("apps"); apps != nullptr) {
+    for (const Json& app : apps->as_array()) {
+      submit.apps.push_back(app.as_string());
+    }
+  }
+  // Seeds are full uint64; they ride as a decimal string to survive the
+  // double-typed JSON number space.
+  if (const Json* seed = object.find("seed"); seed != nullptr) {
+    if (seed->is_string()) {
+      try {
+        submit.seed = std::stoull(seed->as_string());
+      } catch (const std::exception&) {
+        throw ProtocolError("field 'seed' is not a decimal uint64 string");
+      }
+    } else {
+      submit.seed = static_cast<std::uint64_t>(
+          int_field(object, "seed", 0, 0, (1LL << 53)));
+    }
+  }
+  if (const Json* routing = object.find("routing"); routing != nullptr) {
+    try {
+      submit.routing.kind = topology::parse_routing_kind(routing->as_string());
+    } catch (const ConfigError& e) {
+      throw ProtocolError(e.what());
+    }
+  }
+  if (const Json* links = object.find("fail_links"); links != nullptr) {
+    for (const Json& link : links->as_array()) {
+      const double id = link.as_number();
+      if (id != std::floor(id) || id < 0 || id > 1e9) {
+        throw ProtocolError("field 'fail_links' holds a non-integer or "
+                            "out-of-range link id");
+      }
+      submit.routing.failed_links.push_back(static_cast<LinkId>(id));
+    }
+  }
+  submit.priority = static_cast<int>(
+      int_field(object, "priority", 0, -1000000, 1000000));
+  submit.detach = object.get_bool("detach", false);
+  submit.progress = object.get_bool("progress", false);
+  return submit;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& payload) {
+  const Json object = Json::parse(payload);
+  if (!object.is_object()) {
+    throw ProtocolError("request frame is not a JSON object");
+  }
+  const std::string type = object.get_string("type");
+  Request request;
+  if (type == "ping") {
+    request.kind = Request::Kind::Ping;
+  } else if (type == "submit") {
+    request.kind = Request::Kind::Submit;
+    request.submit = parse_submit(object);
+  } else if (type == "status") {
+    request.kind = Request::Kind::Status;
+  } else if (type == "watch" || type == "cancel") {
+    request.kind =
+        type == "watch" ? Request::Kind::Watch : Request::Kind::Cancel;
+    request.job = object.get_string("job");
+    (void)parse_job_key(request.job);  // Validate early.
+  } else if (type == "shutdown") {
+    request.kind = Request::Kind::Shutdown;
+  } else {
+    throw ProtocolError("unknown request type '" + type + "'");
+  }
+  return request;
+}
+
+std::string encode_request(const Request& request) {
+  Json object = Json::object();
+  switch (request.kind) {
+    case Request::Kind::Ping:
+      object.set("type", "ping");
+      break;
+    case Request::Kind::Status:
+      object.set("type", "status");
+      break;
+    case Request::Kind::Shutdown:
+      object.set("type", "shutdown");
+      break;
+    case Request::Kind::Watch:
+    case Request::Kind::Cancel:
+      object.set("type",
+                 request.kind == Request::Kind::Watch ? "watch" : "cancel");
+      object.set("job", request.job);
+      break;
+    case Request::Kind::Submit: {
+      const SubmitRequest& submit = request.submit;
+      object.set("type", "submit");
+      Json apps = Json::array();
+      for (const auto& app : submit.apps) apps.push(app);
+      object.set("apps", std::move(apps));
+      object.set("seed", std::to_string(submit.seed));
+      object.set("routing", topology::to_string(submit.routing.kind));
+      if (!submit.routing.failed_links.empty()) {
+        Json links = Json::array();
+        for (const LinkId link : submit.routing.failed_links) {
+          links.push(static_cast<double>(link));
+        }
+        object.set("fail_links", std::move(links));
+      }
+      if (submit.priority != 0) object.set("priority", submit.priority);
+      if (submit.detach) object.set("detach", true);
+      if (submit.progress) object.set("progress", true);
+      break;
+    }
+  }
+  return object.dump();
+}
+
+std::string format_job_key(std::uint64_t key) {
+  std::ostringstream out;
+  out << std::hex << std::setw(16) << std::setfill('0') << key;
+  return out.str();
+}
+
+std::uint64_t parse_job_key(const std::string& text) {
+  if (text.size() != 16) {
+    throw ProtocolError("job key must be 16 hex digits, got '" + text + "'");
+  }
+  std::uint64_t key = 0;
+  for (const char c : text) {
+    key <<= 4U;
+    if (c >= '0' && c <= '9') key |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') key |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') key |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else throw ProtocolError("job key holds a non-hex digit: '" + text + "'");
+  }
+  return key;
+}
+
+std::string encode_pong() {
+  Json object = Json::object();
+  object.set("type", "pong");
+  return object.dump();
+}
+
+std::string encode_ok(const std::string& what) {
+  Json object = Json::object();
+  object.set("type", "ok");
+  object.set("what", what);
+  return object.dump();
+}
+
+std::string encode_error(const std::string& message) {
+  Json object = Json::object();
+  object.set("type", "error");
+  object.set("message", message);
+  return object.dump();
+}
+
+std::string encode_accepted(std::uint64_t job, const std::string& label,
+                            bool coalesced, const std::string& state) {
+  Json object = Json::object();
+  object.set("type", "accepted");
+  object.set("job", format_job_key(job));
+  object.set("label", label);
+  object.set("coalesced", coalesced);
+  object.set("state", state);
+  return object.dump();
+}
+
+std::string encode_event(const std::string& kind, std::uint64_t job,
+                         const std::string& label, const std::string& detail) {
+  Json object = Json::object();
+  object.set("type", "event");
+  object.set("kind", kind);
+  object.set("job", format_job_key(job));
+  object.set("label", label);
+  if (!detail.empty()) object.set("detail", detail);
+  return object.dump();
+}
+
+std::string encode_result(const ResultFrame& result) {
+  Json object = Json::object();
+  object.set("type", "result");
+  object.set("job", format_job_key(result.job));
+  object.set("state", result.state);
+  if (!result.error.empty()) object.set("error", result.error);
+  object.set("rows", result.rows);
+  object.set("cache_hits", result.cache_hits);
+  object.set("jobs_run", result.jobs_run);
+  object.set("wall_s", result.wall_s);
+  if (!result.csv.empty()) object.set("csv", result.csv);
+  return object.dump();
+}
+
+}  // namespace netloc::serve

@@ -1,0 +1,212 @@
+#include "netloc/serve/socket.hpp"
+
+#if !defined(_WIN32)
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace netloc::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw ConfigError("socket path must be 1.." +
+                      std::to_string(sizeof(addr.sun_path) - 1) +
+                      " bytes: '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// ByteChannel over a connected stream-socket fd.
+class FdChannel final : public ByteChannel {
+ public:
+  explicit FdChannel(int fd) : fd_(fd) {}
+  ~FdChannel() override { FdChannel::close(); }
+
+  std::size_t read_some(char* data, std::size_t size) override {
+    while (true) {
+      const ssize_t n = ::recv(fd_.load(), data, size, 0);
+      if (n >= 0) return static_cast<std::size_t>(n);
+      if (errno == EINTR) continue;
+      // A reset peer is stream end, not an internal error: the frame
+      // layer reports a mid-frame cut as FrameFormatError.
+      if (errno == ECONNRESET || errno == EBADF) return 0;
+      throw_errno("socket read");
+    }
+  }
+
+  void write_all(const char* data, std::size_t size) override {
+    std::size_t sent = 0;
+    while (sent < size) {
+      // MSG_NOSIGNAL: a vanished client must surface as an exception
+      // in the writing thread, not SIGPIPE the daemon.
+      const ssize_t n =
+          ::send(fd_.load(), data + sent, size - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw Error("socket write failed (peer closed?): " +
+                    std::string(std::strerror(errno)));
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  void close() override {
+    const int fd = fd_.exchange(-1);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);  // Unblock any reader in another thread.
+      ::close(fd);
+    }
+  }
+
+ private:
+  std::atomic<int> fd_;
+};
+
+class UnixListener final : public Listener {
+ public:
+  explicit UnixListener(const std::string& path) : path_(path) {
+    const sockaddr_un addr = make_address(path);
+
+    // A leftover socket file is only stale if nothing answers it.
+    if (std::filesystem::exists(path)) {
+      const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (probe >= 0) {
+        const bool live =
+            ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0;
+        ::close(probe);
+        if (live) {
+          throw ConfigError("socket " + path +
+                            " already has a live daemon listening");
+        }
+      }
+      ::unlink(path.c_str());
+    }
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("socket");
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const int saved = errno;
+      ::close(listen_fd_);
+      errno = saved;
+      throw_errno("bind " + path);
+    }
+    if (::listen(listen_fd_, 64) != 0) {
+      const int saved = errno;
+      ::close(listen_fd_);
+      ::unlink(path.c_str());
+      errno = saved;
+      throw_errno("listen " + path);
+    }
+    if (::pipe(wake_pipe_) != 0) {
+      const int saved = errno;
+      ::close(listen_fd_);
+      ::unlink(path.c_str());
+      errno = saved;
+      throw_errno("pipe");
+    }
+  }
+
+  ~UnixListener() override {
+    UnixListener::shutdown();
+    ::close(listen_fd_);
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    ::unlink(path_.c_str());
+  }
+
+  std::unique_ptr<ByteChannel> accept() override {
+    while (!shut_down_.load()) {
+      pollfd fds[2];
+      fds[0] = {listen_fd_, POLLIN, 0};
+      fds[1] = {wake_pipe_[0], POLLIN, 0};
+      const int ready = ::poll(fds, 2, -1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("poll");
+      }
+      if ((fds[1].revents & POLLIN) != 0 || shut_down_.load()) break;
+      if ((fds[0].revents & POLLIN) == 0) continue;
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        throw_errno("accept");
+      }
+      return std::make_unique<FdChannel>(fd);
+    }
+    return nullptr;
+  }
+
+  // Only async-signal-safe operations: an atomic store and one
+  // write(2). A SIGTERM handler calls this directly.
+  void shutdown() override {
+    shut_down_.store(true);
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+
+ private:
+  std::string path_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace
+
+std::unique_ptr<Listener> listen_unix(const std::string& path) {
+  return std::make_unique<UnixListener>(path);
+}
+
+std::unique_ptr<ByteChannel> connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    throw Error("cannot connect to " + path + ": " + std::strerror(saved) +
+                " (is netloc_serve running?)");
+  }
+  return std::make_unique<FdChannel>(fd);
+}
+
+bool unix_sockets_available() { return true; }
+
+}  // namespace netloc::serve
+
+#else  // _WIN32
+
+namespace netloc::serve {
+
+std::unique_ptr<Listener> listen_unix(const std::string&) {
+  throw ConfigError("unix-domain sockets unavailable on this platform");
+}
+
+std::unique_ptr<ByteChannel> connect_unix(const std::string&) {
+  throw ConfigError("unix-domain sockets unavailable on this platform");
+}
+
+bool unix_sockets_available() { return false; }
+
+}  // namespace netloc::serve
+
+#endif

@@ -1,0 +1,199 @@
+#include "netloc/serve/transport.hpp"
+
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "netloc/common/thread_annotations.hpp"
+
+namespace netloc::serve {
+
+// ---- framing ---------------------------------------------------------------
+
+namespace {
+
+/// Read exactly `size` bytes. Returns false on EOF before the first
+/// byte (clean stream end); throws FrameFormatError on EOF after at
+/// least one byte (`what` names the partial record).
+bool read_exact(ByteChannel& channel, char* data, std::size_t size,
+                const char* what) {
+  std::size_t got = 0;
+  while (got < size) {
+    const std::size_t n = channel.read_some(data + got, size - got);
+    if (n == 0) {
+      if (got == 0) return false;
+      throw FrameFormatError(std::string("connection closed mid-frame while "
+                                         "reading ") +
+                             what);
+    }
+    got += n;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> read_frame(ByteChannel& channel) {
+  char header[4];
+  if (!read_exact(channel, header, sizeof(header), "frame length")) {
+    return std::nullopt;  // Clean EOF at a frame boundary.
+  }
+  std::uint32_t length = 0;
+  std::memcpy(&length, header, sizeof(length));
+  if (length == 0) {
+    throw FrameFormatError("empty frame (zero-length payload)");
+  }
+  // Validate before allocating: a hostile 4 GiB length field must cost
+  // nothing.
+  if (length > kMaxFrameBytes) {
+    throw FrameFormatError("frame length " + std::to_string(length) +
+                           " exceeds the " + std::to_string(kMaxFrameBytes) +
+                           "-byte cap");
+  }
+  std::string payload(length, '\0');
+  if (!read_exact(channel, payload.data(), payload.size(), "frame payload")) {
+    throw FrameFormatError("connection closed mid-frame while reading "
+                           "frame payload");
+  }
+  return payload;
+}
+
+void write_frame(ByteChannel& channel, std::string_view payload) {
+  if (payload.empty() || payload.size() > kMaxFrameBytes) {
+    throw FrameFormatError("refusing to send a frame of " +
+                           std::to_string(payload.size()) + " bytes");
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  char header[4];
+  std::memcpy(header, &length, sizeof(length));
+  channel.write_all(header, sizeof(header));
+  channel.write_all(payload.data(), payload.size());
+}
+
+// ---- in-process channels ---------------------------------------------------
+
+namespace {
+
+/// One direction of an in-process connection: a byte queue with
+/// blocking reads and close semantics. Writers fail once closed;
+/// readers drain the buffer first, then see EOF.
+class ByteQueue {
+ public:
+  std::size_t read_some(char* data, std::size_t size) {
+    common::MutexLock lock(mutex_);
+    while (bytes_.empty() && !closed_) cv_.wait(mutex_);
+    if (bytes_.empty()) return 0;  // Closed and drained: EOF.
+    std::size_t n = 0;
+    while (n < size && !bytes_.empty()) {
+      data[n++] = bytes_.front();
+      bytes_.pop_front();
+    }
+    return n;
+  }
+
+  void write_all(const char* data, std::size_t size) {
+    common::MutexLock lock(mutex_);
+    if (closed_) throw Error("in-process channel: peer closed");
+    bytes_.insert(bytes_.end(), data, data + size);
+    cv_.notify_all();
+  }
+
+  void close() {
+    common::MutexLock lock(mutex_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  common::Mutex mutex_;
+  common::CondVar cv_;
+  std::deque<char> bytes_ NETLOC_GUARDED_BY(mutex_);
+  bool closed_ NETLOC_GUARDED_BY(mutex_) = false;
+};
+
+/// Endpoint over two shared queues (rx from the peer, tx to it).
+class PipeChannel final : public ByteChannel {
+ public:
+  PipeChannel(std::shared_ptr<ByteQueue> rx, std::shared_ptr<ByteQueue> tx)
+      : rx_(std::move(rx)), tx_(std::move(tx)) {}
+
+  ~PipeChannel() override { PipeChannel::close(); }
+
+  std::size_t read_some(char* data, std::size_t size) override {
+    return rx_->read_some(data, size);
+  }
+
+  void write_all(const char* data, std::size_t size) override {
+    tx_->write_all(data, size);
+  }
+
+  void close() override {
+    // Close both directions: our reader unblocks with EOF and the
+    // peer's reader drains whatever we already sent, then sees EOF.
+    rx_->close();
+    tx_->close();
+  }
+
+ private:
+  std::shared_ptr<ByteQueue> rx_;
+  std::shared_ptr<ByteQueue> tx_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<ByteChannel>, std::unique_ptr<ByteChannel>>
+make_channel_pair() {
+  auto a_to_b = std::make_shared<ByteQueue>();
+  auto b_to_a = std::make_shared<ByteQueue>();
+  return {std::make_unique<PipeChannel>(b_to_a, a_to_b),
+          std::make_unique<PipeChannel>(a_to_b, b_to_a)};
+}
+
+// ---- in-process listener ---------------------------------------------------
+
+struct InProcessListener::State {
+  common::Mutex mutex;
+  common::CondVar cv;
+  std::deque<std::unique_ptr<ByteChannel>> pending NETLOC_GUARDED_BY(mutex);
+  bool shut_down NETLOC_GUARDED_BY(mutex) = false;
+};
+
+InProcessListener::InProcessListener() : state_(std::make_shared<State>()) {}
+
+InProcessListener::~InProcessListener() { InProcessListener::shutdown(); }
+
+std::unique_ptr<ByteChannel> InProcessListener::connect() {
+  auto [client, server] = make_channel_pair();
+  {
+    common::MutexLock lock(state_->mutex);
+    if (state_->shut_down) {
+      throw Error("in-process listener: connect after shutdown");
+    }
+    state_->pending.push_back(std::move(server));
+    state_->cv.notify_all();
+  }
+  return std::move(client);
+}
+
+std::unique_ptr<ByteChannel> InProcessListener::accept() {
+  common::MutexLock lock(state_->mutex);
+  while (state_->pending.empty() && !state_->shut_down) {
+    state_->cv.wait(state_->mutex);
+  }
+  if (state_->pending.empty()) return nullptr;  // Shut down.
+  auto channel = std::move(state_->pending.front());
+  state_->pending.pop_front();
+  return channel;
+}
+
+void InProcessListener::shutdown() {
+  common::MutexLock lock(state_->mutex);
+  state_->shut_down = true;
+  // Connections queued but never accepted would leave their clients
+  // blocked forever; close them now.
+  for (auto& channel : state_->pending) channel->close();
+  state_->pending.clear();
+  state_->cv.notify_all();
+}
+
+}  // namespace netloc::serve

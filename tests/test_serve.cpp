@@ -1,0 +1,961 @@
+// Tests for netloc::serve: the JSON codec, frame robustness (truncated
+// / oversized / garbage frames, mid-frame disconnects — clean errors,
+// never crashes), the coalescing job queue, the daemon end-to-end over
+// the in-process transport (including the headline contract: N
+// identical concurrent submissions, one computation, N byte-identical
+// results), the Unix-socket transport, the cross-process cache lock
+// and SweepEngine::lifetime_stats. Suite names start with Serve so the
+// TSan CI job picks the concurrency-heavy ones up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "netloc/common/error.hpp"
+#include "netloc/engine/result_cache.hpp"
+#include "netloc/engine/sweep.hpp"
+#include "netloc/serve/client.hpp"
+#include "netloc/serve/daemon.hpp"
+#include "netloc/serve/job_queue.hpp"
+#include "netloc/serve/json.hpp"
+#include "netloc/serve/protocol.hpp"
+#include "netloc/serve/socket.hpp"
+#include "netloc/serve/transport.hpp"
+#include "netloc/workloads/catalog.hpp"
+
+namespace netloc::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory (PID-suffixed, removed on exit) — the same
+/// idiom as test_engine.cpp.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_(fs::path(::testing::TempDir()) /
+              (name + "." + std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+JobSpec small_spec(const std::string& app = "AMG", int ranks = 8) {
+  JobSpec spec;
+  spec.entries.push_back(workloads::catalog_entry(app, ranks));
+  return spec;
+}
+
+// ---- ServeJson -------------------------------------------------------------
+
+TEST(ServeJson, ParseDumpRoundTrip) {
+  const std::string text =
+      R"({"type":"submit","apps":["AMG/8","LULESH"],"seed":"42",)"
+      R"("priority":-3,"detach":true,"pi":3.5,"nil":null})";
+  const Json value = Json::parse(text);
+  ASSERT_TRUE(value.is_object());
+  EXPECT_EQ(value.get_string("type"), "submit");
+  EXPECT_EQ(value.at("apps").as_array().size(), 2U);
+  EXPECT_EQ(value.at("apps").as_array()[1].as_string(), "LULESH");
+  EXPECT_EQ(value.get_number("priority"), -3.0);
+  EXPECT_TRUE(value.get_bool("detach"));
+  EXPECT_TRUE(value.at("nil").is_null());
+  // Insertion-ordered objects: dump is deterministic and re-parses to
+  // the same value.
+  EXPECT_EQ(value.dump(), Json::parse(value.dump()).dump());
+}
+
+TEST(ServeJson, IntegersDumpWithoutExponent) {
+  Json object = Json::object();
+  object.set("big", 1234567890.0);
+  object.set("neg", -7);
+  EXPECT_EQ(object.dump(), R"({"big":1234567890,"neg":-7})");
+}
+
+TEST(ServeJson, StringEscapesRoundTrip) {
+  Json object = Json::object();
+  object.set("s", std::string("line\nwith \"quotes\" and \t tab"));
+  const Json back = Json::parse(object.dump());
+  EXPECT_EQ(back.get_string("s"), "line\nwith \"quotes\" and \t tab");
+  // \uXXXX decoding up to the BMP; surrogate escapes (paired or not)
+  // are rejected by contract -- the protocol never emits them.
+  EXPECT_EQ(Json::parse(R"("\u00e9\u2603")").as_string(), "\xC3\xA9\xE2\x98\x83");
+  EXPECT_THROW(Json::parse(R"("\ud83d\ude00")"), JsonError);
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), JsonError);
+  EXPECT_THROW(Json::parse("[1,2,]"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("\"\\ud800\""), JsonError);  // Lone surrogate.
+  EXPECT_THROW(Json::parse("{} extra"), JsonError);
+  EXPECT_THROW(Json::parse("1e999"), JsonError);  // Non-finite.
+}
+
+TEST(ServeJson, DepthCapIsEnforcedNotCrashed) {
+  std::string deep(kMaxJsonDepth + 8, '[');
+  deep += std::string(kMaxJsonDepth + 8, ']');
+  EXPECT_THROW(Json::parse(deep), JsonError);
+  // At the cap it still parses.
+  std::string ok(kMaxJsonDepth - 1, '[');
+  ok += std::string(kMaxJsonDepth - 1, ']');
+  EXPECT_NO_THROW(Json::parse(ok));
+}
+
+TEST(ServeJson, TypedAccessorsThrowOnMismatch) {
+  const Json value = Json::parse(R"({"n":1})");
+  EXPECT_THROW(value.at("n").as_string(), JsonError);
+  EXPECT_THROW(value.at("missing"), JsonError);
+  EXPECT_THROW(value.as_array(), JsonError);
+}
+
+// ---- ServeFrame (robustness suite) -----------------------------------------
+
+void put_raw(ByteChannel& channel, const std::string& bytes) {
+  channel.write_all(bytes.data(), bytes.size());
+}
+
+std::string length_prefix(std::uint32_t length) {
+  std::string bytes(4, '\0');
+  bytes[0] = static_cast<char>(length & 0xFFU);
+  bytes[1] = static_cast<char>((length >> 8U) & 0xFFU);
+  bytes[2] = static_cast<char>((length >> 16U) & 0xFFU);
+  bytes[3] = static_cast<char>((length >> 24U) & 0xFFU);
+  return bytes;
+}
+
+TEST(ServeFrame, RoundTripAndCleanEof) {
+  auto [a, b] = make_channel_pair();
+  write_frame(*a, R"({"type":"ping"})");
+  write_frame(*a, "second");
+  auto first = read_frame(*b);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, R"({"type":"ping"})");
+  auto second = read_frame(*b);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, "second");
+  a->close();
+  EXPECT_FALSE(read_frame(*b).has_value());  // EOF at a boundary.
+}
+
+TEST(ServeFrame, TruncatedPayloadIsCleanError) {
+  auto [a, b] = make_channel_pair();
+  put_raw(*a, length_prefix(100) + "only ten b");
+  a->close();  // Mid-frame disconnect.
+  EXPECT_THROW((void)read_frame(*b), FrameFormatError);
+}
+
+TEST(ServeFrame, TruncatedLengthFieldIsCleanError) {
+  auto [a, b] = make_channel_pair();
+  put_raw(*a, "\x05\x00");  // Two of the four length bytes.
+  a->close();
+  EXPECT_THROW((void)read_frame(*b), FrameFormatError);
+}
+
+TEST(ServeFrame, OversizedLengthRejectedBeforeAllocation) {
+  auto [a, b] = make_channel_pair();
+  // 0xFFFFFFFF would be a 4 GiB allocation if the length were trusted.
+  put_raw(*a, length_prefix(0xFFFFFFFFU));
+  try {
+    (void)read_frame(*b);
+    FAIL() << "oversized frame accepted";
+  } catch (const FrameFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("frame"), std::string::npos);
+  }
+}
+
+TEST(ServeFrame, ZeroLengthFrameRejected) {
+  auto [a, b] = make_channel_pair();
+  put_raw(*a, length_prefix(0));
+  EXPECT_THROW((void)read_frame(*b), FrameFormatError);
+}
+
+TEST(ServeFrame, WriterRefusesOversizedPayload) {
+  auto [a, b] = make_channel_pair();
+  std::string big;
+  big.resize(kMaxFrameBytes + 1, 'x');
+  EXPECT_THROW(write_frame(*a, big), FrameFormatError);
+}
+
+TEST(ServeFrame, CloseUnblocksReader) {
+  auto [a, b] = make_channel_pair();
+  std::thread closer([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a->close();
+  });
+  EXPECT_FALSE(read_frame(*b).has_value());
+  closer.join();
+}
+
+// ---- ServeProtocol ---------------------------------------------------------
+
+TEST(ServeProtocol, SubmitRoundTrip) {
+  Request request;
+  request.kind = Request::Kind::Submit;
+  request.submit.apps = {"AMG/8", "LULESH"};
+  request.submit.seed = 0xFFFF'FFFF'FFFF'FFFFULL;  // Above 2^53.
+  request.submit.routing.kind = topology::RoutingKind::kEcmp;
+  request.submit.routing.failed_links = {3, 17};
+  request.submit.priority = 7;
+  request.submit.progress = true;
+  const Request back = parse_request(encode_request(request));
+  EXPECT_EQ(back.kind, Request::Kind::Submit);
+  EXPECT_EQ(back.submit.apps, request.submit.apps);
+  EXPECT_EQ(back.submit.seed, request.submit.seed);
+  EXPECT_EQ(back.submit.routing.kind, topology::RoutingKind::kEcmp);
+  EXPECT_EQ(back.submit.routing.failed_links, request.submit.routing.failed_links);
+  EXPECT_EQ(back.submit.priority, 7);
+  EXPECT_TRUE(back.submit.progress);
+  EXPECT_FALSE(back.submit.detach);
+}
+
+TEST(ServeProtocol, RejectsStructurallyInvalidRequests) {
+  EXPECT_THROW(parse_request(R"("not an object")"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"type":"warp"})"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"type":"submit","seed":"junk"})"),
+               ProtocolError);
+  EXPECT_THROW(parse_request(R"({"type":"submit","priority":1.5})"),
+               ProtocolError);
+  EXPECT_THROW(parse_request(R"({"type":"submit","routing":"teleport"})"),
+               ProtocolError);
+  EXPECT_THROW(parse_request(R"({"type":"watch","job":"xyz"})"),
+               ProtocolError);
+  EXPECT_THROW(parse_request("not json at all"), JsonError);
+}
+
+TEST(ServeProtocol, JobKeyFormatRoundTrip) {
+  EXPECT_EQ(format_job_key(0), "0000000000000000");
+  EXPECT_EQ(format_job_key(0xDEADBEEF12345678ULL), "deadbeef12345678");
+  EXPECT_EQ(parse_job_key("deadbeef12345678"), 0xDEADBEEF12345678ULL);
+  EXPECT_EQ(parse_job_key(format_job_key(42)), 42ULL);
+  EXPECT_THROW(parse_job_key("short"), ProtocolError);
+  EXPECT_THROW(parse_job_key("zzzzzzzzzzzzzzzz"), ProtocolError);
+}
+
+// ---- ServeQueue ------------------------------------------------------------
+
+/// Collects outcomes and events; blocks until a target count arrives.
+class Collector final : public JobSubscriber {
+ public:
+  void on_job_event(JobKey /*key*/, const std::string& kind,
+                    const std::string& /*label*/,
+                    const std::string& /*detail*/) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(kind);
+  }
+  void on_job_result(JobKey key, const std::string& /*label*/,
+                     const JobOutcome& outcome) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    results_.emplace_back(key, outcome);
+    cv_.notify_all();
+  }
+
+  std::vector<std::pair<JobKey, JobOutcome>> wait_results(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return results_.size() >= n; });
+    return results_;
+  }
+
+  std::vector<std::string> events() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::string> events_;
+  std::vector<std::pair<JobKey, JobOutcome>> results_;
+};
+
+TEST(ServeQueue, CoalescesIdenticalSubmissions) {
+  JobQueue queue;
+  queue.pause();
+  auto collector = std::make_shared<Collector>();
+  const auto first = queue.submit(small_spec(), 0, {collector, false});
+  EXPECT_FALSE(first.coalesced);
+  const auto second = queue.submit(small_spec(), 0, {collector, false});
+  EXPECT_TRUE(second.coalesced);
+  EXPECT_EQ(second.key, first.key);
+  // A different seed is a different job.
+  JobSpec other = small_spec();
+  other.run.seed = 99;
+  EXPECT_FALSE(queue.submit(other, 0, {collector, false}).coalesced);
+
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.submitted, 3);
+  EXPECT_EQ(stats.coalesced, 1);
+  EXPECT_EQ(stats.depth, 2);  // Two distinct jobs queued, not three.
+  queue.close();
+}
+
+TEST(ServeQueue, PriorityOrderFifoWithin) {
+  JobQueue queue;
+  queue.pause();
+  const auto low = queue.submit(small_spec("AMG", 8), -1, {});
+  const auto high = queue.submit(small_spec("AMG", 27), 5, {});
+  const auto mid1 = queue.submit(small_spec("BigFFT", 9), 0, {});
+  const auto mid2 = queue.submit(small_spec("CrystalRouter", 10), 0, {});
+  queue.resume();
+  std::vector<JobKey> order;
+  for (int i = 0; i < 4; ++i) {
+    auto work = queue.take_next();
+    ASSERT_TRUE(work.has_value());
+    order.push_back(work->key);
+    queue.finish(work->key, {});
+  }
+  queue.close();
+  EXPECT_EQ(order,
+            (std::vector<JobKey>{high.key, mid1.key, mid2.key, low.key}));
+}
+
+TEST(ServeQueue, DuplicateSubmitBoostsPriority) {
+  JobQueue queue;
+  queue.pause();
+  const auto target = queue.submit(small_spec("AMG", 27), 0, {});
+  queue.submit(small_spec("AMG", 8), 1, {});
+  // The duplicate's urgency pulls the shared job ahead of priority 1.
+  queue.submit(small_spec("AMG", 27), 9, {});
+  queue.resume();
+  auto work = queue.take_next();
+  ASSERT_TRUE(work.has_value());
+  EXPECT_EQ(work->key, target.key);
+  queue.finish(work->key, {});
+  queue.close();
+  while (queue.take_next().has_value()) {
+  }
+}
+
+TEST(ServeQueue, ResultFansOutToEverySubscriber) {
+  JobQueue queue;
+  queue.pause();
+  auto a = std::make_shared<Collector>();
+  auto b = std::make_shared<Collector>();
+  const auto ticket = queue.submit(small_spec(), 0, {a, false});
+  queue.submit(small_spec(), 0, {b, false});
+  queue.resume();
+  auto work = queue.take_next();
+  ASSERT_TRUE(work.has_value());
+  JobOutcome outcome;
+  outcome.csv = "the,rows\n";
+  queue.finish(work->key, outcome);
+  const auto got_a = a->wait_results(1);
+  const auto got_b = b->wait_results(1);
+  EXPECT_EQ(got_a[0].first, ticket.key);
+  // Byte-identical by construction: one outcome object fans out.
+  EXPECT_EQ(got_a[0].second.csv, got_b[0].second.csv);
+  queue.close();
+}
+
+TEST(ServeQueue, CancelQueuedDeliversCancelledOutcome) {
+  JobQueue queue;
+  queue.pause();
+  auto collector = std::make_shared<Collector>();
+  const auto ticket = queue.submit(small_spec(), 0, {collector, false});
+  EXPECT_TRUE(queue.cancel(ticket.key));
+  EXPECT_FALSE(queue.cancel(ticket.key));  // Already gone.
+  const auto results = collector->wait_results(1);
+  EXPECT_EQ(results[0].second.state, JobState::Cancelled);
+  EXPECT_EQ(queue.stats().cancelled, 1);
+  EXPECT_EQ(queue.stats().depth, 0);
+  queue.close();
+  EXPECT_FALSE(queue.take_next().has_value());
+}
+
+TEST(ServeQueue, WatchReplaysRetainedOutcome) {
+  JobQueue queue;
+  const auto ticket = queue.submit(small_spec(), 0, {});
+  auto work = queue.take_next();
+  ASSERT_TRUE(work.has_value());
+  JobOutcome outcome;
+  outcome.state = JobState::Done;
+  outcome.csv = "csv";
+  queue.finish(work->key, outcome);
+  auto late = std::make_shared<Collector>();
+  EXPECT_TRUE(queue.watch(ticket.key, {late, true}));
+  const auto results = late->wait_results(1);
+  EXPECT_EQ(results[0].second.csv, "csv");
+  EXPECT_FALSE(queue.watch(0xABCDULL, {late, true}));  // Unknown.
+  queue.close();
+}
+
+TEST(ServeQueue, CloseDrainsQueuedWorkThenRejects) {
+  JobQueue queue;
+  queue.pause();
+  queue.submit(small_spec("AMG", 8), 0, {});
+  queue.submit(small_spec("AMG", 27), 0, {});
+  queue.close();  // Clears the pause: a closed queue must drain.
+  int drained = 0;
+  while (auto work = queue.take_next()) {
+    queue.finish(work->key, {});
+    ++drained;
+  }
+  EXPECT_EQ(drained, 2);
+  EXPECT_THROW(queue.submit(small_spec(), 0, {}), Error);
+}
+
+TEST(ServeQueue, ConcurrentSubmittersCoalesceToOneJob) {
+  JobQueue queue;
+  queue.pause();
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<Collector>> collectors;
+  std::vector<std::thread> threads;
+  std::atomic<int> coalesced{0};
+  collectors.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    collectors.push_back(std::make_shared<Collector>());
+  }
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&queue, &coalesced, sub = collectors[i]] {
+      if (queue.submit(small_spec(), 0, {sub, false}).coalesced) {
+        coalesced.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(coalesced.load(), kThreads - 1);
+  EXPECT_EQ(queue.stats().depth, 1);
+  queue.resume();
+  auto work = queue.take_next();
+  ASSERT_TRUE(work.has_value());
+  JobOutcome outcome;
+  outcome.csv = "one computation\n";
+  queue.finish(work->key, outcome);
+  for (auto& collector : collectors) {
+    EXPECT_EQ(collector->wait_results(1)[0].second.csv, "one computation\n");
+  }
+  queue.close();
+}
+
+// ---- ServeDaemon (end-to-end over the in-process transport) ----------------
+
+/// Daemon + listener + serve() thread, torn down on scope exit.
+struct DaemonHarness {
+  explicit DaemonHarness(DaemonOptions options = {})
+      : daemon(std::move(options)),
+        thread([this] { daemon.serve(listener); }) {}
+
+  ~DaemonHarness() { stop(); }
+
+  void stop() {
+    daemon.shutdown();
+    if (thread.joinable()) thread.join();
+  }
+
+  Client connect() { return Client(listener.connect()); }
+
+  InProcessListener listener;
+  Daemon daemon;
+  std::thread thread;
+};
+
+TEST(ServeDaemon, PingAndStatus) {
+  DaemonHarness harness;
+  auto client = harness.connect();
+  EXPECT_TRUE(client.ping());
+  const Json status = client.status();
+  EXPECT_EQ(status.get_string("type"), "status");
+  EXPECT_EQ(status.at("queue").get_number("submitted"), 0.0);
+  EXPECT_EQ(status.at("lifetime").get_number("sweeps"), 0.0);
+}
+
+TEST(ServeDaemon, SubmitComputesAndWarmRepeatHitsCache) {
+  ScratchDir cache("serve-daemon-cache");
+  DaemonOptions options;
+  options.jobs = 2;
+  options.cache_dir = cache.str();
+  DaemonHarness harness(options);
+
+  auto client = harness.connect();
+  SubmitRequest submit;
+  submit.apps = {"AMG/8"};
+  const Json cold = client.submit_and_wait(submit);
+  ASSERT_EQ(cold.get_string("type"), "result");
+  EXPECT_EQ(cold.get_string("state"), "done");
+  EXPECT_EQ(cold.get_number("rows"), 1.0);
+  EXPECT_GT(cold.get_string("csv").size(), 0U);
+  EXPECT_EQ(cold.get_number("cache_hits"), 0.0);
+
+  const Json warm = client.submit_and_wait(submit);
+  ASSERT_EQ(warm.get_string("type"), "result");
+  EXPECT_EQ(warm.get_number("cache_hits"), 1.0);
+  EXPECT_EQ(warm.get_number("jobs_run"), 0.0);  // Fully warm: no graph jobs.
+  EXPECT_EQ(warm.get_string("csv"), cold.get_string("csv"));
+  EXPECT_EQ(warm.get_string("job"), cold.get_string("job"));
+}
+
+TEST(ServeDaemon, ProgressEventsStreamToSubscriber) {
+  DaemonHarness harness;
+  auto client = harness.connect();
+  SubmitRequest submit;
+  submit.apps = {"AMG/8"};
+  submit.progress = true;
+  std::vector<std::string> kinds;
+  const Json result = client.submit_and_wait(submit, [&](const Json& frame) {
+    if (frame.get_string("type") == "event") {
+      kinds.push_back(frame.get_string("kind"));
+    }
+  });
+  EXPECT_EQ(result.get_string("state"), "done");
+  // At minimum the run marker plus per-graph-job telemetry.
+  EXPECT_GE(kinds.size(), 2U);
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), "job_running"), kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), "job_finished"), kinds.end());
+}
+
+TEST(ServeDaemon, EightConcurrentIdenticalSubmitsOneComputation) {
+  ScratchDir cache("serve-coalesce-cache");
+  DaemonOptions options;
+  options.jobs = 2;
+  options.cache_dir = cache.str();
+  DaemonHarness harness(options);
+  // Hold the executor so all eight submissions are provably in flight
+  // together — the coalescing window is deterministic, not a race.
+  harness.daemon.queue().pause();
+
+  constexpr int kClients = 8;
+  std::vector<std::string> csvs(kClients);
+  std::vector<std::string> states(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&harness, &csvs, &states, i] {
+      auto client = harness.connect();
+      SubmitRequest submit;
+      submit.apps = {"AMG/8"};
+      const Json result = client.submit_and_wait(submit);
+      states[i] = result.get_string("state");
+      csvs[i] = result.get_string("csv");
+    });
+  }
+  // All eight must be in (one queued job, seven attached) before the
+  // executor moves.
+  while (harness.daemon.queue().stats().submitted < kClients) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(harness.daemon.queue().stats().coalesced, kClients - 1);
+  EXPECT_EQ(harness.daemon.queue().stats().depth, 1);
+  harness.daemon.queue().resume();
+  for (auto& client : clients) client.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(states[i], "done");
+    EXPECT_FALSE(csvs[i].empty());
+    EXPECT_EQ(csvs[i], csvs[0]);  // N byte-identical results.
+  }
+  const DaemonStats stats = harness.daemon.stats();
+  EXPECT_EQ(stats.queue.executed, 1);   // One computation.
+  EXPECT_EQ(stats.lifetime.sweeps, 1);  // One engine run, total.
+}
+
+TEST(ServeDaemon, GarbagePayloadGetsErrorFrameConnectionSurvives) {
+  DaemonHarness harness;
+  auto channel = harness.listener.connect();
+  write_frame(*channel, "this is not json {{{");
+  auto reply = read_frame(*channel);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(Json::parse(*reply).get_string("type"), "error");
+  // Same connection still speaks protocol.
+  write_frame(*channel, R"({"type":"ping"})");
+  reply = read_frame(*channel);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(Json::parse(*reply).get_string("type"), "pong");
+  channel->close();
+}
+
+TEST(ServeDaemon, MalformedFramesNeverKillTheDaemon) {
+  DaemonHarness harness;
+  {  // Oversized length field.
+    auto channel = harness.listener.connect();
+    put_raw(*channel, length_prefix(0xFFFFFFFFU));
+    auto reply = read_frame(*channel);  // Best-effort error frame.
+    if (reply) EXPECT_EQ(Json::parse(*reply).get_string("type"), "error");
+    channel->close();
+  }
+  {  // Mid-frame disconnect.
+    auto channel = harness.listener.connect();
+    put_raw(*channel, length_prefix(512) + "half a frame");
+    channel->close();
+  }
+  {  // Unknown request type.
+    auto channel = harness.listener.connect();
+    write_frame(*channel, R"({"type":"warp"})");
+    auto reply = read_frame(*channel);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(Json::parse(*reply).get_string("type"), "error");
+    channel->close();
+  }
+  // After all that abuse, a well-behaved client is served normally.
+  auto client = harness.connect();
+  EXPECT_TRUE(client.ping());
+}
+
+TEST(ServeDaemon, UnknownSelectorIsErrorFrame) {
+  DaemonHarness harness;
+  auto client = harness.connect();
+  SubmitRequest submit;
+  submit.apps = {"NoSuchApp"};
+  const Json reply = client.submit_and_wait(submit);
+  EXPECT_EQ(reply.get_string("type"), "error");
+  submit.apps = {"AMG/7777"};
+  EXPECT_EQ(client.submit_and_wait(submit).get_string("type"), "error");
+}
+
+TEST(ServeDaemon, DetachThenWatchReplaysResult) {
+  DaemonHarness harness;
+  auto client = harness.connect();
+  SubmitRequest submit;
+  submit.apps = {"AMG/8"};
+  submit.detach = true;
+  const Json accepted = client.submit_and_wait(submit);
+  ASSERT_EQ(accepted.get_string("type"), "accepted");
+  const std::string job = accepted.get_string("job");
+  // Wait for the detached job to finish, then attach late.
+  while (harness.daemon.stats().queue.done < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const Json replay = client.watch_and_wait(job);
+  ASSERT_EQ(replay.get_string("type"), "result");
+  EXPECT_EQ(replay.get_string("state"), "done");
+  EXPECT_EQ(replay.get_string("job"), job);
+  // Unknown keys are an error frame.
+  auto other = harness.connect();
+  EXPECT_EQ(other.watch_and_wait("00000000000000ff").get_string("type"),
+            "error");
+}
+
+TEST(ServeDaemon, CancelQueuedJobViaProtocol) {
+  DaemonHarness harness;
+  harness.daemon.queue().pause();
+  auto client = harness.connect();
+  SubmitRequest submit;
+  submit.apps = {"AMG/27"};
+  submit.detach = true;
+  const Json accepted = client.submit_and_wait(submit);
+  const std::string job = accepted.get_string("job");
+  Request cancel;
+  cancel.kind = Request::Kind::Cancel;
+  cancel.job = job;
+  EXPECT_EQ(client.request(cancel).get_string("type"), "ok");
+  // Cancelled outcome is retained and replayable.
+  const Json replay = client.watch_and_wait(job);
+  EXPECT_EQ(replay.get_string("state"), "cancelled");
+  harness.daemon.queue().resume();
+}
+
+TEST(ServeDaemon, ShutdownViaProtocolDrainsQueuedJobs) {
+  ScratchDir cache("serve-shutdown-cache");
+  DaemonOptions options;
+  options.jobs = 2;
+  options.cache_dir = cache.str();
+  DaemonHarness harness(options);
+  harness.daemon.queue().pause();
+
+  auto subscriber = harness.connect();
+  SubmitRequest submit;
+  submit.apps = {"AMG/8"};
+  std::thread waiter;
+  Json result = Json::object();
+  waiter = std::thread([&subscriber, &submit, &result] {
+    result = subscriber.submit_and_wait(submit);
+  });
+  while (harness.daemon.queue().stats().submitted < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto admin = harness.connect();
+  EXPECT_EQ(admin.shutdown().get_string("type"), "ok");
+  harness.daemon.queue().resume();  // Let the drain execute the job.
+  harness.thread.join();            // serve() returns only when drained.
+
+  waiter.join();
+  // The job accepted before shutdown was computed and delivered.
+  EXPECT_EQ(result.get_string("type"), "result");
+  EXPECT_EQ(result.get_string("state"), "done");
+  EXPECT_EQ(harness.daemon.stats().queue.done, 1);
+
+  // New connections are refused after shutdown.
+  EXPECT_THROW(harness.listener.connect(), Error);
+}
+
+TEST(ServeDaemon, TwoDaemonsShareOneCacheDirectory) {
+  ScratchDir cache("serve-shared-cache");
+  DaemonOptions options;
+  options.jobs = 2;
+  options.cache_dir = cache.str();
+  DaemonHarness first(options);
+  DaemonHarness second(options);
+
+  SubmitRequest submit;
+  submit.apps = {"AMG/8"};
+  auto client_a = first.connect();
+  const Json cold = client_a.submit_and_wait(submit);
+  ASSERT_EQ(cold.get_string("state"), "done");
+  // The second daemon's engine has never run — it must find the first
+  // daemon's blob through the shared directory.
+  auto client_b = second.connect();
+  const Json warm = client_b.submit_and_wait(submit);
+  ASSERT_EQ(warm.get_string("state"), "done");
+  EXPECT_EQ(warm.get_number("cache_hits"), 1.0);
+  EXPECT_EQ(warm.get_string("csv"), cold.get_string("csv"));
+}
+
+// ---- ServeSocket (Unix-domain transport) -----------------------------------
+
+#if !defined(_WIN32)
+
+std::string short_socket_path(const std::string& tag) {
+  // sun_path is ~108 chars; keep well under it regardless of TempDir.
+  return "/tmp/nl-" + tag + "-" + std::to_string(::getpid()) + ".sock";
+}
+
+TEST(ServeSocket, FrameRoundTripOverUnixSocket) {
+  ASSERT_TRUE(unix_sockets_available());
+  const std::string path = short_socket_path("rt");
+  auto listener = listen_unix(path);
+  std::thread server([&listener] {
+    auto channel = listener->accept();
+    ASSERT_NE(channel, nullptr);
+    auto frame = read_frame(*channel);
+    ASSERT_TRUE(frame.has_value());
+    write_frame(*channel, "echo:" + *frame);
+    channel->close();
+  });
+  auto client = connect_unix(path);
+  write_frame(*client, "hello");
+  auto reply = read_frame(*client);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "echo:hello");
+  server.join();
+  listener->shutdown();
+  EXPECT_EQ(listener->accept(), nullptr);
+}
+
+TEST(ServeSocket, StaleSocketFileIsReplacedLiveOneIsNot) {
+  const std::string path = short_socket_path("stale");
+  {
+    auto listener = listen_unix(path);
+    // Second daemon on a live path must be refused.
+    EXPECT_THROW(listen_unix(path), ConfigError);
+  }
+  // The listener is gone but ~UnixListener unlinked the file; recreate
+  // a stale one by binding and killing another listener won't leave
+  // the file, so fake a stale socket: bind, then simulate a crash by
+  // leaking the file via a fresh bind + manual re-create.
+  {
+    auto listener = listen_unix(path);
+    // Keep the file but drop the process state: a dead daemon's socket
+    // file with nothing accepting behind it.
+    ::unlink(path.c_str());
+  }
+  // Plain file in the way is also handled (replaced after probe).
+  {
+    std::ofstream out(path);
+    out << "";
+  }
+  auto listener = listen_unix(path);
+  EXPECT_NE(listener, nullptr);
+  listener->shutdown();
+}
+
+TEST(ServeSocket, DaemonServesOverRealSocket) {
+  const std::string path = short_socket_path("daemon");
+  auto listener = listen_unix(path);
+  Daemon daemon;
+  std::thread serving([&] { daemon.serve(*listener); });
+  {
+    Client client(connect_unix(path));
+    EXPECT_TRUE(client.ping());
+    SubmitRequest submit;
+    submit.apps = {"AMG/8"};
+    const Json result = client.submit_and_wait(submit);
+    EXPECT_EQ(result.get_string("state"), "done");
+    client.close();
+  }
+  daemon.shutdown();
+  serving.join();
+}
+
+#endif  // !defined(_WIN32)
+
+// ---- ServeCache (cross-process result-cache locking) -----------------------
+
+engine::CacheKey cache_key_for(const workloads::CatalogEntry& entry) {
+  return engine::result_cache_key(entry, {});
+}
+
+analysis::ExperimentRow tiny_row(const workloads::CatalogEntry& entry) {
+  analysis::ExperimentRow row;
+  row.entry = entry;
+  row.stats.num_ranks = entry.ranks;
+  row.stats.duration = 1.0;
+  row.peers = 2;
+  return row;
+}
+
+#if !defined(_WIN32)
+
+TEST(ServeCache, StoreWaitsForForeignLockAndCountsContention) {
+  ScratchDir dir("serve-flock");
+  engine::CountingObserver observer;
+  engine::ResultCache cache(dir.str(), &observer);
+  const auto entry = workloads::catalog_entry("AMG", 8);
+
+  // Hold the directory lock through a *separate* descriptor, the way
+  // another process would (flock is per open-file-description, so a
+  // second fd in this process contends identically).
+  const std::string lock_path = dir.str() + "/.lock";
+  const int foreign = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(foreign, 0);
+  ASSERT_EQ(::flock(foreign, LOCK_EX), 0);
+
+  std::atomic<bool> stored{false};
+  std::thread storer([&] {
+    cache.store(cache_key_for(entry), tiny_row(entry));
+    stored.store(true);
+  });
+  // The store must block on the foreign lock, not skip it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(stored.load());
+  ASSERT_EQ(::flock(foreign, LOCK_UN), 0);
+  storer.join();
+  ::close(foreign);
+
+  EXPECT_TRUE(stored.load());
+  EXPECT_EQ(cache.lock_contentions(), 1U);
+  // Contention surfaced as EN004, and the blob is intact.
+  const auto diagnostics = observer.collected_diagnostics();
+  ASSERT_EQ(diagnostics.size(), 1U);
+  EXPECT_EQ(diagnostics[0].rule_id, "EN004");
+  EXPECT_TRUE(cache.load(cache_key_for(entry)).has_value());
+}
+
+TEST(ServeCache, UncontendedStoreTakesNoNote) {
+  ScratchDir dir("serve-flock-free");
+  engine::CountingObserver observer;
+  engine::ResultCache cache(dir.str(), &observer);
+  const auto entry = workloads::catalog_entry("AMG", 8);
+  cache.store(cache_key_for(entry), tiny_row(entry));
+  EXPECT_EQ(cache.lock_contentions(), 0U);
+  EXPECT_EQ(observer.diagnostics(), 0);
+}
+
+TEST(ServeCache, TwoProcessesStormOneCappedDirectory) {
+  ScratchDir dir("serve-fork");
+  const auto entries = workloads::catalog_for("AMG");
+  ASSERT_GE(entries.size(), 2U);
+
+  // Cap sized to one blob: every store triggers a trim, maximizing
+  // cross-process trim overlap. Parent and child hammer alternating
+  // keys; the flock serializes each store+trim pair.
+  const auto run_storm = [&dir, &entries](std::size_t offset) {
+    engine::ResultCache cache(dir.str(), nullptr, /*max_bytes=*/600);
+    for (int round = 0; round < 20; ++round) {
+      const auto& entry = entries[(offset + round) % entries.size()];
+      cache.store(engine::result_cache_key(entry, {}), tiny_row(entry));
+    }
+  };
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    run_storm(1);
+    ::_exit(0);
+  }
+  run_storm(0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // Every surviving blob must read back clean — no torn writes, no
+  // partially deleted files. (Each process trims honestly; the flock
+  // means they never trimmed concurrently.)
+  int blobs = 0;
+  engine::CountingObserver observer;
+  engine::ResultCache reader(dir.str(), &observer);
+  for (const auto& entry : entries) {
+    if (reader.load(engine::result_cache_key(entry, {})).has_value()) ++blobs;
+  }
+  EXPECT_GE(blobs, 1);
+  // Corrupt blobs would have surfaced as EN001.
+  for (const auto& d : observer.collected_diagnostics()) {
+    EXPECT_NE(d.rule_id, "EN001") << d.message;
+  }
+}
+
+#endif  // !defined(_WIN32)
+
+// ---- SweepEngine lifetime stats (satellite) --------------------------------
+
+TEST(SweepEngineLifetime, AccumulatesAcrossRuns) {
+  engine::SweepEngine engine;
+  const auto life0 = engine.lifetime_stats();
+  EXPECT_EQ(life0.sweeps, 0);
+
+  const std::vector<workloads::CatalogEntry> entries{
+      workloads::catalog_entry("AMG", 8)};
+  (void)engine.run_rows(entries);
+  const auto life1 = engine.lifetime_stats();
+  EXPECT_EQ(life1.sweeps, 1);
+  EXPECT_EQ(life1.cells, 1);
+  EXPECT_EQ(life1.jobs_run, engine.stats().jobs_run);
+
+  (void)engine.run_rows(entries);
+  const auto life2 = engine.lifetime_stats();
+  EXPECT_EQ(life2.sweeps, 2);
+  EXPECT_EQ(life2.cells, 2);
+  // Per-run stats reset; lifetime keeps the sum.
+  EXPECT_EQ(life2.jobs_run, 2 * engine.stats().jobs_run);
+  EXPECT_GE(life2.wall_s, engine.stats().wall_s);
+}
+
+TEST(SweepEngineLifetime, ReadableWhileSweepInFlight) {
+  engine::SweepEngine engine;
+  std::atomic<bool> done{false};
+  // A daemon status thread polls lifetime_stats() concurrently with
+  // the executor's sweep; this must be race-free (TSan-checked in CI).
+  std::thread poller([&engine, &done] {
+    std::int64_t last = 0;
+    while (!done.load()) {
+      const auto life = engine.lifetime_stats();
+      EXPECT_GE(life.sweeps, last);
+      last = life.sweeps;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+  const std::vector<workloads::CatalogEntry> entries{
+      workloads::catalog_entry("AMG", 8)};
+  (void)engine.run_rows(entries);
+  (void)engine.run_rows(entries);
+  done.store(true);
+  poller.join();
+  EXPECT_EQ(engine.lifetime_stats().sweeps, 2);
+}
+
+}  // namespace
+}  // namespace netloc::serve
