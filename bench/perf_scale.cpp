@@ -1,0 +1,246 @@
+// Million-endpoint scale tier (docs/SCALE.md): the full data path —
+// tiled traffic accumulation, budget-capped route plan, parallel
+// hop/utilization/link-load kernels — at 100k and 1M endpoints on the
+// sized random-regular topology, entirely under an explicit memory
+// budget.
+//
+// Each row runs in a forked child so wait4()'s ru_maxrss reports an
+// isolated peak RSS (perf_ingest's harness). The child streams HALO3D
+// through a budget-tiled TrafficAccumulator, builds
+// sized_random_regular + a window_for_budget route plan, and runs all
+// three metric kernels on every hardware thread.
+//
+// Writes BENCH_scale.json in the working directory, one record per
+// row: {"endpoints", "family", "pairs", "traffic_build_s",
+// "topology_s", "hops_s", "pairs_per_s", "util_s", "link_loads_s",
+// "packet_hops", "window", "window_misses", "budget_bytes",
+// "peak_rss_kb"}. Exits non-zero if any child fails its sanity checks
+// or the 1M row's peak RSS reaches 4 GiB — the CI perf-smoke gate.
+//
+// Usage: perf_scale [--quick]   (--quick drops the 1M row)
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netloc/common/format.hpp"
+#include "netloc/common/thread_pool.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/hops.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/utilization.hpp"
+#include "netloc/topology/large.hpp"
+#include "netloc/topology/route_plan.hpp"
+#include "netloc/workloads/scale.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The docs/SCALE.md budget: traffic strip gets budget/4, the distance
+/// window budget/8. 1 GiB keeps the 1M-endpoint row's total footprint
+/// well under the 4 GiB RSS gate.
+constexpr std::uint64_t kBudgetBytes = 1ull << 30;
+constexpr long kRssLimitKb = 4ll << 20;  // 4 GiB in KB.
+
+double seconds_since(Clock::time_point begin) {
+  return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+
+std::string num(double value) {
+  std::ostringstream s;
+  s.precision(std::numeric_limits<double>::max_digits10);
+  s << value;
+  return s.str();
+}
+
+/// What one child measures, sent back through a pipe.
+struct RowReport {
+  std::uint64_t pairs = 0;
+  std::uint64_t packet_hops = 0;
+  std::uint64_t window_misses = 0;
+  std::int32_t window = 0;
+  double traffic_build_s = 0.0;
+  double topology_s = 0.0;
+  double hops_s = 0.0;
+  double util_s = 0.0;
+  double link_loads_s = 0.0;
+};
+
+struct RowResult {
+  int endpoints = 0;
+  RowReport report;
+  long peak_rss_kb = 0;
+  [[nodiscard]] double pairs_per_s() const {
+    return report.hops_s > 0.0
+               ? static_cast<double>(report.pairs) / report.hops_s
+               : 0.0;
+  }
+};
+
+/// One full scale-tier pass at `endpoints`; exits non-zero on any
+/// sanity failure so the parent sees a clean pass/fail.
+RowReport run_row(int endpoints) {
+  namespace topo = netloc::topology;
+  RowReport report;
+  const int threads = netloc::ThreadPool::default_parallelism();
+  const auto entry = netloc::workloads::scale_entry("HALO3D", endpoints);
+
+  auto t0 = Clock::now();
+  netloc::metrics::TrafficAccumulator accumulator(
+      {.include_p2p = true,
+       .include_collectives = true,
+       .memory_budget_bytes = kBudgetBytes / 4});
+  netloc::workloads::generator(entry.app)
+      .generate_into(entry, netloc::workloads::kDefaultSeed, accumulator);
+  const auto matrix = accumulator.take();
+  report.traffic_build_s = seconds_since(t0);
+  report.pairs = matrix.nonzero_pairs();
+  if (!matrix.tiled() || matrix.nonzero_pairs() == 0) _exit(2);
+
+  t0 = Clock::now();
+  const auto rrg = topo::sized_random_regular(endpoints);
+  const int window =
+      topo::RoutePlan::window_for_budget(rrg.num_nodes(), kBudgetBytes / 8);
+  const auto plan = topo::RoutePlan::build(rrg, {}, window);
+  report.topology_s = seconds_since(t0);
+  report.window = plan->window();
+
+  const auto mapping =
+      netloc::mapping::Mapping::linear(endpoints, rrg.num_nodes());
+  t0 = Clock::now();
+  const auto hops =
+      netloc::metrics::hop_stats(matrix, rrg, mapping, plan.get(), threads);
+  report.hops_s = seconds_since(t0);
+  report.packet_hops = hops.packet_hops;
+  if (hops.packet_hops == 0) _exit(2);
+
+  t0 = Clock::now();
+  const auto util = netloc::metrics::utilization(
+      matrix, rrg, mapping, entry.time_s,
+      netloc::metrics::LinkCountMode::PaperFormula,
+      netloc::metrics::kPaperBandwidthBytesPerS, plan.get(), threads);
+  report.util_s = seconds_since(t0);
+  if (util.utilization_percent <= 0.0) _exit(2);
+
+  t0 = Clock::now();
+  const auto loads =
+      netloc::metrics::link_loads(matrix, rrg, mapping, plan.get(), threads);
+  report.link_loads_s = seconds_since(t0);
+  if (loads.used_links == 0) _exit(2);
+
+  report.window_misses = plan->out_of_window_hits();
+  return report;
+}
+
+RowResult run_row_forked(int endpoints) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::cerr << "FAIL: pipe() failed\n";
+    std::exit(3);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::cerr << "FAIL: fork() failed\n";
+    std::exit(3);
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const RowReport report = run_row(endpoints);
+    const auto* bytes = reinterpret_cast<const char*>(&report);
+    std::size_t written = 0;
+    while (written < sizeof(report)) {
+      const ssize_t n = write(fds[1], bytes + written,
+                              sizeof(report) - written);
+      if (n <= 0) _exit(3);
+      written += static_cast<std::size_t>(n);
+    }
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  RowReport report;
+  auto* bytes = reinterpret_cast<char*>(&report);
+  std::size_t got = 0;
+  while (got < sizeof(report)) {
+    const ssize_t n = read(fds[0], bytes + got, sizeof(report) - got);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  close(fds[0]);
+  int status = 0;
+  struct rusage usage {};
+  if (wait4(pid, &status, 0, &usage) != pid || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0 || got != sizeof(report)) {
+    std::cerr << "FAIL: " << endpoints << "-endpoint child did not complete "
+              << "cleanly\n";
+    std::exit(WIFEXITED(status) && WEXITSTATUS(status) == 2 ? 2 : 3);
+  }
+  // Linux reports ru_maxrss in kilobytes.
+  return {endpoints, report, usage.ru_maxrss};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  std::vector<int> sizes = {100'000};
+  if (!quick) sizes.push_back(1'000'000);
+
+  std::vector<RowResult> rows;
+  for (const int endpoints : sizes) rows.push_back(run_row_forked(endpoints));
+
+  std::cout << "endpoints   pairs       build[s]  topo[s]  hops[s]  "
+               "pairs/s    loads[s]  peak RSS[MB]\n";
+  for (const auto& r : rows) {
+    std::cout << r.endpoints << "     " << r.report.pairs << "    "
+              << netloc::fixed(r.report.traffic_build_s, 2) << "      "
+              << netloc::fixed(r.report.topology_s, 2) << "     "
+              << netloc::fixed(r.report.hops_s, 2) << "     "
+              << netloc::fixed(r.pairs_per_s() / 1e6, 1) << "M     "
+              << netloc::fixed(r.report.link_loads_s, 2) << "      "
+              << netloc::fixed(static_cast<double>(r.peak_rss_kb) / 1024.0, 1)
+              << "\n";
+  }
+
+  std::ofstream out("BENCH_scale.json");
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "  {\"endpoints\": " << r.endpoints << ", \"family\": \"rrg\""
+        << ", \"pairs\": " << r.report.pairs
+        << ", \"traffic_build_s\": " << num(r.report.traffic_build_s)
+        << ", \"topology_s\": " << num(r.report.topology_s)
+        << ", \"hops_s\": " << num(r.report.hops_s)
+        << ", \"pairs_per_s\": " << num(r.pairs_per_s())
+        << ", \"util_s\": " << num(r.report.util_s)
+        << ", \"link_loads_s\": " << num(r.report.link_loads_s)
+        << ", \"packet_hops\": " << r.report.packet_hops
+        << ", \"window\": " << r.report.window
+        << ", \"window_misses\": " << r.report.window_misses
+        << ", \"budget_bytes\": " << kBudgetBytes
+        << ", \"peak_rss_kb\": " << r.peak_rss_kb << "}"
+        << (i + 1 == rows.size() ? "\n" : ",\n");
+  }
+  out << "]\n";
+  std::cout << "wrote BENCH_scale.json\n";
+
+  for (const auto& r : rows) {
+    if (r.peak_rss_kb >= kRssLimitKb) {
+      std::cerr << "FAIL: " << r.endpoints << "-endpoint row peak RSS "
+                << r.peak_rss_kb << " KB >= 4 GiB\n";
+      return 1;
+    }
+  }
+  return 0;
+}

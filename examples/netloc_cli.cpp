@@ -9,6 +9,7 @@
 //   netloc_cli multicore <app> <ranks>
 //   netloc_cli topologies [ranks]
 //   netloc_cli sweep [--jobs N] [--cache DIR] [--no-cache] [--csv F] [...]
+//   netloc_cli scale <HALO3D|A2ABLOCK> <ranks> [--tier T] [--memory-budget B] [...]
 //   netloc_cli lint <trace-file> [--topology F] [--mapping R] [...]
 //   netloc_cli lint-rules
 //   netloc_cli verify [--app A] [--ranks N] [--passes P,...] [--fail-on S]
@@ -16,6 +17,7 @@
 //   netloc_cli status --socket S
 //   netloc_cli watch --socket S <job>
 //   netloc_cli shutdown --socket S
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -43,12 +45,14 @@
 #include "netloc/metrics/traffic_matrix.hpp"
 #include "netloc/metrics/utilization.hpp"
 #include "netloc/topology/configs.hpp"
+#include "netloc/topology/large.hpp"
 #include "netloc/serve/client.hpp"
 #include "netloc/serve/socket.hpp"
 #include "netloc/trace/dumpi_ascii.hpp"
 #include "netloc/trace/io.hpp"
 #include "netloc/trace/stats.hpp"
 #include "netloc/verify/verify.hpp"
+#include "netloc/workloads/scale.hpp"
 #include "netloc/workloads/workload.hpp"
 
 namespace {
@@ -70,8 +74,14 @@ int usage() {
          "  netloc_cli sweep [--jobs <n>] [--cache <dir>] [--no-cache]\n"
          "                  [--cache-cap <bytes[k|m|g]>]\n"
          "                  [--routing minimal|ecmp] [--fail-links <ids>]\n"
+         "                  [--memory-budget <bytes[k|m|g]>]\n"
+         "                  [--kernel-threads <n>]\n"
          "                  [--csv <out.csv>] [--apps <name,name,...>]\n"
          "                  [--progress] [--verify]\n"
+         "  netloc_cli scale <HALO3D|A2ABLOCK> <ranks>\n"
+         "                  [--tier fattree|dragonfly|rrg]\n"
+         "                  [--memory-budget <bytes[k|m|g]>]\n"
+         "                  [--kernel-threads <n>] [--seed <n>]\n"
          "  netloc_cli lint <trace-file> [--topology torus|fattree|dragonfly]\n"
          "                  [--mapping <rankfile>] [--cores-per-node <n>]\n"
          "                  [--csv <out.csv>] [--fail-on note|warning|error]\n"
@@ -341,6 +351,8 @@ struct SweepArgs {
   std::vector<std::string> apps;         // empty = full catalog.
   bool progress = false;                 // per-job telemetry on stderr.
   bool verify = false;                   // post-cell verification passes.
+  std::uint64_t memory_budget = 0;       // 0 = unbudgeted (docs/SCALE.md).
+  int kernel_threads = 1;                // per-cell metric kernel workers.
 };
 
 std::optional<SweepArgs> parse_sweep_args(int argc, char** argv) {
@@ -371,6 +383,13 @@ std::optional<SweepArgs> parse_sweep_args(int argc, char** argv) {
       const auto bytes = parse_bytes(value);
       if (!bytes) return std::nullopt;
       args.cache_cap = *bytes;
+    } else if (flag == "--memory-budget") {
+      const auto bytes = parse_bytes(value);
+      if (!bytes) return std::nullopt;
+      args.memory_budget = *bytes;
+    } else if (flag == "--kernel-threads") {
+      args.kernel_threads = std::atoi(value.c_str());
+      if (args.kernel_threads < 0) return std::nullopt;
     } else if (flag == "--csv") {
       args.csv_path = value;
     } else if (flag == "--apps") {
@@ -408,6 +427,8 @@ int cmd_sweep(const SweepArgs& args) {
   engine::SweepOptions options;
   options.jobs = args.jobs;
   options.run.routing = args.routing;
+  options.run.memory_budget_bytes = args.memory_budget;
+  options.run.kernel_threads = args.kernel_threads;
   if (args.use_cache) {
     options.cache_dir = args.cache_dir;
     options.cache_max_bytes = args.cache_cap;
@@ -440,6 +461,11 @@ int cmd_sweep(const SweepArgs& args) {
   if (!args.routing.is_default()) {
     std::cerr << ", routing " << args.routing.label();
   }
+  if (args.memory_budget > 0) {
+    std::cerr << ", budget " << args.memory_budget << " B ("
+              << stats.out_of_window_queries << "/" << stats.hop_queries
+              << " window misses)";
+  }
   if (args.verify) {
     std::cerr << ", verify findings " << stats.verify_findings;
   }
@@ -459,6 +485,133 @@ int cmd_sweep(const SweepArgs& args) {
               << " finding(s)\n";
     return EXIT_FAILURE;
   }
+  return EXIT_SUCCESS;
+}
+
+// ---- scale ------------------------------------------------------------------
+
+struct ScaleArgs {
+  std::string app;
+  int ranks = 0;
+  std::string tier = "rrg";  // fattree | dragonfly | rrg
+  std::uint64_t memory_budget = 1ull << 30;  // 1 GiB default.
+  int kernel_threads = 0;                    // 0 = machine default.
+  std::uint64_t seed = netloc::workloads::kDefaultSeed;
+};
+
+std::optional<ScaleArgs> parse_scale_args(int argc, char** argv) {
+  if (argc < 4) return std::nullopt;
+  ScaleArgs args;
+  args.app = argv[2];
+  args.ranks = std::atoi(argv[3]);
+  if (args.ranks < 2) return std::nullopt;
+  for (int i = 4; i < argc; i += 2) {
+    if (i + 1 >= argc) return std::nullopt;
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--tier") {
+      if (value != "fattree" && value != "dragonfly" && value != "rrg") {
+        return std::nullopt;
+      }
+      args.tier = value;
+    } else if (flag == "--memory-budget") {
+      const auto bytes = parse_bytes(value);
+      if (!bytes || *bytes == 0) return std::nullopt;
+      args.memory_budget = *bytes;
+    } else if (flag == "--kernel-threads") {
+      args.kernel_threads = std::atoi(value.c_str());
+      if (args.kernel_threads < 0) return std::nullopt;
+    } else if (flag == "--seed") {
+      try {
+        args.seed = std::stoull(value);
+      } catch (const std::exception&) {
+        return std::nullopt;
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+/// The million-endpoint tier end to end (docs/SCALE.md): stream a scale
+/// workload into the tiled accumulator under the memory budget, build
+/// the sized topology tier, and run the parallel metric kernels behind
+/// a budget-capped distance window. Phase wall times go to stderr so
+/// the command doubles as an interactive cousin of bench/perf_scale.
+int cmd_scale(const ScaleArgs& args) {
+  namespace topo = netloc::topology;
+  using Clock = std::chrono::steady_clock;
+  const auto since = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  const auto entry = netloc::workloads::scale_entry(args.app, args.ranks);
+
+  auto t0 = Clock::now();
+  netloc::metrics::TrafficAccumulator accumulator(
+      {.include_p2p = true,
+       .include_collectives = true,
+       .memory_budget_bytes = args.memory_budget / 4});
+  netloc::workloads::generator(args.app).generate_into(entry, args.seed,
+                                                       accumulator);
+  const auto matrix = accumulator.take();
+  std::cerr << "traffic: " << matrix.nonzero_pairs() << " pairs, "
+            << netloc::fixed(static_cast<double>(matrix.total_bytes()) / 1e9, 2)
+            << " GB" << (matrix.tiled() ? " (tiled)" : "") << " in "
+            << netloc::fixed(since(t0), 2) << " s\n";
+
+  t0 = Clock::now();
+  std::unique_ptr<topo::Topology> topology;
+  if (args.tier == "fattree") {
+    topology = std::make_unique<topo::FatTree>(topo::sized_fat_tree(args.ranks));
+  } else if (args.tier == "dragonfly") {
+    topology = std::make_unique<topo::Dragonfly>(
+        topo::full_bisection_dragonfly(args.ranks));
+  } else {
+    topology = std::make_unique<topo::RandomRegular>(
+        topo::sized_random_regular(args.ranks, args.seed));
+  }
+  const int window =
+      topo::RoutePlan::window_for_budget(topology->num_nodes(),
+                                         args.memory_budget / 8);
+  const auto plan = topo::RoutePlan::build(*topology, {}, window);
+  std::cerr << topology->name() << " " << topology->config_string() << ": "
+            << topology->num_nodes() << " nodes, " << topology->num_links()
+            << " links, window " << plan->window() << "/"
+            << topology->num_nodes() << " in " << netloc::fixed(since(t0), 2)
+            << " s\n";
+
+  const auto mapping =
+      netloc::mapping::Mapping::linear(args.ranks, topology->num_nodes());
+  t0 = Clock::now();
+  const auto hops = netloc::metrics::hop_stats(matrix, *topology, mapping,
+                                               plan.get(), args.kernel_threads);
+  const double hops_s = since(t0);
+  t0 = Clock::now();
+  const auto util = netloc::metrics::utilization(
+      matrix, *topology, mapping, entry.time_s,
+      netloc::metrics::LinkCountMode::PaperFormula,
+      netloc::metrics::kPaperBandwidthBytesPerS, plan.get(),
+      args.kernel_threads);
+  const double util_s = since(t0);
+  t0 = Clock::now();
+  const auto loads = netloc::metrics::link_loads(matrix, *topology, mapping,
+                                                 plan.get(),
+                                                 args.kernel_threads);
+  const double loads_s = since(t0);
+
+  std::cout << entry.label() << " on " << topology->name() << " "
+            << topology->config_string() << ":\n"
+            << "  packet hops    " << netloc::sci(static_cast<double>(hops.packet_hops))
+            << " (avg " << netloc::fixed(hops.avg_hops, 3) << ", "
+            << netloc::fixed(hops_s, 2) << " s)\n"
+            << "  utilization    " << netloc::fixed(util.utilization_percent, 4)
+            << "% (" << netloc::fixed(util_s, 2) << " s)\n"
+            << "  used links     " << loads.used_links << "/"
+            << topology->num_links() << " (" << netloc::fixed(loads_s, 2)
+            << " s)\n"
+            << "  window misses  " << plan->out_of_window_hits() << "\n";
   return EXIT_SUCCESS;
 }
 
@@ -960,6 +1113,10 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") {
       const auto args = parse_sweep_args(argc, argv);
       return args ? cmd_sweep(*args) : usage();
+    }
+    if (cmd == "scale") {
+      const auto args = parse_scale_args(argc, argv);
+      return args ? cmd_scale(*args) : usage();
     }
     if (cmd == "lint") {
       const auto args = parse_lint_args(argc, argv);

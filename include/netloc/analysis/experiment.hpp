@@ -65,6 +65,24 @@ struct RunOptions {
   /// part of the sweep engine's cache key, so policy variants never
   /// collide with default-run results.
   topology::RoutingSpec routing;
+  /// Global byte budget for a run's heavy allocations (docs/SCALE.md);
+  /// 0 = unbudgeted (classic dense buffers and the default distance
+  /// window). Under a budget the traffic accumulation strip gets
+  /// budget/4 (TrafficOptions::memory_budget_bytes) and each
+  /// sweep-built plan's distance table budget/8
+  /// (RoutePlan::window_for_budget). Results are byte-identical at any
+  /// budget — tiling and window sizing are caches, never semantics —
+  /// but the budget is still mixed into the sweep cache key when
+  /// non-zero, mirroring how the routing spec is keyed.
+  std::size_t memory_budget_bytes = 0;
+  /// Worker threads for the metric kernels within one cell (hop /
+  /// utilization / link-load accounting): 1 = serial (the default),
+  /// 0 = machine default, N = N workers. Any value produces
+  /// bit-identical results (integer per-worker accumulators, row-order
+  /// reduction), so this is NOT part of the cache key. Leave at 1 when
+  /// the sweep engine already parallelizes across cells; raise it for
+  /// single-cell runs at large rank counts.
+  int kernel_threads = 1;
 };
 
 /// Run the full pipeline for one catalog entry.

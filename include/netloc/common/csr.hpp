@@ -1,5 +1,5 @@
 // Compressed-sparse-row matrix with a two-phase lifecycle, the storage
-// substrate of the metric data path (docs/DATAPATH.md).
+// substrate of the metric data path (docs/DATAPATH.md, docs/SCALE.md).
 //
 // Build phase: a dense accumulation buffer, so repeated adds to the
 // same cell coalesce in O(1) and arrival order never matters. freeze()
@@ -9,10 +9,27 @@
 // ascending (row, column) order, so consumers that migrate from dense
 // index scans to nonzero iteration accumulate floating-point sums in
 // the exact same order and reproduce their results bit for bit.
+//
+// Tiled build phase (docs/SCALE.md): a rows*cols dense buffer stops
+// being allocatable long before the *stored* cells do — a 1M-rank
+// traffic matrix has ~10^12 slots but only ~10^7 nonzeros. Construct
+// with an open-phase byte budget and the dense buffer covers only a
+// bounded strip of consecutive rows; adds outside the open strip
+// compact the strip into a per-strip CSR segment (touched slots only,
+// never a full strip scan) and re-open the target strip, scattering
+// its previously compacted segment back so accumulation always resumes
+// on the running value. freeze() concatenates the segments in strip
+// order. Because every slot carries the same running value it would in
+// a monolithic buffer and segments are emitted in ascending (row, col)
+// order, the frozen arrays are byte-identical to the untiled path for
+// any add order. Only the open-phase *mutation* cost is order
+// sensitive: row-clustered adds close each strip once, adversarial row
+// order pays one segment round trip per strip switch.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <utility>
 #include <vector>
@@ -27,33 +44,83 @@ namespace netloc::common {
 template <typename Cell>
 class CsrMatrix {
  public:
-  /// Upper bound on rows * cols: keeps the dense accumulation buffer
-  /// allocatable and makes the row * cols + col index arithmetic
-  /// trivially overflow-free.
+  /// Upper bound on rows * cols for the *untiled* open buffer: keeps
+  /// the dense accumulation buffer allocatable and makes the
+  /// row * cols + col index arithmetic trivially overflow-free. Tiled
+  /// matrices bound the buffer by the byte budget instead and may
+  /// exceed this in rows * cols.
   static constexpr std::size_t kMaxCells = std::size_t{1} << 36;
 
-  CsrMatrix(int rows, int cols) : rows_(rows), cols_(cols) {
+  CsrMatrix(int rows, int cols) : CsrMatrix(rows, cols, 0) {}
+
+  /// `open_budget_bytes` bounds the open-phase dense buffer; 0 means
+  /// unbudgeted (one rows*cols buffer, the classic path). A budget
+  /// smaller than rows*cols*sizeof(Cell) tiles the open phase into
+  /// strips of max(1, budget / (cols * sizeof(Cell))) rows — a budget
+  /// below one row's footprint is honoured at one-row granularity.
+  /// The frozen result is byte-identical either way.
+  CsrMatrix(int rows, int cols, std::size_t open_budget_bytes)
+      : rows_(rows), cols_(cols) {
     if (rows < 1 || cols < 1) {
       throw ConfigError("CsrMatrix: dimensions must be >= 1");
     }
-    const auto cells =
-        static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
-    if (cells / static_cast<std::size_t>(rows) !=
-            static_cast<std::size_t>(cols) ||
-        cells > kMaxCells) {
+    const auto r = static_cast<std::size_t>(rows);
+    const auto c = static_cast<std::size_t>(cols);
+    if ((std::numeric_limits<std::size_t>::max)() / r < c) {
       throw ConfigError("CsrMatrix: dimensions too large");
     }
-    dense_.assign(cells, Cell{});
+    const std::size_t cells = r * c;
+    const bool tile =
+        open_budget_bytes > 0 && cells > open_budget_bytes / sizeof(Cell);
+    if (!tile) {
+      if (cells > kMaxCells) {
+        throw ConfigError("CsrMatrix: dimensions too large");
+      }
+      strip_rows_ = rows_;
+      dense_.assign(cells, Cell{});
+      return;
+    }
+    tiled_ = true;
+    const std::size_t budget_rows = open_budget_bytes / (c * sizeof(Cell));
+    strip_rows_ = static_cast<int>(
+        std::clamp<std::size_t>(budget_rows, 1, r));
+    dense_.assign(static_cast<std::size_t>(strip_rows_) * c, Cell{});
+    segments_.resize(static_cast<std::size_t>(num_strips()));
   }
 
   [[nodiscard]] int rows() const { return rows_; }
   [[nodiscard]] int cols() const { return cols_; }
   [[nodiscard]] bool frozen() const { return frozen_; }
 
-  /// Mutable accumulation slot; open state only.
+  /// True when the open phase runs under a byte budget (strip-tiled).
+  [[nodiscard]] bool tiled() const { return tiled_; }
+  /// Rows the open dense strip covers (== rows() when untiled).
+  [[nodiscard]] int strip_rows() const { return strip_rows_; }
+  /// Bytes held by the open-phase dense buffer (0 once frozen). The
+  /// per-strip segments additionally hold the compacted nonzeros —
+  /// those are the matrix's payload, not buffer overhead.
+  [[nodiscard]] std::size_t open_buffer_bytes() const {
+    return dense_.size() * sizeof(Cell);
+  }
+
+  /// Mutable accumulation slot; open state only. On a tiled matrix the
+  /// returned reference is invalidated by the next slot() call (it may
+  /// switch the open strip); accumulate immediately.
   Cell& slot(int row, int col) {
     if (frozen_) throw ConfigError("CsrMatrix: frozen matrices are immutable");
     check_bounds(row, col);
+    if (tiled_) {
+      const int strip = row / strip_rows_;
+      if (strip != open_strip_) switch_strip(strip);
+      const std::size_t idx = strip_index(row, col);
+      Cell& cell = dense_[idx];
+      // Candidate first touch: compaction visits only these slots, so
+      // closing a strip costs O(touched log touched), never a dense
+      // scan. A slot left equal to Cell{} is skipped at compaction,
+      // matching freeze()'s empty-cell drop.
+      if (cell == Cell{}) touched_.push_back(idx);
+      return cell;
+    }
     return dense_[index(row, col)];
   }
 
@@ -61,6 +128,10 @@ class CsrMatrix {
   /// dense buffer. Idempotent.
   void freeze() {
     if (frozen_) return;
+    if (tiled_) {
+      freeze_tiled();
+      return;
+    }
     std::size_t nonzeros = 0;
     for (const Cell& cell : dense_) {
       if (!(cell == Cell{})) ++nonzeros;
@@ -83,13 +154,35 @@ class CsrMatrix {
     frozen_ = true;
   }
 
-  /// Stored (non-empty) cells. O(nonzeros) frozen, O(rows * cols) open.
+  /// Stored (non-empty) cells. O(nonzeros) frozen; open costs one scan
+  /// of the dense buffer (the open strip only, when tiled).
   [[nodiscard]] std::size_t nonzeros() const {
     if (frozen_) return cells_.size();
     std::size_t count = 0;
+    if (tiled_) {
+      const std::size_t open_cells = static_cast<std::size_t>(
+          strip_local_rows(open_strip_)) * static_cast<std::size_t>(cols_);
+      for (std::size_t i = 0; i < open_cells; ++i) {
+        if (!(dense_[i] == Cell{})) ++count;
+      }
+      for (const Segment& seg : segments_) count += seg.cells.size();
+      return count;
+    }
     for (const Cell& cell : dense_) {
       if (!(cell == Cell{})) ++count;
     }
+    return count;
+  }
+
+  /// Stored (non-empty) cells of one row. O(1) frozen; open costs one
+  /// row scan (or a segment slice when the row's strip is closed).
+  [[nodiscard]] std::size_t row_nonzeros(int row) const {
+    if (frozen_) {
+      return row_offsets_[static_cast<std::size_t>(row) + 1] -
+             row_offsets_[static_cast<std::size_t>(row)];
+    }
+    std::size_t count = 0;
+    for_each_in_row(row, [&count](int, const Cell&) { ++count; });
     return count;
   }
 
@@ -98,7 +191,11 @@ class CsrMatrix {
   [[nodiscard]] const Cell* find(int row, int col) const {
     check_bounds(row, col);
     if (!frozen_) {
-      const Cell& cell = dense_[index(row, col)];
+      if (tiled_ && row / strip_rows_ != open_strip_) {
+        return segment_find(row, col);
+      }
+      const Cell& cell =
+          tiled_ ? dense_[strip_index(row, col)] : dense_[index(row, col)];
       return cell == Cell{} ? nullptr : &cell;
     }
     const auto begin = row_offsets_[static_cast<std::size_t>(row)];
@@ -123,10 +220,26 @@ class CsrMatrix {
       }
       return;
     }
-    const std::size_t base = index(row, 0);
+    if (tiled_ && row / strip_rows_ != open_strip_) {
+      segment_visit_row(row, f);
+      return;
+    }
+    const std::size_t base =
+        tiled_ ? strip_index(row, 0) : index(row, 0);
     for (int col = 0; col < cols_; ++col) {
       const Cell& cell = dense_[base + static_cast<std::size_t>(col)];
       if (!(cell == Cell{})) f(col, cell);
+    }
+  }
+
+  /// Visit every stored cell of rows [row_begin, row_end) in ascending
+  /// (row, col) order: f(row, col, cell). The row-range form the
+  /// parallel metric kernels partition over.
+  template <typename F>
+  void for_each_rows(int row_begin, int row_end, F&& f) const {
+    for (int row = row_begin; row < row_end; ++row) {
+      for_each_in_row(row,
+                      [&](int col, const Cell& cell) { f(row, col, cell); });
     }
   }
 
@@ -134,9 +247,7 @@ class CsrMatrix {
   /// f(row, col, cell).
   template <typename F>
   void for_each(F&& f) const {
-    for (int row = 0; row < rows_; ++row) {
-      for_each_in_row(row, [&](int col, const Cell& cell) { f(row, col, cell); });
-    }
+    for_each_rows(0, rows_, f);
   }
 
   /// Frozen-state row views (column ids and parallel cells).
@@ -154,10 +265,31 @@ class CsrMatrix {
   }
 
  private:
+  /// One closed strip's compacted cells: a strip-local CSR slice.
+  /// Ascending columns per row; offsets indexed by strip-local row.
+  struct Segment {
+    std::vector<std::size_t> offsets;
+    std::vector<std::int32_t> cols;
+    std::vector<Cell> cells;
+    [[nodiscard]] bool empty() const { return cells.empty(); }
+  };
+
   [[nodiscard]] std::size_t index(int row, int col) const {
     return static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
            static_cast<std::size_t>(col);
   }
+  [[nodiscard]] std::size_t strip_index(int row, int col) const {
+    return static_cast<std::size_t>(row - strip_begin_) *
+               static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(col);
+  }
+  [[nodiscard]] int num_strips() const {
+    return (rows_ + strip_rows_ - 1) / strip_rows_;
+  }
+  [[nodiscard]] int strip_local_rows(int strip) const {
+    return std::min(strip_rows_, rows_ - strip * strip_rows_);
+  }
+
   void check_bounds(int row, int col) const {
     if (row < 0 || row >= rows_ || col < 0 || col >= cols_) {
       throw ConfigError("CsrMatrix: cell index out of range");
@@ -168,10 +300,131 @@ class CsrMatrix {
     check_bounds(row, 0);
   }
 
+  /// Compact the open strip's touched slots into its segment and reset
+  /// them to Cell{}, leaving the dense buffer ready for reuse.
+  void close_strip() {
+    std::sort(touched_.begin(), touched_.end());
+    touched_.erase(std::unique(touched_.begin(), touched_.end()),
+                   touched_.end());
+    Segment seg;
+    const int local_rows = strip_local_rows(open_strip_);
+    seg.offsets.assign(static_cast<std::size_t>(local_rows) + 1, 0);
+    seg.cols.reserve(touched_.size());
+    seg.cells.reserve(touched_.size());
+    for (const std::size_t idx : touched_) {
+      Cell& cell = dense_[idx];
+      if (cell == Cell{}) continue;  // touched but left empty
+      const auto local_row = idx / static_cast<std::size_t>(cols_);
+      seg.cols.push_back(
+          static_cast<std::int32_t>(idx % static_cast<std::size_t>(cols_)));
+      seg.cells.push_back(cell);
+      ++seg.offsets[local_row + 1];
+      cell = Cell{};
+    }
+    for (int r = 0; r < local_rows; ++r) {
+      seg.offsets[static_cast<std::size_t>(r) + 1] +=
+          seg.offsets[static_cast<std::size_t>(r)];
+    }
+    segments_[static_cast<std::size_t>(open_strip_)] = std::move(seg);
+    touched_.clear();
+  }
+
+  /// Re-open `strip`: scatter its compacted segment back into the dense
+  /// buffer so accumulation resumes on the running values.
+  void open_strip(int strip) {
+    open_strip_ = strip;
+    strip_begin_ = strip * strip_rows_;
+    Segment seg =
+        std::exchange(segments_[static_cast<std::size_t>(strip)], Segment{});
+    if (seg.empty()) return;
+    const int local_rows = strip_local_rows(strip);
+    for (int lr = 0; lr < local_rows; ++lr) {
+      const std::size_t begin = seg.offsets[static_cast<std::size_t>(lr)];
+      const std::size_t end = seg.offsets[static_cast<std::size_t>(lr) + 1];
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t idx =
+            static_cast<std::size_t>(lr) * static_cast<std::size_t>(cols_) +
+            static_cast<std::size_t>(seg.cols[i]);
+        dense_[idx] = seg.cells[i];
+        touched_.push_back(idx);
+      }
+    }
+  }
+
+  void switch_strip(int strip) {
+    close_strip();
+    open_strip(strip);
+  }
+
+  /// Concatenate the per-strip segments (strip order == row order) into
+  /// the global CSR arrays. Segments are released one by one, so the
+  /// transient peak is nonzeros + the largest single segment.
+  void freeze_tiled() {
+    close_strip();
+    std::size_t nonzeros = 0;
+    for (const Segment& seg : segments_) nonzeros += seg.cells.size();
+    row_offsets_.assign(static_cast<std::size_t>(rows_) + 1, 0);
+    columns_.reserve(nonzeros);
+    cells_.reserve(nonzeros);
+    const int strips = num_strips();
+    for (int s = 0; s < strips; ++s) {
+      Segment seg =
+          std::exchange(segments_[static_cast<std::size_t>(s)], Segment{});
+      const int local_rows = strip_local_rows(s);
+      for (int lr = 0; lr < local_rows; ++lr) {
+        if (!seg.empty()) {
+          const std::size_t begin = seg.offsets[static_cast<std::size_t>(lr)];
+          const std::size_t end =
+              seg.offsets[static_cast<std::size_t>(lr) + 1];
+          columns_.insert(columns_.end(), seg.cols.begin() + begin,
+                          seg.cols.begin() + end);
+          cells_.insert(cells_.end(), seg.cells.begin() + begin,
+                        seg.cells.begin() + end);
+        }
+        row_offsets_[static_cast<std::size_t>(s * strip_rows_ + lr) + 1] =
+            columns_.size();
+      }
+    }
+    segments_.clear();
+    segments_.shrink_to_fit();
+    dense_.clear();
+    dense_.shrink_to_fit();
+    touched_.clear();
+    touched_.shrink_to_fit();
+    frozen_ = true;
+  }
+
+  [[nodiscard]] const Cell* segment_find(int row, int col) const {
+    const Segment& seg = segments_[static_cast<std::size_t>(row / strip_rows_)];
+    if (seg.empty()) return nullptr;
+    const auto lr = static_cast<std::size_t>(row % strip_rows_);
+    const auto* first = seg.cols.data() + seg.offsets[lr];
+    const auto* last = seg.cols.data() + seg.offsets[lr + 1];
+    const auto* it = std::lower_bound(first, last, col);
+    if (it == last || *it != col) return nullptr;
+    return &seg.cells[seg.offsets[lr] + static_cast<std::size_t>(it - first)];
+  }
+
+  template <typename F>
+  void segment_visit_row(int row, F&& f) const {
+    const Segment& seg = segments_[static_cast<std::size_t>(row / strip_rows_)];
+    if (seg.empty()) return;
+    const auto lr = static_cast<std::size_t>(row % strip_rows_);
+    for (std::size_t i = seg.offsets[lr]; i < seg.offsets[lr + 1]; ++i) {
+      f(seg.cols[i], seg.cells[i]);
+    }
+  }
+
   int rows_;
   int cols_;
   bool frozen_ = false;
-  std::vector<Cell> dense_;                 // open state
+  bool tiled_ = false;
+  int strip_rows_ = 0;   // rows per strip; == rows_ when untiled
+  int open_strip_ = 0;   // strip the dense buffer currently covers
+  int strip_begin_ = 0;  // first row of the open strip
+  std::vector<Cell> dense_;                 // open state (strip when tiled)
+  std::vector<std::size_t> touched_;        // strip-local touched slots
+  std::vector<Segment> segments_;           // open state, tiled only
   std::vector<std::size_t> row_offsets_;    // frozen state
   std::vector<std::int32_t> columns_;       // frozen state
   std::vector<Cell> cells_;                 // frozen state

@@ -96,6 +96,15 @@ struct SweepStats {
   /// Diagnostics reported by the post_cell_verify hook (0 when the
   /// hook is disabled or every cell verified clean).
   int verify_findings = 0;
+  /// Hop-distance queries the topology cells issued (one per stored
+  /// traffic pair per cell; run_rows only).
+  std::int64_t hop_queries = 0;
+  /// Of those, queries the plan's distance table could not answer —
+  /// the pair missed the window and fell back to closed form / BFS
+  /// (RoutePlan::out_of_window_hits). Counted over the engine's cached
+  /// plans; when fallbacks exceed half the queries the run gets an
+  /// EN005 note suggesting a larger window or memory budget.
+  std::int64_t out_of_window_queries = 0;
   Seconds wall_s = 0.0; ///< Wall time of the batch.
 };
 
@@ -114,6 +123,8 @@ struct LifetimeStats {
   std::int64_t plans_built = 0;
   std::int64_t cache_evictions = 0;
   std::int64_t verify_findings = 0;
+  std::int64_t hop_queries = 0;
+  std::int64_t out_of_window_queries = 0;
   Seconds wall_s = 0.0;  ///< Summed batch wall times (not elapsed time).
 };
 
@@ -173,8 +184,12 @@ class SweepEngine {
   [[nodiscard]] const SweepOptions& options() const { return options_; }
 
  private:
-  /// Shared route plan for `topo`, with a distance table covering at
-  /// least the first `window` nodes. The plan is built under
+  /// Shared route plan for `topo`, with a distance table covering the
+  /// first `window` nodes — unless options_.run.memory_budget_bytes is
+  /// set, in which case the window is capped at
+  /// RoutePlan::window_for_budget(num_nodes, budget / 8) and pairs
+  /// beyond it fall back to closed-form/BFS distances (counted in
+  /// SweepStats::out_of_window_queries). The plan is built under
   /// options_.run.routing, so every sweep cell routes under the same
   /// policy. Plans are cached per (topology
   /// configuration, routing spec, window) for the lifetime of the engine and shared
@@ -208,6 +223,17 @@ class SweepEngine {
   int plans_built_ NETLOC_GUARDED_BY(plans_mutex_) = 0;
   /// Diagnostics the verify hook reported in the in-flight run.
   std::atomic<int> verify_findings_{0};
+  /// Hop-distance queries issued by the in-flight run's topology cells.
+  std::atomic<std::int64_t> hop_queries_{0};
+  /// Sum of cached plans' out_of_window_hits() when the run started;
+  /// the run's fallback count is the sum's growth since (plans the
+  /// engine does not retain lose their misses — telemetry, not
+  /// accounting).
+  std::int64_t run_miss_base_ NETLOC_GUARDED_BY(plans_mutex_) = 0;
+  /// Σ out_of_window_hits() over the retained plans. Caller must hold
+  /// plans_mutex_.
+  [[nodiscard]] std::int64_t cached_plan_misses() const
+      NETLOC_REQUIRES(plans_mutex_);
   // Lifetime totals (see LifetimeStats). Wall time accumulates in
   // microseconds so a plain integer atomic suffices.
   std::atomic<std::int64_t> life_sweeps_{0};
@@ -217,6 +243,8 @@ class SweepEngine {
   std::atomic<std::int64_t> life_plans_built_{0};
   std::atomic<std::int64_t> life_cache_evictions_{0};
   std::atomic<std::int64_t> life_verify_findings_{0};
+  std::atomic<std::int64_t> life_hop_queries_{0};
+  std::atomic<std::int64_t> life_oow_queries_{0};
   std::atomic<std::int64_t> life_wall_us_{0};
 };
 

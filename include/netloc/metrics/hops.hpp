@@ -29,8 +29,15 @@ struct HopStats {
 /// all cells of a configuration). With a null plan a throwaway
 /// tableless plan is built internally, so the statically-dispatched
 /// distance code runs either way and the results are identical.
+///
+/// `threads` > 1 partitions a frozen matrix's source rows across a
+/// thread pool (0 = machine default). Per-worker accumulators are
+/// integer-only and folded in row order, so every thread count —
+/// including the serial path — produces bit-identical results; a SIMD
+/// inner loop additionally engages for frozen matrices under identity
+/// mappings with a full distance window (docs/SCALE.md).
 HopStats hop_stats(const TrafficMatrix& matrix, const topology::Topology& topo,
                    const mapping::Mapping& mapping,
-                   const topology::RoutePlan* plan = nullptr);
+                   const topology::RoutePlan* plan = nullptr, int threads = 1);
 
 }  // namespace netloc::metrics

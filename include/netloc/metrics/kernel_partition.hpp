@@ -1,0 +1,73 @@
+// Row-range partitioning for the parallel metric kernels
+// (docs/SCALE.md).
+//
+// The kernels (hops.hpp, utilization.hpp) parallelize by splitting the
+// traffic matrix's source-row space into one contiguous range per
+// worker. Ranges are balanced by *stored cells*, not rows — a stencil
+// matrix has uniform rows, but an all-to-all-heavy matrix concentrates
+// cells in the participating sub-communicator, and equal row counts
+// would idle most workers. Contiguity is what keeps the reduction
+// deterministic: concatenating the per-range visit orders in range
+// order reproduces the global ascending (src, dst) order exactly, so
+// per-worker integer accumulators folded in range order yield totals
+// identical to the serial kernel on any thread count.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "netloc/common/thread_pool.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+
+namespace netloc::metrics {
+
+/// One worker's half-open source-row range.
+struct RowRange {
+  Rank begin = 0;
+  Rank end = 0;
+};
+
+/// Resolve a kernel thread-count request: 0 means the machine default
+/// (ThreadPool::default_parallelism), negatives are an error upstream
+/// and clamp to 1 here.
+inline int resolve_kernel_threads(int threads) {
+  if (threads == 0) return ThreadPool::default_parallelism();
+  return std::max(threads, 1);
+}
+
+/// Split [0, matrix.num_ranks()) into at most `parts` contiguous
+/// ranges of roughly equal stored-cell count. Empty ranges are
+/// dropped, so the result may have fewer entries than `parts` (and is
+/// empty for an empty matrix). Requires a frozen matrix (row_nonzeros
+/// is O(1) there); callers fall back to the serial kernel otherwise.
+inline std::vector<RowRange> partition_rows_by_cells(
+    const TrafficMatrix& matrix, int parts) {
+  std::vector<RowRange> ranges;
+  const int n = matrix.num_ranks();
+  const std::size_t total = matrix.nonzero_pairs();
+  if (parts < 1 || total == 0) return ranges;
+  const auto want = static_cast<std::size_t>(parts);
+  ranges.reserve(want);
+  // Greedy sweep: close a range once it holds its proportional share
+  // of the remaining cells. Each range gets at least one row, and the
+  // last range absorbs the tail.
+  std::size_t remaining = total;
+  Rank begin = 0;
+  std::size_t in_range = 0;
+  for (Rank row = 0; row < n; ++row) {
+    in_range += matrix.row_nonzeros(row);
+    const std::size_t ranges_left = want - ranges.size();
+    const std::size_t target =
+        (remaining + ranges_left - 1) / ranges_left;  // ceil
+    if (in_range >= target && ranges.size() + 1 < want) {
+      ranges.push_back({begin, row + 1});
+      begin = row + 1;
+      remaining -= in_range;
+      in_range = 0;
+    }
+  }
+  if (in_range > 0) ranges.push_back({begin, n});
+  return ranges;
+}
+
+}  // namespace netloc::metrics

@@ -13,10 +13,19 @@
 // nonzero cells instead of re-scanning all n² rank pairs. Hand-built
 // matrices may stay open — all read APIs work in both states and visit
 // cells in the same ascending (src, dst) order either way.
+//
+// At large rank counts the open-phase dense buffer is the scaling
+// wall (1M ranks → 16 TB dense), so the matrix accepts an open-phase
+// byte budget (TrafficOptions::memory_budget_bytes, docs/SCALE.md)
+// that tiles accumulation into bounded strips of source rows. The
+// frozen CSR is byte-identical to the unbudgeted path.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <tuple>
 #include <vector>
 
@@ -42,6 +51,12 @@ struct TrafficOptions {
   /// point of the ablation.
   collectives::Algorithm collective_algorithm =
       collectives::Algorithm::FlatDirect;
+  /// Byte budget for the open-phase accumulation buffer; 0 keeps the
+  /// classic single dense buffer. Under a budget the matrix tiles the
+  /// open phase into strips of source rows (common/csr.hpp,
+  /// docs/SCALE.md) — required above ~256k ranks, where one dense
+  /// buffer exceeds CsrMatrix::kMaxCells.
+  std::size_t memory_budget_bytes = 0;
 };
 
 /// One stored rank-pair cell. A cell exists iff at least one message
@@ -56,12 +71,17 @@ struct TrafficCell {
 
 class TrafficMatrix {
  public:
-  /// Rank counts above this are rejected: the dense accumulation buffer
-  /// (and any n²-shaped consumer) would be unallocatable anyway, and
-  /// the cap keeps all src * n + dst index arithmetic overflow-free.
-  static constexpr int kMaxRanks = 1 << 20;
+  /// Rank counts above this are rejected; the cap keeps all
+  /// src * n + dst index arithmetic overflow-free. Rank counts whose
+  /// dense buffer would exceed CsrMatrix::kMaxCells (above ~256k)
+  /// additionally require an open-phase budget — the unbudgeted ctor
+  /// throws for them.
+  static constexpr int kMaxRanks = 1 << 24;
 
-  explicit TrafficMatrix(int num_ranks);
+  /// `open_budget_bytes` bounds the open-phase accumulation buffer
+  /// (0 = one dense n² buffer, the classic path). See TrafficOptions::
+  /// memory_budget_bytes.
+  explicit TrafficMatrix(int num_ranks, std::size_t open_budget_bytes = 0);
 
   /// Accumulate one message (bytes volume + ceil(bytes/4KiB) packets).
   /// Self-messages are ignored (they never enter the network).
@@ -97,6 +117,21 @@ class TrafficMatrix {
   /// Stored rank pairs (≥ 1 accumulated message).
   [[nodiscard]] std::size_t nonzero_pairs() const { return cells_.nonzeros(); }
 
+  /// Stored pairs originating at `src` (O(1) once frozen).
+  [[nodiscard]] std::size_t row_nonzeros(Rank src) const {
+    return cells_.row_nonzeros(src);
+  }
+
+  /// True when the open phase runs strip-tiled under a byte budget.
+  [[nodiscard]] bool tiled() const { return cells_.tiled(); }
+
+  /// Bytes currently held by the open-phase accumulation buffer
+  /// (0 once frozen). Under a budget this never exceeds
+  /// max(budget, one row's footprint).
+  [[nodiscard]] std::size_t open_buffer_bytes() const {
+    return cells_.open_buffer_bytes();
+  }
+
   /// Visit the stored cells of one source rank in ascending destination
   /// order: f(Rank dst, const TrafficCell&).
   template <typename F>
@@ -116,6 +151,30 @@ class TrafficMatrix {
     cells_.for_each([&](int src, int dst, const TrafficCell& cell) {
       f(static_cast<Rank>(src), static_cast<Rank>(dst), cell);
     });
+  }
+
+  /// Visit the stored cells of sources [src_begin, src_end) in
+  /// ascending (src, dst) order — the row-range form the parallel
+  /// metric kernels partition over. Visiting every range of a disjoint
+  /// cover, in range order, yields exactly the for_each_nonzero()
+  /// sequence.
+  template <typename F>
+  void for_each_nonzero_rows(Rank src_begin, Rank src_end, F&& f) const {
+    cells_.for_each_rows(src_begin, src_end,
+                         [&](int src, int dst, const TrafficCell& cell) {
+                           f(static_cast<Rank>(src), static_cast<Rank>(dst),
+                             cell);
+                         });
+  }
+
+  /// Frozen-state row views (destination ids and parallel cells) —
+  /// the zero-overhead spans the SIMD hop kernel consumes.
+  [[nodiscard]] std::span<const std::int32_t> row_destinations(
+      Rank src) const {
+    return cells_.row_columns(src);
+  }
+  [[nodiscard]] std::span<const TrafficCell> row_cells(Rank src) const {
+    return cells_.row_cells(src);
   }
 
   /// Non-zero entries as directed traffic edges (weight = bytes), the
@@ -179,14 +238,15 @@ class TrafficAccumulator final : public trace::EventSink {
 /// matrix (§5 MPI-level metrics) and the p2p+collectives matrix (§6
 /// system-level metrics) — while holding only one open accumulation
 /// buffer at any time. Teeing two independent TrafficAccumulators
-/// would keep two O(n²) dense buffers live for the whole pass (~48 MB
-/// each at 1728 ranks, dwarfing the event vector the streaming path
-/// exists to avoid). Instead, p2p events accumulate once, collectives
-/// group in a small map, and on_end() freezes the p2p matrix —
-/// releasing its dense buffer — before take_full() derives the full
-/// matrix by replaying the frozen CSR cells plus the expanded groups.
-/// Cell accumulation is integer arithmetic, so both results are
-/// identical to their from_trace() counterparts.
+/// would keep two open buffers live for the whole pass. Instead, p2p
+/// events accumulate once, collectives group in a small map, and
+/// on_end() freezes the p2p matrix — releasing its buffer — before
+/// take_full() derives the full matrix by replaying the frozen CSR
+/// cells plus the expanded groups. Under a memory budget each matrix
+/// holds at most one open strip (never a full dense buffer), so the
+/// pass's open-buffer footprint is one strip at any moment; debug
+/// builds assert the budget. Cell accumulation is integer arithmetic,
+/// so both results are identical to their from_trace() counterparts.
 class DualTrafficAccumulator final : public trace::EventSink {
  public:
   /// `options` shapes the full matrix (the p2p view always collects

@@ -65,29 +65,42 @@ struct LinkAccountingTotals {
 /// accumulated into, not cleared). The batch devirtualized core of the
 /// UsedLinks/link-load data path. Single-path (minimal) plans only —
 /// multipath plans throw; use the weighted overload.
+///
+/// `threads` > 1 partitions a frozen matrix's source rows across a
+/// thread pool (0 = machine default), each worker routing into a
+/// private load array; the per-link reduction folds workers in row
+/// order and is pure integer arithmetic, so every thread count yields
+/// bit-identical loads and totals (docs/SCALE.md).
 LinkAccountingTotals accumulate_link_loads(const TrafficMatrix& matrix,
                                            const topology::RoutePlan& plan,
                                            const mapping::Mapping& mapping,
-                                           std::span<Bytes> link_loads);
+                                           std::span<Bytes> link_loads,
+                                           int threads = 1);
 
 /// Weighted accounting for any routing policy: each cell's bytes are
 /// spread over its route's (link, share) pairs, so an ECMP plan's
 /// equal-cost split lands fractionally in `link_loads`. Single-path
 /// plans produce the same loads as the integer overload (shares are
 /// all 1). A link counts as used once any positive share touches it.
+/// Always serial: fractional shares sum in floating point, where a
+/// different grouping could perturb the last bit — determinism wins
+/// over parallel speed on this (ablation-only) path.
 LinkAccountingTotals accumulate_link_loads(const TrafficMatrix& matrix,
                                            const topology::RoutePlan& plan,
                                            const mapping::Mapping& mapping,
                                            std::span<double> link_loads);
 
 /// Eq. 5 for the given traffic, placement and execution time.
+/// `threads` feeds the UsedLinks accounting pass (single-path plans
+/// only; the PaperFormula mode routes nothing and ignores it).
 UtilizationResult utilization(const TrafficMatrix& matrix,
                               const topology::Topology& topo,
                               const mapping::Mapping& mapping,
                               Seconds execution_time,
                               LinkCountMode mode = LinkCountMode::PaperFormula,
                               double bandwidth_bytes_per_s = kPaperBandwidthBytesPerS,
-                              const topology::RoutePlan* plan = nullptr);
+                              const topology::RoutePlan* plan = nullptr,
+                              int threads = 1);
 
 /// Per-link traffic accounting over the deterministic routes.
 struct LinkLoadStats {
@@ -102,6 +115,7 @@ struct LinkLoadStats {
 LinkLoadStats link_loads(const TrafficMatrix& matrix,
                          const topology::Topology& topo,
                          const mapping::Mapping& mapping,
-                         const topology::RoutePlan* plan = nullptr);
+                         const topology::RoutePlan* plan = nullptr,
+                         int threads = 1);
 
 }  // namespace netloc::metrics

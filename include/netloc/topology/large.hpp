@@ -1,0 +1,47 @@
+// Algorithmically sized large-topology constructors (docs/SCALE.md).
+//
+// Table 2 fixes topologies for the paper's rank counts; the scale tier
+// instead asks "give me a topology that hosts at least N endpoints"
+// and sizes the family's parameters:
+//
+//  * sized_fat_tree — 3-level fat tree with the smallest even radix
+//    whose capacity (radix/2)^3 covers the request, following the
+//    capacity-first sizing of "Automated Design of Two-Layer Fat-Tree
+//    Networks" (PAPERS.md) extended to three levels;
+//  * full_bisection_dragonfly — the balanced a = 2h = 2p
+//    configuration (Kim et al.'s full-bisection balance point) with
+//    the smallest p whose maximal palm-tree group count covers the
+//    request: capacity (2p² + 1) * 2p² >= N;
+//  * sized_random_regular — a seeded random-regular switch graph
+//    ("Optimal Low-Latency Network Topologies", PAPERS.md) with
+//    endpoints packed onto switches so the all-pairs switch distance
+//    table stays affordable at any N (see random_regular.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "netloc/topology/dragonfly.hpp"
+#include "netloc/topology/fat_tree.hpp"
+#include "netloc/topology/random_regular.hpp"
+
+namespace netloc::topology {
+
+/// Smallest 3-level fat tree (even radix) with >= `min_endpoints`
+/// capacity. min_endpoints >= 1.
+FatTree sized_fat_tree(int min_endpoints);
+
+/// Smallest balanced (a = 2h = 2p) dragonfly with >= `min_endpoints`
+/// capacity at its maximal group count. min_endpoints >= 1.
+Dragonfly full_bisection_dragonfly(int min_endpoints);
+
+/// Upper bound on switches chosen by sized_random_regular: caps the
+/// uint16 all-pairs distance table at 2 * 16384² = 512 MiB.
+inline constexpr int kMaxSizedRrgSwitches = 16384;
+
+/// Random-regular switch fabric for >= `min_endpoints` endpoints
+/// (>= 4): endpoints_per_switch = ceil(N / kMaxSizedRrgSwitches),
+/// degree 32 (clamped below the switch count, parity-adjusted for the
+/// pairing model). Deterministic per (min_endpoints, seed).
+RandomRegular sized_random_regular(int min_endpoints, std::uint64_t seed = 1);
+
+}  // namespace netloc::topology

@@ -1,0 +1,141 @@
+// Seeded random-regular "optimal" switch graph ("Optimal Low-Latency
+// Network Topologies", PAPERS.md; docs/SCALE.md).
+//
+// Random regular graphs achieve near-optimal mean shortest-path length
+// for a given switch degree — the reference point the low-latency
+// topology literature measures designs against. Here: `s` switches of
+// uniform degree `d` wired by a seeded generator (Hamiltonian ring for
+// guaranteed connectivity + pairing-model chords with conflict
+// repair), each switch hosting up to `p` endpoints. The construction
+// is deterministic per (n, d, p, seed) across platforms (xoshiro256**,
+// common/prng.hpp), so topologies can be named in sweep cache keys and
+// rebuilt bit-identically.
+//
+// Hop convention: indirect topology, like the fat tree — injection and
+// ejection links count, so distinct endpoints on one switch are 2 hops
+// apart and the diameter is 2 + the switch graph's diameter.
+//
+// Routing. There is no closed form; instead the constructor runs one
+// BFS per switch and keeps the full switch-to-switch distance table
+// (2*s² bytes — the reason endpoints_per_switch exists: 1M endpoints
+// at p = 64 need only s = 16384, a 512 MiB table, where a per-endpoint
+// table would be 2 TB). Endpoint queries are then O(1), including the
+// out-of-window fallback path of RoutePlan, and route enumeration
+// walks greedy next-hops over the table (first CSR neighbor that
+// decreases the distance — deterministic). The heavy arrays live
+// behind a shared_ptr, so copies are cheap and a RoutePlan's value
+// copy stays self-contained.
+//
+// Link id layout: [0, n) endpoint injection links (id = endpoint);
+// [n, n + s*d/2) switch-switch chords.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netloc/topology/topology.hpp"
+
+namespace netloc::topology {
+
+class RandomRegular final : public Topology {
+ public:
+  /// `num_endpoints` >= 1 endpoints packed `endpoints_per_switch` per
+  /// switch (the last switch may be partially filled); the switch
+  /// graph has uniform degree `degree`. Requirements: degree >= 3 (a
+  /// connected regular graph with spare chords), switches > degree,
+  /// and switches * degree even (pairing); ConfigError otherwise.
+  /// Identical arguments yield an identical topology on every
+  /// platform.
+  RandomRegular(int num_endpoints, int degree, int endpoints_per_switch,
+                std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override { return "rrg"; }
+  [[nodiscard]] std::string config_string() const override;
+  [[nodiscard]] int num_nodes() const override { return data_->num_endpoints; }
+  [[nodiscard]] int num_links() const override {
+    return data_->num_endpoints + num_chords();
+  }
+  [[nodiscard]] int hop_distance(NodeId a, NodeId b) const override {
+    if (a == b) return 0;
+    const SwitchId sa = switch_of(a);
+    const SwitchId sb = switch_of(b);
+    return 2 + switch_distance(sa, sb);
+  }
+  void route(NodeId a, NodeId b, const LinkVisitor& visit) const override;
+  [[nodiscard]] int diameter() const override { return data_->diameter + 2; }
+  /// Endpoints + switch vertices; injection links then chords, sharing
+  /// this topology's link id space.
+  [[nodiscard]] std::optional<NetworkGraph> build_graph() const override;
+
+  [[nodiscard]] int degree() const { return data_->degree; }
+  [[nodiscard]] int endpoints_per_switch() const { return data_->per_switch; }
+  [[nodiscard]] std::uint64_t seed() const { return data_->seed; }
+  [[nodiscard]] int num_switches() const { return data_->num_switches; }
+  [[nodiscard]] int num_chords() const {
+    return data_->num_switches * data_->degree / 2;
+  }
+
+  [[nodiscard]] SwitchId switch_of(NodeId node) const {
+    return node / data_->per_switch;
+  }
+
+  /// Shortest switch-graph distance (chords traversed); O(1) from the
+  /// precomputed table.
+  [[nodiscard]] int switch_distance(SwitchId a, SwitchId b) const {
+    return data_->dist[static_cast<std::size_t>(a) *
+                           static_cast<std::size_t>(data_->num_switches) +
+                       static_cast<std::size_t>(b)];
+  }
+
+  /// Statically-dispatched route enumeration; same link sequence as
+  /// route(), which delegates here. Injection link, greedy
+  /// distance-descending chord walk, ejection link.
+  template <typename Visit>
+  void visit_route(NodeId a, NodeId b, Visit&& visit) const {
+    if (a == b) return;
+    visit(static_cast<LinkId>(a));  // Injection.
+    SwitchId cur = switch_of(a);
+    const SwitchId dst = switch_of(b);
+    while (cur != dst) {
+      // First adjacency-order neighbor strictly closer to dst: exists
+      // by construction of the BFS table, and deterministic because
+      // the adjacency order is part of the seeded build.
+      const int want = switch_distance(cur, dst) - 1;
+      const auto begin = static_cast<std::size_t>(cur) *
+                         static_cast<std::size_t>(data_->degree);
+      for (std::size_t i = begin;; ++i) {
+        const SwitchId next = data_->adj_switch[i];
+        if (switch_distance(next, dst) == want) {
+          visit(data_->adj_link[i]);
+          cur = next;
+          break;
+        }
+      }
+    }
+    visit(static_cast<LinkId>(b));  // Ejection.
+  }
+
+ private:
+  /// Immutable bulk state, shared across copies (a value copy of the
+  /// topology must stay cheap — RoutePlan stores one).
+  struct Data {
+    int num_endpoints = 0;
+    int degree = 0;
+    int per_switch = 0;
+    int num_switches = 0;
+    std::uint64_t seed = 0;
+    int diameter = 0;
+    /// Dense adjacency: slots [s*degree, (s+1)*degree) hold switch
+    /// s's neighbors (ascending switch id) and the chord link ids.
+    std::vector<SwitchId> adj_switch;
+    std::vector<LinkId> adj_link;
+    /// Row-major num_switches² BFS distance table (uint16; every
+    /// random regular graph with degree >= 3 has a tiny diameter).
+    std::vector<std::uint16_t> dist;
+  };
+
+  std::shared_ptr<const Data> data_;
+};
+
+}  // namespace netloc::topology

@@ -38,10 +38,13 @@
 // source topology (self_contained() == false; the topology must then
 // outlive the plan).
 //
-// Thread-safety: a built plan is immutable; any number of threads may
-// query it concurrently.
+// Thread-safety: a built plan is immutable apart from one relaxed
+// atomic statistics counter (out_of_window_hits); any number of
+// threads may query it concurrently.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -54,6 +57,7 @@
 #include "netloc/topology/dragonfly.hpp"
 #include "netloc/topology/fat_tree.hpp"
 #include "netloc/topology/graph.hpp"
+#include "netloc/topology/random_regular.hpp"
 #include "netloc/topology/routing.hpp"
 #include "netloc/topology/topology.hpp"
 #include "netloc/topology/torus.hpp"
@@ -89,6 +93,14 @@ class RoutePlan {
   static std::shared_ptr<const RoutePlan> build(const Topology& topo,
                                                 const RoutingSpec& spec,
                                                 int window = -1);
+
+  /// Largest window whose uint16 table fits `table_budget_bytes`,
+  /// clamped to [a small floor, num_nodes]. 0 budget means unbudgeted:
+  /// returns -1, the build() default (min(num_nodes, kDefaultWindowCap)).
+  /// The memory-budget tiering of docs/SCALE.md: past the affordable
+  /// window, queries degrade to the computed fallback and are counted
+  /// by out_of_window_hits() instead of failing.
+  static int window_for_budget(int num_nodes, std::size_t table_budget_bytes);
 
   /// False for custom (non-paper) topologies: the plan then references
   /// the source Topology and must not outlive it.
@@ -141,6 +153,32 @@ class RoutePlan {
   /// must have equal length.
   void hop_distances(std::span<const NodePair> pairs,
                      std::span<int> out) const;
+
+  /// Distance-table queries answered by the computed fallback because
+  /// at least one endpoint fell outside the window. Monotonic over the
+  /// plan's lifetime (relaxed atomic; exact). A high miss share means
+  /// the window tier is too small for the mapping in use — the engine
+  /// surfaces this via SweepStats and lint note EN005.
+  [[nodiscard]] std::uint64_t out_of_window_hits() const {
+    return out_of_window_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// True when the table covers every node pair (no fallback possible).
+  [[nodiscard]] bool full_window() const { return window_ >= num_nodes_; }
+
+  /// Row `a` of the distance table (window() entries, kUnreachableEntry
+  /// marking unreachable pairs), or an empty span when `a` is outside
+  /// the window. The zero-overhead view the SIMD hop kernel gathers
+  /// from.
+  [[nodiscard]] std::span<const std::uint16_t> distance_row(NodeId a) const {
+    if (a < 0 || a >= window_) return {};
+    return {distances_.data() +
+                static_cast<std::size_t>(a) * static_cast<std::size_t>(window_),
+            static_cast<std::size_t>(window_)};
+  }
+
+  /// Table sentinel for unreachable pairs in distance_row() views.
+  static constexpr std::uint16_t kUnreachableEntry = 0xFFFF;
 
   /// Enumerate the links of the deterministic route a -> b in traversal
   /// order, statically dispatched. Identical link sequence to the
@@ -196,10 +234,10 @@ class RoutePlan {
   }
 
  private:
-  enum class Kind { Torus, FatTree, Dragonfly, Generic };
+  enum class Kind { Torus, FatTree, Dragonfly, RandomRegular, Generic };
 
   /// Table sentinel for unreachable pairs under a disconnecting mask.
-  static constexpr std::uint16_t kUnreachable = 0xFFFF;
+  static constexpr std::uint16_t kUnreachable = kUnreachableEntry;
 
   RoutePlan() = default;
   [[nodiscard]] int computed_hop_distance(NodeId a, NodeId b) const;
@@ -233,6 +271,9 @@ class RoutePlan {
       case Kind::Dragonfly:
         dragonfly_->visit_route(a, b, sink);
         break;
+      case Kind::RandomRegular:
+        rrg_->visit_route(a, b, sink);
+        break;
       case Kind::Generic:
         generic_->route(a, b, LinkVisitor(std::ref(sink)));
         break;
@@ -243,6 +284,8 @@ class RoutePlan {
   std::optional<Torus3D> torus_;
   std::optional<FatTree> fat_tree_;
   std::optional<Dragonfly> dragonfly_;
+  /// Value copy is cheap: the heavy arrays sit behind a shared_ptr.
+  std::optional<RandomRegular> rrg_;
   const Topology* generic_ = nullptr;
 
   RoutingSpec spec_;
@@ -255,6 +298,9 @@ class RoutePlan {
   int num_nodes_ = 0;
   int num_links_ = 0;
   int window_ = 0;
+  /// Fallback-query counter; the only mutable state of a built plan.
+  /// Relaxed increments — a count, never a synchronization point.
+  mutable std::atomic<std::uint64_t> out_of_window_hits_{0};
   std::string config_key_;
   /// Row-major window² table; uint16 is checked sufficient at build
   /// time (every paper topology's diameter is tiny).

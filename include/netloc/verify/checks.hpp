@@ -123,4 +123,23 @@ std::size_t check_traffic_matrix(const metrics::TrafficMatrix& matrix,
                                  const std::string& source,
                                  lint::LintReport& report);
 
+/// Re-accumulate `matrix`'s stored cells through a fresh TrafficMatrix
+/// under `open_budget_bytes` — strip-tiled whenever the budget is
+/// smaller than the dense footprint (common/csr.hpp) — and freeze it.
+/// The reference rebuild check_tiled_equivalence() audits.
+[[nodiscard]] metrics::TrafficMatrix rebuild_tiled(
+    const metrics::TrafficMatrix& matrix, std::size_t open_budget_bytes);
+
+/// VF017 — tiled-accumulation equivalence: `rebuilt` (normally
+/// rebuild_tiled()'s output; the mutation tests hand in a perturbed
+/// matrix) must match `original` cell for cell: same rank count, same
+/// nonzero-pair count, same byte/packet totals, every stored cell
+/// present with identical contents. docs/SCALE.md promises the tiled
+/// open phase changes nothing about the frozen result — this is that
+/// promise, checked.
+std::size_t check_tiled_equivalence(const metrics::TrafficMatrix& original,
+                                    const metrics::TrafficMatrix& rebuilt,
+                                    const std::string& source,
+                                    lint::LintReport& report);
+
 }  // namespace netloc::verify

@@ -1,0 +1,42 @@
+// Scale-tier workloads: synthetic generators parameterized far beyond
+// the paper's Table 1 (docs/SCALE.md).
+//
+// The paper tops out at 1728 ranks; these two families stretch the same
+// machinery to 100k-1M endpoints while keeping the emitted event count
+// linear in the rank count:
+//
+//   HALO3D    27-point 3-D halo exchange (FillBoundary's geometry with
+//             no collectives) — ~26 partners per rank, the canonical
+//             stencil/halo scaling pattern.
+//   A2ABLOCK  all-to-all inside disjoint blocks of kA2ABlockRanks
+//             ranks — the sub-communicator alltoall idiom; a global
+//             all-to-all would be O(n²) pairs, the blocked form is
+//             O(n · block).
+//
+// Both are registered in the ordinary generator registry (so
+// workloads::generator() and the sweep engine resolve them), but they
+// have no Table 1 catalog entries: rank counts are free, and
+// scale_entry() synthesizes the calibration target instead —
+// 1 MB of p2p volume per rank, 100% p2p, 1 s duration.
+#pragma once
+
+#include <cstdint>
+
+#include "netloc/workloads/catalog.hpp"
+
+namespace netloc::workloads {
+
+/// Block size of the A2ABLOCK family: every block of this many
+/// consecutive ranks runs a uniform internal all-to-all (final partial
+/// block included). 64 keeps the pair count at 63·n while still giving
+/// every rank a dense local neighbourhood.
+inline constexpr int kA2ABlockRanks = 64;
+
+/// Synthetic calibration target for a scale-tier run of `app`
+/// ("HALO3D" or "A2ABLOCK") at `ranks` ranks: 1 decimal MB of p2p
+/// volume per rank, no collectives, 1 s duration. Throws ConfigError
+/// for other apps or ranks < 2. The entry works everywhere a Table 1
+/// entry does (sweep engine, cache keys, labels like "HALO3D/100000").
+CatalogEntry scale_entry(const std::string& app, int ranks);
+
+}  // namespace netloc::workloads

@@ -15,15 +15,17 @@ StreamAnalysis analyze_stream(const EventFeed& feed,
                               const workloads::CatalogEntry& entry,
                               const RunOptions& options,
                               bool want_full_matrix) {
-  (void)options;  // MPI-level metrics have no tunables yet.
-
   // One pass, teed into every accumulator the row needs. The dual
   // accumulator produces both traffic views while keeping a single
-  // open dense buffer — teeing two independent accumulators would
-  // double the O(n²) accumulation storage for the whole pass.
+  // open accumulation buffer — teeing two independent accumulators
+  // would double the open-phase storage for the whole pass. A memory
+  // budget hands the traffic strip its docs/SCALE.md share (budget/4);
+  // the frozen matrices are byte-identical either way.
   trace::StatsAccumulator stats;
-  metrics::DualTrafficAccumulator traffic({.include_p2p = true,
-                                           .include_collectives = true});
+  metrics::DualTrafficAccumulator traffic(
+      {.include_p2p = true,
+       .include_collectives = true,
+       .memory_budget_bytes = options.memory_budget_bytes / 4});
   trace::SinkTee tee;
   tee.add(stats);
   tee.add(traffic);
@@ -81,7 +83,9 @@ TopologyResult analyze_topology(const metrics::TrafficMatrix& full_matrix,
   }
 
   const auto mapping = mapping::Mapping::linear(num_ranks, topo.num_nodes());
-  const auto hops = metrics::hop_stats(full_matrix, topo, mapping, plan);
+  const int threads = options.kernel_threads;
+  const auto hops =
+      metrics::hop_stats(full_matrix, topo, mapping, plan, threads);
   result.packet_hops = hops.packet_hops;
   result.avg_hops = hops.avg_hops;
 
@@ -91,14 +95,16 @@ TopologyResult analyze_topology(const metrics::TrafficMatrix& full_matrix,
                            metrics::kPaperBandwidthBytesPerS, plan)
           .utilization_percent;
   if (options.link_accounting) {
-    const auto loads = metrics::link_loads(full_matrix, topo, mapping, plan);
+    const auto loads =
+        metrics::link_loads(full_matrix, topo, mapping, plan, threads);
     result.used_links = loads.used_links;
     result.global_link_packet_share = loads.global_link_packet_share;
     if (loads.used_links > 0) {
       result.utilization_used_links_percent =
           metrics::utilization(full_matrix, topo, mapping, duration,
                                metrics::LinkCountMode::UsedLinks,
-                               metrics::kPaperBandwidthBytesPerS, plan)
+                               metrics::kPaperBandwidthBytesPerS, plan,
+                               threads)
               .utilization_percent;
     }
   }

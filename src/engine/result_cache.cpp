@@ -107,6 +107,14 @@ CacheKey result_cache_key(const workloads::CatalogEntry& entry,
     key.mix<std::uint64_t>(spec.failed_links.size());
     for (const LinkId l : spec.failed_links) key.mix<std::int32_t>(l);
   }
+  // Memory budget. Results are byte-identical at any budget (tiling and
+  // window sizing are caches, not semantics), but keying it keeps the
+  // provenance of a stored row unambiguous. Mixed only when non-zero so
+  // pre-budget blobs keep their keys, exactly like the routing block.
+  if (options.memory_budget_bytes != 0) {
+    key.mix(std::string("membudget"));
+    key.mix<std::uint64_t>(options.memory_budget_bytes);
+  }
 
   return CacheKey{key.value(), entry.label()};
 }

@@ -6,6 +6,7 @@
 
 #include "netloc/common/error.hpp"
 #include "netloc/engine/result_cache.hpp"
+#include "netloc/lint/registry.hpp"
 #include "netloc/engine/task_graph.hpp"
 #include "netloc/mapping/mapping.hpp"
 #include "netloc/metrics/traffic_matrix.hpp"
@@ -66,6 +67,15 @@ SweepEngine::SweepEngine(SweepOptions options) : options_(std::move(options)) {
 
 std::shared_ptr<const topology::RoutePlan> SweepEngine::plan_for(
     const topology::Topology& topo, int window) {
+  // A memory budget tiers the distance table: the plan gets the
+  // docs/SCALE.md share (budget/8) and pairs beyond the affordable
+  // window fall back to closed-form/BFS distances, counted per plan
+  // (out_of_window_hits) and surfaced as EN005 when they dominate.
+  if (options_.run.memory_budget_bytes > 0) {
+    window = std::min(
+        window, topology::RoutePlan::window_for_budget(
+                    topo.num_nodes(), options_.run.memory_budget_bytes / 8));
+  }
   // The key carries the window because two rank counts may share a
   // Table 2 configuration but need differently-sized distance tables,
   // and the routing label because one engine can serve sweeps under
@@ -87,21 +97,46 @@ std::shared_ptr<const topology::RoutePlan> SweepEngine::plan_for(
   return plan;
 }
 
+std::int64_t SweepEngine::cached_plan_misses() const {
+  std::int64_t sum = 0;
+  for (const auto& [key, plan] : plans_) {
+    sum += static_cast<std::int64_t>(plan->out_of_window_hits());
+  }
+  return sum;
+}
+
 void SweepEngine::reset_run_counters() {
   common::MutexLock lock(plans_mutex_);
   plans_built_ = 0;
   verify_findings_.store(0);
+  hop_queries_.store(0);
+  run_miss_base_ = cached_plan_misses();
 }
 
 void SweepEngine::fold_run_counters() {
   common::MutexLock lock(plans_mutex_);
   stats_.plans_built = plans_built_;
   stats_.verify_findings = verify_findings_.load();
+  stats_.hop_queries = hop_queries_.load();
+  stats_.out_of_window_queries = cached_plan_misses() - run_miss_base_;
 }
 
 void SweepEngine::finish_run(Clock::time_point begin) {
   fold_run_counters();
   stats_.wall_s = seconds_since(begin);
+  // Fallback-dominated runs get one note per batch: the distance table
+  // answered fewer than half the hop queries, so either the memory
+  // budget or the plan window is undersized for this rank count.
+  if (options_.observer != nullptr && stats_.hop_queries > 0 &&
+      stats_.out_of_window_queries * 2 > stats_.hop_queries) {
+    options_.observer->on_diagnostic(lint::RuleRegistry::instance().make(
+        "EN005", {"sweep", -1, -1},
+        std::to_string(stats_.out_of_window_queries) + " of " +
+            std::to_string(stats_.hop_queries) +
+            " hop queries fell outside the distance-table window",
+        "raise RunOptions::memory_budget_bytes (the plan window gets "
+        "budget/8) or pass a larger window"));
+  }
   life_sweeps_.fetch_add(1, std::memory_order_relaxed);
   life_cells_.fetch_add(stats_.cells, std::memory_order_relaxed);
   life_cache_hits_.fetch_add(stats_.cache_hits, std::memory_order_relaxed);
@@ -111,6 +146,9 @@ void SweepEngine::finish_run(Clock::time_point begin) {
                                   std::memory_order_relaxed);
   life_verify_findings_.fetch_add(stats_.verify_findings,
                                   std::memory_order_relaxed);
+  life_hop_queries_.fetch_add(stats_.hop_queries, std::memory_order_relaxed);
+  life_oow_queries_.fetch_add(stats_.out_of_window_queries,
+                              std::memory_order_relaxed);
   life_wall_us_.fetch_add(static_cast<std::int64_t>(stats_.wall_s * 1e6),
                           std::memory_order_relaxed);
 }
@@ -124,6 +162,8 @@ LifetimeStats SweepEngine::lifetime_stats() const {
   life.plans_built = life_plans_built_.load(std::memory_order_relaxed);
   life.cache_evictions = life_cache_evictions_.load(std::memory_order_relaxed);
   life.verify_findings = life_verify_findings_.load(std::memory_order_relaxed);
+  life.hop_queries = life_hop_queries_.load(std::memory_order_relaxed);
+  life.out_of_window_queries = life_oow_queries_.load(std::memory_order_relaxed);
   life.wall_s =
       static_cast<double>(life_wall_us_.load(std::memory_order_relaxed)) / 1e6;
   return life;
@@ -132,6 +172,15 @@ LifetimeStats SweepEngine::lifetime_stats() const {
 void SweepEngine::verify_cell(const CellArtifacts& artifacts) {
   if (!options_.post_cell_verify) return;
   const lint::LintReport report = options_.post_cell_verify(artifacts);
+  // The verifier's metric recompute re-queries one distance per stored
+  // pair through the same shared plan; count those queries so the
+  // EN005 miss/query ratio stays honest under post-cell verification
+  // (the bounded route-walk samples are noise next to this term).
+  if (artifacts.full_matrix != nullptr) {
+    hop_queries_.fetch_add(
+        static_cast<std::int64_t>(artifacts.full_matrix->nonzero_pairs()),
+        std::memory_order_relaxed);
+  }
   if (report.empty()) return;
   verify_findings_.fetch_add(static_cast<int>(report.diagnostics().size()));
   if (options_.observer) {
@@ -221,6 +270,12 @@ std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
             state->row.topologies[t] = analysis::analyze_topology(
                 *state->full_matrix, topo, state->num_ranks, state->duration,
                 run, plan.get());
+            // One hop-distance query per stored pair; paired with the
+            // plans' out_of_window_hits() growth this run to flag
+            // fallback-dominated windows (EN005).
+            hop_queries_.fetch_add(
+                static_cast<std::int64_t>(state->full_matrix->nonzero_pairs()),
+                std::memory_order_relaxed);
             // Opt-in verification while the cell's artifacts are still
             // alive; findings flow to the observer, never abort.
             CellArtifacts artifacts;

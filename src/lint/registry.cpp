@@ -72,6 +72,9 @@ constexpr RuleInfo kRules[] = {
      "result cache over its size cap; least-recently-used blobs evicted"},
     {"EN004", Severity::Note, "engine",
      "cache directory lock contended; store+trim waited for another writer"},
+    {"EN005", Severity::Note, "engine",
+     "distance-table misses dominate; most hop queries fell back to "
+     "closed-form/BFS outside the plan window"},
     // ---- verify pack (netloc::verify cross-artifact passes) --------------
     {"VF001", Severity::Error, "verify",
      "network graph structure inconsistent (adjacency, id space, symmetry)"},
@@ -104,6 +107,8 @@ constexpr RuleInfo kRules[] = {
      "task graph job is isolated (no edges in a multi-job graph)"},
     {"VF016", Severity::Error, "verify",
      "traffic-matrix invariant violated (bounds, totals, packetization)"},
+    {"VF017", Severity::Error, "verify",
+     "tiled traffic re-accumulation diverges from the original matrix"},
 };
 
 }  // namespace

@@ -1,14 +1,119 @@
 #include "netloc/metrics/hops.hpp"
 
+#include <cstring>
 #include <memory>
 
 #include "netloc/common/error.hpp"
+#include "netloc/common/thread_pool.hpp"
+#include "netloc/metrics/kernel_partition.hpp"
+
+// Portable SIMD for the packetized hop summation (docs/SCALE.md): GCC
+// and Clang vector extensions, 4x u64 lanes. Everything is integer
+// arithmetic, so lane order cannot change the result — the guard only
+// selects between two exact implementations.
+#if defined(__GNUC__) || defined(__clang__)
+#define NETLOC_HOPS_SIMD 1
+#endif
 
 namespace netloc::metrics {
 
+namespace {
+
+#ifdef NETLOC_HOPS_SIMD
+typedef std::uint64_t V4u64 __attribute__((vector_size(32)));
+#endif
+
+/// Per-worker accumulator. Integer-only, so folding any partition of
+/// the cell set reproduces the serial totals exactly.
+struct HopTotals {
+  Count packet_hops = 0;
+  Count packets = 0;
+  Count unroutable_packets = 0;
+};
+
+/// The scalar kernel over one source-row range — the exact loop body
+/// the serial path has always run.
+void scalar_rows(const TrafficMatrix& matrix, const mapping::Mapping& mapping,
+                 const topology::RoutePlan& plan, Rank begin, Rank end,
+                 HopTotals& totals) {
+  matrix.for_each_nonzero_rows(
+      begin, end, [&](Rank s, Rank d, const TrafficCell& cell) {
+        if (cell.packets == 0) return;
+        const NodeId ns = mapping.node_of(s);
+        const NodeId nd = mapping.node_of(d);
+        if (ns != nd) {
+          const int hops = plan.hop_distance(ns, nd);
+          if (hops < 0) {  // Disconnected under the plan's fault mask.
+            totals.unroutable_packets += cell.packets;
+            return;
+          }
+          totals.packet_hops += cell.packets * static_cast<Count>(hops);
+        }
+        totals.packets += cell.packets;
+      });
+}
+
+/// Vectorized kernel over one source-row range. Preconditions (checked
+/// by the caller): frozen matrix, identity mapping over the matrix's
+/// ranks, table window covering every rank, no disconnection — so
+/// every cell is inter-node with an in-window non-negative distance,
+/// and zero-packet cells contribute zero to both sums, exactly as the
+/// scalar kernel's early-out does.
+void simd_rows(const TrafficMatrix& matrix, const topology::RoutePlan& plan,
+               Rank begin, Rank end, HopTotals& totals) {
+  constexpr std::size_t kChunk = 64;
+  std::uint64_t packets[kChunk];
+  std::uint64_t hops[kChunk];
+  for (Rank src = begin; src < end; ++src) {
+    const auto dsts = matrix.row_destinations(src);
+    const auto cells = matrix.row_cells(src);
+    const auto drow = plan.distance_row(src);
+    for (std::size_t base = 0; base < dsts.size(); base += kChunk) {
+      const std::size_t m = std::min(kChunk, dsts.size() - base);
+      // Gather stage: the table lookup is data-dependent, so it stays
+      // scalar; the multiply-accumulate below is where the cycles go.
+      for (std::size_t i = 0; i < m; ++i) {
+        hops[i] = drow[static_cast<std::size_t>(dsts[base + i])];
+        packets[i] = cells[base + i].packets;
+      }
+      std::size_t i = 0;
+#ifdef NETLOC_HOPS_SIMD
+      V4u64 acc_ph = {0, 0, 0, 0};
+      V4u64 acc_p = {0, 0, 0, 0};
+      for (; i + 4 <= m; i += 4) {
+        V4u64 vp;
+        V4u64 vh;
+        std::memcpy(&vp, packets + i, sizeof(vp));
+        std::memcpy(&vh, hops + i, sizeof(vh));
+        acc_ph += vp * vh;
+        acc_p += vp;
+      }
+      totals.packet_hops += acc_ph[0] + acc_ph[1] + acc_ph[2] + acc_ph[3];
+      totals.packets += acc_p[0] + acc_p[1] + acc_p[2] + acc_p[3];
+#endif
+      for (; i < m; ++i) {
+        totals.packet_hops += packets[i] * hops[i];
+        totals.packets += packets[i];
+      }
+    }
+  }
+}
+
+/// True when mapping.node_of is the identity over [0, num_ranks) — the
+/// paper's linear mappings and every generated large-scale run.
+bool identity_mapping(const mapping::Mapping& mapping, int num_ranks) {
+  const auto& raw = mapping.raw();
+  for (int r = 0; r < num_ranks; ++r) {
+    if (raw[static_cast<std::size_t>(r)] != r) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 HopStats hop_stats(const TrafficMatrix& matrix, const topology::Topology& topo,
                    const mapping::Mapping& mapping,
-                   const topology::RoutePlan* plan) {
+                   const topology::RoutePlan* plan, int threads) {
   if (mapping.num_ranks() < matrix.num_ranks()) {
     throw ConfigError("hop_stats: mapping covers fewer ranks than the matrix");
   }
@@ -24,24 +129,52 @@ HopStats hop_stats(const TrafficMatrix& matrix, const topology::Topology& topo,
   } else if (plan->num_nodes() != topo.num_nodes()) {
     throw ConfigError("hop_stats: route plan does not match topology");
   }
-  HopStats stats;
-  // Stored cells are visited in ascending (src, dst) order — the same
-  // order as the dense double loop this replaces — so the accumulation
-  // is bit-identical.
-  matrix.for_each_nonzero([&](Rank s, Rank d, const TrafficCell& cell) {
-    if (cell.packets == 0) return;
-    const NodeId ns = mapping.node_of(s);
-    const NodeId nd = mapping.node_of(d);
-    if (ns != nd) {
-      const int hops = plan->hop_distance(ns, nd);
-      if (hops < 0) {  // Disconnected under the plan's fault mask.
-        stats.unroutable_packets += cell.packets;
-        return;
-      }
-      stats.packet_hops += cell.packets * static_cast<Count>(hops);
+  threads = resolve_kernel_threads(threads);
+
+  // The SIMD fast path needs frozen row spans, an in-window identity
+  // placement and no unreachable pairs; anything else runs the scalar
+  // kernel per range. Both are exact integer kernels — the choice can
+  // never change the result.
+  const bool simd = matrix.frozen() && !plan->disconnected() &&
+                    plan->window() >= matrix.num_ranks() &&
+                    identity_mapping(mapping, matrix.num_ranks());
+
+  // Ranges are contiguous and folded in range order, so per-worker
+  // integer accumulators reproduce the serial (ascending src, dst)
+  // accumulation exactly on any thread count.
+  std::vector<RowRange> ranges;
+  if (threads > 1 && matrix.frozen()) {
+    ranges = partition_rows_by_cells(matrix, threads);
+  }
+  if (ranges.size() <= 1) {
+    ranges.assign(1, {0, matrix.num_ranks()});
+  }
+
+  std::vector<HopTotals> partials(ranges.size());
+  auto run_range = [&](std::size_t i) {
+    if (simd) {
+      simd_rows(matrix, *plan, ranges[i].begin, ranges[i].end, partials[i]);
+    } else {
+      scalar_rows(matrix, mapping, *plan, ranges[i].begin, ranges[i].end,
+                  partials[i]);
     }
-    stats.packets += cell.packets;
-  });
+  };
+  if (ranges.size() == 1) {
+    run_range(0);
+  } else {
+    ThreadPool pool(static_cast<int>(ranges.size()));
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      pool.submit([&run_range, i] { run_range(i); });
+    }
+    pool.wait_idle();
+  }
+
+  HopStats stats;
+  for (const HopTotals& part : partials) {
+    stats.packet_hops += part.packet_hops;
+    stats.packets += part.packets;
+    stats.unroutable_packets += part.unroutable_packets;
+  }
   stats.avg_hops = stats.packets > 0
                        ? static_cast<double>(stats.packet_hops) /
                              static_cast<double>(stats.packets)

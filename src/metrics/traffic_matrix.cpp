@@ -1,5 +1,7 @@
 #include "netloc/metrics/traffic_matrix.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <map>
 #include <tuple>
 
@@ -17,6 +19,22 @@ int checked_ranks(int num_ranks) {
                       std::to_string(TrafficMatrix::kMaxRanks) + "]");
   }
   return num_ranks;
+}
+
+/// Debug check that a budgeted matrix's open buffer honours the budget
+/// (at one-source-row granularity: a budget below one row's footprint
+/// is met with a single-row strip).
+void assert_open_budget(const TrafficMatrix& matrix, std::size_t budget) {
+#ifndef NDEBUG
+  if (budget > 0) {
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(matrix.num_ranks()) * sizeof(TrafficCell);
+    assert(matrix.open_buffer_bytes() <= std::max(budget, row_bytes));
+  }
+#else
+  (void)matrix;
+  (void)budget;
+#endif
 }
 
 /// Expand grouped collectives into `matrix`, each distinct pattern once
@@ -50,8 +68,8 @@ void expand_collective_groups(TrafficMatrix& matrix,
 
 }  // namespace
 
-TrafficMatrix::TrafficMatrix(int num_ranks)
-    : n_(checked_ranks(num_ranks)), cells_(n_, n_) {}
+TrafficMatrix::TrafficMatrix(int num_ranks, std::size_t open_budget_bytes)
+    : n_(checked_ranks(num_ranks)), cells_(n_, n_, open_budget_bytes) {}
 
 void TrafficMatrix::add_message(Rank src, Rank dst, Bytes bytes) {
   add_messages(src, dst, bytes, 1);
@@ -118,7 +136,8 @@ TrafficAccumulator::TrafficAccumulator(const TrafficOptions& options)
 
 void TrafficAccumulator::on_begin(std::string_view /*app_name*/,
                                   int num_ranks) {
-  matrix_.emplace(num_ranks);
+  matrix_.emplace(num_ranks, options_.memory_budget_bytes);
+  assert_open_budget(*matrix_, options_.memory_budget_bytes);
   ended_ = false;
   groups_.clear();
 }
@@ -175,7 +194,8 @@ DualTrafficAccumulator::DualTrafficAccumulator(const TrafficOptions& options)
 
 void DualTrafficAccumulator::on_begin(std::string_view /*app_name*/,
                                       int num_ranks) {
-  p2p_.emplace(num_ranks);
+  p2p_.emplace(num_ranks, options_.memory_budget_bytes);
+  assert_open_budget(*p2p_, options_.memory_budget_bytes);
   ended_ = false;
   groups_.clear();
 }
@@ -213,11 +233,14 @@ TrafficMatrix DualTrafficAccumulator::take_full() {
         "DualTrafficAccumulator: take_full() before on_end() or after "
         "take_p2p()");
   }
-  TrafficMatrix full(p2p_->num_ranks());
+  TrafficMatrix full(p2p_->num_ranks(), options_.memory_budget_bytes);
+  assert_open_budget(full, options_.memory_budget_bytes);
   if (options_.include_p2p) {
     // Replaying aggregated cells instead of individual messages is
     // exact: cell sums are integers, and the per-message Eq. 3 packet
-    // counts are carried over rather than recomputed.
+    // counts are carried over rather than recomputed. The p2p matrix is
+    // frozen (its open buffer released), so only `full`'s strip is open
+    // during the replay.
     p2p_->for_each_nonzero([&](Rank src, Rank dst, const TrafficCell& cell) {
       full.add_cell(src, dst, cell.bytes, cell.packets);
     });

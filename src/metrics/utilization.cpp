@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "netloc/common/error.hpp"
+#include "netloc/common/thread_pool.hpp"
+#include "netloc/metrics/kernel_partition.hpp"
 #include "netloc/topology/configs.hpp"
 
 namespace netloc::metrics {
@@ -30,13 +32,58 @@ std::shared_ptr<const topology::RoutePlan> ensure_plan(
   return nullptr;
 }
 
+/// One worker's accounting state for the single-path kernel: a private
+/// load array and touch bitmap over the full link space plus integer
+/// totals. Bytes and counts are integers, so folding workers in range
+/// order reproduces the serial pass exactly.
+struct LoadShard {
+  std::vector<Bytes> loads;
+  std::vector<unsigned char> touched;
+  Count global_packets = 0;
+  Count total_packets = 0;
+  Count unroutable_packets = 0;
+};
+
+/// The single-path accounting loop over one source-row range,
+/// accumulating into `shard` — the exact per-cell body of the serial
+/// kernel.
+void accumulate_rows(const TrafficMatrix& matrix,
+                     const topology::RoutePlan& plan,
+                     const mapping::Mapping& mapping, Rank begin, Rank end,
+                     LoadShard& shard) {
+  // Reachability only needs checking when the fault mask actually cut
+  // the endpoint set apart; the common (healthy) path skips the test.
+  const bool check_reach = plan.disconnected();
+  matrix.for_each_nonzero_rows(
+      begin, end, [&](Rank s, Rank d, const TrafficCell& cell) {
+        shard.total_packets += cell.packets;
+        const NodeId ns = mapping.node_of(s);
+        const NodeId nd = mapping.node_of(d);
+        if (ns == nd) return;
+        if (check_reach && plan.hop_distance(ns, nd) < 0) {
+          shard.unroutable_packets += cell.packets;
+          return;
+        }
+        bool crosses_global = false;
+        plan.for_each_route_link(ns, nd, [&](LinkId link) {
+          const auto li = static_cast<std::size_t>(link);
+          shard.touched[li] = 1;
+          shard.loads[li] += cell.bytes;
+          if (plan.link_is_global(link)) crosses_global = true;
+        });
+        if (crosses_global) shard.global_packets += cell.packets;
+      });
+}
+
 }  // namespace
 
 LinkAccountingTotals accumulate_link_loads(const TrafficMatrix& matrix,
                                            const topology::RoutePlan& plan,
                                            const mapping::Mapping& mapping,
-                                           std::span<Bytes> link_loads) {
-  if (link_loads.size() < static_cast<std::size_t>(plan.num_links())) {
+                                           std::span<Bytes> link_loads,
+                                           int threads) {
+  const auto num_links = static_cast<std::size_t>(plan.num_links());
+  if (link_loads.size() < num_links) {
     throw ConfigError(
         "accumulate_link_loads: link_loads smaller than plan.num_links()");
   }
@@ -44,36 +91,54 @@ LinkAccountingTotals accumulate_link_loads(const TrafficMatrix& matrix,
     throw ConfigError(
         "accumulate_link_loads: multipath plan needs the weighted overload");
   }
-  LinkAccountingTotals totals;
-  // Reachability only needs checking when the fault mask actually cut
-  // the endpoint set apart; the common (healthy) path skips the test.
-  const bool check_reach = plan.disconnected();
-  // A link is "used" once any route touches it, even with zero bytes
-  // (zero-byte messages still cost a packet); bytes alone cannot tell
-  // touched-zero from untouched, hence the explicit flags.
-  std::vector<unsigned char> touched(
-      static_cast<std::size_t>(plan.num_links()), 0);
-  matrix.for_each_nonzero([&](Rank s, Rank d, const TrafficCell& cell) {
-    totals.total_packets += cell.packets;
-    const NodeId ns = mapping.node_of(s);
-    const NodeId nd = mapping.node_of(d);
-    if (ns == nd) return;
-    if (check_reach && plan.hop_distance(ns, nd) < 0) {
-      totals.unroutable_packets += cell.packets;
-      return;
+  threads = resolve_kernel_threads(threads);
+  std::vector<RowRange> ranges;
+  if (threads > 1 && matrix.frozen()) {
+    ranges = partition_rows_by_cells(matrix, threads);
+  }
+  if (ranges.size() <= 1) {
+    ranges.assign(1, {0, matrix.num_ranks()});
+  }
+
+  std::vector<LoadShard> shards(ranges.size());
+  auto run_range = [&](std::size_t i) {
+    shards[i].loads.assign(num_links, 0);
+    shards[i].touched.assign(num_links, 0);
+    accumulate_rows(matrix, plan, mapping, ranges[i].begin, ranges[i].end,
+                    shards[i]);
+  };
+  if (ranges.size() == 1) {
+    run_range(0);
+  } else {
+    ThreadPool pool(static_cast<int>(ranges.size()));
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      pool.submit([&run_range, i] { run_range(i); });
     }
-    bool crosses_global = false;
-    plan.for_each_route_link(ns, nd, [&](LinkId link) {
-      const auto li = static_cast<std::size_t>(link);
-      if (!touched[li]) {
-        touched[li] = 1;
-        ++totals.used_links;
-      }
-      link_loads[li] += cell.bytes;
-      if (plan.link_is_global(link)) crosses_global = true;
-    });
-    if (crosses_global) totals.global_packets += cell.packets;
-  });
+    pool.wait_idle();
+  }
+
+  // Deterministic reduction: per-link sums fold the shards in range
+  // (== row) order; everything is integer arithmetic, so the totals
+  // are identical to the serial single-shard pass for any thread
+  // count. A link is "used" once any shard's route set touches it —
+  // including zero-byte (pure-packet) touches, which is why the touch
+  // bitmap exists at all.
+  LinkAccountingTotals totals;
+  for (std::size_t li = 0; li < num_links; ++li) {
+    bool used = false;
+    Bytes sum = 0;
+    for (const LoadShard& shard : shards) {
+      sum += shard.loads[li];
+      used = used || shard.touched[li] != 0;
+    }
+    link_loads[li] += sum;
+    if (used) ++totals.used_links;
+  }
+  for (const LoadShard& shard : shards) {
+    totals.global_packets += shard.global_packets;
+    totals.total_packets += shard.total_packets;
+    totals.unroutable_packets += shard.unroutable_packets;
+  }
   return totals;
 }
 
@@ -119,7 +184,7 @@ UtilizationResult utilization(const TrafficMatrix& matrix,
                               const mapping::Mapping& mapping,
                               Seconds execution_time, LinkCountMode mode,
                               double bandwidth_bytes_per_s,
-                              const topology::RoutePlan* plan) {
+                              const topology::RoutePlan* plan, int threads) {
   if (execution_time <= 0.0) {
     throw ConfigError("utilization: execution_time must be > 0");
   }
@@ -143,7 +208,7 @@ UtilizationResult utilization(const TrafficMatrix& matrix,
       std::vector<Bytes> loads(static_cast<std::size_t>(plan->num_links()),
                                0);
       const LinkAccountingTotals totals =
-          accumulate_link_loads(matrix, *plan, mapping, loads);
+          accumulate_link_loads(matrix, *plan, mapping, loads, threads);
       result.link_count = static_cast<double>(totals.used_links);
     } else {
       std::vector<double> loads(static_cast<std::size_t>(plan->num_links()),
@@ -166,14 +231,14 @@ UtilizationResult utilization(const TrafficMatrix& matrix,
 LinkLoadStats link_loads(const TrafficMatrix& matrix,
                          const topology::Topology& topo,
                          const mapping::Mapping& mapping,
-                         const topology::RoutePlan* plan) {
+                         const topology::RoutePlan* plan, int threads) {
   const auto local = ensure_plan(topo, plan, "link_loads");
   LinkLoadStats stats;
   LinkAccountingTotals totals;
   double sum = 0.0;
   if (plan->single_path()) {
     std::vector<Bytes> loads(static_cast<std::size_t>(plan->num_links()), 0);
-    totals = accumulate_link_loads(matrix, *plan, mapping, loads);
+    totals = accumulate_link_loads(matrix, *plan, mapping, loads, threads);
     for (const Bytes bytes : loads) {
       stats.max_link_bytes = std::max(stats.max_link_bytes, bytes);
       sum += static_cast<double>(bytes);

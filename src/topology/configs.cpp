@@ -112,6 +112,14 @@ double paper_link_count(const Topology& topo, int ranks) {
     const double p = df.nodes_per_router();
     return ranks * (1.0 + (a - 1.0) / p + h / p);
   }
+  if (family == "rrg") {
+    // No Table 2 analogue; count the per-node share of installed links
+    // (injection + chord), the same "installed capacity" reading the
+    // dragonfly branch uses.
+    return static_cast<double>(ranks) *
+           (static_cast<double>(topo.num_links()) /
+            static_cast<double>(topo.num_nodes()));
+  }
   throw ConfigError("paper_link_count: unknown topology family " + family);
 }
 

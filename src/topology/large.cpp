@@ -1,0 +1,50 @@
+#include "netloc/topology/large.hpp"
+
+#include <algorithm>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::topology {
+
+FatTree sized_fat_tree(int min_endpoints) {
+  if (min_endpoints < 1) {
+    throw ConfigError("sized_fat_tree: min_endpoints must be >= 1");
+  }
+  // Smallest half-radix whose cube covers the request; the +1 loop is
+  // fine (cbrt of an int bound), no float round-off risk.
+  int half = 1;
+  while (static_cast<long long>(half) * half * half <
+         static_cast<long long>(min_endpoints)) {
+    ++half;
+  }
+  return FatTree(2 * half, 3);
+}
+
+Dragonfly full_bisection_dragonfly(int min_endpoints) {
+  if (min_endpoints < 1) {
+    throw ConfigError("full_bisection_dragonfly: min_endpoints must be >= 1");
+  }
+  // Balanced a = 2h = 2p at maximal group count g = a*h + 1 = 2p² + 1:
+  // capacity = g * a * p = (2p² + 1) * 2p².
+  int p = 1;
+  while ((2LL * p * p + 1) * 2LL * p * p <
+         static_cast<long long>(min_endpoints)) {
+    ++p;
+  }
+  return Dragonfly(2 * p, p, p);
+}
+
+RandomRegular sized_random_regular(int min_endpoints, std::uint64_t seed) {
+  if (min_endpoints < 4) {
+    throw ConfigError("sized_random_regular: min_endpoints must be >= 4");
+  }
+  const int per_switch =
+      (min_endpoints + kMaxSizedRrgSwitches - 1) / kMaxSizedRrgSwitches;
+  const int switches = (min_endpoints + per_switch - 1) / per_switch;
+  int degree = std::min(32, switches - 1);
+  // Pairing model needs switches * degree even.
+  if (switches % 2 != 0 && degree % 2 != 0) --degree;
+  return RandomRegular(min_endpoints, degree, per_switch, seed);
+}
+
+}  // namespace netloc::topology

@@ -1,0 +1,266 @@
+#include "netloc/topology/random_regular.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "netloc/common/error.hpp"
+#include "netloc/common/prng.hpp"
+
+namespace netloc::topology {
+
+namespace {
+
+/// Unordered switch-pair key for the chord dedup set.
+std::uint64_t pair_key(SwitchId a, SwitchId b, int num_switches) {
+  if (a > b) std::swap(a, b);
+  return static_cast<std::uint64_t>(a) *
+             static_cast<std::uint64_t>(num_switches) +
+         static_cast<std::uint64_t>(b);
+}
+
+/// Seeded Fisher-Yates (descending index, xoshiro next_below), fully
+/// specified so the wiring is identical across platforms.
+template <typename T>
+void shuffle(std::vector<T>& v, Xoshiro256& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[rng.next_below(i)]);
+  }
+}
+
+}  // namespace
+
+RandomRegular::RandomRegular(int num_endpoints, int degree,
+                             int endpoints_per_switch, std::uint64_t seed) {
+  if (num_endpoints < 1) {
+    throw ConfigError("RandomRegular: num_endpoints must be >= 1");
+  }
+  if (endpoints_per_switch < 1) {
+    throw ConfigError("RandomRegular: endpoints_per_switch must be >= 1");
+  }
+  if (degree < 3) {
+    throw ConfigError("RandomRegular: degree must be >= 3");
+  }
+  const int s =
+      (num_endpoints + endpoints_per_switch - 1) / endpoints_per_switch;
+  if (s <= degree) {
+    throw ConfigError(
+        "RandomRegular: need more switches than the degree (raise "
+        "num_endpoints or lower endpoints_per_switch/degree)");
+  }
+  if (static_cast<long long>(s) * degree % 2 != 0) {
+    throw ConfigError(
+        "RandomRegular: switches * degree must be even (pairing model)");
+  }
+
+  auto data = std::make_shared<Data>();
+  data->num_endpoints = num_endpoints;
+  data->degree = degree;
+  data->per_switch = endpoints_per_switch;
+  data->num_switches = s;
+  data->seed = seed;
+
+  Xoshiro256 rng(seed ^ 0x5252474f50544cULL);  // Stream-split from the seed.
+
+  // Chord set. A Hamiltonian ring over a random permutation spends two
+  // ports per switch and guarantees connectivity; the remaining
+  // degree-2 ports per switch pair up as random chords (configuration
+  // model) with rejection, and a bounded double-edge-swap repair for
+  // stubs the rejection loop cannot place.
+  std::vector<std::pair<SwitchId, SwitchId>> chords;
+  chords.reserve(static_cast<std::size_t>(s) *
+                 static_cast<std::size_t>(degree) / 2);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(chords.capacity() * 2);
+
+  std::vector<SwitchId> ring(static_cast<std::size_t>(s));
+  for (int i = 0; i < s; ++i) ring[static_cast<std::size_t>(i)] = i;
+  shuffle(ring, rng);
+  for (int i = 0; i < s; ++i) {
+    const SwitchId u = ring[static_cast<std::size_t>(i)];
+    const SwitchId v = ring[static_cast<std::size_t>((i + 1) % s)];
+    chords.emplace_back(u, v);
+    used.insert(pair_key(u, v, s));
+  }
+
+  std::vector<SwitchId> stubs;
+  stubs.reserve(static_cast<std::size_t>(s) *
+                static_cast<std::size_t>(degree - 2));
+  for (int sw = 0; sw < s; ++sw) {
+    for (int k = 0; k < degree - 2; ++k) stubs.push_back(sw);
+  }
+  // Pairing passes: shuffle, pair adjacent stubs, carry conflicts
+  // (self-loops / duplicate chords) into the next pass.
+  for (int pass = 0; pass < 64 && stubs.size() > 2; ++pass) {
+    shuffle(stubs, rng);
+    std::vector<SwitchId> carry;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const SwitchId u = stubs[i];
+      const SwitchId v = stubs[i + 1];
+      if (u == v || used.contains(pair_key(u, v, s))) {
+        carry.push_back(u);
+        carry.push_back(v);
+        continue;
+      }
+      chords.emplace_back(u, v);
+      used.insert(pair_key(u, v, s));
+    }
+    stubs = std::move(carry);
+  }
+  // Edge-swap repair for the stubborn tail: break an existing chord
+  // (x, y) and reconnect as (u, x), (v, y). Preserves all degrees and,
+  // because the ring chords are never broken, connectivity.
+  const std::size_t ring_chords = static_cast<std::size_t>(s);
+  std::size_t attempts = 0;
+  while (stubs.size() >= 2) {
+    if (++attempts > 100000) {
+      throw ConfigError(
+          "RandomRegular: chord repair did not converge; try another seed");
+    }
+    const SwitchId u = stubs[stubs.size() - 2];
+    const SwitchId v = stubs[stubs.size() - 1];
+    const std::size_t pick =
+        ring_chords + rng.next_below(chords.size() - ring_chords);
+    const auto [x, y] = chords[pick];
+    if (u == x || u == y || v == x || v == y || u == v ||
+        used.contains(pair_key(u, x, s)) || used.contains(pair_key(v, y, s))) {
+      continue;
+    }
+    used.erase(pair_key(x, y, s));
+    used.insert(pair_key(u, x, s));
+    used.insert(pair_key(v, y, s));
+    chords[pick] = {u, x};
+    chords.emplace_back(v, y);
+    stubs.pop_back();
+    stubs.pop_back();
+  }
+
+  // Dense adjacency, neighbors ascending per switch; chord link ids
+  // follow the injection links and are assigned in sorted-pair order
+  // so the id space is independent of generation order.
+  std::sort(chords.begin(), chords.end(),
+            [s](const auto& lhs, const auto& rhs) {
+              return pair_key(lhs.first, lhs.second, s) <
+                     pair_key(rhs.first, rhs.second, s);
+            });
+  std::vector<int> fill(static_cast<std::size_t>(s), 0);
+  data->adj_switch.assign(
+      static_cast<std::size_t>(s) * static_cast<std::size_t>(degree), -1);
+  data->adj_link.assign(data->adj_switch.size(), kInvalidLink);
+  for (std::size_t c = 0; c < chords.size(); ++c) {
+    const auto [u, v] = chords[c];
+    const auto link =
+        static_cast<LinkId>(static_cast<std::size_t>(num_endpoints) + c);
+    for (const auto [from, to] :
+         {std::pair<SwitchId, SwitchId>{u, v}, {v, u}}) {
+      const auto slot = static_cast<std::size_t>(from) *
+                            static_cast<std::size_t>(degree) +
+                        static_cast<std::size_t>(fill[static_cast<std::size_t>(
+                            from)]++);
+      data->adj_switch[slot] = to;
+      data->adj_link[slot] = link;
+    }
+  }
+  // Sorted-pair chord order fills each switch's neighbors ascending
+  // already for the `u` side but not the `v` side; sort each row's
+  // (neighbor, link) slots to make adjacency order canonical.
+  for (int sw = 0; sw < s; ++sw) {
+    const auto begin =
+        static_cast<std::size_t>(sw) * static_cast<std::size_t>(degree);
+    std::vector<std::pair<SwitchId, LinkId>> row(
+        static_cast<std::size_t>(degree));
+    for (int k = 0; k < degree; ++k) {
+      row[static_cast<std::size_t>(k)] = {
+          data->adj_switch[begin + static_cast<std::size_t>(k)],
+          data->adj_link[begin + static_cast<std::size_t>(k)]};
+    }
+    std::sort(row.begin(), row.end());
+    for (int k = 0; k < degree; ++k) {
+      data->adj_switch[begin + static_cast<std::size_t>(k)] =
+          row[static_cast<std::size_t>(k)].first;
+      data->adj_link[begin + static_cast<std::size_t>(k)] =
+          row[static_cast<std::size_t>(k)].second;
+    }
+  }
+
+  // All-pairs switch distances: one BFS per switch over the dense
+  // adjacency. O(s * (s + s*d)) total; the table is the price of O(1)
+  // endpoint hop queries at any scale (docs/SCALE.md).
+  data->dist.assign(
+      static_cast<std::size_t>(s) * static_cast<std::size_t>(s), 0);
+  std::vector<std::uint16_t> row_dist(static_cast<std::size_t>(s));
+  std::vector<SwitchId> queue(static_cast<std::size_t>(s));
+  int diameter = 0;
+  for (int src = 0; src < s; ++src) {
+    std::fill(row_dist.begin(), row_dist.end(), 0xFFFF);
+    row_dist[static_cast<std::size_t>(src)] = 0;
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    queue[tail++] = src;
+    while (head < tail) {
+      const SwitchId cur = queue[head++];
+      const auto d = row_dist[static_cast<std::size_t>(cur)];
+      const auto begin = static_cast<std::size_t>(cur) *
+                         static_cast<std::size_t>(degree);
+      for (int k = 0; k < degree; ++k) {
+        const SwitchId next = data->adj_switch[begin + static_cast<std::size_t>(k)];
+        auto& dn = row_dist[static_cast<std::size_t>(next)];
+        if (dn == 0xFFFF) {
+          dn = static_cast<std::uint16_t>(d + 1);
+          queue[tail++] = next;
+        }
+      }
+    }
+    if (tail != static_cast<std::size_t>(s)) {
+      // Cannot happen with the ring in place; guard anyway.
+      throw ConfigError("RandomRegular: generated switch graph disconnected");
+    }
+    for (int b = 0; b < s; ++b) {
+      diameter = std::max(diameter, static_cast<int>(row_dist[static_cast<std::size_t>(b)]));
+    }
+    std::copy(row_dist.begin(), row_dist.end(),
+              data->dist.begin() + static_cast<std::size_t>(src) *
+                                       static_cast<std::size_t>(s));
+  }
+  data->diameter = diameter;
+
+  data_ = std::move(data);
+}
+
+std::string RandomRegular::config_string() const {
+  return "(" + std::to_string(data_->num_endpoints) + "," +
+         std::to_string(data_->degree) + "," +
+         std::to_string(data_->per_switch) + ",s" +
+         std::to_string(data_->seed) + ")";
+}
+
+void RandomRegular::route(NodeId a, NodeId b, const LinkVisitor& visit) const {
+  visit_route(a, b, visit);
+}
+
+std::optional<NetworkGraph> RandomRegular::build_graph() const {
+  const int n = data_->num_endpoints;
+  const int s = data_->num_switches;
+  GraphBuilder builder(n, s, num_links());
+  for (NodeId node = 0; node < n; ++node) {
+    builder.add_link(static_cast<LinkId>(node), node, n + switch_of(node),
+                     LinkType::kInjection);
+  }
+  // Each chord appears twice in the adjacency; add it from the lower
+  // switch side only.
+  for (int sw = 0; sw < s; ++sw) {
+    const auto begin =
+        static_cast<std::size_t>(sw) * static_cast<std::size_t>(data_->degree);
+    for (int k = 0; k < data_->degree; ++k) {
+      const SwitchId other = data_->adj_switch[begin + static_cast<std::size_t>(k)];
+      if (sw < other) {
+        builder.add_link(data_->adj_link[begin + static_cast<std::size_t>(k)],
+                         n + sw, n + other, LinkType::kLocal);
+      }
+    }
+  }
+  return builder.finish();
+}
+
+}  // namespace netloc::topology

@@ -1,6 +1,7 @@
 #include "netloc/topology/route_plan.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "netloc/common/error.hpp"
@@ -29,6 +30,17 @@ void fill_distances(int window, std::vector<std::uint16_t>& out,
 std::shared_ptr<const RoutePlan> RoutePlan::build(const Topology& topo,
                                                   int window) {
   return build(topo, RoutingSpec{}, window);
+}
+
+int RoutePlan::window_for_budget(int num_nodes, std::size_t table_budget_bytes) {
+  if (table_budget_bytes == 0) return -1;
+  // w² uint16 entries must fit the budget; the floor keeps a useful
+  // cache for the densest (lowest-id) nodes even under absurd budgets.
+  constexpr int kWindowFloor = 64;
+  const auto affordable = static_cast<int>(std::min<double>(
+      std::sqrt(static_cast<double>(table_budget_bytes / sizeof(std::uint16_t))),
+      static_cast<double>(std::numeric_limits<int>::max())));
+  return std::min(num_nodes, std::max(affordable, kWindowFloor));
 }
 
 std::shared_ptr<const RoutePlan> RoutePlan::build(const Topology& topo,
@@ -64,6 +76,9 @@ std::shared_ptr<const RoutePlan> RoutePlan::build(const Topology& topo,
   } else if (const auto* d = dynamic_cast<const Dragonfly*>(&topo)) {
     plan->kind_ = Kind::Dragonfly;
     plan->dragonfly_.emplace(*d);
+  } else if (const auto* r = dynamic_cast<const RandomRegular*>(&topo)) {
+    plan->kind_ = Kind::RandomRegular;
+    plan->rrg_.emplace(*r);
   } else {
     plan->kind_ = Kind::Generic;
     plan->generic_ = &topo;
@@ -124,6 +139,12 @@ void RoutePlan::fill_table() {
                          return d->hop_distance(a, b);
                        });
         break;
+      case Kind::RandomRegular:
+        fill_distances(window_, distances_,
+                       [r = &*rrg_](NodeId a, NodeId b) {
+                         return r->hop_distance(a, b);
+                       });
+        break;
       case Kind::Generic:
         fill_distances(window_, distances_,
                        [t = generic_](NodeId a, NodeId b) {
@@ -172,6 +193,8 @@ int RoutePlan::minimal_distance(NodeId a, NodeId b) const {
       return fat_tree_->hop_distance(a, b);
     case Kind::Dragonfly:
       return dragonfly_->hop_distance(a, b);
+    case Kind::RandomRegular:
+      return rrg_->hop_distance(a, b);
     case Kind::Generic:
       return generic_->hop_distance(a, b);
   }
@@ -206,6 +229,9 @@ void RoutePlan::reroute(NodeId a, NodeId b,
 }
 
 int RoutePlan::computed_hop_distance(NodeId a, NodeId b) const {
+  // Only reached when (a, b) missed the table window: count the miss so
+  // the engine can surface fallback-dominated runs (EN005).
+  out_of_window_hits_.fetch_add(1, std::memory_order_relaxed);
   if (spec_.is_default()) return minimal_distance(a, b);
   return spec_distance(a, b);
 }

@@ -151,8 +151,8 @@ std::size_t check_graph_structure(const topology::Topology& topo,
 
   // ---- per-family degree regularity -------------------------------------
   const std::string family = topo.name();
-  const bool known_family =
-      family == "torus3d" || family == "fattree" || family == "dragonfly";
+  const bool known_family = family == "torus3d" || family == "fattree" ||
+                            family == "dragonfly" || family == "rrg";
   if (known_family && graph.num_endpoints() > 0) {
     const int d0 = graph.degree(0);
     ++checks;
@@ -167,7 +167,8 @@ std::size_t check_graph_structure(const topology::Topology& topo,
         break;
       }
     }
-    if (uniform && (family == "fattree" || family == "dragonfly")) {
+    if (uniform && (family == "fattree" || family == "dragonfly" ||
+                    family == "rrg")) {
       ++checks;
       if (d0 != 1) {
         em.emit("VF002", 0,

@@ -1,5 +1,6 @@
-// Cache blob audit (VF012/VF013), task-graph structure (VF014/VF015)
-// and traffic-matrix invariants (VF016).
+// Cache blob audit (VF012/VF013), task-graph structure (VF014/VF015),
+// traffic-matrix invariants (VF016) and tiled-accumulation
+// equivalence (VF017).
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
@@ -229,6 +230,65 @@ std::size_t check_traffic_matrix(const metrics::TrafficMatrix& matrix,
                 " != cell sum " + std::to_string(sum_packets));
   }
   return checks;
+}
+
+metrics::TrafficMatrix rebuild_tiled(const metrics::TrafficMatrix& matrix,
+                                     std::size_t open_budget_bytes) {
+  metrics::TrafficMatrix out(matrix.num_ranks(), open_budget_bytes);
+  matrix.for_each_nonzero(
+      [&](Rank src, Rank dst, const metrics::TrafficCell& cell) {
+        out.add_cell(src, dst, cell.bytes, cell.packets);
+      });
+  out.freeze();
+  return out;
+}
+
+std::size_t check_tiled_equivalence(const metrics::TrafficMatrix& original,
+                                    const metrics::TrafficMatrix& rebuilt,
+                                    const std::string& source,
+                                    lint::LintReport& report) {
+  Emitter em(report, source);
+  std::size_t checks = 1;
+  if (rebuilt.num_ranks() != original.num_ranks()) {
+    em.emit("VF017", -1,
+            "rebuilt matrix spans " + std::to_string(rebuilt.num_ranks()) +
+                " ranks but the original spans " +
+                std::to_string(original.num_ranks()));
+    return checks;  // cell lookups below would be out of range
+  }
+  ++checks;
+  if (rebuilt.nonzero_pairs() != original.nonzero_pairs()) {
+    em.emit("VF017", -1,
+            "rebuilt matrix stores " +
+                std::to_string(rebuilt.nonzero_pairs()) +
+                " nonzero pairs but the original stores " +
+                std::to_string(original.nonzero_pairs()));
+  }
+  ++checks;
+  if (rebuilt.total_bytes() != original.total_bytes() ||
+      rebuilt.total_packets() != original.total_packets()) {
+    em.emit("VF017", -1,
+            "rebuilt totals (" + std::to_string(rebuilt.total_bytes()) +
+                " B, " + std::to_string(rebuilt.total_packets()) +
+                " packets) != original (" +
+                std::to_string(original.total_bytes()) + " B, " +
+                std::to_string(original.total_packets()) + " packets)");
+  }
+  std::size_t cells = 0;
+  original.for_each_nonzero(
+      [&](Rank s, Rank d, const metrics::TrafficCell& cell) {
+        ++cells;
+        if (rebuilt.bytes(s, d) != cell.bytes ||
+            rebuilt.packets(s, d) != cell.packets) {
+          em.emit("VF017", s,
+                  "cell (" + std::to_string(s) + ", " + std::to_string(d) +
+                      "): rebuilt (" + std::to_string(rebuilt.bytes(s, d)) +
+                      " B, " + std::to_string(rebuilt.packets(s, d)) +
+                      " packets) != original (" + std::to_string(cell.bytes) +
+                      " B, " + std::to_string(cell.packets) + " packets)");
+        }
+      });
+  return checks + cells;
 }
 
 }  // namespace netloc::verify

@@ -186,7 +186,7 @@ class TrafficPass final : public VerifyPass {
  public:
   [[nodiscard]] std::string_view id() const override { return "traffic"; }
   [[nodiscard]] std::string_view summary() const override {
-    return "traffic-matrix invariants: packetization, order, totals";
+    return "traffic-matrix invariants and tiled re-accumulation equivalence";
   }
   [[nodiscard]] CostTier cost() const override { return CostTier::Cheap; }
   [[nodiscard]] std::string applicable(const VerifyContext& ctx) const override {
@@ -195,7 +195,16 @@ class TrafficPass final : public VerifyPass {
   }
   std::size_t run(const VerifyContext& ctx,
                   lint::LintReport& report) const override {
-    return check_traffic_matrix(*ctx.traffic, ctx.source, report);
+    std::size_t checks = check_traffic_matrix(*ctx.traffic, ctx.source, report);
+    // Re-accumulate through 8-row strips: tiled for any matrix beyond
+    // 8 ranks, so the equivalence exercises many strip switches.
+    const std::size_t strip_budget =
+        static_cast<std::size_t>(ctx.traffic->num_ranks()) *
+        sizeof(metrics::TrafficCell) * 8;
+    checks += check_tiled_equivalence(*ctx.traffic,
+                                      rebuild_tiled(*ctx.traffic, strip_budget),
+                                      ctx.source, report);
+    return checks;
   }
 };
 

@@ -23,5 +23,8 @@ std::unique_ptr<WorkloadGenerator> make_minife();
 std::unique_ptr<WorkloadGenerator> make_multigrid_c();
 std::unique_ptr<WorkloadGenerator> make_partisn();
 std::unique_ptr<WorkloadGenerator> make_snap();
+// Scale-tier families (workloads/scale.hpp); no Table 1 entries.
+std::unique_ptr<WorkloadGenerator> make_halo3d();
+std::unique_ptr<WorkloadGenerator> make_a2ablock();
 
 }  // namespace netloc::workloads::detail

@@ -1,0 +1,130 @@
+// Scale-tier generators (workloads/scale.hpp): HALO3D and A2ABLOCK,
+// the two families the million-endpoint tier benchmarks with. Event
+// counts stay linear in the rank count so a 1M-endpoint trace streams
+// through the tiled accumulator without ever materializing O(n²).
+#include "netloc/workloads/scale.hpp"
+
+#include <algorithm>
+
+#include "netloc/common/error.hpp"
+#include "netloc/common/grid.hpp"
+#include "netloc/workloads/stencil.hpp"
+#include "../generators.hpp"
+
+namespace netloc::workloads {
+
+CatalogEntry scale_entry(const std::string& app, int ranks) {
+  if (app != "HALO3D" && app != "A2ABLOCK") {
+    throw ConfigError("scale_entry: unknown scale family '" + app +
+                      "' (HALO3D, A2ABLOCK)");
+  }
+  if (ranks < 2) {
+    throw ConfigError("scale_entry: ranks must be >= 2");
+  }
+  CatalogEntry entry;
+  entry.app = app;
+  entry.ranks = ranks;
+  entry.time_s = 1.0;
+  entry.volume_mb = static_cast<double>(ranks);  // 1 MB per rank.
+  entry.p2p_percent = 100.0;
+  return entry;
+}
+
+namespace detail {
+
+namespace {
+
+// Shared build parameters: with ~1 MB per rank spread over >= 26
+// partners, per-pair volume sits well below the preferred message
+// size, so each pair emits one message per build — the event count
+// equals the pair count.
+BuildParams scale_params(const CatalogEntry& target) {
+  BuildParams params;
+  params.p2p_bytes = target.p2p_bytes();
+  params.collective_bytes = target.collective_bytes();
+  params.duration = target.time_s;
+  params.iterations = 4;
+  params.preferred_message_bytes = 256 * 1024;
+  return params;
+}
+
+class Halo3DGenerator final : public WorkloadGenerator {
+ public:
+  [[nodiscard]] std::string name() const override { return "HALO3D"; }
+  [[nodiscard]] std::string description() const override {
+    return "scale-tier 27-point 3-D halo exchange (pure p2p)";
+  }
+
+  [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
+                                      std::uint64_t /*seed*/) const override {
+    return pattern(target).build(scale_params(target));
+  }
+
+  void generate_into(const CatalogEntry& target, std::uint64_t /*seed*/,
+                     trace::EventSink& sink) const override {
+    pattern(target).build_into(scale_params(target), sink);
+  }
+
+ private:
+  [[nodiscard]] PatternBuilder pattern(const CatalogEntry& target) const {
+    const GridDims dims = balanced_dims(target.ranks, 3);
+    PatternBuilder builder(name(), target.ranks);
+    // FillBoundary's anisotropic slab/pencil/point ratios, minus its
+    // per-step reductions: a translated collective costs O(n) events
+    // per call, which the scale tier cannot afford.
+    StencilWeights weights;
+    weights.face_per_axis = {420.0, 140.0, 45.0};
+    weights.edge = 6.0;
+    weights.corner = 1.0;
+    add_stencil(builder, dims, StencilScope::Full, weights);
+    return builder;
+  }
+};
+
+class A2ABlockGenerator final : public WorkloadGenerator {
+ public:
+  [[nodiscard]] std::string name() const override { return "A2ABLOCK"; }
+  [[nodiscard]] std::string description() const override {
+    return "scale-tier blocked all-to-all (uniform within blocks of " +
+           std::to_string(kA2ABlockRanks) + " ranks)";
+  }
+
+  [[nodiscard]] trace::Trace generate(const CatalogEntry& target,
+                                      std::uint64_t /*seed*/) const override {
+    return pattern(target).build(scale_params(target));
+  }
+
+  void generate_into(const CatalogEntry& target, std::uint64_t /*seed*/,
+                     trace::EventSink& sink) const override {
+    pattern(target).build_into(scale_params(target), sink);
+  }
+
+ private:
+  [[nodiscard]] PatternBuilder pattern(const CatalogEntry& target) const {
+    PatternBuilder builder(name(), target.ranks);
+    for (Rank base = 0; base < target.ranks; base += kA2ABlockRanks) {
+      const Rank end =
+          std::min<Rank>(base + kA2ABlockRanks, target.ranks);
+      for (Rank src = base; src < end; ++src) {
+        for (Rank dst = base; dst < end; ++dst) {
+          if (src != dst) builder.p2p(src, dst, 1.0);
+        }
+      }
+    }
+    return builder;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> make_halo3d() {
+  return std::make_unique<Halo3DGenerator>();
+}
+
+std::unique_ptr<WorkloadGenerator> make_a2ablock() {
+  return std::make_unique<A2ABlockGenerator>();
+}
+
+}  // namespace detail
+
+}  // namespace netloc::workloads

@@ -30,6 +30,10 @@ const std::map<std::string, std::unique_ptr<WorkloadGenerator>>& registry() {
     add(detail::make_multigrid_c());
     add(detail::make_partisn());
     add(detail::make_snap());
+    // Scale-tier families: resolvable like any app, but calibrated via
+    // workloads::scale_entry() instead of the Table 1 catalog.
+    add(detail::make_halo3d());
+    add(detail::make_a2ablock());
     return map;
   }();
   return instance;

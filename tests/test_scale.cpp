@@ -1,0 +1,158 @@
+// Scale-tier guarantees (docs/SCALE.md): the budget-tiled traffic path
+// must be byte-identical to the classic dense path all the way down to
+// Table 3 CSV bytes, the parallel metric kernels bit-identical at any
+// thread count, and a 100k-rank run must complete under a 256 MiB
+// memory budget.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <vector>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/analysis/export.hpp"
+#include "netloc/lint/diagnostic.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/hops.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/utilization.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/topology/large.hpp"
+#include "netloc/topology/route_plan.hpp"
+#include "netloc/verify/checks.hpp"
+#include "netloc/workloads/scale.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace netloc {
+namespace {
+
+using topology::RoutePlan;
+
+// ---------------------------------------------------------------------------
+// tiled accumulation: byte-identical to the dense path
+// ---------------------------------------------------------------------------
+
+TEST(ScaleTiling, FrozenMatrixIdenticalDenseVsTiledAt1728Ranks) {
+  const auto trace = workloads::generate("AMG", 1728);
+  const auto dense = metrics::TrafficMatrix::from_trace(trace);
+  metrics::TrafficOptions budgeted;
+  // 1 MiB open budget at 1728 ranks: ~37-row strips, ~47 strips.
+  budgeted.memory_budget_bytes = 1 << 20;
+  const auto tiled = metrics::TrafficMatrix::from_trace(trace, budgeted);
+  ASSERT_TRUE(tiled.tiled());
+  ASSERT_FALSE(dense.tiled());
+  lint::LintReport report;
+  const std::size_t checks =
+      verify::check_tiled_equivalence(dense, tiled, "t", report);
+  EXPECT_GT(checks, dense.nonzero_pairs());
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(ScaleTiling, Table3CsvBytesIdenticalUnderBudget) {
+  const auto& entry = workloads::catalog_entry("AMG", 1728);
+  const analysis::RunOptions dense;
+  analysis::RunOptions budgeted;
+  budgeted.memory_budget_bytes = 64ull << 20;  // 16 MiB traffic strip
+  budgeted.kernel_threads = 4;  // tiling + parallel kernels together
+  const auto dense_row = analysis::run_experiment(entry, dense);
+  const auto budgeted_row = analysis::run_experiment(entry, budgeted);
+  std::ostringstream a;
+  std::ostringstream b;
+  analysis::write_table3_csv({dense_row}, a);
+  analysis::write_table3_csv({budgeted_row}, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+// ---------------------------------------------------------------------------
+// parallel kernels: bit-identical at every thread count
+// ---------------------------------------------------------------------------
+
+TEST(ScaleKernels, ThreadCountNeverChangesAnyMetricBit) {
+  const auto trace = workloads::generate("AMG", 1728);
+  const auto matrix = metrics::TrafficMatrix::from_trace(trace);
+  const auto sets = topology::topologies_for(1728);
+  for (const auto* topo : sets.all()) {
+    const auto plan = RoutePlan::build(*topo, 1728);
+    const auto mapping = mapping::Mapping::linear(1728, topo->num_nodes());
+    const auto hops1 =
+        metrics::hop_stats(matrix, *topo, mapping, plan.get(), 1);
+    const auto util1 = metrics::utilization(
+        matrix, *topo, mapping, trace.duration(),
+        metrics::LinkCountMode::UsedLinks, metrics::kPaperBandwidthBytesPerS,
+        plan.get(), 1);
+    std::vector<Bytes> loads1(static_cast<std::size_t>(plan->num_links()), 0);
+    const auto totals1 =
+        metrics::accumulate_link_loads(matrix, *plan, mapping, loads1, 1);
+    // 5 is deliberately coprime to the row count; 0 = machine default.
+    for (const int threads : {2, 5, 0}) {
+      const auto hops =
+          metrics::hop_stats(matrix, *topo, mapping, plan.get(), threads);
+      EXPECT_EQ(hops.packet_hops, hops1.packet_hops) << topo->name();
+      EXPECT_EQ(hops.packets, hops1.packets) << topo->name();
+      EXPECT_EQ(hops.avg_hops, hops1.avg_hops) << topo->name();  // exact
+      const auto util = metrics::utilization(
+          matrix, *topo, mapping, trace.duration(),
+          metrics::LinkCountMode::UsedLinks, metrics::kPaperBandwidthBytesPerS,
+          plan.get(), threads);
+      EXPECT_EQ(util.utilization_percent, util1.utilization_percent)
+          << topo->name();
+      EXPECT_EQ(util.link_count, util1.link_count) << topo->name();
+      std::vector<Bytes> loads(static_cast<std::size_t>(plan->num_links()), 0);
+      const auto totals = metrics::accumulate_link_loads(matrix, *plan,
+                                                         mapping, loads,
+                                                         threads);
+      EXPECT_EQ(loads, loads1) << topo->name();
+      EXPECT_EQ(totals.used_links, totals1.used_links) << topo->name();
+      EXPECT_EQ(totals.global_packets, totals1.global_packets) << topo->name();
+      EXPECT_EQ(totals.total_packets, totals1.total_packets) << topo->name();
+      const auto stats1 =
+          metrics::link_loads(matrix, *topo, mapping, plan.get(), 1);
+      const auto stats =
+          metrics::link_loads(matrix, *topo, mapping, plan.get(), threads);
+      EXPECT_EQ(stats.used_links, stats1.used_links) << topo->name();
+      EXPECT_EQ(stats.max_link_bytes, stats1.max_link_bytes) << topo->name();
+      EXPECT_EQ(stats.mean_link_bytes, stats1.mean_link_bytes) << topo->name();
+      EXPECT_EQ(stats.global_link_packet_share,
+                stats1.global_link_packet_share)
+          << topo->name();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 100k-rank smoke under a 256 MiB budget
+// ---------------------------------------------------------------------------
+
+TEST(ScaleSmoke, HundredThousandRanksUnder256MiBBudget) {
+  constexpr std::size_t kBudget = 256ull << 20;
+  constexpr int kRanks = 100'000;
+  const auto entry = workloads::scale_entry("HALO3D", kRanks);
+  metrics::TrafficAccumulator accumulator(
+      {.include_p2p = true,
+       .include_collectives = true,
+       .memory_budget_bytes = kBudget / 4});
+  workloads::generator(entry.app).generate_into(entry, workloads::kDefaultSeed,
+                                                accumulator);
+  const auto matrix = accumulator.take();
+  EXPECT_TRUE(matrix.tiled());
+  EXPECT_GT(matrix.nonzero_pairs(), static_cast<std::size_t>(kRanks));
+  EXPECT_EQ(matrix.open_buffer_bytes(), 0U);  // frozen releases the strip
+
+  const auto tree = topology::sized_fat_tree(kRanks);
+  ASSERT_GE(tree.num_nodes(), kRanks);
+  const int window =
+      RoutePlan::window_for_budget(tree.num_nodes(), kBudget / 8);
+  ASSERT_GT(window, 0);
+  ASSERT_LT(window, tree.num_nodes());  // the budget actually caps it
+  const auto plan = RoutePlan::build(tree, {}, window);
+  const auto mapping = mapping::Mapping::linear(kRanks, tree.num_nodes());
+  const auto hops = metrics::hop_stats(matrix, tree, mapping, plan.get(), 4);
+  EXPECT_GT(hops.packet_hops, 0U);
+  EXPECT_GT(hops.avg_hops, 0.0);
+  // Most pairs sit outside the 256 MiB window: the fallback counter
+  // must have seen them.
+  EXPECT_GT(plan->out_of_window_hits(), 0U);
+}
+
+}  // namespace
+}  // namespace netloc

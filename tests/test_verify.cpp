@@ -27,6 +27,7 @@
 #include "netloc/metrics/traffic_matrix.hpp"
 #include "netloc/topology/configs.hpp"
 #include "netloc/topology/graph.hpp"
+#include "netloc/topology/large.hpp"
 #include "netloc/topology/route_plan.hpp"
 #include "netloc/topology/routing.hpp"
 #include "netloc/verify/verify.hpp"
@@ -172,6 +173,60 @@ TEST(VerifyGraph, FlagsDisconnectedEndpoints) {
   check_graph_structure(topo, graph, "seeded", report);
   EXPECT_EQ(count_rule(report, "VF001"), 0U);
   EXPECT_EQ(count_rule(report, "VF003"), 1U);
+}
+
+TEST(VerifyGraph, CleanOnScaleTierConstructors) {
+  const auto fattree = topology::sized_fat_tree(600);
+  const auto dragonfly = topology::full_bisection_dragonfly(600);
+  const auto rrg = topology::sized_random_regular(600);
+  const std::vector<const topology::Topology*> topos = {&fattree, &dragonfly,
+                                                        &rrg};
+  for (const topology::Topology* topo : topos) {
+    const auto graph = topo->build_graph();
+    ASSERT_TRUE(graph.has_value()) << topo->name();
+    lint::LintReport report;
+    const std::size_t checks =
+        check_graph_structure(*topo, *graph, topo->name(), report);
+    EXPECT_GT(checks, 0U);
+    EXPECT_TRUE(report.empty()) << topo->name();
+  }
+}
+
+TEST(VerifyGraph, FlagsSizedFatTreeLyingLinkCount) {
+  const auto topo = topology::sized_fat_tree(600);
+  const auto graph = topo.build_graph();
+  ASSERT_TRUE(graph.has_value());
+  const FakeTopology lying("fattree", topo.num_nodes(), topo.num_links() + 1);
+  lint::LintReport report;
+  check_graph_structure(lying, *graph, "seeded", report);
+  EXPECT_GE(count_rule(report, "VF001"), 1U);
+}
+
+TEST(VerifyGraph, FlagsFullBisectionDragonflyLyingNodeCount) {
+  const auto topo = topology::full_bisection_dragonfly(600);
+  const auto graph = topo.build_graph();
+  ASSERT_TRUE(graph.has_value());
+  const FakeTopology lying("dragonfly", topo.num_nodes() + 1,
+                           topo.num_links());
+  lint::LintReport report;
+  check_graph_structure(lying, *graph, "seeded", report);
+  EXPECT_GE(count_rule(report, "VF001"), 1U);
+}
+
+TEST(VerifyGraph, FlagsRrgDoubleInjection) {
+  // An "rrg" whose endpoint 1 carries two injection links: the sized
+  // random-regular family promises exactly one injection link per
+  // endpoint, so the per-family regularity check must fire.
+  topology::GraphBuilder builder(2, 1, 3);
+  builder.add_link(0, 0, 2, topology::LinkType::kDirect);
+  builder.add_link(1, 1, 2, topology::LinkType::kDirect);
+  builder.add_link(2, 1, 2, topology::LinkType::kDirect);
+  const auto graph = builder.finish();
+  const FakeTopology topo("rrg", 2, 3);
+  lint::LintReport report;
+  check_graph_structure(topo, graph, "seeded", report);
+  EXPECT_EQ(count_rule(report, "VF001"), 0U);
+  EXPECT_GE(count_rule(report, "VF002"), 1U);
 }
 
 // ---------------------------------------------------------------------------
@@ -539,7 +594,7 @@ TEST(VerifyTaskGraph, SingleJobIsNotAnOrphan) {
 }
 
 // ---------------------------------------------------------------------------
-// traffic pass (VF016)
+// traffic pass (VF016/VF017)
 // ---------------------------------------------------------------------------
 
 TEST(VerifyTraffic, CleanFromTrace) {
@@ -569,6 +624,52 @@ TEST(VerifyTraffic, FlagsZeroPacketCell) {
   lint::LintReport report;
   check_traffic_matrix(matrix, "seeded", report);
   EXPECT_GE(count_rule(report, "VF016"), 1U);
+}
+
+TEST(VerifyTraffic, TiledRebuildMatchesOriginal) {
+  const auto trace = workloads::generate("AMG", 27);
+  const auto matrix = metrics::TrafficMatrix::from_trace(trace);
+  // An 8-row strip budget forces multiple strip switches at 27 ranks.
+  const auto rebuilt = rebuild_tiled(
+      matrix, static_cast<std::size_t>(matrix.num_ranks()) *
+                  sizeof(metrics::TrafficCell) * 8);
+  EXPECT_TRUE(rebuilt.tiled());
+  lint::LintReport report;
+  const std::size_t checks =
+      check_tiled_equivalence(matrix, rebuilt, "t", report);
+  EXPECT_GT(checks, matrix.nonzero_pairs());
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(VerifyTraffic, FlagsPerturbedTiledRebuild) {
+  metrics::TrafficMatrix original(4);
+  original.add_cell(0, 1, 4096, 1);
+  original.add_cell(2, 3, 8192, 2);
+  original.freeze();
+  // One-row strips (budget = one row's footprint), one packet count
+  // perturbed: the per-cell comparison must fire.
+  metrics::TrafficMatrix rebuilt(4, 4 * sizeof(metrics::TrafficCell));
+  rebuilt.add_cell(0, 1, 4096, 1);
+  rebuilt.add_cell(2, 3, 8192, 3);
+  rebuilt.freeze();
+  ASSERT_TRUE(rebuilt.tiled());
+  lint::LintReport report;
+  check_tiled_equivalence(original, rebuilt, "seeded", report);
+  EXPECT_GE(count_rule(report, "VF017"), 1U);
+}
+
+TEST(VerifyTraffic, FlagsDroppedCellInTiledRebuild) {
+  metrics::TrafficMatrix original(4);
+  original.add_cell(0, 1, 4096, 1);
+  original.add_cell(2, 3, 8192, 2);
+  original.freeze();
+  metrics::TrafficMatrix rebuilt(4, 4 * sizeof(metrics::TrafficCell));
+  rebuilt.add_cell(0, 1, 4096, 1);
+  rebuilt.freeze();
+  lint::LintReport report;
+  check_tiled_equivalence(original, rebuilt, "seeded", report);
+  // Pair count, totals and the missing cell all diverge.
+  EXPECT_GE(count_rule(report, "VF017"), 3U);
 }
 
 // ---------------------------------------------------------------------------

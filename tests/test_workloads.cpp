@@ -58,7 +58,8 @@ TEST(Registry, EveryCatalogAppHasAGenerator) {
     EXPECT_FALSE(generator(app).description().empty());
   }
   EXPECT_THROW(generator("bogus"), ConfigError);
-  EXPECT_EQ(available_workloads().size(), 15u);
+  // 15 Table 1 apps + the 2 scale-tier families (workloads/scale.hpp).
+  EXPECT_EQ(available_workloads().size(), 17u);
 }
 
 // ---- PatternBuilder -------------------------------------------------------------
