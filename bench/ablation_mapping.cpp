@@ -6,25 +6,74 @@
 // nearby physical entities." (§1, §7)
 //
 // For a set of representative workloads we compare, per topology:
-//   linear (the paper's default), random (seeded), and the greedy
-//   communication-aware optimizer, reporting weighted hop cost and the
-//   reduction over linear.
+// linear (the paper's default), random (seeded), the greedy
+// communication-aware optimizer, and the recursive-bisection optimizer,
+// reporting weighted hop cost, the reduction over linear, and the
+// optimizer wall times. On the torus the structured snake and
+// subcube(2) mappings join the comparison.
+//
+// Writes BENCH_mapping.json in the working directory, one record per
+// (workload, topology): {"workload", "topology", "linear", "random",
+// "greedy", "rb", "snake", "subcube", "greedy_s", "rb_s"} — snake and
+// subcube are 0 off the torus. Exits non-zero if recursive bisection is
+// costlier than greedy on any cell — the CI perf-smoke gate backing the
+// "rb <= greedy everywhere" acceptance bar.
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "netloc/common/format.hpp"
+#include "netloc/mapping/bisection.hpp"
 #include "netloc/mapping/optimizer.hpp"
 #include "netloc/mapping/torus_mappings.hpp"
 #include "netloc/metrics/traffic_matrix.hpp"
 #include "netloc/topology/configs.hpp"
+#include "netloc/topology/route_plan.hpp"
 #include "netloc/workloads/workload.hpp"
+
+namespace {
+
+std::string num(double value) {
+  std::ostringstream s;
+  s.precision(std::numeric_limits<double>::max_digits10);
+  s << value;
+  return s.str();
+}
+
+template <typename F>
+double timed(F&& f) {
+  const auto begin = std::chrono::steady_clock::now();
+  f();
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - begin;
+  return dt.count();
+}
+
+struct Record {
+  std::string workload;
+  std::string topology;
+  double linear = 0.0;
+  double random = 0.0;
+  double greedy = 0.0;
+  double rb = 0.0;
+  double snake = 0.0;    // torus only
+  double subcube = 0.0;  // torus only
+  double greedy_s = 0.0;
+  double rb_s = 0.0;
+};
+
+}  // namespace
 
 int main() {
   struct Pick {
     const char* app;
     int ranks;
   };
-  // Small/medium configs keep the O(R^2) optimizer quick while covering
+  // Small/medium configs keep the O(R^2) optimizers quick while covering
   // local (LULESH), staged (CrystalRouter) and scattered (MOCFE)
   // communication structures.
   const std::vector<Pick> picks = {
@@ -32,9 +81,10 @@ int main() {
       {"PARTISN", 168},
   };
 
+  std::vector<Record> records;
   std::cout << "=== Ablation: mapping strategies (weighted hop cost) ===\n\n";
-  std::cout << "workload        topology   linear        random        greedy   "
-               "     greedy vs linear\n";
+  std::cout << "workload        topology   linear        greedy        rb       "
+               "     rb vs linear\n";
   for (const auto& pick : picks) {
     const auto trace = netloc::workloads::generate(pick.app, pick.ranks);
     // p2p only: flat-translated collectives touch all pairs uniformly,
@@ -45,53 +95,100 @@ int main() {
     const auto edges = matrix.edges();
     const auto set = netloc::topology::topologies_for(pick.ranks);
     for (const auto* topo : set.all()) {
+      const auto plan = netloc::topology::RoutePlan::build(*topo, 0);
+      Record rec;
+      rec.workload = std::string(pick.app) + "/" + std::to_string(pick.ranks);
+      rec.topology = topo->name();
+
       const auto linear =
           netloc::mapping::Mapping::linear(pick.ranks, topo->num_nodes());
       const auto random =
           netloc::mapping::Mapping::random(pick.ranks, topo->num_nodes(), 42);
-      const auto greedy =
-          netloc::mapping::greedy_optimize(edges, pick.ranks, *topo);
+      auto greedy = netloc::mapping::Mapping::linear(1, 1);
+      rec.greedy_s = timed([&] {
+        greedy = netloc::mapping::greedy_optimize(edges, pick.ranks, *topo, {},
+                                                  plan.get());
+      });
+      auto rb = netloc::mapping::Mapping::linear(1, 1);
+      rec.rb_s = timed([&] {
+        rb = netloc::mapping::recursive_bisection_optimize(
+            edges, pick.ranks, *topo, {}, plan.get());
+      });
 
-      const double cost_linear =
-          netloc::mapping::weighted_hop_cost(edges, *topo, linear);
-      const double cost_random =
-          netloc::mapping::weighted_hop_cost(edges, *topo, random);
-      const double cost_greedy =
-          netloc::mapping::weighted_hop_cost(edges, *topo, greedy);
+      rec.linear =
+          netloc::mapping::weighted_hop_cost(edges, *topo, linear, plan.get());
+      rec.random =
+          netloc::mapping::weighted_hop_cost(edges, *topo, random, plan.get());
+      rec.greedy =
+          netloc::mapping::weighted_hop_cost(edges, *topo, greedy, plan.get());
+      rec.rb = netloc::mapping::weighted_hop_cost(edges, *topo, rb, plan.get());
+      if (topo == set.torus.get()) {
+        const auto snake = netloc::mapping::snake_torus(pick.ranks, *set.torus);
+        const auto subcube =
+            netloc::mapping::subcube_torus(pick.ranks, *set.torus, 2);
+        rec.snake = netloc::mapping::weighted_hop_cost(edges, *set.torus, snake,
+                                                       plan.get());
+        rec.subcube = netloc::mapping::weighted_hop_cost(edges, *set.torus,
+                                                         subcube, plan.get());
+      }
 
       const double reduction =
-          cost_linear > 0.0 ? 100.0 * (1.0 - cost_greedy / cost_linear) : 0.0;
-      std::cout << pick.app << "/" << pick.ranks << "\t" << topo->name() << "\t"
-                << netloc::sci(cost_linear) << "\t" << netloc::sci(cost_random)
-                << "\t" << netloc::sci(cost_greedy) << "\t"
+          rec.linear > 0.0 ? 100.0 * (1.0 - rec.rb / rec.linear) : 0.0;
+      std::cout << rec.workload << "\t" << rec.topology << "\t"
+                << netloc::sci(rec.linear) << "\t" << netloc::sci(rec.greedy)
+                << "\t" << netloc::sci(rec.rb) << "\t"
                 << netloc::fixed(reduction, 1) << "%\n";
+      records.push_back(std::move(rec));
     }
   }
-  std::cout << "\n(positive % = the greedy communication-aware mapping moves "
-               "fewer byte-hops than consecutive placement)\n";
+  std::cout << "\n(positive % = the communication-aware mapping moves fewer "
+               "byte-hops than consecutive placement)\n";
 
-  // ---- Torus-specific structured mappings ---------------------------------
-  std::cout << "\nTorus-structured mappings (weighted hop cost vs linear):\n";
-  std::cout << "workload        linear        snake         subcube(2)\n";
-  for (const auto& pick : picks) {
-    const auto trace = netloc::workloads::generate(pick.app, pick.ranks);
-    const auto matrix = netloc::metrics::TrafficMatrix::from_trace(
-        trace, {.include_p2p = true, .include_collectives = false});
-    if (matrix.total_bytes() == 0) continue;
-    const auto edges = matrix.edges();
-    const auto set = netloc::topology::topologies_for(pick.ranks);
-    const auto& torus = *set.torus;
-
-    const auto linear = netloc::mapping::Mapping::linear(pick.ranks, torus.num_nodes());
-    const auto snake = netloc::mapping::snake_torus(pick.ranks, torus);
-    const auto subcube = netloc::mapping::subcube_torus(pick.ranks, torus, 2);
-    std::cout << pick.app << "/" << pick.ranks << "\t"
-              << netloc::sci(netloc::mapping::weighted_hop_cost(edges, torus, linear))
-              << "\t"
-              << netloc::sci(netloc::mapping::weighted_hop_cost(edges, torus, snake))
-              << "\t"
-              << netloc::sci(netloc::mapping::weighted_hop_cost(edges, torus, subcube))
-              << "\n";
+  std::cout << "\nTorus-structured mappings (weighted hop cost):\n";
+  std::cout << "workload        linear        snake         subcube(2)    rb\n";
+  for (const auto& rec : records) {
+    if (rec.topology != "torus3d" || rec.snake == 0.0) continue;
+    std::cout << rec.workload << "\t" << netloc::sci(rec.linear) << "\t"
+              << netloc::sci(rec.snake) << "\t" << netloc::sci(rec.subcube)
+              << "\t" << netloc::sci(rec.rb) << "\n";
   }
-  return 0;
+
+  std::cout << "\nOptimizer wall times:\n";
+  std::cout << "workload        topology   greedy[s]  rb[s]\n";
+  for (const auto& rec : records) {
+    std::cout << rec.workload << "\t" << rec.topology << "\t"
+              << netloc::fixed(rec.greedy_s, 4) << "\t"
+              << netloc::fixed(rec.rb_s, 4) << "\n";
+  }
+
+  std::ofstream out("BENCH_mapping.json");
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << "  {\"workload\": \"" << r.workload << "\", \"topology\": \""
+        << r.topology << "\", \"linear\": " << num(r.linear)
+        << ", \"random\": " << num(r.random)
+        << ", \"greedy\": " << num(r.greedy) << ", \"rb\": " << num(r.rb)
+        << ", \"snake\": " << num(r.snake)
+        << ", \"subcube\": " << num(r.subcube)
+        << ", \"greedy_s\": " << num(r.greedy_s)
+        << ", \"rb_s\": " << num(r.rb_s) << "}"
+        << (i + 1 == records.size() ? "\n" : ",\n");
+  }
+  out << "]\n";
+  std::cout << "wrote BENCH_mapping.json\n";
+
+  // The gate: recursive bisection must never lose to greedy. Both
+  // optimizers refine with the same pairwise-swap pass, so a loss means
+  // the bisection construction left a worse basin — a regression.
+  bool regressed = false;
+  for (const auto& r : records) {
+    if (r.rb > r.greedy * (1.0 + 1e-9)) {
+      std::cerr << "FAIL: rb (" << netloc::sci(r.rb) << ") > greedy ("
+                << netloc::sci(r.greedy) << ") on " << r.workload << " x "
+                << r.topology << "\n";
+      regressed = true;
+    }
+  }
+  return regressed ? 1 : 0;
 }

@@ -39,9 +39,14 @@
 #include "netloc/common/thread_pool.hpp"
 #include "netloc/engine/sweep.hpp"
 #include "netloc/lint/lint.hpp"
+#include "netloc/collectives/hierarchical.hpp"
+#include "netloc/mapping/bisection.hpp"
 #include "netloc/mapping/io.hpp"
+#include "netloc/mapping/machine.hpp"
 #include "netloc/mapping/optimizer.hpp"
+#include "netloc/mapping/placement.hpp"
 #include "netloc/metrics/hops.hpp"
+#include "netloc/metrics/level_split.hpp"
 #include "netloc/metrics/traffic_matrix.hpp"
 #include "netloc/metrics/utilization.hpp"
 #include "netloc/topology/configs.hpp"
@@ -71,9 +76,12 @@ int usage() {
          "  netloc_cli optimize <trace-file> <torus|fattree|dragonfly> "
          "<out.rankfile>\n"
          "                  [--routing minimal|ecmp] [--fail-links <ids>]\n"
+         "                  [--algo greedy|rb] [--hierarchy <SxC>]\n"
+         "  netloc_cli hierarchy <app> <ranks> [--hierarchy <SxC>]\n"
          "  netloc_cli sweep [--jobs <n>] [--cache <dir>] [--no-cache]\n"
          "                  [--cache-cap <bytes[k|m|g]>]\n"
          "                  [--routing minimal|ecmp] [--fail-links <ids>]\n"
+         "                  [--hierarchy <SxC>] [--collective-algo flat|hier]\n"
          "                  [--memory-budget <bytes[k|m|g]>]\n"
          "                  [--kernel-threads <n>]\n"
          "                  [--csv <out.csv>] [--apps <name,name,...>]\n"
@@ -84,18 +92,20 @@ int usage() {
          "                  [--kernel-threads <n>] [--seed <n>]\n"
          "  netloc_cli lint <trace-file> [--topology torus|fattree|dragonfly]\n"
          "                  [--mapping <rankfile>] [--cores-per-node <n>]\n"
+         "                  [--placement <rankfile>]\n"
          "                  [--csv <out.csv>] [--fail-on note|warning|error]\n"
          "  netloc_cli lint-rules\n"
          "  netloc_cli verify [--app <name>] [--ranks <n>]\n"
          "                  [--routing minimal|ecmp] [--fail-links <ids>]\n"
          "                  [--cache <dir>] [--passes <id,id,...>]\n"
          "                  [--max-pairs <n>] [--csv <out.csv>]\n"
-         "                  [--fail-on note|warning|error]\n"
+         "                  [--fail-on note|warning|error] [--hierarchy <SxC>]\n"
          "                  (passes: graph routes ecmp faults metrics cache\n"
-         "                   taskgraph traffic)\n"
+         "                   taskgraph traffic placement)\n"
          "  netloc_cli submit --socket <path> [--apps <a,a/ranks,...>]\n"
          "                  [--seed <n>] [--routing minimal|ecmp]\n"
          "                  [--fail-links <ids>] [--priority <n>]\n"
+         "                  [--hierarchy <SxC>] [--collective-algo flat|hier]\n"
          "                  [--detach] [--progress] [--csv <out.csv>]\n"
          "  netloc_cli status --socket <path>\n"
          "  netloc_cli watch --socket <path> <job>\n"
@@ -118,6 +128,26 @@ bool consume_routing_flag(int argc, char** argv, int& i,
     spec.kind = netloc::topology::parse_routing_kind(value);
   } else {
     spec.failed_links = netloc::topology::parse_link_list(value);
+  }
+  return true;
+}
+
+/// Consume a `--hierarchy SxC` / `--collective-algo A` pair at argv[i]
+/// into the machine model and collective schedule. Same contract as
+/// consume_routing_flag.
+bool consume_hierarchy_flag(int argc, char** argv, int& i,
+                            netloc::mapping::MachineModel& machine,
+                            netloc::collectives::CollectiveAlgo& algo) {
+  const std::string flag = argv[i];
+  if (flag != "--hierarchy" && flag != "--collective-algo") return false;
+  if (i + 1 >= argc) {
+    throw netloc::ConfigError(flag + " needs a value");
+  }
+  const std::string value = argv[++i];
+  if (flag == "--hierarchy") {
+    machine = netloc::mapping::MachineModel::parse(value);
+  } else {
+    algo = netloc::collectives::parse_collective_algo(value);
   }
   return true;
 }
@@ -286,7 +316,9 @@ int cmd_heatmap(const std::string& trace_path, const std::string& out_path) {
 
 int cmd_optimize(const std::string& trace_path, const std::string& family,
                  const std::string& out_path,
-                 const netloc::topology::RoutingSpec& routing) {
+                 const netloc::topology::RoutingSpec& routing,
+                 const std::string& algo,
+                 const netloc::mapping::MachineModel& machine) {
   netloc::metrics::TrafficAccumulator accumulator(
       {.include_p2p = true, .include_collectives = false});
   netloc::trace::scan(trace_path, accumulator);
@@ -306,26 +338,50 @@ int cmd_optimize(const std::string& trace_path, const std::string& family,
     std::cerr << "trace has no p2p traffic; nothing to optimize\n";
     return EXIT_FAILURE;
   }
+  if (algo != "greedy" && algo != "rb") {
+    std::cerr << "unknown optimizer '" << algo << "' (greedy or rb)\n";
+    return EXIT_FAILURE;
+  }
   const auto edges = matrix.edges();
   const auto linear = netloc::mapping::Mapping::linear(ranks, topo->num_nodes());
   report_fault_mask(*topo, routing);
   // One policy-built plan shared by the optimizer and both metric
-  // passes: under --fail-links the greedy placement optimizes the
+  // passes: under --fail-links the optimized placement targets the
   // rerouted distances, not the healthy ones.
   const auto plan = netloc::topology::RoutePlan::build(*topo, routing, ranks);
-  const auto greedy =
-      netloc::mapping::greedy_optimize(edges, ranks, *topo, {}, plan.get());
+
+  netloc::mapping::Mapping optimized(
+      std::vector<netloc::NodeId>(static_cast<std::size_t>(ranks), 0),
+      topo->num_nodes());
+  std::optional<netloc::mapping::Placement> placement;
+  if (!machine.is_flat()) {
+    // Hierarchical machine: recursive bisection over the full machine
+    // tree, written as a version-2 rankfile with full coordinates.
+    placement = netloc::mapping::recursive_bisection_place(
+        edges, ranks, *topo, machine, {}, plan.get());
+    optimized = placement->flat_view();
+  } else if (algo == "rb") {
+    optimized = netloc::mapping::recursive_bisection_optimize(
+        edges, ranks, *topo, {}, plan.get());
+  } else {
+    optimized =
+        netloc::mapping::greedy_optimize(edges, ranks, *topo, {}, plan.get());
+  }
 
   const auto before = netloc::metrics::hop_stats(matrix, *topo, linear,
                                                  plan.get());
-  const auto after = netloc::metrics::hop_stats(matrix, *topo, greedy,
+  const auto after = netloc::metrics::hop_stats(matrix, *topo, optimized,
                                                 plan.get());
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot open " << out_path << "\n";
     return EXIT_FAILURE;
   }
-  netloc::mapping::write_rankfile(greedy, out);
+  if (placement) {
+    netloc::mapping::write_rankfile(*placement, out);
+  } else {
+    netloc::mapping::write_rankfile(optimized, out);
+  }
   const double saving =
       before.packet_hops > 0
           ? 100.0 * (1.0 - static_cast<double>(after.packet_hops) /
@@ -347,6 +403,9 @@ struct SweepArgs {
   bool use_cache = true;
   std::uint64_t cache_cap = 0;           // 0 = unbounded.
   netloc::topology::RoutingSpec routing; // default = paper minimal.
+  netloc::mapping::MachineModel machine; // default = flat paper model.
+  netloc::collectives::CollectiveAlgo collective_algo =
+      netloc::collectives::CollectiveAlgo::Flat;
   std::string csv_path;                  // empty = no CSV export.
   std::vector<std::string> apps;         // empty = full catalog.
   bool progress = false;                 // per-job telemetry on stderr.
@@ -372,6 +431,10 @@ std::optional<SweepArgs> parse_sweep_args(int argc, char** argv) {
       continue;
     }
     if (consume_routing_flag(argc, argv, i, args.routing)) continue;
+    if (consume_hierarchy_flag(argc, argv, i, args.machine,
+                               args.collective_algo)) {
+      continue;
+    }
     if (i + 1 >= argc) return std::nullopt;
     const std::string value = argv[++i];
     if (flag == "--jobs") {
@@ -427,6 +490,8 @@ int cmd_sweep(const SweepArgs& args) {
   engine::SweepOptions options;
   options.jobs = args.jobs;
   options.run.routing = args.routing;
+  options.run.machine = args.machine;
+  options.run.collective_algo = args.collective_algo;
   options.run.memory_budget_bytes = args.memory_budget;
   options.run.kernel_threads = args.kernel_threads;
   if (args.use_cache) {
@@ -460,6 +525,13 @@ int cmd_sweep(const SweepArgs& args) {
   }
   if (!args.routing.is_default()) {
     std::cerr << ", routing " << args.routing.label();
+  }
+  if (!args.machine.is_flat()) {
+    std::cerr << ", machine " << args.machine.label();
+  }
+  if (args.collective_algo != netloc::collectives::CollectiveAlgo::Flat) {
+    std::cerr << ", collectives "
+              << netloc::collectives::to_string(args.collective_algo);
   }
   if (args.memory_budget > 0) {
     std::cerr << ", budget " << args.memory_budget << " B ("
@@ -621,6 +693,7 @@ struct LintArgs {
   std::string trace_path;
   std::string topology = "torus";
   std::string mapping_path;  // empty = no mapping lint
+  std::string placement_path;  // empty = no placement lint
   int cores_per_node = 0;    // 0 = capacity rule off
   std::string csv_path;      // empty = text only
   /// Exit-code threshold (shared with `verify`). Errors-only preserves
@@ -640,6 +713,8 @@ std::optional<LintArgs> parse_lint_args(int argc, char** argv) {
       args.topology = value;
     } else if (flag == "--mapping") {
       args.mapping_path = value;
+    } else if (flag == "--placement") {
+      args.placement_path = value;
     } else if (flag == "--cores-per-node") {
       args.cores_per_node = std::atoi(value.c_str());
     } else if (flag == "--csv") {
@@ -706,6 +781,26 @@ int cmd_lint(const LintArgs& args) {
       report.merge(lint::lint_rankfile(*raw, ranks, args.cores_per_node,
                                        args.mapping_path));
     }
+    if (!args.placement_path.empty()) {
+      std::ifstream in(args.placement_path);
+      if (!in) {
+        std::cerr << "cannot open " << args.placement_path << "\n";
+        return EXIT_FAILURE;
+      }
+      try {
+        const auto placement = netloc::mapping::read_placement(in);
+        report.merge(
+            lint::lint_placement(placement, ranks, args.placement_path));
+      } catch (const netloc::Error& e) {
+        // Strict reader rejected the file; surface it as the
+        // unparseable-rankfile rule so the lint verdict stays a report.
+        netloc::lint::SourceContext context;
+        context.source = args.placement_path;
+        report.add(lint::RuleRegistry::instance().make("TP011",
+                                                       std::move(context),
+                                                       e.what()));
+      }
+    }
 
     // 3. Metric pack: traffic-matrix conservation always; Eq. 5
     //    plausibility when the placement is constructible.
@@ -762,6 +857,9 @@ struct VerifyArgs {
   int max_pairs = 2048;
   std::string csv_path;
   netloc::lint::Severity fail_on = netloc::lint::Severity::Warning;
+  // Non-flat runs the placement pass over the blocked placement the
+  // machine induces at this rank count.
+  netloc::mapping::MachineModel machine;
 };
 
 std::optional<VerifyArgs> parse_verify_args(int argc, char** argv) {
@@ -792,6 +890,8 @@ std::optional<VerifyArgs> parse_verify_args(int argc, char** argv) {
       args.csv_path = value;
     } else if (flag == "--fail-on") {
       args.fail_on = netloc::lint::parse_severity(value);
+    } else if (flag == "--hierarchy") {
+      args.machine = netloc::mapping::MachineModel::parse(value);
     } else {
       return std::nullopt;
     }
@@ -810,6 +910,14 @@ int cmd_verify(const VerifyArgs& args) {
   const auto matrix = netloc::metrics::TrafficMatrix::from_trace(trace);
   netloc::analysis::RunOptions run;
   run.routing = args.routing;
+  run.machine = args.machine;
+
+  // Placement pass input: the blocked placement the machine induces
+  // (flat machines still get the degenerate one-rank-per-node view so
+  // the pass runs its conservation sweep).
+  const int cores = args.machine.cores_per_node();
+  const auto placement = netloc::mapping::Placement::blocked(
+      args.ranks, (args.ranks + cores - 1) / cores, args.machine);
 
   const verify::VerifyRunner runner;
   verify::PassFilter filter;
@@ -836,6 +944,7 @@ int cmd_verify(const VerifyArgs& args) {
     ctx.traffic = &matrix;
     ctx.duration = trace.duration();
     ctx.run = run;
+    ctx.placement = &placement;
     ctx.max_pairs = args.max_pairs;
     ctx.source =
         args.app + "/" + std::to_string(args.ranks) + " " + topo->name();
@@ -952,6 +1061,10 @@ std::optional<SubmitArgs> parse_submit_args(int argc, char** argv) {
       continue;
     }
     if (consume_routing_flag(argc, argv, i, args.request.routing)) continue;
+    if (consume_hierarchy_flag(argc, argv, i, args.request.machine,
+                               args.request.collective_algo)) {
+      continue;
+    }
     if (i + 1 >= argc) return std::nullopt;
     const std::string value = argv[++i];
     if (flag == "--socket") {
@@ -1061,6 +1174,67 @@ int cmd_topologies(int ranks) {
   return EXIT_SUCCESS;
 }
 
+/// `hierarchy <app> <ranks>`: the machine-hierarchy ablation. For each
+/// machine shape, expand the workload's collectives both flat (§4.4)
+/// and hierarchically (leader trees), place ranks blocked on the
+/// shape, and report the per-level byte split — the measurable shift
+/// of inter-node bytes the leader staging buys.
+int cmd_hierarchy(const std::string& app, int ranks,
+                  const netloc::mapping::MachineModel& only) {
+  namespace mapping = netloc::mapping;
+  namespace metrics = netloc::metrics;
+  const auto trace = netloc::workloads::generate(app, ranks);
+
+  std::vector<mapping::MachineModel> shapes;
+  if (!only.is_flat()) {
+    shapes.push_back(only);
+  } else {
+    shapes = {mapping::MachineModel::degenerate(2),
+              mapping::MachineModel::degenerate(4), mapping::MachineModel(2, 4),
+              mapping::MachineModel(2, 8)};
+  }
+
+  const auto flat_matrix = metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true, .include_collectives = true});
+
+  std::cout << app << "/" << ranks
+            << ": bytes by machine level, flat vs hierarchical collectives\n"
+            << "machine\talgo\tintra-socket\tintra-node\tinter-node\t"
+               "inter-node delta\n";
+  for (const auto& machine : shapes) {
+    const int cores = machine.cores_per_node();
+    const int nodes = (ranks + cores - 1) / cores;
+    const auto placement = mapping::Placement::blocked(ranks, nodes, machine);
+
+    const auto hier_matrix = metrics::TrafficMatrix::from_trace(
+        trace, {.include_p2p = true,
+                .include_collectives = true,
+                .collective_algo = netloc::collectives::CollectiveAlgo::Hierarchical,
+                .collective_ranks_per_node = cores});
+
+    const auto flat_split = metrics::traffic_level_split(flat_matrix, placement);
+    const auto hier_split = metrics::traffic_level_split(hier_matrix, placement);
+
+    const auto row = [&](const char* algo, const metrics::LevelSplit& split,
+                         double delta_percent) {
+      std::cout << machine.label() << "\t" << algo << "\t"
+                << split.bytes_at(mapping::Level::Socket) << "\t"
+                << split.bytes_at(mapping::Level::Node) << "\t"
+                << split.bytes_at(mapping::Level::Network) << "\t"
+                << netloc::fixed(delta_percent, 2) << "%\n";
+    };
+    const auto flat_inter =
+        static_cast<double>(flat_split.bytes_at(mapping::Level::Network));
+    const auto hier_inter =
+        static_cast<double>(hier_split.bytes_at(mapping::Level::Network));
+    row("flat", flat_split, 0.0);
+    row("hier", hier_split,
+        flat_inter > 0.0 ? 100.0 * (hier_inter - flat_inter) / flat_inter
+                         : 0.0);
+  }
+  return EXIT_SUCCESS;
+}
+
 int cmd_multicore(const std::string& app, int ranks) {
   const auto trace = netloc::workloads::generate(app, ranks);
   const auto series = netloc::analysis::multicore_study(
@@ -1105,10 +1279,35 @@ int main(int argc, char** argv) {
     }
     if (cmd == "optimize" && argc >= 5) {
       netloc::topology::RoutingSpec routing;
+      netloc::mapping::MachineModel machine;
+      netloc::collectives::CollectiveAlgo unused_algo =
+          netloc::collectives::CollectiveAlgo::Flat;
+      std::string algo = "greedy";
       for (int i = 5; i < argc; ++i) {
-        if (!consume_routing_flag(argc, argv, i, routing)) return usage();
+        if (consume_routing_flag(argc, argv, i, routing)) continue;
+        if (consume_hierarchy_flag(argc, argv, i, machine, unused_algo)) {
+          continue;
+        }
+        if (std::string(argv[i]) == "--algo" && i + 1 < argc) {
+          algo = argv[++i];
+          continue;
+        }
+        return usage();
       }
-      return cmd_optimize(argv[2], argv[3], argv[4], routing);
+      return cmd_optimize(argv[2], argv[3], argv[4], routing, algo, machine);
+    }
+    if (cmd == "hierarchy" && argc >= 4) {
+      netloc::mapping::MachineModel machine;
+      netloc::collectives::CollectiveAlgo unused_algo =
+          netloc::collectives::CollectiveAlgo::Flat;
+      for (int i = 4; i < argc; ++i) {
+        if (!consume_hierarchy_flag(argc, argv, i, machine, unused_algo)) {
+          return usage();
+        }
+      }
+      const int ranks = std::atoi(argv[3]);
+      if (ranks < 2) return usage();
+      return cmd_hierarchy(argv[2], ranks, machine);
     }
     if (cmd == "sweep") {
       const auto args = parse_sweep_args(argc, argv);

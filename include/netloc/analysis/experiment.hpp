@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "netloc/collectives/hierarchical.hpp"
+#include "netloc/mapping/machine.hpp"
 #include "netloc/topology/routing.hpp"
 #include "netloc/trace/sink.hpp"
 #include "netloc/trace/stats.hpp"
@@ -75,6 +77,19 @@ struct RunOptions {
   /// but the budget is still mixed into the sweep cache key when
   /// non-zero, mirroring how the routing spec is keyed.
   std::size_t memory_budget_bytes = 0;
+  /// Machine hierarchy under every topology cell. The default flat
+  /// (1x1) model is byte-identical to the paper: one rank per node,
+  /// the linear mapping. A non-flat machine packs ranks blocked onto
+  /// its cores (Placement::blocked, cores_per_node ranks per node) and
+  /// is mixed into the sweep cache key, exactly like a non-default
+  /// routing spec.
+  mapping::MachineModel machine;
+  /// Collective schedule for the system-level (full) matrix. Flat is
+  /// the paper's §4.4 translation (byte-identical default);
+  /// Hierarchical stages collectives over `machine` through per-node
+  /// leader trees (collectives/hierarchical.hpp) and joins `machine`
+  /// in the cache key.
+  collectives::CollectiveAlgo collective_algo = collectives::CollectiveAlgo::Flat;
   /// Worker threads for the metric kernels within one cell (hop /
   /// utilization / link-load accounting): 1 = serial (the default),
   /// 0 = machine default, N = N workers. Any value produces
@@ -176,15 +191,28 @@ struct MulticoreSeries {
 };
 
 /// Inter-node traffic (p2p + collectives, §6.1) under blocked mappings
-/// with the given cores-per-node values.
+/// with the given cores-per-node values. Delegates to the MachineModel
+/// form with degenerate (1-socket) machines.
 MulticoreSeries multicore_study(const trace::Trace& trace,
                                 const std::string& label,
                                 const std::vector<int>& cores_per_node);
+
+/// MachineModel form: one blocked placement per machine shape; the
+/// series reports each shape's cores_per_node(). The single source of
+/// truth the legacy cores-per-node overloads and engine::run_multicore
+/// funnel through.
+MulticoreSeries multicore_study(const trace::Trace& trace,
+                                const std::string& label,
+                                const std::vector<mapping::MachineModel>& machines);
 
 /// As multicore_study, fed by one streaming pass.
 MulticoreSeries multicore_study_stream(const EventFeed& feed,
                                        const std::string& label,
                                        const std::vector<int>& cores_per_node);
+
+MulticoreSeries multicore_study_stream(
+    const EventFeed& feed, const std::string& label,
+    const std::vector<mapping::MachineModel>& machines);
 
 // ---- Aggregate claims (§1 abstract, §8 summary) --------------------------
 

@@ -1,0 +1,144 @@
+// Hierarchical (leader-based) collective schedules — the CollectiveAlgo
+// policy next to the paper's flat §4.4 translation.
+//
+// The flat translation (translate.hpp) sends every collective payload
+// directly between the participating ranks, so a collective's bytes
+// cross the network once per rank pair regardless of how ranks share
+// nodes. Real MPI implementations stage collectives over the machine
+// hierarchy instead: each node elects a leader (its lowest rank),
+// members exchange with their leader over shared memory, and only the
+// leaders talk across the network — per-node reduce/bcast trees plus a
+// network stage. This module implements that model; the flat
+// translation stays the byte-identical default everywhere
+// (TrafficOptions::collective_algo == CollectiveAlgo::Flat).
+//
+// Per-message byte sizes reuse the flat translation's split exactly
+// (for_each_pair's base/remainder allocation), re-routed through the
+// leader tree:
+//
+//   bcast/scatter   root -> local members directly; one network message
+//                   root -> leader(a) per remote node a carrying the
+//                   node's aggregated shares; leader(a) -> member for
+//                   the remote deliveries.
+//   reduce/gather   the exact mirror (members up, leaders to root).
+//   barrier         zero-byte reduce-up tree then bcast-down tree.
+//   allreduce/      reduce-to-leader (each member's flat contribution
+//   allgather/      c_r up), one network message per ordered leader
+//   reduce_scatter  pair carrying the flat node-pair demand X_ab with
+//                   the replication factor divided out (see below),
+//                   bcast-from-leader (c_r down).
+//   alltoall        per-destination data cannot be aggregated: member
+//                   -> leader carries the member's off-node bytes,
+//                   leader(a) -> leader(b) carries X_ab (bytes from
+//                   node a's ranks to node b's ranks), leader -> member
+//                   the member's off-node arrivals; intra-node pairs
+//                   keep their direct flat messages.
+//
+// Conservation invariants (machine-checked by the verify placement
+// pass, VF018): for the rooted operations and alltoall the network
+// stage moves exactly the flat translation's inter-node bytes — the
+// schedule relocates bytes onto leader links without creating or
+// destroying volume. For the reducible all-operations the flat
+// translation replicates each rank's data once per remote rank; the
+// hierarchical schedule sends it once per remote *node*, so each
+// leader(a) -> leader(b) message carries ceil(X_ab / k): the flat
+// node-pair demand with the replication factor k divided out. k is
+// the source node's occupancy |a| for the reduce-type operations
+// (member vectors combine into one before crossing the network) and
+// the destination node's occupancy |b| for allgather (one copy
+// crosses, the remote leader fans it out locally). The network stage
+// therefore never exceeds the flat inter-node bytes and shrinks
+// towards flat/k as nodes fill — the aggregation saving that is the
+// point of the hierarchical mode.
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "netloc/collectives/translate.hpp"
+#include "netloc/common/types.hpp"
+
+namespace netloc::collectives {
+
+/// Which schedule expands grouped collectives into the traffic matrix.
+enum class CollectiveAlgo {
+  Flat,          ///< the paper's §4.4 direct translation (default)
+  Hierarchical,  ///< per-node leader trees + network stage
+};
+
+[[nodiscard]] std::string_view to_string(CollectiveAlgo algo);
+
+/// Parse "flat" or "hierarchical" (abbreviation "hier" accepted).
+/// Throws ConfigError on anything else.
+CollectiveAlgo parse_collective_algo(std::string_view text);
+
+/// Rank grouping by node under a flat rank -> node view: each
+/// populated node is one group; its leader is its lowest rank.
+class NodeGroups {
+ public:
+  /// Throws ConfigError on an empty view or negative node ids.
+  explicit NodeGroups(std::vector<NodeId> node_of);
+
+  /// The blocked view (rank r -> node r / ranks_per_node) the
+  /// degenerate machine model induces.
+  static NodeGroups blocked(int num_ranks, int ranks_per_node);
+
+  [[nodiscard]] int num_ranks() const {
+    return static_cast<int>(node_of_.size());
+  }
+  [[nodiscard]] NodeId node_of(Rank r) const {
+    return node_of_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] Rank leader_of(Rank r) const {
+    return leader_of_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] bool is_leader(Rank r) const { return leader_of(r) == r; }
+
+  /// Populated nodes, ascending by node id.
+  [[nodiscard]] int num_groups() const {
+    return static_cast<int>(leaders_.size());
+  }
+  /// Leader rank of group `g` (groups ordered by node id).
+  [[nodiscard]] Rank leader(int g) const {
+    return leaders_[static_cast<std::size_t>(g)];
+  }
+  /// Dense group index of rank r's node.
+  [[nodiscard]] int group_of(Rank r) const {
+    return group_of_rank_[static_cast<std::size_t>(r)];
+  }
+
+ private:
+  std::vector<NodeId> node_of_;
+  std::vector<Rank> leader_of_;
+  std::vector<int> group_of_rank_;
+  std::vector<Rank> leaders_;
+};
+
+/// Visit every directed (src, dst, bytes) message of the hierarchical
+/// schedule of one collective, in deterministic stage order (intra
+/// up, network, intra down). `num_ranks` must match the grouping.
+/// Byte sizes derive from the flat translation of the same
+/// (op, root, num_ranks, total_bytes) — see the header comment.
+using PairVisitor = std::function<void(Rank src, Rank dst, Bytes bytes)>;
+void for_each_hierarchical_pair(CollectiveOp op, Rank root, int num_ranks,
+                                Bytes total_bytes, const NodeGroups& groups,
+                                const PairVisitor& visitor);
+
+/// Stage byte totals of one hierarchical collective — the closed forms
+/// the VF018 conservation check compares an emission against.
+struct HierarchicalVolume {
+  Bytes intra_up = 0;    ///< member -> leader (and local -> root) bytes
+  Bytes network = 0;     ///< leader -> leader / root <-> leader bytes
+  Bytes intra_down = 0;  ///< leader -> member delivery bytes
+  /// The flat translation's inter-node bytes under the same grouping
+  /// (== network for the rooted operations and alltoall; an upper
+  /// bound on network for the reducible all-operations).
+  Bytes flat_inter_node = 0;
+};
+
+HierarchicalVolume hierarchical_volume(CollectiveOp op, Rank root,
+                                       int num_ranks, Bytes total_bytes,
+                                       const NodeGroups& groups);
+
+}  // namespace netloc::collectives

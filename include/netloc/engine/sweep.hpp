@@ -164,10 +164,16 @@ class SweepEngine {
   std::vector<analysis::DimensionalityRow> run_dimensionality(
       const std::vector<workloads::CatalogEntry>& entries);
 
-  /// Fig. 5 series: one multicore study per entry.
+  /// Fig. 5 series: one multicore study per entry. The cores-per-node
+  /// form delegates to the MachineModel form with degenerate 1-socket
+  /// machines.
   std::vector<analysis::MulticoreSeries> run_multicore(
       const std::vector<workloads::CatalogEntry>& entries,
       const std::vector<int>& cores_per_node);
+
+  std::vector<analysis::MulticoreSeries> run_multicore(
+      const std::vector<workloads::CatalogEntry>& entries,
+      const std::vector<mapping::MachineModel>& machines);
 
   /// Flow-simulation batch; one simulator per spec, run concurrently.
   std::vector<FlowSweepResult> run_flow_sweep(

@@ -20,6 +20,7 @@
 //   TP011 error    unparseable rankfile line
 //   TP012 error    topology graph inconsistent with num_links/link_is_global
 //   TP013 warning  link fault mask disconnects the endpoint set
+//   TP014 error    placement oversubscribes a socket or core slot
 #pragma once
 
 #include <array>
@@ -29,6 +30,8 @@
 #include "netloc/common/types.hpp"
 #include "netloc/lint/diagnostic.hpp"
 #include "netloc/mapping/io.hpp"
+#include "netloc/mapping/machine.hpp"
+#include "netloc/mapping/placement.hpp"
 #include "netloc/topology/topology.hpp"
 
 namespace netloc::lint {
@@ -54,6 +57,23 @@ LintReport lint_mapping(const std::vector<NodeId>& rank_to_node,
                         int num_nodes, int expected_ranks,
                         int cores_per_node,
                         const std::string& source = "mapping");
+
+/// MachineModel form of lint_mapping: the node-capacity cap (TP008) is
+/// machine.cores_per_node(). This is the single source of truth every
+/// cores-per-node caller (multicore studies, rankfile lints) funnels
+/// through.
+LintReport lint_mapping(const std::vector<NodeId>& rank_to_node,
+                        int num_nodes, int expected_ranks,
+                        const mapping::MachineModel& machine,
+                        const std::string& source = "mapping");
+
+/// Hierarchical placement checks: every node-level lint_mapping rule on
+/// the flat view, plus TP014 when several ranks share one
+/// (node, socket, core) slot — the constructor permits oversubscription
+/// so broken placements can be linted rather than refused.
+LintReport lint_placement(const mapping::Placement& placement,
+                          int expected_ranks,
+                          const std::string& source = "placement");
 
 /// Full rankfile lint: malformed lines (TP011) and duplicate ranks
 /// (TP007) from the raw parse, then every lint_mapping check.

@@ -1,0 +1,74 @@
+// Recursive-bisection mapping optimization: co-bisect the traffic
+// matrix and the machine tree.
+//
+// Where the greedy optimizer (optimizer.hpp) grows a placement one
+// rank at a time, recursive bisection works top-down: the rank set and
+// the node interval are split in half together, with a deterministic
+// KL-style gain pass minimizing the traffic cut between the halves,
+// and each half recurses onto its node sub-interval. Node ids are the
+// locality-major linearization every topology family uses (torus
+// x-fastest, fat tree leaf order, dragonfly group-major), so deeper
+// recursion levels correspond to physically closer node groups — the
+// cut hierarchy mirrors the distance hierarchy without the splitter
+// ever querying a route.
+//
+// With a hierarchical machine (machine.hpp) the recursion continues
+// below the node: each node's rank group is bisected again across its
+// sockets, then packed onto cores — the placement-producing entry
+// point recursive_bisection_place().
+//
+// Construction is a small portfolio: the KL-gain split, the pure
+// order-preserving split (the safety net on wrap-around stencils whose
+// cut structure misleads the gain heuristic), and — for the
+// one-rank-per-node entry point — the greedy construction itself as a
+// third seed. Every candidate gets the pairwise-swap refinement shared
+// with the greedy optimizer (run to convergence by default) and the
+// cheapest weighted-hop-cost result wins, so
+// recursive_bisection_optimize never returns a costlier mapping than
+// greedy_optimize under the same refinement budget.
+#pragma once
+
+#include <span>
+
+#include "netloc/mapping/machine.hpp"
+#include "netloc/mapping/optimizer.hpp"
+#include "netloc/mapping/placement.hpp"
+
+namespace netloc::mapping {
+
+struct BisectionOptions {
+  /// Pairwise-swap refinement after construction: >= 0 runs exactly
+  /// that many rounds; the default -1 refines until no swap improves
+  /// (capped internally so pathological cycles terminate).
+  int refinement_rounds = -1;
+  /// Gain-improvement passes per bisection split (0 keeps the initial
+  /// order-based split).
+  int split_passes = 4;
+  /// Refine a greedy-constructed candidate alongside the bisection
+  /// splits and keep the cheapest (recursive_bisection_optimize only).
+  /// Guarantees rb <= greedy; disable to measure pure bisection.
+  bool greedy_seed = true;
+};
+
+/// One-rank-per-node recursive-bisection counterpart of
+/// greedy_optimize: same contract (deterministic, requires
+/// topo.num_nodes() >= num_ranks, a shared `plan` only accelerates).
+/// Ranks are bisected onto the node interval [0, num_ranks).
+Mapping recursive_bisection_optimize(std::span<const TrafficEdge> edges,
+                                     int num_ranks,
+                                     const topology::Topology& topo,
+                                     const BisectionOptions& options = {},
+                                     const topology::RoutePlan* plan = nullptr);
+
+/// Full-machine recursive bisection: ranks are bisected onto the node
+/// interval [0, ceil(num_ranks / machine.cores_per_node())), then each
+/// node's group is bisected across its sockets and packed onto cores.
+/// Requires the topology to host the needed node count.
+Placement recursive_bisection_place(std::span<const TrafficEdge> edges,
+                                    int num_ranks,
+                                    const topology::Topology& topo,
+                                    const MachineModel& machine,
+                                    const BisectionOptions& options = {},
+                                    const topology::RoutePlan* plan = nullptr);
+
+}  // namespace netloc::mapping

@@ -1,31 +1,59 @@
-// Mapping (de)serialization: a simple rankfile format so optimized
-// placements can be exported to and consumed by launchers/other tools.
+// Mapping/Placement (de)serialization: the rankfile formats, so
+// optimized placements can be exported to and consumed by
+// launchers/other tools.
+//
+// Format v1 (flat, the original format — still written for flat
+// mappings and always readable):
 //
 //   # comments and blank lines allowed
 //   nodes <num_nodes>
 //   rank <rank>=<node>
 //
-// Every rank in [0, num_ranks) must appear exactly once.
+// Format v2 (hierarchical, docs/MAPPING.md) adds a version header, the
+// machine shape and per-rank socket/core coordinates:
+//
+//   version 2
+//   machine <sockets_per_node>x<cores_per_socket>
+//   nodes <num_nodes>
+//   rank <rank>=<node>:<socket>:<core>
+//
+// Every rank in [0, num_ranks) must appear exactly once in either
+// format. read_placement() auto-detects the version: a `version` header
+// selects v2, its absence selects v1.
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "netloc/mapping/mapping.hpp"
+#include "netloc/mapping/placement.hpp"
 
 namespace netloc::mapping {
 
-/// Write `mapping` in the rankfile format.
+/// Write `mapping` in the v1 rankfile format.
 void write_rankfile(const Mapping& mapping, std::ostream& out);
 
-/// Parse a rankfile. Throws Error on malformed input (missing or
-/// duplicate ranks, nodes out of range).
+/// Write `placement` in the v2 rankfile format.
+void write_rankfile(const Placement& placement, std::ostream& out);
+
+/// Parse a v1 rankfile. Throws Error on malformed input (missing or
+/// duplicate ranks, nodes out of range, v2 headers).
 Mapping read_rankfile(std::istream& in);
+
+/// Parse either rankfile version into a Placement. v2 files carry
+/// their machine shape; v1 files are lifted onto the degenerate
+/// 1-socket model whose cores-per-node is the mapping's widest node,
+/// so any valid v1 file (including blocked multi-rank nodes) reads
+/// back losslessly — flat_view() reproduces the v1 mapping exactly.
+Placement read_placement(std::istream& in);
 
 /// What a rankfile literally says, before any validation — the input to
 /// the lint config pack, which explains broken files read_rankfile
 /// would reject on the first problem.
 struct RawRankfile {
+  int version = 1;                    ///< 1 unless a v2 header was seen.
+  std::string machine_spec;           ///< v2 `machine` value, verbatim.
   int num_nodes = 0;                  ///< 0 if the nodes header is missing.
   std::vector<NodeId> rank_to_node;   ///< kInvalidNode = never assigned.
   std::vector<Rank> duplicate_ranks;  ///< Ranks assigned more than once.
@@ -34,7 +62,8 @@ struct RawRankfile {
 
 /// Lenient rankfile parse: never throws on content (only propagates
 /// stream failures); every oddity is recorded instead. Out-of-range
-/// nodes are kept verbatim so lint can point at them.
+/// nodes are kept verbatim so lint can point at them. v2 headers and
+/// coordinate suffixes are understood (only the node part is kept).
 RawRankfile read_rankfile_raw(std::istream& in);
 
 }  // namespace netloc::mapping

@@ -1,0 +1,93 @@
+// The machine model: a uniform node -> socket -> core tree.
+//
+// The paper's Fig. 5 multicore study only reclassifies traffic as
+// intra- vs inter-node; the machine itself — sockets, cores, the
+// shared-memory levels between them — is invisible to every layer.
+// MachineModel names that structure once so placements
+// (mapping/placement.hpp), collectives (collectives/hierarchical.hpp),
+// traffic classification (metrics/level_split.hpp) and the capacity
+// lint rules all agree on how many ranks one node can host and which
+// communication level a rank pair crosses.
+//
+// The model is uniform (every node has the same socket/core shape) and
+// carries per-level link capacities for reporting: the byte-identical
+// paper metrics never read the capacities, only the shape.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netloc/common/types.hpp"
+
+namespace netloc::mapping {
+
+/// The deepest machine level two ranks share — equivalently, the most
+/// expensive boundary their traffic crosses. Ordering is meaningful:
+/// Core < Socket < Node < Network, cheapest to most expensive.
+enum class Level {
+  Core = 0,     ///< same node, same socket, same core
+  Socket = 1,   ///< same node, same socket, different cores
+  Node = 2,     ///< same node, different sockets
+  Network = 3,  ///< different nodes (inter-node traffic)
+};
+
+[[nodiscard]] const char* to_string(Level level);
+
+/// Number of Level values (array-of-levels sizing).
+inline constexpr std::size_t kNumLevels = 4;
+
+/// A uniform node -> socket -> core tree. The flat model (1 socket x
+/// 1 core) is the degenerate shape every pre-hierarchy analysis
+/// implicitly used: one rank slot per node, every rank pair either
+/// co-located or inter-node.
+class MachineModel {
+ public:
+  /// Flat model: 1 socket x 1 core per node.
+  MachineModel() = default;
+
+  /// Throws ConfigError unless both counts are >= 1.
+  MachineModel(int sockets_per_node, int cores_per_socket);
+
+  [[nodiscard]] int sockets_per_node() const { return sockets_per_node_; }
+  [[nodiscard]] int cores_per_socket() const { return cores_per_socket_; }
+  [[nodiscard]] int cores_per_node() const {
+    return sockets_per_node_ * cores_per_socket_;
+  }
+
+  /// True for the 1x1 shape (the implicit pre-hierarchy machine).
+  [[nodiscard]] bool is_flat() const { return cores_per_node() == 1; }
+
+  /// "SxC" notation, e.g. "2x8" (2 sockets, 8 cores each).
+  [[nodiscard]] std::string label() const;
+
+  /// Per-level link capacity in bytes/s: the bandwidth of the
+  /// interconnect at the boundary `level` names (Core = within one
+  /// core's cache, Network = the paper's 12 GB/s link). Reporting
+  /// context only — no byte-identical metric reads it.
+  [[nodiscard]] double link_bandwidth_bytes_per_s(Level level) const;
+
+  bool operator==(const MachineModel&) const = default;
+
+  // ---- Factories -------------------------------------------------------
+
+  /// The 1 socket x 1 core machine.
+  static MachineModel flat() { return {}; }
+
+  /// The Fig. 5 shape: 1 socket holding `cores_per_node` cores — the
+  /// single source of truth behind every legacy cores-per-node knob
+  /// (multicore_study, engine::run_multicore, lint capacity checks).
+  static MachineModel degenerate(int cores_per_node) {
+    return {1, cores_per_node};
+  }
+
+  /// Parse "SxC" (e.g. "2x8") or a bare core count "C" (shorthand for
+  /// the degenerate 1-socket model). Throws ConfigError on anything
+  /// else.
+  static MachineModel parse(std::string_view text);
+
+ private:
+  int sockets_per_node_ = 1;
+  int cores_per_socket_ = 1;
+};
+
+}  // namespace netloc::mapping

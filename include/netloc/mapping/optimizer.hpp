@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 
 #include "netloc/mapping/mapping.hpp"
@@ -38,9 +39,11 @@ double weighted_hop_cost(std::span<const TrafficEdge> edges,
 struct GreedyOptions {
   /// Rounds of pairwise-swap refinement after construction (0 = none).
   int refinement_rounds = 1;
-  /// Consider at most this many candidate nodes per placement; free
-  /// nodes are always scanned exhaustively below this bound.
-  int max_candidates = 1 << 30;
+  /// Candidate free nodes considered per placement. Unset (the
+  /// default) scans every free node — there is no sentinel value; a
+  /// set value must be >= 1 or greedy_optimize throws ConfigError
+  /// instead of silently scanning nothing.
+  std::optional<int> max_candidates;
 };
 
 /// Build a greedy communication-aware mapping of `num_ranks` ranks onto

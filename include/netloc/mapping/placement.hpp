@@ -1,0 +1,117 @@
+// Hierarchical rank placement: rank -> (node, socket, core).
+//
+// Placement generalizes the flat rank -> node Mapping to the machine
+// tree of machine.hpp. Every placement exposes a byte-identical flat
+// compatibility view (flat_view()) so the existing metric kernels —
+// which only care about the node a rank lands on — consume hierarchical
+// placements without change; the extra coordinates feed the per-level
+// traffic splits (metrics/level_split.hpp), the hierarchical collective
+// schedules (collectives/hierarchical.hpp) and the oversubscription
+// lint rules.
+//
+// Constructors mirror the flat factories level by level:
+//   linear       one rank per node, socket 0 / core 0 (the paper's
+//                default; flat_view() == Mapping::linear byte for byte)
+//   blocked      consecutive ranks fill a node's cores depth-first
+//                (socket 0 fills before socket 1); flat_view() ==
+//                Mapping::blocked with ranks_per_node = cores_per_node
+//   round_robin  ranks scatter across nodes round-robin; within a node,
+//                arrivals spread across sockets breadth-first;
+//                flat_view() == Mapping::round_robin
+#pragma once
+
+#include <vector>
+
+#include "netloc/common/types.hpp"
+#include "netloc/mapping/machine.hpp"
+#include "netloc/mapping/mapping.hpp"
+
+namespace netloc::mapping {
+
+/// One rank's machine coordinates.
+struct PlaceCoord {
+  NodeId node = 0;
+  int socket = 0;
+  int core = 0;
+  bool operator==(const PlaceCoord&) const = default;
+};
+
+class Placement {
+ public:
+  /// Takes ownership of the coordinate table; validates every entry
+  /// against [0, num_nodes) x [0, sockets) x [0, cores). Several ranks
+  /// may share one core (oversubscription) — the TP014 lint rule flags
+  /// it, the constructor does not.
+  Placement(std::vector<PlaceCoord> coords, int num_nodes,
+            MachineModel machine);
+
+  [[nodiscard]] NodeId node_of(Rank rank) const {
+    return coords_[static_cast<std::size_t>(rank)].node;
+  }
+  [[nodiscard]] int socket_of(Rank rank) const {
+    return coords_[static_cast<std::size_t>(rank)].socket;
+  }
+  [[nodiscard]] int core_of(Rank rank) const {
+    return coords_[static_cast<std::size_t>(rank)].core;
+  }
+  [[nodiscard]] const PlaceCoord& coord_of(Rank rank) const {
+    return coords_[static_cast<std::size_t>(rank)];
+  }
+
+  [[nodiscard]] int num_ranks() const {
+    return static_cast<int>(coords_.size());
+  }
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  [[nodiscard]] const MachineModel& machine() const { return machine_; }
+  [[nodiscard]] const std::vector<PlaceCoord>& raw() const { return coords_; }
+
+  /// The deepest machine level ranks `a` and `b` share — the boundary
+  /// their traffic crosses. a == b reports Level::Core.
+  [[nodiscard]] Level level_of(Rank a, Rank b) const {
+    const PlaceCoord& ca = coords_[static_cast<std::size_t>(a)];
+    const PlaceCoord& cb = coords_[static_cast<std::size_t>(b)];
+    if (ca.node != cb.node) return Level::Network;
+    if (ca.socket != cb.socket) return Level::Node;
+    if (ca.core != cb.core) return Level::Socket;
+    return Level::Core;
+  }
+
+  /// The flat rank -> node compatibility view every node-level consumer
+  /// (hop/utilization/link-load kernels, the optimizers' cost) reads.
+  /// Byte-identical to the legacy factory of the same name.
+  [[nodiscard]] Mapping flat_view() const;
+
+  /// Rank -> node table alone (the flat_view's raw vector).
+  [[nodiscard]] std::vector<NodeId> node_table() const;
+
+  // ---- Factories -------------------------------------------------------
+
+  /// rank r -> node r, socket 0, core 0 (the paper's one-rank-per-node
+  /// default). Throws if num_ranks > num_nodes.
+  static Placement linear(int num_ranks, int num_nodes, MachineModel machine);
+
+  /// Consecutive ranks fill each node's cores depth-first: rank r ->
+  /// node r / cores_per_node; within the node, slot k = r mod
+  /// cores_per_node sits on socket k / cores_per_socket, core
+  /// k mod cores_per_socket. The Fig. 5 blocked mapping one level down.
+  static Placement blocked(int num_ranks, int num_nodes, MachineModel machine);
+
+  /// rank r -> node r mod num_nodes; the k-th rank arriving on a node
+  /// takes socket k mod sockets_per_node (breadth-first across
+  /// sockets), core (k / sockets_per_node) mod cores_per_socket.
+  /// Throws when a node would receive more ranks than it has cores.
+  static Placement round_robin(int num_ranks, int num_nodes,
+                               MachineModel machine);
+
+  /// Lift a flat mapping onto `machine`: each node's ranks take its
+  /// cores depth-first in rank order. Throws when any node hosts more
+  /// ranks than machine.cores_per_node().
+  static Placement from_mapping(const Mapping& mapping, MachineModel machine);
+
+ private:
+  std::vector<PlaceCoord> coords_;
+  int num_nodes_ = 0;
+  MachineModel machine_;
+};
+
+}  // namespace netloc::mapping

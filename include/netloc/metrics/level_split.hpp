@@ -1,0 +1,53 @@
+// Per-machine-level traffic classification: the Eq. 3 intra/inter-node
+// locality split generalized to the full machine tree.
+//
+// Under a hierarchical placement (mapping/placement.hpp) every traffic
+// matrix cell crosses exactly one boundary — the deepest machine level
+// its endpoints do NOT share: same core (oversubscribed ranks), same
+// socket, same node, or the network. traffic_level_split() bins bytes
+// and packets by that boundary in one for_each_nonzero pass; the
+// degenerate 1x1 machine collapses the split back to the paper's
+// two-way intra/inter-node locality (Level::Network holds the
+// inter-node traffic, everything else is Level::Socket — two ranks on
+// one node share its only socket but sit on distinct cores).
+#pragma once
+
+#include <array>
+
+#include "netloc/mapping/placement.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+
+namespace netloc::metrics {
+
+/// Byte and packet totals per crossed machine level, indexed by
+/// static_cast<int>(mapping::Level).
+struct LevelSplit {
+  std::array<Bytes, mapping::kNumLevels> bytes{};
+  std::array<Count, mapping::kNumLevels> packets{};
+
+  [[nodiscard]] Bytes bytes_at(mapping::Level level) const {
+    return bytes[static_cast<std::size_t>(level)];
+  }
+  [[nodiscard]] Count packets_at(mapping::Level level) const {
+    return packets[static_cast<std::size_t>(level)];
+  }
+  [[nodiscard]] Bytes total_bytes() const {
+    Bytes total = 0;
+    for (const Bytes b : bytes) total += b;
+    return total;
+  }
+  /// Share of bytes crossing `level`, in percent of all classified
+  /// bytes (0 when the matrix moved no bytes).
+  [[nodiscard]] double share_percent(mapping::Level level) const;
+  /// Eq. 3 locality under the placement: the share of bytes that stay
+  /// on-node (every level below Network).
+  [[nodiscard]] double intra_node_percent() const;
+};
+
+/// Classify every stored cell of `matrix` by the machine level its
+/// endpoints' placement coordinates first diverge at. The placement
+/// must cover the matrix's ranks (ConfigError otherwise).
+LevelSplit traffic_level_split(const TrafficMatrix& matrix,
+                               const mapping::Placement& placement);
+
+}  // namespace netloc::metrics

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "netloc/collectives/algorithms.hpp"
+#include "netloc/collectives/hierarchical.hpp"
 #include "netloc/common/csr.hpp"
 #include "netloc/common/types.hpp"
 #include "netloc/mapping/optimizer.hpp"
@@ -51,6 +52,23 @@ struct TrafficOptions {
   /// point of the ablation.
   collectives::Algorithm collective_algorithm =
       collectives::Algorithm::FlatDirect;
+  /// Leader-based staging over the machine hierarchy
+  /// (collectives/hierarchical.hpp). Flat keeps every translation
+  /// byte-identical to the paper; Hierarchical re-routes each
+  /// collective through per-node leader trees using
+  /// `collective_node_of` as the rank -> node view. Orthogonal to
+  /// `collective_algorithm`, which reshapes the flat pattern itself —
+  /// Hierarchical requires the FlatDirect pattern (ConfigError
+  /// otherwise).
+  collectives::CollectiveAlgo collective_algo = collectives::CollectiveAlgo::Flat;
+  /// Rank -> node view for CollectiveAlgo::Hierarchical; must cover
+  /// exactly the trace's ranks. Ignored (may stay empty) under Flat.
+  std::vector<NodeId> collective_node_of{};
+  /// Blocked-grouping shorthand for streaming callers that do not know
+  /// the rank count up front: when Hierarchical and collective_node_of
+  /// is empty, rank r maps to node r / collective_ranks_per_node.
+  /// Ignored when collective_node_of is set.
+  int collective_ranks_per_node = 0;
   /// Byte budget for the open-phase accumulation buffer; 0 keeps the
   /// classic single dense buffer. Under a budget the matrix tiles the
   /// open phase into strips of source rows (common/csr.hpp,

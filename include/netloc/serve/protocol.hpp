@@ -37,6 +37,8 @@
 #include <vector>
 
 #include "netloc/common/error.hpp"
+#include "netloc/collectives/hierarchical.hpp"
+#include "netloc/mapping/machine.hpp"
 #include "netloc/serve/json.hpp"
 #include "netloc/topology/routing.hpp"
 #include "netloc/workloads/workload.hpp"
@@ -57,6 +59,10 @@ struct SubmitRequest {
   std::vector<std::string> apps;
   std::uint64_t seed = workloads::kDefaultSeed;
   topology::RoutingSpec routing;
+  /// Machine hierarchy ("SxC"); the default flat model rides as the
+  /// absent field so old clients and old daemons interoperate.
+  mapping::MachineModel machine;
+  collectives::CollectiveAlgo collective_algo = collectives::CollectiveAlgo::Flat;
   /// Larger runs earlier; FIFO within a priority.
   int priority = 0;
   /// true: the accepted frame is the whole answer (fire-and-forget,

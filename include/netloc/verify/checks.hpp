@@ -12,8 +12,10 @@
 #include <string>
 
 #include "netloc/analysis/experiment.hpp"
+#include "netloc/collectives/hierarchical.hpp"
 #include "netloc/lint/diagnostic.hpp"
 #include "netloc/mapping/mapping.hpp"
+#include "netloc/mapping/placement.hpp"
 #include "netloc/metrics/traffic_matrix.hpp"
 #include "netloc/topology/graph.hpp"
 #include "netloc/topology/route_plan.hpp"
@@ -122,6 +124,30 @@ std::size_t check_task_graph(const engine::TaskGraph& graph,
 std::size_t check_traffic_matrix(const metrics::TrafficMatrix& matrix,
                                  const std::string& source,
                                  lint::LintReport& report);
+
+/// VF018 (half 1) — placement soundness over the raw artifacts (the
+/// corruptible form the mutation tests feed): every coordinate within
+/// [0, num_nodes) x the machine's socket/core bounds, and
+/// `claimed_flat_view` (normally placement.flat_view()) agreeing with
+/// the node coordinates rank for rank.
+std::size_t check_placement(const std::vector<mapping::PlaceCoord>& coords,
+                            int num_nodes,
+                            const mapping::MachineModel& machine,
+                            const mapping::Mapping& claimed_flat_view,
+                            const std::string& source,
+                            lint::LintReport& report);
+
+/// VF018 (half 2) — hierarchical-collective conservation: `claimed`
+/// stage totals (normally hierarchical_volume()'s output; the
+/// mutation tests hand in perturbed ones) against an independent
+/// re-emission, plus the schedule's conservation laws — network ==
+/// flat inter-node bytes for the rooted operations and alltoall,
+/// network <= flat inter-node for the reducible all-operations.
+std::size_t check_hierarchical_conservation(
+    trace::CollectiveOp op, Rank root, int num_ranks, Bytes total_bytes,
+    const collectives::NodeGroups& groups,
+    const collectives::HierarchicalVolume& claimed, const std::string& source,
+    lint::LintReport& report);
 
 /// Re-accumulate `matrix`'s stored cells through a fresh TrafficMatrix
 /// under `open_budget_bytes` — strip-tiled whenever the budget is

@@ -16,6 +16,7 @@
 #include "netloc/analysis/experiment.hpp"
 #include "netloc/common/types.hpp"
 #include "netloc/mapping/mapping.hpp"
+#include "netloc/mapping/placement.hpp"
 #include "netloc/metrics/traffic_matrix.hpp"
 #include "netloc/topology/route_plan.hpp"
 #include "netloc/topology/topology.hpp"
@@ -39,6 +40,9 @@ struct VerifyContext {
   /// Rank -> node placement; null means the consecutive (linear)
   /// mapping the paper uses, built on demand by the metric pass.
   const mapping::Mapping* mapping = nullptr;
+  /// Hierarchical rank -> (node, socket, core) placement; feeds the
+  /// placement pass (VF018). Null skips it.
+  const mapping::Placement* placement = nullptr;
   Seconds duration = 0.0;
   /// Stored Table 3 cell the metric pass cross-checks. Null makes the
   /// pass recompute its own reference via analyze_topology first (the

@@ -2,6 +2,7 @@
 
 #include "netloc/common/error.hpp"
 #include "netloc/mapping/mapping.hpp"
+#include "netloc/mapping/placement.hpp"
 #include "netloc/metrics/hops.hpp"
 #include "netloc/metrics/locality.hpp"
 #include "netloc/metrics/selectivity.hpp"
@@ -25,6 +26,8 @@ StreamAnalysis analyze_stream(const EventFeed& feed,
   metrics::DualTrafficAccumulator traffic(
       {.include_p2p = true,
        .include_collectives = true,
+       .collective_algo = options.collective_algo,
+       .collective_ranks_per_node = options.machine.cores_per_node(),
        .memory_budget_bytes = options.memory_budget_bytes / 4});
   trace::SinkTee tee;
   tee.add(stats);
@@ -82,7 +85,15 @@ TopologyResult analyze_topology(const metrics::TrafficMatrix& full_matrix,
     plan = local.get();
   }
 
-  const auto mapping = mapping::Mapping::linear(num_ranks, topo.num_nodes());
+  // Flat machine keeps the paper's one-rank-per-node linear mapping
+  // byte for byte; a hierarchy packs ranks blocked onto each node's
+  // cores and evaluates the node-level flat view.
+  const auto mapping =
+      options.machine.is_flat()
+          ? mapping::Mapping::linear(num_ranks, topo.num_nodes())
+          : mapping::Placement::blocked(num_ranks, topo.num_nodes(),
+                                        options.machine)
+                .flat_view();
   const int threads = options.kernel_threads;
   const auto hops =
       metrics::hop_stats(full_matrix, topo, mapping, plan, threads);
@@ -117,9 +128,11 @@ ExperimentRow analyze_trace(const trace::Trace& trace,
   ExperimentRow row = analyze_mpi_level(trace, entry, options);
 
   // ---- System level (§6): collectives translated and included. ----------
-  const metrics::TrafficMatrix full_matrix =
-      metrics::TrafficMatrix::from_trace(trace, {.include_p2p = true,
-                                                 .include_collectives = true});
+  const metrics::TrafficMatrix full_matrix = metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true,
+              .include_collectives = true,
+              .collective_algo = options.collective_algo,
+              .collective_ranks_per_node = options.machine.cores_per_node()});
 
   const auto topologies = topology::topologies_for(trace.num_ranks());
   const auto all = topologies.all();
@@ -171,18 +184,38 @@ DimensionalityRow dimensionality_from_matrix(
   return row;
 }
 
-MulticoreSeries multicore_from_matrix(const metrics::TrafficMatrix& matrix,
-                                      const std::string& label,
-                                      const std::vector<int>& cores_per_node) {
-  if (cores_per_node.empty()) {
-    throw ConfigError("multicore_study: no cores-per-node values");
+std::vector<mapping::MachineModel> degenerate_machines(
+    const std::vector<int>& cores_per_node) {
+  std::vector<mapping::MachineModel> machines;
+  machines.reserve(cores_per_node.size());
+  for (const int cores : cores_per_node) {
+    if (cores < 1) throw ConfigError("multicore_study: cores must be >= 1");
+    machines.push_back(mapping::MachineModel::degenerate(cores));
+  }
+  return machines;
+}
+
+MulticoreSeries multicore_from_matrix(
+    const metrics::TrafficMatrix& matrix, const std::string& label,
+    const std::vector<mapping::MachineModel>& machines) {
+  if (machines.empty()) {
+    throw ConfigError("multicore_study: no machine shapes");
   }
 
-  auto inter_node_bytes = [&](int cores) -> double {
+  // Inter-node bytes under the blocked placement of `machine`. For the
+  // degenerate 1-socket machine the placement's node table is exactly
+  // rank / cores, so the sum — a double accumulated in
+  // for_each_nonzero order — is bit-identical to the pre-hierarchy
+  // rank-arithmetic version.
+  auto inter_node_bytes = [&](const mapping::MachineModel& machine) -> double {
+    const int n = matrix.num_ranks();
+    const int cores = machine.cores_per_node();
+    const auto placement =
+        mapping::Placement::blocked(n, (n + cores - 1) / cores, machine);
     double bytes = 0.0;
     matrix.for_each_nonzero(
         [&](Rank s, Rank d, const metrics::TrafficCell& cell) {
-          if (s / cores != d / cores) {
+          if (placement.level_of(s, d) == mapping::Level::Network) {
             bytes += static_cast<double>(cell.bytes);
           }
         });
@@ -191,12 +224,11 @@ MulticoreSeries multicore_from_matrix(const metrics::TrafficMatrix& matrix,
 
   MulticoreSeries series;
   series.label = label;
-  const double base = inter_node_bytes(1);
-  for (const int cores : cores_per_node) {
-    if (cores < 1) throw ConfigError("multicore_study: cores must be >= 1");
-    series.cores_per_node.push_back(cores);
-    series.relative_traffic.push_back(base > 0.0 ? inter_node_bytes(cores) / base
-                                                 : 0.0);
+  const double base = inter_node_bytes(mapping::MachineModel::flat());
+  for (const mapping::MachineModel& machine : machines) {
+    series.cores_per_node.push_back(machine.cores_per_node());
+    series.relative_traffic.push_back(
+        base > 0.0 ? inter_node_bytes(machine) / base : 0.0);
   }
   return series;
 }
@@ -229,19 +261,32 @@ DimensionalityRow dimensionality_study_stream(const EventFeed& feed,
 MulticoreSeries multicore_study(const trace::Trace& trace,
                                 const std::string& label,
                                 const std::vector<int>& cores_per_node) {
+  return multicore_study(trace, label, degenerate_machines(cores_per_node));
+}
+
+MulticoreSeries multicore_study(
+    const trace::Trace& trace, const std::string& label,
+    const std::vector<mapping::MachineModel>& machines) {
   return multicore_from_matrix(
       metrics::TrafficMatrix::from_trace(trace, {.include_p2p = true,
                                                  .include_collectives = true}),
-      label, cores_per_node);
+      label, machines);
 }
 
 MulticoreSeries multicore_study_stream(const EventFeed& feed,
                                        const std::string& label,
                                        const std::vector<int>& cores_per_node) {
+  return multicore_study_stream(feed, label,
+                                degenerate_machines(cores_per_node));
+}
+
+MulticoreSeries multicore_study_stream(
+    const EventFeed& feed, const std::string& label,
+    const std::vector<mapping::MachineModel>& machines) {
   return multicore_from_matrix(
       matrix_from_feed(feed, {.include_p2p = true,
                               .include_collectives = true}),
-      label, cores_per_node);
+      label, machines);
 }
 
 SummaryClaims summarize(const std::vector<ExperimentRow>& rows) {

@@ -1,0 +1,316 @@
+#include "netloc/collectives/hierarchical.hpp"
+
+#include <map>
+#include <string>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::collectives {
+
+std::string_view to_string(CollectiveAlgo algo) {
+  switch (algo) {
+    case CollectiveAlgo::Flat:
+      return "flat";
+    case CollectiveAlgo::Hierarchical:
+      return "hierarchical";
+  }
+  return "?";
+}
+
+CollectiveAlgo parse_collective_algo(std::string_view text) {
+  if (text == "flat") return CollectiveAlgo::Flat;
+  if (text == "hierarchical" || text == "hier") {
+    return CollectiveAlgo::Hierarchical;
+  }
+  throw ConfigError("unknown collective algorithm '" + std::string(text) +
+                    "' (expected flat or hierarchical)");
+}
+
+NodeGroups::NodeGroups(std::vector<NodeId> node_of)
+    : node_of_(std::move(node_of)) {
+  if (node_of_.empty()) {
+    throw ConfigError("NodeGroups: empty rank -> node view");
+  }
+  // Lowest rank per node; std::map orders groups by node id.
+  std::map<NodeId, Rank> leader_by_node;
+  for (std::size_t r = 0; r < node_of_.size(); ++r) {
+    const NodeId node = node_of_[r];
+    if (node < 0) {
+      throw ConfigError("NodeGroups: rank " + std::to_string(r) +
+                        " has negative node id");
+    }
+    leader_by_node.try_emplace(node, static_cast<Rank>(r));
+  }
+  std::map<NodeId, int> group_by_node;
+  leaders_.reserve(leader_by_node.size());
+  for (const auto& [node, leader] : leader_by_node) {
+    group_by_node[node] = static_cast<int>(leaders_.size());
+    leaders_.push_back(leader);
+  }
+  leader_of_.resize(node_of_.size());
+  group_of_rank_.resize(node_of_.size());
+  for (std::size_t r = 0; r < node_of_.size(); ++r) {
+    leader_of_[r] = leader_by_node.at(node_of_[r]);
+    group_of_rank_[r] = group_by_node.at(node_of_[r]);
+  }
+}
+
+NodeGroups NodeGroups::blocked(int num_ranks, int ranks_per_node) {
+  if (num_ranks < 1 || ranks_per_node < 1) {
+    throw ConfigError("NodeGroups::blocked: counts must be >= 1");
+  }
+  std::vector<NodeId> node_of(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    node_of[static_cast<std::size_t>(r)] = r / ranks_per_node;
+  }
+  return NodeGroups(std::move(node_of));
+}
+
+namespace {
+
+/// Flat per-rank message sizes of a rooted operation: slot r holds the
+/// bytes the flat translation moves between `root` and rank r (zero
+/// for the root itself and for barrier).
+std::vector<Bytes> rooted_shares(CollectiveOp op, Rank root, int num_ranks,
+                                 Bytes total_bytes) {
+  std::vector<Bytes> shares(static_cast<std::size_t>(num_ranks), 0);
+  if (op == CollectiveOp::Barrier) return shares;
+  for_each_pair(op, root, num_ranks, total_bytes,
+                [&](Rank src, Rank dst, Bytes bytes) {
+                  const Rank member = (src == root) ? dst : src;
+                  shares[static_cast<std::size_t>(member)] += bytes;
+                });
+  return shares;
+}
+
+
+/// Down tree of `shares` from `root` (bcast/scatter, barrier's second
+/// phase): local deliveries, one aggregated network message per remote
+/// group, remote leader deliveries.
+void emit_down(Rank root, int num_ranks, const std::vector<Bytes>& shares,
+               const NodeGroups& groups, const PairVisitor& visitor) {
+  const int root_group = groups.group_of(root);
+  for (Rank r = 0; r < num_ranks; ++r) {
+    if (r != root && groups.group_of(r) == root_group) {
+      visitor(root, r, shares[static_cast<std::size_t>(r)]);
+    }
+  }
+  std::vector<Bytes> agg(static_cast<std::size_t>(groups.num_groups()), 0);
+  for (Rank r = 0; r < num_ranks; ++r) {
+    if (r != root) {
+      agg[static_cast<std::size_t>(groups.group_of(r))] +=
+          shares[static_cast<std::size_t>(r)];
+    }
+  }
+  for (int g = 0; g < groups.num_groups(); ++g) {
+    if (g != root_group) {
+      visitor(root, groups.leader(g), agg[static_cast<std::size_t>(g)]);
+    }
+  }
+  for (Rank r = 0; r < num_ranks; ++r) {
+    if (groups.group_of(r) != root_group && !groups.is_leader(r)) {
+      visitor(groups.leader_of(r), r, shares[static_cast<std::size_t>(r)]);
+    }
+  }
+}
+
+/// Up tree (reduce/gather, barrier's first phase): the exact mirror of
+/// emit_down.
+void emit_up(Rank root, int num_ranks, const std::vector<Bytes>& shares,
+             const NodeGroups& groups, const PairVisitor& visitor) {
+  const int root_group = groups.group_of(root);
+  for (Rank r = 0; r < num_ranks; ++r) {
+    if (groups.group_of(r) != root_group && !groups.is_leader(r)) {
+      visitor(r, groups.leader_of(r), shares[static_cast<std::size_t>(r)]);
+    }
+  }
+  std::vector<Bytes> agg(static_cast<std::size_t>(groups.num_groups()), 0);
+  for (Rank r = 0; r < num_ranks; ++r) {
+    if (r != root) {
+      agg[static_cast<std::size_t>(groups.group_of(r))] +=
+          shares[static_cast<std::size_t>(r)];
+    }
+  }
+  for (int g = 0; g < groups.num_groups(); ++g) {
+    if (g != root_group) {
+      visitor(groups.leader(g), root, agg[static_cast<std::size_t>(g)]);
+    }
+  }
+  for (Rank r = 0; r < num_ranks; ++r) {
+    if (r != root && groups.group_of(r) == root_group) {
+      visitor(r, root, shares[static_cast<std::size_t>(r)]);
+    }
+  }
+}
+
+/// Reducible all-operation: contributions up, deduplicated node-pair
+/// demand across every ordered leader pair, contributions down. The
+/// flat translation replicates a rank's data once per remote rank;
+/// the leaders ship it once per remote node, so each network message
+/// is ceil(X_ab / k) with k the replication factor the schedule
+/// removes: |a| members for reduce-type operations (vectors combine
+/// at the source node), |b| members for allgather (one copy crosses,
+/// the remote leader fans it out).
+void emit_reducible_all(CollectiveOp op, Rank root, int num_ranks,
+                        Bytes total_bytes, const NodeGroups& groups,
+                        const PairVisitor& visitor) {
+  const auto num_groups = static_cast<std::size_t>(groups.num_groups());
+  std::vector<Bytes> contrib(static_cast<std::size_t>(num_ranks), 0);
+  std::vector<Bytes> cross(num_groups * num_groups, 0);
+  for_each_pair(op, root, num_ranks, total_bytes,
+                [&](Rank src, Rank dst, Bytes bytes) {
+                  contrib[static_cast<std::size_t>(src)] += bytes;
+                  const auto ga = static_cast<std::size_t>(groups.group_of(src));
+                  const auto gb = static_cast<std::size_t>(groups.group_of(dst));
+                  if (ga != gb) cross[ga * num_groups + gb] += bytes;
+                });
+  std::vector<Bytes> members(num_groups, 0);
+  for (Rank r = 0; r < num_ranks; ++r) {
+    ++members[static_cast<std::size_t>(groups.group_of(r))];
+  }
+  for (Rank r = 0; r < num_ranks; ++r) {
+    if (!groups.is_leader(r)) {
+      visitor(r, groups.leader_of(r), contrib[static_cast<std::size_t>(r)]);
+    }
+  }
+  for (std::size_t ga = 0; ga < num_groups; ++ga) {
+    for (std::size_t gb = 0; gb < num_groups; ++gb) {
+      if (ga == gb) continue;
+      const Bytes demand = cross[ga * num_groups + gb];
+      const Bytes factor =
+          op == CollectiveOp::Allgather ? members[gb] : members[ga];
+      visitor(groups.leader(static_cast<int>(ga)),
+              groups.leader(static_cast<int>(gb)),
+              (demand + factor - 1) / factor);
+    }
+  }
+  for (Rank r = 0; r < num_ranks; ++r) {
+    if (!groups.is_leader(r)) {
+      visitor(groups.leader_of(r), r, contrib[static_cast<std::size_t>(r)]);
+    }
+  }
+}
+
+/// Alltoall: per-destination data cannot be aggregated, so leaders
+/// forward node-pair aggregates X_ab and members exchange their
+/// off-node portions with their leader; intra-node pairs keep their
+/// direct flat messages.
+void emit_alltoall(Rank root, int num_ranks, Bytes total_bytes,
+                   const NodeGroups& groups, const PairVisitor& visitor) {
+  const auto num_groups = static_cast<std::size_t>(groups.num_groups());
+  std::vector<Bytes> off_out(static_cast<std::size_t>(num_ranks), 0);
+  std::vector<Bytes> off_in(static_cast<std::size_t>(num_ranks), 0);
+  std::vector<Bytes> cross(num_groups * num_groups, 0);
+  std::vector<std::pair<std::pair<Rank, Rank>, Bytes>> intra;
+  for_each_pair(CollectiveOp::Alltoall, root, num_ranks, total_bytes,
+                [&](Rank src, Rank dst, Bytes bytes) {
+                  const auto ga = static_cast<std::size_t>(groups.group_of(src));
+                  const auto gb = static_cast<std::size_t>(groups.group_of(dst));
+                  if (ga == gb) {
+                    intra.push_back({{src, dst}, bytes});
+                    return;
+                  }
+                  off_out[static_cast<std::size_t>(src)] += bytes;
+                  off_in[static_cast<std::size_t>(dst)] += bytes;
+                  cross[ga * num_groups + gb] += bytes;
+                });
+  for (const auto& [pair, bytes] : intra) {
+    visitor(pair.first, pair.second, bytes);
+  }
+  for (Rank r = 0; r < num_ranks; ++r) {
+    if (!groups.is_leader(r)) {
+      visitor(r, groups.leader_of(r), off_out[static_cast<std::size_t>(r)]);
+    }
+  }
+  for (std::size_t ga = 0; ga < num_groups; ++ga) {
+    for (std::size_t gb = 0; gb < num_groups; ++gb) {
+      if (ga != gb) {
+        visitor(groups.leader(static_cast<int>(ga)),
+                groups.leader(static_cast<int>(gb)),
+                cross[ga * num_groups + gb]);
+      }
+    }
+  }
+  for (Rank r = 0; r < num_ranks; ++r) {
+    if (!groups.is_leader(r)) {
+      visitor(groups.leader_of(r), r, off_in[static_cast<std::size_t>(r)]);
+    }
+  }
+}
+
+void check_grouping(int num_ranks, const NodeGroups& groups,
+                    const char* where) {
+  if (groups.num_ranks() != num_ranks) {
+    throw ConfigError(std::string(where) + ": grouping covers " +
+                      std::to_string(groups.num_ranks()) +
+                      " ranks but the collective has " +
+                      std::to_string(num_ranks));
+  }
+}
+
+}  // namespace
+
+void for_each_hierarchical_pair(CollectiveOp op, Rank root, int num_ranks,
+                                Bytes total_bytes, const NodeGroups& groups,
+                                const PairVisitor& visitor) {
+  check_grouping(num_ranks, groups, "for_each_hierarchical_pair");
+  if (num_ranks < 2) return;
+  switch (op) {
+    case CollectiveOp::Bcast:
+    case CollectiveOp::Scatter:
+      emit_down(root, num_ranks, rooted_shares(op, root, num_ranks, total_bytes),
+                groups, visitor);
+      break;
+    case CollectiveOp::Reduce:
+    case CollectiveOp::Gather:
+      emit_up(root, num_ranks, rooted_shares(op, root, num_ranks, total_bytes),
+              groups, visitor);
+      break;
+    case CollectiveOp::Barrier: {
+      const std::vector<Bytes> zeros(static_cast<std::size_t>(num_ranks), 0);
+      emit_up(root, num_ranks, zeros, groups, visitor);
+      emit_down(root, num_ranks, zeros, groups, visitor);
+      break;
+    }
+    case CollectiveOp::Allreduce:
+    case CollectiveOp::ReduceScatter:
+    case CollectiveOp::Allgather:
+      emit_reducible_all(op, root, num_ranks, total_bytes, groups, visitor);
+      break;
+    case CollectiveOp::Alltoall:
+      emit_alltoall(root, num_ranks, total_bytes, groups, visitor);
+      break;
+  }
+}
+
+HierarchicalVolume hierarchical_volume(CollectiveOp op, Rank root,
+                                       int num_ranks, Bytes total_bytes,
+                                       const NodeGroups& groups) {
+  check_grouping(num_ranks, groups, "hierarchical_volume");
+  HierarchicalVolume volume;
+  if (num_ranks < 2) return volume;
+  // Classify each emitted message by the node relationship of its
+  // endpoints: cross-node -> network; same-node towards the leader or
+  // the root -> up; everything else (deliveries, direct intra pairs)
+  // -> down.
+  for_each_hierarchical_pair(
+      op, root, num_ranks, total_bytes, groups,
+      [&](Rank src, Rank dst, Bytes bytes) {
+        if (groups.group_of(src) != groups.group_of(dst)) {
+          volume.network += bytes;
+        } else if (dst == groups.leader_of(dst) || dst == root) {
+          volume.intra_up += bytes;
+        } else {
+          volume.intra_down += bytes;
+        }
+      });
+  for_each_pair(op, root, num_ranks, total_bytes,
+                [&](Rank src, Rank dst, Bytes bytes) {
+                  if (groups.group_of(src) != groups.group_of(dst)) {
+                    volume.flat_inter_node += bytes;
+                  }
+                });
+  return volume;
+}
+
+}  // namespace netloc::collectives

@@ -115,6 +115,18 @@ CacheKey result_cache_key(const workloads::CatalogEntry& entry,
     key.mix(std::string("membudget"));
     key.mix<std::uint64_t>(options.memory_budget_bytes);
   }
+  // Machine hierarchy and collective schedule. Both default to the
+  // flat paper model; mixed only when non-default so every pre-existing
+  // blob keeps its key, exactly like the routing block.
+  if (!options.machine.is_flat()) {
+    key.mix(std::string("machine"));
+    key.mix<std::int32_t>(options.machine.sockets_per_node());
+    key.mix<std::int32_t>(options.machine.cores_per_socket());
+  }
+  if (options.collective_algo != collectives::CollectiveAlgo::Flat) {
+    key.mix(std::string("collalgo"));
+    key.mix<std::uint8_t>(static_cast<std::uint8_t>(options.collective_algo));
+  }
 
   return CacheKey{key.value(), entry.label()};
 }

@@ -350,6 +350,17 @@ std::vector<analysis::DimensionalityRow> SweepEngine::run_dimensionality(
 std::vector<analysis::MulticoreSeries> SweepEngine::run_multicore(
     const std::vector<workloads::CatalogEntry>& entries,
     const std::vector<int>& cores_per_node) {
+  std::vector<mapping::MachineModel> machines;
+  machines.reserve(cores_per_node.size());
+  for (const int cores : cores_per_node) {
+    machines.push_back(mapping::MachineModel::degenerate(cores));
+  }
+  return run_multicore(entries, machines);
+}
+
+std::vector<analysis::MulticoreSeries> SweepEngine::run_multicore(
+    const std::vector<workloads::CatalogEntry>& entries,
+    const std::vector<mapping::MachineModel>& machines) {
   const auto begin = Clock::now();
   stats_ = SweepStats{};
   reset_run_counters();
@@ -360,13 +371,13 @@ std::vector<analysis::MulticoreSeries> SweepEngine::run_multicore(
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const workloads::CatalogEntry* entry = &entries[i];
     const std::uint64_t seed = options_.run.seed;
-    graph.add(entry->label(), "study", [&rows, i, entry, seed, &cores_per_node] {
+    graph.add(entry->label(), "study", [&rows, i, entry, seed, &machines] {
       const auto& gen = workloads::generator(entry->app);
       rows[i] = analysis::multicore_study_stream(
           [&gen, entry, seed](trace::EventSink& sink) {
             gen.generate_into(*entry, seed, sink);
           },
-          entry->label(), cores_per_node);
+          entry->label(), machines);
     });
   }
   stats_.jobs_run = static_cast<int>(graph.size());

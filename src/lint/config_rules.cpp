@@ -172,6 +172,44 @@ LintReport lint_mapping(const std::vector<NodeId>& rank_to_node,
   return report;
 }
 
+LintReport lint_mapping(const std::vector<NodeId>& rank_to_node, int num_nodes,
+                        int expected_ranks,
+                        const mapping::MachineModel& machine,
+                        const std::string& source) {
+  return lint_mapping(rank_to_node, num_nodes, expected_ranks,
+                      machine.cores_per_node(), source);
+}
+
+LintReport lint_placement(const mapping::Placement& placement,
+                          int expected_ranks, const std::string& source) {
+  LintReport report =
+      lint_mapping(placement.node_table(), placement.num_nodes(),
+                   expected_ranks, placement.machine(), source);
+
+  // TP014: several ranks on one (node, socket, core) slot. The
+  // constructor has already range-checked every coordinate.
+  const mapping::MachineModel& machine = placement.machine();
+  std::unordered_map<long, int> per_slot;
+  for (Rank r = 0; r < placement.num_ranks(); ++r) {
+    const mapping::PlaceCoord& c = placement.coord_of(r);
+    const long slot =
+        (static_cast<long>(c.node) * machine.sockets_per_node() + c.socket) *
+            machine.cores_per_socket() +
+        c.core;
+    if (++per_slot[slot] == 2) {
+      report.add(make("TP014", source,
+                      "node " + std::to_string(c.node) + " socket " +
+                          std::to_string(c.socket) + " core " +
+                          std::to_string(c.core) +
+                          " hosts more than one rank",
+                      "give each rank its own core slot or enlarge the "
+                      "machine model",
+                      c.node));
+    }
+  }
+  return report;
+}
+
 LintReport lint_rankfile(const mapping::RawRankfile& raw, int expected_ranks,
                          int cores_per_node, const std::string& source) {
   LintReport report;

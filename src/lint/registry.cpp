@@ -52,6 +52,8 @@ constexpr RuleInfo kRules[] = {
      "topology graph inconsistent with num_links/link_is_global"},
     {"TP013", Severity::Warning, "config",
      "link fault mask disconnects the endpoint set"},
+    {"TP014", Severity::Error, "config",
+     "placement oversubscribes a socket or core slot"},
     // ---- metric pack -----------------------------------------------------
     {"MT001", Severity::Error, "metric",
      "traffic-matrix totals disagree with the cell sums"},
@@ -109,6 +111,9 @@ constexpr RuleInfo kRules[] = {
      "traffic-matrix invariant violated (bounds, totals, packetization)"},
     {"VF017", Severity::Error, "verify",
      "tiled traffic re-accumulation diverges from the original matrix"},
+    {"VF018", Severity::Error, "verify",
+     "placement inconsistent (coordinates, occupancy, flat view) or "
+     "hierarchical collective volume not conserved"},
 };
 
 }  // namespace

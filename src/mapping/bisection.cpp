@@ -1,0 +1,271 @@
+#include "netloc/mapping/bisection.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netloc/common/error.hpp"
+#include "optimize_internal.hpp"
+
+namespace netloc::mapping {
+
+using internal::AdjacencyList;
+using internal::ensure_plan;
+
+namespace {
+
+/// In-place balanced bisection of one rank group: reorder `group` so
+/// its first `left_size` members form the left half, minimizing the
+/// traffic weight cut between the halves with deterministic KL-style
+/// gain passes. `side` is a num_ranks-sized scratch vector (-1 for
+/// ranks outside the group) owned by the caller across the recursion.
+class GroupSplitter {
+ public:
+  GroupSplitter(const AdjacencyList& adj, int num_ranks, int passes)
+      : adj_(adj), passes_(passes),
+        side_(static_cast<std::size_t>(num_ranks), -1) {}
+
+  void split(std::vector<Rank>& group, std::size_t left_size) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      side_[static_cast<std::size_t>(group[i])] = i < left_size ? 0 : 1;
+    }
+
+    std::vector<std::pair<double, Rank>> left;
+    std::vector<std::pair<double, Rank>> right;
+    for (int pass = 0; pass < passes_; ++pass) {
+      // Gain of moving a member to the other half: external minus
+      // internal weight, counting only partners inside the group.
+      left.clear();
+      right.clear();
+      for (const Rank r : group) {
+        double in = 0.0;
+        double out = 0.0;
+        for (const auto& [peer, weight] :
+             adj_.partners[static_cast<std::size_t>(r)]) {
+          const std::int8_t peer_side = side_[static_cast<std::size_t>(peer)];
+          if (peer_side < 0) continue;
+          if (peer_side == side_[static_cast<std::size_t>(r)]) {
+            in += weight;
+          } else {
+            out += weight;
+          }
+        }
+        (side_[static_cast<std::size_t>(r)] == 0 ? left : right)
+            .emplace_back(out - in, r);
+      }
+      // Highest gain first; ties towards the lower rank id so the
+      // split is deterministic.
+      auto by_gain = [](const std::pair<double, Rank>& a,
+                        const std::pair<double, Rank>& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+      };
+      std::sort(left.begin(), left.end(), by_gain);
+      std::sort(right.begin(), right.end(), by_gain);
+
+      bool improved = false;
+      const std::size_t pairs = std::min(left.size(), right.size());
+      for (std::size_t i = 0; i < pairs; ++i) {
+        const auto [gain_a, a] = left[i];
+        const auto [gain_b, b] = right[i];
+        // Gains go stale as swaps land; the next pass recomputes them.
+        const double delta = gain_a + gain_b - 2.0 * adj_.weight_between(a, b);
+        if (delta > 1e-12) {
+          std::swap(side_[static_cast<std::size_t>(a)],
+                    side_[static_cast<std::size_t>(b)]);
+          improved = true;
+        } else {
+          break;  // Sorted descending: later pairs help even less.
+        }
+      }
+      if (!improved) break;
+    }
+
+    // Left members first, each half keeping its relative order.
+    std::stable_partition(group.begin(), group.end(), [&](Rank r) {
+      return side_[static_cast<std::size_t>(r)] == 0;
+    });
+    for (const Rank r : group) side_[static_cast<std::size_t>(r)] = -1;
+  }
+
+ private:
+  const AdjacencyList& adj_;
+  int passes_;
+  std::vector<std::int8_t> side_;
+};
+
+/// Recursively bisect `group` onto the slot interval [lo, hi), each
+/// slot holding at most `capacity` ranks, writing slot ids into
+/// `slot_of`. Split sizes are proportional to each side's capacity,
+/// clamped so both sides stay feasible.
+void assign_slots(std::vector<Rank> group, int lo, int hi, int capacity,
+                  GroupSplitter& splitter, std::vector<int>& slot_of) {
+  if (group.empty()) return;
+  if (hi - lo == 1) {
+    for (const Rank r : group) slot_of[static_cast<std::size_t>(r)] = lo;
+    return;
+  }
+  const int mid = lo + (hi - lo) / 2;
+  const auto len = static_cast<long>(group.size());
+  const long left_cap = static_cast<long>(mid - lo) * capacity;
+  const long right_cap = static_cast<long>(hi - mid) * capacity;
+  long left_size = (len * (mid - lo) + (hi - lo) / 2) / (hi - lo);
+  left_size = std::clamp(left_size, std::max<long>(0, len - right_cap),
+                         std::min(len, left_cap));
+  splitter.split(group, static_cast<std::size_t>(left_size));
+
+  std::vector<Rank> left(group.begin(),
+                         group.begin() + static_cast<std::ptrdiff_t>(left_size));
+  group.erase(group.begin(),
+              group.begin() + static_cast<std::ptrdiff_t>(left_size));
+  assign_slots(std::move(left), lo, mid, capacity, splitter, slot_of);
+  assign_slots(std::move(group), mid, hi, capacity, splitter, slot_of);
+}
+
+std::vector<Rank> all_ranks(int num_ranks) {
+  std::vector<Rank> ranks(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) ranks[static_cast<std::size_t>(r)] = r;
+  return ranks;
+}
+
+}  // namespace
+
+Mapping recursive_bisection_optimize(std::span<const TrafficEdge> edges,
+                                     int num_ranks,
+                                     const topology::Topology& topo,
+                                     const BisectionOptions& options,
+                                     const topology::RoutePlan* plan) {
+  if (num_ranks < 1) {
+    throw ConfigError("recursive_bisection_optimize: num_ranks must be >= 1");
+  }
+  if (topo.num_nodes() < num_ranks) {
+    throw ConfigError(
+        "recursive_bisection_optimize: topology smaller than rank count");
+  }
+  const auto local_plan =
+      ensure_plan(topo, plan, "recursive_bisection_optimize");
+  const AdjacencyList adj(edges, num_ranks);
+
+  // Multi-start: the KL-gain split, plus the pure order-preserving
+  // split as a safety net — on wrap-around stencils the cut heuristic
+  // can prefer partitions whose halves are geometrically farther
+  // apart, and swap refinement cannot recover from that start.
+  const auto build = [&](int split_passes) {
+    GroupSplitter splitter(adj, num_ranks, split_passes);
+    std::vector<int> slot_of(static_cast<std::size_t>(num_ranks), 0);
+    assign_slots(all_ranks(num_ranks), 0, num_ranks, 1, splitter, slot_of);
+    std::vector<NodeId> assign(static_cast<std::size_t>(num_ranks));
+    for (int r = 0; r < num_ranks; ++r) {
+      assign[static_cast<std::size_t>(r)] =
+          slot_of[static_cast<std::size_t>(r)];
+    }
+    internal::refine_pairwise_swaps(assign, adj, *plan,
+                                    options.refinement_rounds);
+    return Mapping(std::move(assign), topo.num_nodes());
+  };
+  Mapping best = build(options.split_passes);
+  double best_cost = weighted_hop_cost(edges, topo, best, plan);
+  if (options.split_passes > 0) {
+    Mapping ordered = build(0);
+    const double cost = weighted_hop_cost(edges, topo, ordered, plan);
+    if (cost < best_cost) {
+      best = std::move(ordered);
+      best_cost = cost;
+    }
+  }
+  if (options.greedy_seed) {
+    // The greedy construction as a third seed, refined with the same
+    // budget: its refined cost can only drop, so the portfolio result
+    // is never costlier than greedy_optimize itself.
+    std::vector<NodeId> assign =
+        greedy_optimize(edges, num_ranks, topo, {}, plan).raw();
+    internal::refine_pairwise_swaps(assign, adj, *plan,
+                                    options.refinement_rounds);
+    Mapping seeded(std::move(assign), topo.num_nodes());
+    const double cost = weighted_hop_cost(edges, topo, seeded, plan);
+    if (cost < best_cost) {
+      best = std::move(seeded);
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+Placement recursive_bisection_place(std::span<const TrafficEdge> edges,
+                                    int num_ranks,
+                                    const topology::Topology& topo,
+                                    const MachineModel& machine,
+                                    const BisectionOptions& options,
+                                    const topology::RoutePlan* plan) {
+  if (num_ranks < 1) {
+    throw ConfigError("recursive_bisection_place: num_ranks must be >= 1");
+  }
+  const int per_node = machine.cores_per_node();
+  const int needed = (num_ranks + per_node - 1) / per_node;
+  if (topo.num_nodes() < needed) {
+    throw ConfigError("recursive_bisection_place: topology hosts " +
+                      std::to_string(topo.num_nodes()) + " nodes but " +
+                      std::to_string(needed) + " are needed");
+  }
+  const auto local_plan = ensure_plan(topo, plan, "recursive_bisection_place");
+  const AdjacencyList adj(edges, num_ranks);
+
+  // Node level: bisect ranks onto [0, needed) with per-node capacity,
+  // multi-start as in recursive_bisection_optimize — KL-gain split and
+  // order-preserving split, refined, keeping the cheaper node view.
+  const auto build_node_of = [&](int split_passes) {
+    GroupSplitter splitter(adj, num_ranks, split_passes);
+    std::vector<int> node_slot(static_cast<std::size_t>(num_ranks), 0);
+    assign_slots(all_ranks(num_ranks), 0, needed, per_node, splitter,
+                 node_slot);
+    std::vector<NodeId> assign(static_cast<std::size_t>(num_ranks));
+    for (int r = 0; r < num_ranks; ++r) {
+      assign[static_cast<std::size_t>(r)] =
+          node_slot[static_cast<std::size_t>(r)];
+    }
+    // Node-level polish: pairwise swaps preserve per-node occupancy.
+    internal::refine_pairwise_swaps(assign, adj, *plan,
+                                    options.refinement_rounds);
+    return assign;
+  };
+  std::vector<NodeId> node_of = build_node_of(options.split_passes);
+  if (options.split_passes > 0) {
+    std::vector<NodeId> ordered = build_node_of(0);
+    const Mapping gained_view(std::vector<NodeId>(node_of), topo.num_nodes());
+    const Mapping ordered_view(std::vector<NodeId>(ordered), topo.num_nodes());
+    if (weighted_hop_cost(edges, topo, ordered_view, plan) <
+        weighted_hop_cost(edges, topo, gained_view, plan)) {
+      node_of = std::move(ordered);
+    }
+  }
+  GroupSplitter splitter(adj, num_ranks, options.split_passes);
+
+  // Below the node: bisect each node's group across its sockets, then
+  // pack each socket's ranks onto cores in rank order.
+  std::vector<std::vector<Rank>> per_node_ranks(
+      static_cast<std::size_t>(needed));
+  for (int r = 0; r < num_ranks; ++r) {
+    per_node_ranks[static_cast<std::size_t>(
+                       node_of[static_cast<std::size_t>(r)])]
+        .push_back(r);
+  }
+  std::vector<PlaceCoord> coords(static_cast<std::size_t>(num_ranks));
+  std::vector<int> socket_slot(static_cast<std::size_t>(num_ranks), 0);
+  for (int node = 0; node < needed; ++node) {
+    auto& group = per_node_ranks[static_cast<std::size_t>(node)];
+    if (group.empty()) continue;
+    assign_slots(group, 0, machine.sockets_per_node(),
+                 machine.cores_per_socket(), splitter, socket_slot);
+    std::vector<int> next_core(
+        static_cast<std::size_t>(machine.sockets_per_node()), 0);
+    for (const Rank r : group) {  // ascending rank order within the node
+      const int socket = socket_slot[static_cast<std::size_t>(r)];
+      coords[static_cast<std::size_t>(r)] = {
+          node, socket, next_core[static_cast<std::size_t>(socket)]++};
+    }
+  }
+  return {std::move(coords), topo.num_nodes(), machine};
+}
+
+}  // namespace netloc::mapping

@@ -9,11 +9,44 @@
 
 namespace netloc::mapping {
 
+namespace {
+
+/// Parse "<node>[:<socket>:<core>]" strictly. Missing coordinates
+/// default to 0 (a v1-style entry inside a v2 file is legal).
+PlaceCoord parse_coord(const std::string& text) {
+  PlaceCoord coord;
+  const auto c1 = text.find(':');
+  if (c1 == std::string::npos) {
+    coord.node = std::stoi(text);
+    return coord;
+  }
+  const auto c2 = text.find(':', c1 + 1);
+  if (c2 == std::string::npos) throw Error("expected <node>:<socket>:<core>");
+  coord.node = std::stoi(text.substr(0, c1));
+  coord.socket = std::stoi(text.substr(c1 + 1, c2 - c1 - 1));
+  coord.core = std::stoi(text.substr(c2 + 1));
+  return coord;
+}
+
+}  // namespace
+
 void write_rankfile(const Mapping& mapping, std::ostream& out) {
   out << "# netloc rankfile: rank -> node placement\n";
   out << "nodes " << mapping.num_nodes() << '\n';
   for (Rank r = 0; r < mapping.num_ranks(); ++r) {
     out << "rank " << r << '=' << mapping.node_of(r) << '\n';
+  }
+}
+
+void write_rankfile(const Placement& placement, std::ostream& out) {
+  out << "# netloc rankfile v2: rank -> node:socket:core placement\n";
+  out << "version 2\n";
+  out << "machine " << placement.machine().label() << '\n';
+  out << "nodes " << placement.num_nodes() << '\n';
+  for (Rank r = 0; r < placement.num_ranks(); ++r) {
+    const PlaceCoord& c = placement.coord_of(r);
+    out << "rank " << r << '=' << c.node << ':' << c.socket << ':' << c.core
+        << '\n';
   }
 }
 
@@ -73,6 +106,109 @@ Mapping read_rankfile(std::istream& in) {
   return Mapping(std::move(assign), num_nodes);
 }
 
+Placement read_placement(std::istream& in) {
+  // Buffer the stream once so version detection does not depend on
+  // seekability (read_placement accepts pipes and stringstreams alike).
+  std::ostringstream buffered;
+  buffered << in.rdbuf();
+  const std::string content = buffered.str();
+
+  // v2 iff a `version` header appears before any other keyword.
+  bool v2 = false;
+  {
+    std::istringstream scan(content);
+    std::string line;
+    while (std::getline(scan, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ls(line);
+      std::string keyword;
+      ls >> keyword;
+      v2 = keyword == "version";
+      break;
+    }
+  }
+
+  if (!v2) {
+    std::istringstream v1(content);
+    Mapping mapping = read_rankfile(v1);
+    // Lift losslessly: the degenerate model wide enough for the
+    // mapping's fullest node hosts every v1 file.
+    return Placement::from_mapping(
+        mapping, MachineModel::degenerate(mapping.max_ranks_per_node()));
+  }
+
+  int version = -1;
+  int num_nodes = -1;
+  MachineModel machine;
+  bool machine_seen = false;
+  std::vector<PlaceCoord> coords;
+  std::vector<bool> seen;
+  std::string line;
+  std::size_t line_no = 0;
+  std::istringstream stream(content);
+
+  auto fail = [&](const std::string& why) -> Error {
+    return Error("rankfile line " + std::to_string(line_no) + ": " + why);
+  };
+
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "version") {
+      if (!(ls >> version) || version != 2) {
+        throw fail("unsupported rankfile version (this reader knows 1 and 2)");
+      }
+    } else if (keyword == "machine") {
+      std::string spec;
+      if (!(ls >> spec)) throw fail("missing machine spec");
+      machine = MachineModel::parse(spec);
+      machine_seen = true;
+    } else if (keyword == "nodes") {
+      if (!(ls >> num_nodes) || num_nodes < 1) throw fail("invalid node count");
+    } else if (keyword == "rank") {
+      if (num_nodes < 0) throw fail("rank entry before the nodes header");
+      if (!machine_seen) throw fail("rank entry before the machine header");
+      std::string entry;
+      ls >> entry;
+      const auto eq = entry.find('=');
+      if (eq == std::string::npos) {
+        throw fail("expected rank <r>=<node>:<socket>:<core>");
+      }
+      int rank = -1;
+      PlaceCoord coord;
+      try {
+        rank = std::stoi(entry.substr(0, eq));
+        coord = parse_coord(entry.substr(eq + 1));
+      } catch (...) {
+        throw fail("unparseable rank entry '" + entry + "'");
+      }
+      if (rank < 0) throw fail("negative rank");
+      if (static_cast<std::size_t>(rank) >= coords.size()) {
+        coords.resize(static_cast<std::size_t>(rank) + 1);
+        seen.resize(coords.size(), false);
+      }
+      if (seen[static_cast<std::size_t>(rank)]) {
+        throw fail("duplicate rank " + std::to_string(rank));
+      }
+      seen[static_cast<std::size_t>(rank)] = true;
+      coords[static_cast<std::size_t>(rank)] = coord;
+    } else {
+      throw fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (num_nodes < 0) throw Error("rankfile: missing nodes header");
+  if (coords.empty()) throw Error("rankfile: no rank entries");
+  for (std::size_t r = 0; r < coords.size(); ++r) {
+    if (!seen[r]) throw Error("rankfile: rank " + std::to_string(r) + " missing");
+  }
+  // The Placement constructor range-checks every coordinate against
+  // `machine` and [0, num_nodes).
+  return {std::move(coords), num_nodes, machine};
+}
+
 RawRankfile read_rankfile_raw(std::istream& in) {
   RawRankfile raw;
   std::string line;
@@ -85,6 +221,10 @@ RawRankfile read_rankfile_raw(std::istream& in) {
     ls >> keyword;
     if (keyword == "nodes") {
       if (!(ls >> raw.num_nodes)) raw.malformed_lines.push_back(line_no);
+    } else if (keyword == "version") {
+      if (!(ls >> raw.version)) raw.malformed_lines.push_back(line_no);
+    } else if (keyword == "machine") {
+      if (!(ls >> raw.machine_spec)) raw.malformed_lines.push_back(line_no);
     } else if (keyword == "rank") {
       std::string entry;
       ls >> entry;
@@ -95,7 +235,14 @@ RawRankfile read_rankfile_raw(std::istream& in) {
       if (parsed) {
         try {
           rank = std::stol(entry.substr(0, eq));
-          node = std::stol(entry.substr(eq + 1));
+          // Keep only the node part of a v2 <node>:<socket>:<core>
+          // entry — the flat lint rules reason about nodes.
+          std::string node_text = entry.substr(eq + 1);
+          if (const auto colon = node_text.find(':');
+              colon != std::string::npos) {
+            node_text.resize(colon);
+          }
+          node = std::stol(node_text);
         } catch (...) {
           parsed = false;
         }

@@ -1,0 +1,78 @@
+#include "netloc/mapping/machine.hpp"
+
+#include <charconv>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::mapping {
+
+namespace {
+
+/// Strict non-negative integer parse of an entire token.
+int parse_count(std::string_view token, const char* what) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size() || value < 1) {
+    throw ConfigError("MachineModel: " + std::string(what) + " '" +
+                      std::string(token) + "' is not a positive integer");
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::Core:
+      return "core";
+    case Level::Socket:
+      return "socket";
+    case Level::Node:
+      return "node";
+    case Level::Network:
+      return "network";
+  }
+  return "?";
+}
+
+MachineModel::MachineModel(int sockets_per_node, int cores_per_socket)
+    : sockets_per_node_(sockets_per_node), cores_per_socket_(cores_per_socket) {
+  if (sockets_per_node_ < 1 || cores_per_socket_ < 1) {
+    throw ConfigError("MachineModel: sockets_per_node and cores_per_socket "
+                      "must both be >= 1");
+  }
+}
+
+std::string MachineModel::label() const {
+  return std::to_string(sockets_per_node_) + "x" +
+         std::to_string(cores_per_socket_);
+}
+
+double MachineModel::link_bandwidth_bytes_per_s(Level level) const {
+  // Typical shared-memory and paper network figures; reporting context
+  // only (docs/MAPPING.md).
+  switch (level) {
+    case Level::Core:
+      return 100e9;  // L1/L2-resident exchange
+    case Level::Socket:
+      return 50e9;  // shared last-level cache / local DRAM
+    case Level::Node:
+      return 25e9;  // cross-socket interconnect (UPI-class)
+    case Level::Network:
+      return 12e9;  // the paper's 12 GB/s network link
+  }
+  return 0.0;
+}
+
+MachineModel MachineModel::parse(std::string_view text) {
+  if (text.empty()) throw ConfigError("MachineModel: empty spec");
+  const auto x = text.find('x');
+  if (x == std::string_view::npos) {
+    return degenerate(parse_count(text, "core count"));
+  }
+  return {parse_count(text.substr(0, x), "socket count"),
+          parse_count(text.substr(x + 1), "cores-per-socket count")};
+}
+
+}  // namespace netloc::mapping

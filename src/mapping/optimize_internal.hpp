@@ -1,0 +1,128 @@
+// Shared internals of the mapping optimizers (greedy construction in
+// optimizer.cpp, recursive bisection in bisection.cpp): demand
+// adjacency, plan validation and the pairwise-swap refinement both
+// optimizers polish their placements with.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "netloc/common/error.hpp"
+#include "netloc/mapping/optimizer.hpp"
+#include "netloc/topology/route_plan.hpp"
+#include "netloc/topology/topology.hpp"
+
+namespace netloc::mapping::internal {
+
+/// Validate a caller-supplied plan, or build a throwaway tableless one
+/// (statically-dispatched distances, no precomputed table).
+inline std::shared_ptr<const topology::RoutePlan> ensure_plan(
+    const topology::Topology& topo, const topology::RoutePlan*& plan,
+    const char* where) {
+  if (plan == nullptr) {
+    auto local = topology::RoutePlan::build(topo, 0);
+    plan = local.get();
+    return local;
+  }
+  if (plan->num_nodes() != topo.num_nodes()) {
+    throw ConfigError(std::string(where) +
+                      ": route plan does not match topology");
+  }
+  return nullptr;
+}
+
+/// Symmetric adjacency built from the directed demands: per rank, its
+/// partners with combined (both-direction) weights.
+struct AdjacencyList {
+  std::vector<std::vector<std::pair<Rank, double>>> partners;
+  std::vector<double> total_weight;
+
+  explicit AdjacencyList(std::span<const TrafficEdge> edges, int num_ranks) {
+    partners.resize(static_cast<std::size_t>(num_ranks));
+    total_weight.assign(static_cast<std::size_t>(num_ranks), 0.0);
+    // Accumulate symmetric weights through a temporary dense pass per
+    // source to merge parallel edges.
+    for (const auto& e : edges) {
+      if (e.src == e.dst || e.weight <= 0.0) continue;
+      partners[static_cast<std::size_t>(e.src)].emplace_back(e.dst, e.weight);
+      partners[static_cast<std::size_t>(e.dst)].emplace_back(e.src, e.weight);
+      total_weight[static_cast<std::size_t>(e.src)] += e.weight;
+      total_weight[static_cast<std::size_t>(e.dst)] += e.weight;
+    }
+    for (auto& list : partners) {
+      std::sort(list.begin(), list.end());
+      // Merge duplicates (a->b and b->a demands, repeated edges).
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < list.size();) {
+        std::size_t j = i;
+        double sum = 0.0;
+        while (j < list.size() && list[j].first == list[i].first) {
+          sum += list[j].second;
+          ++j;
+        }
+        list[out++] = {list[i].first, sum};
+        i = j;
+      }
+      list.resize(out);
+    }
+  }
+
+  /// Merged symmetric weight between `a` and `b` (0 when unrelated).
+  [[nodiscard]] double weight_between(Rank a, Rank b) const {
+    const auto& list = partners[static_cast<std::size_t>(a)];
+    const auto it = std::lower_bound(
+        list.begin(), list.end(), b,
+        [](const std::pair<Rank, double>& entry, Rank rank) {
+          return entry.first < rank;
+        });
+    return (it != list.end() && it->first == b) ? it->second : 0.0;
+  }
+};
+
+/// Pairwise-swap hill climbing over a rank -> node table: each round
+/// tries swapping every rank pair's nodes and keeps improving swaps.
+/// `rounds` >= 0 runs at most that many rounds (stopping early once a
+/// round finds nothing); rounds < 0 runs to convergence, capped at
+/// kMaxConvergenceRounds. Each round is O(R^2 * partners). The loop
+/// body is byte-for-byte the refinement greedy_optimize always ran, so
+/// greedy results are unchanged by the extraction.
+inline constexpr int kMaxConvergenceRounds = 64;
+
+inline void refine_pairwise_swaps(std::vector<NodeId>& assign,
+                                  const AdjacencyList& adj,
+                                  const topology::RoutePlan& plan, int rounds) {
+  const int num_ranks = static_cast<int>(assign.size());
+  const int limit = rounds < 0 ? kMaxConvergenceRounds : rounds;
+  auto rank_cost = [&](Rank r, const std::vector<NodeId>& a) {
+    double cost = 0.0;
+    for (const auto& [peer, weight] : adj.partners[static_cast<std::size_t>(r)]) {
+      if (peer == r) continue;
+      cost += weight * plan.hop_distance(a[static_cast<std::size_t>(r)],
+                                         a[static_cast<std::size_t>(peer)]);
+    }
+    return cost;
+  };
+  for (int round = 0; round < limit; ++round) {
+    bool improved = false;
+    for (Rank i = 0; i < num_ranks; ++i) {
+      for (Rank j = i + 1; j < num_ranks; ++j) {
+        const double before = rank_cost(i, assign) + rank_cost(j, assign);
+        std::swap(assign[static_cast<std::size_t>(i)],
+                  assign[static_cast<std::size_t>(j)]);
+        const double after = rank_cost(i, assign) + rank_cost(j, assign);
+        if (after + 1e-12 < before) {
+          improved = true;
+        } else {
+          std::swap(assign[static_cast<std::size_t>(i)],
+                    assign[static_cast<std::size_t>(j)]);
+        }
+      }
+    }
+    if (!improved) break;
+  }
+}
+
+}  // namespace netloc::mapping::internal

@@ -1,71 +1,16 @@
 #include "netloc/mapping/optimizer.hpp"
 
-#include <algorithm>
 #include <limits>
 #include <memory>
 #include <vector>
 
 #include "netloc/common/error.hpp"
+#include "optimize_internal.hpp"
 
 namespace netloc::mapping {
 
-namespace {
-
-/// Validate a caller-supplied plan, or build a throwaway tableless one
-/// (statically-dispatched distances, no precomputed table).
-std::shared_ptr<const topology::RoutePlan> ensure_plan(
-    const topology::Topology& topo, const topology::RoutePlan*& plan,
-    const char* where) {
-  if (plan == nullptr) {
-    auto local = topology::RoutePlan::build(topo, 0);
-    plan = local.get();
-    return local;
-  }
-  if (plan->num_nodes() != topo.num_nodes()) {
-    throw ConfigError(std::string(where) +
-                      ": route plan does not match topology");
-  }
-  return nullptr;
-}
-
-/// Symmetric adjacency built from the directed demands: per rank, its
-/// partners with combined (both-direction) weights.
-struct AdjacencyList {
-  std::vector<std::vector<std::pair<Rank, double>>> partners;
-  std::vector<double> total_weight;
-
-  explicit AdjacencyList(std::span<const TrafficEdge> edges, int num_ranks) {
-    partners.resize(static_cast<std::size_t>(num_ranks));
-    total_weight.assign(static_cast<std::size_t>(num_ranks), 0.0);
-    // Accumulate symmetric weights through a temporary dense pass per
-    // source to merge parallel edges.
-    for (const auto& e : edges) {
-      if (e.src == e.dst || e.weight <= 0.0) continue;
-      partners[static_cast<std::size_t>(e.src)].emplace_back(e.dst, e.weight);
-      partners[static_cast<std::size_t>(e.dst)].emplace_back(e.src, e.weight);
-      total_weight[static_cast<std::size_t>(e.src)] += e.weight;
-      total_weight[static_cast<std::size_t>(e.dst)] += e.weight;
-    }
-    for (auto& list : partners) {
-      std::sort(list.begin(), list.end());
-      // Merge duplicates (a->b and b->a demands, repeated edges).
-      std::size_t out = 0;
-      for (std::size_t i = 0; i < list.size();) {
-        std::size_t j = i;
-        double sum = 0.0;
-        while (j < list.size() && list[j].first == list[i].first) {
-          sum += list[j].second;
-          ++j;
-        }
-        list[out++] = {list[i].first, sum};
-        i = j;
-      }
-      list.resize(out);
-    }
-  }
-};
-
-}  // namespace
+using internal::AdjacencyList;
+using internal::ensure_plan;
 
 double weighted_hop_cost(std::span<const TrafficEdge> edges,
                          const topology::Topology& topo, const Mapping& mapping,
@@ -88,6 +33,13 @@ Mapping greedy_optimize(std::span<const TrafficEdge> edges, int num_ranks,
   if (topo.num_nodes() < num_ranks) {
     throw ConfigError("greedy_optimize: topology smaller than rank count");
   }
+  if (options.max_candidates.has_value() && *options.max_candidates < 1) {
+    throw ConfigError(
+        "greedy_optimize: max_candidates must be >= 1 when set (leave it "
+        "unset to scan every free node)");
+  }
+  const int max_candidates =
+      options.max_candidates.value_or(std::numeric_limits<int>::max());
   const auto local_plan = ensure_plan(topo, plan, "greedy_optimize");
   const AdjacencyList adj(edges, num_ranks);
   const int num_nodes = topo.num_nodes();
@@ -136,7 +88,7 @@ Mapping greedy_optimize(std::span<const TrafficEdge> edges, int num_ranks,
     NodeId best_node = kInvalidNode;
     double best_cost = std::numeric_limits<double>::infinity();
     int scanned = 0;
-    for (NodeId node = 0; node < num_nodes && scanned < options.max_candidates;
+    for (NodeId node = 0; node < num_nodes && scanned < max_candidates;
          ++node) {
       if (node_used[static_cast<std::size_t>(node)]) continue;
       ++scanned;
@@ -154,39 +106,9 @@ Mapping greedy_optimize(std::span<const TrafficEdge> edges, int num_ranks,
     place(next, best_node);
   }
 
-  Mapping mapping(std::move(assign), num_nodes);
-
-  // Pairwise-swap refinement: try swapping every pair of placed ranks;
-  // keep improving swaps. Each round is O(R^2 * partners).
-  for (int round = 0; round < options.refinement_rounds; ++round) {
-    auto current = mapping.raw();
-    bool improved = false;
-    auto rank_cost = [&](Rank r, const std::vector<NodeId>& a) {
-      double cost = 0.0;
-      for (const auto& [peer, weight] : adj.partners[static_cast<std::size_t>(r)]) {
-        if (peer == r) continue;
-        cost += weight * plan->hop_distance(a[static_cast<std::size_t>(r)],
-                                            a[static_cast<std::size_t>(peer)]);
-      }
-      return cost;
-    };
-    for (Rank i = 0; i < num_ranks; ++i) {
-      for (Rank j = i + 1; j < num_ranks; ++j) {
-        const double before = rank_cost(i, current) + rank_cost(j, current);
-        std::swap(current[static_cast<std::size_t>(i)], current[static_cast<std::size_t>(j)]);
-        const double after = rank_cost(i, current) + rank_cost(j, current);
-        if (after + 1e-12 < before) {
-          improved = true;
-        } else {
-          std::swap(current[static_cast<std::size_t>(i)],
-                    current[static_cast<std::size_t>(j)]);
-        }
-      }
-    }
-    mapping = Mapping(std::move(current), num_nodes);
-    if (!improved) break;
-  }
-  return mapping;
+  internal::refine_pairwise_swaps(assign, adj, *plan,
+                                  options.refinement_rounds);
+  return Mapping(std::move(assign), num_nodes);
 }
 
 }  // namespace netloc::mapping

@@ -1,0 +1,117 @@
+#include "netloc/mapping/placement.hpp"
+
+#include <string>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::mapping {
+
+namespace {
+
+/// Socket/core coordinates of local slot `k` under depth-first filling
+/// (socket 0's cores before socket 1's).
+PlaceCoord depth_first_slot(NodeId node, int k, const MachineModel& machine) {
+  return {node, k / machine.cores_per_socket(),
+          k % machine.cores_per_socket()};
+}
+
+}  // namespace
+
+Placement::Placement(std::vector<PlaceCoord> coords, int num_nodes,
+                     MachineModel machine)
+    : coords_(std::move(coords)), num_nodes_(num_nodes), machine_(machine) {
+  if (num_nodes_ < 1) throw ConfigError("Placement: num_nodes must be >= 1");
+  if (coords_.empty()) throw ConfigError("Placement: no ranks");
+  for (std::size_t r = 0; r < coords_.size(); ++r) {
+    const PlaceCoord& c = coords_[r];
+    if (c.node < 0 || c.node >= num_nodes_) {
+      throw ConfigError("Placement: rank " + std::to_string(r) + " node " +
+                        std::to_string(c.node) + " out of range [0, " +
+                        std::to_string(num_nodes_) + ")");
+    }
+    if (c.socket < 0 || c.socket >= machine_.sockets_per_node()) {
+      throw ConfigError("Placement: rank " + std::to_string(r) + " socket " +
+                        std::to_string(c.socket) + " out of range [0, " +
+                        std::to_string(machine_.sockets_per_node()) + ")");
+    }
+    if (c.core < 0 || c.core >= machine_.cores_per_socket()) {
+      throw ConfigError("Placement: rank " + std::to_string(r) + " core " +
+                        std::to_string(c.core) + " out of range [0, " +
+                        std::to_string(machine_.cores_per_socket()) + ")");
+    }
+  }
+}
+
+Mapping Placement::flat_view() const { return {node_table(), num_nodes_}; }
+
+std::vector<NodeId> Placement::node_table() const {
+  std::vector<NodeId> nodes(coords_.size());
+  for (std::size_t r = 0; r < coords_.size(); ++r) nodes[r] = coords_[r].node;
+  return nodes;
+}
+
+Placement Placement::linear(int num_ranks, int num_nodes,
+                            MachineModel machine) {
+  if (num_ranks > num_nodes) {
+    throw ConfigError("Placement::linear: more ranks than nodes");
+  }
+  std::vector<PlaceCoord> coords(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    coords[static_cast<std::size_t>(r)] = {r, 0, 0};
+  }
+  return {std::move(coords), num_nodes, machine};
+}
+
+Placement Placement::blocked(int num_ranks, int num_nodes,
+                             MachineModel machine) {
+  const int per_node = machine.cores_per_node();
+  const int needed = (num_ranks + per_node - 1) / per_node;
+  if (needed > num_nodes) {
+    throw ConfigError("Placement::blocked: not enough nodes");
+  }
+  std::vector<PlaceCoord> coords(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    coords[static_cast<std::size_t>(r)] =
+        depth_first_slot(r / per_node, r % per_node, machine);
+  }
+  return {std::move(coords), num_nodes, machine};
+}
+
+Placement Placement::round_robin(int num_ranks, int num_nodes,
+                                 MachineModel machine) {
+  std::vector<PlaceCoord> coords(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    const NodeId node = r % num_nodes;
+    const int k = r / num_nodes;  // arrival index on this node
+    if (k >= machine.cores_per_node()) {
+      throw ConfigError("Placement::round_robin: node " +
+                        std::to_string(node) + " would host more ranks than "
+                        "its " + std::to_string(machine.cores_per_node()) +
+                        " core(s)");
+    }
+    coords[static_cast<std::size_t>(r)] = {
+        node, k % machine.sockets_per_node(),
+        (k / machine.sockets_per_node()) % machine.cores_per_socket()};
+  }
+  return {std::move(coords), num_nodes, machine};
+}
+
+Placement Placement::from_mapping(const Mapping& mapping,
+                                  MachineModel machine) {
+  std::vector<int> next_slot(static_cast<std::size_t>(mapping.num_nodes()), 0);
+  std::vector<PlaceCoord> coords(
+      static_cast<std::size_t>(mapping.num_ranks()));
+  for (Rank r = 0; r < mapping.num_ranks(); ++r) {
+    const NodeId node = mapping.node_of(r);
+    const int k = next_slot[static_cast<std::size_t>(node)]++;
+    if (k >= machine.cores_per_node()) {
+      throw ConfigError("Placement::from_mapping: node " +
+                        std::to_string(node) + " hosts more ranks than its " +
+                        std::to_string(machine.cores_per_node()) + " core(s)");
+    }
+    coords[static_cast<std::size_t>(r)] = depth_first_slot(node, k, machine);
+  }
+  return {std::move(coords), mapping.num_nodes(), machine};
+}
+
+}  // namespace netloc::mapping

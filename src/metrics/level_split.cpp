@@ -1,0 +1,40 @@
+#include "netloc/metrics/level_split.hpp"
+
+#include <string>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::metrics {
+
+double LevelSplit::share_percent(mapping::Level level) const {
+  const Bytes total = total_bytes();
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(bytes_at(level)) /
+         static_cast<double>(total);
+}
+
+double LevelSplit::intra_node_percent() const {
+  const Bytes total = total_bytes();
+  if (total == 0) return 0.0;
+  const Bytes intra = total - bytes_at(mapping::Level::Network);
+  return 100.0 * static_cast<double>(intra) / static_cast<double>(total);
+}
+
+LevelSplit traffic_level_split(const TrafficMatrix& matrix,
+                               const mapping::Placement& placement) {
+  if (placement.num_ranks() < matrix.num_ranks()) {
+    throw ConfigError("traffic_level_split: placement covers " +
+                      std::to_string(placement.num_ranks()) +
+                      " ranks but the matrix has " +
+                      std::to_string(matrix.num_ranks()));
+  }
+  LevelSplit split;
+  matrix.for_each_nonzero([&](Rank src, Rank dst, const TrafficCell& cell) {
+    const auto level = static_cast<std::size_t>(placement.level_of(src, dst));
+    split.bytes[level] += cell.bytes;
+    split.packets[level] += cell.packets;
+  });
+  return split;
+}
+
+}  // namespace netloc::metrics

@@ -43,6 +43,41 @@ void expand_collective_groups(TrafficMatrix& matrix,
                               const TrafficOptions& options,
                               const CollectiveGroups& groups) {
   const int num_ranks = matrix.num_ranks();
+  if (options.collective_algo == collectives::CollectiveAlgo::Hierarchical) {
+    if (options.collective_algorithm != collectives::Algorithm::FlatDirect) {
+      throw ConfigError(
+          "TrafficOptions: hierarchical collectives require the FlatDirect "
+          "pattern (collective_algorithm ablations are flat-only)");
+    }
+    if (!options.collective_node_of.empty() &&
+        static_cast<int>(options.collective_node_of.size()) != num_ranks) {
+      throw ConfigError(
+          "TrafficOptions: collective_node_of covers " +
+          std::to_string(options.collective_node_of.size()) +
+          " ranks but the trace has " + std::to_string(num_ranks));
+    }
+    if (options.collective_node_of.empty() &&
+        options.collective_ranks_per_node < 1) {
+      throw ConfigError(
+          "TrafficOptions: hierarchical collectives need a rank -> node "
+          "view (collective_node_of or collective_ranks_per_node)");
+    }
+    const collectives::NodeGroups node_groups =
+        options.collective_node_of.empty()
+            ? collectives::NodeGroups::blocked(num_ranks,
+                                               options.collective_ranks_per_node)
+            : collectives::NodeGroups(options.collective_node_of);
+    for (const auto& [key, count] : groups) {
+      const auto [op, root, bytes] = key;
+      const Count repeat = count;
+      collectives::for_each_hierarchical_pair(
+          op, root, num_ranks, bytes, node_groups,
+          [&](Rank src, Rank dst, Bytes message_bytes) {
+            matrix.add_messages(src, dst, message_bytes, repeat);
+          });
+    }
+    return;
+  }
   for (const auto& [key, count] : groups) {
     const auto [op, root, bytes] = key;
     const Count repeat = count;

@@ -167,6 +167,10 @@ engine::SweepEngine& Daemon::engine_for(const analysis::RunOptions& run) {
   std::string key = std::to_string(run.seed);
   key += run.link_accounting ? "+links" : "-links";
   if (!run.routing.is_default()) key += " @" + run.routing.label();
+  if (!run.machine.is_flat()) key += " m" + run.machine.label();
+  if (run.collective_algo != collectives::CollectiveAlgo::Flat) {
+    key += " c" + std::string(collectives::to_string(run.collective_algo));
+  }
   common::MutexLock lock(engines_mutex_);
   auto& slot = engines_[key];
   if (slot == nullptr) {
@@ -338,6 +342,8 @@ void Daemon::handle_submit(Session& session, const SubmitRequest& submit) {
   }
   spec.run.seed = submit.seed;
   spec.run.routing = submit.routing;
+  spec.run.machine = submit.machine;
+  spec.run.collective_algo = submit.collective_algo;
 
   Subscription subscription;
   if (!submit.detach) {

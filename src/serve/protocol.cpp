@@ -62,6 +62,21 @@ SubmitRequest parse_submit(const Json& object) {
       submit.routing.failed_links.push_back(static_cast<LinkId>(id));
     }
   }
+  if (const Json* machine = object.find("machine"); machine != nullptr) {
+    try {
+      submit.machine = mapping::MachineModel::parse(machine->as_string());
+    } catch (const ConfigError& e) {
+      throw ProtocolError(e.what());
+    }
+  }
+  if (const Json* algo = object.find("collectives"); algo != nullptr) {
+    try {
+      submit.collective_algo =
+          collectives::parse_collective_algo(algo->as_string());
+    } catch (const ConfigError& e) {
+      throw ProtocolError(e.what());
+    }
+  }
   submit.priority = static_cast<int>(
       int_field(object, "priority", 0, -1000000, 1000000));
   submit.detach = object.get_bool("detach", false);
@@ -130,6 +145,13 @@ std::string encode_request(const Request& request) {
           links.push(static_cast<double>(link));
         }
         object.set("fail_links", std::move(links));
+      }
+      if (!submit.machine.is_flat()) {
+        object.set("machine", submit.machine.label());
+      }
+      if (submit.collective_algo != collectives::CollectiveAlgo::Flat) {
+        object.set("collectives",
+                   std::string(collectives::to_string(submit.collective_algo)));
       }
       if (submit.priority != 0) object.set("priority", submit.priority);
       if (submit.detach) object.set("detach", true);

@@ -1,0 +1,117 @@
+// Placement soundness and hierarchical-collective conservation
+// (VF018).
+#include <string>
+
+#include "netloc/collectives/hierarchical.hpp"
+#include "netloc/mapping/placement.hpp"
+#include "netloc/verify/checks.hpp"
+
+#include "internal.hpp"
+
+namespace netloc::verify {
+
+std::size_t check_placement(const std::vector<mapping::PlaceCoord>& coords,
+                            int num_nodes,
+                            const mapping::MachineModel& machine,
+                            const mapping::Mapping& claimed_flat_view,
+                            const std::string& source,
+                            lint::LintReport& report) {
+  Emitter em(report, source);
+  std::size_t checks = 1;
+  if (claimed_flat_view.num_ranks() != static_cast<int>(coords.size())) {
+    em.emit("VF018", -1,
+            "flat view covers " +
+                std::to_string(claimed_flat_view.num_ranks()) +
+                " ranks but the placement has " +
+                std::to_string(coords.size()));
+    return checks;
+  }
+  for (std::size_t r = 0; r < coords.size(); ++r) {
+    const mapping::PlaceCoord& c = coords[r];
+    ++checks;
+    if (c.node < 0 || c.node >= num_nodes) {
+      em.emit("VF018", static_cast<long>(r),
+              "rank " + std::to_string(r) + " sits on node " +
+                  std::to_string(c.node) + " outside [0, " +
+                  std::to_string(num_nodes) + ")");
+    }
+    ++checks;
+    if (c.socket < 0 || c.socket >= machine.sockets_per_node()) {
+      em.emit("VF018", static_cast<long>(r),
+              "rank " + std::to_string(r) + " sits on socket " +
+                  std::to_string(c.socket) + " outside the machine's " +
+                  std::to_string(machine.sockets_per_node()) + " sockets");
+    }
+    ++checks;
+    if (c.core < 0 || c.core >= machine.cores_per_socket()) {
+      em.emit("VF018", static_cast<long>(r),
+              "rank " + std::to_string(r) + " sits on core " +
+                  std::to_string(c.core) + " outside the socket's " +
+                  std::to_string(machine.cores_per_socket()) + " cores");
+    }
+    ++checks;
+    if (claimed_flat_view.node_of(static_cast<Rank>(r)) != c.node) {
+      em.emit("VF018", static_cast<long>(r),
+              "flat view maps rank " + std::to_string(r) + " to node " +
+                  std::to_string(
+                      claimed_flat_view.node_of(static_cast<Rank>(r))) +
+                  " but the placement coordinate says node " +
+                  std::to_string(c.node));
+    }
+  }
+  return checks;
+}
+
+std::size_t check_hierarchical_conservation(
+    trace::CollectiveOp op, Rank root, int num_ranks, Bytes total_bytes,
+    const collectives::NodeGroups& groups,
+    const collectives::HierarchicalVolume& claimed, const std::string& source,
+    lint::LintReport& report) {
+  Emitter em(report, source);
+  std::size_t checks = 0;
+  const collectives::HierarchicalVolume actual =
+      collectives::hierarchical_volume(op, root, num_ranks, total_bytes,
+                                       groups);
+  const std::string label = std::string(trace::to_string(op)) + "/" +
+                            std::to_string(num_ranks) + " ranks/" +
+                            std::to_string(total_bytes) + " B";
+  const auto expect_eq = [&](const char* what, Bytes got, Bytes want) {
+    ++checks;
+    if (got != want) {
+      em.emit("VF018", -1,
+              label + ": claimed " + what + " bytes " + std::to_string(got) +
+                  " != re-emitted " + std::to_string(want));
+    }
+  };
+  expect_eq("intra-up", claimed.intra_up, actual.intra_up);
+  expect_eq("network", claimed.network, actual.network);
+  expect_eq("intra-down", claimed.intra_down, actual.intra_down);
+  expect_eq("flat inter-node", claimed.flat_inter_node,
+            actual.flat_inter_node);
+
+  // Conservation laws of the schedule itself (hierarchical.hpp):
+  // rooted operations and alltoall relocate the flat inter-node bytes
+  // exactly; the reducible all-operations only ever remove
+  // replication, never add volume.
+  const bool reducible = op == trace::CollectiveOp::Allreduce ||
+                         op == trace::CollectiveOp::ReduceScatter ||
+                         op == trace::CollectiveOp::Allgather;
+  ++checks;
+  if (reducible) {
+    if (actual.network > actual.flat_inter_node) {
+      em.emit("VF018", -1,
+              label + ": reducible network stage moves " +
+                  std::to_string(actual.network) +
+                  " bytes, above the flat inter-node " +
+                  std::to_string(actual.flat_inter_node));
+    }
+  } else if (actual.network != actual.flat_inter_node) {
+    em.emit("VF018", -1,
+            label + ": network stage moves " + std::to_string(actual.network) +
+                " bytes but the flat translation crosses nodes with " +
+                std::to_string(actual.flat_inter_node));
+  }
+  return checks;
+}
+
+}  // namespace netloc::verify

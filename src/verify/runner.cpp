@@ -208,6 +208,46 @@ class TrafficPass final : public VerifyPass {
   }
 };
 
+class PlacementPass final : public VerifyPass {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "placement"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "placement consistency and hierarchical-collective conservation";
+  }
+  [[nodiscard]] CostTier cost() const override { return CostTier::Cheap; }
+  [[nodiscard]] std::string applicable(const VerifyContext& ctx) const override {
+    if (ctx.placement == nullptr) return "no placement";
+    return {};
+  }
+  std::size_t run(const VerifyContext& ctx,
+                  lint::LintReport& report) const override {
+    const mapping::Placement& placement = *ctx.placement;
+    std::size_t checks =
+        check_placement(placement.raw(), placement.num_nodes(),
+                        placement.machine(), placement.flat_view(), ctx.source,
+                        report);
+    // Conservation sweep over the placement's induced grouping: one
+    // synthetic collective per operation class, claimed totals from
+    // the emission itself so the laws (not the bookkeeping) are what
+    // can fail here.
+    if (placement.num_ranks() >= 2) {
+      const collectives::NodeGroups groups(placement.node_table());
+      const Bytes volume = 1'000'000;
+      for (const auto op :
+           {trace::CollectiveOp::Bcast, trace::CollectiveOp::Reduce,
+            trace::CollectiveOp::Barrier, trace::CollectiveOp::Allreduce,
+            trace::CollectiveOp::Allgather, trace::CollectiveOp::Alltoall}) {
+        const auto claimed = collectives::hierarchical_volume(
+            op, 0, placement.num_ranks(), volume, groups);
+        checks += check_hierarchical_conservation(op, 0, placement.num_ranks(),
+                                                  volume, groups, claimed,
+                                                  ctx.source, report);
+      }
+    }
+    return checks;
+  }
+};
+
 }  // namespace
 
 const char* to_string(CostTier tier) {
@@ -243,6 +283,7 @@ VerifyRunner::VerifyRunner() {
   add(std::make_unique<CachePass>());
   add(std::make_unique<TaskGraphPass>());
   add(std::make_unique<TrafficPass>());
+  add(std::make_unique<PlacementPass>());
 }
 
 void VerifyRunner::add(std::unique_ptr<VerifyPass> pass) {

@@ -1,7 +1,9 @@
 #include "netloc/verify/sweep_hook.hpp"
 
+#include <optional>
 #include <string>
 
+#include "netloc/mapping/placement.hpp"
 #include "netloc/verify/context.hpp"
 
 namespace netloc::verify {
@@ -20,9 +22,20 @@ engine::CellVerifier make_cell_verifier(CellVerifyOptions options) {
         (cell.entry != nullptr ? cell.entry->label() + " " : std::string()) +
         (cell.topology != nullptr ? cell.topology->name()
                                   : std::string("cell"));
+    // Under a hierarchical machine the sweep packs ranks blocked; the
+    // placement pass re-checks that view and the collective schedule.
+    std::optional<mapping::Placement> placement;
+    if (!cell.run.machine.is_flat() && cell.full_matrix != nullptr) {
+      const int ranks = cell.full_matrix->num_ranks();
+      const int cores = cell.run.machine.cores_per_node();
+      placement = mapping::Placement::blocked(
+          ranks, (ranks + cores - 1) / cores, cell.run.machine);
+      ctx.placement = &*placement;
+    }
     const VerifyRunner runner;
     PassFilter filter;
-    filter.ids = {"graph", "routes", "ecmp", "faults", "metrics", "traffic"};
+    filter.ids = {"graph",   "routes",  "ecmp",      "faults",
+                  "metrics", "traffic", "placement"};
     const VerifyReport result = runner.run(ctx, filter);
     lint::LintReport filtered;
     // Bind merged() before iterating: the range-for would otherwise

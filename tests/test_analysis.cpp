@@ -129,7 +129,7 @@ TEST(Multicore, SaturatesBeyond16Cores) {
 
 TEST(Multicore, RejectsBadArguments) {
   const auto trace = workloads::generate("LULESH", 64);
-  EXPECT_THROW(multicore_study(trace, "x", {}), ConfigError);
+  EXPECT_THROW(multicore_study(trace, "x", std::vector<int>{}), ConfigError);
   EXPECT_THROW(multicore_study(trace, "x", {1, 0}), ConfigError);
 }
 

@@ -1,0 +1,471 @@
+// Tests for the hierarchical machine model: MachineModel shapes,
+// Placement factories and their flat compatibility views, rankfile v2
+// round trips, the recursive-bisection optimizer, the hierarchical
+// collective schedules, per-level traffic splits, and the TP014/VF018
+// rule wiring.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/collectives/hierarchical.hpp"
+#include "netloc/common/error.hpp"
+#include "netloc/lint/config_rules.hpp"
+#include "netloc/mapping/bisection.hpp"
+#include "netloc/mapping/io.hpp"
+#include "netloc/mapping/machine.hpp"
+#include "netloc/mapping/optimizer.hpp"
+#include "netloc/mapping/placement.hpp"
+#include "netloc/metrics/level_split.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/topology/torus.hpp"
+#include "netloc/verify/checks.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace netloc {
+namespace {
+
+using collectives::CollectiveAlgo;
+using collectives::HierarchicalVolume;
+using collectives::NodeGroups;
+using mapping::Level;
+using mapping::MachineModel;
+using mapping::Placement;
+using trace::CollectiveOp;
+
+// ---- MachineModel ----------------------------------------------------------
+
+TEST(MachineModel, FlatShape) {
+  const MachineModel flat;
+  EXPECT_TRUE(flat.is_flat());
+  EXPECT_EQ(flat.cores_per_node(), 1);
+  EXPECT_EQ(flat.label(), "1x1");
+  EXPECT_EQ(flat, MachineModel::flat());
+}
+
+TEST(MachineModel, ParseShapes) {
+  const auto m = MachineModel::parse("2x8");
+  EXPECT_EQ(m.sockets_per_node(), 2);
+  EXPECT_EQ(m.cores_per_socket(), 8);
+  EXPECT_EQ(m.cores_per_node(), 16);
+  // Bare core count = degenerate 1-socket shorthand.
+  EXPECT_EQ(MachineModel::parse("4"), MachineModel::degenerate(4));
+  EXPECT_THROW(MachineModel::parse("0x4"), ConfigError);
+  EXPECT_THROW(MachineModel::parse("2x"), ConfigError);
+  EXPECT_THROW(MachineModel::parse("banana"), ConfigError);
+}
+
+TEST(MachineModel, RejectsNonPositiveShape) {
+  EXPECT_THROW(MachineModel(0, 4), ConfigError);
+  EXPECT_THROW(MachineModel(2, 0), ConfigError);
+}
+
+// ---- Placement -------------------------------------------------------------
+
+TEST(Placement, LinearMatchesFlatMapping) {
+  const auto p = Placement::linear(6, 10, MachineModel(2, 4));
+  const auto m = mapping::Mapping::linear(6, 10);
+  EXPECT_EQ(p.flat_view().raw(), m.raw());
+  for (Rank r = 0; r < 6; ++r) {
+    EXPECT_EQ(p.socket_of(r), 0);
+    EXPECT_EQ(p.core_of(r), 0);
+  }
+}
+
+TEST(Placement, BlockedFillsCoresDepthFirst) {
+  // 2 sockets x 2 cores: slot k of a node -> socket k/2, core k%2.
+  const auto p = Placement::blocked(8, 2, MachineModel(2, 2));
+  const auto m = mapping::Mapping::blocked(8, 2, 4);
+  EXPECT_EQ(p.flat_view().raw(), m.raw());
+  EXPECT_EQ(p.coord_of(0), (mapping::PlaceCoord{0, 0, 0}));
+  EXPECT_EQ(p.coord_of(1), (mapping::PlaceCoord{0, 0, 1}));
+  EXPECT_EQ(p.coord_of(2), (mapping::PlaceCoord{0, 1, 0}));
+  EXPECT_EQ(p.coord_of(3), (mapping::PlaceCoord{0, 1, 1}));
+  EXPECT_EQ(p.coord_of(4), (mapping::PlaceCoord{1, 0, 0}));
+}
+
+TEST(Placement, LevelOfReportsDeepestSharedLevel) {
+  const auto p = Placement::blocked(8, 2, MachineModel(2, 2));
+  EXPECT_EQ(p.level_of(0, 0), Level::Core);
+  EXPECT_EQ(p.level_of(0, 1), Level::Socket);
+  EXPECT_EQ(p.level_of(0, 2), Level::Node);
+  EXPECT_EQ(p.level_of(0, 4), Level::Network);
+  EXPECT_EQ(p.level_of(4, 0), Level::Network);
+}
+
+TEST(Placement, FromMappingRejectsOversubscribedNode) {
+  // 3 ranks on one node under a 1x2 machine: one core short.
+  std::vector<NodeId> table = {0, 0, 0};
+  const mapping::Mapping m(table, 2);
+  EXPECT_THROW(Placement::from_mapping(m, MachineModel::degenerate(2)),
+               ConfigError);
+  EXPECT_NO_THROW(Placement::from_mapping(m, MachineModel::degenerate(3)));
+}
+
+// ---- Rankfile v2 -----------------------------------------------------------
+
+TEST(RankfileV2, RoundTripPreservesCoordinates) {
+  const auto p = Placement::blocked(12, 3, MachineModel(2, 2));
+  std::stringstream file;
+  mapping::write_rankfile(p, file);
+  const auto back = mapping::read_placement(file);
+  EXPECT_EQ(back.machine(), p.machine());
+  EXPECT_EQ(back.num_nodes(), p.num_nodes());
+  EXPECT_EQ(back.raw(), p.raw());
+}
+
+TEST(RankfileV2, V1FilesStillReadAsPlacements) {
+  // A flat v1 file reads back losslessly: the lifted placement's flat
+  // view is the original mapping byte for byte.
+  const auto m = mapping::Mapping::blocked(9, 3, 3);
+  std::stringstream file;
+  mapping::write_rankfile(m, file);
+  const auto lifted = mapping::read_placement(file);
+  EXPECT_EQ(lifted.flat_view().raw(), m.raw());
+  EXPECT_EQ(lifted.machine().cores_per_node(), 3);
+}
+
+TEST(RankfileV2, V1ReaderRejectsV2Files) {
+  const auto p = Placement::blocked(4, 2, MachineModel(1, 2));
+  std::stringstream file;
+  mapping::write_rankfile(p, file);
+  EXPECT_THROW(mapping::read_rankfile(file), Error);
+}
+
+// ---- Recursive bisection ---------------------------------------------------
+
+std::vector<mapping::TrafficEdge> ring_traffic(int n, double weight) {
+  std::vector<mapping::TrafficEdge> edges;
+  for (Rank r = 0; r < n; ++r) {
+    edges.push_back({r, static_cast<Rank>((r + 1) % n), weight});
+  }
+  return edges;
+}
+
+TEST(RecursiveBisection, ProducesValidOneRankPerNodeMapping) {
+  const topology::Torus3D torus(4, 4, 4);
+  const auto edges = ring_traffic(64, 1.0);
+  const auto m = mapping::recursive_bisection_optimize(edges, 64, torus);
+  std::set<NodeId> used;
+  for (Rank r = 0; r < 64; ++r) {
+    EXPECT_TRUE(used.insert(m.node_of(r)).second);
+  }
+}
+
+TEST(RecursiveBisection, DeterministicAcrossRuns) {
+  const topology::Torus3D torus(4, 4, 4);
+  const auto edges = ring_traffic(48, 2.0);
+  const auto a = mapping::recursive_bisection_optimize(edges, 48, torus);
+  const auto b = mapping::recursive_bisection_optimize(edges, 48, torus);
+  EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(RecursiveBisection, NotWorseThanGreedyOnWorkloads) {
+  // The BENCH_mapping gate in miniature: rb (refined to convergence)
+  // must match or beat greedy's default on real traffic.
+  const topology::Torus3D torus(4, 4, 4);
+  for (const char* app : {"LULESH", "MOCFE"}) {
+    const auto trace = workloads::generate(app, 64);
+    const auto matrix = metrics::TrafficMatrix::from_trace(trace);
+    const auto edges = matrix.edges();
+    const auto greedy = mapping::greedy_optimize(edges, 64, torus);
+    const auto rb = mapping::recursive_bisection_optimize(edges, 64, torus);
+    EXPECT_LE(mapping::weighted_hop_cost(edges, torus, rb),
+              mapping::weighted_hop_cost(edges, torus, greedy))
+        << app;
+  }
+}
+
+TEST(RecursiveBisection, PlaceFillsMachineWithoutOversubscription) {
+  const topology::Torus3D torus(4, 4, 4);
+  const auto trace = workloads::generate("LULESH", 64);
+  const auto edges = metrics::TrafficMatrix::from_trace(trace).edges();
+  const auto p = mapping::recursive_bisection_place(edges, 64, torus,
+                                                    MachineModel(2, 2));
+  EXPECT_EQ(p.num_ranks(), 64);
+  // The placement spans the whole topology; the 64 ranks need only 16
+  // of its nodes (4 cores each), and none may be oversubscribed.
+  EXPECT_EQ(p.num_nodes(), torus.num_nodes());
+  std::set<NodeId> used;
+  for (Rank r = 0; r < 64; ++r) used.insert(p.coord_of(r).node);
+  EXPECT_EQ(used.size(), 16u);
+  EXPECT_TRUE(lint::lint_placement(p, 64).empty());
+}
+
+// ---- GreedyOptions::max_candidates ----------------------------------------
+
+TEST(GreedyOptions, ExplicitBadCandidateCountThrows) {
+  const topology::Torus3D torus(2, 2, 2);
+  const auto edges = ring_traffic(8, 1.0);
+  mapping::GreedyOptions options;
+  options.max_candidates = 0;
+  EXPECT_THROW(mapping::greedy_optimize(edges, 8, torus, options),
+               ConfigError);
+  options.max_candidates = 1;
+  EXPECT_NO_THROW(mapping::greedy_optimize(edges, 8, torus, options));
+}
+
+// ---- Hierarchical collectives ---------------------------------------------
+
+TEST(NodeGroups, BlockedGrouping) {
+  const auto g = NodeGroups::blocked(10, 4);
+  EXPECT_EQ(g.num_groups(), 3);
+  EXPECT_EQ(g.node_of(0), 0);
+  EXPECT_EQ(g.node_of(9), 2);
+  EXPECT_EQ(g.leader_of(5), 4);
+  EXPECT_TRUE(g.is_leader(8));
+  EXPECT_FALSE(g.is_leader(9));
+  EXPECT_EQ(g.leader(2), 8);
+}
+
+TEST(NodeGroups, RejectsBadViews) {
+  EXPECT_THROW(NodeGroups({}), ConfigError);
+  EXPECT_THROW(NodeGroups({0, -1}), ConfigError);
+  EXPECT_THROW(NodeGroups::blocked(0, 4), ConfigError);
+  EXPECT_THROW(NodeGroups::blocked(4, 0), ConfigError);
+}
+
+TEST(CollectiveAlgoNames, ParseAndPrint) {
+  EXPECT_EQ(collectives::parse_collective_algo("flat"), CollectiveAlgo::Flat);
+  EXPECT_EQ(collectives::parse_collective_algo("hier"),
+            CollectiveAlgo::Hierarchical);
+  EXPECT_EQ(collectives::to_string(CollectiveAlgo::Hierarchical),
+            "hierarchical");
+  EXPECT_THROW(collectives::parse_collective_algo("tree"), ConfigError);
+}
+
+TEST(HierarchicalSchedule, RootedAndAlltoallConserveInterNodeBytes) {
+  const auto g = NodeGroups::blocked(12, 4);
+  for (const auto op : {CollectiveOp::Bcast, CollectiveOp::Scatter,
+                        CollectiveOp::Reduce, CollectiveOp::Gather,
+                        CollectiveOp::Alltoall}) {
+    const auto v = collectives::hierarchical_volume(op, 1, 12, 120000, g);
+    EXPECT_EQ(v.network, v.flat_inter_node) << trace::to_string(op);
+  }
+}
+
+TEST(HierarchicalSchedule, ReducibleOpsShrinkNetworkBytes) {
+  const auto g = NodeGroups::blocked(16, 4);
+  for (const auto op : {CollectiveOp::Allreduce, CollectiveOp::ReduceScatter,
+                        CollectiveOp::Allgather}) {
+    const auto v = collectives::hierarchical_volume(op, 0, 16, 160000, g);
+    EXPECT_LT(v.network, v.flat_inter_node) << trace::to_string(op);
+    EXPECT_GT(v.network, 0) << trace::to_string(op);
+  }
+}
+
+TEST(HierarchicalSchedule, AllreduceRemovesSourceReplication) {
+  // Uniform blocked grouping: the network stage is the flat inter-node
+  // demand divided by the node occupancy (ceil per leader pair).
+  const int n = 8;
+  const auto g = NodeGroups::blocked(n, 2);
+  const auto v =
+      collectives::hierarchical_volume(CollectiveOp::Allreduce, 0, n, 8000, g);
+  // 4 nodes -> 12 ordered leader pairs, each ceil(X_ab / 2).
+  EXPECT_GE(v.network, v.flat_inter_node / 2);
+  EXPECT_LE(v.network, v.flat_inter_node / 2 + 12);
+}
+
+TEST(HierarchicalSchedule, BarrierMovesZeroBytes) {
+  const auto g = NodeGroups::blocked(8, 2);
+  const auto v =
+      collectives::hierarchical_volume(CollectiveOp::Barrier, 0, 8, 0, g);
+  EXPECT_EQ(v.network, 0);
+  EXPECT_EQ(v.intra_up, 0);
+  EXPECT_EQ(v.intra_down, 0);
+  // The schedule still emits (zero-byte) messages — they carry packet
+  // cost downstream.
+  int messages = 0;
+  collectives::for_each_hierarchical_pair(
+      CollectiveOp::Barrier, 0, 8, 0, g,
+      [&](Rank, Rank, Bytes) { ++messages; });
+  EXPECT_GT(messages, 0);
+}
+
+TEST(HierarchicalSchedule, GroupingMustCoverTheCollective) {
+  const auto g = NodeGroups::blocked(8, 2);
+  EXPECT_THROW(collectives::for_each_hierarchical_pair(
+                   CollectiveOp::Allreduce, 0, 12, 1000, g, [](Rank, Rank,
+                                                               Bytes) {}),
+               ConfigError);
+}
+
+// ---- Hierarchical expansion in the traffic matrix -------------------------
+
+TEST(HierarchicalTraffic, ShiftsInterNodeBytesOnCollectiveHeavyApp) {
+  // MOCFE is ~95% collectives (Table 1): switching the schedule must
+  // cut inter-node bytes under a multi-core placement.
+  const auto trace = workloads::generate("MOCFE", 64);
+  const auto machine = MachineModel::degenerate(4);
+  const auto placement = Placement::blocked(64, 16, machine);
+  const auto flat = metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true, .include_collectives = true});
+  const auto hier = metrics::TrafficMatrix::from_trace(
+      trace, {.include_p2p = true,
+              .include_collectives = true,
+              .collective_algo = CollectiveAlgo::Hierarchical,
+              .collective_ranks_per_node = 4});
+  const auto flat_split = metrics::traffic_level_split(flat, placement);
+  const auto hier_split = metrics::traffic_level_split(hier, placement);
+  EXPECT_LT(hier_split.bytes_at(Level::Network),
+            flat_split.bytes_at(Level::Network));
+}
+
+TEST(HierarchicalTraffic, OptionsValidation) {
+  const auto trace = workloads::generate("MOCFE", 64);
+  // Needs a rank -> node view.
+  EXPECT_THROW(metrics::TrafficMatrix::from_trace(
+                   trace, {.include_collectives = true,
+                           .collective_algo = CollectiveAlgo::Hierarchical}),
+               ConfigError);
+  // node_of must cover every rank.
+  EXPECT_THROW(
+      metrics::TrafficMatrix::from_trace(
+          trace, {.include_collectives = true,
+                  .collective_algo = CollectiveAlgo::Hierarchical,
+                  .collective_node_of = std::vector<NodeId>{0, 0, 1, 1}}),
+      ConfigError);
+  // The pattern ablations are flat-only.
+  EXPECT_THROW(
+      metrics::TrafficMatrix::from_trace(
+          trace, {.include_collectives = true,
+                  .collective_algorithm = collectives::Algorithm::Ring,
+                  .collective_algo = CollectiveAlgo::Hierarchical,
+                  .collective_ranks_per_node = 4}),
+      ConfigError);
+}
+
+// ---- Per-level traffic splits ---------------------------------------------
+
+TEST(LevelSplit, BinsEveryByteExactlyOnce) {
+  const auto trace = workloads::generate("LULESH", 64);
+  const auto matrix = metrics::TrafficMatrix::from_trace(trace);
+  const auto p = Placement::blocked(64, 16, MachineModel(2, 2));
+  const auto split = metrics::traffic_level_split(matrix, p);
+  EXPECT_EQ(split.total_bytes(), matrix.total_bytes());
+}
+
+TEST(LevelSplit, DegenerateMachineHasNoSocketLevel) {
+  const auto trace = workloads::generate("LULESH", 64);
+  const auto matrix = metrics::TrafficMatrix::from_trace(trace);
+  // 1 socket x 4 cores: no rank pair can differ in socket only.
+  const auto p = Placement::blocked(64, 16, MachineModel::degenerate(4));
+  const auto split = metrics::traffic_level_split(matrix, p);
+  EXPECT_EQ(split.bytes_at(Level::Node), 0);
+  EXPECT_EQ(split.bytes_at(Level::Socket) + split.bytes_at(Level::Core) +
+                split.bytes_at(Level::Network),
+            matrix.total_bytes());
+}
+
+TEST(LevelSplit, PlacementMustCoverMatrix) {
+  const auto trace = workloads::generate("LULESH", 64);
+  const auto matrix = metrics::TrafficMatrix::from_trace(trace);
+  const auto p = Placement::blocked(32, 8, MachineModel::degenerate(4));
+  EXPECT_THROW(metrics::traffic_level_split(matrix, p), ConfigError);
+}
+
+// ---- Fig. 5 byte-identity under the hierarchy ------------------------------
+
+TEST(MulticoreHierarchy, DegenerateMachinesReproduceIntSeries) {
+  const auto trace = workloads::generate("LULESH", 64);
+  const std::vector<int> cores = {1, 2, 4, 8};
+  std::vector<MachineModel> machines;
+  for (const int c : cores) machines.push_back(MachineModel::degenerate(c));
+  const auto by_int = analysis::multicore_study(trace, "LULESH", cores);
+  const auto by_machine = analysis::multicore_study(trace, "LULESH", machines);
+  ASSERT_EQ(by_int.relative_traffic.size(), by_machine.relative_traffic.size());
+  for (std::size_t i = 0; i < by_int.relative_traffic.size(); ++i) {
+    // Byte-identical: the hierarchy path must accumulate the same
+    // doubles in the same order, not merely agree approximately.
+    EXPECT_EQ(by_int.relative_traffic[i], by_machine.relative_traffic[i]);
+  }
+}
+
+// ---- TP014 -----------------------------------------------------------------
+
+TEST(LintPlacement, CleanOnValidPlacement) {
+  const auto p = Placement::blocked(8, 2, MachineModel(2, 2));
+  EXPECT_TRUE(lint::lint_placement(p, 8).empty());
+}
+
+TEST(LintPlacement, FlagsOversubscribedCore) {
+  // Two ranks on node 0 / socket 0 / core 0.
+  std::vector<mapping::PlaceCoord> coords = {{0, 0, 0}, {0, 0, 0}};
+  const Placement p(coords, 2, MachineModel(2, 2));
+  const auto report = lint::lint_placement(p, 2);
+  EXPECT_FALSE(report.by_rule("TP014").empty());
+}
+
+// ---- VF018 -----------------------------------------------------------------
+
+TEST(VerifyPlacement, CleanOnBlockedPlacement) {
+  const auto p = Placement::blocked(12, 3, MachineModel(2, 2));
+  lint::LintReport report;
+  const auto checks = verify::check_placement(p.raw(), p.num_nodes(),
+                                              p.machine(), p.flat_view(),
+                                              "test", report);
+  EXPECT_GT(checks, 0u);
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(VerifyPlacement, FlagsOutOfBoundsCoordinates) {
+  const auto p = Placement::blocked(4, 2, MachineModel(1, 2));
+  auto coords = p.raw();
+  coords[1].socket = 7;   // outside the machine's 1 socket
+  coords[2].node = 99;    // outside [0, 2)
+  lint::LintReport report;
+  verify::check_placement(coords, p.num_nodes(), p.machine(), p.flat_view(),
+                          "test", report);
+  EXPECT_GE(report.by_rule("VF018").size(), 2u);
+}
+
+TEST(VerifyPlacement, FlagsFlatViewDisagreement) {
+  const auto p = Placement::blocked(4, 2, MachineModel(1, 2));
+  // A flat view claiming rank 3 sits on node 0 (the placement says 1).
+  std::vector<NodeId> table = {0, 0, 1, 0};
+  const mapping::Mapping lying(table, 2);
+  lint::LintReport report;
+  verify::check_placement(p.raw(), p.num_nodes(), p.machine(), lying, "test",
+                          report);
+  EXPECT_FALSE(report.by_rule("VF018").empty());
+}
+
+TEST(VerifyHierarchical, CleanOnHonestVolumes) {
+  const auto g = NodeGroups::blocked(12, 4);
+  for (const auto op : {CollectiveOp::Bcast, CollectiveOp::Allreduce,
+                        CollectiveOp::Alltoall, CollectiveOp::Barrier}) {
+    const auto claimed =
+        collectives::hierarchical_volume(op, 0, 12, 48000, g);
+    lint::LintReport report;
+    verify::check_hierarchical_conservation(op, 0, 12, 48000, g, claimed,
+                                            "test", report);
+    EXPECT_TRUE(report.empty()) << trace::to_string(op);
+  }
+}
+
+TEST(VerifyHierarchical, FlagsPerturbedNetworkBytes) {
+  const auto g = NodeGroups::blocked(12, 4);
+  auto claimed = collectives::hierarchical_volume(CollectiveOp::Allreduce, 0,
+                                                  12, 48000, g);
+  claimed.network += 1;
+  lint::LintReport report;
+  verify::check_hierarchical_conservation(CollectiveOp::Allreduce, 0, 12,
+                                          48000, g, claimed, "test", report);
+  EXPECT_FALSE(report.by_rule("VF018").empty());
+}
+
+TEST(VerifyHierarchical, FlagsPerturbedIntraBytes) {
+  const auto g = NodeGroups::blocked(8, 2);
+  auto claimed = collectives::hierarchical_volume(CollectiveOp::Gather, 2, 8,
+                                                  9000, g);
+  claimed.intra_up ^= 1;
+  lint::LintReport report;
+  verify::check_hierarchical_conservation(CollectiveOp::Gather, 2, 8, 9000, g,
+                                          claimed, "test", report);
+  EXPECT_FALSE(report.by_rule("VF018").empty());
+}
+
+}  // namespace
+}  // namespace netloc
