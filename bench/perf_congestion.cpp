@@ -1,0 +1,238 @@
+// Windowed congestion pipeline throughput (docs/CONGESTION.md): streams
+// a HALO3D scale workload through a budget-split WindowedTrafficAccumulator,
+// then routes every per-window matrix over the Table 2 torus with
+// congestion_report() on all hardware threads.
+//
+// Each row runs in a forked child so wait4()'s ru_maxrss reports an
+// isolated peak RSS (perf_scale's harness). The child also re-streams
+// the same workload through the aggregate TrafficAccumulator and gates
+// on the conservation law: the per-window byte totals must sum to the
+// aggregate total exactly (the VF019 invariant) — exit 2 otherwise.
+//
+// Writes BENCH_congestion.json in the working directory, one record per
+// row: {"ranks", "windows", "ingest_s", "aggregate_s", "report_s",
+// "window_pairs", "window_pairs_per_s", "hot_links", "hotspots",
+// "budget_bytes", "peak_rss_kb"}. Exits non-zero if a child fails its
+// conservation gate or peak RSS reaches 2 GiB — the CI perf-smoke gate.
+//
+// Usage: perf_congestion [--quick]   (--quick drops the 4096-rank row)
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netloc/common/format.hpp"
+#include "netloc/common/thread_pool.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/congestion.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/windowed.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/topology/route_plan.hpp"
+#include "netloc/workloads/scale.hpp"
+#include "netloc/workloads/workload.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// W open strips share the traffic budget (budget / W each inside the
+/// accumulator), so the whole windowed ingest stays under one budget.
+constexpr std::uint64_t kBudgetBytes = 256ull << 20;  // 256 MiB.
+constexpr long kRssLimitKb = 2ll << 20;               // 2 GiB in KB.
+constexpr int kWindows = 32;
+
+double seconds_since(Clock::time_point begin) {
+  return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+
+std::string num(double value) {
+  std::ostringstream s;
+  s.precision(std::numeric_limits<double>::max_digits10);
+  s << value;
+  return s.str();
+}
+
+/// What one child measures, sent back through a pipe.
+struct RowReport {
+  std::uint64_t window_pairs = 0;  ///< Nonzero pairs summed over windows.
+  std::int32_t hot_links = 0;
+  std::int32_t hotspots = 0;
+  double ingest_s = 0.0;
+  double aggregate_s = 0.0;
+  double report_s = 0.0;
+};
+
+struct RowResult {
+  int ranks = 0;
+  RowReport report;
+  long peak_rss_kb = 0;
+  [[nodiscard]] double window_pairs_per_s() const {
+    return report.report_s > 0.0
+               ? static_cast<double>(report.window_pairs) / report.report_s
+               : 0.0;
+  }
+};
+
+/// One full windowed pass at `ranks`; exits 2 on a conservation or
+/// sanity failure so the parent sees a clean pass/fail.
+RowReport run_row(int ranks) {
+  namespace metrics = netloc::metrics;
+  RowReport report;
+  const int threads = netloc::ThreadPool::default_parallelism();
+  const auto entry = netloc::workloads::scale_entry("HALO3D", ranks);
+  const metrics::TrafficOptions options{
+      .include_p2p = true,
+      .include_collectives = true,
+      .memory_budget_bytes = kBudgetBytes / 4};
+
+  auto t0 = Clock::now();
+  metrics::WindowedTrafficAccumulator accumulator(entry.time_s, kWindows,
+                                                  options);
+  netloc::workloads::generator(entry.app)
+      .generate_into(entry, netloc::workloads::kDefaultSeed, accumulator);
+  const auto windowed = accumulator.take();
+  report.ingest_s = seconds_since(t0);
+
+  // Conservation gate (the VF019 invariant): the same stream through
+  // the aggregate accumulator must carry exactly the summed volume.
+  t0 = Clock::now();
+  metrics::TrafficAccumulator aggregate_accumulator(options);
+  netloc::workloads::generator(entry.app)
+      .generate_into(entry, netloc::workloads::kDefaultSeed,
+                     aggregate_accumulator);
+  const auto aggregate = aggregate_accumulator.take();
+  report.aggregate_s = seconds_since(t0);
+  netloc::Bytes window_bytes = 0;
+  for (const auto& window : windowed.windows) {
+    window_bytes += window.total_bytes();
+    report.window_pairs += window.nonzero_pairs();
+  }
+  if (window_bytes != aggregate.total_bytes() || report.window_pairs == 0) {
+    _exit(2);
+  }
+
+  const auto sets = netloc::topology::topologies_for(ranks);
+  const auto plan = netloc::topology::RoutePlan::build(*sets.torus, ranks);
+  const auto mapping =
+      netloc::mapping::Mapping::linear(ranks, plan->num_nodes());
+
+  t0 = Clock::now();
+  metrics::CongestionOptions congestion;
+  congestion.windows = kWindows;
+  const auto summary =
+      metrics::congestion_report(windowed.windows, windowed.window_seconds,
+                                 *plan, mapping, congestion, threads);
+  report.report_s = seconds_since(t0);
+  report.hot_links = summary.hot_links;
+  report.hotspots = static_cast<std::int32_t>(summary.hotspots.size());
+  if (!summary.enabled || summary.peak_offered_fraction <= 0.0) _exit(2);
+  return report;
+}
+
+RowResult run_row_forked(int ranks) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::cerr << "FAIL: pipe() failed\n";
+    std::exit(3);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::cerr << "FAIL: fork() failed\n";
+    std::exit(3);
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const RowReport report = run_row(ranks);
+    const auto* bytes = reinterpret_cast<const char*>(&report);
+    std::size_t written = 0;
+    while (written < sizeof(report)) {
+      const ssize_t n =
+          write(fds[1], bytes + written, sizeof(report) - written);
+      if (n <= 0) _exit(3);
+      written += static_cast<std::size_t>(n);
+    }
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  RowReport report;
+  auto* bytes = reinterpret_cast<char*>(&report);
+  std::size_t got = 0;
+  while (got < sizeof(report)) {
+    const ssize_t n = read(fds[0], bytes + got, sizeof(report) - got);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  close(fds[0]);
+  int status = 0;
+  struct rusage usage {};
+  if (wait4(pid, &status, 0, &usage) != pid || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0 || got != sizeof(report)) {
+    std::cerr << "FAIL: " << ranks << "-rank child did not complete cleanly\n";
+    std::exit(WIFEXITED(status) && WEXITSTATUS(status) == 2 ? 2 : 3);
+  }
+  // Linux reports ru_maxrss in kilobytes.
+  return {ranks, report, usage.ru_maxrss};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  std::vector<int> sizes = {512};
+  if (!quick) sizes.push_back(4096);
+
+  std::vector<RowResult> rows;
+  for (const int ranks : sizes) rows.push_back(run_row_forked(ranks));
+
+  std::cout << "ranks   win pairs   ingest[s]  agg[s]   report[s]  "
+               "win pairs/s  hot  peak RSS[MB]\n";
+  for (const auto& r : rows) {
+    std::cout << r.ranks << "    " << r.report.window_pairs << "    "
+              << netloc::fixed(r.report.ingest_s, 2) << "       "
+              << netloc::fixed(r.report.aggregate_s, 2) << "     "
+              << netloc::fixed(r.report.report_s, 2) << "       "
+              << netloc::fixed(r.window_pairs_per_s() / 1e6, 1) << "M       "
+              << r.report.hot_links << "    "
+              << netloc::fixed(static_cast<double>(r.peak_rss_kb) / 1024.0, 1)
+              << "\n";
+  }
+
+  std::ofstream out("BENCH_congestion.json");
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "  {\"ranks\": " << r.ranks << ", \"windows\": " << kWindows
+        << ", \"ingest_s\": " << num(r.report.ingest_s)
+        << ", \"aggregate_s\": " << num(r.report.aggregate_s)
+        << ", \"report_s\": " << num(r.report.report_s)
+        << ", \"window_pairs\": " << r.report.window_pairs
+        << ", \"window_pairs_per_s\": " << num(r.window_pairs_per_s())
+        << ", \"hot_links\": " << r.report.hot_links
+        << ", \"hotspots\": " << r.report.hotspots
+        << ", \"budget_bytes\": " << kBudgetBytes
+        << ", \"peak_rss_kb\": " << r.peak_rss_kb << "}"
+        << (i + 1 == rows.size() ? "\n" : ",\n");
+  }
+  out << "]\n";
+  std::cout << "wrote BENCH_congestion.json\n";
+
+  for (const auto& r : rows) {
+    if (r.peak_rss_kb >= kRssLimitKb) {
+      std::cerr << "FAIL: " << r.ranks << "-rank row peak RSS "
+                << r.peak_rss_kb << " KB >= 2 GiB\n";
+      return 1;
+    }
+  }
+  return 0;
+}

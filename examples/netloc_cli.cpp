@@ -9,6 +9,7 @@
 //   netloc_cli multicore <app> <ranks>
 //   netloc_cli topologies [ranks]
 //   netloc_cli sweep [--jobs N] [--cache DIR] [--no-cache] [--csv F] [...]
+//   netloc_cli congestion [--windows N] [--threshold F] [--routing K] [...]
 //   netloc_cli scale <HALO3D|A2ABLOCK> <ranks> [--tier T] [--memory-budget B] [...]
 //   netloc_cli lint <trace-file> [--topology F] [--mapping R] [...]
 //   netloc_cli lint-rules
@@ -39,6 +40,7 @@
 #include "netloc/common/thread_pool.hpp"
 #include "netloc/engine/sweep.hpp"
 #include "netloc/lint/lint.hpp"
+#include "netloc/lint/metric_rules.hpp"
 #include "netloc/collectives/hierarchical.hpp"
 #include "netloc/mapping/bisection.hpp"
 #include "netloc/mapping/io.hpp"
@@ -47,7 +49,9 @@
 #include "netloc/mapping/placement.hpp"
 #include "netloc/metrics/hops.hpp"
 #include "netloc/metrics/level_split.hpp"
+#include "netloc/metrics/temporal.hpp"
 #include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/windowed.hpp"
 #include "netloc/metrics/utilization.hpp"
 #include "netloc/topology/configs.hpp"
 #include "netloc/topology/large.hpp"
@@ -86,6 +90,15 @@ int usage() {
          "                  [--kernel-threads <n>]\n"
          "                  [--csv <out.csv>] [--apps <name,name,...>]\n"
          "                  [--progress] [--verify]\n"
+         "  netloc_cli congestion [--windows <n>] [--threshold <fraction>]\n"
+         "                  [--top-k <n>] [--routing minimal|ecmp]\n"
+         "                  [--fail-links <ids>] [--jobs <n>]\n"
+         "                  [--cache <dir>] [--no-cache]\n"
+         "                  [--cache-cap <bytes[k|m|g]>]\n"
+         "                  [--memory-budget <bytes[k|m|g]>]\n"
+         "                  [--kernel-threads <n>]\n"
+         "                  [--csv <out.csv>] [--apps <name,name,...>]\n"
+         "                  [--progress] [--verify]\n"
          "  netloc_cli scale <HALO3D|A2ABLOCK> <ranks>\n"
          "                  [--tier fattree|dragonfly|rrg]\n"
          "                  [--memory-budget <bytes[k|m|g]>]\n"
@@ -101,11 +114,13 @@ int usage() {
          "                  [--max-pairs <n>] [--csv <out.csv>]\n"
          "                  [--fail-on note|warning|error] [--hierarchy <SxC>]\n"
          "                  (passes: graph routes ecmp faults metrics cache\n"
-         "                   taskgraph traffic placement)\n"
+         "                   taskgraph traffic placement congestion)\n"
          "  netloc_cli submit --socket <path> [--apps <a,a/ranks,...>]\n"
          "                  [--seed <n>] [--routing minimal|ecmp]\n"
          "                  [--fail-links <ids>] [--priority <n>]\n"
          "                  [--hierarchy <SxC>] [--collective-algo flat|hier]\n"
+         "                  [--congestion-windows <n>]\n"
+         "                  [--congestion-threshold <fraction>]\n"
          "                  [--detach] [--progress] [--csv <out.csv>]\n"
          "  netloc_cli status --socket <path>\n"
          "  netloc_cli watch --socket <path> <job>\n"
@@ -560,6 +575,176 @@ int cmd_sweep(const SweepArgs& args) {
   return EXIT_SUCCESS;
 }
 
+// ---- congestion -------------------------------------------------------------
+
+/// `congestion`: the sweep with windowed link-load analysis switched
+/// on. Shares the sweep's engine/cache plumbing (the windowed knobs
+/// join the cache key, so default sweep blobs stay warm) and renders a
+/// Table-3-style congestion summary instead of the locality columns.
+struct CongestionArgs {
+  SweepArgs sweep;
+  netloc::metrics::CongestionOptions congestion;
+};
+
+std::optional<CongestionArgs> parse_congestion_args(int argc, char** argv) {
+  CongestionArgs args;
+  args.congestion.windows = 64;
+  // Peel the congestion knobs off, then hand the rest to the sweep
+  // parser unchanged.
+  std::vector<char*> rest = {argv[0], argv[1]};
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--windows" || flag == "--threshold" || flag == "--top-k") {
+      if (i + 1 >= argc) return std::nullopt;
+      const std::string value = argv[++i];
+      if (flag == "--windows") {
+        args.congestion.windows = std::atoi(value.c_str());
+        // One TrafficMatrix per window and per (workload, topology)
+        // cell: an absurd count is a hang, not an analysis. 65536
+        // already oversamples every catalog trace (lint TP015 fires
+        // far earlier).
+        if (args.congestion.windows < 1 ||
+            args.congestion.windows > (1 << 16)) {
+          return std::nullopt;
+        }
+      } else if (flag == "--threshold") {
+        args.congestion.threshold = std::atof(value.c_str());
+        if (!(args.congestion.threshold > 0.0)) return std::nullopt;
+      } else {
+        args.congestion.top_k = std::atoi(value.c_str());
+        if (args.congestion.top_k < 1) return std::nullopt;
+      }
+      continue;
+    }
+    rest.push_back(argv[i]);
+  }
+  const auto sweep =
+      parse_sweep_args(static_cast<int>(rest.size()), rest.data());
+  if (!sweep) return std::nullopt;
+  args.sweep = *sweep;
+  return args;
+}
+
+int cmd_congestion(const CongestionArgs& args) {
+  namespace engine = netloc::engine;
+  namespace lint = netloc::lint;
+
+  std::vector<netloc::workloads::CatalogEntry> entries;
+  if (args.sweep.apps.empty()) {
+    entries = netloc::workloads::catalog();
+  } else {
+    for (const auto& app : args.sweep.apps) {
+      const auto app_entries = netloc::workloads::catalog_for(app);
+      if (app_entries.empty()) {
+        std::cerr << "unknown workload '" << app << "'\n";
+        return EXIT_FAILURE;
+      }
+      entries.insert(entries.end(), app_entries.begin(), app_entries.end());
+    }
+  }
+
+  engine::StreamObserver progress(std::cerr);
+  engine::SweepOptions options;
+  options.jobs = args.sweep.jobs;
+  options.run.routing = args.sweep.routing;
+  options.run.machine = args.sweep.machine;
+  options.run.collective_algo = args.sweep.collective_algo;
+  options.run.memory_budget_bytes = args.sweep.memory_budget;
+  options.run.kernel_threads = args.sweep.kernel_threads;
+  options.run.congestion = args.congestion;
+  if (args.sweep.use_cache) {
+    options.cache_dir = args.sweep.cache_dir;
+    options.cache_max_bytes = args.sweep.cache_cap;
+  }
+  if (args.sweep.progress || args.sweep.verify) options.observer = &progress;
+  if (args.sweep.verify) {
+    options.post_cell_verify = netloc::verify::make_cell_verifier();
+  }
+
+  engine::SweepEngine sweep(options);
+  const auto rows = sweep.run_rows(entries);
+
+  // Pre-flight lint per row: pathological window setups (MT006/MT007/
+  // TP015) and on_end durations that disagree with the windowing
+  // duration known up front (TR011).
+  lint::LintReport report;
+  for (const auto& row : rows) {
+    const netloc::Count timed_events =
+        row.stats.p2p_messages + row.stats.collective_calls;
+    report.merge(lint::lint_congestion_windows(
+        args.congestion.windows, args.congestion.threshold, row.stats.duration,
+        timed_events, row.entry.label()));
+    if (!netloc::metrics::durations_agree(row.entry.time_s,
+                                          row.stats.duration)) {
+      report.merge(lint::lint_window_duration(row.entry.time_s,
+                                              row.stats.duration,
+                                              row.entry.label()));
+    }
+  }
+  for (const auto& d : report.diagnostics()) {
+    std::cerr << lint::format(d) << '\n';
+  }
+
+  // Table-3-style congestion summary: one line per (workload, topology)
+  // cell across the whole catalog selection.
+  std::cout << "congestion: " << args.congestion.windows
+            << " windows, hot threshold "
+            << netloc::fixed(args.congestion.threshold, 2)
+            << " of 12 GB/s capacity, top " << args.congestion.top_k
+            << " links\n"
+            << "workload\ttopology\twin_s\thot\tp50_s\tp90_s\tmax_s\t"
+               "exceeded\tpeak\ttop links\n";
+  for (const auto& row : rows) {
+    for (const auto& topo : row.topologies) {
+      const auto& c = topo.congestion;
+      if (!c.enabled) continue;
+      std::string top_links;
+      for (const auto& h : c.hotspots) {
+        if (!top_links.empty()) top_links += ' ';
+        top_links += std::to_string(h.link) +
+                     (h.global ? "g:" : ":") + std::to_string(h.hot_windows);
+      }
+      if (top_links.empty()) top_links = "-";
+      std::cout << row.entry.label() << '\t' << topo.topology << '\t'
+                << netloc::sci(c.window_seconds) << '\t' << c.hot_links << '\t'
+                << netloc::sci(c.hot_duration_p50_s) << '\t'
+                << netloc::sci(c.hot_duration_p90_s) << '\t'
+                << netloc::sci(c.hot_duration_max_s) << '\t'
+                << netloc::fixed(100.0 * c.exceeded_window_fraction, 1)
+                << "%\t" << netloc::sci(c.peak_offered_fraction) << '\t'
+                << top_links << '\n';
+    }
+  }
+
+  const auto& stats = sweep.stats();
+  std::cerr << "congestion sweep: " << stats.cells << " rows ("
+            << stats.cache_hits << " cached, " << stats.jobs_run
+            << " jobs run) in " << netloc::fixed(stats.wall_s, 2) << " s";
+  if (!args.sweep.routing.is_default()) {
+    std::cerr << ", routing " << args.sweep.routing.label();
+  }
+  if (args.sweep.verify) {
+    std::cerr << ", verify findings " << stats.verify_findings;
+  }
+  std::cerr << "\n";
+
+  if (!args.sweep.csv_path.empty()) {
+    std::ofstream out(args.sweep.csv_path);
+    if (!out) {
+      std::cerr << "cannot open " << args.sweep.csv_path << "\n";
+      return EXIT_FAILURE;
+    }
+    netloc::analysis::write_congestion_csv(rows, out);
+    std::cout << "wrote " << args.sweep.csv_path << "\n";
+  }
+  if (args.sweep.verify && stats.verify_findings > 0) {
+    std::cerr << "congestion: verification reported " << stats.verify_findings
+              << " finding(s)\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}
+
 // ---- scale ------------------------------------------------------------------
 
 struct ScaleArgs {
@@ -908,6 +1093,9 @@ int cmd_verify(const VerifyArgs& args) {
   namespace verify = netloc::verify;
   const auto trace = netloc::workloads::generate(args.app, args.ranks);
   const auto matrix = netloc::metrics::TrafficMatrix::from_trace(trace);
+  // Same default TrafficOptions as the aggregate above, so the
+  // congestion pass's conservation law (VF019) is checkable against it.
+  const auto windowed = netloc::metrics::windowed_traffic(trace, 8);
   netloc::analysis::RunOptions run;
   run.routing = args.routing;
   run.machine = args.machine;
@@ -942,6 +1130,7 @@ int cmd_verify(const VerifyArgs& args) {
       continue;
     }
     ctx.traffic = &matrix;
+    ctx.window_traffic = &windowed;
     ctx.duration = trace.duration();
     ctx.run = run;
     ctx.placement = &placement;
@@ -1083,6 +1272,12 @@ std::optional<SubmitArgs> parse_submit_args(int argc, char** argv) {
       }
     } else if (flag == "--priority") {
       args.request.priority = std::atoi(value.c_str());
+    } else if (flag == "--congestion-windows") {
+      args.request.congestion.windows = std::atoi(value.c_str());
+      if (args.request.congestion.windows < 1) return std::nullopt;
+    } else if (flag == "--congestion-threshold") {
+      args.request.congestion.threshold = std::atof(value.c_str());
+      if (!(args.request.congestion.threshold > 0.0)) return std::nullopt;
     } else if (flag == "--csv") {
       args.csv_path = value;
     } else {
@@ -1312,6 +1507,10 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") {
       const auto args = parse_sweep_args(argc, argv);
       return args ? cmd_sweep(*args) : usage();
+    }
+    if (cmd == "congestion") {
+      const auto args = parse_congestion_args(argc, argv);
+      return args ? cmd_congestion(*args) : usage();
     }
     if (cmd == "scale") {
       const auto args = parse_scale_args(argc, argv);

@@ -13,6 +13,7 @@
 
 #include "netloc/collectives/hierarchical.hpp"
 #include "netloc/mapping/machine.hpp"
+#include "netloc/metrics/congestion.hpp"
 #include "netloc/topology/routing.hpp"
 #include "netloc/trace/sink.hpp"
 #include "netloc/trace/stats.hpp"
@@ -21,6 +22,7 @@
 
 namespace netloc::metrics {
 class TrafficMatrix;
+struct WindowedTraffic;
 }
 namespace netloc::topology {
 class Topology;
@@ -39,6 +41,9 @@ struct TopologyResult {
   double utilization_used_links_percent = 0.0;  ///< Eq. 5 over used links.
   int used_links = 0;                 ///< Links carrying traffic.
   double global_link_packet_share = 0.0;  ///< Dragonfly §6.2 claim.
+  /// Windowed congestion analysis (metrics/congestion.hpp); default
+  /// (enabled == false) unless RunOptions::congestion turns it on.
+  metrics::CongestionSummary congestion;
 };
 
 /// One full Table 3 row (MPI-level metrics + all three topologies).
@@ -98,6 +103,13 @@ struct RunOptions {
   /// the sweep engine already parallelizes across cells; raise it for
   /// single-cell runs at large rank counts.
   int kernel_threads = 1;
+  /// Windowed congestion analysis (metrics/congestion.hpp). Disabled
+  /// by default (windows == 0) — then ingestion accumulates no
+  /// per-window matrices, TopologyResult::congestion stays default,
+  /// and the sweep cache key is unchanged, so pre-congestion blobs
+  /// stay warm. When enabled, the knobs join the cache key exactly
+  /// like a non-default routing spec.
+  metrics::CongestionOptions congestion;
 };
 
 /// Run the full pipeline for one catalog entry.
@@ -134,6 +146,11 @@ struct StreamAnalysis {
   std::shared_ptr<metrics::TrafficMatrix> p2p_matrix;
   /// Frozen p2p+collectives matrix; null unless requested.
   std::shared_ptr<metrics::TrafficMatrix> full_matrix;
+  /// Per-window traffic (metrics/windowed.hpp); null unless
+  /// RunOptions::congestion is enabled AND the full matrix was
+  /// requested (the windows are the full view's time axis). Its
+  /// matrices sum cell-wise to *full_matrix (verify pass VF019).
+  std::shared_ptr<metrics::WindowedTraffic> windowed;
 };
 
 /// Single-pass analysis: tees one event pass from `feed` into the
@@ -142,22 +159,37 @@ struct StreamAnalysis {
 /// the MPI-level metrics. No event vector is ever materialized; results
 /// are byte-identical to the materialized path on the same event
 /// sequence.
+///
+/// With RunOptions::congestion enabled, the pass additionally tees a
+/// WindowedTrafficAccumulator. Window binning needs the execution time
+/// before the first event (docs/DATAPATH.md "Ingestion"):
+/// `windowed_duration_hint` supplies it when the caller knows better
+/// (e.g. trace.duration() for loaded traces); < 0 falls back to the
+/// catalog target entry.time_s, which the generators feed verbatim.
+/// A producer whose on_end() duration disagrees earns lint TR011 from
+/// the congestion consumers.
 StreamAnalysis analyze_stream(const EventFeed& feed,
                               const workloads::CatalogEntry& entry,
                               const RunOptions& options = {},
-                              bool want_full_matrix = false);
+                              bool want_full_matrix = false,
+                              Seconds windowed_duration_hint = -1.0);
 
 /// System-level (§6) cell: hops and utilization of `full_matrix`
 /// (p2p + translated collectives) on one topology under the
 /// consecutive one-rank-per-node mapping. A non-null `plan` (built for
 /// the same topology configuration, typically shared across cells by
 /// the sweep engine) serves distances and routes from its precomputed
-/// state; results are identical with or without it.
+/// state; results are identical with or without it. A non-null
+/// `windowed` (the same pass's per-window matrices) with
+/// RunOptions::congestion enabled additionally fills
+/// TopologyResult::congestion by routing each window over the plan.
 TopologyResult analyze_topology(const metrics::TrafficMatrix& full_matrix,
                                 const topology::Topology& topo,
                                 int num_ranks, Seconds duration,
                                 const RunOptions& options = {},
-                                const topology::RoutePlan* plan = nullptr);
+                                const topology::RoutePlan* plan = nullptr,
+                                const metrics::WindowedTraffic* windowed =
+                                    nullptr);
 
 /// Run every catalog entry (the whole of Table 3). Delegates to
 /// engine::SweepEngine (engine/sweep.hpp), which parallelizes the

@@ -30,4 +30,13 @@ void write_heatmap_pgm(const metrics::TrafficMatrix& matrix, std::ostream& out);
 void write_table3_csv(const std::vector<ExperimentRow>& rows,
                       std::ostream& out);
 
+/// Write the windowed congestion summaries of `rows` as CSV, one row
+/// per (workload, topology) cell — the congestion companion of
+/// write_table3_csv (which stays byte-identical whether or not
+/// congestion analysis ran). Cells whose congestion analysis is
+/// disabled are skipped. Same determinism contract: max_digits10
+/// doubles, so bit-identical summaries give byte-identical CSV.
+void write_congestion_csv(const std::vector<ExperimentRow>& rows,
+                          std::ostream& out);
+
 }  // namespace netloc::analysis

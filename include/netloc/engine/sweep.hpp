@@ -49,6 +49,10 @@ struct CellArtifacts {
   const topology::Topology* topology = nullptr;
   std::shared_ptr<const topology::RoutePlan> plan;
   const metrics::TrafficMatrix* full_matrix = nullptr;
+  /// Per-window traffic of the same pass; null unless the run's
+  /// congestion analysis is enabled. Lets the verifier check the
+  /// windowed conservation law (VF019) against full_matrix.
+  const metrics::WindowedTraffic* windowed = nullptr;
   int num_ranks = 0;
   Seconds duration = 0.0;
   /// The freshly computed Table 3 cell the verifier cross-checks.

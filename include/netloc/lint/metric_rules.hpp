@@ -12,6 +12,15 @@
 //   MT003 warning  rank sends traffic but receives none (or vice versa)
 //   MT004 error    utilization above 100% (Eq. 5 misconfiguration)
 //   MT005 warning  utilization is zero although the trace moves bytes
+//   MT006 warning  zero-duration trace carries timed events (windowed
+//                  congestion collapses to a single rate-free window)
+//   MT007 warning  congestion threshold at or above link capacity
+//
+// lint_congestion_windows additionally emits TP015 (window count
+// aliases the burst structure) and TR011 (on_end duration disagrees
+// with the windowing duration) — the pathological-window checks of the
+// congestion pipeline live in one place even though the IDs span three
+// packs.
 #pragma once
 
 #include <string>
@@ -29,5 +38,22 @@ LintReport lint_traffic_matrix(const metrics::TrafficMatrix& matrix,
 /// `total_bytes` the matrix volume it was computed from.
 LintReport lint_utilization(double utilization_percent, Bytes total_bytes,
                             const std::string& source = "utilization");
+
+/// Pathological-window checks for the congestion analysis (MT006,
+/// MT007, TP015). `windows`/`threshold` are the CongestionOptions
+/// knobs; `duration` is the trace's execution time and `timed_events`
+/// its p2p message + collective call count (the events that carry
+/// timestamps).
+LintReport lint_congestion_windows(int windows, double threshold,
+                                   Seconds duration, Count timed_events,
+                                   const std::string& source = "congestion");
+
+/// TR011: a streaming producer reported an on_end() duration that
+/// disagrees with the duration the time windows were binned with.
+/// Call when the accumulator flags end_duration_mismatch() — the
+/// mismatch detection itself (metrics::durations_agree()) lives with
+/// the accumulators.
+LintReport lint_window_duration(Seconds binned, Seconds reported,
+                                const std::string& source = "congestion");
 
 }  // namespace netloc::lint

@@ -1,0 +1,117 @@
+// Time-windowed link-load congestion analysis.
+//
+// The paper's model is deliberately non-temporal (§7/§8 defers
+// "dynamic effects"): Eq. 5 utilization averages the whole execution,
+// so a trace that saturates a handful of links for 5% of its runtime
+// looks identical to one that trickles the same volume smoothly.
+// Following "A Study of Network Congestion in Two Supercomputing
+// High-Speed Interconnects" (PAPERS.md), congestion is a link-level,
+// time-windowed phenomenon — this module routes each per-window
+// traffic matrix (windowed.hpp) over a RoutePlan and reports:
+//
+//  * hot-link duration distribution — for every link, how long its
+//    offered load stays at/above a threshold fraction of the 12 GB/s
+//    capacity (p50/p90/max over hot links);
+//  * capacity exceedance — the fraction of windows in which at least
+//    one link's offered load exceeds capacity outright;
+//  * hotspots — the top-k links ranked by windows-over-threshold, the
+//    places a routing policy change (ECMP, fault detours) moves load
+//    to or from.
+//
+// Loads reuse the accumulate_link_loads kernels (utilization.hpp):
+// integer, thread-pool parallel and bit-identical for single-path
+// plans; weighted and serial for ECMP. Per-window loads sum to the
+// aggregate loads exactly (verify pass VF019).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netloc/common/types.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/utilization.hpp"
+
+namespace netloc::topology {
+class RoutePlan;
+}
+namespace netloc::mapping {
+class Mapping;
+}
+
+namespace netloc::metrics {
+
+/// Knobs of the windowed congestion analysis. Defaults (windows == 0)
+/// disable it everywhere — analysis results, cache keys and serve
+/// requests all treat the disabled state as "absent" so pre-congestion
+/// artifacts stay valid.
+struct CongestionOptions {
+  /// Number of wall-clock windows; 0 disables the analysis.
+  int windows = 0;
+  /// Hot-link threshold as a fraction of link capacity: a link is hot
+  /// in a window when offered_bytes / (window_seconds * bandwidth)
+  /// reaches this value. Must be > 0; values >= 1 make "hot" and
+  /// "exceeded" coincide (lint MT007 flags that).
+  double threshold = 0.5;
+  /// Hotspot list size (top-k links by windows-over-threshold).
+  int top_k = 5;
+  /// Per-link capacity, the paper's 12 GB/s by default.
+  double bandwidth_bytes_per_s = kPaperBandwidthBytesPerS;
+
+  [[nodiscard]] bool enabled() const { return windows > 0; }
+};
+
+/// One congested link in the top-k ranking.
+struct CongestionHotspot {
+  LinkId link = -1;
+  /// Windows in which the link's offered load reached the threshold.
+  int hot_windows = 0;
+  /// The link's maximum offered load over all windows, as a fraction
+  /// of capacity (> 1 means outright exceedance).
+  double peak_offered_fraction = 0.0;
+  /// Dragonfly global inter-group link (always false elsewhere).
+  bool global = false;
+
+  bool operator==(const CongestionHotspot&) const = default;
+};
+
+/// Windowed congestion result for one (workload, topology) cell.
+struct CongestionSummary {
+  bool enabled = false;
+  int windows = 0;
+  Seconds window_seconds = 0.0;
+  double threshold = 0.0;
+
+  /// Links hot (offered >= threshold * capacity) in at least one window.
+  int hot_links = 0;
+  /// Weighted quantiles of the per-link hot duration
+  /// (hot_windows * window_seconds) over the hot links; 0 when none.
+  Seconds hot_duration_p50_s = 0.0;
+  Seconds hot_duration_p90_s = 0.0;
+  Seconds hot_duration_max_s = 0.0;
+  /// Fraction of windows in which some link's offered load exceeds
+  /// capacity (fraction > 1).
+  double exceeded_window_fraction = 0.0;
+  /// Maximum offered-load fraction over all (link, window) pairs.
+  double peak_offered_fraction = 0.0;
+  /// Top-k links by hot-window count (ties: peak fraction, then link
+  /// id); only links hot in >= 1 window appear.
+  std::vector<CongestionHotspot> hotspots;
+
+  bool operator==(const CongestionSummary&) const = default;
+};
+
+/// Compute the congestion summary for per-window matrices `windows`
+/// routed over `plan` under `mapping`. `window_seconds` <= 0 (a
+/// zero-duration trace) yields a structurally valid all-zero summary —
+/// no rate can be derived. `threads` feeds the integer link-load
+/// kernel on single-path plans (bit-identical at any count); multipath
+/// (ECMP) plans use the serial weighted kernel. Throws ConfigError on
+/// non-positive threshold/top_k/bandwidth.
+CongestionSummary congestion_report(std::span<const TrafficMatrix> windows,
+                                    Seconds window_seconds,
+                                    const topology::RoutePlan& plan,
+                                    const mapping::Mapping& mapping,
+                                    const CongestionOptions& options,
+                                    int threads = 1);
+
+}  // namespace netloc::metrics

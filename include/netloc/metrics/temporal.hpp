@@ -39,6 +39,13 @@ struct TimeProfile {
 TimeProfile time_profile(const trace::Trace& trace, int windows,
                          const TrafficOptions& options = {});
 
+/// Tolerance for comparing the constructor duration against the one a
+/// producer reports at on_end(): relative 1e-9, scaled by the larger
+/// magnitude (absolute for sub-second durations). Events were already
+/// binned with the constructor value, so a larger disagreement means
+/// the windows are silently skewed — callers surface it as lint TR011.
+[[nodiscard]] bool durations_agree(Seconds expected, Seconds actual);
+
 /// Streaming TimeProfile accumulator. Window binning needs the
 /// execution time before the first event arrives (each event is
 /// assigned a window on sight), so the duration is a constructor
@@ -46,8 +53,11 @@ TimeProfile time_profile(const trace::Trace& trace, int windows,
 /// targets for generators, the header for binary traces); this is the
 /// one metric where replaying a materialized trace is otherwise
 /// required (see docs/DATAPATH.md "Ingestion"). The duration passed to
-/// on_end() is ignored. The profile summary (burstiness, idle
-/// fraction) is finalized at on_end().
+/// on_end() is checked against the constructor duration
+/// (durations_agree()): a debug build asserts on disagreement, and
+/// end_duration_mismatch() records it so callers can emit lint TR011
+/// instead of shipping silently misbinned windows. The profile summary
+/// (burstiness, idle fraction) is finalized at on_end().
 class TimeProfileAccumulator final : public trace::EventSink {
  public:
   /// `duration` <= 0 yields the all-zero-window profile time_profile()
@@ -63,12 +73,27 @@ class TimeProfileAccumulator final : public trace::EventSink {
   /// The accumulated profile; complete once on_end() has fired.
   [[nodiscard]] const TimeProfile& profile() const { return profile_; }
 
+  /// True when on_end() reported a duration that disagrees with the
+  /// constructor duration (durations_agree()). The profile was still
+  /// finalized with the constructor binning — the mismatch flags that
+  /// those bins may be skewed.
+  [[nodiscard]] bool end_duration_mismatch() const {
+    return end_duration_mismatch_;
+  }
+
+  /// The duration the producer reported at on_end() (meaningful once
+  /// on_end() has fired).
+  [[nodiscard]] Seconds end_duration() const { return end_duration_; }
+
  private:
   void add_volume(Seconds time, Bytes bytes);
 
   int windows_;
   TrafficOptions options_;
   TimeProfile profile_;
+  Seconds duration_ = 0.0;
+  Seconds end_duration_ = 0.0;
+  bool end_duration_mismatch_ = false;
 };
 
 /// Peak-window network utilization: Eq. 5 evaluated over the busiest

@@ -223,6 +223,16 @@ class TrafficMatrix {
 using CollectiveGroups =
     std::map<std::tuple<trace::CollectiveOp, Rank, Bytes>, Count>;
 
+/// Expand grouped collectives into `matrix`, each distinct pattern once
+/// and scaled by its repeat count. The expansion is deterministic per
+/// (op, root, bytes) and linear in the repeat count, so splitting a
+/// group across several matrices (e.g. one per time window) and summing
+/// the results cell-wise reproduces the single-matrix expansion exactly
+/// — the property the windowed ingestion path relies on.
+void expand_collective_groups(TrafficMatrix& matrix,
+                              const TrafficOptions& options,
+                              const CollectiveGroups& groups);
+
 /// EventSink that feeds a TrafficMatrix's open-phase accumulation
 /// buffer directly — the streaming counterpart of from_trace(). P2P
 /// events accumulate as they arrive; collectives are grouped by

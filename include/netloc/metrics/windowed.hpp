@@ -1,0 +1,102 @@
+// Windowed traffic ingestion — the time axis of the congestion model.
+//
+// TimeProfileAccumulator (temporal.hpp) bins scalar injected bytes per
+// wall-clock window; it can say *when* the trace is bursty but not
+// *which links* carry the burst. WindowedTrafficAccumulator refines
+// that: one full TrafficMatrix per window, assigned with exactly the
+// TimeProfile binning, so metrics::congestion (congestion.hpp) can
+// route each window over a RoutePlan and resolve bursts to links.
+//
+// Conservation law (verified by VF019): every event lands in exactly
+// one window, and collective expansion is deterministic and linear in
+// the repeat count, so summing the per-window matrices cell-wise
+// reproduces the aggregate TrafficAccumulator matrix exactly — integer
+// arithmetic, no tolerance needed.
+//
+// Memory: each per-window matrix runs its open phase under
+// memory_budget_bytes / W (strip-tiled, docs/SCALE.md), so the W open
+// buffers together respect the same budget the aggregate path uses
+// (subject to the usual one-source-row floor per matrix).
+#pragma once
+
+#include <vector>
+
+#include "netloc/metrics/temporal.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/trace/sink.hpp"
+#include "netloc/trace/trace.hpp"
+
+namespace netloc::metrics {
+
+/// The finished windowed ingestion product: W frozen per-window traffic
+/// matrices plus the scalar TimeProfile view of the same pass.
+struct WindowedTraffic {
+  /// Execution time the windows divide (the constructor duration).
+  Seconds duration = 0.0;
+  /// duration / W; 0 for zero-duration traces (every event then sits in
+  /// windows[0] so the conservation law still holds, but no rate can be
+  /// derived — congestion_report() returns an all-zero summary).
+  Seconds window_seconds = 0.0;
+  /// One frozen matrix per window, cell-wise summing to the aggregate.
+  std::vector<TrafficMatrix> windows;
+  /// Scalar per-window injected bytes, byte-identical to running a
+  /// standalone TimeProfileAccumulator over the same events (it counts
+  /// raw event bytes, including self-messages the matrices drop — the
+  /// reason the profile is accumulated alongside, not derived from,
+  /// the matrices).
+  TimeProfile profile;
+};
+
+/// EventSink accumulating one budget-aware TrafficMatrix per wall-clock
+/// window. Window assignment matches TimeProfileAccumulator exactly:
+/// w = clamp(floor(time / window_seconds), 0, W - 1), with all events
+/// in window 0 for zero-duration traces. Collectives group per
+/// (window, op, root, bytes) and expand once per distinct pattern at
+/// on_end() via expand_collective_groups(), so each window is identical
+/// to running the aggregate accumulator over that window's events.
+class WindowedTrafficAccumulator final : public trace::EventSink {
+ public:
+  /// `duration` is the execution time known up front (catalog target
+  /// for generators, header duration for traces); `windows` >= 1
+  /// (ConfigError otherwise). `options.memory_budget_bytes` is split
+  /// evenly across the per-window matrices.
+  WindowedTrafficAccumulator(Seconds duration, int windows,
+                             const TrafficOptions& options = {});
+
+  void on_begin(std::string_view app_name, int num_ranks) override;
+  void on_p2p(const trace::P2PEvent& event) override;
+  void on_collective(const trace::CollectiveEvent& event) override;
+  void on_end(Seconds duration) override;
+
+  /// The finished product; valid only after on_end().
+  [[nodiscard]] WindowedTraffic take();
+
+  /// Forwarded from the embedded TimeProfileAccumulator: true when the
+  /// producer's on_end() duration disagrees with the constructor
+  /// duration (the windows were binned with the constructor value —
+  /// callers surface this as lint TR011).
+  [[nodiscard]] bool end_duration_mismatch() const {
+    return profile_.end_duration_mismatch();
+  }
+  [[nodiscard]] Seconds end_duration() const { return profile_.end_duration(); }
+
+ private:
+  [[nodiscard]] int window_of(Seconds time) const;
+
+  Seconds duration_;
+  int windows_;
+  TrafficOptions options_;
+  Seconds window_seconds_ = 0.0;
+  TimeProfileAccumulator profile_;
+  std::vector<TrafficMatrix> matrices_;
+  std::vector<CollectiveGroups> groups_;
+  bool ended_ = false;
+};
+
+/// Materialized-trace convenience mirroring TrafficMatrix::from_trace():
+/// stream `trace` through a WindowedTrafficAccumulator built with
+/// trace.duration().
+WindowedTraffic windowed_traffic(const trace::Trace& trace, int windows,
+                                 const TrafficOptions& options = {});
+
+}  // namespace netloc::metrics

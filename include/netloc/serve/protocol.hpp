@@ -5,7 +5,8 @@
 //   {"type":"ping"}
 //   {"type":"submit","apps":["AMG/8","LULESH"],"seed":42,
 //    "routing":"ecmp","fail_links":[3,17],"priority":1,
-//    "detach":false,"progress":true}
+//    "congestion_windows":64,"congestion_threshold":0.5,
+//    "congestion_top_k":5,"detach":false,"progress":true}
 //   {"type":"status"}
 //   {"type":"watch","job":"<16-hex job key>"}
 //   {"type":"cancel","job":"<16-hex job key>"}
@@ -39,6 +40,7 @@
 #include "netloc/common/error.hpp"
 #include "netloc/collectives/hierarchical.hpp"
 #include "netloc/mapping/machine.hpp"
+#include "netloc/metrics/congestion.hpp"
 #include "netloc/serve/json.hpp"
 #include "netloc/topology/routing.hpp"
 #include "netloc/workloads/workload.hpp"
@@ -63,6 +65,10 @@ struct SubmitRequest {
   /// absent field so old clients and old daemons interoperate.
   mapping::MachineModel machine;
   collectives::CollectiveAlgo collective_algo = collectives::CollectiveAlgo::Flat;
+  /// Windowed congestion analysis; the disabled default rides as absent
+  /// fields ("congestion_windows"/"congestion_threshold"/
+  /// "congestion_top_k"), so old clients and old daemons interoperate.
+  metrics::CongestionOptions congestion;
   /// Larger runs earlier; FIFO within a priority.
   int priority = 0;
   /// true: the accepted frame is the whole answer (fire-and-forget,

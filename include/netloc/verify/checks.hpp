@@ -168,4 +168,19 @@ std::size_t check_tiled_equivalence(const metrics::TrafficMatrix& original,
                                     const std::string& source,
                                     lint::LintReport& report);
 
+/// VF019 — windowed conservation law (docs/CONGESTION.md): the
+/// per-window traffic matrices of one ingestion pass must sum
+/// cell-for-cell (integer bytes and packets) to the aggregate matrix
+/// of the same pass, and the link loads they induce under
+/// `plan`/`mapping` must reproduce the aggregate link loads exactly —
+/// directly (integer sum over windows) for single-path plans, and
+/// through the summed matrix (bit-identical kernel operation sequence)
+/// for weighted/ECMP plans. A null `plan` or `mapping` checks the
+/// matrix half only.
+std::size_t check_window_conservation(
+    std::span<const metrics::TrafficMatrix> windows,
+    const metrics::TrafficMatrix& aggregate, const topology::RoutePlan* plan,
+    const mapping::Mapping* mapping, const std::string& source,
+    lint::LintReport& report);
+
 }  // namespace netloc::verify

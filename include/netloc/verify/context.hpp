@@ -24,6 +24,9 @@
 namespace netloc::engine {
 class TaskGraph;
 }
+namespace netloc::metrics {
+struct WindowedTraffic;
+}
 
 namespace netloc::verify {
 
@@ -48,6 +51,10 @@ struct VerifyContext {
   /// pass recompute its own reference via analyze_topology first (the
   /// recomputation is then checked against the metrics:: outputs).
   const analysis::TopologyResult* expected = nullptr;
+  /// Per-window traffic of the same pass (metrics/windowed.hpp);
+  /// together with `traffic` it feeds the congestion pass (VF019:
+  /// windows must sum to the aggregate). Null skips that pass.
+  const metrics::WindowedTraffic* window_traffic = nullptr;
 
   // ---- engine artifacts ------------------------------------------------
   /// Seed/routing/link-accounting the artifacts were produced under;

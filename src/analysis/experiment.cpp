@@ -1,5 +1,7 @@
 #include "netloc/analysis/experiment.hpp"
 
+#include <optional>
+
 #include "netloc/common/error.hpp"
 #include "netloc/mapping/mapping.hpp"
 #include "netloc/mapping/placement.hpp"
@@ -8,14 +10,17 @@
 #include "netloc/metrics/selectivity.hpp"
 #include "netloc/metrics/traffic_matrix.hpp"
 #include "netloc/metrics/utilization.hpp"
+#include "netloc/metrics/windowed.hpp"
 #include "netloc/topology/configs.hpp"
+#include "netloc/topology/route_plan.hpp"
 
 namespace netloc::analysis {
 
 StreamAnalysis analyze_stream(const EventFeed& feed,
                               const workloads::CatalogEntry& entry,
                               const RunOptions& options,
-                              bool want_full_matrix) {
+                              bool want_full_matrix,
+                              Seconds windowed_duration_hint) {
   // One pass, teed into every accumulator the row needs. The dual
   // accumulator produces both traffic views while keeping a single
   // open accumulation buffer — teeing two independent accumulators
@@ -32,6 +37,27 @@ StreamAnalysis analyze_stream(const EventFeed& feed,
   trace::SinkTee tee;
   tee.add(stats);
   tee.add(traffic);
+  // The congestion time axis rides the same pass: one extra sink with
+  // one strip per window, each under (budget/4)/W, so the windowed
+  // share of the open phase never exceeds the aggregate strip's.
+  // Binning needs the duration before the first event; the catalog
+  // target is what the generators feed, and trace-backed callers pass
+  // the header duration via the hint.
+  std::optional<metrics::WindowedTrafficAccumulator> windowed;
+  if (options.congestion.enabled() && want_full_matrix) {
+    const Seconds duration = windowed_duration_hint >= 0.0
+                                 ? windowed_duration_hint
+                                 : entry.time_s;
+    windowed.emplace(
+        duration, options.congestion.windows,
+        metrics::TrafficOptions{
+            .include_p2p = true,
+            .include_collectives = true,
+            .collective_algo = options.collective_algo,
+            .collective_ranks_per_node = options.machine.cores_per_node(),
+            .memory_budget_bytes = options.memory_budget_bytes / 4});
+    tee.add(*windowed);
+  }
   feed(tee);
 
   StreamAnalysis result;
@@ -41,6 +67,10 @@ StreamAnalysis analyze_stream(const EventFeed& feed,
   if (want_full_matrix) {
     result.full_matrix =
         std::make_shared<metrics::TrafficMatrix>(traffic.take_full());
+  }
+  if (windowed) {
+    result.windowed =
+        std::make_shared<metrics::WindowedTraffic>(windowed->take());
   }
 
   // ---- MPI level (§5): point-to-point traffic only. ---------------------
@@ -70,17 +100,21 @@ ExperimentRow analyze_mpi_level(const trace::Trace& trace,
 TopologyResult analyze_topology(const metrics::TrafficMatrix& full_matrix,
                                 const topology::Topology& topo, int num_ranks,
                                 Seconds duration, const RunOptions& options,
-                                const topology::RoutePlan* plan) {
+                                const topology::RoutePlan* plan,
+                                const metrics::WindowedTraffic* windowed) {
   TopologyResult result;
   result.topology = topo.name();
   result.config = topo.config_string();
 
-  // A non-default routing policy needs a plan carrying it; callers
-  // that pass no plan get a throwaway tableless one. (For the default
+  const bool want_congestion =
+      windowed != nullptr && options.congestion.enabled();
+  // A non-default routing policy needs a plan carrying it, and the
+  // congestion pass routes windows explicitly over one; callers that
+  // pass no plan get a throwaway tableless one. (For the default
   // policy the metric layers build their own tableless plans, exactly
   // as before.)
   std::shared_ptr<const topology::RoutePlan> local;
-  if (plan == nullptr && !options.routing.is_default()) {
+  if (plan == nullptr && (!options.routing.is_default() || want_congestion)) {
     local = topology::RoutePlan::build(topo, options.routing, /*window=*/0);
     plan = local.get();
   }
@@ -119,6 +153,11 @@ TopologyResult analyze_topology(const metrics::TrafficMatrix& full_matrix,
               .utilization_percent;
     }
   }
+  if (want_congestion) {
+    result.congestion =
+        metrics::congestion_report(windowed->windows, windowed->window_seconds,
+                                   *plan, mapping, options.congestion, threads);
+  }
   return result;
 }
 
@@ -128,18 +167,25 @@ ExperimentRow analyze_trace(const trace::Trace& trace,
   ExperimentRow row = analyze_mpi_level(trace, entry, options);
 
   // ---- System level (§6): collectives translated and included. ----------
-  const metrics::TrafficMatrix full_matrix = metrics::TrafficMatrix::from_trace(
-      trace, {.include_p2p = true,
-              .include_collectives = true,
-              .collective_algo = options.collective_algo,
-              .collective_ranks_per_node = options.machine.cores_per_node()});
+  const metrics::TrafficOptions traffic_options{
+      .include_p2p = true,
+      .include_collectives = true,
+      .collective_algo = options.collective_algo,
+      .collective_ranks_per_node = options.machine.cores_per_node()};
+  const metrics::TrafficMatrix full_matrix =
+      metrics::TrafficMatrix::from_trace(trace, traffic_options);
+  std::optional<metrics::WindowedTraffic> windowed;
+  if (options.congestion.enabled()) {
+    windowed = metrics::windowed_traffic(trace, options.congestion.windows,
+                                         traffic_options);
+  }
 
   const auto topologies = topology::topologies_for(trace.num_ranks());
   const auto all = topologies.all();
   for (std::size_t i = 0; i < all.size(); ++i) {
-    row.topologies[i] = analyze_topology(full_matrix, *all[i],
-                                         trace.num_ranks(), trace.duration(),
-                                         options);
+    row.topologies[i] = analyze_topology(
+        full_matrix, *all[i], trace.num_ranks(), trace.duration(), options,
+        /*plan=*/nullptr, windowed ? &*windowed : nullptr);
   }
   return row;
 }
@@ -162,8 +208,9 @@ ExperimentRow run_experiment(const workloads::CatalogEntry& entry,
   const auto topologies = topology::topologies_for(num_ranks);
   const auto all = topologies.all();
   for (std::size_t i = 0; i < all.size(); ++i) {
-    row.topologies[i] = analyze_topology(*analysis.full_matrix, *all[i],
-                                         num_ranks, duration, options);
+    row.topologies[i] =
+        analyze_topology(*analysis.full_matrix, *all[i], num_ranks, duration,
+                         options, /*plan=*/nullptr, analysis.windowed.get());
   }
   return row;
 }

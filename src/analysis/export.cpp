@@ -108,4 +108,45 @@ void write_table3_csv(const std::vector<ExperimentRow>& rows,
   }
 }
 
+void write_congestion_csv(const std::vector<ExperimentRow>& rows,
+                          std::ostream& out) {
+  CsvWriter csv(out);
+  csv.write_header({"workload", "ranks", "variant", "topology", "config",
+                    "windows", "window_seconds", "threshold", "hot_links",
+                    "hot_duration_p50_s", "hot_duration_p90_s",
+                    "hot_duration_max_s", "exceeded_window_fraction",
+                    "peak_offered_fraction", "top_links"});
+  for (const auto& row : rows) {
+    for (const auto& topo : row.topologies) {
+      const auto& c = topo.congestion;
+      if (!c.enabled) continue;
+      // Hotspots ride in one cell as "link:hot_windows" pairs joined
+      // with '+', keeping the long format one row per topology cell.
+      std::string top_links;
+      for (const auto& h : c.hotspots) {
+        if (!top_links.empty()) top_links += '+';
+        top_links +=
+            std::to_string(h.link) + ":" + std::to_string(h.hot_windows);
+      }
+      csv.write_row({
+          row.entry.app,
+          std::to_string(row.entry.ranks),
+          std::to_string(row.entry.variant),
+          topo.topology,
+          topo.config,
+          std::to_string(c.windows),
+          num(c.window_seconds),
+          num(c.threshold),
+          std::to_string(c.hot_links),
+          num(c.hot_duration_p50_s),
+          num(c.hot_duration_p90_s),
+          num(c.hot_duration_max_s),
+          num(c.exceeded_window_fraction),
+          num(c.peak_offered_fraction),
+          top_links,
+      });
+    }
+  }
+}
+
 }  // namespace netloc::analysis

@@ -64,6 +64,70 @@ analysis::TopologyResult get_topology_result(Reader& r) {
   return result;
 }
 
+/// Blob format version carrying per-topology congestion summaries. The
+/// base format stays 1 and is what congestion-free rows write, so every
+/// pre-congestion blob remains readable AND every new default-options
+/// blob remains readable by older engines. (kResultCacheVersion is the
+/// semantic key version and is unchanged — congestion runs are already
+/// re-keyed by the options block in result_cache_key.)
+constexpr std::uint32_t kBlobVersionCongestion = 2;
+
+bool row_has_congestion(const analysis::ExperimentRow& row) {
+  for (const auto& topo : row.topologies) {
+    if (topo.congestion.enabled) return true;
+  }
+  return false;
+}
+
+void put_congestion(Writer& w, const metrics::CongestionSummary& c) {
+  w.put<std::uint8_t>(c.enabled ? 1 : 0);
+  w.put<std::int32_t>(c.windows);
+  w.put<double>(c.window_seconds);
+  w.put<double>(c.threshold);
+  w.put<std::int32_t>(c.hot_links);
+  w.put<double>(c.hot_duration_p50_s);
+  w.put<double>(c.hot_duration_p90_s);
+  w.put<double>(c.hot_duration_max_s);
+  w.put<double>(c.exceeded_window_fraction);
+  w.put<double>(c.peak_offered_fraction);
+  w.put<std::uint64_t>(c.hotspots.size());
+  for (const auto& h : c.hotspots) {
+    w.put<std::int32_t>(h.link);
+    w.put<std::int32_t>(h.hot_windows);
+    w.put<double>(h.peak_offered_fraction);
+    w.put<std::uint8_t>(h.global ? 1 : 0);
+  }
+}
+
+metrics::CongestionSummary get_congestion(Reader& r) {
+  metrics::CongestionSummary c;
+  c.enabled = r.get<std::uint8_t>("congestion enabled") != 0;
+  c.windows = r.get<std::int32_t>("congestion windows");
+  c.window_seconds = r.get<double>("window seconds");
+  c.threshold = r.get<double>("congestion threshold");
+  c.hot_links = r.get<std::int32_t>("hot links");
+  c.hot_duration_p50_s = r.get<double>("hot duration p50");
+  c.hot_duration_p90_s = r.get<double>("hot duration p90");
+  c.hot_duration_max_s = r.get<double>("hot duration max");
+  c.exceeded_window_fraction = r.get<double>("exceeded fraction");
+  c.peak_offered_fraction = r.get<double>("peak offered fraction");
+  const auto count = r.get<std::uint64_t>("hotspot count");
+  // top_k hotspots per summary; anything huge means a corrupt blob.
+  if (count > (std::uint64_t{1} << 20)) {
+    throw CacheFormatError("cache blob hotspot count implausibly large");
+  }
+  c.hotspots.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    metrics::CongestionHotspot h;
+    h.link = r.get<std::int32_t>("hotspot link");
+    h.hot_windows = r.get<std::int32_t>("hotspot windows");
+    h.peak_offered_fraction = r.get<double>("hotspot peak");
+    h.global = r.get<std::uint8_t>("hotspot global") != 0;
+    c.hotspots.push_back(h);
+  }
+  return c;
+}
+
 }  // namespace
 
 std::string CacheKey::file_name() const {
@@ -127,6 +191,16 @@ CacheKey result_cache_key(const workloads::CatalogEntry& entry,
     key.mix(std::string("collalgo"));
     key.mix<std::uint8_t>(static_cast<std::uint8_t>(options.collective_algo));
   }
+  // Windowed congestion analysis. Mixed only when enabled (windows > 0)
+  // so every pre-congestion blob — and every congestion-free run —
+  // keeps its key and stays warm.
+  if (options.congestion.enabled()) {
+    key.mix(std::string("congestion"));
+    key.mix<std::int32_t>(options.congestion.windows);
+    key.mix<double>(options.congestion.threshold);
+    key.mix<std::int32_t>(options.congestion.top_k);
+    key.mix<double>(options.congestion.bandwidth_bytes_per_s);
+  }
 
   return CacheKey{key.value(), entry.label()};
 }
@@ -135,7 +209,9 @@ void write_row_blob(const analysis::ExperimentRow& row, std::uint64_t key_hash,
                     std::ostream& out) {
   Writer w(out);
   w.put_bytes(kMagic, sizeof(kMagic));
-  w.put<std::uint32_t>(kResultCacheVersion);
+  const std::uint32_t version =
+      row_has_congestion(row) ? kBlobVersionCongestion : kResultCacheVersion;
+  w.put<std::uint32_t>(version);
   w.put<std::uint64_t>(key_hash);
 
   const auto& e = row.entry;
@@ -162,6 +238,9 @@ void write_row_blob(const analysis::ExperimentRow& row, std::uint64_t key_hash,
   w.put<double>(row.selectivity_max);
 
   for (const auto& topo : row.topologies) put_topology_result(w, topo);
+  if (version == kBlobVersionCongestion) {
+    for (const auto& topo : row.topologies) put_congestion(w, topo.congestion);
+  }
 
   w.finish();
   if (!out) throw Error("cache blob write failed (I/O error)");
@@ -175,7 +254,7 @@ analysis::ExperimentRow read_row_blob(std::istream& in, std::uint64_t key_hash) 
     throw CacheFormatError("bad cache blob magic (not a netloc result blob)");
   }
   const auto version = r.get<std::uint32_t>("version");
-  if (version != kResultCacheVersion) {
+  if (version != kResultCacheVersion && version != kBlobVersionCongestion) {
     throw CacheVersionMismatch("cache blob version " + std::to_string(version) +
                                " does not match engine version " +
                                std::to_string(kResultCacheVersion));
@@ -210,6 +289,9 @@ analysis::ExperimentRow read_row_blob(std::istream& in, std::uint64_t key_hash) 
   row.selectivity_max = r.get<double>("selectivity max");
 
   for (auto& topo : row.topologies) topo = get_topology_result(r);
+  if (version == kBlobVersionCongestion) {
+    for (auto& topo : row.topologies) topo.congestion = get_congestion(r);
+  }
 
   r.verify_checksum();
   return row;

@@ -11,6 +11,7 @@
 #include "netloc/mapping/mapping.hpp"
 #include "netloc/metrics/traffic_matrix.hpp"
 #include "netloc/metrics/utilization.hpp"
+#include "netloc/metrics/windowed.hpp"
 #include "netloc/topology/configs.hpp"
 
 namespace netloc::engine {
@@ -29,6 +30,9 @@ double seconds_since(Clock::time_point begin) {
 struct RowState {
   analysis::ExperimentRow row;
   std::shared_ptr<metrics::TrafficMatrix> full_matrix;
+  /// Per-window matrices for the congestion cells; null unless the
+  /// run's congestion analysis is enabled.
+  std::shared_ptr<metrics::WindowedTraffic> windowed;
   topology::TopologySet topologies;
   int num_ranks = 0;
   Seconds duration = 0.0;
@@ -245,6 +249,7 @@ std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
               *entry, run, /*want_full_matrix=*/true);
           state->row = std::move(analysis.row);
           state->full_matrix = std::move(analysis.full_matrix);
+          state->windowed = std::move(analysis.windowed);
           state->num_ranks = state->row.stats.num_ranks;
           state->duration = state->row.stats.duration;
           state->topologies = topology::topologies_for(state->num_ranks);
@@ -255,6 +260,7 @@ std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
     const JobId finalize = graph.add(
         entry->label(), "finalize", [state, i, &keys, cache_ptr] {
           state->full_matrix.reset();
+          state->windowed.reset();
           state->topologies = {};
           if (cache_ptr) cache_ptr->store(keys[i], state->row);
         });
@@ -269,7 +275,7 @@ std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
             const auto plan = plan_for(topo, state->num_ranks);
             state->row.topologies[t] = analysis::analyze_topology(
                 *state->full_matrix, topo, state->num_ranks, state->duration,
-                run, plan.get());
+                run, plan.get(), state->windowed.get());
             // One hop-distance query per stored pair; paired with the
             // plans' out_of_window_hits() growth this run to flag
             // fallback-dominated windows (EN005).
@@ -283,6 +289,7 @@ std::vector<analysis::ExperimentRow> SweepEngine::run_rows(
             artifacts.topology = &topo;
             artifacts.plan = plan;
             artifacts.full_matrix = state->full_matrix.get();
+            artifacts.windowed = state->windowed.get();
             artifacts.num_ranks = state->num_ranks;
             artifacts.duration = state->duration;
             artifacts.result = &state->row.topologies[t];

@@ -90,4 +90,49 @@ LintReport lint_utilization(double utilization_percent, Bytes total_bytes,
   return report;
 }
 
+LintReport lint_congestion_windows(int windows, double threshold,
+                                   Seconds duration, Count timed_events,
+                                   const std::string& source) {
+  LintReport report;
+  if (duration <= 0.0 && timed_events > 0) {
+    report.add(make("MT006", source,
+                    "trace duration is " + std::to_string(duration) +
+                        " s but " + std::to_string(timed_events) +
+                        " timed events arrived; all traffic collapses into "
+                        "window 0 and no offered-load rate can be derived",
+                    "fix the trace's recorded duration"));
+  }
+  if (threshold >= 1.0) {
+    report.add(make("MT007", source,
+                    "hot-link threshold " + std::to_string(threshold) +
+                        " is at or above capacity (fraction 1.0); every hot "
+                        "window is already an exceedance",
+                    "pick a threshold in (0, 1)"));
+  }
+  // More windows than timed events guarantees empty windows between
+  // occupied ones: the window grid samples finer than the trace can
+  // resolve, so burst durations alias to the event spacing.
+  if (duration > 0.0 && timed_events > 0 &&
+      static_cast<Count>(windows) > timed_events) {
+    report.add(make("TP015", source,
+                    std::to_string(windows) + " windows over only " +
+                        std::to_string(timed_events) +
+                        " timed events; hot-link durations alias the event "
+                        "spacing rather than resolving bursts",
+                    "use at most as many windows as timed events"));
+  }
+  return report;
+}
+
+LintReport lint_window_duration(Seconds binned, Seconds reported,
+                                const std::string& source) {
+  LintReport report;
+  report.add(make("TR011", source,
+                  "producer reported " + std::to_string(reported) +
+                      " s at on_end() but windows were binned with " +
+                      std::to_string(binned) + " s known up front",
+                  "pass the producer's true duration to the accumulator"));
+  return report;
+}
+
 }  // namespace netloc::lint

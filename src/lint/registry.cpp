@@ -27,6 +27,9 @@ constexpr RuleInfo kRules[] = {
     {"TR009", Severity::Warning, "trace", "trace carries no events"},
     {"TR010", Severity::Warning, "trace",
      "unparseable dumpi parameter line dropped"},
+    {"TR011", Severity::Note, "trace",
+     "on_end duration disagrees with the windowing duration known up "
+     "front; time windows may be skewed"},
     // ---- config pack -----------------------------------------------------
     {"TP001", Severity::Error, "config",
      "topology cannot host the rank count"},
@@ -54,6 +57,9 @@ constexpr RuleInfo kRules[] = {
      "link fault mask disconnects the endpoint set"},
     {"TP014", Severity::Error, "config",
      "placement oversubscribes a socket or core slot"},
+    {"TP015", Severity::Warning, "config",
+     "congestion window count aliases the trace's burst structure "
+     "(more windows than timed events)"},
     // ---- metric pack -----------------------------------------------------
     {"MT001", Severity::Error, "metric",
      "traffic-matrix totals disagree with the cell sums"},
@@ -65,6 +71,12 @@ constexpr RuleInfo kRules[] = {
      "utilization above 100% (Eq. 5 misconfiguration)"},
     {"MT005", Severity::Warning, "metric",
      "utilization is zero although the trace moves bytes"},
+    {"MT006", Severity::Warning, "metric",
+     "zero-duration trace carries timed events; windowed congestion "
+     "collapses to a single rate-free window"},
+    {"MT007", Severity::Warning, "metric",
+     "congestion hot-link threshold at or above link capacity; the "
+     "hot set degenerates to outright exceedance"},
     // ---- engine pack -----------------------------------------------------
     {"EN001", Severity::Warning, "engine",
      "cached result blob corrupt or unreadable; row recomputed"},
@@ -114,6 +126,9 @@ constexpr RuleInfo kRules[] = {
     {"VF018", Severity::Error, "verify",
      "placement inconsistent (coordinates, occupancy, flat view) or "
      "hierarchical collective volume not conserved"},
+    {"VF019", Severity::Error, "verify",
+     "per-window traffic/link loads do not sum to the aggregate "
+     "(windowed conservation law violated)"},
 };
 
 }  // namespace

@@ -1,0 +1,128 @@
+#include "netloc/metrics/congestion.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "netloc/common/error.hpp"
+#include "netloc/common/quantile.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/topology/route_plan.hpp"
+
+namespace netloc::metrics {
+
+namespace {
+
+void check_options(const CongestionOptions& options) {
+  if (options.threshold <= 0.0) {
+    throw ConfigError("congestion: threshold must be > 0");
+  }
+  if (options.top_k < 1) {
+    throw ConfigError("congestion: top_k must be >= 1");
+  }
+  if (options.bandwidth_bytes_per_s <= 0.0) {
+    throw ConfigError("congestion: bandwidth must be > 0");
+  }
+}
+
+}  // namespace
+
+CongestionSummary congestion_report(std::span<const TrafficMatrix> windows,
+                                    Seconds window_seconds,
+                                    const topology::RoutePlan& plan,
+                                    const mapping::Mapping& mapping,
+                                    const CongestionOptions& options,
+                                    int threads) {
+  check_options(options);
+  CongestionSummary summary;
+  summary.enabled = true;
+  summary.windows = static_cast<int>(windows.size());
+  summary.window_seconds = window_seconds;
+  summary.threshold = options.threshold;
+  const auto num_links = static_cast<std::size_t>(plan.num_links());
+  if (windows.empty() || num_links == 0 || window_seconds <= 0.0) {
+    // Zero-duration traces carry no rate information; the summary stays
+    // structurally valid but all-zero (lint MT006 flags the input).
+    return summary;
+  }
+
+  const double capacity_bytes =
+      options.bandwidth_bytes_per_s * window_seconds;
+  std::vector<int> hot_windows(num_links, 0);
+  std::vector<double> peak_fraction(num_links, 0.0);
+  int exceeded_windows = 0;
+  // Per-window scratch, reused across windows. Single-path plans route
+  // with the integer kernel (thread-pool parallel, bit-identical at any
+  // thread count); multipath plans use the serial weighted kernel whose
+  // deterministic order keeps ECMP fractions reproducible.
+  std::vector<Bytes> int_loads;
+  std::vector<double> weighted_loads;
+  for (const TrafficMatrix& matrix : windows) {
+    bool window_exceeded = false;
+    auto scan = [&](double load_bytes, std::size_t link) {
+      const double fraction = load_bytes / capacity_bytes;
+      peak_fraction[link] = std::max(peak_fraction[link], fraction);
+      if (fraction >= options.threshold) ++hot_windows[link];
+      if (fraction > 1.0) window_exceeded = true;
+    };
+    if (plan.single_path()) {
+      int_loads.assign(num_links, 0);
+      accumulate_link_loads(matrix, plan, mapping, int_loads, threads);
+      for (std::size_t l = 0; l < num_links; ++l) {
+        scan(static_cast<double>(int_loads[l]), l);
+      }
+    } else {
+      weighted_loads.assign(num_links, 0.0);
+      accumulate_link_loads(matrix, plan, mapping, weighted_loads);
+      for (std::size_t l = 0; l < num_links; ++l) {
+        scan(weighted_loads[l], l);
+      }
+    }
+    if (window_exceeded) ++exceeded_windows;
+  }
+
+  summary.exceeded_window_fraction =
+      static_cast<double>(exceeded_windows) / static_cast<double>(windows.size());
+  std::vector<WeightedSample> durations;
+  std::vector<std::size_t> hot_links;
+  for (std::size_t l = 0; l < num_links; ++l) {
+    summary.peak_offered_fraction =
+        std::max(summary.peak_offered_fraction, peak_fraction[l]);
+    if (hot_windows[l] > 0) {
+      hot_links.push_back(l);
+      const Seconds hot_s = hot_windows[l] * window_seconds;
+      durations.push_back({hot_s, 1.0});
+      summary.hot_duration_max_s = std::max(summary.hot_duration_max_s, hot_s);
+    }
+  }
+  summary.hot_links = static_cast<int>(hot_links.size());
+  if (!durations.empty()) {
+    summary.hot_duration_p50_s = weighted_quantile(durations, 0.5);
+    summary.hot_duration_p90_s = weighted_quantile(durations, 0.9);
+  }
+
+  // Top-k by hot-window count; peak fraction breaks ties, link id makes
+  // the ranking total (and therefore deterministic).
+  std::sort(hot_links.begin(), hot_links.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (hot_windows[a] != hot_windows[b]) {
+                return hot_windows[a] > hot_windows[b];
+              }
+              if (peak_fraction[a] != peak_fraction[b]) {
+                return peak_fraction[a] > peak_fraction[b];
+              }
+              return a < b;
+            });
+  const std::size_t k =
+      std::min<std::size_t>(hot_links.size(),
+                            static_cast<std::size_t>(options.top_k));
+  summary.hotspots.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t l = hot_links[i];
+    const auto link = static_cast<LinkId>(l);
+    summary.hotspots.push_back({link, hot_windows[l], peak_fraction[l],
+                                plan.link_is_global(link)});
+  }
+  return summary;
+}
+
+}  // namespace netloc::metrics

@@ -1,10 +1,17 @@
 #include "netloc/metrics/temporal.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 
 #include "netloc/common/error.hpp"
 
 namespace netloc::metrics {
+
+bool durations_agree(Seconds expected, Seconds actual) {
+  const double scale = std::max({1.0, std::abs(expected), std::abs(actual)});
+  return std::abs(actual - expected) <= 1e-9 * scale;
+}
 
 TimeProfile time_profile(const trace::Trace& trace, int windows,
                          const TrafficOptions& options) {
@@ -15,7 +22,7 @@ TimeProfile time_profile(const trace::Trace& trace, int windows,
 
 TimeProfileAccumulator::TimeProfileAccumulator(Seconds duration, int windows,
                                                const TrafficOptions& options)
-    : windows_(windows), options_(options) {
+    : windows_(windows), options_(options), duration_(duration) {
   if (windows < 1) throw ConfigError("time_profile: windows must be >= 1");
   profile_.window_bytes.assign(static_cast<std::size_t>(windows), 0.0);
   if (duration > 0.0) {
@@ -41,7 +48,16 @@ void TimeProfileAccumulator::on_collective(const trace::CollectiveEvent& event) 
   if (options_.include_collectives) add_volume(event.time, event.bytes);
 }
 
-void TimeProfileAccumulator::on_end(Seconds /*duration*/) {
+void TimeProfileAccumulator::on_end(Seconds duration) {
+  // Every event was binned against the constructor duration; a producer
+  // reporting a different execution time at on_end() means those bins
+  // are skewed. Record it (callers emit lint TR011) rather than ignore
+  // it silently.
+  end_duration_ = duration;
+  end_duration_mismatch_ = !durations_agree(duration_, duration);
+  assert(!end_duration_mismatch_ &&
+         "TimeProfileAccumulator: on_end duration disagrees with the "
+         "constructor duration");
   if (profile_.window_seconds <= 0.0) return;  // All-zero profile.
   profile_.total_bytes = 0.0;
   profile_.peak_window_bytes = 0.0;

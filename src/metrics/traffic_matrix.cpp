@@ -37,8 +37,8 @@ void assert_open_budget(const TrafficMatrix& matrix, std::size_t budget) {
 #endif
 }
 
-/// Expand grouped collectives into `matrix`, each distinct pattern once
-/// and scaled by its repeat count.
+}  // namespace
+
 void expand_collective_groups(TrafficMatrix& matrix,
                               const TrafficOptions& options,
                               const CollectiveGroups& groups) {
@@ -100,8 +100,6 @@ void expand_collective_groups(TrafficMatrix& matrix,
     }
   }
 }
-
-}  // namespace
 
 TrafficMatrix::TrafficMatrix(int num_ranks, std::size_t open_budget_bytes)
     : n_(checked_ranks(num_ranks)), cells_(n_, n_, open_budget_bytes) {}

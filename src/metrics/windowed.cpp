@@ -1,0 +1,118 @@
+#include "netloc/metrics/windowed.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "netloc/common/error.hpp"
+
+namespace netloc::metrics {
+
+namespace {
+
+/// Per-window share of the open-phase budget. An unbudgeted pass stays
+/// unbudgeted (0 = classic dense buffers); a budgeted one gives each
+/// window budget / W, floored at 1 byte so the matrix still tiles
+/// (a 0 share would silently fall back to the dense path).
+std::size_t per_window_budget(std::size_t budget, int windows) {
+  if (budget == 0) return 0;
+  return std::max<std::size_t>(1, budget / static_cast<std::size_t>(windows));
+}
+
+}  // namespace
+
+WindowedTrafficAccumulator::WindowedTrafficAccumulator(
+    Seconds duration, int windows, const TrafficOptions& options)
+    : duration_(duration),
+      windows_(windows),
+      options_(options),
+      profile_(duration, windows, options) {
+  // The profile constructor has already rejected windows < 1.
+  if (duration > 0.0) window_seconds_ = duration / windows;
+}
+
+int WindowedTrafficAccumulator::window_of(Seconds time) const {
+  // Exactly TimeProfileAccumulator::add_volume's binning; for
+  // zero-duration traces every event collapses into window 0 so the
+  // cell-wise conservation law still holds.
+  if (window_seconds_ <= 0.0) return 0;
+  const auto w = static_cast<int>(time / window_seconds_);
+  return std::clamp(w, 0, windows_ - 1);
+}
+
+void WindowedTrafficAccumulator::on_begin(std::string_view app_name,
+                                          int num_ranks) {
+  profile_.on_begin(app_name, num_ranks);
+  matrices_.clear();
+  matrices_.reserve(static_cast<std::size_t>(windows_));
+  const std::size_t budget =
+      per_window_budget(options_.memory_budget_bytes, windows_);
+  for (int w = 0; w < windows_; ++w) matrices_.emplace_back(num_ranks, budget);
+  groups_.assign(static_cast<std::size_t>(windows_), CollectiveGroups{});
+  ended_ = false;
+}
+
+void WindowedTrafficAccumulator::on_p2p(const trace::P2PEvent& event) {
+  if (matrices_.empty()) {
+    throw ConfigError("WindowedTrafficAccumulator: on_p2p() before on_begin()");
+  }
+  profile_.on_p2p(event);
+  if (options_.include_p2p) {
+    matrices_[static_cast<std::size_t>(window_of(event.time))].add_message(
+        event.src, event.dst, event.bytes);
+  }
+}
+
+void WindowedTrafficAccumulator::on_collective(
+    const trace::CollectiveEvent& event) {
+  if (matrices_.empty()) {
+    throw ConfigError(
+        "WindowedTrafficAccumulator: on_collective() before on_begin()");
+  }
+  profile_.on_collective(event);
+  if (options_.include_collectives) {
+    // Grouped per window: identical patterns inside one window expand
+    // once and scale, exactly as the aggregate accumulator does over
+    // the whole trace. Expansion is linear in the repeat count, so the
+    // per-window split sums back to the aggregate expansion.
+    ++groups_[static_cast<std::size_t>(window_of(event.time))]
+             [{event.op, event.root, event.bytes}];
+  }
+}
+
+void WindowedTrafficAccumulator::on_end(Seconds duration) {
+  if (matrices_.empty()) {
+    throw ConfigError("WindowedTrafficAccumulator: on_end() before on_begin()");
+  }
+  for (int w = 0; w < windows_; ++w) {
+    auto& matrix = matrices_[static_cast<std::size_t>(w)];
+    expand_collective_groups(matrix, options_,
+                             groups_[static_cast<std::size_t>(w)]);
+    matrix.freeze();
+  }
+  groups_.clear();
+  profile_.on_end(duration);
+  ended_ = true;
+}
+
+WindowedTraffic WindowedTrafficAccumulator::take() {
+  if (!ended_) {
+    throw ConfigError("WindowedTrafficAccumulator: take() before on_end()");
+  }
+  WindowedTraffic result;
+  result.duration = duration_;
+  result.window_seconds = window_seconds_;
+  result.windows = std::move(matrices_);
+  result.profile = profile_.profile();
+  matrices_.clear();
+  ended_ = false;
+  return result;
+}
+
+WindowedTraffic windowed_traffic(const trace::Trace& trace, int windows,
+                                 const TrafficOptions& options) {
+  WindowedTrafficAccumulator accumulator(trace.duration(), windows, options);
+  trace::emit(trace, accumulator);
+  return accumulator.take();
+}
+
+}  // namespace netloc::metrics

@@ -171,6 +171,11 @@ engine::SweepEngine& Daemon::engine_for(const analysis::RunOptions& run) {
   if (run.collective_algo != collectives::CollectiveAlgo::Flat) {
     key += " c" + std::string(collectives::to_string(run.collective_algo));
   }
+  if (run.congestion.enabled()) {
+    key += " w" + std::to_string(run.congestion.windows) + "/" +
+           std::to_string(run.congestion.threshold) + "/" +
+           std::to_string(run.congestion.top_k);
+  }
   common::MutexLock lock(engines_mutex_);
   auto& slot = engines_[key];
   if (slot == nullptr) {
@@ -344,6 +349,7 @@ void Daemon::handle_submit(Session& session, const SubmitRequest& submit) {
   spec.run.routing = submit.routing;
   spec.run.machine = submit.machine;
   spec.run.collective_algo = submit.collective_algo;
+  spec.run.congestion = submit.congestion;
 
   Subscription subscription;
   if (!submit.detach) {

@@ -77,6 +77,19 @@ SubmitRequest parse_submit(const Json& object) {
       throw ProtocolError(e.what());
     }
   }
+  submit.congestion.windows = static_cast<int>(
+      int_field(object, "congestion_windows", 0, 0, 1 << 20));
+  if (const Json* threshold = object.find("congestion_threshold");
+      threshold != nullptr) {
+    const double value = threshold->as_number();
+    if (!(value > 0.0) || value > 1e9) {
+      throw ProtocolError("field 'congestion_threshold' must be a positive "
+                          "offered-load fraction");
+    }
+    submit.congestion.threshold = value;
+  }
+  submit.congestion.top_k = static_cast<int>(int_field(
+      object, "congestion_top_k", submit.congestion.top_k, 1, 1 << 20));
   submit.priority = static_cast<int>(
       int_field(object, "priority", 0, -1000000, 1000000));
   submit.detach = object.get_bool("detach", false);
@@ -152,6 +165,11 @@ std::string encode_request(const Request& request) {
       if (submit.collective_algo != collectives::CollectiveAlgo::Flat) {
         object.set("collectives",
                    std::string(collectives::to_string(submit.collective_algo)));
+      }
+      if (submit.congestion.enabled()) {
+        object.set("congestion_windows", submit.congestion.windows);
+        object.set("congestion_threshold", submit.congestion.threshold);
+        object.set("congestion_top_k", submit.congestion.top_k);
       }
       if (submit.priority != 0) object.set("priority", submit.priority);
       if (submit.detach) object.set("detach", true);

@@ -1,0 +1,158 @@
+// VF019 — the windowed conservation law. The windowed ingestion sink
+// (metrics/windowed.hpp) promises that slicing one event pass into W
+// wall-clock windows loses nothing: every byte and packet of the
+// aggregate matrix lands in exactly one window. This checker audits
+// that promise at both levels — the matrices themselves (integer, so
+// equality is exact) and the link loads they induce (where the
+// weighted/ECMP kernel is floating-point, conservation is checked
+// through the summed matrix, which replays the identical operation
+// sequence and must therefore match bit for bit).
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/traffic_matrix.hpp"
+#include "netloc/metrics/utilization.hpp"
+#include "netloc/topology/route_plan.hpp"
+#include "netloc/verify/checks.hpp"
+
+#include "internal.hpp"
+
+namespace netloc::verify {
+
+namespace {
+
+using CellRow = std::tuple<Rank, Rank, metrics::TrafficCell>;
+
+std::vector<CellRow> collect_cells(const metrics::TrafficMatrix& matrix) {
+  std::vector<CellRow> cells;
+  cells.reserve(matrix.nonzero_pairs());
+  matrix.for_each_nonzero(
+      [&](Rank src, Rank dst, const metrics::TrafficCell& cell) {
+        cells.emplace_back(src, dst, cell);
+      });
+  return cells;
+}
+
+}  // namespace
+
+std::size_t check_window_conservation(
+    std::span<const metrics::TrafficMatrix> windows,
+    const metrics::TrafficMatrix& aggregate, const topology::RoutePlan* plan,
+    const mapping::Mapping* mapping, const std::string& source,
+    lint::LintReport& report) {
+  Emitter emit(report, source);
+  std::size_t checks = 0;
+
+  const int n = aggregate.num_ranks();
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    ++checks;
+    if (windows[w].num_ranks() != n) {
+      emit.emit("VF019", static_cast<long>(w),
+                "window " + std::to_string(w) + " spans " +
+                    std::to_string(windows[w].num_ranks()) +
+                    " ranks but the aggregate spans " + std::to_string(n),
+                "the windowed sink and the aggregate sink must see the same "
+                "event pass");
+      return checks;  // Cell-level comparison would be meaningless.
+    }
+  }
+
+  // (a) Matrix conservation: the integer cell-wise sum of the windows
+  // must reproduce the aggregate exactly. Accumulated through the same
+  // strip budget the traffic pass uses, so the rebuild exercises the
+  // tiled open phase too.
+  const std::size_t strip_budget =
+      static_cast<std::size_t>(n) * sizeof(metrics::TrafficCell) * 8;
+  metrics::TrafficMatrix summed(n, strip_budget);
+  for (const auto& window : windows) {
+    window.for_each_nonzero(
+        [&](Rank src, Rank dst, const metrics::TrafficCell& cell) {
+          summed.add_cell(src, dst, cell.bytes, cell.packets);
+        });
+  }
+  summed.freeze();
+
+  ++checks;
+  if (summed.total_bytes() != aggregate.total_bytes() ||
+      summed.total_packets() != aggregate.total_packets() ||
+      summed.nonzero_pairs() != aggregate.nonzero_pairs()) {
+    emit.emit("VF019", -1,
+              "summed windows carry " + std::to_string(summed.total_bytes()) +
+                  " bytes / " + std::to_string(summed.total_packets()) +
+                  " packets over " + std::to_string(summed.nonzero_pairs()) +
+                  " pairs; the aggregate carries " +
+                  std::to_string(aggregate.total_bytes()) + " / " +
+                  std::to_string(aggregate.total_packets()) + " over " +
+                  std::to_string(aggregate.nonzero_pairs()));
+  }
+  const auto summed_cells = collect_cells(summed);
+  const auto aggregate_cells = collect_cells(aggregate);
+  checks += std::max(summed_cells.size(), aggregate_cells.size());
+  const std::size_t common =
+      std::min(summed_cells.size(), aggregate_cells.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (summed_cells[i] == aggregate_cells[i]) continue;
+    const auto& [src, dst, cell] = aggregate_cells[i];
+    const auto& [wsrc, wdst, wcell] = summed_cells[i];
+    emit.emit("VF019", static_cast<long>(i),
+              "cell mismatch at stored index " + std::to_string(i) +
+                  ": aggregate (" + std::to_string(src) + " -> " +
+                  std::to_string(dst) + ", " + std::to_string(cell.bytes) +
+                  " B / " + std::to_string(cell.packets) +
+                  " pkt) vs summed windows (" + std::to_string(wsrc) +
+                  " -> " + std::to_string(wdst) + ", " +
+                  std::to_string(wcell.bytes) + " B / " +
+                  std::to_string(wcell.packets) + " pkt)");
+  }
+
+  // (b)/(c) Link-load conservation over the plan. Single-path loads
+  // are integers, so the per-window loads are summed directly; the
+  // weighted/ECMP kernel is floating-point, where summing per-window
+  // load vectors would reassociate — there the summed matrix (already
+  // proven cell-identical above) replays the aggregate kernel's exact
+  // operation sequence and must match bit for bit.
+  if (plan != nullptr && mapping != nullptr && plan->num_links() > 0) {
+    const auto links = static_cast<std::size_t>(plan->num_links());
+    checks += links;
+    if (plan->single_path()) {
+      std::vector<Bytes> agg_loads(links, 0);
+      std::vector<Bytes> window_loads(links, 0);
+      metrics::accumulate_link_loads(aggregate, *plan, *mapping, agg_loads);
+      for (const auto& window : windows) {
+        metrics::accumulate_link_loads(window, *plan, *mapping, window_loads);
+      }
+      for (std::size_t l = 0; l < links; ++l) {
+        if (window_loads[l] == agg_loads[l]) continue;
+        emit.emit("VF019", static_cast<long>(l),
+                  "link " + std::to_string(l) + " carries " +
+                      std::to_string(agg_loads[l]) +
+                      " load in the aggregate but " +
+                      std::to_string(window_loads[l]) +
+                      " summed over the windows");
+      }
+    } else {
+      std::vector<double> agg_loads(links, 0.0);
+      std::vector<double> summed_loads(links, 0.0);
+      metrics::accumulate_link_loads(aggregate, *plan, *mapping,
+                                     std::span<double>(agg_loads));
+      metrics::accumulate_link_loads(summed, *plan, *mapping,
+                                     std::span<double>(summed_loads));
+      for (std::size_t l = 0; l < links; ++l) {
+        if (summed_loads[l] == agg_loads[l]) continue;
+        emit.emit("VF019", static_cast<long>(l),
+                  "link " + std::to_string(l) + " carries " +
+                      std::to_string(agg_loads[l]) +
+                      " weighted load in the aggregate but " +
+                      std::to_string(summed_loads[l]) +
+                      " from the summed windows (bit-exact match expected)");
+      }
+    }
+  }
+
+  return checks;
+}
+
+}  // namespace netloc::verify

@@ -1,12 +1,14 @@
 // The built-in verify passes, the pass manager and the report writers.
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <ostream>
 #include <string>
 
 #include "netloc/common/error.hpp"
 #include "netloc/engine/task_graph.hpp"
 #include "netloc/lint/report.hpp"
+#include "netloc/metrics/windowed.hpp"
 #include "netloc/verify/checks.hpp"
 #include "netloc/verify/pass.hpp"
 
@@ -248,6 +250,39 @@ class PlacementPass final : public VerifyPass {
   }
 };
 
+class CongestionPass final : public VerifyPass {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "congestion"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "windowed traffic/link-load conservation vs the aggregate";
+  }
+  [[nodiscard]] std::string applicable(const VerifyContext& ctx) const override {
+    if (ctx.window_traffic == nullptr) return "no windowed traffic";
+    if (ctx.traffic == nullptr) return "no traffic matrix";
+    return {};
+  }
+  std::size_t run(const VerifyContext& ctx,
+                  lint::LintReport& report) const override {
+    // The load half needs a rank -> node mapping; without an explicit
+    // one the paper's linear mapping applies when it fits the plan's
+    // node space, otherwise only the matrix half is checked.
+    const topology::RoutePlan* plan = ctx.plan.get();
+    const mapping::Mapping* mapping = ctx.mapping;
+    std::optional<mapping::Mapping> linear;
+    if (plan != nullptr && mapping == nullptr) {
+      if (ctx.traffic->num_ranks() <= plan->num_nodes()) {
+        linear.emplace(mapping::Mapping::linear(ctx.traffic->num_ranks(),
+                                                plan->num_nodes()));
+        mapping = &*linear;
+      } else {
+        plan = nullptr;
+      }
+    }
+    return check_window_conservation(ctx.window_traffic->windows, *ctx.traffic,
+                                     plan, mapping, ctx.source, report);
+  }
+};
+
 }  // namespace
 
 const char* to_string(CostTier tier) {
@@ -284,6 +319,7 @@ VerifyRunner::VerifyRunner() {
   add(std::make_unique<TaskGraphPass>());
   add(std::make_unique<TrafficPass>());
   add(std::make_unique<PlacementPass>());
+  add(std::make_unique<CongestionPass>());
 }
 
 void VerifyRunner::add(std::unique_ptr<VerifyPass> pass) {

@@ -16,6 +16,7 @@ engine::CellVerifier make_cell_verifier(CellVerifyOptions options) {
     ctx.traffic = cell.full_matrix;
     ctx.duration = cell.duration;
     ctx.expected = cell.result;
+    ctx.window_traffic = cell.windowed;
     ctx.run = cell.run;
     ctx.max_pairs = options.max_pairs;
     ctx.source =
@@ -35,7 +36,7 @@ engine::CellVerifier make_cell_verifier(CellVerifyOptions options) {
     const VerifyRunner runner;
     PassFilter filter;
     filter.ids = {"graph",   "routes",  "ecmp",      "faults",
-                  "metrics", "traffic", "placement"};
+                  "metrics", "traffic", "placement", "congestion"};
     const VerifyReport result = runner.run(ctx, filter);
     lint::LintReport filtered;
     // Bind merged() before iterating: the range-for would otherwise

@@ -1,0 +1,599 @@
+// Tests for the temporal congestion model: windowed traffic ingestion
+// (windowed.hpp), the link-load congestion report (congestion.hpp), the
+// VF019 conservation checker, the cache / serve plumbing and the
+// pathological-window lint rules. Suites are named Congestion* so the
+// CI TSan job picks them up alongside the other threaded suites.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "netloc/analysis/experiment.hpp"
+#include "netloc/analysis/export.hpp"
+#include "netloc/common/error.hpp"
+#include "netloc/engine/result_cache.hpp"
+#include "netloc/lint/metric_rules.hpp"
+#include "netloc/mapping/mapping.hpp"
+#include "netloc/metrics/congestion.hpp"
+#include "netloc/metrics/temporal.hpp"
+#include "netloc/metrics/utilization.hpp"
+#include "netloc/metrics/windowed.hpp"
+#include "netloc/serve/protocol.hpp"
+#include "netloc/topology/configs.hpp"
+#include "netloc/topology/route_plan.hpp"
+#include "netloc/trace/trace.hpp"
+#include "netloc/verify/checks.hpp"
+#include "netloc/workloads/catalog.hpp"
+
+namespace netloc {
+namespace {
+
+using metrics::CongestionOptions;
+using metrics::TrafficMatrix;
+using metrics::WindowedTraffic;
+using topology::RoutePlan;
+using topology::RoutingKind;
+using topology::RoutingSpec;
+
+/// A bursty synthetic trace: a p2p ring burst at the start, a trickle
+/// later, collectives in the middle, and boundary events at t == 0 and
+/// t == duration (the clamp cases of the window binning).
+trace::Trace bursty_trace(int ranks) {
+  trace::TraceBuilder builder("synthetic", ranks);
+  for (Rank r = 0; r < ranks; ++r) {
+    builder.add_p2p(r, (r + 1) % ranks, 1 << 14, 0.001 * r);
+  }
+  builder.add_p2p(0, ranks / 2, 4096, 0.0);
+  builder.add_p2p(1, 2, 512, 1.999);
+  builder.add_p2p(3, 1, 777, 2.0);  // t == duration clamps to the last window.
+  builder.add_collective(trace::CollectiveOp::Allreduce, 0, 4096, 0.5);
+  builder.add_collective(trace::CollectiveOp::Alltoall, 0, 8192, 1.5);
+  builder.add_collective(trace::CollectiveOp::Bcast, 0, 2048, 0.25);
+  builder.set_duration(2.0);
+  return builder.build();
+}
+
+using CellMap = std::map<std::pair<Rank, Rank>, metrics::TrafficCell>;
+
+CellMap cells_of(const TrafficMatrix& matrix) {
+  CellMap cells;
+  matrix.for_each_nonzero([&](Rank s, Rank d, const metrics::TrafficCell& cell) {
+    cells[{s, d}] = cell;
+  });
+  return cells;
+}
+
+CellMap summed_cells(const std::vector<TrafficMatrix>& windows) {
+  CellMap cells;
+  for (const auto& window : windows) {
+    window.for_each_nonzero(
+        [&](Rank s, Rank d, const metrics::TrafficCell& cell) {
+          auto& sum = cells[{s, d}];
+          sum.bytes += cell.bytes;
+          sum.packets += cell.packets;
+        });
+  }
+  return cells;
+}
+
+/// A tiny frozen matrix from (src, dst, bytes, packets) tuples.
+TrafficMatrix make_matrix(
+    int ranks, const std::vector<std::tuple<Rank, Rank, Bytes, Count>>& cells) {
+  TrafficMatrix matrix(ranks);
+  for (const auto& [s, d, b, p] : cells) matrix.add_cell(s, d, b, p);
+  matrix.freeze();
+  return matrix;
+}
+
+// ---- temporal edge cases (satellite b) -------------------------------------
+
+TEST(CongestionTemporal, PeakUtilizationOfEmptyProfileIsZero) {
+  // Default profile: window_seconds == 0, so no rate can be derived.
+  EXPECT_EQ(metrics::peak_window_utilization_percent(metrics::TimeProfile{}, 3.0),
+            0.0);
+}
+
+TEST(CongestionTemporal, PeakUtilizationRejectsBadInputs) {
+  metrics::TimeProfile profile;
+  profile.window_seconds = 1.0;
+  profile.peak_window_bytes = 100.0;
+  EXPECT_THROW(metrics::peak_window_utilization_percent(profile, 0.0),
+               ConfigError);
+  EXPECT_THROW(metrics::peak_window_utilization_percent(profile, -2.0),
+               ConfigError);
+  EXPECT_THROW(metrics::peak_window_utilization_percent(profile, 3.0, 0.0),
+               ConfigError);
+  EXPECT_THROW(metrics::peak_window_utilization_percent(profile, 3.0, -1.0),
+               ConfigError);
+}
+
+TEST(CongestionTemporal, ZeroDurationTraceYieldsAllZeroProfile) {
+  // All events at t == 0 and no set_duration(): the built trace has
+  // duration 0 although it moves bytes.
+  trace::TraceBuilder builder("zero", 4);
+  builder.add_p2p(0, 1, 1000, 0.0);
+  builder.add_p2p(2, 3, 500, 0.0);
+  const auto trace = builder.build();
+  ASSERT_EQ(trace.duration(), 0.0);
+
+  const auto profile = metrics::time_profile(trace, 4);
+  EXPECT_EQ(profile.window_seconds, 0.0);
+  ASSERT_EQ(profile.window_bytes.size(), 4u);
+  for (const double b : profile.window_bytes) EXPECT_EQ(b, 0.0);
+  EXPECT_EQ(profile.total_bytes, 0.0);
+  EXPECT_EQ(profile.peak_window_bytes, 0.0);
+  EXPECT_EQ(profile.burstiness, 0.0);
+}
+
+TEST(CongestionTemporal, DurationsAgreeUsesRelativeTolerance) {
+  EXPECT_TRUE(metrics::durations_agree(1.0, 1.0));
+  EXPECT_TRUE(metrics::durations_agree(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(metrics::durations_agree(1e6, 1e6 * (1.0 + 1e-12)));
+  EXPECT_FALSE(metrics::durations_agree(1.0, 1.1));
+  EXPECT_FALSE(metrics::durations_agree(0.0, 1.0));
+}
+
+#ifdef NDEBUG
+// Release-only: a debug build asserts on the mismatch (by design — the
+// silent-ignore of on_end(duration) was the bug this guards against).
+TEST(CongestionTemporal, EndDurationMismatchIsRecordedNotIgnored) {
+  metrics::TimeProfileAccumulator accumulator(1.0, 4);
+  accumulator.on_begin("synthetic", 2);
+  accumulator.on_p2p({0, 1, 100, 0.5});
+  accumulator.on_end(2.0);
+  EXPECT_TRUE(accumulator.end_duration_mismatch());
+  EXPECT_EQ(accumulator.end_duration(), 2.0);
+  // The caller-facing lint hook turns the flag into TR011.
+  const auto report = lint::lint_window_duration(1.0, accumulator.end_duration());
+  ASSERT_EQ(report.diagnostics().size(), 1u);
+  EXPECT_EQ(report.diagnostics()[0].rule_id, "TR011");
+}
+#endif
+
+// ---- windowed ingestion ----------------------------------------------------
+
+TEST(CongestionWindowed, ProfileMatchesStandaloneAccumulatorExactly) {
+  const auto trace = bursty_trace(12);
+  const auto windowed = metrics::windowed_traffic(trace, 5);
+  const auto profile = metrics::time_profile(trace, 5);
+  ASSERT_EQ(windowed.profile.window_bytes.size(), profile.window_bytes.size());
+  for (std::size_t i = 0; i < profile.window_bytes.size(); ++i) {
+    EXPECT_EQ(windowed.profile.window_bytes[i], profile.window_bytes[i]) << i;
+  }
+  EXPECT_EQ(windowed.profile.total_bytes, profile.total_bytes);
+  EXPECT_EQ(windowed.profile.peak_window_bytes, profile.peak_window_bytes);
+  EXPECT_EQ(windowed.profile.burstiness, profile.burstiness);
+  EXPECT_EQ(windowed.window_seconds, trace.duration() / 5);
+}
+
+TEST(CongestionWindowed, WindowsSumToAggregateCellwise) {
+  const auto trace = bursty_trace(12);
+  const auto aggregate = TrafficMatrix::from_trace(trace);
+  for (const int windows : {1, 3, 8}) {
+    const auto windowed = metrics::windowed_traffic(trace, windows);
+    ASSERT_EQ(windowed.windows.size(), static_cast<std::size_t>(windows));
+    const auto summed = summed_cells(windowed.windows);
+    const auto expected = cells_of(aggregate);
+    ASSERT_EQ(summed.size(), expected.size()) << windows << " windows";
+    for (const auto& [key, cell] : expected) {
+      const auto it = summed.find(key);
+      ASSERT_NE(it, summed.end());
+      EXPECT_EQ(it->second.bytes, cell.bytes);
+      EXPECT_EQ(it->second.packets, cell.packets);
+    }
+  }
+}
+
+TEST(CongestionWindowed, BoundaryEventClampsToLastWindow) {
+  trace::TraceBuilder builder("boundary", 4);
+  builder.add_p2p(0, 1, 1000, 2.0);  // t == duration.
+  builder.set_duration(2.0);
+  const auto windowed = metrics::windowed_traffic(builder.build(), 4);
+  EXPECT_EQ(windowed.windows[3].total_bytes(), 1000u);
+  for (int w = 0; w < 3; ++w) EXPECT_EQ(windowed.windows[w].total_bytes(), 0u);
+}
+
+TEST(CongestionWindowed, ZeroDurationTracePutsEverythingInWindowZero) {
+  trace::TraceBuilder builder("zero", 4);
+  builder.add_p2p(0, 1, 1000, 0.0);
+  builder.add_collective(trace::CollectiveOp::Allreduce, 0, 256, 0.0);
+  const auto trace = builder.build();
+  const auto windowed = metrics::windowed_traffic(trace, 3);
+  EXPECT_EQ(windowed.window_seconds, 0.0);
+  const auto aggregate = TrafficMatrix::from_trace(trace);
+  EXPECT_EQ(windowed.windows[0].total_bytes(), aggregate.total_bytes());
+  EXPECT_EQ(windowed.windows[1].total_bytes(), 0u);
+  EXPECT_EQ(windowed.windows[2].total_bytes(), 0u);
+}
+
+TEST(CongestionWindowed, BudgetedWindowsStillConserve) {
+  const auto trace = bursty_trace(12);
+  metrics::TrafficOptions options;
+  options.memory_budget_bytes = 1024;  // Forces strip-tiled open phases.
+  const auto aggregate = TrafficMatrix::from_trace(trace, options);
+  const auto windowed = metrics::windowed_traffic(trace, 4, options);
+  const auto summed = summed_cells(windowed.windows);
+  const auto expected = cells_of(aggregate);
+  ASSERT_EQ(summed.size(), expected.size());
+  for (const auto& [key, cell] : expected) {
+    EXPECT_EQ(summed.at(key).bytes, cell.bytes);
+    EXPECT_EQ(summed.at(key).packets, cell.packets);
+  }
+}
+
+TEST(CongestionWindowed, MisuseThrows) {
+  EXPECT_THROW(metrics::WindowedTrafficAccumulator(1.0, 0), ConfigError);
+  metrics::WindowedTrafficAccumulator accumulator(1.0, 2);
+  accumulator.on_begin("synthetic", 4);
+  EXPECT_THROW(accumulator.take(), ConfigError);  // Before on_end().
+}
+
+// ---- congestion report -----------------------------------------------------
+
+TEST(CongestionReport, HotspotsExceedanceAndRanking) {
+  const auto sets = topology::topologies_for(8);
+  const auto plan = RoutePlan::build(*sets.torus, 8);
+  const auto mapping = mapping::Mapping::linear(8, plan->num_nodes());
+
+  // Window 0 pushes 5000 B between neighbours in 1 s against a 1 kB/s
+  // capacity: fraction 5.0 on every link of the route. Window 1 idles.
+  std::vector<TrafficMatrix> windows;
+  windows.push_back(make_matrix(8, {{0, 1, 5000, 5}}));
+  windows.push_back(make_matrix(8, {}));
+
+  CongestionOptions options;
+  options.windows = 2;
+  options.threshold = 0.25;
+  options.bandwidth_bytes_per_s = 1000.0;
+  const auto summary =
+      metrics::congestion_report(windows, 1.0, *plan, mapping, options);
+
+  EXPECT_TRUE(summary.enabled);
+  EXPECT_EQ(summary.windows, 2);
+  EXPECT_EQ(summary.window_seconds, 1.0);
+  EXPECT_GE(summary.hot_links, 1);
+  EXPECT_GE(summary.peak_offered_fraction, 1.0);
+  EXPECT_EQ(summary.exceeded_window_fraction, 0.5);  // 1 of 2 windows.
+  // Every hot link is hot for exactly one 1 s window.
+  EXPECT_EQ(summary.hot_duration_max_s, 1.0);
+  ASSERT_FALSE(summary.hotspots.empty());
+  for (std::size_t i = 1; i < summary.hotspots.size(); ++i) {
+    EXPECT_GE(summary.hotspots[i - 1].hot_windows,
+              summary.hotspots[i].hot_windows);
+  }
+
+  options.top_k = 1;
+  const auto top1 =
+      metrics::congestion_report(windows, 1.0, *plan, mapping, options);
+  EXPECT_EQ(top1.hotspots.size(), 1u);
+  EXPECT_EQ(top1.hotspots[0], summary.hotspots[0]);
+}
+
+TEST(CongestionReport, ZeroWindowSecondsYieldsAllZeroSummary) {
+  const auto sets = topology::topologies_for(8);
+  const auto plan = RoutePlan::build(*sets.torus, 8);
+  const auto mapping = mapping::Mapping::linear(8, plan->num_nodes());
+  std::vector<TrafficMatrix> windows;
+  windows.push_back(make_matrix(8, {{0, 1, 5000, 5}}));
+
+  CongestionOptions options;
+  options.windows = 1;
+  const auto summary =
+      metrics::congestion_report(windows, 0.0, *plan, mapping, options);
+  EXPECT_TRUE(summary.enabled);
+  EXPECT_EQ(summary.hot_links, 0);
+  EXPECT_EQ(summary.peak_offered_fraction, 0.0);
+  EXPECT_EQ(summary.exceeded_window_fraction, 0.0);
+  EXPECT_TRUE(summary.hotspots.empty());
+}
+
+TEST(CongestionReport, RejectsBadOptions) {
+  const auto sets = topology::topologies_for(8);
+  const auto plan = RoutePlan::build(*sets.torus, 8);
+  const auto mapping = mapping::Mapping::linear(8, plan->num_nodes());
+  const std::vector<TrafficMatrix> windows;
+
+  CongestionOptions options;
+  options.windows = 1;
+  options.threshold = 0.0;
+  EXPECT_THROW(metrics::congestion_report(windows, 1.0, *plan, mapping, options),
+               ConfigError);
+  options.threshold = 0.5;
+  options.top_k = 0;
+  EXPECT_THROW(metrics::congestion_report(windows, 1.0, *plan, mapping, options),
+               ConfigError);
+  options.top_k = 5;
+  options.bandwidth_bytes_per_s = 0.0;
+  EXPECT_THROW(metrics::congestion_report(windows, 1.0, *plan, mapping, options),
+               ConfigError);
+}
+
+TEST(CongestionReport, ThreadCountIsBitIdentical) {
+  const auto trace = bursty_trace(64);
+  const auto windowed = metrics::windowed_traffic(trace, 6);
+  const auto sets = topology::topologies_for(64);
+  for (const auto* topo : sets.all()) {
+    const auto plan = RoutePlan::build(*topo, 64);
+    const auto mapping = mapping::Mapping::linear(64, plan->num_nodes());
+    CongestionOptions options;
+    options.windows = 6;
+    const auto serial = metrics::congestion_report(
+        windowed.windows, windowed.window_seconds, *plan, mapping, options, 1);
+    const auto parallel = metrics::congestion_report(
+        windowed.windows, windowed.window_seconds, *plan, mapping, options, 4);
+    EXPECT_EQ(serial, parallel) << topo->name();
+  }
+}
+
+// ---- conservation (satellite c + VF019) ------------------------------------
+
+TEST(CongestionConservation, SummedIntegerLoadsMatchAggregateAllTopologies) {
+  const auto trace = bursty_trace(64);
+  const auto aggregate = TrafficMatrix::from_trace(trace);
+  const auto windowed = metrics::windowed_traffic(trace, 6);
+  const auto sets = topology::topologies_for(64);
+  for (const auto* topo : sets.all()) {
+    const auto plan = RoutePlan::build(*topo, 64);
+    const auto mapping = mapping::Mapping::linear(64, plan->num_nodes());
+    ASSERT_TRUE(plan->single_path());
+
+    std::vector<Bytes> aggregate_loads(
+        static_cast<std::size_t>(plan->num_links()), 0);
+    metrics::accumulate_link_loads(aggregate, *plan, mapping, aggregate_loads);
+
+    std::vector<Bytes> window_loads(
+        static_cast<std::size_t>(plan->num_links()), 0);
+    for (const auto& window : windowed.windows) {
+      metrics::accumulate_link_loads(window, *plan, mapping, window_loads);
+    }
+    EXPECT_EQ(window_loads, aggregate_loads) << topo->name();
+  }
+}
+
+TEST(CongestionConservation, CheckerIsCleanUnderMinimalEcmpAndFaults) {
+  const auto trace = bursty_trace(64);
+  const auto aggregate = TrafficMatrix::from_trace(trace);
+  const auto windowed = metrics::windowed_traffic(trace, 5);
+  const auto sets = topology::topologies_for(64);
+
+  std::vector<RoutingSpec> specs(3);
+  specs[1].kind = RoutingKind::kEcmp;
+  specs[2].failed_links = {0};
+  for (const auto* topo : sets.all()) {
+    for (const auto& spec : specs) {
+      const auto plan = RoutePlan::build(*topo, spec, 64);
+      const auto mapping = mapping::Mapping::linear(64, plan->num_nodes());
+      lint::LintReport report;
+      const auto checks = verify::check_window_conservation(
+          windowed.windows, aggregate, plan.get(), &mapping, topo->name(),
+          report);
+      EXPECT_GT(checks, 0u);
+      EXPECT_TRUE(report.empty())
+          << topo->name() << ": " << lint::format(report.diagnostics()[0]);
+    }
+  }
+}
+
+TEST(CongestionConservation, SeededCellDefectFiresVF019) {
+  // One window lost 30 bytes relative to the aggregate.
+  std::vector<TrafficMatrix> windows;
+  windows.push_back(make_matrix(8, {{0, 1, 70, 1}}));
+  windows.push_back(make_matrix(8, {{1, 2, 50, 1}}));
+  const auto aggregate = make_matrix(8, {{0, 1, 100, 1}, {1, 2, 50, 1}});
+
+  const auto sets = topology::topologies_for(8);
+  const auto plan = RoutePlan::build(*sets.torus, 8);
+  const auto mapping = mapping::Mapping::linear(8, plan->num_nodes());
+  lint::LintReport report;
+  verify::check_window_conservation(windows, aggregate, plan.get(), &mapping,
+                                    "seeded", report);
+  EXPECT_FALSE(report.by_rule("VF019").empty());
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(CongestionConservation, SeededMissingPairFiresVF019) {
+  // The windows carry a pair the aggregate never saw.
+  std::vector<TrafficMatrix> windows;
+  windows.push_back(make_matrix(8, {{0, 1, 100, 1}, {4, 5, 8, 1}}));
+  const auto aggregate = make_matrix(8, {{0, 1, 100, 1}});
+  lint::LintReport report;
+  verify::check_window_conservation(windows, aggregate, nullptr, nullptr,
+                                    "seeded", report);
+  EXPECT_FALSE(report.by_rule("VF019").empty());
+}
+
+TEST(CongestionConservation, SeededRankMismatchFiresVF019) {
+  std::vector<TrafficMatrix> windows;
+  windows.push_back(make_matrix(4, {{0, 1, 100, 1}}));
+  const auto aggregate = make_matrix(8, {{0, 1, 100, 1}});
+  lint::LintReport report;
+  verify::check_window_conservation(windows, aggregate, nullptr, nullptr,
+                                    "seeded", report);
+  EXPECT_FALSE(report.by_rule("VF019").empty());
+}
+
+// ---- analysis integration --------------------------------------------------
+
+TEST(CongestionAnalysis, RunExperimentFillsSummariesWhenEnabled) {
+  analysis::RunOptions options;
+  options.congestion.windows = 8;
+  const auto row =
+      analysis::run_experiment(workloads::catalog_entry("AMG", 8), options);
+  for (const auto& topo : row.topologies) {
+    EXPECT_TRUE(topo.congestion.enabled) << topo.topology;
+    EXPECT_EQ(topo.congestion.windows, 8);
+    EXPECT_GT(topo.congestion.window_seconds, 0.0);
+    EXPECT_GT(topo.congestion.peak_offered_fraction, 0.0);
+  }
+
+  const auto plain =
+      analysis::run_experiment(workloads::catalog_entry("AMG", 8), {});
+  for (const auto& topo : plain.topologies) {
+    EXPECT_FALSE(topo.congestion.enabled);
+  }
+}
+
+TEST(CongestionAnalysis, Table3CsvIsByteIdenticalWithAndWithoutCongestion) {
+  analysis::RunOptions with;
+  with.congestion.windows = 8;
+  const auto& entry = workloads::catalog_entry("AMG", 8);
+  const auto row_with = analysis::run_experiment(entry, with);
+  const auto row_without = analysis::run_experiment(entry, {});
+
+  std::ostringstream a, b;
+  analysis::write_table3_csv({row_with}, a);
+  analysis::write_table3_csv({row_without}, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(CongestionAnalysis, CongestionCsvSkipsDisabledAndIsDeterministic) {
+  analysis::RunOptions with;
+  with.congestion.windows = 4;
+  const auto& entry = workloads::catalog_entry("AMG", 8);
+  const auto row_with = analysis::run_experiment(entry, with);
+  const auto row_without = analysis::run_experiment(entry, {});
+
+  std::ostringstream disabled;
+  analysis::write_congestion_csv({row_without}, disabled);
+  // Header only: every cell of the row has congestion disabled.
+  EXPECT_EQ(disabled.str().find('\n'), disabled.str().size() - 1);
+
+  std::ostringstream a, b;
+  analysis::write_congestion_csv({row_with}, a);
+  analysis::write_congestion_csv({row_with}, b);
+  const std::string csv = a.str();
+  EXPECT_EQ(csv, b.str());
+  // Header + one row per topology cell.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+// ---- cache plumbing --------------------------------------------------------
+
+TEST(CongestionCache, DisabledCongestionLeavesKeyUnchanged) {
+  const auto& entry = workloads::catalog_entry("AMG", 8);
+  const auto base = engine::result_cache_key(entry, {});
+
+  analysis::RunOptions defaults;  // congestion.windows == 0.
+  EXPECT_EQ(engine::result_cache_key(entry, defaults).hash, base.hash);
+
+  analysis::RunOptions enabled;
+  enabled.congestion.windows = 8;
+  const auto keyed = engine::result_cache_key(entry, enabled);
+  EXPECT_NE(keyed.hash, base.hash);
+
+  analysis::RunOptions other = enabled;
+  other.congestion.threshold = 0.75;
+  EXPECT_NE(engine::result_cache_key(entry, other).hash, keyed.hash);
+  other = enabled;
+  other.congestion.windows = 16;
+  EXPECT_NE(engine::result_cache_key(entry, other).hash, keyed.hash);
+}
+
+TEST(CongestionCache, BlobRoundTripsCongestionSummaries) {
+  analysis::RunOptions options;
+  options.congestion.windows = 4;
+  const auto& entry = workloads::catalog_entry("AMG", 8);
+  const auto row = analysis::run_experiment(entry, options);
+
+  std::ostringstream out;
+  engine::write_row_blob(row, 42, out);
+  std::istringstream in(out.str());
+  const auto back = engine::read_row_blob(in, 42);
+  for (std::size_t i = 0; i < row.topologies.size(); ++i) {
+    EXPECT_EQ(back.topologies[i].congestion, row.topologies[i].congestion) << i;
+    EXPECT_TRUE(back.topologies[i].congestion.enabled);
+  }
+}
+
+TEST(CongestionCache, CongestionFreeBlobKeepsTheLegacyFormat) {
+  const auto& entry = workloads::catalog_entry("AMG", 8);
+  const auto plain = analysis::run_experiment(entry, {});
+  analysis::RunOptions options;
+  options.congestion.windows = 4;
+  const auto with = analysis::run_experiment(entry, options);
+
+  std::ostringstream plain_out, with_out;
+  engine::write_row_blob(plain, 42, plain_out);
+  engine::write_row_blob(with, 42, with_out);
+  // The congestion-free blob stays in the v1 layout (no trailing
+  // congestion section), so it is strictly smaller and still reads.
+  EXPECT_LT(plain_out.str().size(), with_out.str().size());
+  std::istringstream in(plain_out.str());
+  const auto back = engine::read_row_blob(in, 42);
+  for (const auto& topo : back.topologies) {
+    EXPECT_FALSE(topo.congestion.enabled);
+  }
+}
+
+// ---- serve protocol --------------------------------------------------------
+
+TEST(CongestionServe, SubmitRoundTripCarriesCongestionKnobs) {
+  serve::Request request;
+  request.kind = serve::Request::Kind::Submit;
+  request.submit.apps = {"AMG/8"};
+  request.submit.congestion.windows = 16;
+  request.submit.congestion.threshold = 0.75;
+  request.submit.congestion.top_k = 3;
+
+  const auto payload = serve::encode_request(request);
+  const auto parsed = serve::parse_request(payload);
+  EXPECT_EQ(parsed.submit.congestion.windows, 16);
+  EXPECT_EQ(parsed.submit.congestion.threshold, 0.75);
+  EXPECT_EQ(parsed.submit.congestion.top_k, 3);
+}
+
+TEST(CongestionServe, DisabledCongestionRidesAsAbsentFields) {
+  serve::Request request;
+  request.kind = serve::Request::Kind::Submit;
+  const auto payload = serve::encode_request(request);
+  EXPECT_EQ(payload.find("congestion"), std::string::npos);
+  const auto parsed = serve::parse_request(payload);
+  EXPECT_FALSE(parsed.submit.congestion.enabled());
+  EXPECT_EQ(parsed.submit.congestion.top_k, 5);  // Defaults survive.
+}
+
+TEST(CongestionServe, MalformedCongestionFieldsAreRejected) {
+  EXPECT_THROW(serve::parse_request(
+                   R"({"type":"submit","congestion_windows":-3})"),
+               serve::ProtocolError);
+  EXPECT_THROW(serve::parse_request(
+                   R"({"type":"submit","congestion_windows":4,)"
+                   R"("congestion_threshold":-0.5})"),
+               serve::ProtocolError);
+}
+
+// ---- lint rules ------------------------------------------------------------
+
+TEST(CongestionLint, ZeroDurationWithTimedEventsIsMT006) {
+  const auto report = lint::lint_congestion_windows(4, 0.5, 0.0, 10);
+  ASSERT_EQ(report.by_rule("MT006").size(), 1u);
+  EXPECT_EQ(report.by_rule("MT006")[0].severity, lint::Severity::Warning);
+}
+
+TEST(CongestionLint, ThresholdAtCapacityIsMT007) {
+  const auto report = lint::lint_congestion_windows(4, 1.0, 2.0, 100);
+  EXPECT_EQ(report.by_rule("MT007").size(), 1u);
+}
+
+TEST(CongestionLint, WindowCountAliasingBurstsIsTP015) {
+  const auto report = lint::lint_congestion_windows(64, 0.5, 1.0, 10);
+  EXPECT_EQ(report.by_rule("TP015").size(), 1u);
+}
+
+TEST(CongestionLint, CleanConfigurationHasNoFindings) {
+  EXPECT_TRUE(lint::lint_congestion_windows(8, 0.5, 1.0, 100).empty());
+}
+
+TEST(CongestionLint, WindowDurationMismatchIsTR011Note) {
+  const auto report = lint::lint_window_duration(1.0, 2.0);
+  ASSERT_EQ(report.diagnostics().size(), 1u);
+  EXPECT_EQ(report.diagnostics()[0].rule_id, "TR011");
+  EXPECT_EQ(report.diagnostics()[0].severity, lint::Severity::Note);
+}
+
+}  // namespace
+}  // namespace netloc

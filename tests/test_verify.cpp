@@ -695,8 +695,8 @@ class StubPass final : public VerifyPass {
 TEST(VerifyRunner, RegistersBuiltinSuiteInOrder) {
   const VerifyRunner runner;
   const std::vector<std::string> expected = {
-      "graph", "routes",    "ecmp",    "faults",   "metrics",
-      "cache", "taskgraph", "traffic", "placement"};
+      "graph",     "routes",  "ecmp",      "faults",    "metrics",
+      "cache",     "taskgraph", "traffic", "placement", "congestion"};
   ASSERT_EQ(runner.passes().size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(runner.passes()[i]->id(), expected[i]);
@@ -722,7 +722,7 @@ TEST(VerifyRunner, UnknownFilterIdThrows) {
 TEST(VerifyRunner, EmptyContextSkipsEveryPassWithReason) {
   const VerifyRunner runner;
   const VerifyReport report = runner.run({});
-  ASSERT_EQ(report.passes.size(), 9U);
+  ASSERT_EQ(report.passes.size(), 10U);
   for (const auto& outcome : report.passes) {
     EXPECT_TRUE(outcome.skipped) << outcome.id;
     EXPECT_FALSE(outcome.skip_reason.empty()) << outcome.id;
